@@ -1,0 +1,78 @@
+// Ablation: prediction-based selling vs the paper's online algorithms.
+//
+// Paper Section II motivates competitive online analysis over long-term
+// workload prediction: "prediction models generally assume that workloads
+// are relatively stable, which is not always the true situation in
+// practice.  Thus in some situations the prediction model as well as the
+// corresponding cost-saving strategies may perform poorly."
+//
+// This bench makes that argument quantitative: a forward-looking
+// EWMA-forecast seller (same decision spot, same break-even economics as
+// A_{3T/4}, but judging the *predicted* future instead of the observed
+// past) is compared per fluctuation group.  Expected shape: competitive on
+// the stable group, increasingly worse-tailed as fluctuation grows.
+#include <cstdio>
+
+#include "analysis/summary.hpp"
+#include "bench_common.hpp"
+#include "pricing/catalog.hpp"
+
+using namespace rimarket;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv, "bench_ablation_forecast");
+  if (options.users_per_group == 100) {
+    options.users_per_group = 50;
+  }
+  bench::print_banner(options, "Ablation — prediction-based selling vs online algorithms");
+
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = options.users_per_group;
+  pop_spec.trace_hours = options.trace_hours;
+  pop_spec.seed = options.seed;
+  const auto population = workload::UserPopulation::build(pop_spec);
+
+  sim::EvaluationSpec spec;
+  spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
+  spec.sim.selling_discount = options.selling_discount;
+  spec.seed = options.seed;
+  spec.sellers = {
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
+      sim::SellerSpec{sim::SellerKind::kForecastSelling, 0.75},
+      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+      sim::SellerSpec{sim::SellerKind::kForecastSelling, 0.25},
+  };
+  const auto results = sim::evaluate(population, spec);
+  const auto normalized = analysis::normalize_to_keep(results);
+
+  const sim::SellerSpec pairs[][2] = {
+      {{sim::SellerKind::kA3T4, 0.75}, {sim::SellerKind::kForecastSelling, 0.75}},
+      {{sim::SellerKind::kAT4, 0.25}, {sim::SellerKind::kForecastSelling, 0.25}},
+  };
+  for (const auto& pair : pairs) {
+    std::printf("--- decision spot %.2fT ---\n", pair[0].fraction);
+    std::printf("%-22s %-10s %10s %10s %10s %10s\n", "policy", "group", "mean", "%saving",
+                "%worse", "worst");
+    for (const auto& seller : pair) {
+      for (const auto group :
+           {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+            workload::FluctuationGroup::kHigh}) {
+        const auto slice = analysis::select_group(normalized, group);
+        const auto sample = analysis::per_user_ratios(slice, seller);
+        const auto summary = analysis::summarize_ratios(sample);
+        std::printf("%-22s group %-4d %10.4f %9.1f%% %9.1f%% %10.4f\n",
+                    sim::seller_name(seller).c_str(), workload::group_index(group) + 1,
+                    summary.mean_ratio, 100.0 * summary.fraction_saving,
+                    100.0 * summary.fraction_worse, summary.max_ratio);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: the forecast policy inherits the online rule's economics but bets on\n"
+      "extrapolated demand; the gap between its worst-case column and the online\n"
+      "algorithm's, growing with the fluctuation group, is the paper's Section II\n"
+      "argument in numbers.\n");
+  return 0;
+}

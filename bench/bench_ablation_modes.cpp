@@ -1,0 +1,184 @@
+// Ablation: modelling choices the paper leaves implicit.
+//
+//  1. Charge policy — Eq. (1) bills every active reserved hour; the
+//     competitive analysis bills worked hours only.  How much does the
+//     convention change the measured savings?
+//  2. Open vs closed loop — the paper feeds a fixed reservation stream to
+//     the selling algorithm; a real user would re-reserve after selling if
+//     demand returns.  How much does the feedback help?
+//  3. Randomized decision spot (the paper's future-work direction) vs the
+//     three fixed spots.
+//  4. Whole-contract marketplace selling (the paper's mechanism) vs the
+//     related-work alternative of re-leasing idle reserved hours
+//     pay-per-use (Zhang et al. ICWS'17, Wang et al. TPDS'15) — a model
+//     "currently not supported by public IaaS cloud providers" (paper
+//     Section II), priced here between alpha*p and p.
+#include <cstdio>
+
+#include "analysis/summary.hpp"
+#include "bench_common.hpp"
+#include "pricing/catalog.hpp"
+#include "purchasing/policy.hpp"
+#include "selling/baselines.hpp"
+#include "selling/fixed_spot.hpp"
+#include "selling/randomized.hpp"
+#include "sim/runner.hpp"
+
+using namespace rimarket;
+
+namespace {
+
+double overall(const std::vector<analysis::NormalizedResult>& normalized,
+               sim::SellerSpec seller) {
+  return analysis::overall_average(normalized, seller);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv, "bench_ablation_modes");
+  if (options.users_per_group == 100) {
+    options.users_per_group = 25;
+  }
+  bench::print_banner(options, "Ablation — charge policy, loop mode, randomized spot");
+
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = options.users_per_group;
+  pop_spec.trace_hours = options.trace_hours;
+  pop_spec.seed = options.seed;
+  const auto population = workload::UserPopulation::build(pop_spec);
+
+  // --- 1. charge policy ------------------------------------------------
+  std::printf("1) charge policy (average normalized cost, all users):\n");
+  std::printf("%-22s %12s %12s %12s\n", "billing", "A_{3T/4}", "A_{T/2}", "A_{T/4}");
+  for (const auto policy :
+       {fleet::ChargePolicy::kAllActiveHours, fleet::ChargePolicy::kWorkedHoursOnly}) {
+    sim::EvaluationSpec spec;
+    spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
+    spec.sim.selling_discount = options.selling_discount;
+    spec.sim.charge_policy = policy;
+    spec.seed = options.seed;
+    spec.sellers = sim::paper_sellers(0.75);
+    const auto normalized = analysis::normalize_to_keep(sim::evaluate(population, spec));
+    std::printf("%-22s",
+                policy == fleet::ChargePolicy::kAllActiveHours ? "Eq.(1) all-active"
+                                                               : "analysis worked-only");
+    for (const auto kind :
+         {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
+      std::printf(" %12.4f", overall(normalized, {kind, 0.75}));
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. open vs closed loop ------------------------------------------
+  std::printf("\n2) open-loop (paper) vs closed-loop re-reservation, A_{3T/4}:\n");
+  std::printf("%-14s %14s %14s\n", "mode", "mean cost ($)", "vs keep");
+  sim::SimulationConfig config;
+  config.type = pricing::PricingCatalog::builtin().require(options.instance);
+  config.selling_discount = options.selling_discount;
+  double open_total = 0.0;
+  double closed_total = 0.0;
+  double keep_total = 0.0;
+  // All-reserved imitation surfaces the feedback: it books enough capacity
+  // that sales happen, and in closed loop it re-reserves when demand
+  // resumes after a sale.
+  for (const workload::User& user : population.users()) {
+    const auto purchaser =
+        purchasing::make_purchaser(purchasing::PurchaserKind::kAllReserved, config.type, 1);
+    const auto stream = sim::ReservationStream::generate(
+        user.trace, *purchaser, user.trace.length(), config.type.term);
+    selling::KeepReservedPolicy keep;
+    keep_total += sim::simulate(user.trace, stream, keep, config).net_cost();
+    selling::FixedSpotSelling open_seller(config.type, 0.75, options.selling_discount);
+    open_total += sim::simulate(user.trace, stream, open_seller, config).net_cost();
+    const auto closed_purchaser =
+        purchasing::make_purchaser(purchasing::PurchaserKind::kAllReserved, config.type, 1);
+    selling::FixedSpotSelling closed_seller(config.type, 0.75, options.selling_discount);
+    closed_total +=
+        sim::simulate_closed_loop(user.trace, *closed_purchaser, closed_seller, config)
+            .net_cost();
+  }
+  const auto users = static_cast<double>(population.size());
+  std::printf("%-14s %14.2f %14.4f\n", "keep", keep_total / users, 1.0);
+  std::printf("%-14s %14.2f %14.4f\n", "open-loop", open_total / users,
+              open_total / keep_total);
+  std::printf("%-14s %14.2f %14.4f\n", "closed-loop", closed_total / users,
+              closed_total / keep_total);
+
+  // --- 3. randomized spot ----------------------------------------------
+  std::printf("\n3) randomized decision spot (future-work extension):\n");
+  sim::EvaluationSpec spec;
+  spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
+  spec.sim.selling_discount = options.selling_discount;
+  spec.seed = options.seed;
+  spec.sellers = sim::paper_sellers(0.75);
+  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kRandomizedSpot, 0.5});
+  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kContinuousSpot, 0.5});
+  const auto normalized = analysis::normalize_to_keep(sim::evaluate(population, spec));
+  std::printf("%-18s %12s %12s %12s\n", "policy", "mean", "%saving", "worst");
+  for (const sim::SellerSpec seller :
+       {sim::SellerSpec{sim::SellerKind::kA3T4, 0.75}, sim::SellerSpec{sim::SellerKind::kAT2, 0.5},
+        sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+        sim::SellerSpec{sim::SellerKind::kRandomizedSpot, 0.5},
+        sim::SellerSpec{sim::SellerKind::kContinuousSpot, 0.5}}) {
+    const auto sample = analysis::per_user_ratios(normalized, seller);
+    const auto summary = analysis::summarize_ratios(sample);
+    std::printf("%-18s %12.4f %11.1f%% %12.4f\n", sim::seller_name(seller).c_str(),
+                summary.mean_ratio, 100.0 * summary.fraction_saving, summary.max_ratio);
+  }
+
+  // --- 4. contract selling vs hour reselling ----------------------------
+  std::printf("\n4) whole-contract sales (paper) vs idle-hour reselling (related work):\n");
+  std::printf("%-34s %12s\n", "mechanism", "mean ratio");
+  {
+    sim::EvaluationSpec base;
+    base.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
+    base.sim.selling_discount = options.selling_discount;
+    base.seed = options.seed;
+    base.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+                    sim::SellerSpec{sim::SellerKind::kA3T4, 0.75}};
+    const auto contract_normalized =
+        analysis::normalize_to_keep(sim::evaluate(population, base));
+    std::printf("%-34s %12.4f\n", "A_{3T/4} contract sales",
+                overall(contract_normalized, {sim::SellerKind::kA3T4, 0.75}));
+    // Hour reselling: keep every contract, lease idle hours.  Lease rates
+    // between alpha*p and p; probability models thin lessee demand.
+    for (const double rate_fraction : {0.5, 0.8}) {
+      for (const double probability : {0.3, 1.0}) {
+        sim::EvaluationSpec resale = base;
+        resale.sim.idle_resale_rate =
+            rate_fraction * base.sim.type.on_demand_hourly;
+        resale.sim.idle_resale_probability = probability;
+        resale.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0}};
+        // Ratio = resale keep-cost / plain keep-cost, per (user, purchaser).
+        const auto plain = sim::evaluate(population, base);
+        const auto leased = sim::evaluate(population, resale);
+        double sum = 0.0;
+        int count = 0;
+        for (std::size_t i = 0, j = 0; i < plain.size() && j < leased.size(); ++i) {
+          if (plain[i].seller.kind != sim::SellerKind::kKeepReserved) {
+            continue;
+          }
+          while (j < leased.size() &&
+                 (leased[j].user_id != plain[i].user_id ||
+                  leased[j].purchaser != plain[i].purchaser)) {
+            ++j;
+          }
+          if (j < leased.size() && plain[i].net_cost > 0.0) {
+            sum += leased[j].net_cost / plain[i].net_cost;
+            ++count;
+          }
+        }
+        std::printf("hour reselling (rate=%.1fp, P=%.1f)%8s %10.4f\n", rate_fraction,
+                    probability, "", count > 0 ? sum / count : 0.0);
+      }
+    }
+  }
+  std::printf(
+      "\nreading: a liquid hour-resale market would beat whole-contract sales (idle\n"
+      "capacity earns continuously, and thinner lessee demand shrinks the edge) —\n"
+      "which is why related work proposes it.  But the mechanism is \"currently not\n"
+      "supported by public IaaS cloud providers\" (paper Section II); the contract\n"
+      "marketplace the paper studies is the one sellers can actually use.\n");
+  return 0;
+}

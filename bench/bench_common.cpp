@@ -1,0 +1,75 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pricing/catalog.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::bench {
+
+BenchOptions parse_options(int argc, char** argv, const char* program) {
+  common::CliParser cli;
+  cli.add_flag("users", "users per fluctuation group", "100");
+  cli.add_flag("hours", "trace length in hours", "17520");
+  cli.add_flag("discount", "selling discount a in [0,1]", "0.8");
+  cli.add_flag("instance", "catalog instance type", "d2.xlarge");
+  cli.add_flag("seed", "population/experiment seed", "2018");
+  cli.add_flag("threads", "worker threads (0 = hardware)", "0");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help(program).c_str());
+    std::exit(1);
+  }
+  BenchOptions options;
+  options.users_per_group = static_cast<int>(cli.get_int("users", 100));
+  options.trace_hours = cli.get_int("hours", 2 * kHoursPerYear);
+  options.selling_discount = cli.get_double("discount", 0.8);
+  options.instance = cli.get("instance");
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  if (!pricing::PricingCatalog::builtin().find(options.instance)) {
+    std::fprintf(stderr, "unknown instance type %s\n", options.instance.c_str());
+    std::exit(1);
+  }
+  return options;
+}
+
+PaperEvaluation run_paper_evaluation(const BenchOptions& options) {
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = options.users_per_group;
+  pop_spec.trace_hours = options.trace_hours;
+  pop_spec.seed = options.seed;
+
+  PaperEvaluation evaluation;
+  evaluation.population = workload::UserPopulation::build(pop_spec);
+
+  evaluation.spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
+  evaluation.spec.sim.selling_discount = options.selling_discount;
+  evaluation.spec.sim.charge_policy = options.charge_policy;
+  evaluation.spec.seed = options.seed;
+  evaluation.spec.threads = options.threads;
+  evaluation.spec.sellers = {
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+      sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpot3T4},
+      sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpotT2},
+      sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpotT4},
+      sim::SellerSpec{sim::SellerKind::kA3T4, selling::kSpot3T4},
+      sim::SellerSpec{sim::SellerKind::kAT2, selling::kSpotT2},
+      sim::SellerSpec{sim::SellerKind::kAT4, selling::kSpotT4},
+  };
+  evaluation.results = sim::evaluate(evaluation.population, evaluation.spec);
+  evaluation.normalized = analysis::normalize_to_keep(evaluation.results);
+  return evaluation;
+}
+
+void print_banner(const BenchOptions& options, const char* what) {
+  std::printf("=== %s ===\n", what);
+  std::printf(
+      "instance=%s  a=%.2f  users=%dx3  trace=%lldh  seed=%llu\n"
+      "(paper: d2.xlarge Linux US-East, 1-yr term; costs normalized to keep-reserved)\n\n",
+      options.instance.c_str(), options.selling_discount, options.users_per_group,
+      static_cast<long long>(options.trace_hours),
+      static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace rimarket::bench

@@ -1,0 +1,50 @@
+// Shared setup for the paper-reproduction bench binaries.
+//
+// Every figure/table bench runs the same pipeline — build the 300-user
+// population, imitate reservation behaviour with the four purchasing
+// algorithms, sweep the selling policies, normalize to keep-reserved — and
+// then formats its own slice.  This header provides that pipeline plus the
+// common command-line knobs (--users, --hours, --discount, --seed) so a
+// fast smoke run (`--users=10`) and the full reproduction share one code
+// path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/normalize.hpp"
+#include "common/cli.hpp"
+#include "sim/runner.hpp"
+#include "workload/population.hpp"
+
+namespace rimarket::bench {
+
+struct BenchOptions {
+  int users_per_group = 100;       // the paper's population
+  Hour trace_hours = 2 * kHoursPerYear;
+  double selling_discount = 0.8;   // paper example: 20% off the cap
+  std::string instance = "d2.xlarge";
+  std::uint64_t seed = 2018;
+  std::size_t threads = 0;
+  /// Eq. (1) all-active billing by default; see DESIGN.md cost-model notes.
+  fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
+};
+
+/// Parses the common flags; exits with usage on error.
+BenchOptions parse_options(int argc, char** argv, const char* program);
+
+struct PaperEvaluation {
+  workload::UserPopulation population;
+  sim::EvaluationSpec spec;
+  std::vector<sim::ScenarioResult> results;
+  std::vector<analysis::NormalizedResult> normalized;
+};
+
+/// Runs the full sweep: all paper sellers (keep, the three algorithms, and
+/// all-selling at each of the three spots) x the four purchasing imitators.
+PaperEvaluation run_paper_evaluation(const BenchOptions& options);
+
+/// Banner with the configuration, printed at the top of every bench.
+void print_banner(const BenchOptions& options, const char* what);
+
+}  // namespace rimarket::bench

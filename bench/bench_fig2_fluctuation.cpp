@@ -1,0 +1,53 @@
+// Fig. 2: demand-fluctuation statistics (sigma/mu) of the three user groups.
+//
+// The paper classifies 300 users into stable (sigma/mu < 1), slightly
+// fluctuating (1..3) and highly fluctuating (> 3) groups of 100 each; this
+// bench rebuilds that population from the synthetic trace generators and
+// prints the per-group statistics and the sigma/mu histogram.
+#include <cstdio>
+#include <map>
+
+#include "analysis/reports.hpp"
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+
+using namespace rimarket;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::parse_options(argc, argv, "bench_fig2_fluctuation");
+  bench::print_banner(options, "Fig. 2 — demand fluctuation per user group");
+
+  workload::PopulationSpec spec;
+  spec.users_per_group = options.users_per_group;
+  spec.trace_hours = options.trace_hours;
+  spec.seed = options.seed;
+  const auto population = workload::UserPopulation::build(spec);
+
+  std::printf("%s\n", analysis::render_fig2(population).c_str());
+
+  std::printf("sigma/mu histogram over all %zu users:\n", population.size());
+  common::Histogram histogram(0.0, 8.0, 16);
+  for (const workload::User& user : population.users()) {
+    histogram.add(user.cv);
+  }
+  std::printf("%s\n", histogram.render(40).c_str());
+
+  std::printf("generator mixture in use:\n");
+  for (const auto group :
+       {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+        workload::FluctuationGroup::kHigh}) {
+    std::map<std::string, int> mixture;
+    for (const workload::User* user : population.group(group)) {
+      // Family name = text up to the first '('.
+      const std::string& description = user->generator;
+      ++mixture[description.substr(0, description.find('('))];
+    }
+    std::printf("  %-34s:", std::string(workload::group_name(group)).c_str());
+    for (const auto& [family, count] : mixture) {
+      std::printf(" %s x%d", family.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 3: per-algorithm cost CDFs over all users, vs All-selling and
+// Keep-reserved (the normalization baseline = 1.0).
+//
+// Paper headline numbers this reproduces in shape:
+//   (a) A_{3T/4}: >60% of users save; ~1% regress, worst regression < 1%.
+//   (b) A_{T/2}:  >70% save, ~40% save more than 20%; ~3% regress.
+//   (c) A_{T/4}:  >75% save, >40% save more than 30%; ~5% regress.
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "bench_common.hpp"
+#include "selling/fixed_spot.hpp"
+
+using namespace rimarket;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv, "bench_fig3_cdf");
+  bench::print_banner(options, "Fig. 3 — cost CDFs of the online selling algorithms");
+  const bench::PaperEvaluation evaluation = bench::run_paper_evaluation(options);
+
+  const struct {
+    const char* panel;
+    sim::SellerSpec algorithm;
+    sim::SellerSpec all_selling;
+  } panels[] = {
+      {"(a)", {sim::SellerKind::kA3T4, selling::kSpot3T4},
+       {sim::SellerKind::kAllSelling, selling::kSpot3T4}},
+      {"(b)", {sim::SellerKind::kAT2, selling::kSpotT2},
+       {sim::SellerKind::kAllSelling, selling::kSpotT2}},
+      {"(c)", {sim::SellerKind::kAT4, selling::kSpotT4},
+       {sim::SellerKind::kAllSelling, selling::kSpotT4}},
+  };
+  for (const auto& panel : panels) {
+    std::printf("--- Fig. 3%s ---\n", panel.panel);
+    std::printf("%s\n",
+                analysis::render_fig3_panel(evaluation.normalized, panel.algorithm,
+                                            panel.all_selling)
+                    .c_str());
+  }
+  return 0;
+}

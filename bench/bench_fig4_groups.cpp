@@ -1,0 +1,33 @@
+// Fig. 4: the three online algorithms compared within each fluctuation
+// group.
+//
+// Paper shape: with stable (a) and slightly fluctuating (b) demands the
+// earlier-spot algorithms save more (A_{T/4} best); with highly fluctuating
+// demands (c) A_{T/4} still wins on average but carries the most downside,
+// and in the extreme case (Table II) A_{3T/4} is the safest.
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "bench_common.hpp"
+
+using namespace rimarket;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv, "bench_fig4_groups");
+  bench::print_banner(options, "Fig. 4 — algorithms compared per fluctuation group");
+  const bench::PaperEvaluation evaluation = bench::run_paper_evaluation(options);
+
+  const struct {
+    const char* panel;
+    workload::FluctuationGroup group;
+  } panels[] = {
+      {"(a)", workload::FluctuationGroup::kStable},
+      {"(b)", workload::FluctuationGroup::kModerate},
+      {"(c)", workload::FluctuationGroup::kHigh},
+  };
+  for (const auto& panel : panels) {
+    std::printf("--- Fig. 4%s ---\n", panel.panel);
+    std::printf("%s\n", analysis::render_fig4_panel(evaluation.normalized, panel.group).c_str());
+  }
+  return 0;
+}

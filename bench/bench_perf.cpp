@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark): throughput of the simulator's hot
+// paths.  Not a paper figure — a performance regression net for the
+// library itself.
+#include <benchmark/benchmark.h>
+
+#include "fleet/ledger.hpp"
+#include "pricing/catalog.hpp"
+#include "selling/fixed_spot.hpp"
+#include "sim/offline_planner.hpp"
+#include "sim/simulator.hpp"
+#include "theory/adversary.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace rimarket;
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+workload::DemandTrace bench_trace(Hour hours) {
+  common::Rng rng(99);
+  workload::Ec2LogSynthesizer::Params params;
+  params.base = 20.0;
+  return workload::Ec2LogSynthesizer(params).generate(hours, rng);
+}
+
+void BM_LedgerAssign(benchmark::State& state) {
+  const auto fleet_size = static_cast<Count>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    fleet::ReservationLedger ledger(kHoursPerYear);
+    for (Count i = 0; i < fleet_size; ++i) {
+      ledger.reserve(0);
+    }
+    state.ResumeTiming();
+    for (Hour t = 0; t < 1000; ++t) {
+      benchmark::DoNotOptimize(ledger.assign(t, fleet_size / 2));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LedgerAssign)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  common::Rng rng(7);
+  workload::GoogleClusterSynthesizer generator(workload::GoogleClusterSynthesizer::Params{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(8760)->Arg(17520);
+
+void BM_SimulateYear(benchmark::State& state) {
+  const workload::DemandTrace trace = bench_trace(2 * kHoursPerYear);
+  const auto purchaser =
+      purchasing::make_purchaser(purchasing::PurchaserKind::kWangOnline, d2(), 1);
+  const auto stream =
+      sim::ReservationStream::generate(trace, *purchaser, trace.length(), d2().term);
+  sim::SimulationConfig config;
+  config.type = d2();
+  for (auto _ : state) {
+    selling::FixedSpotSelling seller(d2(), 0.75, 0.8);
+    benchmark::DoNotOptimize(sim::simulate(trace, stream, seller, config));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.length());
+}
+BENCHMARK(BM_SimulateYear);
+
+void BM_OfflinePlan(benchmark::State& state) {
+  const workload::DemandTrace trace = bench_trace(2 * kHoursPerYear);
+  const auto purchaser =
+      purchasing::make_purchaser(purchasing::PurchaserKind::kAllReserved, d2(), 1);
+  const auto stream =
+      sim::ReservationStream::generate(trace, *purchaser, trace.length(), d2().term);
+  sim::SimulationConfig config;
+  config.type = d2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::plan_offline_optimal(trace, stream, config));
+  }
+}
+BENCHMARK(BM_OfflinePlan);
+
+void BM_OptimalSale(benchmark::State& state) {
+  theory::SingleInstanceModel model;
+  model.type = d2();
+  model.selling_discount = 0.8;
+  common::Rng rng(3);
+  const theory::WorkSchedule schedule = theory::random_schedule(d2(), 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(theory::optimal_sale(model, schedule));
+  }
+}
+BENCHMARK(BM_OptimalSale);
+
+}  // namespace

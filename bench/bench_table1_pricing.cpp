@@ -1,0 +1,33 @@
+// Table I: pricing of the d2.xlarge instance (US East (Ohio), Linux).
+//
+// Reproduces the paper's pricing table from the embedded catalog, plus the
+// catalog-wide statistics (alpha < 0.36, theta in (1,4]) the competitive
+// analysis relies on.
+#include <cstdio>
+
+#include "analysis/reports.hpp"
+#include "pricing/catalog.hpp"
+
+using namespace rimarket;
+
+int main() {
+  std::printf("%s\n", analysis::render_table1().c_str());
+
+  const pricing::PricingCatalog& catalog = pricing::PricingCatalog::builtin();
+  const auto stats = catalog.statistics();
+  std::printf("Catalog statistics over %zu standard Linux US-East 1-yr instances:\n",
+              catalog.size());
+  std::printf("  alpha (reservation discount): %.3f .. %.3f   (paper: alpha < 0.36)\n",
+              stats.min_alpha, stats.max_alpha);
+  std::printf("  theta = p*T/R:                %.3f .. %.3f   (paper: theta in (1,4))\n\n",
+              stats.min_theta, stats.max_theta);
+
+  std::printf("%-14s %12s %10s %12s %8s %8s\n", "instance", "on-demand/h", "upfront",
+              "reserved/h", "alpha", "theta");
+  for (const pricing::InstanceType& type : catalog.types()) {
+    std::printf("%-14s %12.4f %10.0f %12.4f %8.3f %8.3f\n", type.name.c_str(),
+                type.on_demand_hourly, type.upfront, type.reserved_hourly, type.alpha(),
+                type.theta());
+  }
+  return 0;
+}

@@ -1,0 +1,350 @@
+// rimarket_cli — command-line front end to the whole library.
+//
+// Subcommands:
+//   catalog                         list the builtin pricing catalog
+//   bounds                          competitive guarantees + verification
+//   simulate                        one (trace, purchaser, seller) run
+//   population                      build & export the evaluation users
+//   evaluate                        run the paper sweep, export CSV
+//
+// Run `rimarket_cli <subcommand> --help` equivalent: any bad flag prints
+// usage for that subcommand.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/export.hpp"
+#include "analysis/normalize.hpp"
+#include "analysis/reports.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "pricing/catalog.hpp"
+#include "sim/offline_planner.hpp"
+#include "sim/runner.hpp"
+#include "theory/verification.hpp"
+#include "workload/population.hpp"
+
+using namespace rimarket;
+
+namespace {
+
+int cmd_catalog(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("csv", "emit machine-readable CSV", "false");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_cli catalog").c_str());
+    return 1;
+  }
+  const pricing::PricingCatalog& catalog = pricing::PricingCatalog::builtin();
+  if (cli.get_bool("csv", false)) {
+    std::printf("name,on_demand,upfront,reserved,term,alpha,theta\n");
+    for (const pricing::InstanceType& type : catalog.types()) {
+      std::printf("%s,%.4f,%.2f,%.4f,%lld,%.4f,%.4f\n", type.name.c_str(),
+                  type.on_demand_hourly, type.upfront, type.reserved_hourly,
+                  static_cast<long long>(type.term), type.alpha(), type.theta());
+    }
+    return 0;
+  }
+  std::printf("%-14s %12s %10s %12s %8s %8s\n", "instance", "on-demand/h", "upfront",
+              "reserved/h", "alpha", "theta");
+  for (const pricing::InstanceType& type : catalog.types()) {
+    std::printf("%-14s %12.4f %10.0f %12.4f %8.3f %8.3f\n", type.name.c_str(),
+                type.on_demand_hourly, type.upfront, type.reserved_hourly, type.alpha(),
+                type.theta());
+  }
+  return 0;
+}
+
+int cmd_bounds(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("instance", "catalog instance type", "d2.xlarge");
+  cli.add_flag("discount", "selling discount a", "0.8");
+  cli.add_flag("verify", "run the adversarial verification sweep", "true");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_cli bounds").c_str());
+    return 1;
+  }
+  const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
+  if (!type) {
+    std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
+    return 1;
+  }
+  const double a = cli.get_double("discount", 0.8);
+  std::printf("%s: alpha=%.3f theta=%.3f, selling discount a=%.2f\n", type->name.c_str(),
+              type->alpha(), type->theta(), a);
+  std::printf("%-10s %12s %14s %14s %12s\n", "algorithm", "spot (h)", "beta (h)",
+              "guarantee", "case");
+  for (const double fraction : {0.75, 0.5, 0.25}) {
+    const auto bound = theory::competitive_bound(fraction, type->alpha(), a);
+    std::printf("A_{%.2fT}  %12lld %14.1f %14.4f %12s\n", fraction,
+                static_cast<long long>(
+                    static_cast<double>(type->term) * fraction),
+                type->break_even_hours(fraction, a), bound.guaranteed,
+                bound.primary_dominates ? "primary" : "secondary");
+  }
+  if (cli.get_bool("verify", true)) {
+    theory::VerificationSpec spec;
+    std::vector<theory::VerificationResult> results;
+    for (const double fraction : {0.75, 0.5, 0.25}) {
+      results.push_back(theory::verify_bound(*type, fraction, a, spec));
+    }
+    std::printf("\n%s", analysis::render_bounds(results).c_str());
+  }
+  return 0;
+}
+
+std::optional<workload::DemandTrace> load_trace(const std::string& path) {
+  const auto contents = common::read_file(path);
+  if (!contents) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto trace = workload::DemandTrace::from_csv(*contents);
+  if (!trace) {
+    std::fprintf(stderr, "%s is not an `hour,demand` CSV\n", path.c_str());
+  }
+  return trace;
+}
+
+std::optional<purchasing::PurchaserKind> parse_purchaser(const std::string& name) {
+  for (const auto kind :
+       {purchasing::PurchaserKind::kAllReserved, purchasing::PurchaserKind::kAllOnDemand,
+        purchasing::PurchaserKind::kRandomReservation, purchasing::PurchaserKind::kWangOnline,
+        purchasing::PurchaserKind::kWangVariant}) {
+    if (purchasing::purchaser_name(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::SellerSpec> parse_seller(const std::string& name, double fraction) {
+  if (name == "keep") return sim::SellerSpec{sim::SellerKind::kKeepReserved, fraction};
+  if (name == "all-selling") return sim::SellerSpec{sim::SellerKind::kAllSelling, fraction};
+  if (name == "a3t4") return sim::SellerSpec{sim::SellerKind::kA3T4, 0.75};
+  if (name == "at2") return sim::SellerSpec{sim::SellerKind::kAT2, 0.50};
+  if (name == "at4") return sim::SellerSpec{sim::SellerKind::kAT4, 0.25};
+  if (name == "randomized") return sim::SellerSpec{sim::SellerKind::kRandomizedSpot, fraction};
+  if (name == "continuous") return sim::SellerSpec{sim::SellerKind::kContinuousSpot, fraction};
+  if (name == "offline") return sim::SellerSpec{sim::SellerKind::kOfflineOptimal, fraction};
+  return std::nullopt;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("trace", "demand trace CSV (hour,demand); required", "");
+  cli.add_flag("instance", "catalog instance type", "d2.xlarge");
+  cli.add_flag("purchaser",
+               "all-reserved | all-on-demand | random-reservation | wang-online | wang-variant",
+               "wang-online");
+  cli.add_flag("seller",
+               "keep | all-selling | a3t4 | at2 | at4 | randomized | continuous | offline",
+               "a3t4");
+  cli.add_flag("fraction", "spot fraction for all-selling/randomized", "0.75");
+  cli.add_flag("discount", "selling discount a", "0.8");
+  cli.add_flag("fee", "marketplace service fee", "0.0");
+  cli.add_flag("worked-only", "bill only worked reserved hours", "false");
+  cli.add_flag("seed", "seed for stochastic policies", "1");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.help("rimarket_cli simulate").c_str());
+    return 1;
+  }
+  if (cli.get("trace").empty()) {
+    std::fprintf(stderr, "--trace is required\n%s", cli.help("rimarket_cli simulate").c_str());
+    return 1;
+  }
+  const auto trace = load_trace(cli.get("trace"));
+  if (!trace) {
+    return 1;
+  }
+  const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
+  if (!type) {
+    std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
+    return 1;
+  }
+  const auto purchaser_kind = parse_purchaser(cli.get("purchaser"));
+  if (!purchaser_kind) {
+    std::fprintf(stderr, "unknown purchaser %s\n", cli.get("purchaser").c_str());
+    return 1;
+  }
+  const auto seller_spec = parse_seller(cli.get("seller"), cli.get_double("fraction", 0.75));
+  if (!seller_spec) {
+    std::fprintf(stderr, "unknown seller %s\n", cli.get("seller").c_str());
+    return 1;
+  }
+
+  sim::SimulationConfig config;
+  config.type = *type;
+  config.selling_discount = cli.get_double("discount", 0.8);
+  config.service_fee = cli.get_double("fee", 0.0);
+  config.charge_policy = cli.get_bool("worked-only", false)
+                             ? fleet::ChargePolicy::kWorkedHoursOnly
+                             : fleet::ChargePolicy::kAllActiveHours;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const auto purchaser = purchasing::make_purchaser(*purchaser_kind, *type, seed);
+  const auto stream =
+      sim::ReservationStream::generate(*trace, *purchaser, trace->length(), type->term);
+  const auto seller = sim::make_seller(*seller_spec, config, seed, &*trace, &stream);
+  const sim::SimulationResult result = sim::simulate(*trace, stream, *seller, config);
+
+  std::printf("trace: %lld hours, mean demand %.2f, sigma/mu %.2f\n",
+              static_cast<long long>(trace->length()), trace->mean(),
+              trace->coefficient_of_variation());
+  std::printf("purchaser %s booked %lld reservations; seller %s sold %lld\n",
+              purchaser->name().c_str(), static_cast<long long>(result.reservations_made),
+              sim::seller_name(*seller_spec).c_str(),
+              static_cast<long long>(result.instances_sold));
+  std::printf("cost breakdown:\n");
+  std::printf("  on-demand        %12.2f  (%lld instance-hours)\n", result.totals.on_demand,
+              static_cast<long long>(result.on_demand_hours));
+  std::printf("  upfront fees     %12.2f\n", result.totals.upfront);
+  std::printf("  reserved hourly  %12.2f\n", result.totals.reserved_hourly);
+  std::printf("  sale income      %12.2f\n", result.totals.sale_income);
+  std::printf("  net cost         %12.2f\n", result.net_cost());
+  return 0;
+}
+
+int cmd_population(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("users", "users per fluctuation group", "10");
+  cli.add_flag("hours", "trace length in hours", "17520");
+  cli.add_flag("seed", "population seed", "2018");
+  cli.add_flag("out", "directory to write user_<id>.csv traces + index.csv", "");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.help("rimarket_cli population").c_str());
+    return 1;
+  }
+  workload::PopulationSpec spec;
+  spec.users_per_group = static_cast<int>(cli.get_int("users", 10));
+  spec.trace_hours = cli.get_int("hours", 17520);
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
+  const auto population = workload::UserPopulation::build(spec);
+  std::printf("%s", analysis::render_fig2(population).c_str());
+
+  const std::string out_dir = cli.get("out");
+  if (!out_dir.empty()) {
+    std::string index = "user,group,cv,generator,trace_file\n";
+    for (const workload::User& user : population.users()) {
+      const std::string file = common::format("user_%03d.csv", user.id);
+      if (!common::write_file(out_dir + "/" + file, user.trace.to_csv())) {
+        std::fprintf(stderr, "cannot write %s/%s (does the directory exist?)\n",
+                     out_dir.c_str(), file.c_str());
+        return 1;
+      }
+      index += common::make_csv_line({std::to_string(user.id),
+                                      std::to_string(workload::group_index(user.group)),
+                                      common::format("%.4f", user.cv), user.generator, file});
+      index += '\n';
+    }
+    if (!common::write_file(out_dir + "/index.csv", index)) {
+      std::fprintf(stderr, "cannot write %s/index.csv\n", out_dir.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu traces + index.csv to %s/\n", population.size(), out_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("users", "users per fluctuation group", "25");
+  cli.add_flag("hours", "trace length in hours", "17520");
+  cli.add_flag("discount", "selling discount a", "0.8");
+  cli.add_flag("instance", "catalog instance type", "d2.xlarge");
+  cli.add_flag("seed", "seed", "2018");
+  cli.add_flag("out", "write raw scenario results CSV here", "");
+  cli.add_flag("normalized-out", "write normalized ratios CSV here", "");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.help("rimarket_cli evaluate").c_str());
+    return 1;
+  }
+  const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
+  if (!type) {
+    std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
+    return 1;
+  }
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = static_cast<int>(cli.get_int("users", 25));
+  pop_spec.trace_hours = cli.get_int("hours", 17520);
+  pop_spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
+  const auto population = workload::UserPopulation::build(pop_spec);
+
+  sim::EvaluationSpec spec;
+  spec.sim.type = *type;
+  spec.sim.selling_discount = cli.get_double("discount", 0.8);
+  spec.seed = pop_spec.seed;
+  spec.sellers = sim::paper_sellers(0.75);
+  const auto results = sim::evaluate(population, spec);
+  const auto normalized = analysis::normalize_to_keep(results);
+
+  std::printf("%s\n", analysis::render_table3(normalized).c_str());
+  if (!cli.get("out").empty()) {
+    if (!common::write_file(cli.get("out"), analysis::scenarios_to_csv(results))) {
+      std::fprintf(stderr, "cannot write %s\n", cli.get("out").c_str());
+      return 1;
+    }
+    std::printf("wrote %zu scenario rows to %s\n", results.size(), cli.get("out").c_str());
+  }
+  if (!cli.get("normalized-out").empty()) {
+    if (!common::write_file(cli.get("normalized-out"),
+                            analysis::normalized_to_csv(normalized))) {
+      std::fprintf(stderr, "cannot write %s\n", cli.get("normalized-out").c_str());
+      return 1;
+    }
+    std::printf("wrote %zu normalized rows to %s\n", normalized.size(),
+                cli.get("normalized-out").c_str());
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "rimarket_cli — reserved-instance trading toolkit\n"
+      "usage: rimarket_cli <subcommand> [flags]\n\n"
+      "subcommands:\n"
+      "  catalog      list the builtin pricing catalog (--csv)\n"
+      "  bounds       competitive guarantees + adversarial verification\n"
+      "  simulate     run one (trace, purchaser, seller) simulation\n"
+      "  population   build the evaluation user population (--out exports traces)\n"
+      "  evaluate     run the paper sweep; --out/--normalized-out export CSV\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses only its own flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "catalog") {
+    return cmd_catalog(sub_argc, sub_argv);
+  }
+  if (command == "bounds") {
+    return cmd_bounds(sub_argc, sub_argv);
+  }
+  if (command == "simulate") {
+    return cmd_simulate(sub_argc, sub_argv);
+  }
+  if (command == "population") {
+    return cmd_population(sub_argc, sub_argv);
+  }
+  if (command == "evaluate") {
+    return cmd_evaluate(sub_argc, sub_argv);
+  }
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown subcommand %s\n\n", command.c_str());
+  print_usage();
+  return 1;
+}

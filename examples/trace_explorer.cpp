@@ -1,0 +1,93 @@
+// Trace explorer: generate, classify and visualize the synthetic workloads.
+//
+// Shows the workload substrate that stands in for the paper's EC2 usage
+// logs and Google cluster traces: every generator, its sigma/mu statistic,
+// the paper's fluctuation group, and an ASCII demand histogram.  Also
+// exports one trace to CSV so other tools (and portfolio_advisor --trace)
+// can consume it.
+//
+// Run: ./trace_explorer [--hours=8760] [--seed=3] [--export=trace.csv]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "workload/classify.hpp"
+#include "workload/generators.hpp"
+#include "workload/population.hpp"
+
+using namespace rimarket;
+
+int main(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("hours", "trace length in hours", "8760");
+  cli.add_flag("seed", "random seed", "3");
+  cli.add_flag("export", "write the last trace to this CSV path", "");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("trace_explorer").c_str());
+    return 1;
+  }
+  const Hour hours = cli.get_int("hours", kHoursPerYear);
+  common::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
+
+  std::vector<std::unique_ptr<workload::DemandGenerator>> generators;
+  generators.push_back(std::make_unique<workload::StableGenerator>(12, 2));
+  generators.push_back(std::make_unique<workload::DiurnalGenerator>(20.0, 8.0, 2.0));
+  generators.push_back(std::make_unique<workload::OnOffGenerator>(6.0, 48.0, 144.0));
+  generators.push_back(std::make_unique<workload::BurstyGenerator>(0.002, 15.0, 12.0, 0));
+  generators.push_back(std::make_unique<workload::PoissonGenerator>(4.0));
+  generators.push_back(std::make_unique<workload::RandomWalkGenerator>(5, 0.3, 25));
+  generators.push_back(
+      std::make_unique<workload::Ec2LogSynthesizer>(workload::Ec2LogSynthesizer::Params{}));
+  generators.push_back(std::make_unique<workload::GoogleClusterSynthesizer>(
+      workload::GoogleClusterSynthesizer::Params{}));
+
+  workload::DemandTrace last;
+  for (const auto& generator : generators) {
+    common::Rng fork = rng.fork(static_cast<std::uint64_t>(&generator - generators.data()));
+    const workload::DemandTrace trace = generator->generate(hours, fork);
+    std::printf("== %s\n", generator->describe().c_str());
+    std::printf("   mean %.2f  sigma %.2f  sigma/mu %.2f  peak %lld  -> %s\n",
+                trace.mean(), trace.stddev(), trace.coefficient_of_variation(),
+                static_cast<long long>(trace.peak()),
+                std::string(workload::group_name(workload::classify(trace))).c_str());
+    const double peak = std::max<double>(1.0, static_cast<double>(trace.peak()));
+    common::Histogram histogram(0.0, peak + 1.0, 8);
+    for (Hour t = 0; t < trace.length(); ++t) {
+      histogram.add(static_cast<double>(trace.at(t)));
+    }
+    std::printf("%s\n", histogram.render(32).c_str());
+    last = trace;
+  }
+
+  // The paper's population, in miniature.
+  workload::PopulationSpec spec;
+  spec.users_per_group = 10;
+  spec.trace_hours = hours;
+  spec.seed = 2018;
+  const auto population = workload::UserPopulation::build(spec);
+  std::printf("== population (10 users per paper group)\n");
+  for (const auto group :
+       {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+        workload::FluctuationGroup::kHigh}) {
+    std::printf("   %-34s:", std::string(workload::group_name(group)).c_str());
+    for (const workload::User* user : population.group(group)) {
+      std::printf(" %.2f", user->cv);
+    }
+    std::printf("\n");
+  }
+
+  const std::string export_path = cli.get("export");
+  if (!export_path.empty()) {
+    if (common::write_file(export_path, last.to_csv())) {
+      std::printf("\nexported the last trace to %s\n", export_path.c_str());
+    } else {
+      std::fprintf(stderr, "\nfailed to write %s\n", export_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "analysis/export.hpp"
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::analysis {
+
+namespace {
+
+const char* seller_kind_token(sim::SellerKind kind) {
+  switch (kind) {
+    case sim::SellerKind::kKeepReserved: return "keep";
+    case sim::SellerKind::kAllSelling: return "all";
+    case sim::SellerKind::kA3T4: return "a3t4";
+    case sim::SellerKind::kAT2: return "at2";
+    case sim::SellerKind::kAT4: return "at4";
+    case sim::SellerKind::kRandomizedSpot: return "randomized";
+    case sim::SellerKind::kContinuousSpot: return "continuous";
+    case sim::SellerKind::kForecastSelling: return "forecast";
+    case sim::SellerKind::kOfflineOptimal: return "offline";
+  }
+  return "?";
+}
+
+std::optional<sim::SellerKind> seller_kind_from_token(std::string_view token) {
+  if (token == "keep") return sim::SellerKind::kKeepReserved;
+  if (token == "all") return sim::SellerKind::kAllSelling;
+  if (token == "a3t4") return sim::SellerKind::kA3T4;
+  if (token == "at2") return sim::SellerKind::kAT2;
+  if (token == "at4") return sim::SellerKind::kAT4;
+  if (token == "randomized") return sim::SellerKind::kRandomizedSpot;
+  if (token == "continuous") return sim::SellerKind::kContinuousSpot;
+  if (token == "forecast") return sim::SellerKind::kForecastSelling;
+  if (token == "offline") return sim::SellerKind::kOfflineOptimal;
+  return std::nullopt;
+}
+
+const char* purchaser_token(purchasing::PurchaserKind kind) {
+  switch (kind) {
+    case purchasing::PurchaserKind::kAllReserved: return "all_reserved";
+    case purchasing::PurchaserKind::kAllOnDemand: return "all_on_demand";
+    case purchasing::PurchaserKind::kRandomReservation: return "random";
+    case purchasing::PurchaserKind::kWangOnline: return "wang";
+    case purchasing::PurchaserKind::kWangVariant: return "wang_variant";
+  }
+  return "?";
+}
+
+std::optional<purchasing::PurchaserKind> purchaser_from_token(std::string_view token) {
+  if (token == "all_reserved") return purchasing::PurchaserKind::kAllReserved;
+  if (token == "all_on_demand") return purchasing::PurchaserKind::kAllOnDemand;
+  if (token == "random") return purchasing::PurchaserKind::kRandomReservation;
+  if (token == "wang") return purchasing::PurchaserKind::kWangOnline;
+  if (token == "wang_variant") return purchasing::PurchaserKind::kWangVariant;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string scenarios_to_csv(std::span<const sim::ScenarioResult> results) {
+  std::string out =
+      "user,group,purchaser,seller,fraction,net_cost,reservations,sold,on_demand_hours\n";
+  for (const sim::ScenarioResult& result : results) {
+    out += common::format("%d,%d,%s,%s,%.4f,%.6f,%lld,%lld,%lld\n", result.user_id,
+                          workload::group_index(result.group),
+                          purchaser_token(result.purchaser),
+                          seller_kind_token(result.seller.kind), result.seller.fraction,
+                          result.net_cost, static_cast<long long>(result.reservations_made),
+                          static_cast<long long>(result.instances_sold),
+                          static_cast<long long>(result.on_demand_hours));
+  }
+  return out;
+}
+
+std::string normalized_to_csv(std::span<const NormalizedResult> normalized) {
+  std::string out = "user,group,purchaser,seller,fraction,net_cost,keep_cost,ratio\n";
+  for (const NormalizedResult& entry : normalized) {
+    out += common::format("%d,%d,%s,%s,%.4f,%.6f,%.6f,%.6f\n", entry.user_id,
+                          workload::group_index(entry.group),
+                          purchaser_token(entry.purchaser),
+                          seller_kind_token(entry.seller.kind), entry.seller.fraction,
+                          entry.net_cost, entry.keep_cost, entry.ratio);
+  }
+  return out;
+}
+
+std::string cdf_to_csv(const common::EmpiricalCdf& cdf, std::size_t points) {
+  std::string out = "x,probability\n";
+  for (const common::EmpiricalCdf::Point& point : cdf.sample_curve(points)) {
+    out += common::format("%.6f,%.6f\n", point.x, point.probability);
+  }
+  return out;
+}
+
+std::optional<std::vector<sim::ScenarioResult>> scenarios_from_csv(std::string_view text) {
+  const common::CsvDocument doc = common::parse_csv(text, /*expect_header=*/true);
+  if (doc.header.size() != 9) {
+    return std::nullopt;
+  }
+  std::vector<sim::ScenarioResult> results;
+  results.reserve(doc.rows.size());
+  for (const common::CsvRow& row : doc.rows) {
+    if (row.size() != 9) {
+      return std::nullopt;
+    }
+    const auto user = common::parse_int(row[0]);
+    const auto group = common::parse_int(row[1]);
+    const auto purchaser = purchaser_from_token(row[2]);
+    const auto seller = seller_kind_from_token(row[3]);
+    const auto fraction = common::parse_double(row[4]);
+    const auto net_cost = common::parse_double(row[5]);
+    const auto reservations = common::parse_int(row[6]);
+    const auto sold = common::parse_int(row[7]);
+    const auto on_demand = common::parse_int(row[8]);
+    if (!user || !group || *group < 0 || *group > 2 || !purchaser || !seller || !fraction ||
+        !net_cost || !reservations || !sold || !on_demand) {
+      return std::nullopt;
+    }
+    sim::ScenarioResult result;
+    result.user_id = static_cast<int>(*user);
+    result.group = static_cast<workload::FluctuationGroup>(*group);
+    result.purchaser = *purchaser;
+    result.seller = sim::SellerSpec{*seller, *fraction};
+    result.net_cost = *net_cost;
+    result.reservations_made = *reservations;
+    result.instances_sold = *sold;
+    result.on_demand_hours = *on_demand;
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace rimarket::analysis

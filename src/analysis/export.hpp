@@ -1,0 +1,31 @@
+// CSV export of evaluation results.
+//
+// The bench binaries print human-readable tables; these exporters produce
+// machine-readable CSV so results can be plotted or diffed across runs
+// (`scenario` rows = raw sweep output, `normalized` rows = keep-reserved
+// ratios, `cdf` rows = one figure curve).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "analysis/normalize.hpp"
+#include "common/cdf.hpp"
+
+namespace rimarket::analysis {
+
+/// Raw sweep results: user, group, purchaser, seller, cost, bookings, sales.
+std::string scenarios_to_csv(std::span<const sim::ScenarioResult> results);
+
+/// Normalized results: user, group, purchaser, seller, cost, keep, ratio.
+std::string normalized_to_csv(std::span<const NormalizedResult> normalized);
+
+/// One CDF curve as (x, probability) rows.
+std::string cdf_to_csv(const common::EmpiricalCdf& cdf, std::size_t points);
+
+/// Parses a scenarios CSV back (round-trip of scenarios_to_csv); nullopt on
+/// malformed input.  Useful for archiving runs and re-analyzing later.
+std::optional<std::vector<sim::ScenarioResult>> scenarios_from_csv(std::string_view text);
+
+}  // namespace rimarket::analysis

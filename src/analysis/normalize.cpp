@@ -1,0 +1,109 @@
+#include "analysis/normalize.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace rimarket::analysis {
+
+namespace {
+
+bool same_seller(const sim::SellerSpec& lhs, const sim::SellerSpec& rhs) {
+  if (lhs.kind != rhs.kind) {
+    return false;
+  }
+  // For kinds parameterized by their decision spot the fraction is part of
+  // the identity; the paper algorithms (kA3T4 & co) imply theirs.
+  if (lhs.kind == sim::SellerKind::kAllSelling ||
+      lhs.kind == sim::SellerKind::kForecastSelling) {
+    return lhs.fraction == rhs.fraction;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<NormalizedResult> normalize_to_keep(std::span<const sim::ScenarioResult> results) {
+  // (user, purchaser) -> keep-reserved cost.
+  std::map<std::pair<int, purchasing::PurchaserKind>, Dollars> baseline;
+  for (const sim::ScenarioResult& result : results) {
+    if (result.seller.kind == sim::SellerKind::kKeepReserved) {
+      baseline[{result.user_id, result.purchaser}] = result.net_cost;
+    }
+  }
+  std::vector<NormalizedResult> normalized;
+  normalized.reserve(results.size());
+  for (const sim::ScenarioResult& result : results) {
+    if (result.seller.kind == sim::SellerKind::kKeepReserved) {
+      continue;
+    }
+    const auto it = baseline.find({result.user_id, result.purchaser});
+    RIMARKET_CHECK_MSG(it != baseline.end(),
+                       "every (user, purchaser) needs a keep-reserved run to normalize to");
+    if (it->second <= 0.0) {
+      continue;
+    }
+    NormalizedResult entry;
+    entry.user_id = result.user_id;
+    entry.group = result.group;
+    entry.purchaser = result.purchaser;
+    entry.seller = result.seller;
+    entry.net_cost = result.net_cost;
+    entry.keep_cost = it->second;
+    entry.ratio = result.net_cost / it->second;
+    normalized.push_back(entry);
+  }
+  return normalized;
+}
+
+std::vector<NormalizedResult> select_seller(std::span<const NormalizedResult> normalized,
+                                            const sim::SellerSpec& seller) {
+  std::vector<NormalizedResult> out;
+  for (const NormalizedResult& entry : normalized) {
+    if (same_seller(entry.seller, seller)) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<NormalizedResult> select_group(std::span<const NormalizedResult> normalized,
+                                           workload::FluctuationGroup group) {
+  std::vector<NormalizedResult> out;
+  for (const NormalizedResult& entry : normalized) {
+    if (entry.group == group) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ratios(std::span<const NormalizedResult> normalized) {
+  std::vector<double> out;
+  out.reserve(normalized.size());
+  for (const NormalizedResult& entry : normalized) {
+    out.push_back(entry.ratio);
+  }
+  return out;
+}
+
+std::vector<double> per_user_ratios(std::span<const NormalizedResult> normalized,
+                                    const sim::SellerSpec& seller) {
+  std::map<int, std::pair<double, int>> per_user;  // user -> (sum, count)
+  for (const NormalizedResult& entry : normalized) {
+    if (!same_seller(entry.seller, seller)) {
+      continue;
+    }
+    auto& [sum, count] = per_user[entry.user_id];
+    sum += entry.ratio;
+    ++count;
+  }
+  std::vector<double> out;
+  out.reserve(per_user.size());
+  for (const auto& [user, acc] : per_user) {
+    out.push_back(acc.first / static_cast<double>(acc.second));
+  }
+  return out;
+}
+
+}  // namespace rimarket::analysis

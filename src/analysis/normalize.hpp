@@ -1,0 +1,51 @@
+// Normalization of sweep results to the keep-reserved baseline.
+//
+// Every figure and table in the paper's evaluation reports cost normalized
+// to Keep-reserved ("All the costs ... were normalized to Keep-reserved").
+// The join key is (user, purchaser): both runs replay the identical
+// reservation stream, so the ratio isolates the selling decision.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace rimarket::analysis {
+
+/// One scenario's cost relative to its keep-reserved twin.
+struct NormalizedResult {
+  int user_id = 0;
+  workload::FluctuationGroup group = workload::FluctuationGroup::kStable;
+  purchasing::PurchaserKind purchaser = purchasing::PurchaserKind::kAllReserved;
+  sim::SellerSpec seller;
+  Dollars net_cost = 0.0;
+  Dollars keep_cost = 0.0;
+  /// net_cost / keep_cost; < 1 means the selling policy saved money.
+  double ratio = 0.0;
+};
+
+/// Joins each non-keep scenario with its (user, purchaser) keep-reserved
+/// run.  Scenarios whose baseline cost is <= 0 (a user whose trace never
+/// triggers a reservation under that purchaser) are dropped — there is
+/// nothing to normalize, matching the paper's per-user cost ratios.
+std::vector<NormalizedResult> normalize_to_keep(std::span<const sim::ScenarioResult> results);
+
+/// Filters by seller kind (and spot fraction for all-selling).
+std::vector<NormalizedResult> select_seller(std::span<const NormalizedResult> normalized,
+                                            const sim::SellerSpec& seller);
+
+/// Filters by fluctuation group.
+std::vector<NormalizedResult> select_group(std::span<const NormalizedResult> normalized,
+                                           workload::FluctuationGroup group);
+
+/// Ratio column of a normalized slice.
+std::vector<double> ratios(std::span<const NormalizedResult> normalized);
+
+/// Per-user mean ratio across purchasers for one seller — the paper's
+/// "per user" granularity for the CDFs (each user contributes one point).
+std::vector<double> per_user_ratios(std::span<const NormalizedResult> normalized,
+                                    const sim::SellerSpec& seller);
+
+}  // namespace rimarket::analysis

@@ -1,0 +1,195 @@
+#include "analysis/reports.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace rimarket::analysis {
+
+std::string render_table1() {
+  common::TextTable table({"Payment Option", "Upfront", "Monthly", "Effective Hourly"});
+  for (const pricing::PaymentQuote& quote : pricing::d2_xlarge_payment_quotes()) {
+    std::vector<std::string> row;
+    row.push_back(std::string(pricing::payment_option_name(quote.option)));
+    if (quote.option == pricing::PaymentOption::kOnDemand) {
+      row.push_back("-");
+      row.push_back(common::format("$%.2f per Hour", quote.hourly));
+      row.push_back("-");
+    } else {
+      row.push_back(common::format("$%.0f", quote.upfront));
+      row.push_back(common::format("$%.2f", quote.monthly));
+      row.push_back(common::format("$%.3f", quote.effective_hourly()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::string out = "Table I — pricing of d2.xlarge (US East (Ohio), Linux), Jan 1 2018\n";
+  out += table.render();
+  return out;
+}
+
+std::string render_fig2(const workload::UserPopulation& population) {
+  std::string out = "Fig. 2 — demand-fluctuation statistics (sigma/mu) per user group\n";
+  common::TextTable table({"Group", "users", "min", "p25", "median", "p75", "max", "mean"});
+  for (const workload::FluctuationGroup group :
+       {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+        workload::FluctuationGroup::kHigh}) {
+    std::vector<double> cvs;
+    for (const workload::User* user : population.group(group)) {
+      cvs.push_back(user->cv);
+    }
+    RIMARKET_CHECK(!cvs.empty());
+    table.add_row({std::string(workload::group_name(group)),
+                   common::format("%zu", cvs.size()),
+                   common::format("%.3f", common::quantile(cvs, 0.0)),
+                   common::format("%.3f", common::quantile(cvs, 0.25)),
+                   common::format("%.3f", common::quantile(cvs, 0.5)),
+                   common::format("%.3f", common::quantile(cvs, 0.75)),
+                   common::format("%.3f", common::quantile(cvs, 1.0)),
+                   common::format("%.3f", common::mean(cvs))});
+  }
+  out += table.render();
+  return out;
+}
+
+namespace {
+
+std::string render_summary_rows(std::span<const NormalizedResult> normalized,
+                                std::span<const sim::SellerSpec> sellers) {
+  common::TextTable table({"Policy", "mean", "%saving", "%save>20%", "%save>30%", "%worse",
+                           "worst", "best"});
+  for (const sim::SellerSpec& seller : sellers) {
+    const std::vector<double> sample = per_user_ratios(normalized, seller);
+    const SavingsSummary summary = summarize_ratios(sample);
+    table.add_row({sim::seller_name(seller),
+                   common::format("%.4f", summary.mean_ratio),
+                   common::format("%.1f%%", 100.0 * summary.fraction_saving),
+                   common::format("%.1f%%", 100.0 * summary.fraction_saving_20),
+                   common::format("%.1f%%", 100.0 * summary.fraction_saving_30),
+                   common::format("%.1f%%", 100.0 * summary.fraction_worse),
+                   common::format("%.4f", summary.max_ratio),
+                   common::format("%.4f", summary.min_ratio)});
+  }
+  return table.render();
+}
+
+std::string render_cdf_series(std::span<const NormalizedResult> normalized,
+                              std::span<const sim::SellerSpec> sellers, std::size_t points) {
+  std::string out;
+  for (const sim::SellerSpec& seller : sellers) {
+    const common::EmpiricalCdf cdf = ratio_cdf(normalized, seller);
+    out += common::format("CDF of normalized cost — %s (n=%zu users)\n",
+                          sim::seller_name(seller).c_str(), cdf.size());
+    if (!cdf.empty()) {
+      out += cdf.to_table(points, "ratio");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_fig3_panel(std::span<const NormalizedResult> normalized,
+                              const sim::SellerSpec& algorithm,
+                              const sim::SellerSpec& all_selling) {
+  std::string out = common::format(
+      "Fig. 3 panel — %s vs all-selling, all users (normalized to keep-reserved = 1.0)\n",
+      sim::seller_name(algorithm).c_str());
+  const sim::SellerSpec sellers[] = {algorithm, all_selling};
+  out += render_summary_rows(normalized, sellers);
+  out += render_cdf_series(normalized, sellers, 13);
+  return out;
+}
+
+std::string render_fig4_panel(std::span<const NormalizedResult> normalized,
+                              workload::FluctuationGroup group) {
+  const std::vector<NormalizedResult> slice = select_group(normalized, group);
+  std::string out = common::format("Fig. 4 panel — %s\n",
+                                   std::string(workload::group_name(group)).c_str());
+  const sim::SellerSpec sellers[] = {
+      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
+      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
+      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+  };
+  out += render_summary_rows(slice, sellers);
+  out += render_cdf_series(slice, sellers, 13);
+  return out;
+}
+
+std::string render_table2(std::span<const sim::ScenarioResult> results, int user_id) {
+  // Average absolute cost per seller across the purchasing imitators for
+  // the chosen user.
+  const sim::SellerSpec sellers[] = {
+      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
+      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
+      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+  };
+  std::string out = common::format(
+      "Table II — actual cost of online algorithms for user %d (highly fluctuating demands)\n",
+      user_id);
+  common::TextTable table({"", "A_{3T/4}", "A_{T/2}", "A_{T/4}", "Keep-Reserved"});
+  std::vector<std::string> row{"Cost"};
+  for (const sim::SellerSpec& seller : sellers) {
+    double sum = 0.0;
+    int count = 0;
+    for (const sim::ScenarioResult& result : results) {
+      const bool match = result.user_id == user_id && result.seller.kind == seller.kind;
+      if (match) {
+        sum += result.net_cost;
+        ++count;
+      }
+    }
+    RIMARKET_CHECK_MSG(count > 0, "table II needs the user's runs for every algorithm");
+    row.push_back(common::format("%.2e", sum / count));
+  }
+  table.add_row(std::move(row));
+  out += table.render();
+  return out;
+}
+
+std::string render_table3(std::span<const NormalizedResult> normalized) {
+  std::string out =
+      "Table III — average cost performance of each algorithm (normalized to keep-reserved)\n";
+  common::TextTable table({"", "Group 1", "Group 2", "Group 3", "All users"});
+  const sim::SellerSpec sellers[] = {
+      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
+      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
+      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+  };
+  for (const sim::SellerSpec& seller : sellers) {
+    std::vector<std::string> row{sim::seller_name(seller)};
+    for (const workload::FluctuationGroup group :
+         {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+          workload::FluctuationGroup::kHigh}) {
+      row.push_back(common::format("%.4f", group_average(normalized, seller, group)));
+    }
+    row.push_back(common::format("%.4f", overall_average(normalized, seller)));
+    table.add_row(std::move(row));
+  }
+  out += table.render();
+  return out;
+}
+
+std::string render_bounds(std::span<const theory::VerificationResult> results) {
+  std::string out =
+      "Competitive bounds — empirical worst-case ratio vs closed-form guarantee\n";
+  common::TextTable table(
+      {"f", "alpha", "a", "theta", "empirical max", "bound", "holds", "worst schedule"});
+  for (const theory::VerificationResult& result : results) {
+    table.add_row({common::format("%.2f", result.fraction),
+                   common::format("%.3f", result.alpha),
+                   common::format("%.2f", result.selling_discount),
+                   common::format("%.3f", result.theta),
+                   common::format("%.4f", result.max_ratio),
+                   common::format("%.4f", result.bound),
+                   result.holds() ? "yes" : "NO",
+                   result.worst_schedule});
+  }
+  out += table.render();
+  return out;
+}
+
+}  // namespace rimarket::analysis

@@ -1,0 +1,44 @@
+// Paper-layout report formatters.
+//
+// Each function renders one of the paper's tables/figures as text from the
+// evaluation data; the bench binaries are thin wrappers around these so
+// the formatting logic is testable.
+#pragma once
+
+#include <string>
+
+#include "analysis/normalize.hpp"
+#include "analysis/summary.hpp"
+#include "pricing/catalog.hpp"
+#include "theory/verification.hpp"
+#include "workload/population.hpp"
+
+namespace rimarket::analysis {
+
+/// Table I: d2.xlarge payment options.
+std::string render_table1();
+
+/// Fig. 2: sigma/mu statistics of each user group (min/mean/max + deciles).
+std::string render_fig2(const workload::UserPopulation& population);
+
+/// Fig. 3 companion: per-seller CDF + headline savings numbers over all
+/// users, for one algorithm vs its baselines.
+std::string render_fig3_panel(std::span<const NormalizedResult> normalized,
+                              const sim::SellerSpec& algorithm,
+                              const sim::SellerSpec& all_selling);
+
+/// Fig. 4 panel: the three algorithms compared within one group.
+std::string render_fig4_panel(std::span<const NormalizedResult> normalized,
+                              workload::FluctuationGroup group);
+
+/// Table II: absolute costs of the three algorithms + keep-reserved for
+/// one user (the most fluctuating one).
+std::string render_table2(std::span<const sim::ScenarioResult> results, int user_id);
+
+/// Table III: average normalized cost per group and overall.
+std::string render_table3(std::span<const NormalizedResult> normalized);
+
+/// Theory report: empirical worst-case ratio vs closed-form bound.
+std::string render_bounds(std::span<const theory::VerificationResult> results);
+
+}  // namespace rimarket::analysis

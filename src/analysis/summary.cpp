@@ -1,0 +1,46 @@
+#include "analysis/summary.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace rimarket::analysis {
+
+SavingsSummary summarize_ratios(std::span<const double> user_ratios) {
+  SavingsSummary summary;
+  summary.users = user_ratios.size();
+  if (user_ratios.empty()) {
+    return summary;
+  }
+  summary.mean_ratio = common::mean(user_ratios);
+  summary.fraction_saving = common::fraction_below(user_ratios, 1.0);
+  summary.fraction_saving_20 = common::fraction_below(user_ratios, 0.8);
+  summary.fraction_saving_30 = common::fraction_below(user_ratios, 0.7);
+  summary.fraction_worse = common::fraction_above(user_ratios, 1.0);
+  summary.max_ratio = *std::max_element(user_ratios.begin(), user_ratios.end());
+  summary.min_ratio = *std::min_element(user_ratios.begin(), user_ratios.end());
+  return summary;
+}
+
+double group_average(std::span<const NormalizedResult> normalized,
+                     const sim::SellerSpec& seller, workload::FluctuationGroup group) {
+  const std::vector<NormalizedResult> slice = select_group(normalized, group);
+  const std::vector<double> sample = per_user_ratios(slice, seller);
+  RIMARKET_CHECK_MSG(!sample.empty(), "group average needs at least one user");
+  return common::mean(sample);
+}
+
+double overall_average(std::span<const NormalizedResult> normalized,
+                       const sim::SellerSpec& seller) {
+  const std::vector<double> sample = per_user_ratios(normalized, seller);
+  RIMARKET_CHECK_MSG(!sample.empty(), "overall average needs at least one user");
+  return common::mean(sample);
+}
+
+common::EmpiricalCdf ratio_cdf(std::span<const NormalizedResult> normalized,
+                               const sim::SellerSpec& seller) {
+  return common::EmpiricalCdf(per_user_ratios(normalized, seller));
+}
+
+}  // namespace rimarket::analysis

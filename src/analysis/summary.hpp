@@ -1,0 +1,46 @@
+// Aggregations behind the paper's reported numbers.
+#pragma once
+
+#include <span>
+
+#include "analysis/normalize.hpp"
+#include "common/cdf.hpp"
+
+namespace rimarket::analysis {
+
+/// Headline statistics for one selling policy's per-user ratio sample —
+/// the numbers the paper reads off the Fig. 3 CDFs ("more than 60% users
+/// reduce their costs", "about 40% users save more than 20% cost", ...).
+struct SavingsSummary {
+  std::size_t users = 0;
+  double mean_ratio = 0.0;
+  /// Fraction of users with ratio < 1 (they saved by selling).
+  double fraction_saving = 0.0;
+  /// Fraction saving more than 20 % (ratio < 0.8).
+  double fraction_saving_20 = 0.0;
+  /// Fraction saving more than 30 % (ratio < 0.7).
+  double fraction_saving_30 = 0.0;
+  /// Fraction with ratio > 1 (selling cost them money).
+  double fraction_worse = 0.0;
+  /// Worst regression: max ratio observed.
+  double max_ratio = 0.0;
+  /// Best outcome: min ratio observed.
+  double min_ratio = 0.0;
+};
+
+/// Computes the summary from a per-user ratio sample.
+SavingsSummary summarize_ratios(std::span<const double> user_ratios);
+
+/// Mean normalized ratio of one seller within one group (a Table III cell).
+double group_average(std::span<const NormalizedResult> normalized,
+                     const sim::SellerSpec& seller, workload::FluctuationGroup group);
+
+/// Mean normalized ratio of one seller over all users (Table III "All").
+double overall_average(std::span<const NormalizedResult> normalized,
+                       const sim::SellerSpec& seller);
+
+/// Empirical CDF of per-user ratios for one seller (a Fig. 3/4 curve).
+common::EmpiricalCdf ratio_cdf(std::span<const NormalizedResult> normalized,
+                               const sim::SellerSpec& seller);
+
+}  // namespace rimarket::analysis

@@ -1,0 +1,49 @@
+// Contract-checking macros for rimarket.
+//
+// Following the C++ Core Guidelines (I.6, E.12) we treat precondition and
+// invariant violations as programmer errors: they print a diagnostic and
+// abort.  The macros are always on (the simulator is not hot enough to
+// justify a release-mode escape hatch, and silent corruption of a cost
+// ledger is far worse than an abort).
+#pragma once
+
+#include <string_view>
+
+namespace rimarket::common {
+
+/// Prints a contract-violation diagnostic to stderr and aborts.
+[[noreturn]] void contract_failure(std::string_view kind, std::string_view expr,
+                                   std::string_view file, long line,
+                                   std::string_view message);
+
+}  // namespace rimarket::common
+
+/// Generic runtime check; `msg` is a short human-readable hint.
+#define RIMARKET_CHECK_MSG(cond, msg)                                                 \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::rimarket::common::contract_failure("check", #cond, __FILE__, __LINE__, (msg)); \
+    }                                                                                 \
+  } while (false)
+
+#define RIMARKET_CHECK(cond) RIMARKET_CHECK_MSG(cond, "")
+
+/// Precondition on function arguments (Core Guidelines I.6).
+#define RIMARKET_EXPECTS(cond) \
+  do {                                                                                      \
+    if (!(cond)) {                                                                          \
+      ::rimarket::common::contract_failure("precondition", #cond, __FILE__, __LINE__, ""); \
+    }                                                                                       \
+  } while (false)
+
+/// Postcondition on results (Core Guidelines I.8).
+#define RIMARKET_ENSURES(cond)                                                               \
+  do {                                                                                       \
+    if (!(cond)) {                                                                           \
+      ::rimarket::common::contract_failure("postcondition", #cond, __FILE__, __LINE__, ""); \
+    }                                                                                        \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define RIMARKET_UNREACHABLE(msg)                                                          \
+  ::rimarket::common::contract_failure("unreachable", "", __FILE__, __LINE__, (msg))

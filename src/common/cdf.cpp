@@ -1,0 +1,72 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rimarket::common {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  RIMARKET_EXPECTS(!sorted_.empty());
+  RIMARKET_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const auto upper = std::min(lower + 1, sorted_.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return sorted_[lower] + fraction * (sorted_[upper] - sorted_[lower]);
+}
+
+double EmpiricalCdf::min() const {
+  RIMARKET_EXPECTS(!sorted_.empty());
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  RIMARKET_EXPECTS(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::sample_curve(std::size_t points) const {
+  RIMARKET_EXPECTS(points >= 2);
+  std::vector<Point> curve;
+  if (sorted_.empty()) {
+    return curve;
+  }
+  curve.reserve(points);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back({x, at(x)});
+  }
+  return curve;
+}
+
+std::string EmpiricalCdf::to_table(std::size_t points, std::string_view x_label) const {
+  std::string out;
+  out += "  ";
+  out += std::string(x_label);
+  out += "      F(x)\n";
+  char line[96];
+  for (const Point& point : sample_curve(points)) {
+    std::snprintf(line, sizeof line, "  %10.4f  %6.3f\n", point.x, point.probability);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

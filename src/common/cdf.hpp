@@ -1,0 +1,51 @@
+// Empirical cumulative distribution functions.
+//
+// The paper's Figs. 3 and 4 plot CDFs of per-user normalized cost; the
+// bench harnesses print the same curves as (x, F(x)) series via this class.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Immutable empirical CDF over a sample of doubles.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Builds the CDF from an (unsorted) sample.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = P[X <= x]; 0 for an empty CDF.
+  double at(double x) const;
+
+  /// Inverse CDF (linear-interpolated quantile); requires non-empty, q in [0,1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// Evaluates the CDF on an evenly spaced grid of `points` x-values
+  /// spanning [min, max]; useful for printing plot series.
+  struct Point {
+    double x;
+    double probability;
+  };
+  std::vector<Point> sample_curve(std::size_t points) const;
+
+  /// Renders an ASCII sparkline-style table of the curve (for bench output).
+  std::string to_table(std::size_t points, std::string_view x_label) const;
+
+  /// The underlying sorted sample.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace rimarket::common

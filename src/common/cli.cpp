@@ -1,0 +1,92 @@
+#include "common/cli.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::common {
+
+void CliParser::add_flag(std::string name, std::string help, std::string default_value) {
+  RIMARKET_EXPECTS(!name.empty());
+  flags_[std::move(name)] = Flag{std::move(help), std::move(default_value), false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      value = std::string(body.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(body);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = format("unknown flag --%s", name.c_str());
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` form, unless the next token is another flag or the
+      // flag is boolean-style (declared default true/false).
+      const bool next_is_value = i + 1 < argc && !starts_with(argv[i + 1], "--");
+      const bool is_boolean = parse_bool(it->second.value).has_value();
+      if (next_is_value && !is_boolean) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+    it->second.provided = true;
+  }
+  return true;
+}
+
+bool CliParser::provided(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.provided;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  RIMARKET_EXPECTS(it != flags_.end());
+  return it->second.value;
+}
+
+long long CliParser::get_int(const std::string& name, long long fallback) const {
+  const auto parsed = parse_int(get(name));
+  return parsed ? *parsed : fallback;
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto parsed = parse_double(get(name));
+  return parsed ? *parsed : fallback;
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto parsed = parse_bool(get(name));
+  return parsed ? *parsed : fallback;
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += format("  --%-24s %s", name.c_str(), flag.help.c_str());
+    if (!flag.value.empty()) {
+      out += format(" (default: %s)", flag.value.c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Accepts `--name=value`, `--name value` and boolean `--name`.  Positional
+// arguments are collected in order.  Unknown flags are an error so typos in
+// experiment invocations fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Declarative flag set with typed accessors.
+class CliParser {
+ public:
+  /// Declares a flag with a help string; flags must be declared before parse().
+  void add_flag(std::string name, std::string help, std::string default_value = "");
+
+  /// Parses argv; returns false (and sets error()) on unknown/malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  /// True if the flag was present on the command line.
+  bool provided(const std::string& name) const;
+
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text from the declared flags.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool provided = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace rimarket::common

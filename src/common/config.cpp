@@ -1,0 +1,113 @@
+#include "common/config.hpp"
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::common {
+
+std::optional<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(start, end - start);
+    const bool last = end == text.size();
+    start = end + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (!line.empty()) {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return std::nullopt;
+      }
+      const std::string_view key = trim(line.substr(0, eq));
+      const std::string_view value = trim(line.substr(eq + 1));
+      if (key.empty()) {
+        return std::nullopt;
+      }
+      config.set(std::string(key), std::string(value));
+    }
+    if (last) {
+      break;
+    }
+  }
+  return config;
+}
+
+std::optional<Config> Config::load(const std::string& path) {
+  const auto contents = read_file(path);
+  if (!contents) {
+    return std::nullopt;
+  }
+  return parse(*contents);
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<long long> Config::get_int(std::string_view key) const {
+  const auto raw = get(key);
+  return raw ? parse_int(*raw) : std::nullopt;
+}
+
+std::optional<double> Config::get_double(std::string_view key) const {
+  const auto raw = get(key);
+  return raw ? parse_double(*raw) : std::nullopt;
+}
+
+std::optional<bool> Config::get_bool(std::string_view key) const {
+  const auto raw = get(key);
+  return raw ? parse_bool(*raw) : std::nullopt;
+}
+
+std::string Config::get_or(std::string_view key, std::string_view fallback) const {
+  const auto raw = get(key);
+  return raw ? *raw : std::string(fallback);
+}
+
+long long Config::get_int_or(std::string_view key, long long fallback) const {
+  const auto value = get_int(key);
+  return value ? *value : fallback;
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  const auto value = get_double(key);
+  return value ? *value : fallback;
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  const auto value = get_bool(key);
+  return value ? *value : fallback;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

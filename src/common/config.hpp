@@ -1,0 +1,55 @@
+// Key=value configuration store.
+//
+// Experiments are parameterized by flat `key = value` files (comments with
+// '#', sections are just dotted key prefixes).  This keeps experiment
+// definitions out of the binaries without pulling in a JSON dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rimarket::common {
+
+/// Flat string->string configuration with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines; '#' starts a comment; blank lines ignored.
+  /// Returns nullopt (and no partial state) if any line is malformed.
+  static std::optional<Config> parse(std::string_view text);
+
+  /// Loads and parses a file; nullopt if unreadable or malformed.
+  static std::optional<Config> load(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  bool contains(std::string_view key) const;
+
+  /// Raw string access.
+  std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed access; nullopt if absent or unparseable.
+  std::optional<long long> get_int(std::string_view key) const;
+  std::optional<double> get_double(std::string_view key) const;
+  std::optional<bool> get_bool(std::string_view key) const;
+
+  /// Typed access with defaults.
+  std::string get_or(std::string_view key, std::string_view fallback) const;
+  long long get_int_or(std::string_view key, long long fallback) const;
+  double get_double_or(std::string_view key, double fallback) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+
+  /// Serializes back to `key = value` lines in key order.
+  std::string to_string() const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string, std::less<>>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace rimarket::common

@@ -1,0 +1,134 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace rimarket::common {
+
+CsvRow parse_csv_line(std::string_view line) {
+  // Strip a trailing CR from DOS line endings.
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  CsvRow fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string make_csv_line(const CsvRow& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    const std::string& field = fields[i];
+    const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+      out += field;
+      continue;
+    }
+    out += '"';
+    for (char c : field) {
+      if (c == '"') {
+        out += "\"\"";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+CsvDocument parse_csv(std::string_view text, bool expect_header) {
+  CsvDocument doc;
+  bool header_pending = expect_header;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (trim(line).empty()) {
+      if (end == text.size()) {
+        break;
+      }
+      continue;
+    }
+    if (header_pending) {
+      doc.header = parse_csv_line(line);
+      header_pending = false;
+    } else {
+      doc.rows.push_back(parse_csv_line(line));
+    }
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return doc;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+bool write_file(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = written == contents.size() && std::fclose(file) == 0;
+  if (!ok && written != contents.size()) {
+    std::fclose(file);
+  }
+  return ok;
+}
+
+std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header) {
+  const auto contents = read_file(path);
+  if (!contents) {
+    return std::nullopt;
+  }
+  return parse_csv(*contents, expect_header);
+}
+
+}  // namespace rimarket::common

@@ -1,0 +1,42 @@
+// Minimal CSV reading/writing for traces and result dumps.
+//
+// Scope: comma-separated, optional double-quote quoting with "" escapes,
+// UNIX or DOS line endings.  This intentionally covers the files rimarket
+// itself produces and the simple trace formats it ingests, not full RFC 4180
+// (no embedded newlines inside quoted fields).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rimarket::common {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line into fields.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Escapes and joins fields into one CSV line (no trailing newline).
+std::string make_csv_line(const CsvRow& fields);
+
+/// Parses a whole document; skips blank lines.  If `expect_header` is true
+/// the first non-blank line is returned separately in `header`.
+struct CsvDocument {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+};
+CsvDocument parse_csv(std::string_view text, bool expect_header);
+
+/// Reads a file into a string; nullopt if unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Writes a string to a file; returns false on failure.
+bool write_file(const std::string& path, std::string_view contents);
+
+/// Loads a CSV file; nullopt if unreadable.
+std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header);
+
+}  // namespace rimarket::common

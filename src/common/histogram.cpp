@@ -1,0 +1,76 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rimarket::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RIMARKET_EXPECTS(lo < hi);
+  RIMARKET_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto index = static_cast<std::size_t>((value - lo_) / width);
+  index = std::min(index, counts_.size() - 1);
+  ++counts_[index];
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  RIMARKET_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  RIMARKET_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  RIMARKET_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::size_t peak = std::max<std::size_t>(1, underflow_);
+  peak = std::max(peak, overflow_);
+  for (std::size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  auto emit = [&](double low, double high, std::size_t count, const char* tag) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(bar_width) * static_cast<double>(count) / static_cast<double>(peak));
+    std::snprintf(line, sizeof line, "  %s[%8.3f, %8.3f) %8zu |", tag, low, high, count);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  };
+  if (underflow_ > 0) {
+    emit(-1.0, lo_, underflow_, "<");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    emit(bin_low(i), bin_high(i), counts_[i], " ");
+  }
+  if (overflow_ > 0) {
+    emit(hi_, hi_, overflow_, ">");
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

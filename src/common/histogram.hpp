@@ -1,0 +1,43 @@
+// Fixed-bin histogram for workload and result summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Histogram over [lo, hi) with equal-width bins plus under/overflow bins.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Count in bin `i` (0-based).
+  std::size_t count(std::size_t i) const;
+
+  /// Inclusive lower edge of bin `i`.
+  double bin_low(std::size_t i) const;
+  /// Exclusive upper edge of bin `i`.
+  double bin_high(std::size_t i) const;
+
+  /// ASCII rendering with proportional bars (for bench/demo output).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rimarket::common

@@ -1,0 +1,66 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace rimarket::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_output_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buffer[1024];
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "[rimarket %s] %s\n", level_tag(level), buffer);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "[rimarket %s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+#define RIMARKET_DEFINE_LOG_FN(name, level)   \
+  void name(const char* fmt, ...) {           \
+    std::va_list args;                        \
+    va_start(args, fmt);                      \
+    vlog(level, fmt, args);                   \
+    va_end(args);                             \
+  }
+
+RIMARKET_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+RIMARKET_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+RIMARKET_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+RIMARKET_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef RIMARKET_DEFINE_LOG_FN
+
+}  // namespace rimarket::common

@@ -1,0 +1,27 @@
+// Leveled logging to stderr.
+//
+// The simulator is library-first: logging defaults to kWarn so that bench
+// and example binaries own their stdout.  Severity is a process-wide atomic
+// so multi-threaded experiment runners can log safely.
+#pragma once
+
+#include <string_view>
+
+namespace rimarket::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global severity threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, std::string_view message);
+
+/// printf-style logging helpers.
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rimarket::common

@@ -1,0 +1,145 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rimarket::common {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RIMARKET_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Debiased modulo (Lemire-style rejection would be overkill here; the
+  // rejection loop below is exact and simple).
+  const std::uint64_t limit = (~static_cast<std::uint64_t>(0)) - (~static_cast<std::uint64_t>(0)) % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  RIMARKET_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  RIMARKET_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform_real(-1.0, 1.0);
+    v = uniform_real(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  RIMARKET_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) {
+  RIMARKET_EXPECTS(lambda > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  RIMARKET_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for
+    // workload synthesis at high rates.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+  }
+  const double threshold = std::exp(-mean);
+  std::int64_t k = 0;
+  double product = uniform01();
+  while (product > threshold) {
+    ++k;
+    product *= uniform01();
+  }
+  return k;
+}
+
+double Rng::pareto(double scale, double shape) {
+  RIMARKET_EXPECTS(scale > 0.0);
+  RIMARKET_EXPECTS(shape > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t sm = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace rimarket::common

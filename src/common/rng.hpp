@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in rimarket (workload synthesis, random
+// reservation policy, buyer arrivals, randomized selling) draws from an
+// `Rng` seeded from the experiment config, so each experiment is exactly
+// reproducible.  The generator is xoshiro256** (public-domain algorithm by
+// Blackman & Vigna) seeded through SplitMix64, which gives independent,
+// well-mixed streams from small integer seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rimarket::common {
+
+/// SplitMix64 step; used for seeding and as a cheap hash of integers.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+///
+/// Satisfies the UniformRandomBitGenerator named requirement, so it can be
+/// plugged into <random> distributions, but the member helpers below are the
+/// preferred interface (they are reproducible across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a small seed (any value is fine, including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Raw 64 random bits.
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).  Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with given mean and standard deviation (stddev >= 0).
+  double normal(double mean, double stddev);
+
+  /// Exponential with rate lambda > 0 (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Poisson-distributed count with mean >= 0 (Knuth for small means,
+  /// normal approximation above 64).
+  std::int64_t poisson(double mean);
+
+  /// Pareto (Lomax-shifted) sample >= scale, with tail index shape > 0.
+  double pareto(double scale, double shape);
+
+  /// Log-normal sample with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Forks an independent child stream; children with different `salt`
+  /// values are decorrelated from each other and from the parent.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  // Cached second variate of the polar method.
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace rimarket::common

@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace rimarket::common {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::coefficient_of_variation() const {
+  const double sigma = stddev();
+  if (mean_ == 0.0) {
+    return sigma == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return sigma / mean_;
+}
+
+double mean(std::span<const double> values) {
+  RunningStats stats;
+  for (double v : values) {
+    stats.add(v);
+  }
+  return stats.mean();
+}
+
+double stddev(std::span<const double> values) {
+  RunningStats stats;
+  for (double v : values) {
+    stats.add(v);
+  }
+  return stats.stddev();
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  RunningStats stats;
+  for (double v : values) {
+    stats.add(v);
+  }
+  return stats.coefficient_of_variation();
+}
+
+double quantile(std::span<const double> values, double q) {
+  RIMARKET_EXPECTS(!values.empty());
+  RIMARKET_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const auto upper = std::min(lower + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[upper] - sorted[lower]);
+}
+
+double fraction_below(std::span<const double> values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  const auto hits = std::count_if(values.begin(), values.end(),
+                                  [threshold](double v) { return v < threshold; });
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+double fraction_above(std::span<const double> values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  const auto hits = std::count_if(values.begin(), values.end(),
+                                  [threshold](double v) { return v > threshold; });
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+std::vector<double> to_doubles(std::span<const long long> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (long long v : values) {
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

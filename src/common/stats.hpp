@@ -1,0 +1,70 @@
+// Descriptive statistics used by workload classification and result
+// aggregation.
+//
+// The paper classifies users by the coefficient of variation sigma/mu of
+// their hourly demand (Fig. 2); `coefficient_of_variation` implements that
+// measure.  `RunningStats` uses Welford's algorithm so variances stay
+// numerically stable over year-long (8760-sample) traces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator (parallel aggregation).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  /// Mean of the observed values; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  /// Sample (n-1) variance; 0 when fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// sigma/mu, the paper's demand-fluctuation measure.  Returns +inf for a
+  /// zero mean with nonzero variance, and 0 for an all-zero stream.
+  double coefficient_of_variation() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sequence; 0 when empty.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; 0 when fewer than 2 values.
+double stddev(std::span<const double> values);
+
+/// sigma/mu of a sequence (see RunningStats::coefficient_of_variation).
+double coefficient_of_variation(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0, 1].  Requires non-empty input;
+/// the input need not be sorted (a sorted copy is made).
+double quantile(std::span<const double> values, double q);
+
+/// Fraction of values strictly below `threshold`; 0 when empty.
+double fraction_below(std::span<const double> values, double threshold);
+
+/// Fraction of values strictly above `threshold`; 0 when empty.
+double fraction_above(std::span<const double> values, double threshold);
+
+/// Convenience conversion for integer sequences.
+std::vector<double> to_doubles(std::span<const long long> values);
+
+}  // namespace rimarket::common

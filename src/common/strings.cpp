@@ -1,0 +1,122 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rimarket::common {
+
+std::vector<std::string_view> split(std::string_view text, char delimiter) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::optional<long long> parse_int(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  long long value = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  // std::from_chars<double> is not available on all libstdc++ configs at
+  // C++20; strtod on a NUL-terminated copy is portable and locale caveats
+  // do not apply here (we never set a non-C locale).
+  std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  const std::string lowered = to_lower(trim(text));
+  if (lowered == "true" || lowered == "1" || lowered == "yes" || lowered == "on") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "0" || lowered == "no" || lowered == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out += separator;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

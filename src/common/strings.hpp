@@ -1,0 +1,36 @@
+// Small string helpers (split/trim/parse/format) shared by CSV, config and
+// CLI parsing.  All functions are allocation-conservative and locale-free.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Locale-free parse helpers; nullopt on any malformed input (including
+/// trailing garbage).
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+std::optional<bool> parse_bool(std::string_view text);  // true/false/1/0/yes/no
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view separator);
+
+}  // namespace rimarket::common

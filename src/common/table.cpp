@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  RIMARKET_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RIMARKET_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(format("%.*f", precision, v));
+  }
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      // Right-align all but the first (label) column.
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += row[c];
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (std::size_t width : widths) {
+    rule.append(width + 2, '-');
+    rule += '|';
+  }
+  rule += '\n';
+  out += rule;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace rimarket::common

@@ -1,0 +1,35 @@
+// ASCII table rendering for bench/report output.
+//
+// The paper-reproduction benches print tables matching the paper's layout
+// (Tables I-III); this renderer right-aligns numeric columns and pads to
+// column width, producing stable, diff-friendly output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Simple row/column table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rimarket::common

@@ -1,0 +1,54 @@
+// Fixed-size thread pool for parallel experiment sweeps.
+//
+// The multi-user evaluation runs 300 users x 4 purchasing imitators x 6
+// selling policies; each run is independent, so a simple task queue with a
+// join barrier is all the concurrency machinery needed (Core Guidelines
+// CP.4: think in tasks, not threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rimarket::common {
+
+/// Runs submitted tasks on a fixed set of worker threads.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; pass 0 to use hardware concurrency).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins workers.
+  ~ThreadPool();
+
+  /// Enqueues a task.  Tasks must not throw (the pool aborts on escape).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Applies `fn(i)` for i in [0, count) across the pool and waits.
+void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace rimarket::common

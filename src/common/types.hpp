@@ -1,0 +1,28 @@
+// Fundamental domain types shared across rimarket modules.
+#pragma once
+
+#include <cstdint>
+
+namespace rimarket {
+
+/// Discrete simulation time in hours, matching EC2's hourly billing
+/// granularity (paper Section III-C defines t = 0, 1, 2, ... in hours).
+using Hour = std::int64_t;
+
+/// Money in US dollars.  A simulator aggregates at most ~1e7 dollars over a
+/// run, so an IEEE double carries far more than the required precision; all
+/// monetary arithmetic stays in one unit (dollars) to avoid scaling bugs.
+using Dollars = double;
+
+/// Number of instances (demand level, fleet size, ...).
+using Count = std::int64_t;
+
+/// Hours in one 365-day year — the 1-year reservation term used throughout
+/// the paper's evaluation.
+inline constexpr Hour kHoursPerYear = 8760;
+
+/// Hours in one day / one week, used by seasonal workload generators.
+inline constexpr Hour kHoursPerDay = 24;
+inline constexpr Hour kHoursPerWeek = 168;
+
+}  // namespace rimarket

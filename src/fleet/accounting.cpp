@@ -1,0 +1,49 @@
+#include "fleet/accounting.hpp"
+
+#include "common/assert.hpp"
+
+namespace rimarket::fleet {
+
+CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& other) {
+  on_demand += other.on_demand;
+  upfront += other.upfront;
+  reserved_hourly += other.reserved_hourly;
+  sale_income += other.sale_income;
+  return *this;
+}
+
+CostBreakdown operator+(CostBreakdown lhs, const CostBreakdown& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+CostLedger::CostLedger(bool keep_hourly_series) : keep_hourly_series_(keep_hourly_series) {}
+
+void CostLedger::record(Hour t, const CostBreakdown& hour_cost) {
+  RIMARKET_EXPECTS(t >= 0);
+  totals_ += hour_cost;
+  if (keep_hourly_series_) {
+    if (hourly_.size() <= static_cast<std::size_t>(t)) {
+      hourly_.resize(static_cast<std::size_t>(t) + 1);
+    }
+    hourly_[static_cast<std::size_t>(t)] += hour_cost;
+  }
+}
+
+CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
+                          Count new_reservations, Count active_reserved, Count worked_reserved,
+                          ChargePolicy policy) {
+  RIMARKET_EXPECTS(on_demand >= 0);
+  RIMARKET_EXPECTS(new_reservations >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
+  RIMARKET_EXPECTS(worked_reserved >= 0 && worked_reserved <= active_reserved);
+  CostBreakdown cost;
+  cost.on_demand = static_cast<double>(on_demand) * type.on_demand_hourly;
+  cost.upfront = static_cast<double>(new_reservations) * type.upfront;
+  const Count billed =
+      policy == ChargePolicy::kAllActiveHours ? active_reserved : worked_reserved;
+  cost.reserved_hourly = static_cast<double>(billed) * type.reserved_hourly;
+  return cost;
+}
+
+}  // namespace rimarket::fleet

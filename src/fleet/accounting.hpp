@@ -1,0 +1,80 @@
+// Cost accounting per the paper's Eq. (1):
+//
+//   C_t = o_t*p + n_t*R + r_t*alpha*p - s_t*a*rp*R
+//
+// Two charging conventions exist in the paper (see DESIGN.md "Cost-model
+// variants"): Eq. (1) bills every active reserved hour, while the
+// competitive analysis bills only worked hours.  `ChargePolicy` selects
+// between them; the trace evaluation uses kAllActiveHours.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "pricing/instance_type.hpp"
+
+namespace rimarket::fleet {
+
+enum class ChargePolicy {
+  /// r_t * alpha * p — every active reserved hour accrues the discounted
+  /// rate (paper Eq. (1); matches partial-upfront billing).
+  kAllActiveHours,
+  /// alpha * p only for hours the instance served demand (the convention
+  /// of the paper's competitive analysis, Eqs. (4)-(50)).
+  kWorkedHoursOnly,
+};
+
+/// One hour's (or one run's) cost components; negative sale income is kept
+/// separate so reports can show gross spend and marketplace offsets.
+struct CostBreakdown {
+  Dollars on_demand = 0.0;        ///< o_t * p
+  Dollars upfront = 0.0;          ///< n_t * R
+  Dollars reserved_hourly = 0.0;  ///< r_t * alpha * p (or worked hours only)
+  Dollars sale_income = 0.0;      ///< s_t * a * rp * R (subtracted)
+
+  /// Net cost: spend minus marketplace income (paper Eq. (1)).
+  Dollars net() const { return on_demand + upfront + reserved_hourly - sale_income; }
+
+  CostBreakdown& operator+=(const CostBreakdown& other);
+};
+
+CostBreakdown operator+(CostBreakdown lhs, const CostBreakdown& rhs);
+
+/// Accumulates per-hour breakdowns plus event counters over a run.
+class CostLedger {
+ public:
+  explicit CostLedger(bool keep_hourly_series = false);
+
+  /// Records one simulated hour.
+  void record(Hour t, const CostBreakdown& hour_cost);
+
+  /// Event counters (for reports and invariant checks).
+  void count_reservation() { ++reservations_made_; }
+  void count_sale() { ++instances_sold_; }
+  void count_on_demand_hours(Count hours) { on_demand_hours_ += hours; }
+
+  const CostBreakdown& totals() const { return totals_; }
+  Dollars net_cost() const { return totals_.net(); }
+
+  Count reservations_made() const { return reservations_made_; }
+  Count instances_sold() const { return instances_sold_; }
+  Count on_demand_hours() const { return on_demand_hours_; }
+
+  /// Hourly series (empty unless enabled at construction).
+  const std::vector<CostBreakdown>& hourly() const { return hourly_; }
+
+ private:
+  CostBreakdown totals_;
+  Count reservations_made_ = 0;
+  Count instances_sold_ = 0;
+  Count on_demand_hours_ = 0;
+  bool keep_hourly_series_;
+  std::vector<CostBreakdown> hourly_;
+};
+
+/// Cost of one hour given the assignment outcome, prices and charge policy.
+CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
+                          Count new_reservations, Count active_reserved, Count worked_reserved,
+                          ChargePolicy policy);
+
+}  // namespace rimarket::fleet

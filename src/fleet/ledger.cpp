@@ -1,0 +1,101 @@
+#include "fleet/ledger.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::fleet {
+
+ReservationLedger::ReservationLedger(Hour term) : term_(term) { RIMARKET_EXPECTS(term >= 1); }
+
+ReservationId ReservationLedger::reserve(Hour now) {
+  RIMARKET_EXPECTS(now >= 0);
+  RIMARKET_EXPECTS(now >= last_time_);
+  last_time_ = now;
+  const auto id = static_cast<ReservationId>(reservations_.size());
+  reservations_.push_back(Reservation{id, now, term_, 0, -1, false});
+  active_.push_back(id);
+  return id;
+}
+
+void ReservationLedger::expire_until(Hour now) {
+  while (!active_.empty()) {
+    const Reservation& front = reservations_[static_cast<std::size_t>(active_.front())];
+    if (front.end() <= now) {
+      active_.pop_front();
+    } else {
+      break;
+    }
+  }
+}
+
+AssignmentResult ReservationLedger::assign(Hour now, Count demand,
+                                           std::vector<ReservationId>* served) {
+  RIMARKET_EXPECTS(now >= 0);
+  RIMARKET_EXPECTS(demand >= 0);
+  RIMARKET_EXPECTS(now >= last_time_);
+  last_time_ = now;
+  expire_until(now);
+  if (served != nullptr) {
+    served->clear();
+  }
+  AssignmentResult result;
+  result.active = static_cast<Count>(active_.size());
+  Count assigned = 0;
+  for (const ReservationId id : active_) {
+    if (assigned >= demand) {
+      break;
+    }
+    Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
+    ++reservation.worked_hours;
+    ++assigned;
+    if (served != nullptr) {
+      served->push_back(id);
+    }
+  }
+  result.served_by_reserved = assigned;
+  result.on_demand = demand - assigned;
+  RIMARKET_ENSURES(result.on_demand >= 0);
+  RIMARKET_ENSURES(result.served_by_reserved + result.on_demand == demand);
+  return result;
+}
+
+Count ReservationLedger::active_count(Hour now) {
+  expire_until(now);
+  return static_cast<Count>(active_.size());
+}
+
+std::vector<ReservationId> ReservationLedger::due_at_age(Hour now, Hour age) const {
+  RIMARKET_EXPECTS(age >= 0);
+  std::vector<ReservationId> due;
+  for (const ReservationId id : active_) {
+    const Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
+    if (reservation.age(now) == age) {
+      due.push_back(id);
+    }
+  }
+  return due;
+}
+
+void ReservationLedger::sell(ReservationId id, Hour now) {
+  RIMARKET_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < reservations_.size());
+  Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
+  RIMARKET_EXPECTS(reservation.active(now));
+  reservation.sold = true;
+  reservation.sold_at = now;
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  RIMARKET_CHECK_MSG(it != active_.end(), "sold reservation must be in the active set");
+  active_.erase(it);
+}
+
+const Reservation& ReservationLedger::get(ReservationId id) const {
+  RIMARKET_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < reservations_.size());
+  return reservations_[static_cast<std::size_t>(id)];
+}
+
+std::vector<ReservationId> ReservationLedger::active_ids(Hour now) {
+  expire_until(now);
+  return {active_.begin(), active_.end()};
+}
+
+}  // namespace rimarket::fleet

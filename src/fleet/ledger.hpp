@@ -1,0 +1,78 @@
+// Reservation ledger: the active fleet and its demand-assignment rule.
+//
+// Implements the paper's "working sequence" (Section IV-B): when demand
+// arrives, reserved instances with the *least remaining period* serve
+// first, which both raises per-instance utilization and makes the
+// working-time statistic of older instances meaningful at their decision
+// spot.  Because every contract in one ledger has the same term, remaining
+// period order equals contract start order, so the active set is kept in
+// insertion order and assignment is O(active).
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fleet/reservation.hpp"
+
+namespace rimarket::fleet {
+
+/// Result of assigning one hour's demand to the fleet.
+struct AssignmentResult {
+  /// Instances served by active reservations this hour.
+  Count served_by_reserved = 0;
+  /// Demand that had to go to on-demand instances (o_t in the paper).
+  Count on_demand = 0;
+  /// Reservations active this hour (r_t in the paper).
+  Count active = 0;
+};
+
+/// Owns all reservations of one user for one instance type.
+class ReservationLedger {
+ public:
+  /// All contracts booked through this ledger share `term` hours.
+  explicit ReservationLedger(Hour term);
+
+  Hour term() const { return term_; }
+
+  /// Books a new contract starting at `now`; returns its id.
+  /// Time must not go backwards across calls.
+  ReservationId reserve(Hour now);
+
+  /// Serves `demand` units at hour `now`: expires old contracts, assigns
+  /// least-remaining-period-first and bumps each server's worked_hours.
+  /// When `served` is non-null it is cleared and filled with the ids that
+  /// worked this hour (used by the clairvoyant offline planner).
+  AssignmentResult assign(Hour now, Count demand,
+                          std::vector<ReservationId>* served = nullptr);
+
+  /// Number of contracts able to serve at `now` (after expiry).
+  Count active_count(Hour now);
+
+  /// Ids of contracts whose age is exactly `age` at hour `now` — the
+  /// contracts due for an A_{f} selling decision this hour, oldest first.
+  std::vector<ReservationId> due_at_age(Hour now, Hour age) const;
+
+  /// Marks a contract sold at hour `now`.  The contract must be active.
+  void sell(ReservationId id, Hour now);
+
+  const Reservation& get(ReservationId id) const;
+
+  /// Every contract ever booked (including sold/expired), id order.
+  std::span<const Reservation> all() const { return reservations_; }
+
+  /// Ids currently in the active window, least remaining period first.
+  std::vector<ReservationId> active_ids(Hour now);
+
+ private:
+  void expire_until(Hour now);
+
+  Hour term_;
+  Hour last_time_ = -1;
+  std::vector<Reservation> reservations_;
+  /// Active contract ids in start order == least-remaining-first order.
+  std::deque<ReservationId> active_;
+};
+
+}  // namespace rimarket::fleet

@@ -1,0 +1,31 @@
+#include "fleet/reservation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::fleet {
+
+ReservationState Reservation::state(Hour now) const {
+  if (sold && now >= sold_at) {
+    return ReservationState::kSold;
+  }
+  if (now >= end()) {
+    return ReservationState::kExpired;
+  }
+  return ReservationState::kActive;
+}
+
+Hour Reservation::remaining(Hour now) const {
+  if (sold && now >= sold_at) {
+    return 0;
+  }
+  return std::max<Hour>(0, end() - std::max(now, start));
+}
+
+double Reservation::remaining_fraction(Hour now) const {
+  RIMARKET_EXPECTS(term > 0);
+  return static_cast<double>(remaining(now)) / static_cast<double>(term);
+}
+
+}  // namespace rimarket::fleet

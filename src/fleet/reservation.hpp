@@ -1,0 +1,55 @@
+// A single reserved-instance contract and its lifecycle.
+//
+// State machine: Active from `start` until either it is sold on the
+// marketplace (Sold, at `sold_at`) or the term runs out (Expired).  The
+// ledger tracks how many hours the instance actually served demand
+// (`worked_hours`) — the statistic the paper's selling rule compares against
+// the break-even point beta.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rimarket::fleet {
+
+using ReservationId = std::int64_t;
+
+enum class ReservationState {
+  kActive,
+  kSold,
+  kExpired,
+};
+
+struct Reservation {
+  ReservationId id = 0;
+  /// Hour the contract began (upfront fee paid here).
+  Hour start = 0;
+  /// Contract length in hours.
+  Hour term = 0;
+  /// Hours this instance actually served one unit of demand so far.
+  Hour worked_hours = 0;
+  /// Hour the instance was sold; meaningful only when sold.
+  Hour sold_at = -1;
+  bool sold = false;
+
+  /// End of the contract (exclusive).
+  Hour end() const { return start + term; }
+
+  /// Lifecycle state as of hour `now`.
+  ReservationState state(Hour now) const;
+
+  /// True when the contract can serve demand at hour `now`.
+  bool active(Hour now) const { return state(now) == ReservationState::kActive; }
+
+  /// Hours since the contract began (>= 0 only after start).
+  Hour age(Hour now) const { return now - start; }
+
+  /// Hours of contract left after `now` (0 when past end or sold).
+  Hour remaining(Hour now) const;
+
+  /// Remaining fraction of the term at hour `now`, in [0, 1].
+  double remaining_fraction(Hour now) const;
+};
+
+}  // namespace rimarket::fleet

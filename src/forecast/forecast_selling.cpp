@@ -1,0 +1,61 @@
+#include "forecast/forecast_selling.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::forecast {
+
+ForecastSelling::ForecastSelling(const pricing::InstanceType& type, double fraction,
+                                 double selling_discount,
+                                 std::unique_ptr<Forecaster> forecaster)
+    : type_(type),
+      fraction_(fraction),
+      decision_age_(selling::decision_age(type.term, fraction)),
+      remaining_hours_(type.term - decision_age_),
+      forward_break_even_(type.break_even_hours(1.0 - fraction, selling_discount)),
+      forecaster_(std::move(forecaster)) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(forecaster_ != nullptr);
+}
+
+void ForecastSelling::observe(Hour now, Count demand) {
+  (void)now;
+  forecaster_->observe(demand);
+  has_observations_ = true;
+}
+
+double ForecastSelling::expected_utilization(double predicted_mean, Count rank) {
+  RIMARKET_EXPECTS(rank >= 0);
+  return std::clamp(predicted_mean - static_cast<double>(rank), 0.0, 1.0);
+}
+
+std::vector<fleet::ReservationId> ForecastSelling::decide(Hour now,
+                                                          fleet::ReservationLedger& ledger) {
+  const std::vector<fleet::ReservationId> due = ledger.due_at_age(now, decision_age_);
+  if (due.empty() || !has_observations_) {
+    return {};
+  }
+  const double predicted = forecaster_->predict_mean(remaining_hours_);
+  // Rank = position in the least-remaining-first service order.
+  const std::vector<fleet::ReservationId> order = ledger.active_ids(now);
+  std::vector<fleet::ReservationId> to_sell;
+  for (const fleet::ReservationId id : due) {
+    const auto it = std::find(order.begin(), order.end(), id);
+    RIMARKET_CHECK_MSG(it != order.end(), "due reservations are active");
+    const auto rank = static_cast<Count>(it - order.begin());
+    const double expected_worked =
+        static_cast<double>(remaining_hours_) * expected_utilization(predicted, rank);
+    if (expected_worked < forward_break_even_) {
+      to_sell.push_back(id);
+    }
+  }
+  return to_sell;
+}
+
+std::string ForecastSelling::name() const {
+  return common::format("forecast[%s]@%.2fT", forecaster_->name().c_str(), fraction_);
+}
+
+}  // namespace rimarket::forecast

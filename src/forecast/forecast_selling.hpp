@@ -1,0 +1,55 @@
+// Prediction-based selling baseline.
+//
+// Where A_{fT} looks *backwards* (observed working time vs beta(f)), this
+// policy looks *forwards*: at the same decision spot it forecasts the mean
+// demand over the reservation's remaining period, estimates the instance's
+// expected future utilization from its rank in the least-remaining-first
+// service order, and keeps the contract only when the predicted future
+// work justifies it:
+//
+//     expected future worked hours >= beta_fwd = (1-f)*a*R / (p*(1-alpha))
+//
+// (the same break-even functional form, over the forward window).  With an
+// accurate forecast this is close to the clairvoyant per-instance rule;
+// with a misled forecast — exactly what fluctuating demand produces — it
+// sells instances whose demand returns, the failure mode the paper cites
+// when motivating competitive online analysis over prediction (Section II).
+#pragma once
+
+#include <memory>
+
+#include "forecast/forecasters.hpp"
+#include "pricing/instance_type.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::forecast {
+
+class ForecastSelling final : public selling::SellPolicy {
+ public:
+  /// Decides at fraction `fraction` of the term, like A_{fT}.
+  ForecastSelling(const pricing::InstanceType& type, double fraction, double selling_discount,
+                  std::unique_ptr<Forecaster> forecaster);
+
+  void observe(Hour now, Count demand) override;
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override;
+
+  /// Forward break-even hours over the remaining (1-f)*T window.
+  double forward_break_even_hours() const { return forward_break_even_; }
+
+  /// Expected utilization (in [0,1]) of the instance ranked `rank` in the
+  /// service order given a predicted mean demand: the rank-r instance works
+  /// when demand exceeds r, approximated by clamp(mean - rank, 0, 1).
+  static double expected_utilization(double predicted_mean, Count rank);
+
+ private:
+  pricing::InstanceType type_;
+  double fraction_;
+  Hour decision_age_;
+  Hour remaining_hours_;
+  double forward_break_even_;
+  std::unique_ptr<Forecaster> forecaster_;
+  bool has_observations_ = false;
+};
+
+}  // namespace rimarket::forecast

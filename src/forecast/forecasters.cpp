@@ -1,0 +1,158 @@
+#include "forecast/forecasters.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::forecast {
+
+// ---------------------------------------------------------------- Ewma
+
+EwmaForecaster::EwmaForecaster(double smoothing) : smoothing_(smoothing) {
+  RIMARKET_EXPECTS(smoothing > 0.0 && smoothing <= 1.0);
+}
+
+void EwmaForecaster::observe(Count demand) {
+  RIMARKET_EXPECTS(demand >= 0);
+  const auto value = static_cast<double>(demand);
+  if (!seeded_) {
+    level_ = value;
+    seeded_ = true;
+    return;
+  }
+  level_ += smoothing_ * (value - level_);
+}
+
+double EwmaForecaster::predict_mean(Hour horizon) const {
+  RIMARKET_EXPECTS(horizon >= 1);
+  RIMARKET_EXPECTS(seeded_);
+  return level_;  // flat extrapolation of the smoothed level
+}
+
+std::string EwmaForecaster::name() const {
+  return common::format("ewma(%.3f)", smoothing_);
+}
+
+// ---------------------------------------------------------------- Seasonal
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(Hour period)
+    : period_(period),
+      phase_sum_(static_cast<std::size_t>(period), 0.0),
+      phase_count_(static_cast<std::size_t>(period), 0) {
+  RIMARKET_EXPECTS(period >= 1);
+}
+
+void SeasonalNaiveForecaster::observe(Count demand) {
+  RIMARKET_EXPECTS(demand >= 0);
+  const auto phase = static_cast<std::size_t>(observed_ % period_);
+  phase_sum_[phase] += static_cast<double>(demand);
+  ++phase_count_[phase];
+  ++observed_;
+}
+
+double SeasonalNaiveForecaster::predict_mean(Hour horizon) const {
+  RIMARKET_EXPECTS(horizon >= 1);
+  RIMARKET_EXPECTS(observed_ >= 1);
+  // Average the per-phase means over the forecast span (flat beyond one
+  // full period).
+  double total = 0.0;
+  Hour counted = 0;
+  for (Hour h = 0; h < std::min(horizon, period_); ++h) {
+    const auto phase = static_cast<std::size_t>((observed_ + h) % period_);
+    if (phase_count_[phase] > 0) {
+      total += phase_sum_[phase] / static_cast<double>(phase_count_[phase]);
+      ++counted;
+    }
+  }
+  if (counted == 0) {
+    return 0.0;
+  }
+  return total / static_cast<double>(counted);
+}
+
+std::string SeasonalNaiveForecaster::name() const {
+  return common::format("seasonal(%lld)", static_cast<long long>(period_));
+}
+
+// ---------------------------------------------------------------- Holt
+
+HoltForecaster::HoltForecaster(double level_smoothing, double trend_smoothing)
+    : level_smoothing_(level_smoothing), trend_smoothing_(trend_smoothing) {
+  RIMARKET_EXPECTS(level_smoothing > 0.0 && level_smoothing <= 1.0);
+  RIMARKET_EXPECTS(trend_smoothing > 0.0 && trend_smoothing <= 1.0);
+}
+
+void HoltForecaster::observe(Count demand) {
+  RIMARKET_EXPECTS(demand >= 0);
+  const auto value = static_cast<double>(demand);
+  if (!seeded_) {
+    level_ = value;
+    trend_ = 0.0;
+    seeded_ = true;
+    return;
+  }
+  const double previous_level = level_;
+  level_ = level_smoothing_ * value + (1.0 - level_smoothing_) * (level_ + trend_);
+  trend_ = trend_smoothing_ * (level_ - previous_level) + (1.0 - trend_smoothing_) * trend_;
+}
+
+double HoltForecaster::predict_mean(Hour horizon) const {
+  RIMARKET_EXPECTS(horizon >= 1);
+  RIMARKET_EXPECTS(seeded_);
+  // Mean of level + trend*k over k = 1..horizon.
+  const double mean =
+      level_ + trend_ * (static_cast<double>(horizon) + 1.0) / 2.0;
+  return std::max(0.0, mean);
+}
+
+std::string HoltForecaster::name() const {
+  return common::format("holt(%.3f,%.3f)", level_smoothing_, trend_smoothing_);
+}
+
+// ---------------------------------------------------------------- Window
+
+WindowMeanForecaster::WindowMeanForecaster(Hour window) : window_(window) {
+  RIMARKET_EXPECTS(window >= 1);
+  recent_.reserve(static_cast<std::size_t>(window));
+}
+
+void WindowMeanForecaster::observe(Count demand) {
+  RIMARKET_EXPECTS(demand >= 0);
+  if (recent_.size() < static_cast<std::size_t>(window_)) {
+    recent_.push_back(demand);
+    return;
+  }
+  recent_[next_] = demand;
+  next_ = (next_ + 1) % recent_.size();
+}
+
+double WindowMeanForecaster::predict_mean(Hour horizon) const {
+  RIMARKET_EXPECTS(horizon >= 1);
+  RIMARKET_EXPECTS(!recent_.empty());
+  double sum = 0.0;
+  for (const Count demand : recent_) {
+    sum += static_cast<double>(demand);
+  }
+  return sum / static_cast<double>(recent_.size());
+}
+
+std::string WindowMeanForecaster::name() const {
+  return common::format("window-mean(%lld)", static_cast<long long>(window_));
+}
+
+std::unique_ptr<Forecaster> make_forecaster(ForecasterKind kind) {
+  switch (kind) {
+    case ForecasterKind::kEwma:
+      return std::make_unique<EwmaForecaster>();
+    case ForecasterKind::kSeasonalNaive:
+      return std::make_unique<SeasonalNaiveForecaster>();
+    case ForecasterKind::kWindowMean:
+      return std::make_unique<WindowMeanForecaster>();
+    case ForecasterKind::kHolt:
+      return std::make_unique<HoltForecaster>();
+  }
+  RIMARKET_UNREACHABLE("forecaster kind");
+}
+
+}  // namespace rimarket::forecast

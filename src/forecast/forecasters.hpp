@@ -1,0 +1,118 @@
+// Demand forecasters — the prediction-based alternative the paper argues
+// against.
+//
+// Related work (paper Section II): "there are also great efforts in
+// investigating cost-saving strategies relying on historic workloads to
+// make long-term predictions of future workloads.  However, such
+// predictions have practical limitations ... prediction models generally
+// assume that workloads are relatively stable".  To make that comparison
+// concrete, this module provides classic lightweight predictors and the
+// ForecastSelling policy built on them; the ablation bench shows they match
+// the online algorithms on stable users and degrade on fluctuating ones —
+// exactly the failure mode the paper cites as motivation for competitive
+// online analysis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rimarket::forecast {
+
+/// Streaming one-step-ahead demand forecaster.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Feeds the demand observed this hour.
+  virtual void observe(Count demand) = 0;
+
+  /// Predicted mean demand per hour over the next `horizon` hours.
+  /// Requires at least one observation.
+  virtual double predict_mean(Hour horizon) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exponentially weighted moving average: prediction = the EWMA level.
+class EwmaForecaster final : public Forecaster {
+ public:
+  /// smoothing in (0, 1]; larger reacts faster.
+  explicit EwmaForecaster(double smoothing = 0.05);
+
+  void observe(Count demand) override;
+  double predict_mean(Hour horizon) const override;
+  std::string name() const override;
+
+  double level() const { return level_; }
+
+ private:
+  double smoothing_;
+  double level_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Seasonal naive: predicts the average of the same hour-of-period over
+/// the recorded history (default period: one week).
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(Hour period = kHoursPerWeek);
+
+  void observe(Count demand) override;
+  double predict_mean(Hour horizon) const override;
+  std::string name() const override;
+
+ private:
+  Hour period_;
+  Hour observed_ = 0;
+  /// Sum and count of observations per phase of the period.
+  std::vector<double> phase_sum_;
+  std::vector<Count> phase_count_;
+};
+
+/// Holt double-exponential smoothing: tracks a level and a linear trend,
+/// so ramping workloads (the delayed-onset pattern) are extrapolated
+/// instead of flattened.  Forecast mean over h hours = level + trend*(h+1)/2,
+/// clamped at zero.
+class HoltForecaster final : public Forecaster {
+ public:
+  /// Both smoothings in (0, 1].
+  explicit HoltForecaster(double level_smoothing = 0.05, double trend_smoothing = 0.01);
+
+  void observe(Count demand) override;
+  double predict_mean(Hour horizon) const override;
+  std::string name() const override;
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+
+ private:
+  double level_smoothing_;
+  double trend_smoothing_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Sliding-window mean over the last `window` hours.
+class WindowMeanForecaster final : public Forecaster {
+ public:
+  explicit WindowMeanForecaster(Hour window = 4 * kHoursPerWeek);
+
+  void observe(Count demand) override;
+  double predict_mean(Hour horizon) const override;
+  std::string name() const override;
+
+ private:
+  Hour window_;
+  std::vector<Count> recent_;  // ring buffer
+  std::size_t next_ = 0;
+};
+
+enum class ForecasterKind { kEwma, kSeasonalNaive, kWindowMean, kHolt };
+
+std::unique_ptr<Forecaster> make_forecaster(ForecasterKind kind);
+
+}  // namespace rimarket::forecast

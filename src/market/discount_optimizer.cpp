@@ -1,0 +1,36 @@
+#include "market/discount_optimizer.hpp"
+
+#include "common/assert.hpp"
+
+namespace rimarket::market {
+
+DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed,
+                                double service_fee, double min_discount, double max_discount,
+                                int steps) {
+  RIMARKET_EXPECTS(min_discount > 0.0 && min_discount <= max_discount);
+  RIMARKET_EXPECTS(max_discount <= 1.0);
+  RIMARKET_EXPECTS(steps >= 2);
+  DiscountChoice best;
+  for (int i = 0; i < steps; ++i) {
+    const double discount =
+        min_discount + (max_discount - min_discount) * static_cast<double>(i) /
+                           static_cast<double>(steps - 1);
+    const Dollars income = model.expected_income(elapsed, discount, service_fee);
+    if (income > best.expected_income) {
+      best.expected_income = income;
+      best.discount = discount;
+    }
+  }
+  return best;
+}
+
+std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
+    DiscountResponseModel model, double service_fee) {
+  RIMARKET_EXPECTS(service_fee >= 0.0 && service_fee < 1.0);
+  return [model = std::move(model), service_fee](const pricing::InstanceType& /*type*/,
+                                                 Hour age, double discount) {
+    return model.expected_income(age, discount, service_fee);
+  };
+}
+
+}  // namespace rimarket::market

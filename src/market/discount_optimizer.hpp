@@ -1,0 +1,37 @@
+// Choosing the selling discount `a`.
+//
+// The paper treats `a` as a user-given constant.  With the fill-latency
+// response model the seller faces a real trade-off — a deeper discount
+// sells faster (the book is price-priority) and loses less pro-rated value
+// while waiting, but asks less.  This module scans a discount grid for the
+// income-maximizing choice and provides the sim::IncomeModel adapter that
+// realizes marketplace income through the response model instead of the
+// paper's instant-sale assumption.
+#pragma once
+
+#include <functional>
+
+#include "market/response.hpp"
+
+namespace rimarket::market {
+
+/// Result of a discount scan.
+struct DiscountChoice {
+  double discount = 0.0;
+  Dollars expected_income = 0.0;
+};
+
+/// Scans `steps` evenly spaced discounts in [min_discount, max_discount]
+/// and returns the one maximizing the model's expected net income for a
+/// reservation with `elapsed` hours used.
+DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed,
+                                double service_fee, double min_discount = 0.05,
+                                double max_discount = 1.0, int steps = 20);
+
+/// Adapts a response model into a sim::IncomeModel-compatible callable:
+/// income(type, age, discount) = model.expected_income(age, discount, fee).
+/// The returned callable owns copies of the model and fee.
+std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
+    DiscountResponseModel model, double service_fee);
+
+}  // namespace rimarket::market

@@ -1,0 +1,41 @@
+// Marketplace listings (paper Section III-B).
+//
+// A seller lists the remaining period of a reserved instance at an asking
+// upfront fee.  Amazon caps the ask at the pro-rated original upfront
+// (remaining fraction * R) — the paper's t2.nano example: half a cycle left
+// means the ask is at most $9 of the original $18 — and sellers typically
+// discount below the cap to sell faster.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "pricing/instance_type.hpp"
+
+namespace rimarket::market {
+
+using ListingId = std::int64_t;
+using SellerId = std::int64_t;
+
+struct Listing {
+  ListingId id = 0;
+  SellerId seller = 0;
+  /// Remaining reservation period being sold, in hours.
+  Hour remaining_hours = 0;
+  /// Asking upfront fee (dollars).
+  Dollars ask = 0.0;
+  /// Hour the listing entered the book.
+  Hour listed_at = 0;
+
+  bool valid() const { return remaining_hours > 0 && ask >= 0.0; }
+};
+
+/// Builds a listing for a reservation with `elapsed` hours used, asking the
+/// pro-rated upfront discounted by `selling_discount` (the paper's a).
+Listing make_listing(ListingId id, SellerId seller, const pricing::InstanceType& type,
+                     Hour elapsed, double selling_discount, Hour now);
+
+/// Amazon's cap: ask must not exceed the pro-rated original upfront.
+bool respects_price_cap(const Listing& listing, const pricing::InstanceType& type);
+
+}  // namespace rimarket::market

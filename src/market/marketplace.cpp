@@ -1,0 +1,64 @@
+#include "market/marketplace.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::market {
+
+MarketplaceSimulator::MarketplaceSimulator(pricing::InstanceType type, MarketplaceConfig config,
+                                           std::uint64_t seed)
+    : type_(std::move(type)), config_(config), rng_(seed) {
+  RIMARKET_EXPECTS(type_.valid());
+  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
+  RIMARKET_EXPECTS(config.buyer_rate_per_hour >= 0.0);
+  RIMARKET_EXPECTS(config.mean_buyer_quantity >= 1.0);
+  RIMARKET_EXPECTS(config.buyer_price_tolerance > 0.0);
+}
+
+ListingId MarketplaceSimulator::list(SellerId seller, Hour elapsed, double selling_discount) {
+  const Listing listing =
+      make_listing(next_listing_id_++, seller, type_, elapsed, selling_discount, now_);
+  const bool accepted = book_.add(listing);
+  RIMARKET_CHECK_MSG(accepted, "freshly built listings are always valid and unique");
+  return listing.id;
+}
+
+Dollars MarketplaceSimulator::proceeds(Dollars price) const {
+  return price * (1.0 - config_.service_fee);
+}
+
+std::vector<SaleRecord> MarketplaceSimulator::step() {
+  std::vector<SaleRecord> sales;
+  const Count buyers = rng_.poisson(config_.buyer_rate_per_hour);
+  for (Count b = 0; b < buyers; ++b) {
+    // Quantity: 1 + Poisson(mean-1) keeps the mean while guaranteeing >= 1.
+    const Count quantity = 1 + rng_.poisson(config_.mean_buyer_quantity - 1.0);
+    // Budget per instance: a buyer never pays more than the pro-rated price
+    // of a brand-new contract, scaled by the tolerance knob.
+    const Dollars max_price = config_.buyer_price_tolerance * type_.upfront;
+    for (const Fill& fill : book_.match(quantity, max_price)) {
+      SaleRecord record;
+      record.listing = fill.listing;
+      record.sold_at = now_;
+      record.buyer_paid = fill.price;
+      record.service_fee = fill.price * config_.service_fee;
+      record.seller_proceeds = proceeds(fill.price);
+      sales.push_back(record);
+    }
+  }
+  ++now_;
+  return sales;
+}
+
+std::vector<SaleRecord> MarketplaceSimulator::run(Hour hours) {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<SaleRecord> sales;
+  for (Hour h = 0; h < hours; ++h) {
+    std::vector<SaleRecord> hour_sales = step();
+    sales.insert(sales.end(), hour_sales.begin(), hour_sales.end());
+  }
+  return sales;
+}
+
+}  // namespace rimarket::market

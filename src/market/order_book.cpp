@@ -1,0 +1,59 @@
+#include "market/order_book.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::market {
+
+bool OrderBook::add(const Listing& listing) {
+  if (!listing.valid()) {
+    return false;
+  }
+  const bool duplicate = std::any_of(queue_.begin(), queue_.end(), [&](const Listing& resting) {
+    return resting.id == listing.id;
+  });
+  if (duplicate) {
+    return false;
+  }
+  queue_.insert(listing);
+  return true;
+}
+
+bool OrderBook::cancel(ListingId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Fill> OrderBook::match(Count quantity, Dollars max_price) {
+  RIMARKET_EXPECTS(quantity >= 0);
+  std::vector<Fill> fills;
+  while (quantity > 0 && !queue_.empty()) {
+    const auto best = queue_.begin();
+    if (best->ask > max_price) {
+      break;
+    }
+    fills.push_back(Fill{*best, best->ask});
+    queue_.erase(best);
+    --quantity;
+  }
+  return fills;
+}
+
+std::optional<Dollars> OrderBook::best_ask() const {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.begin()->ask;
+}
+
+std::vector<Listing> OrderBook::snapshot() const {
+  return {queue_.begin(), queue_.end()};
+}
+
+}  // namespace rimarket::market

@@ -1,0 +1,63 @@
+// Price-priority order book for one instance type.
+//
+// The paper: "the marketplace sells the reserved instance with the lowest
+// upfront fee at first to the buyer.  If the buyer's request is not
+// fulfilled, the marketplace will sell the reserved instance with the next
+// lowest upfront fee."  Ties break by listing time (first listed sells
+// first).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "market/listing.hpp"
+
+namespace rimarket::market {
+
+/// One executed purchase.
+struct Fill {
+  Listing listing;
+  /// Price paid by the buyer (the ask).
+  Dollars price = 0.0;
+};
+
+class OrderBook {
+ public:
+  /// Inserts a listing; rejects (returns false) invalid listings or
+  /// duplicate ids.
+  bool add(const Listing& listing);
+
+  /// Removes a listing by id; false if absent.
+  bool cancel(ListingId id);
+
+  /// Buys up to `quantity` instances, lowest ask first; returns the fills
+  /// (possibly fewer than requested if the book runs dry).  Listings with
+  /// ask above `max_price` are not touched.
+  std::vector<Fill> match(Count quantity, Dollars max_price);
+
+  std::size_t depth() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Lowest ask currently in the book.
+  std::optional<Dollars> best_ask() const;
+
+  /// All resting listings, price-priority order.
+  std::vector<Listing> snapshot() const;
+
+ private:
+  struct PricePriority {
+    bool operator()(const Listing& lhs, const Listing& rhs) const {
+      if (lhs.ask != rhs.ask) {
+        return lhs.ask < rhs.ask;
+      }
+      if (lhs.listed_at != rhs.listed_at) {
+        return lhs.listed_at < rhs.listed_at;
+      }
+      return lhs.id < rhs.id;
+    }
+  };
+  std::set<Listing, PricePriority> queue_;
+};
+
+}  // namespace rimarket::market

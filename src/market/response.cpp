@@ -1,0 +1,45 @@
+#include "market/response.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rimarket::market {
+
+DiscountResponseModel::DiscountResponseModel(pricing::InstanceType type,
+                                             ResponseModelConfig config)
+    : type_(std::move(type)), config_(config) {
+  RIMARKET_EXPECTS(type_.valid());
+  RIMARKET_EXPECTS(config.buyer_rate_per_hour > 0.0);
+  RIMARKET_EXPECTS(config.mean_buyer_quantity >= 1.0);
+  RIMARKET_EXPECTS(config.depth_density >= 0.0);
+}
+
+double DiscountResponseModel::expected_fill_hours(double selling_discount) const {
+  RIMARKET_EXPECTS(selling_discount > 0.0 && selling_discount <= 1.0);
+  // Listings ahead of ours: those priced below our ask fraction.  Our ask
+  // fraction of the cap is exactly the discount a (ask = a * cap).
+  const double queue_ahead = config_.depth_density * selling_discount;
+  const double drain_rate = config_.buyer_rate_per_hour * config_.mean_buyer_quantity;
+  // One extra unit for our own listing.
+  return (queue_ahead + 1.0) / drain_rate;
+}
+
+double DiscountResponseModel::fill_probability(double selling_discount, Hour hours) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  const double mean = expected_fill_hours(selling_discount);
+  return 1.0 - std::exp(-static_cast<double>(hours) / mean);
+}
+
+Dollars DiscountResponseModel::expected_income(Hour elapsed, double selling_discount,
+                                               double service_fee) const {
+  RIMARKET_EXPECTS(elapsed >= 0 && elapsed < type_.term);
+  RIMARKET_EXPECTS(service_fee >= 0.0 && service_fee < 1.0);
+  const double wait = expected_fill_hours(selling_discount);
+  const Hour effective_elapsed =
+      std::min<Hour>(type_.term - 1, elapsed + static_cast<Hour>(wait + 0.5));
+  return type_.sale_income(effective_elapsed, selling_discount) * (1.0 - service_fee);
+}
+
+}  // namespace rimarket::market

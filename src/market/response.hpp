@@ -1,0 +1,49 @@
+// Discount -> time-to-fill response model.
+//
+// The selling algorithms price at discount a and assume an instant sale.
+// In a real marketplace a deeper discount sells faster because the book is
+// price-priority.  This model summarizes that effect for the discount
+// ablation: given the buyer flow and the density of competing listings, it
+// estimates the probability a listing fills within h hours and the expected
+// income erosion from waiting (the pro-rated cap drops as hours pass).
+#pragma once
+
+#include "common/types.hpp"
+#include "pricing/instance_type.hpp"
+
+namespace rimarket::market {
+
+struct ResponseModelConfig {
+  /// Buyers per hour reaching this instance type's book.
+  double buyer_rate_per_hour = 0.5;
+  /// Mean instances per buyer.
+  double mean_buyer_quantity = 2.0;
+  /// Competing listings resting at or below price fraction x of the cap,
+  /// modeled as depth_density * x listings (a linear book profile).
+  double depth_density = 20.0;
+};
+
+/// Closed-form (approximate) fill dynamics for one listing.
+class DiscountResponseModel {
+ public:
+  DiscountResponseModel(pricing::InstanceType type, ResponseModelConfig config);
+
+  /// Expected hours until a listing priced at discount `a` reaches the
+  /// head of the queue and fills.  Deeper discount -> fewer competitors
+  /// ahead -> faster.
+  double expected_fill_hours(double selling_discount) const;
+
+  /// P(filled within `hours`) assuming exponential service at the rate
+  /// implied by expected_fill_hours.
+  double fill_probability(double selling_discount, Hour hours) const;
+
+  /// Expected seller income for a reservation with `elapsed` hours used:
+  /// ask * (1 - fee) discounted by the pro-ration lost while waiting.
+  Dollars expected_income(Hour elapsed, double selling_discount, double service_fee) const;
+
+ private:
+  pricing::InstanceType type_;
+  ResponseModelConfig config_;
+};
+
+}  // namespace rimarket::market

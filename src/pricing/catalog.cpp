@@ -1,0 +1,210 @@
+#include "pricing/catalog.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::pricing {
+
+namespace {
+
+// Standard Linux US-East 1-year partial-upfront reserved instances,
+// representative of Jan-2018 EC2 pricing.  Columns: name, on-demand hourly
+// p, upfront R, reserved hourly alpha*p.  d2.xlarge matches the paper
+// exactly (alpha = 0.25, R = $1506, p = $0.69).
+constexpr struct {
+  const char* name;
+  double on_demand;
+  double upfront;
+  double reserved;
+} kBuiltinRows[] = {
+    {"t2.nano", 0.0058, 16.0, 0.0020},
+    {"t2.micro", 0.0116, 32.0, 0.0040},
+    {"t2.small", 0.0230, 64.0, 0.0080},
+    {"t2.medium", 0.0464, 128.0, 0.0161},
+    {"t2.large", 0.0928, 257.0, 0.0322},
+    {"t2.xlarge", 0.1856, 514.0, 0.0645},
+    {"t2.2xlarge", 0.3712, 1028.0, 0.1290},
+    {"m4.large", 0.1000, 342.0, 0.0335},
+    {"m4.xlarge", 0.2000, 684.0, 0.0670},
+    {"m4.2xlarge", 0.4000, 1368.0, 0.1340},
+    {"m4.4xlarge", 0.8000, 2736.0, 0.2680},
+    {"m4.10xlarge", 2.0000, 6840.0, 0.6700},
+    {"c4.large", 0.1000, 367.0, 0.0345},
+    {"c4.xlarge", 0.1990, 734.0, 0.0690},
+    {"c4.2xlarge", 0.3980, 1468.0, 0.1380},
+    {"c4.4xlarge", 0.7960, 2936.0, 0.2760},
+    {"r4.large", 0.1330, 380.0, 0.0450},
+    {"r4.xlarge", 0.2660, 760.0, 0.0900},
+    {"r4.2xlarge", 0.5320, 1520.0, 0.1800},
+    {"d2.xlarge", 0.6900, 1506.0, 0.1725},
+    {"d2.2xlarge", 1.3800, 3012.0, 0.3450},
+    {"d2.4xlarge", 2.7600, 6024.0, 0.6900},
+    {"i3.large", 0.1560, 447.0, 0.0510},
+    {"i3.xlarge", 0.3120, 894.0, 0.1020},
+    {"x1.16xlarge", 6.6690, 19247.0, 2.2010},
+};
+
+// Representative 3-year partial-upfront contracts (same columns).  Upfronts
+// are roughly twice the 1-year fee and hourly rates about two thirds, the
+// structure of Amazon's 2018 3-yr pricing.
+constexpr struct {
+  const char* name;
+  double on_demand;
+  double upfront;
+  double reserved;
+} kBuiltin3YearRows[] = {
+    {"t2.small", 0.0230, 135.0, 0.0052},
+    {"t2.medium", 0.0464, 270.0, 0.0104},
+    {"t2.large", 0.0928, 540.0, 0.0208},
+    {"m4.large", 0.1000, 684.0, 0.0223},
+    {"m4.xlarge", 0.2000, 1368.0, 0.0446},
+    {"c4.large", 0.1000, 734.0, 0.0230},
+    {"c4.xlarge", 0.1990, 1468.0, 0.0460},
+    {"r4.large", 0.1330, 742.0, 0.0280},
+    {"d2.xlarge", 0.6900, 3089.0, 0.1160},
+    {"i3.large", 0.1560, 894.0, 0.0340},
+};
+
+}  // namespace
+
+PricingCatalog::PricingCatalog(std::vector<InstanceType> types) : types_(std::move(types)) {}
+
+const PricingCatalog& PricingCatalog::builtin() {
+  static const PricingCatalog catalog = [] {
+    std::vector<InstanceType> types;
+    types.reserve(std::size(kBuiltinRows));
+    for (const auto& row : kBuiltinRows) {
+      types.push_back(InstanceType{row.name, row.on_demand, row.upfront, row.reserved,
+                                   kHoursPerYear});
+    }
+    PricingCatalog built(std::move(types));
+    RIMARKET_CHECK_MSG(built.valid(), "builtin catalog must be internally consistent");
+    return built;
+  }();
+  return catalog;
+}
+
+const PricingCatalog& PricingCatalog::builtin_3year() {
+  static const PricingCatalog catalog = [] {
+    std::vector<InstanceType> types;
+    types.reserve(std::size(kBuiltin3YearRows));
+    for (const auto& row : kBuiltin3YearRows) {
+      types.push_back(InstanceType{row.name, row.on_demand, row.upfront, row.reserved,
+                                   3 * kHoursPerYear});
+    }
+    PricingCatalog built(std::move(types));
+    RIMARKET_CHECK_MSG(built.valid(), "builtin 3-year catalog must be internally consistent");
+    return built;
+  }();
+  return catalog;
+}
+
+std::optional<PricingCatalog> PricingCatalog::from_csv(std::string_view text) {
+  const common::CsvDocument doc = common::parse_csv(text, /*expect_header=*/true);
+  if (doc.header.size() < 4) {
+    return std::nullopt;
+  }
+  std::vector<InstanceType> types;
+  types.reserve(doc.rows.size());
+  for (const common::CsvRow& row : doc.rows) {
+    if (row.size() < 4) {
+      return std::nullopt;
+    }
+    InstanceType type;
+    type.name = std::string(common::trim(row[0]));
+    const auto on_demand = common::parse_double(row[1]);
+    const auto upfront = common::parse_double(row[2]);
+    const auto reserved = common::parse_double(row[3]);
+    if (!on_demand || !upfront || !reserved) {
+      return std::nullopt;
+    }
+    type.on_demand_hourly = *on_demand;
+    type.upfront = *upfront;
+    type.reserved_hourly = *reserved;
+    type.term = kHoursPerYear;
+    if (row.size() >= 5) {
+      const auto term = common::parse_int(row[4]);
+      if (!term) {
+        return std::nullopt;
+      }
+      type.term = *term;
+    }
+    if (!type.valid()) {
+      return std::nullopt;
+    }
+    types.push_back(std::move(type));
+  }
+  PricingCatalog catalog(std::move(types));
+  if (!catalog.valid()) {
+    return std::nullopt;
+  }
+  return catalog;
+}
+
+std::optional<InstanceType> PricingCatalog::find(std::string_view name) const {
+  for (const InstanceType& type : types_) {
+    if (type.name == name) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+const InstanceType& PricingCatalog::require(std::string_view name) const {
+  for (const InstanceType& type : types_) {
+    if (type.name == name) {
+      return type;
+    }
+  }
+  RIMARKET_CHECK_MSG(false, "instance type not in catalog");
+  RIMARKET_UNREACHABLE("require");
+}
+
+bool PricingCatalog::valid() const {
+  std::set<std::string_view> names;
+  for (const InstanceType& type : types_) {
+    if (!type.valid()) {
+      return false;
+    }
+    if (!names.insert(type.name).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PricingCatalog::Statistics PricingCatalog::statistics() const {
+  RIMARKET_EXPECTS(!types_.empty());
+  Statistics stats;
+  bool first = true;
+  for (const InstanceType& type : types_) {
+    const double alpha = type.alpha();
+    const double theta = type.theta();
+    if (first) {
+      stats.min_alpha = stats.max_alpha = alpha;
+      stats.min_theta = stats.max_theta = theta;
+      first = false;
+      continue;
+    }
+    stats.min_alpha = std::min(stats.min_alpha, alpha);
+    stats.max_alpha = std::max(stats.max_alpha, alpha);
+    stats.min_theta = std::min(stats.min_theta, theta);
+    stats.max_theta = std::max(stats.max_theta, theta);
+  }
+  return stats;
+}
+
+std::vector<PaymentQuote> d2_xlarge_payment_quotes() {
+  // Paper Table I, verbatim.
+  return {
+      PaymentQuote{PaymentOption::kNoUpfront, 0.0, 293.46, 0.0, kHoursPerYear},
+      PaymentQuote{PaymentOption::kPartialUpfront, 1506.0, 125.56, 0.0, kHoursPerYear},
+      PaymentQuote{PaymentOption::kAllUpfront, 2952.0, 0.0, 0.0, kHoursPerYear},
+      PaymentQuote{PaymentOption::kOnDemand, 0.0, 0.0, 0.69, kHoursPerYear},
+  };
+}
+
+}  // namespace rimarket::pricing

@@ -1,0 +1,75 @@
+// Pricing catalog of standard Linux US-East 1-year reserved instances.
+//
+// The builtin table is representative of Amazon EC2 pricing as of Jan 2018
+// (the paper's snapshot).  The d2.xlarge row reproduces the paper's own
+// numbers exactly: R = $1506, p = $0.69/h, alpha = 0.25, plus the full
+// Table I payment-option quotes.  The remaining rows are period-accurate
+// standard instances satisfying the two statistics the paper's theory relies
+// on: theta = p*T/R in (1, 4] and alpha < 0.36.
+//
+// A catalog can also be loaded from CSV (`name,on_demand,upfront,reserved`)
+// so users can refresh prices without recompiling.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pricing/instance_type.hpp"
+#include "pricing/payment.hpp"
+
+namespace rimarket::pricing {
+
+/// A set of instance types addressable by name.
+class PricingCatalog {
+ public:
+  PricingCatalog() = default;
+  explicit PricingCatalog(std::vector<InstanceType> types);
+
+  /// The builtin Jan-2018 standard Linux US-East 1-yr catalog.
+  static const PricingCatalog& builtin();
+
+  /// Representative 3-year partial-upfront contracts (the paper's footnote:
+  /// "Amazon has 1-year and 3-year options").  Note theta = p*T/R exceeds 4
+  /// for several 3-year contracts — the paper's theta in (1,4) statistic is
+  /// specific to 1-year terms, so bounds over this catalog must use the
+  /// instance's own theta (see theory::verify_bound).
+  static const PricingCatalog& builtin_3year();
+
+  /// Parses a CSV catalog (`name,on_demand,upfront,reserved[,term]`, header
+  /// required).  Returns nullopt if any row is malformed or invalid.
+  static std::optional<PricingCatalog> from_csv(std::string_view text);
+
+  /// Lookup by API name; nullopt when absent.
+  std::optional<InstanceType> find(std::string_view name) const;
+
+  /// Lookup that aborts when absent (for configs already validated).
+  const InstanceType& require(std::string_view name) const;
+
+  std::span<const InstanceType> types() const { return types_; }
+  std::size_t size() const { return types_.size(); }
+
+  /// True when every entry is valid() and names are unique.
+  bool valid() const;
+
+  /// Extremes of alpha/theta across the catalog — the statistics quoted in
+  /// the paper's proofs ("alpha < 0.36", "theta in (1,4)").
+  struct Statistics {
+    double min_alpha = 0.0;
+    double max_alpha = 0.0;
+    double min_theta = 0.0;
+    double max_theta = 0.0;
+  };
+  Statistics statistics() const;
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+/// The paper's Table I: d2.xlarge (US East (Ohio), Linux) quotes under all
+/// four payment options, as of Jan 1, 2018.
+std::vector<PaymentQuote> d2_xlarge_payment_quotes();
+
+}  // namespace rimarket::pricing

@@ -1,0 +1,48 @@
+#include "pricing/instance_type.hpp"
+
+#include "common/assert.hpp"
+
+namespace rimarket::pricing {
+
+double InstanceType::alpha() const {
+  RIMARKET_EXPECTS(on_demand_hourly > 0.0);
+  return reserved_hourly / on_demand_hourly;
+}
+
+double InstanceType::theta() const {
+  RIMARKET_EXPECTS(upfront > 0.0);
+  return on_demand_hourly * static_cast<double>(term) / upfront;
+}
+
+double InstanceType::break_even_hours(double decision_fraction, double selling_discount) const {
+  RIMARKET_EXPECTS(decision_fraction > 0.0 && decision_fraction <= 1.0);
+  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
+  const double discount = alpha();
+  RIMARKET_EXPECTS(discount < 1.0);
+  return decision_fraction * selling_discount * upfront / (on_demand_hourly * (1.0 - discount));
+}
+
+Dollars InstanceType::prorated_upfront(Hour elapsed) const {
+  RIMARKET_EXPECTS(elapsed >= 0 && elapsed <= term);
+  const double remaining_fraction =
+      static_cast<double>(term - elapsed) / static_cast<double>(term);
+  return remaining_fraction * upfront;
+}
+
+Dollars InstanceType::sale_income(Hour elapsed, double selling_discount) const {
+  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
+  return selling_discount * prorated_upfront(elapsed);
+}
+
+bool InstanceType::valid() const {
+  return !name.empty() && on_demand_hourly > 0.0 && upfront > 0.0 && reserved_hourly >= 0.0 &&
+         reserved_hourly < on_demand_hourly && term > 0;
+}
+
+bool operator==(const InstanceType& lhs, const InstanceType& rhs) {
+  return lhs.name == rhs.name && lhs.on_demand_hourly == rhs.on_demand_hourly &&
+         lhs.upfront == rhs.upfront && lhs.reserved_hourly == rhs.reserved_hourly &&
+         lhs.term == rhs.term;
+}
+
+}  // namespace rimarket::pricing

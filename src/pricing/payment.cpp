@@ -1,0 +1,38 @@
+#include "pricing/payment.hpp"
+
+#include "common/assert.hpp"
+
+namespace rimarket::pricing {
+
+std::string_view payment_option_name(PaymentOption option) {
+  switch (option) {
+    case PaymentOption::kNoUpfront: return "No Upfront";
+    case PaymentOption::kPartialUpfront: return "Partial Upfront";
+    case PaymentOption::kAllUpfront: return "All Upfront";
+    case PaymentOption::kOnDemand: return "On-Demand";
+  }
+  return "?";
+}
+
+double months_in_term(Hour term) {
+  RIMARKET_EXPECTS(term > 0);
+  return 12.0 * static_cast<double>(term) / static_cast<double>(kHoursPerYear);
+}
+
+Dollars PaymentQuote::effective_hourly() const {
+  if (option == PaymentOption::kOnDemand) {
+    return hourly;
+  }
+  RIMARKET_EXPECTS(term > 0);
+  return (upfront + monthly * months_in_term(term)) / static_cast<double>(term);
+}
+
+Dollars PaymentQuote::total_cost(Hour used_hours) const {
+  RIMARKET_EXPECTS(used_hours >= 0);
+  if (option == PaymentOption::kOnDemand) {
+    return hourly * static_cast<double>(used_hours);
+  }
+  return upfront + monthly * months_in_term(term);
+}
+
+}  // namespace rimarket::pricing

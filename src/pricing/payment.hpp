@@ -1,0 +1,52 @@
+// Payment options for reserved instances (paper Table I).
+//
+// Amazon sells RIs under three payment options — No Upfront, Partial
+// Upfront, All Upfront — plus plain on-demand.  The paper's Table I lists
+// the d2.xlarge (US East (Ohio), Linux) quotes as of Jan 1, 2018; this
+// module models a quote and the derived "effective hourly" column.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace rimarket::pricing {
+
+enum class PaymentOption {
+  kNoUpfront,
+  kPartialUpfront,
+  kAllUpfront,
+  kOnDemand,
+};
+
+/// Human-readable name matching the paper's table ("No Upfront", ...).
+std::string_view payment_option_name(PaymentOption option);
+
+/// One row of a pricing table: how a given payment option is billed.
+struct PaymentQuote {
+  PaymentOption option = PaymentOption::kOnDemand;
+  /// Upfront fee (dollars); 0 for No Upfront and On-Demand.
+  Dollars upfront = 0.0;
+  /// Recurring monthly fee (dollars); 0 for All Upfront.
+  Dollars monthly = 0.0;
+  /// Plain hourly rate; only nonzero for On-Demand.
+  Dollars hourly = 0.0;
+  /// Contract length in hours (ignored for On-Demand).
+  Hour term = kHoursPerYear;
+
+  /// Effective hourly rate over the full term:
+  ///   (upfront + monthly * months(term)) / term   for reservations,
+  ///   hourly                                      for on-demand.
+  /// Matches the paper's "Effective Hourly" column.
+  Dollars effective_hourly() const;
+
+  /// Total bill for holding the contract for the full term and using it
+  /// `used_hours` (on-demand pays per used hour; reservations pay the
+  /// contract regardless of use).
+  Dollars total_cost(Hour used_hours) const;
+};
+
+/// Months in a term, using the paper's convention (12 months per 8760 h).
+double months_in_term(Hour term);
+
+}  // namespace rimarket::pricing

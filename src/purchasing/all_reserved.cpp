@@ -1,0 +1,23 @@
+#include "purchasing/all_reserved.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::purchasing {
+
+Count AllReservedPolicy::decide(Hour now, Count demand, Count active_reserved) {
+  (void)now;
+  RIMARKET_EXPECTS(demand >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
+  return std::max<Count>(0, demand - active_reserved);
+}
+
+Count AllOnDemandPolicy::decide(Hour now, Count demand, Count active_reserved) {
+  (void)now;
+  (void)demand;
+  (void)active_reserved;
+  return 0;
+}
+
+}  // namespace rimarket::purchasing

@@ -1,0 +1,26 @@
+// All-reserved and all-on-demand purchasing policies.
+#pragma once
+
+#include "purchasing/policy.hpp"
+
+namespace rimarket::purchasing {
+
+/// Reserves whenever the active fleet cannot cover demand, so every unit of
+/// demand is served by a reservation (the paper's first imitator, modelling
+/// users with stable workloads who subscribe for everything).
+class AllReservedPolicy final : public PurchasePolicy {
+ public:
+  Count decide(Hour now, Count demand, Count active_reserved) override;
+  std::string name() const override { return "all-reserved"; }
+};
+
+/// Never reserves; everything is served on-demand.  Not used by the paper's
+/// selling evaluation (there is nothing to sell) but a useful control for
+/// purchasing-cost comparisons.
+class AllOnDemandPolicy final : public PurchasePolicy {
+ public:
+  Count decide(Hour now, Count demand, Count active_reserved) override;
+  std::string name() const override { return "all-on-demand"; }
+};
+
+}  // namespace rimarket::purchasing

@@ -1,0 +1,10 @@
+// Header-completeness translation unit for the purchasing interface.
+// (The factory implementation lives in wang_online.cpp, where every
+// concrete policy is a complete type.)
+#include "purchasing/policy.hpp"
+
+namespace rimarket::purchasing {
+
+// PurchasePolicy is an abstract interface; nothing to define here.
+
+}  // namespace rimarket::purchasing

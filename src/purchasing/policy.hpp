@@ -1,0 +1,60 @@
+// Online instance-purchasing policies.
+//
+// The paper's evaluation needs per-hour reservation decisions (the n_t
+// stream) to feed the selling algorithms, and "imitates users' behaviors to
+// reserve instances" with four online purchasing algorithms (Section VI-A):
+// All-reserved, random reservation, the deterministic online reservation
+// algorithm of Wang et al. (ICAC'13), and a variant of it with a smaller
+// break-even point.  Each policy here is stateful and single-run: construct
+// a fresh instance per simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "pricing/instance_type.hpp"
+
+namespace rimarket::purchasing {
+
+/// Hour-by-hour reservation decision interface.
+class PurchasePolicy {
+ public:
+  virtual ~PurchasePolicy() = default;
+
+  /// Called once per hour, before demand is assigned.  `active_reserved` is
+  /// the fleet able to serve this hour; the returned count of new
+  /// reservations starts serving immediately (paper: n_t raises r_t from t).
+  /// Hours arrive in strictly increasing order.
+  virtual Count decide(Hour now, Count demand, Count active_reserved) = 0;
+
+  /// Short name for reports ("all-reserved", "wang-online", ...).
+  virtual std::string name() const = 0;
+};
+
+/// The four imitators from the paper plus an on-demand-only control.
+enum class PurchaserKind {
+  kAllReserved,
+  kAllOnDemand,
+  kRandomReservation,
+  kWangOnline,
+  kWangVariant,
+};
+
+/// All purchaser kinds used by the paper's evaluation, in paper order.
+inline constexpr PurchaserKind kPaperPurchasers[] = {
+    PurchaserKind::kAllReserved,
+    PurchaserKind::kRandomReservation,
+    PurchaserKind::kWangOnline,
+    PurchaserKind::kWangVariant,
+};
+
+/// Factory.  `seed` feeds stochastic policies (random reservation); the
+/// instance type provides the break-even economics for the Wang policies.
+std::unique_ptr<PurchasePolicy> make_purchaser(PurchaserKind kind,
+                                               const pricing::InstanceType& type,
+                                               std::uint64_t seed);
+
+std::string purchaser_name(PurchaserKind kind);
+
+}  // namespace rimarket::purchasing

@@ -1,0 +1,22 @@
+#include "purchasing/random_reservation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rimarket::purchasing {
+
+RandomReservationPolicy::RandomReservationPolicy(std::uint64_t seed) : rng_(seed) {}
+
+Count RandomReservationPolicy::decide(Hour now, Count demand, Count active_reserved) {
+  (void)now;
+  RIMARKET_EXPECTS(demand >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
+  if (demand == 0) {
+    return 0;
+  }
+  const Count target = rng_.uniform_int(0, demand);
+  return std::max<Count>(0, target - active_reserved);
+}
+
+}  // namespace rimarket::purchasing

@@ -1,0 +1,23 @@
+// Random-reservation purchasing (the paper's second imitator).
+#pragma once
+
+#include "common/rng.hpp"
+#include "purchasing/policy.hpp"
+
+namespace rimarket::purchasing {
+
+/// "Takes a random number that is not greater than the demands' quantity as
+/// the targeted number of active reserved instances at each time" (paper
+/// Section VI-A): each hour draws target ~ U{0..d_t} and reserves up to it.
+class RandomReservationPolicy final : public PurchasePolicy {
+ public:
+  explicit RandomReservationPolicy(std::uint64_t seed);
+
+  Count decide(Hour now, Count demand, Count active_reserved) override;
+  std::string name() const override { return "random-reservation"; }
+
+ private:
+  common::Rng rng_;
+};
+
+}  // namespace rimarket::purchasing

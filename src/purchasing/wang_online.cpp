@@ -1,0 +1,85 @@
+#include "purchasing/wang_online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "purchasing/all_reserved.hpp"
+#include "purchasing/random_reservation.hpp"
+
+namespace rimarket::purchasing {
+
+WangOnlinePolicy::WangOnlinePolicy(const pricing::InstanceType& type, double gamma)
+    : window_(type.term), gamma_(gamma) {
+  RIMARKET_EXPECTS(gamma > 0.0 && gamma <= 1.0);
+  RIMARKET_EXPECTS(type.valid());
+  const double h_star =
+      type.upfront / (type.on_demand_hourly * (1.0 - type.alpha()));
+  break_even_hours_ = std::max<Hour>(1, static_cast<Hour>(std::ceil(gamma * h_star)));
+}
+
+Count WangOnlinePolicy::decide(Hour now, Count demand, Count active_reserved) {
+  RIMARKET_EXPECTS(now >= 0);
+  RIMARKET_EXPECTS(demand >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
+  const Count uncovered = std::max<Count>(0, demand - active_reserved);
+  if (uncovered == 0) {
+    return 0;
+  }
+  if (level_usage_.size() < static_cast<std::size_t>(uncovered)) {
+    level_usage_.resize(static_cast<std::size_t>(uncovered));
+  }
+  Count to_reserve = 0;
+  // Level k (0-based) is the k-th concurrent instance above the reserved
+  // fleet.  Record this hour's on-demand usage, trim the sliding window and
+  // reserve once the level's windowed usage hits the break-even.
+  for (Count k = 0; k < uncovered; ++k) {
+    auto& usage = level_usage_[static_cast<std::size_t>(k)];
+    usage.push_back(now);
+    while (!usage.empty() && usage.front() <= now - window_) {
+      usage.pop_front();
+    }
+    if (static_cast<Hour>(usage.size()) >= break_even_hours_) {
+      ++to_reserve;
+      usage.clear();  // this level is now covered by the new reservation
+    }
+  }
+  return to_reserve;
+}
+
+std::string WangOnlinePolicy::name() const {
+  return gamma_ == 1.0 ? "wang-online" : common::format("wang-variant(%.2f)", gamma_);
+}
+
+// Factory lives here so every policy type is a complete type at this point.
+std::unique_ptr<PurchasePolicy> make_purchaser(PurchaserKind kind,
+                                               const pricing::InstanceType& type,
+                                               std::uint64_t seed) {
+  switch (kind) {
+    case PurchaserKind::kAllReserved:
+      return std::make_unique<AllReservedPolicy>();
+    case PurchaserKind::kAllOnDemand:
+      return std::make_unique<AllOnDemandPolicy>();
+    case PurchaserKind::kRandomReservation:
+      return std::make_unique<RandomReservationPolicy>(seed);
+    case PurchaserKind::kWangOnline:
+      return std::make_unique<WangOnlinePolicy>(type, 1.0);
+    case PurchaserKind::kWangVariant:
+      return std::make_unique<WangOnlinePolicy>(type, 0.5);
+  }
+  RIMARKET_UNREACHABLE("purchaser kind");
+}
+
+std::string purchaser_name(PurchaserKind kind) {
+  switch (kind) {
+    case PurchaserKind::kAllReserved: return "all-reserved";
+    case PurchaserKind::kAllOnDemand: return "all-on-demand";
+    case PurchaserKind::kRandomReservation: return "random-reservation";
+    case PurchaserKind::kWangOnline: return "wang-online";
+    case PurchaserKind::kWangVariant: return "wang-variant";
+  }
+  RIMARKET_UNREACHABLE("purchaser kind");
+}
+
+}  // namespace rimarket::purchasing

@@ -1,0 +1,47 @@
+// Deterministic online reservation in the style of Wang et al.,
+// "To Reserve or Not to Reserve: Optimal Online Multi-Instance Acquisition
+// in IaaS Clouds" (ICAC 2013) — the paper's third and fourth imitators.
+//
+// The ICAC'13 algorithm generalizes the classic Bahncard/ski-rental rule to
+// multiple instances by tracking, for each demand *level* l (the l-th
+// concurrent instance), the on-demand spend accumulated at that level over
+// a sliding window of one reservation term.  A reservation saves
+// (1-alpha)*p per worked hour at the cost of the upfront R, so a level pays
+// for a reservation once it has been served on-demand for
+//
+//     h* = R / (p * (1 - alpha))
+//
+// hours within one term.  The deterministic rule reserves for a level the
+// moment its windowed on-demand usage reaches gamma * h*; gamma = 1 gives
+// the ICAC'13 deterministic algorithm, gamma < 1 gives the paper's "variant
+// of the online purchasing algorithm [whose] break-even point is smaller"
+// (a more reservation-eager user).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "purchasing/policy.hpp"
+
+namespace rimarket::purchasing {
+
+class WangOnlinePolicy final : public PurchasePolicy {
+ public:
+  /// gamma in (0, 1] scales the break-even point h*.
+  WangOnlinePolicy(const pricing::InstanceType& type, double gamma);
+
+  Count decide(Hour now, Count demand, Count active_reserved) override;
+  std::string name() const override;
+
+  /// The effective break-even hours gamma * h* used by this instance.
+  Hour break_even_hours() const { return break_even_hours_; }
+
+ private:
+  /// On-demand usage timestamps per demand level, trimmed to the window.
+  std::vector<std::deque<Hour>> level_usage_;
+  Hour window_;
+  Hour break_even_hours_;
+  double gamma_;
+};
+
+}  // namespace rimarket::purchasing

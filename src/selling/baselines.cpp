@@ -1,0 +1,29 @@
+#include "selling/baselines.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::selling {
+
+std::vector<fleet::ReservationId> KeepReservedPolicy::decide(Hour now,
+                                                             fleet::ReservationLedger& ledger) {
+  (void)now;
+  (void)ledger;
+  return {};
+}
+
+AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, double fraction)
+    : fraction_(fraction), decision_age_(decision_age(type.term, fraction)) {
+  RIMARKET_EXPECTS(type.valid());
+}
+
+std::vector<fleet::ReservationId> AllSellingPolicy::decide(Hour now,
+                                                           fleet::ReservationLedger& ledger) {
+  return ledger.due_at_age(now, decision_age_);
+}
+
+std::string AllSellingPolicy::name() const {
+  return common::format("all-selling@%.2fT", fraction_);
+}
+
+}  // namespace rimarket::selling

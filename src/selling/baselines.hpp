@@ -1,0 +1,31 @@
+// Benchmark selling policies from the paper's evaluation (Section VI-B).
+#pragma once
+
+#include "pricing/instance_type.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::selling {
+
+/// Keep-reserved: never sells.  All evaluation costs are normalized to this
+/// baseline, so it is the denominator of every figure/table.
+class KeepReservedPolicy final : public SellPolicy {
+ public:
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override { return "keep-reserved"; }
+};
+
+/// All-selling: sells every reservation unconditionally when it reaches the
+/// decision spot, regardless of its utilization.
+class AllSellingPolicy final : public SellPolicy {
+ public:
+  AllSellingPolicy(const pricing::InstanceType& type, double fraction);
+
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override;
+
+ private:
+  double fraction_;
+  Hour decision_age_;
+};
+
+}  // namespace rimarket::selling

@@ -1,0 +1,59 @@
+#include "selling/continuous.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rimarket::selling {
+
+ContinuousSelling::ContinuousSelling(const pricing::InstanceType& type, double selling_discount)
+    : ContinuousSelling(type, selling_discount, Options{}) {}
+
+ContinuousSelling::ContinuousSelling(const pricing::InstanceType& type,
+                                     double selling_discount, Options options)
+    : type_(type), selling_discount_(selling_discount), options_(options) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
+  RIMARKET_EXPECTS(options.min_fraction > 0.0 && options.min_fraction < 1.0);
+  RIMARKET_EXPECTS(options.max_fraction >= options.min_fraction &&
+                   options.max_fraction < 1.0);
+  RIMARKET_EXPECTS(options.confirmation_hours >= 0);
+  window_start_ = decision_age(type.term, options.min_fraction);
+  window_end_ = decision_age(type.term, options.max_fraction);
+}
+
+double ContinuousSelling::break_even_at_age(Hour age) const {
+  RIMARKET_EXPECTS(age >= 0 && age <= type_.term);
+  const double fraction = static_cast<double>(age) / static_cast<double>(type_.term);
+  if (fraction <= 0.0) {
+    return 0.0;
+  }
+  return type_.break_even_hours(fraction, selling_discount_);
+}
+
+std::vector<fleet::ReservationId> ContinuousSelling::decide(Hour now,
+                                                            fleet::ReservationLedger& ledger) {
+  std::vector<fleet::ReservationId> to_sell;
+  for (const fleet::ReservationId id : ledger.active_ids(now)) {
+    const fleet::Reservation& reservation = ledger.get(id);
+    const Hour age = reservation.age(now);
+    if (age < window_start_ || age > window_end_) {
+      continue;
+    }
+    const bool below =
+        static_cast<double>(reservation.worked_hours) < break_even_at_age(age);
+    Hour& streak = shortfall_streak_[id];
+    if (!below) {
+      streak = 0;
+      continue;
+    }
+    ++streak;
+    if (streak > options_.confirmation_hours) {
+      to_sell.push_back(id);
+      shortfall_streak_.erase(id);
+    }
+  }
+  return to_sell;
+}
+
+}  // namespace rimarket::selling

@@ -1,0 +1,69 @@
+// Arbitrary-spot online selling — the paper's future-work direction,
+// deterministic form.
+//
+// The fixed-spot family checks utilization exactly once.  This policy
+// evaluates the same break-even economics *continuously*: at every hour of
+// a reservation's life within a decision window [min_fraction*T,
+// max_fraction*T], it compares the accumulated working time w(tau) against
+// the age-scaled break-even point
+//
+//     beta(tau/T) = (tau/T) * a * R / (p * (1 - alpha))
+//
+// and sells at the first hour where the shortfall has persisted for
+// `confirmation_hours` consecutive hours.  Rationale:
+//   * w(tau) >= beta(tau/T) means utilization so far already justifies the
+//     contract relative to reselling the remainder — keep.
+//   * the confirmation window keeps one quiet weekend from dumping a
+//     well-used reservation (an hourly version of the fixed spot's
+//     "average over f*T hours" smoothing);
+//   * the window start plays the role the warm-up plays in the fixed-spot
+//     proofs: before min_fraction*T there is too little evidence, and
+//     beta(~0) ~ 0 would otherwise trigger an immediate sale at birth.
+//
+// With min_fraction == max_fraction == f and confirmation_hours == 0 the
+// policy degenerates to exactly A_{fT} (tested), so it is a strict
+// generalization of the paper's algorithms.
+#pragma once
+
+#include <map>
+
+#include "pricing/instance_type.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::selling {
+
+class ContinuousSelling final : public SellPolicy {
+ public:
+  struct Options {
+    /// Start of the decision window as a fraction of the term.
+    double min_fraction = 0.25;
+    /// End of the decision window (inclusive) as a fraction of the term.
+    double max_fraction = 0.75;
+    /// Consecutive below-break-even hours required before selling.
+    Hour confirmation_hours = 24;
+  };
+
+  /// Constructs with default options (window [T/4, 3T/4], 24h confirmation).
+  ContinuousSelling(const pricing::InstanceType& type, double selling_discount);
+  ContinuousSelling(const pricing::InstanceType& type, double selling_discount,
+                    Options options);
+
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override { return "continuous-spot"; }
+
+  /// Age-scaled break-even beta(age/T) in hours.
+  double break_even_at_age(Hour age) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  pricing::InstanceType type_;
+  double selling_discount_;
+  Options options_;
+  Hour window_start_;
+  Hour window_end_;
+  /// Consecutive below-break-even hours observed per reservation.
+  std::map<fleet::ReservationId, Hour> shortfall_streak_;
+};
+
+}  // namespace rimarket::selling

@@ -1,0 +1,57 @@
+#include "selling/fixed_spot.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::selling {
+
+FixedSpotSelling::FixedSpotSelling(const pricing::InstanceType& type, double fraction,
+                                   double selling_discount)
+    : fraction_(fraction),
+      break_even_hours_(type.break_even_hours(fraction, selling_discount)),
+      decision_age_(decision_age(type.term, fraction)) {
+  RIMARKET_EXPECTS(type.valid());
+}
+
+bool FixedSpotSelling::should_sell(Hour worked_hours) const {
+  RIMARKET_EXPECTS(worked_hours >= 0);
+  return static_cast<double>(worked_hours) < break_even_hours_;
+}
+
+std::vector<fleet::ReservationId> FixedSpotSelling::decide(Hour now,
+                                                           fleet::ReservationLedger& ledger) {
+  std::vector<fleet::ReservationId> to_sell;
+  for (const fleet::ReservationId id : ledger.due_at_age(now, decision_age_)) {
+    if (should_sell(ledger.get(id).worked_hours)) {
+      to_sell.push_back(id);
+    }
+  }
+  return to_sell;
+}
+
+std::string FixedSpotSelling::name() const {
+  if (fraction_ == kSpot3T4) {
+    return "A_{3T/4}";
+  }
+  if (fraction_ == kSpotT2) {
+    return "A_{T/2}";
+  }
+  if (fraction_ == kSpotT4) {
+    return "A_{T/4}";
+  }
+  return common::format("A_{%.3fT}", fraction_);
+}
+
+FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, double selling_discount) {
+  return FixedSpotSelling(type, kSpot3T4, selling_discount);
+}
+
+FixedSpotSelling make_a_t2(const pricing::InstanceType& type, double selling_discount) {
+  return FixedSpotSelling(type, kSpotT2, selling_discount);
+}
+
+FixedSpotSelling make_a_t4(const pricing::InstanceType& type, double selling_discount) {
+  return FixedSpotSelling(type, kSpotT4, selling_discount);
+}
+
+}  // namespace rimarket::selling

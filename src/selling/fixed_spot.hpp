@@ -1,0 +1,46 @@
+// The paper's online selling algorithms A_{3T/4}, A_{T/2}, A_{T/4}.
+#pragma once
+
+#include "pricing/instance_type.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::selling {
+
+/// Decision fractions used by the paper.
+inline constexpr double kSpot3T4 = 0.75;
+inline constexpr double kSpotT2 = 0.50;
+inline constexpr double kSpotT4 = 0.25;
+
+/// A_{fT}: when a reservation's age reaches f*T, sell it iff its working
+/// time so far is below beta(f) = f*a*R / (p*(1-alpha)) (paper Eq. (9) and
+/// Section V).  Guarantees the competitive ratios of Propositions 1-3.
+class FixedSpotSelling final : public SellPolicy {
+ public:
+  /// `fraction` is f in (0,1); `selling_discount` is the user-chosen a.
+  FixedSpotSelling(const pricing::InstanceType& type, double fraction, double selling_discount);
+
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override;
+
+  /// Break-even working time beta(f) in hours for this configuration.
+  double break_even_hours() const { return break_even_hours_; }
+  /// Age (hours) at which the decision is taken.
+  Hour decision_age_hours() const { return decision_age_; }
+  double fraction() const { return fraction_; }
+
+  /// The per-instance rule, exposed for advisors and tests: sell iff the
+  /// instance worked fewer than beta(f) hours in its first f*T hours.
+  bool should_sell(Hour worked_hours) const;
+
+ private:
+  double fraction_;
+  double break_even_hours_;
+  Hour decision_age_;
+};
+
+/// Paper-named constructors.
+FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, double selling_discount);
+FixedSpotSelling make_a_t2(const pricing::InstanceType& type, double selling_discount);
+FixedSpotSelling make_a_t4(const pricing::InstanceType& type, double selling_discount);
+
+}  // namespace rimarket::selling

@@ -1,0 +1,28 @@
+#include "selling/planned.hpp"
+
+namespace rimarket::selling {
+
+PlannedSellingPolicy::PlannedSellingPolicy(std::map<fleet::ReservationId, Hour> plan)
+    : plan_(std::move(plan)) {
+  for (const auto& [id, when] : plan_) {
+    by_hour_[when].push_back(id);
+  }
+}
+
+std::vector<fleet::ReservationId> PlannedSellingPolicy::decide(
+    Hour now, fleet::ReservationLedger& ledger) {
+  const auto it = by_hour_.find(now);
+  if (it == by_hour_.end()) {
+    return {};
+  }
+  std::vector<fleet::ReservationId> to_sell;
+  to_sell.reserve(it->second.size());
+  for (const fleet::ReservationId id : it->second) {
+    if (ledger.get(id).active(now)) {
+      to_sell.push_back(id);
+    }
+  }
+  return to_sell;
+}
+
+}  // namespace rimarket::selling

@@ -1,0 +1,33 @@
+// Plan-driven selling, used to realize the clairvoyant offline optimum.
+//
+// The paper's benchmark OPT (Section IV-A) picks, per reservation and with
+// full knowledge of future demand, the selling time that minimizes that
+// instance's cost.  The sim module computes such a plan from a shadow run
+// (sim::plan_offline_optimal) and replays it through this policy.
+#pragma once
+
+#include <map>
+
+#include "selling/policy.hpp"
+
+namespace rimarket::selling {
+
+/// Sells reservation `id` at exactly the planned hour.  Reservations absent
+/// from the plan are kept to term.
+class PlannedSellingPolicy final : public SellPolicy {
+ public:
+  /// `plan` maps reservation id -> hour to sell at.
+  explicit PlannedSellingPolicy(std::map<fleet::ReservationId, Hour> plan);
+
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override { return "offline-optimal"; }
+
+  const std::map<fleet::ReservationId, Hour>& plan() const { return plan_; }
+
+ private:
+  std::map<fleet::ReservationId, Hour> plan_;
+  /// Inverse index: hour -> reservations to sell then.
+  std::map<Hour, std::vector<fleet::ReservationId>> by_hour_;
+};
+
+}  // namespace rimarket::selling

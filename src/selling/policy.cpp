@@ -1,0 +1,17 @@
+#include "selling/policy.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rimarket::selling {
+
+Hour decision_age(Hour term, double fraction) {
+  RIMARKET_EXPECTS(term >= 1);
+  RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  const Hour age = static_cast<Hour>(std::llround(fraction * static_cast<double>(term)));
+  RIMARKET_ENSURES(age >= 1 && age < term);
+  return age;
+}
+
+}  // namespace rimarket::selling

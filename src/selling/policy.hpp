@@ -1,0 +1,58 @@
+// Online instance-selling policies — the paper's core contribution.
+//
+// A selling policy watches the reservation ledger and decides, hour by
+// hour, which active reservations to sell on the marketplace.  The paper's
+// A_{3T/4}, A_{T/2} and A_{T/4} all follow the same shape (Algorithms 1-2):
+// when a reservation reaches a fixed fraction f of its term, compare its
+// accumulated working time against the break-even point
+//
+//     beta(f) = f * a * R / (p * (1 - alpha))
+//
+// and sell iff it worked less.  `FixedSpotSelling` implements that family
+// for any f; baselines and extensions live in sibling headers.
+//
+// Note on fidelity: the paper's pseudocode reconstructs each instance's
+// working time from aggregate (d_t, n_t, r_t) curves, back-patching the
+// history arrays after each sale.  Because the ledger assigns demand
+// least-remaining-period-first and tracks worked hours *per reservation*,
+// the statistic is available directly and the back-patching step is
+// unnecessary — the computed working time is identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fleet/ledger.hpp"
+
+namespace rimarket::selling {
+
+/// Hour-by-hour selling decision interface.  Policies are stateful and
+/// single-run: construct a fresh instance per simulation.
+class SellPolicy {
+ public:
+  virtual ~SellPolicy() = default;
+
+  /// Called once per hour with the hour's demand, before decide().  The
+  /// paper's algorithms reconstruct everything they need from the ledger's
+  /// worked-hours counters and ignore this; prediction-based baselines
+  /// (forecast::ForecastSelling) use it to learn the demand process.
+  virtual void observe(Hour now, Count demand) {
+    (void)now;
+    (void)demand;
+  }
+
+  /// Called once per hour, after demand assignment.  Returns the ids of
+  /// reservations to sell right now; each must be active in `ledger`.
+  /// The caller performs the sale and books the income.
+  virtual std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) = 0;
+
+  /// Short name for reports ("A_{3T/4}", "keep-reserved", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Rounds a decision fraction to the discrete decision age in hours.
+/// The paper's spots 3T/4, T/2, T/4 divide the 8760-hour year exactly.
+Hour decision_age(Hour term, double fraction);
+
+}  // namespace rimarket::selling

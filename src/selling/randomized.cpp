@@ -1,0 +1,76 @@
+#include "selling/randomized.hpp"
+
+#include "common/assert.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::selling {
+
+RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
+                                             double selling_discount,
+                                             std::vector<double> fractions, std::uint64_t seed)
+    : RandomizedSpotSelling(type, selling_discount, fractions,
+                            std::vector<double>(fractions.size(),
+                                                1.0 / static_cast<double>(fractions.size())),
+                            seed) {}
+
+RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
+                                             double selling_discount,
+                                             std::vector<double> fractions,
+                                             std::vector<double> weights, std::uint64_t seed)
+    : rng_(seed) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(!fractions.empty());
+  RIMARKET_EXPECTS(fractions.size() == weights.size());
+  choices_.reserve(fractions.size());
+  double weight_sum = 0.0;
+  for (const double weight : weights) {
+    RIMARKET_EXPECTS(weight >= 0.0);
+    weight_sum += weight;
+  }
+  RIMARKET_EXPECTS(weight_sum > 0.0);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const double fraction = fractions[i];
+    RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);
+    choices_.push_back(SpotChoice{decision_age(type.term, fraction),
+                                  type.break_even_hours(fraction, selling_discount)});
+    cumulative += weights[i] / weight_sum;
+    cumulative_.push_back(cumulative);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding drift
+}
+
+RandomizedSpotSelling RandomizedSpotSelling::paper_spots(const pricing::InstanceType& type,
+                                                         double selling_discount,
+                                                         std::uint64_t seed) {
+  return RandomizedSpotSelling(type, selling_discount, {kSpotT4, kSpotT2, kSpot3T4}, seed);
+}
+
+std::size_t RandomizedSpotSelling::draw_choice() {
+  const double u = rng_.uniform01();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) {
+      return i;
+    }
+  }
+  return cumulative_.size() - 1;
+}
+
+std::vector<fleet::ReservationId> RandomizedSpotSelling::decide(
+    Hour now, fleet::ReservationLedger& ledger) {
+  std::vector<fleet::ReservationId> to_sell;
+  for (const fleet::ReservationId id : ledger.active_ids(now)) {
+    const auto it = assigned_.find(id);
+    const std::size_t choice_index =
+        it != assigned_.end() ? it->second : assigned_.emplace(id, draw_choice()).first->second;
+    const SpotChoice& choice = choices_[choice_index];
+    const fleet::Reservation& reservation = ledger.get(id);
+    if (reservation.age(now) == choice.decision_age &&
+        static_cast<double>(reservation.worked_hours) < choice.break_even_hours) {
+      to_sell.push_back(id);
+    }
+  }
+  return to_sell;
+}
+
+}  // namespace rimarket::selling

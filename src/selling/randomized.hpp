@@ -1,0 +1,61 @@
+// Randomized-spot selling — the paper's stated future-work direction
+// ("design a randomized online selling algorithm, which guides users in
+// selling their reservations at an arbitrary time spot"), built here as an
+// extension so the ablation benches can compare it against the fixed-spot
+// family.
+//
+// Each reservation is independently assigned a decision fraction f drawn
+// uniformly from a configured set (default {1/4, 1/2, 3/4}); at age f*T the
+// standard break-even rule beta(f) is applied.  Randomizing the spot hedges
+// between the early-spot policies (bigger compensation, bigger downside)
+// and the late-spot ones (safer, smaller savings).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pricing/instance_type.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::selling {
+
+class RandomizedSpotSelling final : public SellPolicy {
+ public:
+  /// `fractions` must be non-empty, each in (0,1); spots are drawn
+  /// uniformly.
+  RandomizedSpotSelling(const pricing::InstanceType& type, double selling_discount,
+                        std::vector<double> fractions, std::uint64_t seed);
+
+  /// Weighted variant: `weights` (same length, non-negative, positive sum)
+  /// give each spot's probability — e.g. the minimax mixture from
+  /// theory::optimize_spot_distribution.
+  RandomizedSpotSelling(const pricing::InstanceType& type, double selling_discount,
+                        std::vector<double> fractions, std::vector<double> weights,
+                        std::uint64_t seed);
+
+  /// Convenience: the paper's three spots with equal probability.
+  static RandomizedSpotSelling paper_spots(const pricing::InstanceType& type,
+                                           double selling_discount, std::uint64_t seed);
+
+  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  std::string name() const override { return "randomized-spot"; }
+
+ private:
+  struct SpotChoice {
+    Hour decision_age = 0;
+    double break_even_hours = 0.0;
+  };
+  std::size_t draw_choice();
+
+  /// Decision parameters for each candidate fraction.
+  std::vector<SpotChoice> choices_;
+  /// Cumulative probability per choice (uniform when constructed without
+  /// weights).
+  std::vector<double> cumulative_;
+  /// Fraction choice per reservation, assigned on first sight.
+  std::map<fleet::ReservationId, std::size_t> assigned_;
+  common::Rng rng_;
+};
+
+}  // namespace rimarket::selling

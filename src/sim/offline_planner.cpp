@@ -1,0 +1,67 @@
+#include "sim/offline_planner.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "selling/baselines.hpp"
+#include "theory/single_instance.hpp"
+
+namespace rimarket::sim {
+
+std::map<fleet::ReservationId, Hour> plan_offline_optimal(const workload::DemandTrace& trace,
+                                                          const ReservationStream& stream,
+                                                          const SimulationConfig& config) {
+  const Hour term = config.type.term;
+  // Shadow run: record every reservation's work schedule with no selling.
+  std::vector<Hour> starts;
+  std::vector<theory::WorkSchedule> schedules;
+  const WorkObserver observer = [&](Hour t, std::span<const fleet::ReservationId> served) {
+    for (const fleet::ReservationId id : served) {
+      const auto index = static_cast<std::size_t>(id);
+      RIMARKET_CHECK(index < schedules.size());
+      const Hour offset = t - starts[index];
+      RIMARKET_CHECK(offset >= 0 && offset < term);
+      schedules[index][static_cast<std::size_t>(offset)] = true;
+    }
+  };
+  // Pre-register reservations in stream order so ids line up with the
+  // ledger's (ids are assigned sequentially from 0).
+  const Hour horizon = config.effective_horizon(trace);
+  for (Hour t = 0; t < horizon; ++t) {
+    for (Count i = 0; i < stream.at(t); ++i) {
+      starts.push_back(t);
+      schedules.emplace_back(static_cast<std::size_t>(term), false);
+    }
+  }
+  selling::KeepReservedPolicy keep;
+  const SimulationResult shadow = simulate(trace, stream, keep, config, &observer);
+  RIMARKET_CHECK_MSG(shadow.reservations.size() == schedules.size(),
+                     "stream totals must match the shadow run's bookings");
+
+  theory::SingleInstanceModel model;
+  model.type = config.type;
+  model.selling_discount = config.selling_discount;
+  model.service_fee = config.service_fee;
+  model.charge_policy = config.charge_policy;
+
+  std::map<fleet::ReservationId, Hour> plan;
+  for (std::size_t index = 0; index < schedules.size(); ++index) {
+    const theory::OptimalSale best = theory::optimal_sale(model, schedules[index]);
+    if (best.sell_at < term) {
+      const Hour when = starts[index] + best.sell_at;
+      if (when < horizon) {
+        plan[static_cast<fleet::ReservationId>(index)] = when;
+      }
+    }
+  }
+  return plan;
+}
+
+SimulationResult simulate_offline_optimal(const workload::DemandTrace& trace,
+                                          const ReservationStream& stream,
+                                          const SimulationConfig& config) {
+  selling::PlannedSellingPolicy planned(plan_offline_optimal(trace, stream, config));
+  return simulate(trace, stream, planned, config);
+}
+
+}  // namespace rimarket::sim

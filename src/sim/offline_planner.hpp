@@ -1,0 +1,40 @@
+// Clairvoyant offline-optimal selling plan (paper Section IV-A).
+//
+// The paper's benchmark OPT chooses, per reservation and with hindsight,
+// the selling time that minimizes that instance's cost.  The plan is built
+// from a shadow run: simulate the same (trace, reservation stream) with
+// keep-reserved to obtain every reservation's work schedule under the
+// least-remaining-period-first assignment, then pick each instance's best
+// sell hour with theory::optimal_sale.
+//
+// The plan prices sales with the paper's analytic income (a * rp * R net of
+// the service fee); a custom SimulationConfig::income_model is not
+// consulted when planning (the clairvoyant benchmark is defined against
+// Eq. (1)'s instant-sale economics).
+//
+// Like the paper's analysis this optimum is *per instance*: it does not
+// model the second-order effect where selling one instance shifts later
+// demand onto other instances.  It is the benchmark the competitive ratios
+// are stated against, not a full combinatorial optimum (which is
+// exponential in fleet size; tests cross-check small cases by brute force).
+#pragma once
+
+#include <map>
+
+#include "selling/planned.hpp"
+#include "sim/simulator.hpp"
+
+namespace rimarket::sim {
+
+/// Computes the per-instance optimal sell hour for every reservation in
+/// the stream; reservations best kept to term are absent from the map.
+std::map<fleet::ReservationId, Hour> plan_offline_optimal(const workload::DemandTrace& trace,
+                                                          const ReservationStream& stream,
+                                                          const SimulationConfig& config);
+
+/// Convenience: plan + replay through PlannedSellingPolicy.
+SimulationResult simulate_offline_optimal(const workload::DemandTrace& trace,
+                                          const ReservationStream& stream,
+                                          const SimulationConfig& config);
+
+}  // namespace rimarket::sim

@@ -1,0 +1,72 @@
+#include "sim/portfolio.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace rimarket::sim {
+
+namespace {
+
+std::uint64_t item_seed(const PortfolioConfig& config, std::size_t index) {
+  std::uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return common::splitmix64(state);
+}
+
+}  // namespace
+
+PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
+                              const PortfolioConfig& config, const SellerSpec& seller) {
+  RIMARKET_EXPECTS(!items.empty());
+  PortfolioResult result;
+  result.items.reserve(items.size());
+  for (std::size_t index = 0; index < items.size(); ++index) {
+    const PortfolioItem& item = items[index];
+    RIMARKET_EXPECTS(item.type.valid());
+    SimulationConfig sim_config;
+    sim_config.type = item.type;
+    sim_config.selling_discount = config.selling_discount;
+    sim_config.service_fee = config.service_fee;
+    sim_config.charge_policy = config.charge_policy;
+    const std::uint64_t seed = item_seed(config, index);
+    const auto purchaser = purchasing::make_purchaser(config.purchaser, item.type, seed);
+    const auto stream = ReservationStream::generate(item.trace, *purchaser,
+                                                    item.trace.length(), item.type.term);
+    const auto policy = make_seller(seller, sim_config, seed, &item.trace, &stream);
+    const SimulationResult run = simulate(item.trace, stream, *policy, sim_config);
+
+    PortfolioItemResult entry;
+    entry.type_name = item.type.name;
+    entry.net_cost = run.net_cost();
+    entry.reservations_made = run.reservations_made;
+    entry.instances_sold = run.instances_sold;
+    entry.on_demand_hours = run.on_demand_hours;
+    result.total_cost += entry.net_cost;
+    result.total_reservations += entry.reservations_made;
+    result.total_sold += entry.instances_sold;
+    result.items.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::vector<PortfolioComparison> compare_sellers(std::span<const PortfolioItem> items,
+                                                 const PortfolioConfig& config,
+                                                 std::span<const SellerSpec> sellers) {
+  const SellerSpec keep{SellerKind::kKeepReserved, 0.0};
+  const PortfolioResult keep_result = run_portfolio(items, config, keep);
+  RIMARKET_CHECK_MSG(keep_result.total_cost > 0.0,
+                     "a portfolio with demand always has positive keep-reserved cost");
+  std::vector<PortfolioComparison> rows;
+  rows.reserve(sellers.size() + 1);
+  rows.push_back(PortfolioComparison{keep, keep_result.total_cost, 1.0});
+  for (const SellerSpec& seller : sellers) {
+    if (seller.kind == SellerKind::kKeepReserved) {
+      continue;  // already the denominator row
+    }
+    const PortfolioResult result = run_portfolio(items, config, seller);
+    rows.push_back(PortfolioComparison{seller, result.total_cost,
+                                       result.total_cost / keep_result.total_cost});
+  }
+  return rows;
+}
+
+}  // namespace rimarket::sim

@@ -1,0 +1,72 @@
+// Multi-type portfolios.
+//
+// Real accounts reserve several instance types at once.  EC2 reservations
+// are per-type (a d2.xlarge contract cannot serve an m4.large demand), so a
+// portfolio decomposes into independent per-type simulations; this module
+// provides the bookkeeping: run every type under one selling policy
+// specification, aggregate the costs, and compare policies across the whole
+// portfolio — the view a cost-management console would show an account
+// owner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "purchasing/policy.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace rimarket::sim {
+
+/// One instance type the account uses, with its demand history.
+struct PortfolioItem {
+  pricing::InstanceType type;
+  workload::DemandTrace trace;
+};
+
+/// Portfolio-wide economics (applied per item).
+struct PortfolioConfig {
+  double selling_discount = 0.8;
+  double service_fee = 0.0;
+  fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
+  /// Reservation-behaviour imitator used to reconstruct each type's
+  /// bookings.
+  purchasing::PurchaserKind purchaser = purchasing::PurchaserKind::kWangOnline;
+  std::uint64_t seed = 1;
+};
+
+/// Per-type outcome inside a portfolio run.
+struct PortfolioItemResult {
+  std::string type_name;
+  Dollars net_cost = 0.0;
+  Count reservations_made = 0;
+  Count instances_sold = 0;
+  Count on_demand_hours = 0;
+};
+
+struct PortfolioResult {
+  std::vector<PortfolioItemResult> items;
+  Dollars total_cost = 0.0;
+  Count total_reservations = 0;
+  Count total_sold = 0;
+};
+
+/// Runs every item under the seller spec (fresh policy per type — selling
+/// state never leaks across types, mirroring per-type marketplaces).
+PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
+                              const PortfolioConfig& config, const SellerSpec& seller);
+
+/// One row per seller: total portfolio cost and the ratio to keep-reserved.
+struct PortfolioComparison {
+  SellerSpec seller;
+  Dollars total_cost = 0.0;
+  double ratio_to_keep = 0.0;
+};
+
+/// Compares seller policies across the portfolio (keep-reserved is always
+/// evaluated as the denominator and included as the first row).
+std::vector<PortfolioComparison> compare_sellers(std::span<const PortfolioItem> items,
+                                                 const PortfolioConfig& config,
+                                                 std::span<const SellerSpec> sellers);
+
+}  // namespace rimarket::sim

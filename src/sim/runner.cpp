@@ -1,0 +1,74 @@
+#include "sim/runner.hpp"
+
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::sim {
+
+std::vector<SellerSpec> paper_sellers(double all_selling_fraction) {
+  return {
+      SellerSpec{SellerKind::kKeepReserved, 0.0},
+      SellerSpec{SellerKind::kAllSelling, all_selling_fraction},
+      SellerSpec{SellerKind::kA3T4, selling::kSpot3T4},
+      SellerSpec{SellerKind::kAT2, selling::kSpotT2},
+      SellerSpec{SellerKind::kAT4, selling::kSpotT4},
+  };
+}
+
+std::vector<ScenarioResult> evaluate_user(const workload::User& user,
+                                          const EvaluationSpec& spec) {
+  RIMARKET_EXPECTS(!spec.sellers.empty());
+  std::vector<ScenarioResult> results;
+  results.reserve(spec.purchasers.size() * spec.sellers.size());
+  const Hour horizon = spec.sim.effective_horizon(user.trace);
+  for (const purchasing::PurchaserKind purchaser_kind : spec.purchasers) {
+    // Derive a per-(user, purchaser) seed so stochastic purchasers are
+    // reproducible and independent across the sweep.
+    std::uint64_t seed_state = spec.seed;
+    seed_state ^= static_cast<std::uint64_t>(user.id) * 0x9e3779b97f4a7c15ULL;
+    seed_state ^= (static_cast<std::uint64_t>(purchaser_kind) + 1) << 32;
+    const std::uint64_t run_seed = common::splitmix64(seed_state);
+
+    const auto purchaser = purchasing::make_purchaser(purchaser_kind, spec.sim.type, run_seed);
+    const ReservationStream stream =
+        ReservationStream::generate(user.trace, *purchaser, horizon, spec.sim.type.term);
+
+    for (const SellerSpec& seller_spec : spec.sellers) {
+      const auto seller =
+          make_seller(seller_spec, spec.sim, run_seed, &user.trace, &stream);
+      const SimulationResult run = simulate(user.trace, stream, *seller, spec.sim);
+      ScenarioResult result;
+      result.user_id = user.id;
+      result.group = user.group;
+      result.purchaser = purchaser_kind;
+      result.seller = seller_spec;
+      result.net_cost = run.net_cost();
+      result.reservations_made = run.reservations_made;
+      result.instances_sold = run.instances_sold;
+      result.on_demand_hours = run.on_demand_hours;
+      results.push_back(result);
+    }
+  }
+  return results;
+}
+
+std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
+                                     const EvaluationSpec& spec) {
+  const std::vector<workload::User>& users = population.users();
+  std::vector<std::vector<ScenarioResult>> per_user(users.size());
+  common::ThreadPool pool(spec.threads);
+  common::parallel_for(pool, users.size(), [&](std::size_t index) {
+    per_user[index] = evaluate_user(users[index], spec);
+  });
+  std::vector<ScenarioResult> results;
+  results.reserve(users.size() * spec.purchasers.size() * spec.sellers.size());
+  for (const auto& chunk : per_user) {
+    results.insert(results.end(), chunk.begin(), chunk.end());
+  }
+  return results;
+}
+
+}  // namespace rimarket::sim

@@ -1,0 +1,55 @@
+// Multi-user experiment runner (paper Section VI).
+//
+// Sweeps user x purchasing-imitator x selling-policy, runs every scenario
+// through the open-loop simulator, and returns a flat result table for the
+// analysis layer.  Each (user, purchaser) pair generates one reservation
+// stream that is replayed identically under every seller, which is what
+// makes the keep-reserved normalization of Figs. 3-4 / Table III exact.
+#pragma once
+
+#include <vector>
+
+#include "purchasing/policy.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "workload/population.hpp"
+
+namespace rimarket::sim {
+
+/// One (user, purchaser, seller) run's outcome.
+struct ScenarioResult {
+  int user_id = 0;
+  workload::FluctuationGroup group = workload::FluctuationGroup::kStable;
+  purchasing::PurchaserKind purchaser = purchasing::PurchaserKind::kAllReserved;
+  SellerSpec seller;
+  Dollars net_cost = 0.0;
+  Count reservations_made = 0;
+  Count instances_sold = 0;
+  Count on_demand_hours = 0;
+};
+
+/// Evaluation sweep definition.
+struct EvaluationSpec {
+  SimulationConfig sim;
+  std::vector<purchasing::PurchaserKind> purchasers{
+      purchasing::kPaperPurchasers,
+      purchasing::kPaperPurchasers + std::size(purchasing::kPaperPurchasers)};
+  std::vector<SellerSpec> sellers;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// The paper's seller line-up: the three algorithms plus both baselines at
+/// a given all-selling spot.
+std::vector<SellerSpec> paper_sellers(double all_selling_fraction);
+
+/// Runs the full sweep; results are ordered by (user, purchaser, seller).
+std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
+                                     const EvaluationSpec& spec);
+
+/// Runs the sweep for a single user (Table II's case study).
+std::vector<ScenarioResult> evaluate_user(const workload::User& user,
+                                          const EvaluationSpec& spec);
+
+}  // namespace rimarket::sim

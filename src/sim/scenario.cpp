@@ -1,0 +1,78 @@
+#include "sim/scenario.hpp"
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "forecast/forecast_selling.hpp"
+#include "selling/baselines.hpp"
+#include "selling/continuous.hpp"
+#include "selling/fixed_spot.hpp"
+#include "selling/randomized.hpp"
+#include "sim/offline_planner.hpp"
+
+namespace rimarket::sim {
+
+std::string seller_name(const SellerSpec& spec) {
+  switch (spec.kind) {
+    case SellerKind::kKeepReserved: return "keep-reserved";
+    case SellerKind::kAllSelling: return common::format("all-selling@%.2fT", spec.fraction);
+    case SellerKind::kA3T4: return "A_{3T/4}";
+    case SellerKind::kAT2: return "A_{T/2}";
+    case SellerKind::kAT4: return "A_{T/4}";
+    case SellerKind::kRandomizedSpot: return "randomized-spot";
+    case SellerKind::kContinuousSpot: return "continuous-spot";
+    case SellerKind::kForecastSelling:
+      return common::format("forecast@%.2fT", spec.fraction);
+    case SellerKind::kOfflineOptimal: return "offline-optimal";
+  }
+  RIMARKET_UNREACHABLE("seller kind");
+}
+
+double seller_fraction(const SellerSpec& spec) {
+  switch (spec.kind) {
+    case SellerKind::kA3T4: return selling::kSpot3T4;
+    case SellerKind::kAT2: return selling::kSpotT2;
+    case SellerKind::kAT4: return selling::kSpotT4;
+    default: return spec.fraction;
+  }
+}
+
+std::unique_ptr<selling::SellPolicy> make_seller(const SellerSpec& spec,
+                                                 const SimulationConfig& config,
+                                                 std::uint64_t seed,
+                                                 const workload::DemandTrace* trace,
+                                                 const ReservationStream* stream) {
+  switch (spec.kind) {
+    case SellerKind::kKeepReserved:
+      return std::make_unique<selling::KeepReservedPolicy>();
+    case SellerKind::kAllSelling:
+      return std::make_unique<selling::AllSellingPolicy>(config.type, spec.fraction);
+    case SellerKind::kA3T4:
+      return std::make_unique<selling::FixedSpotSelling>(config.type, selling::kSpot3T4,
+                                                         config.selling_discount);
+    case SellerKind::kAT2:
+      return std::make_unique<selling::FixedSpotSelling>(config.type, selling::kSpotT2,
+                                                         config.selling_discount);
+    case SellerKind::kAT4:
+      return std::make_unique<selling::FixedSpotSelling>(config.type, selling::kSpotT4,
+                                                         config.selling_discount);
+    case SellerKind::kRandomizedSpot:
+      return std::make_unique<selling::RandomizedSpotSelling>(
+          selling::RandomizedSpotSelling::paper_spots(config.type, config.selling_discount,
+                                                      seed));
+    case SellerKind::kContinuousSpot:
+      return std::make_unique<selling::ContinuousSelling>(config.type,
+                                                          config.selling_discount);
+    case SellerKind::kForecastSelling:
+      return std::make_unique<forecast::ForecastSelling>(
+          config.type, spec.fraction, config.selling_discount,
+          forecast::make_forecaster(forecast::ForecasterKind::kEwma));
+    case SellerKind::kOfflineOptimal: {
+      RIMARKET_EXPECTS(trace != nullptr && stream != nullptr);
+      return std::make_unique<selling::PlannedSellingPolicy>(
+          plan_offline_optimal(*trace, *stream, config));
+    }
+  }
+  RIMARKET_UNREACHABLE("seller kind");
+}
+
+}  // namespace rimarket::sim

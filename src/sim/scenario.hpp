@@ -1,0 +1,50 @@
+// Scenario descriptors: which selling policy to run, by name.
+//
+// The experiment layer sweeps (user x purchaser x seller); SellerSpec is
+// the serializable description of the seller axis, and make_seller turns a
+// spec into a fresh policy instance for one run.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "selling/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace rimarket::sim {
+
+enum class SellerKind {
+  kKeepReserved,
+  kAllSelling,     ///< sell unconditionally at the spot
+  kA3T4,           ///< paper's A_{3T/4}
+  kAT2,            ///< paper's A_{T/2}
+  kAT4,            ///< paper's A_{T/4}
+  kRandomizedSpot, ///< extension: random decision spot per reservation
+  kContinuousSpot, ///< extension: arbitrary-spot rule (paper future work)
+  kForecastSelling,///< prediction-based baseline (paper Section II contrast)
+  kOfflineOptimal, ///< clairvoyant per-instance benchmark
+};
+
+struct SellerSpec {
+  SellerKind kind = SellerKind::kKeepReserved;
+  /// Decision-spot fraction for kAllSelling (the paper pairs All-selling
+  /// with each algorithm's spot); ignored for the other kinds.
+  double fraction = 0.75;
+};
+
+/// Display name ("A_{3T/4}", "all-selling@0.75T", ...).
+std::string seller_name(const SellerSpec& spec);
+
+/// Builds a fresh policy for one run.  For kOfflineOptimal the trace and
+/// reservation stream are required (the plan needs hindsight); the other
+/// kinds ignore them.
+std::unique_ptr<selling::SellPolicy> make_seller(const SellerSpec& spec,
+                                                 const SimulationConfig& config,
+                                                 std::uint64_t seed,
+                                                 const workload::DemandTrace* trace = nullptr,
+                                                 const ReservationStream* stream = nullptr);
+
+/// The decision fraction associated with a paper algorithm kind.
+double seller_fraction(const SellerSpec& spec);
+
+}  // namespace rimarket::sim

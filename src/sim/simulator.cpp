@@ -1,0 +1,145 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace rimarket::sim {
+
+Hour SimulationConfig::effective_horizon(const workload::DemandTrace& trace) const {
+  RIMARKET_EXPECTS(horizon >= 0);
+  return horizon > 0 ? horizon : trace.length();
+}
+
+Dollars SimulationConfig::sale_income(Hour age) const {
+  if (income_model) {
+    return income_model(type, age, selling_discount);
+  }
+  return type.sale_income(age, selling_discount) * (1.0 - service_fee);
+}
+
+ReservationStream::ReservationStream(std::vector<Count> new_reservations)
+    : new_reservations_(std::move(new_reservations)) {
+  for (Count n : new_reservations_) {
+    RIMARKET_EXPECTS(n >= 0);
+  }
+}
+
+ReservationStream ReservationStream::generate(const workload::DemandTrace& trace,
+                                              purchasing::PurchasePolicy& purchaser,
+                                              Hour horizon, Hour term) {
+  RIMARKET_EXPECTS(horizon >= 0);
+  std::vector<Count> stream;
+  stream.reserve(static_cast<std::size_t>(horizon));
+  // The imitator runs against a keep-everything fleet: the active count it
+  // sees is what the user would have without any marketplace activity.
+  fleet::ReservationLedger ledger(term);
+  for (Hour t = 0; t < horizon; ++t) {
+    const Count demand = trace.at(t);
+    const Count decided = purchaser.decide(t, demand, ledger.active_count(t));
+    RIMARKET_CHECK_MSG(decided >= 0, "purchase policies must not return negative counts");
+    for (Count i = 0; i < decided; ++i) {
+      ledger.reserve(t);
+    }
+    ledger.assign(t, demand);
+    stream.push_back(decided);
+  }
+  return ReservationStream(std::move(stream));
+}
+
+Count ReservationStream::at(Hour t) const {
+  RIMARKET_EXPECTS(t >= 0);
+  if (t >= length()) {
+    return 0;
+  }
+  return new_reservations_[static_cast<std::size_t>(t)];
+}
+
+Count ReservationStream::total() const {
+  Count total = 0;
+  for (Count n : new_reservations_) {
+    total += n;
+  }
+  return total;
+}
+
+namespace {
+
+/// Shared hour loop; `next_reservations` abstracts open- vs closed-loop.
+template <typename NextReservations>
+SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolicy& seller,
+                          const SimulationConfig& config, const WorkObserver* observer,
+                          NextReservations&& next_reservations) {
+  RIMARKET_EXPECTS(config.type.valid());
+  RIMARKET_EXPECTS(config.selling_discount >= 0.0 && config.selling_discount <= 1.0);
+  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
+  RIMARKET_EXPECTS(config.idle_resale_rate >= 0.0);
+  RIMARKET_EXPECTS(config.idle_resale_probability >= 0.0 &&
+                   config.idle_resale_probability <= 1.0);
+  const Hour horizon = config.effective_horizon(trace);
+
+  fleet::ReservationLedger ledger(config.type.term);
+  fleet::CostLedger costs(config.keep_hourly_series);
+  std::vector<fleet::ReservationId> served;
+  std::vector<fleet::ReservationId>* served_ptr = observer != nullptr ? &served : nullptr;
+
+  for (Hour t = 0; t < horizon; ++t) {
+    const Count demand = trace.at(t);
+    seller.observe(t, demand);
+    const Count booked = next_reservations(t, demand, ledger);
+    for (Count i = 0; i < booked; ++i) {
+      ledger.reserve(t);
+      costs.count_reservation();
+    }
+    const fleet::AssignmentResult assignment = ledger.assign(t, demand, served_ptr);
+    if (observer != nullptr) {
+      (*observer)(t, served);
+    }
+    fleet::CostBreakdown hour = fleet::hourly_cost(
+        config.type, assignment.on_demand, booked, assignment.active,
+        assignment.served_by_reserved, config.charge_policy);
+    if (config.idle_resale_rate > 0.0) {
+      const Count idle = assignment.active - assignment.served_by_reserved;
+      hour.sale_income += static_cast<double>(idle) * config.idle_resale_rate *
+                          config.idle_resale_probability;
+    }
+    for (const fleet::ReservationId id : seller.decide(t, ledger)) {
+      const fleet::Reservation& reservation = ledger.get(id);
+      hour.sale_income += config.sale_income(reservation.age(t));
+      ledger.sell(id, t);
+      costs.count_sale();
+    }
+    costs.count_on_demand_hours(assignment.on_demand);
+    costs.record(t, hour);
+  }
+
+  SimulationResult result;
+  result.totals = costs.totals();
+  result.reservations_made = costs.reservations_made();
+  result.instances_sold = costs.instances_sold();
+  result.on_demand_hours = costs.on_demand_hours();
+  result.reservations.assign(ledger.all().begin(), ledger.all().end());
+  result.hourly = costs.hourly();
+  return result;
+}
+
+}  // namespace
+
+SimulationResult simulate(const workload::DemandTrace& trace, const ReservationStream& stream,
+                          selling::SellPolicy& seller, const SimulationConfig& config,
+                          const WorkObserver* observer) {
+  return run_loop(trace, seller, config, observer,
+                  [&stream](Hour t, Count /*demand*/, fleet::ReservationLedger& /*ledger*/) {
+                    return stream.at(t);
+                  });
+}
+
+SimulationResult simulate_closed_loop(const workload::DemandTrace& trace,
+                                      purchasing::PurchasePolicy& purchaser,
+                                      selling::SellPolicy& seller,
+                                      const SimulationConfig& config) {
+  return run_loop(trace, seller, config, nullptr,
+                  [&purchaser](Hour t, Count demand, fleet::ReservationLedger& ledger) {
+                    return purchaser.decide(t, demand, ledger.active_count(t));
+                  });
+}
+
+}  // namespace rimarket::sim

@@ -1,0 +1,125 @@
+// The hour-by-hour cost simulator (paper Section III-C).
+//
+// Wiring per hour t:
+//   1. book the hour's new reservations n_t (they serve immediately),
+//   2. assign demand d_t least-remaining-period-first; overflow becomes
+//      on-demand purchases o_t,
+//   3. let the selling policy inspect the ledger and sell instances
+//      (income a*rp*R, optionally net of the marketplace fee; the sold
+//      instance stops serving from t+1, exactly like Algorithm 1's update
+//      of r_{t+1..}),
+//   4. record C_t = o_t*p + n_t*R + r_t*alpha*p - s_t*a*rp*R.
+//
+// The paper treats the reservation stream n_t as an *input* to the selling
+// algorithm ("Input: ... the set of new reserved instances n"), produced by
+// a purchasing imitator that does not observe sales.  `ReservationStream`
+// captures that open-loop protocol: generate n once per (user, purchaser),
+// then replay it identically under every selling policy, which is also what
+// makes the keep-reserved normalization exact.  A closed-loop variant — the
+// purchaser reacting to the post-sale fleet — is provided for ablations.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fleet/accounting.hpp"
+#include "fleet/ledger.hpp"
+#include "pricing/instance_type.hpp"
+#include "purchasing/policy.hpp"
+#include "selling/policy.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::sim {
+
+/// Net income realized when a reservation aged `age` hours is sold at
+/// price discount `discount`.  The default (unset) realization is the
+/// paper's Eq. (1): an instant gross sale a * rp * R, reduced by the
+/// configured service fee.  The market module provides realistic models
+/// (fill latency, pro-ration erosion) via market::make_income_model.
+using IncomeModel =
+    std::function<Dollars(const pricing::InstanceType& type, Hour age, double discount)>;
+
+/// Economic and accounting knobs of one simulation.
+struct SimulationConfig {
+  pricing::InstanceType type;
+  /// Seller's marketplace price discount a in [0,1].
+  double selling_discount = 0.8;
+  /// Marketplace service fee on sale income.  0 reproduces the paper's
+  /// Eq. (1) (gross income); Amazon charges 0.12.  Ignored when
+  /// `income_model` is set (the model returns net income).
+  double service_fee = 0.0;
+  fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
+  /// Simulated hours; 0 means the trace length.
+  Hour horizon = 0;
+  /// Keep a per-hour CostBreakdown series in the result.
+  bool keep_hourly_series = false;
+  /// Optional marketplace-income realization override (see IncomeModel).
+  IncomeModel income_model;
+  /// Related-work baseline (Zhang et al., ICWS'17 / Wang et al., TPDS'15):
+  /// instead of selling whole contracts, the user re-leases *idle* reserved
+  /// hours pay-per-use at this rate (dollars/hour, typically between
+  /// alpha*p and p), weighted by the probability a lessee shows up.  0
+  /// disables the mechanism (the paper's setting: Amazon does not support
+  /// hour reselling, which is why it studies whole-contract sales).
+  double idle_resale_rate = 0.0;
+  double idle_resale_probability = 1.0;
+
+  Hour effective_horizon(const workload::DemandTrace& trace) const;
+
+  /// Net income for selling a reservation aged `age` under this config.
+  Dollars sale_income(Hour age) const;
+};
+
+/// A fixed per-hour stream of new reservations (the n_t input).
+class ReservationStream {
+ public:
+  ReservationStream() = default;
+  explicit ReservationStream(std::vector<Count> new_reservations);
+
+  /// Runs `purchaser` open-loop against the trace (no selling) and records
+  /// its decisions.  `term` is the reservation term the fleet would use
+  /// (contract expiry feeds back into the purchaser's active count).
+  static ReservationStream generate(const workload::DemandTrace& trace,
+                                    purchasing::PurchasePolicy& purchaser, Hour horizon,
+                                    Hour term);
+
+  Count at(Hour t) const;
+  Hour length() const { return static_cast<Hour>(new_reservations_.size()); }
+  Count total() const;
+  std::span<const Count> values() const { return new_reservations_; }
+
+ private:
+  std::vector<Count> new_reservations_;
+};
+
+/// Everything a run produces.
+struct SimulationResult {
+  fleet::CostBreakdown totals;
+  Count reservations_made = 0;
+  Count instances_sold = 0;
+  Count on_demand_hours = 0;
+  /// Final state of every reservation ever booked.
+  std::vector<fleet::Reservation> reservations;
+  /// Per-hour series; empty unless requested in the config.
+  std::vector<fleet::CostBreakdown> hourly;
+
+  Dollars net_cost() const { return totals.net(); }
+};
+
+/// Observer of which reservations worked each hour (offline planner hook).
+using WorkObserver = std::function<void(Hour, std::span<const fleet::ReservationId>)>;
+
+/// Open-loop simulation: replay a fixed reservation stream under `seller`.
+SimulationResult simulate(const workload::DemandTrace& trace, const ReservationStream& stream,
+                          selling::SellPolicy& seller, const SimulationConfig& config,
+                          const WorkObserver* observer = nullptr);
+
+/// Closed-loop ablation: the purchaser sees the post-sale fleet and may
+/// re-reserve after sales.
+SimulationResult simulate_closed_loop(const workload::DemandTrace& trace,
+                                      purchasing::PurchasePolicy& purchaser,
+                                      selling::SellPolicy& seller,
+                                      const SimulationConfig& config);
+
+}  // namespace rimarket::sim

@@ -1,0 +1,107 @@
+#include "theory/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::theory {
+
+namespace {
+
+Hour spot_hour(const pricing::InstanceType& type, double fraction) {
+  return selling::decision_age(type.term, fraction);
+}
+
+Hour epsilon_hour(const pricing::InstanceType& type, double epsilon) {
+  RIMARKET_EXPECTS(epsilon >= 0.0 && epsilon <= 1.0);
+  return static_cast<Hour>(std::llround(epsilon * static_cast<double>(type.term)));
+}
+
+}  // namespace
+
+WorkSchedule case1_schedule(const pricing::InstanceType& type, double fraction, double epsilon) {
+  RIMARKET_EXPECTS(type.valid());
+  const Hour spot = spot_hour(type, fraction);
+  const Hour until = epsilon_hour(type, epsilon);
+  RIMARKET_EXPECTS(until >= spot);
+  WorkSchedule worked(static_cast<std::size_t>(type.term), false);
+  for (Hour h = spot; h < until; ++h) {
+    worked[static_cast<std::size_t>(h)] = true;
+  }
+  return worked;
+}
+
+WorkSchedule case2_schedule(const pricing::InstanceType& type, double fraction, double epsilon) {
+  RIMARKET_EXPECTS(type.valid());
+  const Hour spot = spot_hour(type, fraction);
+  const Hour until = epsilon_hour(type, epsilon);
+  RIMARKET_EXPECTS(until >= spot);
+  WorkSchedule worked(static_cast<std::size_t>(type.term), false);
+  for (Hour h = 0; h < until; ++h) {
+    worked[static_cast<std::size_t>(h)] = true;
+  }
+  return worked;
+}
+
+WorkSchedule utilization_schedule(const pricing::InstanceType& type, double fraction,
+                                  double pre_spot_utilization, double epsilon) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(pre_spot_utilization >= 0.0 && pre_spot_utilization <= 1.0);
+  const Hour spot = spot_hour(type, fraction);
+  const Hour until = epsilon_hour(type, epsilon);
+  WorkSchedule worked(static_cast<std::size_t>(type.term), false);
+  // Spread `pre_spot_utilization * spot` worked hours evenly over [0, spot).
+  const auto target = static_cast<Hour>(
+      std::llround(pre_spot_utilization * static_cast<double>(spot)));
+  if (target > 0) {
+    const double stride = static_cast<double>(spot) / static_cast<double>(target);
+    for (Hour k = 0; k < target; ++k) {
+      const auto h = static_cast<Hour>(std::floor(static_cast<double>(k) * stride));
+      worked[static_cast<std::size_t>(std::min(h, spot - 1))] = true;
+    }
+  }
+  for (Hour h = spot; h < until; ++h) {
+    worked[static_cast<std::size_t>(h)] = true;
+  }
+  return worked;
+}
+
+WorkSchedule random_schedule(const pricing::InstanceType& type, double density,
+                             common::Rng& rng) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(density >= 0.0 && density <= 1.0);
+  WorkSchedule worked(static_cast<std::size_t>(type.term), false);
+  for (auto&& hour : worked) {
+    hour = rng.bernoulli(density);
+  }
+  return worked;
+}
+
+WorkSchedule random_episode_schedule(const pricing::InstanceType& type, double duty_cycle,
+                                     double mean_episode_hours, common::Rng& rng) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(duty_cycle > 0.0 && duty_cycle < 1.0);
+  RIMARKET_EXPECTS(mean_episode_hours >= 1.0);
+  WorkSchedule worked(static_cast<std::size_t>(type.term), false);
+  const double mean_on = mean_episode_hours;
+  const double mean_off = mean_episode_hours * (1.0 - duty_cycle) / duty_cycle;
+  bool on = rng.bernoulli(duty_cycle);
+  Hour h = 0;
+  while (h < type.term) {
+    const double mean_dwell = on ? mean_on : mean_off;
+    const Hour dwell =
+        std::max<Hour>(1, static_cast<Hour>(rng.exponential(1.0 / mean_dwell) + 0.5));
+    if (on) {
+      for (Hour k = h; k < std::min(type.term, h + dwell); ++k) {
+        worked[static_cast<std::size_t>(k)] = true;
+      }
+    }
+    h += dwell;
+    on = !on;
+  }
+  return worked;
+}
+
+}  // namespace rimarket::theory

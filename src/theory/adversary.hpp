@@ -1,0 +1,48 @@
+// Adversarial work schedules realizing the proofs' worst cases.
+//
+// The competitive analysis (Section IV-C) splits on the online decision:
+//
+//   Case 1 (x0 < beta, the instance is sold at f*T): the gap to OPT grows
+//   with epsilon and peaks at epsilon = 1 — demand resumes right after the
+//   spot and persists to the end of the term.
+//
+//   Case 2 (x0 > beta, the instance is kept): the gap peaks at epsilon = f —
+//   the instance was busy before the spot and demand stops immediately
+//   after it, so OPT would have sold at the spot.
+//
+// These constructors build exactly those schedules, parameterized so sweeps
+// can scan epsilon and the pre-spot utilization.
+#pragma once
+
+#include "common/rng.hpp"
+#include "theory/single_instance.hpp"
+
+namespace rimarket::theory {
+
+/// Case-1 worst case: idle before the spot (forcing a sale), then fully
+/// busy from f*T to epsilon*T.  epsilon in [f, 1].
+WorkSchedule case1_schedule(const pricing::InstanceType& type, double fraction, double epsilon);
+
+/// Case-2 worst case: fully busy before the spot (forcing a keep), idle
+/// afterwards except busy again on [f*T, epsilon*T).  epsilon = f gives the
+/// proof's extreme (no demand at all after the spot).
+WorkSchedule case2_schedule(const pricing::InstanceType& type, double fraction, double epsilon);
+
+/// Schedule busy on [0, epsilon*T) with the given utilization before the
+/// spot — a knob for scanning both sides of the break-even point.
+/// `pre_spot_utilization` in [0,1] selects how many of the first f*T hours
+/// are worked (spread evenly).
+WorkSchedule utilization_schedule(const pricing::InstanceType& type, double fraction,
+                                  double pre_spot_utilization, double epsilon);
+
+/// Random schedule: each hour worked independently with probability
+/// `density`; useful for property tests that the bound holds off the
+/// adversarial manifold too.
+WorkSchedule random_schedule(const pricing::InstanceType& type, double density,
+                             common::Rng& rng);
+
+/// Random ON/OFF schedule with geometric dwell times (busy/idle episodes).
+WorkSchedule random_episode_schedule(const pricing::InstanceType& type, double duty_cycle,
+                                     double mean_episode_hours, common::Rng& rng);
+
+}  // namespace rimarket::theory

@@ -1,0 +1,242 @@
+#include "theory/randomized.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::theory {
+
+namespace {
+
+double min_fraction(std::span<const double> fractions) {
+  RIMARKET_EXPECTS(!fractions.empty());
+  return *std::min_element(fractions.begin(), fractions.end());
+}
+
+}  // namespace
+
+Dollars randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                                 std::span<const double> fractions) {
+  RIMARKET_EXPECTS(!fractions.empty());
+  Dollars total = 0.0;
+  for (const double fraction : fractions) {
+    total += model.online_cost(worked, fraction);
+  }
+  return total / static_cast<double>(fractions.size());
+}
+
+double randomized_empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
+                                  std::span<const double> fractions) {
+  const Hour window =
+      selling::decision_age(model.type.term, min_fraction(fractions));
+  const OptimalSale opt = optimal_sale(model, worked, window);
+  RIMARKET_CHECK_MSG(opt.cost > 0.0, "optimum includes the upfront fee");
+  return randomized_expected_cost(model, worked, fractions) / opt.cost;
+}
+
+RandomizedVerification verify_randomized(const pricing::InstanceType& type,
+                                         double selling_discount,
+                                         std::span<const double> fractions,
+                                         const VerificationSpec& spec) {
+  RIMARKET_EXPECTS(type.valid());
+  RIMARKET_EXPECTS(!fractions.empty());
+  SingleInstanceModel model;
+  model.type = type;
+  model.selling_discount = selling_discount;
+  model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+
+  const Hour window = selling::decision_age(type.term, min_fraction(fractions));
+
+  RandomizedVerification result;
+  result.deterministic_max_ratios.assign(fractions.size(), 0.0);
+
+  auto consider = [&](const WorkSchedule& schedule) {
+    const OptimalSale opt = optimal_sale(model, schedule, window);
+    RIMARKET_CHECK(opt.cost > 0.0);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      const Dollars cost = model.online_cost(schedule, fractions[i]);
+      expected += cost;
+      result.deterministic_max_ratios[i] =
+          std::max(result.deterministic_max_ratios[i], cost / opt.cost);
+    }
+    expected /= static_cast<double>(fractions.size());
+    result.randomized_max_ratio = std::max(result.randomized_max_ratio, expected / opt.cost);
+  };
+
+  // The same adversarial families as the deterministic verification,
+  // scanned per member fraction (an adversary may target any of them).
+  for (const double target : fractions) {
+    for (int step = 0; step < spec.epsilon_steps; ++step) {
+      const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
+                                          static_cast<double>(spec.epsilon_steps - 1);
+      consider(case1_schedule(type, target, epsilon));
+      consider(case2_schedule(type, target, epsilon));
+    }
+    for (int u = 0; u < spec.utilization_steps; ++u) {
+      const double utilization =
+          static_cast<double>(u) / static_cast<double>(spec.utilization_steps - 1);
+      for (int step = 0; step < spec.epsilon_steps; ++step) {
+        const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
+                                            static_cast<double>(spec.epsilon_steps - 1);
+        consider(utilization_schedule(type, target, utilization, epsilon));
+      }
+    }
+  }
+  common::Rng rng(spec.seed);
+  for (const double density : {0.02, 0.1, 0.3, 0.5, 0.8}) {
+    for (int i = 0; i < spec.random_schedules; ++i) {
+      consider(random_schedule(type, density, rng));
+    }
+  }
+
+  result.best_deterministic = *std::min_element(result.deterministic_max_ratios.begin(),
+                                                result.deterministic_max_ratios.end());
+  result.worst_deterministic = *std::max_element(result.deterministic_max_ratios.begin(),
+                                                 result.deterministic_max_ratios.end());
+  return result;
+}
+
+Dollars weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                               std::span<const double> fractions,
+                               std::span<const double> weights) {
+  RIMARKET_EXPECTS(fractions.size() == weights.size());
+  RIMARKET_EXPECTS(!fractions.empty());
+  double weight_sum = 0.0;
+  Dollars total = 0.0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    RIMARKET_EXPECTS(weights[i] >= 0.0);
+    weight_sum += weights[i];
+    total += weights[i] * model.online_cost(worked, fractions[i]);
+  }
+  RIMARKET_EXPECTS(weight_sum > 0.99 && weight_sum < 1.01);
+  return total / weight_sum;
+}
+
+namespace {
+
+/// Per-schedule, per-spot cost/OPT ratio matrix from the adversarial scan.
+std::vector<std::vector<double>> ratio_matrix(const pricing::InstanceType& type,
+                                              double selling_discount,
+                                              std::span<const double> fractions,
+                                              const VerificationSpec& spec) {
+  SingleInstanceModel model;
+  model.type = type;
+  model.selling_discount = selling_discount;
+  model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+  const Hour window = selling::decision_age(type.term, min_fraction(fractions));
+
+  std::vector<std::vector<double>> rows;
+  auto consider = [&](const WorkSchedule& schedule) {
+    const OptimalSale opt = optimal_sale(model, schedule, window);
+    RIMARKET_CHECK(opt.cost > 0.0);
+    std::vector<double> row;
+    row.reserve(fractions.size());
+    for (const double fraction : fractions) {
+      row.push_back(model.online_cost(schedule, fraction) / opt.cost);
+    }
+    rows.push_back(std::move(row));
+  };
+  for (const double target : fractions) {
+    for (int step = 0; step < spec.epsilon_steps; ++step) {
+      const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
+                                          static_cast<double>(spec.epsilon_steps - 1);
+      consider(case1_schedule(type, target, epsilon));
+      consider(case2_schedule(type, target, epsilon));
+    }
+    for (int u = 0; u < spec.utilization_steps; ++u) {
+      const double utilization =
+          static_cast<double>(u) / static_cast<double>(spec.utilization_steps - 1);
+      for (int step = 0; step < spec.epsilon_steps; ++step) {
+        const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
+                                            static_cast<double>(spec.epsilon_steps - 1);
+        consider(utilization_schedule(type, target, utilization, epsilon));
+      }
+    }
+  }
+  common::Rng rng(spec.seed);
+  for (const double density : {0.02, 0.1, 0.3, 0.5, 0.8}) {
+    for (int i = 0; i < spec.random_schedules; ++i) {
+      consider(random_schedule(type, density, rng));
+    }
+  }
+  return rows;
+}
+
+/// max over schedules of the mixture's expected ratio.
+double worst_ratio(const std::vector<std::vector<double>>& matrix,
+                   std::span<const double> weights) {
+  double worst = 0.0;
+  for (const auto& row : matrix) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      expected += weights[j] * row[j];
+    }
+    worst = std::max(worst, expected);
+  }
+  return worst;
+}
+
+/// Enumerates simplex points with the given step and keeps the best.
+void scan_simplex(const std::vector<std::vector<double>>& matrix, std::size_t dims,
+                  double step, const std::vector<double>& center, double radius,
+                  std::vector<double>& best, double& best_value) {
+  std::vector<double> point(dims, 0.0);
+  // Recursive enumeration of w on the simplex grid within `radius` of
+  // `center` (center empty -> whole simplex).
+  auto recurse = [&](auto&& self, std::size_t index, double remaining) -> void {
+    if (index + 1 == dims) {
+      point[index] = remaining;
+      if (!center.empty() && std::abs(point[index] - center[index]) > radius) {
+        return;
+      }
+      const double value = worst_ratio(matrix, point);
+      if (value < best_value) {
+        best_value = value;
+        best = point;
+      }
+      return;
+    }
+    for (double w = 0.0; w <= remaining + 1e-12; w += step) {
+      if (!center.empty() && std::abs(w - center[index]) > radius) {
+        continue;
+      }
+      point[index] = std::min(w, remaining);
+      self(self, index + 1, remaining - point[index]);
+    }
+  };
+  recurse(recurse, 0, 1.0);
+}
+
+}  // namespace
+
+SpotDistribution optimize_spot_distribution(const pricing::InstanceType& type,
+                                            double selling_discount,
+                                            std::span<const double> fractions,
+                                            const VerificationSpec& spec, int iterations) {
+  RIMARKET_EXPECTS(!fractions.empty());
+  RIMARKET_EXPECTS(iterations >= 1);
+  (void)iterations;  // grid resolution is fixed; kept for API stability
+  const auto matrix = ratio_matrix(type, selling_discount, fractions, spec);
+
+  SpotDistribution result;
+  result.fractions.assign(fractions.begin(), fractions.end());
+  const std::size_t dims = fractions.size();
+
+  const std::vector<double> uniform(dims, 1.0 / static_cast<double>(dims));
+  result.uniform_ratio = worst_ratio(matrix, uniform);
+
+  std::vector<double> best = uniform;
+  double best_value = result.uniform_ratio;
+  // Coarse scan of the whole simplex, then a fine scan around the winner.
+  scan_simplex(matrix, dims, 0.02, /*center=*/{}, /*radius=*/0.0, best, best_value);
+  scan_simplex(matrix, dims, 0.002, best, 0.03, best, best_value);
+
+  result.weights = std::move(best);
+  result.minimax_ratio = best_value;
+  RIMARKET_ENSURES(result.minimax_ratio <= result.uniform_ratio + 1e-12);
+  return result;
+}
+
+}  // namespace rimarket::theory

@@ -1,0 +1,97 @@
+// Expected competitive performance of the randomized-spot algorithm.
+//
+// The paper's future work: "we speculate that the randomized online selling
+// algorithm will achieve a better possible competitive ratio."  For the
+// spot-randomizing policy (pick f uniformly from a set F, then run A_{fT})
+// the relevant quantity is the worst case over schedules of the *expected*
+// cost ratio
+//
+//     max_schedule  E_{f~F}[ C_{A_fT}(schedule) ] / C_OPT(schedule)
+//
+// — the standard oblivious-adversary measure.  This module computes the
+// expectation in closed form (a finite mixture of the deterministic
+// per-spot costs) and scans the same adversarial schedule families the
+// deterministic verification uses, so the speculation can be tested: the
+// randomized worst case should undercut the worst deterministic member and
+// can undercut even the best one (the adversary can no longer aim at a
+// single spot).
+//
+// Benchmark convention: C_OPT restricts the sale moment to [min(F)*T, T] —
+// the weakest of the per-spot restrictions the paper's analysis uses, i.e.
+// the strongest admissible adversary's benchmark.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "theory/single_instance.hpp"
+#include "theory/verification.hpp"
+
+namespace rimarket::theory {
+
+/// E_{f~uniform(fractions)}[ C_{A_fT}(worked) ].
+Dollars randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                                 std::span<const double> fractions);
+
+/// Expected-cost ratio against the windowed optimum (window from min(F)).
+double randomized_empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
+                                  std::span<const double> fractions);
+
+/// Outcome of an adversarial scan for the randomized policy on one type.
+struct RandomizedVerification {
+  /// Worst expected ratio of the randomized policy.
+  double randomized_max_ratio = 0.0;
+  /// Worst ratio of each deterministic member on the same schedule family,
+  /// indexed like `fractions`.
+  std::vector<double> deterministic_max_ratios;
+  /// min over members of their worst ratios (the best single spot).
+  double best_deterministic = 0.0;
+  /// max over members (the worst single spot).
+  double worst_deterministic = 0.0;
+};
+
+/// Scans the adversarial families (both proof cases, utilization grid and
+/// random schedules) and reports the randomized-vs-deterministic worst
+/// cases.  All ratios use the common [min(F)*T, T] OPT window so they are
+/// directly comparable.
+RandomizedVerification verify_randomized(const pricing::InstanceType& type,
+                                         double selling_discount,
+                                         std::span<const double> fractions,
+                                         const VerificationSpec& spec);
+
+// ----------------------------------------------------------------------
+// Optimizing the mixing distribution (the paper's open question).
+//
+// A randomized spot policy is a probability vector w over candidate
+// fractions; its oblivious-adversary ratio is
+//
+//     r(w) = max_schedule  sum_i w_i * C_{A_{f_i}}(schedule) / C_OPT(schedule)
+//
+// Because r is a max of linear functions of w it is convex, so the best
+// mixture solves a small minimax.  optimize_spot_distribution builds the
+// per-schedule per-spot ratio matrix from the adversarial scan and solves
+// the minimax by multiplicative-weights regret matching — exact enough for
+// the 2-4 spot designs of interest and dependency-free.
+
+/// E_{f~w}[cost] with explicit weights (must sum to ~1).
+Dollars weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                               std::span<const double> fractions,
+                               std::span<const double> weights);
+
+struct SpotDistribution {
+  std::vector<double> fractions;
+  std::vector<double> weights;     ///< optimal mixture, sums to 1
+  double minimax_ratio = 0.0;      ///< r(w*) over the scanned schedules
+  double uniform_ratio = 0.0;      ///< r(uniform) on the same schedules
+};
+
+/// Finds the mixture over `fractions` minimizing the worst expected ratio
+/// over the adversarial schedule families.  `iterations` controls the
+/// multiplicative-weights solve.
+SpotDistribution optimize_spot_distribution(const pricing::InstanceType& type,
+                                            double selling_discount,
+                                            std::span<const double> fractions,
+                                            const VerificationSpec& spec,
+                                            int iterations = 400);
+
+}  // namespace rimarket::theory

@@ -1,0 +1,54 @@
+// Closed-form competitive ratios (paper Propositions 1, 2a/2b, 3a/3b).
+//
+// For a decision spot at fraction f of the term, with reservation discount
+// alpha, selling discount a and theta_max the supremum of theta = p*T/R
+// over the instance family (the paper measures theta in (1,4) for standard
+// Linux US-East 1-yr RIs), the two case bounds are
+//
+//   primary(f)   = 1 + 4*(1-f)*(1-alpha) * (theta_max/4) - (1-f)*a
+//                  (Eqs. (22)/(37)/(46) evaluated at theta = theta_max)
+//   secondary(f) = 1 / (1 - (1-f)*a)
+//                  (Eqs. (31)/(41)/(50))
+//
+// which specialize to the paper's published values:
+//   f = 3/4: 2 -   alpha -   a/4   and 4/(4-a)
+//   f = 1/2: 3 - 2*alpha -   a/2   and 2/(2-a)
+//   f = 1/4: 4 - 3*alpha - 3*a/4   and 4/(4-3a)
+//
+// The guaranteed ratio is the larger of the two cases; the paper expresses
+// the same fact through the case condition alpha + a/4 + secondary/k <=
+// (k+1)/k with k = 4*(1-f).
+#pragma once
+
+namespace rimarket::theory {
+
+/// Both case bounds and the overall guarantee for one configuration.
+struct CompetitiveBound {
+  /// Case-1 bound (instance sold at the spot, demand resumes afterwards).
+  double primary = 0.0;
+  /// Case-2 bound (instance kept at the spot, demand stops afterwards).
+  double secondary = 0.0;
+  /// Overall guarantee: max(primary, secondary).
+  double guaranteed = 0.0;
+  /// The paper's case condition (true -> the primary bound dominates, i.e.
+  /// the algorithm is primary-competitive).
+  bool primary_dominates = false;
+};
+
+/// General bound for a decision spot at fraction f in (0,1).
+/// Requires alpha in [0,1), a in [0,1], theta_max > 0, and
+/// (1-f)*a < 1 so the secondary bound is finite.
+CompetitiveBound competitive_bound(double fraction, double alpha, double a,
+                                   double theta_max = 4.0);
+
+/// Paper-named specializations (Propositions 1-3).
+CompetitiveBound bound_a3t4(double alpha, double a, double theta_max = 4.0);
+CompetitiveBound bound_at2(double alpha, double a, double theta_max = 4.0);
+CompetitiveBound bound_at4(double alpha, double a, double theta_max = 4.0);
+
+/// The headline formulas, exactly as printed in the paper.
+double ratio_a3t4(double alpha, double a);  ///< 2 - alpha - a/4
+double ratio_at2(double alpha, double a);   ///< 3 - 2*alpha - a/2
+double ratio_at4(double alpha, double a);   ///< 4 - 3*alpha - 3*a/4
+
+}  // namespace rimarket::theory

@@ -1,0 +1,106 @@
+#include "theory/single_instance.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "selling/policy.hpp"
+
+namespace rimarket::theory {
+
+namespace {
+
+/// prefix[h] = worked hours in [0, h).
+std::vector<Hour> worked_prefix(const WorkSchedule& worked) {
+  std::vector<Hour> prefix(worked.size() + 1, 0);
+  for (std::size_t h = 0; h < worked.size(); ++h) {
+    prefix[h + 1] = prefix[h] + (worked[h] ? 1 : 0);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+Dollars SingleInstanceModel::sale_income(Hour sell_at) const {
+  RIMARKET_EXPECTS(sell_at >= 0 && sell_at <= type.term);
+  return type.sale_income(sell_at, selling_discount) * (1.0 - service_fee);
+}
+
+Dollars SingleInstanceModel::cost_with_sale(const WorkSchedule& worked, Hour sell_at) const {
+  RIMARKET_EXPECTS(static_cast<Hour>(worked.size()) == type.term);
+  RIMARKET_EXPECTS(sell_at >= 0 && sell_at <= type.term);
+  Hour worked_before = 0;
+  Hour worked_after = 0;
+  for (Hour h = 0; h < type.term; ++h) {
+    if (worked[static_cast<std::size_t>(h)]) {
+      (h < sell_at ? worked_before : worked_after) += 1;
+    }
+  }
+  const Hour billed_before =
+      charge_policy == fleet::ChargePolicy::kAllActiveHours ? sell_at : worked_before;
+  Dollars cost = type.upfront + static_cast<double>(billed_before) * type.reserved_hourly +
+                 static_cast<double>(worked_after) * type.on_demand_hourly;
+  if (sell_at < type.term) {
+    cost -= sale_income(sell_at);
+  }
+  return cost;
+}
+
+bool SingleInstanceModel::online_sells(const WorkSchedule& worked, double fraction) const {
+  RIMARKET_EXPECTS(static_cast<Hour>(worked.size()) == type.term);
+  const Hour spot = selling::decision_age(type.term, fraction);
+  Hour worked_before = 0;
+  for (Hour h = 0; h < spot; ++h) {
+    if (worked[static_cast<std::size_t>(h)]) {
+      ++worked_before;
+    }
+  }
+  const double beta = type.break_even_hours(fraction, selling_discount);
+  return static_cast<double>(worked_before) < beta;
+}
+
+Dollars SingleInstanceModel::online_cost(const WorkSchedule& worked, double fraction) const {
+  const Hour spot = selling::decision_age(type.term, fraction);
+  const Hour sell_at = online_sells(worked, fraction) ? spot : type.term;
+  return cost_with_sale(worked, sell_at);
+}
+
+OptimalSale optimal_sale(const SingleInstanceModel& model, const WorkSchedule& worked,
+                         Hour earliest_sell) {
+  const Hour term = model.type.term;
+  RIMARKET_EXPECTS(static_cast<Hour>(worked.size()) == term);
+  RIMARKET_EXPECTS(earliest_sell >= 0 && earliest_sell <= term);
+  const std::vector<Hour> prefix = worked_prefix(worked);
+  const Hour total_worked = prefix.back();
+  OptimalSale best;
+  best.sell_at = term;
+  best.cost = model.cost_with_sale(worked, term);
+  // cost(t) is evaluated for every candidate sale hour t via the prefix
+  // sums (cost_with_sale itself is O(T); recomputing it T times would be
+  // O(T^2) over a year-long term).
+  for (Hour t = earliest_sell; t < term; ++t) {
+    const Hour worked_before = prefix[static_cast<std::size_t>(t)];
+    const Hour worked_after = total_worked - worked_before;
+    const Hour billed_before =
+        model.charge_policy == fleet::ChargePolicy::kAllActiveHours ? t : worked_before;
+    const Dollars cost = model.type.upfront +
+                         static_cast<double>(billed_before) * model.type.reserved_hourly +
+                         static_cast<double>(worked_after) * model.type.on_demand_hourly -
+                         model.sale_income(t);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.sell_at = t;
+    }
+  }
+  return best;
+}
+
+double empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
+                       double fraction) {
+  const Dollars online = model.online_cost(worked, fraction);
+  const Hour spot = selling::decision_age(model.type.term, fraction);
+  const OptimalSale opt = optimal_sale(model, worked, /*earliest_sell=*/spot);
+  RIMARKET_CHECK_MSG(opt.cost > 0.0, "per-instance optimum includes the upfront fee, so > 0");
+  return online / opt.cost;
+}
+
+}  // namespace rimarket::theory

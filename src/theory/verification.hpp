@@ -1,0 +1,53 @@
+// Bound-verification harness.
+//
+// Sweeps families of single-instance schedules (the proofs' adversarial
+// cases, utilization scans and random schedules) and records the largest
+// empirical competitive ratio of each online algorithm, to be compared
+// against the closed-form guarantee.  Used by the property tests and by
+// bench_theory_bounds.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "theory/adversary.hpp"
+#include "theory/ratios.hpp"
+#include "theory/single_instance.hpp"
+
+namespace rimarket::theory {
+
+/// One verification run's outcome for a single (algorithm, instance) pair.
+struct VerificationResult {
+  double fraction = 0.0;       ///< decision spot f
+  double alpha = 0.0;          ///< reservation discount of the instance
+  double selling_discount = 0.0;
+  double theta = 0.0;          ///< p*T/R of the instance
+  double max_ratio = 0.0;      ///< worst empirical ratio observed
+  double bound = 0.0;          ///< closed-form guarantee at theta_max = 4
+  std::string worst_schedule;  ///< description of the maximizing schedule
+  bool holds() const { return max_ratio <= bound + 1e-9; }
+};
+
+/// Sweep parameters.
+struct VerificationSpec {
+  /// Number of epsilon grid points for the adversarial scans.
+  int epsilon_steps = 32;
+  /// Number of pre-spot utilization grid points.
+  int utilization_steps = 16;
+  /// Random schedules per density level.
+  int random_schedules = 32;
+  std::uint64_t seed = 7;
+};
+
+/// Scans adversarial and random schedules for A_{fT} on `type` and returns
+/// the worst ratio found together with the theoretical bound.
+VerificationResult verify_bound(const pricing::InstanceType& type, double fraction,
+                                double selling_discount, const VerificationSpec& spec);
+
+/// Verifies all three paper algorithms on every instance in a list.
+std::vector<VerificationResult> verify_catalog(std::span<const pricing::InstanceType> types,
+                                               double selling_discount,
+                                               const VerificationSpec& spec);
+
+}  // namespace rimarket::theory

@@ -1,0 +1,30 @@
+#include "workload/classify.hpp"
+
+namespace rimarket::workload {
+
+FluctuationGroup classify_cv(double cv) {
+  if (cv < kStableUpperCv) {
+    return FluctuationGroup::kStable;
+  }
+  if (cv <= kModerateUpperCv) {
+    return FluctuationGroup::kModerate;
+  }
+  return FluctuationGroup::kHigh;
+}
+
+FluctuationGroup classify(const DemandTrace& trace) {
+  return classify_cv(trace.coefficient_of_variation());
+}
+
+std::string_view group_name(FluctuationGroup group) {
+  switch (group) {
+    case FluctuationGroup::kStable: return "group 1 (stable)";
+    case FluctuationGroup::kModerate: return "group 2 (slightly fluctuating)";
+    case FluctuationGroup::kHigh: return "group 3 (highly fluctuating)";
+  }
+  return "?";
+}
+
+int group_index(FluctuationGroup group) { return static_cast<int>(group); }
+
+}  // namespace rimarket::workload

@@ -1,0 +1,38 @@
+// Demand-fluctuation classification (paper Section VI-A, Fig. 2).
+//
+// The evaluation groups users by the coefficient of variation sigma/mu of
+// their hourly demand: group 1 "stable" (< 1), group 2 "slightly
+// fluctuating" (1..3), group 3 "highly fluctuating" (> 3).
+#pragma once
+
+#include <string_view>
+
+#include "workload/trace.hpp"
+
+namespace rimarket::workload {
+
+enum class FluctuationGroup {
+  kStable = 0,    ///< sigma/mu < 1
+  kModerate = 1,  ///< 1 <= sigma/mu <= 3
+  kHigh = 2,      ///< sigma/mu > 3
+};
+
+inline constexpr int kGroupCount = 3;
+
+/// Group boundaries from the paper.
+inline constexpr double kStableUpperCv = 1.0;
+inline constexpr double kModerateUpperCv = 3.0;
+
+/// Classifies a coefficient of variation into its paper group.
+FluctuationGroup classify_cv(double cv);
+
+/// Classifies a trace by its sigma/mu.
+FluctuationGroup classify(const DemandTrace& trace);
+
+/// "group 1 (stable)" style label.
+std::string_view group_name(FluctuationGroup group);
+
+/// Index 0..2 matching the paper's group numbering minus one.
+int group_index(FluctuationGroup group);
+
+}  // namespace rimarket::workload

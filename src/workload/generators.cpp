@@ -1,0 +1,323 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::workload {
+
+namespace {
+
+Count clamp_count(double value) {
+  if (value <= 0.0) {
+    return 0;
+  }
+  return static_cast<Count>(value + 0.5);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Stable
+
+StableGenerator::StableGenerator(Count base, Count jitter) : base_(base), jitter_(jitter) {
+  RIMARKET_EXPECTS(base >= 1);
+  RIMARKET_EXPECTS(jitter >= 0 && jitter <= base);
+}
+
+DemandTrace StableGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  for (Hour t = 0; t < hours; ++t) {
+    const Count offset = jitter_ == 0 ? 0 : rng.uniform_int(-jitter_, jitter_);
+    demand.push_back(std::max<Count>(0, base_ + offset));
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string StableGenerator::describe() const {
+  return common::format("stable(base=%lld, jitter=%lld)", static_cast<long long>(base_),
+                        static_cast<long long>(jitter_));
+}
+
+// ---------------------------------------------------------------- Diurnal
+
+DiurnalGenerator::DiurnalGenerator(double base, double amplitude, double noise_stddev)
+    : base_(base), amplitude_(amplitude), noise_stddev_(noise_stddev) {
+  RIMARKET_EXPECTS(base > 0.0);
+  RIMARKET_EXPECTS(amplitude >= 0.0 && amplitude <= base);
+  RIMARKET_EXPECTS(noise_stddev >= 0.0);
+}
+
+DemandTrace DiurnalGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  for (Hour t = 0; t < hours; ++t) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(t % kHoursPerDay) / kHoursPerDay;
+    const double level = base_ + amplitude_ * std::sin(phase) + rng.normal(0.0, noise_stddev_);
+    demand.push_back(clamp_count(level));
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string DiurnalGenerator::describe() const {
+  return common::format("diurnal(base=%.2f, amplitude=%.2f, noise=%.2f)", base_, amplitude_,
+                        noise_stddev_);
+}
+
+// ---------------------------------------------------------------- OnOff
+
+OnOffGenerator::OnOffGenerator(double on_level, double mean_on_hours, double mean_off_hours)
+    : on_level_(on_level), mean_on_hours_(mean_on_hours), mean_off_hours_(mean_off_hours) {
+  RIMARKET_EXPECTS(on_level >= 1.0);
+  RIMARKET_EXPECTS(mean_on_hours >= 1.0);
+  RIMARKET_EXPECTS(mean_off_hours >= 1.0);
+}
+
+double OnOffGenerator::duty_cycle() const {
+  return mean_on_hours_ / (mean_on_hours_ + mean_off_hours_);
+}
+
+DemandTrace OnOffGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  bool on = rng.bernoulli(duty_cycle());
+  Hour remaining = 0;
+  for (Hour t = 0; t < hours; ++t) {
+    if (remaining <= 0) {
+      on = (t == 0) ? on : !on;
+      const double mean_dwell = on ? mean_on_hours_ : mean_off_hours_;
+      remaining = std::max<Hour>(1, static_cast<Hour>(rng.exponential(1.0 / mean_dwell) + 0.5));
+    }
+    demand.push_back(on ? std::max<Count>(1, rng.poisson(on_level_)) : 0);
+    --remaining;
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string OnOffGenerator::describe() const {
+  return common::format("onoff(level=%.1f, on=%.0fh, off=%.0fh, duty=%.2f)", on_level_,
+                        mean_on_hours_, mean_off_hours_, duty_cycle());
+}
+
+// ---------------------------------------------------------------- Bursty
+
+BurstyGenerator::BurstyGenerator(double burst_probability, double burst_height,
+                                 double mean_burst_hours, Count baseline)
+    : burst_probability_(burst_probability),
+      burst_height_(burst_height),
+      mean_burst_hours_(mean_burst_hours),
+      baseline_(baseline) {
+  RIMARKET_EXPECTS(burst_probability >= 0.0 && burst_probability <= 1.0);
+  RIMARKET_EXPECTS(burst_height >= 1.0);
+  RIMARKET_EXPECTS(mean_burst_hours >= 1.0);
+  RIMARKET_EXPECTS(baseline >= 0);
+}
+
+DemandTrace BurstyGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand(static_cast<std::size_t>(hours), baseline_);
+  Hour t = 0;
+  while (t < hours) {
+    if (rng.bernoulli(burst_probability_)) {
+      const Hour burst_length =
+          std::max<Hour>(1, static_cast<Hour>(rng.exponential(1.0 / mean_burst_hours_) + 0.5));
+      const Count height = std::max<Count>(1, rng.poisson(burst_height_));
+      for (Hour b = t; b < std::min(hours, t + burst_length); ++b) {
+        demand[static_cast<std::size_t>(b)] = baseline_ + height;
+      }
+      t += burst_length;
+    } else {
+      ++t;
+    }
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string BurstyGenerator::describe() const {
+  return common::format("bursty(p=%.4f, height=%.1f, len=%.0fh, base=%lld)", burst_probability_,
+                        burst_height_, mean_burst_hours_, static_cast<long long>(baseline_));
+}
+
+// ---------------------------------------------------------------- Poisson
+
+PoissonGenerator::PoissonGenerator(double mean) : mean_(mean) { RIMARKET_EXPECTS(mean >= 0.0); }
+
+DemandTrace PoissonGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  for (Hour t = 0; t < hours; ++t) {
+    demand.push_back(rng.poisson(mean_));
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string PoissonGenerator::describe() const {
+  return common::format("poisson(mean=%.2f)", mean_);
+}
+
+// ---------------------------------------------------------------- RandomWalk
+
+RandomWalkGenerator::RandomWalkGenerator(Count start, double step_probability, Count cap)
+    : start_(start), step_probability_(step_probability), cap_(cap) {
+  RIMARKET_EXPECTS(start >= 0 && start <= cap);
+  RIMARKET_EXPECTS(step_probability >= 0.0 && step_probability <= 1.0);
+  RIMARKET_EXPECTS(cap >= 1);
+}
+
+DemandTrace RandomWalkGenerator::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  Count level = start_;
+  for (Hour t = 0; t < hours; ++t) {
+    if (rng.bernoulli(step_probability_)) {
+      level += rng.bernoulli(0.5) ? 1 : -1;
+      level = std::clamp<Count>(level, 0, cap_);
+    }
+    demand.push_back(level);
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string RandomWalkGenerator::describe() const {
+  return common::format("walk(start=%lld, p=%.2f, cap=%lld)", static_cast<long long>(start_),
+                        step_probability_, static_cast<long long>(cap_));
+}
+
+// ---------------------------------------------------------------- DelayedOnset
+
+DelayedOnsetGenerator::DelayedOnsetGenerator(Params params) : params_(params) {
+  RIMARKET_EXPECTS(params.level >= 1.0);
+  RIMARKET_EXPECTS(params.spike_hours >= 1);
+  RIMARKET_EXPECTS(params.onset >= 0);
+  RIMARKET_EXPECTS(params.gap_before_onset >= 0 && params.gap_before_onset <= params.onset);
+  RIMARKET_EXPECTS(params.duty_after_onset >= 0.0 && params.duty_after_onset <= 1.0);
+  RIMARKET_EXPECTS(params.busy_window >= 0);
+}
+
+DemandTrace DelayedOnsetGenerator::generate(Hour hours, common::Rng& rng) const {
+  std::vector<Count> demand(static_cast<std::size_t>(hours), 0);
+  const auto level = static_cast<Count>(params_.level + 0.5);
+  const Hour spike_at = params_.onset - params_.gap_before_onset;
+  for (Hour h = spike_at; h < std::min(hours, spike_at + params_.spike_hours); ++h) {
+    demand[static_cast<std::size_t>(h)] = level;
+  }
+  const Hour busy_end =
+      params_.busy_window > 0 ? std::min(hours, params_.onset + params_.busy_window) : hours;
+  for (Hour h = params_.onset; h < busy_end; ++h) {
+    if (h >= 0 && h < hours && rng.bernoulli(params_.duty_after_onset)) {
+      demand[static_cast<std::size_t>(h)] = level;
+    }
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string DelayedOnsetGenerator::describe() const {
+  return common::format("delayed-onset(level=%.0f, onset=%lld, gap=%lld, duty=%.2f)",
+                        params_.level, static_cast<long long>(params_.onset),
+                        static_cast<long long>(params_.gap_before_onset),
+                        params_.duty_after_onset);
+}
+
+// ---------------------------------------------------------------- Ec2Log
+
+Ec2LogSynthesizer::Ec2LogSynthesizer(Params params) : params_(params) {
+  RIMARKET_EXPECTS(params.base > 0.0);
+  RIMARKET_EXPECTS(params.ar_coefficient >= 0.0 && params.ar_coefficient < 1.0);
+  RIMARKET_EXPECTS(params.daily_amplitude >= 0.0);
+  RIMARKET_EXPECTS(params.weekly_amplitude >= 0.0);
+  RIMARKET_EXPECTS(params.noise_stddev >= 0.0);
+  RIMARKET_EXPECTS(params.burst_probability >= 0.0 && params.burst_probability <= 1.0);
+  RIMARKET_EXPECTS(params.burst_multiplier >= 0.0);
+}
+
+DemandTrace Ec2LogSynthesizer::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  double ar_state = 0.0;
+  Hour burst_remaining = 0;
+  for (Hour t = 0; t < hours; ++t) {
+    const double daily_phase =
+        2.0 * std::numbers::pi * static_cast<double>(t % kHoursPerDay) / kHoursPerDay;
+    const double weekly_phase =
+        2.0 * std::numbers::pi * static_cast<double>(t % kHoursPerWeek) / kHoursPerWeek;
+    ar_state = params_.ar_coefficient * ar_state +
+               rng.normal(0.0, params_.noise_stddev * params_.base);
+    if (burst_remaining <= 0 && rng.bernoulli(params_.burst_probability)) {
+      burst_remaining = rng.uniform_int(2, 12);
+    }
+    double level = params_.base * (1.0 + params_.daily_amplitude * std::sin(daily_phase) +
+                                   params_.weekly_amplitude * std::sin(weekly_phase)) +
+                   ar_state;
+    if (burst_remaining > 0) {
+      level += params_.base * params_.burst_multiplier;
+      --burst_remaining;
+    }
+    demand.push_back(clamp_count(level));
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string Ec2LogSynthesizer::describe() const {
+  return common::format("ec2log(base=%.1f, daily=%.2f, weekly=%.2f, ar=%.2f)", params_.base,
+                        params_.daily_amplitude, params_.weekly_amplitude, params_.ar_coefficient);
+}
+
+// ---------------------------------------------------------------- Google
+
+GoogleClusterSynthesizer::GoogleClusterSynthesizer(Params params) : params_(params) {
+  RIMARKET_EXPECTS(params.scale_pareto_shape > 0.0);
+  RIMARKET_EXPECTS(params.scale_minimum >= 1.0);
+  RIMARKET_EXPECTS(params.mean_session_hours >= 1.0);
+  RIMARKET_EXPECTS(params.mean_gap_hours >= 1.0);
+  RIMARKET_EXPECTS(params.within_session_noise >= 0.0);
+}
+
+DemandTrace GoogleClusterSynthesizer::generate(Hour hours, common::Rng& rng) const {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> demand(static_cast<std::size_t>(hours), 0);
+  Hour t = 0;
+  // Start inside a gap or a session with probability matching duty cycle.
+  const double duty =
+      params_.mean_session_hours / (params_.mean_session_hours + params_.mean_gap_hours);
+  bool in_session = rng.bernoulli(duty);
+  while (t < hours) {
+    if (in_session) {
+      const Hour session_length = std::max<Hour>(
+          1, static_cast<Hour>(rng.exponential(1.0 / params_.mean_session_hours) + 0.5));
+      // Episode size is heavy tailed: most sessions are small, a few are
+      // very large, matching per-user request distributions in cluster
+      // traces.  Cap the draw so one user cannot dwarf the experiment.
+      const double scale =
+          std::min(200.0, rng.pareto(params_.scale_minimum, params_.scale_pareto_shape));
+      for (Hour s = t; s < std::min(hours, t + session_length); ++s) {
+        const double wobble = rng.normal(1.0, params_.within_session_noise);
+        demand[static_cast<std::size_t>(s)] = std::max<Count>(1, clamp_count(scale * wobble));
+      }
+      t += session_length;
+    } else {
+      const Hour gap_length = std::max<Hour>(
+          1, static_cast<Hour>(rng.exponential(1.0 / params_.mean_gap_hours) + 0.5));
+      t += gap_length;
+    }
+    in_session = !in_session;
+  }
+  return DemandTrace(std::move(demand));
+}
+
+std::string GoogleClusterSynthesizer::describe() const {
+  return common::format("google(shape=%.2f, session=%.0fh, gap=%.0fh)",
+                        params_.scale_pareto_shape, params_.mean_session_hours,
+                        params_.mean_gap_hours);
+}
+
+}  // namespace rimarket::workload

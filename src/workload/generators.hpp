@@ -1,0 +1,193 @@
+// Synthetic demand-trace generators.
+//
+// These stand in for the paper's two datasets (36 EC2 usage log files and
+// the Google cluster-usage traces — see DESIGN.md "Substitutions").  The
+// paper's evaluation only consumes per-user hourly instance counts grouped
+// by fluctuation level sigma/mu, so each generator is designed to cover a
+// region of that fluctuation spectrum:
+//
+//   * StableGenerator / DiurnalGenerator      -> sigma/mu < 1  (group 1)
+//   * OnOffGenerator with moderate duty cycle -> 1 < sigma/mu < 3 (group 2)
+//   * BurstyGenerator with rare tall spikes   -> sigma/mu > 3  (group 3)
+//   * Ec2LogSynthesizer / GoogleClusterSynthesizer -> realistic mixtures
+//     spanning all three groups.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::workload {
+
+/// Interface for stochastic demand processes.
+class DemandGenerator {
+ public:
+  virtual ~DemandGenerator() = default;
+
+  /// Draws one trace of `hours` samples using `rng`.
+  virtual DemandTrace generate(Hour hours, common::Rng& rng) const = 0;
+
+  /// Human-readable description for logs/reports.
+  virtual std::string describe() const = 0;
+};
+
+/// Near-constant demand: base level plus small integer jitter.
+/// sigma/mu ~= jitter / base, so stays well inside group 1.
+class StableGenerator final : public DemandGenerator {
+ public:
+  /// base >= 1; 0 <= jitter <= base.
+  StableGenerator(Count base, Count jitter);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  Count base_;
+  Count jitter_;
+};
+
+/// Smooth day/night pattern: base + amplitude * sin(2*pi*h/24) + noise.
+class DiurnalGenerator final : public DemandGenerator {
+ public:
+  /// base > amplitude >= 0 keeps demand positive before noise.
+  DiurnalGenerator(double base, double amplitude, double noise_stddev);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  double base_;
+  double amplitude_;
+  double noise_stddev_;
+};
+
+/// Alternating ON/OFF episodes with geometric dwell times; demand is a
+/// Poisson draw around `on_level` while ON, zero while OFF.  A duty cycle d
+/// gives sigma/mu ~= sqrt((1-d)/d) for the underlying square wave, so
+/// moderate duty cycles land in group 2 and rare-ON processes in group 3.
+class OnOffGenerator final : public DemandGenerator {
+ public:
+  /// on_level >= 1; mean dwell times >= 1 hour.
+  OnOffGenerator(double on_level, double mean_on_hours, double mean_off_hours);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+  double duty_cycle() const;
+
+ private:
+  double on_level_;
+  double mean_on_hours_;
+  double mean_off_hours_;
+};
+
+/// Mostly-idle demand with rare tall bursts (group 3: sigma/mu > 3).
+class BurstyGenerator final : public DemandGenerator {
+ public:
+  /// burst probability per hour in [0,1]; burst height >= 1; mean burst
+  /// length >= 1 hour; baseline level >= 0 between bursts.
+  BurstyGenerator(double burst_probability, double burst_height, double mean_burst_hours,
+                  Count baseline);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  double burst_probability_;
+  double burst_height_;
+  double mean_burst_hours_;
+  Count baseline_;
+};
+
+/// Independent Poisson demand each hour.
+class PoissonGenerator final : public DemandGenerator {
+ public:
+  explicit PoissonGenerator(double mean);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  double mean_;
+};
+
+/// Reflected random walk on [0, cap]: moves +-1 with probability step_prob.
+class RandomWalkGenerator final : public DemandGenerator {
+ public:
+  RandomWalkGenerator(Count start, double step_probability, Count cap);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  Count start_;
+  double step_probability_;
+  Count cap_;
+};
+
+/// Delayed-onset workload: a short provisioning spike (which books
+/// reservations under the paper's purchasing imitators), a long quiet gap,
+/// then sustained demand from `onset` onwards — a service that launches to
+/// production months after its capacity was provisioned.  This is the
+/// proofs' case-1 pattern (demand resumes *after* the decision spot) and
+/// produces the small population of regressing users the paper's Fig. 3
+/// reports: an early-spot algorithm sells during the gap and pays on-demand
+/// once the load arrives, while A_{3T/4} usually decides after the onset
+/// and keeps.
+class DelayedOnsetGenerator final : public DemandGenerator {
+ public:
+  struct Params {
+    double level = 5.0;           ///< sustained instance count after onset
+    Hour spike_hours = 24;        ///< provisioning spike length
+    Hour onset = 9000;            ///< hour the sustained load starts
+    Hour gap_before_onset = 4000; ///< spike happens at onset - gap
+    double duty_after_onset = 0.9;   ///< busy probability per hour after onset
+    Hour busy_window = 0;         ///< 0 = busy to end; else busy [onset, onset+window)
+  };
+  explicit DelayedOnsetGenerator(Params params);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  Params params_;
+};
+
+/// EC2-usage-log stand-in: diurnal + weekly seasonality, AR(1) colored
+/// noise and occasional bursts, i.e. the texture of a production web
+/// service's instance counts.
+class Ec2LogSynthesizer final : public DemandGenerator {
+ public:
+  struct Params {
+    double base = 10.0;             ///< mean instance count
+    double daily_amplitude = 0.3;   ///< fraction of base
+    double weekly_amplitude = 0.1;  ///< fraction of base
+    double ar_coefficient = 0.8;    ///< AR(1) coefficient in [0,1)
+    double noise_stddev = 0.2;      ///< fraction of base
+    double burst_probability = 0.002;
+    double burst_multiplier = 3.0;  ///< burst height as multiple of base
+  };
+  explicit Ec2LogSynthesizer(Params params);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  Params params_;
+};
+
+/// Google-cluster-trace stand-in: a heavy-tailed per-user scale (Pareto)
+/// modulated by ON/OFF task episodes — users submit jobs in sessions whose
+/// resource requests map to instance counts.
+class GoogleClusterSynthesizer final : public DemandGenerator {
+ public:
+  struct Params {
+    double scale_pareto_shape = 1.5;  ///< tail index of per-episode size
+    double scale_minimum = 1.0;       ///< smallest episode demand
+    double mean_session_hours = 72.0;
+    double mean_gap_hours = 48.0;
+    double within_session_noise = 0.25;  ///< relative demand noise in session
+  };
+  explicit GoogleClusterSynthesizer(Params params);
+  DemandTrace generate(Hour hours, common::Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace rimarket::workload

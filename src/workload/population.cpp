@@ -1,0 +1,221 @@
+#include "workload/population.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "workload/generators.hpp"
+
+namespace rimarket::workload {
+
+namespace {
+
+/// Candidate generator parameterizations per group.  Each user cycles
+/// through the list (offset by its index, so the mixture is spread evenly)
+/// until one draw lands in the group's sigma/mu band.
+std::vector<std::unique_ptr<DemandGenerator>> candidates_for(FluctuationGroup group,
+                                                             common::Rng& rng) {
+  std::vector<std::unique_ptr<DemandGenerator>> out;
+  switch (group) {
+    case FluctuationGroup::kStable: {
+      const Count base = rng.uniform_int(2, 30);
+      out.push_back(std::make_unique<StableGenerator>(base, std::max<Count>(1, base / 6)));
+      const double diurnal_base = rng.uniform_real(5.0, 40.0);
+      out.push_back(std::make_unique<DiurnalGenerator>(diurnal_base, 0.4 * diurnal_base,
+                                                       0.10 * diurnal_base));
+      Ec2LogSynthesizer::Params ec2;
+      ec2.base = rng.uniform_real(5.0, 30.0);
+      ec2.daily_amplitude = rng.uniform_real(0.1, 0.4);
+      ec2.weekly_amplitude = rng.uniform_real(0.05, 0.15);
+      ec2.noise_stddev = rng.uniform_real(0.05, 0.2);
+      out.push_back(std::make_unique<Ec2LogSynthesizer>(ec2));
+      if (rng.bernoulli(0.3)) {
+        // A minority of users (paper Fig. 3a: ~1% regress): delayed onset
+        // with near-full duty keeps sigma/mu below 1 while exposing the
+        // sell-then-regret pattern.  A rare long gap (just past the 3T/4
+        // spot) makes even the latest algorithm regret its sale.
+        DelayedOnsetGenerator::Params onset;
+        onset.level = rng.uniform_real(2.0, 10.0);
+        onset.duty_after_onset = rng.uniform_real(0.9, 1.0);
+        if (rng.bernoulli(0.25)) {
+          onset.gap_before_onset = rng.uniform_int(6700, 7800);
+          onset.onset = onset.gap_before_onset + rng.uniform_int(300, 900);
+        } else {
+          onset.gap_before_onset = rng.uniform_int(2600, 4200);
+          onset.onset = rng.uniform_int(4500, 6500);
+        }
+        out.push_back(std::make_unique<DelayedOnsetGenerator>(onset));
+      }
+      break;
+    }
+    case FluctuationGroup::kModerate: {
+      // Square-wave cv ~= sqrt((1-d)/d): duty in (0.1, 0.5) covers (1, 3).
+      const double duty = rng.uniform_real(0.12, 0.45);
+      const double on_hours = rng.uniform_real(24.0, 168.0);
+      const double off_hours = on_hours * (1.0 - duty) / duty;
+      out.push_back(std::make_unique<OnOffGenerator>(rng.uniform_real(2.0, 20.0), on_hours,
+                                                     off_hours));
+      // Slow regime switches (multi-month busy/quiet phases): demand that
+      // *resumes* after a selling spot, the pattern that makes selling
+      // regrettable (paper Fig. 3 reports a few regressing users).
+      const double slow_duty = rng.uniform_real(0.15, 0.40);
+      const double slow_on = rng.uniform_real(1000.0, 2500.0);
+      out.push_back(std::make_unique<OnOffGenerator>(
+          rng.uniform_real(2.0, 12.0), slow_on, slow_on * (1.0 - slow_duty) / slow_duty));
+      GoogleClusterSynthesizer::Params google;
+      google.mean_session_hours = rng.uniform_real(24.0, 96.0);
+      google.mean_gap_hours = google.mean_session_hours * rng.uniform_real(2.0, 6.0);
+      google.scale_pareto_shape = rng.uniform_real(1.2, 2.5);
+      out.push_back(std::make_unique<GoogleClusterSynthesizer>(google));
+      Ec2LogSynthesizer::Params spiky;
+      spiky.base = rng.uniform_real(2.0, 8.0);
+      spiky.noise_stddev = rng.uniform_real(0.8, 1.6);
+      spiky.burst_probability = 0.01;
+      spiky.burst_multiplier = rng.uniform_real(4.0, 10.0);
+      out.push_back(std::make_unique<Ec2LogSynthesizer>(spiky));
+      if (rng.bernoulli(0.35)) {
+        // Later onset, partial duty: sigma/mu lands in (1, 3) and the quiet
+        // gap spans the early decision spots (rarely even the 3T/4 one).
+        DelayedOnsetGenerator::Params onset;
+        onset.level = rng.uniform_real(3.0, 15.0);
+        onset.onset = rng.uniform_int(8000, 11500);
+        onset.gap_before_onset = rng.bernoulli(0.2) ? rng.uniform_int(6700, 7800)
+                                                    : rng.uniform_int(2600, 6200);
+        onset.duty_after_onset = rng.uniform_real(0.75, 1.0);
+        out.push_back(std::make_unique<DelayedOnsetGenerator>(onset));
+      }
+      break;
+    }
+    case FluctuationGroup::kHigh: {
+      out.push_back(std::make_unique<BurstyGenerator>(rng.uniform_real(0.0008, 0.003),
+                                                      rng.uniform_real(5.0, 30.0),
+                                                      rng.uniform_real(6.0, 24.0), 0));
+      const double duty = rng.uniform_real(0.01, 0.07);
+      const double on_hours = rng.uniform_real(12.0, 72.0);
+      const double off_hours = on_hours * (1.0 - duty) / duty;
+      out.push_back(std::make_unique<OnOffGenerator>(rng.uniform_real(3.0, 25.0), on_hours,
+                                                     off_hours));
+      // Rare but *sustained* busy phases (about a quarter long): light use
+      // before a decision spot followed by months of demand afterwards is
+      // exactly the adversarial case-1 pattern of the proofs.
+      const double slow_duty = rng.uniform_real(0.03, 0.08);
+      const double slow_on = rng.uniform_real(600.0, 2000.0);
+      out.push_back(std::make_unique<OnOffGenerator>(
+          rng.uniform_real(4.0, 20.0), slow_on, slow_on * (1.0 - slow_duty) / slow_duty));
+      GoogleClusterSynthesizer::Params google;
+      google.mean_session_hours = rng.uniform_real(6.0, 24.0);
+      google.mean_gap_hours = google.mean_session_hours * rng.uniform_real(20.0, 60.0);
+      out.push_back(std::make_unique<GoogleClusterSynthesizer>(google));
+      {
+        // Quiet gap then a bounded busy window (a months-long campaign):
+        // sigma/mu stays just above 3, and the ~1300-1700 busy hours that
+        // fall between the T/4 and 3T/4 spots make the *late* spot the
+        // winning policy for these users — Table II's extreme case where
+        // A_{3T/4} beats the earlier spots.
+        DelayedOnsetGenerator::Params onset;
+        onset.level = rng.uniform_real(5.0, 20.0);
+        onset.onset = rng.uniform_int(8000, 10000);
+        onset.gap_before_onset = rng.uniform_int(4200, 4900);
+        onset.duty_after_onset = rng.uniform_real(0.60, 0.68);
+        onset.busy_window = rng.uniform_int(2400, 2800);
+        out.push_back(std::make_unique<DelayedOnsetGenerator>(onset));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Deterministic square wave with exact duty cycle; last-resort fallback so
+/// population construction always terminates with the right group sizes.
+DemandTrace square_wave(Hour hours, Hour period, Hour on_hours, Count level) {
+  RIMARKET_EXPECTS(period >= 1 && on_hours >= 0 && on_hours <= period);
+  std::vector<Count> demand;
+  demand.reserve(static_cast<std::size_t>(hours));
+  for (Hour t = 0; t < hours; ++t) {
+    demand.push_back((t % period) < on_hours ? level : 0);
+  }
+  return DemandTrace(std::move(demand));
+}
+
+DemandTrace fallback_trace(FluctuationGroup group, Hour hours) {
+  switch (group) {
+    case FluctuationGroup::kStable:
+      return square_wave(hours, 1, 1, 5);  // constant -> cv = 0
+    case FluctuationGroup::kModerate:
+      return square_wave(hours, 120, 24, 8);  // duty 0.2 -> cv = 2
+    case FluctuationGroup::kHigh:
+      return square_wave(hours, 480, 24, 12);  // duty 0.05 -> cv ~= 4.36
+  }
+  RIMARKET_UNREACHABLE("group");
+}
+
+}  // namespace
+
+UserPopulation UserPopulation::build(const PopulationSpec& spec) {
+  RIMARKET_EXPECTS(spec.users_per_group >= 1);
+  RIMARKET_EXPECTS(spec.trace_hours >= 1);
+  UserPopulation population;
+  population.users_.reserve(static_cast<std::size_t>(spec.users_per_group) * kGroupCount);
+  common::Rng root(spec.seed);
+  int next_id = 0;
+  for (const FluctuationGroup group :
+       {FluctuationGroup::kStable, FluctuationGroup::kModerate, FluctuationGroup::kHigh}) {
+    for (int u = 0; u < spec.users_per_group; ++u) {
+      common::Rng rng = root.fork(static_cast<std::uint64_t>(next_id) + 1);
+      User user;
+      user.id = next_id++;
+      user.group = group;
+      bool placed = false;
+      for (int attempt = 0; attempt < spec.max_attempts_per_user && !placed; ++attempt) {
+        auto generators = candidates_for(group, rng);
+        // Offset the candidate cycle by the user index so the mixture is
+        // spread across the group instead of the first viable generator
+        // winning for everyone.
+        const auto& generator = generators[static_cast<std::size_t>(attempt + user.id) %
+                                           generators.size()];
+        DemandTrace candidate = generator->generate(spec.trace_hours, rng);
+        const double cv = candidate.coefficient_of_variation();
+        if (classify_cv(cv) == group && candidate.total() > 0) {
+          user.cv = cv;
+          user.generator = generator->describe();
+          user.trace = std::move(candidate);
+          placed = true;
+        }
+      }
+      if (!placed) {
+        common::log_info("population: user %d fell back to deterministic %s trace", user.id,
+                         std::string(group_name(group)).c_str());
+        user.trace = fallback_trace(group, spec.trace_hours);
+        user.cv = user.trace.coefficient_of_variation();
+        user.generator = "square-wave fallback";
+      }
+      RIMARKET_ENSURES(classify_cv(user.cv) == group);
+      population.users_.push_back(std::move(user));
+    }
+  }
+  return population;
+}
+
+std::vector<const User*> UserPopulation::group(FluctuationGroup group) const {
+  std::vector<const User*> out;
+  for (const User& user : users_) {
+    if (user.group == group) {
+      out.push_back(&user);
+    }
+  }
+  return out;
+}
+
+const User& UserPopulation::most_fluctuating() const {
+  RIMARKET_EXPECTS(!users_.empty());
+  const User* best = &users_.front();
+  for (const User& user : users_) {
+    if (user.cv > best->cv) {
+      best = &user;
+    }
+  }
+  return *best;
+}
+
+}  // namespace rimarket::workload

@@ -1,0 +1,116 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::workload {
+
+DemandTrace::DemandTrace(std::vector<Count> demand) : demand_(std::move(demand)) {
+  for (Count d : demand_) {
+    RIMARKET_EXPECTS(d >= 0);
+  }
+}
+
+Count DemandTrace::at(Hour t) const {
+  RIMARKET_EXPECTS(t >= 0);
+  if (t >= length()) {
+    return 0;
+  }
+  return demand_[static_cast<std::size_t>(t)];
+}
+
+double DemandTrace::mean() const {
+  common::RunningStats stats;
+  for (Count d : demand_) {
+    stats.add(static_cast<double>(d));
+  }
+  return stats.mean();
+}
+
+double DemandTrace::stddev() const {
+  common::RunningStats stats;
+  for (Count d : demand_) {
+    stats.add(static_cast<double>(d));
+  }
+  return stats.stddev();
+}
+
+double DemandTrace::coefficient_of_variation() const {
+  common::RunningStats stats;
+  for (Count d : demand_) {
+    stats.add(static_cast<double>(d));
+  }
+  return stats.coefficient_of_variation();
+}
+
+Count DemandTrace::peak() const {
+  Count peak = 0;
+  for (Count d : demand_) {
+    peak = std::max(peak, d);
+  }
+  return peak;
+}
+
+Count DemandTrace::total() const {
+  Count total = 0;
+  for (Count d : demand_) {
+    total += d;
+  }
+  return total;
+}
+
+DemandTrace DemandTrace::slice(Hour from, Hour hours) const {
+  RIMARKET_EXPECTS(from >= 0);
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>(hours));
+  for (Hour t = from; t < from + hours; ++t) {
+    out.push_back(at(t));
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace DemandTrace::sum(const DemandTrace& a, const DemandTrace& b) {
+  const Hour length = std::max(a.length(), b.length());
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (Hour t = 0; t < length; ++t) {
+    out.push_back(a.at(t) + b.at(t));
+  }
+  return DemandTrace(std::move(out));
+}
+
+std::string DemandTrace::to_csv() const {
+  std::string out = "hour,demand\n";
+  for (Hour t = 0; t < length(); ++t) {
+    out += common::format("%lld,%lld\n", static_cast<long long>(t),
+                          static_cast<long long>(demand_[static_cast<std::size_t>(t)]));
+  }
+  return out;
+}
+
+std::optional<DemandTrace> DemandTrace::from_csv(std::string_view text) {
+  const common::CsvDocument doc = common::parse_csv(text, /*expect_header=*/true);
+  std::vector<Count> demand;
+  demand.reserve(doc.rows.size());
+  Hour expected = 0;
+  for (const common::CsvRow& row : doc.rows) {
+    if (row.size() != 2) {
+      return std::nullopt;
+    }
+    const auto hour = common::parse_int(row[0]);
+    const auto value = common::parse_int(row[1]);
+    if (!hour || !value || *hour != expected || *value < 0) {
+      return std::nullopt;
+    }
+    demand.push_back(*value);
+    ++expected;
+  }
+  return DemandTrace(std::move(demand));
+}
+
+}  // namespace rimarket::workload

@@ -1,0 +1,61 @@
+// Hourly demand traces (paper Section III-C: the demand sequence d_t).
+//
+// A trace is one user's instance demand per hour: d_t instances must be
+// provisioned at hour t.  Traces are the only workload interface the
+// algorithms see, which is what makes synthetic generators valid stand-ins
+// for the paper's EC2 usage logs and Google cluster traces (see DESIGN.md).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rimarket::workload {
+
+/// Immutable-by-convention hourly demand sequence.
+class DemandTrace {
+ public:
+  DemandTrace() = default;
+
+  /// Takes ownership of per-hour demand counts (each >= 0).
+  explicit DemandTrace(std::vector<Count> demand);
+
+  /// Number of hours covered.
+  Hour length() const { return static_cast<Hour>(demand_.size()); }
+  bool empty() const { return demand_.empty(); }
+
+  /// Demand at hour t; hours beyond the recorded range have zero demand
+  /// (the user's job has finished — the situation that motivates selling).
+  Count at(Hour t) const;
+
+  std::span<const Count> values() const { return demand_; }
+
+  /// Summary statistics.
+  double mean() const;
+  double stddev() const;
+  /// sigma/mu, the paper's fluctuation measure (Fig. 2).
+  double coefficient_of_variation() const;
+  Count peak() const;
+  /// Total demanded instance-hours.
+  Count total() const;
+
+  /// Sub-trace [from, from+hours); clamps to the recorded range and
+  /// zero-fills past the end.
+  DemandTrace slice(Hour from, Hour hours) const;
+
+  /// Element-wise sum of two traces (shorter one zero-extended).
+  static DemandTrace sum(const DemandTrace& a, const DemandTrace& b);
+
+  /// CSV round-trip: one `hour,demand` row per hour, with header.
+  std::string to_csv() const;
+  static std::optional<DemandTrace> from_csv(std::string_view text);
+
+ private:
+  std::vector<Count> demand_;
+};
+
+}  // namespace rimarket::workload

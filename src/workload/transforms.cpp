@@ -1,0 +1,82 @@
+#include "workload/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rimarket::workload {
+
+DemandTrace downsample_max(const DemandTrace& trace, Hour factor) {
+  RIMARKET_EXPECTS(factor >= 1);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>((trace.length() + factor - 1) / factor));
+  for (Hour start = 0; start < trace.length(); start += factor) {
+    Count peak = 0;
+    for (Hour h = start; h < std::min(trace.length(), start + factor); ++h) {
+      peak = std::max(peak, trace.at(h));
+    }
+    out.push_back(peak);
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace downsample_mean(const DemandTrace& trace, Hour factor) {
+  RIMARKET_EXPECTS(factor >= 1);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>((trace.length() + factor - 1) / factor));
+  for (Hour start = 0; start < trace.length(); start += factor) {
+    double sum = 0.0;
+    Hour counted = 0;
+    for (Hour h = start; h < std::min(trace.length(), start + factor); ++h) {
+      sum += static_cast<double>(trace.at(h));
+      ++counted;
+    }
+    out.push_back(static_cast<Count>(sum / static_cast<double>(counted) + 0.5));
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace upsample_repeat(const DemandTrace& trace, Hour factor) {
+  RIMARKET_EXPECTS(factor >= 1);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>(trace.length() * factor));
+  for (Hour h = 0; h < trace.length(); ++h) {
+    for (Hour k = 0; k < factor; ++k) {
+      out.push_back(trace.at(h));
+    }
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace scale(const DemandTrace& trace, double factor) {
+  RIMARKET_EXPECTS(factor >= 0.0);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>(trace.length()));
+  for (Hour h = 0; h < trace.length(); ++h) {
+    out.push_back(static_cast<Count>(std::floor(static_cast<double>(trace.at(h)) * factor + 0.5)));
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace clip(const DemandTrace& trace, Count cap) {
+  RIMARKET_EXPECTS(cap >= 0);
+  std::vector<Count> out;
+  out.reserve(static_cast<std::size_t>(trace.length()));
+  for (Hour h = 0; h < trace.length(); ++h) {
+    out.push_back(std::min(trace.at(h), cap));
+  }
+  return DemandTrace(std::move(out));
+}
+
+DemandTrace delay(const DemandTrace& trace, Hour hours) {
+  RIMARKET_EXPECTS(hours >= 0);
+  std::vector<Count> out(static_cast<std::size_t>(hours), 0);
+  out.reserve(static_cast<std::size_t>(hours + trace.length()));
+  for (Hour h = 0; h < trace.length(); ++h) {
+    out.push_back(trace.at(h));
+  }
+  return DemandTrace(std::move(out));
+}
+
+}  // namespace rimarket::workload

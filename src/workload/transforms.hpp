@@ -1,0 +1,36 @@
+// Deterministic trace transforms.
+//
+// Utilities for preparing real traces for the simulator: coarse logs can be
+// upsampled to hourly resolution, sub-hourly data downsampled, multi-team
+// traces merged (DemandTrace::sum), capacities rescaled or capped.  All
+// transforms are pure functions of the input trace.
+#pragma once
+
+#include "workload/trace.hpp"
+
+namespace rimarket::workload {
+
+/// Aggregates each window of `factor` hours into one sample using the
+/// window maximum — the conservative choice for capacity planning (demand
+/// within the hour must still be served).  The tail window may be partial.
+DemandTrace downsample_max(const DemandTrace& trace, Hour factor);
+
+/// Aggregates each window of `factor` hours into one sample using the
+/// window mean, rounded half-up.
+DemandTrace downsample_mean(const DemandTrace& trace, Hour factor);
+
+/// Repeats each sample `factor` times (e.g. daily logs -> hourly grid).
+DemandTrace upsample_repeat(const DemandTrace& trace, Hour factor);
+
+/// Multiplies every sample by `factor` (>= 0), rounding half-up — e.g. to
+/// express a trace recorded in 4-vCPU units as d2.xlarge counts.
+DemandTrace scale(const DemandTrace& trace, double factor);
+
+/// Caps every sample at `cap` (the user's quota or budget ceiling).
+DemandTrace clip(const DemandTrace& trace, Count cap);
+
+/// Shifts the trace `hours` later, zero-filling the prefix (align job
+/// streams that started at different wall-clock times).
+DemandTrace delay(const DemandTrace& trace, Hour hours);
+
+}  // namespace rimarket::workload

@@ -1,0 +1,97 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::analysis {
+namespace {
+
+sim::ScenarioResult sample_scenario() {
+  sim::ScenarioResult result;
+  result.user_id = 7;
+  result.group = workload::FluctuationGroup::kModerate;
+  result.purchaser = purchasing::PurchaserKind::kWangOnline;
+  result.seller = sim::SellerSpec{sim::SellerKind::kA3T4, 0.75};
+  result.net_cost = 1234.5678;
+  result.reservations_made = 9;
+  result.instances_sold = 4;
+  result.on_demand_hours = 321;
+  return result;
+}
+
+TEST(Export, ScenariosCsvHasHeaderAndRow) {
+  const std::vector<sim::ScenarioResult> results{sample_scenario()};
+  const std::string csv = scenarios_to_csv(results);
+  EXPECT_NE(csv.find("user,group,purchaser,seller"), std::string::npos);
+  EXPECT_NE(csv.find("7,1,wang,a3t4,0.7500,1234.567800,9,4,321"), std::string::npos);
+}
+
+TEST(Export, ScenariosRoundTrip) {
+  std::vector<sim::ScenarioResult> results;
+  for (const auto seller :
+       {sim::SellerKind::kKeepReserved, sim::SellerKind::kAllSelling, sim::SellerKind::kA3T4,
+        sim::SellerKind::kAT2, sim::SellerKind::kAT4, sim::SellerKind::kRandomizedSpot,
+        sim::SellerKind::kContinuousSpot, sim::SellerKind::kOfflineOptimal}) {
+    sim::ScenarioResult result = sample_scenario();
+    result.seller.kind = seller;
+    result.user_id = static_cast<int>(results.size());
+    results.push_back(result);
+  }
+  const auto parsed = scenarios_from_csv(scenarios_to_csv(results));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].user_id, results[i].user_id);
+    EXPECT_EQ((*parsed)[i].seller.kind, results[i].seller.kind);
+    EXPECT_EQ((*parsed)[i].purchaser, results[i].purchaser);
+    EXPECT_NEAR((*parsed)[i].net_cost, results[i].net_cost, 1e-4);
+    EXPECT_EQ((*parsed)[i].instances_sold, results[i].instances_sold);
+  }
+}
+
+TEST(Export, ScenariosFromCsvRejectsMalformed) {
+  EXPECT_FALSE(scenarios_from_csv("bogus\n1,2\n").has_value());
+  EXPECT_FALSE(scenarios_from_csv(
+                   "user,group,purchaser,seller,fraction,net_cost,reservations,sold,"
+                   "on_demand_hours\n1,9,wang,a3t4,0.75,1,1,1,1\n")  // group out of range
+                   .has_value());
+  EXPECT_FALSE(scenarios_from_csv(
+                   "user,group,purchaser,seller,fraction,net_cost,reservations,sold,"
+                   "on_demand_hours\n1,1,nosuch,a3t4,0.75,1,1,1,1\n")
+                   .has_value());
+}
+
+TEST(Export, NormalizedCsv) {
+  NormalizedResult entry;
+  entry.user_id = 3;
+  entry.group = workload::FluctuationGroup::kHigh;
+  entry.purchaser = purchasing::PurchaserKind::kAllReserved;
+  entry.seller = sim::SellerSpec{sim::SellerKind::kAT4, 0.25};
+  entry.net_cost = 80.0;
+  entry.keep_cost = 100.0;
+  entry.ratio = 0.8;
+  const std::vector<NormalizedResult> normalized{entry};
+  const std::string csv = normalized_to_csv(normalized);
+  EXPECT_NE(csv.find("3,2,all_reserved,at4,0.2500,80.000000,100.000000,0.800000"),
+            std::string::npos);
+}
+
+TEST(Export, CdfCsvIsMonotone) {
+  const std::vector<double> sample{0.7, 0.8, 0.9, 1.0, 1.1};
+  const common::EmpiricalCdf cdf(sample);
+  const std::string csv = cdf_to_csv(cdf, 8);
+  const auto parsed = common::parse_csv(csv, /*expect_header=*/true);
+  ASSERT_EQ(parsed.rows.size(), 8u);
+  double last_probability = -1.0;
+  for (const auto& row : parsed.rows) {
+    const double probability = *common::parse_double(row[1]);
+    EXPECT_GE(probability, last_probability);
+    last_probability = probability;
+  }
+  EXPECT_DOUBLE_EQ(last_probability, 1.0);
+}
+
+}  // namespace
+}  // namespace rimarket::analysis

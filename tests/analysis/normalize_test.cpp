@@ -1,0 +1,125 @@
+#include "analysis/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::analysis {
+namespace {
+
+sim::ScenarioResult scenario(int user, workload::FluctuationGroup group,
+                             purchasing::PurchaserKind purchaser, sim::SellerKind seller,
+                             Dollars cost) {
+  sim::ScenarioResult result;
+  result.user_id = user;
+  result.group = group;
+  result.purchaser = purchaser;
+  result.seller = sim::SellerSpec{seller, 0.75};
+  result.net_cost = cost;
+  return result;
+}
+
+std::vector<sim::ScenarioResult> sample_results() {
+  using workload::FluctuationGroup;
+  using purchasing::PurchaserKind;
+  using sim::SellerKind;
+  return {
+      scenario(0, FluctuationGroup::kStable, PurchaserKind::kAllReserved,
+               SellerKind::kKeepReserved, 100.0),
+      scenario(0, FluctuationGroup::kStable, PurchaserKind::kAllReserved, SellerKind::kA3T4,
+               90.0),
+      scenario(0, FluctuationGroup::kStable, PurchaserKind::kAllReserved, SellerKind::kAT2,
+               120.0),
+      scenario(0, FluctuationGroup::kStable, PurchaserKind::kWangOnline,
+               SellerKind::kKeepReserved, 200.0),
+      scenario(0, FluctuationGroup::kStable, PurchaserKind::kWangOnline, SellerKind::kA3T4,
+               150.0),
+      scenario(1, FluctuationGroup::kHigh, PurchaserKind::kAllReserved,
+               SellerKind::kKeepReserved, 50.0),
+      scenario(1, FluctuationGroup::kHigh, PurchaserKind::kAllReserved, SellerKind::kA3T4,
+               25.0),
+  };
+}
+
+TEST(Normalize, RatiosAgainstMatchingBaseline) {
+  const auto normalized = normalize_to_keep(sample_results());
+  // 4 non-keep scenarios.
+  ASSERT_EQ(normalized.size(), 4u);
+  EXPECT_DOUBLE_EQ(normalized[0].ratio, 0.9);   // 90/100
+  EXPECT_DOUBLE_EQ(normalized[1].ratio, 1.2);   // 120/100
+  EXPECT_DOUBLE_EQ(normalized[2].ratio, 0.75);  // 150/200
+  EXPECT_DOUBLE_EQ(normalized[3].ratio, 0.5);   // 25/50
+}
+
+TEST(Normalize, KeepsJoinKeys) {
+  const auto normalized = normalize_to_keep(sample_results());
+  EXPECT_EQ(normalized[2].purchaser, purchasing::PurchaserKind::kWangOnline);
+  EXPECT_EQ(normalized[3].user_id, 1);
+  EXPECT_EQ(normalized[3].group, workload::FluctuationGroup::kHigh);
+  EXPECT_DOUBLE_EQ(normalized[3].keep_cost, 50.0);
+  EXPECT_DOUBLE_EQ(normalized[3].net_cost, 25.0);
+}
+
+TEST(Normalize, DropsScenariosWithNonpositiveBaseline) {
+  auto results = sample_results();
+  results.push_back(scenario(2, workload::FluctuationGroup::kStable,
+                             purchasing::PurchaserKind::kAllReserved,
+                             sim::SellerKind::kKeepReserved, 0.0));
+  results.push_back(scenario(2, workload::FluctuationGroup::kStable,
+                             purchasing::PurchaserKind::kAllReserved, sim::SellerKind::kA3T4,
+                             0.0));
+  const auto normalized = normalize_to_keep(results);
+  for (const auto& entry : normalized) {
+    EXPECT_NE(entry.user_id, 2);
+  }
+}
+
+TEST(SelectSeller, FiltersByKind) {
+  const auto normalized = normalize_to_keep(sample_results());
+  const auto a34 = select_seller(normalized, {sim::SellerKind::kA3T4, 0.75});
+  EXPECT_EQ(a34.size(), 3u);
+  const auto at2 = select_seller(normalized, {sim::SellerKind::kAT2, 0.50});
+  EXPECT_EQ(at2.size(), 1u);
+}
+
+TEST(SelectSeller, AllSellingComparesFraction) {
+  std::vector<sim::ScenarioResult> results = {
+      scenario(0, workload::FluctuationGroup::kStable,
+               purchasing::PurchaserKind::kAllReserved, sim::SellerKind::kKeepReserved, 10.0),
+  };
+  sim::ScenarioResult all_75 = scenario(0, workload::FluctuationGroup::kStable,
+                                        purchasing::PurchaserKind::kAllReserved,
+                                        sim::SellerKind::kAllSelling, 9.0);
+  all_75.seller.fraction = 0.75;
+  sim::ScenarioResult all_25 = all_75;
+  all_25.seller.fraction = 0.25;
+  results.push_back(all_75);
+  results.push_back(all_25);
+  const auto normalized = normalize_to_keep(results);
+  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, 0.75}).size(), 1u);
+  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, 0.25}).size(), 1u);
+}
+
+TEST(SelectGroup, FiltersByGroup) {
+  const auto normalized = normalize_to_keep(sample_results());
+  EXPECT_EQ(select_group(normalized, workload::FluctuationGroup::kHigh).size(), 1u);
+  EXPECT_EQ(select_group(normalized, workload::FluctuationGroup::kStable).size(), 3u);
+  EXPECT_TRUE(select_group(normalized, workload::FluctuationGroup::kModerate).empty());
+}
+
+TEST(Ratios, ExtractsColumn) {
+  const auto normalized = normalize_to_keep(sample_results());
+  const auto column = ratios(normalized);
+  ASSERT_EQ(column.size(), normalized.size());
+  EXPECT_DOUBLE_EQ(column[0], 0.9);
+}
+
+TEST(PerUserRatios, AveragesAcrossPurchasers) {
+  const auto normalized = normalize_to_keep(sample_results());
+  const auto per_user = per_user_ratios(normalized, {sim::SellerKind::kA3T4, 0.75});
+  // User 0: (0.9 + 0.75)/2; user 1: 0.5.
+  ASSERT_EQ(per_user.size(), 2u);
+  EXPECT_NEAR(per_user[0], 0.825, 1e-12);
+  EXPECT_NEAR(per_user[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rimarket::analysis

@@ -1,0 +1,134 @@
+#include "analysis/reports.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::analysis {
+namespace {
+
+TEST(Reports, Table1ContainsPaperRows) {
+  const std::string table = render_table1();
+  EXPECT_NE(table.find("No Upfront"), std::string::npos);
+  EXPECT_NE(table.find("Partial Upfront"), std::string::npos);
+  EXPECT_NE(table.find("All Upfront"), std::string::npos);
+  EXPECT_NE(table.find("On-Demand"), std::string::npos);
+  EXPECT_NE(table.find("$1506"), std::string::npos);
+  EXPECT_NE(table.find("$2952"), std::string::npos);
+  EXPECT_NE(table.find("293.46"), std::string::npos);
+  EXPECT_NE(table.find("0.69"), std::string::npos);
+}
+
+TEST(Reports, Fig2ListsAllThreeGroups) {
+  workload::PopulationSpec spec;
+  spec.users_per_group = 4;
+  spec.trace_hours = 3000;
+  const auto population = workload::UserPopulation::build(spec);
+  const std::string figure = render_fig2(population);
+  EXPECT_NE(figure.find("group 1"), std::string::npos);
+  EXPECT_NE(figure.find("group 2"), std::string::npos);
+  EXPECT_NE(figure.find("group 3"), std::string::npos);
+  EXPECT_NE(figure.find("sigma/mu"), std::string::npos);
+}
+
+namespace helpers {
+
+NormalizedResult entry(int user, workload::FluctuationGroup group, sim::SellerSpec seller,
+                       double ratio) {
+  NormalizedResult result;
+  result.user_id = user;
+  result.group = group;
+  result.purchaser = purchasing::PurchaserKind::kAllReserved;
+  result.seller = seller;
+  result.ratio = ratio;
+  result.keep_cost = 100.0;
+  result.net_cost = 100.0 * ratio;
+  return result;
+}
+
+std::vector<NormalizedResult> full_grid() {
+  std::vector<NormalizedResult> normalized;
+  const sim::SellerSpec sellers[] = {
+      {sim::SellerKind::kA3T4, 0.75},
+      {sim::SellerKind::kAT2, 0.50},
+      {sim::SellerKind::kAT4, 0.25},
+      {sim::SellerKind::kAllSelling, 0.75},
+  };
+  int user = 0;
+  for (const auto group :
+       {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+        workload::FluctuationGroup::kHigh}) {
+    for (int i = 0; i < 3; ++i, ++user) {
+      double ratio = 0.7 + 0.1 * i;
+      for (const auto& seller : sellers) {
+        normalized.push_back(entry(user, group, seller, ratio));
+        ratio += 0.02;
+      }
+    }
+  }
+  return normalized;
+}
+
+}  // namespace helpers
+
+TEST(Reports, Fig3PanelShowsAlgorithmAndBaseline) {
+  const auto normalized = helpers::full_grid();
+  const std::string panel = render_fig3_panel(normalized, {sim::SellerKind::kA3T4, 0.75},
+                                              {sim::SellerKind::kAllSelling, 0.75});
+  EXPECT_NE(panel.find("A_{3T/4}"), std::string::npos);
+  EXPECT_NE(panel.find("all-selling@0.75T"), std::string::npos);
+  EXPECT_NE(panel.find("%saving"), std::string::npos);
+  EXPECT_NE(panel.find("CDF"), std::string::npos);
+}
+
+TEST(Reports, Fig4PanelScopesToGroup) {
+  const auto normalized = helpers::full_grid();
+  const std::string panel =
+      render_fig4_panel(normalized, workload::FluctuationGroup::kModerate);
+  EXPECT_NE(panel.find("group 2"), std::string::npos);
+  EXPECT_NE(panel.find("A_{3T/4}"), std::string::npos);
+  EXPECT_NE(panel.find("A_{T/2}"), std::string::npos);
+  EXPECT_NE(panel.find("A_{T/4}"), std::string::npos);
+}
+
+TEST(Reports, Table2ShowsAllFourColumns) {
+  std::vector<sim::ScenarioResult> results;
+  for (const auto kind : {sim::SellerKind::kA3T4, sim::SellerKind::kAT2,
+                          sim::SellerKind::kAT4, sim::SellerKind::kKeepReserved}) {
+    sim::ScenarioResult result;
+    result.user_id = 42;
+    result.seller = sim::SellerSpec{kind, 0.75};
+    result.net_cost = 9.4e4;
+    results.push_back(result);
+  }
+  const std::string table = render_table2(results, 42);
+  EXPECT_NE(table.find("A_{3T/4}"), std::string::npos);
+  EXPECT_NE(table.find("Keep-Reserved"), std::string::npos);
+  EXPECT_NE(table.find("9.40e+04"), std::string::npos);
+}
+
+TEST(Reports, Table3HasGroupsAndOverall) {
+  const auto normalized = helpers::full_grid();
+  const std::string table = render_table3(normalized);
+  EXPECT_NE(table.find("Group 1"), std::string::npos);
+  EXPECT_NE(table.find("Group 3"), std::string::npos);
+  EXPECT_NE(table.find("All users"), std::string::npos);
+  EXPECT_NE(table.find("A_{T/4}"), std::string::npos);
+}
+
+TEST(Reports, BoundsTableShowsVerdicts) {
+  theory::VerificationResult result;
+  result.fraction = 0.75;
+  result.alpha = 0.25;
+  result.selling_discount = 0.8;
+  result.theta = 4.01;
+  result.max_ratio = 1.44;
+  result.bound = 1.55;
+  result.worst_schedule = "case1(eps=1.000)";
+  const std::vector<theory::VerificationResult> results{result};
+  const std::string table = render_bounds(results);
+  EXPECT_NE(table.find("yes"), std::string::npos);
+  EXPECT_NE(table.find("case1"), std::string::npos);
+  EXPECT_NE(table.find("1.5500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::analysis

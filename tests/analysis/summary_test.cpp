@@ -1,0 +1,81 @@
+#include "analysis/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::analysis {
+namespace {
+
+TEST(SavingsSummary, EmptySample) {
+  const SavingsSummary summary = summarize_ratios({});
+  EXPECT_EQ(summary.users, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_ratio, 0.0);
+}
+
+TEST(SavingsSummary, HeadlineFractions) {
+  const std::vector<double> ratios{0.5, 0.65, 0.75, 0.9, 1.0, 1.1};
+  const SavingsSummary summary = summarize_ratios(ratios);
+  EXPECT_EQ(summary.users, 6u);
+  EXPECT_NEAR(summary.fraction_saving, 4.0 / 6.0, 1e-12);     // ratio < 1
+  EXPECT_NEAR(summary.fraction_saving_20, 3.0 / 6.0, 1e-12);  // ratio < 0.8
+  EXPECT_NEAR(summary.fraction_saving_30, 2.0 / 6.0, 1e-12);  // ratio < 0.7
+  EXPECT_NEAR(summary.fraction_worse, 1.0 / 6.0, 1e-12);      // ratio > 1
+  EXPECT_DOUBLE_EQ(summary.max_ratio, 1.1);
+  EXPECT_DOUBLE_EQ(summary.min_ratio, 0.5);
+  EXPECT_NEAR(summary.mean_ratio, (0.5 + 0.65 + 0.75 + 0.9 + 1.0 + 1.1) / 6.0, 1e-12);
+}
+
+TEST(SavingsSummary, ExactlyOneIsNeitherSavingNorWorse) {
+  const std::vector<double> ratios{1.0, 1.0};
+  const SavingsSummary summary = summarize_ratios(ratios);
+  EXPECT_DOUBLE_EQ(summary.fraction_saving, 0.0);
+  EXPECT_DOUBLE_EQ(summary.fraction_worse, 0.0);
+}
+
+namespace helpers {
+
+NormalizedResult entry(int user, workload::FluctuationGroup group, sim::SellerKind seller,
+                       double ratio) {
+  NormalizedResult result;
+  result.user_id = user;
+  result.group = group;
+  result.purchaser = purchasing::PurchaserKind::kAllReserved;
+  result.seller = sim::SellerSpec{seller, 0.75};
+  result.ratio = ratio;
+  result.keep_cost = 1.0;
+  result.net_cost = ratio;
+  return result;
+}
+
+}  // namespace helpers
+
+TEST(GroupAverage, PerGroupMeans) {
+  using helpers::entry;
+  const std::vector<NormalizedResult> normalized{
+      entry(0, workload::FluctuationGroup::kStable, sim::SellerKind::kA3T4, 0.8),
+      entry(1, workload::FluctuationGroup::kStable, sim::SellerKind::kA3T4, 1.0),
+      entry(2, workload::FluctuationGroup::kHigh, sim::SellerKind::kA3T4, 0.5),
+  };
+  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, 0.75},
+                            workload::FluctuationGroup::kStable),
+              0.9, 1e-12);
+  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, 0.75},
+                            workload::FluctuationGroup::kHigh),
+              0.5, 1e-12);
+  EXPECT_NEAR(overall_average(normalized, {sim::SellerKind::kA3T4, 0.75}),
+              (0.8 + 1.0 + 0.5) / 3.0, 1e-12);
+}
+
+TEST(RatioCdf, BuildsPerUserCdf) {
+  using helpers::entry;
+  const std::vector<NormalizedResult> normalized{
+      entry(0, workload::FluctuationGroup::kStable, sim::SellerKind::kAT2, 0.6),
+      entry(1, workload::FluctuationGroup::kStable, sim::SellerKind::kAT2, 0.8),
+      entry(2, workload::FluctuationGroup::kStable, sim::SellerKind::kAT2, 1.2),
+  };
+  const common::EmpiricalCdf cdf = ratio_cdf(normalized, {sim::SellerKind::kAT2, 0.5});
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_NEAR(cdf.at(1.0), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rimarket::analysis

@@ -1,0 +1,48 @@
+// Contract macros: death tests (the macros abort by design).
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+TEST(ContractsDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ RIMARKET_CHECK(1 == 2); }, "check failed: 1 == 2");
+}
+
+TEST(ContractsDeathTest, CheckMessageIsIncluded) {
+  EXPECT_DEATH({ RIMARKET_CHECK_MSG(false, "ledger corrupted"); }, "ledger corrupted");
+}
+
+TEST(ContractsDeathTest, ExpectsReportsPrecondition) {
+  EXPECT_DEATH({ RIMARKET_EXPECTS(2 < 1); }, "precondition failed");
+}
+
+TEST(ContractsDeathTest, EnsuresReportsPostcondition) {
+  EXPECT_DEATH({ RIMARKET_ENSURES(false); }, "postcondition failed");
+}
+
+TEST(ContractsDeathTest, UnreachableAborts) {
+  EXPECT_DEATH({ RIMARKET_UNREACHABLE("impossible enum value"); }, "impossible enum value");
+}
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  RIMARKET_CHECK(1 + 1 == 2);
+  RIMARKET_CHECK_MSG(true, "never printed");
+  RIMARKET_EXPECTS(true);
+  RIMARKET_ENSURES(true);
+  SUCCEED();
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto side_effect = [&calls] {
+    ++calls;
+    return true;
+  };
+  RIMARKET_CHECK(side_effect());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace rimarket::common

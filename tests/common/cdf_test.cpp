@@ -1,0 +1,76 @@
+#include "common/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rimarket::common {
+namespace {
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  const std::vector<double> sample{1.0, 1.0, 1.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(0.99), 0.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputIsSorted) {
+  const std::vector<double> sample{3.0, 1.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+}
+
+TEST(EmpiricalCdf, QuantileRoundTrip) {
+  const std::vector<double> sample{10.0, 20.0, 30.0, 40.0, 50.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  const std::vector<double> sample{5.0, 1.0, 3.0, 3.0, 8.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  const auto curve = cdf.sample_curve(16);
+  ASSERT_EQ(curve.size(), 16u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].probability, curve[i - 1].probability);
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().probability, 1.0);
+}
+
+TEST(EmpiricalCdf, CurveOfEmptyCdfIsEmpty) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.sample_curve(8).empty());
+}
+
+TEST(EmpiricalCdf, ToTableContainsHeaderAndRows) {
+  const std::vector<double> sample{1.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  const std::string table = cdf.to_table(4, "ratio");
+  EXPECT_NE(table.find("ratio"), std::string::npos);
+  EXPECT_NE(table.find("F(x)"), std::string::npos);
+  EXPECT_NE(table.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,75 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser;
+  parser.add_flag("count", "number of things", "10");
+  parser.add_flag("ratio", "a double", "0.5");
+  parser.add_flag("verbose", "boolean flag", "false");
+  parser.add_flag("name", "a string", "default");
+  return parser;
+}
+
+TEST(CliParser, DefaultsWhenNotProvided) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("count", 0), 10);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio", 0.0), 0.5);
+  EXPECT_FALSE(parser.get_bool("verbose", true));
+  EXPECT_FALSE(parser.provided("count"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--count=42", "--name=foo"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("count", 0), 42);
+  EXPECT_EQ(parser.get("name"), "foo");
+  EXPECT_TRUE(parser.provided("count"));
+}
+
+TEST(CliParser, SpaceSyntax) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--count", "7"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("count", 0), 7);
+}
+
+TEST(CliParser, BareBooleanFlag) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose", false));
+}
+
+TEST(CliParser, UnknownFlagFails) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(CliParser, PositionalArguments) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "input.csv", "--count=1", "more"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.csv");
+  EXPECT_EQ(parser.positional()[1], "more");
+}
+
+TEST(CliParser, HelpListsFlags) {
+  CliParser parser = make_parser();
+  const std::string help = parser.help("prog");
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("number of things"), std::string::npos);
+  EXPECT_NE(help.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,72 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto config = Config::parse("a = 1\nb = hello\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get("a"), "1");
+  EXPECT_EQ(config->get("b"), "hello");
+  EXPECT_EQ(config->size(), 2u);
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  const auto config = Config::parse("# comment\n\nkey = v # trailing\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get("key"), "v");
+  EXPECT_EQ(config->size(), 1u);
+}
+
+TEST(Config, MalformedLineRejected) {
+  EXPECT_FALSE(Config::parse("no equals sign\n").has_value());
+  EXPECT_FALSE(Config::parse("= value\n").has_value());
+}
+
+TEST(Config, TypedAccessors) {
+  const auto config = Config::parse("i = 42\nd = 2.5\nb = true\ns = text\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_int("i"), 42);
+  EXPECT_DOUBLE_EQ(config->get_double("d").value(), 2.5);
+  EXPECT_EQ(config->get_bool("b"), true);
+  EXPECT_FALSE(config->get_int("s").has_value());
+  EXPECT_FALSE(config->get_int("missing").has_value());
+}
+
+TEST(Config, DefaultAccessors) {
+  const auto config = Config::parse("x = 7\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_int_or("x", 0), 7);
+  EXPECT_EQ(config->get_int_or("y", 9), 9);
+  EXPECT_DOUBLE_EQ(config->get_double_or("y", 1.5), 1.5);
+  EXPECT_EQ(config->get_bool_or("y", true), true);
+  EXPECT_EQ(config->get_or("y", "fallback"), "fallback");
+}
+
+TEST(Config, SetOverrides) {
+  Config config;
+  config.set("k", "1");
+  config.set("k", "2");
+  EXPECT_EQ(config.get("k"), "2");
+  EXPECT_TRUE(config.contains("k"));
+  EXPECT_FALSE(config.contains("other"));
+}
+
+TEST(Config, ToStringRoundTrips) {
+  Config config;
+  config.set("alpha", "0.25");
+  config.set("name", "d2.xlarge");
+  const auto reparsed = Config::parse(config.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->get("alpha"), "0.25");
+  EXPECT_EQ(reparsed->get("name"), "d2.xlarge");
+}
+
+TEST(Config, LoadMissingFileIsNullopt) {
+  EXPECT_FALSE(Config::load("/nonexistent/rimarket.conf").has_value());
+}
+
+}  // namespace
+}  // namespace rimarket::common

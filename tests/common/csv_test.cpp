@@ -1,0 +1,91 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace rimarket::common {
+namespace {
+
+TEST(ParseCsvLine, PlainFields) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithComma) {
+  const CsvRow row = parse_csv_line("x,\"a,b\",y");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "a,b");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  const CsvRow row = parse_csv_line("\"he said \"\"hi\"\"\"");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "he said \"hi\"");
+}
+
+TEST(ParseCsvLine, StripsTrailingCarriageReturn) {
+  const CsvRow row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(ParseCsvLine, EmptyLineIsOneEmptyField) {
+  const CsvRow row = parse_csv_line("");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "");
+}
+
+TEST(MakeCsvLine, RoundTripsSpecialCharacters) {
+  const CsvRow original{"plain", "with,comma", "with\"quote", ""};
+  const CsvRow parsed = parse_csv_line(make_csv_line(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(ParseCsv, HeaderAndRows) {
+  const CsvDocument doc = parse_csv("h1,h2\n1,2\n3,4\n", /*expect_header=*/true);
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "h1");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(ParseCsv, SkipsBlankLines) {
+  const CsvDocument doc = parse_csv("h\n\n1\n\n2\n", /*expect_header=*/true);
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(ParseCsv, NoHeaderMode) {
+  const CsvDocument doc = parse_csv("1,2\n3,4", /*expect_header=*/false);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(FileIo, RoundTrip) {
+  const std::string path = testing::TempDir() + "/rimarket_csv_test.txt";
+  ASSERT_TRUE(write_file(path, "hello\nworld\n"));
+  const auto contents = read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(*contents, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_file("/nonexistent/rimarket/file.csv").has_value());
+  EXPECT_FALSE(load_csv_file("/nonexistent/rimarket/file.csv", true).has_value());
+}
+
+TEST(FileIo, LoadCsvFile) {
+  const std::string path = testing::TempDir() + "/rimarket_csv_load.csv";
+  ASSERT_TRUE(write_file(path, "h\n7\n"));
+  const auto doc = load_csv_file(path, /*expect_header=*/true);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "7");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rimarket::common

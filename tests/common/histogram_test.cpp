@@ -1,0 +1,58 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_EQ(hist.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(hist.bin_high(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.0);
+  hist.add(1.9);
+  hist.add(2.0);
+  hist.add(9.99);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.add(-0.5);
+  hist.add(1.0);   // hi is exclusive -> overflow
+  hist.add(2.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram hist(0.0, 4.0, 2);
+  hist.add(1.0);
+  hist.add(1.5);
+  hist.add(3.0);
+  const std::string text = hist.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(Histogram, RenderOmitsEmptyOverflowRows) {
+  Histogram hist(0.0, 4.0, 2);
+  hist.add(1.0);
+  const std::string text = hist.render(10);
+  EXPECT_EQ(text.find('<'), std::string::npos);
+  EXPECT_EQ(text.find('>'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,70 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, DefaultLevelIsWarn) {
+  // The library must not chatter on stdout/stderr by default.
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Logging, EmitsToStderrAtOrAboveThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info("hello %d", 42);
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("hello 42"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+}
+
+TEST(Logging, SuppressedBelowThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_debug("invisible");
+  log_info("invisible");
+  log_warn("invisible");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Logging, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error("even errors");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Logging, MessageInterfaceRespectsThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kWarn, "warned");
+  log_message(LogLevel::kInfo, "hidden");
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("warned"), std::string::npos);
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,219 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rimarket::common {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ZeroSeedStillProducesVariedOutput) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    seen.insert(rng());
+  }
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_int(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanApproximatelyHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, NormalZeroStddevIsConstant) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(0.5);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.poisson(0.0), 0);
+  }
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.poisson(3.0);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(43);
+  int large = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.0, 1.0) > 100.0) {
+      ++large;
+    }
+  }
+  // P[X > 100] = 1/100 for shape 1.
+  EXPECT_NEAR(static_cast<double>(large) / n, 0.01, 0.005);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(47);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a() == child_b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsReproducible) {
+  Rng parent_a(53);
+  Rng parent_b(53);
+  Rng child_a = parent_a.fork(9);
+  Rng child_b = parent_b.fork(9);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child_a(), child_b());
+  }
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace rimarket::common

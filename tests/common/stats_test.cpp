@@ -1,0 +1,168 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rimarket::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, SumMatches) {
+  RunningStats stats;
+  stats.add(1.5);
+  stats.add(2.5);
+  stats.add(6.0);
+  EXPECT_NEAR(stats.sum(), 10.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(v);
+    all.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  RunningStats empty;
+  RunningStats copy = filled;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 1.5);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, CoefficientOfVariation) {
+  RunningStats stats;
+  stats.add(5.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.coefficient_of_variation(), 0.0);
+  RunningStats varying;
+  varying.add(0.0);
+  varying.add(10.0);
+  EXPECT_DOUBLE_EQ(varying.coefficient_of_variation(), 1.0);  // sigma=5, mu=5
+}
+
+TEST(RunningStats, CvOfZeroMeanNonzeroVarianceIsInfinite) {
+  RunningStats stats;
+  stats.add(-1.0);
+  stats.add(1.0);
+  EXPECT_TRUE(std::isinf(stats.coefficient_of_variation()));
+}
+
+TEST(RunningStats, CvOfAllZerosIsZero) {
+  RunningStats stats;
+  stats.add(0.0);
+  stats.add(0.0);
+  EXPECT_DOUBLE_EQ(stats.coefficient_of_variation(), 0.0);
+}
+
+TEST(FreeFunctions, MeanAndStddev) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(values), 2.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(values), 0.4);
+}
+
+TEST(FreeFunctions, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Quantile, Endpoints) {
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.75), 7.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> values{7.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 7.0);
+}
+
+TEST(Fractions, BelowAndAbove) {
+  const std::vector<double> values{0.5, 0.9, 1.0, 1.1, 2.0};
+  EXPECT_DOUBLE_EQ(fraction_below(values, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(fraction_above(values, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(fraction_below(values, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above(values, 100.0), 0.0);
+}
+
+TEST(Fractions, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+TEST(ToDoubles, ConvertsValues) {
+  const std::vector<long long> values{1, 2, 3};
+  const std::vector<double> converted = to_doubles(values);
+  ASSERT_EQ(converted.size(), 3u);
+  EXPECT_DOUBLE_EQ(converted[0], 1.0);
+  EXPECT_DOUBLE_EQ(converted[2], 3.0);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,100 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split(",x,,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto fields = split("whole", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "whole");
+}
+
+TEST(Trim, RemovesWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(ParseInt, ValidValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int(" 13 "), 13);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(ParseInt, RejectsMalformed) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseDouble, ValidValues) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 0.69 ").value(), 0.69);
+}
+
+TEST(ParseDouble, RejectsMalformed) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("x").has_value());
+  EXPECT_FALSE(parse_double("1.5zz").has_value());
+}
+
+TEST(ParseBool, AcceptsCommonSpellings) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("YES"), true);
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("on"), true);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_EQ(parse_bool("No"), false);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("off"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(Affixes, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", ".csv"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace rimarket::common

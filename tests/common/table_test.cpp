@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::common {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"alpha", "0.25"});
+  table.add_row({"theta", "4.01"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("|--"), std::string::npos);
+  // header + rule + 2 rows = 4 lines
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable table({"H", "V"});
+  table.add_row({"averyverylonglabel", "1"});
+  const std::string text = table.render();
+  // Each line should be the same length.
+  std::size_t first_len = text.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < text.size()) {
+    const std::size_t next = text.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable table({"Label", "a", "b"});
+  table.add_row_numeric("row", {1.23456, 2.0}, 2);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,85 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rimarket::common {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  // Rendezvous: two tasks that can each only finish once the other has
+  // started — deadlocks unless the pool really runs them concurrently.
+  std::mutex mutex;
+  std::condition_variable both_started;
+  int started = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++started;
+    both_started.notify_all();
+    both_started.wait(lock, [&] { return started >= 2; });
+  };
+  pool.submit(rendezvous);
+  pool.submit(rendezvous);
+  pool.wait_idle();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace rimarket::common

@@ -1,0 +1,166 @@
+#include "fleet/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::fleet {
+namespace {
+
+TEST(Ledger, ReserveAssignsSequentialIds) {
+  ReservationLedger ledger(100);
+  EXPECT_EQ(ledger.reserve(0), 0);
+  EXPECT_EQ(ledger.reserve(0), 1);
+  EXPECT_EQ(ledger.reserve(5), 2);
+  EXPECT_EQ(ledger.all().size(), 3u);
+}
+
+TEST(Ledger, ActiveCountTracksExpiry) {
+  ReservationLedger ledger(10);
+  ledger.reserve(0);
+  ledger.reserve(5);
+  EXPECT_EQ(ledger.active_count(5), 2);
+  EXPECT_EQ(ledger.active_count(9), 2);
+  EXPECT_EQ(ledger.active_count(10), 1);  // first expired
+  EXPECT_EQ(ledger.active_count(15), 0);
+}
+
+TEST(Ledger, AssignCoversDemandWithReservedFirst) {
+  ReservationLedger ledger(100);
+  ledger.reserve(0);
+  ledger.reserve(0);
+  const AssignmentResult result = ledger.assign(1, 5);
+  EXPECT_EQ(result.active, 2);
+  EXPECT_EQ(result.served_by_reserved, 2);
+  EXPECT_EQ(result.on_demand, 3);
+}
+
+TEST(Ledger, AssignZeroDemand) {
+  ReservationLedger ledger(100);
+  ledger.reserve(0);
+  const AssignmentResult result = ledger.assign(1, 0);
+  EXPECT_EQ(result.served_by_reserved, 0);
+  EXPECT_EQ(result.on_demand, 0);
+  EXPECT_EQ(result.active, 1);
+}
+
+TEST(Ledger, LeastRemainingPeriodServesFirst) {
+  ReservationLedger ledger(100);
+  const ReservationId older = ledger.reserve(0);
+  const ReservationId newer = ledger.reserve(10);
+  // One unit of demand: the older contract (less remaining) must serve.
+  ledger.assign(20, 1);
+  EXPECT_EQ(ledger.get(older).worked_hours, 1);
+  EXPECT_EQ(ledger.get(newer).worked_hours, 0);
+}
+
+TEST(Ledger, WorkedHoursAccumulate) {
+  ReservationLedger ledger(100);
+  const ReservationId id = ledger.reserve(0);
+  for (Hour t = 1; t <= 30; ++t) {
+    ledger.assign(t, 1);
+  }
+  EXPECT_EQ(ledger.get(id).worked_hours, 30);
+}
+
+TEST(Ledger, ServedOutParamListsWorkers) {
+  ReservationLedger ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(1);
+  std::vector<ReservationId> served;
+  ledger.assign(2, 1, &served);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0], a);
+  ledger.assign(3, 2, &served);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0], a);
+  EXPECT_EQ(served[1], b);
+}
+
+TEST(Ledger, ServedVectorIsClearedEachCall) {
+  ReservationLedger ledger(100);
+  ledger.reserve(0);
+  std::vector<ReservationId> served;
+  ledger.assign(1, 1, &served);
+  EXPECT_EQ(served.size(), 1u);
+  ledger.assign(2, 0, &served);
+  EXPECT_TRUE(served.empty());
+}
+
+TEST(Ledger, SellRemovesFromActiveSet) {
+  ReservationLedger ledger(100);
+  const ReservationId id = ledger.reserve(0);
+  ledger.sell(id, 40);
+  EXPECT_EQ(ledger.active_count(40), 0);
+  EXPECT_TRUE(ledger.get(id).sold);
+  EXPECT_EQ(ledger.get(id).sold_at, 40);
+}
+
+TEST(Ledger, SoldInstanceNoLongerServes) {
+  ReservationLedger ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(5);
+  ledger.sell(a, 10);
+  ledger.assign(11, 1);
+  EXPECT_EQ(ledger.get(a).worked_hours, 0);
+  EXPECT_EQ(ledger.get(b).worked_hours, 1);
+}
+
+TEST(Ledger, DueAtAgeFindsExactAges) {
+  ReservationLedger ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(0);
+  const ReservationId c = ledger.reserve(3);
+  const auto due_at_75 = ledger.due_at_age(75, 75);
+  ASSERT_EQ(due_at_75.size(), 2u);
+  EXPECT_EQ(due_at_75[0], a);
+  EXPECT_EQ(due_at_75[1], b);
+  const auto due_at_78 = ledger.due_at_age(78, 75);
+  ASSERT_EQ(due_at_78.size(), 1u);
+  EXPECT_EQ(due_at_78[0], c);
+}
+
+TEST(Ledger, DueAtAgeSkipsSold) {
+  ReservationLedger ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  ledger.reserve(0);
+  ledger.sell(a, 10);
+  const auto due = ledger.due_at_age(75, 75);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_NE(due[0], a);
+}
+
+TEST(Ledger, ActiveIdsInLeastRemainingOrder) {
+  ReservationLedger ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(2);
+  const ReservationId c = ledger.reserve(4);
+  const auto ids = ledger.active_ids(5);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], b);
+  EXPECT_EQ(ids[2], c);
+}
+
+TEST(Ledger, ExpiredContractStopsServing) {
+  ReservationLedger ledger(10);
+  const ReservationId id = ledger.reserve(0);
+  const AssignmentResult at_end = ledger.assign(10, 1);
+  EXPECT_EQ(at_end.active, 0);
+  EXPECT_EQ(at_end.on_demand, 1);
+  EXPECT_EQ(ledger.get(id).worked_hours, 0);
+}
+
+TEST(Ledger, AssignmentConservesDemand) {
+  ReservationLedger ledger(50);
+  ledger.reserve(0);
+  ledger.reserve(0);
+  ledger.reserve(0);
+  for (Hour t = 1; t < 40; ++t) {
+    const Count demand = (t * 7) % 6;
+    const AssignmentResult result = ledger.assign(t, demand);
+    EXPECT_EQ(result.served_by_reserved + result.on_demand, demand);
+    EXPECT_LE(result.served_by_reserved, result.active);
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::fleet

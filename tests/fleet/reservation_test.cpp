@@ -1,0 +1,75 @@
+#include "fleet/reservation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::fleet {
+namespace {
+
+Reservation make(Hour start, Hour term) {
+  Reservation reservation;
+  reservation.id = 1;
+  reservation.start = start;
+  reservation.term = term;
+  return reservation;
+}
+
+TEST(Reservation, StateTransitions) {
+  const Reservation reservation = make(10, 100);
+  EXPECT_EQ(reservation.state(10), ReservationState::kActive);
+  EXPECT_EQ(reservation.state(109), ReservationState::kActive);
+  EXPECT_EQ(reservation.state(110), ReservationState::kExpired);
+  EXPECT_EQ(reservation.state(500), ReservationState::kExpired);
+}
+
+TEST(Reservation, SoldStateFromSaleHour) {
+  Reservation reservation = make(0, 100);
+  reservation.sold = true;
+  reservation.sold_at = 50;
+  EXPECT_EQ(reservation.state(49), ReservationState::kActive);
+  EXPECT_EQ(reservation.state(50), ReservationState::kSold);
+  EXPECT_EQ(reservation.state(99), ReservationState::kSold);
+  EXPECT_EQ(reservation.state(200), ReservationState::kSold);
+}
+
+TEST(Reservation, AgeAndEnd) {
+  const Reservation reservation = make(20, 100);
+  EXPECT_EQ(reservation.end(), 120);
+  EXPECT_EQ(reservation.age(20), 0);
+  EXPECT_EQ(reservation.age(95), 75);
+}
+
+TEST(Reservation, RemainingHours) {
+  const Reservation reservation = make(0, 100);
+  EXPECT_EQ(reservation.remaining(0), 100);
+  EXPECT_EQ(reservation.remaining(25), 75);
+  EXPECT_EQ(reservation.remaining(100), 0);
+  EXPECT_EQ(reservation.remaining(1000), 0);
+}
+
+TEST(Reservation, RemainingZeroAfterSale) {
+  Reservation reservation = make(0, 100);
+  reservation.sold = true;
+  reservation.sold_at = 30;
+  EXPECT_EQ(reservation.remaining(29), 71);
+  EXPECT_EQ(reservation.remaining(30), 0);
+}
+
+TEST(Reservation, RemainingFraction) {
+  const Reservation reservation = make(0, 100);
+  EXPECT_DOUBLE_EQ(reservation.remaining_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(reservation.remaining_fraction(75), 0.25);
+  EXPECT_DOUBLE_EQ(reservation.remaining_fraction(100), 0.0);
+}
+
+TEST(Reservation, ActiveHelper) {
+  Reservation reservation = make(0, 10);
+  EXPECT_TRUE(reservation.active(5));
+  EXPECT_FALSE(reservation.active(10));
+  reservation.sold = true;
+  reservation.sold_at = 5;
+  EXPECT_FALSE(reservation.active(5));
+  EXPECT_TRUE(reservation.active(4));
+}
+
+}  // namespace
+}  // namespace rimarket::fleet

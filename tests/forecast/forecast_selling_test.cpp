@@ -1,0 +1,119 @@
+#include "forecast/forecast_selling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+#include "selling/baselines.hpp"
+#include "sim/simulator.hpp"
+
+namespace rimarket::forecast {
+namespace {
+
+// Small instance: p=1, R=20, alpha=0.25, T=40h.
+pricing::InstanceType tiny_type() {
+  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+}
+
+ForecastSelling make_policy(double fraction = 0.75) {
+  return ForecastSelling(tiny_type(), fraction, 0.8,
+                         std::make_unique<EwmaForecaster>(0.2));
+}
+
+TEST(ForecastSelling, ForwardBreakEvenMatchesFormula) {
+  const ForecastSelling policy = make_policy(0.75);
+  // beta_fwd = (1-f)*a*R / (p*(1-alpha)) = 0.25*0.8*20/0.75.
+  EXPECT_NEAR(policy.forward_break_even_hours(), 0.25 * 0.8 * 20.0 / 0.75, 1e-9);
+}
+
+TEST(ForecastSelling, ExpectedUtilizationClamps) {
+  EXPECT_DOUBLE_EQ(ForecastSelling::expected_utilization(3.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ForecastSelling::expected_utilization(3.5, 3), 0.5);
+  EXPECT_DOUBLE_EQ(ForecastSelling::expected_utilization(3.5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ForecastSelling::expected_utilization(0.0, 0), 0.0);
+}
+
+TEST(ForecastSelling, SellsWhenForecastSeesNoDemand) {
+  fleet::ReservationLedger ledger(40);
+  const fleet::ReservationId id = ledger.reserve(0);
+  ForecastSelling policy = make_policy(0.75);
+  for (Hour t = 0; t < 30; ++t) {
+    policy.observe(t, 0);
+    ledger.assign(t, 0);
+    if (t < 30 - 1) {
+      EXPECT_TRUE(policy.decide(t, ledger).empty());
+    }
+  }
+  policy.observe(30, 0);
+  const auto decision = policy.decide(30, ledger);
+  ASSERT_EQ(decision.size(), 1u);
+  EXPECT_EQ(decision[0], id);
+}
+
+TEST(ForecastSelling, KeepsWhenForecastSeesDemand) {
+  fleet::ReservationLedger ledger(40);
+  ledger.reserve(0);
+  ForecastSelling policy = make_policy(0.75);
+  for (Hour t = 0; t <= 30; ++t) {
+    policy.observe(t, 1);
+    ledger.assign(t, 1);
+    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+  }
+}
+
+TEST(ForecastSelling, RankDependentDecision) {
+  // Two reservations, steady demand of one instance: the EWMA predicts
+  // mean 1, so rank 0 expects full utilization (keep) and rank 1 expects
+  // none (sell).
+  fleet::ReservationLedger ledger(40);
+  const fleet::ReservationId first = ledger.reserve(0);
+  const fleet::ReservationId second = ledger.reserve(0);
+  ForecastSelling policy = make_policy(0.75);
+  std::vector<fleet::ReservationId> decision;
+  for (Hour t = 0; t <= 30; ++t) {
+    policy.observe(t, 1);
+    ledger.assign(t, 1);
+    const auto now = policy.decide(t, ledger);
+    decision.insert(decision.end(), now.begin(), now.end());
+  }
+  ASSERT_EQ(decision.size(), 1u);
+  EXPECT_EQ(decision[0], second);
+  (void)first;
+}
+
+TEST(ForecastSelling, MisledByDelayedOnset) {
+  // Quiet before the spot, demand after: the backward-looking A_{3T/4}
+  // would also sell here, but the *forecast* policy sells precisely
+  // because its prediction extrapolates the quiet past — the paper's
+  // criticism of prediction-based strategies in one scenario.
+  const pricing::InstanceType type = tiny_type();
+  std::vector<Count> demand(40, 0);
+  for (int t = 31; t < 40; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;  // returns right after the spot
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  const sim::ReservationStream stream{std::vector<Count>{1}};
+  sim::SimulationConfig config;
+  config.type = type;
+  config.selling_discount = 0.8;
+  ForecastSelling policy(type, 0.75, 0.8, std::make_unique<EwmaForecaster>(0.2));
+  const sim::SimulationResult result = sim::simulate(trace, stream, policy, config);
+  EXPECT_EQ(result.instances_sold, 1);
+  EXPECT_EQ(result.on_demand_hours, 9);
+}
+
+TEST(ForecastSelling, NameIncludesForecasterAndSpot) {
+  const ForecastSelling policy = make_policy(0.5);
+  EXPECT_NE(policy.name().find("ewma"), std::string::npos);
+  EXPECT_NE(policy.name().find("0.50T"), std::string::npos);
+}
+
+TEST(ForecastSelling, NoObservationsNoSales) {
+  fleet::ReservationLedger ledger(40);
+  ledger.reserve(0);
+  ForecastSelling policy = make_policy(0.75);
+  // decide() without a single observe() must not touch the forecaster.
+  EXPECT_TRUE(policy.decide(30, ledger).empty());
+}
+
+}  // namespace
+}  // namespace rimarket::forecast

@@ -1,0 +1,146 @@
+#include "forecast/forecasters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rimarket::forecast {
+namespace {
+
+TEST(Ewma, SeedsWithFirstObservation) {
+  EwmaForecaster forecaster(0.1);
+  forecaster.observe(10);
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(100), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstantSignal) {
+  EwmaForecaster forecaster(0.2);
+  forecaster.observe(0);
+  for (int i = 0; i < 200; ++i) {
+    forecaster.observe(8);
+  }
+  EXPECT_NEAR(forecaster.predict_mean(1), 8.0, 0.01);
+}
+
+TEST(Ewma, SmoothingControlsReactionSpeed) {
+  EwmaForecaster slow(0.01);
+  EwmaForecaster fast(0.5);
+  slow.observe(0);
+  fast.observe(0);
+  for (int i = 0; i < 10; ++i) {
+    slow.observe(10);
+    fast.observe(10);
+  }
+  EXPECT_LT(slow.predict_mean(1), fast.predict_mean(1));
+}
+
+TEST(Ewma, FlatForecastAcrossHorizons) {
+  EwmaForecaster forecaster;
+  forecaster.observe(5);
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(1), forecaster.predict_mean(10000));
+}
+
+TEST(SeasonalNaive, LearnsPeriodicPattern) {
+  SeasonalNaiveForecaster forecaster(/*period=*/24);
+  // 10 days of: 12 busy hours at level 6, 12 idle hours.
+  for (int day = 0; day < 10; ++day) {
+    for (int h = 0; h < 24; ++h) {
+      forecaster.observe(h < 12 ? 6 : 0);
+    }
+  }
+  // Mean over the next full day = 3.
+  EXPECT_NEAR(forecaster.predict_mean(24), 3.0, 0.01);
+  // Mean over the next 12 hours (the busy half, since observation ends at
+  // a day boundary) = 6.
+  EXPECT_NEAR(forecaster.predict_mean(12), 6.0, 0.01);
+}
+
+TEST(SeasonalNaive, HandlesPartialHistory) {
+  SeasonalNaiveForecaster forecaster(/*period=*/24);
+  forecaster.observe(4);
+  EXPECT_NEAR(forecaster.predict_mean(24), 4.0, 1e-9);
+}
+
+TEST(Holt, SeedsWithFirstObservationAndZeroTrend) {
+  HoltForecaster forecaster(0.2, 0.1);
+  forecaster.observe(6);
+  EXPECT_DOUBLE_EQ(forecaster.level(), 6.0);
+  EXPECT_DOUBLE_EQ(forecaster.trend(), 0.0);
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(100), 6.0);
+}
+
+TEST(Holt, LearnsALinearRamp) {
+  HoltForecaster forecaster(0.5, 0.3);
+  for (Count d = 0; d <= 200; ++d) {
+    forecaster.observe(d);
+  }
+  // On a unit-slope ramp the learned trend approaches 1 and predictions
+  // extrapolate upward, unlike the flat EWMA.
+  EXPECT_NEAR(forecaster.trend(), 1.0, 0.1);
+  EXPECT_GT(forecaster.predict_mean(100), 200.0);
+}
+
+TEST(Holt, PredictionClampedAtZeroOnDecline) {
+  HoltForecaster forecaster(0.5, 0.5);
+  for (Count d = 50; d >= 1; --d) {
+    forecaster.observe(d);
+  }
+  // Steep decline extrapolated far out must not go negative.
+  EXPECT_GE(forecaster.predict_mean(10000), 0.0);
+}
+
+TEST(Holt, ConstantSignalHasNoTrend) {
+  HoltForecaster forecaster;
+  for (int i = 0; i < 300; ++i) {
+    forecaster.observe(4);
+  }
+  EXPECT_NEAR(forecaster.trend(), 0.0, 1e-6);
+  EXPECT_NEAR(forecaster.predict_mean(500), 4.0, 0.01);
+}
+
+TEST(WindowMean, AveragesRecentWindow) {
+  WindowMeanForecaster forecaster(/*window=*/4);
+  for (const Count d : {Count{1}, Count{2}, Count{3}, Count{4}}) {
+    forecaster.observe(d);
+  }
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(10), 2.5);
+  // Two more observations push out the oldest two.
+  forecaster.observe(10);
+  forecaster.observe(10);
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(10), (3 + 4 + 10 + 10) / 4.0);
+}
+
+TEST(WindowMean, PartialWindow) {
+  WindowMeanForecaster forecaster(/*window=*/100);
+  forecaster.observe(2);
+  forecaster.observe(4);
+  EXPECT_DOUBLE_EQ(forecaster.predict_mean(1), 3.0);
+}
+
+TEST(Factory, ProducesEveryKind) {
+  for (const auto kind :
+       {ForecasterKind::kEwma, ForecasterKind::kSeasonalNaive, ForecasterKind::kWindowMean,
+        ForecasterKind::kHolt}) {
+    const auto forecaster = make_forecaster(kind);
+    ASSERT_NE(forecaster, nullptr);
+    forecaster->observe(3);
+    EXPECT_GE(forecaster->predict_mean(24), 0.0);
+    EXPECT_FALSE(forecaster->name().empty());
+  }
+}
+
+TEST(Forecasters, TrackStationaryNoiseMean) {
+  common::Rng rng(5);
+  EwmaForecaster ewma(0.05);
+  WindowMeanForecaster window(500);
+  for (int i = 0; i < 5000; ++i) {
+    const Count demand = rng.poisson(7.0);
+    ewma.observe(demand);
+    window.observe(demand);
+  }
+  EXPECT_NEAR(ewma.predict_mean(100), 7.0, 0.8);
+  EXPECT_NEAR(window.predict_mean(100), 7.0, 0.4);
+}
+
+}  // namespace
+}  // namespace rimarket::forecast

@@ -1,0 +1,129 @@
+// Parameterized catalog-wide invariants: every instance type (both terms)
+// must drive the whole pipeline without violating the structural
+// invariants the algorithms rely on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pricing/catalog.hpp"
+#include "selling/baselines.hpp"
+#include "selling/fixed_spot.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace rimarket {
+namespace {
+
+std::vector<pricing::InstanceType> all_catalog_types() {
+  std::vector<pricing::InstanceType> types;
+  for (const auto& type : pricing::PricingCatalog::builtin().types()) {
+    types.push_back(type);
+  }
+  for (const auto& type : pricing::PricingCatalog::builtin_3year().types()) {
+    pricing::InstanceType renamed = type;
+    renamed.name += "-3y";
+    types.push_back(renamed);
+  }
+  return types;
+}
+
+class CatalogSweep : public ::testing::TestWithParam<pricing::InstanceType> {};
+
+TEST_P(CatalogSweep, BreakEvenWithinDecisionWindow) {
+  // beta(f) must be positive and lie strictly inside the observation window
+  // [0, f*T] for every paper spot — otherwise the decision is degenerate.
+  const pricing::InstanceType& type = GetParam();
+  for (const double fraction : {0.25, 0.5, 0.75}) {
+    for (const double a : {0.2, 0.5, 0.8, 1.0}) {
+      const double beta = type.break_even_hours(fraction, a);
+      EXPECT_GT(beta, 0.0) << type.name;
+      EXPECT_LT(beta, fraction * static_cast<double>(type.term)) << type.name << " a=" << a;
+    }
+  }
+}
+
+TEST_P(CatalogSweep, SaleIncomeMonotoneInElapsedTime) {
+  const pricing::InstanceType& type = GetParam();
+  Dollars previous = type.sale_income(0, 0.8);
+  for (Hour elapsed = type.term / 8; elapsed <= type.term; elapsed += type.term / 8) {
+    const Dollars income = type.sale_income(elapsed, 0.8);
+    EXPECT_LT(income, previous) << type.name;
+    previous = income;
+  }
+  EXPECT_NEAR(type.sale_income(type.term, 0.8), 0.0, 1e-9);
+}
+
+TEST_P(CatalogSweep, SellingIdleReservationAlwaysSavesUnderEqOne) {
+  // Under Eq. (1) billing an idle reservation burns alpha*p every hour, so
+  // every A_f must improve on keep-reserved for a front-loaded workload.
+  const pricing::InstanceType& type = GetParam();
+  common::Rng rng(11);
+  std::vector<Count> demand(static_cast<std::size_t>(type.term), 0);
+  for (Hour t = 0; t < type.term / 30; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  const sim::ReservationStream stream{std::vector<Count>{1}};
+  sim::SimulationConfig config;
+  config.type = type;
+  config.selling_discount = 0.8;
+  selling::KeepReservedPolicy keep;
+  const Dollars keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
+  for (const double fraction : {0.25, 0.5, 0.75}) {
+    selling::FixedSpotSelling seller(type, fraction, 0.8);
+    const auto result = sim::simulate(trace, stream, seller, config);
+    EXPECT_EQ(result.instances_sold, 1) << type.name << " f=" << fraction;
+    EXPECT_LT(result.net_cost(), keep_cost) << type.name << " f=" << fraction;
+  }
+}
+
+TEST_P(CatalogSweep, FullyBusyReservationNeverSold) {
+  const pricing::InstanceType& type = GetParam();
+  const workload::DemandTrace trace{
+      std::vector<Count>(static_cast<std::size_t>(type.term), 1)};
+  const sim::ReservationStream stream{std::vector<Count>{1}};
+  sim::SimulationConfig config;
+  config.type = type;
+  config.selling_discount = 0.8;
+  for (const double fraction : {0.25, 0.5, 0.75}) {
+    selling::FixedSpotSelling seller(type, fraction, 0.8);
+    EXPECT_EQ(sim::simulate(trace, stream, seller, config).instances_sold, 0)
+        << type.name << " f=" << fraction;
+  }
+}
+
+TEST_P(CatalogSweep, CostComponentsReconcile) {
+  // net == on_demand + upfront + reserved_hourly - sale_income, and every
+  // component is non-negative, for a bursty workload on this type.
+  const pricing::InstanceType& type = GetParam();
+  common::Rng rng(13);
+  workload::BurstyGenerator generator(0.01, 4.0, 12.0, 0);
+  const workload::DemandTrace trace = generator.generate(type.term, rng);
+  const sim::ReservationStream stream{std::vector<Count>{2}};
+  sim::SimulationConfig config;
+  config.type = type;
+  config.selling_discount = 0.8;
+  selling::FixedSpotSelling seller(type, 0.5, 0.8);
+  const auto result = sim::simulate(trace, stream, seller, config);
+  EXPECT_GE(result.totals.on_demand, 0.0);
+  EXPECT_GE(result.totals.upfront, 0.0);
+  EXPECT_GE(result.totals.reserved_hourly, 0.0);
+  EXPECT_GE(result.totals.sale_income, 0.0);
+  EXPECT_NEAR(result.net_cost(),
+              result.totals.on_demand + result.totals.upfront +
+                  result.totals.reserved_hourly - result.totals.sale_income,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CatalogSweep, ::testing::ValuesIn(all_catalog_types()),
+                         [](const ::testing::TestParamInfo<pricing::InstanceType>& param_info) {
+                           std::string name = param_info.param.name;
+                           for (char& c : name) {
+                             if (c == '.' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rimarket

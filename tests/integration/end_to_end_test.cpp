@@ -1,0 +1,141 @@
+// Integration: the full pipeline — population -> purchasing imitators ->
+// reservation streams -> selling policies -> normalization -> reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/normalize.hpp"
+#include "analysis/reports.hpp"
+#include "analysis/summary.hpp"
+#include "pricing/catalog.hpp"
+#include "sim/runner.hpp"
+
+namespace rimarket {
+namespace {
+
+workload::UserPopulation tiny_population() {
+  workload::PopulationSpec spec;
+  spec.users_per_group = 4;
+  spec.trace_hours = 2 * kHoursPerYear;
+  spec.seed = 77;
+  return workload::UserPopulation::build(spec);
+}
+
+sim::EvaluationSpec paper_spec() {
+  sim::EvaluationSpec spec;
+  spec.sim.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+  spec.sim.selling_discount = 0.8;
+  spec.sellers = sim::paper_sellers(0.75);
+  spec.seed = 3;
+  spec.threads = 4;
+  return spec;
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    population_ = new workload::UserPopulation(tiny_population());
+    results_ = new std::vector<sim::ScenarioResult>(sim::evaluate(*population_, paper_spec()));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    delete results_;
+    population_ = nullptr;
+    results_ = nullptr;
+  }
+  static workload::UserPopulation* population_;
+  static std::vector<sim::ScenarioResult>* results_;
+};
+
+workload::UserPopulation* EndToEnd::population_ = nullptr;
+std::vector<sim::ScenarioResult>* EndToEnd::results_ = nullptr;
+
+TEST_F(EndToEnd, SweepHasFullCoverage) {
+  const auto& results = *results_;
+  EXPECT_EQ(results.size(), 12u * 4u * 5u);
+}
+
+TEST_F(EndToEnd, AllCostsFinite) {
+  for (const auto& result : *results_) {
+    EXPECT_TRUE(std::isfinite(result.net_cost));
+  }
+}
+
+TEST_F(EndToEnd, KeepReservedRunsNeverSell) {
+  for (const auto& result : *results_) {
+    if (result.seller.kind == sim::SellerKind::kKeepReserved) {
+      EXPECT_EQ(result.instances_sold, 0);
+    } else {
+      EXPECT_LE(result.instances_sold, result.reservations_made);
+    }
+  }
+}
+
+TEST_F(EndToEnd, AllSellingDominatesSameSpotAlgorithm) {
+  // All-selling@3T/4 decides on exactly the reservations A_{3T/4} decides
+  // on (same spot) and always says "sell", so it must sell at least as
+  // many instances.  (A_{T/4} may legitimately sell more: its earlier spot
+  // also covers reservations booked too late to reach 3T/4 within the
+  // horizon.)
+  std::map<std::pair<int, purchasing::PurchaserKind>, Count> all_selling_sales;
+  for (const auto& result : *results_) {
+    if (result.seller.kind == sim::SellerKind::kAllSelling) {
+      all_selling_sales[{result.user_id, result.purchaser}] = result.instances_sold;
+    }
+  }
+  for (const auto& result : *results_) {
+    if (result.seller.kind == sim::SellerKind::kA3T4) {
+      const auto it = all_selling_sales.find({result.user_id, result.purchaser});
+      ASSERT_NE(it, all_selling_sales.end());
+      EXPECT_LE(result.instances_sold, it->second);
+    }
+  }
+}
+
+TEST_F(EndToEnd, NormalizationJoinsEveryScenario) {
+  const auto normalized = analysis::normalize_to_keep(*results_);
+  // Some (user, purchaser) pairs can have zero baseline cost (no demand ->
+  // no bookings -> no cost); all others must normalize.
+  EXPECT_GT(normalized.size(), 0u);
+  for (const auto& entry : normalized) {
+    EXPECT_GT(entry.keep_cost, 0.0);
+    EXPECT_TRUE(std::isfinite(entry.ratio));
+    EXPECT_GE(entry.ratio, 0.0);
+  }
+}
+
+TEST_F(EndToEnd, ReportsRenderFromRealData) {
+  const auto normalized = analysis::normalize_to_keep(*results_);
+  EXPECT_FALSE(analysis::render_table3(normalized).empty());
+  EXPECT_FALSE(analysis::render_fig3_panel(normalized, {sim::SellerKind::kA3T4, 0.75},
+                                           {sim::SellerKind::kAllSelling, 0.75})
+                   .empty());
+  EXPECT_FALSE(
+      analysis::render_fig4_panel(normalized, workload::FluctuationGroup::kHigh).empty());
+  EXPECT_FALSE(
+      analysis::render_table2(*results_, population_->most_fluctuating().id).empty());
+  EXPECT_FALSE(analysis::render_fig2(*population_).empty());
+}
+
+TEST_F(EndToEnd, SellingNeverSellsMoreThanBooked) {
+  for (const auto& result : *results_) {
+    EXPECT_GE(result.reservations_made, 0);
+    EXPECT_GE(result.instances_sold, 0);
+    EXPECT_LE(result.instances_sold, result.reservations_made);
+  }
+}
+
+TEST_F(EndToEnd, AllReservedPurchaserBooksForEveryUserWithDemand) {
+  for (const auto& result : *results_) {
+    if (result.purchaser == purchasing::PurchaserKind::kAllReserved &&
+        result.seller.kind == sim::SellerKind::kKeepReserved) {
+      const auto& user = population_->users()[static_cast<std::size_t>(result.user_id)];
+      if (user.trace.total() > 0) {
+        EXPECT_GT(result.reservations_made, 0) << "user " << result.user_id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rimarket

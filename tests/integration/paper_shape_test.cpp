@@ -1,0 +1,115 @@
+// Integration: qualitative shape of the paper's evaluation results.
+//
+// These tests assert the *shape* the paper reports (who wins, directions of
+// effects), not its absolute numbers, on a reduced population (the bench
+// binaries run the full 300-user reproduction).
+#include <gtest/gtest.h>
+
+#include "analysis/normalize.hpp"
+#include "analysis/summary.hpp"
+#include "pricing/catalog.hpp"
+#include "sim/runner.hpp"
+
+namespace rimarket {
+namespace {
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::PopulationSpec pop_spec;
+    pop_spec.users_per_group = 10;
+    pop_spec.trace_hours = 2 * kHoursPerYear;
+    pop_spec.seed = 2018;
+    population_ = new workload::UserPopulation(workload::UserPopulation::build(pop_spec));
+
+    sim::EvaluationSpec spec;
+    spec.sim.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+    spec.sim.selling_discount = 0.8;
+    spec.sellers = sim::paper_sellers(0.75);
+    spec.seed = 1;
+    spec.threads = 0;
+    results_ = new std::vector<sim::ScenarioResult>(sim::evaluate(*population_, spec));
+    normalized_ =
+        new std::vector<analysis::NormalizedResult>(analysis::normalize_to_keep(*results_));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    delete results_;
+    delete normalized_;
+    population_ = nullptr;
+    results_ = nullptr;
+    normalized_ = nullptr;
+  }
+
+  static workload::UserPopulation* population_;
+  static std::vector<sim::ScenarioResult>* results_;
+  static std::vector<analysis::NormalizedResult>* normalized_;
+};
+
+workload::UserPopulation* PaperShape::population_ = nullptr;
+std::vector<sim::ScenarioResult>* PaperShape::results_ = nullptr;
+std::vector<analysis::NormalizedResult>* PaperShape::normalized_ = nullptr;
+
+TEST_F(PaperShape, AllThreeAlgorithmsSaveOnAverage) {
+  // Paper Table III: every algorithm's average normalized cost < 1 overall.
+  for (const auto kind :
+       {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
+    const double average = analysis::overall_average(*normalized_, {kind, 0.75});
+    EXPECT_LT(average, 1.0) << sim::seller_name({kind, 0.75});
+    EXPECT_GT(average, 0.3);
+  }
+}
+
+TEST_F(PaperShape, EarlierSpotsSaveMoreOnAverage) {
+  // Paper Table III: A_{T/4} (0.80) < A_{T/2} (0.86) < A_{3T/4} (0.93).
+  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, 0.75});
+  const double at2 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT2, 0.50});
+  const double at4 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT4, 0.25});
+  EXPECT_LT(at4, at2);
+  EXPECT_LT(at2, a34);
+}
+
+TEST_F(PaperShape, MajorityOfUsersSaveWithEachAlgorithm) {
+  // Paper Fig. 3: >60% (A_{3T/4}), >70% (A_{T/2}), >75% (A_{T/4}) of users
+  // reduce their costs.  Assert the common core: a clear majority saves.
+  for (const auto kind :
+       {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
+    const auto sample = analysis::per_user_ratios(*normalized_, {kind, 0.75});
+    const auto summary = analysis::summarize_ratios(sample);
+    EXPECT_GT(summary.fraction_saving, 0.5) << sim::seller_name({kind, 0.75});
+  }
+}
+
+TEST_F(PaperShape, RegressionsAreRareAndSmallForLateSpot) {
+  // Paper Fig. 3a: ~1% of users regress under A_{3T/4} and the worst
+  // regression is under 1%.  Assert the qualitative claim: few regressing
+  // users, bounded worst case.
+  const auto sample = analysis::per_user_ratios(*normalized_, {sim::SellerKind::kA3T4, 0.75});
+  const auto summary = analysis::summarize_ratios(sample);
+  EXPECT_LT(summary.fraction_worse, 0.25);
+  EXPECT_LT(summary.max_ratio, 1.10);
+}
+
+TEST_F(PaperShape, OnlineBeatsAllSellingOnAverage) {
+  // Fig. 3: the utilization-aware rule dominates indiscriminate selling.
+  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, 0.75});
+  const double all = analysis::overall_average(*normalized_,
+                                               {sim::SellerKind::kAllSelling, 0.75});
+  EXPECT_LE(a34, all + 1e-9);
+}
+
+TEST_F(PaperShape, EveryGroupSavesUnderEveryAlgorithm) {
+  // Paper Table III: all nine group cells are below 1.
+  for (const auto kind :
+       {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
+    for (const auto group :
+         {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
+          workload::FluctuationGroup::kHigh}) {
+      EXPECT_LT(analysis::group_average(*normalized_, {kind, 0.75}, group), 1.02)
+          << sim::seller_name({kind, 0.75}) << " / " << workload::group_name(group);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rimarket

@@ -1,0 +1,70 @@
+#include "market/discount_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+
+namespace rimarket::market {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+DiscountResponseModel make_model(double depth = 20.0) {
+  ResponseModelConfig config;
+  config.buyer_rate_per_hour = 0.5;
+  config.mean_buyer_quantity = 2.0;
+  config.depth_density = depth;
+  return DiscountResponseModel(d2(), config);
+}
+
+TEST(DiscountOptimizer, PicksIncomeMaximizingDiscount) {
+  const DiscountResponseModel model = make_model();
+  const DiscountChoice choice = optimal_discount(model, 1000, 0.12);
+  EXPECT_GT(choice.expected_income, 0.0);
+  // The optimum must weakly dominate every grid point we can check.
+  for (double a = 0.05; a <= 1.0; a += 0.05) {
+    EXPECT_GE(choice.expected_income + 1e-9, model.expected_income(1000, a, 0.12))
+        << "a=" << a;
+  }
+}
+
+TEST(DiscountOptimizer, FastMarketPrefersShallowDiscount) {
+  // With no competing listings, waiting costs almost nothing, so asking
+  // near the cap maximizes income.
+  const DiscountResponseModel empty_book = make_model(/*depth=*/0.0);
+  const DiscountChoice choice = optimal_discount(empty_book, 1000, 0.0);
+  EXPECT_GT(choice.discount, 0.9);
+}
+
+TEST(DiscountOptimizer, RespectsGridBounds) {
+  const DiscountResponseModel model = make_model();
+  const DiscountChoice choice = optimal_discount(model, 1000, 0.12, 0.3, 0.6, 7);
+  EXPECT_GE(choice.discount, 0.3);
+  EXPECT_LE(choice.discount, 0.6);
+}
+
+TEST(DiscountOptimizer, LateReservationsEarnLess) {
+  const DiscountResponseModel model = make_model();
+  const DiscountChoice early = optimal_discount(model, 500, 0.12);
+  const DiscountChoice late = optimal_discount(model, 8000, 0.12);
+  EXPECT_GT(early.expected_income, late.expected_income);
+}
+
+TEST(IncomeModel, AdapterMatchesResponseModel) {
+  const DiscountResponseModel model = make_model();
+  const auto income = make_income_model(model, 0.12);
+  for (const Hour age : {Hour{100}, Hour{2190}, Hour{6570}}) {
+    EXPECT_NEAR(income(d2(), age, 0.8), model.expected_income(age, 0.8, 0.12), 1e-9);
+  }
+}
+
+TEST(IncomeModel, NetOfFeeBelowInstantGrossSale) {
+  const auto income = make_income_model(make_model(), 0.12);
+  const Hour age = 2190;
+  EXPECT_LT(income(d2(), age, 0.8), d2().sale_income(age, 0.8));
+}
+
+}  // namespace
+}  // namespace rimarket::market

@@ -1,0 +1,127 @@
+#include "market/order_book.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::market {
+namespace {
+
+Listing listing(ListingId id, Dollars ask, Hour listed_at = 0) {
+  Listing entry;
+  entry.id = id;
+  entry.seller = id * 10;
+  entry.remaining_hours = 1000;
+  entry.ask = ask;
+  entry.listed_at = listed_at;
+  return entry;
+}
+
+TEST(OrderBook, AddAndDepth) {
+  OrderBook book;
+  EXPECT_TRUE(book.empty());
+  EXPECT_TRUE(book.add(listing(1, 10.0)));
+  EXPECT_TRUE(book.add(listing(2, 5.0)));
+  EXPECT_EQ(book.depth(), 2u);
+  EXPECT_FALSE(book.empty());
+}
+
+TEST(OrderBook, RejectsInvalidAndDuplicate) {
+  OrderBook book;
+  Listing bad = listing(1, 10.0);
+  bad.remaining_hours = 0;
+  EXPECT_FALSE(book.add(bad));
+  EXPECT_TRUE(book.add(listing(2, 5.0)));
+  EXPECT_FALSE(book.add(listing(2, 7.0)));  // duplicate id
+  EXPECT_EQ(book.depth(), 1u);
+}
+
+TEST(OrderBook, BestAskIsLowest) {
+  OrderBook book;
+  book.add(listing(1, 10.0));
+  book.add(listing(2, 4.0));
+  book.add(listing(3, 7.0));
+  ASSERT_TRUE(book.best_ask().has_value());
+  EXPECT_DOUBLE_EQ(*book.best_ask(), 4.0);
+}
+
+TEST(OrderBook, MatchTakesLowestAskFirst) {
+  // Paper: "the marketplace sells the reserved instance with the lowest
+  // upfront fee at first".
+  OrderBook book;
+  book.add(listing(1, 10.0));
+  book.add(listing(2, 4.0));
+  book.add(listing(3, 7.0));
+  const auto fills = book.match(2, 100.0);
+  ASSERT_EQ(fills.size(), 2u);
+  EXPECT_EQ(fills[0].listing.id, 2);
+  EXPECT_EQ(fills[1].listing.id, 3);
+  EXPECT_EQ(book.depth(), 1u);
+}
+
+TEST(OrderBook, MatchRespectsMaxPrice) {
+  OrderBook book;
+  book.add(listing(1, 10.0));
+  book.add(listing(2, 4.0));
+  const auto fills = book.match(5, 6.0);
+  ASSERT_EQ(fills.size(), 1u);
+  EXPECT_EQ(fills[0].listing.id, 2);
+  EXPECT_EQ(book.depth(), 1u);  // the $10 listing rests
+}
+
+TEST(OrderBook, MatchZeroQuantityIsNoop) {
+  OrderBook book;
+  book.add(listing(1, 10.0));
+  EXPECT_TRUE(book.match(0, 100.0).empty());
+  EXPECT_EQ(book.depth(), 1u);
+}
+
+TEST(OrderBook, MatchDrainsBook) {
+  OrderBook book;
+  book.add(listing(1, 1.0));
+  book.add(listing(2, 2.0));
+  const auto fills = book.match(10, 100.0);
+  EXPECT_EQ(fills.size(), 2u);
+  EXPECT_TRUE(book.empty());
+  EXPECT_FALSE(book.best_ask().has_value());
+}
+
+TEST(OrderBook, TieBreaksByListingTime) {
+  OrderBook book;
+  book.add(listing(1, 5.0, /*listed_at=*/20));
+  book.add(listing(2, 5.0, /*listed_at=*/10));
+  const auto fills = book.match(1, 100.0);
+  ASSERT_EQ(fills.size(), 1u);
+  EXPECT_EQ(fills[0].listing.id, 2);  // earlier listing wins
+}
+
+TEST(OrderBook, CancelRemovesListing) {
+  OrderBook book;
+  book.add(listing(1, 5.0));
+  book.add(listing(2, 6.0));
+  EXPECT_TRUE(book.cancel(1));
+  EXPECT_FALSE(book.cancel(1));  // already gone
+  EXPECT_EQ(book.depth(), 1u);
+  EXPECT_DOUBLE_EQ(*book.best_ask(), 6.0);
+}
+
+TEST(OrderBook, SnapshotInPriceOrder) {
+  OrderBook book;
+  book.add(listing(1, 9.0));
+  book.add(listing(2, 3.0));
+  book.add(listing(3, 6.0));
+  const auto snapshot = book.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot[0].ask, 3.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].ask, 6.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].ask, 9.0);
+}
+
+TEST(OrderBook, FillPriceEqualsAsk) {
+  OrderBook book;
+  book.add(listing(1, 7.25));
+  const auto fills = book.match(1, 100.0);
+  ASSERT_EQ(fills.size(), 1u);
+  EXPECT_DOUBLE_EQ(fills[0].price, 7.25);
+}
+
+}  // namespace
+}  // namespace rimarket::market

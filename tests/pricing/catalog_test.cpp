@@ -1,0 +1,119 @@
+#include "pricing/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::pricing {
+namespace {
+
+TEST(Catalog, BuiltinIsValidAndNonTrivial) {
+  const PricingCatalog& catalog = PricingCatalog::builtin();
+  EXPECT_TRUE(catalog.valid());
+  EXPECT_GE(catalog.size(), 20u);
+}
+
+TEST(Catalog, BuiltinContainsPaperInstance) {
+  const auto d2 = PricingCatalog::builtin().find("d2.xlarge");
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_DOUBLE_EQ(d2->upfront, 1506.0);
+  EXPECT_DOUBLE_EQ(d2->on_demand_hourly, 0.69);
+  EXPECT_NEAR(d2->alpha(), 0.25, 1e-9);
+  EXPECT_EQ(d2->term, kHoursPerYear);
+}
+
+TEST(Catalog, FindMissingReturnsNullopt) {
+  EXPECT_FALSE(PricingCatalog::builtin().find("z9.mega").has_value());
+}
+
+TEST(Catalog, RequireReturnsReference) {
+  const InstanceType& type = PricingCatalog::builtin().require("m4.large");
+  EXPECT_EQ(type.name, "m4.large");
+}
+
+TEST(Catalog, StatisticsMatchPaperAssumptions) {
+  // The proofs rely on alpha < 0.36 and theta in (1, 4] for standard Linux
+  // US-East 1-yr instances (paper Sections IV-C and V).
+  const auto stats = PricingCatalog::builtin().statistics();
+  EXPECT_GT(stats.min_alpha, 0.0);
+  EXPECT_LT(stats.max_alpha, 0.36);
+  EXPECT_GT(stats.min_theta, 1.0);
+  EXPECT_LT(stats.max_theta, 4.05);
+}
+
+TEST(Catalog, EveryBuiltinTypeIsSelfConsistent) {
+  for (const InstanceType& type : PricingCatalog::builtin().types()) {
+    EXPECT_TRUE(type.valid()) << type.name;
+    EXPECT_LT(type.alpha(), 1.0) << type.name;
+    EXPECT_GT(type.alpha(), 0.0) << type.name;
+  }
+}
+
+TEST(Catalog, FromCsvParsesWellFormedInput) {
+  const auto catalog = PricingCatalog::from_csv(
+      "name,on_demand,upfront,reserved\n"
+      "x1.test,1.0,1000,0.3\n"
+      "x2.test,2.0,2000,0.6,17520\n");
+  ASSERT_TRUE(catalog.has_value());
+  EXPECT_EQ(catalog->size(), 2u);
+  EXPECT_EQ(catalog->require("x2.test").term, 17520);
+  EXPECT_EQ(catalog->require("x1.test").term, kHoursPerYear);
+}
+
+TEST(Catalog, FromCsvRejectsMalformedRows) {
+  EXPECT_FALSE(PricingCatalog::from_csv("name,od\nx,1\n").has_value());
+  EXPECT_FALSE(PricingCatalog::from_csv(
+                   "name,on_demand,upfront,reserved\nx,abc,1,0.1\n")
+                   .has_value());
+  // Reserved rate >= on-demand is not a valid contract.
+  EXPECT_FALSE(PricingCatalog::from_csv(
+                   "name,on_demand,upfront,reserved\nx,1.0,100,1.5\n")
+                   .has_value());
+}
+
+TEST(Catalog, FromCsvRejectsDuplicateNames) {
+  EXPECT_FALSE(PricingCatalog::from_csv(
+                   "name,on_demand,upfront,reserved\n"
+                   "dup,1.0,100,0.3\n"
+                   "dup,2.0,200,0.5\n")
+                   .has_value());
+}
+
+TEST(Catalog3Year, IsValidWithThreeYearTerms) {
+  const PricingCatalog& catalog = PricingCatalog::builtin_3year();
+  EXPECT_TRUE(catalog.valid());
+  EXPECT_GE(catalog.size(), 8u);
+  for (const InstanceType& type : catalog.types()) {
+    EXPECT_EQ(type.term, 3 * kHoursPerYear) << type.name;
+  }
+}
+
+TEST(Catalog3Year, DeeperDiscountsThanOneYear) {
+  // The 3-year commitment buys a better hourly discount on every instance
+  // present in both catalogs.
+  for (const InstanceType& three_year : PricingCatalog::builtin_3year().types()) {
+    const auto one_year = PricingCatalog::builtin().find(three_year.name);
+    ASSERT_TRUE(one_year.has_value()) << three_year.name;
+    EXPECT_LT(three_year.alpha(), one_year->alpha()) << three_year.name;
+    EXPECT_GT(three_year.upfront, one_year->upfront) << three_year.name;
+  }
+}
+
+TEST(Catalog3Year, ThetaCanExceedTheOneYearFamilyStatistic) {
+  // The paper's theta in (1,4) holds for 1-yr standard instances; 3-yr
+  // contracts break it (which the theory handles by using the instance's
+  // own theta).
+  const auto stats = PricingCatalog::builtin_3year().statistics();
+  EXPECT_GT(stats.max_theta, 4.0);
+  EXPECT_GT(stats.min_theta, 1.0);
+}
+
+TEST(Catalog, PaymentQuotesMatchTableI) {
+  const auto quotes = d2_xlarge_payment_quotes();
+  ASSERT_EQ(quotes.size(), 4u);
+  EXPECT_DOUBLE_EQ(quotes[0].monthly, 293.46);
+  EXPECT_DOUBLE_EQ(quotes[1].upfront, 1506.0);
+  EXPECT_DOUBLE_EQ(quotes[2].upfront, 2952.0);
+  EXPECT_DOUBLE_EQ(quotes[3].hourly, 0.69);
+}
+
+}  // namespace
+}  // namespace rimarket::pricing

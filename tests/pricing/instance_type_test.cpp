@@ -1,0 +1,96 @@
+#include "pricing/instance_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::pricing {
+namespace {
+
+InstanceType d2_xlarge() {
+  // The paper's running example: R=$1506, p=$0.69/h, alpha=0.25, T=1yr.
+  return InstanceType{"d2.xlarge", 0.69, 1506.0, 0.1725, kHoursPerYear};
+}
+
+TEST(InstanceType, AlphaMatchesPaperExample) {
+  EXPECT_NEAR(d2_xlarge().alpha(), 0.25, 1e-12);
+}
+
+TEST(InstanceType, AlphaOfT2NanoExample) {
+  // Paper Section III-A: t2.nano alpha = 0.002/0.0059 ~= 0.34.
+  const InstanceType t2{"t2.nano", 0.0059, 18.0, 0.002, kHoursPerYear};
+  EXPECT_NEAR(t2.alpha(), 0.34, 0.01);
+}
+
+TEST(InstanceType, ThetaIsOnDemandTermCostOverUpfront) {
+  const InstanceType type = d2_xlarge();
+  EXPECT_NEAR(type.theta(), 0.69 * 8760.0 / 1506.0, 1e-12);
+  EXPECT_GT(type.theta(), 1.0);
+  EXPECT_LT(type.theta(), 4.2);
+}
+
+TEST(InstanceType, BreakEvenMatchesPaperEquation9) {
+  const InstanceType type = d2_xlarge();
+  // beta = 3*a*R / (4*p*(1-alpha)) for f = 3/4.
+  const double a = 0.8;
+  const double expected = 3.0 * a * 1506.0 / (4.0 * 0.69 * 0.75);
+  EXPECT_NEAR(type.break_even_hours(0.75, a), expected, 1e-9);
+}
+
+TEST(InstanceType, BreakEvenScalesLinearlyInFraction) {
+  const InstanceType type = d2_xlarge();
+  const double half = type.break_even_hours(0.5, 0.8);
+  const double quarter = type.break_even_hours(0.25, 0.8);
+  EXPECT_NEAR(half, 2.0 * quarter, 1e-9);
+}
+
+TEST(InstanceType, BreakEvenZeroWhenDiscountZero) {
+  EXPECT_DOUBLE_EQ(d2_xlarge().break_even_hours(0.75, 0.0), 0.0);
+}
+
+TEST(InstanceType, ProratedUpfrontEndpoints) {
+  const InstanceType type = d2_xlarge();
+  EXPECT_DOUBLE_EQ(type.prorated_upfront(0), 1506.0);
+  EXPECT_DOUBLE_EQ(type.prorated_upfront(kHoursPerYear), 0.0);
+  EXPECT_NEAR(type.prorated_upfront(kHoursPerYear / 2), 753.0, 1e-9);
+}
+
+TEST(InstanceType, SaleIncomeMatchesT2NanoExample) {
+  // Paper Section III-B: t2.nano, half cycle left, 20% off -> ask $7.2.
+  const InstanceType t2{"t2.nano", 0.0059, 18.0, 0.002, kHoursPerYear};
+  EXPECT_NEAR(t2.sale_income(kHoursPerYear / 2, 0.8), 7.2, 1e-9);
+}
+
+TEST(InstanceType, SaleIncomeZeroDiscountIsZero) {
+  EXPECT_DOUBLE_EQ(d2_xlarge().sale_income(100, 0.0), 0.0);
+}
+
+TEST(InstanceType, ValidAcceptsGoodContract) {
+  EXPECT_TRUE(d2_xlarge().valid());
+}
+
+TEST(InstanceType, ValidRejectsBadContracts) {
+  InstanceType type = d2_xlarge();
+  type.name = "";
+  EXPECT_FALSE(type.valid());
+  type = d2_xlarge();
+  type.on_demand_hourly = 0.0;
+  EXPECT_FALSE(type.valid());
+  type = d2_xlarge();
+  type.reserved_hourly = type.on_demand_hourly;  // no discount
+  EXPECT_FALSE(type.valid());
+  type = d2_xlarge();
+  type.upfront = -1.0;
+  EXPECT_FALSE(type.valid());
+  type = d2_xlarge();
+  type.term = 0;
+  EXPECT_FALSE(type.valid());
+}
+
+TEST(InstanceType, EqualityComparesAllFields) {
+  EXPECT_EQ(d2_xlarge(), d2_xlarge());
+  InstanceType other = d2_xlarge();
+  other.upfront += 1.0;
+  EXPECT_FALSE(other == d2_xlarge());
+}
+
+}  // namespace
+}  // namespace rimarket::pricing

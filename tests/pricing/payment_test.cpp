@@ -1,0 +1,71 @@
+#include "pricing/payment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+
+namespace rimarket::pricing {
+namespace {
+
+TEST(Payment, OptionNamesMatchPaperTable) {
+  EXPECT_EQ(payment_option_name(PaymentOption::kNoUpfront), "No Upfront");
+  EXPECT_EQ(payment_option_name(PaymentOption::kPartialUpfront), "Partial Upfront");
+  EXPECT_EQ(payment_option_name(PaymentOption::kAllUpfront), "All Upfront");
+  EXPECT_EQ(payment_option_name(PaymentOption::kOnDemand), "On-Demand");
+}
+
+TEST(Payment, MonthsInTerm) {
+  EXPECT_DOUBLE_EQ(months_in_term(kHoursPerYear), 12.0);
+  EXPECT_DOUBLE_EQ(months_in_term(3 * kHoursPerYear), 36.0);
+}
+
+TEST(Payment, EffectiveHourlyMatchesTableI) {
+  // Paper Table I: the derived "Effective Hourly" column for d2.xlarge.
+  for (const PaymentQuote& quote : d2_xlarge_payment_quotes()) {
+    switch (quote.option) {
+      case PaymentOption::kNoUpfront:
+        EXPECT_NEAR(quote.effective_hourly(), 0.402, 0.001);
+        break;
+      case PaymentOption::kPartialUpfront:
+        EXPECT_NEAR(quote.effective_hourly(), 0.344, 0.001);
+        break;
+      case PaymentOption::kAllUpfront:
+        EXPECT_NEAR(quote.effective_hourly(), 0.337, 0.001);
+        break;
+      case PaymentOption::kOnDemand:
+        EXPECT_DOUBLE_EQ(quote.effective_hourly(), 0.69);
+        break;
+    }
+  }
+}
+
+TEST(Payment, OnDemandTotalScalesWithUse) {
+  PaymentQuote quote;
+  quote.option = PaymentOption::kOnDemand;
+  quote.hourly = 0.69;
+  EXPECT_DOUBLE_EQ(quote.total_cost(0), 0.0);
+  EXPECT_NEAR(quote.total_cost(1000), 690.0, 1e-9);
+}
+
+TEST(Payment, ReservationTotalIgnoresUse) {
+  PaymentQuote quote;
+  quote.option = PaymentOption::kPartialUpfront;
+  quote.upfront = 1506.0;
+  quote.monthly = 125.56;
+  quote.term = kHoursPerYear;
+  const Dollars idle = quote.total_cost(0);
+  const Dollars busy = quote.total_cost(kHoursPerYear);
+  EXPECT_DOUBLE_EQ(idle, busy);
+  EXPECT_NEAR(idle, 1506.0 + 12 * 125.56, 1e-9);
+}
+
+TEST(Payment, AllUpfrontHasNoRecurringFee) {
+  PaymentQuote quote;
+  quote.option = PaymentOption::kAllUpfront;
+  quote.upfront = 2952.0;
+  quote.term = kHoursPerYear;
+  EXPECT_DOUBLE_EQ(quote.total_cost(123), 2952.0);
+}
+
+}  // namespace
+}  // namespace rimarket::pricing

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "purchasing/all_reserved.hpp"
+#include "purchasing/policy.hpp"
+#include "purchasing/random_reservation.hpp"
+#include "pricing/catalog.hpp"
+
+namespace rimarket::purchasing {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+TEST(AllReserved, ReservesTheGap) {
+  AllReservedPolicy policy;
+  EXPECT_EQ(policy.decide(0, 5, 2), 3);
+  EXPECT_EQ(policy.decide(1, 2, 2), 0);
+  EXPECT_EQ(policy.decide(2, 1, 4), 0);
+  EXPECT_EQ(policy.decide(3, 0, 0), 0);
+}
+
+TEST(AllReserved, NeverUsesOnDemandWhenFollowed) {
+  AllReservedPolicy policy;
+  Count active = 0;
+  for (Hour t = 0; t < 100; ++t) {
+    const Count demand = (t * 13) % 7;
+    active += policy.decide(t, demand, active);
+    EXPECT_GE(active, demand);
+  }
+}
+
+TEST(AllOnDemand, NeverReserves) {
+  AllOnDemandPolicy policy;
+  for (Hour t = 0; t < 50; ++t) {
+    EXPECT_EQ(policy.decide(t, 10, 0), 0);
+  }
+}
+
+TEST(RandomReservation, NeverExceedsDemandTarget) {
+  RandomReservationPolicy policy(77);
+  for (Hour t = 0; t < 2000; ++t) {
+    const Count demand = 10;
+    const Count decided = policy.decide(t, demand, 0);
+    EXPECT_GE(decided, 0);
+    EXPECT_LE(decided, demand);
+  }
+}
+
+TEST(RandomReservation, ZeroDemandMeansNoReservation) {
+  RandomReservationPolicy policy(78);
+  for (Hour t = 0; t < 100; ++t) {
+    EXPECT_EQ(policy.decide(t, 0, 0), 0);
+  }
+}
+
+TEST(RandomReservation, LargeFleetSuppressesBuying) {
+  RandomReservationPolicy policy(79);
+  for (Hour t = 0; t < 100; ++t) {
+    // Target <= demand <= active, so nothing new is needed.
+    EXPECT_EQ(policy.decide(t, 5, 5), 0);
+  }
+}
+
+TEST(RandomReservation, DeterministicPerSeed) {
+  RandomReservationPolicy a(42);
+  RandomReservationPolicy b(42);
+  for (Hour t = 0; t < 200; ++t) {
+    EXPECT_EQ(a.decide(t, 8, 2), b.decide(t, 8, 2));
+  }
+}
+
+TEST(Factory, ProducesEveryKind) {
+  for (const PurchaserKind kind :
+       {PurchaserKind::kAllReserved, PurchaserKind::kAllOnDemand,
+        PurchaserKind::kRandomReservation, PurchaserKind::kWangOnline,
+        PurchaserKind::kWangVariant}) {
+    const auto policy = make_purchaser(kind, d2(), 1);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+    EXPECT_GE(policy->decide(0, 1, 0), 0);
+  }
+}
+
+TEST(Factory, NamesAreDistinct) {
+  EXPECT_EQ(purchaser_name(PurchaserKind::kAllReserved), "all-reserved");
+  EXPECT_EQ(purchaser_name(PurchaserKind::kAllOnDemand), "all-on-demand");
+  EXPECT_EQ(purchaser_name(PurchaserKind::kRandomReservation), "random-reservation");
+  EXPECT_EQ(purchaser_name(PurchaserKind::kWangOnline), "wang-online");
+  EXPECT_EQ(purchaser_name(PurchaserKind::kWangVariant), "wang-variant");
+}
+
+TEST(Factory, PaperPurchasersListMatchesSectionVIA) {
+  ASSERT_EQ(std::size(kPaperPurchasers), 4u);
+  EXPECT_EQ(kPaperPurchasers[0], PurchaserKind::kAllReserved);
+  EXPECT_EQ(kPaperPurchasers[1], PurchaserKind::kRandomReservation);
+  EXPECT_EQ(kPaperPurchasers[2], PurchaserKind::kWangOnline);
+  EXPECT_EQ(kPaperPurchasers[3], PurchaserKind::kWangVariant);
+}
+
+}  // namespace
+}  // namespace rimarket::purchasing

@@ -1,0 +1,113 @@
+#include "purchasing/wang_online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pricing/catalog.hpp"
+
+namespace rimarket::purchasing {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+TEST(WangOnline, BreakEvenHoursMatchFormula) {
+  WangOnlinePolicy policy(d2(), 1.0);
+  const double expected = 1506.0 / (0.69 * 0.75);  // R / (p*(1-alpha))
+  EXPECT_EQ(policy.break_even_hours(), static_cast<Hour>(std::ceil(expected)));
+}
+
+TEST(WangOnline, VariantScalesBreakEven) {
+  WangOnlinePolicy full(d2(), 1.0);
+  WangOnlinePolicy half(d2(), 0.5);
+  EXPECT_LT(half.break_even_hours(), full.break_even_hours());
+  EXPECT_NEAR(static_cast<double>(half.break_even_hours()),
+              0.5 * static_cast<double>(full.break_even_hours()), 1.0);
+}
+
+TEST(WangOnline, NoDemandNoReservation) {
+  WangOnlinePolicy policy(d2(), 1.0);
+  for (Hour t = 0; t < 100; ++t) {
+    EXPECT_EQ(policy.decide(t, 0, 0), 0);
+  }
+}
+
+TEST(WangOnline, CoveredDemandNoReservation) {
+  WangOnlinePolicy policy(d2(), 1.0);
+  for (Hour t = 0; t < 100; ++t) {
+    EXPECT_EQ(policy.decide(t, 3, 3), 0);
+  }
+}
+
+TEST(WangOnline, ReservesExactlyAtBreakEven) {
+  WangOnlinePolicy policy(d2(), 1.0);
+  const Hour break_even = policy.break_even_hours();
+  Count reserved_total = 0;
+  Hour first_purchase = -1;
+  for (Hour t = 0; t < break_even + 10; ++t) {
+    const Count decided = policy.decide(t, 1, reserved_total);
+    reserved_total += decided;
+    if (decided > 0 && first_purchase < 0) {
+      first_purchase = t;
+    }
+  }
+  EXPECT_EQ(reserved_total, 1);
+  // Persistent one-instance demand crosses the threshold at hour
+  // break_even - 1 (hours 0..break_even-1 are break_even observations).
+  EXPECT_EQ(first_purchase, break_even - 1);
+}
+
+TEST(WangOnline, SporadicDemandNeverTriggers) {
+  WangOnlinePolicy policy(d2(), 1.0);
+  const Hour window = d2().term;
+  Count reserved_total = 0;
+  // Demand appears once every (window/10) hours: only ~10 on-demand hours
+  // per level inside any window, far below break-even (~2910 h).
+  for (Hour t = 0; t < 2 * window; t += window / 10) {
+    reserved_total += policy.decide(t, 1, reserved_total);
+  }
+  EXPECT_EQ(reserved_total, 0);
+}
+
+TEST(WangOnline, EagerVariantBuysEarlier) {
+  WangOnlinePolicy conservative(d2(), 1.0);
+  WangOnlinePolicy eager(d2(), 0.5);
+  Hour conservative_first = -1;
+  Hour eager_first = -1;
+  Count conservative_active = 0;
+  Count eager_active = 0;
+  for (Hour t = 0; t < conservative.break_even_hours() + 10; ++t) {
+    if (conservative.decide(t, 1, conservative_active) > 0 && conservative_first < 0) {
+      conservative_first = t;
+      conservative_active = 1;
+    }
+    if (eager.decide(t, 1, eager_active) > 0 && eager_first < 0) {
+      eager_first = t;
+      eager_active = 1;
+    }
+  }
+  ASSERT_GE(eager_first, 0);
+  ASSERT_GE(conservative_first, 0);
+  EXPECT_LT(eager_first, conservative_first);
+}
+
+TEST(WangOnline, MultiLevelDemandReservesPerLevel) {
+  WangOnlinePolicy policy(d2(), 0.5);
+  const Hour break_even = policy.break_even_hours();
+  Count reserved_total = 0;
+  for (Hour t = 0; t < break_even + 5; ++t) {
+    reserved_total += policy.decide(t, 3, reserved_total);
+  }
+  // Three persistent demand levels -> three reservations.
+  EXPECT_EQ(reserved_total, 3);
+}
+
+TEST(WangOnline, NamesIdentifyVariant) {
+  EXPECT_EQ(WangOnlinePolicy(d2(), 1.0).name(), "wang-online");
+  EXPECT_NE(WangOnlinePolicy(d2(), 0.5).name().find("wang-variant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rimarket::purchasing

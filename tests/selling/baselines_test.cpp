@@ -1,0 +1,89 @@
+#include "selling/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+#include "selling/planned.hpp"
+
+namespace rimarket::selling {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+TEST(KeepReserved, NeverSells) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  KeepReservedPolicy policy;
+  for (Hour t = 0; t < kHoursPerYear; t += 500) {
+    EXPECT_TRUE(policy.decide(t, ledger).empty());
+  }
+  EXPECT_EQ(policy.name(), "keep-reserved");
+}
+
+TEST(AllSelling, SellsEveryDueReservation) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  const fleet::ReservationId a = ledger.reserve(0);
+  const fleet::ReservationId b = ledger.reserve(0);
+  // Keep them busy: all-selling must sell regardless of utilization.
+  for (Hour t = 0; t < 6570; ++t) {
+    ledger.assign(t, 2);
+  }
+  AllSellingPolicy policy(d2(), 0.75);
+  const auto decision = policy.decide(6570, ledger);
+  ASSERT_EQ(decision.size(), 2u);
+  EXPECT_EQ(decision[0], a);
+  EXPECT_EQ(decision[1], b);
+}
+
+TEST(AllSelling, NothingDueNothingSold) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  AllSellingPolicy policy(d2(), 0.5);
+  EXPECT_TRUE(policy.decide(100, ledger).empty());
+  EXPECT_TRUE(policy.decide(4379, ledger).empty());
+}
+
+TEST(AllSelling, NameEncodesSpot) {
+  EXPECT_EQ(AllSellingPolicy(d2(), 0.75).name(), "all-selling@0.75T");
+  EXPECT_EQ(AllSellingPolicy(d2(), 0.25).name(), "all-selling@0.25T");
+}
+
+TEST(PlannedSelling, SellsAtPlannedHourOnly) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  const fleet::ReservationId id = ledger.reserve(0);
+  PlannedSellingPolicy policy({{id, 1234}});
+  EXPECT_TRUE(policy.decide(1233, ledger).empty());
+  const auto decision = policy.decide(1234, ledger);
+  ASSERT_EQ(decision.size(), 1u);
+  EXPECT_EQ(decision[0], id);
+}
+
+TEST(PlannedSelling, SkipsAlreadyInactive) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  const fleet::ReservationId id = ledger.reserve(0);
+  ledger.sell(id, 100);
+  PlannedSellingPolicy policy({{id, 200}});
+  EXPECT_TRUE(policy.decide(200, ledger).empty());
+}
+
+TEST(PlannedSelling, EmptyPlanKeepsEverything) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  PlannedSellingPolicy policy({});
+  EXPECT_TRUE(policy.decide(0, ledger).empty());
+  EXPECT_EQ(policy.name(), "offline-optimal");
+}
+
+TEST(PlannedSelling, MultipleSalesSameHour) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  const fleet::ReservationId a = ledger.reserve(0);
+  const fleet::ReservationId b = ledger.reserve(0);
+  PlannedSellingPolicy policy({{a, 50}, {b, 50}});
+  const auto decision = policy.decide(50, ledger);
+  EXPECT_EQ(decision.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rimarket::selling

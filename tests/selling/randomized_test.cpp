@@ -1,0 +1,127 @@
+#include "selling/randomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pricing/catalog.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::selling {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+TEST(RandomizedSpot, IdleReservationSoldAtSomePaperSpot) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 5);
+  std::vector<fleet::ReservationId> sold;
+  for (Hour t = 0; t <= 6570 && sold.empty(); ++t) {
+    sold = policy.decide(t, ledger);
+    if (!sold.empty()) {
+      // Decision must land on one of the three paper spots.
+      EXPECT_TRUE(t == 2190 || t == 4380 || t == 6570) << t;
+    }
+  }
+  EXPECT_EQ(sold.size(), 1u);
+}
+
+TEST(RandomizedSpot, BusyReservationNeverSold) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 6);
+  for (Hour t = 0; t < kHoursPerYear; ++t) {
+    ledger.assign(t, 1);
+    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+  }
+}
+
+TEST(RandomizedSpot, SpotChoiceVariesAcrossReservations) {
+  // With many reservations the assigned spots should not all coincide.
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  for (int i = 0; i < 30; ++i) {
+    ledger.reserve(0);
+  }
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 7);
+  std::set<Hour> sale_hours;
+  for (Hour t = 0; t <= 6570; ++t) {
+    for (const fleet::ReservationId id : policy.decide(t, ledger)) {
+      sale_hours.insert(t);
+      ledger.sell(id, t);
+    }
+  }
+  EXPECT_GE(sale_hours.size(), 2u);
+}
+
+TEST(RandomizedSpot, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    fleet::ReservationLedger ledger(kHoursPerYear);
+    for (int i = 0; i < 10; ++i) {
+      ledger.reserve(0);
+    }
+    RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, seed);
+    std::vector<Hour> sales;
+    for (Hour t = 0; t <= 6570; ++t) {
+      for (const fleet::ReservationId id : policy.decide(t, ledger)) {
+        sales.push_back(t);
+        ledger.sell(id, t);
+      }
+    }
+    return sales;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(RandomizedSpot, WeightedAllMassOnOneSpotIsDeterministic) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  for (int i = 0; i < 5; ++i) {
+    ledger.reserve(0);
+  }
+  // All probability on T/2: every idle reservation must sell at 4380.
+  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpotT2, kSpot3T4}, {0.0, 1.0, 0.0}, 9);
+  for (Hour t = 0; t < 4380; ++t) {
+    EXPECT_TRUE(policy.decide(t, ledger).empty());
+  }
+  EXPECT_EQ(policy.decide(4380, ledger).size(), 5u);
+}
+
+TEST(RandomizedSpot, WeightsBiasTheDraw) {
+  // 90% mass on T/4: most of a large fleet should sell at 2190.
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  for (int i = 0; i < 100; ++i) {
+    ledger.reserve(0);
+  }
+  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {0.9, 0.1}, 10);
+  const auto early = policy.decide(2190, ledger);
+  EXPECT_GT(early.size(), 70u);
+  EXPECT_LT(early.size(), 100u);
+}
+
+TEST(RandomizedSpot, WeightsNeedNotBeNormalized) {
+  fleet::ReservationLedger ledger(kHoursPerYear);
+  ledger.reserve(0);
+  // Weights {2, 0} normalize to {1, 0}.
+  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {2.0, 0.0}, 11);
+  EXPECT_EQ(policy.decide(2190, ledger).size(), 1u);
+}
+
+TEST(RandomizedSpot, SingleFractionBehavesLikeFixedSpot) {
+  fleet::ReservationLedger ledger_random(kHoursPerYear);
+  fleet::ReservationLedger ledger_fixed(kHoursPerYear);
+  ledger_random.reserve(0);
+  ledger_fixed.reserve(0);
+  RandomizedSpotSelling random_policy(d2(), 0.8, {0.5}, 3);
+  FixedSpotSelling fixed_policy = make_a_t2(d2(), 0.8);
+  for (Hour t = 0; t <= 4380; ++t) {
+    const auto random_sells = random_policy.decide(t, ledger_random);
+    const auto fixed_sells = fixed_policy.decide(t, ledger_fixed);
+    EXPECT_EQ(random_sells.size(), fixed_sells.size()) << t;
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::selling

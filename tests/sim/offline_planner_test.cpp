@@ -1,0 +1,110 @@
+#include "sim/offline_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selling/baselines.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::sim {
+namespace {
+
+pricing::InstanceType tiny_type() {
+  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+}
+
+SimulationConfig tiny_config() {
+  SimulationConfig config;
+  config.type = tiny_type();
+  config.selling_discount = 0.8;
+  return config;
+}
+
+TEST(OfflinePlanner, IdleReservationSoldImmediately) {
+  // Never-used reservation: the optimum dumps it at hour 0 for the full
+  // a*R income.
+  const workload::DemandTrace trace{std::vector<Count>(40, 0)};
+  const ReservationStream stream(std::vector<Count>{1});
+  const auto plan = plan_offline_optimal(trace, stream, tiny_config());
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.begin()->second, 0);
+}
+
+TEST(OfflinePlanner, FullyBusyReservationKept) {
+  const workload::DemandTrace trace{std::vector<Count>(40, 1)};
+  const ReservationStream stream(std::vector<Count>{1});
+  const auto plan = plan_offline_optimal(trace, stream, tiny_config());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(OfflinePlanner, SellsWhenDemandStops) {
+  std::vector<Count> demand(40, 0);
+  for (int t = 0; t < 12; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  const ReservationStream stream(std::vector<Count>{1});
+  const auto plan = plan_offline_optimal(trace, stream, tiny_config());
+  ASSERT_EQ(plan.size(), 1u);
+  // Optimal sale is right when demand ends (hour 12): all work is captured
+  // at the reserved rate and the remaining period income is maximal.
+  EXPECT_EQ(plan.begin()->second, 12);
+}
+
+TEST(OfflinePlanner, OptimalNeverWorseThanAnyOnlinePolicy) {
+  // Property: on the same stream, the clairvoyant plan's cost lower-bounds
+  // keep-reserved, all-selling and the three online algorithms.
+  std::vector<Count> demand(80, 0);
+  for (int t = 5; t < 18; ++t) {
+    demand[static_cast<std::size_t>(t)] = 2;
+  }
+  for (int t = 50; t < 60; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  const ReservationStream stream(std::vector<Count>{0, 0, 0, 0, 0, 2});
+  const SimulationConfig config = tiny_config();
+  const SimulationResult optimal = simulate_offline_optimal(trace, stream, config);
+  selling::KeepReservedPolicy keep;
+  selling::AllSellingPolicy all(config.type, 0.75);
+  selling::FixedSpotSelling a34(config.type, 0.75, 0.8);
+  selling::FixedSpotSelling at2(config.type, 0.50, 0.8);
+  selling::FixedSpotSelling at4(config.type, 0.25, 0.8);
+  const double tolerance = 1e-9;
+  EXPECT_LE(optimal.net_cost(), simulate(trace, stream, keep, config).net_cost() + tolerance);
+  EXPECT_LE(optimal.net_cost(), simulate(trace, stream, all, config).net_cost() + tolerance);
+  EXPECT_LE(optimal.net_cost(), simulate(trace, stream, a34, config).net_cost() + tolerance);
+  EXPECT_LE(optimal.net_cost(), simulate(trace, stream, at2, config).net_cost() + tolerance);
+  EXPECT_LE(optimal.net_cost(), simulate(trace, stream, at4, config).net_cost() + tolerance);
+}
+
+TEST(OfflinePlanner, PlanRespectsHorizon) {
+  // Reservation booked near the horizon: any planned sale must fall inside
+  // the simulated window.
+  const workload::DemandTrace trace{std::vector<Count>(50, 0)};
+  SimulationConfig config = tiny_config();
+  config.horizon = 50;
+  std::vector<Count> bookings(45, 0);
+  bookings[44] = 1;
+  const ReservationStream stream(std::move(bookings));
+  const auto plan = plan_offline_optimal(trace, stream, config);
+  for (const auto& [id, when] : plan) {
+    EXPECT_LT(when, 50);
+    EXPECT_GE(when, 44);
+  }
+}
+
+TEST(OfflinePlanner, WorkedHoursOnlyPolicySupported) {
+  SimulationConfig config = tiny_config();
+  config.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+  std::vector<Count> demand(40, 0);
+  demand[0] = 1;
+  const workload::DemandTrace trace{std::move(demand)};
+  const ReservationStream stream(std::vector<Count>{1});
+  const auto plan = plan_offline_optimal(trace, stream, config);
+  // With worked-hours billing an almost idle instance still sells (the
+  // upfront is sunk but the income is free).
+  ASSERT_EQ(plan.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rimarket::sim

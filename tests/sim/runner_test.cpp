@@ -1,0 +1,160 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rimarket::sim {
+namespace {
+
+workload::UserPopulation small_population() {
+  workload::PopulationSpec spec;
+  spec.users_per_group = 3;
+  spec.trace_hours = 3000;
+  spec.seed = 9;
+  return workload::UserPopulation::build(spec);
+}
+
+EvaluationSpec small_spec() {
+  EvaluationSpec spec;
+  // A small instance keeps single-instance runs fast while preserving the
+  // economics (theta = 2, alpha = 0.25).
+  spec.sim.type = pricing::InstanceType{"tiny.test", 1.0, 500.0, 0.25, 1000};
+  spec.sim.selling_discount = 0.8;
+  spec.sellers = paper_sellers(0.75);
+  spec.seed = 5;
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(PaperSellers, LineUpContainsAlgorithmsAndBaselines) {
+  const auto sellers = paper_sellers(0.5);
+  ASSERT_EQ(sellers.size(), 5u);
+  EXPECT_EQ(sellers[0].kind, SellerKind::kKeepReserved);
+  EXPECT_EQ(sellers[1].kind, SellerKind::kAllSelling);
+  EXPECT_DOUBLE_EQ(sellers[1].fraction, 0.5);
+  EXPECT_EQ(sellers[2].kind, SellerKind::kA3T4);
+  EXPECT_EQ(sellers[3].kind, SellerKind::kAT2);
+  EXPECT_EQ(sellers[4].kind, SellerKind::kAT4);
+}
+
+TEST(SellerNames, AreUnique) {
+  const auto sellers = paper_sellers(0.75);
+  std::map<std::string, int> names;
+  for (const auto& seller : sellers) {
+    ++names[seller_name(seller)];
+  }
+  for (const auto& [name, count] : names) {
+    EXPECT_EQ(count, 1) << name;
+  }
+}
+
+TEST(SellerFraction, PaperKindsCarryTheirSpot) {
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, 0.0}), 0.75);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT2, 0.0}), 0.50);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT4, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAllSelling, 0.6}), 0.6);
+}
+
+TEST(EvaluateUser, ProducesOneResultPerScenario) {
+  const auto population = small_population();
+  const auto spec = small_spec();
+  const auto results = evaluate_user(population.users().front(), spec);
+  EXPECT_EQ(results.size(), spec.purchasers.size() * spec.sellers.size());
+}
+
+TEST(EvaluateUser, KeepReservedNeverSells) {
+  const auto population = small_population();
+  const auto results = evaluate_user(population.users().front(), small_spec());
+  for (const auto& result : results) {
+    if (result.seller.kind == SellerKind::kKeepReserved) {
+      EXPECT_EQ(result.instances_sold, 0);
+    }
+  }
+}
+
+TEST(EvaluateUser, SameBookingsAcrossSellers) {
+  const auto population = small_population();
+  const auto results = evaluate_user(population.users().front(), small_spec());
+  // Group by purchaser: reservations_made must be identical across sellers.
+  std::map<purchasing::PurchaserKind, Count> bookings;
+  for (const auto& result : results) {
+    const auto [it, inserted] = bookings.try_emplace(result.purchaser, result.reservations_made);
+    EXPECT_EQ(it->second, result.reservations_made)
+        << purchasing::purchaser_name(result.purchaser) << " / "
+        << seller_name(result.seller);
+  }
+}
+
+TEST(Evaluate, CoversWholePopulation) {
+  const auto population = small_population();
+  const auto spec = small_spec();
+  const auto results = evaluate(population, spec);
+  EXPECT_EQ(results.size(),
+            population.size() * spec.purchasers.size() * spec.sellers.size());
+}
+
+TEST(Evaluate, DeterministicAcrossRuns) {
+  const auto population = small_population();
+  const auto spec = small_spec();
+  const auto first = evaluate(population, spec);
+  const auto second = evaluate(population, spec);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].user_id, second[i].user_id);
+    EXPECT_DOUBLE_EQ(first[i].net_cost, second[i].net_cost);
+  }
+}
+
+TEST(Evaluate, ResultsIndependentOfThreadCount) {
+  // The sweep parallelizes over users; results (including stochastic
+  // policies, whose seeds derive from user/purchaser ids) must not depend
+  // on scheduling.
+  const auto population = small_population();
+  EvaluationSpec serial = small_spec();
+  serial.threads = 1;
+  EvaluationSpec parallel_spec = small_spec();
+  parallel_spec.threads = 8;
+  const auto a = evaluate(population, serial);
+  const auto b = evaluate(population, parallel_spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+    EXPECT_EQ(a[i].purchaser, b[i].purchaser);
+    EXPECT_DOUBLE_EQ(a[i].net_cost, b[i].net_cost);
+    EXPECT_EQ(a[i].instances_sold, b[i].instances_sold);
+  }
+}
+
+TEST(Evaluate, GroupLabelsMatchPopulation) {
+  const auto population = small_population();
+  const auto results = evaluate(population, small_spec());
+  for (const auto& result : results) {
+    EXPECT_EQ(result.group,
+              population.users()[static_cast<std::size_t>(result.user_id)].group);
+  }
+}
+
+TEST(Evaluate, OfflineOptimalSellerRuns) {
+  const auto population = small_population();
+  EvaluationSpec spec = small_spec();
+  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, 0.0},
+                  SellerSpec{SellerKind::kOfflineOptimal, 0.0}};
+  spec.purchasers = {purchasing::PurchaserKind::kAllReserved};
+  const auto results = evaluate_user(population.users().front(), spec);
+  ASSERT_EQ(results.size(), 2u);
+  // The clairvoyant benchmark can only improve on keep-reserved.
+  EXPECT_LE(results[1].net_cost, results[0].net_cost + 1e-9);
+}
+
+TEST(Evaluate, RandomizedSellerRuns) {
+  const auto population = small_population();
+  EvaluationSpec spec = small_spec();
+  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, 0.0},
+                  SellerSpec{SellerKind::kRandomizedSpot, 0.0}};
+  const auto results = evaluate_user(population.users().back(), spec);
+  EXPECT_EQ(results.size(), 2u * spec.purchasers.size());
+}
+
+}  // namespace
+}  // namespace rimarket::sim

@@ -1,0 +1,66 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+#include "sim/offline_planner.hpp"
+
+namespace rimarket::sim {
+namespace {
+
+SimulationConfig d2_config() {
+  SimulationConfig config;
+  config.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+  config.selling_discount = 0.8;
+  return config;
+}
+
+TEST(Scenario, SellerNamesAreStable) {
+  EXPECT_EQ(seller_name({SellerKind::kKeepReserved, 0.0}), "keep-reserved");
+  EXPECT_EQ(seller_name({SellerKind::kAllSelling, 0.25}), "all-selling@0.25T");
+  EXPECT_EQ(seller_name({SellerKind::kA3T4, 0.75}), "A_{3T/4}");
+  EXPECT_EQ(seller_name({SellerKind::kAT2, 0.5}), "A_{T/2}");
+  EXPECT_EQ(seller_name({SellerKind::kAT4, 0.25}), "A_{T/4}");
+  EXPECT_EQ(seller_name({SellerKind::kRandomizedSpot, 0.5}), "randomized-spot");
+  EXPECT_EQ(seller_name({SellerKind::kContinuousSpot, 0.5}), "continuous-spot");
+  EXPECT_EQ(seller_name({SellerKind::kForecastSelling, 0.75}), "forecast@0.75T");
+  EXPECT_EQ(seller_name({SellerKind::kOfflineOptimal, 0.0}), "offline-optimal");
+}
+
+TEST(Scenario, MakeSellerProducesMatchingPolicies) {
+  const SimulationConfig config = d2_config();
+  const workload::DemandTrace trace{std::vector<Count>(100, 0)};
+  const ReservationStream stream{std::vector<Count>{1}};
+  for (const SellerKind kind :
+       {SellerKind::kKeepReserved, SellerKind::kAllSelling, SellerKind::kA3T4,
+        SellerKind::kAT2, SellerKind::kAT4, SellerKind::kRandomizedSpot,
+        SellerKind::kContinuousSpot, SellerKind::kForecastSelling,
+        SellerKind::kOfflineOptimal}) {
+    const auto seller = make_seller({kind, 0.5}, config, /*seed=*/1, &trace, &stream);
+    ASSERT_NE(seller, nullptr);
+    EXPECT_FALSE(seller->name().empty());
+  }
+}
+
+TEST(Scenario, PaperAlgorithmSellersCarryTheirSpotNames) {
+  const SimulationConfig config = d2_config();
+  EXPECT_EQ(make_seller({SellerKind::kA3T4, 0.0}, config, 1)->name(), "A_{3T/4}");
+  EXPECT_EQ(make_seller({SellerKind::kAT2, 0.0}, config, 1)->name(), "A_{T/2}");
+  EXPECT_EQ(make_seller({SellerKind::kAT4, 0.0}, config, 1)->name(), "A_{T/4}");
+}
+
+TEST(Scenario, OfflineOptimalRequiresTraceAndStream) {
+  const SimulationConfig config = d2_config();
+  EXPECT_DEATH(
+      { make_seller({SellerKind::kOfflineOptimal, 0.0}, config, 1, nullptr, nullptr); },
+      "precondition");
+}
+
+TEST(Scenario, FractionAccessor) {
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, 0.123}), 0.75);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kKeepReserved, 0.4}), 0.4);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kForecastSelling, 0.25}), 0.25);
+}
+
+}  // namespace
+}  // namespace rimarket::sim

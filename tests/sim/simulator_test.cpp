@@ -1,0 +1,244 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "purchasing/all_reserved.hpp"
+#include "selling/baselines.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::sim {
+namespace {
+
+// Small synthetic instance: p=1, R=20, alpha=0.25, T=40h (theta = 2).
+// beta(3/4, a=0.8) = 16h, decision spot at age 30.
+pricing::InstanceType tiny_type() {
+  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+}
+
+SimulationConfig tiny_config() {
+  SimulationConfig config;
+  config.type = tiny_type();
+  config.selling_discount = 0.8;
+  return config;
+}
+
+workload::DemandTrace front_loaded_trace() {
+  // Demand 1 for hours 0..9, then nothing until the horizon.
+  std::vector<Count> demand(40, 0);
+  for (int t = 0; t < 10; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  return workload::DemandTrace(std::move(demand));
+}
+
+TEST(ReservationStream, GenerateFromAllReserved) {
+  purchasing::AllReservedPolicy purchaser;
+  const auto stream =
+      ReservationStream::generate(front_loaded_trace(), purchaser, 40, 40);
+  EXPECT_EQ(stream.length(), 40);
+  EXPECT_EQ(stream.at(0), 1);
+  EXPECT_EQ(stream.total(), 1);
+  EXPECT_EQ(stream.at(100), 0);  // past the end
+}
+
+TEST(ReservationStream, ExplicitValuesValidated) {
+  const ReservationStream stream(std::vector<Count>{0, 2, 1});
+  EXPECT_EQ(stream.total(), 3);
+  EXPECT_EQ(stream.at(1), 2);
+}
+
+TEST(Simulate, KeepReservedCostMatchesHandComputation) {
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, tiny_config());
+  // Eq. (1): R + 40 active hours * alpha*p = 20 + 40*0.25 = 30.
+  EXPECT_NEAR(result.totals.upfront, 20.0, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.totals.on_demand, 0.0);
+  EXPECT_DOUBLE_EQ(result.totals.sale_income, 0.0);
+  EXPECT_NEAR(result.net_cost(), 30.0, 1e-12);
+  EXPECT_EQ(result.reservations_made, 1);
+  EXPECT_EQ(result.instances_sold, 0);
+}
+
+TEST(Simulate, SellingIdleReservationCreditsIncome) {
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, a34, tiny_config());
+  // Worked 10h < beta 16h -> sold at age 30.  Billed active hours 0..30,
+  // income = 0.8 * (10/40) * 20 = 4.
+  EXPECT_EQ(result.instances_sold, 1);
+  EXPECT_NEAR(result.totals.sale_income, 4.0, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly, 31 * 0.25, 1e-12);
+  EXPECT_NEAR(result.net_cost(), 20.0 + 7.75 - 4.0, 1e-12);
+}
+
+TEST(Simulate, SellingBeatsKeepingForIdleReservation) {
+  const ReservationStream stream(std::vector<Count>{1});
+  selling::KeepReservedPolicy keep;
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const auto keep_result = simulate(front_loaded_trace(), stream, keep, tiny_config());
+  const auto sell_result = simulate(front_loaded_trace(), stream, a34, tiny_config());
+  EXPECT_LT(sell_result.net_cost(), keep_result.net_cost());
+}
+
+TEST(Simulate, DemandAfterSaleGoesOnDemand) {
+  // Demand returns after the sale spot: hours 32..39.
+  std::vector<Count> demand(40, 0);
+  for (int t = 0; t < 5; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;  // 5h work < beta -> sells
+  }
+  for (int t = 32; t < 40; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  const ReservationStream stream(std::vector<Count>{1});
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const SimulationResult result = simulate(trace, stream, a34, tiny_config());
+  EXPECT_EQ(result.instances_sold, 1);
+  EXPECT_EQ(result.on_demand_hours, 8);
+  EXPECT_NEAR(result.totals.on_demand, 8.0, 1e-12);
+}
+
+TEST(Simulate, ServiceFeeReducesIncome) {
+  SimulationConfig config = tiny_config();
+  config.service_fee = 0.12;
+  const ReservationStream stream(std::vector<Count>{1});
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
+  EXPECT_NEAR(result.totals.sale_income, 4.0 * 0.88, 1e-12);
+}
+
+TEST(Simulate, WorkedHoursOnlyChargePolicy) {
+  SimulationConfig config = tiny_config();
+  config.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, config);
+  // Only the 10 worked hours bill the discounted rate.
+  EXPECT_NEAR(result.totals.reserved_hourly, 10 * 0.25, 1e-12);
+}
+
+TEST(Simulate, HorizonDefaultsToTraceLength) {
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  SimulationConfig config = tiny_config();
+  EXPECT_EQ(config.effective_horizon(front_loaded_trace()), 40);
+  config.horizon = 25;
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, config);
+  EXPECT_NEAR(result.totals.reserved_hourly, 25 * 0.25, 1e-12);
+}
+
+TEST(Simulate, HourlySeriesSumsToTotals) {
+  SimulationConfig config = tiny_config();
+  config.keep_hourly_series = true;
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, a34, config);
+  ASSERT_EQ(result.hourly.size(), 40u);
+  fleet::CostBreakdown sum;
+  for (const auto& hour : result.hourly) {
+    sum += hour;
+  }
+  EXPECT_NEAR(sum.net(), result.net_cost(), 1e-9);
+}
+
+TEST(Simulate, ObserverSeesWorkAssignments) {
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  Hour observed_hours = 0;
+  Count observed_work = 0;
+  const WorkObserver observer = [&](Hour, std::span<const fleet::ReservationId> served) {
+    ++observed_hours;
+    observed_work += static_cast<Count>(served.size());
+  };
+  simulate(front_loaded_trace(), stream, keep, tiny_config(), &observer);
+  EXPECT_EQ(observed_hours, 40);
+  EXPECT_EQ(observed_work, 10);
+}
+
+TEST(Simulate, UncoveredDemandBuysOnDemand) {
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{});  // no reservations
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, tiny_config());
+  EXPECT_EQ(result.on_demand_hours, 10);
+  EXPECT_NEAR(result.net_cost(), 10.0, 1e-12);
+}
+
+TEST(Simulate, IdleResaleCreditsIdleHours) {
+  SimulationConfig config = tiny_config();
+  config.idle_resale_rate = 0.5;  // between alpha*p=0.25 and p=1.0
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, config);
+  // Busy hours 0..9, idle 10..39 -> 30 idle hours * 0.5.
+  EXPECT_NEAR(result.totals.sale_income, 30 * 0.5, 1e-12);
+  EXPECT_NEAR(result.net_cost(), 30.0 - 15.0, 1e-12);
+}
+
+TEST(Simulate, IdleResaleProbabilityScalesIncome) {
+  SimulationConfig config = tiny_config();
+  config.idle_resale_rate = 0.5;
+  config.idle_resale_probability = 0.4;
+  selling::KeepReservedPolicy keep;
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, keep, config);
+  EXPECT_NEAR(result.totals.sale_income, 30 * 0.5 * 0.4, 1e-12);
+}
+
+TEST(Simulate, IdleResaleDisabledByDefault) {
+  const SimulationConfig config = tiny_config();
+  EXPECT_DOUBLE_EQ(config.idle_resale_rate, 0.0);
+}
+
+TEST(Simulate, CustomIncomeModelOverridesInstantSale) {
+  SimulationConfig config = tiny_config();
+  config.income_model = [](const pricing::InstanceType&, Hour, double) { return 1.25; };
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result =
+      simulate(front_loaded_trace(), stream, a34, config);
+  EXPECT_EQ(result.instances_sold, 1);
+  EXPECT_NEAR(result.totals.sale_income, 1.25, 1e-12);
+}
+
+TEST(SimulateClosedLoop, PurchaserReactsToSales) {
+  // Closed loop with all-reserved: after the sale, returning demand causes
+  // a *new* reservation instead of on-demand hours.
+  std::vector<Count> demand(40, 0);
+  for (int t = 0; t < 5; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  for (int t = 32; t < 40; ++t) {
+    demand[static_cast<std::size_t>(t)] = 1;
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  purchasing::AllReservedPolicy purchaser;
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const SimulationResult result =
+      simulate_closed_loop(trace, purchaser, a34, tiny_config());
+  EXPECT_EQ(result.reservations_made, 2);
+  EXPECT_EQ(result.on_demand_hours, 0);
+}
+
+TEST(Simulate, StreamSharedAcrossSellersKeepsBookingsIdentical) {
+  const workload::DemandTrace trace = front_loaded_trace();
+  purchasing::AllReservedPolicy purchaser;
+  const auto stream = ReservationStream::generate(trace, purchaser, 40, 40);
+  selling::KeepReservedPolicy keep;
+  selling::AllSellingPolicy all(tiny_type(), 0.75);
+  const auto keep_result = simulate(trace, stream, keep, tiny_config());
+  const auto all_result = simulate(trace, stream, all, tiny_config());
+  EXPECT_EQ(keep_result.reservations_made, all_result.reservations_made);
+}
+
+}  // namespace
+}  // namespace rimarket::sim

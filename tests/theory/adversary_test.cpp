@@ -1,0 +1,117 @@
+#include "theory/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rimarket::theory {
+namespace {
+
+pricing::InstanceType tiny_type() {
+  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+}
+
+Hour busy_hours(const WorkSchedule& schedule) {
+  Hour busy = 0;
+  for (const bool hour : schedule) {
+    busy += hour ? 1 : 0;
+  }
+  return busy;
+}
+
+TEST(Adversary, Case1IdleBeforeSpotBusyAfter) {
+  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.75, 1.0);
+  ASSERT_EQ(schedule.size(), 40u);
+  for (Hour h = 0; h < 30; ++h) {
+    EXPECT_FALSE(schedule[static_cast<std::size_t>(h)]) << h;
+  }
+  for (Hour h = 30; h < 40; ++h) {
+    EXPECT_TRUE(schedule[static_cast<std::size_t>(h)]) << h;
+  }
+}
+
+TEST(Adversary, Case1EpsilonLimitsBusyWindow) {
+  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.5, 0.75);
+  // Busy exactly on [20, 30).
+  EXPECT_EQ(busy_hours(schedule), 10);
+  EXPECT_TRUE(schedule[20]);
+  EXPECT_TRUE(schedule[29]);
+  EXPECT_FALSE(schedule[30]);
+}
+
+TEST(Adversary, Case1EpsilonEqualsFractionIsAllIdle) {
+  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.5, 0.5);
+  EXPECT_EQ(busy_hours(schedule), 0);
+}
+
+TEST(Adversary, Case2BusyBeforeSpot) {
+  const WorkSchedule schedule = case2_schedule(tiny_type(), 0.75, 0.75);
+  EXPECT_EQ(busy_hours(schedule), 30);
+  EXPECT_TRUE(schedule[0]);
+  EXPECT_TRUE(schedule[29]);
+  EXPECT_FALSE(schedule[30]);
+}
+
+TEST(Adversary, Case2EpsilonExtendsBusyWindow) {
+  const WorkSchedule schedule = case2_schedule(tiny_type(), 0.5, 0.9);
+  // Busy on [0, 36).
+  EXPECT_EQ(busy_hours(schedule), 36);
+}
+
+TEST(Adversary, UtilizationScheduleHitsTarget) {
+  const WorkSchedule schedule = utilization_schedule(tiny_type(), 0.75, 0.5, 0.75);
+  // Half of the first 30 hours busy, nothing after.
+  EXPECT_EQ(busy_hours(schedule), 15);
+}
+
+TEST(Adversary, UtilizationZeroAndOne) {
+  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), 0.5, 0.0, 0.5)), 0);
+  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), 0.5, 1.0, 0.5)), 20);
+}
+
+TEST(Adversary, UtilizationSpreadsEvenly) {
+  const WorkSchedule schedule = utilization_schedule(tiny_type(), 0.75, 0.5, 0.75);
+  // No long runs: with 50% utilization spread evenly, no 3 consecutive
+  // busy hours in the pre-spot window.
+  for (Hour h = 0; h + 2 < 30; ++h) {
+    const int run = (schedule[static_cast<std::size_t>(h)] ? 1 : 0) +
+                    (schedule[static_cast<std::size_t>(h + 1)] ? 1 : 0) +
+                    (schedule[static_cast<std::size_t>(h + 2)] ? 1 : 0);
+    EXPECT_LT(run, 3);
+  }
+}
+
+TEST(Adversary, RandomScheduleDensity) {
+  common::Rng rng(5);
+  pricing::InstanceType year = tiny_type();
+  year.term = 8760;
+  const WorkSchedule schedule = random_schedule(year, 0.3, rng);
+  const double density = static_cast<double>(busy_hours(schedule)) / 8760.0;
+  EXPECT_NEAR(density, 0.3, 0.03);
+}
+
+TEST(Adversary, RandomScheduleExtremeDensities) {
+  common::Rng rng(6);
+  EXPECT_EQ(busy_hours(random_schedule(tiny_type(), 0.0, rng)), 0);
+  EXPECT_EQ(busy_hours(random_schedule(tiny_type(), 1.0, rng)), 40);
+}
+
+TEST(Adversary, EpisodeScheduleApproximatesDutyCycle) {
+  common::Rng rng(7);
+  pricing::InstanceType year = tiny_type();
+  year.term = 8760;
+  const WorkSchedule schedule = random_episode_schedule(year, 0.25, 24.0, rng);
+  const double density = static_cast<double>(busy_hours(schedule)) / 8760.0;
+  EXPECT_GT(density, 0.1);
+  EXPECT_LT(density, 0.45);
+}
+
+TEST(Adversary, SchedulesHaveTermLength) {
+  common::Rng rng(8);
+  EXPECT_EQ(case1_schedule(tiny_type(), 0.25, 0.6).size(), 40u);
+  EXPECT_EQ(case2_schedule(tiny_type(), 0.25, 0.3).size(), 40u);
+  EXPECT_EQ(random_episode_schedule(tiny_type(), 0.5, 4.0, rng).size(), 40u);
+}
+
+}  // namespace
+}  // namespace rimarket::theory

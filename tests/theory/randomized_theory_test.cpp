@@ -1,0 +1,159 @@
+#include "theory/randomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+#include "selling/fixed_spot.hpp"
+
+namespace rimarket::theory {
+namespace {
+
+const pricing::InstanceType& d2() {
+  return pricing::PricingCatalog::builtin().require("d2.xlarge");
+}
+
+SingleInstanceModel d2_model() {
+  SingleInstanceModel model;
+  model.type = d2();
+  model.selling_discount = 0.8;
+  model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+  return model;
+}
+
+constexpr double kPaperSpots[] = {0.25, 0.5, 0.75};
+
+TEST(RandomizedTheory, ExpectedCostIsMeanOfMembers) {
+  const SingleInstanceModel model = d2_model();
+  const WorkSchedule idle(static_cast<std::size_t>(d2().term), false);
+  const Dollars expected = randomized_expected_cost(model, idle, kPaperSpots);
+  const Dollars mean = (model.online_cost(idle, 0.25) + model.online_cost(idle, 0.5) +
+                        model.online_cost(idle, 0.75)) /
+                       3.0;
+  EXPECT_NEAR(expected, mean, 1e-9);
+}
+
+TEST(RandomizedTheory, SingleSpotDegeneratesToDeterministic) {
+  const SingleInstanceModel model = d2_model();
+  common::Rng rng(3);
+  const WorkSchedule schedule = random_schedule(d2(), 0.3, rng);
+  const double spots[] = {0.75};
+  EXPECT_NEAR(randomized_expected_cost(model, schedule, spots),
+              model.online_cost(schedule, 0.75), 1e-9);
+}
+
+TEST(RandomizedTheory, ExpectedRatioAtLeastOne) {
+  const SingleInstanceModel model = d2_model();
+  common::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const WorkSchedule schedule = random_schedule(d2(), rng.uniform01(), rng);
+    // The windowed optimum can mimic any member's action, so each member's
+    // ratio is >= 1 and therefore the expectation is too.
+    EXPECT_GE(randomized_empirical_ratio(model, schedule, kPaperSpots), 1.0 - 1e-9);
+  }
+}
+
+TEST(RandomizedTheory, VerificationBeatsWorstDeterministic) {
+  VerificationSpec spec;
+  spec.epsilon_steps = 16;
+  spec.utilization_steps = 8;
+  spec.random_schedules = 8;
+  const RandomizedVerification result =
+      verify_randomized(d2(), 0.8, kPaperSpots, spec);
+  ASSERT_EQ(result.deterministic_max_ratios.size(), 3u);
+  // Randomization hedges across spots: its worst expected ratio must be
+  // strictly below the worst member's worst case (the paper's speculation,
+  // weak form).
+  EXPECT_LT(result.randomized_max_ratio, result.worst_deterministic);
+  // And every quantity is a sane ratio.
+  EXPECT_GE(result.randomized_max_ratio, 1.0);
+  EXPECT_GE(result.best_deterministic, 1.0);
+  EXPECT_LE(result.best_deterministic, result.worst_deterministic);
+}
+
+TEST(RandomizedTheory, HoldsAcrossDiscounts) {
+  VerificationSpec spec;
+  spec.epsilon_steps = 8;
+  spec.utilization_steps = 4;
+  spec.random_schedules = 2;
+  for (const double a : {0.3, 0.6, 1.0}) {
+    const RandomizedVerification result = verify_randomized(d2(), a, kPaperSpots, spec);
+    EXPECT_LT(result.randomized_max_ratio, result.worst_deterministic + 1e-9) << "a=" << a;
+  }
+}
+
+TEST(RandomizedTheory, WeightedExpectedCostInterpolates) {
+  const SingleInstanceModel model = d2_model();
+  common::Rng rng(9);
+  const WorkSchedule schedule = random_schedule(d2(), 0.2, rng);
+  const double spots[] = {0.25, 0.75};
+  const double all_first[] = {1.0, 0.0};
+  const double all_second[] = {0.0, 1.0};
+  const double even[] = {0.5, 0.5};
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_first),
+              model.online_cost(schedule, 0.25), 1e-9);
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_second),
+              model.online_cost(schedule, 0.75), 1e-9);
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, even),
+              0.5 * (model.online_cost(schedule, 0.25) + model.online_cost(schedule, 0.75)),
+              1e-9);
+}
+
+TEST(RandomizedTheory, OptimizedDistributionBeatsUniform) {
+  VerificationSpec spec;
+  spec.epsilon_steps = 12;
+  spec.utilization_steps = 6;
+  spec.random_schedules = 4;
+  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, kPaperSpots, spec);
+  ASSERT_EQ(best.weights.size(), 3u);
+  double sum = 0.0;
+  for (const double w : best.weights) {
+    EXPECT_GE(w, -1e-12);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // The optimum dominates the uniform mixture by construction, and both
+  // are genuine ratios.
+  EXPECT_LE(best.minimax_ratio, best.uniform_ratio + 1e-12);
+  EXPECT_GE(best.minimax_ratio, 1.0);
+}
+
+TEST(RandomizedTheory, OptimizedDistributionBeatsEveryPureSpot) {
+  // The minimax mixture's worst case can be no worse than the best pure
+  // strategy's worst case (pure strategies are feasible mixtures).
+  VerificationSpec spec;
+  spec.epsilon_steps = 12;
+  spec.utilization_steps = 6;
+  spec.random_schedules = 4;
+  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, kPaperSpots, spec);
+  const RandomizedVerification pure = verify_randomized(d2(), 0.8, kPaperSpots, spec);
+  EXPECT_LE(best.minimax_ratio, pure.best_deterministic + 1e-9);
+}
+
+TEST(RandomizedTheory, SingleCandidateOptimizationIsIdentity) {
+  VerificationSpec spec;
+  spec.epsilon_steps = 8;
+  spec.utilization_steps = 4;
+  spec.random_schedules = 2;
+  const double spots[] = {0.75};
+  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, spots, spec);
+  ASSERT_EQ(best.weights.size(), 1u);
+  EXPECT_NEAR(best.weights[0], 1.0, 1e-9);
+  EXPECT_NEAR(best.minimax_ratio, best.uniform_ratio, 1e-9);
+}
+
+TEST(RandomizedTheory, DeterministicColumnsMatchSharedBenchmark) {
+  // With a common OPT window at min(F)=T/4, the deterministic worst cases
+  // must be at least as large as under their own (tighter) windows —
+  // sanity-check against the per-spot verification.
+  VerificationSpec spec;
+  spec.epsilon_steps = 8;
+  spec.utilization_steps = 4;
+  spec.random_schedules = 2;
+  const RandomizedVerification randomized = verify_randomized(d2(), 0.8, kPaperSpots, spec);
+  const VerificationResult own_window = verify_bound(d2(), 0.75, 0.8, spec);
+  // deterministic_max_ratios[2] is f=0.75 measured against the T/4 window.
+  EXPECT_GE(randomized.deterministic_max_ratios[2], own_window.max_ratio - 1e-9);
+}
+
+}  // namespace
+}  // namespace rimarket::theory

@@ -1,0 +1,51 @@
+#include "workload/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::workload {
+namespace {
+
+TEST(Classify, CvBands) {
+  EXPECT_EQ(classify_cv(0.0), FluctuationGroup::kStable);
+  EXPECT_EQ(classify_cv(0.99), FluctuationGroup::kStable);
+  EXPECT_EQ(classify_cv(1.0), FluctuationGroup::kModerate);
+  EXPECT_EQ(classify_cv(2.0), FluctuationGroup::kModerate);
+  EXPECT_EQ(classify_cv(3.0), FluctuationGroup::kModerate);
+  EXPECT_EQ(classify_cv(3.01), FluctuationGroup::kHigh);
+  EXPECT_EQ(classify_cv(100.0), FluctuationGroup::kHigh);
+}
+
+TEST(Classify, TraceClassification) {
+  // Constant trace: cv = 0 -> stable.
+  EXPECT_EQ(classify(DemandTrace({5, 5, 5, 5})), FluctuationGroup::kStable);
+  // Square wave duty 0.2 -> cv = 2 -> moderate.
+  std::vector<Count> moderate;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    moderate.push_back(10);
+    for (int i = 0; i < 4; ++i) {
+      moderate.push_back(0);
+    }
+  }
+  EXPECT_EQ(classify(DemandTrace(std::move(moderate))), FluctuationGroup::kModerate);
+  // Rare spikes -> high.
+  std::vector<Count> high(1000, 0);
+  high[100] = 50;
+  high[500] = 50;
+  EXPECT_EQ(classify(DemandTrace(std::move(high))), FluctuationGroup::kHigh);
+}
+
+TEST(Classify, GroupNamesMatchPaperNumbering) {
+  EXPECT_EQ(group_name(FluctuationGroup::kStable), "group 1 (stable)");
+  EXPECT_EQ(group_name(FluctuationGroup::kModerate), "group 2 (slightly fluctuating)");
+  EXPECT_EQ(group_name(FluctuationGroup::kHigh), "group 3 (highly fluctuating)");
+}
+
+TEST(Classify, GroupIndices) {
+  EXPECT_EQ(group_index(FluctuationGroup::kStable), 0);
+  EXPECT_EQ(group_index(FluctuationGroup::kModerate), 1);
+  EXPECT_EQ(group_index(FluctuationGroup::kHigh), 2);
+  EXPECT_EQ(kGroupCount, 3);
+}
+
+}  // namespace
+}  // namespace rimarket::workload

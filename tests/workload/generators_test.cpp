@@ -1,0 +1,247 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/classify.hpp"
+
+namespace rimarket::workload {
+namespace {
+
+constexpr Hour kTestHours = 4000;
+
+TEST(StableGenerator, StaysNearBase) {
+  common::Rng rng(1);
+  StableGenerator gen(10, 2);
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  EXPECT_EQ(trace.length(), kTestHours);
+  EXPECT_NEAR(trace.mean(), 10.0, 0.5);
+  EXPECT_LT(trace.coefficient_of_variation(), 0.5);
+  for (Hour t = 0; t < trace.length(); ++t) {
+    EXPECT_GE(trace.at(t), 8);
+    EXPECT_LE(trace.at(t), 12);
+  }
+}
+
+TEST(StableGenerator, ZeroJitterIsConstant) {
+  common::Rng rng(2);
+  StableGenerator gen(5, 0);
+  const DemandTrace trace = gen.generate(100, rng);
+  for (Hour t = 0; t < trace.length(); ++t) {
+    EXPECT_EQ(trace.at(t), 5);
+  }
+}
+
+TEST(DiurnalGenerator, HasDailyPeriodicity) {
+  common::Rng rng(3);
+  DiurnalGenerator gen(20.0, 8.0, 0.0);
+  const DemandTrace trace = gen.generate(kHoursPerDay * 10, rng);
+  // Noise-free: hour h and h+24 must match exactly.
+  for (Hour t = 0; t + kHoursPerDay < trace.length(); ++t) {
+    EXPECT_EQ(trace.at(t), trace.at(t + kHoursPerDay));
+  }
+  EXPECT_NEAR(trace.mean(), 20.0, 1.0);
+}
+
+TEST(OnOffGenerator, DutyCycleFormula) {
+  OnOffGenerator gen(5.0, 30.0, 90.0);
+  EXPECT_NEAR(gen.duty_cycle(), 0.25, 1e-12);
+}
+
+TEST(OnOffGenerator, ProducesZerosAndBusyHours) {
+  common::Rng rng(4);
+  OnOffGenerator gen(5.0, 48.0, 96.0);
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  Hour zero_hours = 0;
+  Hour busy_hours = 0;
+  for (Hour t = 0; t < trace.length(); ++t) {
+    (trace.at(t) == 0 ? zero_hours : busy_hours) += 1;
+  }
+  EXPECT_GT(zero_hours, kTestHours / 4);
+  EXPECT_GT(busy_hours, kTestHours / 10);
+}
+
+TEST(OnOffGenerator, ModerateDutyLandsInGroupTwoBand) {
+  common::Rng rng(5);
+  OnOffGenerator gen(8.0, 48.0, 144.0);  // duty 0.25 -> square-wave cv ~1.73
+  const DemandTrace trace = gen.generate(3 * kTestHours, rng);
+  const double cv = trace.coefficient_of_variation();
+  EXPECT_GT(cv, 0.8);
+  EXPECT_LT(cv, 3.5);
+}
+
+TEST(BurstyGenerator, MostHoursAtBaseline) {
+  common::Rng rng(6);
+  BurstyGenerator gen(0.001, 10.0, 12.0, 0);
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  Hour baseline_hours = 0;
+  for (Hour t = 0; t < trace.length(); ++t) {
+    if (trace.at(t) == 0) {
+      ++baseline_hours;
+    }
+  }
+  EXPECT_GT(baseline_hours, kTestHours * 8 / 10);
+}
+
+TEST(BurstyGenerator, RareBurstsGiveHighCv) {
+  common::Rng rng(7);
+  BurstyGenerator gen(0.0015, 20.0, 12.0, 0);
+  const DemandTrace trace = gen.generate(3 * kTestHours, rng);
+  EXPECT_GT(trace.coefficient_of_variation(), 2.0);
+}
+
+TEST(PoissonGenerator, MeanMatches) {
+  common::Rng rng(8);
+  PoissonGenerator gen(6.0);
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  EXPECT_NEAR(trace.mean(), 6.0, 0.3);
+}
+
+TEST(PoissonGenerator, ZeroMeanIsAllZero) {
+  common::Rng rng(9);
+  PoissonGenerator gen(0.0);
+  const DemandTrace trace = gen.generate(100, rng);
+  EXPECT_EQ(trace.total(), 0);
+}
+
+TEST(RandomWalkGenerator, RespectsBounds) {
+  common::Rng rng(10);
+  RandomWalkGenerator gen(5, 0.5, 10);
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  for (Hour t = 0; t < trace.length(); ++t) {
+    EXPECT_GE(trace.at(t), 0);
+    EXPECT_LE(trace.at(t), 10);
+  }
+}
+
+TEST(RandomWalkGenerator, StepsAreUnitSized) {
+  common::Rng rng(11);
+  RandomWalkGenerator gen(5, 1.0, 100);
+  const DemandTrace trace = gen.generate(1000, rng);
+  for (Hour t = 1; t < trace.length(); ++t) {
+    EXPECT_LE(std::abs(trace.at(t) - trace.at(t - 1)), 1);
+  }
+}
+
+TEST(DelayedOnsetGenerator, SpikeGapThenSustainedLoad) {
+  common::Rng rng(21);
+  workload::DelayedOnsetGenerator::Params params;
+  params.level = 6.0;
+  params.spike_hours = 24;
+  params.onset = 2000;
+  params.gap_before_onset = 1500;
+  params.duty_after_onset = 1.0;
+  DelayedOnsetGenerator gen(params);
+  const DemandTrace trace = gen.generate(4000, rng);
+  // Spike at [500, 524).
+  EXPECT_EQ(trace.at(499), 0);
+  EXPECT_EQ(trace.at(500), 6);
+  EXPECT_EQ(trace.at(523), 6);
+  EXPECT_EQ(trace.at(524), 0);
+  // Quiet gap.
+  EXPECT_EQ(trace.at(1999), 0);
+  // Sustained load from onset to end (duty 1.0).
+  EXPECT_EQ(trace.at(2000), 6);
+  EXPECT_EQ(trace.at(3999), 6);
+}
+
+TEST(DelayedOnsetGenerator, BusyWindowBoundsTheLoad) {
+  common::Rng rng(22);
+  workload::DelayedOnsetGenerator::Params params;
+  params.level = 4.0;
+  params.onset = 1000;
+  params.gap_before_onset = 800;
+  params.duty_after_onset = 1.0;
+  params.busy_window = 500;
+  DelayedOnsetGenerator gen(params);
+  const DemandTrace trace = gen.generate(3000, rng);
+  EXPECT_EQ(trace.at(1000), 4);
+  EXPECT_EQ(trace.at(1499), 4);
+  EXPECT_EQ(trace.at(1500), 0);
+  EXPECT_EQ(trace.at(2999), 0);
+}
+
+TEST(DelayedOnsetGenerator, DutyControlsDensity) {
+  common::Rng rng(23);
+  workload::DelayedOnsetGenerator::Params params;
+  params.level = 3.0;
+  params.onset = 0;
+  params.gap_before_onset = 0;
+  params.duty_after_onset = 0.5;
+  DelayedOnsetGenerator gen(params);
+  const DemandTrace trace = gen.generate(20000, rng);
+  Hour busy = 0;
+  for (Hour t = 0; t < trace.length(); ++t) {
+    busy += trace.at(t) > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(busy) / 20000.0, 0.5, 0.02);
+}
+
+TEST(DelayedOnsetGenerator, OnsetBeyondTraceIsAllQuietAfterSpike) {
+  common::Rng rng(24);
+  workload::DelayedOnsetGenerator::Params params;
+  params.level = 5.0;
+  params.onset = 10000;
+  params.gap_before_onset = 3000;  // spike at hour 7000, inside the trace
+  DelayedOnsetGenerator gen(params);
+  const DemandTrace trace = gen.generate(8000, rng);
+  // Only the spike is inside the trace; the onset never arrives.
+  EXPECT_EQ(trace.total(), 5 * params.spike_hours);
+  EXPECT_EQ(trace.at(7000), 5);
+  EXPECT_EQ(trace.at(7999), 0);
+}
+
+TEST(Ec2LogSynthesizer, ProducesPositiveStableDemand) {
+  common::Rng rng(12);
+  Ec2LogSynthesizer gen(Ec2LogSynthesizer::Params{});
+  const DemandTrace trace = gen.generate(kTestHours, rng);
+  EXPECT_GT(trace.mean(), 5.0);
+  EXPECT_LT(trace.coefficient_of_variation(), 1.5);
+}
+
+TEST(GoogleClusterSynthesizer, SessionsAndGaps) {
+  common::Rng rng(13);
+  GoogleClusterSynthesizer gen(GoogleClusterSynthesizer::Params{});
+  const DemandTrace trace = gen.generate(3 * kTestHours, rng);
+  Hour idle = 0;
+  Hour busy = 0;
+  for (Hour t = 0; t < trace.length(); ++t) {
+    (trace.at(t) == 0 ? idle : busy) += 1;
+  }
+  EXPECT_GT(idle, 0);
+  EXPECT_GT(busy, 0);
+}
+
+TEST(Generators, DescribeIsNonEmpty) {
+  common::Rng rng(14);
+  const std::unique_ptr<DemandGenerator> generators[] = {
+      std::make_unique<StableGenerator>(5, 1),
+      std::make_unique<DiurnalGenerator>(10.0, 3.0, 1.0),
+      std::make_unique<OnOffGenerator>(4.0, 24.0, 48.0),
+      std::make_unique<BurstyGenerator>(0.01, 5.0, 6.0, 1),
+      std::make_unique<PoissonGenerator>(2.0),
+      std::make_unique<RandomWalkGenerator>(3, 0.3, 20),
+      std::make_unique<Ec2LogSynthesizer>(Ec2LogSynthesizer::Params{}),
+      std::make_unique<GoogleClusterSynthesizer>(GoogleClusterSynthesizer::Params{}),
+  };
+  for (const auto& generator : generators) {
+    EXPECT_FALSE(generator->describe().empty());
+    EXPECT_EQ(generator->generate(0, rng).length(), 0);  // zero hours is legal
+  }
+}
+
+TEST(Generators, SameSeedSameTrace) {
+  BurstyGenerator gen(0.01, 8.0, 6.0, 0);
+  common::Rng rng_a(99);
+  common::Rng rng_b(99);
+  const DemandTrace a = gen.generate(500, rng_a);
+  const DemandTrace b = gen.generate(500, rng_b);
+  ASSERT_EQ(a.length(), b.length());
+  for (Hour t = 0; t < a.length(); ++t) {
+    EXPECT_EQ(a.at(t), b.at(t));
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::workload

@@ -1,0 +1,95 @@
+#include "workload/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rimarket::workload {
+namespace {
+
+PopulationSpec small_spec() {
+  PopulationSpec spec;
+  spec.users_per_group = 8;
+  spec.trace_hours = 6000;  // keep the test fast
+  spec.seed = 123;
+  return spec;
+}
+
+TEST(UserPopulation, BuildsRequestedGroupSizes) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  EXPECT_EQ(population.size(), 24u);
+  EXPECT_EQ(population.group(FluctuationGroup::kStable).size(), 8u);
+  EXPECT_EQ(population.group(FluctuationGroup::kModerate).size(), 8u);
+  EXPECT_EQ(population.group(FluctuationGroup::kHigh).size(), 8u);
+}
+
+TEST(UserPopulation, MeasuredCvMatchesAssignedGroup) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  for (const User& user : population.users()) {
+    EXPECT_EQ(classify_cv(user.cv), user.group) << "user " << user.id;
+    // The recorded cv is the trace's actual statistic.
+    EXPECT_NEAR(user.cv, user.trace.coefficient_of_variation(), 1e-9);
+  }
+}
+
+TEST(UserPopulation, UserIdsAreUniqueAndDense) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  std::set<int> ids;
+  for (const User& user : population.users()) {
+    ids.insert(user.id);
+  }
+  EXPECT_EQ(ids.size(), population.size());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int>(population.size()) - 1);
+}
+
+TEST(UserPopulation, TracesHaveRequestedLengthAndDemand) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  for (const User& user : population.users()) {
+    EXPECT_EQ(user.trace.length(), 6000);
+    EXPECT_GT(user.trace.total(), 0) << "user " << user.id;
+  }
+}
+
+TEST(UserPopulation, ReproducibleFromSeed) {
+  const UserPopulation a = UserPopulation::build(small_spec());
+  const UserPopulation b = UserPopulation::build(small_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.users()[i].cv, b.users()[i].cv);
+    EXPECT_EQ(a.users()[i].trace.total(), b.users()[i].trace.total());
+  }
+}
+
+TEST(UserPopulation, DifferentSeedsDiffer) {
+  PopulationSpec other = small_spec();
+  other.seed = 456;
+  const UserPopulation a = UserPopulation::build(small_spec());
+  const UserPopulation b = UserPopulation::build(other);
+  int identical = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.users()[i].trace.total() == b.users()[i].trace.total()) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, static_cast<int>(a.size()));
+}
+
+TEST(UserPopulation, MostFluctuatingIsInHighGroup) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  const User& extreme = population.most_fluctuating();
+  EXPECT_EQ(extreme.group, FluctuationGroup::kHigh);
+  for (const User& user : population.users()) {
+    EXPECT_LE(user.cv, extreme.cv);
+  }
+}
+
+TEST(UserPopulation, GeneratorDescriptionRecorded) {
+  const UserPopulation population = UserPopulation::build(small_spec());
+  for (const User& user : population.users()) {
+    EXPECT_FALSE(user.generator.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::workload

@@ -1,0 +1,84 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::workload {
+namespace {
+
+TEST(DemandTrace, EmptyTrace) {
+  DemandTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.length(), 0);
+  EXPECT_EQ(trace.at(0), 0);
+  EXPECT_DOUBLE_EQ(trace.mean(), 0.0);
+}
+
+TEST(DemandTrace, AtReturnsValuesAndZeroPad) {
+  DemandTrace trace({1, 2, 3});
+  EXPECT_EQ(trace.length(), 3);
+  EXPECT_EQ(trace.at(0), 1);
+  EXPECT_EQ(trace.at(2), 3);
+  // Beyond the recorded range the job has finished: zero demand.
+  EXPECT_EQ(trace.at(3), 0);
+  EXPECT_EQ(trace.at(1000), 0);
+}
+
+TEST(DemandTrace, Statistics) {
+  DemandTrace trace({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(trace.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(trace.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.coefficient_of_variation(), 0.4);
+  EXPECT_EQ(trace.peak(), 9);
+  EXPECT_EQ(trace.total(), 40);
+}
+
+TEST(DemandTrace, SliceWithinRange) {
+  DemandTrace trace({0, 1, 2, 3, 4});
+  const DemandTrace slice = trace.slice(1, 3);
+  EXPECT_EQ(slice.length(), 3);
+  EXPECT_EQ(slice.at(0), 1);
+  EXPECT_EQ(slice.at(2), 3);
+}
+
+TEST(DemandTrace, SliceBeyondEndZeroFills) {
+  DemandTrace trace({5, 6});
+  const DemandTrace slice = trace.slice(1, 4);
+  EXPECT_EQ(slice.length(), 4);
+  EXPECT_EQ(slice.at(0), 6);
+  EXPECT_EQ(slice.at(1), 0);
+  EXPECT_EQ(slice.at(3), 0);
+}
+
+TEST(DemandTrace, SumZeroExtendsShorter) {
+  DemandTrace a({1, 1});
+  DemandTrace b({2, 2, 2});
+  const DemandTrace sum = DemandTrace::sum(a, b);
+  EXPECT_EQ(sum.length(), 3);
+  EXPECT_EQ(sum.at(0), 3);
+  EXPECT_EQ(sum.at(2), 2);
+}
+
+TEST(DemandTrace, CsvRoundTrip) {
+  DemandTrace trace({0, 3, 0, 7});
+  const auto parsed = DemandTrace::from_csv(trace.to_csv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->length(), 4);
+  EXPECT_EQ(parsed->at(1), 3);
+  EXPECT_EQ(parsed->at(3), 7);
+}
+
+TEST(DemandTrace, FromCsvRejectsBadInput) {
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0,1\n2,1\n").has_value());  // gap
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0,-1\n").has_value());      // negative
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0\n").has_value());         // short row
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\nx,1\n").has_value());       // non-numeric
+}
+
+TEST(DemandTrace, FromCsvEmptyBodyIsEmptyTrace) {
+  const auto parsed = DemandTrace::from_csv("hour,demand\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace rimarket::workload

@@ -1,0 +1,109 @@
+#include "workload/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rimarket::workload {
+namespace {
+
+TEST(DownsampleMax, TakesWindowPeaks) {
+  const DemandTrace trace({1, 5, 2, 0, 3, 3});
+  const DemandTrace out = downsample_max(trace, 2);
+  ASSERT_EQ(out.length(), 3);
+  EXPECT_EQ(out.at(0), 5);
+  EXPECT_EQ(out.at(1), 2);
+  EXPECT_EQ(out.at(2), 3);
+}
+
+TEST(DownsampleMax, PartialTailWindow) {
+  const DemandTrace trace({1, 2, 9});
+  const DemandTrace out = downsample_max(trace, 2);
+  ASSERT_EQ(out.length(), 2);
+  EXPECT_EQ(out.at(1), 9);
+}
+
+TEST(DownsampleMax, FactorOneIsIdentity) {
+  const DemandTrace trace({4, 0, 7});
+  const DemandTrace out = downsample_max(trace, 1);
+  ASSERT_EQ(out.length(), 3);
+  EXPECT_EQ(out.at(2), 7);
+}
+
+TEST(DownsampleMean, RoundsHalfUp) {
+  const DemandTrace trace({1, 2, 2, 3});
+  const DemandTrace out = downsample_mean(trace, 2);
+  ASSERT_EQ(out.length(), 2);
+  EXPECT_EQ(out.at(0), 2);  // 1.5 -> 2
+  EXPECT_EQ(out.at(1), 3);  // 2.5 -> 3
+}
+
+TEST(UpsampleRepeat, RepeatsSamples) {
+  const DemandTrace trace({2, 5});
+  const DemandTrace out = upsample_repeat(trace, 3);
+  ASSERT_EQ(out.length(), 6);
+  EXPECT_EQ(out.at(0), 2);
+  EXPECT_EQ(out.at(2), 2);
+  EXPECT_EQ(out.at(3), 5);
+  EXPECT_EQ(out.at(5), 5);
+}
+
+TEST(UpsampleDownsampleRoundTrip, MaxRecoversOriginal) {
+  const DemandTrace trace({3, 1, 4, 1, 5});
+  const DemandTrace round = downsample_max(upsample_repeat(trace, 4), 4);
+  ASSERT_EQ(round.length(), trace.length());
+  for (Hour h = 0; h < trace.length(); ++h) {
+    EXPECT_EQ(round.at(h), trace.at(h));
+  }
+}
+
+TEST(Scale, MultipliesAndRounds) {
+  const DemandTrace trace({1, 2, 3});
+  const DemandTrace doubled = scale(trace, 2.0);
+  EXPECT_EQ(doubled.at(2), 6);
+  const DemandTrace halved = scale(trace, 0.5);
+  EXPECT_EQ(halved.at(0), 1);  // 0.5 rounds half-up
+  EXPECT_EQ(halved.at(1), 1);
+  EXPECT_EQ(halved.at(2), 2);  // 1.5 -> 2
+}
+
+TEST(Scale, ZeroFactorZeroesTrace) {
+  const DemandTrace trace({7, 8});
+  EXPECT_EQ(scale(trace, 0.0).total(), 0);
+}
+
+TEST(Clip, CapsSamples) {
+  const DemandTrace trace({0, 5, 10});
+  const DemandTrace out = clip(trace, 6);
+  EXPECT_EQ(out.at(0), 0);
+  EXPECT_EQ(out.at(1), 5);
+  EXPECT_EQ(out.at(2), 6);
+}
+
+TEST(Delay, ZeroFillsPrefix) {
+  const DemandTrace trace({4, 5});
+  const DemandTrace out = delay(trace, 3);
+  ASSERT_EQ(out.length(), 5);
+  EXPECT_EQ(out.at(0), 0);
+  EXPECT_EQ(out.at(2), 0);
+  EXPECT_EQ(out.at(3), 4);
+  EXPECT_EQ(out.at(4), 5);
+}
+
+TEST(Delay, ZeroDelayIsIdentity) {
+  const DemandTrace trace({1, 2});
+  const DemandTrace out = delay(trace, 0);
+  EXPECT_EQ(out.length(), 2);
+  EXPECT_EQ(out.at(0), 1);
+}
+
+TEST(Transforms, PreserveNonNegativityAndTotals) {
+  const DemandTrace trace({2, 0, 6, 1, 3, 3, 0, 9});
+  // Mean-downsampling then repeating approximately preserves total demand.
+  const DemandTrace round = upsample_repeat(downsample_mean(trace, 2), 2);
+  EXPECT_NEAR(static_cast<double>(round.total()), static_cast<double>(trace.total()), 4.0);
+  for (Hour h = 0; h < round.length(); ++h) {
+    EXPECT_GE(round.at(h), 0);
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::workload
