@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_term"
+  "../bench/bench_ablation_term.pdb"
+  "CMakeFiles/bench_ablation_term.dir/bench_ablation_term.cpp.o"
+  "CMakeFiles/bench_ablation_term.dir/bench_ablation_term.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

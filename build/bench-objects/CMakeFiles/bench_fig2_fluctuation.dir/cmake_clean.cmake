@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_fluctuation"
+  "../bench/bench_fig2_fluctuation.pdb"
+  "CMakeFiles/bench_fig2_fluctuation.dir/bench_fig2_fluctuation.cpp.o"
+  "CMakeFiles/bench_fig2_fluctuation.dir/bench_fig2_fluctuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

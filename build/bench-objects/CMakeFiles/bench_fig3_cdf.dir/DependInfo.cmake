@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_cdf.cpp" "bench-objects/CMakeFiles/bench_fig3_cdf.dir/bench_fig3_cdf.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_fig3_cdf.dir/bench_fig3_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objects/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/rimarket_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rimarket_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rimarket_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rimarket_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/purchasing/CMakeFiles/rimarket_purchasing.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/rimarket_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/rimarket_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/selling/CMakeFiles/rimarket_selling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_groups"
+  "../bench/bench_fig4_groups.pdb"
+  "CMakeFiles/bench_fig4_groups.dir/bench_fig4_groups.cpp.o"
+  "CMakeFiles/bench_fig4_groups.dir/bench_fig4_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

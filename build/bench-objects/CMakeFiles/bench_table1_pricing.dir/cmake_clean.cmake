@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_pricing"
+  "../bench/bench_table1_pricing.pdb"
+  "CMakeFiles/bench_table1_pricing.dir/bench_table1_pricing.cpp.o"
+  "CMakeFiles/bench_table1_pricing.dir/bench_table1_pricing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

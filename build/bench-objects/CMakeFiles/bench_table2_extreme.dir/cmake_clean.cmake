@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_extreme"
+  "../bench/bench_table2_extreme.pdb"
+  "CMakeFiles/bench_table2_extreme.dir/bench_table2_extreme.cpp.o"
+  "CMakeFiles/bench_table2_extreme.dir/bench_table2_extreme.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_extreme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

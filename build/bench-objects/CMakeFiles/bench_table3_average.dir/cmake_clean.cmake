@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_average"
+  "../bench/bench_table3_average.pdb"
+  "CMakeFiles/bench_table3_average.dir/bench_table3_average.cpp.o"
+  "CMakeFiles/bench_table3_average.dir/bench_table3_average.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

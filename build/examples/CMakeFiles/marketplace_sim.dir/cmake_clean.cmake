@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_sim.dir/marketplace_sim.cpp.o"
+  "CMakeFiles/marketplace_sim.dir/marketplace_sim.cpp.o.d"
+  "marketplace_sim"
+  "marketplace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_advisor.dir/portfolio_advisor.cpp.o"
+  "CMakeFiles/portfolio_advisor.dir/portfolio_advisor.cpp.o.d"
+  "portfolio_advisor"
+  "portfolio_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

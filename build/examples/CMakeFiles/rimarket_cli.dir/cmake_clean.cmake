@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_cli.dir/rimarket_cli.cpp.o"
+  "CMakeFiles/rimarket_cli.dir/rimarket_cli.cpp.o.d"
+  "rimarket_cli"
+  "rimarket_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_analysis.dir/export.cpp.o"
+  "CMakeFiles/rimarket_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/rimarket_analysis.dir/normalize.cpp.o"
+  "CMakeFiles/rimarket_analysis.dir/normalize.cpp.o.d"
+  "CMakeFiles/rimarket_analysis.dir/reports.cpp.o"
+  "CMakeFiles/rimarket_analysis.dir/reports.cpp.o.d"
+  "CMakeFiles/rimarket_analysis.dir/summary.cpp.o"
+  "CMakeFiles/rimarket_analysis.dir/summary.cpp.o.d"
+  "librimarket_analysis.a"
+  "librimarket_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librimarket_analysis.a"
+)

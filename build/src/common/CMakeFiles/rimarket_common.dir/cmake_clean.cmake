@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_common.dir/assert.cpp.o"
+  "CMakeFiles/rimarket_common.dir/assert.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/cdf.cpp.o"
+  "CMakeFiles/rimarket_common.dir/cdf.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/cli.cpp.o"
+  "CMakeFiles/rimarket_common.dir/cli.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/config.cpp.o"
+  "CMakeFiles/rimarket_common.dir/config.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/csv.cpp.o"
+  "CMakeFiles/rimarket_common.dir/csv.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/histogram.cpp.o"
+  "CMakeFiles/rimarket_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/logging.cpp.o"
+  "CMakeFiles/rimarket_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/rng.cpp.o"
+  "CMakeFiles/rimarket_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/stats.cpp.o"
+  "CMakeFiles/rimarket_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/strings.cpp.o"
+  "CMakeFiles/rimarket_common.dir/strings.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/table.cpp.o"
+  "CMakeFiles/rimarket_common.dir/table.cpp.o.d"
+  "CMakeFiles/rimarket_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/rimarket_common.dir/thread_pool.cpp.o.d"
+  "librimarket_common.a"
+  "librimarket_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

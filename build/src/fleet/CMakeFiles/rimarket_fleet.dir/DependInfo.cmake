@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/accounting.cpp" "src/fleet/CMakeFiles/rimarket_fleet.dir/accounting.cpp.o" "gcc" "src/fleet/CMakeFiles/rimarket_fleet.dir/accounting.cpp.o.d"
+  "/root/repo/src/fleet/ledger.cpp" "src/fleet/CMakeFiles/rimarket_fleet.dir/ledger.cpp.o" "gcc" "src/fleet/CMakeFiles/rimarket_fleet.dir/ledger.cpp.o.d"
+  "/root/repo/src/fleet/reservation.cpp" "src/fleet/CMakeFiles/rimarket_fleet.dir/reservation.cpp.o" "gcc" "src/fleet/CMakeFiles/rimarket_fleet.dir/reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

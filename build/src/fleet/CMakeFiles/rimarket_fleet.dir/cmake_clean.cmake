@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_fleet.dir/accounting.cpp.o"
+  "CMakeFiles/rimarket_fleet.dir/accounting.cpp.o.d"
+  "CMakeFiles/rimarket_fleet.dir/ledger.cpp.o"
+  "CMakeFiles/rimarket_fleet.dir/ledger.cpp.o.d"
+  "CMakeFiles/rimarket_fleet.dir/reservation.cpp.o"
+  "CMakeFiles/rimarket_fleet.dir/reservation.cpp.o.d"
+  "librimarket_fleet.a"
+  "librimarket_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/forecast_selling.cpp" "src/forecast/CMakeFiles/rimarket_forecast.dir/forecast_selling.cpp.o" "gcc" "src/forecast/CMakeFiles/rimarket_forecast.dir/forecast_selling.cpp.o.d"
+  "/root/repo/src/forecast/forecasters.cpp" "src/forecast/CMakeFiles/rimarket_forecast.dir/forecasters.cpp.o" "gcc" "src/forecast/CMakeFiles/rimarket_forecast.dir/forecasters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/selling/CMakeFiles/rimarket_selling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

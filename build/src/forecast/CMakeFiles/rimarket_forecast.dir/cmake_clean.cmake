@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_forecast.dir/forecast_selling.cpp.o"
+  "CMakeFiles/rimarket_forecast.dir/forecast_selling.cpp.o.d"
+  "CMakeFiles/rimarket_forecast.dir/forecasters.cpp.o"
+  "CMakeFiles/rimarket_forecast.dir/forecasters.cpp.o.d"
+  "librimarket_forecast.a"
+  "librimarket_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

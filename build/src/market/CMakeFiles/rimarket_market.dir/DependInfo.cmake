@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/discount_optimizer.cpp" "src/market/CMakeFiles/rimarket_market.dir/discount_optimizer.cpp.o" "gcc" "src/market/CMakeFiles/rimarket_market.dir/discount_optimizer.cpp.o.d"
+  "/root/repo/src/market/listing.cpp" "src/market/CMakeFiles/rimarket_market.dir/listing.cpp.o" "gcc" "src/market/CMakeFiles/rimarket_market.dir/listing.cpp.o.d"
+  "/root/repo/src/market/marketplace.cpp" "src/market/CMakeFiles/rimarket_market.dir/marketplace.cpp.o" "gcc" "src/market/CMakeFiles/rimarket_market.dir/marketplace.cpp.o.d"
+  "/root/repo/src/market/order_book.cpp" "src/market/CMakeFiles/rimarket_market.dir/order_book.cpp.o" "gcc" "src/market/CMakeFiles/rimarket_market.dir/order_book.cpp.o.d"
+  "/root/repo/src/market/response.cpp" "src/market/CMakeFiles/rimarket_market.dir/response.cpp.o" "gcc" "src/market/CMakeFiles/rimarket_market.dir/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

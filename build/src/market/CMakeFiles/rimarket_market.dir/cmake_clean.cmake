@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_market.dir/discount_optimizer.cpp.o"
+  "CMakeFiles/rimarket_market.dir/discount_optimizer.cpp.o.d"
+  "CMakeFiles/rimarket_market.dir/listing.cpp.o"
+  "CMakeFiles/rimarket_market.dir/listing.cpp.o.d"
+  "CMakeFiles/rimarket_market.dir/marketplace.cpp.o"
+  "CMakeFiles/rimarket_market.dir/marketplace.cpp.o.d"
+  "CMakeFiles/rimarket_market.dir/order_book.cpp.o"
+  "CMakeFiles/rimarket_market.dir/order_book.cpp.o.d"
+  "CMakeFiles/rimarket_market.dir/response.cpp.o"
+  "CMakeFiles/rimarket_market.dir/response.cpp.o.d"
+  "librimarket_market.a"
+  "librimarket_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/catalog.cpp" "src/pricing/CMakeFiles/rimarket_pricing.dir/catalog.cpp.o" "gcc" "src/pricing/CMakeFiles/rimarket_pricing.dir/catalog.cpp.o.d"
+  "/root/repo/src/pricing/instance_type.cpp" "src/pricing/CMakeFiles/rimarket_pricing.dir/instance_type.cpp.o" "gcc" "src/pricing/CMakeFiles/rimarket_pricing.dir/instance_type.cpp.o.d"
+  "/root/repo/src/pricing/payment.cpp" "src/pricing/CMakeFiles/rimarket_pricing.dir/payment.cpp.o" "gcc" "src/pricing/CMakeFiles/rimarket_pricing.dir/payment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

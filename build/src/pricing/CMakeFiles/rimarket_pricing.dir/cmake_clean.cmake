@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_pricing.dir/catalog.cpp.o"
+  "CMakeFiles/rimarket_pricing.dir/catalog.cpp.o.d"
+  "CMakeFiles/rimarket_pricing.dir/instance_type.cpp.o"
+  "CMakeFiles/rimarket_pricing.dir/instance_type.cpp.o.d"
+  "CMakeFiles/rimarket_pricing.dir/payment.cpp.o"
+  "CMakeFiles/rimarket_pricing.dir/payment.cpp.o.d"
+  "librimarket_pricing.a"
+  "librimarket_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/purchasing/all_reserved.cpp" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/all_reserved.cpp.o" "gcc" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/all_reserved.cpp.o.d"
+  "/root/repo/src/purchasing/policy.cpp" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/policy.cpp.o" "gcc" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/policy.cpp.o.d"
+  "/root/repo/src/purchasing/random_reservation.cpp" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/random_reservation.cpp.o" "gcc" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/random_reservation.cpp.o.d"
+  "/root/repo/src/purchasing/wang_online.cpp" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/wang_online.cpp.o" "gcc" "src/purchasing/CMakeFiles/rimarket_purchasing.dir/wang_online.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_purchasing.dir/all_reserved.cpp.o"
+  "CMakeFiles/rimarket_purchasing.dir/all_reserved.cpp.o.d"
+  "CMakeFiles/rimarket_purchasing.dir/policy.cpp.o"
+  "CMakeFiles/rimarket_purchasing.dir/policy.cpp.o.d"
+  "CMakeFiles/rimarket_purchasing.dir/random_reservation.cpp.o"
+  "CMakeFiles/rimarket_purchasing.dir/random_reservation.cpp.o.d"
+  "CMakeFiles/rimarket_purchasing.dir/wang_online.cpp.o"
+  "CMakeFiles/rimarket_purchasing.dir/wang_online.cpp.o.d"
+  "librimarket_purchasing.a"
+  "librimarket_purchasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_purchasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rimarket_purchasing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selling/baselines.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/baselines.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/baselines.cpp.o.d"
+  "/root/repo/src/selling/continuous.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/continuous.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/continuous.cpp.o.d"
+  "/root/repo/src/selling/fixed_spot.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/fixed_spot.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/fixed_spot.cpp.o.d"
+  "/root/repo/src/selling/planned.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/planned.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/planned.cpp.o.d"
+  "/root/repo/src/selling/policy.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/policy.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/policy.cpp.o.d"
+  "/root/repo/src/selling/randomized.cpp" "src/selling/CMakeFiles/rimarket_selling.dir/randomized.cpp.o" "gcc" "src/selling/CMakeFiles/rimarket_selling.dir/randomized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_selling.dir/baselines.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/baselines.cpp.o.d"
+  "CMakeFiles/rimarket_selling.dir/continuous.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/continuous.cpp.o.d"
+  "CMakeFiles/rimarket_selling.dir/fixed_spot.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/fixed_spot.cpp.o.d"
+  "CMakeFiles/rimarket_selling.dir/planned.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/planned.cpp.o.d"
+  "CMakeFiles/rimarket_selling.dir/policy.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/policy.cpp.o.d"
+  "CMakeFiles/rimarket_selling.dir/randomized.cpp.o"
+  "CMakeFiles/rimarket_selling.dir/randomized.cpp.o.d"
+  "librimarket_selling.a"
+  "librimarket_selling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_selling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

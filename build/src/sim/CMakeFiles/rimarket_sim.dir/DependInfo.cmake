@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/offline_planner.cpp" "src/sim/CMakeFiles/rimarket_sim.dir/offline_planner.cpp.o" "gcc" "src/sim/CMakeFiles/rimarket_sim.dir/offline_planner.cpp.o.d"
+  "/root/repo/src/sim/portfolio.cpp" "src/sim/CMakeFiles/rimarket_sim.dir/portfolio.cpp.o" "gcc" "src/sim/CMakeFiles/rimarket_sim.dir/portfolio.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/rimarket_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/rimarket_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/rimarket_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/rimarket_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/rimarket_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/rimarket_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rimarket_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/purchasing/CMakeFiles/rimarket_purchasing.dir/DependInfo.cmake"
+  "/root/repo/build/src/selling/CMakeFiles/rimarket_selling.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/rimarket_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/rimarket_theory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

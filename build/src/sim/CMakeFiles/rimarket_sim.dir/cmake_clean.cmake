@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_sim.dir/offline_planner.cpp.o"
+  "CMakeFiles/rimarket_sim.dir/offline_planner.cpp.o.d"
+  "CMakeFiles/rimarket_sim.dir/portfolio.cpp.o"
+  "CMakeFiles/rimarket_sim.dir/portfolio.cpp.o.d"
+  "CMakeFiles/rimarket_sim.dir/runner.cpp.o"
+  "CMakeFiles/rimarket_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/rimarket_sim.dir/scenario.cpp.o"
+  "CMakeFiles/rimarket_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/rimarket_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rimarket_sim.dir/simulator.cpp.o.d"
+  "librimarket_sim.a"
+  "librimarket_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/adversary.cpp" "src/theory/CMakeFiles/rimarket_theory.dir/adversary.cpp.o" "gcc" "src/theory/CMakeFiles/rimarket_theory.dir/adversary.cpp.o.d"
+  "/root/repo/src/theory/randomized.cpp" "src/theory/CMakeFiles/rimarket_theory.dir/randomized.cpp.o" "gcc" "src/theory/CMakeFiles/rimarket_theory.dir/randomized.cpp.o.d"
+  "/root/repo/src/theory/ratios.cpp" "src/theory/CMakeFiles/rimarket_theory.dir/ratios.cpp.o" "gcc" "src/theory/CMakeFiles/rimarket_theory.dir/ratios.cpp.o.d"
+  "/root/repo/src/theory/single_instance.cpp" "src/theory/CMakeFiles/rimarket_theory.dir/single_instance.cpp.o" "gcc" "src/theory/CMakeFiles/rimarket_theory.dir/single_instance.cpp.o.d"
+  "/root/repo/src/theory/verification.cpp" "src/theory/CMakeFiles/rimarket_theory.dir/verification.cpp.o" "gcc" "src/theory/CMakeFiles/rimarket_theory.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/selling/CMakeFiles/rimarket_selling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

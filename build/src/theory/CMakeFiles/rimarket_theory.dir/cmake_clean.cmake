@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_theory.dir/adversary.cpp.o"
+  "CMakeFiles/rimarket_theory.dir/adversary.cpp.o.d"
+  "CMakeFiles/rimarket_theory.dir/randomized.cpp.o"
+  "CMakeFiles/rimarket_theory.dir/randomized.cpp.o.d"
+  "CMakeFiles/rimarket_theory.dir/ratios.cpp.o"
+  "CMakeFiles/rimarket_theory.dir/ratios.cpp.o.d"
+  "CMakeFiles/rimarket_theory.dir/single_instance.cpp.o"
+  "CMakeFiles/rimarket_theory.dir/single_instance.cpp.o.d"
+  "CMakeFiles/rimarket_theory.dir/verification.cpp.o"
+  "CMakeFiles/rimarket_theory.dir/verification.cpp.o.d"
+  "librimarket_theory.a"
+  "librimarket_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

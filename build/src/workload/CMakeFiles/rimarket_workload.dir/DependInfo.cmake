@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/classify.cpp" "src/workload/CMakeFiles/rimarket_workload.dir/classify.cpp.o" "gcc" "src/workload/CMakeFiles/rimarket_workload.dir/classify.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/rimarket_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/rimarket_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/rimarket_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/rimarket_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/rimarket_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/rimarket_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/workload/CMakeFiles/rimarket_workload.dir/transforms.cpp.o" "gcc" "src/workload/CMakeFiles/rimarket_workload.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rimarket_workload.dir/classify.cpp.o"
+  "CMakeFiles/rimarket_workload.dir/classify.cpp.o.d"
+  "CMakeFiles/rimarket_workload.dir/generators.cpp.o"
+  "CMakeFiles/rimarket_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/rimarket_workload.dir/population.cpp.o"
+  "CMakeFiles/rimarket_workload.dir/population.cpp.o.d"
+  "CMakeFiles/rimarket_workload.dir/trace.cpp.o"
+  "CMakeFiles/rimarket_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/rimarket_workload.dir/transforms.cpp.o"
+  "CMakeFiles/rimarket_workload.dir/transforms.cpp.o.d"
+  "librimarket_workload.a"
+  "librimarket_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rimarket_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

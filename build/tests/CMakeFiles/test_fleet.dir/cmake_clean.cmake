@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet.dir/fleet/accounting_test.cpp.o"
+  "CMakeFiles/test_fleet.dir/fleet/accounting_test.cpp.o.d"
+  "CMakeFiles/test_fleet.dir/fleet/ledger_test.cpp.o"
+  "CMakeFiles/test_fleet.dir/fleet/ledger_test.cpp.o.d"
+  "CMakeFiles/test_fleet.dir/fleet/reservation_test.cpp.o"
+  "CMakeFiles/test_fleet.dir/fleet/reservation_test.cpp.o.d"
+  "test_fleet"
+  "test_fleet.pdb"
+  "test_fleet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

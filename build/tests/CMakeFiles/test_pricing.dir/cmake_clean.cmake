@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing.dir/pricing/catalog_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/catalog_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/instance_type_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/instance_type_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/payment_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/payment_test.cpp.o.d"
+  "test_pricing"
+  "test_pricing.pdb"
+  "test_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

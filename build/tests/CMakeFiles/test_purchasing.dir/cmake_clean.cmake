@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_purchasing.dir/purchasing/policies_test.cpp.o"
+  "CMakeFiles/test_purchasing.dir/purchasing/policies_test.cpp.o.d"
+  "CMakeFiles/test_purchasing.dir/purchasing/wang_online_test.cpp.o"
+  "CMakeFiles/test_purchasing.dir/purchasing/wang_online_test.cpp.o.d"
+  "test_purchasing"
+  "test_purchasing.pdb"
+  "test_purchasing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_purchasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

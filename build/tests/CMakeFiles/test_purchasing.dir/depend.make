@@ -1,0 +1,2 @@
+# Empty dependencies file for test_purchasing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selling.dir/selling/baselines_test.cpp.o"
+  "CMakeFiles/test_selling.dir/selling/baselines_test.cpp.o.d"
+  "CMakeFiles/test_selling.dir/selling/continuous_test.cpp.o"
+  "CMakeFiles/test_selling.dir/selling/continuous_test.cpp.o.d"
+  "CMakeFiles/test_selling.dir/selling/fixed_spot_test.cpp.o"
+  "CMakeFiles/test_selling.dir/selling/fixed_spot_test.cpp.o.d"
+  "CMakeFiles/test_selling.dir/selling/randomized_test.cpp.o"
+  "CMakeFiles/test_selling.dir/selling/randomized_test.cpp.o.d"
+  "test_selling"
+  "test_selling.pdb"
+  "test_selling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

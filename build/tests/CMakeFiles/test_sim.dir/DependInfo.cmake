@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/offline_planner_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/offline_planner_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/offline_planner_test.cpp.o.d"
+  "/root/repo/tests/sim/portfolio_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/portfolio_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/portfolio_test.cpp.o.d"
+  "/root/repo/tests/sim/runner_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/runner_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/runner_test.cpp.o.d"
+  "/root/repo/tests/sim/scenario_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/rimarket_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rimarket_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rimarket_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rimarket_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/purchasing/CMakeFiles/rimarket_purchasing.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/rimarket_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/rimarket_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/selling/CMakeFiles/rimarket_selling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rimarket_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rimarket_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rimarket_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
