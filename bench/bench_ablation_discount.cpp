@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreading: lower a sells faster and loses less pro-ration but asks less; the\n"
       "paper's instant-sale assumption is the fee=0 row.\n");
+  bench::print_metrics_summary();
   return 0;
 }

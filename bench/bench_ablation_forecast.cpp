@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
       "extrapolated demand; the gap between its worst-case column and the online\n"
       "algorithm's, growing with the fluctuation group, is the paper's Section II\n"
       "argument in numbers.\n");
+  bench::print_metrics_summary();
   return 0;
 }

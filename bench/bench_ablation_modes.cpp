@@ -180,5 +180,6 @@ int main(int argc, char** argv) {
       "which is why related work proposes it.  But the mechanism is \"currently not\n"
       "supported by public IaaS cloud providers\" (paper Section II); the contract\n"
       "marketplace the paper studies is the one sellers can actually use.\n");
+  bench::print_metrics_summary();
   return 0;
 }

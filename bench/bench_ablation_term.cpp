@@ -93,5 +93,6 @@ int main(int argc, char** argv) {
       "\nreading: longer terms idle longer when demand drifts, so the marketplace\n"
       "matters more; meanwhile the guarantees computed at the larger 3-year theta are\n"
       "looser — both effects argue for the paper's 1-year focus.\n");
+  bench::print_metrics_summary();
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.hpp"
 #include "pricing/catalog.hpp"
 #include "selling/fixed_spot.hpp"
 
@@ -57,8 +59,27 @@ PaperEvaluation run_paper_evaluation(const BenchOptions& options) {
       sim::SellerSpec{sim::SellerKind::kAT2, selling::kSpotT2},
       sim::SellerSpec{sim::SellerKind::kAT4, selling::kSpotT4},
   };
-  evaluation.results = sim::evaluate(evaluation.population, evaluation.spec);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  try {
+    evaluation.results = sim::evaluate(evaluation.population, evaluation.spec);
+  } catch (const sim::SweepError& error) {
+    // Same convention as parse_options: benches report bad runs on stderr
+    // and exit instead of leaking the exception to std::terminate.
+    std::fprintf(stderr, "%s\n", error.what());
+    for (const sim::UserFailure& failure : error.failures()) {
+      std::fprintf(stderr, "  user %d: %s\n", failure.user_id, failure.message.c_str());
+    }
+    std::exit(1);
+  }
+  const auto sweep_millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - sweep_start)
+                                .count();
   evaluation.normalized = analysis::normalize_to_keep(evaluation.results);
+
+  common::MetricsRegistry& metrics = common::MetricsRegistry::global();
+  metrics.set("bench.users", static_cast<std::int64_t>(evaluation.population.size()));
+  metrics.set("bench.scenarios", static_cast<std::int64_t>(evaluation.results.size()));
+  metrics.set("bench.sweep_millis", static_cast<std::int64_t>(sweep_millis));
   return evaluation;
 }
 
@@ -70,6 +91,10 @@ void print_banner(const BenchOptions& options, const char* what) {
       options.instance.c_str(), options.selling_discount, options.users_per_group,
       static_cast<long long>(options.trace_hours),
       static_cast<unsigned long long>(options.seed));
+}
+
+void print_metrics_summary() {
+  std::printf("\nMETRICS %s\n", common::MetricsRegistry::global().to_json().c_str());
 }
 
 }  // namespace rimarket::bench

@@ -47,4 +47,9 @@ PaperEvaluation run_paper_evaluation(const BenchOptions& options);
 /// Banner with the configuration, printed at the top of every bench.
 void print_banner(const BenchOptions& options, const char* what);
 
+/// One machine-readable line at the end of every bench:
+///   METRICS {"sim.evaluate.tasks_run":300,...}
+/// drawn from MetricsRegistry::global() (sweep pool counters, timings).
+void print_metrics_summary();
+
 }  // namespace rimarket::bench

@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::print_metrics_summary();
   return 0;
 }

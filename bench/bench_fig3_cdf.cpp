@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
                                             panel.all_selling)
                     .c_str());
   }
+  bench::print_metrics_summary();
   return 0;
 }

@@ -29,5 +29,6 @@ int main(int argc, char** argv) {
     std::printf("--- Fig. 4%s ---\n", panel.panel);
     std::printf("%s\n", analysis::render_fig4_panel(evaluation.normalized, panel.group).c_str());
   }
+  bench::print_metrics_summary();
   return 0;
 }

@@ -3,6 +3,11 @@
 // library itself.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "fleet/ledger.hpp"
 #include "pricing/catalog.hpp"
 #include "selling/fixed_spot.hpp"
@@ -95,4 +100,47 @@ void BM_OptimalSale(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalSale);
 
+// Scheduling overhead of the execution layer itself: per-element submission
+// vs chunked parallel_for over a trivial body.  The chunked variant should
+// win by an order of magnitude at high element counts.
+void BM_ParallelForPerElement(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sum{0};
+  for (auto _ : state) {
+    parallel_for(pool, count,
+                 [&sum](std::size_t i) { sum.fetch_add(i, std::memory_order_relaxed); },
+                 /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  pool.export_metrics(common::MetricsRegistry::global(), "bench_perf.pool_per_element");
+}
+BENCHMARK(BM_ParallelForPerElement)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sum{0};
+  for (auto _ : state) {
+    parallel_for(pool, count,
+                 [&sum](std::size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  pool.export_metrics(common::MetricsRegistry::global(), "bench_perf.pool_chunked");
+}
+BENCHMARK(BM_ParallelForChunked)->Arg(1 << 10)->Arg(1 << 14);
+
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the run ends with the same
+// machine-readable METRICS line as the figure/table benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\nMETRICS %s\n", common::MetricsRegistry::global().to_json().c_str());
+  return 0;
+}

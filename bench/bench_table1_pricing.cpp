@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/reports.hpp"
+#include "bench_common.hpp"
 #include "pricing/catalog.hpp"
 
 using namespace rimarket;
@@ -29,5 +30,6 @@ int main() {
                 type.on_demand_hourly, type.upfront, type.reserved_hourly, type.alpha(),
                 type.theta());
   }
+  bench::print_metrics_summary();
   return 0;
 }

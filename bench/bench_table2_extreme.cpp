@@ -131,5 +131,6 @@ int main(int argc, char** argv) {
   run_one_convention(options, "Eq. (1) billing: every active reserved hour accrues alpha*p");
   options.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
   run_one_convention(options, "analysis billing: only worked hours accrue alpha*p");
+  bench::print_metrics_summary();
   return 0;
 }

@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::print_metrics_summary();
   return 0;
 }

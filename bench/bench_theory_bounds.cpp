@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/reports.hpp"
+#include "bench_common.hpp"
 #include "common/cli.hpp"
 #include "pricing/catalog.hpp"
 #include "theory/randomized.hpp"
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
       pricing::PricingCatalog::builtin().require("d2.xlarge"), discount, spots, spec);
   std::printf("  optimized mixture          : ratio %.4f with weights (%.3f, %.3f, %.3f)\n",
               best.minimax_ratio, best.weights[0], best.weights[1], best.weights[2]);
+  bench::print_metrics_summary();
   return violations == 0 ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "analysis/reports.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "pricing/catalog.hpp"
 #include "sim/offline_planner.hpp"
@@ -256,6 +257,8 @@ int cmd_evaluate(int argc, char** argv) {
   cli.add_flag("discount", "selling discount a", "0.8");
   cli.add_flag("instance", "catalog instance type", "d2.xlarge");
   cli.add_flag("seed", "seed", "2018");
+  cli.add_flag("threads", "worker threads (0 = hardware)", "0");
+  cli.add_flag("metrics", "print the execution-layer METRICS JSON line", "false");
   cli.add_flag("out", "write raw scenario results CSV here", "");
   cli.add_flag("normalized-out", "write normalized ratios CSV here", "");
   if (!cli.parse(argc, argv)) {
@@ -278,11 +281,24 @@ int cmd_evaluate(int argc, char** argv) {
   spec.sim.type = *type;
   spec.sim.selling_discount = cli.get_double("discount", 0.8);
   spec.seed = pop_spec.seed;
+  spec.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   spec.sellers = sim::paper_sellers(0.75);
-  const auto results = sim::evaluate(population, spec);
+  std::vector<sim::ScenarioResult> results;
+  try {
+    results = sim::evaluate(population, spec);
+  } catch (const sim::SweepError& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    for (const sim::UserFailure& failure : error.failures()) {
+      std::fprintf(stderr, "  user %d: %s\n", failure.user_id, failure.message.c_str());
+    }
+    return 1;
+  }
   const auto normalized = analysis::normalize_to_keep(results);
 
   std::printf("%s\n", analysis::render_table3(normalized).c_str());
+  if (cli.get_bool("metrics", false)) {
+    std::printf("METRICS %s\n", common::MetricsRegistry::global().to_json().c_str());
+  }
   if (!cli.get("out").empty()) {
     if (!common::write_file(cli.get("out"), analysis::scenarios_to_csv(results))) {
       std::fprintf(stderr, "cannot write %s\n", cli.get("out").c_str());

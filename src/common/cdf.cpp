@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "common/stats.hpp"
 
 namespace rimarket::common {
 
@@ -22,12 +23,7 @@ double EmpiricalCdf::at(double x) const {
 
 double EmpiricalCdf::quantile(double q) const {
   RIMARKET_EXPECTS(!sorted_.empty());
-  RIMARKET_EXPECTS(q >= 0.0 && q <= 1.0);
-  const double position = q * static_cast<double>(sorted_.size() - 1);
-  const auto lower = static_cast<std::size_t>(position);
-  const auto upper = std::min(lower + 1, sorted_.size() - 1);
-  const double fraction = position - static_cast<double>(lower);
-  return sorted_[lower] + fraction * (sorted_[upper] - sorted_[lower]);
+  return quantile_sorted(sorted_, q);
 }
 
 double EmpiricalCdf::min() const {

@@ -1,0 +1,76 @@
+#include "common/metrics.hpp"
+
+#include <cstdio>
+
+namespace rimarket::common {
+
+void MetricsRegistry::set(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Value& slot = values_[std::string(name)];
+  slot.is_int = true;
+  slot.as_int = value;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Value& slot = values_[std::string(name)];
+  slot.is_int = false;
+  slot.as_double = value;
+}
+
+void MetricsRegistry::increment(std::string_view name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Value& slot = values_[std::string(name)];
+  slot.is_int = true;
+  slot.as_int += delta;
+}
+
+std::optional<double> MetricsRegistry::get(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second.is_int ? static_cast<double>(it->second.as_int) : it->second.as_double;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  char buffer[64];
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += name;  // dotted metric names never need JSON escaping
+    out += "\":";
+    if (value.is_int) {
+      std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(value.as_int));
+    } else {
+      std::snprintf(buffer, sizeof buffer, "%.17g", value.as_double);
+    }
+    out += buffer;
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rimarket::common

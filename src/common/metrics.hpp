@@ -1,0 +1,57 @@
+// Process-wide metrics registry for the experiment pipeline.
+//
+// The execution layer (thread pool, runner, bench harnesses) records flat
+// counters and gauges here so every binary can end its run with one
+// machine-readable JSON summary line.  Names are dotted paths
+// ("sim.evaluate.tasks_run"); values are int64 counters or double gauges.
+// All operations are thread-safe: workers update counters while the main
+// thread snapshots them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rimarket::common {
+
+/// Flat name -> value store with a JSON one-line dump.
+class MetricsRegistry {
+ public:
+  /// Sets (or overwrites) an integer counter.
+  void set(std::string_view name, std::int64_t value);
+  /// Sets (or overwrites) a floating-point gauge.
+  void set(std::string_view name, double value);
+  /// Adds `delta` to an integer counter, creating it at 0 first.
+  void increment(std::string_view name, std::int64_t delta = 1);
+
+  /// Reads a value (as double) if present; nullopt otherwise.
+  std::optional<double> get(std::string_view name) const;
+
+  /// Number of distinct metrics recorded.
+  std::size_t size() const;
+
+  /// Drops every metric (used between runs and in tests).
+  void clear();
+
+  /// One-line JSON object, keys sorted: {"a.b":1,"c":2.5}.  Integers print
+  /// without a decimal point; doubles with enough digits to round-trip.
+  std::string to_json() const;
+
+  /// The process-wide registry used by the runner and bench harnesses.
+  static MetricsRegistry& global();
+
+ private:
+  struct Value {
+    bool is_int = true;
+    std::int64_t as_int = 0;
+    double as_double = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+}  // namespace rimarket::common

@@ -91,11 +91,19 @@ double coefficient_of_variation(std::span<const double> values) {
 
 double quantile(std::span<const double> values, double q) {
   RIMARKET_EXPECTS(!values.empty());
-  RIMARKET_EXPECTS(q >= 0.0 && q <= 1.0);
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  RIMARKET_EXPECTS(!sorted.empty());
+  RIMARKET_EXPECTS(q >= 0.0 && q <= 1.0);
   const double position = q * static_cast<double>(sorted.size() - 1);
-  const auto lower = static_cast<std::size_t>(position);
+  // Clamp the bracket: even if rounding pushed `position` to exactly n-1,
+  // `lower` must stay a valid index with `upper` its (possibly equal)
+  // right neighbour.
+  const auto lower = std::min(static_cast<std::size_t>(position), sorted.size() - 1);
   const auto upper = std::min(lower + 1, sorted.size() - 1);
   const double fraction = position - static_cast<double>(lower);
   return sorted[lower] + fraction * (sorted[upper] - sorted[lower]);

@@ -58,6 +58,11 @@ double coefficient_of_variation(std::span<const double> values);
 /// the input need not be sorted (a sorted copy is made).
 double quantile(std::span<const double> values, double q);
 
+/// Same interpolation over already-sorted input (no copy).  The single
+/// implementation shared by quantile() and EmpiricalCdf::quantile(), so
+/// endpoint handling (q=0, q=1, one sample) cannot drift between them.
+double quantile_sorted(std::span<const double> sorted, double q);
+
 /// Fraction of values strictly below `threshold`; 0 when empty.
 double fraction_below(std::span<const double> values, double threshold);
 

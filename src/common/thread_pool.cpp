@@ -1,8 +1,44 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
 #include "common/assert.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
 
 namespace rimarket::common {
+
+namespace {
+
+/// RAII completion marker: decrementing `in_flight_` must happen on every
+/// exit path of a popped task (ran, threw, or was cancelled), otherwise
+/// wait_idle() blocks forever — the exact bug this pool exists to prevent.
+class CompletionGuard {
+ public:
+  CompletionGuard(std::mutex& mutex, std::condition_variable& all_done, std::size_t& in_flight)
+      : mutex_(mutex), all_done_(all_done), in_flight_(in_flight) {}
+
+  CompletionGuard(const CompletionGuard&) = delete;
+  CompletionGuard& operator=(const CompletionGuard&) = delete;
+
+  ~CompletionGuard() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex& mutex_;
+  std::condition_variable& all_done_;
+  std::size_t& in_flight_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -29,21 +65,76 @@ void ThreadPool::submit(std::function<void()> task) {
   RIMARKET_EXPECTS(task != nullptr);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    RIMARKET_CHECK_MSG(!stopping_, "submit() after shutdown");
+    if (stopping_) {
+      const std::string message = format(
+          "submit() after shutdown (queued=%zu in_flight=%zu run=%llu failed=%llu)",
+          tasks_.size(), in_flight_, static_cast<unsigned long long>(counters_.tasks_run),
+          static_cast<unsigned long long>(counters_.tasks_failed));
+      RIMARKET_CHECK_MSG(false, message);
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
+    ++counters_.tasks_submitted;
+    counters_.max_queue_depth =
+        std::max<std::uint64_t>(counters_.max_queue_depth, tasks_.size());
   }
   task_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    // Drained: hand the first captured error (if any) to the caller and
+    // reset the cancellation latch so the pool is reusable.
+    error = std::exchange(first_error_, nullptr);
+    cancelling_ = false;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::cancel() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cancelling_ = true;
+  drop_queued_tasks_locked();
+}
+
+void ThreadPool::drop_queued_tasks_locked() {
+  while (!tasks_.empty()) {
+    tasks_.pop();
+    ++counters_.tasks_cancelled;
+    --in_flight_;
+  }
+  if (in_flight_ == 0) {
+    all_done_.notify_all();
+  }
+}
+
+ThreadPoolMetrics ThreadPool::metrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void ThreadPool::export_metrics(MetricsRegistry& registry, std::string_view prefix) const {
+  const ThreadPoolMetrics snapshot = metrics();
+  const std::string base(prefix);
+  registry.set(base + ".threads", static_cast<std::int64_t>(thread_count()));
+  registry.set(base + ".tasks_submitted", static_cast<std::int64_t>(snapshot.tasks_submitted));
+  registry.set(base + ".tasks_run", static_cast<std::int64_t>(snapshot.tasks_run));
+  registry.set(base + ".tasks_failed", static_cast<std::int64_t>(snapshot.tasks_failed));
+  registry.set(base + ".tasks_cancelled", static_cast<std::int64_t>(snapshot.tasks_cancelled));
+  registry.set(base + ".max_queue_depth", static_cast<std::int64_t>(snapshot.max_queue_depth));
+  registry.set(base + ".total_task_millis",
+               static_cast<double>(snapshot.total_task_nanos) / 1e6);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
+    bool cancelled = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -52,21 +143,57 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (cancelling_) {
+        cancelled = true;
+        ++counters_.tasks_cancelled;
+      }
     }
-    task();
+    const CompletionGuard guard(mutex_, all_done_, in_flight_);
+    if (cancelled) {
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        all_done_.notify_all();
+      ++counters_.tasks_run;
+      counters_.total_task_nanos += static_cast<std::uint64_t>(nanos);
+      if (error) {
+        ++counters_.tasks_failed;
+        if (!first_error_) {
+          first_error_ = error;
+        }
+        // Stop scheduling: everything still queued is dropped now; tasks
+        // already running on other workers finish normally.
+        cancelling_ = true;
+        drop_queued_tasks_locked();
       }
     }
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  if (grain == 0) {
+    // A few chunks per worker balances load without per-element overhead.
+    const std::size_t target_chunks = pool.thread_count() * 4;
+    grain = std::max<std::size_t>(1, (count + target_chunks - 1) / target_chunks);
+  }
+  for (std::size_t begin = 0; begin < count; begin += grain) {
+    const std::size_t end = std::min(begin + grain, count);
+    pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    });
   }
   pool.wait_idle();
 }

@@ -1,22 +1,51 @@
-// Fixed-size thread pool for parallel experiment sweeps.
+// Exception-safe fixed-size thread pool for parallel experiment sweeps.
 //
 // The multi-user evaluation runs 300 users x 4 purchasing imitators x 6
-// selling policies; each run is independent, so a simple task queue with a
-// join barrier is all the concurrency machinery needed (Core Guidelines
-// CP.4: think in tasks, not threads).
+// selling policies; each run is independent, so a task queue with a join
+// barrier is all the concurrency machinery needed (Core Guidelines CP.4:
+// think in tasks, not threads).  Unlike a bare queue, this pool survives
+// throwing tasks: the first exception is captured, the remaining queued
+// tasks are cancelled, and the error is rethrown from the wait point — one
+// bad trace fails the sweep with a diagnosis instead of deadlocking it or
+// terminating the process.  See DESIGN.md "Execution layer".
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <string_view>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace rimarket::common {
 
+class MetricsRegistry;
+
+/// Counter snapshot of one pool's lifetime activity.
+struct ThreadPoolMetrics {
+  std::uint64_t tasks_submitted = 0;  ///< accepted by submit()
+  std::uint64_t tasks_run = 0;        ///< executed to completion (ok or failed)
+  std::uint64_t tasks_failed = 0;     ///< executed and threw
+  std::uint64_t tasks_cancelled = 0;  ///< dropped unexecuted after a failure
+  std::uint64_t max_queue_depth = 0;  ///< high-water mark of the task queue
+  std::uint64_t total_task_nanos = 0; ///< summed wall time inside tasks
+};
+
 /// Runs submitted tasks on a fixed set of worker threads.
+///
+/// Error model: a task may throw.  The first exception is captured; every
+/// task still queued at that moment is cancelled (popped without running).
+/// `wait_idle()` blocks until the pool drains, then rethrows the captured
+/// exception and resets the error state, so the pool is reusable for the
+/// next wave.  Tasks that run concurrently with the failing one still
+/// complete — cancellation stops *scheduling*, it does not interrupt.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1; pass 0 to use hardware concurrency).
@@ -25,30 +54,70 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains outstanding tasks, then joins workers.
+  /// Drains (or, after a failure, cancels) outstanding tasks, then joins
+  /// workers.  A pending captured exception is swallowed here — call
+  /// wait_idle() first if you care about it.
   ~ThreadPool();
 
-  /// Enqueues a task.  Tasks must not throw (the pool aborts on escape).
+  /// Enqueues a task.  Thrown exceptions are captured, not fatal.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a callable and returns a future for its result.  Exceptions
+  /// propagate through the future, not through the pool's error state.
+  template <typename F>
+  auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable callables.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every submitted task has finished or been cancelled.
+  /// Rethrows the first captured task exception (clearing it, so the pool
+  /// is reusable afterwards).
   void wait_idle();
+
+  /// Requests cancellation: queued-but-unstarted tasks are dropped.  Tasks
+  /// already running finish normally.  The flag clears at the next
+  /// wait_idle() once the pool drains.
+  void cancel();
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Lifetime counters (thread-safe snapshot).
+  ThreadPoolMetrics metrics() const;
+
+  /// Writes the counters into `registry` as "<prefix>.tasks_run" etc.,
+  /// plus "<prefix>.threads".
+  void export_metrics(MetricsRegistry& registry, std::string_view prefix) const;
+
  private:
   void worker_loop();
+  /// Pops, counts and discards every queued task.  Requires `mutex_` held.
+  void drop_queued_tasks_locked();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  bool cancelling_ = false;            ///< guarded by mutex_
+  std::exception_ptr first_error_;     ///< guarded by mutex_
+  ThreadPoolMetrics counters_;         ///< guarded by mutex_
 };
 
-/// Applies `fn(i)` for i in [0, count) across the pool and waits.
-void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn);
+/// Applies `fn(i)` for i in [0, count) across the pool and waits; rethrows
+/// the first exception any iteration threw (remaining chunks cancelled).
+///
+/// Work is submitted in chunks of `grain` consecutive indices (one
+/// std::function allocation per chunk instead of per element); `grain` 0
+/// picks a chunk size that gives each worker several chunks to balance
+/// load.  If an iteration throws, the rest of its chunk is skipped.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain = 0);
 
 }  // namespace rimarket::common

@@ -1,12 +1,30 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "selling/fixed_spot.hpp"
 
 namespace rimarket::sim {
+
+namespace {
+
+std::string sweep_error_message(const std::vector<UserFailure>& failures) {
+  RIMARKET_EXPECTS(!failures.empty());
+  return common::format("evaluation sweep failed for %zu user(s); first: user %d: %s",
+                        failures.size(), failures.front().user_id,
+                        failures.front().message.c_str());
+}
+
+}  // namespace
+
+SweepError::SweepError(std::vector<UserFailure> failures)
+    : std::runtime_error(sweep_error_message(failures)), failures_(std::move(failures)) {}
 
 std::vector<SellerSpec> paper_sellers(double all_selling_fraction) {
   return {
@@ -21,6 +39,15 @@ std::vector<SellerSpec> paper_sellers(double all_selling_fraction) {
 std::vector<ScenarioResult> evaluate_user(const workload::User& user,
                                           const EvaluationSpec& spec) {
   RIMARKET_EXPECTS(!spec.sellers.empty());
+  // Malformed *input data* throws (and is aggregated per-user by the sweep)
+  // rather than aborting: one bad trace must not kill a 300-user batch.
+  if (user.trace.length() == 0) {
+    throw std::invalid_argument(common::format("user %d has an empty demand trace", user.id));
+  }
+  if (spec.sim.selling_discount < 0.0 || spec.sim.selling_discount > 1.0) {
+    throw std::invalid_argument(
+        common::format("selling discount %.4f outside [0,1]", spec.sim.selling_discount));
+  }
   std::vector<ScenarioResult> results;
   results.reserve(spec.purchasers.size() * spec.sellers.size());
   const Hour horizon = spec.sim.effective_horizon(user.trace);
@@ -55,20 +82,43 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
   return results;
 }
 
-std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
+std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
                                      const EvaluationSpec& spec) {
-  const std::vector<workload::User>& users = population.users();
   std::vector<std::vector<ScenarioResult>> per_user(users.size());
+  std::mutex failures_mutex;
+  std::vector<UserFailure> failures;
   common::ThreadPool pool(spec.threads);
   common::parallel_for(pool, users.size(), [&](std::size_t index) {
-    per_user[index] = evaluate_user(users[index], spec);
+    // Per-user errors are aggregated here instead of thrown through the
+    // pool: the pool would surface whichever failure *finished* first,
+    // while sorting by user id below keeps the report deterministic.
+    try {
+      per_user[index] = evaluate_user(users[index], spec);
+    } catch (const std::exception& error) {
+      const std::lock_guard<std::mutex> lock(failures_mutex);
+      failures.push_back(UserFailure{users[index].id, error.what()});
+    }
   });
+  pool.export_metrics(common::MetricsRegistry::global(), "sim.evaluate");
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end(),
+              [](const UserFailure& a, const UserFailure& b) { return a.user_id < b.user_id; });
+    for (const UserFailure& failure : failures) {
+      common::log_warn("sweep: user %d failed: %s", failure.user_id, failure.message.c_str());
+    }
+    throw SweepError(std::move(failures));
+  }
   std::vector<ScenarioResult> results;
   results.reserve(users.size() * spec.purchasers.size() * spec.sellers.size());
   for (const auto& chunk : per_user) {
     results.insert(results.end(), chunk.begin(), chunk.end());
   }
   return results;
+}
+
+std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
+                                     const EvaluationSpec& spec) {
+  return evaluate(std::span<const workload::User>(population.users()), spec);
 }
 
 }  // namespace rimarket::sim

@@ -7,6 +7,9 @@
 // makes the keep-reserved normalization of Figs. 3-4 / Table III exact.
 #pragma once
 
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "purchasing/policy.hpp"
@@ -44,11 +47,40 @@ struct EvaluationSpec {
 /// a given all-selling spot.
 std::vector<SellerSpec> paper_sellers(double all_selling_fraction);
 
+/// One user whose scenarios could not be evaluated.
+struct UserFailure {
+  int user_id = 0;
+  std::string message;
+};
+
+/// Thrown by evaluate() when any user's scenarios fail.  Failures are
+/// sorted by user id, so the error report is deterministic regardless of
+/// worker scheduling; the surviving users' work is discarded (a partial
+/// sweep would silently skew every population-level statistic).
+class SweepError : public std::runtime_error {
+ public:
+  explicit SweepError(std::vector<UserFailure> failures);
+
+  const std::vector<UserFailure>& failures() const { return failures_; }
+
+ private:
+  std::vector<UserFailure> failures_;
+};
+
 /// Runs the full sweep; results are ordered by (user, purchaser, seller).
+/// Every user is attempted; if any fail, throws SweepError listing all of
+/// them.  Pool counters land in MetricsRegistry::global() under
+/// "sim.evaluate.".
 std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
                                      const EvaluationSpec& spec);
 
-/// Runs the sweep for a single user (Table II's case study).
+/// Same sweep over an explicit user list (sub-populations, tests).
+std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
+                                     const EvaluationSpec& spec);
+
+/// Runs the sweep for a single user (Table II's case study).  Throws
+/// std::invalid_argument on malformed input (empty trace, discount
+/// outside [0,1]).
 std::vector<ScenarioResult> evaluate_user(const workload::User& user,
                                           const EvaluationSpec& spec);
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
+
+#include "common/stats.hpp"
 
 namespace rimarket::common {
 namespace {
@@ -44,6 +47,32 @@ TEST(EmpiricalCdf, QuantileRoundTrip) {
   EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, QuantileSingleSample) {
+  const std::vector<double> sample{4.5};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 4.5);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.5);
+}
+
+TEST(EmpiricalCdf, QuantileEndpointsMatchMinMax) {
+  const std::vector<double> sample{9.0, -2.0, 5.0, 5.0, 0.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), cdf.min());
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), cdf.max());
+  // q just shy of 1 must stay inside the sample, never index past it.
+  EXPECT_LE(cdf.quantile(std::nextafter(1.0, 0.0)), cdf.max());
+  EXPECT_GE(cdf.quantile(std::nextafter(0.0, 1.0)), cdf.min());
+}
+
+TEST(EmpiricalCdf, QuantileMatchesFreeFunction) {
+  const std::vector<double> sample{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const EmpiricalCdf cdf(sample);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(cdf.quantile(q), quantile(sample, q)) << "q=" << q;
+  }
 }
 
 TEST(EmpiricalCdf, CurveIsMonotone) {

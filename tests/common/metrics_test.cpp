@@ -1,0 +1,80 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rimarket::common {
+namespace {
+
+TEST(MetricsRegistry, SetAndGet) {
+  MetricsRegistry registry;
+  registry.set("pool.tasks_run", std::int64_t{42});
+  registry.set("pool.total_task_millis", 1.5);
+  EXPECT_EQ(registry.get("pool.tasks_run"), 42.0);
+  EXPECT_EQ(registry.get("pool.total_task_millis"), 1.5);
+  EXPECT_FALSE(registry.get("missing").has_value());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, IncrementCreatesAndAccumulates) {
+  MetricsRegistry registry;
+  registry.increment("sweeps");
+  registry.increment("sweeps", 4);
+  EXPECT_EQ(registry.get("sweeps"), 5.0);
+}
+
+TEST(MetricsRegistry, SetOverwritesKind) {
+  MetricsRegistry registry;
+  registry.set("x", 2.5);
+  registry.set("x", std::int64_t{3});
+  EXPECT_EQ(registry.get("x"), 3.0);
+}
+
+TEST(MetricsRegistry, ToJsonSortsKeysAndFormatsKinds) {
+  MetricsRegistry registry;
+  registry.set("b.count", std::int64_t{7});
+  registry.set("a.ratio", 0.5);
+  EXPECT_EQ(registry.to_json(), "{\"a.ratio\":0.5,\"b.count\":7}");
+}
+
+TEST(MetricsRegistry, EmptyJsonIsAnEmptyObject) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_json(), "{}");
+}
+
+TEST(MetricsRegistry, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.increment("n");
+  registry.clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.to_json(), "{}");
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  MetricsRegistry::global().set("metrics_test.marker", std::int64_t{1});
+  EXPECT_EQ(MetricsRegistry::global().get("metrics_test.marker"), 1.0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsDoNotLoseUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.increment("hits");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.get("hits"), static_cast<double>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace rimarket::common

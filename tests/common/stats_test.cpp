@@ -143,6 +143,30 @@ TEST(Quantile, SingleElement) {
   EXPECT_DOUBLE_EQ(quantile(values, 1.0), 7.0);
 }
 
+TEST(Quantile, NearOneStaysInRange) {
+  // Guard against indexing one past the end when q*(n-1) rounds up to n-1:
+  // the result for q -> 1 must approach (and never exceed) the maximum.
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  const double near_one = std::nextafter(1.0, 0.0);
+  EXPECT_LE(quantile(values, near_one), 999.0);
+  EXPECT_GE(quantile(values, near_one), 998.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 999.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+}
+
+TEST(QuantileSorted, SkipsTheCopyButMatchesQuantile) {
+  const std::vector<double> sorted{1.0, 2.0, 4.0, 8.0};
+  for (const double q : {0.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(sorted, q)) << "q=" << q;
+  }
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 42.0);
+}
+
 TEST(Fractions, BelowAndAbove) {
   const std::vector<double> values{0.5, 0.9, 1.0, 1.1, 2.0};
   EXPECT_DOUBLE_EQ(fraction_below(values, 1.0), 0.4);

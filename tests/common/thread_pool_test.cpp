@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/metrics.hpp"
 
 namespace rimarket::common {
 namespace {
@@ -79,6 +83,222 @@ TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
     }
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+// --- exception safety ------------------------------------------------------
+
+TEST(ThreadPool, ThrowingTaskNeitherDeadlocksNorTerminates) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  // Regression: before the exception-safe rewrite this wait_idle() hung
+  // forever (the in-flight count was never decremented) or the process
+  // terminated on the escaped exception.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsWithMessage) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("bad trace in user 7"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow the task's exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "bad trace in user 7");
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first wave fails"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error latch must reset: the next wave runs normally.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, FailureCancelsQueuedTasks) {
+  // One worker makes the schedule deterministic: the throwing task runs
+  // first, so everything behind it in the queue must be cancelled.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 0);
+  const ThreadPoolMetrics metrics = pool.metrics();
+  EXPECT_EQ(metrics.tasks_failed, 1u);
+  EXPECT_EQ(metrics.tasks_cancelled, 10u);
+}
+
+TEST(ThreadPool, FirstOfManyErrorsIsReported) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");  // the second task was cancelled
+  }
+}
+
+TEST(ThreadPool, CancelDropsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  // Block the single worker so the queue is under our control.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool started = false;
+  bool open = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    started = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return open; });
+  });
+  {
+    // The gate task must be *running* (not queued) before we cancel, or it
+    // would be dropped too and the cancelled count below would read 6.
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return started; });
+  }
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.cancel();
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    open = true;
+  }
+  gate_cv.notify_all();
+  pool.wait_idle();  // no error: cancel() is not a failure
+  EXPECT_EQ(counter.load(), 0);
+  EXPECT_EQ(pool.metrics().tasks_cancelled, 5u);
+}
+
+// --- parallel_for ----------------------------------------------------------
+
+TEST(ParallelFor, RethrowsFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [&ran](std::size_t i) {
+                              if (i == 3) {
+                                throw std::invalid_argument("index 3 is poisoned");
+                              }
+                              ran.fetch_add(1);
+                            }),
+               std::invalid_argument);
+  // Cancellation is best-effort (running chunks finish), but the pool must
+  // come back clean for the next wave.
+  std::atomic<int> second{0};
+  parallel_for(pool, 50, [&second](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 50);
+}
+
+TEST(ParallelFor, ExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(50);
+    parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (auto& hit : hits) {
+      ASSERT_EQ(hit.load(), 1) << "grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, ChunkingAmortizesSubmissions) {
+  ThreadPool pool(4);
+  parallel_for(pool, 10000, [](std::size_t) {});
+  // Auto-grain submits a few chunks per worker, not one task per element.
+  EXPECT_LE(pool.metrics().tasks_submitted, 16u);
+}
+
+// --- futures ---------------------------------------------------------------
+
+TEST(ThreadPool, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+  pool.wait_idle();  // future errors do not poison the pool
+}
+
+TEST(ThreadPool, SubmitWithResultPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit_with_result(
+      []() -> int { throw std::out_of_range("future boom"); });
+  EXPECT_THROW(future.get(), std::out_of_range);
+  // The exception went through the future, not the pool's error latch.
+  pool.wait_idle();
+  EXPECT_EQ(pool.metrics().tasks_failed, 0u);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(ThreadPool, MetricsCountLifetimeActivity) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  const ThreadPoolMetrics metrics = pool.metrics();
+  EXPECT_EQ(metrics.tasks_submitted, 25u);
+  EXPECT_EQ(metrics.tasks_run, 25u);
+  EXPECT_EQ(metrics.tasks_failed, 0u);
+  EXPECT_EQ(metrics.tasks_cancelled, 0u);
+  EXPECT_GE(metrics.max_queue_depth, 1u);
+  EXPECT_LE(metrics.max_queue_depth, 25u);
+}
+
+TEST(ThreadPool, ExportMetricsWritesPrefixedKeys) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  MetricsRegistry registry;
+  pool.export_metrics(registry, "test.pool");
+  EXPECT_EQ(registry.get("test.pool.threads"), 3.0);
+  EXPECT_EQ(registry.get("test.pool.tasks_run"), 4.0);
+  EXPECT_EQ(registry.get("test.pool.tasks_failed"), 0.0);
+  ASSERT_TRUE(registry.get("test.pool.total_task_millis").has_value());
+  EXPECT_GE(*registry.get("test.pool.total_task_millis"), 0.0);
+}
+
+// --- stress (run under TSAN in CI) -----------------------------------------
+
+TEST(ThreadPool, StressWavesWithInterleavedFailures) {
+  ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  for (int wave = 0; wave < 20; ++wave) {
+    const bool failing_wave = wave % 3 == 0;
+    bool threw = false;
+    try {
+      parallel_for(pool, 64, [&ok, failing_wave](std::size_t i) {
+        if (failing_wave && i == 13) {
+          throw std::runtime_error("unlucky");
+        }
+        ok.fetch_add(1, std::memory_order_relaxed);
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_EQ(threw, failing_wave) << "wave " << wave;
+  }
+  EXPECT_GT(ok.load(), 0);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <map>
 
+#include "common/metrics.hpp"
+
 namespace rimarket::sim {
 namespace {
 
@@ -124,6 +126,91 @@ TEST(Evaluate, ResultsIndependentOfThreadCount) {
     EXPECT_DOUBLE_EQ(a[i].net_cost, b[i].net_cost);
     EXPECT_EQ(a[i].instances_sold, b[i].instances_sold);
   }
+}
+
+TEST(Evaluate, ByteIdenticalOrderingAcrossThreadCounts) {
+  // Stronger guard on the seed derivation (runner.cpp) and result
+  // assembly: every field of every ScenarioResult, in order, must match
+  // between a 1-thread and an N-thread sweep — not just the headline cost.
+  const auto population = small_population();
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5}, std::size_t{16}}) {
+    EvaluationSpec serial = small_spec();
+    serial.threads = 1;
+    EvaluationSpec parallel_spec = small_spec();
+    parallel_spec.threads = threads;
+    const auto a = evaluate(population, serial);
+    const auto b = evaluate(population, parallel_spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].user_id, b[i].user_id) << "threads " << threads << " row " << i;
+      ASSERT_EQ(a[i].group, b[i].group);
+      ASSERT_EQ(a[i].purchaser, b[i].purchaser);
+      ASSERT_EQ(a[i].seller.kind, b[i].seller.kind);
+      ASSERT_DOUBLE_EQ(a[i].seller.fraction, b[i].seller.fraction);
+      ASSERT_DOUBLE_EQ(a[i].net_cost, b[i].net_cost);
+      ASSERT_EQ(a[i].reservations_made, b[i].reservations_made);
+      ASSERT_EQ(a[i].instances_sold, b[i].instances_sold);
+      ASSERT_EQ(a[i].on_demand_hours, b[i].on_demand_hours);
+    }
+  }
+}
+
+TEST(Evaluate, FailingUsersAreAggregatedIntoSweepError) {
+  const auto population = small_population();
+  // Splice malformed users (empty traces) into a healthy population slice.
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[1] = workload::User{901, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[4] = workload::User{900, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  const auto spec = small_spec();
+  try {
+    evaluate(std::span<const workload::User>(users), spec);
+    FAIL() << "evaluate() must throw SweepError";
+  } catch (const SweepError& error) {
+    ASSERT_EQ(error.failures().size(), 2u);
+    // Deterministic report: sorted by user id regardless of which worker
+    // hit its failure first.
+    EXPECT_EQ(error.failures()[0].user_id, 900);
+    EXPECT_EQ(error.failures()[1].user_id, 901);
+    EXPECT_NE(error.failures()[0].message.find("empty demand trace"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("user 900"), std::string::npos);
+  }
+}
+
+TEST(Evaluate, SweepErrorIsDeterministicAcrossThreadCounts) {
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users.front() = workload::User{77, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  std::string serial_message;
+  std::string parallel_message;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    EvaluationSpec spec = small_spec();
+    spec.threads = threads;
+    try {
+      evaluate(std::span<const workload::User>(users), spec);
+      FAIL() << "evaluate() must throw SweepError";
+    } catch (const SweepError& error) {
+      (threads == 1 ? serial_message : parallel_message) = error.what();
+    }
+  }
+  EXPECT_EQ(serial_message, parallel_message);
+}
+
+TEST(Evaluate, RejectsOutOfRangeDiscount) {
+  const auto population = small_population();
+  EvaluationSpec spec = small_spec();
+  spec.sim.selling_discount = 1.5;
+  EXPECT_THROW(evaluate(population, spec), SweepError);
+}
+
+TEST(Evaluate, ExportsPoolMetricsToGlobalRegistry) {
+  common::MetricsRegistry::global().clear();
+  const auto population = small_population();
+  const auto results = evaluate(population, small_spec());
+  EXPECT_FALSE(results.empty());
+  const auto tasks_run = common::MetricsRegistry::global().get("sim.evaluate.tasks_run");
+  ASSERT_TRUE(tasks_run.has_value());
+  EXPECT_GT(*tasks_run, 0.0);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sim.evaluate.tasks_failed"), 0.0);
 }
 
 TEST(Evaluate, GroupLabelsMatchPopulation) {
