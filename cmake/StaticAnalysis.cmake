@@ -1,0 +1,124 @@
+# Static-analysis gate: clang-tidy, clang-format, cppcheck and the domain
+# lint (tools/lint.py), wired as build options and standalone targets.
+#
+#   RIMARKET_ENABLE_CLANG_TIDY=ON   run clang-tidy on every TU as it compiles
+#   cmake --build build --target tidy          batch clang-tidy over compile_commands.json
+#   cmake --build build --target lint          tools/lint.py, all rules
+#   cmake --build build --target format        rewrite the tree in-place
+#   cmake --build build --target format-check  clang-format --dry-run -Werror
+#   cmake --build build --target cppcheck      warning/performance/portability scan
+#
+# Tools are looked up at configure time; a missing tool downgrades its target
+# to a FATAL_ERROR stub naming the package to install, so `--target tidy` is
+# always defined but never silently succeeds without analyzing anything.
+
+# clang-tidy batch runs and IDEs both need the compilation database.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+option(RIMARKET_ENABLE_CLANG_TIDY
+  "Run clang-tidy (with the repo .clang-tidy, warnings as errors) on every compile" OFF)
+
+find_program(RIMARKET_CLANG_TIDY_EXE NAMES clang-tidy
+  clang-tidy-20 clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15)
+find_program(RIMARKET_RUN_CLANG_TIDY_EXE NAMES run-clang-tidy
+  run-clang-tidy-20 run-clang-tidy-19 run-clang-tidy-18 run-clang-tidy-17
+  run-clang-tidy-16 run-clang-tidy-15)
+find_program(RIMARKET_CLANG_FORMAT_EXE NAMES clang-format
+  clang-format-20 clang-format-19 clang-format-18 clang-format-17 clang-format-16
+  clang-format-15)
+find_program(RIMARKET_CPPCHECK_EXE NAMES cppcheck)
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(RIMARKET_ENABLE_CLANG_TIDY)
+  if(NOT RIMARKET_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "RIMARKET_ENABLE_CLANG_TIDY=ON but clang-tidy was not found; "
+      "install clang-tidy (apt: clang-tidy) or configure with the option OFF")
+  endif()
+  set(CMAKE_CXX_CLANG_TIDY "${RIMARKET_CLANG_TIDY_EXE};--warnings-as-errors=*")
+  message(STATUS "clang-tidy enabled on every compile: ${RIMARKET_CLANG_TIDY_EXE}")
+endif()
+
+# Helper: a target that fails loudly when its tool is absent.
+function(rimarket_missing_tool_target NAME TOOL HINT)
+  add_custom_target(${NAME}
+    COMMAND ${CMAKE_COMMAND} -E echo "target '${NAME}' needs ${TOOL} (${HINT})"
+    COMMAND ${CMAKE_COMMAND} -E false
+    COMMENT "${TOOL} not found at configure time"
+    VERBATIM)
+endfunction()
+
+# The file set every analysis target agrees on: tracked C++ sources.
+file(GLOB_RECURSE RIMARKET_ANALYSIS_SOURCES
+  ${CMAKE_SOURCE_DIR}/src/*.cpp ${CMAKE_SOURCE_DIR}/src/*.hpp
+  ${CMAKE_SOURCE_DIR}/bench/*.cpp ${CMAKE_SOURCE_DIR}/bench/*.hpp
+  ${CMAKE_SOURCE_DIR}/examples/*.cpp
+  ${CMAKE_SOURCE_DIR}/tests/*.cpp)
+
+# ---- tidy ------------------------------------------------------------
+if(RIMARKET_CLANG_TIDY_EXE AND RIMARKET_RUN_CLANG_TIDY_EXE)
+  add_custom_target(tidy
+    COMMAND ${RIMARKET_RUN_CLANG_TIDY_EXE}
+      -clang-tidy-binary ${RIMARKET_CLANG_TIDY_EXE}
+      -p ${CMAKE_BINARY_DIR}
+      -warnings-as-errors=*
+      -quiet
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy (curated checks, warnings as errors) over compile_commands.json"
+    VERBATIM)
+elseif(RIMARKET_CLANG_TIDY_EXE)
+  # No run-clang-tidy wrapper: invoke clang-tidy directly over the sources.
+  add_custom_target(tidy
+    COMMAND ${RIMARKET_CLANG_TIDY_EXE} -p ${CMAKE_BINARY_DIR} --warnings-as-errors=*
+      ${RIMARKET_ANALYSIS_SOURCES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy (curated checks, warnings as errors)"
+    VERBATIM)
+else()
+  rimarket_missing_tool_target(tidy clang-tidy "apt install clang-tidy")
+endif()
+
+# ---- format / format-check ------------------------------------------
+if(RIMARKET_CLANG_FORMAT_EXE)
+  add_custom_target(format
+    COMMAND ${RIMARKET_CLANG_FORMAT_EXE} -i ${RIMARKET_ANALYSIS_SOURCES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-format: rewriting the tree in-place"
+    VERBATIM)
+  add_custom_target(format-check
+    COMMAND ${RIMARKET_CLANG_FORMAT_EXE} --dry-run -Werror ${RIMARKET_ANALYSIS_SOURCES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-format: verifying the tree (no rewrites)"
+    VERBATIM)
+else()
+  rimarket_missing_tool_target(format clang-format "apt install clang-format")
+  rimarket_missing_tool_target(format-check clang-format "apt install clang-format")
+endif()
+
+# ---- cppcheck --------------------------------------------------------
+if(RIMARKET_CPPCHECK_EXE)
+  add_custom_target(cppcheck
+    COMMAND ${RIMARKET_CPPCHECK_EXE}
+      --enable=warning,performance,portability
+      --error-exitcode=1
+      --inline-suppr
+      --suppressions-list=${CMAKE_SOURCE_DIR}/.cppcheck-suppressions
+      --std=c++20
+      --language=c++
+      -I ${CMAKE_SOURCE_DIR}/src
+      ${CMAKE_SOURCE_DIR}/src
+    COMMENT "cppcheck: warning/performance/portability scan of src/"
+    VERBATIM)
+else()
+  rimarket_missing_tool_target(cppcheck cppcheck "apt install cppcheck")
+endif()
+
+# ---- domain lint -----------------------------------------------------
+if(Python3_Interpreter_FOUND)
+  add_custom_target(lint
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/lint.py
+      --root ${CMAKE_SOURCE_DIR}
+    COMMENT "tools/lint.py: project-specific rules (all enabled)"
+    VERBATIM)
+else()
+  rimarket_missing_tool_target(lint python3 "apt install python3")
+endif()

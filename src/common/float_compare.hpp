@@ -1,0 +1,39 @@
+// Epsilon-aware floating-point comparisons.
+//
+// The cost model (paper Eq. (1)) and break-even rules compare dollar
+// amounts and fractions that are products of several doubles; exact ==/!=
+// on such values is a correctness hazard the domain lint
+// (tools/lint.py, rule `float-eq`) rejects outright.  These helpers are
+// the sanctioned replacement: a relative tolerance scaled to the operands
+// with an absolute floor for comparisons against zero.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rimarket::common {
+
+/// Default relative tolerance: ~1e4 ULPs at double precision, far tighter
+/// than any economically meaningful dollar difference yet forgiving of the
+/// few multiplies the cost pipeline performs.
+inline constexpr double kFloatTolerance = 1e-12;
+
+/// True when `value` is indistinguishable from zero at tolerance `abs_tol`.
+inline bool near_zero(double value, double abs_tol = kFloatTolerance) {
+  return std::fabs(value) <= abs_tol;
+}
+
+/// True when `lhs` and `rhs` agree to relative tolerance `rel_tol` (with an
+/// absolute floor of the same magnitude so values near zero still compare
+/// equal).
+inline bool approx_equal(double lhs, double rhs, double rel_tol = kFloatTolerance) {
+  // Non-finite values never compare equal: a NaN or infinity in the cost
+  // pipeline is a bug to surface, not a value to tolerate.
+  if (!std::isfinite(lhs) || !std::isfinite(rhs)) {
+    return false;
+  }
+  const double scale = std::max({1.0, std::fabs(lhs), std::fabs(rhs)});
+  return std::fabs(lhs - rhs) <= rel_tol * scale;
+}
+
+}  // namespace rimarket::common

@@ -81,6 +81,9 @@ double Rng::normal() {
     u = uniform_real(-1.0, 1.0);
     v = uniform_real(-1.0, 1.0);
     s = u * u + v * v;
+    // Marsaglia polar rejection: only s exactly 0 makes log(s)/s blow up,
+    // and uniform01() emits exact dyadic rationals, so the compare below is
+    // lint-allow(float-eq): intentionally exact — rejects the one value that divides by 0
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spare_normal_ = v * factor;
@@ -98,13 +101,15 @@ double Rng::exponential(double lambda) {
   double u;
   do {
     u = uniform01();
+    // Inverse-CDF rejection: exactly 0 (a value uniform01() can emit) would
+    // lint-allow(float-eq): send log() to -inf; the compare must be exact
   } while (u == 0.0);
   return -std::log(u) / lambda;
 }
 
 std::int64_t Rng::poisson(double mean) {
   RIMARKET_EXPECTS(mean >= 0.0);
-  if (mean == 0.0) {
+  if (mean <= 0.0) {
     return 0;
   }
   if (mean > 64.0) {
@@ -129,6 +134,8 @@ double Rng::pareto(double scale, double shape) {
   double u;
   do {
     u = uniform01();
+    // Inverse-CDF rejection: pow(0, 1/shape) returns 0 and the division
+    // lint-allow(float-eq): blows up on exactly 0; the compare must be exact
   } while (u == 0.0);
   return scale / std::pow(u, 1.0 / shape);
 }

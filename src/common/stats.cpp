@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "common/float_compare.hpp"
 
 namespace rimarket::common {
 
@@ -59,8 +60,8 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double RunningStats::coefficient_of_variation() const {
   const double sigma = stddev();
-  if (mean_ == 0.0) {
-    return sigma == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  if (near_zero(mean_)) {
+    return near_zero(sigma) ? 0.0 : std::numeric_limits<double>::infinity();
   }
   return sigma / mean_;
 }

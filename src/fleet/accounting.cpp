@@ -1,6 +1,9 @@
 #include "fleet/accounting.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
+#include "common/float_compare.hpp"
 
 namespace rimarket::fleet {
 
@@ -21,6 +24,7 @@ CostLedger::CostLedger(bool keep_hourly_series) : keep_hourly_series_(keep_hourl
 
 void CostLedger::record(Hour t, const CostBreakdown& hour_cost) {
   RIMARKET_EXPECTS(t >= 0);
+  RIMARKET_EXPECTS(std::isfinite(hour_cost.net()));
   totals_ += hour_cost;
   if (keep_hourly_series_) {
     if (hourly_.size() <= static_cast<std::size_t>(t)) {
@@ -44,6 +48,29 @@ CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
       policy == ChargePolicy::kAllActiveHours ? active_reserved : worked_reserved;
   cost.reserved_hourly = static_cast<double>(billed) * type.reserved_hourly;
   return cost;
+}
+
+void audit_hourly_identity(const pricing::InstanceType& type, const CostBreakdown& hour,
+                           Count on_demand, Count new_reservations, Count active_reserved,
+                           Count worked_reserved, ChargePolicy policy) {
+  RIMARKET_EXPECTS(on_demand >= 0);
+  RIMARKET_EXPECTS(new_reservations >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
+  RIMARKET_EXPECTS(worked_reserved >= 0 && worked_reserved <= active_reserved);
+  RIMARKET_CHECK_MSG(hour.on_demand >= 0.0 && hour.upfront >= 0.0 && hour.reserved_hourly >= 0.0,
+                     "cost components are non-negative by construction");
+  RIMARKET_CHECK_MSG(std::isfinite(hour.net()), "hourly cost must stay finite");
+  // Eq. (1) spend recomputed through alpha(): r_t * (alpha * p) rather than
+  // hourly_cost's r_t * reserved_hourly, so an invariant drift in either
+  // derivation trips the audit.
+  const Count billed =
+      policy == ChargePolicy::kAllActiveHours ? active_reserved : worked_reserved;
+  const double expected = static_cast<double>(on_demand) * type.on_demand_hourly +
+                          static_cast<double>(new_reservations) * type.upfront +
+                          static_cast<double>(billed) * type.alpha() * type.on_demand_hourly;
+  const double actual = hour.on_demand + hour.upfront + hour.reserved_hourly;
+  RIMARKET_CHECK_MSG(common::approx_equal(actual, expected, 1e-9),
+                     "hourly spend must match the Eq. (1) recomputation");
 }
 
 }  // namespace rimarket::fleet

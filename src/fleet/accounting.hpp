@@ -77,4 +77,15 @@ CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
                           Count new_reservations, Count active_reserved, Count worked_reserved,
                           ChargePolicy policy);
 
+/// Debug audit of the ledger's statically-checkable invariants: recomputes
+/// the hour's spend straight from Eq. (1) — o_t*p + n_t*R + r_t*(alpha*p) with
+/// r_t the billed reserved hours under `policy` — through the alpha() identity
+/// (a different arithmetic path than hourly_cost) and aborts if `hour`
+/// diverges beyond floating-point tolerance or any component is negative or
+/// non-finite.  Cheap enough to stay on in every build; called by the
+/// simulator for every simulated hour.
+void audit_hourly_identity(const pricing::InstanceType& type, const CostBreakdown& hour,
+                           Count on_demand, Count new_reservations, Count active_reserved,
+                           Count worked_reserved, ChargePolicy policy);
+
 }  // namespace rimarket::fleet

@@ -48,6 +48,9 @@ AssignmentResult ReservationLedger::assign(Hour now, Count demand,
     }
     Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
     ++reservation.worked_hours;
+    // Paper invariant w <= elapsed: a contract serving the hour starting at
+    // `now` has worked at most age+1 whole hours since it began.
+    RIMARKET_ENSURES(reservation.worked_hours <= reservation.age(now) + 1);
     ++assigned;
     if (served != nullptr) {
       served->push_back(id);

@@ -44,6 +44,9 @@ class ReservationLedger {
   /// least-remaining-period-first and bumps each server's worked_hours.
   /// When `served` is non-null it is cleared and filled with the ids that
   /// worked this hour (used by the clairvoyant offline planner).
+  /// Postcondition (RIMARKET_ENSURES): a reservation's working time never
+  /// exceeds its elapsed contract time (w <= elapsed, the invariant the
+  /// paper's break-even comparison w < beta(f) relies on).
   AssignmentResult assign(Hour now, Count demand,
                           std::vector<ReservationId>* served = nullptr);
 

@@ -25,7 +25,11 @@ Hour Reservation::remaining(Hour now) const {
 
 double Reservation::remaining_fraction(Hour now) const {
   RIMARKET_EXPECTS(term > 0);
-  return static_cast<double>(remaining(now)) / static_cast<double>(term);
+  const double fraction = static_cast<double>(remaining(now)) / static_cast<double>(term);
+  // Eq. (1)'s rp term: the marketplace can never price more than the whole
+  // contract or less than nothing.
+  RIMARKET_ENSURES(fraction >= 0.0 && fraction <= 1.0);
+  return fraction;
 }
 
 }  // namespace rimarket::fleet

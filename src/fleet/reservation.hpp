@@ -48,7 +48,9 @@ struct Reservation {
   /// Hours of contract left after `now` (0 when past end or sold).
   Hour remaining(Hour now) const;
 
-  /// Remaining fraction of the term at hour `now`, in [0, 1].
+  /// Remaining fraction of the term at hour `now` — the `rp` of paper
+  /// Eq. (1)'s sale credit `a·rp·R`.  Postcondition (RIMARKET_ENSURES):
+  /// the result is in [0, 1].
   double remaining_fraction(Hour now) const;
 };
 

@@ -15,8 +15,8 @@ Count AllReservedPolicy::decide(Hour now, Count demand, Count active_reserved) {
 
 Count AllOnDemandPolicy::decide(Hour now, Count demand, Count active_reserved) {
   (void)now;
-  (void)demand;
-  (void)active_reserved;
+  RIMARKET_EXPECTS(demand >= 0);
+  RIMARKET_EXPECTS(active_reserved >= 0);
   return 0;
 }
 

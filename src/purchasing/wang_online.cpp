@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/float_compare.hpp"
 #include "common/strings.hpp"
 #include "purchasing/all_reserved.hpp"
 #include "purchasing/random_reservation.hpp"
@@ -49,7 +50,8 @@ Count WangOnlinePolicy::decide(Hour now, Count demand, Count active_reserved) {
 }
 
 std::string WangOnlinePolicy::name() const {
-  return gamma_ == 1.0 ? "wang-online" : common::format("wang-variant(%.2f)", gamma_);
+  return common::approx_equal(gamma_, 1.0) ? "wang-online"
+                                           : common::format("wang-variant(%.2f)", gamma_);
 }
 
 // Factory lives here so every policy type is a complete type at this point.

@@ -7,7 +7,7 @@ namespace rimarket::selling {
 
 std::vector<fleet::ReservationId> KeepReservedPolicy::decide(Hour now,
                                                              fleet::ReservationLedger& ledger) {
-  (void)now;
+  RIMARKET_EXPECTS(now >= 0);
   (void)ledger;
   return {};
 }
@@ -19,6 +19,7 @@ AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, double fra
 
 std::vector<fleet::ReservationId> AllSellingPolicy::decide(Hour now,
                                                            fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
   return ledger.due_at_age(now, decision_age_);
 }
 

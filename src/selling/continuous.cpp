@@ -33,6 +33,7 @@ double ContinuousSelling::break_even_at_age(Hour age) const {
 
 std::vector<fleet::ReservationId> ContinuousSelling::decide(Hour now,
                                                             fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
   std::vector<fleet::ReservationId> to_sell;
   for (const fleet::ReservationId id : ledger.active_ids(now)) {
     const fleet::Reservation& reservation = ledger.get(id);

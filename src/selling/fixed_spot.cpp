@@ -1,6 +1,7 @@
 #include "selling/fixed_spot.hpp"
 
 #include "common/assert.hpp"
+#include "common/float_compare.hpp"
 #include "common/strings.hpp"
 
 namespace rimarket::selling {
@@ -20,6 +21,7 @@ bool FixedSpotSelling::should_sell(Hour worked_hours) const {
 
 std::vector<fleet::ReservationId> FixedSpotSelling::decide(Hour now,
                                                            fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
   std::vector<fleet::ReservationId> to_sell;
   for (const fleet::ReservationId id : ledger.due_at_age(now, decision_age_)) {
     if (should_sell(ledger.get(id).worked_hours)) {
@@ -30,13 +32,13 @@ std::vector<fleet::ReservationId> FixedSpotSelling::decide(Hour now,
 }
 
 std::string FixedSpotSelling::name() const {
-  if (fraction_ == kSpot3T4) {
+  if (common::approx_equal(fraction_, kSpot3T4)) {
     return "A_{3T/4}";
   }
-  if (fraction_ == kSpotT2) {
+  if (common::approx_equal(fraction_, kSpotT2)) {
     return "A_{T/2}";
   }
-  if (fraction_ == kSpotT4) {
+  if (common::approx_equal(fraction_, kSpotT4)) {
     return "A_{T/4}";
   }
   return common::format("A_{%.3fT}", fraction_);

@@ -1,16 +1,21 @@
 #include "selling/planned.hpp"
 
+#include "common/assert.hpp"
+
 namespace rimarket::selling {
 
 PlannedSellingPolicy::PlannedSellingPolicy(std::map<fleet::ReservationId, Hour> plan)
     : plan_(std::move(plan)) {
   for (const auto& [id, when] : plan_) {
+    RIMARKET_EXPECTS(id >= 0);
+    RIMARKET_EXPECTS(when >= 0);
     by_hour_[when].push_back(id);
   }
 }
 
 std::vector<fleet::ReservationId> PlannedSellingPolicy::decide(
     Hour now, fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
   const auto it = by_hour_.find(now);
   if (it == by_hour_.end()) {
     return {};

@@ -45,6 +45,7 @@ class SellPolicy {
   /// Called once per hour, after demand assignment.  Returns the ids of
   /// reservations to sell right now; each must be active in `ledger`.
   /// The caller performs the sale and books the income.
+  /// Precondition (enforced by every implementation): `now >= 0`.
   virtual std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) = 0;
 
   /// Short name for reports ("A_{3T/4}", "keep-reserved", ...).

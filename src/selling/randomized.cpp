@@ -43,10 +43,12 @@ RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
 RandomizedSpotSelling RandomizedSpotSelling::paper_spots(const pricing::InstanceType& type,
                                                          double selling_discount,
                                                          std::uint64_t seed) {
+  RIMARKET_EXPECTS(type.valid());
   return RandomizedSpotSelling(type, selling_discount, {kSpotT4, kSpotT2, kSpot3T4}, seed);
 }
 
 std::size_t RandomizedSpotSelling::draw_choice() {
+  RIMARKET_EXPECTS(!cumulative_.empty());
   const double u = rng_.uniform01();
   for (std::size_t i = 0; i < cumulative_.size(); ++i) {
     if (u < cumulative_[i]) {
@@ -58,6 +60,7 @@ std::size_t RandomizedSpotSelling::draw_choice() {
 
 std::vector<fleet::ReservationId> RandomizedSpotSelling::decide(
     Hour now, fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
   std::vector<fleet::ReservationId> to_sell;
   for (const fleet::ReservationId id : ledger.active_ids(now)) {
     const auto it = assigned_.find(id);

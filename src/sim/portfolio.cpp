@@ -17,6 +17,8 @@ std::uint64_t item_seed(const PortfolioConfig& config, std::size_t index) {
 PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
                               const PortfolioConfig& config, const SellerSpec& seller) {
   RIMARKET_EXPECTS(!items.empty());
+  RIMARKET_EXPECTS(config.selling_discount >= 0.0 && config.selling_discount <= 1.0);
+  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
   PortfolioResult result;
   result.items.reserve(items.size());
   for (std::size_t index = 0; index < items.size(); ++index) {
@@ -45,6 +47,9 @@ PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
     result.total_sold += entry.instances_sold;
     result.items.push_back(std::move(entry));
   }
+  RIMARKET_ENSURES(result.items.size() == items.size());
+  RIMARKET_ENSURES(result.total_reservations >= 0 && result.total_sold >= 0);
+  RIMARKET_ENSURES(result.total_sold <= result.total_reservations);
   return result;
 }
 

@@ -10,10 +10,13 @@ Hour SimulationConfig::effective_horizon(const workload::DemandTrace& trace) con
 }
 
 Dollars SimulationConfig::sale_income(Hour age) const {
-  if (income_model) {
-    return income_model(type, age, selling_discount);
-  }
-  return type.sale_income(age, selling_discount) * (1.0 - service_fee);
+  const Dollars income = income_model
+                             ? income_model(type, age, selling_discount)
+                             : type.sale_income(age, selling_discount) * (1.0 - service_fee);
+  // Negative income would flip the sign of Eq. (1)'s s_t*a*rp*R term and
+  // make "sell" look like a cost; even custom income models must not do it.
+  RIMARKET_ENSURES(income >= 0.0);
+  return income;
 }
 
 ReservationStream::ReservationStream(std::vector<Count> new_reservations)
@@ -96,6 +99,9 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
     fleet::CostBreakdown hour = fleet::hourly_cost(
         config.type, assignment.on_demand, booked, assignment.active,
         assignment.served_by_reserved, config.charge_policy);
+    fleet::audit_hourly_identity(config.type, hour, assignment.on_demand, booked,
+                                 assignment.active, assignment.served_by_reserved,
+                                 config.charge_policy);
     if (config.idle_resale_rate > 0.0) {
       const Count idle = assignment.active - assignment.served_by_reserved;
       hour.sale_income += static_cast<double>(idle) * config.idle_resale_rate *
@@ -123,6 +129,8 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
 
 }  // namespace
 
+// lint-allow(contract-guard): thin adapter — every precondition is checked
+// centrally at the top of run_loop, shared with the closed-loop variant.
 SimulationResult simulate(const workload::DemandTrace& trace, const ReservationStream& stream,
                           selling::SellPolicy& seller, const SimulationConfig& config,
                           const WorkObserver* observer) {
@@ -132,6 +140,8 @@ SimulationResult simulate(const workload::DemandTrace& trace, const ReservationS
                   });
 }
 
+// lint-allow(contract-guard): thin adapter — every precondition is checked
+// centrally at the top of run_loop, shared with the open-loop variant.
 SimulationResult simulate_closed_loop(const workload::DemandTrace& trace,
                                       purchasing::PurchasePolicy& purchaser,
                                       selling::SellPolicy& seller,

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 namespace rimarket::common {
 namespace {
 
@@ -24,6 +26,30 @@ TEST(ContractsDeathTest, EnsuresReportsPostcondition) {
 
 TEST(ContractsDeathTest, UnreachableAborts) {
   EXPECT_DEATH({ RIMARKET_UNREACHABLE("impossible enum value"); }, "impossible enum value");
+}
+
+TEST(ContractsDeathTest, DiagnosticNamesFileAndLine) {
+  // The diagnostic must point at the violation site: this file, and the
+  // exact line the macro expands on (captured right before the call).
+  const long expected_line = __LINE__ + 1;
+  EXPECT_DEATH({ RIMARKET_CHECK(false); },
+               testing::ContainsRegex("assert_test\\.cpp:" + std::to_string(expected_line)));
+}
+
+TEST(ContractsDeathTest, DiagnosticQuotesTheFailedExpression) {
+  EXPECT_DEATH({ RIMARKET_EXPECTS(2 + 2 == 5); }, "2 \\+ 2 == 5");
+}
+
+TEST(ContractsDeathTest, FailureRaisesSigabrt) {
+  // The contract handler must abort() (SIGABRT), not exit() with a status —
+  // sanitizers and core dumps rely on the real signal.
+  EXPECT_EXIT({ RIMARKET_CHECK_MSG(false, "abort check"); },
+              testing::KilledBySignal(SIGABRT), "abort check");
+}
+
+TEST(ContractsDeathTest, MessageAndExpressionBothAppear) {
+  EXPECT_DEATH({ RIMARKET_CHECK_MSG(1 > 2, "cost ledger drift"); },
+               "check failed: 1 > 2.*cost ledger drift");
 }
 
 TEST(Contracts, PassingConditionsAreSilent) {

@@ -1,0 +1,63 @@
+// Epsilon comparisons backing the float-eq lint rule's sanctioned fixes.
+#include "common/float_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rimarket::common {
+namespace {
+
+TEST(FloatCompare, NearZeroAcceptsTinyValues) {
+  EXPECT_TRUE(near_zero(0.0));
+  EXPECT_TRUE(near_zero(-0.0));
+  EXPECT_TRUE(near_zero(1e-13));
+  EXPECT_TRUE(near_zero(-1e-13));
+}
+
+TEST(FloatCompare, NearZeroRejectsRealValues) {
+  EXPECT_FALSE(near_zero(1e-6));
+  EXPECT_FALSE(near_zero(-0.25));
+  EXPECT_FALSE(near_zero(1.0));
+}
+
+TEST(FloatCompare, ApproxEqualToleratesArithmeticNoise) {
+  // The classic case the lint rule exists for: 0.1 + 0.2 != 0.3 exactly.
+  EXPECT_TRUE(approx_equal(0.1 + 0.2, 0.3));
+  // Product-of-fractions noise like the break-even computation produces.
+  const double beta = 0.75 * 0.8 * 1000.0 / (0.5 * (1.0 - 0.3));
+  const double beta_again = (0.75 * 0.8) * (1000.0 / 0.5) / (1.0 - 0.3);
+  EXPECT_TRUE(approx_equal(beta, beta_again));
+}
+
+TEST(FloatCompare, ApproxEqualScalesWithMagnitude) {
+  // At 1e12 scale an absolute 1e-12 tolerance would always fail; the
+  // relative scale keeps neighbouring representable values equal.
+  const double big = 1e12;
+  EXPECT_TRUE(approx_equal(big, std::nextafter(big, 2e12)));
+  EXPECT_FALSE(approx_equal(big, big * (1.0 + 1e-9)));
+}
+
+TEST(FloatCompare, ApproxEqualDistinguishesRealDifferences) {
+  EXPECT_FALSE(approx_equal(1.0, 1.0001));
+  EXPECT_FALSE(approx_equal(0.0, 1e-6));
+  EXPECT_FALSE(approx_equal(-1.0, 1.0));
+}
+
+TEST(FloatCompare, NonFiniteNeverCompareEqual) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(approx_equal(nan, nan));
+  EXPECT_FALSE(approx_equal(inf, -inf));
+  EXPECT_FALSE(near_zero(nan));
+}
+
+TEST(FloatCompare, ExplicitToleranceIsRespected) {
+  EXPECT_TRUE(approx_equal(1.0, 1.01, 0.02));
+  EXPECT_FALSE(approx_equal(1.0, 1.01, 0.001));
+  EXPECT_TRUE(near_zero(0.5, 0.6));
+}
+
+}  // namespace
+}  // namespace rimarket::common

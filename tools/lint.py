@@ -1,0 +1,532 @@
+#!/usr/bin/env python3
+"""rimarket domain linter — project rules clang-tidy cannot express.
+
+The library's correctness story rests on exact cost accounting (paper
+Eq. (1)) and break-even comparisons; the rules here close the gaps generic
+tooling leaves open:
+
+  float-eq         no ==/!= against floating-point literals in src/ (epsilon
+                   drift silently corrupts cost comparisons)
+  console-io       no direct console output in src/ library code; the only
+                   sanctioned sinks are common/logging and common/assert
+  raw-thread       no raw std::thread outside common/thread_pool — all
+                   concurrency goes through the pool (cancellation, error
+                   aggregation, metrics)
+  rng-discipline   no <random> engines / rand() outside common/rng — all
+                   randomness is seeded and reproducible via common::Rng
+  contract-guard   public mutating APIs in sim/, selling/, purchasing/ must
+                   assert their contract (RIMARKET_EXPECTS/ENSURES/CHECK)
+  pragma-once      every header opens with #pragma once (before any code)
+
+Findings can be suppressed inline with a justification:
+
+    foo == 0.0  // lint-allow(float-eq): rejection loop needs exact compare
+
+The marker must name the rule and may sit on the offending line or the line
+above it (for contract-guard: anywhere in the function body or up to three
+lines above the definition).
+
+Usage:
+    tools/lint.py                  # all rules over the repo
+    tools/lint.py --rule=float-eq  # one rule (repeatable)
+    tools/lint.py --list-rules
+    tools/lint.py --self-test      # run embedded good/bad fixtures
+
+Exit status: 0 = clean, 1 = findings (or self-test failure), 2 = usage error.
+Pure stdlib; no compiler or third-party packages required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Callable, List, NamedTuple, Sequence
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving layout.
+
+    Every replaced character becomes a space so line and column numbers in
+    the stripped text match the original.  Good enough for lexing C++ the
+    way this linter needs to; raw strings are handled conservatively
+    (treated like ordinary strings — none appear in this codebase).
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if text[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def allow_marker_lines(raw_lines: Sequence[str], rule: str) -> set:
+    """1-based line numbers carrying a lint-allow marker for `rule`."""
+    marker = f"lint-allow({rule})"
+    return {i + 1 for i, line in enumerate(raw_lines) if marker in line}
+
+
+def suppressed(lineno: int, allowed: set) -> bool:
+    """A marker on the offending line or the line above suppresses it."""
+    return lineno in allowed or (lineno - 1) in allowed
+
+
+def rel(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# ----------------------------------------------------------------------
+# Rule: float-eq
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?"
+_FLOAT_EQ = re.compile(
+    rf"(?:{FLOAT_LITERAL}\s*[=!]=)|(?:[=!]=\s*{FLOAT_LITERAL})"
+)
+
+
+def check_float_eq(path: str, text: str) -> List[Finding]:
+    if not (path.startswith("src/") and path.endswith((".cpp", ".hpp"))):
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "float-eq")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        if _FLOAT_EQ.search(line) and not suppressed(i, allowed):
+            findings.append(
+                Finding(path, i, "float-eq",
+                        "exact ==/!= against a floating-point literal; use an epsilon "
+                        "compare (common/float_compare.hpp) or restructure")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: console-io
+
+_CONSOLE_SINKS = ("src/common/logging.cpp", "src/common/assert.cpp")
+_CONSOLE_IO = re.compile(
+    r"std::(?:cout|cerr|clog)\b|\b(?:std::)?(?:printf|fprintf|vprintf|vfprintf|puts|putchar|fputs|fputc)\s*\("
+)
+
+
+def check_console_io(path: str, text: str) -> List[Finding]:
+    if not (path.startswith("src/") and path.endswith((".cpp", ".hpp"))):
+        return []
+    if path in _CONSOLE_SINKS:
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "console-io")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        if _CONSOLE_IO.search(line) and not suppressed(i, allowed):
+            findings.append(
+                Finding(path, i, "console-io",
+                        "direct console output in library code; route through "
+                        "common/logging (snprintf into a buffer is fine)")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: raw-thread
+
+_THREAD_HOME = ("src/common/thread_pool.cpp", "src/common/thread_pool.hpp")
+_RAW_THREAD = re.compile(r"\bstd::(?:thread|jthread)\b")
+
+
+def check_raw_thread(path: str, text: str) -> List[Finding]:
+    if not (path.startswith("src/") and path.endswith((".cpp", ".hpp"))):
+        return []
+    if path in _THREAD_HOME:
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "raw-thread")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        if _RAW_THREAD.search(line) and not suppressed(i, allowed):
+            findings.append(
+                Finding(path, i, "raw-thread",
+                        "raw std::thread outside common/thread_pool; use "
+                        "common::ThreadPool (cancellation, error aggregation, metrics)")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: rng-discipline
+
+_RNG_HOME = ("src/common/rng.cpp", "src/common/rng.hpp")
+_RNG = re.compile(
+    r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|random_device|ranlux\w+|knuth_b"
+    r"|(?:uniform_int|uniform_real|normal|bernoulli|poisson|exponential|geometric)_distribution)\b"
+    r"|\b(?:s?rand)\s*\("
+)
+
+
+def check_rng_discipline(path: str, text: str) -> List[Finding]:
+    if not (path.startswith("src/") and path.endswith((".cpp", ".hpp"))):
+        return []
+    if path in _RNG_HOME:
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "rng-discipline")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        if _RNG.search(line) and not suppressed(i, allowed):
+            findings.append(
+                Finding(path, i, "rng-discipline",
+                        "unseeded/global or <random> randomness; all randomness goes "
+                        "through common::Rng (explicit seed, reproducible forks)")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: contract-guard
+
+_CONTRACT_DIRS = ("src/sim/", "src/selling/", "src/purchasing/")
+_CONTRACT_TOKEN = re.compile(r"\bRIMARKET_(?:EXPECTS|ENSURES|CHECK|CHECK_MSG|UNREACHABLE)\b")
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "else", "do", "case", "catch", "namespace",
+    "using", "static_assert", "sizeof", "delete", "new", "throw", "template",
+}
+
+
+def _match_bracket(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the bracket matching text[start] (which must be open_ch)."""
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+_NONCONST_REF_PARAM = re.compile(r"(?<!const)\s[A-Za-z_][\w:<>]*\s*&\s*\w+")
+
+
+def _signature_has_mutable_ref(params: str) -> bool:
+    # Strip `const X&` first; whatever `&` params remain are mutable refs.
+    cleaned = re.sub(r"const\s+[\w:<>,\s]*?&", "", params)
+    return "&" in cleaned and bool(re.search(r"&\s*\w", cleaned))
+
+
+def check_contract_guard(path: str, text: str) -> List[Finding]:
+    if not (path.startswith(_CONTRACT_DIRS) and path.endswith(".cpp")):
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "contract-guard")
+    stripped = text if False else strip_comments_and_strings(text)
+    findings: List[Finding] = []
+    # Function definitions in this codebase sit at column 0 (inside a
+    # namespace block that is not indented), so anchoring the return-type
+    # line at ^ avoids lambdas and nested calls.
+    candidate = re.compile(
+        r"^(?!#)(?![ \t])([A-Za-z_][\w:&<>,*\s]*?)\b([A-Za-z_][\w:]*)\s*\(", re.MULTILINE
+    )
+    for m in candidate.finditer(stripped):
+        paren_open = m.end() - 1
+        # Reconstruct the full qualified name by scanning back from `(` —
+        # the regex's greedy split misparses `X::X(...)` constructors.
+        name_start = paren_open
+        while name_start > 0 and (stripped[name_start - 1].isalnum()
+                                  or stripped[name_start - 1] in "_:~"):
+            name_start -= 1
+        name = stripped[name_start:paren_open].strip()
+        simple_name = name.rsplit("::", 1)[-1]
+        if not simple_name or simple_name in _CONTROL_KEYWORDS or simple_name.isupper():
+            continue
+        if "operator" in name or simple_name.startswith("~"):
+            continue
+        paren_close = _match_bracket(stripped, paren_open, "(", ")")
+        params = stripped[paren_open:paren_close]
+        # Find what follows the parameter list: `;` (declaration), `:` (ctor
+        # init list), `{` (body), `const`, `noexcept`, `override`, ...
+        tail_match = re.match(r"[\s\w:\(\),<>&\*]*?([;{])", stripped[paren_close:])
+        if tail_match is None:
+            continue
+        if tail_match.group(1) == ";":
+            continue  # declaration only
+        tail = stripped[paren_close:paren_close + tail_match.start(1)]
+        is_method = "::" in name
+        if is_method and re.search(r"\bconst\b", tail.split(":")[0]):
+            continue  # const member function — non-mutating
+        if not is_method and not _signature_has_mutable_ref(params):
+            continue  # free function that cannot mutate its arguments
+        body_open = paren_close + tail_match.start(1)
+        body_close = _match_bracket(stripped, body_open, "{", "}")
+        body = stripped[body_open + 1:body_close - 1]
+        if not body.strip():
+            continue  # empty body (delegating ctor, defaulted behavior)
+        if _CONTRACT_TOKEN.search(body):
+            continue
+        def_line = stripped.count("\n", 0, m.start()) + 1
+        body_first = stripped.count("\n", 0, body_open) + 1
+        body_last = stripped.count("\n", 0, body_close) + 1
+        marker_window = set(range(def_line - 3, body_last + 1))
+        if marker_window & allowed:
+            continue
+        findings.append(
+            Finding(path, def_line, "contract-guard",
+                    f"mutating API `{name}` has no RIMARKET_EXPECTS/ENSURES/CHECK; "
+                    "assert its contract or justify with "
+                    "`// lint-allow(contract-guard): <reason>`")
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: pragma-once
+
+
+def check_pragma_once(path: str, text: str) -> List[Finding]:
+    if not path.endswith(".hpp"):
+        return []
+    if not path.startswith(("src/", "bench/", "examples/", "tests/")):
+        return []
+    stripped = strip_comments_and_strings(text)
+    for i, line in enumerate(stripped.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.strip() == "#pragma once":
+            return []
+        return [Finding(path, i, "pragma-once",
+                        "header must open with #pragma once (before any code)")]
+    return [Finding(path, 1, "pragma-once", "empty header lacks #pragma once")]
+
+
+# ----------------------------------------------------------------------
+# Registry / driver
+
+RULES: dict = {
+    "float-eq": check_float_eq,
+    "console-io": check_console_io,
+    "raw-thread": check_raw_thread,
+    "rng-discipline": check_rng_discipline,
+    "contract-guard": check_contract_guard,
+    "pragma-once": check_pragma_once,
+}
+
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+
+def scan(root: Path, rules: Sequence[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for directory in SCAN_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp"):
+                continue
+            relpath = rel(path, root)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                findings.append(Finding(relpath, 1, "io", f"unreadable: {error}"))
+                continue
+            for rule in rules:
+                findings.extend(RULES[rule](relpath, text))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Self-test fixtures: (description, rule, path, snippet, expected findings)
+
+FIXTURES = [
+    ("flags == against float literal", "float-eq", "src/x/a.cpp",
+     "void f(double v) {\n  if (v == 1.0) {}\n}\n", 1),
+    ("flags != with leading literal", "float-eq", "src/x/a.cpp",
+     "bool g(double v) { return 0.5 != v; }\n", 1),
+    ("integer compares pass", "float-eq", "src/x/a.cpp",
+     "bool h(int v) { return v == 1; }\n", 0),
+    ("float compare in comment passes", "float-eq", "src/x/a.cpp",
+     "// the loop exits when s == 0.0\nint i;\n", 0),
+    ("lint-allow suppresses with reason", "float-eq", "src/x/a.cpp",
+     "bool j(double u) {\n"
+     "  return u == 0.0;  // lint-allow(float-eq): rejection sampling is exact\n"
+     "}\n", 0),
+    ("outside src/ not scanned", "float-eq", "bench/a.cpp",
+     "bool k(double v) { return v == 1.0; }\n", 0),
+
+    ("flags std::cout", "console-io", "src/x/a.cpp",
+     "#include <iostream>\nvoid f() { std::cout << 1; }\n", 1),
+    ("flags bare printf call", "console-io", "src/x/a.cpp",
+     "void f() { printf(\"%d\", 1); }\n", 1),
+    ("snprintf into buffer passes", "console-io", "src/x/a.cpp",
+     "void f(char* b) { std::snprintf(b, 8, \"%d\", 1); }\n", 0),
+    ("logging sink file is exempt", "console-io", "src/common/logging.cpp",
+     "void f() { std::fprintf(stderr, \"x\"); }\n", 0),
+    ("identifier containing printf passes", "console-io", "src/x/a.cpp",
+     "void my_printful_thing(int);\n", 0),
+
+    ("flags raw std::thread", "raw-thread", "src/x/a.cpp",
+     "#include <thread>\nstd::thread t;\n", 1),
+    ("thread_pool home is exempt", "raw-thread", "src/common/thread_pool.cpp",
+     "std::thread worker;\n", 0),
+    ("hardware_concurrency mention still flags the type", "raw-thread", "src/x/a.cpp",
+     "auto n = std::thread::hardware_concurrency();\n", 1),
+
+    ("flags std::mt19937", "rng-discipline", "src/x/a.cpp",
+     "#include <random>\nstd::mt19937 gen;\n", 1),
+    ("flags rand()", "rng-discipline", "src/x/a.cpp",
+     "int f() { return rand(); }\n", 1),
+    ("rng home is exempt", "rng-discipline", "src/common/rng.cpp",
+     "int f() { return rand(); }\n", 0),
+    ("common::Rng usage passes", "rng-discipline", "src/x/a.cpp",
+     "#include \"common/rng.hpp\"\nvoid f(rimarket::common::Rng& rng);\n", 0),
+    ("strand() is not rand()", "rng-discipline", "src/x/a.cpp",
+     "void f() { strand(); }\n", 0),
+
+    ("unguarded mutating method flagged", "contract-guard", "src/selling/a.cpp",
+     "int Policy::decide(int now) {\n  return now + state_++;\n}\n", 1),
+    ("guarded mutating method passes", "contract-guard", "src/selling/a.cpp",
+     "int Policy::decide(int now) {\n  RIMARKET_EXPECTS(now >= 0);\n  return now;\n}\n", 0),
+    ("const method passes", "contract-guard", "src/selling/a.cpp",
+     "int Policy::name() const {\n  return 1;\n}\n", 0),
+    ("free function with mutable ref flagged", "contract-guard", "src/sim/a.cpp",
+     "void advance(Ledger& ledger) {\n  ledger.step();\n}\n", 1),
+    ("free function with const ref passes", "contract-guard", "src/sim/a.cpp",
+     "int total(const Ledger& ledger) {\n  return ledger.total();\n}\n", 0),
+    ("declaration (no body) passes", "contract-guard", "src/sim/a.cpp",
+     "void advance(Ledger& ledger);\n", 0),
+    ("empty delegating body passes", "contract-guard", "src/selling/a.cpp",
+     "Policy::Policy(int seed) : Policy(seed, 0) {}\n", 0),
+    ("unguarded out-of-line constructor flagged", "contract-guard", "src/selling/a.cpp",
+     "Policy::Policy(std::map<int, int> plan) : plan_(std::move(plan)) {\n"
+     "  by_hour_[0] = 1;\n}\n", 1),
+    ("lint-allow above definition passes", "contract-guard", "src/sim/a.cpp",
+     "// lint-allow(contract-guard): guards live in run_loop\n"
+     "void advance(Ledger& ledger) {\n  ledger.step();\n}\n", 0),
+    ("outside the audited dirs passes", "contract-guard", "src/common/a.cpp",
+     "int Pool::take(int n) {\n  return n;\n}\n", 0),
+
+    ("header without pragma once flagged", "pragma-once", "src/x/a.hpp",
+     "#include <vector>\n", 1),
+    ("pragma after doc comment passes", "pragma-once", "src/x/a.hpp",
+     "// Doc block.\n//\n// More doc.\n#pragma once\n#include <vector>\n", 0),
+    ("cpp files are not header-checked", "pragma-once", "src/x/a.cpp",
+     "#include <vector>\n", 0),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for description, rule, path, snippet, expected in FIXTURES:
+        got = RULES[rule](path, snippet)
+        status = "ok" if len(got) == expected else "FAIL"
+        if status == "FAIL":
+            failures += 1
+            print(f"[{rule}] {description}: expected {expected} finding(s), got {len(got)}")
+            for finding in got:
+                print(f"    {finding.render()}")
+        else:
+            print(f"[{rule}] {description}: ok")
+    if failures:
+        print(f"self-test: {failures} fixture(s) failed out of {len(FIXTURES)}")
+        return 1
+    print(f"self-test: all {len(FIXTURES)} fixtures passed")
+    return 0
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--rule", action="append", dest="rules", metavar="NAME",
+                        help="run only this rule (repeatable); default: all rules")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded good/bad fixtures for every rule")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    rules = args.rules or list(RULES)
+    for rule in rules:
+        if rule not in RULES:
+            print(f"unknown rule: {rule} (see --list-rules)", file=sys.stderr)
+            return 2
+    findings = scan(args.root, rules)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s) across rules: {', '.join(rules)}")
+        return 1
+    print(f"lint clean: {', '.join(rules)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
