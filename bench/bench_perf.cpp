@@ -1,12 +1,29 @@
 // Microbenchmarks (google-benchmark): throughput of the simulator's hot
 // paths.  Not a paper figure — a performance regression net for the
 // library itself.
+//
+// Two modes:
+//   * default: the google-benchmark suite below;
+//   * --smoke [--out=BENCH_perf.json]: the tracked perf-regression
+//     harness.  Runs a Fig. 3-style fleet sweep through both ledger
+//     engines on identical inputs, asserts the results are byte-identical,
+//     and emits a JSON report (ns per simulated hour, hour-steps/sec,
+//     steady-state allocations, speedup vs the naive engine).  The
+//     speedup is a same-machine ratio, so CI can gate on it without
+//     hardware-specific thresholds — see tools/bench_check.py.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "common/alloc_hook.hpp"
 #include "common/metrics.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "fleet/ledger.hpp"
 #include "pricing/catalog.hpp"
@@ -130,11 +147,206 @@ void BM_ParallelForChunked(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForChunked)->Arg(1 << 10)->Arg(1 << 14);
 
+// ---------------------------------------------------------------------
+// --smoke: the tracked perf-regression harness.
+
+/// One deterministic fleet workload of the Fig. 3 sweep shape: a synthetic
+/// demand trace plus a fixed reservation stream (bulk buy at t=0, renewal
+/// at the term boundary, staggered singles in between so expiries and ids
+/// interleave).
+struct SmokeWorkload {
+  Count fleet = 0;
+  workload::DemandTrace trace{std::vector<Count>{}};
+  sim::ReservationStream stream;
+};
+
+SmokeWorkload make_smoke_workload(Count fleet, Hour hours, std::uint64_t seed) {
+  SmokeWorkload workload;
+  workload.fleet = fleet;
+  common::Rng rng(seed);
+  workload::Ec2LogSynthesizer::Params params;
+  params.base = 0.7 * static_cast<double>(fleet);
+  workload.trace = workload::Ec2LogSynthesizer(params).generate(hours, rng);
+  std::vector<Count> bookings(static_cast<std::size_t>(hours), 0);
+  bookings[0] = fleet;
+  if (d2().term < hours) {
+    bookings[static_cast<std::size_t>(d2().term)] = fleet;
+  }
+  for (Hour t = 97; t < hours; t += 97) {
+    bookings[static_cast<std::size_t>(t)] += 1;
+  }
+  workload.stream = sim::ReservationStream(std::move(bookings));
+  return workload;
+}
+
+sim::SimulationConfig smoke_config(fleet::LedgerEngine engine) {
+  sim::SimulationConfig config;
+  config.type = d2();
+  config.selling_discount = 0.8;
+  config.service_fee = 0.12;
+  config.ledger_engine = engine;
+  return config;
+}
+
+/// Runs every workload through `engine` once; returns wall seconds and
+/// fills `results` (one SimulationResult per workload).
+double run_engine_pass(const std::vector<SmokeWorkload>& workloads, fleet::LedgerEngine engine,
+                       std::vector<sim::SimulationResult>* results) {
+  const sim::SimulationConfig config = smoke_config(engine);
+  results->clear();
+  const auto begin = std::chrono::steady_clock::now();
+  for (const SmokeWorkload& workload : workloads) {
+    selling::FixedSpotSelling seller(config.type, 0.75, 0.8);
+    results->push_back(sim::simulate(workload.trace, workload.stream, seller, config));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+bool results_identical(const std::vector<sim::SimulationResult>& a,
+                       const std::vector<sim::SimulationResult>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Exact double equality on purpose: the engines must take the same
+    // arithmetic path, not just land close.
+    if (a[i].totals.on_demand != b[i].totals.on_demand ||
+        a[i].totals.upfront != b[i].totals.upfront ||
+        a[i].totals.reserved_hourly != b[i].totals.reserved_hourly ||
+        a[i].totals.sale_income != b[i].totals.sale_income ||
+        a[i].reservations_made != b[i].reservations_made ||
+        a[i].instances_sold != b[i].instances_sold ||
+        a[i].on_demand_hours != b[i].on_demand_hours ||
+        a[i].reservations.size() != b[i].reservations.size()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a[i].reservations.size(); ++r) {
+      const fleet::Reservation& ra = a[i].reservations[r];
+      const fleet::Reservation& rb = b[i].reservations[r];
+      if (ra.start != rb.start || ra.worked_hours != rb.worked_hours || ra.sold != rb.sold ||
+          ra.sold_at != rb.sold_at) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Steady-state allocations per simulated hour by the delta method: the
+/// same bulk-booked fleet over H and 2H hours; the extra hours must not
+/// allocate (hot-loop buffers are hoisted), so the expected value is 0.
+double steady_state_allocs_per_hour() {
+  const auto run = [](Hour hours) {
+    common::Rng rng(7);
+    workload::Ec2LogSynthesizer::Params params;
+    params.base = 40.0;
+    const workload::DemandTrace trace = workload::Ec2LogSynthesizer(params).generate(hours, rng);
+    std::vector<Count> bookings(static_cast<std::size_t>(hours), 0);
+    bookings[0] = 64;
+    const sim::ReservationStream stream{std::move(bookings)};
+    selling::FixedSpotSelling seller(d2(), 0.75, 0.8);
+    const sim::SimulationConfig config = smoke_config(fleet::LedgerEngine::kOptimized);
+    const std::uint64_t before = common::allocation_count();
+    benchmark::DoNotOptimize(sim::simulate(trace, stream, seller, config));
+    return common::allocation_count() - before;
+  };
+  constexpr Hour kWindow = 1000;
+  run(kWindow);  // warm-up
+  const std::uint64_t short_run = run(kWindow);
+  const std::uint64_t long_run = run(2 * kWindow);
+  return static_cast<double>(long_run - short_run) / static_cast<double>(kWindow);
+}
+
+int run_smoke(const std::string& out_path) {
+  // Fig. 3 sweep shape: a spread of fleet sizes over a two-year horizon.
+  // Seeds are fixed; the emitted numbers are machine-dependent but the
+  // optimized/naive *ratio* is stable enough to gate on.
+  const Hour hours = 2 * kHoursPerYear;
+  std::vector<SmokeWorkload> workloads;
+  workloads.push_back(make_smoke_workload(64, hours, 11));
+  workloads.push_back(make_smoke_workload(512, hours, 22));
+  workloads.push_back(make_smoke_workload(2048, hours, 33));
+  Hour total_hours = 0;
+  for (const SmokeWorkload& workload : workloads) {
+    total_hours += workload.trace.length();
+  }
+
+  std::vector<sim::SimulationResult> optimized;
+  std::vector<sim::SimulationResult> naive;
+  // Warm both paths once, then take the best of three timed passes each.
+  run_engine_pass(workloads, fleet::LedgerEngine::kOptimized, &optimized);
+  run_engine_pass(workloads, fleet::LedgerEngine::kNaive, &naive);
+  double optimized_seconds = 1e100;
+  double naive_seconds = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    optimized_seconds = std::min(
+        optimized_seconds, run_engine_pass(workloads, fleet::LedgerEngine::kOptimized, &optimized));
+    naive_seconds =
+        std::min(naive_seconds, run_engine_pass(workloads, fleet::LedgerEngine::kNaive, &naive));
+  }
+
+  const bool identical = results_identical(optimized, naive);
+  const double allocs_per_hour = steady_state_allocs_per_hour();
+  const double ns_per_hour_step =
+      optimized_seconds * 1e9 / static_cast<double>(total_hours);
+  const double hour_steps_per_sec = static_cast<double>(total_hours) / optimized_seconds;
+  const double speedup = naive_seconds / optimized_seconds;
+
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"workload\": \"fig3-style fleet sweep: 64/512/2048 contracts, 2y horizon\",\n";
+  json += common::format("  \"simulated_hours\": %lld,\n",
+                         static_cast<long long>(total_hours));
+  json += common::format("  \"optimized_seconds\": %.6f,\n", optimized_seconds);
+  json += common::format("  \"naive_seconds\": %.6f,\n", naive_seconds);
+  json += common::format("  \"ns_per_hour_step\": %.2f,\n", ns_per_hour_step);
+  json += common::format("  \"hour_steps_per_sec\": %.0f,\n", hour_steps_per_sec);
+  json += common::format("  \"steady_state_allocs_per_hour\": %.4f,\n", allocs_per_hour);
+  json += common::format("  \"speedup_vs_naive\": %.2f,\n", speedup);
+  json += common::format("  \"results_identical\": %s\n", identical ? "true" : "false");
+  json += "}\n";
+
+  std::printf("%s", json.c_str());
+  if (!out_path.empty()) {
+    std::FILE* file = std::fopen(out_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: optimized and naive ledger engines diverged\n");
+    return 1;
+  }
+  if (allocs_per_hour != 0.0) {
+    std::fprintf(stderr, "FAIL: steady-state hours allocate (%.4f allocs/hour)\n",
+                 allocs_per_hour);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Custom main (instead of benchmark_main) so the run ends with the same
 // machine-readable METRICS line as the figure/table benches.
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  if (smoke) {
+    return run_smoke(out_path);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -1,0 +1,36 @@
+#include "common/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // operator new must never return nullptr for nonzero sizes.
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+namespace rimarket::common {
+
+std::uint64_t allocation_count() { return g_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace rimarket::common
+
+// Minimal replaceable-function set: the sized/aligned/nothrow variants all
+// funnel through these two in libstdc++'s default implementations we
+// replace here.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t /*size*/) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t /*size*/) noexcept { std::free(ptr); }

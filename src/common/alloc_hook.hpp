@@ -1,0 +1,23 @@
+// Process-wide heap-allocation counter for tests and benchmarks.
+//
+// Linking the companion rimarket_alloc_hook library replaces the global
+// operator new/delete with counting wrappers.  It is deliberately NOT part
+// of the main rimarket library: only the hot-loop allocation test and the
+// perf harness link it, so production binaries keep the stock allocator.
+//
+// Counting is process-global and not async-signal-safe, but it is
+// thread-safe (a relaxed atomic) and exact: every successful operator new
+// bumps the counter once.  Measure with the delta method —
+// allocation_count() before and after the region under test — so one-time
+// setup (static initializers, gtest machinery) cancels out.
+#pragma once
+
+#include <cstdint>
+
+namespace rimarket::common {
+
+/// Total successful global operator new calls since process start.
+/// Defined by rimarket_alloc_hook; callers must link that library.
+std::uint64_t allocation_count();
+
+}  // namespace rimarket::common

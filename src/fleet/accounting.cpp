@@ -52,14 +52,23 @@ CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
 
 void audit_hourly_identity(const pricing::InstanceType& type, const CostBreakdown& hour,
                            Count on_demand, Count new_reservations, Count active_reserved,
-                           Count worked_reserved, ChargePolicy policy) {
+                           Count worked_reserved, Count active_before_sales,
+                           Count sold_this_hour, ChargePolicy policy) {
   RIMARKET_EXPECTS(on_demand >= 0);
   RIMARKET_EXPECTS(new_reservations >= 0);
   RIMARKET_EXPECTS(active_reserved >= 0);
   RIMARKET_EXPECTS(worked_reserved >= 0 && worked_reserved <= active_reserved);
+  RIMARKET_EXPECTS(active_before_sales >= 0);
+  RIMARKET_EXPECTS(sold_this_hour >= 0 && sold_this_hour <= active_before_sales);
   RIMARKET_CHECK_MSG(hour.on_demand >= 0.0 && hour.upfront >= 0.0 && hour.reserved_hourly >= 0.0,
                      "cost components are non-negative by construction");
   RIMARKET_CHECK_MSG(std::isfinite(hour.net()), "hourly cost must stay finite");
+  // Sale timing (Eq. (1)): s_t removes the instance at the decision spot,
+  // so the billed r_t must be the pre-sale fleet minus this hour's sales.
+  RIMARKET_CHECK_MSG(active_reserved == active_before_sales - sold_this_hour,
+                     "instances sold at hour t must be excluded from hour t's r_t");
+  RIMARKET_CHECK_MSG(hour.sale_income >= 0.0 && std::isfinite(hour.sale_income),
+                     "sale income must be finite and non-negative");
   // Eq. (1) spend recomputed through alpha(): r_t * (alpha * p) rather than
   // hourly_cost's r_t * reserved_hourly, so an invariant drift in either
   // derivation trips the audit.

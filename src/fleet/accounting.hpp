@@ -82,10 +82,15 @@ CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
 /// r_t the billed reserved hours under `policy` — through the alpha() identity
 /// (a different arithmetic path than hourly_cost) and aborts if `hour`
 /// diverges beyond floating-point tolerance or any component is negative or
-/// non-finite.  Cheap enough to stay on in every build; called by the
-/// simulator for every simulated hour.
+/// non-finite.  Also cross-checks the sale-timing semantics: an instance
+/// sold this hour leaves the fleet at the decision spot, so
+/// `active_reserved` (the r_t that was billed) must equal
+/// `active_before_sales - sold_this_hour`, and the hour's sale income must
+/// be finite and non-negative.  Cheap enough to stay on in every build;
+/// called by the simulator for every simulated hour.
 void audit_hourly_identity(const pricing::InstanceType& type, const CostBreakdown& hour,
                            Count on_demand, Count new_reservations, Count active_reserved,
-                           Count worked_reserved, ChargePolicy policy);
+                           Count worked_reserved, Count active_before_sales,
+                           Count sold_this_hour, ChargePolicy policy);
 
 }  // namespace rimarket::fleet

@@ -1,0 +1,92 @@
+// Growable Fenwick (binary-indexed) tree over int64 counters.
+//
+// Backs the optimized ReservationLedger engine twice over:
+//   * a 0/1 "active set" tree indexed by reservation id, giving O(log n)
+//     rank (how many active ids <= id) and select (the k-th active id) —
+//     the two queries the prefix-serving invariant turns demand assignment
+//     into;
+//   * a difference-array "credit" tree carrying lazy range-adds of worked
+//     hours over id prefixes, point-queried at flush time.
+//
+// Unlike the textbook fixed-size tree, this one grows append-only in
+// O(log n) per element: the new internal node's value is derived from
+// existing prefix sums (the appended element is zero, so
+// tree[j] = prefix(j-1) - prefix(j - lowbit(j))), never a rebuild.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rimarket::fleet {
+
+class FenwickTree {
+ public:
+  /// Starts empty; grow with push_back_zero().
+  FenwickTree() : tree_(1, 0) {}
+
+  /// Number of elements (0-based external indices are [0, size())).
+  std::size_t size() const { return tree_.size() - 1; }
+
+  /// Appends a zero element in O(log n) without rebuilding: the new
+  /// internal node covers (j - lowbit(j), j] and the appended value is 0,
+  /// so its sum is prefix(j-1) - prefix(j - lowbit(j)).
+  void push_back_zero() {
+    const std::size_t j = tree_.size();
+    tree_.push_back(prefix_internal(j - 1) - prefix_internal(j - lowbit(j)));
+  }
+
+  /// Adds `delta` to the element at `index`.
+  void add(std::size_t index, std::int64_t delta) {
+    RIMARKET_EXPECTS(index < size());
+    for (std::size_t j = index + 1; j < tree_.size(); j += lowbit(j)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of elements [0..index], inclusive.
+  std::int64_t prefix(std::size_t index) const {
+    RIMARKET_EXPECTS(index < size());
+    return prefix_internal(index + 1);
+  }
+
+  /// Sum of every element.
+  std::int64_t total() const { return prefix_internal(size()); }
+
+  /// Smallest 0-based index i with prefix(i) >= k, by binary lifting.
+  /// Requires 1 <= k <= total() and every element non-negative (the 0/1
+  /// active-set use); O(log n).
+  std::size_t select(std::int64_t k) const {
+    RIMARKET_EXPECTS(k >= 1 && k <= total());
+    std::size_t pos = 0;
+    std::int64_t remaining = k;
+    for (std::size_t bit = std::bit_floor(size()); bit > 0; bit >>= 1) {
+      const std::size_t next = pos + bit;
+      if (next < tree_.size() && tree_[next] < remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+    }
+    RIMARKET_ENSURES(pos < size());
+    return pos;
+  }
+
+ private:
+  static std::size_t lowbit(std::size_t j) { return j & (~j + 1); }
+
+  /// Sum of the first `count` elements (prefix over 1-based node indices).
+  std::int64_t prefix_internal(std::size_t count) const {
+    std::int64_t sum = 0;
+    for (std::size_t j = count; j > 0; j -= lowbit(j)) {
+      sum += tree_[j];
+    }
+    return sum;
+  }
+
+  /// 1-based internal nodes; tree_[0] is a sentinel and stays unused.
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace rimarket::fleet

@@ -1,12 +1,25 @@
 #include "fleet/ledger.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/assert.hpp"
 
 namespace rimarket::fleet {
 
-ReservationLedger::ReservationLedger(Hour term) : term_(term) { RIMARKET_EXPECTS(term >= 1); }
+namespace {
+constexpr Hour kNeverExpires = std::numeric_limits<Hour>::max();
+}  // namespace
+
+ReservationLedger::ReservationLedger(Hour term, LedgerEngine engine)
+    : term_(term), engine_(engine), next_expiry_(kNeverExpires) {
+  RIMARKET_EXPECTS(term >= 1);
+  if (engine_ == LedgerEngine::kOptimized) {
+    // The credit difference array stays one slot larger than the fleet so
+    // a range-add ending at the last id still has room for its -1 marker.
+    credit_.push_back_zero();
+  }
+}
 
 ReservationId ReservationLedger::reserve(Hour now) {
   RIMARKET_EXPECTS(now >= 0);
@@ -14,19 +27,96 @@ ReservationId ReservationLedger::reserve(Hour now) {
   last_time_ = now;
   const auto id = static_cast<ReservationId>(reservations_.size());
   reservations_.push_back(Reservation{id, now, term_, 0, -1, false});
-  active_.push_back(id);
+  if (engine_ == LedgerEngine::kNaive) {
+    active_.push_back(id);
+    return id;
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  active_set_.push_back_zero();
+  active_set_.add(slot, 1);
+  credit_.push_back_zero();
+  // A newborn id can owe no credit: every past prefix range-add [0..b] has
+  // b < id, so its +1 at 0 and -1 at b+1 <= id cancel out in prefix(id).
+  credit_flushed_.push_back(credit_.prefix(slot));
+  RIMARKET_ENSURES(credit_flushed_.back() == 0);
+  next_.push_back(kNoneId);
+  prev_.push_back(tail_);
+  if (tail_ == kNoneId) {
+    head_ = id;
+    next_expiry_ = reservations_[slot].end();
+  } else {
+    next_[static_cast<std::size_t>(tail_)] = id;
+  }
+  tail_ = id;
+  ++active_size_;
   return id;
 }
 
 void ReservationLedger::expire_until(Hour now) {
-  while (!active_.empty()) {
-    const Reservation& front = reservations_[static_cast<std::size_t>(active_.front())];
-    if (front.end() <= now) {
-      active_.pop_front();
-    } else {
-      break;
+  if (engine_ == LedgerEngine::kNaive) {
+    while (!active_.empty()) {
+      const Reservation& front = reservations_[static_cast<std::size_t>(active_.front())];
+      if (front.end() <= now) {
+        active_.pop_front();
+      } else {
+        break;
+      }
     }
+    return;
   }
+  if (now < next_expiry_) {
+    return;  // amortized O(1): the cursor says nothing can have expired
+  }
+  while (head_ != kNoneId && reservations_[static_cast<std::size_t>(head_)].end() <= now) {
+    const ReservationId id = head_;
+    retire_credit(id);
+    active_set_.add(static_cast<std::size_t>(id), -1);
+    unlink(id);
+    --active_size_;
+  }
+  next_expiry_ =
+      head_ == kNoneId ? kNeverExpires : reservations_[static_cast<std::size_t>(head_)].end();
+}
+
+void ReservationLedger::flush_credit(ReservationId id) const {
+  if (engine_ == LedgerEngine::kNaive) {
+    return;  // the naive engine writes worked_hours eagerly
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  const std::int64_t flushed = credit_flushed_[slot];
+  if (flushed == kCreditFrozen) {
+    return;
+  }
+  const std::int64_t accrued = credit_.prefix(slot);
+  if (accrued != flushed) {
+    reservations_[slot].worked_hours += accrued - flushed;
+    credit_flushed_[slot] = accrued;
+  }
+}
+
+void ReservationLedger::retire_credit(ReservationId id) {
+  flush_credit(id);
+  // Frozen: later prefix range-adds may sweep over this id's position, but
+  // a contract out of the active set earns no further working time.
+  credit_flushed_[static_cast<std::size_t>(id)] = kCreditFrozen;
+}
+
+void ReservationLedger::unlink(ReservationId id) {
+  const auto slot = static_cast<std::size_t>(id);
+  const ReservationId before = prev_[slot];
+  const ReservationId after = next_[slot];
+  if (before != kNoneId) {
+    next_[static_cast<std::size_t>(before)] = after;
+  } else {
+    head_ = after;
+  }
+  if (after != kNoneId) {
+    prev_[static_cast<std::size_t>(after)] = before;
+  } else {
+    tail_ = before;
+  }
+  next_[slot] = kNoneId;
+  prev_[slot] = kNoneId;
 }
 
 AssignmentResult ReservationLedger::assign(Hour now, Count demand,
@@ -40,24 +130,55 @@ AssignmentResult ReservationLedger::assign(Hour now, Count demand,
     served->clear();
   }
   AssignmentResult result;
-  result.active = static_cast<Count>(active_.size());
-  Count assigned = 0;
-  for (const ReservationId id : active_) {
-    if (assigned >= demand) {
-      break;
+  if (engine_ == LedgerEngine::kNaive) {
+    result.active = static_cast<Count>(active_.size());
+    Count assigned = 0;
+    for (const ReservationId id : active_) {
+      if (assigned >= demand) {
+        break;
+      }
+      Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
+      ++reservation.worked_hours;
+      // Paper invariant w <= elapsed: a contract serving the hour starting
+      // at `now` has worked at most age+1 whole hours since it began.
+      RIMARKET_ENSURES(reservation.worked_hours <= reservation.age(now) + 1);
+      ++assigned;
+      if (served != nullptr) {
+        served->push_back(id);
+      }
     }
-    Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
-    ++reservation.worked_hours;
-    // Paper invariant w <= elapsed: a contract serving the hour starting at
-    // `now` has worked at most age+1 whole hours since it began.
-    RIMARKET_ENSURES(reservation.worked_hours <= reservation.age(now) + 1);
-    ++assigned;
-    if (served != nullptr) {
-      served->push_back(id);
-    }
+    result.served_by_reserved = assigned;
+    result.on_demand = demand - assigned;
+    RIMARKET_ENSURES(result.on_demand >= 0);
+    RIMARKET_ENSURES(result.served_by_reserved + result.on_demand == demand);
+    return result;
   }
-  result.served_by_reserved = assigned;
-  result.on_demand = demand - assigned;
+  result.active = active_size_;
+  const Count k = std::min(demand, active_size_);
+  if (k > 0) {
+    // Prefix-serving invariant (DESIGN.md): the k servers are exactly the
+    // k smallest active ids, i.e. every active id in [0, boundary] where
+    // boundary is the k-th active id.  One lazy range-add on the credit
+    // difference array replaces k individual worked_hours writes.
+    const std::size_t boundary = active_set_.select(k);
+    credit_.add(0, 1);
+    credit_.add(boundary + 1, -1);
+    if (served != nullptr) {
+      ReservationId id = head_;
+      for (Count i = 0; i < k; ++i) {
+        served->push_back(id);
+        id = next_[static_cast<std::size_t>(id)];
+      }
+    }
+    // Paper invariant w <= elapsed, spot-checked on the most-senior server
+    // each hour (the naive engine checks every server eagerly; randomized
+    // equivalence tests cover the rest).
+    flush_credit(head_);
+    const Reservation& senior = reservations_[static_cast<std::size_t>(head_)];
+    RIMARKET_ENSURES(senior.worked_hours <= senior.age(now) + 1);
+  }
+  result.served_by_reserved = k;
+  result.on_demand = demand - k;
   RIMARKET_ENSURES(result.on_demand >= 0);
   RIMARKET_ENSURES(result.served_by_reserved + result.on_demand == demand);
   return result;
@@ -65,18 +186,17 @@ AssignmentResult ReservationLedger::assign(Hour now, Count demand,
 
 Count ReservationLedger::active_count(Hour now) {
   expire_until(now);
-  return static_cast<Count>(active_.size());
+  return engine_ == LedgerEngine::kNaive ? static_cast<Count>(active_.size()) : active_size_;
+}
+
+void ReservationLedger::due_at_age(Hour now, Hour age, std::vector<ReservationId>& out) const {
+  out.clear();
+  for_each_due(now, age, [&out](ReservationId id) { out.push_back(id); });
 }
 
 std::vector<ReservationId> ReservationLedger::due_at_age(Hour now, Hour age) const {
-  RIMARKET_EXPECTS(age >= 0);
   std::vector<ReservationId> due;
-  for (const ReservationId id : active_) {
-    const Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
-    if (reservation.age(now) == age) {
-      due.push_back(id);
-    }
-  }
+  due_at_age(now, age, due);
   return due;
 }
 
@@ -84,21 +204,65 @@ void ReservationLedger::sell(ReservationId id, Hour now) {
   RIMARKET_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < reservations_.size());
   Reservation& reservation = reservations_[static_cast<std::size_t>(id)];
   RIMARKET_EXPECTS(reservation.active(now));
+  if (engine_ == LedgerEngine::kNaive) {
+    reservation.sold = true;
+    reservation.sold_at = now;
+    const auto it = std::find(active_.begin(), active_.end(), id);
+    RIMARKET_CHECK_MSG(it != active_.end(), "sold reservation must be in the active set");
+    active_.erase(it);
+    return;
+  }
+  retire_credit(id);
   reservation.sold = true;
   reservation.sold_at = now;
-  const auto it = std::find(active_.begin(), active_.end(), id);
-  RIMARKET_CHECK_MSG(it != active_.end(), "sold reservation must be in the active set");
-  active_.erase(it);
+  active_set_.add(static_cast<std::size_t>(id), -1);
+  const bool was_head = head_ == id;
+  unlink(id);
+  --active_size_;
+  if (was_head) {
+    next_expiry_ = head_ == kNoneId ? kNeverExpires
+                                    : reservations_[static_cast<std::size_t>(head_)].end();
+  }
 }
 
 const Reservation& ReservationLedger::get(ReservationId id) const {
   RIMARKET_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < reservations_.size());
+  flush_credit(id);
   return reservations_[static_cast<std::size_t>(id)];
 }
 
+std::span<const Reservation> ReservationLedger::all() const {
+  if (engine_ == LedgerEngine::kOptimized) {
+    // Only contracts still in the active list can hold unflushed credit;
+    // retired ones were flushed (and frozen) on the way out.
+    for (ReservationId id = head_; id != kNoneId; id = next_[static_cast<std::size_t>(id)]) {
+      flush_credit(id);
+    }
+  }
+  return reservations_;
+}
+
+void ReservationLedger::active_ids(Hour now, std::vector<ReservationId>& out) {
+  out.clear();
+  for_each_active(now, [&out](ReservationId id) { out.push_back(id); });
+}
+
 std::vector<ReservationId> ReservationLedger::active_ids(Hour now) {
+  std::vector<ReservationId> ids;
+  active_ids(now, ids);
+  return ids;
+}
+
+Count ReservationLedger::active_rank(Hour now, ReservationId id) {
+  RIMARKET_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < reservations_.size());
   expire_until(now);
-  return {active_.begin(), active_.end()};
+  RIMARKET_EXPECTS(reservations_[static_cast<std::size_t>(id)].active(now));
+  if (engine_ == LedgerEngine::kNaive) {
+    const auto it = std::find(active_.begin(), active_.end(), id);
+    RIMARKET_CHECK_MSG(it != active_.end(), "active contracts are in the active set");
+    return static_cast<Count>(it - active_.begin());
+  }
+  return static_cast<Count>(active_set_.prefix(static_cast<std::size_t>(id)) - 1);
 }
 
 }  // namespace rimarket::fleet

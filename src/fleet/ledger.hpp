@@ -5,15 +5,34 @@
 // first, which both raises per-instance utilization and makes the
 // working-time statistic of older instances meaningful at their decision
 // spot.  Because every contract in one ledger has the same term, remaining
-// period order equals contract start order, so the active set is kept in
-// insertion order and assignment is O(active).
+// period order equals contract start order equals id order, so the served
+// set each hour is a *prefix* of the active set (see DESIGN.md "The
+// prefix-serving invariant").
+//
+// Two interchangeable engines back the same interface:
+//   * kOptimized (default) exploits the prefix invariant: an intrusive
+//     doubly-linked list over ids gives O(1) sell and amortized O(1)
+//     expiry (driven by a precomputed expiry cursor), a Fenwick tree over
+//     the active-id set gives O(log n) rank/select, and worked-hours
+//     updates become one lazy O(log n) range-add per hour instead of
+//     O(served) individual writes, flushed on demand.
+//   * kNaive is the original deque-based reference implementation, kept
+//     verbatim so randomized equivalence tests (and the perf harness) can
+//     assert the optimized engine is byte-identical.
+//
+// The ledger is single-threaded; "const" on readers is logical constness
+// (a read may flush pending lazy worked-hours credit into the reservation
+// records).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
+#include "fleet/fenwick.hpp"
 #include "fleet/reservation.hpp"
 
 namespace rimarket::fleet {
@@ -28,20 +47,27 @@ struct AssignmentResult {
   Count active = 0;
 };
 
+/// Implementation backing a ReservationLedger (see the file header).
+enum class LedgerEngine {
+  kOptimized,
+  kNaive,
+};
+
 /// Owns all reservations of one user for one instance type.
 class ReservationLedger {
  public:
   /// All contracts booked through this ledger share `term` hours.
-  explicit ReservationLedger(Hour term);
+  explicit ReservationLedger(Hour term, LedgerEngine engine = LedgerEngine::kOptimized);
 
   Hour term() const { return term_; }
+  LedgerEngine engine() const { return engine_; }
 
   /// Books a new contract starting at `now`; returns its id.
   /// Time must not go backwards across calls.
   ReservationId reserve(Hour now);
 
   /// Serves `demand` units at hour `now`: expires old contracts, assigns
-  /// least-remaining-period-first and bumps each server's worked_hours.
+  /// least-remaining-period-first and credits each server's worked_hours.
   /// When `served` is non-null it is cleared and filled with the ids that
   /// worked this hour (used by the clairvoyant offline planner).
   /// Postcondition (RIMARKET_ENSURES): a reservation's working time never
@@ -53,29 +79,120 @@ class ReservationLedger {
   /// Number of contracts able to serve at `now` (after expiry).
   Count active_count(Hour now);
 
-  /// Ids of contracts whose age is exactly `age` at hour `now` — the
-  /// contracts due for an A_{f} selling decision this hour, oldest first.
+  /// Visits the ids of contracts whose age is exactly `age` at hour `now`
+  /// — the contracts due for an A_{f} selling decision this hour, oldest
+  /// first.  Allocation-free; `age` must be in [0, term) (older contracts
+  /// have expired, negative ages are unborn).
+  template <typename Visitor>
+  void for_each_due(Hour now, Hour age, Visitor&& visit) const {
+    RIMARKET_EXPECTS(now >= 0);
+    RIMARKET_EXPECTS(age >= 0 && age < term_);
+    if (engine_ == LedgerEngine::kNaive) {
+      for (const ReservationId id : active_) {
+        if (reservations_[static_cast<std::size_t>(id)].age(now) == age) {
+          visit(id);
+        }
+      }
+      return;
+    }
+    // Contracts due at `age` all started at now - age; reservations_ is
+    // start-sorted, so they form one contiguous id range.
+    const Hour target = now - age;
+    auto it = std::partition_point(
+        reservations_.begin(), reservations_.end(),
+        [target](const Reservation& reservation) { return reservation.start < target; });
+    for (; it != reservations_.end() && it->start == target; ++it) {
+      if (!it->sold) {
+        visit(it->id);
+      }
+    }
+  }
+
+  /// Buffer-reusing variant: clears `out` and fills it with the due ids.
+  void due_at_age(Hour now, Hour age, std::vector<ReservationId>& out) const;
+
+  /// Allocating convenience wrapper (tests, cold paths).
   std::vector<ReservationId> due_at_age(Hour now, Hour age) const;
 
   /// Marks a contract sold at hour `now`.  The contract must be active.
+  /// O(1) on the optimized engine, O(active) on the naive one.
   void sell(ReservationId id, Hour now);
 
+  /// Reads one contract; flushes its pending worked-hours credit first.
   const Reservation& get(ReservationId id) const;
 
-  /// Every contract ever booked (including sold/expired), id order.
-  std::span<const Reservation> all() const { return reservations_; }
+  /// Every contract ever booked (including sold/expired), id order, with
+  /// all pending worked-hours credit flushed.
+  std::span<const Reservation> all() const;
 
-  /// Ids currently in the active window, least remaining period first.
+  /// Visits every active id at `now`, least remaining period first.
+  /// Allocation-free.
+  template <typename Visitor>
+  void for_each_active(Hour now, Visitor&& visit) {
+    RIMARKET_EXPECTS(now >= 0);
+    expire_until(now);
+    if (engine_ == LedgerEngine::kNaive) {
+      for (const ReservationId id : active_) {
+        visit(id);
+      }
+      return;
+    }
+    for (ReservationId id = head_; id != kNoneId; id = next_[static_cast<std::size_t>(id)]) {
+      visit(id);
+    }
+  }
+
+  /// Buffer-reusing variant: clears `out` and fills it with the active ids
+  /// in service order.
+  void active_ids(Hour now, std::vector<ReservationId>& out);
+
+  /// Allocating convenience wrapper (tests, cold paths).
   std::vector<ReservationId> active_ids(Hour now);
 
+  /// 0-based position of active contract `id` in the least-remaining-first
+  /// service order at `now` (rank-aware policies).  O(log n) optimized,
+  /// O(active) naive.
+  Count active_rank(Hour now, ReservationId id);
+
  private:
+  static constexpr ReservationId kNoneId = -1;
+  static constexpr std::int64_t kCreditFrozen = -1;
+
   void expire_until(Hour now);
+  /// Materializes pending lazy credit into reservations_[id].worked_hours.
+  void flush_credit(ReservationId id) const;
+  /// Flushes and then permanently freezes a contract leaving the active
+  /// set (sold or expired): later range credits must not touch it.
+  void retire_credit(ReservationId id);
+  void unlink(ReservationId id);
 
   Hour term_;
+  LedgerEngine engine_;
   Hour last_time_ = -1;
-  std::vector<Reservation> reservations_;
+  /// Mutable: const readers flush lazy worked-hours credit (see file doc).
+  mutable std::vector<Reservation> reservations_;
+
+  // --- kNaive state -----------------------------------------------------
   /// Active contract ids in start order == least-remaining-first order.
   std::deque<ReservationId> active_;
+
+  // --- kOptimized state -------------------------------------------------
+  /// Intrusive doubly-linked list over ids (start order).  kNoneId ends.
+  std::vector<ReservationId> next_;
+  std::vector<ReservationId> prev_;
+  ReservationId head_ = kNoneId;
+  ReservationId tail_ = kNoneId;
+  Count active_size_ = 0;
+  /// End hour of the oldest active contract; expiry fast-path cursor.
+  Hour next_expiry_ = 0;
+  /// 0/1 per id: membership in the active set (rank/select queries).
+  FenwickTree active_set_;
+  /// Difference array: point query = worked-hours credit accrued at that
+  /// id position by the per-hour prefix range-adds.
+  FenwickTree credit_;
+  /// Credit already flushed per id; kCreditFrozen once retired.  Mutable
+  /// for the same reason as reservations_.
+  mutable std::vector<std::int64_t> credit_flushed_;
 };
 
 }  // namespace rimarket::fleet

@@ -31,27 +31,24 @@ double ForecastSelling::expected_utilization(double predicted_mean, Count rank) 
   return std::clamp(predicted_mean - static_cast<double>(rank), 0.0, 1.0);
 }
 
-std::vector<fleet::ReservationId> ForecastSelling::decide(Hour now,
-                                                          fleet::ReservationLedger& ledger) {
-  const std::vector<fleet::ReservationId> due = ledger.due_at_age(now, decision_age_);
-  if (due.empty() || !has_observations_) {
-    return {};
+void ForecastSelling::decide(Hour now, fleet::ReservationLedger& ledger,
+                             std::vector<fleet::ReservationId>& to_sell) {
+  RIMARKET_EXPECTS(now >= 0);
+  to_sell.clear();
+  ledger.due_at_age(now, decision_age_, due_);
+  if (due_.empty() || !has_observations_) {
+    return;
   }
   const double predicted = forecaster_->predict_mean(remaining_hours_);
-  // Rank = position in the least-remaining-first service order.
-  const std::vector<fleet::ReservationId> order = ledger.active_ids(now);
-  std::vector<fleet::ReservationId> to_sell;
-  for (const fleet::ReservationId id : due) {
-    const auto it = std::find(order.begin(), order.end(), id);
-    RIMARKET_CHECK_MSG(it != order.end(), "due reservations are active");
-    const auto rank = static_cast<Count>(it - order.begin());
+  for (const fleet::ReservationId id : due_) {
+    // Rank = position in the least-remaining-first service order.
+    const Count rank = ledger.active_rank(now, id);
     const double expected_worked =
         static_cast<double>(remaining_hours_) * expected_utilization(predicted, rank);
     if (expected_worked < forward_break_even_) {
       to_sell.push_back(id);
     }
   }
-  return to_sell;
 }
 
 std::string ForecastSelling::name() const {

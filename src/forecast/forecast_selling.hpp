@@ -31,7 +31,8 @@ class ForecastSelling final : public selling::SellPolicy {
                   std::unique_ptr<Forecaster> forecaster);
 
   void observe(Hour now, Count demand) override;
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override;
 
   /// Forward break-even hours over the remaining (1-f)*T window.
@@ -50,6 +51,8 @@ class ForecastSelling final : public selling::SellPolicy {
   double forward_break_even_;
   std::unique_ptr<Forecaster> forecaster_;
   bool has_observations_ = false;
+  /// Scratch buffer for the hour's due ids, reused across decide() calls.
+  std::vector<fleet::ReservationId> due_;
 };
 
 }  // namespace rimarket::forecast

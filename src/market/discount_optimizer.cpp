@@ -25,11 +25,11 @@ DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed
 }
 
 std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
-    DiscountResponseModel model, double service_fee) {
-  RIMARKET_EXPECTS(service_fee >= 0.0 && service_fee < 1.0);
-  return [model = std::move(model), service_fee](const pricing::InstanceType& /*type*/,
-                                                 Hour age, double discount) {
-    return model.expected_income(age, discount, service_fee);
+    DiscountResponseModel model) {
+  return [model = std::move(model)](const pricing::InstanceType& /*type*/, Hour age,
+                                    double discount) {
+    // Gross: the simulator applies SimulationConfig::service_fee uniformly.
+    return model.expected_income(age, discount, /*service_fee=*/0.0);
   };
 }
 

@@ -29,9 +29,12 @@ DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed
                                 double max_discount = 1.0, int steps = 20);
 
 /// Adapts a response model into a sim::IncomeModel-compatible callable:
-/// income(type, age, discount) = model.expected_income(age, discount, fee).
-/// The returned callable owns copies of the model and fee.
+/// income(type, age, discount) = model.expected_income(age, discount, 0).
+/// Returns *gross* (fee-exclusive) income — sim::SimulationConfig applies
+/// its service fee uniformly on top of any income model, so baking the fee
+/// in here would double-charge it.  The returned callable owns a copy of
+/// the model.
 std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
-    DiscountResponseModel model, double service_fee);
+    DiscountResponseModel model);
 
 }  // namespace rimarket::market

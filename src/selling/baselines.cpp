@@ -5,11 +5,11 @@
 
 namespace rimarket::selling {
 
-std::vector<fleet::ReservationId> KeepReservedPolicy::decide(Hour now,
-                                                             fleet::ReservationLedger& ledger) {
+void KeepReservedPolicy::decide(Hour now, fleet::ReservationLedger& ledger,
+                                std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
   (void)ledger;
-  return {};
+  to_sell.clear();
 }
 
 AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, double fraction)
@@ -17,10 +17,10 @@ AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, double fra
   RIMARKET_EXPECTS(type.valid());
 }
 
-std::vector<fleet::ReservationId> AllSellingPolicy::decide(Hour now,
-                                                           fleet::ReservationLedger& ledger) {
+void AllSellingPolicy::decide(Hour now, fleet::ReservationLedger& ledger,
+                              std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
-  return ledger.due_at_age(now, decision_age_);
+  ledger.due_at_age(now, decision_age_, to_sell);
 }
 
 std::string AllSellingPolicy::name() const {

@@ -10,7 +10,8 @@ namespace rimarket::selling {
 /// baseline, so it is the denominator of every figure/table.
 class KeepReservedPolicy final : public SellPolicy {
  public:
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override { return "keep-reserved"; }
 };
 
@@ -20,7 +21,8 @@ class AllSellingPolicy final : public SellPolicy {
  public:
   AllSellingPolicy(const pricing::InstanceType& type, double fraction);
 
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override;
 
  private:

@@ -31,30 +31,32 @@ double ContinuousSelling::break_even_at_age(Hour age) const {
   return type_.break_even_hours(fraction, selling_discount_);
 }
 
-std::vector<fleet::ReservationId> ContinuousSelling::decide(Hour now,
-                                                            fleet::ReservationLedger& ledger) {
+void ContinuousSelling::decide(Hour now, fleet::ReservationLedger& ledger,
+                               std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
-  std::vector<fleet::ReservationId> to_sell;
-  for (const fleet::ReservationId id : ledger.active_ids(now)) {
+  to_sell.clear();
+  ledger.for_each_active(now, [this, &ledger, &to_sell, now](fleet::ReservationId id) {
     const fleet::Reservation& reservation = ledger.get(id);
     const Hour age = reservation.age(now);
     if (age < window_start_ || age > window_end_) {
-      continue;
+      return;
+    }
+    if (static_cast<std::size_t>(id) >= shortfall_streak_.size()) {
+      shortfall_streak_.resize(static_cast<std::size_t>(id) + 1, 0);
     }
     const bool below =
         static_cast<double>(reservation.worked_hours) < break_even_at_age(age);
-    Hour& streak = shortfall_streak_[id];
+    Hour& streak = shortfall_streak_[static_cast<std::size_t>(id)];
     if (!below) {
       streak = 0;
-      continue;
+      return;
     }
     ++streak;
     if (streak > options_.confirmation_hours) {
       to_sell.push_back(id);
-      shortfall_streak_.erase(id);
+      streak = 0;
     }
-  }
-  return to_sell;
+  });
 }
 
 }  // namespace rimarket::selling

@@ -25,8 +25,6 @@
 // generalization of the paper's algorithms.
 #pragma once
 
-#include <map>
-
 #include "pricing/instance_type.hpp"
 #include "selling/policy.hpp"
 
@@ -48,7 +46,8 @@ class ContinuousSelling final : public SellPolicy {
   ContinuousSelling(const pricing::InstanceType& type, double selling_discount,
                     Options options);
 
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override { return "continuous-spot"; }
 
   /// Age-scaled break-even beta(age/T) in hours.
@@ -62,8 +61,10 @@ class ContinuousSelling final : public SellPolicy {
   Options options_;
   Hour window_start_;
   Hour window_end_;
-  /// Consecutive below-break-even hours observed per reservation.
-  std::map<fleet::ReservationId, Hour> shortfall_streak_;
+  /// Consecutive below-break-even hours observed, indexed by reservation
+  /// id (ids are dense); grows only when the fleet does, so steady-state
+  /// decisions stay allocation-free.
+  std::vector<Hour> shortfall_streak_;
 };
 
 }  // namespace rimarket::selling

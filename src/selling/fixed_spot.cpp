@@ -19,16 +19,15 @@ bool FixedSpotSelling::should_sell(Hour worked_hours) const {
   return static_cast<double>(worked_hours) < break_even_hours_;
 }
 
-std::vector<fleet::ReservationId> FixedSpotSelling::decide(Hour now,
-                                                           fleet::ReservationLedger& ledger) {
+void FixedSpotSelling::decide(Hour now, fleet::ReservationLedger& ledger,
+                              std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
-  std::vector<fleet::ReservationId> to_sell;
-  for (const fleet::ReservationId id : ledger.due_at_age(now, decision_age_)) {
+  to_sell.clear();
+  ledger.for_each_due(now, decision_age_, [this, &ledger, &to_sell](fleet::ReservationId id) {
     if (should_sell(ledger.get(id).worked_hours)) {
       to_sell.push_back(id);
     }
-  }
-  return to_sell;
+  });
 }
 
 std::string FixedSpotSelling::name() const {

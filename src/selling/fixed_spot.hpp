@@ -19,7 +19,8 @@ class FixedSpotSelling final : public SellPolicy {
   /// `fraction` is f in (0,1); `selling_discount` is the user-chosen a.
   FixedSpotSelling(const pricing::InstanceType& type, double fraction, double selling_discount);
 
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override;
 
   /// Break-even working time beta(f) in hours for this configuration.

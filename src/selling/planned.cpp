@@ -13,21 +13,19 @@ PlannedSellingPolicy::PlannedSellingPolicy(std::map<fleet::ReservationId, Hour> 
   }
 }
 
-std::vector<fleet::ReservationId> PlannedSellingPolicy::decide(
-    Hour now, fleet::ReservationLedger& ledger) {
+void PlannedSellingPolicy::decide(Hour now, fleet::ReservationLedger& ledger,
+                                  std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
+  to_sell.clear();
   const auto it = by_hour_.find(now);
   if (it == by_hour_.end()) {
-    return {};
+    return;
   }
-  std::vector<fleet::ReservationId> to_sell;
-  to_sell.reserve(it->second.size());
   for (const fleet::ReservationId id : it->second) {
     if (ledger.get(id).active(now)) {
       to_sell.push_back(id);
     }
   }
-  return to_sell;
 }
 
 }  // namespace rimarket::selling

@@ -19,7 +19,8 @@ class PlannedSellingPolicy final : public SellPolicy {
   /// `plan` maps reservation id -> hour to sell at.
   explicit PlannedSellingPolicy(std::map<fleet::ReservationId, Hour> plan);
 
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override { return "offline-optimal"; }
 
   const std::map<fleet::ReservationId, Hour>& plan() const { return plan_; }

@@ -6,6 +6,14 @@
 
 namespace rimarket::selling {
 
+std::vector<fleet::ReservationId> decide_once(SellPolicy& policy, Hour now,
+                                              fleet::ReservationLedger& ledger) {
+  RIMARKET_EXPECTS(now >= 0);
+  std::vector<fleet::ReservationId> to_sell;
+  policy.decide(now, ledger, to_sell);
+  return to_sell;
+}
+
 Hour decision_age(Hour term, double fraction) {
   RIMARKET_EXPECTS(term >= 1);
   RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);

@@ -42,15 +42,25 @@ class SellPolicy {
     (void)demand;
   }
 
-  /// Called once per hour, after demand assignment.  Returns the ids of
-  /// reservations to sell right now; each must be active in `ledger`.
-  /// The caller performs the sale and books the income.
+  /// Called once per hour, before demand assignment (a sale at hour t
+  /// removes the instance from the fleet at the decision spot, so hour t's
+  /// r_t excludes it — Eq. (1) semantics, see DESIGN.md "Sale timing").
+  /// Clears `to_sell` and fills it with the ids to sell right now; each
+  /// must be active in `ledger`.  The caller owns the buffer (reused
+  /// across hours so steady-state decisions allocate nothing) and performs
+  /// the sale and income booking itself.
   /// Precondition (enforced by every implementation): `now >= 0`.
-  virtual std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) = 0;
+  virtual void decide(Hour now, fleet::ReservationLedger& ledger,
+                      std::vector<fleet::ReservationId>& to_sell) = 0;
 
   /// Short name for reports ("A_{3T/4}", "keep-reserved", ...).
   virtual std::string name() const = 0;
 };
+
+/// One-shot convenience wrapper (tests, cold paths): returns the decision
+/// in a fresh vector instead of a caller-provided buffer.
+std::vector<fleet::ReservationId> decide_once(SellPolicy& policy, Hour now,
+                                              fleet::ReservationLedger& ledger);
 
 /// Rounds a decision fraction to the discrete decision age in hours.
 /// The paper's spots 3T/4, T/2, T/4 divide the 8760-hour year exactly.

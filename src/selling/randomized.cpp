@@ -58,22 +58,25 @@ std::size_t RandomizedSpotSelling::draw_choice() {
   return cumulative_.size() - 1;
 }
 
-std::vector<fleet::ReservationId> RandomizedSpotSelling::decide(
-    Hour now, fleet::ReservationLedger& ledger) {
+void RandomizedSpotSelling::decide(Hour now, fleet::ReservationLedger& ledger,
+                                   std::vector<fleet::ReservationId>& to_sell) {
   RIMARKET_EXPECTS(now >= 0);
-  std::vector<fleet::ReservationId> to_sell;
-  for (const fleet::ReservationId id : ledger.active_ids(now)) {
-    const auto it = assigned_.find(id);
-    const std::size_t choice_index =
-        it != assigned_.end() ? it->second : assigned_.emplace(id, draw_choice()).first->second;
-    const SpotChoice& choice = choices_[choice_index];
+  to_sell.clear();
+  ledger.for_each_active(now, [this, &ledger, &to_sell, now](fleet::ReservationId id) {
+    const auto slot = static_cast<std::size_t>(id);
+    if (slot >= assigned_.size()) {
+      assigned_.resize(slot + 1, kUnassigned);
+    }
+    if (assigned_[slot] == kUnassigned) {
+      assigned_[slot] = draw_choice();
+    }
+    const SpotChoice& choice = choices_[assigned_[slot]];
     const fleet::Reservation& reservation = ledger.get(id);
     if (reservation.age(now) == choice.decision_age &&
         static_cast<double>(reservation.worked_hours) < choice.break_even_hours) {
       to_sell.push_back(id);
     }
-  }
-  return to_sell;
+  });
 }
 
 }  // namespace rimarket::selling

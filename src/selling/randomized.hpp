@@ -11,7 +11,7 @@
 // and the late-spot ones (safer, smaller savings).
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,7 +38,8 @@ class RandomizedSpotSelling final : public SellPolicy {
   static RandomizedSpotSelling paper_spots(const pricing::InstanceType& type,
                                            double selling_discount, std::uint64_t seed);
 
-  std::vector<fleet::ReservationId> decide(Hour now, fleet::ReservationLedger& ledger) override;
+  void decide(Hour now, fleet::ReservationLedger& ledger,
+              std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override { return "randomized-spot"; }
 
  private:
@@ -46,6 +47,8 @@ class RandomizedSpotSelling final : public SellPolicy {
     Hour decision_age = 0;
     double break_even_hours = 0.0;
   };
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
   std::size_t draw_choice();
 
   /// Decision parameters for each candidate fraction.
@@ -53,8 +56,10 @@ class RandomizedSpotSelling final : public SellPolicy {
   /// Cumulative probability per choice (uniform when constructed without
   /// weights).
   std::vector<double> cumulative_;
-  /// Fraction choice per reservation, assigned on first sight.
-  std::map<fleet::ReservationId, std::size_t> assigned_;
+  /// Fraction choice per reservation, assigned on first sight, indexed by
+  /// id (ids are dense); kUnassigned until drawn.  Grows only when the
+  /// fleet does, keeping steady-state decisions allocation-free.
+  std::vector<std::size_t> assigned_;
   common::Rng rng_;
 };
 

@@ -10,13 +10,14 @@ Hour SimulationConfig::effective_horizon(const workload::DemandTrace& trace) con
 }
 
 Dollars SimulationConfig::sale_income(Hour age) const {
-  const Dollars income = income_model
-                             ? income_model(type, age, selling_discount)
-                             : type.sale_income(age, selling_discount) * (1.0 - service_fee);
+  const Dollars gross = income_model ? income_model(type, age, selling_discount)
+                                     : type.sale_income(age, selling_discount);
   // Negative income would flip the sign of Eq. (1)'s s_t*a*rp*R term and
   // make "sell" look like a cost; even custom income models must not do it.
-  RIMARKET_ENSURES(income >= 0.0);
-  return income;
+  RIMARKET_ENSURES(gross >= 0.0);
+  // The marketplace fee applies uniformly: custom income models return
+  // *gross* income, exactly like the default instant-sale path.
+  return gross * (1.0 - service_fee);
 }
 
 ReservationStream::ReservationStream(std::vector<Count> new_reservations)
@@ -30,6 +31,7 @@ ReservationStream ReservationStream::generate(const workload::DemandTrace& trace
                                               purchasing::PurchasePolicy& purchaser,
                                               Hour horizon, Hour term) {
   RIMARKET_EXPECTS(horizon >= 0);
+  RIMARKET_EXPECTS(term >= 1);
   std::vector<Count> stream;
   stream.reserve(static_cast<std::size_t>(horizon));
   // The imitator runs against a keep-everything fleet: the active count it
@@ -59,7 +61,8 @@ Count ReservationStream::at(Hour t) const {
 Count ReservationStream::total() const {
   Count total = 0;
   for (Count n : new_reservations_) {
-    total += n;
+    RIMARKET_CHECK_MSG(!__builtin_add_overflow(total, n, &total),
+                       "reservation stream total overflows Count");
   }
   return total;
 }
@@ -79,9 +82,11 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
                    config.idle_resale_probability <= 1.0);
   const Hour horizon = config.effective_horizon(trace);
 
-  fleet::ReservationLedger ledger(config.type.term);
+  fleet::ReservationLedger ledger(config.type.term, config.ledger_engine);
   fleet::CostLedger costs(config.keep_hourly_series);
+  // Hot-loop buffers, hoisted so steady-state hours allocate nothing.
   std::vector<fleet::ReservationId> served;
+  std::vector<fleet::ReservationId> to_sell;
   std::vector<fleet::ReservationId>* served_ptr = observer != nullptr ? &served : nullptr;
 
   for (Hour t = 0; t < horizon; ++t) {
@@ -92,6 +97,20 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
       ledger.reserve(t);
       costs.count_reservation();
     }
+    // Sales settle *before* the hour's assignment and accounting: Eq. (1)'s
+    // s_t removes the instance from the fleet at the decision spot, so hour
+    // t's r_t, reserved-rate charge and idle-resale income all exclude it
+    // (see DESIGN.md "Sale timing").  active_count also settles expiry so
+    // the policy sees the hour's true fleet.
+    const Count active_before_sales = ledger.active_count(t);
+    seller.decide(t, ledger, to_sell);
+    Dollars sale_income = 0.0;
+    for (const fleet::ReservationId id : to_sell) {
+      sale_income += config.sale_income(ledger.get(id).age(t));
+      ledger.sell(id, t);
+      costs.count_sale();
+    }
+    const auto sold_this_hour = static_cast<Count>(to_sell.size());
     const fleet::AssignmentResult assignment = ledger.assign(t, demand, served_ptr);
     if (observer != nullptr) {
       (*observer)(t, served);
@@ -99,20 +118,15 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
     fleet::CostBreakdown hour = fleet::hourly_cost(
         config.type, assignment.on_demand, booked, assignment.active,
         assignment.served_by_reserved, config.charge_policy);
-    fleet::audit_hourly_identity(config.type, hour, assignment.on_demand, booked,
-                                 assignment.active, assignment.served_by_reserved,
-                                 config.charge_policy);
+    hour.sale_income += sale_income;
     if (config.idle_resale_rate > 0.0) {
       const Count idle = assignment.active - assignment.served_by_reserved;
       hour.sale_income += static_cast<double>(idle) * config.idle_resale_rate *
                           config.idle_resale_probability;
     }
-    for (const fleet::ReservationId id : seller.decide(t, ledger)) {
-      const fleet::Reservation& reservation = ledger.get(id);
-      hour.sale_income += config.sale_income(reservation.age(t));
-      ledger.sell(id, t);
-      costs.count_sale();
-    }
+    fleet::audit_hourly_identity(config.type, hour, assignment.on_demand, booked,
+                                 assignment.active, assignment.served_by_reserved,
+                                 active_before_sales, sold_this_hour, config.charge_policy);
     costs.count_on_demand_hours(assignment.on_demand);
     costs.record(t, hour);
   }

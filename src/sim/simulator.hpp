@@ -2,12 +2,12 @@
 //
 // Wiring per hour t:
 //   1. book the hour's new reservations n_t (they serve immediately),
-//   2. assign demand d_t least-remaining-period-first; overflow becomes
+//   2. let the selling policy inspect the ledger and sell instances
+//      (income a*rp*R, net of the marketplace fee; Eq. (1)'s s_t removes
+//      the sold instance from the fleet at the decision spot, so it is
+//      excluded from hour t's r_t — see DESIGN.md "Sale timing"),
+//   3. assign demand d_t least-remaining-period-first; overflow becomes
 //      on-demand purchases o_t,
-//   3. let the selling policy inspect the ledger and sell instances
-//      (income a*rp*R, optionally net of the marketplace fee; the sold
-//      instance stops serving from t+1, exactly like Algorithm 1's update
-//      of r_{t+1..}),
 //   4. record C_t = o_t*p + n_t*R + r_t*alpha*p - s_t*a*rp*R.
 //
 // The paper treats the reservation stream n_t as an *input* to the selling
@@ -32,11 +32,13 @@
 
 namespace rimarket::sim {
 
-/// Net income realized when a reservation aged `age` hours is sold at
+/// Gross income realized when a reservation aged `age` hours is sold at
 /// price discount `discount`.  The default (unset) realization is the
-/// paper's Eq. (1): an instant gross sale a * rp * R, reduced by the
-/// configured service fee.  The market module provides realistic models
-/// (fill latency, pro-ration erosion) via market::make_income_model.
+/// paper's Eq. (1): an instant gross sale a * rp * R.  The configured
+/// service fee is applied uniformly *after* the model, so custom models
+/// must return fee-exclusive (gross) income.  The market module provides
+/// realistic models (fill latency, pro-ration erosion) via
+/// market::make_income_model.
 using IncomeModel =
     std::function<Dollars(const pricing::InstanceType& type, Hour age, double discount)>;
 
@@ -46,8 +48,9 @@ struct SimulationConfig {
   /// Seller's marketplace price discount a in [0,1].
   double selling_discount = 0.8;
   /// Marketplace service fee on sale income.  0 reproduces the paper's
-  /// Eq. (1) (gross income); Amazon charges 0.12.  Ignored when
-  /// `income_model` is set (the model returns net income).
+  /// Eq. (1) (gross income); Amazon charges 0.12.  Applied uniformly to
+  /// the default instant-sale path *and* any custom `income_model` (which
+  /// must therefore return gross, fee-exclusive income).
   double service_fee = 0.0;
   fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
   /// Simulated hours; 0 means the trace length.
@@ -64,10 +67,15 @@ struct SimulationConfig {
   /// hour reselling, which is why it studies whole-contract sales).
   double idle_resale_rate = 0.0;
   double idle_resale_probability = 1.0;
+  /// Ledger implementation (see fleet::LedgerEngine).  kNaive is the
+  /// retained reference engine; equivalence tests and the perf harness
+  /// run both and assert byte-identical results.
+  fleet::LedgerEngine ledger_engine = fleet::LedgerEngine::kOptimized;
 
   Hour effective_horizon(const workload::DemandTrace& trace) const;
 
-  /// Net income for selling a reservation aged `age` under this config.
+  /// Net (post-fee) income for selling a reservation aged `age` under
+  /// this config.
   Dollars sale_income(Hour age) const;
 };
 

@@ -1,0 +1,111 @@
+#include "fleet/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rimarket::fleet {
+namespace {
+
+TEST(Fenwick, StartsEmpty) {
+  FenwickTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.total(), 0);
+}
+
+TEST(Fenwick, PushAddPrefix) {
+  FenwickTree tree;
+  for (int i = 0; i < 5; ++i) {
+    tree.push_back_zero();
+  }
+  tree.add(0, 1);
+  tree.add(2, 1);
+  tree.add(4, 1);
+  EXPECT_EQ(tree.prefix(0), 1);
+  EXPECT_EQ(tree.prefix(1), 1);
+  EXPECT_EQ(tree.prefix(2), 2);
+  EXPECT_EQ(tree.prefix(3), 2);
+  EXPECT_EQ(tree.prefix(4), 3);
+  EXPECT_EQ(tree.total(), 3);
+}
+
+TEST(Fenwick, SelectFindsKthOne) {
+  FenwickTree tree;
+  for (int i = 0; i < 8; ++i) {
+    tree.push_back_zero();
+  }
+  // Membership vector {0,1,1,0,1,0,0,1}: positions 1,2,4,7.
+  for (const std::size_t pos : {1u, 2u, 4u, 7u}) {
+    tree.add(pos, 1);
+  }
+  EXPECT_EQ(tree.select(1), 1u);
+  EXPECT_EQ(tree.select(2), 2u);
+  EXPECT_EQ(tree.select(3), 4u);
+  EXPECT_EQ(tree.select(4), 7u);
+}
+
+TEST(Fenwick, GrowthPreservesPrefixSums) {
+  // Appending must not disturb existing counts, including appends that
+  // cross power-of-two boundaries (where the new node spans old entries).
+  FenwickTree tree;
+  std::vector<std::int64_t> mirror;
+  for (std::size_t i = 0; i < 70; ++i) {
+    tree.push_back_zero();
+    mirror.push_back(0);
+    if (i % 3 == 0) {
+      tree.add(i, 2);
+      mirror[i] += 2;
+    }
+    std::int64_t running = 0;
+    for (std::size_t j = 0; j <= i; ++j) {
+      running += mirror[j];
+      ASSERT_EQ(tree.prefix(j), running) << "size=" << i + 1 << " j=" << j;
+    }
+  }
+}
+
+TEST(Fenwick, RandomizedAgainstBruteForce) {
+  common::Rng rng(404);
+  FenwickTree tree;
+  std::vector<std::int64_t> mirror;
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.uniform01();
+    if (mirror.empty() || roll < 0.3) {
+      tree.push_back_zero();
+      mirror.push_back(0);
+    } else if (roll < 0.8) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mirror.size()) - 1));
+      // Flip membership: keep values in {0,1} so select() is meaningful.
+      const std::int64_t delta = mirror[idx] == 0 ? 1 : -1;
+      tree.add(idx, delta);
+      mirror[idx] += delta;
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mirror.size()) - 1));
+      std::int64_t expected = 0;
+      for (std::size_t j = 0; j <= idx; ++j) {
+        expected += mirror[j];
+      }
+      ASSERT_EQ(tree.prefix(idx), expected) << "step " << step;
+    }
+    // Cross-check select() against a scan for every populated rank.
+    const std::int64_t total = tree.total();
+    if (total > 0 && step % 50 == 0) {
+      std::int64_t rank = 0;
+      for (std::size_t pos = 0; pos < mirror.size(); ++pos) {
+        for (std::int64_t c = 0; c < mirror[pos]; ++c) {
+          ++rank;
+          ASSERT_EQ(tree.select(rank), pos) << "step " << step;
+        }
+      }
+      ASSERT_EQ(rank, total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::fleet

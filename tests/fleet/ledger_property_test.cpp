@@ -1,0 +1,163 @@
+// Randomized equivalence of the two ledger engines (see fleet/ledger.hpp):
+// the optimized engine must be observationally identical to the retained
+// naive reference under arbitrary interleavings of reserve / assign / sell
+// / expiry, both at the ledger level and through a full simulate() run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/ledger.hpp"
+#include "pricing/instance_type.hpp"
+#include "purchasing/random_reservation.hpp"
+#include "selling/fixed_spot.hpp"
+#include "selling/randomized.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::fleet {
+namespace {
+
+pricing::InstanceType tiny_type() {
+  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+}
+
+void expect_same_reservation(const Reservation& a, const Reservation& b, Hour t) {
+  EXPECT_EQ(a.id, b.id) << "t=" << t;
+  EXPECT_EQ(a.start, b.start) << "t=" << t;
+  EXPECT_EQ(a.worked_hours, b.worked_hours) << "id=" << a.id << " t=" << t;
+  EXPECT_EQ(a.sold, b.sold) << "id=" << a.id << " t=" << t;
+  EXPECT_EQ(a.sold_at, b.sold_at) << "id=" << a.id << " t=" << t;
+}
+
+TEST(LedgerEquivalence, RandomOperationInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    common::Rng rng(seed);
+    const Hour term = 10 + rng.uniform_int(0, 30);
+    ReservationLedger fast(term, LedgerEngine::kOptimized);
+    ReservationLedger slow(term, LedgerEngine::kNaive);
+    std::vector<ReservationId> fast_out;
+    std::vector<ReservationId> slow_out;
+    const Hour horizon = 4 * term;
+    for (Hour t = 0; t < horizon; ++t) {
+      if (rng.bernoulli(0.3)) {
+        const Count bought = rng.uniform_int(1, 3);
+        for (Count i = 0; i < bought; ++i) {
+          ASSERT_EQ(fast.reserve(t), slow.reserve(t));
+        }
+      }
+      // Sell a random active contract now and then (never at age >= term;
+      // expiry handles those).
+      if (rng.bernoulli(0.15)) {
+        slow.active_ids(t, slow_out);
+        if (!slow_out.empty()) {
+          const auto pick = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(slow_out.size()) - 1));
+          fast.sell(slow_out[pick], t);
+          slow.sell(slow_out[pick], t);
+        }
+      }
+      const Count demand = rng.uniform_int(0, 6);
+      const AssignmentResult fr = fast.assign(t, demand, &fast_out);
+      const AssignmentResult sr = slow.assign(t, demand, &slow_out);
+      ASSERT_EQ(fr.active, sr.active) << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(fr.served_by_reserved, sr.served_by_reserved) << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(fr.on_demand, sr.on_demand) << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(fast_out, slow_out) << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(fast.active_count(t), slow.active_count(t));
+      // Probe the read APIs the selling policies use.
+      if (t % 5 == 0) {
+        ASSERT_EQ(fast.active_ids(t), slow.active_ids(t)) << "seed=" << seed << " t=" << t;
+        const Hour age = rng.uniform_int(0, term - 1);
+        ASSERT_EQ(fast.due_at_age(t, age), slow.due_at_age(t, age))
+            << "seed=" << seed << " t=" << t << " age=" << age;
+        for (const ReservationId id : slow.active_ids(t)) {
+          ASSERT_EQ(fast.active_rank(t, id), slow.active_rank(t, id));
+        }
+      }
+    }
+    const auto& fast_all = fast.all();
+    const auto& slow_all = slow.all();
+    ASSERT_EQ(fast_all.size(), slow_all.size());
+    for (std::size_t i = 0; i < fast_all.size(); ++i) {
+      expect_same_reservation(fast_all[i], slow_all[i], horizon);
+    }
+  }
+}
+
+TEST(LedgerEquivalence, FullSimulationsAreByteIdentical) {
+  // End-to-end: identical SimulationResults (exact double equality — the
+  // engines must take the same arithmetic path, not just be "close").
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    common::Rng rng(seed * 7919);
+    std::vector<Count> demand;
+    demand.reserve(400);
+    for (int t = 0; t < 400; ++t) {
+      demand.push_back(rng.bernoulli(0.6) ? rng.uniform_int(0, 5) : 0);
+    }
+    const workload::DemandTrace trace{std::move(demand)};
+    purchasing::RandomReservationPolicy purchaser(seed);
+    const auto stream =
+        sim::ReservationStream::generate(trace, purchaser, trace.length(), tiny_type().term);
+
+    sim::SimulationConfig config;
+    config.type = tiny_type();
+    config.selling_discount = 0.8;
+    config.service_fee = 0.12;
+    config.keep_hourly_series = true;
+
+    // Two sellers with identical seeds so their random draws line up.
+    auto fast_seller = selling::RandomizedSpotSelling::paper_spots(config.type, 0.8, seed);
+    auto slow_seller = selling::RandomizedSpotSelling::paper_spots(config.type, 0.8, seed);
+    config.ledger_engine = LedgerEngine::kOptimized;
+    const auto fast = sim::simulate(trace, stream, fast_seller, config);
+    config.ledger_engine = LedgerEngine::kNaive;
+    const auto slow = sim::simulate(trace, stream, slow_seller, config);
+
+    EXPECT_EQ(fast.totals.on_demand, slow.totals.on_demand) << "seed=" << seed;
+    EXPECT_EQ(fast.totals.upfront, slow.totals.upfront) << "seed=" << seed;
+    EXPECT_EQ(fast.totals.reserved_hourly, slow.totals.reserved_hourly) << "seed=" << seed;
+    EXPECT_EQ(fast.totals.sale_income, slow.totals.sale_income) << "seed=" << seed;
+    EXPECT_EQ(fast.reservations_made, slow.reservations_made);
+    EXPECT_EQ(fast.instances_sold, slow.instances_sold);
+    EXPECT_EQ(fast.on_demand_hours, slow.on_demand_hours);
+    ASSERT_EQ(fast.hourly.size(), slow.hourly.size());
+    for (std::size_t h = 0; h < fast.hourly.size(); ++h) {
+      ASSERT_EQ(fast.hourly[h].net(), slow.hourly[h].net()) << "seed=" << seed << " h=" << h;
+    }
+    ASSERT_EQ(fast.reservations.size(), slow.reservations.size());
+    for (std::size_t i = 0; i < fast.reservations.size(); ++i) {
+      expect_same_reservation(fast.reservations[i], slow.reservations[i], 400);
+    }
+  }
+}
+
+TEST(LedgerEquivalence, DeterministicSellerMatchesToo) {
+  // FixedSpotSelling exercises due_at_age + get() rather than the
+  // randomized policy's active-set walk.
+  common::Rng rng(99);
+  std::vector<Count> demand;
+  for (int t = 0; t < 300; ++t) {
+    demand.push_back(rng.uniform_int(0, 3));
+  }
+  const workload::DemandTrace trace{std::move(demand)};
+  purchasing::RandomReservationPolicy purchaser(99);
+  const auto stream =
+      sim::ReservationStream::generate(trace, purchaser, trace.length(), tiny_type().term);
+  sim::SimulationConfig config;
+  config.type = tiny_type();
+  config.selling_discount = 0.8;
+
+  selling::FixedSpotSelling fast_seller(config.type, 0.75, 0.8);
+  selling::FixedSpotSelling slow_seller(config.type, 0.75, 0.8);
+  config.ledger_engine = LedgerEngine::kOptimized;
+  const auto fast = sim::simulate(trace, stream, fast_seller, config);
+  config.ledger_engine = LedgerEngine::kNaive;
+  const auto slow = sim::simulate(trace, stream, slow_seller, config);
+  EXPECT_EQ(fast.net_cost(), slow.net_cost());
+  EXPECT_EQ(fast.instances_sold, slow.instances_sold);
+  EXPECT_EQ(fast.on_demand_hours, slow.on_demand_hours);
+}
+
+}  // namespace
+}  // namespace rimarket::fleet

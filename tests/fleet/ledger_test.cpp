@@ -5,16 +5,24 @@
 namespace rimarket::fleet {
 namespace {
 
-TEST(Ledger, ReserveAssignsSequentialIds) {
-  ReservationLedger ledger(100);
+// Every behavioral test runs against both engines: kNaive is the retained
+// reference implementation, kOptimized the incremental one.  Divergence on
+// any of these is a bug in the optimized engine.
+class LedgerTest : public ::testing::TestWithParam<LedgerEngine> {
+ protected:
+  ReservationLedger make_ledger(Hour term) const { return ReservationLedger(term, GetParam()); }
+};
+
+TEST_P(LedgerTest, ReserveAssignsSequentialIds) {
+  ReservationLedger ledger = make_ledger(100);
   EXPECT_EQ(ledger.reserve(0), 0);
   EXPECT_EQ(ledger.reserve(0), 1);
   EXPECT_EQ(ledger.reserve(5), 2);
   EXPECT_EQ(ledger.all().size(), 3u);
 }
 
-TEST(Ledger, ActiveCountTracksExpiry) {
-  ReservationLedger ledger(10);
+TEST_P(LedgerTest, ActiveCountTracksExpiry) {
+  ReservationLedger ledger = make_ledger(10);
   ledger.reserve(0);
   ledger.reserve(5);
   EXPECT_EQ(ledger.active_count(5), 2);
@@ -23,8 +31,8 @@ TEST(Ledger, ActiveCountTracksExpiry) {
   EXPECT_EQ(ledger.active_count(15), 0);
 }
 
-TEST(Ledger, AssignCoversDemandWithReservedFirst) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, AssignCoversDemandWithReservedFirst) {
+  ReservationLedger ledger = make_ledger(100);
   ledger.reserve(0);
   ledger.reserve(0);
   const AssignmentResult result = ledger.assign(1, 5);
@@ -33,8 +41,8 @@ TEST(Ledger, AssignCoversDemandWithReservedFirst) {
   EXPECT_EQ(result.on_demand, 3);
 }
 
-TEST(Ledger, AssignZeroDemand) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, AssignZeroDemand) {
+  ReservationLedger ledger = make_ledger(100);
   ledger.reserve(0);
   const AssignmentResult result = ledger.assign(1, 0);
   EXPECT_EQ(result.served_by_reserved, 0);
@@ -42,8 +50,8 @@ TEST(Ledger, AssignZeroDemand) {
   EXPECT_EQ(result.active, 1);
 }
 
-TEST(Ledger, LeastRemainingPeriodServesFirst) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, LeastRemainingPeriodServesFirst) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId older = ledger.reserve(0);
   const ReservationId newer = ledger.reserve(10);
   // One unit of demand: the older contract (less remaining) must serve.
@@ -52,8 +60,8 @@ TEST(Ledger, LeastRemainingPeriodServesFirst) {
   EXPECT_EQ(ledger.get(newer).worked_hours, 0);
 }
 
-TEST(Ledger, WorkedHoursAccumulate) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, WorkedHoursAccumulate) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId id = ledger.reserve(0);
   for (Hour t = 1; t <= 30; ++t) {
     ledger.assign(t, 1);
@@ -61,8 +69,8 @@ TEST(Ledger, WorkedHoursAccumulate) {
   EXPECT_EQ(ledger.get(id).worked_hours, 30);
 }
 
-TEST(Ledger, ServedOutParamListsWorkers) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, ServedOutParamListsWorkers) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId a = ledger.reserve(0);
   const ReservationId b = ledger.reserve(1);
   std::vector<ReservationId> served;
@@ -75,8 +83,8 @@ TEST(Ledger, ServedOutParamListsWorkers) {
   EXPECT_EQ(served[1], b);
 }
 
-TEST(Ledger, ServedVectorIsClearedEachCall) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, ServedVectorIsClearedEachCall) {
+  ReservationLedger ledger = make_ledger(100);
   ledger.reserve(0);
   std::vector<ReservationId> served;
   ledger.assign(1, 1, &served);
@@ -85,8 +93,8 @@ TEST(Ledger, ServedVectorIsClearedEachCall) {
   EXPECT_TRUE(served.empty());
 }
 
-TEST(Ledger, SellRemovesFromActiveSet) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, SellRemovesFromActiveSet) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId id = ledger.reserve(0);
   ledger.sell(id, 40);
   EXPECT_EQ(ledger.active_count(40), 0);
@@ -94,8 +102,8 @@ TEST(Ledger, SellRemovesFromActiveSet) {
   EXPECT_EQ(ledger.get(id).sold_at, 40);
 }
 
-TEST(Ledger, SoldInstanceNoLongerServes) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, SoldInstanceNoLongerServes) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId a = ledger.reserve(0);
   const ReservationId b = ledger.reserve(5);
   ledger.sell(a, 10);
@@ -104,8 +112,21 @@ TEST(Ledger, SoldInstanceNoLongerServes) {
   EXPECT_EQ(ledger.get(b).worked_hours, 1);
 }
 
-TEST(Ledger, DueAtAgeFindsExactAges) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, SellHeadThenExpiryAdvances) {
+  // Selling the oldest active contract must move the expiry cursor: the
+  // next expiry is now the second contract's, not the sold one's.
+  ReservationLedger ledger = make_ledger(10);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(5);
+  ledger.sell(a, 3);
+  EXPECT_EQ(ledger.active_count(10), 1);  // b only; a's expiry is moot
+  EXPECT_EQ(ledger.active_count(14), 1);
+  EXPECT_EQ(ledger.active_count(15), 0);  // b expires at 5+10
+  EXPECT_FALSE(ledger.get(b).sold);
+}
+
+TEST_P(LedgerTest, DueAtAgeFindsExactAges) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId a = ledger.reserve(0);
   const ReservationId b = ledger.reserve(0);
   const ReservationId c = ledger.reserve(3);
@@ -118,8 +139,8 @@ TEST(Ledger, DueAtAgeFindsExactAges) {
   EXPECT_EQ(due_at_78[0], c);
 }
 
-TEST(Ledger, DueAtAgeSkipsSold) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, DueAtAgeSkipsSold) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId a = ledger.reserve(0);
   ledger.reserve(0);
   ledger.sell(a, 10);
@@ -128,8 +149,19 @@ TEST(Ledger, DueAtAgeSkipsSold) {
   EXPECT_NE(due[0], a);
 }
 
-TEST(Ledger, ActiveIdsInLeastRemainingOrder) {
-  ReservationLedger ledger(100);
+TEST_P(LedgerTest, DueAtAgeReusesOutBuffer) {
+  ReservationLedger ledger = make_ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  std::vector<ReservationId> out(17, 999);  // stale content must be cleared
+  ledger.due_at_age(75, 75, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], a);
+  ledger.due_at_age(80, 75, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(LedgerTest, ActiveIdsInLeastRemainingOrder) {
+  ReservationLedger ledger = make_ledger(100);
   const ReservationId a = ledger.reserve(0);
   const ReservationId b = ledger.reserve(2);
   const ReservationId c = ledger.reserve(4);
@@ -140,8 +172,21 @@ TEST(Ledger, ActiveIdsInLeastRemainingOrder) {
   EXPECT_EQ(ids[2], c);
 }
 
-TEST(Ledger, ExpiredContractStopsServing) {
-  ReservationLedger ledger(10);
+TEST_P(LedgerTest, ActiveRankFollowsServiceOrder) {
+  ReservationLedger ledger = make_ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(2);
+  const ReservationId c = ledger.reserve(4);
+  EXPECT_EQ(ledger.active_rank(5, a), 0);
+  EXPECT_EQ(ledger.active_rank(5, b), 1);
+  EXPECT_EQ(ledger.active_rank(5, c), 2);
+  ledger.sell(b, 6);
+  EXPECT_EQ(ledger.active_rank(6, a), 0);
+  EXPECT_EQ(ledger.active_rank(6, c), 1);  // closes the gap b left
+}
+
+TEST_P(LedgerTest, ExpiredContractStopsServing) {
+  ReservationLedger ledger = make_ledger(10);
   const ReservationId id = ledger.reserve(0);
   const AssignmentResult at_end = ledger.assign(10, 1);
   EXPECT_EQ(at_end.active, 0);
@@ -149,8 +194,8 @@ TEST(Ledger, ExpiredContractStopsServing) {
   EXPECT_EQ(ledger.get(id).worked_hours, 0);
 }
 
-TEST(Ledger, AssignmentConservesDemand) {
-  ReservationLedger ledger(50);
+TEST_P(LedgerTest, AssignmentConservesDemand) {
+  ReservationLedger ledger = make_ledger(50);
   ledger.reserve(0);
   ledger.reserve(0);
   ledger.reserve(0);
@@ -161,6 +206,38 @@ TEST(Ledger, AssignmentConservesDemand) {
     EXPECT_LE(result.served_by_reserved, result.active);
   }
 }
+
+TEST_P(LedgerTest, WorkedHoursVisibleWithoutAssignInBetween) {
+  // The optimized engine defers worked_hours bookkeeping (lazy credit);
+  // any read through get()/all() must still observe settled values.
+  ReservationLedger ledger = make_ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  const ReservationId b = ledger.reserve(0);
+  ledger.assign(1, 1);
+  ledger.assign(2, 2);
+  ledger.assign(3, 1);
+  EXPECT_EQ(ledger.get(a).worked_hours, 3);
+  EXPECT_EQ(ledger.get(b).worked_hours, 1);
+  const auto& all = ledger.all();
+  EXPECT_EQ(all[0].worked_hours, 3);
+  EXPECT_EQ(all[1].worked_hours, 1);
+}
+
+TEST_P(LedgerTest, SellFreezesWorkedHours) {
+  ReservationLedger ledger = make_ledger(100);
+  const ReservationId a = ledger.reserve(0);
+  ledger.assign(1, 1);
+  ledger.sell(a, 2);
+  ledger.reserve(2);
+  ledger.assign(3, 1);  // must credit the new contract, not the sold one
+  EXPECT_EQ(ledger.get(a).worked_hours, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, LedgerTest,
+                         ::testing::Values(LedgerEngine::kOptimized, LedgerEngine::kNaive),
+                         [](const ::testing::TestParamInfo<LedgerEngine>& info) {
+                           return info.param == LedgerEngine::kOptimized ? "optimized" : "naive";
+                         });
 
 }  // namespace
 }  // namespace rimarket::fleet

@@ -40,11 +40,11 @@ TEST(ForecastSelling, SellsWhenForecastSeesNoDemand) {
     policy.observe(t, 0);
     ledger.assign(t, 0);
     if (t < 30 - 1) {
-      EXPECT_TRUE(policy.decide(t, ledger).empty());
+      EXPECT_TRUE(selling::decide_once(policy, t, ledger).empty());
     }
   }
   policy.observe(30, 0);
-  const auto decision = policy.decide(30, ledger);
+  const auto decision = selling::decide_once(policy, 30, ledger);
   ASSERT_EQ(decision.size(), 1u);
   EXPECT_EQ(decision[0], id);
 }
@@ -56,7 +56,7 @@ TEST(ForecastSelling, KeepsWhenForecastSeesDemand) {
   for (Hour t = 0; t <= 30; ++t) {
     policy.observe(t, 1);
     ledger.assign(t, 1);
-    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+    EXPECT_TRUE(selling::decide_once(policy, t, ledger).empty()) << t;
   }
 }
 
@@ -72,7 +72,7 @@ TEST(ForecastSelling, RankDependentDecision) {
   for (Hour t = 0; t <= 30; ++t) {
     policy.observe(t, 1);
     ledger.assign(t, 1);
-    const auto now = policy.decide(t, ledger);
+    const auto now = selling::decide_once(policy, t, ledger);
     decision.insert(decision.end(), now.begin(), now.end());
   }
   ASSERT_EQ(decision.size(), 1u);
@@ -112,7 +112,7 @@ TEST(ForecastSelling, NoObservationsNoSales) {
   ledger.reserve(0);
   ForecastSelling policy = make_policy(0.75);
   // decide() without a single observe() must not touch the forecaster.
-  EXPECT_TRUE(policy.decide(30, ledger).empty());
+  EXPECT_TRUE(selling::decide_once(policy, 30, ledger).empty());
 }
 
 }  // namespace

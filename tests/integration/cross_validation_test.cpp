@@ -56,11 +56,11 @@ TEST_P(SimVsTheory, OnlineCostsAgreeOnRandomSchedules) {
   common::Rng rng(31);
   int checked = 0;
   for (int trial = 0; trial < 200; ++trial) {
-    theory::WorkSchedule schedule = theory::random_schedule(type, rng.uniform01(), rng);
-    // The simulator counts the decision-spot hour's work before deciding;
-    // the analytic model's window is [0, spot).  Keep the spot hour idle so
-    // both see the same working time (the off-by-one is documented).
-    schedule[static_cast<std::size_t>(spot)] = false;
+    // No compensation needed: the simulator settles sales before the
+    // decision-spot hour's assignment, so its worked window is [0, spot) —
+    // exactly the analytic model's.
+    const theory::WorkSchedule schedule =
+        theory::random_schedule(type, rng.uniform01(), rng);
     const workload::DemandTrace trace = schedule_to_trace(schedule);
     const sim::ReservationStream stream{std::vector<Count>{1}};
     selling::FixedSpotSelling seller(type, fraction, 0.8);
@@ -80,11 +80,11 @@ INSTANTIATE_TEST_SUITE_P(PaperSpots, SimVsTheory, ::testing::Values(0.25, 0.5, 0
                            return "f" + std::to_string(static_cast<int>(param_info.param * 100));
                          });
 
-TEST(SimVsTheory, AllActiveBillingDiffersByTheDocumentedHour) {
-  // Under Eq. (1) billing the simulator bills the decision-spot hour (the
-  // instance is still held during it) while the analytic model bills
-  // [0, sell_at).  When the instance is sold, the gap is exactly one
-  // discounted hour.
+TEST(SimVsTheory, AllActiveBillingMatchesExactly) {
+  // Under Eq. (1) billing both the simulator and the analytic model bill
+  // active hours [0, sell_at): the sale settles at the decision spot, so
+  // the spot hour itself is never billed.  The former one-hour gap (the
+  // same-hour sale accounting bug) is gone — costs agree exactly.
   const pricing::InstanceType type = tiny_type();
   theory::SingleInstanceModel model;
   model.type = type;
@@ -101,7 +101,7 @@ TEST(SimVsTheory, AllActiveBillingDiffersByTheDocumentedHour) {
   selling::FixedSpotSelling seller(type, 0.75, 0.8);
   const sim::SimulationResult run = sim::simulate(trace, stream, seller, config);
   EXPECT_EQ(run.instances_sold, 1);
-  EXPECT_NEAR(run.net_cost(), model.online_cost(idle, 0.75) + type.reserved_hourly, 1e-9);
+  EXPECT_NEAR(run.net_cost(), model.online_cost(idle, 0.75), 1e-9);
 }
 
 // ---------------------------------------------------------------------
@@ -221,14 +221,11 @@ TEST(BruteForceOptimum, SingleReservationPlannerIsExactOnItsGrid) {
     const Dollars exact = brute_force_fleet_optimum(trace, stream, config, all_hours);
     const Dollars planner =
         sim::simulate_offline_optimal(trace, stream, config).net_cost();
-    // The planner's analytic objective treats the sale hour as already
-    // sold (bills [0, sell), sends its demand on-demand) while the
-    // simulator still holds the instance through that hour (bills it,
-    // serves its demand reserved) — a per-hour objective skew of at most
-    // one hour of on-demand cost.  The chosen hour can therefore be up to
-    // one such hour worse than the exact replayed optimum, never better.
-    EXPECT_GE(planner, exact - 1e-9) << "trial " << trial;
-    EXPECT_LE(planner, exact + config.type.on_demand_hourly + 1e-9) << "trial " << trial;
+    // The planner's analytic objective and the simulator now share the
+    // same sale semantics — a sale settles at the decision spot, bills
+    // [0, sell) and sends the spot hour's demand on-demand — so with one
+    // reservation the planner's grid scan is exact, not just near-optimal.
+    EXPECT_NEAR(planner, exact, 1e-9) << "trial " << trial;
   }
 }
 

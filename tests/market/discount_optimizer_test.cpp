@@ -52,16 +52,20 @@ TEST(DiscountOptimizer, LateReservationsEarnLess) {
   EXPECT_GT(early.expected_income, late.expected_income);
 }
 
-TEST(IncomeModel, AdapterMatchesResponseModel) {
+TEST(IncomeModel, AdapterMatchesResponseModelGross) {
+  // The adapter returns gross income: the simulator applies the service fee
+  // uniformly on top, so the model's own fee parameter stays zero.
   const DiscountResponseModel model = make_model();
-  const auto income = make_income_model(model, 0.12);
+  const auto income = make_income_model(model);
   for (const Hour age : {Hour{100}, Hour{2190}, Hour{6570}}) {
-    EXPECT_NEAR(income(d2(), age, 0.8), model.expected_income(age, 0.8, 0.12), 1e-9);
+    EXPECT_NEAR(income(d2(), age, 0.8), model.expected_income(age, 0.8, 0.0), 1e-9);
   }
 }
 
-TEST(IncomeModel, NetOfFeeBelowInstantGrossSale) {
-  const auto income = make_income_model(make_model(), 0.12);
+TEST(IncomeModel, GrossBelowInstantGrossSale) {
+  // Fill latency erodes pro-rated value, so even before fees the response
+  // model earns less than the paper's instant a*rp*R sale.
+  const auto income = make_income_model(make_model());
   const Hour age = 2190;
   EXPECT_LT(income(d2(), age, 0.8), d2().sale_income(age, 0.8));
 }

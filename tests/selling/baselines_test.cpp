@@ -17,7 +17,7 @@ TEST(KeepReserved, NeverSells) {
   ledger.reserve(0);
   KeepReservedPolicy policy;
   for (Hour t = 0; t < kHoursPerYear; t += 500) {
-    EXPECT_TRUE(policy.decide(t, ledger).empty());
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty());
   }
   EXPECT_EQ(policy.name(), "keep-reserved");
 }
@@ -31,7 +31,7 @@ TEST(AllSelling, SellsEveryDueReservation) {
     ledger.assign(t, 2);
   }
   AllSellingPolicy policy(d2(), 0.75);
-  const auto decision = policy.decide(6570, ledger);
+  const auto decision = decide_once(policy, 6570, ledger);
   ASSERT_EQ(decision.size(), 2u);
   EXPECT_EQ(decision[0], a);
   EXPECT_EQ(decision[1], b);
@@ -41,8 +41,8 @@ TEST(AllSelling, NothingDueNothingSold) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   AllSellingPolicy policy(d2(), 0.5);
-  EXPECT_TRUE(policy.decide(100, ledger).empty());
-  EXPECT_TRUE(policy.decide(4379, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 100, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 4379, ledger).empty());
 }
 
 TEST(AllSelling, NameEncodesSpot) {
@@ -54,8 +54,8 @@ TEST(PlannedSelling, SellsAtPlannedHourOnly) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   const fleet::ReservationId id = ledger.reserve(0);
   PlannedSellingPolicy policy({{id, 1234}});
-  EXPECT_TRUE(policy.decide(1233, ledger).empty());
-  const auto decision = policy.decide(1234, ledger);
+  EXPECT_TRUE(decide_once(policy, 1233, ledger).empty());
+  const auto decision = decide_once(policy, 1234, ledger);
   ASSERT_EQ(decision.size(), 1u);
   EXPECT_EQ(decision[0], id);
 }
@@ -65,14 +65,14 @@ TEST(PlannedSelling, SkipsAlreadyInactive) {
   const fleet::ReservationId id = ledger.reserve(0);
   ledger.sell(id, 100);
   PlannedSellingPolicy policy({{id, 200}});
-  EXPECT_TRUE(policy.decide(200, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 200, ledger).empty());
 }
 
 TEST(PlannedSelling, EmptyPlanKeepsEverything) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   PlannedSellingPolicy policy({});
-  EXPECT_TRUE(policy.decide(0, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 0, ledger).empty());
   EXPECT_EQ(policy.name(), "offline-optimal");
 }
 
@@ -81,7 +81,7 @@ TEST(PlannedSelling, MultipleSalesSameHour) {
   const fleet::ReservationId a = ledger.reserve(0);
   const fleet::ReservationId b = ledger.reserve(0);
   PlannedSellingPolicy policy({{a, 50}, {b, 50}});
-  const auto decision = policy.decide(50, ledger);
+  const auto decision = decide_once(policy, 50, ledger);
   EXPECT_EQ(decision.size(), 2u);
 }
 

@@ -31,7 +31,7 @@ TEST(ContinuousSelling, IdleReservationSoldAtWindowStartPlusConfirmation) {
   ContinuousSelling policy(d2(), 0.8, options);
   Hour sold_at = -1;
   for (Hour t = 0; t <= 3000 && sold_at < 0; ++t) {
-    const auto decision = policy.decide(t, ledger);
+    const auto decision = decide_once(policy, t, ledger);
     if (!decision.empty()) {
       EXPECT_EQ(decision[0], id);
       sold_at = t;
@@ -47,7 +47,7 @@ TEST(ContinuousSelling, BusyReservationNeverSold) {
   ContinuousSelling policy(d2(), 0.8);
   for (Hour t = 0; t < kHoursPerYear; ++t) {
     ledger.assign(t, 1);
-    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
   }
 }
 
@@ -65,7 +65,7 @@ TEST(ContinuousSelling, StreakResetsWhenUtilizationRecovers) {
   for (Hour t = 0; t < 6000; ++t) {
     const bool work_now = static_cast<double>(worked) < policy.break_even_at_age(t) + 2.0;
     worked += ledger.assign(t, work_now ? 1 : 0).served_by_reserved;
-    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
   }
 }
 
@@ -90,8 +90,8 @@ TEST(ContinuousSelling, DegeneratesToFixedSpot) {
         const Count demand = t < busy_prefix ? 1 : 0;
         continuous_ledger.assign(t, demand);
         fixed_ledger.assign(t, demand);
-        continuous_sold |= !continuous.decide(t, continuous_ledger).empty();
-        fixed_sold |= !fixed.decide(t, fixed_ledger).empty();
+        continuous_sold |= !decide_once(continuous, t, continuous_ledger).empty();
+        fixed_sold |= !decide_once(fixed, t, fixed_ledger).empty();
       }
       EXPECT_EQ(continuous_sold, fixed_sold)
           << "f=" << fraction << " busy=" << busy_prefix;
@@ -108,7 +108,7 @@ TEST(ContinuousSelling, RespectsWindowEnd) {
   options.confirmation_hours = 10000;  // can never confirm inside the window
   ContinuousSelling policy(d2(), 0.8, options);
   for (Hour t = 0; t < kHoursPerYear; ++t) {
-    EXPECT_TRUE(policy.decide(t, ledger).empty());
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty());
   }
 }
 
@@ -120,7 +120,7 @@ TEST(ContinuousSelling, EachReservationTrackedIndependently) {
   std::vector<fleet::ReservationId> sold;
   for (Hour t = 0; t < 4000 && sold.empty(); ++t) {
     ledger.assign(t, 1);  // least-remaining first: `busy` serves
-    sold = policy.decide(t, ledger);
+    sold = decide_once(policy, t, ledger);
   }
   ASSERT_EQ(sold.size(), 1u);
   EXPECT_EQ(sold[0], idle);

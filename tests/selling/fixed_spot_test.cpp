@@ -57,9 +57,9 @@ TEST(FixedSpot, SellsIdleReservationAtTheSpot) {
   FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
   // No demand ever assigned: worked_hours = 0 < beta.
   for (Hour t = 0; t < 6570; ++t) {
-    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
   }
-  const auto decision = policy.decide(6570, ledger);
+  const auto decision = decide_once(policy, 6570, ledger);
   ASSERT_EQ(decision.size(), 1u);
   EXPECT_EQ(decision[0], id);
 }
@@ -71,7 +71,7 @@ TEST(FixedSpot, KeepsBusyReservationAtTheSpot) {
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, 1);  // always busy
   }
-  EXPECT_TRUE(policy.decide(6570, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 6570, ledger).empty());
 }
 
 TEST(FixedSpot, BoundaryUtilizationJustBelowBetaSells) {
@@ -83,7 +83,7 @@ TEST(FixedSpot, BoundaryUtilizationJustBelowBetaSells) {
     ledger.assign(t, t < beta_floor ? 1 : 0);
   }
   // worked = floor(beta) < beta (beta is not an integer for these prices).
-  const auto decision = policy.decide(6570, ledger);
+  const auto decision = decide_once(policy, 6570, ledger);
   EXPECT_EQ(decision.size(), 1u);
 }
 
@@ -95,7 +95,7 @@ TEST(FixedSpot, BoundaryUtilizationJustAboveBetaKeeps) {
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, t < beta_ceil ? 1 : 0);
   }
-  EXPECT_TRUE(policy.decide(6570, ledger).empty());
+  EXPECT_TRUE(decide_once(policy, 6570, ledger).empty());
 }
 
 TEST(FixedSpot, MultipleReservationsDecidedIndependently) {
@@ -106,7 +106,7 @@ TEST(FixedSpot, MultipleReservationsDecidedIndependently) {
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, 1);  // one unit: the first (least remaining) works
   }
-  const auto decision = policy.decide(6570, ledger);
+  const auto decision = decide_once(policy, 6570, ledger);
   ASSERT_EQ(decision.size(), 1u);
   EXPECT_EQ(decision[0], idle);
   EXPECT_NE(decision[0], busy);
@@ -118,13 +118,13 @@ TEST(FixedSpot, LaterCohortDecidedAtItsOwnSpot) {
   const fleet::ReservationId late = ledger.reserve(100);
   FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
   // First cohort decision at 6570 sells reservation 0 (idle).
-  auto first = policy.decide(6570, ledger);
+  auto first = decide_once(policy, 6570, ledger);
   ASSERT_EQ(first.size(), 1u);
   for (const auto id : first) {
     ledger.sell(id, 6570);
   }
   // Second cohort at 6670.
-  const auto second = policy.decide(6670, ledger);
+  const auto second = decide_once(policy, 6670, ledger);
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0], late);
 }

@@ -20,7 +20,7 @@ TEST(RandomizedSpot, IdleReservationSoldAtSomePaperSpot) {
   RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 5);
   std::vector<fleet::ReservationId> sold;
   for (Hour t = 0; t <= 6570 && sold.empty(); ++t) {
-    sold = policy.decide(t, ledger);
+    sold = decide_once(policy, t, ledger);
     if (!sold.empty()) {
       // Decision must land on one of the three paper spots.
       EXPECT_TRUE(t == 2190 || t == 4380 || t == 6570) << t;
@@ -35,7 +35,7 @@ TEST(RandomizedSpot, BusyReservationNeverSold) {
   RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 6);
   for (Hour t = 0; t < kHoursPerYear; ++t) {
     ledger.assign(t, 1);
-    EXPECT_TRUE(policy.decide(t, ledger).empty()) << t;
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
   }
 }
 
@@ -48,7 +48,7 @@ TEST(RandomizedSpot, SpotChoiceVariesAcrossReservations) {
   RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 7);
   std::set<Hour> sale_hours;
   for (Hour t = 0; t <= 6570; ++t) {
-    for (const fleet::ReservationId id : policy.decide(t, ledger)) {
+    for (const fleet::ReservationId id : decide_once(policy, t, ledger)) {
       sale_hours.insert(t);
       ledger.sell(id, t);
     }
@@ -65,7 +65,7 @@ TEST(RandomizedSpot, DeterministicPerSeed) {
     RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, seed);
     std::vector<Hour> sales;
     for (Hour t = 0; t <= 6570; ++t) {
-      for (const fleet::ReservationId id : policy.decide(t, ledger)) {
+      for (const fleet::ReservationId id : decide_once(policy, t, ledger)) {
         sales.push_back(t);
         ledger.sell(id, t);
       }
@@ -84,9 +84,9 @@ TEST(RandomizedSpot, WeightedAllMassOnOneSpotIsDeterministic) {
   // All probability on T/2: every idle reservation must sell at 4380.
   RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpotT2, kSpot3T4}, {0.0, 1.0, 0.0}, 9);
   for (Hour t = 0; t < 4380; ++t) {
-    EXPECT_TRUE(policy.decide(t, ledger).empty());
+    EXPECT_TRUE(decide_once(policy, t, ledger).empty());
   }
-  EXPECT_EQ(policy.decide(4380, ledger).size(), 5u);
+  EXPECT_EQ(decide_once(policy, 4380, ledger).size(), 5u);
 }
 
 TEST(RandomizedSpot, WeightsBiasTheDraw) {
@@ -96,7 +96,7 @@ TEST(RandomizedSpot, WeightsBiasTheDraw) {
     ledger.reserve(0);
   }
   RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {0.9, 0.1}, 10);
-  const auto early = policy.decide(2190, ledger);
+  const auto early = decide_once(policy, 2190, ledger);
   EXPECT_GT(early.size(), 70u);
   EXPECT_LT(early.size(), 100u);
 }
@@ -106,7 +106,7 @@ TEST(RandomizedSpot, WeightsNeedNotBeNormalized) {
   ledger.reserve(0);
   // Weights {2, 0} normalize to {1, 0}.
   RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {2.0, 0.0}, 11);
-  EXPECT_EQ(policy.decide(2190, ledger).size(), 1u);
+  EXPECT_EQ(decide_once(policy, 2190, ledger).size(), 1u);
 }
 
 TEST(RandomizedSpot, SingleFractionBehavesLikeFixedSpot) {
@@ -117,8 +117,8 @@ TEST(RandomizedSpot, SingleFractionBehavesLikeFixedSpot) {
   RandomizedSpotSelling random_policy(d2(), 0.8, {0.5}, 3);
   FixedSpotSelling fixed_policy = make_a_t2(d2(), 0.8);
   for (Hour t = 0; t <= 4380; ++t) {
-    const auto random_sells = random_policy.decide(t, ledger_random);
-    const auto fixed_sells = fixed_policy.decide(t, ledger_fixed);
+    const auto random_sells = decide_once(random_policy, t, ledger_random);
+    const auto fixed_sells = decide_once(fixed_policy, t, ledger_fixed);
     EXPECT_EQ(random_sells.size(), fixed_sells.size()) << t;
   }
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "purchasing/all_reserved.hpp"
 #include "selling/baselines.hpp"
 #include "selling/fixed_spot.hpp"
@@ -67,12 +69,13 @@ TEST(Simulate, SellingIdleReservationCreditsIncome) {
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, a34, tiny_config());
-  // Worked 10h < beta 16h -> sold at age 30.  Billed active hours 0..30,
-  // income = 0.8 * (10/40) * 20 = 4.
+  // Worked 10h < beta 16h -> sold at age 30.  The sale settles before hour
+  // 30's accounting (Eq. (1): s_t removes the instance from r_t), so billed
+  // active hours are 0..29; income = 0.8 * (10/40) * 20 = 4.
   EXPECT_EQ(result.instances_sold, 1);
   EXPECT_NEAR(result.totals.sale_income, 4.0, 1e-12);
-  EXPECT_NEAR(result.totals.reserved_hourly, 31 * 0.25, 1e-12);
-  EXPECT_NEAR(result.net_cost(), 20.0 + 7.75 - 4.0, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly, 30 * 0.25, 1e-12);
+  EXPECT_NEAR(result.net_cost(), 20.0 + 7.5 - 4.0, 1e-12);
 }
 
 TEST(Simulate, SellingBeatsKeepingForIdleReservation) {
@@ -208,6 +211,58 @@ TEST(Simulate, CustomIncomeModelOverridesInstantSale) {
       simulate(front_loaded_trace(), stream, a34, config);
   EXPECT_EQ(result.instances_sold, 1);
   EXPECT_NEAR(result.totals.sale_income, 1.25, 1e-12);
+}
+
+TEST(Simulate, SameHourSaleExcludedFromHourlyEqOne) {
+  // Regression for the same-hour sale accounting bug: Eq. (1)'s s_t removes
+  // the instance at the decision spot, so hour t's r_t must not bill it.
+  // Hand-computed schedule (tiny type: p=1, R=20, alpha=0.25, T=40; demand
+  // 1 on hours 0..9; A_{3T/4} decides at age 30, worked 10h < beta 16h):
+  //   hour 0:      R + alpha*p       = 20.25
+  //   hours 1..29: alpha*p           =  0.25   (active, some idle)
+  //   hour 30:     sale settles first: r_30 = 0, income 0.8*(10/40)*20 = 4
+  //   hours 31+:   nothing
+  SimulationConfig config = tiny_config();
+  config.keep_hourly_series = true;
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
+  ASSERT_EQ(result.hourly.size(), 40u);
+  EXPECT_NEAR(result.hourly[0].net(), 20.25, 1e-12);
+  for (std::size_t t = 1; t < 30; ++t) {
+    EXPECT_NEAR(result.hourly[t].net(), 0.25, 1e-12) << "t=" << t;
+  }
+  EXPECT_DOUBLE_EQ(result.hourly[30].reserved_hourly, 0.0);
+  EXPECT_NEAR(result.hourly[30].sale_income, 4.0, 1e-12);
+  EXPECT_NEAR(result.hourly[30].net(), -4.0, 1e-12);
+  for (std::size_t t = 31; t < 40; ++t) {
+    EXPECT_DOUBLE_EQ(result.hourly[t].net(), 0.0) << "t=" << t;
+  }
+}
+
+TEST(Simulate, ServiceFeeAppliesToCustomIncomeModel) {
+  // The fee must hit both income paths uniformly: custom models return
+  // gross income and the simulator nets it, same as the instant-sale path.
+  SimulationConfig config = tiny_config();
+  config.service_fee = 0.12;
+  config.income_model = [](const pricing::InstanceType&, Hour, double) { return 1.25; };
+  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  const ReservationStream stream(std::vector<Count>{1});
+  const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
+  EXPECT_EQ(result.instances_sold, 1);
+  EXPECT_NEAR(result.totals.sale_income, 1.25 * 0.88, 1e-12);
+}
+
+TEST(ReservationStream, GenerateRejectsNonPositiveTerm) {
+  purchasing::AllReservedPolicy purchaser;
+  EXPECT_DEATH(ReservationStream::generate(front_loaded_trace(), purchaser, 40, 0),
+               "precondition failed");
+}
+
+TEST(ReservationStream, TotalAbortsOnOverflow) {
+  const Count huge = std::numeric_limits<Count>::max();
+  const ReservationStream stream(std::vector<Count>{huge, huge});
+  EXPECT_DEATH(stream.total(), "overflows");
 }
 
 TEST(SimulateClosedLoop, PurchaserReactsToSales) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_perf --smoke reports.
+
+Compares a freshly generated BENCH_perf.json against the committed
+baseline and fails (exit 1) when the hot path regressed.  The gated
+number is ``speedup_vs_naive`` — the optimized/naive ratio measured on
+the *same* machine in the same run — so the gate is hardware-independent:
+absolute ns/hour numbers in the report are informational only.
+
+Checks, in order:
+  1. the report is well-formed and ``results_identical`` is true
+     (the two ledger engines produced byte-identical simulations);
+  2. ``steady_state_allocs_per_hour`` is exactly 0 (the hot loop stayed
+     allocation-free);
+  3. ``speedup_vs_naive`` >= --min-speedup (absolute floor, default 5x,
+     the optimization's acceptance criterion);
+  4. ``speedup_vs_naive`` >= baseline * (1 - --tolerance) (default 25%
+     relative regression budget vs the committed baseline).
+
+Usage:
+  tools/bench_check.py --baseline bench/BENCH_perf.baseline.json \
+                       --new build/BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_report(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_check: cannot read {path}: {error}")
+    if not isinstance(data, dict):
+        sys.exit(f"bench_check: {path} is not a JSON object")
+    for key in ("speedup_vs_naive", "results_identical", "steady_state_allocs_per_hour"):
+        if key not in data:
+            sys.exit(f"bench_check: {path} is missing required key '{key}'")
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_perf baseline JSON")
+    parser.add_argument("--new", type=Path, required=True, dest="new_report",
+                        help="freshly generated BENCH_perf.json")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="absolute speedup floor (default: 5.0)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression vs baseline (default: 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    new = load_report(args.new_report)
+
+    failures = []
+    if new["results_identical"] is not True:
+        failures.append("ledger engines diverged (results_identical is false)")
+    if new["steady_state_allocs_per_hour"] != 0:
+        failures.append(
+            f"hot loop allocates: {new['steady_state_allocs_per_hour']} allocs/hour"
+        )
+    speedup = float(new["speedup_vs_naive"])
+    if speedup < args.min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x is below the {args.min_speedup:.1f}x floor"
+        )
+    floor = float(baseline["speedup_vs_naive"]) * (1.0 - args.tolerance)
+    if speedup < floor:
+        failures.append(
+            f"speedup {speedup:.2f}x regressed more than {args.tolerance:.0%} vs the "
+            f"baseline {float(baseline['speedup_vs_naive']):.2f}x (floor {floor:.2f}x)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"bench_check: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench_check: OK: speedup {speedup:.2f}x "
+        f"(baseline {float(baseline['speedup_vs_naive']):.2f}x, "
+        f"floor {max(args.min_speedup, floor):.2f}x), hot loop allocation-free"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

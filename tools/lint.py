@@ -16,6 +16,9 @@ tooling leaves open:
                    randomness is seeded and reproducible via common::Rng
   contract-guard   public mutating APIs in sim/, selling/, purchasing/ must
                    assert their contract (RIMARKET_EXPECTS/ENSURES/CHECK)
+  hot-loop-alloc   no std::vector construction inside decide()/assign()
+                   implementations in src/ — the per-hour hot loop is pinned
+                   at zero steady-state allocations (see bench_perf --smoke)
   pragma-once      every header opens with #pragma once (before any code)
 
 Findings can be suppressed inline with a justification:
@@ -340,6 +343,73 @@ def check_contract_guard(path: str, text: str) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# Rule: hot-loop-alloc
+
+_HOT_LOOP_NAMES = {"decide", "assign"}
+
+
+def _vector_constructions(body: str) -> List[int]:
+    """Character offsets (into `body`) of by-value std::vector declarations."""
+    offsets = []
+    for m in re.finditer(r"\bstd::vector\s*", body):
+        open_angle = m.end()
+        if open_angle >= len(body) or body[open_angle] != "<":
+            continue
+        close_angle = _match_bracket(body, open_angle, "<", ">")
+        rest = body[close_angle:].lstrip()
+        # `std::vector<T> name` constructs; `std::vector<T>&`/`*` only refers.
+        if rest and (rest[0].isalpha() or rest[0] == "_"):
+            offsets.append(m.start())
+    return offsets
+
+
+def check_hot_loop_alloc(path: str, text: str) -> List[Finding]:
+    """No std::vector construction inside decide()/assign() implementations.
+
+    These two functions are the per-hour hot loop of every simulation (the
+    selling policy's decision pass and the ledger's demand assignment);
+    the perf harness pins them at zero steady-state allocations.  Scratch
+    space belongs in a member buffer or a caller-provided out-param.
+    """
+    if not (path.startswith("src/") and path.endswith(".cpp")):
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "hot-loop-alloc")
+    stripped = strip_comments_and_strings(text)
+    findings: List[Finding] = []
+    candidate = re.compile(
+        r"^(?!#)(?![ \t])([A-Za-z_][\w:&<>,*\s]*?)\b([A-Za-z_][\w:]*)\s*\(", re.MULTILINE
+    )
+    for m in candidate.finditer(stripped):
+        paren_open = m.end() - 1
+        name_start = paren_open
+        while name_start > 0 and (stripped[name_start - 1].isalnum()
+                                  or stripped[name_start - 1] in "_:~"):
+            name_start -= 1
+        name = stripped[name_start:paren_open].strip()
+        if name.rsplit("::", 1)[-1] not in _HOT_LOOP_NAMES:
+            continue
+        paren_close = _match_bracket(stripped, paren_open, "(", ")")
+        tail_match = re.match(r"[\s\w:\(\),<>&\*]*?([;{])", stripped[paren_close:])
+        if tail_match is None or tail_match.group(1) == ";":
+            continue  # declaration only
+        body_open = paren_close + tail_match.start(1)
+        body_close = _match_bracket(stripped, body_open, "{", "}")
+        body = stripped[body_open:body_close]
+        for offset in _vector_constructions(body):
+            lineno = stripped.count("\n", 0, body_open + offset) + 1
+            if suppressed(lineno, allowed):
+                continue
+            findings.append(
+                Finding(path, lineno, "hot-loop-alloc",
+                        f"std::vector constructed inside hot-loop function `{name}`; "
+                        "use a member scratch buffer or caller-provided out-param "
+                        "(or justify with `// lint-allow(hot-loop-alloc): <reason>`)")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Rule: pragma-once
 
 
@@ -368,6 +438,7 @@ RULES: dict = {
     "raw-thread": check_raw_thread,
     "rng-discipline": check_rng_discipline,
     "contract-guard": check_contract_guard,
+    "hot-loop-alloc": check_hot_loop_alloc,
     "pragma-once": check_pragma_once,
 }
 
@@ -464,6 +535,27 @@ FIXTURES = [
      "void advance(Ledger& ledger) {\n  ledger.step();\n}\n", 0),
     ("outside the audited dirs passes", "contract-guard", "src/common/a.cpp",
      "int Pool::take(int n) {\n  return n;\n}\n", 0),
+
+    ("vector constructed in decide flagged", "hot-loop-alloc", "src/selling/a.cpp",
+     "void Policy::decide(int now, Ledger& ledger, std::vector<int>& to_sell) {\n"
+     "  std::vector<int> tmp;\n"
+     "  to_sell.clear();\n}\n", 1),
+    ("nested template vector in assign flagged", "hot-loop-alloc", "src/fleet/a.cpp",
+     "Result Ledger::assign(int t, int demand) {\n"
+     "  std::vector<std::pair<int, int>> scratch;\n  return {};\n}\n", 1),
+    ("reference param and reuse pass", "hot-loop-alloc", "src/selling/a.cpp",
+     "void Policy::decide(int now, Ledger& ledger, std::vector<int>& to_sell) {\n"
+     "  to_sell.clear();\n}\n", 0),
+    ("vector in non-hot function passes", "hot-loop-alloc", "src/selling/a.cpp",
+     "std::vector<int> decide_once(Policy& p, int now) {\n"
+     "  std::vector<int> out;\n  return out;\n}\n", 0),
+    ("lint-allow suppresses with reason", "hot-loop-alloc", "src/selling/a.cpp",
+     "void Policy::decide(int now, Ledger& ledger, std::vector<int>& to_sell) {\n"
+     "  // lint-allow(hot-loop-alloc): cold path, runs once per term\n"
+     "  std::vector<int> tmp;\n}\n", 0),
+    ("outside src/ not scanned", "hot-loop-alloc", "tests/selling/a.cpp",
+     "void Policy::decide(int now, std::vector<int>& to_sell) {\n"
+     "  std::vector<int> tmp;\n}\n", 0),
 
     ("header without pragma once flagged", "pragma-once", "src/x/a.hpp",
      "#include <vector>\n", 1),
