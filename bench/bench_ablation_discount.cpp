@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
         bench::PaperEvaluation out;
         out.population = workload::UserPopulation::build(pop_spec);
         out.spec.sim.type = pricing::PricingCatalog::builtin().require(point.instance);
-        out.spec.sim.selling_discount = discount;
-        out.spec.sim.service_fee = fee;
+        out.spec.sim.selling_discount = Fraction{discount};
+        out.spec.sim.service_fee = Fraction{fee};
         out.spec.seed = point.seed;
-        out.spec.sellers = sim::paper_sellers(0.75);
+        out.spec.sellers = sim::paper_sellers(Fraction{0.75});
         out.results = sim::evaluate(out.population, out.spec);
         out.normalized = analysis::normalize_to_keep(out.results);
         return out;
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
       for (const auto kind :
            {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
         std::printf(" %12.4f",
-                    analysis::overall_average(evaluation.normalized, {kind, 0.75}));
+                    analysis::overall_average(evaluation.normalized, {kind, Fraction{0.75}}));
       }
       std::printf("\n");
     }
@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   const pricing::InstanceType m4 = pricing::PricingCatalog::builtin().require("m4.large");
   const market::DiscountResponseModel response(m4, market::ResponseModelConfig{});
   for (const double discount : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    std::printf("%-8.2f %16.1f %18.2f\n", discount, response.expected_fill_hours(discount),
-                response.expected_income(m4.term / 2, discount, 0.12));
+    std::printf("%-8.2f %16.1f %18.2f\n", discount, response.expected_fill_hours(Fraction{discount}),
+                response.expected_income(m4.term / 2, Fraction{discount}, Fraction{0.12}).value());
   }
   std::printf(
       "\nreading: lower a sells faster and loses less pro-ration but asks less; the\n"

@@ -34,21 +34,21 @@ int main(int argc, char** argv) {
 
   sim::EvaluationSpec spec;
   spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
-  spec.sim.selling_discount = options.selling_discount;
+  spec.sim.selling_discount = Fraction{options.selling_discount};
   spec.seed = options.seed;
   spec.sellers = {
-      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
-      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
-      sim::SellerSpec{sim::SellerKind::kForecastSelling, 0.75},
-      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
-      sim::SellerSpec{sim::SellerKind::kForecastSelling, 0.25},
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, Fraction{0.0}},
+      sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}},
+      sim::SellerSpec{sim::SellerKind::kForecastSelling, Fraction{0.75}},
+      sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}},
+      sim::SellerSpec{sim::SellerKind::kForecastSelling, Fraction{0.25}},
   };
   const auto results = sim::evaluate(population, spec);
   const auto normalized = analysis::normalize_to_keep(results);
 
   const sim::SellerSpec pairs[][2] = {
-      {{sim::SellerKind::kA3T4, 0.75}, {sim::SellerKind::kForecastSelling, 0.75}},
-      {{sim::SellerKind::kAT4, 0.25}, {sim::SellerKind::kForecastSelling, 0.25}},
+      {{sim::SellerKind::kA3T4, Fraction{0.75}}, {sim::SellerKind::kForecastSelling, Fraction{0.75}}},
+      {{sim::SellerKind::kAT4, Fraction{0.25}}, {sim::SellerKind::kForecastSelling, Fraction{0.25}}},
   };
   for (const auto& pair : pairs) {
     std::printf("--- decision spot %.2fT ---\n", pair[0].fraction);

@@ -55,17 +55,17 @@ int main(int argc, char** argv) {
        {fleet::ChargePolicy::kAllActiveHours, fleet::ChargePolicy::kWorkedHoursOnly}) {
     sim::EvaluationSpec spec;
     spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
-    spec.sim.selling_discount = options.selling_discount;
+    spec.sim.selling_discount = Fraction{options.selling_discount};
     spec.sim.charge_policy = policy;
     spec.seed = options.seed;
-    spec.sellers = sim::paper_sellers(0.75);
+    spec.sellers = sim::paper_sellers(Fraction{0.75});
     const auto normalized = analysis::normalize_to_keep(sim::evaluate(population, spec));
     std::printf("%-22s",
                 policy == fleet::ChargePolicy::kAllActiveHours ? "Eq.(1) all-active"
                                                                : "analysis worked-only");
     for (const auto kind :
          {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
-      std::printf(" %12.4f", overall(normalized, {kind, 0.75}));
+      std::printf(" %12.4f", overall(normalized, {kind, Fraction{0.75}}));
     }
     std::printf("\n");
   }
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %14s %14s\n", "mode", "mean cost ($)", "vs keep");
   sim::SimulationConfig config;
   config.type = pricing::PricingCatalog::builtin().require(options.instance);
-  config.selling_discount = options.selling_discount;
+  config.selling_discount = Fraction{options.selling_discount};
   double open_total = 0.0;
   double closed_total = 0.0;
   double keep_total = 0.0;
@@ -88,15 +88,18 @@ int main(int argc, char** argv) {
     const auto stream = sim::ReservationStream::generate(
         user.trace, *purchaser, user.trace.length(), config.type.term);
     selling::KeepReservedPolicy keep;
-    keep_total += sim::simulate(user.trace, stream, keep, config).net_cost();
-    selling::FixedSpotSelling open_seller(config.type, 0.75, options.selling_discount);
-    open_total += sim::simulate(user.trace, stream, open_seller, config).net_cost();
+    keep_total += sim::simulate(user.trace, stream, keep, config).net_cost().value();
+    selling::FixedSpotSelling open_seller(config.type, Fraction{0.75},
+                                          Fraction{options.selling_discount});
+    open_total += sim::simulate(user.trace, stream, open_seller, config).net_cost().value();
     const auto closed_purchaser =
         purchasing::make_purchaser(purchasing::PurchaserKind::kAllReserved, config.type, 1);
-    selling::FixedSpotSelling closed_seller(config.type, 0.75, options.selling_discount);
+    selling::FixedSpotSelling closed_seller(config.type, Fraction{0.75},
+                                            Fraction{options.selling_discount});
     closed_total +=
         sim::simulate_closed_loop(user.trace, *closed_purchaser, closed_seller, config)
-            .net_cost();
+            .net_cost()
+            .value();
   }
   const auto users = static_cast<double>(population.size());
   std::printf("%-14s %14.2f %14.4f\n", "keep", keep_total / users, 1.0);
@@ -109,18 +112,18 @@ int main(int argc, char** argv) {
   std::printf("\n3) randomized decision spot (future-work extension):\n");
   sim::EvaluationSpec spec;
   spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
-  spec.sim.selling_discount = options.selling_discount;
+  spec.sim.selling_discount = Fraction{options.selling_discount};
   spec.seed = options.seed;
-  spec.sellers = sim::paper_sellers(0.75);
-  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kRandomizedSpot, 0.5});
-  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kContinuousSpot, 0.5});
+  spec.sellers = sim::paper_sellers(Fraction{0.75});
+  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kRandomizedSpot, Fraction{0.5}});
+  spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kContinuousSpot, Fraction{0.5}});
   const auto normalized = analysis::normalize_to_keep(sim::evaluate(population, spec));
   std::printf("%-18s %12s %12s %12s\n", "policy", "mean", "%saving", "worst");
   for (const sim::SellerSpec seller :
-       {sim::SellerSpec{sim::SellerKind::kA3T4, 0.75}, sim::SellerSpec{sim::SellerKind::kAT2, 0.5},
-        sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
-        sim::SellerSpec{sim::SellerKind::kRandomizedSpot, 0.5},
-        sim::SellerSpec{sim::SellerKind::kContinuousSpot, 0.5}}) {
+       {sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}}, sim::SellerSpec{sim::SellerKind::kAT2, Fraction{0.5}},
+        sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}},
+        sim::SellerSpec{sim::SellerKind::kRandomizedSpot, Fraction{0.5}},
+        sim::SellerSpec{sim::SellerKind::kContinuousSpot, Fraction{0.5}}}) {
     const auto sample = analysis::per_user_ratios(normalized, seller);
     const auto summary = analysis::summarize_ratios(sample);
     std::printf("%-18s %12.4f %11.1f%% %12.4f\n", sim::seller_name(seller).c_str(),
@@ -133,23 +136,23 @@ int main(int argc, char** argv) {
   {
     sim::EvaluationSpec base;
     base.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
-    base.sim.selling_discount = options.selling_discount;
+    base.sim.selling_discount = Fraction{options.selling_discount};
     base.seed = options.seed;
-    base.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
-                    sim::SellerSpec{sim::SellerKind::kA3T4, 0.75}};
+    base.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, Fraction{0.0}},
+                    sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}}};
     const auto contract_normalized =
         analysis::normalize_to_keep(sim::evaluate(population, base));
     std::printf("%-34s %12.4f\n", "A_{3T/4} contract sales",
-                overall(contract_normalized, {sim::SellerKind::kA3T4, 0.75}));
+                overall(contract_normalized, {sim::SellerKind::kA3T4, Fraction{0.75}}));
     // Hour reselling: keep every contract, lease idle hours.  Lease rates
     // between alpha*p and p; probability models thin lessee demand.
     for (const double rate_fraction : {0.5, 0.8}) {
       for (const double probability : {0.3, 1.0}) {
         sim::EvaluationSpec resale = base;
         resale.sim.idle_resale_rate =
-            rate_fraction * base.sim.type.on_demand_hourly;
-        resale.sim.idle_resale_probability = probability;
-        resale.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0}};
+            base.sim.type.on_demand_hourly * rate_fraction;
+        resale.sim.idle_resale_probability = Fraction{probability};
+        resale.sellers = {sim::SellerSpec{sim::SellerKind::kKeepReserved, Fraction{0.0}}};
         // Ratio = resale keep-cost / plain keep-cost, per (user, purchaser).
         const auto plain = sim::evaluate(population, base);
         const auto leased = sim::evaluate(population, resale);
@@ -164,7 +167,7 @@ int main(int argc, char** argv) {
                   leased[j].purchaser != plain[i].purchaser)) {
             ++j;
           }
-          if (j < leased.size() && plain[i].net_cost > 0.0) {
+          if (j < leased.size() && plain[i].net_cost > Money{0.0}) {
             sum += leased[j].net_cost / plain[i].net_cost;
             ++count;
           }

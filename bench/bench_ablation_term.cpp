@@ -35,11 +35,12 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("%-12s %5lldy %8.3f %8.3f", type->name.c_str(),
-                static_cast<long long>(type->term / kHoursPerYear), type->alpha(),
+                static_cast<long long>(type->term / kHoursPerYear), type->alpha().value(),
                 type->theta());
     for (const double fraction : {0.75, 0.5, 0.25}) {
       const auto bound =
-          theory::competitive_bound(fraction, type->alpha(), options.selling_discount,
+          theory::competitive_bound(Fraction{fraction}, type->alpha(),
+                                    Fraction{options.selling_discount},
                                     std::max(4.0, type->theta()));
       std::printf(" %12.4f", bound.guaranteed);
     }
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
   spec.random_schedules = 4;
   int violations = 0;
   const auto results = theory::verify_catalog(
-      pricing::PricingCatalog::builtin_3year().types(), options.selling_discount, spec);
+      pricing::PricingCatalog::builtin_3year().types(), Fraction{options.selling_discount},
+      spec);
   for (const auto& result : results) {
     violations += result.holds() ? 0 : 1;
   }
@@ -78,14 +80,14 @@ int main(int argc, char** argv) {
 
     sim::EvaluationSpec eval;
     eval.sim.type = *type;
-    eval.sim.selling_discount = options.selling_discount;
+    eval.sim.selling_discount = Fraction{options.selling_discount};
     eval.seed = options.seed;
-    eval.sellers = sim::paper_sellers(0.75);
+    eval.sellers = sim::paper_sellers(Fraction{0.75});
     const auto normalized = analysis::normalize_to_keep(sim::evaluate(population, eval));
     std::printf("%4lldy ", static_cast<long long>(type->term / kHoursPerYear));
     for (const auto kind :
          {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
-      std::printf(" %12.4f", analysis::overall_average(normalized, {kind, 0.75}));
+      std::printf(" %12.4f", analysis::overall_average(normalized, {kind, Fraction{0.75}}));
     }
     std::printf("\n");
   }

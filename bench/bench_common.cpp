@@ -46,12 +46,12 @@ PaperEvaluation run_paper_evaluation(const BenchOptions& options) {
   evaluation.population = workload::UserPopulation::build(pop_spec);
 
   evaluation.spec.sim.type = pricing::PricingCatalog::builtin().require(options.instance);
-  evaluation.spec.sim.selling_discount = options.selling_discount;
+  evaluation.spec.sim.selling_discount = Fraction{options.selling_discount};
   evaluation.spec.sim.charge_policy = options.charge_policy;
   evaluation.spec.seed = options.seed;
   evaluation.spec.threads = options.threads;
   evaluation.spec.sellers = {
-      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, Fraction{0.0}},
       sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpot3T4},
       sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpotT2},
       sim::SellerSpec{sim::SellerKind::kAllSelling, selling::kSpotT4},

@@ -84,7 +84,7 @@ void BM_SimulateYear(benchmark::State& state) {
   sim::SimulationConfig config;
   config.type = d2();
   for (auto _ : state) {
-    selling::FixedSpotSelling seller(d2(), 0.75, 0.8);
+    selling::FixedSpotSelling seller(d2(), Fraction{0.75}, Fraction{0.8});
     benchmark::DoNotOptimize(sim::simulate(trace, stream, seller, config));
   }
   state.SetItemsProcessed(state.iterations() * trace.length());
@@ -108,7 +108,7 @@ BENCHMARK(BM_OfflinePlan);
 void BM_OptimalSale(benchmark::State& state) {
   theory::SingleInstanceModel model;
   model.type = d2();
-  model.selling_discount = 0.8;
+  model.selling_discount = Fraction{0.8};
   common::Rng rng(3);
   const theory::WorkSchedule schedule = theory::random_schedule(d2(), 0.4, rng);
   for (auto _ : state) {
@@ -182,8 +182,8 @@ SmokeWorkload make_smoke_workload(Count fleet, Hour hours, std::uint64_t seed) {
 sim::SimulationConfig smoke_config(fleet::LedgerEngine engine) {
   sim::SimulationConfig config;
   config.type = d2();
-  config.selling_discount = 0.8;
-  config.service_fee = 0.12;
+  config.selling_discount = Fraction{0.8};
+  config.service_fee = Fraction{0.12};
   config.ledger_engine = engine;
   return config;
 }
@@ -196,7 +196,7 @@ double run_engine_pass(const std::vector<SmokeWorkload>& workloads, fleet::Ledge
   results->clear();
   const auto begin = std::chrono::steady_clock::now();
   for (const SmokeWorkload& workload : workloads) {
-    selling::FixedSpotSelling seller(config.type, 0.75, 0.8);
+    selling::FixedSpotSelling seller(config.type, Fraction{0.75}, Fraction{0.8});
     results->push_back(sim::simulate(workload.trace, workload.stream, seller, config));
   }
   const auto end = std::chrono::steady_clock::now();
@@ -245,7 +245,7 @@ double steady_state_allocs_per_hour() {
     std::vector<Count> bookings(static_cast<std::size_t>(hours), 0);
     bookings[0] = 64;
     const sim::ReservationStream stream{std::move(bookings)};
-    selling::FixedSpotSelling seller(d2(), 0.75, 0.8);
+    selling::FixedSpotSelling seller(d2(), Fraction{0.75}, Fraction{0.8});
     const sim::SimulationConfig config = smoke_config(fleet::LedgerEngine::kOptimized);
     const std::uint64_t before = common::allocation_count();
     benchmark::DoNotOptimize(sim::simulate(trace, stream, seller, config));

@@ -38,11 +38,11 @@ std::vector<ScenarioCosts> group3_scenarios(const bench::PaperEvaluation& evalua
     entry.user_id = result.user_id;
     entry.purchaser = result.purchaser;
     if (result.seller.kind == sim::SellerKind::kKeepReserved) {
-      entry.keep = result.net_cost;
+      entry.keep = result.net_cost.value();
     }
     for (int k = 0; k < 3; ++k) {
       if (result.seller.kind == kAlgorithms[k]) {
-        entry.cost[k] = result.net_cost;
+        entry.cost[k] = result.net_cost.value();
       }
     }
   }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     std::printf("%-20s", purchasing::purchaser_name(purchaser).c_str());
     for (const auto kind :
          {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
-      std::printf(" %10.4f", analysis::overall_average(slice, {kind, 0.75}));
+      std::printf(" %10.4f", analysis::overall_average(slice, {kind, Fraction{0.75}}));
     }
     std::printf("\n");
   }

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("closed-form guarantees at a=%.2f (theta_max=4):\n", discount);
   std::printf("  %-10s %-22s %-14s\n", "spot", "primary (Props 1/2a/3a)", "secondary");
   for (const double fraction : {0.75, 0.5, 0.25}) {
-    const auto bound = theory::competitive_bound(fraction, 0.25, discount);
+    const auto bound = theory::competitive_bound(Fraction{fraction}, Fraction{0.25}, Fraction{discount});
     std::printf("  f=%-8.2f %-22.4f %-14.4f (alpha=0.25)\n", fraction, bound.primary,
                 bound.secondary);
   }
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   spec.epsilon_steps = static_cast<int>(cli.get_int("epsilon-steps", 24));
   spec.random_schedules = static_cast<int>(cli.get_int("random", 16));
   const auto results =
-      theory::verify_catalog(pricing::PricingCatalog::builtin().types(), discount, spec);
+      theory::verify_catalog(pricing::PricingCatalog::builtin().types(), Fraction{discount}, spec);
   std::printf("%s\n", analysis::render_bounds(results).c_str());
 
   int violations = 0;
@@ -59,9 +59,9 @@ int main(int argc, char** argv) {
   // improves the worst case.  Expected-cost ratios against the shared
   // [T/4, T]-windowed optimum (oblivious adversary):
   std::printf("randomized spot (uniform over {T/4, T/2, 3T/4}), d2.xlarge:\n");
-  const double spots[] = {0.25, 0.5, 0.75};
+  const Fraction spots[] = {Fraction{0.25}, Fraction{0.5}, Fraction{0.75}};
   const theory::RandomizedVerification randomized = theory::verify_randomized(
-      pricing::PricingCatalog::builtin().require("d2.xlarge"), discount, spots, spec);
+      pricing::PricingCatalog::builtin().require("d2.xlarge"), Fraction{discount}, spots, spec);
   std::printf("  worst deterministic member : %.4f\n", randomized.worst_deterministic);
   std::printf("  best deterministic member  : %.4f\n", randomized.best_deterministic);
   std::printf("  randomized expected ratio  : %.4f\n", randomized.randomized_max_ratio);
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   // Going further than the paper's speculation: the minimax mixture over
   // the three spots (theory::optimize_spot_distribution).
   const theory::SpotDistribution best = theory::optimize_spot_distribution(
-      pricing::PricingCatalog::builtin().require("d2.xlarge"), discount, spots, spec);
+      pricing::PricingCatalog::builtin().require("d2.xlarge"), Fraction{discount}, spots, spec);
   std::printf("  optimized mixture          : ratio %.4f with weights (%.3f, %.3f, %.3f)\n",
               best.minimax_ratio, best.weights[0], best.weights[1], best.weights[2]);
   bench::print_metrics_summary();

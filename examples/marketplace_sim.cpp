@@ -40,14 +40,14 @@ int main(int argc, char** argv) {
   // Ten sellers list half-used m4.large contracts at staggered discounts.
   std::map<market::ListingId, double> discount_of;
   std::printf("Listings (m4.large, half the term remaining, cap $%.2f):\n",
-              type.prorated_upfront(type.term / 2));
+              type.prorated_upfront(type.term / 2).value());
   for (int i = 0; i < 10; ++i) {
     const double discount = 0.5 + 0.05 * i;  // 0.50 .. 0.95
     const market::ListingId id =
-        marketplace.list(/*seller=*/i, /*elapsed=*/type.term / 2, discount);
+        marketplace.list(/*seller=*/i, /*elapsed=*/type.term / 2, Fraction{discount});
     discount_of[id] = discount;
     std::printf("  seller %d lists at a=%.2f -> ask $%.2f\n", i, discount,
-                type.sale_income(type.term / 2, discount));
+                type.sale_income(type.term / 2, Fraction{discount}).value());
   }
 
   std::printf("\nTrading for %lld hours (buyers ~ Poisson %.2f/h)...\n\n",
@@ -59,13 +59,13 @@ int main(int argc, char** argv) {
       std::printf("%6lld %7lld %10.2f %10.2f %10.2f %10.2f\n",
                   static_cast<long long>(sale.sold_at),
                   static_cast<long long>(sale.listing.seller),
-                  discount_of[sale.listing.id], sale.buyer_paid, sale.service_fee,
-                  sale.seller_proceeds);
+                  discount_of[sale.listing.id], sale.buyer_paid.value(),
+                  sale.service_fee.value(), sale.seller_proceeds.value());
     }
   }
   std::printf("\n%zu listings still resting in the book", marketplace.book().depth());
   if (const auto best = marketplace.book().best_ask()) {
-    std::printf(" (best ask $%.2f)", *best);
+    std::printf(" (best ask $%.2f)", best->value());
   }
   std::printf(".\n\n");
 
@@ -77,8 +77,9 @@ int main(int argc, char** argv) {
   std::printf("Modelled fill dynamics (queue-ahead approximation):\n");
   std::printf("%10s %18s %22s\n", "discount", "E[hours to fill]", "P[filled in 1 week]");
   for (const double discount : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
-    std::printf("%10.2f %18.1f %22.3f\n", discount, response.expected_fill_hours(discount),
-                response.fill_probability(discount, kHoursPerWeek));
+    std::printf("%10.2f %18.1f %22.3f\n", discount,
+                response.expected_fill_hours(Fraction{discount}),
+                response.fill_probability(Fraction{discount}, kHoursPerWeek));
   }
   return 0;
 }

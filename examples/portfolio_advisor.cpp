@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
 
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = discount;
+  config.selling_discount = Fraction{discount};
   config.horizon = horizon;
 
   // Clairvoyant plan for reference.
@@ -107,9 +107,9 @@ int main(int argc, char** argv) {
 
   common::TextTable table({"reservation", "booked@", "worked h", "A_{T/4}", "A_{T/2}",
                            "A_{3T/4}", "hindsight"});
-  const selling::FixedSpotSelling a_t4(type, 0.25, discount);
-  const selling::FixedSpotSelling a_t2(type, 0.50, discount);
-  const selling::FixedSpotSelling a_3t4(type, 0.75, discount);
+  const selling::FixedSpotSelling a_t4(type, Fraction{0.25}, Fraction{discount});
+  const selling::FixedSpotSelling a_t2(type, Fraction{0.50}, Fraction{discount});
+  const selling::FixedSpotSelling a_3t4(type, Fraction{0.75}, Fraction{discount});
   for (const fleet::Reservation& reservation : shadow.reservations) {
     // Utilization at each decision spot is conservatively approximated by
     // the final worked-hours count capped at the spot width (exact per-spot
@@ -134,14 +134,15 @@ int main(int argc, char** argv) {
 
   // Bottom line: cost of each policy on this portfolio.
   std::printf("\n%-14s %14s %10s\n", "policy", "cost ($)", "vs keep");
-  const double keep_cost = shadow.net_cost();
+  const double keep_cost = shadow.net_cost().value();
   std::printf("%-14s %14.2f %10.3f\n", "keep-reserved", keep_cost, 1.0);
   for (const double fraction : {0.25, 0.5, 0.75}) {
-    selling::FixedSpotSelling policy(type, fraction, discount);
-    const double cost = sim::simulate(trace, stream, policy, config).net_cost();
+    selling::FixedSpotSelling policy(type, Fraction{fraction}, Fraction{discount});
+    const double cost = sim::simulate(trace, stream, policy, config).net_cost().value();
     std::printf("%-14s %14.2f %10.3f\n", policy.name().c_str(), cost, cost / keep_cost);
   }
-  const double optimal_cost = sim::simulate_offline_optimal(trace, stream, config).net_cost();
+  const double optimal_cost =
+      sim::simulate_offline_optimal(trace, stream, config).net_cost().value();
   std::printf("%-14s %14.2f %10.3f\n", "hindsight-opt", optimal_cost,
               optimal_cost / keep_cost);
 
@@ -159,18 +160,18 @@ int main(int argc, char** argv) {
   portfolio.push_back({pricing::PricingCatalog::builtin().require("c4.xlarge"),
                        batch.generate(horizon, sibling_rng)});
   sim::PortfolioConfig portfolio_config;
-  portfolio_config.selling_discount = discount;
+  portfolio_config.selling_discount = Fraction{discount};
   portfolio_config.purchaser = purchasing::PurchaserKind::kAllReserved;  // conservative account
   portfolio_config.seed = seed;
   const std::vector<sim::SellerSpec> sellers = {
-      {sim::SellerKind::kAT4, 0.25},
-      {sim::SellerKind::kAT2, 0.50},
-      {sim::SellerKind::kA3T4, 0.75},
+      {sim::SellerKind::kAT4, Fraction{0.25}},
+      {sim::SellerKind::kAT2, Fraction{0.50}},
+      {sim::SellerKind::kA3T4, Fraction{0.75}},
   };
   std::printf("%-14s %14s %10s\n", "policy", "total ($)", "vs keep");
   for (const auto& row : sim::compare_sellers(portfolio, portfolio_config, sellers)) {
     std::printf("%-14s %14.2f %10.3f\n", sim::seller_name(row.seller).c_str(),
-                row.total_cost, row.ratio_to_keep);
+                row.total_cost.value(), row.ratio_to_keep);
   }
   return 0;
 }

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   // 1. Pricing: the paper's example instance.
   const pricing::InstanceType d2 = pricing::PricingCatalog::builtin().require("d2.xlarge");
   std::printf("Instance: %s  (R=$%.0f upfront, $%.2f/h on-demand, alpha=%.2f, theta=%.2f)\n",
-              d2.name.c_str(), d2.upfront, d2.on_demand_hourly, d2.alpha(), d2.theta());
+              d2.name.c_str(), d2.upfront.value(), d2.on_demand_hourly.value(),
+              d2.alpha().value(), d2.theta());
 
   // 2. A sparse workload: the instance is busy only `busy_fraction` of the
   //    time — the situation that motivates the marketplace.
@@ -50,27 +51,27 @@ int main(int argc, char** argv) {
   // 3. The per-decision view: break-even working hours at each spot.
   std::printf("%-10s %16s %18s\n", "algorithm", "decision hour", "break-even (hours)");
   for (const double fraction : {0.25, 0.5, 0.75}) {
-    const selling::FixedSpotSelling policy(d2, fraction, discount);
+    const selling::FixedSpotSelling policy(d2, Fraction{fraction}, Fraction{discount});
     std::printf("A_{%.2fT}   %16lld %18.1f\n", fraction,
                 static_cast<long long>(policy.decision_age_hours()),
-                policy.break_even_hours());
+                policy.break_even_hours().value());
   }
 
   // 4. Simulate one reserved instance under each policy for a full term.
   const sim::ReservationStream stream{std::vector<Count>{1}};
   sim::SimulationConfig config;
   config.type = d2;
-  config.selling_discount = discount;
+  config.selling_discount = Fraction{discount};
 
   selling::KeepReservedPolicy keep;
-  const double keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
+  const double keep_cost = sim::simulate(trace, stream, keep, config).net_cost().value();
   std::printf("\n%-12s %12s %10s %6s\n", "policy", "cost ($)", "vs keep", "sold?");
   std::printf("%-12s %12.2f %10s %6s\n", "keep", keep_cost, "1.000", "-");
   for (const double fraction : {0.75, 0.5, 0.25}) {
-    selling::FixedSpotSelling policy(d2, fraction, discount);
+    selling::FixedSpotSelling policy(d2, Fraction{fraction}, Fraction{discount});
     const sim::SimulationResult result = sim::simulate(trace, stream, policy, config);
-    std::printf("%-12s %12.2f %10.3f %6s\n", policy.name().c_str(), result.net_cost(),
-                result.net_cost() / keep_cost, result.instances_sold > 0 ? "yes" : "no");
+    std::printf("%-12s %12.2f %10.3f %6s\n", policy.name().c_str(), result.net_cost().value(),
+                result.net_cost().value() / keep_cost, result.instances_sold > 0 ? "yes" : "no");
   }
   std::printf(
       "\nA ratio below 1.000 means selling through the marketplace beats holding the"

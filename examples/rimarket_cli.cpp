@@ -42,8 +42,9 @@ int cmd_catalog(int argc, char** argv) {
     std::printf("name,on_demand,upfront,reserved,term,alpha,theta\n");
     for (const pricing::InstanceType& type : catalog.types()) {
       std::printf("%s,%.4f,%.2f,%.4f,%lld,%.4f,%.4f\n", type.name.c_str(),
-                  type.on_demand_hourly, type.upfront, type.reserved_hourly,
-                  static_cast<long long>(type.term), type.alpha(), type.theta());
+                  type.on_demand_hourly.value(), type.upfront.value(),
+                  type.reserved_hourly.value(), static_cast<long long>(type.term),
+                  type.alpha().value(), type.theta());
     }
     return 0;
   }
@@ -51,10 +52,23 @@ int cmd_catalog(int argc, char** argv) {
               "reserved/h", "alpha", "theta");
   for (const pricing::InstanceType& type : catalog.types()) {
     std::printf("%-14s %12.4f %10.0f %12.4f %8.3f %8.3f\n", type.name.c_str(),
-                type.on_demand_hourly, type.upfront, type.reserved_hourly, type.alpha(),
-                type.theta());
+                type.on_demand_hourly.value(), type.upfront.value(),
+                type.reserved_hourly.value(), type.alpha().value(), type.theta());
   }
   return 0;
+}
+
+// CLI flags are user data, not programmer state: validate the [0, 1] range
+// here with a usage-style diagnostic instead of tripping the Fraction
+// contract abort that guards library-internal call sites.
+std::optional<Fraction> parse_fraction_flag(const common::CliParser& cli, const char* flag,
+                                            double fallback) {
+  const double value = cli.get_double(flag, fallback);
+  if (!(value >= 0.0 && value <= 1.0)) {
+    std::fprintf(stderr, "--%s must be in [0, 1] (got %g)\n", flag, value);
+    return std::nullopt;
+  }
+  return Fraction{value};
 }
 
 int cmd_bounds(int argc, char** argv) {
@@ -71,24 +85,28 @@ int cmd_bounds(int argc, char** argv) {
     std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
     return 1;
   }
-  const double a = cli.get_double("discount", 0.8);
+  const auto a = parse_fraction_flag(cli, "discount", 0.8);
+  if (!a) {
+    return 1;
+  }
   std::printf("%s: alpha=%.3f theta=%.3f, selling discount a=%.2f\n", type->name.c_str(),
-              type->alpha(), type->theta(), a);
+              type->alpha().value(), type->theta(), a->value());
   std::printf("%-10s %12s %14s %14s %12s\n", "algorithm", "spot (h)", "beta (h)",
               "guarantee", "case");
   for (const double fraction : {0.75, 0.5, 0.25}) {
-    const auto bound = theory::competitive_bound(fraction, type->alpha(), a);
+    const auto bound =
+        theory::competitive_bound(Fraction{fraction}, type->alpha(), *a);
     std::printf("A_{%.2fT}  %12lld %14.1f %14.4f %12s\n", fraction,
                 static_cast<long long>(
                     static_cast<double>(type->term) * fraction),
-                type->break_even_hours(fraction, a), bound.guaranteed,
+                type->break_even_hours(Fraction{fraction}, *a).value(), bound.guaranteed,
                 bound.primary_dominates ? "primary" : "secondary");
   }
   if (cli.get_bool("verify", true)) {
     theory::VerificationSpec spec;
     std::vector<theory::VerificationResult> results;
     for (const double fraction : {0.75, 0.5, 0.25}) {
-      results.push_back(theory::verify_bound(*type, fraction, a, spec));
+      results.push_back(theory::verify_bound(*type, Fraction{fraction}, *a, spec));
     }
     std::printf("\n%s", analysis::render_bounds(results).c_str());
   }
@@ -120,12 +138,12 @@ std::optional<purchasing::PurchaserKind> parse_purchaser(const std::string& name
   return std::nullopt;
 }
 
-std::optional<sim::SellerSpec> parse_seller(const std::string& name, double fraction) {
+std::optional<sim::SellerSpec> parse_seller(const std::string& name, Fraction fraction) {
   if (name == "keep") return sim::SellerSpec{sim::SellerKind::kKeepReserved, fraction};
   if (name == "all-selling") return sim::SellerSpec{sim::SellerKind::kAllSelling, fraction};
-  if (name == "a3t4") return sim::SellerSpec{sim::SellerKind::kA3T4, 0.75};
-  if (name == "at2") return sim::SellerSpec{sim::SellerKind::kAT2, 0.50};
-  if (name == "at4") return sim::SellerSpec{sim::SellerKind::kAT4, 0.25};
+  if (name == "a3t4") return sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}};
+  if (name == "at2") return sim::SellerSpec{sim::SellerKind::kAT2, Fraction{0.50}};
+  if (name == "at4") return sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}};
   if (name == "randomized") return sim::SellerSpec{sim::SellerKind::kRandomizedSpot, fraction};
   if (name == "continuous") return sim::SellerSpec{sim::SellerKind::kContinuousSpot, fraction};
   if (name == "offline") return sim::SellerSpec{sim::SellerKind::kOfflineOptimal, fraction};
@@ -170,7 +188,13 @@ int cmd_simulate(int argc, char** argv) {
     std::fprintf(stderr, "unknown purchaser %s\n", cli.get("purchaser").c_str());
     return 1;
   }
-  const auto seller_spec = parse_seller(cli.get("seller"), cli.get_double("fraction", 0.75));
+  const auto spot_fraction = parse_fraction_flag(cli, "fraction", 0.75);
+  const auto discount = parse_fraction_flag(cli, "discount", 0.8);
+  const auto fee = parse_fraction_flag(cli, "fee", 0.0);
+  if (!spot_fraction || !discount || !fee) {
+    return 1;
+  }
+  const auto seller_spec = parse_seller(cli.get("seller"), *spot_fraction);
   if (!seller_spec) {
     std::fprintf(stderr, "unknown seller %s\n", cli.get("seller").c_str());
     return 1;
@@ -178,8 +202,8 @@ int cmd_simulate(int argc, char** argv) {
 
   sim::SimulationConfig config;
   config.type = *type;
-  config.selling_discount = cli.get_double("discount", 0.8);
-  config.service_fee = cli.get_double("fee", 0.0);
+  config.selling_discount = *discount;
+  config.service_fee = *fee;
   config.charge_policy = cli.get_bool("worked-only", false)
                              ? fleet::ChargePolicy::kWorkedHoursOnly
                              : fleet::ChargePolicy::kAllActiveHours;
@@ -199,12 +223,12 @@ int cmd_simulate(int argc, char** argv) {
               sim::seller_name(*seller_spec).c_str(),
               static_cast<long long>(result.instances_sold));
   std::printf("cost breakdown:\n");
-  std::printf("  on-demand        %12.2f  (%lld instance-hours)\n", result.totals.on_demand,
+  std::printf("  on-demand        %12.2f  (%lld instance-hours)\n", result.totals.on_demand.value(),
               static_cast<long long>(result.on_demand_hours));
-  std::printf("  upfront fees     %12.2f\n", result.totals.upfront);
-  std::printf("  reserved hourly  %12.2f\n", result.totals.reserved_hourly);
-  std::printf("  sale income      %12.2f\n", result.totals.sale_income);
-  std::printf("  net cost         %12.2f\n", result.net_cost());
+  std::printf("  upfront fees     %12.2f\n", result.totals.upfront.value());
+  std::printf("  reserved hourly  %12.2f\n", result.totals.reserved_hourly.value());
+  std::printf("  sale income      %12.2f\n", result.totals.sale_income.value());
+  std::printf("  net cost         %12.2f\n", result.net_cost().value());
   return 0;
 }
 
@@ -277,12 +301,16 @@ int cmd_evaluate(int argc, char** argv) {
   pop_spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
   const auto population = workload::UserPopulation::build(pop_spec);
 
+  const auto discount = parse_fraction_flag(cli, "discount", 0.8);
+  if (!discount) {
+    return 1;
+  }
   sim::EvaluationSpec spec;
   spec.sim.type = *type;
-  spec.sim.selling_discount = cli.get_double("discount", 0.8);
+  spec.sim.selling_discount = *discount;
   spec.seed = pop_spec.seed;
   spec.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  spec.sellers = sim::paper_sellers(0.75);
+  spec.sellers = sim::paper_sellers(Fraction{0.75});
   std::vector<sim::ScenarioResult> results;
   try {
     results = sim::evaluate(population, spec);

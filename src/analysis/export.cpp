@@ -64,8 +64,9 @@ std::string scenarios_to_csv(std::span<const sim::ScenarioResult> results) {
     out += common::format("%d,%d,%s,%s,%.4f,%.6f,%lld,%lld,%lld\n", result.user_id,
                           workload::group_index(result.group),
                           purchaser_token(result.purchaser),
-                          seller_kind_token(result.seller.kind), result.seller.fraction,
-                          result.net_cost, static_cast<long long>(result.reservations_made),
+                          seller_kind_token(result.seller.kind), result.seller.fraction.value(),
+                          result.net_cost.value(),
+                          static_cast<long long>(result.reservations_made),
                           static_cast<long long>(result.instances_sold),
                           static_cast<long long>(result.on_demand_hours));
   }
@@ -78,8 +79,8 @@ std::string normalized_to_csv(std::span<const NormalizedResult> normalized) {
     out += common::format("%d,%d,%s,%s,%.4f,%.6f,%.6f,%.6f\n", entry.user_id,
                           workload::group_index(entry.group),
                           purchaser_token(entry.purchaser),
-                          seller_kind_token(entry.seller.kind), entry.seller.fraction,
-                          entry.net_cost, entry.keep_cost, entry.ratio);
+                          seller_kind_token(entry.seller.kind), entry.seller.fraction.value(),
+                          entry.net_cost.value(), entry.keep_cost.value(), entry.ratio);
   }
   return out;
 }
@@ -113,15 +114,16 @@ std::optional<std::vector<sim::ScenarioResult>> scenarios_from_csv(std::string_v
     const auto sold = common::parse_int(row[7]);
     const auto on_demand = common::parse_int(row[8]);
     if (!user || !group || *group < 0 || *group > 2 || !purchaser || !seller || !fraction ||
-        !net_cost || !reservations || !sold || !on_demand) {
+        *fraction < 0.0 || *fraction > 1.0 || !net_cost || !reservations || !sold ||
+        !on_demand) {
       return std::nullopt;
     }
     sim::ScenarioResult result;
     result.user_id = static_cast<int>(*user);
     result.group = static_cast<workload::FluctuationGroup>(*group);
     result.purchaser = *purchaser;
-    result.seller = sim::SellerSpec{*seller, *fraction};
-    result.net_cost = *net_cost;
+    result.seller = sim::SellerSpec{*seller, Fraction{*fraction}};
+    result.net_cost = Money{*net_cost};
     result.reservations_made = *reservations;
     result.instances_sold = *sold;
     result.on_demand_hours = *on_demand;

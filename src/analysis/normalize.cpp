@@ -25,7 +25,7 @@ bool same_seller(const sim::SellerSpec& lhs, const sim::SellerSpec& rhs) {
 
 std::vector<NormalizedResult> normalize_to_keep(std::span<const sim::ScenarioResult> results) {
   // (user, purchaser) -> keep-reserved cost.
-  std::map<std::pair<int, purchasing::PurchaserKind>, Dollars> baseline;
+  std::map<std::pair<int, purchasing::PurchaserKind>, Money> baseline;
   for (const sim::ScenarioResult& result : results) {
     if (result.seller.kind == sim::SellerKind::kKeepReserved) {
       baseline[{result.user_id, result.purchaser}] = result.net_cost;
@@ -40,7 +40,7 @@ std::vector<NormalizedResult> normalize_to_keep(std::span<const sim::ScenarioRes
     const auto it = baseline.find({result.user_id, result.purchaser});
     RIMARKET_CHECK_MSG(it != baseline.end(),
                        "every (user, purchaser) needs a keep-reserved run to normalize to");
-    if (it->second <= 0.0) {
+    if (it->second <= Money{0.0}) {
       continue;
     }
     NormalizedResult entry;

@@ -20,8 +20,8 @@ struct NormalizedResult {
   workload::FluctuationGroup group = workload::FluctuationGroup::kStable;
   purchasing::PurchaserKind purchaser = purchasing::PurchaserKind::kAllReserved;
   sim::SellerSpec seller;
-  Dollars net_cost = 0.0;
-  Dollars keep_cost = 0.0;
+  Money net_cost{0.0};
+  Money keep_cost{0.0};
   /// net_cost / keep_cost; < 1 means the selling policy saved money.
   double ratio = 0.0;
 };

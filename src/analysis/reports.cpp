@@ -16,12 +16,12 @@ std::string render_table1() {
     row.push_back(std::string(pricing::payment_option_name(quote.option)));
     if (quote.option == pricing::PaymentOption::kOnDemand) {
       row.push_back("-");
-      row.push_back(common::format("$%.2f per Hour", quote.hourly));
+      row.push_back(common::format("$%.2f per Hour", quote.hourly.value()));
       row.push_back("-");
     } else {
-      row.push_back(common::format("$%.0f", quote.upfront));
-      row.push_back(common::format("$%.2f", quote.monthly));
-      row.push_back(common::format("$%.3f", quote.effective_hourly()));
+      row.push_back(common::format("$%.0f", quote.upfront.value()));
+      row.push_back(common::format("$%.2f", quote.monthly.value()));
+      row.push_back(common::format("$%.3f", quote.effective_hourly().value()));
     }
     table.add_row(std::move(row));
   }
@@ -109,9 +109,9 @@ std::string render_fig4_panel(std::span<const NormalizedResult> normalized,
   std::string out = common::format("Fig. 4 panel — %s\n",
                                    std::string(workload::group_name(group)).c_str());
   const sim::SellerSpec sellers[] = {
-      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
-      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
-      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+      sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}},
+      sim::SellerSpec{sim::SellerKind::kAT2, Fraction{0.50}},
+      sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}},
   };
   out += render_summary_rows(slice, sellers);
   out += render_cdf_series(slice, sellers, 13);
@@ -122,10 +122,10 @@ std::string render_table2(std::span<const sim::ScenarioResult> results, int user
   // Average absolute cost per seller across the purchasing imitators for
   // the chosen user.
   const sim::SellerSpec sellers[] = {
-      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
-      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
-      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
-      sim::SellerSpec{sim::SellerKind::kKeepReserved, 0.0},
+      sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}},
+      sim::SellerSpec{sim::SellerKind::kAT2, Fraction{0.50}},
+      sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}},
+      sim::SellerSpec{sim::SellerKind::kKeepReserved, Fraction{0.0}},
   };
   std::string out = common::format(
       "Table II — actual cost of online algorithms for user %d (highly fluctuating demands)\n",
@@ -138,7 +138,7 @@ std::string render_table2(std::span<const sim::ScenarioResult> results, int user
     for (const sim::ScenarioResult& result : results) {
       const bool match = result.user_id == user_id && result.seller.kind == seller.kind;
       if (match) {
-        sum += result.net_cost;
+        sum += result.net_cost.value();
         ++count;
       }
     }
@@ -155,9 +155,9 @@ std::string render_table3(std::span<const NormalizedResult> normalized) {
       "Table III — average cost performance of each algorithm (normalized to keep-reserved)\n";
   common::TextTable table({"", "Group 1", "Group 2", "Group 3", "All users"});
   const sim::SellerSpec sellers[] = {
-      sim::SellerSpec{sim::SellerKind::kA3T4, 0.75},
-      sim::SellerSpec{sim::SellerKind::kAT2, 0.50},
-      sim::SellerSpec{sim::SellerKind::kAT4, 0.25},
+      sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}},
+      sim::SellerSpec{sim::SellerKind::kAT2, Fraction{0.50}},
+      sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}},
   };
   for (const sim::SellerSpec& seller : sellers) {
     std::vector<std::string> row{sim::seller_name(seller)};

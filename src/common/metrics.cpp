@@ -5,28 +5,28 @@
 namespace rimarket::common {
 
 void MetricsRegistry::set(std::string_view name, std::int64_t value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Value& slot = values_[std::string(name)];
   slot.is_int = true;
   slot.as_int = value;
 }
 
 void MetricsRegistry::set(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Value& slot = values_[std::string(name)];
   slot.is_int = false;
   slot.as_double = value;
 }
 
 void MetricsRegistry::increment(std::string_view name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Value& slot = values_[std::string(name)];
   slot.is_int = true;
   slot.as_int += delta;
 }
 
 std::optional<double> MetricsRegistry::get(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = values_.find(name);
   if (it == values_.end()) {
     return std::nullopt;
@@ -35,17 +35,17 @@ std::optional<double> MetricsRegistry::get(std::string_view name) const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return values_.size();
 }
 
 void MetricsRegistry::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   values_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string out = "{";
   char buffer[64];
   bool first = true;

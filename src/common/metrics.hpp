@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "common/thread_safety.hpp"
 
 namespace rimarket::common {
 
@@ -50,8 +51,8 @@ class MetricsRegistry {
     double as_double = 0.0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Value, std::less<>> values_;
+  mutable Mutex mutex_;
+  std::map<std::string, Value, std::less<>> values_ RIMARKET_GUARDED_BY(mutex_);
 };
 
 }  // namespace rimarket::common

@@ -18,14 +18,14 @@ namespace {
 /// wait_idle() blocks forever — the exact bug this pool exists to prevent.
 class CompletionGuard {
  public:
-  CompletionGuard(std::mutex& mutex, std::condition_variable& all_done, std::size_t& in_flight)
+  CompletionGuard(Mutex& mutex, std::condition_variable& all_done, std::size_t& in_flight)
       : mutex_(mutex), all_done_(all_done), in_flight_(in_flight) {}
 
   CompletionGuard(const CompletionGuard&) = delete;
   CompletionGuard& operator=(const CompletionGuard&) = delete;
 
   ~CompletionGuard() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     --in_flight_;
     if (in_flight_ == 0) {
       all_done_.notify_all();
@@ -33,7 +33,7 @@ class CompletionGuard {
   }
 
  private:
-  std::mutex& mutex_;
+  Mutex& mutex_;
   std::condition_variable& all_done_;
   std::size_t& in_flight_;
 };
@@ -52,7 +52,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -64,7 +64,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   RIMARKET_EXPECTS(task != nullptr);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) {
       const std::string message = format(
           "submit() after shutdown (queued=%zu in_flight=%zu run=%llu failed=%llu)",
@@ -84,8 +84,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    // Explicit predicate loop (not a wait lambda) so the guarded read of
+    // in_flight_ stays inside the annotated scope for -Wthread-safety.
+    while (in_flight_ != 0) {
+      all_done_.wait(lock.native());
+    }
     // Drained: hand the first captured error (if any) to the caller and
     // reset the cancellation latch so the pool is reusable.
     error = std::exchange(first_error_, nullptr);
@@ -97,7 +101,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::cancel() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   cancelling_ = true;
   drop_queued_tasks_locked();
 }
@@ -114,7 +118,7 @@ void ThreadPool::drop_queued_tasks_locked() {
 }
 
 ThreadPoolMetrics ThreadPool::metrics() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return counters_;
 }
 
@@ -136,8 +140,10 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     bool cancelled = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) {
+        task_available_.wait(lock.native());
+      }
       if (tasks_.empty()) {
         return;  // stopping_ and drained
       }
@@ -163,7 +169,7 @@ void ThreadPool::worker_loop() {
                            std::chrono::steady_clock::now() - start)
                            .count();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++counters_.tasks_run;
       counters_.total_task_nanos += static_cast<std::uint64_t>(nanos);
       if (error) {

@@ -17,12 +17,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string_view>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace rimarket::common {
 
@@ -95,19 +96,19 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  /// Pops, counts and discards every queued task.  Requires `mutex_` held.
-  void drop_queued_tasks_locked();
+  /// Pops, counts and discards every queued task.
+  void drop_queued_tasks_locked() RIMARKET_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  bool cancelling_ = false;            ///< guarded by mutex_
-  std::exception_ptr first_error_;     ///< guarded by mutex_
-  ThreadPoolMetrics counters_;         ///< guarded by mutex_
+  std::queue<std::function<void()>> tasks_ RIMARKET_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RIMARKET_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RIMARKET_GUARDED_BY(mutex_) = false;
+  bool cancelling_ RIMARKET_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ RIMARKET_GUARDED_BY(mutex_);
+  ThreadPoolMetrics counters_ RIMARKET_GUARDED_BY(mutex_);
 };
 
 /// Applies `fn(i)` for i in [0, count) across the pool and waits; rethrows

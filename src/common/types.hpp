@@ -9,11 +9,6 @@ namespace rimarket {
 /// granularity (paper Section III-C defines t = 0, 1, 2, ... in hours).
 using Hour = std::int64_t;
 
-/// Money in US dollars.  A simulator aggregates at most ~1e7 dollars over a
-/// run, so an IEEE double carries far more than the required precision; all
-/// monetary arithmetic stays in one unit (dollars) to avoid scaling bugs.
-using Dollars = double;
-
 /// Number of instances (demand level, fleet size, ...).
 using Count = std::int64_t;
 

@@ -1,0 +1,162 @@
+// Dimension-checked strong types for the paper's cost model (Eq. (1)).
+//
+// Every quantity in C_t = o_t*p + n_t*R + r_t*alpha*p - s_t*a*rp*R has one
+// of three dimensions — money (R, the hourly bills), time (t, T, worked
+// hours) or a dimensionless fraction in [0,1] (alpha, a, rp, the 12%
+// marketplace fee).  Passing them all as raw double lets a fee land where a
+// discount belongs and the compiler stays silent; these wrappers make the
+// type system the static analyzer:
+//
+//   Money      dollars (upfront fees, bills, marketplace income)
+//   Rate       dollars per hour (on-demand price p, reserved rate alpha*p)
+//   Hours      a duration, possibly fractional (break-even points)
+//   Fraction   dimensionless in [0,1]; construction enforces the range
+//
+// Only dimensionally valid combinations compile:
+//
+//   Money +- Money            Rate * Hours   -> Money
+//   Money * Fraction -> Money Money / Rate   -> Hours
+//   Money / Money -> double   Money / Hours  -> Rate
+//   Rate * Fraction  -> Rate  Fraction * Fraction -> Fraction
+//
+// while Money + Hours, Money * Money, Rate + Money, Money + 1.0 ... are
+// compile errors (proved by the units.no_dimension_mixing negative-
+// compilation ctest).  Plain double multiplies as a dimensionless scalar
+// (instance counts enter Eq. (1) that way); the difference from Fraction is
+// that a scalar carries no [0,1] contract.
+//
+// Escape hatch policy: `.value()` is the only way out of a wrapper.  It is
+// reserved for I/O and statistics boundaries (CSV/JSON export, quantiles,
+// gtest comparisons against literals) — inside the cost pipeline, stay in
+// the algebra.  All operations are constexpr and each wrapper is exactly
+// one double wide, so the types are zero-overhead (bench.perf_smoke gates
+// this against the committed baseline).
+//
+// Fraction's range contract aborts at runtime and — because a failed
+// contract is not a constant expression — refuses to compile in constexpr
+// contexts, so `constexpr Fraction f{1.2};` is a build error.
+#pragma once
+
+#include <compare>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace rimarket {
+
+/// Dimensionless quantity contracted to [0,1]: the reservation discount
+/// alpha, the selling discount a, the remaining-term fraction rp, the
+/// marketplace service fee, decision-spot fractions and probabilities.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+  constexpr explicit Fraction(double v) : v_(v) { RIMARKET_EXPECTS(v >= 0.0 && v <= 1.0); }
+
+  constexpr double value() const { return v_; }
+  /// 1 - f, the usual "remaining share" (1-alpha, 1-fee, ...).
+  constexpr Fraction complement() const { return Fraction{1.0 - v_}; }
+
+  /// Products of [0,1] values stay in [0,1]; sums may not, so there is no
+  /// operator+ — leave the algebra via value() when adding bound terms.
+  friend constexpr Fraction operator*(Fraction lhs, Fraction rhs) {
+    return Fraction{lhs.v_ * rhs.v_};
+  }
+  friend constexpr auto operator<=>(Fraction lhs, Fraction rhs) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A duration in hours, possibly fractional (break-even points beta(f) are
+/// generally not integral).  Distinct from the integer `Hour` time index:
+/// `Hours` is what participates in arithmetic with rates.
+class Hours {
+ public:
+  constexpr Hours() = default;
+  constexpr explicit Hours(double h) : v_(h) {}
+  constexpr explicit Hours(Hour h) : v_(static_cast<double>(h)) {}
+
+  constexpr double value() const { return v_; }
+
+  friend constexpr Hours operator+(Hours lhs, Hours rhs) { return Hours{lhs.v_ + rhs.v_}; }
+  friend constexpr Hours operator-(Hours lhs, Hours rhs) { return Hours{lhs.v_ - rhs.v_}; }
+  friend constexpr Hours operator*(Hours h, double scalar) { return Hours{h.v_ * scalar}; }
+  friend constexpr Hours operator*(double scalar, Hours h) { return Hours{scalar * h.v_}; }
+  friend constexpr Hours operator*(Hours h, Fraction f) { return Hours{h.v_ * f.value()}; }
+  friend constexpr Hours operator*(Fraction f, Hours h) { return Hours{f.value() * h.v_}; }
+  friend constexpr double operator/(Hours lhs, Hours rhs) { return lhs.v_ / rhs.v_; }
+  friend constexpr auto operator<=>(Hours lhs, Hours rhs) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Money in US dollars.  A simulator aggregates at most ~1e7 dollars over a
+/// run, so the wrapped IEEE double carries far more than the required
+/// precision; all monetary arithmetic stays in one unit (dollars).
+class Money {
+ public:
+  constexpr Money() = default;
+  constexpr explicit Money(double dollars) : v_(dollars) {}
+
+  constexpr double value() const { return v_; }
+
+  constexpr Money operator-() const { return Money{-v_}; }
+  constexpr Money& operator+=(Money other) {
+    v_ += other.v_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money other) {
+    v_ -= other.v_;
+    return *this;
+  }
+  friend constexpr Money operator+(Money lhs, Money rhs) { return Money{lhs.v_ + rhs.v_}; }
+  friend constexpr Money operator-(Money lhs, Money rhs) { return Money{lhs.v_ - rhs.v_}; }
+  /// Scaling by a dimensionless scalar (instance counts in Eq. (1)).
+  friend constexpr Money operator*(Money m, double scalar) { return Money{m.v_ * scalar}; }
+  friend constexpr Money operator*(double scalar, Money m) { return Money{scalar * m.v_}; }
+  friend constexpr Money operator*(Money m, Fraction f) { return Money{m.v_ * f.value()}; }
+  friend constexpr Money operator*(Fraction f, Money m) { return Money{f.value() * m.v_}; }
+  friend constexpr Money operator/(Money m, double scalar) { return Money{m.v_ / scalar}; }
+  /// Ratio of two amounts (competitive ratios, normalization).
+  friend constexpr double operator/(Money lhs, Money rhs) { return lhs.v_ / rhs.v_; }
+  friend constexpr auto operator<=>(Money lhs, Money rhs) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Dollars per hour: the on-demand price p and the reserved rate alpha*p.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  constexpr explicit Rate(double dollars_per_hour) : v_(dollars_per_hour) {}
+
+  constexpr double value() const { return v_; }
+
+  friend constexpr Rate operator+(Rate lhs, Rate rhs) { return Rate{lhs.v_ + rhs.v_}; }
+  friend constexpr Rate operator-(Rate lhs, Rate rhs) { return Rate{lhs.v_ - rhs.v_}; }
+  friend constexpr Rate operator*(Rate r, double scalar) { return Rate{r.v_ * scalar}; }
+  friend constexpr Rate operator*(double scalar, Rate r) { return Rate{scalar * r.v_}; }
+  friend constexpr Rate operator*(Rate r, Fraction f) { return Rate{r.v_ * f.value()}; }
+  friend constexpr Rate operator*(Fraction f, Rate r) { return Rate{f.value() * r.v_}; }
+  friend constexpr Rate operator/(Rate r, double scalar) { return Rate{r.v_ / scalar}; }
+  /// Ratio of two rates (the reservation discount alpha = (alpha*p)/p).
+  friend constexpr double operator/(Rate lhs, Rate rhs) { return lhs.v_ / rhs.v_; }
+  friend constexpr auto operator<=>(Rate lhs, Rate rhs) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Rate x time = money: r_t hours billed at alpha*p.
+constexpr Money operator*(Rate rate, Hours hours) { return Money{rate.value() * hours.value()}; }
+constexpr Money operator*(Hours hours, Rate rate) { return Money{hours.value() * rate.value()}; }
+
+/// Money / rate = time: the break-even point beta = f*a*R / (p*(1-alpha)).
+constexpr Hours operator/(Money money, Rate rate) { return Hours{money.value() / rate.value()}; }
+
+/// Money / time = rate: the effective hourly cost of a contract.
+constexpr Rate operator/(Money money, Hours hours) { return Rate{money.value() / hours.value()}; }
+
+}  // namespace rimarket

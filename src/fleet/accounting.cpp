@@ -24,7 +24,7 @@ CostLedger::CostLedger(bool keep_hourly_series) : keep_hourly_series_(keep_hourl
 
 void CostLedger::record(Hour t, const CostBreakdown& hour_cost) {
   RIMARKET_EXPECTS(t >= 0);
-  RIMARKET_EXPECTS(std::isfinite(hour_cost.net()));
+  RIMARKET_EXPECTS(std::isfinite(hour_cost.net().value()));
   totals_ += hour_cost;
   if (keep_hourly_series_) {
     if (hourly_.size() <= static_cast<std::size_t>(t)) {
@@ -42,11 +42,11 @@ CostBreakdown hourly_cost(const pricing::InstanceType& type, Count on_demand,
   RIMARKET_EXPECTS(active_reserved >= 0);
   RIMARKET_EXPECTS(worked_reserved >= 0 && worked_reserved <= active_reserved);
   CostBreakdown cost;
-  cost.on_demand = static_cast<double>(on_demand) * type.on_demand_hourly;
-  cost.upfront = static_cast<double>(new_reservations) * type.upfront;
+  cost.on_demand = Money{static_cast<double>(on_demand) * type.on_demand_hourly.value()};
+  cost.upfront = Money{static_cast<double>(new_reservations) * type.upfront.value()};
   const Count billed =
       policy == ChargePolicy::kAllActiveHours ? active_reserved : worked_reserved;
-  cost.reserved_hourly = static_cast<double>(billed) * type.reserved_hourly;
+  cost.reserved_hourly = Money{static_cast<double>(billed) * type.reserved_hourly.value()};
   return cost;
 }
 
@@ -60,24 +60,27 @@ void audit_hourly_identity(const pricing::InstanceType& type, const CostBreakdow
   RIMARKET_EXPECTS(worked_reserved >= 0 && worked_reserved <= active_reserved);
   RIMARKET_EXPECTS(active_before_sales >= 0);
   RIMARKET_EXPECTS(sold_this_hour >= 0 && sold_this_hour <= active_before_sales);
-  RIMARKET_CHECK_MSG(hour.on_demand >= 0.0 && hour.upfront >= 0.0 && hour.reserved_hourly >= 0.0,
+  RIMARKET_CHECK_MSG(hour.on_demand >= Money{0.0} && hour.upfront >= Money{0.0} &&
+                         hour.reserved_hourly >= Money{0.0},
                      "cost components are non-negative by construction");
-  RIMARKET_CHECK_MSG(std::isfinite(hour.net()), "hourly cost must stay finite");
+  RIMARKET_CHECK_MSG(std::isfinite(hour.net().value()), "hourly cost must stay finite");
   // Sale timing (Eq. (1)): s_t removes the instance at the decision spot,
   // so the billed r_t must be the pre-sale fleet minus this hour's sales.
   RIMARKET_CHECK_MSG(active_reserved == active_before_sales - sold_this_hour,
                      "instances sold at hour t must be excluded from hour t's r_t");
-  RIMARKET_CHECK_MSG(hour.sale_income >= 0.0 && std::isfinite(hour.sale_income),
+  RIMARKET_CHECK_MSG(hour.sale_income >= Money{0.0} && std::isfinite(hour.sale_income.value()),
                      "sale income must be finite and non-negative");
   // Eq. (1) spend recomputed through alpha(): r_t * (alpha * p) rather than
   // hourly_cost's r_t * reserved_hourly, so an invariant drift in either
   // derivation trips the audit.
   const Count billed =
       policy == ChargePolicy::kAllActiveHours ? active_reserved : worked_reserved;
-  const double expected = static_cast<double>(on_demand) * type.on_demand_hourly +
-                          static_cast<double>(new_reservations) * type.upfront +
-                          static_cast<double>(billed) * type.alpha() * type.on_demand_hourly;
-  const double actual = hour.on_demand + hour.upfront + hour.reserved_hourly;
+  const double expected =
+      static_cast<double>(on_demand) * type.on_demand_hourly.value() +
+      static_cast<double>(new_reservations) * type.upfront.value() +
+      static_cast<double>(billed) * type.alpha().value() * type.on_demand_hourly.value();
+  const double actual = hour.on_demand.value() + hour.upfront.value() +
+                        hour.reserved_hourly.value();
   RIMARKET_CHECK_MSG(common::approx_equal(actual, expected, 1e-9),
                      "hourly spend must match the Eq. (1) recomputation");
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "pricing/instance_type.hpp"
 
 namespace rimarket::fleet {
@@ -27,13 +28,13 @@ enum class ChargePolicy {
 /// One hour's (or one run's) cost components; negative sale income is kept
 /// separate so reports can show gross spend and marketplace offsets.
 struct CostBreakdown {
-  Dollars on_demand = 0.0;        ///< o_t * p
-  Dollars upfront = 0.0;          ///< n_t * R
-  Dollars reserved_hourly = 0.0;  ///< r_t * alpha * p (or worked hours only)
-  Dollars sale_income = 0.0;      ///< s_t * a * rp * R (subtracted)
+  Money on_demand{0.0};        ///< o_t * p
+  Money upfront{0.0};          ///< n_t * R
+  Money reserved_hourly{0.0};  ///< r_t * alpha * p (or worked hours only)
+  Money sale_income{0.0};      ///< s_t * a * rp * R (subtracted)
 
   /// Net cost: spend minus marketplace income (paper Eq. (1)).
-  Dollars net() const { return on_demand + upfront + reserved_hourly - sale_income; }
+  Money net() const { return on_demand + upfront + reserved_hourly - sale_income; }
 
   CostBreakdown& operator+=(const CostBreakdown& other);
 };
@@ -54,7 +55,7 @@ class CostLedger {
   void count_on_demand_hours(Count hours) { on_demand_hours_ += hours; }
 
   const CostBreakdown& totals() const { return totals_; }
-  Dollars net_cost() const { return totals_.net(); }
+  Money net_cost() const { return totals_.net(); }
 
   Count reservations_made() const { return reservations_made_; }
   Count instances_sold() const { return instances_sold_; }

@@ -7,14 +7,14 @@
 
 namespace rimarket::forecast {
 
-ForecastSelling::ForecastSelling(const pricing::InstanceType& type, double fraction,
-                                 double selling_discount,
+ForecastSelling::ForecastSelling(const pricing::InstanceType& type, Fraction fraction,
+                                 Fraction selling_discount,
                                  std::unique_ptr<Forecaster> forecaster)
     : type_(type),
       fraction_(fraction),
       decision_age_(selling::decision_age(type.term, fraction)),
       remaining_hours_(type.term - decision_age_),
-      forward_break_even_(type.break_even_hours(1.0 - fraction, selling_discount)),
+      forward_break_even_(type.break_even_hours(fraction.complement(), selling_discount)),
       forecaster_(std::move(forecaster)) {
   RIMARKET_EXPECTS(type.valid());
   RIMARKET_EXPECTS(forecaster_ != nullptr);
@@ -45,14 +45,14 @@ void ForecastSelling::decide(Hour now, fleet::ReservationLedger& ledger,
     const Count rank = ledger.active_rank(now, id);
     const double expected_worked =
         static_cast<double>(remaining_hours_) * expected_utilization(predicted, rank);
-    if (expected_worked < forward_break_even_) {
+    if (Hours{expected_worked} < forward_break_even_) {
       to_sell.push_back(id);
     }
   }
 }
 
 std::string ForecastSelling::name() const {
-  return common::format("forecast[%s]@%.2fT", forecaster_->name().c_str(), fraction_);
+  return common::format("forecast[%s]@%.2fT", forecaster_->name().c_str(), fraction_.value());
 }
 
 }  // namespace rimarket::forecast

@@ -27,8 +27,8 @@ namespace rimarket::forecast {
 class ForecastSelling final : public selling::SellPolicy {
  public:
   /// Decides at fraction `fraction` of the term, like A_{fT}.
-  ForecastSelling(const pricing::InstanceType& type, double fraction, double selling_discount,
-                  std::unique_ptr<Forecaster> forecaster);
+  ForecastSelling(const pricing::InstanceType& type, Fraction fraction,
+                  Fraction selling_discount, std::unique_ptr<Forecaster> forecaster);
 
   void observe(Hour now, Count demand) override;
   void decide(Hour now, fleet::ReservationLedger& ledger,
@@ -36,7 +36,7 @@ class ForecastSelling final : public selling::SellPolicy {
   std::string name() const override;
 
   /// Forward break-even hours over the remaining (1-f)*T window.
-  double forward_break_even_hours() const { return forward_break_even_; }
+  Hours forward_break_even_hours() const { return forward_break_even_; }
 
   /// Expected utilization (in [0,1]) of the instance ranked `rank` in the
   /// service order given a predicted mean demand: the rank-r instance works
@@ -45,10 +45,10 @@ class ForecastSelling final : public selling::SellPolicy {
 
  private:
   pricing::InstanceType type_;
-  double fraction_;
+  Fraction fraction_;
   Hour decision_age_;
   Hour remaining_hours_;
-  double forward_break_even_;
+  Hours forward_break_even_;
   std::unique_ptr<Forecaster> forecaster_;
   bool has_observations_ = false;
   /// Scratch buffer for the hour's due ids, reused across decide() calls.

@@ -5,17 +5,16 @@
 namespace rimarket::market {
 
 DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed,
-                                double service_fee, double min_discount, double max_discount,
-                                int steps) {
-  RIMARKET_EXPECTS(min_discount > 0.0 && min_discount <= max_discount);
-  RIMARKET_EXPECTS(max_discount <= 1.0);
+                                Fraction service_fee, Fraction min_discount,
+                                Fraction max_discount, int steps) {
+  RIMARKET_EXPECTS(min_discount > Fraction{0.0} && min_discount <= max_discount);
   RIMARKET_EXPECTS(steps >= 2);
   DiscountChoice best;
   for (int i = 0; i < steps; ++i) {
-    const double discount =
-        min_discount + (max_discount - min_discount) * static_cast<double>(i) /
-                           static_cast<double>(steps - 1);
-    const Dollars income = model.expected_income(elapsed, discount, service_fee);
+    const Fraction discount{min_discount.value() +
+                            (max_discount.value() - min_discount.value()) *
+                                static_cast<double>(i) / static_cast<double>(steps - 1)};
+    const Money income = model.expected_income(elapsed, discount, service_fee);
     if (income > best.expected_income) {
       best.expected_income = income;
       best.discount = discount;
@@ -24,12 +23,12 @@ DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed
   return best;
 }
 
-std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
+std::function<Money(const pricing::InstanceType&, Hour, Fraction)> make_income_model(
     DiscountResponseModel model) {
   return [model = std::move(model)](const pricing::InstanceType& /*type*/, Hour age,
-                                    double discount) {
+                                    Fraction discount) {
     // Gross: the simulator applies SimulationConfig::service_fee uniformly.
-    return model.expected_income(age, discount, /*service_fee=*/0.0);
+    return model.expected_income(age, discount, /*service_fee=*/Fraction{0.0});
   };
 }
 

@@ -17,16 +17,16 @@ namespace rimarket::market {
 
 /// Result of a discount scan.
 struct DiscountChoice {
-  double discount = 0.0;
-  Dollars expected_income = 0.0;
+  Fraction discount{0.0};
+  Money expected_income{0.0};
 };
 
 /// Scans `steps` evenly spaced discounts in [min_discount, max_discount]
 /// and returns the one maximizing the model's expected net income for a
 /// reservation with `elapsed` hours used.
 DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed,
-                                double service_fee, double min_discount = 0.05,
-                                double max_discount = 1.0, int steps = 20);
+                                Fraction service_fee, Fraction min_discount = Fraction{0.05},
+                                Fraction max_discount = Fraction{1.0}, int steps = 20);
 
 /// Adapts a response model into a sim::IncomeModel-compatible callable:
 /// income(type, age, discount) = model.expected_income(age, discount, 0).
@@ -34,7 +34,7 @@ DiscountChoice optimal_discount(const DiscountResponseModel& model, Hour elapsed
 /// its service fee uniformly on top of any income model, so baking the fee
 /// in here would double-charge it.  The returned callable owns a copy of
 /// the model.
-std::function<Dollars(const pricing::InstanceType&, Hour, double)> make_income_model(
+std::function<Money(const pricing::InstanceType&, Hour, Fraction)> make_income_model(
     DiscountResponseModel model);
 
 }  // namespace rimarket::market

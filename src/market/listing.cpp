@@ -5,10 +5,9 @@
 namespace rimarket::market {
 
 Listing make_listing(ListingId id, SellerId seller, const pricing::InstanceType& type,
-                     Hour elapsed, double selling_discount, Hour now) {
+                     Hour elapsed, Fraction selling_discount, Hour now) {
   RIMARKET_EXPECTS(type.valid());
   RIMARKET_EXPECTS(elapsed >= 0 && elapsed < type.term);
-  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
   Listing listing;
   listing.id = id;
   listing.seller = seller;
@@ -23,7 +22,7 @@ bool respects_price_cap(const Listing& listing, const pricing::InstanceType& typ
   RIMARKET_EXPECTS(type.term > 0);
   const double remaining_fraction =
       static_cast<double>(listing.remaining_hours) / static_cast<double>(type.term);
-  return listing.ask <= remaining_fraction * type.upfront + 1e-9;
+  return listing.ask.value() <= remaining_fraction * type.upfront.value() + 1e-9;
 }
 
 }  // namespace rimarket::market

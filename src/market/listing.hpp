@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "pricing/instance_type.hpp"
 
 namespace rimarket::market {
@@ -23,17 +24,17 @@ struct Listing {
   /// Remaining reservation period being sold, in hours.
   Hour remaining_hours = 0;
   /// Asking upfront fee (dollars).
-  Dollars ask = 0.0;
+  Money ask{0.0};
   /// Hour the listing entered the book.
   Hour listed_at = 0;
 
-  bool valid() const { return remaining_hours > 0 && ask >= 0.0; }
+  bool valid() const { return remaining_hours > 0 && ask >= Money{0.0}; }
 };
 
 /// Builds a listing for a reservation with `elapsed` hours used, asking the
 /// pro-rated upfront discounted by `selling_discount` (the paper's a).
 Listing make_listing(ListingId id, SellerId seller, const pricing::InstanceType& type,
-                     Hour elapsed, double selling_discount, Hour now);
+                     Hour elapsed, Fraction selling_discount, Hour now);
 
 /// Amazon's cap: ask must not exceed the pro-rated original upfront.
 bool respects_price_cap(const Listing& listing, const pricing::InstanceType& type);

@@ -10,13 +10,13 @@ MarketplaceSimulator::MarketplaceSimulator(pricing::InstanceType type, Marketpla
                                            std::uint64_t seed)
     : type_(std::move(type)), config_(config), rng_(seed) {
   RIMARKET_EXPECTS(type_.valid());
-  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
+  RIMARKET_EXPECTS(config.service_fee < Fraction{1.0});
   RIMARKET_EXPECTS(config.buyer_rate_per_hour >= 0.0);
   RIMARKET_EXPECTS(config.mean_buyer_quantity >= 1.0);
-  RIMARKET_EXPECTS(config.buyer_price_tolerance > 0.0);
+  RIMARKET_EXPECTS(config.buyer_price_tolerance > Fraction{0.0});
 }
 
-ListingId MarketplaceSimulator::list(SellerId seller, Hour elapsed, double selling_discount) {
+ListingId MarketplaceSimulator::list(SellerId seller, Hour elapsed, Fraction selling_discount) {
   const Listing listing =
       make_listing(next_listing_id_++, seller, type_, elapsed, selling_discount, now_);
   const bool accepted = book_.add(listing);
@@ -24,8 +24,8 @@ ListingId MarketplaceSimulator::list(SellerId seller, Hour elapsed, double selli
   return listing.id;
 }
 
-Dollars MarketplaceSimulator::proceeds(Dollars price) const {
-  return price * (1.0 - config_.service_fee);
+Money MarketplaceSimulator::proceeds(Money price) const {
+  return price * config_.service_fee.complement();
 }
 
 std::vector<SaleRecord> MarketplaceSimulator::step() {
@@ -36,13 +36,13 @@ std::vector<SaleRecord> MarketplaceSimulator::step() {
     const Count quantity = 1 + rng_.poisson(config_.mean_buyer_quantity - 1.0);
     // Budget per instance: a buyer never pays more than the pro-rated price
     // of a brand-new contract, scaled by the tolerance knob.
-    const Dollars max_price = config_.buyer_price_tolerance * type_.upfront;
+    const Money max_price = config_.buyer_price_tolerance * type_.upfront;
     for (const Fill& fill : book_.match(quantity, max_price)) {
       SaleRecord record;
       record.listing = fill.listing;
       record.sold_at = now_;
       record.buyer_paid = fill.price;
-      record.service_fee = fill.price * config_.service_fee;
+      record.service_fee = fill.price * config_.service_fee;  // fraction -> dollars
       record.seller_proceeds = proceeds(fill.price);
       sales.push_back(record);
     }

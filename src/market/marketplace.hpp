@@ -19,24 +19,26 @@
 namespace rimarket::market {
 
 struct MarketplaceConfig {
-  /// Amazon's cut of each sale.
-  double service_fee = 0.12;
+  /// Amazon's cut of each sale — a fraction of the price, not a dollar
+  /// amount (the t2.nano example: 0.12 of $7.2, never $0.12 flat).
+  Fraction service_fee{0.12};
   /// Mean buyer arrivals per hour (Poisson).
   double buyer_rate_per_hour = 0.5;
   /// Mean instances requested per buyer (shifted-geometric-ish; >= 1).
   double mean_buyer_quantity = 2.0;
   /// Buyers pay at most this fraction of the pro-rated new-contract
   /// upfront; listings priced above it stay in the book.
-  double buyer_price_tolerance = 1.0;
+  Fraction buyer_price_tolerance{1.0};
 };
 
 /// One completed sale from the seller's point of view.
 struct SaleRecord {
   Listing listing;
   Hour sold_at = 0;
-  Dollars buyer_paid = 0.0;
-  Dollars service_fee = 0.0;
-  Dollars seller_proceeds = 0.0;
+  Money buyer_paid{0.0};
+  /// Dollar amount Amazon kept: buyer_paid * config.service_fee.
+  Money service_fee{0.0};
+  Money seller_proceeds{0.0};
 };
 
 /// Discrete-hour marketplace for a single instance type.
@@ -47,7 +49,7 @@ class MarketplaceSimulator {
 
   /// Lists a reservation with `elapsed` hours used at discount a; returns
   /// the listing id.
-  ListingId list(SellerId seller, Hour elapsed, double selling_discount);
+  ListingId list(SellerId seller, Hour elapsed, Fraction selling_discount);
 
   /// Advances one hour: draws buyer arrivals and matches them.  Returns
   /// the sales executed this hour.
@@ -61,7 +63,7 @@ class MarketplaceSimulator {
   const MarketplaceConfig& config() const { return config_; }
 
   /// Seller proceeds for a sale at `price` under this config.
-  Dollars proceeds(Dollars price) const;
+  Money proceeds(Money price) const;
 
  private:
   pricing::InstanceType type_;

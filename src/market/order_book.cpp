@@ -30,7 +30,7 @@ bool OrderBook::cancel(ListingId id) {
   return false;
 }
 
-std::vector<Fill> OrderBook::match(Count quantity, Dollars max_price) {
+std::vector<Fill> OrderBook::match(Count quantity, Money max_price) {
   RIMARKET_EXPECTS(quantity >= 0);
   std::vector<Fill> fills;
   while (quantity > 0 && !queue_.empty()) {
@@ -45,7 +45,7 @@ std::vector<Fill> OrderBook::match(Count quantity, Dollars max_price) {
   return fills;
 }
 
-std::optional<Dollars> OrderBook::best_ask() const {
+std::optional<Money> OrderBook::best_ask() const {
   if (queue_.empty()) {
     return std::nullopt;
   }

@@ -19,7 +19,7 @@ namespace rimarket::market {
 struct Fill {
   Listing listing;
   /// Price paid by the buyer (the ask).
-  Dollars price = 0.0;
+  Money price{0.0};
 };
 
 class OrderBook {
@@ -34,13 +34,13 @@ class OrderBook {
   /// Buys up to `quantity` instances, lowest ask first; returns the fills
   /// (possibly fewer than requested if the book runs dry).  Listings with
   /// ask above `max_price` are not touched.
-  std::vector<Fill> match(Count quantity, Dollars max_price);
+  std::vector<Fill> match(Count quantity, Money max_price);
 
   std::size_t depth() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
 
   /// Lowest ask currently in the book.
-  std::optional<Dollars> best_ask() const;
+  std::optional<Money> best_ask() const;
 
   /// All resting listings, price-priority order.
   std::vector<Listing> snapshot() const;

@@ -16,30 +16,31 @@ DiscountResponseModel::DiscountResponseModel(pricing::InstanceType type,
   RIMARKET_EXPECTS(config.depth_density >= 0.0);
 }
 
-double DiscountResponseModel::expected_fill_hours(double selling_discount) const {
-  RIMARKET_EXPECTS(selling_discount > 0.0 && selling_discount <= 1.0);
+Hours DiscountResponseModel::expected_fill_hours(Fraction selling_discount) const {
+  RIMARKET_EXPECTS(selling_discount > Fraction{0.0});
   // Listings ahead of ours: those priced below our ask fraction.  Our ask
   // fraction of the cap is exactly the discount a (ask = a * cap).
-  const double queue_ahead = config_.depth_density * selling_discount;
+  const double queue_ahead = config_.depth_density * selling_discount.value();
   const double drain_rate = config_.buyer_rate_per_hour * config_.mean_buyer_quantity;
   // One extra unit for our own listing.
-  return (queue_ahead + 1.0) / drain_rate;
+  return Hours{(queue_ahead + 1.0) / drain_rate};
 }
 
-double DiscountResponseModel::fill_probability(double selling_discount, Hour hours) const {
+double DiscountResponseModel::fill_probability(Fraction selling_discount, Hour hours) const {
   RIMARKET_EXPECTS(hours >= 0);
-  const double mean = expected_fill_hours(selling_discount);
+  const double mean = expected_fill_hours(selling_discount).value();
   return 1.0 - std::exp(-static_cast<double>(hours) / mean);
 }
 
-Dollars DiscountResponseModel::expected_income(Hour elapsed, double selling_discount,
-                                               double service_fee) const {
+Money DiscountResponseModel::expected_income(Hour elapsed, Fraction selling_discount,
+                                             Fraction service_fee) const {
   RIMARKET_EXPECTS(elapsed >= 0 && elapsed < type_.term);
-  RIMARKET_EXPECTS(service_fee >= 0.0 && service_fee < 1.0);
-  const double wait = expected_fill_hours(selling_discount);
+  RIMARKET_EXPECTS(service_fee < Fraction{1.0});
+  const double wait = expected_fill_hours(selling_discount).value();
   const Hour effective_elapsed =
       std::min<Hour>(type_.term - 1, elapsed + static_cast<Hour>(wait + 0.5));
-  return type_.sale_income(effective_elapsed, selling_discount) * (1.0 - service_fee);
+  return Money{type_.sale_income(effective_elapsed, selling_discount).value() *
+               (1.0 - service_fee.value())};
 }
 
 }  // namespace rimarket::market

@@ -31,15 +31,15 @@ class DiscountResponseModel {
   /// Expected hours until a listing priced at discount `a` reaches the
   /// head of the queue and fills.  Deeper discount -> fewer competitors
   /// ahead -> faster.
-  double expected_fill_hours(double selling_discount) const;
+  Hours expected_fill_hours(Fraction selling_discount) const;
 
   /// P(filled within `hours`) assuming exponential service at the rate
   /// implied by expected_fill_hours.
-  double fill_probability(double selling_discount, Hour hours) const;
+  double fill_probability(Fraction selling_discount, Hour hours) const;
 
   /// Expected seller income for a reservation with `elapsed` hours used:
   /// ask * (1 - fee) discounted by the pro-ration lost while waiting.
-  Dollars expected_income(Hour elapsed, double selling_discount, double service_fee) const;
+  Money expected_income(Hour elapsed, Fraction selling_discount, Fraction service_fee) const;
 
  private:
   pricing::InstanceType type_;

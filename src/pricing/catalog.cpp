@@ -77,8 +77,8 @@ const PricingCatalog& PricingCatalog::builtin() {
     std::vector<InstanceType> types;
     types.reserve(std::size(kBuiltinRows));
     for (const auto& row : kBuiltinRows) {
-      types.push_back(InstanceType{row.name, row.on_demand, row.upfront, row.reserved,
-                                   kHoursPerYear});
+      types.push_back(InstanceType{row.name, Rate{row.on_demand}, Money{row.upfront},
+                                   Rate{row.reserved}, kHoursPerYear});
     }
     PricingCatalog built(std::move(types));
     RIMARKET_CHECK_MSG(built.valid(), "builtin catalog must be internally consistent");
@@ -92,8 +92,8 @@ const PricingCatalog& PricingCatalog::builtin_3year() {
     std::vector<InstanceType> types;
     types.reserve(std::size(kBuiltin3YearRows));
     for (const auto& row : kBuiltin3YearRows) {
-      types.push_back(InstanceType{row.name, row.on_demand, row.upfront, row.reserved,
-                                   3 * kHoursPerYear});
+      types.push_back(InstanceType{row.name, Rate{row.on_demand}, Money{row.upfront},
+                                   Rate{row.reserved}, 3 * kHoursPerYear});
     }
     PricingCatalog built(std::move(types));
     RIMARKET_CHECK_MSG(built.valid(), "builtin 3-year catalog must be internally consistent");
@@ -121,9 +121,9 @@ std::optional<PricingCatalog> PricingCatalog::from_csv(std::string_view text) {
     if (!on_demand || !upfront || !reserved) {
       return std::nullopt;
     }
-    type.on_demand_hourly = *on_demand;
-    type.upfront = *upfront;
-    type.reserved_hourly = *reserved;
+    type.on_demand_hourly = Rate{*on_demand};
+    type.upfront = Money{*upfront};
+    type.reserved_hourly = Rate{*reserved};
     type.term = kHoursPerYear;
     if (row.size() >= 5) {
       const auto term = common::parse_int(row[4]);
@@ -181,7 +181,7 @@ PricingCatalog::Statistics PricingCatalog::statistics() const {
   Statistics stats;
   bool first = true;
   for (const InstanceType& type : types_) {
-    const double alpha = type.alpha();
+    const double alpha = type.alpha().value();
     const double theta = type.theta();
     if (first) {
       stats.min_alpha = stats.max_alpha = alpha;
@@ -200,10 +200,13 @@ PricingCatalog::Statistics PricingCatalog::statistics() const {
 std::vector<PaymentQuote> d2_xlarge_payment_quotes() {
   // Paper Table I, verbatim.
   return {
-      PaymentQuote{PaymentOption::kNoUpfront, 0.0, 293.46, 0.0, kHoursPerYear},
-      PaymentQuote{PaymentOption::kPartialUpfront, 1506.0, 125.56, 0.0, kHoursPerYear},
-      PaymentQuote{PaymentOption::kAllUpfront, 2952.0, 0.0, 0.0, kHoursPerYear},
-      PaymentQuote{PaymentOption::kOnDemand, 0.0, 0.0, 0.69, kHoursPerYear},
+      PaymentQuote{PaymentOption::kNoUpfront, Money{0.0}, Money{293.46}, Rate{0.0},
+                   kHoursPerYear},
+      PaymentQuote{PaymentOption::kPartialUpfront, Money{1506.0}, Money{125.56}, Rate{0.0},
+                   kHoursPerYear},
+      PaymentQuote{PaymentOption::kAllUpfront, Money{2952.0}, Money{0.0}, Rate{0.0},
+                   kHoursPerYear},
+      PaymentQuote{PaymentOption::kOnDemand, Money{0.0}, Money{0.0}, Rate{0.69}, kHoursPerYear},
   };
 }
 

@@ -57,8 +57,9 @@ class PricingCatalog {
   /// Extremes of alpha/theta across the catalog — the statistics quoted in
   /// the paper's proofs ("alpha < 0.36", "theta in (1,4)").
   struct Statistics {
-    double min_alpha = 0.0;
-    double max_alpha = 0.0;
+    // Report-only extremes (stats boundary): plain double by design.
+    double min_alpha = 0.0;  // lint-allow(units-in-api): report-only statistic
+    double max_alpha = 0.0;  // lint-allow(units-in-api): report-only statistic
     double min_theta = 0.0;
     double max_theta = 0.0;
   };

@@ -4,39 +4,38 @@
 
 namespace rimarket::pricing {
 
-double InstanceType::alpha() const {
-  RIMARKET_EXPECTS(on_demand_hourly > 0.0);
-  return reserved_hourly / on_demand_hourly;
+Fraction InstanceType::alpha() const {
+  RIMARKET_EXPECTS(on_demand_hourly > Rate{0.0});
+  return Fraction{reserved_hourly / on_demand_hourly};
 }
 
 double InstanceType::theta() const {
-  RIMARKET_EXPECTS(upfront > 0.0);
-  return on_demand_hourly * static_cast<double>(term) / upfront;
+  RIMARKET_EXPECTS(upfront > Money{0.0});
+  return on_demand_hourly.value() * static_cast<double>(term) / upfront.value();
 }
 
-double InstanceType::break_even_hours(double decision_fraction, double selling_discount) const {
-  RIMARKET_EXPECTS(decision_fraction > 0.0 && decision_fraction <= 1.0);
-  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
-  const double discount = alpha();
+Hours InstanceType::break_even_hours(Fraction decision_fraction, Fraction selling_discount) const {
+  RIMARKET_EXPECTS(decision_fraction > Fraction{0.0});
+  const double discount = alpha().value();
   RIMARKET_EXPECTS(discount < 1.0);
-  return decision_fraction * selling_discount * upfront / (on_demand_hourly * (1.0 - discount));
+  return Hours{decision_fraction.value() * selling_discount.value() * upfront.value() /
+               (on_demand_hourly.value() * (1.0 - discount))};
 }
 
-Dollars InstanceType::prorated_upfront(Hour elapsed) const {
+Money InstanceType::prorated_upfront(Hour elapsed) const {
   RIMARKET_EXPECTS(elapsed >= 0 && elapsed <= term);
   const double remaining_fraction =
       static_cast<double>(term - elapsed) / static_cast<double>(term);
-  return remaining_fraction * upfront;
+  return Money{remaining_fraction * upfront.value()};
 }
 
-Dollars InstanceType::sale_income(Hour elapsed, double selling_discount) const {
-  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
-  return selling_discount * prorated_upfront(elapsed);
+Money InstanceType::sale_income(Hour elapsed, Fraction selling_discount) const {
+  return Money{selling_discount.value() * prorated_upfront(elapsed).value()};
 }
 
 bool InstanceType::valid() const {
-  return !name.empty() && on_demand_hourly > 0.0 && upfront > 0.0 && reserved_hourly >= 0.0 &&
-         reserved_hourly < on_demand_hourly && term > 0;
+  return !name.empty() && on_demand_hourly > Rate{0.0} && upfront > Money{0.0} &&
+         reserved_hourly >= Rate{0.0} && reserved_hourly < on_demand_hourly && term > 0;
 }
 
 bool operator==(const InstanceType& lhs, const InstanceType& rhs) {

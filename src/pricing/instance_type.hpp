@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace rimarket::pricing {
 
@@ -18,34 +19,35 @@ struct InstanceType {
   /// API name, e.g. "d2.xlarge".
   std::string name;
   /// On-demand hourly rate p (dollars/hour), > 0.
-  Dollars on_demand_hourly = 0.0;
+  Rate on_demand_hourly{0.0};
   /// Reservation upfront fee R (dollars), > 0.
-  Dollars upfront = 0.0;
+  Money upfront{0.0};
   /// Discounted hourly rate alpha*p while reserved (dollars/hour), >= 0.
-  Dollars reserved_hourly = 0.0;
+  Rate reserved_hourly{0.0};
   /// Reservation term T in hours (1 year by default).
   Hour term = kHoursPerYear;
 
   /// Reservation discount alpha = reserved_hourly / on_demand_hourly.
-  double alpha() const;
+  Fraction alpha() const;
 
   /// theta = p*T/R, the ratio between the worst-case on-demand bill over a
-  /// full term and the upfront fee.  The paper's bound derivations use the
-  /// measured fact theta in (1, 4) for standard Linux US-East 1-yr RIs.
+  /// full term and the upfront fee.  Dimensionless but unbounded above 1,
+  /// so a plain double.  The paper's bound derivations use the measured
+  /// fact theta in (1, 4) for standard Linux US-East 1-yr RIs.
   double theta() const;
 
   /// Break-even working time beta(f) = f*a*R / (p*(1-alpha)) for a selling
   /// decision taken at fraction `f` of the term with selling discount `a`
   /// (paper Eq. (9) for f=3/4 and Section V for f=1/2, 1/4).
-  double break_even_hours(double decision_fraction, double selling_discount) const;
+  Hours break_even_hours(Fraction decision_fraction, Fraction selling_discount) const;
 
   /// Pro-rated upfront value of the remaining period [t, T) — the
   /// marketplace cap on the seller's asking price.
-  Dollars prorated_upfront(Hour elapsed) const;
+  Money prorated_upfront(Hour elapsed) const;
 
   /// Gross marketplace income for selling at `elapsed` hours with discount
   /// `a`: a * rp * R, where rp = (T - elapsed)/T (paper Eq. (1) term).
-  Dollars sale_income(Hour elapsed, double selling_discount) const;
+  Money sale_income(Hour elapsed, Fraction selling_discount) const;
 
   /// True when the fields form a consistent reservation contract
   /// (positive prices, reserved cheaper than on-demand, positive term).

@@ -19,20 +19,21 @@ double months_in_term(Hour term) {
   return 12.0 * static_cast<double>(term) / static_cast<double>(kHoursPerYear);
 }
 
-Dollars PaymentQuote::effective_hourly() const {
+Rate PaymentQuote::effective_hourly() const {
   if (option == PaymentOption::kOnDemand) {
     return hourly;
   }
   RIMARKET_EXPECTS(term > 0);
-  return (upfront + monthly * months_in_term(term)) / static_cast<double>(term);
+  return Rate{(upfront.value() + monthly.value() * months_in_term(term)) /
+              static_cast<double>(term)};
 }
 
-Dollars PaymentQuote::total_cost(Hour used_hours) const {
+Money PaymentQuote::total_cost(Hour used_hours) const {
   RIMARKET_EXPECTS(used_hours >= 0);
   if (option == PaymentOption::kOnDemand) {
-    return hourly * static_cast<double>(used_hours);
+    return Money{hourly.value() * static_cast<double>(used_hours)};
   }
-  return upfront + monthly * months_in_term(term);
+  return Money{upfront.value() + monthly.value() * months_in_term(term)};
 }
 
 }  // namespace rimarket::pricing

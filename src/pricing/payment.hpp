@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace rimarket::pricing {
 
@@ -26,11 +27,11 @@ std::string_view payment_option_name(PaymentOption option);
 struct PaymentQuote {
   PaymentOption option = PaymentOption::kOnDemand;
   /// Upfront fee (dollars); 0 for No Upfront and On-Demand.
-  Dollars upfront = 0.0;
+  Money upfront{0.0};
   /// Recurring monthly fee (dollars); 0 for All Upfront.
-  Dollars monthly = 0.0;
+  Money monthly{0.0};
   /// Plain hourly rate; only nonzero for On-Demand.
-  Dollars hourly = 0.0;
+  Rate hourly{0.0};
   /// Contract length in hours (ignored for On-Demand).
   Hour term = kHoursPerYear;
 
@@ -38,12 +39,12 @@ struct PaymentQuote {
   ///   (upfront + monthly * months(term)) / term   for reservations,
   ///   hourly                                      for on-demand.
   /// Matches the paper's "Effective Hourly" column.
-  Dollars effective_hourly() const;
+  Rate effective_hourly() const;
 
   /// Total bill for holding the contract for the full term and using it
   /// `used_hours` (on-demand pays per used hour; reservations pay the
   /// contract regardless of use).
-  Dollars total_cost(Hour used_hours) const;
+  Money total_cost(Hour used_hours) const;
 };
 
 /// Months in a term, using the paper's convention (12 months per 8760 h).

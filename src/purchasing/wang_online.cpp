@@ -16,7 +16,7 @@ WangOnlinePolicy::WangOnlinePolicy(const pricing::InstanceType& type, double gam
   RIMARKET_EXPECTS(gamma > 0.0 && gamma <= 1.0);
   RIMARKET_EXPECTS(type.valid());
   const double h_star =
-      type.upfront / (type.on_demand_hourly * (1.0 - type.alpha()));
+      type.upfront.value() / (type.on_demand_hourly.value() * (1.0 - type.alpha().value()));
   break_even_hours_ = std::max<Hour>(1, static_cast<Hour>(std::ceil(gamma * h_star)));
 }
 

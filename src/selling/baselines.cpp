@@ -12,7 +12,7 @@ void KeepReservedPolicy::decide(Hour now, fleet::ReservationLedger& ledger,
   to_sell.clear();
 }
 
-AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, double fraction)
+AllSellingPolicy::AllSellingPolicy(const pricing::InstanceType& type, Fraction fraction)
     : fraction_(fraction), decision_age_(decision_age(type.term, fraction)) {
   RIMARKET_EXPECTS(type.valid());
 }
@@ -24,7 +24,7 @@ void AllSellingPolicy::decide(Hour now, fleet::ReservationLedger& ledger,
 }
 
 std::string AllSellingPolicy::name() const {
-  return common::format("all-selling@%.2fT", fraction_);
+  return common::format("all-selling@%.2fT", fraction_.value());
 }
 
 }  // namespace rimarket::selling

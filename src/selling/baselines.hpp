@@ -19,14 +19,14 @@ class KeepReservedPolicy final : public SellPolicy {
 /// decision spot, regardless of its utilization.
 class AllSellingPolicy final : public SellPolicy {
  public:
-  AllSellingPolicy(const pricing::InstanceType& type, double fraction);
+  AllSellingPolicy(const pricing::InstanceType& type, Fraction fraction);
 
   void decide(Hour now, fleet::ReservationLedger& ledger,
               std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override;
 
  private:
-  double fraction_;
+  Fraction fraction_;
   Hour decision_age_;
 };
 

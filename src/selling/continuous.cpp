@@ -6,29 +6,28 @@
 
 namespace rimarket::selling {
 
-ContinuousSelling::ContinuousSelling(const pricing::InstanceType& type, double selling_discount)
+ContinuousSelling::ContinuousSelling(const pricing::InstanceType& type, Fraction selling_discount)
     : ContinuousSelling(type, selling_discount, Options{}) {}
 
 ContinuousSelling::ContinuousSelling(const pricing::InstanceType& type,
-                                     double selling_discount, Options options)
+                                     Fraction selling_discount, Options options)
     : type_(type), selling_discount_(selling_discount), options_(options) {
   RIMARKET_EXPECTS(type.valid());
-  RIMARKET_EXPECTS(selling_discount >= 0.0 && selling_discount <= 1.0);
-  RIMARKET_EXPECTS(options.min_fraction > 0.0 && options.min_fraction < 1.0);
+  RIMARKET_EXPECTS(options.min_fraction > Fraction{0.0} && options.min_fraction < Fraction{1.0});
   RIMARKET_EXPECTS(options.max_fraction >= options.min_fraction &&
-                   options.max_fraction < 1.0);
+                   options.max_fraction < Fraction{1.0});
   RIMARKET_EXPECTS(options.confirmation_hours >= 0);
   window_start_ = decision_age(type.term, options.min_fraction);
   window_end_ = decision_age(type.term, options.max_fraction);
 }
 
-double ContinuousSelling::break_even_at_age(Hour age) const {
+Hours ContinuousSelling::break_even_at_age(Hour age) const {
   RIMARKET_EXPECTS(age >= 0 && age <= type_.term);
   const double fraction = static_cast<double>(age) / static_cast<double>(type_.term);
   if (fraction <= 0.0) {
-    return 0.0;
+    return Hours{0.0};
   }
-  return type_.break_even_hours(fraction, selling_discount_);
+  return type_.break_even_hours(Fraction{fraction}, selling_discount_);
 }
 
 void ContinuousSelling::decide(Hour now, fleet::ReservationLedger& ledger,
@@ -44,8 +43,7 @@ void ContinuousSelling::decide(Hour now, fleet::ReservationLedger& ledger,
     if (static_cast<std::size_t>(id) >= shortfall_streak_.size()) {
       shortfall_streak_.resize(static_cast<std::size_t>(id) + 1, 0);
     }
-    const bool below =
-        static_cast<double>(reservation.worked_hours) < break_even_at_age(age);
+    const bool below = Hours{reservation.worked_hours} < break_even_at_age(age);
     Hour& streak = shortfall_streak_[static_cast<std::size_t>(id)];
     if (!below) {
       streak = 0;

@@ -34,16 +34,16 @@ class ContinuousSelling final : public SellPolicy {
  public:
   struct Options {
     /// Start of the decision window as a fraction of the term.
-    double min_fraction = 0.25;
+    Fraction min_fraction{0.25};
     /// End of the decision window (inclusive) as a fraction of the term.
-    double max_fraction = 0.75;
+    Fraction max_fraction{0.75};
     /// Consecutive below-break-even hours required before selling.
     Hour confirmation_hours = 24;
   };
 
   /// Constructs with default options (window [T/4, 3T/4], 24h confirmation).
-  ContinuousSelling(const pricing::InstanceType& type, double selling_discount);
-  ContinuousSelling(const pricing::InstanceType& type, double selling_discount,
+  ContinuousSelling(const pricing::InstanceType& type, Fraction selling_discount);
+  ContinuousSelling(const pricing::InstanceType& type, Fraction selling_discount,
                     Options options);
 
   void decide(Hour now, fleet::ReservationLedger& ledger,
@@ -51,13 +51,13 @@ class ContinuousSelling final : public SellPolicy {
   std::string name() const override { return "continuous-spot"; }
 
   /// Age-scaled break-even beta(age/T) in hours.
-  double break_even_at_age(Hour age) const;
+  Hours break_even_at_age(Hour age) const;
 
   const Options& options() const { return options_; }
 
  private:
   pricing::InstanceType type_;
-  double selling_discount_;
+  Fraction selling_discount_;
   Options options_;
   Hour window_start_;
   Hour window_end_;

@@ -6,8 +6,8 @@
 
 namespace rimarket::selling {
 
-FixedSpotSelling::FixedSpotSelling(const pricing::InstanceType& type, double fraction,
-                                   double selling_discount)
+FixedSpotSelling::FixedSpotSelling(const pricing::InstanceType& type, Fraction fraction,
+                                   Fraction selling_discount)
     : fraction_(fraction),
       break_even_hours_(type.break_even_hours(fraction, selling_discount)),
       decision_age_(decision_age(type.term, fraction)) {
@@ -16,7 +16,7 @@ FixedSpotSelling::FixedSpotSelling(const pricing::InstanceType& type, double fra
 
 bool FixedSpotSelling::should_sell(Hour worked_hours) const {
   RIMARKET_EXPECTS(worked_hours >= 0);
-  return static_cast<double>(worked_hours) < break_even_hours_;
+  return Hours{worked_hours} < break_even_hours_;
 }
 
 void FixedSpotSelling::decide(Hour now, fleet::ReservationLedger& ledger,
@@ -31,27 +31,27 @@ void FixedSpotSelling::decide(Hour now, fleet::ReservationLedger& ledger,
 }
 
 std::string FixedSpotSelling::name() const {
-  if (common::approx_equal(fraction_, kSpot3T4)) {
+  if (common::approx_equal(fraction_.value(), kSpot3T4.value())) {
     return "A_{3T/4}";
   }
-  if (common::approx_equal(fraction_, kSpotT2)) {
+  if (common::approx_equal(fraction_.value(), kSpotT2.value())) {
     return "A_{T/2}";
   }
-  if (common::approx_equal(fraction_, kSpotT4)) {
+  if (common::approx_equal(fraction_.value(), kSpotT4.value())) {
     return "A_{T/4}";
   }
-  return common::format("A_{%.3fT}", fraction_);
+  return common::format("A_{%.3fT}", fraction_.value());
 }
 
-FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, double selling_discount) {
+FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, Fraction selling_discount) {
   return FixedSpotSelling(type, kSpot3T4, selling_discount);
 }
 
-FixedSpotSelling make_a_t2(const pricing::InstanceType& type, double selling_discount) {
+FixedSpotSelling make_a_t2(const pricing::InstanceType& type, Fraction selling_discount) {
   return FixedSpotSelling(type, kSpotT2, selling_discount);
 }
 
-FixedSpotSelling make_a_t4(const pricing::InstanceType& type, double selling_discount) {
+FixedSpotSelling make_a_t4(const pricing::InstanceType& type, Fraction selling_discount) {
   return FixedSpotSelling(type, kSpotT4, selling_discount);
 }
 

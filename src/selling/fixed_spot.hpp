@@ -7,9 +7,9 @@
 namespace rimarket::selling {
 
 /// Decision fractions used by the paper.
-inline constexpr double kSpot3T4 = 0.75;
-inline constexpr double kSpotT2 = 0.50;
-inline constexpr double kSpotT4 = 0.25;
+inline constexpr Fraction kSpot3T4{0.75};
+inline constexpr Fraction kSpotT2{0.50};
+inline constexpr Fraction kSpotT4{0.25};
 
 /// A_{fT}: when a reservation's age reaches f*T, sell it iff its working
 /// time so far is below beta(f) = f*a*R / (p*(1-alpha)) (paper Eq. (9) and
@@ -17,31 +17,32 @@ inline constexpr double kSpotT4 = 0.25;
 class FixedSpotSelling final : public SellPolicy {
  public:
   /// `fraction` is f in (0,1); `selling_discount` is the user-chosen a.
-  FixedSpotSelling(const pricing::InstanceType& type, double fraction, double selling_discount);
+  FixedSpotSelling(const pricing::InstanceType& type, Fraction fraction,
+                   Fraction selling_discount);
 
   void decide(Hour now, fleet::ReservationLedger& ledger,
               std::vector<fleet::ReservationId>& to_sell) override;
   std::string name() const override;
 
   /// Break-even working time beta(f) in hours for this configuration.
-  double break_even_hours() const { return break_even_hours_; }
+  Hours break_even_hours() const { return break_even_hours_; }
   /// Age (hours) at which the decision is taken.
   Hour decision_age_hours() const { return decision_age_; }
-  double fraction() const { return fraction_; }
+  Fraction fraction() const { return fraction_; }
 
   /// The per-instance rule, exposed for advisors and tests: sell iff the
   /// instance worked fewer than beta(f) hours in its first f*T hours.
   bool should_sell(Hour worked_hours) const;
 
  private:
-  double fraction_;
-  double break_even_hours_;
+  Fraction fraction_;
+  Hours break_even_hours_;
   Hour decision_age_;
 };
 
 /// Paper-named constructors.
-FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, double selling_discount);
-FixedSpotSelling make_a_t2(const pricing::InstanceType& type, double selling_discount);
-FixedSpotSelling make_a_t4(const pricing::InstanceType& type, double selling_discount);
+FixedSpotSelling make_a_3t4(const pricing::InstanceType& type, Fraction selling_discount);
+FixedSpotSelling make_a_t2(const pricing::InstanceType& type, Fraction selling_discount);
+FixedSpotSelling make_a_t4(const pricing::InstanceType& type, Fraction selling_discount);
 
 }  // namespace rimarket::selling

@@ -14,10 +14,10 @@ std::vector<fleet::ReservationId> decide_once(SellPolicy& policy, Hour now,
   return to_sell;
 }
 
-Hour decision_age(Hour term, double fraction) {
+Hour decision_age(Hour term, Fraction fraction) {
   RIMARKET_EXPECTS(term >= 1);
-  RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);
-  const Hour age = static_cast<Hour>(std::llround(fraction * static_cast<double>(term)));
+  RIMARKET_EXPECTS(fraction > Fraction{0.0} && fraction < Fraction{1.0});
+  const Hour age = static_cast<Hour>(std::llround(fraction.value() * static_cast<double>(term)));
   RIMARKET_ENSURES(age >= 1 && age < term);
   return age;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "fleet/ledger.hpp"
 
 namespace rimarket::selling {
@@ -64,6 +65,6 @@ std::vector<fleet::ReservationId> decide_once(SellPolicy& policy, Hour now,
 
 /// Rounds a decision fraction to the discrete decision age in hours.
 /// The paper's spots 3T/4, T/2, T/4 divide the 8760-hour year exactly.
-Hour decision_age(Hour term, double fraction);
+Hour decision_age(Hour term, Fraction fraction);
 
 }  // namespace rimarket::selling

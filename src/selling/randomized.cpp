@@ -6,16 +6,16 @@
 namespace rimarket::selling {
 
 RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
-                                             double selling_discount,
-                                             std::vector<double> fractions, std::uint64_t seed)
+                                             Fraction selling_discount,
+                                             std::vector<Fraction> fractions, std::uint64_t seed)
     : RandomizedSpotSelling(type, selling_discount, fractions,
                             std::vector<double>(fractions.size(),
                                                 1.0 / static_cast<double>(fractions.size())),
                             seed) {}
 
 RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
-                                             double selling_discount,
-                                             std::vector<double> fractions,
+                                             Fraction selling_discount,
+                                             std::vector<Fraction> fractions,
                                              std::vector<double> weights, std::uint64_t seed)
     : rng_(seed) {
   RIMARKET_EXPECTS(type.valid());
@@ -30,8 +30,8 @@ RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
   RIMARKET_EXPECTS(weight_sum > 0.0);
   double cumulative = 0.0;
   for (std::size_t i = 0; i < fractions.size(); ++i) {
-    const double fraction = fractions[i];
-    RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);
+    const Fraction fraction = fractions[i];
+    RIMARKET_EXPECTS(fraction > Fraction{0.0} && fraction < Fraction{1.0});
     choices_.push_back(SpotChoice{decision_age(type.term, fraction),
                                   type.break_even_hours(fraction, selling_discount)});
     cumulative += weights[i] / weight_sum;
@@ -41,7 +41,7 @@ RandomizedSpotSelling::RandomizedSpotSelling(const pricing::InstanceType& type,
 }
 
 RandomizedSpotSelling RandomizedSpotSelling::paper_spots(const pricing::InstanceType& type,
-                                                         double selling_discount,
+                                                         Fraction selling_discount,
                                                          std::uint64_t seed) {
   RIMARKET_EXPECTS(type.valid());
   return RandomizedSpotSelling(type, selling_discount, {kSpotT4, kSpotT2, kSpot3T4}, seed);
@@ -73,7 +73,7 @@ void RandomizedSpotSelling::decide(Hour now, fleet::ReservationLedger& ledger,
     const SpotChoice& choice = choices_[assigned_[slot]];
     const fleet::Reservation& reservation = ledger.get(id);
     if (reservation.age(now) == choice.decision_age &&
-        static_cast<double>(reservation.worked_hours) < choice.break_even_hours) {
+        Hours{reservation.worked_hours} < choice.break_even_hours) {
       to_sell.push_back(id);
     }
   });

@@ -24,19 +24,19 @@ class RandomizedSpotSelling final : public SellPolicy {
  public:
   /// `fractions` must be non-empty, each in (0,1); spots are drawn
   /// uniformly.
-  RandomizedSpotSelling(const pricing::InstanceType& type, double selling_discount,
-                        std::vector<double> fractions, std::uint64_t seed);
+  RandomizedSpotSelling(const pricing::InstanceType& type, Fraction selling_discount,
+                        std::vector<Fraction> fractions, std::uint64_t seed);
 
   /// Weighted variant: `weights` (same length, non-negative, positive sum)
   /// give each spot's probability — e.g. the minimax mixture from
   /// theory::optimize_spot_distribution.
-  RandomizedSpotSelling(const pricing::InstanceType& type, double selling_discount,
-                        std::vector<double> fractions, std::vector<double> weights,
+  RandomizedSpotSelling(const pricing::InstanceType& type, Fraction selling_discount,
+                        std::vector<Fraction> fractions, std::vector<double> weights,
                         std::uint64_t seed);
 
   /// Convenience: the paper's three spots with equal probability.
   static RandomizedSpotSelling paper_spots(const pricing::InstanceType& type,
-                                           double selling_discount, std::uint64_t seed);
+                                           Fraction selling_discount, std::uint64_t seed);
 
   void decide(Hour now, fleet::ReservationLedger& ledger,
               std::vector<fleet::ReservationId>& to_sell) override;
@@ -45,7 +45,7 @@ class RandomizedSpotSelling final : public SellPolicy {
  private:
   struct SpotChoice {
     Hour decision_age = 0;
-    double break_even_hours = 0.0;
+    Hours break_even_hours{0.0};
   };
   static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
 

@@ -17,8 +17,8 @@ std::uint64_t item_seed(const PortfolioConfig& config, std::size_t index) {
 PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
                               const PortfolioConfig& config, const SellerSpec& seller) {
   RIMARKET_EXPECTS(!items.empty());
-  RIMARKET_EXPECTS(config.selling_discount >= 0.0 && config.selling_discount <= 1.0);
-  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
+  // selling_discount and service_fee are Fractions: [0,1] by construction.
+  RIMARKET_EXPECTS(config.service_fee < Fraction{1.0});
   PortfolioResult result;
   result.items.reserve(items.size());
   for (std::size_t index = 0; index < items.size(); ++index) {
@@ -56,9 +56,9 @@ PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
 std::vector<PortfolioComparison> compare_sellers(std::span<const PortfolioItem> items,
                                                  const PortfolioConfig& config,
                                                  std::span<const SellerSpec> sellers) {
-  const SellerSpec keep{SellerKind::kKeepReserved, 0.0};
+  const SellerSpec keep{SellerKind::kKeepReserved, Fraction{0.0}};
   const PortfolioResult keep_result = run_portfolio(items, config, keep);
-  RIMARKET_CHECK_MSG(keep_result.total_cost > 0.0,
+  RIMARKET_CHECK_MSG(keep_result.total_cost > Money{0.0},
                      "a portfolio with demand always has positive keep-reserved cost");
   std::vector<PortfolioComparison> rows;
   rows.reserve(sellers.size() + 1);

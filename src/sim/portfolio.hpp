@@ -26,8 +26,9 @@ struct PortfolioItem {
 
 /// Portfolio-wide economics (applied per item).
 struct PortfolioConfig {
-  double selling_discount = 0.8;
-  double service_fee = 0.0;
+  Fraction selling_discount{0.8};
+  /// Marketplace fee as a fraction of sale income.
+  Fraction service_fee{0.0};
   fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
   /// Reservation-behaviour imitator used to reconstruct each type's
   /// bookings.
@@ -38,7 +39,7 @@ struct PortfolioConfig {
 /// Per-type outcome inside a portfolio run.
 struct PortfolioItemResult {
   std::string type_name;
-  Dollars net_cost = 0.0;
+  Money net_cost{0.0};
   Count reservations_made = 0;
   Count instances_sold = 0;
   Count on_demand_hours = 0;
@@ -46,7 +47,7 @@ struct PortfolioItemResult {
 
 struct PortfolioResult {
   std::vector<PortfolioItemResult> items;
-  Dollars total_cost = 0.0;
+  Money total_cost{0.0};
   Count total_reservations = 0;
   Count total_sold = 0;
 };
@@ -59,7 +60,7 @@ PortfolioResult run_portfolio(std::span<const PortfolioItem> items,
 /// One row per seller: total portfolio cost and the ratio to keep-reserved.
 struct PortfolioComparison {
   SellerSpec seller;
-  Dollars total_cost = 0.0;
+  Money total_cost{0.0};
   double ratio_to_keep = 0.0;
 };
 

@@ -26,9 +26,9 @@ std::string sweep_error_message(const std::vector<UserFailure>& failures) {
 SweepError::SweepError(std::vector<UserFailure> failures)
     : std::runtime_error(sweep_error_message(failures)), failures_(std::move(failures)) {}
 
-std::vector<SellerSpec> paper_sellers(double all_selling_fraction) {
+std::vector<SellerSpec> paper_sellers(Fraction all_selling_fraction) {
   return {
-      SellerSpec{SellerKind::kKeepReserved, 0.0},
+      SellerSpec{SellerKind::kKeepReserved, Fraction{0.0}},
       SellerSpec{SellerKind::kAllSelling, all_selling_fraction},
       SellerSpec{SellerKind::kA3T4, selling::kSpot3T4},
       SellerSpec{SellerKind::kAT2, selling::kSpotT2},
@@ -44,10 +44,8 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
   if (user.trace.length() == 0) {
     throw std::invalid_argument(common::format("user %d has an empty demand trace", user.id));
   }
-  if (spec.sim.selling_discount < 0.0 || spec.sim.selling_discount > 1.0) {
-    throw std::invalid_argument(
-        common::format("selling discount %.4f outside [0,1]", spec.sim.selling_discount));
-  }
+  // The selling discount is a Fraction, so its [0,1] range is guaranteed by
+  // construction — no runtime validation needed here.
   std::vector<ScenarioResult> results;
   results.reserve(spec.purchasers.size() * spec.sellers.size());
   const Hour horizon = spec.sim.effective_horizon(user.trace);

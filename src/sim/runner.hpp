@@ -25,7 +25,7 @@ struct ScenarioResult {
   workload::FluctuationGroup group = workload::FluctuationGroup::kStable;
   purchasing::PurchaserKind purchaser = purchasing::PurchaserKind::kAllReserved;
   SellerSpec seller;
-  Dollars net_cost = 0.0;
+  Money net_cost{0.0};
   Count reservations_made = 0;
   Count instances_sold = 0;
   Count on_demand_hours = 0;
@@ -45,7 +45,7 @@ struct EvaluationSpec {
 
 /// The paper's seller line-up: the three algorithms plus both baselines at
 /// a given all-selling spot.
-std::vector<SellerSpec> paper_sellers(double all_selling_fraction);
+std::vector<SellerSpec> paper_sellers(Fraction all_selling_fraction);
 
 /// One user whose scenarios could not be evaluated.
 struct UserFailure {
@@ -79,8 +79,8 @@ std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
                                      const EvaluationSpec& spec);
 
 /// Runs the sweep for a single user (Table II's case study).  Throws
-/// std::invalid_argument on malformed input (empty trace, discount
-/// outside [0,1]).
+/// std::invalid_argument on malformed input (e.g. an empty trace; the
+/// discount range is enforced by the Fraction type at construction).
 std::vector<ScenarioResult> evaluate_user(const workload::User& user,
                                           const EvaluationSpec& spec);
 

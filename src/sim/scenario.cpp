@@ -14,20 +14,21 @@ namespace rimarket::sim {
 std::string seller_name(const SellerSpec& spec) {
   switch (spec.kind) {
     case SellerKind::kKeepReserved: return "keep-reserved";
-    case SellerKind::kAllSelling: return common::format("all-selling@%.2fT", spec.fraction);
+    case SellerKind::kAllSelling:
+      return common::format("all-selling@%.2fT", spec.fraction.value());
     case SellerKind::kA3T4: return "A_{3T/4}";
     case SellerKind::kAT2: return "A_{T/2}";
     case SellerKind::kAT4: return "A_{T/4}";
     case SellerKind::kRandomizedSpot: return "randomized-spot";
     case SellerKind::kContinuousSpot: return "continuous-spot";
     case SellerKind::kForecastSelling:
-      return common::format("forecast@%.2fT", spec.fraction);
+      return common::format("forecast@%.2fT", spec.fraction.value());
     case SellerKind::kOfflineOptimal: return "offline-optimal";
   }
   RIMARKET_UNREACHABLE("seller kind");
 }
 
-double seller_fraction(const SellerSpec& spec) {
+Fraction seller_fraction(const SellerSpec& spec) {
   switch (spec.kind) {
     case SellerKind::kA3T4: return selling::kSpot3T4;
     case SellerKind::kAT2: return selling::kSpotT2;

@@ -29,7 +29,7 @@ struct SellerSpec {
   SellerKind kind = SellerKind::kKeepReserved;
   /// Decision-spot fraction for kAllSelling (the paper pairs All-selling
   /// with each algorithm's spot); ignored for the other kinds.
-  double fraction = 0.75;
+  Fraction fraction{0.75};
 };
 
 /// Display name ("A_{3T/4}", "all-selling@0.75T", ...).
@@ -45,6 +45,6 @@ std::unique_ptr<selling::SellPolicy> make_seller(const SellerSpec& spec,
                                                  const ReservationStream* stream = nullptr);
 
 /// The decision fraction associated with a paper algorithm kind.
-double seller_fraction(const SellerSpec& spec);
+Fraction seller_fraction(const SellerSpec& spec);
 
 }  // namespace rimarket::sim

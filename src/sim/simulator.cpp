@@ -9,15 +9,15 @@ Hour SimulationConfig::effective_horizon(const workload::DemandTrace& trace) con
   return horizon > 0 ? horizon : trace.length();
 }
 
-Dollars SimulationConfig::sale_income(Hour age) const {
-  const Dollars gross = income_model ? income_model(type, age, selling_discount)
-                                     : type.sale_income(age, selling_discount);
+Money SimulationConfig::sale_income(Hour age) const {
+  const Money gross = income_model ? income_model(type, age, selling_discount)
+                                   : type.sale_income(age, selling_discount);
   // Negative income would flip the sign of Eq. (1)'s s_t*a*rp*R term and
   // make "sell" look like a cost; even custom income models must not do it.
-  RIMARKET_ENSURES(gross >= 0.0);
+  RIMARKET_ENSURES(gross >= Money{0.0});
   // The marketplace fee applies uniformly: custom income models return
   // *gross* income, exactly like the default instant-sale path.
-  return gross * (1.0 - service_fee);
+  return gross * service_fee.complement();
 }
 
 ReservationStream::ReservationStream(std::vector<Count> new_reservations)
@@ -75,11 +75,10 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
                           const SimulationConfig& config, const WorkObserver* observer,
                           NextReservations&& next_reservations) {
   RIMARKET_EXPECTS(config.type.valid());
-  RIMARKET_EXPECTS(config.selling_discount >= 0.0 && config.selling_discount <= 1.0);
-  RIMARKET_EXPECTS(config.service_fee >= 0.0 && config.service_fee < 1.0);
-  RIMARKET_EXPECTS(config.idle_resale_rate >= 0.0);
-  RIMARKET_EXPECTS(config.idle_resale_probability >= 0.0 &&
-                   config.idle_resale_probability <= 1.0);
+  // selling_discount, service_fee and idle_resale_probability are Fractions,
+  // so their [0,1] range is already guaranteed by construction.
+  RIMARKET_EXPECTS(config.service_fee < Fraction{1.0});
+  RIMARKET_EXPECTS(config.idle_resale_rate >= Rate{0.0});
   const Hour horizon = config.effective_horizon(trace);
 
   fleet::ReservationLedger ledger(config.type.term, config.ledger_engine);
@@ -104,7 +103,7 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
     // the policy sees the hour's true fleet.
     const Count active_before_sales = ledger.active_count(t);
     seller.decide(t, ledger, to_sell);
-    Dollars sale_income = 0.0;
+    Money sale_income{0.0};
     for (const fleet::ReservationId id : to_sell) {
       sale_income += config.sale_income(ledger.get(id).age(t));
       ledger.sell(id, t);
@@ -119,10 +118,10 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
         config.type, assignment.on_demand, booked, assignment.active,
         assignment.served_by_reserved, config.charge_policy);
     hour.sale_income += sale_income;
-    if (config.idle_resale_rate > 0.0) {
+    if (config.idle_resale_rate > Rate{0.0}) {
       const Count idle = assignment.active - assignment.served_by_reserved;
-      hour.sale_income += static_cast<double>(idle) * config.idle_resale_rate *
-                          config.idle_resale_probability;
+      hour.sale_income += Money{static_cast<double>(idle) * config.idle_resale_rate.value() *
+                                config.idle_resale_probability.value()};
     }
     fleet::audit_hourly_identity(config.type, hour, assignment.on_demand, booked,
                                  assignment.active, assignment.served_by_reserved,

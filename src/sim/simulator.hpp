@@ -40,18 +40,19 @@ namespace rimarket::sim {
 /// realistic models (fill latency, pro-ration erosion) via
 /// market::make_income_model.
 using IncomeModel =
-    std::function<Dollars(const pricing::InstanceType& type, Hour age, double discount)>;
+    std::function<Money(const pricing::InstanceType& type, Hour age, Fraction discount)>;
 
 /// Economic and accounting knobs of one simulation.
 struct SimulationConfig {
   pricing::InstanceType type;
   /// Seller's marketplace price discount a in [0,1].
-  double selling_discount = 0.8;
-  /// Marketplace service fee on sale income.  0 reproduces the paper's
-  /// Eq. (1) (gross income); Amazon charges 0.12.  Applied uniformly to
-  /// the default instant-sale path *and* any custom `income_model` (which
-  /// must therefore return gross, fee-exclusive income).
-  double service_fee = 0.0;
+  Fraction selling_discount{0.8};
+  /// Marketplace service fee on sale income, as a fraction of the income.
+  /// 0 reproduces the paper's Eq. (1) (gross income); Amazon charges 0.12.
+  /// Applied uniformly to the default instant-sale path *and* any custom
+  /// `income_model` (which must therefore return gross, fee-exclusive
+  /// income).
+  Fraction service_fee{0.0};
   fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kAllActiveHours;
   /// Simulated hours; 0 means the trace length.
   Hour horizon = 0;
@@ -65,8 +66,8 @@ struct SimulationConfig {
   /// alpha*p and p), weighted by the probability a lessee shows up.  0
   /// disables the mechanism (the paper's setting: Amazon does not support
   /// hour reselling, which is why it studies whole-contract sales).
-  double idle_resale_rate = 0.0;
-  double idle_resale_probability = 1.0;
+  Rate idle_resale_rate{0.0};
+  Fraction idle_resale_probability{1.0};
   /// Ledger implementation (see fleet::LedgerEngine).  kNaive is the
   /// retained reference engine; equivalence tests and the perf harness
   /// run both and assert byte-identical results.
@@ -76,7 +77,7 @@ struct SimulationConfig {
 
   /// Net (post-fee) income for selling a reservation aged `age` under
   /// this config.
-  Dollars sale_income(Hour age) const;
+  Money sale_income(Hour age) const;
 };
 
 /// A fixed per-hour stream of new reservations (the n_t input).
@@ -112,7 +113,7 @@ struct SimulationResult {
   /// Per-hour series; empty unless requested in the config.
   std::vector<fleet::CostBreakdown> hourly;
 
-  Dollars net_cost() const { return totals.net(); }
+  Money net_cost() const { return totals.net(); }
 };
 
 /// Observer of which reservations worked each hour (offline planner hook).

@@ -10,7 +10,7 @@ namespace rimarket::theory {
 
 namespace {
 
-Hour spot_hour(const pricing::InstanceType& type, double fraction) {
+Hour spot_hour(const pricing::InstanceType& type, Fraction fraction) {
   return selling::decision_age(type.term, fraction);
 }
 
@@ -21,7 +21,7 @@ Hour epsilon_hour(const pricing::InstanceType& type, double epsilon) {
 
 }  // namespace
 
-WorkSchedule case1_schedule(const pricing::InstanceType& type, double fraction, double epsilon) {
+WorkSchedule case1_schedule(const pricing::InstanceType& type, Fraction fraction, double epsilon) {
   RIMARKET_EXPECTS(type.valid());
   const Hour spot = spot_hour(type, fraction);
   const Hour until = epsilon_hour(type, epsilon);
@@ -33,7 +33,7 @@ WorkSchedule case1_schedule(const pricing::InstanceType& type, double fraction, 
   return worked;
 }
 
-WorkSchedule case2_schedule(const pricing::InstanceType& type, double fraction, double epsilon) {
+WorkSchedule case2_schedule(const pricing::InstanceType& type, Fraction fraction, double epsilon) {
   RIMARKET_EXPECTS(type.valid());
   const Hour spot = spot_hour(type, fraction);
   const Hour until = epsilon_hour(type, epsilon);
@@ -45,7 +45,7 @@ WorkSchedule case2_schedule(const pricing::InstanceType& type, double fraction, 
   return worked;
 }
 
-WorkSchedule utilization_schedule(const pricing::InstanceType& type, double fraction,
+WorkSchedule utilization_schedule(const pricing::InstanceType& type, Fraction fraction,
                                   double pre_spot_utilization, double epsilon) {
   RIMARKET_EXPECTS(type.valid());
   RIMARKET_EXPECTS(pre_spot_utilization >= 0.0 && pre_spot_utilization <= 1.0);

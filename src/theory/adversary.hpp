@@ -21,18 +21,18 @@ namespace rimarket::theory {
 
 /// Case-1 worst case: idle before the spot (forcing a sale), then fully
 /// busy from f*T to epsilon*T.  epsilon in [f, 1].
-WorkSchedule case1_schedule(const pricing::InstanceType& type, double fraction, double epsilon);
+WorkSchedule case1_schedule(const pricing::InstanceType& type, Fraction fraction, double epsilon);
 
 /// Case-2 worst case: fully busy before the spot (forcing a keep), idle
 /// afterwards except busy again on [f*T, epsilon*T).  epsilon = f gives the
 /// proof's extreme (no demand at all after the spot).
-WorkSchedule case2_schedule(const pricing::InstanceType& type, double fraction, double epsilon);
+WorkSchedule case2_schedule(const pricing::InstanceType& type, Fraction fraction, double epsilon);
 
 /// Schedule busy on [0, epsilon*T) with the given utilization before the
 /// spot — a knob for scanning both sides of the break-even point.
 /// `pre_spot_utilization` in [0,1] selects how many of the first f*T hours
 /// are worked (spread evenly).
-WorkSchedule utilization_schedule(const pricing::InstanceType& type, double fraction,
+WorkSchedule utilization_schedule(const pricing::InstanceType& type, Fraction fraction,
                                   double pre_spot_utilization, double epsilon);
 
 /// Random schedule: each hour worked independently with probability

@@ -9,35 +9,35 @@ namespace rimarket::theory {
 
 namespace {
 
-double min_fraction(std::span<const double> fractions) {
+Fraction min_fraction(std::span<const Fraction> fractions) {
   RIMARKET_EXPECTS(!fractions.empty());
   return *std::min_element(fractions.begin(), fractions.end());
 }
 
 }  // namespace
 
-Dollars randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
-                                 std::span<const double> fractions) {
+Money randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                               std::span<const Fraction> fractions) {
   RIMARKET_EXPECTS(!fractions.empty());
-  Dollars total = 0.0;
-  for (const double fraction : fractions) {
+  Money total{0.0};
+  for (const Fraction fraction : fractions) {
     total += model.online_cost(worked, fraction);
   }
   return total / static_cast<double>(fractions.size());
 }
 
 double randomized_empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
-                                  std::span<const double> fractions) {
+                                  std::span<const Fraction> fractions) {
   const Hour window =
       selling::decision_age(model.type.term, min_fraction(fractions));
   const OptimalSale opt = optimal_sale(model, worked, window);
-  RIMARKET_CHECK_MSG(opt.cost > 0.0, "optimum includes the upfront fee");
+  RIMARKET_CHECK_MSG(opt.cost > Money{0.0}, "optimum includes the upfront fee");
   return randomized_expected_cost(model, worked, fractions) / opt.cost;
 }
 
 RandomizedVerification verify_randomized(const pricing::InstanceType& type,
-                                         double selling_discount,
-                                         std::span<const double> fractions,
+                                         Fraction selling_discount,
+                                         std::span<const Fraction> fractions,
                                          const VerificationSpec& spec) {
   RIMARKET_EXPECTS(type.valid());
   RIMARKET_EXPECTS(!fractions.empty());
@@ -53,24 +53,26 @@ RandomizedVerification verify_randomized(const pricing::InstanceType& type,
 
   auto consider = [&](const WorkSchedule& schedule) {
     const OptimalSale opt = optimal_sale(model, schedule, window);
-    RIMARKET_CHECK(opt.cost > 0.0);
+    RIMARKET_CHECK(opt.cost > Money{0.0});
     double expected = 0.0;
     for (std::size_t i = 0; i < fractions.size(); ++i) {
-      const Dollars cost = model.online_cost(schedule, fractions[i]);
-      expected += cost;
+      const Money cost = model.online_cost(schedule, fractions[i]);
+      expected += cost.value();
       result.deterministic_max_ratios[i] =
           std::max(result.deterministic_max_ratios[i], cost / opt.cost);
     }
     expected /= static_cast<double>(fractions.size());
-    result.randomized_max_ratio = std::max(result.randomized_max_ratio, expected / opt.cost);
+    result.randomized_max_ratio =
+        std::max(result.randomized_max_ratio, expected / opt.cost.value());
   };
 
   // The same adversarial families as the deterministic verification,
   // scanned per member fraction (an adversary may target any of them).
-  for (const double target : fractions) {
+  for (const Fraction target : fractions) {
     for (int step = 0; step < spec.epsilon_steps; ++step) {
-      const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
-                                          static_cast<double>(spec.epsilon_steps - 1);
+      const double epsilon = target.value() + (1.0 - target.value()) *
+                                                  static_cast<double>(step) /
+                                                  static_cast<double>(spec.epsilon_steps - 1);
       consider(case1_schedule(type, target, epsilon));
       consider(case2_schedule(type, target, epsilon));
     }
@@ -78,8 +80,9 @@ RandomizedVerification verify_randomized(const pricing::InstanceType& type,
       const double utilization =
           static_cast<double>(u) / static_cast<double>(spec.utilization_steps - 1);
       for (int step = 0; step < spec.epsilon_steps; ++step) {
-        const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
-                                            static_cast<double>(spec.epsilon_steps - 1);
+        const double epsilon = target.value() + (1.0 - target.value()) *
+                                                    static_cast<double>(step) /
+                                                    static_cast<double>(spec.epsilon_steps - 1);
         consider(utilization_schedule(type, target, utilization, epsilon));
       }
     }
@@ -98,28 +101,28 @@ RandomizedVerification verify_randomized(const pricing::InstanceType& type,
   return result;
 }
 
-Dollars weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
-                               std::span<const double> fractions,
-                               std::span<const double> weights) {
+Money weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                             std::span<const Fraction> fractions,
+                             std::span<const double> weights) {
   RIMARKET_EXPECTS(fractions.size() == weights.size());
   RIMARKET_EXPECTS(!fractions.empty());
   double weight_sum = 0.0;
-  Dollars total = 0.0;
+  double total = 0.0;
   for (std::size_t i = 0; i < fractions.size(); ++i) {
     RIMARKET_EXPECTS(weights[i] >= 0.0);
     weight_sum += weights[i];
-    total += weights[i] * model.online_cost(worked, fractions[i]);
+    total += weights[i] * model.online_cost(worked, fractions[i]).value();
   }
   RIMARKET_EXPECTS(weight_sum > 0.99 && weight_sum < 1.01);
-  return total / weight_sum;
+  return Money{total / weight_sum};
 }
 
 namespace {
 
 /// Per-schedule, per-spot cost/OPT ratio matrix from the adversarial scan.
 std::vector<std::vector<double>> ratio_matrix(const pricing::InstanceType& type,
-                                              double selling_discount,
-                                              std::span<const double> fractions,
+                                              Fraction selling_discount,
+                                              std::span<const Fraction> fractions,
                                               const VerificationSpec& spec) {
   SingleInstanceModel model;
   model.type = type;
@@ -130,18 +133,19 @@ std::vector<std::vector<double>> ratio_matrix(const pricing::InstanceType& type,
   std::vector<std::vector<double>> rows;
   auto consider = [&](const WorkSchedule& schedule) {
     const OptimalSale opt = optimal_sale(model, schedule, window);
-    RIMARKET_CHECK(opt.cost > 0.0);
+    RIMARKET_CHECK(opt.cost > Money{0.0});
     std::vector<double> row;
     row.reserve(fractions.size());
-    for (const double fraction : fractions) {
+    for (const Fraction fraction : fractions) {
       row.push_back(model.online_cost(schedule, fraction) / opt.cost);
     }
     rows.push_back(std::move(row));
   };
-  for (const double target : fractions) {
+  for (const Fraction target : fractions) {
     for (int step = 0; step < spec.epsilon_steps; ++step) {
-      const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
-                                          static_cast<double>(spec.epsilon_steps - 1);
+      const double epsilon = target.value() + (1.0 - target.value()) *
+                                                  static_cast<double>(step) /
+                                                  static_cast<double>(spec.epsilon_steps - 1);
       consider(case1_schedule(type, target, epsilon));
       consider(case2_schedule(type, target, epsilon));
     }
@@ -149,8 +153,9 @@ std::vector<std::vector<double>> ratio_matrix(const pricing::InstanceType& type,
       const double utilization =
           static_cast<double>(u) / static_cast<double>(spec.utilization_steps - 1);
       for (int step = 0; step < spec.epsilon_steps; ++step) {
-        const double epsilon = target + (1.0 - target) * static_cast<double>(step) /
-                                            static_cast<double>(spec.epsilon_steps - 1);
+        const double epsilon = target.value() + (1.0 - target.value()) *
+                                                    static_cast<double>(step) /
+                                                    static_cast<double>(spec.epsilon_steps - 1);
         consider(utilization_schedule(type, target, utilization, epsilon));
       }
     }
@@ -212,8 +217,8 @@ void scan_simplex(const std::vector<std::vector<double>>& matrix, std::size_t di
 }  // namespace
 
 SpotDistribution optimize_spot_distribution(const pricing::InstanceType& type,
-                                            double selling_discount,
-                                            std::span<const double> fractions,
+                                            Fraction selling_discount,
+                                            std::span<const Fraction> fractions,
                                             const VerificationSpec& spec, int iterations) {
   RIMARKET_EXPECTS(!fractions.empty());
   RIMARKET_EXPECTS(iterations >= 1);

@@ -30,12 +30,12 @@
 namespace rimarket::theory {
 
 /// E_{f~uniform(fractions)}[ C_{A_fT}(worked) ].
-Dollars randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
-                                 std::span<const double> fractions);
+Money randomized_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                               std::span<const Fraction> fractions);
 
 /// Expected-cost ratio against the windowed optimum (window from min(F)).
 double randomized_empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
-                                  std::span<const double> fractions);
+                                  std::span<const Fraction> fractions);
 
 /// Outcome of an adversarial scan for the randomized policy on one type.
 struct RandomizedVerification {
@@ -55,8 +55,8 @@ struct RandomizedVerification {
 /// cases.  All ratios use the common [min(F)*T, T] OPT window so they are
 /// directly comparable.
 RandomizedVerification verify_randomized(const pricing::InstanceType& type,
-                                         double selling_discount,
-                                         std::span<const double> fractions,
+                                         Fraction selling_discount,
+                                         std::span<const Fraction> fractions,
                                          const VerificationSpec& spec);
 
 // ----------------------------------------------------------------------
@@ -74,12 +74,12 @@ RandomizedVerification verify_randomized(const pricing::InstanceType& type,
 // the 2-4 spot designs of interest and dependency-free.
 
 /// E_{f~w}[cost] with explicit weights (must sum to ~1).
-Dollars weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
-                               std::span<const double> fractions,
-                               std::span<const double> weights);
+Money weighted_expected_cost(const SingleInstanceModel& model, const WorkSchedule& worked,
+                             std::span<const Fraction> fractions,
+                             std::span<const double> weights);
 
 struct SpotDistribution {
-  std::vector<double> fractions;
+  std::vector<Fraction> fractions;
   std::vector<double> weights;     ///< optimal mixture, sums to 1
   double minimax_ratio = 0.0;      ///< r(w*) over the scanned schedules
   double uniform_ratio = 0.0;      ///< r(uniform) on the same schedules
@@ -89,8 +89,8 @@ struct SpotDistribution {
 /// over the adversarial schedule families.  `iterations` controls the
 /// multiplicative-weights solve.
 SpotDistribution optimize_spot_distribution(const pricing::InstanceType& type,
-                                            double selling_discount,
-                                            std::span<const double> fractions,
+                                            Fraction selling_discount,
+                                            std::span<const Fraction> fractions,
                                             const VerificationSpec& spec,
                                             int iterations = 400);
 

@@ -6,37 +6,43 @@
 
 namespace rimarket::theory {
 
-CompetitiveBound competitive_bound(double fraction, double alpha, double a, double theta_max) {
-  RIMARKET_EXPECTS(fraction > 0.0 && fraction < 1.0);
-  RIMARKET_EXPECTS(alpha >= 0.0 && alpha < 1.0);
-  RIMARKET_EXPECTS(a >= 0.0 && a <= 1.0);
+CompetitiveBound competitive_bound(Fraction fraction, Fraction alpha, Fraction a,
+                                   double theta_max) {
+  RIMARKET_EXPECTS(fraction > Fraction{0.0} && fraction < Fraction{1.0});
+  RIMARKET_EXPECTS(alpha < Fraction{1.0});
   RIMARKET_EXPECTS(theta_max > 0.0);
-  const double tail = 1.0 - fraction;  // (1-f), the remaining fraction at the spot
-  RIMARKET_EXPECTS(tail * a < 1.0);
+  const double tail = 1.0 - fraction.value();  // (1-f), the remaining fraction at the spot
+  RIMARKET_EXPECTS(tail * a.value() < 1.0);
   CompetitiveBound bound;
-  bound.primary = 1.0 + tail * theta_max * (1.0 - alpha) - tail * a;
-  bound.secondary = 1.0 / (1.0 - tail * a);
+  bound.primary = 1.0 + tail * theta_max * (1.0 - alpha.value()) - tail * a.value();
+  bound.secondary = 1.0 / (1.0 - tail * a.value());
   bound.guaranteed = std::max(bound.primary, bound.secondary);
   bound.primary_dominates = bound.primary >= bound.secondary;
   return bound;
 }
 
-CompetitiveBound bound_a3t4(double alpha, double a, double theta_max) {
-  return competitive_bound(0.75, alpha, a, theta_max);
+CompetitiveBound bound_a3t4(Fraction alpha, Fraction a, double theta_max) {
+  return competitive_bound(Fraction{0.75}, alpha, a, theta_max);
 }
 
-CompetitiveBound bound_at2(double alpha, double a, double theta_max) {
-  return competitive_bound(0.50, alpha, a, theta_max);
+CompetitiveBound bound_at2(Fraction alpha, Fraction a, double theta_max) {
+  return competitive_bound(Fraction{0.50}, alpha, a, theta_max);
 }
 
-CompetitiveBound bound_at4(double alpha, double a, double theta_max) {
-  return competitive_bound(0.25, alpha, a, theta_max);
+CompetitiveBound bound_at4(Fraction alpha, Fraction a, double theta_max) {
+  return competitive_bound(Fraction{0.25}, alpha, a, theta_max);
 }
 
-double ratio_a3t4(double alpha, double a) { return 2.0 - alpha - a / 4.0; }
+double ratio_a3t4(Fraction alpha, Fraction a) {
+  return 2.0 - alpha.value() - a.value() / 4.0;
+}
 
-double ratio_at2(double alpha, double a) { return 3.0 - 2.0 * alpha - a / 2.0; }
+double ratio_at2(Fraction alpha, Fraction a) {
+  return 3.0 - 2.0 * alpha.value() - a.value() / 2.0;
+}
 
-double ratio_at4(double alpha, double a) { return 4.0 - 3.0 * alpha - 3.0 * a / 4.0; }
+double ratio_at4(Fraction alpha, Fraction a) {
+  return 4.0 - 3.0 * alpha.value() - 3.0 * a.value() / 4.0;
+}
 
 }  // namespace rimarket::theory

@@ -20,6 +20,8 @@
 // (k+1)/k with k = 4*(1-f).
 #pragma once
 
+#include "common/units.hpp"
+
 namespace rimarket::theory {
 
 /// Both case bounds and the overall guarantee for one configuration.
@@ -37,18 +39,19 @@ struct CompetitiveBound {
 
 /// General bound for a decision spot at fraction f in (0,1).
 /// Requires alpha in [0,1), a in [0,1], theta_max > 0, and
-/// (1-f)*a < 1 so the secondary bound is finite.
-CompetitiveBound competitive_bound(double fraction, double alpha, double a,
+/// (1-f)*a < 1 so the secondary bound is finite.  The resulting ratios are
+/// dimensionless, so the bound fields stay plain double.
+CompetitiveBound competitive_bound(Fraction fraction, Fraction alpha, Fraction a,
                                    double theta_max = 4.0);
 
 /// Paper-named specializations (Propositions 1-3).
-CompetitiveBound bound_a3t4(double alpha, double a, double theta_max = 4.0);
-CompetitiveBound bound_at2(double alpha, double a, double theta_max = 4.0);
-CompetitiveBound bound_at4(double alpha, double a, double theta_max = 4.0);
+CompetitiveBound bound_a3t4(Fraction alpha, Fraction a, double theta_max = 4.0);
+CompetitiveBound bound_at2(Fraction alpha, Fraction a, double theta_max = 4.0);
+CompetitiveBound bound_at4(Fraction alpha, Fraction a, double theta_max = 4.0);
 
 /// The headline formulas, exactly as printed in the paper.
-double ratio_a3t4(double alpha, double a);  ///< 2 - alpha - a/4
-double ratio_at2(double alpha, double a);   ///< 3 - 2*alpha - a/2
-double ratio_at4(double alpha, double a);   ///< 4 - 3*alpha - 3*a/4
+double ratio_a3t4(Fraction alpha, Fraction a);  ///< 2 - alpha - a/4
+double ratio_at2(Fraction alpha, Fraction a);   ///< 3 - 2*alpha - a/2
+double ratio_at4(Fraction alpha, Fraction a);   ///< 4 - 3*alpha - 3*a/4
 
 }  // namespace rimarket::theory

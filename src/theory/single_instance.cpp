@@ -20,12 +20,12 @@ std::vector<Hour> worked_prefix(const WorkSchedule& worked) {
 
 }  // namespace
 
-Dollars SingleInstanceModel::sale_income(Hour sell_at) const {
+Money SingleInstanceModel::sale_income(Hour sell_at) const {
   RIMARKET_EXPECTS(sell_at >= 0 && sell_at <= type.term);
-  return type.sale_income(sell_at, selling_discount) * (1.0 - service_fee);
+  return type.sale_income(sell_at, selling_discount) * service_fee.complement();
 }
 
-Dollars SingleInstanceModel::cost_with_sale(const WorkSchedule& worked, Hour sell_at) const {
+Money SingleInstanceModel::cost_with_sale(const WorkSchedule& worked, Hour sell_at) const {
   RIMARKET_EXPECTS(static_cast<Hour>(worked.size()) == type.term);
   RIMARKET_EXPECTS(sell_at >= 0 && sell_at <= type.term);
   Hour worked_before = 0;
@@ -37,15 +37,16 @@ Dollars SingleInstanceModel::cost_with_sale(const WorkSchedule& worked, Hour sel
   }
   const Hour billed_before =
       charge_policy == fleet::ChargePolicy::kAllActiveHours ? sell_at : worked_before;
-  Dollars cost = type.upfront + static_cast<double>(billed_before) * type.reserved_hourly +
-                 static_cast<double>(worked_after) * type.on_demand_hourly;
+  double cost = type.upfront.value() +
+                static_cast<double>(billed_before) * type.reserved_hourly.value() +
+                static_cast<double>(worked_after) * type.on_demand_hourly.value();
   if (sell_at < type.term) {
-    cost -= sale_income(sell_at);
+    cost -= sale_income(sell_at).value();
   }
-  return cost;
+  return Money{cost};
 }
 
-bool SingleInstanceModel::online_sells(const WorkSchedule& worked, double fraction) const {
+bool SingleInstanceModel::online_sells(const WorkSchedule& worked, Fraction fraction) const {
   RIMARKET_EXPECTS(static_cast<Hour>(worked.size()) == type.term);
   const Hour spot = selling::decision_age(type.term, fraction);
   Hour worked_before = 0;
@@ -54,11 +55,11 @@ bool SingleInstanceModel::online_sells(const WorkSchedule& worked, double fracti
       ++worked_before;
     }
   }
-  const double beta = type.break_even_hours(fraction, selling_discount);
-  return static_cast<double>(worked_before) < beta;
+  const Hours beta = type.break_even_hours(fraction, selling_discount);
+  return Hours{worked_before} < beta;
 }
 
-Dollars SingleInstanceModel::online_cost(const WorkSchedule& worked, double fraction) const {
+Money SingleInstanceModel::online_cost(const WorkSchedule& worked, Fraction fraction) const {
   const Hour spot = selling::decision_age(type.term, fraction);
   const Hour sell_at = online_sells(worked, fraction) ? spot : type.term;
   return cost_with_sale(worked, sell_at);
@@ -82,10 +83,10 @@ OptimalSale optimal_sale(const SingleInstanceModel& model, const WorkSchedule& w
     const Hour worked_after = total_worked - worked_before;
     const Hour billed_before =
         model.charge_policy == fleet::ChargePolicy::kAllActiveHours ? t : worked_before;
-    const Dollars cost = model.type.upfront +
-                         static_cast<double>(billed_before) * model.type.reserved_hourly +
-                         static_cast<double>(worked_after) * model.type.on_demand_hourly -
-                         model.sale_income(t);
+    const Money cost{model.type.upfront.value() +
+                     static_cast<double>(billed_before) * model.type.reserved_hourly.value() +
+                     static_cast<double>(worked_after) * model.type.on_demand_hourly.value() -
+                     model.sale_income(t).value()};
     if (cost < best.cost) {
       best.cost = cost;
       best.sell_at = t;
@@ -95,11 +96,12 @@ OptimalSale optimal_sale(const SingleInstanceModel& model, const WorkSchedule& w
 }
 
 double empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
-                       double fraction) {
-  const Dollars online = model.online_cost(worked, fraction);
+                       Fraction fraction) {
+  const Money online = model.online_cost(worked, fraction);
   const Hour spot = selling::decision_age(model.type.term, fraction);
   const OptimalSale opt = optimal_sale(model, worked, /*earliest_sell=*/spot);
-  RIMARKET_CHECK_MSG(opt.cost > 0.0, "per-instance optimum includes the upfront fee, so > 0");
+  RIMARKET_CHECK_MSG(opt.cost > Money{0.0},
+                     "per-instance optimum includes the upfront fee, so > 0");
   return online / opt.cost;
 }
 

@@ -31,32 +31,32 @@ using WorkSchedule = std::vector<bool>;
 struct SingleInstanceModel {
   pricing::InstanceType type;
   /// Seller's price discount a in [0,1].
-  double selling_discount = 0.8;
-  /// Marketplace service fee applied to sale income (0 reproduces the
-  /// paper's Eq. (1); Amazon charges 0.12).
-  double service_fee = 0.0;
+  Fraction selling_discount{0.8};
+  /// Marketplace service fee, as a fraction of the sale income (0 reproduces
+  /// the paper's Eq. (1); Amazon charges 0.12).
+  Fraction service_fee{0.0};
   fleet::ChargePolicy charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
 
   /// Net income from selling at hour `sell_at` of the instance's life.
-  Dollars sale_income(Hour sell_at) const;
+  Money sale_income(Hour sell_at) const;
 
   /// Cost when the instance is sold at `sell_at` (demand at/after that hour
   /// goes to on-demand).  Pass sell_at == type.term for "never sold".
-  Dollars cost_with_sale(const WorkSchedule& worked, Hour sell_at) const;
+  Money cost_with_sale(const WorkSchedule& worked, Hour sell_at) const;
 
   /// Cost of the paper's A_{fT} rule on this schedule: at hour f*T sell iff
   /// hours worked in [0, f*T) are below beta(f).
-  Dollars online_cost(const WorkSchedule& worked, double fraction) const;
+  Money online_cost(const WorkSchedule& worked, Fraction fraction) const;
 
   /// Whether A_{fT} sells this schedule.
-  bool online_sells(const WorkSchedule& worked, double fraction) const;
+  bool online_sells(const WorkSchedule& worked, Fraction fraction) const;
 };
 
 /// Clairvoyant optimum for one schedule.
 struct OptimalSale {
   /// Best hour to sell; type.term means "keep to the end".
   Hour sell_at = 0;
-  Dollars cost = 0.0;
+  Money cost{0.0};
   bool sells() const { return sell_at >= 0; }
 };
 
@@ -79,6 +79,6 @@ OptimalSale optimal_sale(const SingleInstanceModel& model, const WorkSchedule& w
 /// Always >= 1 up to rounding, since the windowed optimum can reproduce
 /// both of the online rule's outcomes.
 double empirical_ratio(const SingleInstanceModel& model, const WorkSchedule& worked,
-                       double fraction);
+                       Fraction fraction);
 
 }  // namespace rimarket::theory

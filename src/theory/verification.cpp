@@ -7,8 +7,8 @@
 
 namespace rimarket::theory {
 
-VerificationResult verify_bound(const pricing::InstanceType& type, double fraction,
-                                double selling_discount, const VerificationSpec& spec) {
+VerificationResult verify_bound(const pricing::InstanceType& type, Fraction fraction,
+                                Fraction selling_discount, const VerificationSpec& spec) {
   RIMARKET_EXPECTS(type.valid());
   RIMARKET_EXPECTS(spec.epsilon_steps >= 2);
   RIMARKET_EXPECTS(spec.utilization_steps >= 2);
@@ -20,9 +20,9 @@ VerificationResult verify_bound(const pricing::InstanceType& type, double fracti
   model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
 
   VerificationResult result;
-  result.fraction = fraction;
-  result.alpha = type.alpha();
-  result.selling_discount = selling_discount;
+  result.fraction = fraction.value();
+  result.alpha = type.alpha().value();
+  result.selling_discount = selling_discount.value();
   result.theta = type.theta();
   // The paper evaluates the bound at the family statistic theta_max = 4
   // (valid for standard 1-yr Linux US-East).  Instances outside that family
@@ -43,8 +43,8 @@ VerificationResult verify_bound(const pricing::InstanceType& type, double fracti
   // The two proof cases, scanned over epsilon in [f, 1].
   for (int step = 0; step < spec.epsilon_steps; ++step) {
     const double epsilon =
-        fraction + (1.0 - fraction) * static_cast<double>(step) /
-                       static_cast<double>(spec.epsilon_steps - 1);
+        fraction.value() + (1.0 - fraction.value()) * static_cast<double>(step) /
+                               static_cast<double>(spec.epsilon_steps - 1);
     consider(case1_schedule(type, fraction, epsilon),
              common::format("case1(eps=%.3f)", epsilon));
     consider(case2_schedule(type, fraction, epsilon),
@@ -57,8 +57,8 @@ VerificationResult verify_bound(const pricing::InstanceType& type, double fracti
         static_cast<double>(u) / static_cast<double>(spec.utilization_steps - 1);
     for (int step = 0; step < spec.epsilon_steps; ++step) {
       const double epsilon =
-          fraction + (1.0 - fraction) * static_cast<double>(step) /
-                         static_cast<double>(spec.epsilon_steps - 1);
+          fraction.value() + (1.0 - fraction.value()) * static_cast<double>(step) /
+                                 static_cast<double>(spec.epsilon_steps - 1);
       consider(utilization_schedule(type, fraction, utilization, epsilon),
                common::format("util(u=%.2f, eps=%.3f)", utilization, epsilon));
     }
@@ -82,12 +82,12 @@ VerificationResult verify_bound(const pricing::InstanceType& type, double fracti
 }
 
 std::vector<VerificationResult> verify_catalog(std::span<const pricing::InstanceType> types,
-                                               double selling_discount,
+                                               Fraction selling_discount,
                                                const VerificationSpec& spec) {
   std::vector<VerificationResult> results;
   results.reserve(types.size() * 3);
   for (const pricing::InstanceType& type : types) {
-    for (const double fraction : {0.25, 0.5, 0.75}) {
+    for (const Fraction fraction : {Fraction{0.25}, Fraction{0.5}, Fraction{0.75}}) {
       results.push_back(verify_bound(type, fraction, selling_discount, spec));
     }
   }

@@ -18,10 +18,11 @@
 namespace rimarket::theory {
 
 /// One verification run's outcome for a single (algorithm, instance) pair.
+/// A report-only struct: fields are plain doubles (stats boundary).
 struct VerificationResult {
   double fraction = 0.0;       ///< decision spot f
-  double alpha = 0.0;          ///< reservation discount of the instance
-  double selling_discount = 0.0;
+  double alpha = 0.0;          ///< lint-allow(units-in-api): report-only echo
+  double selling_discount = 0.0;  // lint-allow(units-in-api): report-only echo
   double theta = 0.0;          ///< p*T/R of the instance
   double max_ratio = 0.0;      ///< worst empirical ratio observed
   double bound = 0.0;          ///< closed-form guarantee at theta_max = 4
@@ -42,12 +43,12 @@ struct VerificationSpec {
 
 /// Scans adversarial and random schedules for A_{fT} on `type` and returns
 /// the worst ratio found together with the theoretical bound.
-VerificationResult verify_bound(const pricing::InstanceType& type, double fraction,
-                                double selling_discount, const VerificationSpec& spec);
+VerificationResult verify_bound(const pricing::InstanceType& type, Fraction fraction,
+                                Fraction selling_discount, const VerificationSpec& spec);
 
 /// Verifies all three paper algorithms on every instance in a list.
 std::vector<VerificationResult> verify_catalog(std::span<const pricing::InstanceType> types,
-                                               double selling_discount,
+                                               Fraction selling_discount,
                                                const VerificationSpec& spec);
 
 }  // namespace rimarket::theory

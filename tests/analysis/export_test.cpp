@@ -13,8 +13,8 @@ sim::ScenarioResult sample_scenario() {
   result.user_id = 7;
   result.group = workload::FluctuationGroup::kModerate;
   result.purchaser = purchasing::PurchaserKind::kWangOnline;
-  result.seller = sim::SellerSpec{sim::SellerKind::kA3T4, 0.75};
-  result.net_cost = 1234.5678;
+  result.seller = sim::SellerSpec{sim::SellerKind::kA3T4, Fraction{0.75}};
+  result.net_cost = Money{1234.5678};
   result.reservations_made = 9;
   result.instances_sold = 4;
   result.on_demand_hours = 321;
@@ -46,7 +46,7 @@ TEST(Export, ScenariosRoundTrip) {
     EXPECT_EQ((*parsed)[i].user_id, results[i].user_id);
     EXPECT_EQ((*parsed)[i].seller.kind, results[i].seller.kind);
     EXPECT_EQ((*parsed)[i].purchaser, results[i].purchaser);
-    EXPECT_NEAR((*parsed)[i].net_cost, results[i].net_cost, 1e-4);
+    EXPECT_NEAR((*parsed)[i].net_cost.value(), results[i].net_cost.value(), 1e-4);
     EXPECT_EQ((*parsed)[i].instances_sold, results[i].instances_sold);
   }
 }
@@ -68,9 +68,9 @@ TEST(Export, NormalizedCsv) {
   entry.user_id = 3;
   entry.group = workload::FluctuationGroup::kHigh;
   entry.purchaser = purchasing::PurchaserKind::kAllReserved;
-  entry.seller = sim::SellerSpec{sim::SellerKind::kAT4, 0.25};
-  entry.net_cost = 80.0;
-  entry.keep_cost = 100.0;
+  entry.seller = sim::SellerSpec{sim::SellerKind::kAT4, Fraction{0.25}};
+  entry.net_cost = Money{80.0};
+  entry.keep_cost = Money{100.0};
   entry.ratio = 0.8;
   const std::vector<NormalizedResult> normalized{entry};
   const std::string csv = normalized_to_csv(normalized);

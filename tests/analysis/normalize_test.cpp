@@ -7,13 +7,13 @@ namespace {
 
 sim::ScenarioResult scenario(int user, workload::FluctuationGroup group,
                              purchasing::PurchaserKind purchaser, sim::SellerKind seller,
-                             Dollars cost) {
+                             double cost) {
   sim::ScenarioResult result;
   result.user_id = user;
   result.group = group;
   result.purchaser = purchaser;
-  result.seller = sim::SellerSpec{seller, 0.75};
-  result.net_cost = cost;
+  result.seller = sim::SellerSpec{seller, Fraction{0.75}};
+  result.net_cost = Money{cost};
   return result;
 }
 
@@ -54,8 +54,8 @@ TEST(Normalize, KeepsJoinKeys) {
   EXPECT_EQ(normalized[2].purchaser, purchasing::PurchaserKind::kWangOnline);
   EXPECT_EQ(normalized[3].user_id, 1);
   EXPECT_EQ(normalized[3].group, workload::FluctuationGroup::kHigh);
-  EXPECT_DOUBLE_EQ(normalized[3].keep_cost, 50.0);
-  EXPECT_DOUBLE_EQ(normalized[3].net_cost, 25.0);
+  EXPECT_DOUBLE_EQ(normalized[3].keep_cost.value(), 50.0);
+  EXPECT_DOUBLE_EQ(normalized[3].net_cost.value(), 25.0);
 }
 
 TEST(Normalize, DropsScenariosWithNonpositiveBaseline) {
@@ -74,9 +74,9 @@ TEST(Normalize, DropsScenariosWithNonpositiveBaseline) {
 
 TEST(SelectSeller, FiltersByKind) {
   const auto normalized = normalize_to_keep(sample_results());
-  const auto a34 = select_seller(normalized, {sim::SellerKind::kA3T4, 0.75});
+  const auto a34 = select_seller(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}});
   EXPECT_EQ(a34.size(), 3u);
-  const auto at2 = select_seller(normalized, {sim::SellerKind::kAT2, 0.50});
+  const auto at2 = select_seller(normalized, {sim::SellerKind::kAT2, Fraction{0.50}});
   EXPECT_EQ(at2.size(), 1u);
 }
 
@@ -88,14 +88,14 @@ TEST(SelectSeller, AllSellingComparesFraction) {
   sim::ScenarioResult all_75 = scenario(0, workload::FluctuationGroup::kStable,
                                         purchasing::PurchaserKind::kAllReserved,
                                         sim::SellerKind::kAllSelling, 9.0);
-  all_75.seller.fraction = 0.75;
+  all_75.seller.fraction = Fraction{0.75};
   sim::ScenarioResult all_25 = all_75;
-  all_25.seller.fraction = 0.25;
+  all_25.seller.fraction = Fraction{0.25};
   results.push_back(all_75);
   results.push_back(all_25);
   const auto normalized = normalize_to_keep(results);
-  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, 0.75}).size(), 1u);
-  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, 0.25}).size(), 1u);
+  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, Fraction{0.75}}).size(), 1u);
+  EXPECT_EQ(select_seller(normalized, {sim::SellerKind::kAllSelling, Fraction{0.25}}).size(), 1u);
 }
 
 TEST(SelectGroup, FiltersByGroup) {
@@ -114,7 +114,7 @@ TEST(Ratios, ExtractsColumn) {
 
 TEST(PerUserRatios, AveragesAcrossPurchasers) {
   const auto normalized = normalize_to_keep(sample_results());
-  const auto per_user = per_user_ratios(normalized, {sim::SellerKind::kA3T4, 0.75});
+  const auto per_user = per_user_ratios(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}});
   // User 0: (0.9 + 0.75)/2; user 1: 0.5.
   ASSERT_EQ(per_user.size(), 2u);
   EXPECT_NEAR(per_user[0], 0.825, 1e-12);

@@ -39,18 +39,18 @@ NormalizedResult entry(int user, workload::FluctuationGroup group, sim::SellerSp
   result.purchaser = purchasing::PurchaserKind::kAllReserved;
   result.seller = seller;
   result.ratio = ratio;
-  result.keep_cost = 100.0;
-  result.net_cost = 100.0 * ratio;
+  result.keep_cost = Money{100.0};
+  result.net_cost = Money{100.0 * ratio};
   return result;
 }
 
 std::vector<NormalizedResult> full_grid() {
   std::vector<NormalizedResult> normalized;
   const sim::SellerSpec sellers[] = {
-      {sim::SellerKind::kA3T4, 0.75},
-      {sim::SellerKind::kAT2, 0.50},
-      {sim::SellerKind::kAT4, 0.25},
-      {sim::SellerKind::kAllSelling, 0.75},
+      {sim::SellerKind::kA3T4, Fraction{0.75}},
+      {sim::SellerKind::kAT2, Fraction{0.50}},
+      {sim::SellerKind::kAT4, Fraction{0.25}},
+      {sim::SellerKind::kAllSelling, Fraction{0.75}},
   };
   int user = 0;
   for (const auto group :
@@ -71,8 +71,8 @@ std::vector<NormalizedResult> full_grid() {
 
 TEST(Reports, Fig3PanelShowsAlgorithmAndBaseline) {
   const auto normalized = helpers::full_grid();
-  const std::string panel = render_fig3_panel(normalized, {sim::SellerKind::kA3T4, 0.75},
-                                              {sim::SellerKind::kAllSelling, 0.75});
+  const std::string panel = render_fig3_panel(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}},
+                                              {sim::SellerKind::kAllSelling, Fraction{0.75}});
   EXPECT_NE(panel.find("A_{3T/4}"), std::string::npos);
   EXPECT_NE(panel.find("all-selling@0.75T"), std::string::npos);
   EXPECT_NE(panel.find("%saving"), std::string::npos);
@@ -95,8 +95,8 @@ TEST(Reports, Table2ShowsAllFourColumns) {
                           sim::SellerKind::kAT4, sim::SellerKind::kKeepReserved}) {
     sim::ScenarioResult result;
     result.user_id = 42;
-    result.seller = sim::SellerSpec{kind, 0.75};
-    result.net_cost = 9.4e4;
+    result.seller = sim::SellerSpec{kind, Fraction{0.75}};
+    result.net_cost = Money{9.4e4};
     results.push_back(result);
   }
   const std::string table = render_table2(results, 42);

@@ -39,10 +39,10 @@ NormalizedResult entry(int user, workload::FluctuationGroup group, sim::SellerKi
   result.user_id = user;
   result.group = group;
   result.purchaser = purchasing::PurchaserKind::kAllReserved;
-  result.seller = sim::SellerSpec{seller, 0.75};
+  result.seller = sim::SellerSpec{seller, Fraction{0.75}};
   result.ratio = ratio;
-  result.keep_cost = 1.0;
-  result.net_cost = ratio;
+  result.keep_cost = Money{1.0};
+  result.net_cost = Money{ratio};
   return result;
 }
 
@@ -55,13 +55,13 @@ TEST(GroupAverage, PerGroupMeans) {
       entry(1, workload::FluctuationGroup::kStable, sim::SellerKind::kA3T4, 1.0),
       entry(2, workload::FluctuationGroup::kHigh, sim::SellerKind::kA3T4, 0.5),
   };
-  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, 0.75},
+  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}},
                             workload::FluctuationGroup::kStable),
               0.9, 1e-12);
-  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, 0.75},
+  EXPECT_NEAR(group_average(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}},
                             workload::FluctuationGroup::kHigh),
               0.5, 1e-12);
-  EXPECT_NEAR(overall_average(normalized, {sim::SellerKind::kA3T4, 0.75}),
+  EXPECT_NEAR(overall_average(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}}),
               (0.8 + 1.0 + 0.5) / 3.0, 1e-12);
 }
 
@@ -72,7 +72,7 @@ TEST(RatioCdf, BuildsPerUserCdf) {
       entry(1, workload::FluctuationGroup::kStable, sim::SellerKind::kAT2, 0.8),
       entry(2, workload::FluctuationGroup::kStable, sim::SellerKind::kAT2, 1.2),
   };
-  const common::EmpiricalCdf cdf = ratio_cdf(normalized, {sim::SellerKind::kAT2, 0.5});
+  const common::EmpiricalCdf cdf = ratio_cdf(normalized, {sim::SellerKind::kAT2, Fraction{0.5}});
   EXPECT_EQ(cdf.size(), 3u);
   EXPECT_NEAR(cdf.at(1.0), 2.0 / 3.0, 1e-12);
 }

@@ -1,0 +1,126 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+
+namespace rimarket {
+namespace {
+
+// --- zero-overhead guarantee ------------------------------------------
+// Each wrapper is exactly one double wide and trivially copyable, so it
+// passes in registers and vectorizes like the raw double it replaced.
+static_assert(sizeof(Money) == sizeof(double));
+static_assert(sizeof(Rate) == sizeof(double));
+static_assert(sizeof(Hours) == sizeof(double));
+static_assert(sizeof(Fraction) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Money>);
+static_assert(std::is_trivially_copyable_v<Rate>);
+static_assert(std::is_trivially_copyable_v<Hours>);
+static_assert(std::is_trivially_copyable_v<Fraction>);
+
+// No implicit conversions in either direction: a raw double cannot sneak
+// into a Money slot and a Money cannot decay back to double.
+static_assert(!std::is_convertible_v<double, Money>);
+static_assert(!std::is_convertible_v<Money, double>);
+static_assert(!std::is_convertible_v<double, Fraction>);
+static_assert(!std::is_convertible_v<Fraction, double>);
+static_assert(!std::is_convertible_v<Money, Rate>);
+static_assert(!std::is_convertible_v<Rate, Money>);
+
+// --- compile-time algebra ---------------------------------------------
+// Every operation is constexpr; these identities are proved at build time.
+static_assert(Money{2.0} + Money{3.0} == Money{5.0});
+static_assert(Money{5.0} - Money{3.0} == Money{2.0});
+static_assert(-Money{2.0} == Money{0.0} - Money{2.0});
+static_assert(Money{10.0} * 3.0 == Money{30.0});
+static_assert(3.0 * Money{10.0} == Money{30.0});
+static_assert(Money{10.0} * Fraction{0.25} == Money{2.5});
+static_assert(Fraction{0.25} * Money{10.0} == Money{2.5});
+static_assert(Money{10.0} / 4.0 == Money{2.5});
+static_assert(Money{10.0} / Money{4.0} == 2.5);
+static_assert(Money{1.0} < Money{2.0});
+
+static_assert(Rate{1.5} * Hours{2.0} == Money{3.0});
+static_assert(Hours{2.0} * Rate{1.5} == Money{3.0});
+static_assert(Money{3.0} / Rate{1.5} == Hours{2.0});
+static_assert(Money{3.0} / Hours{2.0} == Rate{1.5});
+static_assert(Rate{1.0} * Fraction{0.3} == Rate{0.3});
+static_assert(Fraction{0.3} * Rate{1.0} == Rate{0.3});
+static_assert(Rate{2.0} + Rate{1.0} == Rate{3.0});
+static_assert(Rate{0.5} / Rate{2.0} == 0.25);
+
+static_assert(Hours{1.0} + Hours{2.0} == Hours{3.0});
+static_assert(Hours{3.0} - Hours{2.0} == Hours{1.0});
+static_assert(Hours{2.0} * 3.0 == Hours{6.0});
+static_assert(Hours{8.0} * Fraction{0.75} == Hours{6.0});
+static_assert(Hours{4.0} / Hours{2.0} == 2.0);
+static_assert(Hours{Hour{5}} == Hours{5.0});
+
+static_assert(Fraction{0.5} * Fraction{0.5} == Fraction{0.25});
+static_assert(Fraction{0.25}.complement() == Fraction{0.75});
+static_assert(Fraction{0.0} < Fraction{1.0});
+static_assert(Fraction{0.0}.value() == 0.0);  // boundary values are legal
+static_assert(Fraction{1.0}.value() == 1.0);
+
+// Eq. (1) spelled in the algebra, one hour of each term with p=1, R=20,
+// alpha=0.25, a=0.8, rp=1/2:
+//   C = o*p + n*R + r*alpha*p - s*a*rp*R = 1 + 20 + 0.25 - 8.
+constexpr Rate kOnDemand{1.0};
+constexpr Money kUpfront{20.0};
+constexpr Money kEqOne = kOnDemand * Hours{1.0} + kUpfront +
+                         (kOnDemand * Fraction{0.25}) * Hours{1.0} -
+                         Fraction{0.8} * (Fraction{0.5} * kUpfront);
+static_assert(kEqOne == Money{1.0 + 20.0 + 0.25 - 8.0});
+
+// The break-even identity beta = f*a*R / (p*(1-alpha)) has dimension time.
+constexpr Hours kBreakEven =
+    Fraction{0.75} * (Fraction{0.8} * kUpfront) / (kOnDemand * Fraction{0.25}.complement());
+static_assert(kBreakEven == Hours{0.75 * (0.8 * 20.0) / (1.0 * 0.75)});
+
+TEST(Units, CompoundAssignmentAccumulates) {
+  Money total{0.0};
+  total += Money{2.5};
+  total += Money{1.5};
+  EXPECT_EQ(total, Money{4.0});
+  total -= Money{1.0};
+  EXPECT_EQ(total, Money{3.0});
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(Money{}.value(), 0.0);
+  EXPECT_EQ(Rate{}.value(), 0.0);
+  EXPECT_EQ(Hours{}.value(), 0.0);
+  EXPECT_EQ(Fraction{}.value(), 0.0);
+}
+
+TEST(Units, ArithmeticIsBitExactWithRawDoubles) {
+  // The wrappers must not perturb a single bit relative to the raw-double
+  // expressions they replaced (the golden-regression test relies on this).
+  const double p = 0.690;
+  const double upfront = 3997.0;
+  const double alpha = 0.4529;
+  const Money wrapped =
+      Rate{p} * Hours{123.0} + Money{upfront} * Fraction{alpha} - Money{17.25};
+  const double raw = p * 123.0 + upfront * alpha - 17.25;
+  EXPECT_EQ(wrapped.value(), raw);  // exact, not NEAR
+}
+
+using UnitsDeathTest = ::testing::Test;
+
+TEST(UnitsDeathTest, FractionRejectsValueAboveOne) {
+  EXPECT_DEATH(Fraction{1.0000001}, "precondition failed");
+}
+
+TEST(UnitsDeathTest, FractionRejectsNegativeValue) {
+  EXPECT_DEATH(Fraction{-0.1}, "precondition failed");
+}
+
+TEST(UnitsDeathTest, FractionRejectsNan) {
+  // NaN fails both comparisons, so the contract traps it too.
+  EXPECT_DEATH(Fraction{std::numeric_limits<double>::quiet_NaN()}, "precondition failed");
+}
+
+}  // namespace
+}  // namespace rimarket

@@ -13,23 +13,23 @@ const pricing::InstanceType& d2() {
 
 TEST(CostBreakdown, NetSubtractsSaleIncome) {
   CostBreakdown cost;
-  cost.on_demand = 10.0;
-  cost.upfront = 100.0;
-  cost.reserved_hourly = 5.0;
-  cost.sale_income = 20.0;
-  EXPECT_DOUBLE_EQ(cost.net(), 95.0);
+  cost.on_demand = Money{10.0};
+  cost.upfront = Money{100.0};
+  cost.reserved_hourly = Money{5.0};
+  cost.sale_income = Money{20.0};
+  EXPECT_DOUBLE_EQ(cost.net().value(), 95.0);
 }
 
 TEST(CostBreakdown, AdditionIsComponentwise) {
-  CostBreakdown a{1.0, 2.0, 3.0, 4.0};
-  const CostBreakdown b{10.0, 20.0, 30.0, 40.0};
+  CostBreakdown a{Money{1.0}, Money{2.0}, Money{3.0}, Money{4.0}};
+  const CostBreakdown b{Money{10.0}, Money{20.0}, Money{30.0}, Money{40.0}};
   const CostBreakdown sum = a + b;
-  EXPECT_DOUBLE_EQ(sum.on_demand, 11.0);
-  EXPECT_DOUBLE_EQ(sum.upfront, 22.0);
-  EXPECT_DOUBLE_EQ(sum.reserved_hourly, 33.0);
-  EXPECT_DOUBLE_EQ(sum.sale_income, 44.0);
+  EXPECT_DOUBLE_EQ(sum.on_demand.value(), 11.0);
+  EXPECT_DOUBLE_EQ(sum.upfront.value(), 22.0);
+  EXPECT_DOUBLE_EQ(sum.reserved_hourly.value(), 33.0);
+  EXPECT_DOUBLE_EQ(sum.sale_income.value(), 44.0);
   a += b;
-  EXPECT_DOUBLE_EQ(a.net(), sum.net());
+  EXPECT_DOUBLE_EQ(a.net().value(), sum.net().value());
 }
 
 TEST(HourlyCost, MatchesEquationOne) {
@@ -37,41 +37,41 @@ TEST(HourlyCost, MatchesEquationOne) {
   const CostBreakdown cost = hourly_cost(d2(), /*on_demand=*/3, /*new_reservations=*/2,
                                          /*active_reserved=*/5, /*worked_reserved=*/4,
                                          ChargePolicy::kAllActiveHours);
-  EXPECT_NEAR(cost.on_demand, 3 * 0.69, 1e-12);
-  EXPECT_NEAR(cost.upfront, 2 * 1506.0, 1e-12);
-  EXPECT_NEAR(cost.reserved_hourly, 5 * 0.1725, 1e-12);
-  EXPECT_DOUBLE_EQ(cost.sale_income, 0.0);
+  EXPECT_NEAR(cost.on_demand.value(), 3 * 0.69, 1e-12);
+  EXPECT_NEAR(cost.upfront.value(), 2 * 1506.0, 1e-12);
+  EXPECT_NEAR(cost.reserved_hourly.value(), 5 * 0.1725, 1e-12);
+  EXPECT_DOUBLE_EQ(cost.sale_income.value(), 0.0);
 }
 
 TEST(HourlyCost, WorkedHoursOnlyBillsWorkers) {
   const CostBreakdown cost = hourly_cost(d2(), 0, 0, /*active=*/5, /*worked=*/2,
                                          ChargePolicy::kWorkedHoursOnly);
-  EXPECT_NEAR(cost.reserved_hourly, 2 * 0.1725, 1e-12);
+  EXPECT_NEAR(cost.reserved_hourly.value(), 2 * 0.1725, 1e-12);
 }
 
 TEST(HourlyCost, AllZeroIsFree) {
   const CostBreakdown cost = hourly_cost(d2(), 0, 0, 0, 0, ChargePolicy::kAllActiveHours);
-  EXPECT_DOUBLE_EQ(cost.net(), 0.0);
+  EXPECT_DOUBLE_EQ(cost.net().value(), 0.0);
 }
 
 TEST(CostLedger, AccumulatesTotals) {
   CostLedger ledger;
-  ledger.record(0, CostBreakdown{1.0, 0.0, 0.0, 0.0});
-  ledger.record(1, CostBreakdown{2.0, 10.0, 0.5, 3.0});
-  EXPECT_DOUBLE_EQ(ledger.totals().on_demand, 3.0);
-  EXPECT_DOUBLE_EQ(ledger.totals().upfront, 10.0);
-  EXPECT_DOUBLE_EQ(ledger.net_cost(), 3.0 + 10.0 + 0.5 - 3.0);
+  ledger.record(0, CostBreakdown{Money{1.0}, Money{0.0}, Money{0.0}, Money{0.0}});
+  ledger.record(1, CostBreakdown{Money{2.0}, Money{10.0}, Money{0.5}, Money{3.0}});
+  EXPECT_DOUBLE_EQ(ledger.totals().on_demand.value(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.totals().upfront.value(), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.net_cost().value(), 3.0 + 10.0 + 0.5 - 3.0);
   EXPECT_TRUE(ledger.hourly().empty());  // series disabled by default
 }
 
 TEST(CostLedger, HourlySeriesWhenEnabled) {
   CostLedger ledger(/*keep_hourly_series=*/true);
-  ledger.record(0, CostBreakdown{1.0, 0.0, 0.0, 0.0});
-  ledger.record(2, CostBreakdown{0.0, 5.0, 0.0, 0.0});
+  ledger.record(0, CostBreakdown{Money{1.0}, Money{0.0}, Money{0.0}, Money{0.0}});
+  ledger.record(2, CostBreakdown{Money{0.0}, Money{5.0}, Money{0.0}, Money{0.0}});
   ASSERT_EQ(ledger.hourly().size(), 3u);
-  EXPECT_DOUBLE_EQ(ledger.hourly()[0].on_demand, 1.0);
-  EXPECT_DOUBLE_EQ(ledger.hourly()[1].net(), 0.0);
-  EXPECT_DOUBLE_EQ(ledger.hourly()[2].upfront, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.hourly()[0].on_demand.value(), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.hourly()[1].net().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.hourly()[2].upfront.value(), 5.0);
 }
 
 TEST(CostLedger, EventCounters) {

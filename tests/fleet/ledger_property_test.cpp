@@ -19,7 +19,7 @@ namespace rimarket::fleet {
 namespace {
 
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 void expect_same_reservation(const Reservation& a, const Reservation& b, Hour t) {
@@ -102,13 +102,13 @@ TEST(LedgerEquivalence, FullSimulationsAreByteIdentical) {
 
     sim::SimulationConfig config;
     config.type = tiny_type();
-    config.selling_discount = 0.8;
-    config.service_fee = 0.12;
+    config.selling_discount = Fraction{0.8};
+    config.service_fee = Fraction{0.12};
     config.keep_hourly_series = true;
 
     // Two sellers with identical seeds so their random draws line up.
-    auto fast_seller = selling::RandomizedSpotSelling::paper_spots(config.type, 0.8, seed);
-    auto slow_seller = selling::RandomizedSpotSelling::paper_spots(config.type, 0.8, seed);
+    auto fast_seller = selling::RandomizedSpotSelling::paper_spots(config.type, Fraction{0.8}, seed);
+    auto slow_seller = selling::RandomizedSpotSelling::paper_spots(config.type, Fraction{0.8}, seed);
     config.ledger_engine = LedgerEngine::kOptimized;
     const auto fast = sim::simulate(trace, stream, fast_seller, config);
     config.ledger_engine = LedgerEngine::kNaive;
@@ -146,10 +146,10 @@ TEST(LedgerEquivalence, DeterministicSellerMatchesToo) {
       sim::ReservationStream::generate(trace, purchaser, trace.length(), tiny_type().term);
   sim::SimulationConfig config;
   config.type = tiny_type();
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
 
-  selling::FixedSpotSelling fast_seller(config.type, 0.75, 0.8);
-  selling::FixedSpotSelling slow_seller(config.type, 0.75, 0.8);
+  selling::FixedSpotSelling fast_seller(config.type, Fraction{0.75}, Fraction{0.8});
+  selling::FixedSpotSelling slow_seller(config.type, Fraction{0.75}, Fraction{0.8});
   config.ledger_engine = LedgerEngine::kOptimized;
   const auto fast = sim::simulate(trace, stream, fast_seller, config);
   config.ledger_engine = LedgerEngine::kNaive;

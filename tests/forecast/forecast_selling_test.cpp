@@ -11,18 +11,18 @@ namespace {
 
 // Small instance: p=1, R=20, alpha=0.25, T=40h.
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 ForecastSelling make_policy(double fraction = 0.75) {
-  return ForecastSelling(tiny_type(), fraction, 0.8,
+  return ForecastSelling(tiny_type(), Fraction{fraction}, Fraction{0.8},
                          std::make_unique<EwmaForecaster>(0.2));
 }
 
 TEST(ForecastSelling, ForwardBreakEvenMatchesFormula) {
   const ForecastSelling policy = make_policy(0.75);
   // beta_fwd = (1-f)*a*R / (p*(1-alpha)) = 0.25*0.8*20/0.75.
-  EXPECT_NEAR(policy.forward_break_even_hours(), 0.25 * 0.8 * 20.0 / 0.75, 1e-9);
+  EXPECT_NEAR(policy.forward_break_even_hours().value(), 0.25 * 0.8 * 20.0 / 0.75, 1e-9);
 }
 
 TEST(ForecastSelling, ExpectedUtilizationClamps) {
@@ -94,8 +94,8 @@ TEST(ForecastSelling, MisledByDelayedOnset) {
   const sim::ReservationStream stream{std::vector<Count>{1}};
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
-  ForecastSelling policy(type, 0.75, 0.8, std::make_unique<EwmaForecaster>(0.2));
+  config.selling_discount = Fraction{0.8};
+  ForecastSelling policy(type, Fraction{0.75}, Fraction{0.8}, std::make_unique<EwmaForecaster>(0.2));
   const sim::SimulationResult result = sim::simulate(trace, stream, policy, config);
   EXPECT_EQ(result.instances_sold, 1);
   EXPECT_EQ(result.on_demand_hours, 9);

@@ -34,7 +34,7 @@ TEST_P(CatalogSweep, BreakEvenWithinDecisionWindow) {
   const pricing::InstanceType& type = GetParam();
   for (const double fraction : {0.25, 0.5, 0.75}) {
     for (const double a : {0.2, 0.5, 0.8, 1.0}) {
-      const double beta = type.break_even_hours(fraction, a);
+      const double beta = type.break_even_hours(Fraction{fraction}, Fraction{a}).value();
       EXPECT_GT(beta, 0.0) << type.name;
       EXPECT_LT(beta, fraction * static_cast<double>(type.term)) << type.name << " a=" << a;
     }
@@ -43,13 +43,13 @@ TEST_P(CatalogSweep, BreakEvenWithinDecisionWindow) {
 
 TEST_P(CatalogSweep, SaleIncomeMonotoneInElapsedTime) {
   const pricing::InstanceType& type = GetParam();
-  Dollars previous = type.sale_income(0, 0.8);
+  Money previous = type.sale_income(0, Fraction{0.8});
   for (Hour elapsed = type.term / 8; elapsed <= type.term; elapsed += type.term / 8) {
-    const Dollars income = type.sale_income(elapsed, 0.8);
+    const Money income = type.sale_income(elapsed, Fraction{0.8});
     EXPECT_LT(income, previous) << type.name;
     previous = income;
   }
-  EXPECT_NEAR(type.sale_income(type.term, 0.8), 0.0, 1e-9);
+  EXPECT_NEAR(type.sale_income(type.term, Fraction{0.8}).value(), 0.0, 1e-9);
 }
 
 TEST_P(CatalogSweep, SellingIdleReservationAlwaysSavesUnderEqOne) {
@@ -65,11 +65,11 @@ TEST_P(CatalogSweep, SellingIdleReservationAlwaysSavesUnderEqOne) {
   const sim::ReservationStream stream{std::vector<Count>{1}};
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   selling::KeepReservedPolicy keep;
-  const Dollars keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
+  const Money keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
   for (const double fraction : {0.25, 0.5, 0.75}) {
-    selling::FixedSpotSelling seller(type, fraction, 0.8);
+    selling::FixedSpotSelling seller(type, Fraction{fraction}, Fraction{0.8});
     const auto result = sim::simulate(trace, stream, seller, config);
     EXPECT_EQ(result.instances_sold, 1) << type.name << " f=" << fraction;
     EXPECT_LT(result.net_cost(), keep_cost) << type.name << " f=" << fraction;
@@ -83,9 +83,9 @@ TEST_P(CatalogSweep, FullyBusyReservationNeverSold) {
   const sim::ReservationStream stream{std::vector<Count>{1}};
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   for (const double fraction : {0.25, 0.5, 0.75}) {
-    selling::FixedSpotSelling seller(type, fraction, 0.8);
+    selling::FixedSpotSelling seller(type, Fraction{fraction}, Fraction{0.8});
     EXPECT_EQ(sim::simulate(trace, stream, seller, config).instances_sold, 0)
         << type.name << " f=" << fraction;
   }
@@ -101,16 +101,17 @@ TEST_P(CatalogSweep, CostComponentsReconcile) {
   const sim::ReservationStream stream{std::vector<Count>{2}};
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
-  selling::FixedSpotSelling seller(type, 0.5, 0.8);
+  config.selling_discount = Fraction{0.8};
+  selling::FixedSpotSelling seller(type, Fraction{0.5}, Fraction{0.8});
   const auto result = sim::simulate(trace, stream, seller, config);
-  EXPECT_GE(result.totals.on_demand, 0.0);
-  EXPECT_GE(result.totals.upfront, 0.0);
-  EXPECT_GE(result.totals.reserved_hourly, 0.0);
-  EXPECT_GE(result.totals.sale_income, 0.0);
-  EXPECT_NEAR(result.net_cost(),
-              result.totals.on_demand + result.totals.upfront +
-                  result.totals.reserved_hourly - result.totals.sale_income,
+  EXPECT_GE(result.totals.on_demand, Money{0.0});
+  EXPECT_GE(result.totals.upfront, Money{0.0});
+  EXPECT_GE(result.totals.reserved_hourly, Money{0.0});
+  EXPECT_GE(result.totals.sale_income, Money{0.0});
+  EXPECT_NEAR(result.net_cost().value(),
+              (result.totals.on_demand + result.totals.upfront +
+               result.totals.reserved_hourly - result.totals.sale_income)
+                  .value(),
               1e-9);
 }
 

@@ -23,7 +23,7 @@ namespace {
 
 // Small instance: p=1, R=20, alpha=0.25, T=40h.
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 /// Turns a single-instance work schedule into a demand trace: the instance
@@ -41,16 +41,16 @@ class SimVsTheory : public ::testing::TestWithParam<double> {};
 TEST_P(SimVsTheory, OnlineCostsAgreeOnRandomSchedules) {
   const double fraction = GetParam();
   const pricing::InstanceType type = tiny_type();
-  const Hour spot = selling::decision_age(type.term, fraction);
+  const Hour spot = selling::decision_age(type.term, Fraction{fraction});
 
   theory::SingleInstanceModel model;
   model.type = type;
-  model.selling_discount = 0.8;
+  model.selling_discount = Fraction{0.8};
   model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
 
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   config.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
 
   common::Rng rng(31);
@@ -63,13 +63,13 @@ TEST_P(SimVsTheory, OnlineCostsAgreeOnRandomSchedules) {
         theory::random_schedule(type, rng.uniform01(), rng);
     const workload::DemandTrace trace = schedule_to_trace(schedule);
     const sim::ReservationStream stream{std::vector<Count>{1}};
-    selling::FixedSpotSelling seller(type, fraction, 0.8);
+    selling::FixedSpotSelling seller(type, Fraction{fraction}, Fraction{0.8});
     const sim::SimulationResult run = sim::simulate(trace, stream, seller, config);
-    const Dollars analytic = model.online_cost(schedule, fraction);
-    EXPECT_NEAR(run.net_cost(), analytic, 1e-9)
+    const Money analytic = model.online_cost(schedule, Fraction{fraction});
+    EXPECT_NEAR(run.net_cost().value(), analytic.value(), 1e-9)
         << "fraction=" << fraction << " trial=" << trial;
     // The sell decision itself must agree too.
-    EXPECT_EQ(run.instances_sold == 1, model.online_sells(schedule, fraction));
+    EXPECT_EQ(run.instances_sold == 1, model.online_sells(schedule, Fraction{fraction}));
     ++checked;
   }
   EXPECT_EQ(checked, 200);
@@ -88,20 +88,20 @@ TEST(SimVsTheory, AllActiveBillingMatchesExactly) {
   const pricing::InstanceType type = tiny_type();
   theory::SingleInstanceModel model;
   model.type = type;
-  model.selling_discount = 0.8;
+  model.selling_discount = Fraction{0.8};
   model.charge_policy = fleet::ChargePolicy::kAllActiveHours;
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   config.charge_policy = fleet::ChargePolicy::kAllActiveHours;
 
   const theory::WorkSchedule idle(40, false);
   const workload::DemandTrace trace = schedule_to_trace(idle);
   const sim::ReservationStream stream{std::vector<Count>{1}};
-  selling::FixedSpotSelling seller(type, 0.75, 0.8);
+  selling::FixedSpotSelling seller(type, Fraction{0.75}, Fraction{0.8});
   const sim::SimulationResult run = sim::simulate(trace, stream, seller, config);
   EXPECT_EQ(run.instances_sold, 1);
-  EXPECT_NEAR(run.net_cost(), model.online_cost(idle, 0.75), 1e-9);
+  EXPECT_NEAR(run.net_cost().value(), model.online_cost(idle, Fraction{0.75}).value(), 1e-9);
 }
 
 // ---------------------------------------------------------------------
@@ -109,7 +109,7 @@ TEST(SimVsTheory, AllActiveBillingMatchesExactly) {
 
 /// Minimum cost over every joint assignment of sell hours (or keep) to the
 /// fleet's reservations, replayed through the real simulator.
-Dollars brute_force_fleet_optimum(const workload::DemandTrace& trace,
+Money brute_force_fleet_optimum(const workload::DemandTrace& trace,
                                   const sim::ReservationStream& stream,
                                   const sim::SimulationConfig& config,
                                   std::span<const Hour> candidate_hours) {
@@ -127,7 +127,7 @@ Dollars brute_force_fleet_optimum(const workload::DemandTrace& trace,
   for (std::size_t i = 0; i < fleet; ++i) {
     combinations *= options;
   }
-  Dollars best = std::numeric_limits<double>::infinity();
+  Money best{std::numeric_limits<double>::infinity()};
   for (std::size_t combo = 0; combo < combinations; ++combo) {
     std::map<fleet::ReservationId, Hour> plan;
     std::size_t rest = combo;
@@ -158,7 +158,7 @@ TEST(BruteForceOptimum, PerInstancePlannerMatchesExactOnSmallFleets) {
   const pricing::InstanceType type = tiny_type();
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
 
   common::Rng rng(17);
   // Full hour grid so the brute-force optimum dominates any plan the
@@ -179,20 +179,20 @@ TEST(BruteForceOptimum, PerInstancePlannerMatchesExactOnSmallFleets) {
     bookings[3] = 1;
     const sim::ReservationStream stream{std::move(bookings)};
 
-    const Dollars exact = brute_force_fleet_optimum(trace, stream, config, candidates);
-    const Dollars planner =
+    const Money exact = brute_force_fleet_optimum(trace, stream, config, candidates);
+    const Money planner =
         sim::simulate_offline_optimal(trace, stream, config).net_cost();
     selling::KeepReservedPolicy keep;
-    const Dollars keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
+    const Money keep_cost = sim::simulate(trace, stream, keep, config).net_cost();
 
     // The per-instance planner is a heuristic benchmark: it cannot beat the
     // exact optimum restricted to the same candidate grid minus grid
     // effects, and must never be worse than keeping everything.
-    EXPECT_LE(planner, keep_cost + 1e-9) << "trial " << trial;
-    EXPECT_GE(planner, exact - 1e-9) << "trial " << trial;
+    EXPECT_LE(planner, keep_cost + Money{1e-9}) << "trial " << trial;
+    EXPECT_GE(planner, exact - Money{1e-9}) << "trial " << trial;
     // And it should capture most of the exact optimum's improvement.
-    const double exact_improvement = keep_cost - exact;
-    const double planner_improvement = keep_cost - planner;
+    const double exact_improvement = (keep_cost - exact).value();
+    const double planner_improvement = (keep_cost - planner).value();
     if (exact_improvement > 1.0) {
       EXPECT_GT(planner_improvement, 0.5 * exact_improvement) << "trial " << trial;
     }
@@ -205,7 +205,7 @@ TEST(BruteForceOptimum, SingleReservationPlannerIsExactOnItsGrid) {
   const pricing::InstanceType type = tiny_type();
   sim::SimulationConfig config;
   config.type = type;
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   std::vector<Hour> all_hours;
   for (Hour h = 0; h < 40; ++h) {
     all_hours.push_back(h);
@@ -218,14 +218,14 @@ TEST(BruteForceOptimum, SingleReservationPlannerIsExactOnItsGrid) {
     }
     const workload::DemandTrace trace{std::move(demand)};
     const sim::ReservationStream stream{std::vector<Count>{1}};
-    const Dollars exact = brute_force_fleet_optimum(trace, stream, config, all_hours);
-    const Dollars planner =
+    const Money exact = brute_force_fleet_optimum(trace, stream, config, all_hours);
+    const Money planner =
         sim::simulate_offline_optimal(trace, stream, config).net_cost();
     // The planner's analytic objective and the simulator now share the
     // same sale semantics — a sale settles at the decision spot, bills
     // [0, sell) and sends the spot hour's demand on-demand — so with one
     // reservation the planner's grid scan is exact, not just near-optimal.
-    EXPECT_NEAR(planner, exact, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(planner.value(), exact.value(), 1e-9) << "trial " << trial;
   }
 }
 

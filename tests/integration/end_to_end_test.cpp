@@ -24,8 +24,8 @@ workload::UserPopulation tiny_population() {
 sim::EvaluationSpec paper_spec() {
   sim::EvaluationSpec spec;
   spec.sim.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
-  spec.sim.selling_discount = 0.8;
-  spec.sellers = sim::paper_sellers(0.75);
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sellers = sim::paper_sellers(Fraction{0.75});
   spec.seed = 3;
   spec.threads = 4;
   return spec;
@@ -57,7 +57,7 @@ TEST_F(EndToEnd, SweepHasFullCoverage) {
 
 TEST_F(EndToEnd, AllCostsFinite) {
   for (const auto& result : *results_) {
-    EXPECT_TRUE(std::isfinite(result.net_cost));
+    EXPECT_TRUE(std::isfinite(result.net_cost.value()));
   }
 }
 
@@ -98,7 +98,7 @@ TEST_F(EndToEnd, NormalizationJoinsEveryScenario) {
   // no bookings -> no cost); all others must normalize.
   EXPECT_GT(normalized.size(), 0u);
   for (const auto& entry : normalized) {
-    EXPECT_GT(entry.keep_cost, 0.0);
+    EXPECT_GT(entry.keep_cost, Money{0.0});
     EXPECT_TRUE(std::isfinite(entry.ratio));
     EXPECT_GE(entry.ratio, 0.0);
   }
@@ -107,8 +107,8 @@ TEST_F(EndToEnd, NormalizationJoinsEveryScenario) {
 TEST_F(EndToEnd, ReportsRenderFromRealData) {
   const auto normalized = analysis::normalize_to_keep(*results_);
   EXPECT_FALSE(analysis::render_table3(normalized).empty());
-  EXPECT_FALSE(analysis::render_fig3_panel(normalized, {sim::SellerKind::kA3T4, 0.75},
-                                           {sim::SellerKind::kAllSelling, 0.75})
+  EXPECT_FALSE(analysis::render_fig3_panel(normalized, {sim::SellerKind::kA3T4, Fraction{0.75}},
+                                           {sim::SellerKind::kAllSelling, Fraction{0.75}})
                    .empty());
   EXPECT_FALSE(
       analysis::render_fig4_panel(normalized, workload::FluctuationGroup::kHigh).empty());

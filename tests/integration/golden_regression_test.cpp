@@ -1,0 +1,77 @@
+// Bit-exact regression against pre-migration goldens.
+//
+// The strong-unit migration (Money/Rate/Hours/Fraction) was done under a
+// "no arithmetic reordering" discipline: every implementation unwraps with
+// .value() preserving the exact double expression the raw-double code
+// evaluated.  These goldens were captured on the tree immediately before
+// the migration; EXPECT_EQ (not NEAR) proves the wrappers changed zero
+// bits of simulator output.
+//
+// If an intentional future change to the cost model moves these numbers,
+// re-capture them with a small driver that prints the same quantities via
+// std::printf("%a") and update the hexfloat constants.
+#include <gtest/gtest.h>
+
+#include "pricing/catalog.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "workload/population.hpp"
+
+namespace rimarket {
+namespace {
+
+TEST(GoldenRegression, EvaluationSweepSumIsBitExact) {
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = 2;
+  pop_spec.trace_hours = 2 * kHoursPerYear;
+  pop_spec.seed = 77;
+  const auto population = workload::UserPopulation::build(pop_spec);
+
+  sim::EvaluationSpec spec;
+  spec.sim.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sim.service_fee = Fraction{0.12};
+  spec.sellers = sim::paper_sellers(Fraction{0.75});
+  spec.seed = 3;
+  spec.threads = 1;
+  const auto results = sim::evaluate(population, spec);
+
+  ASSERT_EQ(results.size(), 120u);
+  Money sum{0.0};
+  for (const auto& result : results) {
+    sum += result.net_cost;
+  }
+  EXPECT_EQ(sum.value(), 0x1.6f608ebba5e8dp+23);  // 12038215.366500163
+}
+
+TEST(GoldenRegression, SingleRunComponentsAreBitExact) {
+  workload::PopulationSpec pop_spec;
+  pop_spec.users_per_group = 2;
+  pop_spec.trace_hours = 2 * kHoursPerYear;
+  pop_spec.seed = 77;
+  const auto population = workload::UserPopulation::build(pop_spec);
+  const workload::User& user = population.users().front();
+
+  sim::SimulationConfig config;
+  config.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+  config.selling_discount = Fraction{0.8};
+  config.service_fee = Fraction{0.12};
+
+  const auto purchaser =
+      purchasing::make_purchaser(purchasing::PurchaserKind::kWangOnline, config.type, 42);
+  const auto stream = sim::ReservationStream::generate(
+      user.trace, *purchaser, config.effective_horizon(user.trace), config.type.term);
+  const auto seller =
+      sim::make_seller({sim::SellerKind::kAllSelling, Fraction{0.75}}, config, 7);
+  const sim::SimulationResult result = sim::simulate(user.trace, stream, *seller, config);
+
+  EXPECT_EQ(result.totals.on_demand.value(), 0x1.378bb851eb725p+16);
+  EXPECT_EQ(result.totals.upfront.value(), 0x1.0e9cp+15);
+  EXPECT_EQ(result.totals.reserved_hourly.value(), 0x1.3161b0a3d6f47p+14);
+  EXPECT_EQ(result.totals.sale_income.value(), 0x1.aeb74bc6a7efap+11);
+  EXPECT_EQ(result.instances_sold, 13);
+  EXPECT_EQ(result.reservations_made, 23);
+}
+
+}  // namespace
+}  // namespace rimarket

@@ -24,8 +24,8 @@ class PaperShape : public ::testing::Test {
 
     sim::EvaluationSpec spec;
     spec.sim.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
-    spec.sim.selling_discount = 0.8;
-    spec.sellers = sim::paper_sellers(0.75);
+    spec.sim.selling_discount = Fraction{0.8};
+    spec.sellers = sim::paper_sellers(Fraction{0.75});
     spec.seed = 1;
     spec.threads = 0;
     results_ = new std::vector<sim::ScenarioResult>(sim::evaluate(*population_, spec));
@@ -54,17 +54,17 @@ TEST_F(PaperShape, AllThreeAlgorithmsSaveOnAverage) {
   // Paper Table III: every algorithm's average normalized cost < 1 overall.
   for (const auto kind :
        {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
-    const double average = analysis::overall_average(*normalized_, {kind, 0.75});
-    EXPECT_LT(average, 1.0) << sim::seller_name({kind, 0.75});
+    const double average = analysis::overall_average(*normalized_, {kind, Fraction{0.75}});
+    EXPECT_LT(average, 1.0) << sim::seller_name({kind, Fraction{0.75}});
     EXPECT_GT(average, 0.3);
   }
 }
 
 TEST_F(PaperShape, EarlierSpotsSaveMoreOnAverage) {
   // Paper Table III: A_{T/4} (0.80) < A_{T/2} (0.86) < A_{3T/4} (0.93).
-  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, 0.75});
-  const double at2 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT2, 0.50});
-  const double at4 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT4, 0.25});
+  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, Fraction{0.75}});
+  const double at2 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT2, Fraction{0.50}});
+  const double at4 = analysis::overall_average(*normalized_, {sim::SellerKind::kAT4, Fraction{0.25}});
   EXPECT_LT(at4, at2);
   EXPECT_LT(at2, a34);
 }
@@ -74,9 +74,9 @@ TEST_F(PaperShape, MajorityOfUsersSaveWithEachAlgorithm) {
   // reduce their costs.  Assert the common core: a clear majority saves.
   for (const auto kind :
        {sim::SellerKind::kA3T4, sim::SellerKind::kAT2, sim::SellerKind::kAT4}) {
-    const auto sample = analysis::per_user_ratios(*normalized_, {kind, 0.75});
+    const auto sample = analysis::per_user_ratios(*normalized_, {kind, Fraction{0.75}});
     const auto summary = analysis::summarize_ratios(sample);
-    EXPECT_GT(summary.fraction_saving, 0.5) << sim::seller_name({kind, 0.75});
+    EXPECT_GT(summary.fraction_saving, 0.5) << sim::seller_name({kind, Fraction{0.75}});
   }
 }
 
@@ -84,7 +84,7 @@ TEST_F(PaperShape, RegressionsAreRareAndSmallForLateSpot) {
   // Paper Fig. 3a: ~1% of users regress under A_{3T/4} and the worst
   // regression is under 1%.  Assert the qualitative claim: few regressing
   // users, bounded worst case.
-  const auto sample = analysis::per_user_ratios(*normalized_, {sim::SellerKind::kA3T4, 0.75});
+  const auto sample = analysis::per_user_ratios(*normalized_, {sim::SellerKind::kA3T4, Fraction{0.75}});
   const auto summary = analysis::summarize_ratios(sample);
   EXPECT_LT(summary.fraction_worse, 0.25);
   EXPECT_LT(summary.max_ratio, 1.10);
@@ -92,9 +92,9 @@ TEST_F(PaperShape, RegressionsAreRareAndSmallForLateSpot) {
 
 TEST_F(PaperShape, OnlineBeatsAllSellingOnAverage) {
   // Fig. 3: the utilization-aware rule dominates indiscriminate selling.
-  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, 0.75});
+  const double a34 = analysis::overall_average(*normalized_, {sim::SellerKind::kA3T4, Fraction{0.75}});
   const double all = analysis::overall_average(*normalized_,
-                                               {sim::SellerKind::kAllSelling, 0.75});
+                                               {sim::SellerKind::kAllSelling, Fraction{0.75}});
   EXPECT_LE(a34, all + 1e-9);
 }
 
@@ -105,8 +105,8 @@ TEST_F(PaperShape, EveryGroupSavesUnderEveryAlgorithm) {
     for (const auto group :
          {workload::FluctuationGroup::kStable, workload::FluctuationGroup::kModerate,
           workload::FluctuationGroup::kHigh}) {
-      EXPECT_LT(analysis::group_average(*normalized_, {kind, 0.75}, group), 1.02)
-          << sim::seller_name({kind, 0.75}) << " / " << workload::group_name(group);
+      EXPECT_LT(analysis::group_average(*normalized_, {kind, Fraction{0.75}}, group), 1.02)
+          << sim::seller_name({kind, Fraction{0.75}}) << " / " << workload::group_name(group);
     }
   }
 }

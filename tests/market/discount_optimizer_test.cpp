@@ -21,11 +21,12 @@ DiscountResponseModel make_model(double depth = 20.0) {
 
 TEST(DiscountOptimizer, PicksIncomeMaximizingDiscount) {
   const DiscountResponseModel model = make_model();
-  const DiscountChoice choice = optimal_discount(model, 1000, 0.12);
-  EXPECT_GT(choice.expected_income, 0.0);
+  const DiscountChoice choice = optimal_discount(model, 1000, Fraction{0.12});
+  EXPECT_GT(choice.expected_income, Money{0.0});
   // The optimum must weakly dominate every grid point we can check.
   for (double a = 0.05; a <= 1.0; a += 0.05) {
-    EXPECT_GE(choice.expected_income + 1e-9, model.expected_income(1000, a, 0.12))
+    EXPECT_GE(choice.expected_income + Money{1e-9},
+              model.expected_income(1000, Fraction{a}, Fraction{0.12}))
         << "a=" << a;
   }
 }
@@ -34,21 +35,21 @@ TEST(DiscountOptimizer, FastMarketPrefersShallowDiscount) {
   // With no competing listings, waiting costs almost nothing, so asking
   // near the cap maximizes income.
   const DiscountResponseModel empty_book = make_model(/*depth=*/0.0);
-  const DiscountChoice choice = optimal_discount(empty_book, 1000, 0.0);
-  EXPECT_GT(choice.discount, 0.9);
+  const DiscountChoice choice = optimal_discount(empty_book, 1000, Fraction{0.0});
+  EXPECT_GT(choice.discount, Fraction{0.9});
 }
 
 TEST(DiscountOptimizer, RespectsGridBounds) {
   const DiscountResponseModel model = make_model();
-  const DiscountChoice choice = optimal_discount(model, 1000, 0.12, 0.3, 0.6, 7);
-  EXPECT_GE(choice.discount, 0.3);
-  EXPECT_LE(choice.discount, 0.6);
+  const DiscountChoice choice = optimal_discount(model, 1000, Fraction{0.12}, Fraction{0.3}, Fraction{0.6}, 7);
+  EXPECT_GE(choice.discount, Fraction{0.3});
+  EXPECT_LE(choice.discount, Fraction{0.6});
 }
 
 TEST(DiscountOptimizer, LateReservationsEarnLess) {
   const DiscountResponseModel model = make_model();
-  const DiscountChoice early = optimal_discount(model, 500, 0.12);
-  const DiscountChoice late = optimal_discount(model, 8000, 0.12);
+  const DiscountChoice early = optimal_discount(model, 500, Fraction{0.12});
+  const DiscountChoice late = optimal_discount(model, 8000, Fraction{0.12});
   EXPECT_GT(early.expected_income, late.expected_income);
 }
 
@@ -58,7 +59,8 @@ TEST(IncomeModel, AdapterMatchesResponseModelGross) {
   const DiscountResponseModel model = make_model();
   const auto income = make_income_model(model);
   for (const Hour age : {Hour{100}, Hour{2190}, Hour{6570}}) {
-    EXPECT_NEAR(income(d2(), age, 0.8), model.expected_income(age, 0.8, 0.0), 1e-9);
+    EXPECT_NEAR(income(d2(), age, Fraction{0.8}).value(),
+                model.expected_income(age, Fraction{0.8}, Fraction{0.0}).value(), 1e-9);
   }
 }
 
@@ -67,7 +69,7 @@ TEST(IncomeModel, GrossBelowInstantGrossSale) {
   // model earns less than the paper's instant a*rp*R sale.
   const auto income = make_income_model(make_model());
   const Hour age = 2190;
-  EXPECT_LT(income(d2(), age, 0.8), d2().sale_income(age, 0.8));
+  EXPECT_LT(income(d2(), age, Fraction{0.8}), d2().sale_income(age, Fraction{0.8}));
 }
 
 }  // namespace

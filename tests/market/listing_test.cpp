@@ -14,31 +14,31 @@ const pricing::InstanceType& t2_nano() {
 TEST(Listing, MakeListingMatchesPaperExample) {
   // Paper Section III-B: t2.nano (R=$16 in our catalog; the paper quotes
   // $18), half the cycle left, 20% off -> ask = 0.8 * R/2.
-  const Listing listing = make_listing(1, 7, t2_nano(), kHoursPerYear / 2, 0.8, 100);
+  const Listing listing = make_listing(1, 7, t2_nano(), kHoursPerYear / 2, Fraction{0.8}, 100);
   EXPECT_EQ(listing.id, 1);
   EXPECT_EQ(listing.seller, 7);
   EXPECT_EQ(listing.remaining_hours, kHoursPerYear / 2);
-  EXPECT_NEAR(listing.ask, 0.8 * 16.0 / 2.0, 1e-9);
+  EXPECT_NEAR(listing.ask.value(), 0.8 * 16.0 / 2.0, 1e-9);
   EXPECT_EQ(listing.listed_at, 100);
   EXPECT_TRUE(listing.valid());
 }
 
 TEST(Listing, FreshContractAsksFullDiscountedUpfront) {
-  const Listing listing = make_listing(2, 1, t2_nano(), 0, 1.0, 0);
-  EXPECT_NEAR(listing.ask, 16.0, 1e-9);
+  const Listing listing = make_listing(2, 1, t2_nano(), 0, Fraction{1.0}, 0);
+  EXPECT_NEAR(listing.ask.value(), 16.0, 1e-9);
   EXPECT_EQ(listing.remaining_hours, kHoursPerYear);
 }
 
 TEST(Listing, PriceCapHonoredByConstruction) {
   for (const Hour elapsed : {Hour{0}, Hour{1000}, Hour{4380}, Hour{8000}}) {
-    const Listing listing = make_listing(3, 1, t2_nano(), elapsed, 1.0, 0);
+    const Listing listing = make_listing(3, 1, t2_nano(), elapsed, Fraction{1.0}, 0);
     EXPECT_TRUE(respects_price_cap(listing, t2_nano())) << elapsed;
   }
 }
 
 TEST(Listing, PriceCapDetectsOverpricing) {
-  Listing listing = make_listing(4, 1, t2_nano(), kHoursPerYear / 2, 1.0, 0);
-  listing.ask += 1.0;  // above the pro-rated cap
+  Listing listing = make_listing(4, 1, t2_nano(), kHoursPerYear / 2, Fraction{1.0}, 0);
+  listing.ask += Money{1.0};  // above the pro-rated cap
   EXPECT_FALSE(respects_price_cap(listing, t2_nano()));
 }
 
@@ -46,9 +46,9 @@ TEST(Listing, ValidRejectsDegenerate) {
   Listing listing;
   EXPECT_FALSE(listing.valid());  // zero remaining hours
   listing.remaining_hours = 10;
-  listing.ask = -1.0;
+  listing.ask = Money{-1.0};
   EXPECT_FALSE(listing.valid());
-  listing.ask = 0.0;
+  listing.ask = Money{0.0};
   EXPECT_TRUE(listing.valid());  // free listing is legal
 }
 

@@ -21,28 +21,28 @@ MarketplaceConfig busy_config() {
 TEST(Marketplace, ProceedsApplyServiceFee) {
   // Paper: a $7.2 sale nets the seller $7.2 * (1 - 0.12) = $6.336.
   MarketplaceSimulator market(t2_nano(), MarketplaceConfig{}, 1);
-  EXPECT_NEAR(market.proceeds(7.2), 6.336, 1e-9);
+  EXPECT_NEAR(market.proceeds(Money{7.2}).value(), 6.336, 1e-9);
 }
 
 TEST(Marketplace, ListingEntersBook) {
   MarketplaceSimulator market(t2_nano(), busy_config(), 2);
-  const ListingId id = market.list(1, kHoursPerYear / 2, 0.8);
+  const ListingId id = market.list(1, kHoursPerYear / 2, Fraction{0.8});
   EXPECT_GT(id, 0);
   EXPECT_EQ(market.book().depth(), 1u);
-  EXPECT_NEAR(*market.book().best_ask(), 6.4, 1e-9);  // 0.8 * 8
+  EXPECT_NEAR(market.book().best_ask()->value(), 6.4, 1e-9);  // 0.8 * 8
 }
 
 TEST(Marketplace, ListingIdsAreUnique) {
   MarketplaceSimulator market(t2_nano(), busy_config(), 3);
-  const ListingId a = market.list(1, 0, 0.9);
-  const ListingId b = market.list(1, 0, 0.9);
+  const ListingId a = market.list(1, 0, Fraction{0.9});
+  const ListingId b = market.list(1, 0, Fraction{0.9});
   EXPECT_NE(a, b);
 }
 
 TEST(Marketplace, BusyMarketSellsListings) {
   MarketplaceSimulator market(t2_nano(), busy_config(), 4);
   for (int i = 0; i < 5; ++i) {
-    market.list(1, kHoursPerYear / 2, 0.8);
+    market.list(1, kHoursPerYear / 2, Fraction{0.8});
   }
   const auto sales = market.run(200);
   EXPECT_EQ(sales.size(), 5u);
@@ -51,22 +51,22 @@ TEST(Marketplace, BusyMarketSellsListings) {
 
 TEST(Marketplace, SaleRecordAccounting) {
   MarketplaceSimulator market(t2_nano(), busy_config(), 5);
-  market.list(9, kHoursPerYear / 2, 0.8);
+  market.list(9, kHoursPerYear / 2, Fraction{0.8});
   const auto sales = market.run(100);
   ASSERT_EQ(sales.size(), 1u);
   const SaleRecord& sale = sales.front();
   EXPECT_EQ(sale.listing.seller, 9);
-  EXPECT_NEAR(sale.buyer_paid, 6.4, 1e-9);
-  EXPECT_NEAR(sale.service_fee, 6.4 * 0.12, 1e-9);
-  EXPECT_NEAR(sale.seller_proceeds, 6.4 * 0.88, 1e-9);
-  EXPECT_NEAR(sale.buyer_paid, sale.service_fee + sale.seller_proceeds, 1e-9);
+  EXPECT_NEAR(sale.buyer_paid.value(), 6.4, 1e-9);
+  EXPECT_NEAR(sale.service_fee.value(), 6.4 * 0.12, 1e-9);
+  EXPECT_NEAR(sale.seller_proceeds.value(), 6.4 * 0.88, 1e-9);
+  EXPECT_NEAR(sale.buyer_paid.value(), (sale.service_fee + sale.seller_proceeds).value(), 1e-9);
 }
 
 TEST(Marketplace, NoBuyersNoSales) {
   MarketplaceConfig config;
   config.buyer_rate_per_hour = 0.0;
   MarketplaceSimulator market(t2_nano(), config, 6);
-  market.list(1, 0, 0.5);
+  market.list(1, 0, Fraction{0.5});
   const auto sales = market.run(100);
   EXPECT_TRUE(sales.empty());
   EXPECT_EQ(market.book().depth(), 1u);
@@ -77,8 +77,8 @@ TEST(Marketplace, CheaperListingSellsFirst) {
   config.buyer_rate_per_hour = 0.4;  // slow buyers so ordering is visible
   config.mean_buyer_quantity = 1.0;
   MarketplaceSimulator market(t2_nano(), config, 7);
-  market.list(1, 0, 0.9);                        // expensive
-  const ListingId cheap = market.list(2, 0, 0.5);  // cheap
+  market.list(1, 0, Fraction{0.9});                        // expensive
+  const ListingId cheap = market.list(2, 0, Fraction{0.5});  // cheap
   std::vector<SaleRecord> sales;
   while (sales.empty()) {
     sales = market.step();
@@ -98,7 +98,7 @@ TEST(Marketplace, DeterministicPerSeed) {
   auto run_market = [](std::uint64_t seed) {
     MarketplaceSimulator market(t2_nano(), busy_config(), seed);
     for (int i = 0; i < 3; ++i) {
-      market.list(1, 1000, 0.7);
+      market.list(1, 1000, Fraction{0.7});
     }
     return market.run(50).size();
   };

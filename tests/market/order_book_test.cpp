@@ -5,12 +5,12 @@
 namespace rimarket::market {
 namespace {
 
-Listing listing(ListingId id, Dollars ask, Hour listed_at = 0) {
+Listing listing(ListingId id, double ask, Hour listed_at = 0) {
   Listing entry;
   entry.id = id;
   entry.seller = id * 10;
   entry.remaining_hours = 1000;
-  entry.ask = ask;
+  entry.ask = Money{ask};
   entry.listed_at = listed_at;
   return entry;
 }
@@ -40,7 +40,7 @@ TEST(OrderBook, BestAskIsLowest) {
   book.add(listing(2, 4.0));
   book.add(listing(3, 7.0));
   ASSERT_TRUE(book.best_ask().has_value());
-  EXPECT_DOUBLE_EQ(*book.best_ask(), 4.0);
+  EXPECT_DOUBLE_EQ(book.best_ask()->value(), 4.0);
 }
 
 TEST(OrderBook, MatchTakesLowestAskFirst) {
@@ -50,7 +50,7 @@ TEST(OrderBook, MatchTakesLowestAskFirst) {
   book.add(listing(1, 10.0));
   book.add(listing(2, 4.0));
   book.add(listing(3, 7.0));
-  const auto fills = book.match(2, 100.0);
+  const auto fills = book.match(2, Money{100.0});
   ASSERT_EQ(fills.size(), 2u);
   EXPECT_EQ(fills[0].listing.id, 2);
   EXPECT_EQ(fills[1].listing.id, 3);
@@ -61,7 +61,7 @@ TEST(OrderBook, MatchRespectsMaxPrice) {
   OrderBook book;
   book.add(listing(1, 10.0));
   book.add(listing(2, 4.0));
-  const auto fills = book.match(5, 6.0);
+  const auto fills = book.match(5, Money{6.0});
   ASSERT_EQ(fills.size(), 1u);
   EXPECT_EQ(fills[0].listing.id, 2);
   EXPECT_EQ(book.depth(), 1u);  // the $10 listing rests
@@ -70,7 +70,7 @@ TEST(OrderBook, MatchRespectsMaxPrice) {
 TEST(OrderBook, MatchZeroQuantityIsNoop) {
   OrderBook book;
   book.add(listing(1, 10.0));
-  EXPECT_TRUE(book.match(0, 100.0).empty());
+  EXPECT_TRUE(book.match(0, Money{100.0}).empty());
   EXPECT_EQ(book.depth(), 1u);
 }
 
@@ -78,7 +78,7 @@ TEST(OrderBook, MatchDrainsBook) {
   OrderBook book;
   book.add(listing(1, 1.0));
   book.add(listing(2, 2.0));
-  const auto fills = book.match(10, 100.0);
+  const auto fills = book.match(10, Money{100.0});
   EXPECT_EQ(fills.size(), 2u);
   EXPECT_TRUE(book.empty());
   EXPECT_FALSE(book.best_ask().has_value());
@@ -88,7 +88,7 @@ TEST(OrderBook, TieBreaksByListingTime) {
   OrderBook book;
   book.add(listing(1, 5.0, /*listed_at=*/20));
   book.add(listing(2, 5.0, /*listed_at=*/10));
-  const auto fills = book.match(1, 100.0);
+  const auto fills = book.match(1, Money{100.0});
   ASSERT_EQ(fills.size(), 1u);
   EXPECT_EQ(fills[0].listing.id, 2);  // earlier listing wins
 }
@@ -100,7 +100,7 @@ TEST(OrderBook, CancelRemovesListing) {
   EXPECT_TRUE(book.cancel(1));
   EXPECT_FALSE(book.cancel(1));  // already gone
   EXPECT_EQ(book.depth(), 1u);
-  EXPECT_DOUBLE_EQ(*book.best_ask(), 6.0);
+  EXPECT_DOUBLE_EQ(book.best_ask()->value(), 6.0);
 }
 
 TEST(OrderBook, SnapshotInPriceOrder) {
@@ -110,17 +110,17 @@ TEST(OrderBook, SnapshotInPriceOrder) {
   book.add(listing(3, 6.0));
   const auto snapshot = book.snapshot();
   ASSERT_EQ(snapshot.size(), 3u);
-  EXPECT_DOUBLE_EQ(snapshot[0].ask, 3.0);
-  EXPECT_DOUBLE_EQ(snapshot[1].ask, 6.0);
-  EXPECT_DOUBLE_EQ(snapshot[2].ask, 9.0);
+  EXPECT_DOUBLE_EQ(snapshot[0].ask.value(), 3.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].ask.value(), 6.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].ask.value(), 9.0);
 }
 
 TEST(OrderBook, FillPriceEqualsAsk) {
   OrderBook book;
   book.add(listing(1, 7.25));
-  const auto fills = book.match(1, 100.0);
+  const auto fills = book.match(1, Money{100.0});
   ASSERT_EQ(fills.size(), 1u);
-  EXPECT_DOUBLE_EQ(fills[0].price, 7.25);
+  EXPECT_DOUBLE_EQ(fills[0].price.value(), 7.25);
 }
 
 }  // namespace

@@ -22,55 +22,55 @@ DiscountResponseModel model() {
 TEST(ResponseModel, DeeperDiscountFillsFaster) {
   const DiscountResponseModel response = model();
   // Lower a means a lower ask, fewer competitors ahead, faster fill.
-  EXPECT_LT(response.expected_fill_hours(0.5), response.expected_fill_hours(0.9));
-  EXPECT_LT(response.expected_fill_hours(0.2), response.expected_fill_hours(0.5));
+  EXPECT_LT(response.expected_fill_hours(Fraction{0.5}), response.expected_fill_hours(Fraction{0.9}));
+  EXPECT_LT(response.expected_fill_hours(Fraction{0.2}), response.expected_fill_hours(Fraction{0.5}));
 }
 
 TEST(ResponseModel, FillProbabilityMonotoneInTime) {
   const DiscountResponseModel response = model();
   double previous = 0.0;
   for (const Hour hours : {Hour{0}, Hour{10}, Hour{50}, Hour{200}, Hour{1000}}) {
-    const double probability = response.fill_probability(0.8, hours);
+    const double probability = response.fill_probability(Fraction{0.8}, hours);
     EXPECT_GE(probability, previous);
     EXPECT_GE(probability, 0.0);
     EXPECT_LE(probability, 1.0);
     previous = probability;
   }
-  EXPECT_DOUBLE_EQ(response.fill_probability(0.8, 0), 0.0);
+  EXPECT_DOUBLE_EQ(response.fill_probability(Fraction{0.8}, 0), 0.0);
 }
 
 TEST(ResponseModel, FillProbabilityApproachesOne) {
   const DiscountResponseModel response = model();
-  EXPECT_GT(response.fill_probability(0.8, 100000), 0.999);
+  EXPECT_GT(response.fill_probability(Fraction{0.8}, 100000), 0.999);
 }
 
 TEST(ResponseModel, ExpectedIncomeBelowInstantSale) {
   const DiscountResponseModel response = model();
   const Hour elapsed = 1000;
-  const Dollars instant = d2().sale_income(elapsed, 0.8);
-  EXPECT_LT(response.expected_income(elapsed, 0.8, 0.0), instant + 1e-9);
+  const Money instant = d2().sale_income(elapsed, Fraction{0.8});
+  EXPECT_LT(response.expected_income(elapsed, Fraction{0.8}, Fraction{0.0}), instant + Money{1e-9});
 }
 
 TEST(ResponseModel, ServiceFeeReducesExpectedIncome) {
   const DiscountResponseModel response = model();
-  EXPECT_LT(response.expected_income(1000, 0.8, 0.12),
-            response.expected_income(1000, 0.8, 0.0));
+  EXPECT_LT(response.expected_income(1000, Fraction{0.8}, Fraction{0.12}),
+            response.expected_income(1000, Fraction{0.8}, Fraction{0.0}));
 }
 
 TEST(ResponseModel, IncomeTradeoffExistsBetweenDiscountLevels) {
   // The ablation's premise: a deeper discount sells faster (less pro-ration
   // lost) but asks less; both effects are finite and computable.
   const DiscountResponseModel response = model();
-  const Dollars income_deep = response.expected_income(1000, 0.4, 0.12);
-  const Dollars income_shallow = response.expected_income(1000, 0.95, 0.12);
-  EXPECT_GT(income_deep, 0.0);
-  EXPECT_GT(income_shallow, 0.0);
+  const Money income_deep = response.expected_income(1000, Fraction{0.4}, Fraction{0.12});
+  const Money income_shallow = response.expected_income(1000, Fraction{0.95}, Fraction{0.12});
+  EXPECT_GT(income_deep, Money{0.0});
+  EXPECT_GT(income_shallow, Money{0.0});
 }
 
 TEST(ResponseModel, LateListingsEarnLess) {
   const DiscountResponseModel response = model();
-  EXPECT_GT(response.expected_income(100, 0.8, 0.0),
-            response.expected_income(8000, 0.8, 0.0));
+  EXPECT_GT(response.expected_income(100, Fraction{0.8}, Fraction{0.0}),
+            response.expected_income(8000, Fraction{0.8}, Fraction{0.0}));
 }
 
 }  // namespace

@@ -14,9 +14,9 @@ TEST(Catalog, BuiltinIsValidAndNonTrivial) {
 TEST(Catalog, BuiltinContainsPaperInstance) {
   const auto d2 = PricingCatalog::builtin().find("d2.xlarge");
   ASSERT_TRUE(d2.has_value());
-  EXPECT_DOUBLE_EQ(d2->upfront, 1506.0);
-  EXPECT_DOUBLE_EQ(d2->on_demand_hourly, 0.69);
-  EXPECT_NEAR(d2->alpha(), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(d2->upfront.value(), 1506.0);
+  EXPECT_DOUBLE_EQ(d2->on_demand_hourly.value(), 0.69);
+  EXPECT_NEAR(d2->alpha().value(), 0.25, 1e-9);
   EXPECT_EQ(d2->term, kHoursPerYear);
 }
 
@@ -42,8 +42,8 @@ TEST(Catalog, StatisticsMatchPaperAssumptions) {
 TEST(Catalog, EveryBuiltinTypeIsSelfConsistent) {
   for (const InstanceType& type : PricingCatalog::builtin().types()) {
     EXPECT_TRUE(type.valid()) << type.name;
-    EXPECT_LT(type.alpha(), 1.0) << type.name;
-    EXPECT_GT(type.alpha(), 0.0) << type.name;
+    EXPECT_LT(type.alpha().value(), 1.0) << type.name;
+    EXPECT_GT(type.alpha().value(), 0.0) << type.name;
   }
 }
 
@@ -92,8 +92,8 @@ TEST(Catalog3Year, DeeperDiscountsThanOneYear) {
   for (const InstanceType& three_year : PricingCatalog::builtin_3year().types()) {
     const auto one_year = PricingCatalog::builtin().find(three_year.name);
     ASSERT_TRUE(one_year.has_value()) << three_year.name;
-    EXPECT_LT(three_year.alpha(), one_year->alpha()) << three_year.name;
-    EXPECT_GT(three_year.upfront, one_year->upfront) << three_year.name;
+    EXPECT_LT(three_year.alpha().value(), one_year->alpha().value()) << three_year.name;
+    EXPECT_GT(three_year.upfront.value(), one_year->upfront.value()) << three_year.name;
   }
 }
 
@@ -109,10 +109,10 @@ TEST(Catalog3Year, ThetaCanExceedTheOneYearFamilyStatistic) {
 TEST(Catalog, PaymentQuotesMatchTableI) {
   const auto quotes = d2_xlarge_payment_quotes();
   ASSERT_EQ(quotes.size(), 4u);
-  EXPECT_DOUBLE_EQ(quotes[0].monthly, 293.46);
-  EXPECT_DOUBLE_EQ(quotes[1].upfront, 1506.0);
-  EXPECT_DOUBLE_EQ(quotes[2].upfront, 2952.0);
-  EXPECT_DOUBLE_EQ(quotes[3].hourly, 0.69);
+  EXPECT_DOUBLE_EQ(quotes[0].monthly.value(), 293.46);
+  EXPECT_DOUBLE_EQ(quotes[1].upfront.value(), 1506.0);
+  EXPECT_DOUBLE_EQ(quotes[2].upfront.value(), 2952.0);
+  EXPECT_DOUBLE_EQ(quotes[3].hourly.value(), 0.69);
 }
 
 }  // namespace

@@ -7,17 +7,17 @@ namespace {
 
 InstanceType d2_xlarge() {
   // The paper's running example: R=$1506, p=$0.69/h, alpha=0.25, T=1yr.
-  return InstanceType{"d2.xlarge", 0.69, 1506.0, 0.1725, kHoursPerYear};
+  return InstanceType{"d2.xlarge", Rate{0.69}, Money{1506.0}, Rate{0.1725}, kHoursPerYear};
 }
 
 TEST(InstanceType, AlphaMatchesPaperExample) {
-  EXPECT_NEAR(d2_xlarge().alpha(), 0.25, 1e-12);
+  EXPECT_NEAR(d2_xlarge().alpha().value(), 0.25, 1e-12);
 }
 
 TEST(InstanceType, AlphaOfT2NanoExample) {
   // Paper Section III-A: t2.nano alpha = 0.002/0.0059 ~= 0.34.
-  const InstanceType t2{"t2.nano", 0.0059, 18.0, 0.002, kHoursPerYear};
-  EXPECT_NEAR(t2.alpha(), 0.34, 0.01);
+  const InstanceType t2{"t2.nano", Rate{0.0059}, Money{18.0}, Rate{0.002}, kHoursPerYear};
+  EXPECT_NEAR(t2.alpha().value(), 0.34, 0.01);
 }
 
 TEST(InstanceType, ThetaIsOnDemandTermCostOverUpfront) {
@@ -32,35 +32,35 @@ TEST(InstanceType, BreakEvenMatchesPaperEquation9) {
   // beta = 3*a*R / (4*p*(1-alpha)) for f = 3/4.
   const double a = 0.8;
   const double expected = 3.0 * a * 1506.0 / (4.0 * 0.69 * 0.75);
-  EXPECT_NEAR(type.break_even_hours(0.75, a), expected, 1e-9);
+  EXPECT_NEAR(type.break_even_hours(Fraction{0.75}, Fraction{a}).value(), expected, 1e-9);
 }
 
 TEST(InstanceType, BreakEvenScalesLinearlyInFraction) {
   const InstanceType type = d2_xlarge();
-  const double half = type.break_even_hours(0.5, 0.8);
-  const double quarter = type.break_even_hours(0.25, 0.8);
-  EXPECT_NEAR(half, 2.0 * quarter, 1e-9);
+  const Hours half = type.break_even_hours(Fraction{0.5}, Fraction{0.8});
+  const Hours quarter = type.break_even_hours(Fraction{0.25}, Fraction{0.8});
+  EXPECT_NEAR(half.value(), 2.0 * quarter.value(), 1e-9);
 }
 
 TEST(InstanceType, BreakEvenZeroWhenDiscountZero) {
-  EXPECT_DOUBLE_EQ(d2_xlarge().break_even_hours(0.75, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d2_xlarge().break_even_hours(Fraction{0.75}, Fraction{0.0}).value(), 0.0);
 }
 
 TEST(InstanceType, ProratedUpfrontEndpoints) {
   const InstanceType type = d2_xlarge();
-  EXPECT_DOUBLE_EQ(type.prorated_upfront(0), 1506.0);
-  EXPECT_DOUBLE_EQ(type.prorated_upfront(kHoursPerYear), 0.0);
-  EXPECT_NEAR(type.prorated_upfront(kHoursPerYear / 2), 753.0, 1e-9);
+  EXPECT_DOUBLE_EQ(type.prorated_upfront(0).value(), 1506.0);
+  EXPECT_DOUBLE_EQ(type.prorated_upfront(kHoursPerYear).value(), 0.0);
+  EXPECT_NEAR(type.prorated_upfront(kHoursPerYear / 2).value(), 753.0, 1e-9);
 }
 
 TEST(InstanceType, SaleIncomeMatchesT2NanoExample) {
   // Paper Section III-B: t2.nano, half cycle left, 20% off -> ask $7.2.
-  const InstanceType t2{"t2.nano", 0.0059, 18.0, 0.002, kHoursPerYear};
-  EXPECT_NEAR(t2.sale_income(kHoursPerYear / 2, 0.8), 7.2, 1e-9);
+  const InstanceType t2{"t2.nano", Rate{0.0059}, Money{18.0}, Rate{0.002}, kHoursPerYear};
+  EXPECT_NEAR(t2.sale_income(kHoursPerYear / 2, Fraction{0.8}).value(), 7.2, 1e-9);
 }
 
 TEST(InstanceType, SaleIncomeZeroDiscountIsZero) {
-  EXPECT_DOUBLE_EQ(d2_xlarge().sale_income(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d2_xlarge().sale_income(100, Fraction{0.0}).value(), 0.0);
 }
 
 TEST(InstanceType, ValidAcceptsGoodContract) {
@@ -72,13 +72,13 @@ TEST(InstanceType, ValidRejectsBadContracts) {
   type.name = "";
   EXPECT_FALSE(type.valid());
   type = d2_xlarge();
-  type.on_demand_hourly = 0.0;
+  type.on_demand_hourly = Rate{0.0};
   EXPECT_FALSE(type.valid());
   type = d2_xlarge();
   type.reserved_hourly = type.on_demand_hourly;  // no discount
   EXPECT_FALSE(type.valid());
   type = d2_xlarge();
-  type.upfront = -1.0;
+  type.upfront = Money{-1.0};
   EXPECT_FALSE(type.valid());
   type = d2_xlarge();
   type.term = 0;
@@ -88,7 +88,7 @@ TEST(InstanceType, ValidRejectsBadContracts) {
 TEST(InstanceType, EqualityComparesAllFields) {
   EXPECT_EQ(d2_xlarge(), d2_xlarge());
   InstanceType other = d2_xlarge();
-  other.upfront += 1.0;
+  other.upfront += Money{1.0};
   EXPECT_FALSE(other == d2_xlarge());
 }
 

@@ -24,16 +24,16 @@ TEST(Payment, EffectiveHourlyMatchesTableI) {
   for (const PaymentQuote& quote : d2_xlarge_payment_quotes()) {
     switch (quote.option) {
       case PaymentOption::kNoUpfront:
-        EXPECT_NEAR(quote.effective_hourly(), 0.402, 0.001);
+        EXPECT_NEAR(quote.effective_hourly().value(), 0.402, 0.001);
         break;
       case PaymentOption::kPartialUpfront:
-        EXPECT_NEAR(quote.effective_hourly(), 0.344, 0.001);
+        EXPECT_NEAR(quote.effective_hourly().value(), 0.344, 0.001);
         break;
       case PaymentOption::kAllUpfront:
-        EXPECT_NEAR(quote.effective_hourly(), 0.337, 0.001);
+        EXPECT_NEAR(quote.effective_hourly().value(), 0.337, 0.001);
         break;
       case PaymentOption::kOnDemand:
-        EXPECT_DOUBLE_EQ(quote.effective_hourly(), 0.69);
+        EXPECT_DOUBLE_EQ(quote.effective_hourly().value(), 0.69);
         break;
     }
   }
@@ -42,29 +42,29 @@ TEST(Payment, EffectiveHourlyMatchesTableI) {
 TEST(Payment, OnDemandTotalScalesWithUse) {
   PaymentQuote quote;
   quote.option = PaymentOption::kOnDemand;
-  quote.hourly = 0.69;
-  EXPECT_DOUBLE_EQ(quote.total_cost(0), 0.0);
-  EXPECT_NEAR(quote.total_cost(1000), 690.0, 1e-9);
+  quote.hourly = Rate{0.69};
+  EXPECT_DOUBLE_EQ(quote.total_cost(0).value(), 0.0);
+  EXPECT_NEAR(quote.total_cost(1000).value(), 690.0, 1e-9);
 }
 
 TEST(Payment, ReservationTotalIgnoresUse) {
   PaymentQuote quote;
   quote.option = PaymentOption::kPartialUpfront;
-  quote.upfront = 1506.0;
-  quote.monthly = 125.56;
+  quote.upfront = Money{1506.0};
+  quote.monthly = Money{125.56};
   quote.term = kHoursPerYear;
-  const Dollars idle = quote.total_cost(0);
-  const Dollars busy = quote.total_cost(kHoursPerYear);
-  EXPECT_DOUBLE_EQ(idle, busy);
-  EXPECT_NEAR(idle, 1506.0 + 12 * 125.56, 1e-9);
+  const Money idle = quote.total_cost(0);
+  const Money busy = quote.total_cost(kHoursPerYear);
+  EXPECT_DOUBLE_EQ(idle.value(), busy.value());
+  EXPECT_NEAR(idle.value(), 1506.0 + 12 * 125.56, 1e-9);
 }
 
 TEST(Payment, AllUpfrontHasNoRecurringFee) {
   PaymentQuote quote;
   quote.option = PaymentOption::kAllUpfront;
-  quote.upfront = 2952.0;
+  quote.upfront = Money{2952.0};
   quote.term = kHoursPerYear;
-  EXPECT_DOUBLE_EQ(quote.total_cost(123), 2952.0);
+  EXPECT_DOUBLE_EQ(quote.total_cost(123).value(), 2952.0);
 }
 
 }  // namespace

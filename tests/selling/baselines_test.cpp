@@ -30,7 +30,7 @@ TEST(AllSelling, SellsEveryDueReservation) {
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, 2);
   }
-  AllSellingPolicy policy(d2(), 0.75);
+  AllSellingPolicy policy(d2(), Fraction{0.75});
   const auto decision = decide_once(policy, 6570, ledger);
   ASSERT_EQ(decision.size(), 2u);
   EXPECT_EQ(decision[0], a);
@@ -40,14 +40,14 @@ TEST(AllSelling, SellsEveryDueReservation) {
 TEST(AllSelling, NothingDueNothingSold) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
-  AllSellingPolicy policy(d2(), 0.5);
+  AllSellingPolicy policy(d2(), Fraction{0.5});
   EXPECT_TRUE(decide_once(policy, 100, ledger).empty());
   EXPECT_TRUE(decide_once(policy, 4379, ledger).empty());
 }
 
 TEST(AllSelling, NameEncodesSpot) {
-  EXPECT_EQ(AllSellingPolicy(d2(), 0.75).name(), "all-selling@0.75T");
-  EXPECT_EQ(AllSellingPolicy(d2(), 0.25).name(), "all-selling@0.25T");
+  EXPECT_EQ(AllSellingPolicy(d2(), Fraction{0.75}).name(), "all-selling@0.75T");
+  EXPECT_EQ(AllSellingPolicy(d2(), Fraction{0.25}).name(), "all-selling@0.25T");
 }
 
 TEST(PlannedSelling, SellsAtPlannedHourOnly) {

@@ -13,22 +13,22 @@ const pricing::InstanceType& d2() {
 }
 
 TEST(ContinuousSelling, BreakEvenScalesWithAge) {
-  ContinuousSelling policy(d2(), 0.8);
-  EXPECT_DOUBLE_EQ(policy.break_even_at_age(0), 0.0);
-  const double at_quarter = policy.break_even_at_age(kHoursPerYear / 4);
-  const double at_half = policy.break_even_at_age(kHoursPerYear / 2);
+  ContinuousSelling policy(d2(), Fraction{0.8});
+  EXPECT_DOUBLE_EQ(policy.break_even_at_age(0).value(), 0.0);
+  const double at_quarter = policy.break_even_at_age(kHoursPerYear / 4).value();
+  const double at_half = policy.break_even_at_age(kHoursPerYear / 2).value();
   EXPECT_NEAR(at_half, 2.0 * at_quarter, 1e-9);
   // Matches the fixed-spot beta at the same fraction.
-  EXPECT_NEAR(at_quarter, d2().break_even_hours(0.25, 0.8), 1e-9);
+  EXPECT_NEAR(at_quarter, d2().break_even_hours(Fraction{0.25}, Fraction{0.8}).value(), 1e-9);
 }
 
 TEST(ContinuousSelling, IdleReservationSoldAtWindowStartPlusConfirmation) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   const fleet::ReservationId id = ledger.reserve(0);
   ContinuousSelling::Options options;
-  options.min_fraction = 0.25;
+  options.min_fraction = Fraction{0.25};
   options.confirmation_hours = 24;
-  ContinuousSelling policy(d2(), 0.8, options);
+  ContinuousSelling policy(d2(), Fraction{0.8}, options);
   Hour sold_at = -1;
   for (Hour t = 0; t <= 3000 && sold_at < 0; ++t) {
     const auto decision = decide_once(policy, t, ledger);
@@ -44,7 +44,7 @@ TEST(ContinuousSelling, IdleReservationSoldAtWindowStartPlusConfirmation) {
 TEST(ContinuousSelling, BusyReservationNeverSold) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
-  ContinuousSelling policy(d2(), 0.8);
+  ContinuousSelling policy(d2(), Fraction{0.8});
   for (Hour t = 0; t < kHoursPerYear; ++t) {
     ledger.assign(t, 1);
     EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
@@ -55,15 +55,15 @@ TEST(ContinuousSelling, StreakResetsWhenUtilizationRecovers) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   ContinuousSelling::Options options;
-  options.min_fraction = 0.25;
+  options.min_fraction = Fraction{0.25};
   options.confirmation_hours = 48;
-  ContinuousSelling policy(d2(), 0.8, options);
+  ContinuousSelling policy(d2(), Fraction{0.8}, options);
   // Keep utilization hovering exactly at the break-even slope: work one
   // hour whenever the worked total falls below beta(age).  The shortfall
   // streak must then never reach 48 consecutive hours.
   Hour worked = 0;
   for (Hour t = 0; t < 6000; ++t) {
-    const bool work_now = static_cast<double>(worked) < policy.break_even_at_age(t) + 2.0;
+    const bool work_now = static_cast<double>(worked) < policy.break_even_at_age(t).value() + 2.0;
     worked += ledger.assign(t, work_now ? 1 : 0).served_by_reserved;
     EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
   }
@@ -71,7 +71,7 @@ TEST(ContinuousSelling, StreakResetsWhenUtilizationRecovers) {
 
 TEST(ContinuousSelling, DegeneratesToFixedSpot) {
   // min == max == f with zero confirmation must reproduce A_{fT} exactly.
-  for (const double fraction : {0.25, 0.5, 0.75}) {
+  for (const Fraction fraction : {Fraction{0.25}, Fraction{0.5}, Fraction{0.75}}) {
     for (const Hour busy_prefix : {Hour{0}, Hour{500}, Hour{1700}, Hour{1800}, Hour{6000}}) {
       fleet::ReservationLedger continuous_ledger(kHoursPerYear);
       fleet::ReservationLedger fixed_ledger(kHoursPerYear);
@@ -81,8 +81,8 @@ TEST(ContinuousSelling, DegeneratesToFixedSpot) {
       options.min_fraction = fraction;
       options.max_fraction = fraction;
       options.confirmation_hours = 0;
-      ContinuousSelling continuous(d2(), 0.8, options);
-      FixedSpotSelling fixed(d2(), fraction, 0.8);
+      ContinuousSelling continuous(d2(), Fraction{0.8}, options);
+      FixedSpotSelling fixed(d2(), fraction, Fraction{0.8});
       const Hour spot = decision_age(kHoursPerYear, fraction);
       bool continuous_sold = false;
       bool fixed_sold = false;
@@ -94,7 +94,7 @@ TEST(ContinuousSelling, DegeneratesToFixedSpot) {
         fixed_sold |= !decide_once(fixed, t, fixed_ledger).empty();
       }
       EXPECT_EQ(continuous_sold, fixed_sold)
-          << "f=" << fraction << " busy=" << busy_prefix;
+          << "f=" << fraction.value() << " busy=" << busy_prefix;
     }
   }
 }
@@ -103,10 +103,10 @@ TEST(ContinuousSelling, RespectsWindowEnd) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   ContinuousSelling::Options options;
-  options.min_fraction = 0.30;
-  options.max_fraction = 0.40;
+  options.min_fraction = Fraction{0.30};
+  options.max_fraction = Fraction{0.40};
   options.confirmation_hours = 10000;  // can never confirm inside the window
-  ContinuousSelling policy(d2(), 0.8, options);
+  ContinuousSelling policy(d2(), Fraction{0.8}, options);
   for (Hour t = 0; t < kHoursPerYear; ++t) {
     EXPECT_TRUE(decide_once(policy, t, ledger).empty());
   }
@@ -116,7 +116,7 @@ TEST(ContinuousSelling, EachReservationTrackedIndependently) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   const fleet::ReservationId busy = ledger.reserve(0);
   const fleet::ReservationId idle = ledger.reserve(0);
-  ContinuousSelling policy(d2(), 0.8);
+  ContinuousSelling policy(d2(), Fraction{0.8});
   std::vector<fleet::ReservationId> sold;
   for (Hour t = 0; t < 4000 && sold.empty(); ++t) {
     ledger.assign(t, 1);  // least-remaining first: `busy` serves

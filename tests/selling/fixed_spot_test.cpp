@@ -12,26 +12,26 @@ const pricing::InstanceType& d2() {
 }
 
 TEST(DecisionAge, PaperSpotsDivideTheYearExactly) {
-  EXPECT_EQ(decision_age(kHoursPerYear, 0.75), 6570);
-  EXPECT_EQ(decision_age(kHoursPerYear, 0.50), 4380);
-  EXPECT_EQ(decision_age(kHoursPerYear, 0.25), 2190);
+  EXPECT_EQ(decision_age(kHoursPerYear, Fraction{0.75}), 6570);
+  EXPECT_EQ(decision_age(kHoursPerYear, Fraction{0.50}), 4380);
+  EXPECT_EQ(decision_age(kHoursPerYear, Fraction{0.25}), 2190);
 }
 
 TEST(DecisionAge, RoundsToNearestHour) {
-  EXPECT_EQ(decision_age(10, 0.26), 3);
-  EXPECT_EQ(decision_age(10, 0.24), 2);
+  EXPECT_EQ(decision_age(10, Fraction{0.26}), 3);
+  EXPECT_EQ(decision_age(10, Fraction{0.24}), 2);
 }
 
 TEST(FixedSpot, BreakEvenMatchesEquationNine) {
-  const FixedSpotSelling a34 = make_a_3t4(d2(), 0.8);
+  const FixedSpotSelling a34 = make_a_3t4(d2(), Fraction{0.8});
   const double expected = 3.0 * 0.8 * 1506.0 / (4.0 * 0.69 * 0.75);
-  EXPECT_NEAR(a34.break_even_hours(), expected, 1e-9);
+  EXPECT_NEAR(a34.break_even_hours().value(), expected, 1e-9);
   EXPECT_EQ(a34.decision_age_hours(), 6570);
 }
 
 TEST(FixedSpot, ShouldSellStrictlyBelowBreakEven) {
-  const FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
-  const auto beta = static_cast<Hour>(policy.break_even_hours());
+  const FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
+  const auto beta = static_cast<Hour>(policy.break_even_hours().value());
   EXPECT_TRUE(policy.should_sell(0));
   EXPECT_TRUE(policy.should_sell(beta - 1));
   EXPECT_FALSE(policy.should_sell(beta + 1));
@@ -39,22 +39,22 @@ TEST(FixedSpot, ShouldSellStrictlyBelowBreakEven) {
 }
 
 TEST(FixedSpot, ZeroDiscountNeverSells) {
-  const FixedSpotSelling policy = make_a_3t4(d2(), 0.0);
+  const FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.0});
   // beta = 0, and working time is never negative.
   EXPECT_FALSE(policy.should_sell(0));
 }
 
 TEST(FixedSpot, NamesMatchPaperNotation) {
-  EXPECT_EQ(make_a_3t4(d2(), 0.8).name(), "A_{3T/4}");
-  EXPECT_EQ(make_a_t2(d2(), 0.8).name(), "A_{T/2}");
-  EXPECT_EQ(make_a_t4(d2(), 0.8).name(), "A_{T/4}");
-  EXPECT_EQ(FixedSpotSelling(d2(), 0.6, 0.8).name(), "A_{0.600T}");
+  EXPECT_EQ(make_a_3t4(d2(), Fraction{0.8}).name(), "A_{3T/4}");
+  EXPECT_EQ(make_a_t2(d2(), Fraction{0.8}).name(), "A_{T/2}");
+  EXPECT_EQ(make_a_t4(d2(), Fraction{0.8}).name(), "A_{T/4}");
+  EXPECT_EQ(FixedSpotSelling(d2(), Fraction{0.6}, Fraction{0.8}).name(), "A_{0.600T}");
 }
 
 TEST(FixedSpot, SellsIdleReservationAtTheSpot) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   const fleet::ReservationId id = ledger.reserve(0);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   // No demand ever assigned: worked_hours = 0 < beta.
   for (Hour t = 0; t < 6570; ++t) {
     EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
@@ -67,7 +67,7 @@ TEST(FixedSpot, SellsIdleReservationAtTheSpot) {
 TEST(FixedSpot, KeepsBusyReservationAtTheSpot) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, 1);  // always busy
   }
@@ -76,9 +76,9 @@ TEST(FixedSpot, KeepsBusyReservationAtTheSpot) {
 
 TEST(FixedSpot, BoundaryUtilizationJustBelowBetaSells) {
   fleet::ReservationLedger ledger(kHoursPerYear);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   ledger.reserve(0);
-  const auto beta_floor = static_cast<Hour>(policy.break_even_hours());  // ~1745
+  const auto beta_floor = static_cast<Hour>(policy.break_even_hours().value());  // ~1745
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, t < beta_floor ? 1 : 0);
   }
@@ -89,9 +89,9 @@ TEST(FixedSpot, BoundaryUtilizationJustBelowBetaSells) {
 
 TEST(FixedSpot, BoundaryUtilizationJustAboveBetaKeeps) {
   fleet::ReservationLedger ledger(kHoursPerYear);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   ledger.reserve(0);
-  const auto beta_ceil = static_cast<Hour>(policy.break_even_hours()) + 1;
+  const auto beta_ceil = static_cast<Hour>(policy.break_even_hours().value()) + 1;
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, t < beta_ceil ? 1 : 0);
   }
@@ -102,7 +102,7 @@ TEST(FixedSpot, MultipleReservationsDecidedIndependently) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   const fleet::ReservationId busy = ledger.reserve(0);
   const fleet::ReservationId idle = ledger.reserve(0);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   for (Hour t = 0; t < 6570; ++t) {
     ledger.assign(t, 1);  // one unit: the first (least remaining) works
   }
@@ -116,7 +116,7 @@ TEST(FixedSpot, LaterCohortDecidedAtItsOwnSpot) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   const fleet::ReservationId late = ledger.reserve(100);
-  FixedSpotSelling policy = make_a_3t4(d2(), 0.8);
+  FixedSpotSelling policy = make_a_3t4(d2(), Fraction{0.8});
   // First cohort decision at 6570 sells reservation 0 (idle).
   auto first = decide_once(policy, 6570, ledger);
   ASSERT_EQ(first.size(), 1u);

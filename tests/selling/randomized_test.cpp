@@ -17,7 +17,7 @@ const pricing::InstanceType& d2() {
 TEST(RandomizedSpot, IdleReservationSoldAtSomePaperSpot) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
-  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 5);
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), Fraction{0.8}, 5);
   std::vector<fleet::ReservationId> sold;
   for (Hour t = 0; t <= 6570 && sold.empty(); ++t) {
     sold = decide_once(policy, t, ledger);
@@ -32,7 +32,7 @@ TEST(RandomizedSpot, IdleReservationSoldAtSomePaperSpot) {
 TEST(RandomizedSpot, BusyReservationNeverSold) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
-  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 6);
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), Fraction{0.8}, 6);
   for (Hour t = 0; t < kHoursPerYear; ++t) {
     ledger.assign(t, 1);
     EXPECT_TRUE(decide_once(policy, t, ledger).empty()) << t;
@@ -45,7 +45,7 @@ TEST(RandomizedSpot, SpotChoiceVariesAcrossReservations) {
   for (int i = 0; i < 30; ++i) {
     ledger.reserve(0);
   }
-  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, 7);
+  RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), Fraction{0.8}, 7);
   std::set<Hour> sale_hours;
   for (Hour t = 0; t <= 6570; ++t) {
     for (const fleet::ReservationId id : decide_once(policy, t, ledger)) {
@@ -62,7 +62,7 @@ TEST(RandomizedSpot, DeterministicPerSeed) {
     for (int i = 0; i < 10; ++i) {
       ledger.reserve(0);
     }
-    RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), 0.8, seed);
+    RandomizedSpotSelling policy = RandomizedSpotSelling::paper_spots(d2(), Fraction{0.8}, seed);
     std::vector<Hour> sales;
     for (Hour t = 0; t <= 6570; ++t) {
       for (const fleet::ReservationId id : decide_once(policy, t, ledger)) {
@@ -82,7 +82,7 @@ TEST(RandomizedSpot, WeightedAllMassOnOneSpotIsDeterministic) {
     ledger.reserve(0);
   }
   // All probability on T/2: every idle reservation must sell at 4380.
-  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpotT2, kSpot3T4}, {0.0, 1.0, 0.0}, 9);
+  RandomizedSpotSelling policy(d2(), Fraction{0.8}, {kSpotT4, kSpotT2, kSpot3T4}, {0.0, 1.0, 0.0}, 9);
   for (Hour t = 0; t < 4380; ++t) {
     EXPECT_TRUE(decide_once(policy, t, ledger).empty());
   }
@@ -95,7 +95,7 @@ TEST(RandomizedSpot, WeightsBiasTheDraw) {
   for (int i = 0; i < 100; ++i) {
     ledger.reserve(0);
   }
-  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {0.9, 0.1}, 10);
+  RandomizedSpotSelling policy(d2(), Fraction{0.8}, {kSpotT4, kSpot3T4}, {0.9, 0.1}, 10);
   const auto early = decide_once(policy, 2190, ledger);
   EXPECT_GT(early.size(), 70u);
   EXPECT_LT(early.size(), 100u);
@@ -105,7 +105,7 @@ TEST(RandomizedSpot, WeightsNeedNotBeNormalized) {
   fleet::ReservationLedger ledger(kHoursPerYear);
   ledger.reserve(0);
   // Weights {2, 0} normalize to {1, 0}.
-  RandomizedSpotSelling policy(d2(), 0.8, {kSpotT4, kSpot3T4}, {2.0, 0.0}, 11);
+  RandomizedSpotSelling policy(d2(), Fraction{0.8}, {kSpotT4, kSpot3T4}, {2.0, 0.0}, 11);
   EXPECT_EQ(decide_once(policy, 2190, ledger).size(), 1u);
 }
 
@@ -114,8 +114,8 @@ TEST(RandomizedSpot, SingleFractionBehavesLikeFixedSpot) {
   fleet::ReservationLedger ledger_fixed(kHoursPerYear);
   ledger_random.reserve(0);
   ledger_fixed.reserve(0);
-  RandomizedSpotSelling random_policy(d2(), 0.8, {0.5}, 3);
-  FixedSpotSelling fixed_policy = make_a_t2(d2(), 0.8);
+  RandomizedSpotSelling random_policy(d2(), Fraction{0.8}, {Fraction{0.5}}, 3);
+  FixedSpotSelling fixed_policy = make_a_t2(d2(), Fraction{0.8});
   for (Hour t = 0; t <= 4380; ++t) {
     const auto random_sells = decide_once(random_policy, t, ledger_random);
     const auto fixed_sells = decide_once(fixed_policy, t, ledger_fixed);

@@ -22,7 +22,7 @@ namespace {
 
 pricing::InstanceType long_type() {
   // Long term so nothing expires inside the measured window.
-  return pricing::InstanceType{"alloc.test", 1.0, 20.0, 0.25, 100000};
+  return pricing::InstanceType{"alloc.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 100000};
 }
 
 workload::DemandTrace cyclic_trace(Hour hours, Count fleet) {
@@ -40,10 +40,10 @@ std::uint64_t allocations_for_horizon(Hour hours) {
   std::vector<Count> bookings(static_cast<std::size_t>(hours), 0);
   bookings[0] = kFleet;
   const ReservationStream stream(std::move(bookings));
-  selling::FixedSpotSelling seller(long_type(), 0.75, 0.8);
+  selling::FixedSpotSelling seller(long_type(), Fraction{0.75}, Fraction{0.8});
   SimulationConfig config;
   config.type = long_type();
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   const std::uint64_t before = common::allocation_count();
   const SimulationResult result = simulate(trace, stream, seller, config);
   const std::uint64_t after = common::allocation_count();

@@ -9,13 +9,13 @@ namespace rimarket::sim {
 namespace {
 
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 SimulationConfig tiny_config() {
   SimulationConfig config;
   config.type = tiny_type();
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   return config;
 }
 
@@ -65,11 +65,11 @@ TEST(OfflinePlanner, OptimalNeverWorseThanAnyOnlinePolicy) {
   const SimulationConfig config = tiny_config();
   const SimulationResult optimal = simulate_offline_optimal(trace, stream, config);
   selling::KeepReservedPolicy keep;
-  selling::AllSellingPolicy all(config.type, 0.75);
-  selling::FixedSpotSelling a34(config.type, 0.75, 0.8);
-  selling::FixedSpotSelling at2(config.type, 0.50, 0.8);
-  selling::FixedSpotSelling at4(config.type, 0.25, 0.8);
-  const double tolerance = 1e-9;
+  selling::AllSellingPolicy all(config.type, Fraction{0.75});
+  selling::FixedSpotSelling a34(config.type, Fraction{0.75}, Fraction{0.8});
+  selling::FixedSpotSelling at2(config.type, Fraction{0.50}, Fraction{0.8});
+  selling::FixedSpotSelling at4(config.type, Fraction{0.25}, Fraction{0.8});
+  const Money tolerance{1e-9};
   EXPECT_LE(optimal.net_cost(), simulate(trace, stream, keep, config).net_cost() + tolerance);
   EXPECT_LE(optimal.net_cost(), simulate(trace, stream, all, config).net_cost() + tolerance);
   EXPECT_LE(optimal.net_cost(), simulate(trace, stream, a34, config).net_cost() + tolerance);

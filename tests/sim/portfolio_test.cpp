@@ -34,7 +34,7 @@ PortfolioConfig all_reserved_config() {
 TEST(Portfolio, RunsEveryItem) {
   const auto items = two_type_portfolio();
   const PortfolioResult result =
-      run_portfolio(items, all_reserved_config(), {SellerKind::kKeepReserved, 0.0});
+      run_portfolio(items, all_reserved_config(), {SellerKind::kKeepReserved, Fraction{0.0}});
   ASSERT_EQ(result.items.size(), 2u);
   EXPECT_EQ(result.items[0].type_name, "d2.xlarge");
   EXPECT_EQ(result.items[1].type_name, "m4.large");
@@ -45,8 +45,8 @@ TEST(Portfolio, RunsEveryItem) {
 TEST(Portfolio, TotalsAreItemSums) {
   const auto items = two_type_portfolio();
   const PortfolioResult result =
-      run_portfolio(items, all_reserved_config(), {SellerKind::kA3T4, 0.75});
-  Dollars cost = 0.0;
+      run_portfolio(items, all_reserved_config(), {SellerKind::kA3T4, Fraction{0.75}});
+  Money cost{0.0};
   Count reservations = 0;
   Count sold = 0;
   for (const auto& item : result.items) {
@@ -54,7 +54,7 @@ TEST(Portfolio, TotalsAreItemSums) {
     reservations += item.reservations_made;
     sold += item.instances_sold;
   }
-  EXPECT_NEAR(result.total_cost, cost, 1e-9);
+  EXPECT_NEAR(result.total_cost.value(), cost.value(), 1e-9);
   EXPECT_EQ(result.total_reservations, reservations);
   EXPECT_EQ(result.total_sold, sold);
 }
@@ -62,8 +62,8 @@ TEST(Portfolio, TotalsAreItemSums) {
 TEST(Portfolio, SellingHelpsTheSparseTypeMore) {
   const auto items = two_type_portfolio();
   const PortfolioConfig config = all_reserved_config();
-  const auto keep = run_portfolio(items, config, {SellerKind::kKeepReserved, 0.0});
-  const auto sell = run_portfolio(items, config, {SellerKind::kAT4, 0.25});
+  const auto keep = run_portfolio(items, config, {SellerKind::kKeepReserved, Fraction{0.0}});
+  const auto sell = run_portfolio(items, config, {SellerKind::kAT4, Fraction{0.25}});
   // The sparse d2.xlarge fleet sells and saves; portfolio total improves.
   EXPECT_GT(sell.total_sold, 0);
   EXPECT_LT(sell.total_cost, keep.total_cost);
@@ -72,7 +72,7 @@ TEST(Portfolio, SellingHelpsTheSparseTypeMore) {
 
 TEST(Portfolio, CompareSellersNormalizesToKeep) {
   const auto items = two_type_portfolio();
-  const std::vector<SellerSpec> sellers = paper_sellers(0.75);
+  const std::vector<SellerSpec> sellers = paper_sellers(Fraction{0.75});
   const auto rows = compare_sellers(items, all_reserved_config(), sellers);
   ASSERT_GE(rows.size(), 5u);
   EXPECT_EQ(rows[0].seller.kind, SellerKind::kKeepReserved);
@@ -85,8 +85,8 @@ TEST(Portfolio, CompareSellersNormalizesToKeep) {
 TEST(Portfolio, KeepSpecInSellerListNotDuplicated) {
   const auto items = two_type_portfolio();
   const std::vector<SellerSpec> sellers = {
-      {SellerKind::kKeepReserved, 0.0},
-      {SellerKind::kA3T4, 0.75},
+      {SellerKind::kKeepReserved, Fraction{0.0}},
+      {SellerKind::kA3T4, Fraction{0.75}},
   };
   const auto rows = compare_sellers(items, all_reserved_config(), sellers);
   int keep_rows = 0;
@@ -99,9 +99,9 @@ TEST(Portfolio, KeepSpecInSellerListNotDuplicated) {
 TEST(Portfolio, DeterministicAcrossRuns) {
   const auto items = two_type_portfolio();
   const PortfolioConfig config = all_reserved_config();
-  const auto a = run_portfolio(items, config, {SellerKind::kRandomizedSpot, 0.5});
-  const auto b = run_portfolio(items, config, {SellerKind::kRandomizedSpot, 0.5});
-  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  const auto a = run_portfolio(items, config, {SellerKind::kRandomizedSpot, Fraction{0.5}});
+  const auto b = run_portfolio(items, config, {SellerKind::kRandomizedSpot, Fraction{0.5}});
+  EXPECT_DOUBLE_EQ(a.total_cost.value(), b.total_cost.value());
   EXPECT_EQ(a.total_sold, b.total_sold);
 }
 
@@ -115,7 +115,7 @@ TEST(Portfolio, ItemsUseIndependentSeeds) {
       pricing::PricingCatalog::builtin().require("m4.large"), trace});
   PortfolioConfig config;
   config.purchaser = purchasing::PurchaserKind::kRandomReservation;
-  const auto result = run_portfolio(items, config, {SellerKind::kKeepReserved, 0.0});
+  const auto result = run_portfolio(items, config, {SellerKind::kKeepReserved, Fraction{0.0}});
   // Same trace and type: costs may coincide by chance in reservations, but
   // the runs must at least complete independently.
   ASSERT_EQ(result.items.size(), 2u);

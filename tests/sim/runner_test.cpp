@@ -21,27 +21,27 @@ EvaluationSpec small_spec() {
   EvaluationSpec spec;
   // A small instance keeps single-instance runs fast while preserving the
   // economics (theta = 2, alpha = 0.25).
-  spec.sim.type = pricing::InstanceType{"tiny.test", 1.0, 500.0, 0.25, 1000};
-  spec.sim.selling_discount = 0.8;
-  spec.sellers = paper_sellers(0.75);
+  spec.sim.type = pricing::InstanceType{"tiny.test", Rate{1.0}, Money{500.0}, Rate{0.25}, 1000};
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sellers = paper_sellers(Fraction{0.75});
   spec.seed = 5;
   spec.threads = 2;
   return spec;
 }
 
 TEST(PaperSellers, LineUpContainsAlgorithmsAndBaselines) {
-  const auto sellers = paper_sellers(0.5);
+  const auto sellers = paper_sellers(Fraction{0.5});
   ASSERT_EQ(sellers.size(), 5u);
   EXPECT_EQ(sellers[0].kind, SellerKind::kKeepReserved);
   EXPECT_EQ(sellers[1].kind, SellerKind::kAllSelling);
-  EXPECT_DOUBLE_EQ(sellers[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(sellers[1].fraction.value(), 0.5);
   EXPECT_EQ(sellers[2].kind, SellerKind::kA3T4);
   EXPECT_EQ(sellers[3].kind, SellerKind::kAT2);
   EXPECT_EQ(sellers[4].kind, SellerKind::kAT4);
 }
 
 TEST(SellerNames, AreUnique) {
-  const auto sellers = paper_sellers(0.75);
+  const auto sellers = paper_sellers(Fraction{0.75});
   std::map<std::string, int> names;
   for (const auto& seller : sellers) {
     ++names[seller_name(seller)];
@@ -52,10 +52,10 @@ TEST(SellerNames, AreUnique) {
 }
 
 TEST(SellerFraction, PaperKindsCarryTheirSpot) {
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, 0.0}), 0.75);
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT2, 0.0}), 0.50);
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT4, 0.0}), 0.25);
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAllSelling, 0.6}), 0.6);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, Fraction{0.0}}).value(), 0.75);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT2, Fraction{0.0}}).value(), 0.50);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAT4, Fraction{0.0}}).value(), 0.25);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kAllSelling, Fraction{0.6}}).value(), 0.6);
 }
 
 TEST(EvaluateUser, ProducesOneResultPerScenario) {
@@ -104,7 +104,7 @@ TEST(Evaluate, DeterministicAcrossRuns) {
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].user_id, second[i].user_id);
-    EXPECT_DOUBLE_EQ(first[i].net_cost, second[i].net_cost);
+    EXPECT_DOUBLE_EQ(first[i].net_cost.value(), second[i].net_cost.value());
   }
 }
 
@@ -123,7 +123,7 @@ TEST(Evaluate, ResultsIndependentOfThreadCount) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].user_id, b[i].user_id);
     EXPECT_EQ(a[i].purchaser, b[i].purchaser);
-    EXPECT_DOUBLE_EQ(a[i].net_cost, b[i].net_cost);
+    EXPECT_DOUBLE_EQ(a[i].net_cost.value(), b[i].net_cost.value());
     EXPECT_EQ(a[i].instances_sold, b[i].instances_sold);
   }
 }
@@ -146,8 +146,8 @@ TEST(Evaluate, ByteIdenticalOrderingAcrossThreadCounts) {
       ASSERT_EQ(a[i].group, b[i].group);
       ASSERT_EQ(a[i].purchaser, b[i].purchaser);
       ASSERT_EQ(a[i].seller.kind, b[i].seller.kind);
-      ASSERT_DOUBLE_EQ(a[i].seller.fraction, b[i].seller.fraction);
-      ASSERT_DOUBLE_EQ(a[i].net_cost, b[i].net_cost);
+      ASSERT_DOUBLE_EQ(a[i].seller.fraction.value(), b[i].seller.fraction.value());
+      ASSERT_DOUBLE_EQ(a[i].net_cost.value(), b[i].net_cost.value());
       ASSERT_EQ(a[i].reservations_made, b[i].reservations_made);
       ASSERT_EQ(a[i].instances_sold, b[i].instances_sold);
       ASSERT_EQ(a[i].on_demand_hours, b[i].on_demand_hours);
@@ -195,11 +195,10 @@ TEST(Evaluate, SweepErrorIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial_message, parallel_message);
 }
 
-TEST(Evaluate, RejectsOutOfRangeDiscount) {
-  const auto population = small_population();
-  EvaluationSpec spec = small_spec();
-  spec.sim.selling_discount = 1.5;
-  EXPECT_THROW(evaluate(population, spec), SweepError);
+TEST(Evaluate, OutOfRangeDiscountCannotBeConstructed) {
+  // The old runtime range check moved into the type: a discount outside
+  // [0, 1] now dies at Fraction construction, before a sweep can start.
+  EXPECT_DEATH(Fraction{1.5}, "precondition failed");
 }
 
 TEST(Evaluate, ExportsPoolMetricsToGlobalRegistry) {
@@ -225,20 +224,20 @@ TEST(Evaluate, GroupLabelsMatchPopulation) {
 TEST(Evaluate, OfflineOptimalSellerRuns) {
   const auto population = small_population();
   EvaluationSpec spec = small_spec();
-  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, 0.0},
-                  SellerSpec{SellerKind::kOfflineOptimal, 0.0}};
+  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, Fraction{0.0}},
+                  SellerSpec{SellerKind::kOfflineOptimal, Fraction{0.0}}};
   spec.purchasers = {purchasing::PurchaserKind::kAllReserved};
   const auto results = evaluate_user(population.users().front(), spec);
   ASSERT_EQ(results.size(), 2u);
   // The clairvoyant benchmark can only improve on keep-reserved.
-  EXPECT_LE(results[1].net_cost, results[0].net_cost + 1e-9);
+  EXPECT_LE(results[1].net_cost, results[0].net_cost + Money{1e-9});
 }
 
 TEST(Evaluate, RandomizedSellerRuns) {
   const auto population = small_population();
   EvaluationSpec spec = small_spec();
-  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, 0.0},
-                  SellerSpec{SellerKind::kRandomizedSpot, 0.0}};
+  spec.sellers = {SellerSpec{SellerKind::kKeepReserved, Fraction{0.0}},
+                  SellerSpec{SellerKind::kRandomizedSpot, Fraction{0.0}}};
   const auto results = evaluate_user(population.users().back(), spec);
   EXPECT_EQ(results.size(), 2u * spec.purchasers.size());
 }

@@ -11,20 +11,20 @@ namespace {
 SimulationConfig d2_config() {
   SimulationConfig config;
   config.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   return config;
 }
 
 TEST(Scenario, SellerNamesAreStable) {
-  EXPECT_EQ(seller_name({SellerKind::kKeepReserved, 0.0}), "keep-reserved");
-  EXPECT_EQ(seller_name({SellerKind::kAllSelling, 0.25}), "all-selling@0.25T");
-  EXPECT_EQ(seller_name({SellerKind::kA3T4, 0.75}), "A_{3T/4}");
-  EXPECT_EQ(seller_name({SellerKind::kAT2, 0.5}), "A_{T/2}");
-  EXPECT_EQ(seller_name({SellerKind::kAT4, 0.25}), "A_{T/4}");
-  EXPECT_EQ(seller_name({SellerKind::kRandomizedSpot, 0.5}), "randomized-spot");
-  EXPECT_EQ(seller_name({SellerKind::kContinuousSpot, 0.5}), "continuous-spot");
-  EXPECT_EQ(seller_name({SellerKind::kForecastSelling, 0.75}), "forecast@0.75T");
-  EXPECT_EQ(seller_name({SellerKind::kOfflineOptimal, 0.0}), "offline-optimal");
+  EXPECT_EQ(seller_name({SellerKind::kKeepReserved, Fraction{0.0}}), "keep-reserved");
+  EXPECT_EQ(seller_name({SellerKind::kAllSelling, Fraction{0.25}}), "all-selling@0.25T");
+  EXPECT_EQ(seller_name({SellerKind::kA3T4, Fraction{0.75}}), "A_{3T/4}");
+  EXPECT_EQ(seller_name({SellerKind::kAT2, Fraction{0.5}}), "A_{T/2}");
+  EXPECT_EQ(seller_name({SellerKind::kAT4, Fraction{0.25}}), "A_{T/4}");
+  EXPECT_EQ(seller_name({SellerKind::kRandomizedSpot, Fraction{0.5}}), "randomized-spot");
+  EXPECT_EQ(seller_name({SellerKind::kContinuousSpot, Fraction{0.5}}), "continuous-spot");
+  EXPECT_EQ(seller_name({SellerKind::kForecastSelling, Fraction{0.75}}), "forecast@0.75T");
+  EXPECT_EQ(seller_name({SellerKind::kOfflineOptimal, Fraction{0.0}}), "offline-optimal");
 }
 
 TEST(Scenario, MakeSellerProducesMatchingPolicies) {
@@ -36,7 +36,7 @@ TEST(Scenario, MakeSellerProducesMatchingPolicies) {
         SellerKind::kAT2, SellerKind::kAT4, SellerKind::kRandomizedSpot,
         SellerKind::kContinuousSpot, SellerKind::kForecastSelling,
         SellerKind::kOfflineOptimal}) {
-    const auto seller = make_seller({kind, 0.5}, config, /*seed=*/1, &trace, &stream);
+    const auto seller = make_seller({kind, Fraction{0.5}}, config, /*seed=*/1, &trace, &stream);
     ASSERT_NE(seller, nullptr);
     EXPECT_FALSE(seller->name().empty());
   }
@@ -44,22 +44,22 @@ TEST(Scenario, MakeSellerProducesMatchingPolicies) {
 
 TEST(Scenario, PaperAlgorithmSellersCarryTheirSpotNames) {
   const SimulationConfig config = d2_config();
-  EXPECT_EQ(make_seller({SellerKind::kA3T4, 0.0}, config, 1)->name(), "A_{3T/4}");
-  EXPECT_EQ(make_seller({SellerKind::kAT2, 0.0}, config, 1)->name(), "A_{T/2}");
-  EXPECT_EQ(make_seller({SellerKind::kAT4, 0.0}, config, 1)->name(), "A_{T/4}");
+  EXPECT_EQ(make_seller({SellerKind::kA3T4, Fraction{0.0}}, config, 1)->name(), "A_{3T/4}");
+  EXPECT_EQ(make_seller({SellerKind::kAT2, Fraction{0.0}}, config, 1)->name(), "A_{T/2}");
+  EXPECT_EQ(make_seller({SellerKind::kAT4, Fraction{0.0}}, config, 1)->name(), "A_{T/4}");
 }
 
 TEST(Scenario, OfflineOptimalRequiresTraceAndStream) {
   const SimulationConfig config = d2_config();
   EXPECT_DEATH(
-      { make_seller({SellerKind::kOfflineOptimal, 0.0}, config, 1, nullptr, nullptr); },
+      { make_seller({SellerKind::kOfflineOptimal, Fraction{0.0}}, config, 1, nullptr, nullptr); },
       "precondition");
 }
 
 TEST(Scenario, FractionAccessor) {
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, 0.123}), 0.75);
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kKeepReserved, 0.4}), 0.4);
-  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kForecastSelling, 0.25}), 0.25);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kA3T4, Fraction{0.123}}).value(), 0.75);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kKeepReserved, Fraction{0.4}}).value(), 0.4);
+  EXPECT_DOUBLE_EQ(seller_fraction({SellerKind::kForecastSelling, Fraction{0.25}}).value(), 0.25);
 }
 
 }  // namespace

@@ -14,13 +14,13 @@ namespace {
 // Small synthetic instance: p=1, R=20, alpha=0.25, T=40h (theta = 2).
 // beta(3/4, a=0.8) = 16h, decision spot at age 30.
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 SimulationConfig tiny_config() {
   SimulationConfig config;
   config.type = tiny_type();
-  config.selling_discount = 0.8;
+  config.selling_discount = Fraction{0.8};
   return config;
 }
 
@@ -55,17 +55,17 @@ TEST(Simulate, KeepReservedCostMatchesHandComputation) {
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, tiny_config());
   // Eq. (1): R + 40 active hours * alpha*p = 20 + 40*0.25 = 30.
-  EXPECT_NEAR(result.totals.upfront, 20.0, 1e-12);
-  EXPECT_NEAR(result.totals.reserved_hourly, 10.0, 1e-12);
-  EXPECT_DOUBLE_EQ(result.totals.on_demand, 0.0);
-  EXPECT_DOUBLE_EQ(result.totals.sale_income, 0.0);
-  EXPECT_NEAR(result.net_cost(), 30.0, 1e-12);
+  EXPECT_NEAR(result.totals.upfront.value(), 20.0, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly.value(), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.totals.on_demand.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.totals.sale_income.value(), 0.0);
+  EXPECT_NEAR(result.net_cost().value(), 30.0, 1e-12);
   EXPECT_EQ(result.reservations_made, 1);
   EXPECT_EQ(result.instances_sold, 0);
 }
 
 TEST(Simulate, SellingIdleReservationCreditsIncome) {
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, a34, tiny_config());
@@ -73,18 +73,18 @@ TEST(Simulate, SellingIdleReservationCreditsIncome) {
   // 30's accounting (Eq. (1): s_t removes the instance from r_t), so billed
   // active hours are 0..29; income = 0.8 * (10/40) * 20 = 4.
   EXPECT_EQ(result.instances_sold, 1);
-  EXPECT_NEAR(result.totals.sale_income, 4.0, 1e-12);
-  EXPECT_NEAR(result.totals.reserved_hourly, 30 * 0.25, 1e-12);
-  EXPECT_NEAR(result.net_cost(), 20.0 + 7.5 - 4.0, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 4.0, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly.value(), 30 * 0.25, 1e-12);
+  EXPECT_NEAR(result.net_cost().value(), 20.0 + 7.5 - 4.0, 1e-12);
 }
 
 TEST(Simulate, SellingBeatsKeepingForIdleReservation) {
   const ReservationStream stream(std::vector<Count>{1});
   selling::KeepReservedPolicy keep;
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const auto keep_result = simulate(front_loaded_trace(), stream, keep, tiny_config());
   const auto sell_result = simulate(front_loaded_trace(), stream, a34, tiny_config());
-  EXPECT_LT(sell_result.net_cost(), keep_result.net_cost());
+  EXPECT_LT(sell_result.net_cost().value(), keep_result.net_cost().value());
 }
 
 TEST(Simulate, DemandAfterSaleGoesOnDemand) {
@@ -98,20 +98,20 @@ TEST(Simulate, DemandAfterSaleGoesOnDemand) {
   }
   const workload::DemandTrace trace{std::move(demand)};
   const ReservationStream stream(std::vector<Count>{1});
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const SimulationResult result = simulate(trace, stream, a34, tiny_config());
   EXPECT_EQ(result.instances_sold, 1);
   EXPECT_EQ(result.on_demand_hours, 8);
-  EXPECT_NEAR(result.totals.on_demand, 8.0, 1e-12);
+  EXPECT_NEAR(result.totals.on_demand.value(), 8.0, 1e-12);
 }
 
 TEST(Simulate, ServiceFeeReducesIncome) {
   SimulationConfig config = tiny_config();
-  config.service_fee = 0.12;
+  config.service_fee = Fraction{0.12};
   const ReservationStream stream(std::vector<Count>{1});
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
-  EXPECT_NEAR(result.totals.sale_income, 4.0 * 0.88, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 4.0 * 0.88, 1e-12);
 }
 
 TEST(Simulate, WorkedHoursOnlyChargePolicy) {
@@ -122,7 +122,7 @@ TEST(Simulate, WorkedHoursOnlyChargePolicy) {
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, config);
   // Only the 10 worked hours bill the discounted rate.
-  EXPECT_NEAR(result.totals.reserved_hourly, 10 * 0.25, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly.value(), 10 * 0.25, 1e-12);
 }
 
 TEST(Simulate, HorizonDefaultsToTraceLength) {
@@ -133,13 +133,13 @@ TEST(Simulate, HorizonDefaultsToTraceLength) {
   config.horizon = 25;
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, config);
-  EXPECT_NEAR(result.totals.reserved_hourly, 25 * 0.25, 1e-12);
+  EXPECT_NEAR(result.totals.reserved_hourly.value(), 25 * 0.25, 1e-12);
 }
 
 TEST(Simulate, HourlySeriesSumsToTotals) {
   SimulationConfig config = tiny_config();
   config.keep_hourly_series = true;
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, a34, config);
@@ -148,7 +148,7 @@ TEST(Simulate, HourlySeriesSumsToTotals) {
   for (const auto& hour : result.hourly) {
     sum += hour;
   }
-  EXPECT_NEAR(sum.net(), result.net_cost(), 1e-9);
+  EXPECT_NEAR(sum.net().value(), result.net_cost().value(), 1e-9);
 }
 
 TEST(Simulate, ObserverSeesWorkAssignments) {
@@ -171,46 +171,46 @@ TEST(Simulate, UncoveredDemandBuysOnDemand) {
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, tiny_config());
   EXPECT_EQ(result.on_demand_hours, 10);
-  EXPECT_NEAR(result.net_cost(), 10.0, 1e-12);
+  EXPECT_NEAR(result.net_cost().value(), 10.0, 1e-12);
 }
 
 TEST(Simulate, IdleResaleCreditsIdleHours) {
   SimulationConfig config = tiny_config();
-  config.idle_resale_rate = 0.5;  // between alpha*p=0.25 and p=1.0
+  config.idle_resale_rate = Rate{0.5};  // between alpha*p=0.25 and p=1.0
   selling::KeepReservedPolicy keep;
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, config);
   // Busy hours 0..9, idle 10..39 -> 30 idle hours * 0.5.
-  EXPECT_NEAR(result.totals.sale_income, 30 * 0.5, 1e-12);
-  EXPECT_NEAR(result.net_cost(), 30.0 - 15.0, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 30 * 0.5, 1e-12);
+  EXPECT_NEAR(result.net_cost().value(), 30.0 - 15.0, 1e-12);
 }
 
 TEST(Simulate, IdleResaleProbabilityScalesIncome) {
   SimulationConfig config = tiny_config();
-  config.idle_resale_rate = 0.5;
-  config.idle_resale_probability = 0.4;
+  config.idle_resale_rate = Rate{0.5};
+  config.idle_resale_probability = Fraction{0.4};
   selling::KeepReservedPolicy keep;
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, keep, config);
-  EXPECT_NEAR(result.totals.sale_income, 30 * 0.5 * 0.4, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 30 * 0.5 * 0.4, 1e-12);
 }
 
 TEST(Simulate, IdleResaleDisabledByDefault) {
   const SimulationConfig config = tiny_config();
-  EXPECT_DOUBLE_EQ(config.idle_resale_rate, 0.0);
+  EXPECT_DOUBLE_EQ(config.idle_resale_rate.value(), 0.0);
 }
 
 TEST(Simulate, CustomIncomeModelOverridesInstantSale) {
   SimulationConfig config = tiny_config();
-  config.income_model = [](const pricing::InstanceType&, Hour, double) { return 1.25; };
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  config.income_model = [](const pricing::InstanceType&, Hour, Fraction) { return Money{1.25}; };
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result =
       simulate(front_loaded_trace(), stream, a34, config);
   EXPECT_EQ(result.instances_sold, 1);
-  EXPECT_NEAR(result.totals.sale_income, 1.25, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 1.25, 1e-12);
 }
 
 TEST(Simulate, SameHourSaleExcludedFromHourlyEqOne) {
@@ -224,19 +224,19 @@ TEST(Simulate, SameHourSaleExcludedFromHourlyEqOne) {
   //   hours 31+:   nothing
   SimulationConfig config = tiny_config();
   config.keep_hourly_series = true;
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
   ASSERT_EQ(result.hourly.size(), 40u);
-  EXPECT_NEAR(result.hourly[0].net(), 20.25, 1e-12);
+  EXPECT_NEAR(result.hourly[0].net().value(), 20.25, 1e-12);
   for (std::size_t t = 1; t < 30; ++t) {
-    EXPECT_NEAR(result.hourly[t].net(), 0.25, 1e-12) << "t=" << t;
+    EXPECT_NEAR(result.hourly[t].net().value(), 0.25, 1e-12) << "t=" << t;
   }
-  EXPECT_DOUBLE_EQ(result.hourly[30].reserved_hourly, 0.0);
-  EXPECT_NEAR(result.hourly[30].sale_income, 4.0, 1e-12);
-  EXPECT_NEAR(result.hourly[30].net(), -4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.hourly[30].reserved_hourly.value(), 0.0);
+  EXPECT_NEAR(result.hourly[30].sale_income.value(), 4.0, 1e-12);
+  EXPECT_NEAR(result.hourly[30].net().value(), -4.0, 1e-12);
   for (std::size_t t = 31; t < 40; ++t) {
-    EXPECT_DOUBLE_EQ(result.hourly[t].net(), 0.0) << "t=" << t;
+    EXPECT_DOUBLE_EQ(result.hourly[t].net().value(), 0.0) << "t=" << t;
   }
 }
 
@@ -244,13 +244,13 @@ TEST(Simulate, ServiceFeeAppliesToCustomIncomeModel) {
   // The fee must hit both income paths uniformly: custom models return
   // gross income and the simulator nets it, same as the instant-sale path.
   SimulationConfig config = tiny_config();
-  config.service_fee = 0.12;
-  config.income_model = [](const pricing::InstanceType&, Hour, double) { return 1.25; };
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  config.service_fee = Fraction{0.12};
+  config.income_model = [](const pricing::InstanceType&, Hour, Fraction) { return Money{1.25}; };
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const ReservationStream stream(std::vector<Count>{1});
   const SimulationResult result = simulate(front_loaded_trace(), stream, a34, config);
   EXPECT_EQ(result.instances_sold, 1);
-  EXPECT_NEAR(result.totals.sale_income, 1.25 * 0.88, 1e-12);
+  EXPECT_NEAR(result.totals.sale_income.value(), 1.25 * 0.88, 1e-12);
 }
 
 TEST(ReservationStream, GenerateRejectsNonPositiveTerm) {
@@ -277,7 +277,7 @@ TEST(SimulateClosedLoop, PurchaserReactsToSales) {
   }
   const workload::DemandTrace trace{std::move(demand)};
   purchasing::AllReservedPolicy purchaser;
-  selling::FixedSpotSelling a34(tiny_type(), 0.75, 0.8);
+  selling::FixedSpotSelling a34(tiny_type(), Fraction{0.75}, Fraction{0.8});
   const SimulationResult result =
       simulate_closed_loop(trace, purchaser, a34, tiny_config());
   EXPECT_EQ(result.reservations_made, 2);
@@ -289,7 +289,7 @@ TEST(Simulate, StreamSharedAcrossSellersKeepsBookingsIdentical) {
   purchasing::AllReservedPolicy purchaser;
   const auto stream = ReservationStream::generate(trace, purchaser, 40, 40);
   selling::KeepReservedPolicy keep;
-  selling::AllSellingPolicy all(tiny_type(), 0.75);
+  selling::AllSellingPolicy all(tiny_type(), Fraction{0.75});
   const auto keep_result = simulate(trace, stream, keep, tiny_config());
   const auto all_result = simulate(trace, stream, all, tiny_config());
   EXPECT_EQ(keep_result.reservations_made, all_result.reservations_made);

@@ -8,7 +8,7 @@ namespace rimarket::theory {
 namespace {
 
 pricing::InstanceType tiny_type() {
-  return pricing::InstanceType{"tiny.test", 1.0, 20.0, 0.25, 40};
+  return pricing::InstanceType{"tiny.test", Rate{1.0}, Money{20.0}, Rate{0.25}, 40};
 }
 
 Hour busy_hours(const WorkSchedule& schedule) {
@@ -20,7 +20,7 @@ Hour busy_hours(const WorkSchedule& schedule) {
 }
 
 TEST(Adversary, Case1IdleBeforeSpotBusyAfter) {
-  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.75, 1.0);
+  const WorkSchedule schedule = case1_schedule(tiny_type(), Fraction{0.75}, 1.0);
   ASSERT_EQ(schedule.size(), 40u);
   for (Hour h = 0; h < 30; ++h) {
     EXPECT_FALSE(schedule[static_cast<std::size_t>(h)]) << h;
@@ -31,7 +31,7 @@ TEST(Adversary, Case1IdleBeforeSpotBusyAfter) {
 }
 
 TEST(Adversary, Case1EpsilonLimitsBusyWindow) {
-  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.5, 0.75);
+  const WorkSchedule schedule = case1_schedule(tiny_type(), Fraction{0.5}, 0.75);
   // Busy exactly on [20, 30).
   EXPECT_EQ(busy_hours(schedule), 10);
   EXPECT_TRUE(schedule[20]);
@@ -40,12 +40,12 @@ TEST(Adversary, Case1EpsilonLimitsBusyWindow) {
 }
 
 TEST(Adversary, Case1EpsilonEqualsFractionIsAllIdle) {
-  const WorkSchedule schedule = case1_schedule(tiny_type(), 0.5, 0.5);
+  const WorkSchedule schedule = case1_schedule(tiny_type(), Fraction{0.5}, 0.5);
   EXPECT_EQ(busy_hours(schedule), 0);
 }
 
 TEST(Adversary, Case2BusyBeforeSpot) {
-  const WorkSchedule schedule = case2_schedule(tiny_type(), 0.75, 0.75);
+  const WorkSchedule schedule = case2_schedule(tiny_type(), Fraction{0.75}, 0.75);
   EXPECT_EQ(busy_hours(schedule), 30);
   EXPECT_TRUE(schedule[0]);
   EXPECT_TRUE(schedule[29]);
@@ -53,24 +53,24 @@ TEST(Adversary, Case2BusyBeforeSpot) {
 }
 
 TEST(Adversary, Case2EpsilonExtendsBusyWindow) {
-  const WorkSchedule schedule = case2_schedule(tiny_type(), 0.5, 0.9);
+  const WorkSchedule schedule = case2_schedule(tiny_type(), Fraction{0.5}, 0.9);
   // Busy on [0, 36).
   EXPECT_EQ(busy_hours(schedule), 36);
 }
 
 TEST(Adversary, UtilizationScheduleHitsTarget) {
-  const WorkSchedule schedule = utilization_schedule(tiny_type(), 0.75, 0.5, 0.75);
+  const WorkSchedule schedule = utilization_schedule(tiny_type(), Fraction{0.75}, 0.5, 0.75);
   // Half of the first 30 hours busy, nothing after.
   EXPECT_EQ(busy_hours(schedule), 15);
 }
 
 TEST(Adversary, UtilizationZeroAndOne) {
-  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), 0.5, 0.0, 0.5)), 0);
-  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), 0.5, 1.0, 0.5)), 20);
+  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), Fraction{0.5}, 0.0, 0.5)), 0);
+  EXPECT_EQ(busy_hours(utilization_schedule(tiny_type(), Fraction{0.5}, 1.0, 0.5)), 20);
 }
 
 TEST(Adversary, UtilizationSpreadsEvenly) {
-  const WorkSchedule schedule = utilization_schedule(tiny_type(), 0.75, 0.5, 0.75);
+  const WorkSchedule schedule = utilization_schedule(tiny_type(), Fraction{0.75}, 0.5, 0.75);
   // No long runs: with 50% utilization spread evenly, no 3 consecutive
   // busy hours in the pre-spot window.
   for (Hour h = 0; h + 2 < 30; ++h) {
@@ -108,8 +108,8 @@ TEST(Adversary, EpisodeScheduleApproximatesDutyCycle) {
 
 TEST(Adversary, SchedulesHaveTermLength) {
   common::Rng rng(8);
-  EXPECT_EQ(case1_schedule(tiny_type(), 0.25, 0.6).size(), 40u);
-  EXPECT_EQ(case2_schedule(tiny_type(), 0.25, 0.3).size(), 40u);
+  EXPECT_EQ(case1_schedule(tiny_type(), Fraction{0.25}, 0.6).size(), 40u);
+  EXPECT_EQ(case2_schedule(tiny_type(), Fraction{0.25}, 0.3).size(), 40u);
   EXPECT_EQ(random_episode_schedule(tiny_type(), 0.5, 4.0, rng).size(), 40u);
 }
 

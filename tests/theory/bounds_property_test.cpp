@@ -33,7 +33,7 @@ TEST_P(BoundHolds, EmpiricalRatioWithinGuarantee) {
   const pricing::InstanceType type =
       pricing::PricingCatalog::builtin().require(param.instance);
   const VerificationResult result =
-      verify_bound(type, param.fraction, param.selling_discount, fast_spec());
+      verify_bound(type, Fraction{param.fraction}, Fraction{param.selling_discount}, fast_spec());
   EXPECT_TRUE(result.holds()) << "ratio " << result.max_ratio << " > bound " << result.bound
                               << " via " << result.worst_schedule;
   EXPECT_GE(result.max_ratio, 1.0 - 1e-9);
@@ -70,7 +70,7 @@ TEST(BoundSweep, WholeCatalogAllThreeAlgorithms) {
   spec.utilization_steps = 4;
   spec.random_schedules = 2;
   const auto results =
-      verify_catalog(pricing::PricingCatalog::builtin().types(), 0.8, spec);
+      verify_catalog(pricing::PricingCatalog::builtin().types(), Fraction{0.8}, spec);
   ASSERT_EQ(results.size(), pricing::PricingCatalog::builtin().size() * 3);
   for (const VerificationResult& result : results) {
     EXPECT_TRUE(result.holds()) << result.worst_schedule << " alpha=" << result.alpha
@@ -84,7 +84,7 @@ TEST(BoundSweep, AdversarialCasesApproachTheBoundShape) {
   // its job), while never exceeding it.
   const pricing::InstanceType type =
       pricing::PricingCatalog::builtin().require("d2.xlarge");
-  const VerificationResult result = verify_bound(type, 0.75, 0.8, fast_spec());
+  const VerificationResult result = verify_bound(type, Fraction{0.75}, Fraction{0.8}, fast_spec());
   EXPECT_GT(result.max_ratio, 1.1);
   EXPECT_LE(result.max_ratio, result.bound + 1e-9);
 }
@@ -96,7 +96,7 @@ TEST(BoundSweep, ZeroDiscountDegeneratesGracefully) {
       pricing::PricingCatalog::builtin().require("d2.xlarge");
   VerificationSpec spec = fast_spec();
   spec.random_schedules = 2;
-  const VerificationResult result = verify_bound(type, 0.75, 0.0, spec);
+  const VerificationResult result = verify_bound(type, Fraction{0.75}, Fraction{0.0}, spec);
   EXPECT_NEAR(result.max_ratio, 1.0, 1e-9);
 }
 

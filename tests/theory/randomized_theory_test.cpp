@@ -15,30 +15,30 @@ const pricing::InstanceType& d2() {
 SingleInstanceModel d2_model() {
   SingleInstanceModel model;
   model.type = d2();
-  model.selling_discount = 0.8;
+  model.selling_discount = Fraction{0.8};
   model.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
   return model;
 }
 
-constexpr double kPaperSpots[] = {0.25, 0.5, 0.75};
+constexpr Fraction kPaperSpots[] = {Fraction{0.25}, Fraction{0.5}, Fraction{0.75}};
 
 TEST(RandomizedTheory, ExpectedCostIsMeanOfMembers) {
   const SingleInstanceModel model = d2_model();
   const WorkSchedule idle(static_cast<std::size_t>(d2().term), false);
-  const Dollars expected = randomized_expected_cost(model, idle, kPaperSpots);
-  const Dollars mean = (model.online_cost(idle, 0.25) + model.online_cost(idle, 0.5) +
-                        model.online_cost(idle, 0.75)) /
-                       3.0;
-  EXPECT_NEAR(expected, mean, 1e-9);
+  const Money expected = randomized_expected_cost(model, idle, kPaperSpots);
+  const Money mean = (model.online_cost(idle, Fraction{0.25}) + model.online_cost(idle, Fraction{0.5}) +
+                      model.online_cost(idle, Fraction{0.75})) /
+                     3.0;
+  EXPECT_NEAR(expected.value(), mean.value(), 1e-9);
 }
 
 TEST(RandomizedTheory, SingleSpotDegeneratesToDeterministic) {
   const SingleInstanceModel model = d2_model();
   common::Rng rng(3);
   const WorkSchedule schedule = random_schedule(d2(), 0.3, rng);
-  const double spots[] = {0.75};
-  EXPECT_NEAR(randomized_expected_cost(model, schedule, spots),
-              model.online_cost(schedule, 0.75), 1e-9);
+  const Fraction spots[] = {Fraction{0.75}};
+  EXPECT_NEAR(randomized_expected_cost(model, schedule, spots).value(),
+              model.online_cost(schedule, Fraction{0.75}).value(), 1e-9);
 }
 
 TEST(RandomizedTheory, ExpectedRatioAtLeastOne) {
@@ -58,7 +58,7 @@ TEST(RandomizedTheory, VerificationBeatsWorstDeterministic) {
   spec.utilization_steps = 8;
   spec.random_schedules = 8;
   const RandomizedVerification result =
-      verify_randomized(d2(), 0.8, kPaperSpots, spec);
+      verify_randomized(d2(), Fraction{0.8}, kPaperSpots, spec);
   ASSERT_EQ(result.deterministic_max_ratios.size(), 3u);
   // Randomization hedges across spots: its worst expected ratio must be
   // strictly below the worst member's worst case (the paper's speculation,
@@ -76,7 +76,7 @@ TEST(RandomizedTheory, HoldsAcrossDiscounts) {
   spec.utilization_steps = 4;
   spec.random_schedules = 2;
   for (const double a : {0.3, 0.6, 1.0}) {
-    const RandomizedVerification result = verify_randomized(d2(), a, kPaperSpots, spec);
+    const RandomizedVerification result = verify_randomized(d2(), Fraction{a}, kPaperSpots, spec);
     EXPECT_LT(result.randomized_max_ratio, result.worst_deterministic + 1e-9) << "a=" << a;
   }
 }
@@ -85,16 +85,16 @@ TEST(RandomizedTheory, WeightedExpectedCostInterpolates) {
   const SingleInstanceModel model = d2_model();
   common::Rng rng(9);
   const WorkSchedule schedule = random_schedule(d2(), 0.2, rng);
-  const double spots[] = {0.25, 0.75};
+  const Fraction spots[] = {Fraction{0.25}, Fraction{0.75}};
   const double all_first[] = {1.0, 0.0};
   const double all_second[] = {0.0, 1.0};
   const double even[] = {0.5, 0.5};
-  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_first),
-              model.online_cost(schedule, 0.25), 1e-9);
-  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_second),
-              model.online_cost(schedule, 0.75), 1e-9);
-  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, even),
-              0.5 * (model.online_cost(schedule, 0.25) + model.online_cost(schedule, 0.75)),
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_first).value(),
+              model.online_cost(schedule, Fraction{0.25}).value(), 1e-9);
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, all_second).value(),
+              model.online_cost(schedule, Fraction{0.75}).value(), 1e-9);
+  EXPECT_NEAR(weighted_expected_cost(model, schedule, spots, even).value(),
+              0.5 * (model.online_cost(schedule, Fraction{0.25}) + model.online_cost(schedule, Fraction{0.75})).value(),
               1e-9);
 }
 
@@ -103,7 +103,7 @@ TEST(RandomizedTheory, OptimizedDistributionBeatsUniform) {
   spec.epsilon_steps = 12;
   spec.utilization_steps = 6;
   spec.random_schedules = 4;
-  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, kPaperSpots, spec);
+  const SpotDistribution best = optimize_spot_distribution(d2(), Fraction{0.8}, kPaperSpots, spec);
   ASSERT_EQ(best.weights.size(), 3u);
   double sum = 0.0;
   for (const double w : best.weights) {
@@ -124,8 +124,8 @@ TEST(RandomizedTheory, OptimizedDistributionBeatsEveryPureSpot) {
   spec.epsilon_steps = 12;
   spec.utilization_steps = 6;
   spec.random_schedules = 4;
-  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, kPaperSpots, spec);
-  const RandomizedVerification pure = verify_randomized(d2(), 0.8, kPaperSpots, spec);
+  const SpotDistribution best = optimize_spot_distribution(d2(), Fraction{0.8}, kPaperSpots, spec);
+  const RandomizedVerification pure = verify_randomized(d2(), Fraction{0.8}, kPaperSpots, spec);
   EXPECT_LE(best.minimax_ratio, pure.best_deterministic + 1e-9);
 }
 
@@ -134,8 +134,8 @@ TEST(RandomizedTheory, SingleCandidateOptimizationIsIdentity) {
   spec.epsilon_steps = 8;
   spec.utilization_steps = 4;
   spec.random_schedules = 2;
-  const double spots[] = {0.75};
-  const SpotDistribution best = optimize_spot_distribution(d2(), 0.8, spots, spec);
+  const Fraction spots[] = {Fraction{0.75}};
+  const SpotDistribution best = optimize_spot_distribution(d2(), Fraction{0.8}, spots, spec);
   ASSERT_EQ(best.weights.size(), 1u);
   EXPECT_NEAR(best.weights[0], 1.0, 1e-9);
   EXPECT_NEAR(best.minimax_ratio, best.uniform_ratio, 1e-9);
@@ -149,8 +149,8 @@ TEST(RandomizedTheory, DeterministicColumnsMatchSharedBenchmark) {
   spec.epsilon_steps = 8;
   spec.utilization_steps = 4;
   spec.random_schedules = 2;
-  const RandomizedVerification randomized = verify_randomized(d2(), 0.8, kPaperSpots, spec);
-  const VerificationResult own_window = verify_bound(d2(), 0.75, 0.8, spec);
+  const RandomizedVerification randomized = verify_randomized(d2(), Fraction{0.8}, kPaperSpots, spec);
+  const VerificationResult own_window = verify_bound(d2(), Fraction{0.75}, Fraction{0.8}, spec);
   // deterministic_max_ratios[2] is f=0.75 measured against the T/4 window.
   EXPECT_GE(randomized.deterministic_max_ratios[2], own_window.max_ratio - 1e-9);
 }

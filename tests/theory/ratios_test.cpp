@@ -8,9 +8,9 @@ namespace rimarket::theory {
 namespace {
 
 TEST(HeadlineRatios, MatchPaperFormulas) {
-  EXPECT_DOUBLE_EQ(ratio_a3t4(0.25, 0.8), 2.0 - 0.25 - 0.2);
-  EXPECT_DOUBLE_EQ(ratio_at2(0.25, 0.8), 3.0 - 0.5 - 0.4);
-  EXPECT_DOUBLE_EQ(ratio_at4(0.25, 0.8), 4.0 - 0.75 - 0.6);
+  EXPECT_DOUBLE_EQ(ratio_a3t4(Fraction{0.25}, Fraction{0.8}), 2.0 - 0.25 - 0.2);
+  EXPECT_DOUBLE_EQ(ratio_at2(Fraction{0.25}, Fraction{0.8}), 3.0 - 0.5 - 0.4);
+  EXPECT_DOUBLE_EQ(ratio_at4(Fraction{0.25}, Fraction{0.8}), 4.0 - 0.75 - 0.6);
 }
 
 TEST(CompetitiveBound, PrimarySpecializesToPaperValues) {
@@ -18,17 +18,17 @@ TEST(CompetitiveBound, PrimarySpecializesToPaperValues) {
   // published formulas for all three spots.
   for (const double alpha : {0.1, 0.25, 0.35}) {
     for (const double a : {0.0, 0.4, 0.8, 1.0}) {
-      EXPECT_NEAR(bound_a3t4(alpha, a).primary, ratio_a3t4(alpha, a), 1e-12);
-      EXPECT_NEAR(bound_at2(alpha, a).primary, ratio_at2(alpha, a), 1e-12);
-      EXPECT_NEAR(bound_at4(alpha, a).primary, ratio_at4(alpha, a), 1e-12);
+      EXPECT_NEAR(bound_a3t4(Fraction{alpha}, Fraction{a}).primary, ratio_a3t4(Fraction{alpha}, Fraction{a}), 1e-12);
+      EXPECT_NEAR(bound_at2(Fraction{alpha}, Fraction{a}).primary, ratio_at2(Fraction{alpha}, Fraction{a}), 1e-12);
+      EXPECT_NEAR(bound_at4(Fraction{alpha}, Fraction{a}).primary, ratio_at4(Fraction{alpha}, Fraction{a}), 1e-12);
     }
   }
 }
 
 TEST(CompetitiveBound, SecondaryMatchesPaperCaseTwo) {
-  EXPECT_NEAR(bound_a3t4(0.25, 0.8).secondary, 4.0 / (4.0 - 0.8), 1e-12);
-  EXPECT_NEAR(bound_at2(0.25, 0.8).secondary, 2.0 / (2.0 - 0.8), 1e-12);
-  EXPECT_NEAR(bound_at4(0.25, 0.8).secondary, 4.0 / (4.0 - 3.0 * 0.8), 1e-12);
+  EXPECT_NEAR(bound_a3t4(Fraction{0.25}, Fraction{0.8}).secondary, 4.0 / (4.0 - 0.8), 1e-12);
+  EXPECT_NEAR(bound_at2(Fraction{0.25}, Fraction{0.8}).secondary, 2.0 / (2.0 - 0.8), 1e-12);
+  EXPECT_NEAR(bound_at4(Fraction{0.25}, Fraction{0.8}).secondary, 4.0 / (4.0 - 3.0 * 0.8), 1e-12);
 }
 
 TEST(CompetitiveBound, A3T4PrimaryDominatesForStandardInstances) {
@@ -37,8 +37,8 @@ TEST(CompetitiveBound, A3T4PrimaryDominatesForStandardInstances) {
   // headline formula 2 - alpha - a/4.
   for (double alpha = 0.0; alpha < 0.36; alpha += 0.05) {
     for (double a = 0.0; a <= 1.0; a += 0.1) {
-      EXPECT_TRUE(bound_a3t4(alpha, a).primary_dominates) << alpha << " " << a;
-      EXPECT_NEAR(bound_a3t4(alpha, a).guaranteed, ratio_a3t4(alpha, a), 1e-12);
+      EXPECT_TRUE(bound_a3t4(Fraction{alpha}, Fraction{a}).primary_dominates) << alpha << " " << a;
+      EXPECT_NEAR(bound_a3t4(Fraction{alpha}, Fraction{a}).guaranteed, ratio_a3t4(Fraction{alpha}, Fraction{a}), 1e-12);
     }
   }
 }
@@ -53,12 +53,12 @@ TEST(CompetitiveBound, CaseSelectionMatchesPaperConditions) {
       // Skip exact boundary ties (primary == secondary): there the case
       // label is ambiguous under floating point but the guarantee is the
       // same either way.
-      const CompetitiveBound at2 = bound_at2(alpha, a);
+      const CompetitiveBound at2 = bound_at2(Fraction{alpha}, Fraction{a});
       if (std::abs(at2.primary - at2.secondary) > 1e-9) {
         const bool at2_condition = alpha + a / 4.0 + 1.0 / (2.0 - a) <= 1.5;
         EXPECT_EQ(at2.primary_dominates, at2_condition) << "alpha=" << alpha << " a=" << a;
       }
-      const CompetitiveBound at4 = bound_at4(alpha, a);
+      const CompetitiveBound at4 = bound_at4(Fraction{alpha}, Fraction{a});
       if (std::abs(at4.primary - at4.secondary) > 1e-9) {
         const bool at4_condition = alpha + a / 4.0 + 4.0 / (12.0 - 9.0 * a) <= 4.0 / 3.0;
         EXPECT_EQ(at4.primary_dominates, at4_condition) << "alpha=" << alpha << " a=" << a;
@@ -67,20 +67,20 @@ TEST(CompetitiveBound, CaseSelectionMatchesPaperConditions) {
   }
   // A concrete secondary-case point the paper's propositions cover:
   // alpha=0.35, a=1.0 violates the A_{T/2} condition -> 2/(2-a) applies.
-  const CompetitiveBound at2 = bound_at2(0.35, 1.0);
+  const CompetitiveBound at2 = bound_at2(Fraction{0.35}, Fraction{1.0});
   EXPECT_FALSE(at2.primary_dominates);
   EXPECT_NEAR(at2.guaranteed, 2.0, 1e-12);
 }
 
 TEST(CompetitiveBound, GuaranteedIsMaxOfCases) {
-  const CompetitiveBound bound = competitive_bound(0.75, 0.25, 0.8, 4.0);
+  const CompetitiveBound bound = competitive_bound(Fraction{0.75}, Fraction{0.25}, Fraction{0.8}, 4.0);
   EXPECT_DOUBLE_EQ(bound.guaranteed, std::max(bound.primary, bound.secondary));
 }
 
 TEST(CompetitiveBound, SecondaryCanDominateForTinyTheta) {
   // With theta_max barely above 1 the primary bound shrinks below the
   // secondary (cheap on-demand makes case 2 the binding one).
-  const CompetitiveBound bound = competitive_bound(0.75, 0.30, 1.0, 1.05);
+  const CompetitiveBound bound = competitive_bound(Fraction{0.75}, Fraction{0.30}, Fraction{1.0}, 1.05);
   EXPECT_GT(bound.secondary, bound.primary);
   EXPECT_FALSE(bound.primary_dominates);
   EXPECT_DOUBLE_EQ(bound.guaranteed, bound.secondary);
@@ -91,20 +91,20 @@ TEST(CompetitiveBound, EarlierSpotsHaveLargerGuarantee) {
   // compared with A_{3T/4}".
   const double alpha = 0.25;
   const double a = 0.8;
-  EXPECT_LT(bound_a3t4(alpha, a).guaranteed, bound_at2(alpha, a).guaranteed);
-  EXPECT_LT(bound_at2(alpha, a).guaranteed, bound_at4(alpha, a).guaranteed);
+  EXPECT_LT(bound_a3t4(Fraction{alpha}, Fraction{a}).guaranteed, bound_at2(Fraction{alpha}, Fraction{a}).guaranteed);
+  EXPECT_LT(bound_at2(Fraction{alpha}, Fraction{a}).guaranteed, bound_at4(Fraction{alpha}, Fraction{a}).guaranteed);
 }
 
 TEST(CompetitiveBound, RatiosDecreaseInAlphaAndA) {
   // Better reservation discounts and deeper selling discounts both shrink
   // the guarantee.
-  EXPECT_GT(ratio_a3t4(0.1, 0.8), ratio_a3t4(0.3, 0.8));
-  EXPECT_GT(ratio_a3t4(0.25, 0.2), ratio_a3t4(0.25, 0.9));
+  EXPECT_GT(ratio_a3t4(Fraction{0.1}, Fraction{0.8}), ratio_a3t4(Fraction{0.3}, Fraction{0.8}));
+  EXPECT_GT(ratio_a3t4(Fraction{0.25}, Fraction{0.2}), ratio_a3t4(Fraction{0.25}, Fraction{0.9}));
 }
 
 TEST(CompetitiveBound, ZeroDiscountGivesPaperNoSaleRatios) {
   // a = 0 disables selling income: bounds reduce to 1 + (1-f)*theta*(1-alpha).
-  const CompetitiveBound bound = competitive_bound(0.75, 0.25, 0.0, 4.0);
+  const CompetitiveBound bound = competitive_bound(Fraction{0.75}, Fraction{0.25}, Fraction{0.0}, 4.0);
   EXPECT_NEAR(bound.primary, 1.75, 1e-12);
   EXPECT_NEAR(bound.secondary, 1.0, 1e-12);
 }

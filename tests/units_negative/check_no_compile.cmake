@@ -1,0 +1,57 @@
+# Negative-compilation driver for the strong unit types.
+#
+# Invoked by ctest (test `units.no_dimension_mixing`) as
+#   cmake -DCOMPILER=<c++> -DSOURCE_DIR=<repo> -P check_no_compile.cmake
+#
+# Compiles tests/units_negative/dimension_mixing.cpp once per case with
+# -fsyntax-only: the CONTROL case must succeed (proving the harness and the
+# include paths work) and every dimension-mixing case must fail.
+if(NOT COMPILER OR NOT SOURCE_DIR)
+  message(FATAL_ERROR "usage: cmake -DCOMPILER=<c++> -DSOURCE_DIR=<repo root> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+set(fixture "${SOURCE_DIR}/tests/units_negative/dimension_mixing.cpp")
+
+set(must_fail_cases
+  CASE_MONEY_PLUS_HOURS
+  CASE_MONEY_TIMES_MONEY
+  CASE_MONEY_PLUS_DOUBLE
+  CASE_RATE_PLUS_MONEY
+  CASE_FRACTION_PLUS_FRACTION
+  CASE_IMPLICIT_FROM_DOUBLE
+  CASE_IMPLICIT_TO_DOUBLE
+  CASE_CONSTEXPR_FRACTION_OUT_OF_RANGE)
+
+function(compile_case case_macro out_result)
+  execute_process(
+    COMMAND "${COMPILER}" -std=c++20 -fsyntax-only
+            "-I${SOURCE_DIR}/src" "-D${case_macro}" "${fixture}"
+    RESULT_VARIABLE result
+    OUTPUT_QUIET ERROR_QUIET)
+  set(${out_result} "${result}" PARENT_SCOPE)
+endfunction()
+
+compile_case(CASE_CONTROL control_result)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+    "control case failed to compile — the harness is broken (wrong compiler "
+    "or include path), so the negative results below would be meaningless")
+endif()
+message(STATUS "CASE_CONTROL: compiles (harness sane)")
+
+set(leaks "")
+foreach(case_macro IN LISTS must_fail_cases)
+  compile_case(${case_macro} result)
+  if(result EQUAL 0)
+    list(APPEND leaks ${case_macro})
+    message(STATUS "${case_macro}: COMPILED — dimension leak!")
+  else()
+    message(STATUS "${case_macro}: rejected (good)")
+  endif()
+endforeach()
+
+if(leaks)
+  message(FATAL_ERROR "dimension-mixing expressions compiled: ${leaks}")
+endif()
+list(LENGTH must_fail_cases n)
+message(STATUS "all ${n} dimension-mixing cases rejected")

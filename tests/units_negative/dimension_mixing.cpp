@@ -1,0 +1,46 @@
+// Negative-compilation fixture for the strong unit types (common/units.hpp).
+//
+// Driven by tests/units_negative/check_no_compile.cmake: the file is
+// compiled once per CASE_* macro with -fsyntax-only.  CASE_CONTROL must
+// compile (it proves the harness sees a working translation unit and the
+// right include paths); every other case mixes dimensions and MUST fail —
+// a case that starts compiling means the unit algebra sprang a leak.
+#include "common/units.hpp"
+
+namespace rimarket {
+
+#if defined(CASE_CONTROL)
+// Valid algebra: compiles.  Exercises the whole Eq. (1) shape.
+constexpr Money valid = Rate{1.0} * Hours{2.0} + Money{20.0} * Fraction{0.5} -
+                        Fraction{0.8} * (Fraction{0.5} * Money{20.0});
+static_assert(valid.value() == 2.0 + 10.0 - 8.0);
+#elif defined(CASE_MONEY_PLUS_HOURS)
+// Dollars plus a duration has no dimension.
+constexpr auto bad = Money{1.0} + Hours{1.0};
+#elif defined(CASE_MONEY_TIMES_MONEY)
+// Square dollars do not exist in Eq. (1).
+constexpr auto bad = Money{2.0} * Money{3.0};
+#elif defined(CASE_MONEY_PLUS_DOUBLE)
+// A raw literal cannot sneak into a monetary sum unlabeled.
+constexpr auto bad = Money{1.0} + 1.0;
+#elif defined(CASE_RATE_PLUS_MONEY)
+// $/h plus $ mixes dimensions.
+constexpr auto bad = Rate{1.0} + Money{1.0};
+#elif defined(CASE_FRACTION_PLUS_FRACTION)
+// Sums of [0,1] values may leave [0,1]; Fraction deliberately has no +.
+constexpr auto bad = Fraction{0.5} + Fraction{0.6};
+#elif defined(CASE_IMPLICIT_FROM_DOUBLE)
+// Constructors are explicit: no silent promotion of a raw double.
+constexpr Money bad = 1.0;
+#elif defined(CASE_IMPLICIT_TO_DOUBLE)
+// No silent escape either: leaving the algebra requires .value().
+constexpr double bad = Money{1.0};
+#elif defined(CASE_CONSTEXPR_FRACTION_OUT_OF_RANGE)
+// The [0,1] contract is not a constant expression when violated, so an
+// out-of-range constexpr Fraction is a compile error, not a runtime abort.
+constexpr Fraction bad{1.2};
+#else
+#error "define exactly one CASE_* macro (see check_no_compile.cmake)"
+#endif
+
+}  // namespace rimarket

@@ -410,6 +410,44 @@ def check_hot_loop_alloc(path: str, text: str) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# Rule: units-in-api
+
+_UNIT_KEYWORDS = {"alpha", "discount", "fee", "rp", "price", "upfront"}
+_DOUBLE_DECL = re.compile(r"\bdouble\s+(?:[*&]\s*)?([A-Za-z_]\w*)")
+
+
+def check_units_in_api(path: str, text: str) -> List[Finding]:
+    """Dimensioned quantities must not cross public APIs as raw double.
+
+    Headers under src/ are the library's public surface; a parameter or
+    field whose name says "dollar amount" or "[0,1] fraction" (alpha,
+    discount, fee, rp, price, upfront) must use the strong types from
+    common/units.hpp (Money/Rate/Hours/Fraction) so the compiler checks the
+    dimension.  Raw double is reserved for genuinely dimensionless scalars;
+    report-only structs may opt out with a justified lint-allow.
+    """
+    if not (path.startswith("src/") and path.endswith(".hpp")):
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "units-in-api")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        for m in _DOUBLE_DECL.finditer(line):
+            name = m.group(1)
+            hits = set(name.lower().split("_")) & _UNIT_KEYWORDS
+            if hits and not suppressed(i, allowed):
+                findings.append(
+                    Finding(path, i, "units-in-api",
+                            f"raw `double {name}` in a public header; "
+                            f"`{sorted(hits)[0]}` carries a dimension — use "
+                            "Money/Rate/Hours/Fraction from common/units.hpp "
+                            "(or justify with `// lint-allow(units-in-api): <reason>`)")
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Rule: pragma-once
 
 
@@ -439,6 +477,7 @@ RULES: dict = {
     "rng-discipline": check_rng_discipline,
     "contract-guard": check_contract_guard,
     "hot-loop-alloc": check_hot_loop_alloc,
+    "units-in-api": check_units_in_api,
     "pragma-once": check_pragma_once,
 }
 
@@ -556,6 +595,27 @@ FIXTURES = [
     ("outside src/ not scanned", "hot-loop-alloc", "tests/selling/a.cpp",
      "void Policy::decide(int now, std::vector<int>& to_sell) {\n"
      "  std::vector<int> tmp;\n}\n", 0),
+
+    ("double discount param in header flagged", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nvoid list(int seller, double selling_discount);\n", 1),
+    ("double fee field in header flagged", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nstruct Config {\n  double service_fee = 0.12;\n};\n", 1),
+    ("double upfront and price on one line both flagged", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nvoid quote(double upfront, double ask_price);\n", 2),
+    ("Fraction-typed discount passes", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nvoid list(int seller, Fraction selling_discount);\n", 0),
+    ("dimensionless double passes", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nvoid tune(double epsilon, double theta_max);\n", 0),
+    ("alpha inside a longer word passes", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nvoid blend(double alphabet_weight);\n", 0),
+    ("lint-allow with reason suppresses", "units-in-api", "src/x/a.hpp",
+     "#pragma once\nstruct Report {\n"
+     "  double selling_discount = 0.0;  // lint-allow(units-in-api): report-only echo\n"
+     "};\n", 0),
+    ("cpp implementation files not scanned", "units-in-api", "src/x/a.cpp",
+     "void list(int seller, double selling_discount);\n", 0),
+    ("headers outside src/ not scanned", "units-in-api", "tests/x/a.hpp",
+     "#pragma once\nvoid list(double selling_discount);\n", 0),
 
     ("header without pragma once flagged", "pragma-once", "src/x/a.hpp",
      "#include <vector>\n", 1),
