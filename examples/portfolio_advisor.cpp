@@ -31,13 +31,17 @@ namespace {
 workload::DemandTrace load_or_synthesize(const std::string& path, Hour hours,
                                          std::uint64_t seed) {
   if (!path.empty()) {
-    const auto contents = common::read_file(path);
+    common::CsvError error;
+    const auto contents = common::read_file(path, &error);
     if (!contents) {
-      std::fprintf(stderr, "cannot read %s; falling back to synthetic trace\n", path.c_str());
-    } else if (const auto trace = workload::DemandTrace::from_csv(*contents)) {
+      std::fprintf(stderr, "%s; falling back to synthetic trace\n",
+                   error.to_string().c_str());
+    } else if (const auto trace = workload::DemandTrace::from_csv(*contents, &error)) {
       return *trace;
     } else {
-      std::fprintf(stderr, "%s is not an hour,demand CSV; falling back\n", path.c_str());
+      error.path = path;
+      std::fprintf(stderr, "not an hour,demand CSV: %s; falling back\n",
+                   error.to_string().c_str());
     }
   }
   common::Rng rng(seed);

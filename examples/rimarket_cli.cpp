@@ -9,6 +9,7 @@
 //
 // Run `rimarket_cli <subcommand> --help` equivalent: any bad flag prints
 // usage for that subcommand.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,12 +31,36 @@ using namespace rimarket;
 
 namespace {
 
+// sysexits(3)-style exit codes, one per failure class, so scripts (and the
+// CLI error-path test) can tell misuse from bad data from a missing file.
+// User input must never reach a contract abort — everything is validated
+// here with a usage diagnostic first.
+constexpr int kExitUsage = 64;       ///< EX_USAGE: bad flags or flag values
+constexpr int kExitDataError = 65;   ///< EX_DATAERR: malformed input data
+constexpr int kExitNoInput = 66;     ///< EX_NOINPUT: missing/unreadable input file
+constexpr int kExitSoftware = 70;    ///< EX_SOFTWARE: evaluation sweep failed
+constexpr int kExitCantCreate = 73;  ///< EX_CANTCREAT: cannot write an output file
+
+/// Validates an integer flag range with a usage diagnostic (CLI flags are
+/// user data: they get an exit code, never a contract abort).
+std::optional<long long> parse_int_flag(const common::CliParser& cli, const char* flag,
+                                        long long fallback, long long min_value,
+                                        long long max_value) {
+  const long long value = cli.get_int(flag, fallback);
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "--%s must be in [%lld, %lld] (got %lld)\n", flag, min_value,
+                 max_value, value);
+    return std::nullopt;
+  }
+  return value;
+}
+
 int cmd_catalog(int argc, char** argv) {
   common::CliParser cli;
   cli.add_flag("csv", "emit machine-readable CSV", "false");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_cli catalog").c_str());
-    return 1;
+    return kExitUsage;
   }
   const pricing::PricingCatalog& catalog = pricing::PricingCatalog::builtin();
   if (cli.get_bool("csv", false)) {
@@ -78,16 +103,16 @@ int cmd_bounds(int argc, char** argv) {
   cli.add_flag("verify", "run the adversarial verification sweep", "true");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_cli bounds").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
   if (!type) {
     std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto a = parse_fraction_flag(cli, "discount", 0.8);
   if (!a) {
-    return 1;
+    return kExitUsage;
   }
   std::printf("%s: alpha=%.3f theta=%.3f, selling discount a=%.2f\n", type->name.c_str(),
               type->alpha().value(), type->theta(), a->value());
@@ -113,15 +138,21 @@ int cmd_bounds(int argc, char** argv) {
   return 0;
 }
 
-std::optional<workload::DemandTrace> load_trace(const std::string& path) {
-  const auto contents = common::read_file(path);
+/// Loads a demand trace, printing the CsvError detail (errno or offending
+/// line) on failure and reporting which exit code the failure deserves.
+std::optional<workload::DemandTrace> load_trace(const std::string& path, int& exit_code) {
+  common::CsvError error;
+  const auto contents = common::read_file(path, &error);
   if (!contents) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::fprintf(stderr, "cannot read trace: %s\n", error.to_string().c_str());
+    exit_code = kExitNoInput;
     return std::nullopt;
   }
-  auto trace = workload::DemandTrace::from_csv(*contents);
+  auto trace = workload::DemandTrace::from_csv(*contents, &error);
   if (!trace) {
-    std::fprintf(stderr, "%s is not an `hour,demand` CSV\n", path.c_str());
+    error.path = path;
+    std::fprintf(stderr, "not an `hour,demand` CSV: %s\n", error.to_string().c_str());
+    exit_code = kExitDataError;
   }
   return trace;
 }
@@ -168,36 +199,37 @@ int cmd_simulate(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
                  cli.help("rimarket_cli simulate").c_str());
-    return 1;
+    return kExitUsage;
   }
   if (cli.get("trace").empty()) {
     std::fprintf(stderr, "--trace is required\n%s", cli.help("rimarket_cli simulate").c_str());
-    return 1;
+    return kExitUsage;
   }
-  const auto trace = load_trace(cli.get("trace"));
+  int load_error = kExitNoInput;
+  const auto trace = load_trace(cli.get("trace"), load_error);
   if (!trace) {
-    return 1;
+    return load_error;
   }
   const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
   if (!type) {
     std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto purchaser_kind = parse_purchaser(cli.get("purchaser"));
   if (!purchaser_kind) {
     std::fprintf(stderr, "unknown purchaser %s\n", cli.get("purchaser").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto spot_fraction = parse_fraction_flag(cli, "fraction", 0.75);
   const auto discount = parse_fraction_flag(cli, "discount", 0.8);
   const auto fee = parse_fraction_flag(cli, "fee", 0.0);
   if (!spot_fraction || !discount || !fee) {
-    return 1;
+    return kExitUsage;
   }
   const auto seller_spec = parse_seller(cli.get("seller"), *spot_fraction);
   if (!seller_spec) {
     std::fprintf(stderr, "unknown seller %s\n", cli.get("seller").c_str());
-    return 1;
+    return kExitUsage;
   }
 
   sim::SimulationConfig config;
@@ -241,12 +273,18 @@ int cmd_population(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
                  cli.help("rimarket_cli population").c_str());
-    return 1;
+    return kExitUsage;
+  }
+  const auto users = parse_int_flag(cli, "users", 10, 1, 10000);
+  const auto hours = parse_int_flag(cli, "hours", 17520, 24, 1000000);
+  const auto seed = parse_int_flag(cli, "seed", 2018, 0, INT64_MAX);
+  if (!users || !hours || !seed) {
+    return kExitUsage;
   }
   workload::PopulationSpec spec;
-  spec.users_per_group = static_cast<int>(cli.get_int("users", 10));
-  spec.trace_hours = cli.get_int("hours", 17520);
-  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
+  spec.users_per_group = static_cast<int>(*users);
+  spec.trace_hours = *hours;
+  spec.seed = static_cast<std::uint64_t>(*seed);
   const auto population = workload::UserPopulation::build(spec);
   std::printf("%s", analysis::render_fig2(population).c_str());
 
@@ -258,7 +296,7 @@ int cmd_population(int argc, char** argv) {
       if (!common::write_file(out_dir + "/" + file, user.trace.to_csv())) {
         std::fprintf(stderr, "cannot write %s/%s (does the directory exist?)\n",
                      out_dir.c_str(), file.c_str());
-        return 1;
+        return kExitCantCreate;
       }
       index += common::make_csv_line({std::to_string(user.id),
                                       std::to_string(workload::group_index(user.group)),
@@ -267,7 +305,7 @@ int cmd_population(int argc, char** argv) {
     }
     if (!common::write_file(out_dir + "/index.csv", index)) {
       std::fprintf(stderr, "cannot write %s/index.csv\n", out_dir.c_str());
-      return 1;
+      return kExitCantCreate;
     }
     std::printf("\nwrote %zu traces + index.csv to %s/\n", population.size(), out_dir.c_str());
   }
@@ -288,28 +326,32 @@ int cmd_evaluate(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
                  cli.help("rimarket_cli evaluate").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
   if (!type) {
     std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
-    return 1;
+    return kExitUsage;
+  }
+  const auto users = parse_int_flag(cli, "users", 25, 1, 10000);
+  const auto hours = parse_int_flag(cli, "hours", 17520, 24, 1000000);
+  const auto seed = parse_int_flag(cli, "seed", 2018, 0, INT64_MAX);
+  const auto threads = parse_int_flag(cli, "threads", 0, 0, 4096);
+  const auto discount = parse_fraction_flag(cli, "discount", 0.8);
+  if (!users || !hours || !seed || !threads || !discount) {
+    return kExitUsage;
   }
   workload::PopulationSpec pop_spec;
-  pop_spec.users_per_group = static_cast<int>(cli.get_int("users", 25));
-  pop_spec.trace_hours = cli.get_int("hours", 17520);
-  pop_spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2018));
+  pop_spec.users_per_group = static_cast<int>(*users);
+  pop_spec.trace_hours = *hours;
+  pop_spec.seed = static_cast<std::uint64_t>(*seed);
   const auto population = workload::UserPopulation::build(pop_spec);
 
-  const auto discount = parse_fraction_flag(cli, "discount", 0.8);
-  if (!discount) {
-    return 1;
-  }
   sim::EvaluationSpec spec;
   spec.sim.type = *type;
   spec.sim.selling_discount = *discount;
   spec.seed = pop_spec.seed;
-  spec.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  spec.threads = static_cast<std::size_t>(*threads);
   spec.sellers = sim::paper_sellers(Fraction{0.75});
   std::vector<sim::ScenarioResult> results;
   try {
@@ -319,7 +361,7 @@ int cmd_evaluate(int argc, char** argv) {
     for (const sim::UserFailure& failure : error.failures()) {
       std::fprintf(stderr, "  user %d: %s\n", failure.user_id, failure.message.c_str());
     }
-    return 1;
+    return kExitSoftware;
   }
   const auto normalized = analysis::normalize_to_keep(results);
 
@@ -330,7 +372,7 @@ int cmd_evaluate(int argc, char** argv) {
   if (!cli.get("out").empty()) {
     if (!common::write_file(cli.get("out"), analysis::scenarios_to_csv(results))) {
       std::fprintf(stderr, "cannot write %s\n", cli.get("out").c_str());
-      return 1;
+      return kExitCantCreate;
     }
     std::printf("wrote %zu scenario rows to %s\n", results.size(), cli.get("out").c_str());
   }
@@ -338,7 +380,7 @@ int cmd_evaluate(int argc, char** argv) {
     if (!common::write_file(cli.get("normalized-out"),
                             analysis::normalized_to_csv(normalized))) {
       std::fprintf(stderr, "cannot write %s\n", cli.get("normalized-out").c_str());
-      return 1;
+      return kExitCantCreate;
     }
     std::printf("wrote %zu normalized rows to %s\n", normalized.size(),
                 cli.get("normalized-out").c_str());
@@ -363,7 +405,7 @@ void print_usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     print_usage();
-    return 1;
+    return kExitUsage;
   }
   const std::string command = argv[1];
   // Shift argv so each subcommand parses only its own flags.
@@ -390,5 +432,5 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "unknown subcommand %s\n\n", command.c_str());
   print_usage();
-  return 1;
+  return kExitUsage;
 }

@@ -8,7 +8,15 @@ namespace {
 
 std::atomic<std::uint64_t> g_allocations{0};
 
+// Thread-local so only the arming thread's allocation fails (see
+// fail_next_allocation in the header for why a global trigger is wrong).
+thread_local bool t_fail_next = false;
+
 void* counted_alloc(std::size_t size) {
+  if (t_fail_next) {
+    t_fail_next = false;
+    throw std::bad_alloc();  // injected failure: nothing was allocated, so no count
+  }
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   // operator new must never return nullptr for nonzero sizes.
   if (void* ptr = std::malloc(size == 0 ? 1 : size)) {
@@ -22,6 +30,17 @@ void* counted_alloc(std::size_t size) {
 namespace rimarket::common {
 
 std::uint64_t allocation_count() { return g_allocations.load(std::memory_order_relaxed); }
+
+void fail_next_allocation() { t_fail_next = true; }
+
+bool allocation_failure_armed() { return t_fail_next; }
+
+[[noreturn]] void trigger_bad_alloc_now() {
+  fail_next_allocation();
+  delete new char;  // throws std::bad_alloc out of the armed operator new
+  // Unreachable with the hook linked; keep the [[noreturn]] contract anyway.
+  throw std::bad_alloc();
+}
 
 }  // namespace rimarket::common
 

@@ -20,4 +20,21 @@ namespace rimarket::common {
 /// Defined by rimarket_alloc_hook; callers must link that library.
 std::uint64_t allocation_count();
 
+/// Arms the *current thread* so that its next heap allocation throws
+/// std::bad_alloc out of operator new itself.  Thread-local on purpose:
+/// a process-global trigger could be consumed by an unrelated thread's
+/// allocation, which would make fault injection nondeterministic.
+void fail_next_allocation();
+
+/// True while an arming from fail_next_allocation() is still pending on
+/// this thread (i.e. no allocation has happened since).
+bool allocation_failure_armed();
+
+/// Arms this thread and immediately allocates, so the std::bad_alloc
+/// propagates from a real operator new call.  Matches
+/// fault_injection::BadAllocTrigger; chaos tests register it with
+/// fault_injection::set_bad_alloc_trigger to make kBadAlloc faults travel
+/// through the true allocator failure path.
+[[noreturn]] void trigger_bad_alloc_now();
+
 }  // namespace rimarket::common

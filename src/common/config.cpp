@@ -1,6 +1,7 @@
 #include "common/config.hpp"
 
 #include "common/csv.hpp"
+#include "common/logging.hpp"
 #include "common/strings.hpp"
 
 namespace rimarket::common {
@@ -41,8 +42,10 @@ std::optional<Config> Config::parse(std::string_view text) {
 }
 
 std::optional<Config> Config::load(const std::string& path) {
-  const auto contents = read_file(path);
+  CsvError error;
+  const auto contents = read_file(path, &error);
   if (!contents) {
+    log_warn("config: %s", error.to_string().c_str());
     return std::nullopt;
   }
   return parse(*contents);

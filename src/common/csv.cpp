@@ -1,7 +1,10 @@
 #include "common/csv.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
+#include "common/fault_injection.hpp"
 #include "common/strings.hpp"
 
 namespace rimarket::common {
@@ -69,6 +72,7 @@ CsvDocument parse_csv(std::string_view text, bool expect_header) {
   CsvDocument doc;
   bool header_pending = expect_header;
   std::size_t start = 0;
+  std::size_t line_number = 0;
   while (start <= text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) {
@@ -76,6 +80,7 @@ CsvDocument parse_csv(std::string_view text, bool expect_header) {
     }
     const std::string_view line = text.substr(start, end - start);
     start = end + 1;
+    ++line_number;
     if (trim(line).empty()) {
       if (end == text.size()) {
         break;
@@ -84,9 +89,11 @@ CsvDocument parse_csv(std::string_view text, bool expect_header) {
     }
     if (header_pending) {
       doc.header = parse_csv_line(line);
+      doc.header_line = line_number;
       header_pending = false;
     } else {
       doc.rows.push_back(parse_csv_line(line));
+      doc.row_lines.push_back(line_number);
     }
     if (end == text.size()) {
       break;
@@ -95,9 +102,33 @@ CsvDocument parse_csv(std::string_view text, bool expect_header) {
   return doc;
 }
 
+std::string CsvError::to_string() const {
+  const char* shown_path = path.empty() ? "<input>" : path.c_str();
+  if (line > 0) {
+    return format("%s:%zu: %s", shown_path, line, message.c_str());
+  }
+  if (errno_value != 0) {
+    return format("%s: %s (errno %d)", shown_path, message.c_str(), errno_value);
+  }
+  return format("%s: %s", shown_path, message.c_str());
+}
+
 std::optional<std::string> read_file(const std::string& path) {
+  return read_file(path, nullptr);
+}
+
+std::optional<std::string> read_file(const std::string& path, CsvError* error) {
+  if (RIMARKET_INJECT_PARSE(fault_injection::kSiteCsvReadFile)) {
+    if (error != nullptr) {
+      *error = CsvError{path, 0, 0, "injected read failure"};
+    }
+    return std::nullopt;
+  }
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
+    if (error != nullptr) {
+      *error = CsvError{path, errno, 0, std::strerror(errno)};
+    }
     return std::nullopt;
   }
   std::string contents;
@@ -105,6 +136,13 @@ std::optional<std::string> read_file(const std::string& path) {
   std::size_t got;
   while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
     contents.append(buffer, got);
+  }
+  if (std::ferror(file) != 0) {
+    if (error != nullptr) {
+      *error = CsvError{path, errno, 0, std::strerror(errno)};
+    }
+    std::fclose(file);
+    return std::nullopt;
   }
   std::fclose(file);
   return contents;
@@ -124,11 +162,37 @@ bool write_file(const std::string& path, std::string_view contents) {
 }
 
 std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header) {
-  const auto contents = read_file(path);
+  return load_csv_file(path, expect_header, nullptr);
+}
+
+std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header,
+                                         CsvError* error) {
+  const auto contents = read_file(path, error);
   if (!contents) {
     return std::nullopt;
   }
-  return parse_csv(*contents, expect_header);
+  if (RIMARKET_INJECT_PARSE(fault_injection::kSiteCsvLoad)) {
+    if (error != nullptr) {
+      *error = CsvError{path, 0, 1, "injected parse error"};
+    }
+    return std::nullopt;
+  }
+  CsvDocument doc = parse_csv(*contents, expect_header);
+  // Ragged documents are parse-shape errors: every row must be as wide as
+  // the header (or the first row, when there is no header).
+  const std::size_t expected_width =
+      expect_header ? doc.header.size() : (doc.rows.empty() ? 0 : doc.rows.front().size());
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    if (doc.rows[i].size() != expected_width) {
+      if (error != nullptr) {
+        *error = CsvError{path, 0, doc.row_lines[i],
+                          format("row has %zu field(s), expected %zu", doc.rows[i].size(),
+                                 expected_width)};
+      }
+      return std::nullopt;
+    }
+  }
+  return doc;
 }
 
 }  // namespace rimarket::common

@@ -24,19 +24,48 @@ std::string make_csv_line(const CsvRow& fields);
 
 /// Parses a whole document; skips blank lines.  If `expect_header` is true
 /// the first non-blank line is returned separately in `header`.
+/// `header_line`/`row_lines` carry 1-based source line numbers so callers
+/// can point diagnostics at the offending line of the original file.
 struct CsvDocument {
   CsvRow header;
   std::vector<CsvRow> rows;
+  std::size_t header_line = 0;         ///< 0 when no header was parsed
+  std::vector<std::size_t> row_lines;  ///< parallel to `rows`
 };
 CsvDocument parse_csv(std::string_view text, bool expect_header);
+
+/// Actionable diagnosis for a failed read_file/load_csv_file (and the
+/// parse-aware loaders built on them): which file, which OS error, which
+/// line.  Exactly one of `errno_value` (I/O failure) and `line`
+/// (parse-shape failure) is nonzero.
+struct CsvError {
+  std::string path;      ///< as given by the caller; empty for in-memory text
+  int errno_value = 0;   ///< OS errno for I/O failures
+  std::size_t line = 0;  ///< 1-based source line for parse-shape failures
+  std::string message;   ///< strerror text or shape diagnosis
+
+  /// "path:LINE: message" for parse errors, "path: message (errno N)" for
+  /// I/O errors; empty path renders as "<input>".
+  std::string to_string() const;
+};
 
 /// Reads a file into a string; nullopt if unreadable.
 std::optional<std::string> read_file(const std::string& path);
 
+/// As above; on failure also fills `*error` (path + errno + strerror text)
+/// when `error` is non-null, so callers can say *why* the read failed.
+std::optional<std::string> read_file(const std::string& path, CsvError* error);
+
 /// Writes a string to a file; returns false on failure.
 bool write_file(const std::string& path, std::string_view contents);
 
-/// Loads a CSV file; nullopt if unreadable.
+/// Loads a CSV file; nullopt if unreadable or shape-invalid (see below).
 std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header);
+
+/// As above with diagnosis: I/O failures carry errno, and ragged documents
+/// (a row whose field count differs from the header's — or the first
+/// row's, without a header) are rejected with the offending 1-based line.
+std::optional<CsvDocument> load_csv_file(const std::string& path, bool expect_header,
+                                         CsvError* error);
 
 }  // namespace rimarket::common

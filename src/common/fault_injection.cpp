@@ -1,0 +1,307 @@
+#include "common/fault_injection.hpp"
+
+#include <atomic>
+#include <map>
+#include <new>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/thread_safety.hpp"
+
+namespace rimarket::common::fault_injection {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// One SplitMix64 step over seed xored with a golden-ratio-spread value:
+/// chaining these gives a well-mixed pure hash of any id tuple.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t state = seed ^ (value * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+std::atomic<std::uint64_t> g_fired{0};
+std::atomic<BadAllocTrigger> g_bad_alloc_trigger{nullptr};
+
+/// Global fallback schedule + process-wide site registry.
+struct GlobalState {
+  Mutex mutex;
+  const Schedule* schedule RIMARKET_GUARDED_BY(mutex) = nullptr;
+  std::map<std::string, std::uint64_t, std::less<>> hits RIMARKET_GUARDED_BY(mutex);
+  std::set<std::string, std::less<>> seen RIMARKET_GUARDED_BY(mutex);
+};
+
+GlobalState& global_state() {
+  static GlobalState state;
+  return state;
+}
+
+}  // namespace
+
+/// Innermost active context of the current thread (see ScopedContext).
+struct ScopedContext::Context {
+  const Schedule* schedule = nullptr;
+  std::uint64_t scope_key = 0;
+  /// Per-site hit counters; a handful of sites, so a flat vector beats a map.
+  std::vector<std::pair<std::string, std::uint64_t>> hits;
+  std::uint64_t fired = 0;
+  Context* previous = nullptr;
+};
+
+namespace {
+
+thread_local ScopedContext::Context* t_innermost = nullptr;
+
+/// Pure fire decision: nth-hit rules trigger on the exact counter value;
+/// probabilistic rules hash (schedule seed, scope key, site, hit, rule) to a
+/// uniform draw, so the outcome is independent of thread scheduling.
+bool rule_fires(const Rule& rule, std::uint64_t schedule_seed, std::uint64_t scope_key,
+                std::uint64_t site_hash, std::uint64_t hit_index, std::size_t rule_index) {
+  if (rule.nth_hit > 0) {
+    return hit_index == rule.nth_hit;
+  }
+  if (!(rule.probability > 0.0)) {
+    return false;
+  }
+  std::uint64_t hash = mix(schedule_seed, scope_key);
+  hash = mix(hash, site_hash);
+  hash = mix(hash, hit_index);
+  hash = mix(hash, static_cast<std::uint64_t>(rule_index) + 1);
+  const double uniform = static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return uniform < rule.probability;
+}
+
+struct Decision {
+  FaultKind kind = FaultKind::kThrow;
+  std::uint64_t hit_index = 0;
+};
+
+void record_seen(std::string_view site) {
+  GlobalState& global = global_state();
+  const MutexLock lock(global.mutex);
+  if (global.seen.find(site) == global.seen.end()) {
+    global.seen.emplace(site);
+  }
+}
+
+/// Counts the hit against the active schedule (innermost scoped context,
+/// else the global fallback) and decides whether the first matching rule
+/// fires.  nullopt = nothing fires at this hit.
+std::optional<Decision> decide(std::string_view site) {
+  record_seen(site);
+  const Schedule* schedule = nullptr;
+  std::uint64_t scope_key = 0;
+  std::uint64_t hit_index = 0;
+  if (ScopedContext::Context* context = t_innermost; context != nullptr) {
+    schedule = context->schedule;
+    scope_key = context->scope_key;
+    auto& hits = context->hits;
+    auto it = hits.begin();
+    while (it != hits.end() && it->first != site) {
+      ++it;
+    }
+    if (it == hits.end()) {
+      hits.emplace_back(std::string(site), 0);
+      it = hits.end() - 1;
+    }
+    hit_index = ++it->second;
+  } else {
+    GlobalState& global = global_state();
+    const MutexLock lock(global.mutex);
+    if (global.schedule == nullptr) {
+      return std::nullopt;
+    }
+    schedule = global.schedule;
+    scope_key = 0;
+    auto it = global.hits.find(site);
+    if (it == global.hits.end()) {
+      it = global.hits.emplace(std::string(site), 0).first;
+    }
+    hit_index = ++it->second;
+  }
+  const std::uint64_t site_hash = fnv1a(site);
+  const auto& rules = schedule->rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!rules[i].matches(site)) {
+      continue;
+    }
+    if (rule_fires(rules[i], schedule->seed(), scope_key, site_hash, hit_index, i)) {
+      return Decision{rules[i].kind, hit_index};
+    }
+    return std::nullopt;  // first matching rule decides; later rules are shadowed
+  }
+  return std::nullopt;
+}
+
+void count_fire() {
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  if (t_innermost != nullptr) {
+    ++t_innermost->fired;
+  }
+}
+
+[[noreturn]] void materialize_throwing(FaultKind kind, std::string_view site,
+                                       std::uint64_t hit_index) {
+  if (kind == FaultKind::kBadAlloc) {
+    if (const BadAllocTrigger trigger = g_bad_alloc_trigger.load(std::memory_order_acquire)) {
+      trigger();  // arms the counting allocator and allocates; must not return
+    }
+    throw std::bad_alloc();
+  }
+  // kThrow, and kParseError at a site that cannot report parse errors.
+  throw InjectedFault(std::string(site), hit_index);
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kBadAlloc:
+      return "bad_alloc";
+    case FaultKind::kParseError:
+      return "parse-error";
+  }
+  RIMARKET_UNREACHABLE("invalid FaultKind");
+}
+
+bool Rule::matches(std::string_view site) const {
+  const std::string_view pattern = site_pattern;
+  if (!pattern.empty() && pattern.back() == '*') {
+    return starts_with(site, pattern.substr(0, pattern.size() - 1));
+  }
+  return site == pattern;
+}
+
+Schedule::Schedule(std::uint64_t seed, std::vector<Rule> rules)
+    : seed_(seed), rules_(std::move(rules)) {
+  for (const Rule& rule : rules_) {
+    RIMARKET_EXPECTS(!rule.site_pattern.empty());
+    RIMARKET_EXPECTS(rule.probability >= 0.0 && rule.probability <= 1.0);
+  }
+}
+
+Schedule Schedule::random(std::uint64_t seed, std::span<const std::string_view> sites) {
+  RIMARKET_EXPECTS(!sites.empty());
+  Rng rng(seed);
+  std::vector<Rule> rules;
+  for (const std::string_view site : sites) {
+    if (!rng.bernoulli(0.55)) {
+      continue;
+    }
+    Rule rule;
+    rule.site_pattern = std::string(site);
+    const double kind_draw = rng.uniform01();
+    rule.kind = kind_draw < 0.60  ? FaultKind::kThrow
+                : kind_draw < 0.85 ? FaultKind::kBadAlloc
+                                   : FaultKind::kParseError;
+    if (rng.bernoulli(0.5)) {
+      rule.nth_hit = static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+    } else {
+      rule.probability = rng.uniform_real(0.02, 0.35);
+    }
+    rules.push_back(std::move(rule));
+  }
+  if (rules.empty()) {
+    // Every chaos schedule must be able to do *something*.
+    Rule rule;
+    rule.site_pattern = std::string(
+        sites[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))]);
+    rule.kind = FaultKind::kThrow;
+    rule.nth_hit = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+    rules.push_back(std::move(rule));
+  }
+  return Schedule(seed, std::move(rules));
+}
+
+std::string Schedule::to_string() const {
+  std::string out = format("schedule seed=%llu", static_cast<unsigned long long>(seed_));
+  for (const Rule& rule : rules_) {
+    out += format("\n  site=%s kind=%s", rule.site_pattern.c_str(),
+                  std::string(fault_kind_name(rule.kind)).c_str());
+    if (rule.nth_hit > 0) {
+      out += format(" nth_hit=%llu", static_cast<unsigned long long>(rule.nth_hit));
+    } else {
+      out += format(" probability=%.4f", rule.probability);
+    }
+  }
+  return out;
+}
+
+InjectedFault::InjectedFault(std::string site, std::uint64_t hit_index)
+    : std::runtime_error(format("injected fault at %s (hit %llu)", site.c_str(),
+                                static_cast<unsigned long long>(hit_index))),
+      site_(std::move(site)),
+      hit_index_(hit_index) {}
+
+ScopedContext::ScopedContext(const Schedule& schedule, std::uint64_t scope_key)
+    : context_(new Context) {
+  context_->schedule = &schedule;
+  context_->scope_key = scope_key;
+  context_->previous = t_innermost;
+  t_innermost = context_;
+}
+
+ScopedContext::~ScopedContext() {
+  // LIFO destruction on the constructing thread is part of the contract.
+  RIMARKET_CHECK_MSG(t_innermost == context_, "ScopedContext destroyed out of order");
+  t_innermost = context_->previous;
+  delete context_;
+}
+
+std::uint64_t ScopedContext::faults_fired() const { return context_->fired; }
+
+void set_global_schedule(const Schedule* schedule) {
+  GlobalState& global = global_state();
+  const MutexLock lock(global.mutex);
+  global.schedule = schedule;
+  global.hits.clear();  // fresh counters per installation, for replayability
+}
+
+void hit(std::string_view site) {
+  const std::optional<Decision> decision = decide(site);
+  if (!decision) {
+    return;
+  }
+  count_fire();
+  materialize_throwing(decision->kind, site, decision->hit_index);
+}
+
+bool hit_parse_error(std::string_view site) {
+  const std::optional<Decision> decision = decide(site);
+  if (!decision) {
+    return false;
+  }
+  count_fire();
+  if (decision->kind == FaultKind::kParseError) {
+    return true;
+  }
+  materialize_throwing(decision->kind, site, decision->hit_index);
+}
+
+std::vector<std::string> seen_sites() {
+  GlobalState& global = global_state();
+  const MutexLock lock(global.mutex);
+  return {global.seen.begin(), global.seen.end()};
+}
+
+std::uint64_t fired_total() { return g_fired.load(std::memory_order_relaxed); }
+
+void set_bad_alloc_trigger(BadAllocTrigger trigger) {
+  g_bad_alloc_trigger.store(trigger, std::memory_order_release);
+}
+
+}  // namespace rimarket::common::fault_injection

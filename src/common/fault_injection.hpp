@@ -1,0 +1,164 @@
+// Seeded, deterministic fault injection for chaos testing.
+//
+// Production code marks failure-prone spots with RIMARKET_INJECT("site");
+// in normal builds the macro expands to nothing (zero code, zero data — the
+// perf gate is untouched), and in chaos builds
+// (-DRIMARKET_ENABLE_FAULT_INJECTION=ON) each marked site consults the
+// active Schedule and may throw an InjectedFault, throw std::bad_alloc, or
+// report an injected parse error.  Everything a schedule does is a pure
+// function of (schedule seed, scope key, site name, per-site hit index), so
+// a whole chaos run replays from a single uint64 and fault placement does
+// not depend on thread scheduling.  See DESIGN.md "Fault injection".
+//
+// Determinism model: the executor (sim::evaluate_sweep, tests) activates a
+// ScopedContext per unit of work with a scope key derived from stable ids
+// (e.g. hash(seed, user id, attempt)).  Hit counters live inside the
+// context, so the fault pattern one user sees is independent of how many
+// workers run and of what other users do.  A process-global schedule
+// fallback exists for code that runs outside any scoped unit (thread-pool
+// internals); its hit counters are shared and therefore only deterministic
+// under single-threaded use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rimarket::common::fault_injection {
+
+/// What an armed site does when its rule fires.
+enum class FaultKind {
+  kThrow,       ///< throw InjectedFault
+  kBadAlloc,    ///< throw std::bad_alloc (via the counting allocator when armed)
+  kParseError,  ///< parse-aware sites report a malformed-input error; others throw
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One injection rule.  `site_pattern` is an exact site name or a prefix
+/// ending in '*' ("sim.*").  With `nth_hit` > 0 the rule fires exactly on
+/// that (1-based) hit of a matching site within one context; with
+/// `nth_hit` == 0 every hit fires independently with `probability`.
+struct Rule {
+  std::string site_pattern;
+  FaultKind kind = FaultKind::kThrow;
+  double probability = 0.0;
+  std::uint64_t nth_hit = 0;
+
+  bool matches(std::string_view site) const;
+  bool operator==(const Rule&) const = default;
+};
+
+/// An ordered rule list plus the seed that drives probabilistic firing.
+/// The first rule matching a site decides that hit; later rules are shadowed.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::uint64_t seed, std::vector<Rule> rules);
+
+  /// Deterministic randomized schedule over `sites` for chaos sweeps: every
+  /// bit of the outcome derives from `seed`.  Always yields >= 1 rule.
+  static Schedule random(std::uint64_t seed, std::span<const std::string_view> sites);
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Replay diagnostic: seed plus every rule, one line per rule.
+  std::string to_string() const;
+
+  bool operator==(const Schedule&) const = default;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+};
+
+/// Thrown by a fired kThrow (or non-parse-site kParseError) rule.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(std::string site, std::uint64_t hit_index);
+
+  const std::string& site() const { return site_; }
+  std::uint64_t hit_index() const { return hit_index_; }
+
+ private:
+  std::string site_;
+  std::uint64_t hit_index_;
+};
+
+/// Activates `schedule` on the current thread for this object's lifetime.
+/// Contexts nest (the innermost wins) and each carries its own hit
+/// counters, keyed by `scope_key` — the executor's stable id for this unit
+/// of work.  The schedule must outlive the context.
+class ScopedContext {
+ public:
+  ScopedContext(const Schedule& schedule, std::uint64_t scope_key);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+  /// Faults fired while this context was innermost.
+  std::uint64_t faults_fired() const;
+
+  struct Context;  // implementation detail, defined in fault_injection.cpp
+
+ private:
+  Context* context_;
+};
+
+/// Installs (or clears, with nullptr) the process-global fallback schedule
+/// consulted when no ScopedContext is active on the hitting thread.  Shared
+/// hit counters: deterministic only under single-threaded use.  The
+/// schedule must outlive its installation.
+void set_global_schedule(const Schedule* schedule);
+
+/// Site entry point behind RIMARKET_INJECT.  May throw InjectedFault or
+/// std::bad_alloc; no-op when no schedule is active for this thread.
+void hit(std::string_view site);
+
+/// Site entry point behind RIMARKET_INJECT_PARSE, for parse-aware sites:
+/// returns true when a kParseError rule fires (caller reports a malformed-
+/// input diagnostic); kThrow/kBadAlloc rules still throw.
+bool hit_parse_error(std::string_view site);
+
+/// Every distinct site name hit so far in this process, sorted.  Chaos
+/// tests use this to assert the library's sites are actually wired.
+std::vector<std::string> seen_sites();
+
+/// Total faults fired process-wide (all kinds, all contexts).
+std::uint64_t fired_total();
+
+/// How kBadAlloc materializes: when a trigger is installed (the counting
+/// allocator in common/alloc_hook.hpp provides one), it is invoked and must
+/// not return; otherwise std::bad_alloc is thrown directly.
+using BadAllocTrigger = void (*)();
+void set_bad_alloc_trigger(BadAllocTrigger trigger);
+
+/// Canonical site names wired into the library, kept in sync with the
+/// RIMARKET_INJECT call sites (all in .cpp files, so an OFF build contains
+/// no trace of them).
+inline constexpr std::string_view kSiteCsvReadFile = "csv.read_file";
+inline constexpr std::string_view kSiteCsvLoad = "csv.load_csv_file";
+inline constexpr std::string_view kSiteTraceFromCsv = "workload.trace.from_csv";
+inline constexpr std::string_view kSitePopulationBuild = "workload.population.build";
+inline constexpr std::string_view kSiteEvaluateUser = "sim.evaluate_user";
+inline constexpr std::string_view kSiteRunScenario = "sim.run_scenario";
+inline constexpr std::string_view kSiteRunLoop = "sim.run_loop";
+inline constexpr std::string_view kSitePoolSubmit = "thread_pool.submit";
+inline constexpr std::string_view kSitePoolTask = "thread_pool.task";
+
+}  // namespace rimarket::common::fault_injection
+
+// The site macros.  Sites live only in .cpp files, so flipping the option
+// can never cause an ODR mismatch across translation units.
+#if defined(RIMARKET_ENABLE_FAULT_INJECTION)
+#define RIMARKET_INJECT(site) ::rimarket::common::fault_injection::hit(site)
+#define RIMARKET_INJECT_PARSE(site) ::rimarket::common::fault_injection::hit_parse_error(site)
+#else
+#define RIMARKET_INJECT(site) static_cast<void>(0)
+#define RIMARKET_INJECT_PARSE(site) false
+#endif

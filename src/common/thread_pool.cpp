@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 #include "common/metrics.hpp"
 #include "common/strings.hpp"
 
@@ -63,6 +64,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   RIMARKET_EXPECTS(task != nullptr);
+  RIMARKET_INJECT(fault_injection::kSitePoolSubmit);
   {
     const MutexLock lock(mutex_);
     if (stopping_) {
@@ -83,6 +85,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   std::exception_ptr error;
+  std::uint64_t suppressed = 0;
   {
     MutexLock lock(mutex_);
     // Explicit predicate loop (not a wait lambda) so the guarded read of
@@ -93,11 +96,27 @@ void ThreadPool::wait_idle() {
     // Drained: hand the first captured error (if any) to the caller and
     // reset the cancellation latch so the pool is reusable.
     error = std::exchange(first_error_, nullptr);
+    suppressed = std::exchange(wave_suppressed_, 0);
     cancelling_ = false;
   }
-  if (error) {
-    std::rethrow_exception(error);
+  if (!error) {
+    return;
   }
+  if (suppressed > 0) {
+    // Concurrent tasks also failed and their errors were dropped; say so in
+    // the message.  (A lone failure rethrows the original object unchanged,
+    // preserving its dynamic type for callers that catch specifically.)
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& first) {
+      throw std::runtime_error(
+          format("%s [%llu more task error(s) suppressed]", first.what(),
+                 static_cast<unsigned long long>(suppressed)));
+    } catch (...) {
+      // Not a std::exception: no message to annotate, fall through.
+    }
+  }
+  std::rethrow_exception(error);
 }
 
 void ThreadPool::cancel() {
@@ -130,6 +149,8 @@ void ThreadPool::export_metrics(MetricsRegistry& registry, std::string_view pref
   registry.set(base + ".tasks_run", static_cast<std::int64_t>(snapshot.tasks_run));
   registry.set(base + ".tasks_failed", static_cast<std::int64_t>(snapshot.tasks_failed));
   registry.set(base + ".tasks_cancelled", static_cast<std::int64_t>(snapshot.tasks_cancelled));
+  registry.set(base + ".errors_suppressed",
+               static_cast<std::int64_t>(snapshot.errors_suppressed));
   registry.set(base + ".max_queue_depth", static_cast<std::int64_t>(snapshot.max_queue_depth));
   registry.set(base + ".total_task_millis",
                static_cast<double>(snapshot.total_task_nanos) / 1e6);
@@ -161,6 +182,7 @@ void ThreadPool::worker_loop() {
     const auto start = std::chrono::steady_clock::now();
     std::exception_ptr error;
     try {
+      RIMARKET_INJECT(fault_injection::kSitePoolTask);
       task();
     } catch (...) {
       error = std::current_exception();
@@ -176,6 +198,9 @@ void ThreadPool::worker_loop() {
         ++counters_.tasks_failed;
         if (!first_error_) {
           first_error_ = error;
+        } else {
+          ++counters_.errors_suppressed;
+          ++wave_suppressed_;
         }
         // Stop scheduling: everything still queued is dropped now; tasks
         // already running on other workers finish normally.

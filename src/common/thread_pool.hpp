@@ -35,6 +35,7 @@ struct ThreadPoolMetrics {
   std::uint64_t tasks_run = 0;        ///< executed to completion (ok or failed)
   std::uint64_t tasks_failed = 0;     ///< executed and threw
   std::uint64_t tasks_cancelled = 0;  ///< dropped unexecuted after a failure
+  std::uint64_t errors_suppressed = 0;  ///< task errors dropped because one was already captured
   std::uint64_t max_queue_depth = 0;  ///< high-water mark of the task queue
   std::uint64_t total_task_nanos = 0; ///< summed wall time inside tasks
 };
@@ -47,6 +48,11 @@ struct ThreadPoolMetrics {
 /// exception and resets the error state, so the pool is reusable for the
 /// next wave.  Tasks that run concurrently with the failing one still
 /// complete — cancellation stops *scheduling*, it does not interrupt.
+/// Errors those concurrent tasks throw are counted as `errors_suppressed`;
+/// when any were dropped in a wave, the rethrown std::exception's message
+/// gains a "[N more task error(s) suppressed]" suffix so the loss is
+/// visible in the diagnosis (a lone failure rethrows the original object
+/// unchanged).
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1; pass 0 to use hardware concurrency).
@@ -108,6 +114,8 @@ class ThreadPool {
   bool stopping_ RIMARKET_GUARDED_BY(mutex_) = false;
   bool cancelling_ RIMARKET_GUARDED_BY(mutex_) = false;
   std::exception_ptr first_error_ RIMARKET_GUARDED_BY(mutex_);
+  /// Errors dropped since the last wait_idle(); drives the rethrow suffix.
+  std::uint64_t wave_suppressed_ RIMARKET_GUARDED_BY(mutex_) = 0;
   ThreadPoolMetrics counters_ RIMARKET_GUARDED_BY(mutex_);
 };
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "selling/fixed_spot.hpp"
@@ -19,6 +21,22 @@ std::string sweep_error_message(const std::vector<UserFailure>& failures) {
   return common::format("evaluation sweep failed for %zu user(s); first: user %d: %s",
                         failures.size(), failures.front().user_id,
                         failures.front().message.c_str());
+}
+
+/// Stable scope key for one (user, attempt) unit of work: fault placement
+/// must depend only on ids the replay seed controls, never on scheduling.
+std::uint64_t attempt_scope_key(std::uint64_t seed, int user_id, int attempt) {
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(user_id) * 0x9e3779b97f4a7c15ULL);
+  state ^= (static_cast<std::uint64_t>(attempt) + 1) << 40;
+  return common::splitmix64(state);
+}
+
+void export_sweep_metrics(const SweepReport& report) {
+  common::MetricsRegistry& registry = common::MetricsRegistry::global();
+  registry.set("sweep.retries", static_cast<std::int64_t>(report.retries));
+  registry.set("sweep.quarantined", static_cast<std::int64_t>(report.quarantined.size()));
+  registry.set("sweep.injected_faults", static_cast<std::int64_t>(report.injected_faults));
+  registry.set("sweep.virtual_backoff_ms", report.virtual_backoff_ms);
 }
 
 }  // namespace
@@ -39,6 +57,7 @@ std::vector<SellerSpec> paper_sellers(Fraction all_selling_fraction) {
 std::vector<ScenarioResult> evaluate_user(const workload::User& user,
                                           const EvaluationSpec& spec) {
   RIMARKET_EXPECTS(!spec.sellers.empty());
+  RIMARKET_INJECT(common::fault_injection::kSiteEvaluateUser);
   // Malformed *input data* throws (and is aggregated per-user by the sweep)
   // rather than aborting: one bad trace must not kill a 300-user batch.
   if (user.trace.length() == 0) {
@@ -62,6 +81,7 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
         ReservationStream::generate(user.trace, *purchaser, horizon, spec.sim.type.term);
 
     for (const SellerSpec& seller_spec : spec.sellers) {
+      RIMARKET_INJECT(common::fault_injection::kSiteRunScenario);
       const auto seller =
           make_seller(seller_spec, spec.sim, run_seed, &user.trace, &stream);
       const SimulationResult run = simulate(user.trace, stream, *seller, spec.sim);
@@ -80,8 +100,13 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
   return results;
 }
 
-std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
-                                     const EvaluationSpec& spec) {
+namespace {
+
+/// FailurePolicy::kFailFast: one attempt per user, any failure aborts the
+/// sweep with a deterministic SweepError and discards the survivors' work
+/// (a partial sweep would silently skew every population statistic).
+SweepReport evaluate_fail_fast(std::span<const workload::User> users,
+                               const EvaluationSpec& spec) {
   std::vector<std::vector<ScenarioResult>> per_user(users.size());
   std::mutex failures_mutex;
   std::vector<UserFailure> failures;
@@ -98,6 +123,8 @@ std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
     }
   });
   pool.export_metrics(common::MetricsRegistry::global(), "sim.evaluate");
+  SweepReport report;
+  export_sweep_metrics(report);
   if (!failures.empty()) {
     std::sort(failures.begin(), failures.end(),
               [](const UserFailure& a, const UserFailure& b) { return a.user_id < b.user_id; });
@@ -106,12 +133,108 @@ std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
     }
     throw SweepError(std::move(failures));
   }
-  std::vector<ScenarioResult> results;
-  results.reserve(users.size() * spec.purchasers.size() * spec.sellers.size());
+  report.results.reserve(users.size() * spec.purchasers.size() * spec.sellers.size());
   for (const auto& chunk : per_user) {
-    results.insert(results.end(), chunk.begin(), chunk.end());
+    report.results.insert(report.results.end(), chunk.begin(), chunk.end());
   }
-  return results;
+  return report;
+}
+
+/// FailurePolicy::kQuarantine: bounded retry per user, then give up on that
+/// user alone.  All bookkeeping lives in per-index slots, so the outcome is
+/// a pure function of (users, spec) regardless of worker scheduling.
+SweepReport evaluate_quarantine(std::span<const workload::User> users,
+                                const EvaluationSpec& spec) {
+  std::vector<std::vector<ScenarioResult>> per_user(users.size());
+  std::vector<std::optional<QuarantinedUser>> quarantine_slots(users.size());
+  std::vector<std::uint64_t> user_retries(users.size(), 0);
+  std::vector<std::uint64_t> user_faults(users.size(), 0);
+  std::vector<double> user_backoff_ms(users.size(), 0.0);
+  common::ThreadPool pool(spec.threads);
+  common::parallel_for(pool, users.size(), [&](std::size_t index) {
+    const workload::User& user = users[index];
+    QuarantinedUser entry;
+    for (int attempt = 1; attempt <= spec.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        ++user_retries[index];
+        // Virtual exponential backoff: accounted, never slept.
+        user_backoff_ms[index] +=
+            spec.backoff_base_ms * static_cast<double>(1ULL << (attempt - 2));
+      }
+      // Each attempt is its own chaos scope: the faults it sees depend only
+      // on (seed, user id, attempt), so retries genuinely re-roll the fault
+      // pattern and the whole sweep replays from spec.seed.
+      std::optional<common::fault_injection::ScopedContext> chaos;
+      if (spec.chaos_schedule != nullptr) {
+        chaos.emplace(*spec.chaos_schedule, attempt_scope_key(spec.seed, user.id, attempt));
+      }
+      try {
+        per_user[index] = evaluate_user(user, spec);
+        if (chaos) {
+          user_faults[index] += chaos->faults_fired();
+        }
+        return;
+      } catch (const common::fault_injection::InjectedFault& fault) {
+        entry.site = fault.site();
+        entry.message = fault.what();
+      } catch (const std::exception& error) {
+        entry.site.clear();
+        entry.message = error.what();
+      }
+      if (chaos) {
+        user_faults[index] += chaos->faults_fired();
+      }
+    }
+    entry.user_id = user.id;
+    entry.attempts = spec.max_attempts;
+    quarantine_slots[index] = std::move(entry);
+  });
+  pool.export_metrics(common::MetricsRegistry::global(), "sim.evaluate");
+  SweepReport report;
+  report.results.reserve(users.size() * spec.purchasers.size() * spec.sellers.size());
+  for (std::size_t index = 0; index < users.size(); ++index) {
+    report.retries += user_retries[index];
+    report.injected_faults += user_faults[index];
+    report.virtual_backoff_ms += user_backoff_ms[index];
+    if (quarantine_slots[index].has_value()) {
+      report.quarantined.push_back(*std::move(quarantine_slots[index]));
+    } else {
+      report.results.insert(report.results.end(), per_user[index].begin(),
+                            per_user[index].end());
+    }
+  }
+  std::sort(report.quarantined.begin(), report.quarantined.end(),
+            [](const QuarantinedUser& a, const QuarantinedUser& b) {
+              return a.user_id < b.user_id;
+            });
+  for (const QuarantinedUser& entry : report.quarantined) {
+    common::log_warn("sweep: user %d quarantined after %d attempt(s)%s%s: %s", entry.user_id,
+                     entry.attempts, entry.site.empty() ? "" : " at ", entry.site.c_str(),
+                     entry.message.c_str());
+  }
+  export_sweep_metrics(report);
+  return report;
+}
+
+}  // namespace
+
+SweepReport evaluate_sweep(std::span<const workload::User> users, const EvaluationSpec& spec) {
+  RIMARKET_EXPECTS(spec.max_attempts >= 1);
+  RIMARKET_EXPECTS(spec.backoff_base_ms >= 0.0);
+  if (spec.failure_policy == FailurePolicy::kFailFast) {
+    return evaluate_fail_fast(users, spec);
+  }
+  return evaluate_quarantine(users, spec);
+}
+
+SweepReport evaluate_sweep(const workload::UserPopulation& population,
+                           const EvaluationSpec& spec) {
+  return evaluate_sweep(std::span<const workload::User>(population.users()), spec);
+}
+
+std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
+                                     const EvaluationSpec& spec) {
+  return evaluate_sweep(users, spec).results;
 }
 
 std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,

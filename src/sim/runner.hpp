@@ -7,11 +7,13 @@
 // makes the keep-reserved normalization of Figs. 3-4 / Table III exact.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "purchasing/policy.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -31,6 +33,17 @@ struct ScenarioResult {
   Count on_demand_hours = 0;
 };
 
+/// What the sweep does when a user's scenarios fail.
+enum class FailurePolicy {
+  /// Attempt every user once; if any failed, throw SweepError listing all
+  /// of them and discard the survivors' work (today's semantics).
+  kFailFast,
+  /// Retry each failing user up to EvaluationSpec::max_attempts times
+  /// (deterministic virtual backoff — accounted, never slept), then move
+  /// the user to the quarantine list and keep the survivors' results.
+  kQuarantine,
+};
+
 /// Evaluation sweep definition.
 struct EvaluationSpec {
   SimulationConfig sim;
@@ -41,6 +54,19 @@ struct EvaluationSpec {
   std::uint64_t seed = 1;
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// kQuarantine: total tries per user (>= 1) before quarantining.
+  int max_attempts = 3;
+  /// kQuarantine: virtual backoff before retry k (k >= 2) is
+  /// `backoff_base_ms * 2^(k-2)` — summed into SweepReport::
+  /// virtual_backoff_ms, never slept, so chaos tests stay wall-clock-fast.
+  double backoff_base_ms = 10.0;
+  /// Chaos runs only: when set, every attempt of every user executes under
+  /// a fault_injection::ScopedContext keyed by (seed, user id, attempt), so
+  /// the faults one user sees are independent of worker scheduling.  The
+  /// schedule must outlive the sweep.  Ignored (still inert) when the build
+  /// compiles injection sites out.
+  const common::fault_injection::Schedule* chaos_schedule = nullptr;
 };
 
 /// The paper's seller line-up: the three algorithms plus both baselines at
@@ -67,16 +93,53 @@ class SweepError : public std::runtime_error {
   std::vector<UserFailure> failures_;
 };
 
+/// One user the sweep gave up on under FailurePolicy::kQuarantine.
+struct QuarantinedUser {
+  int user_id = 0;
+  /// Injection site of the last failure when it was an InjectedFault
+  /// (chaos runs); empty for organic errors.
+  std::string site;
+  /// Tries consumed (== EvaluationSpec::max_attempts).
+  int attempts = 0;
+  /// Last attempt's error message.
+  std::string message;
+};
+
+/// Outcome of a sweep run with evaluate_sweep().
+struct SweepReport {
+  /// Survivors' results, ordered by (user, purchaser, seller).
+  std::vector<ScenarioResult> results;
+  /// Users given up on, sorted by user id (deterministic across thread
+  /// counts).  Always empty under kFailFast (failures throw instead).
+  std::vector<QuarantinedUser> quarantined;
+  /// Retries performed (attempts beyond each user's first).
+  std::uint64_t retries = 0;
+  /// Faults fired by the chaos schedule inside user scopes.
+  std::uint64_t injected_faults = 0;
+  /// Total virtual backoff accounted (never slept).
+  double virtual_backoff_ms = 0.0;
+};
+
 /// Runs the full sweep; results are ordered by (user, purchaser, seller).
 /// Every user is attempted; if any fail, throws SweepError listing all of
 /// them.  Pool counters land in MetricsRegistry::global() under
-/// "sim.evaluate.".
+/// "sim.evaluate.".  Equivalent to evaluate_sweep(...).results — under
+/// kQuarantine prefer evaluate_sweep, which also reports who was dropped.
 std::vector<ScenarioResult> evaluate(const workload::UserPopulation& population,
                                      const EvaluationSpec& spec);
 
 /// Same sweep over an explicit user list (sub-populations, tests).
 std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
                                      const EvaluationSpec& spec);
+
+/// Runs the sweep honoring `spec.failure_policy`.  Under kFailFast this is
+/// exactly evaluate() (any failure throws SweepError); under kQuarantine it
+/// returns survivors plus the quarantine list instead of throwing.  The
+/// sweep counters are exported to MetricsRegistry::global() as
+/// "sweep.retries", "sweep.quarantined", "sweep.injected_faults".
+SweepReport evaluate_sweep(const workload::UserPopulation& population,
+                           const EvaluationSpec& spec);
+SweepReport evaluate_sweep(std::span<const workload::User> users, const EvaluationSpec& spec);
 
 /// Runs the sweep for a single user (Table II's case study).  Throws
 /// std::invalid_argument on malformed input (e.g. an empty trace; the

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 
 namespace rimarket::sim {
 
@@ -78,6 +79,7 @@ SimulationResult run_loop(const workload::DemandTrace& trace, selling::SellPolic
   // selling_discount, service_fee and idle_resale_probability are Fractions,
   // so their [0,1] range is already guaranteed by construction.
   RIMARKET_EXPECTS(config.service_fee < Fraction{1.0});
+  RIMARKET_INJECT(common::fault_injection::kSiteRunLoop);
   RIMARKET_EXPECTS(config.idle_resale_rate >= Rate{0.0});
   const Hour horizon = config.effective_horizon(trace);
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "workload/generators.hpp"
 
@@ -143,9 +144,15 @@ DemandTrace fallback_trace(FluctuationGroup group, Hour hours) {
     case FluctuationGroup::kStable:
       return square_wave(hours, 1, 1, 5);  // constant -> cv = 0
     case FluctuationGroup::kModerate:
-      return square_wave(hours, 120, 24, 8);  // duty 0.2 -> cv = 2
+      // duty 0.2 -> cv = 2.  Traces shorter than the nominal 120h period
+      // would truncate to a different duty cycle (and a different group), so
+      // they get a compact wave with the same duty; needs hours >= 3 to
+      // keep cv above the stable band.
+      return hours >= 120 ? square_wave(hours, 120, 24, 8) : square_wave(hours, 5, 1, 8);
     case FluctuationGroup::kHigh:
-      return square_wave(hours, 480, 24, 12);  // duty 0.05 -> cv ~= 4.36
+      // duty 0.05 -> cv ~= 4.36; compact variant keeps cv > 3 for any
+      // hours >= 11 (one spike among n zeros has cv = sqrt(n - 1)).
+      return hours >= 480 ? square_wave(hours, 480, 24, 12) : square_wave(hours, 20, 1, 12);
   }
   RIMARKET_UNREACHABLE("group");
 }
@@ -155,6 +162,7 @@ DemandTrace fallback_trace(FluctuationGroup group, Hour hours) {
 UserPopulation UserPopulation::build(const PopulationSpec& spec) {
   RIMARKET_EXPECTS(spec.users_per_group >= 1);
   RIMARKET_EXPECTS(spec.trace_hours >= 1);
+  RIMARKET_INJECT(common::fault_injection::kSitePopulationBuild);
   UserPopulation population;
   population.users_.reserve(static_cast<std::size_t>(spec.users_per_group) * kGroupCount);
   common::Rng root(spec.seed);

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
+#include "common/fault_injection.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 
@@ -94,18 +95,44 @@ std::string DemandTrace::to_csv() const {
 }
 
 std::optional<DemandTrace> DemandTrace::from_csv(std::string_view text) {
+  return from_csv(text, nullptr);
+}
+
+std::optional<DemandTrace> DemandTrace::from_csv(std::string_view text,
+                                                 common::CsvError* error) {
+  const auto fail = [error](std::size_t line, std::string message) -> std::optional<DemandTrace> {
+    if (error != nullptr) {
+      *error = common::CsvError{std::string(), 0, line, std::move(message)};
+    }
+    return std::nullopt;
+  };
+  if (RIMARKET_INJECT_PARSE(common::fault_injection::kSiteTraceFromCsv)) {
+    return fail(1, "injected parse error");
+  }
   const common::CsvDocument doc = common::parse_csv(text, /*expect_header=*/true);
   std::vector<Count> demand;
   demand.reserve(doc.rows.size());
   Hour expected = 0;
-  for (const common::CsvRow& row : doc.rows) {
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const common::CsvRow& row = doc.rows[i];
+    const std::size_t line = doc.row_lines[i];
     if (row.size() != 2) {
-      return std::nullopt;
+      return fail(line, common::format("expected 2 fields (hour,demand), got %zu", row.size()));
     }
     const auto hour = common::parse_int(row[0]);
     const auto value = common::parse_int(row[1]);
-    if (!hour || !value || *hour != expected || *value < 0) {
-      return std::nullopt;
+    if (!hour || !value) {
+      return fail(line, common::format("non-numeric field in row \"%s,%s\"", row[0].c_str(),
+                                       row[1].c_str()));
+    }
+    if (*hour != expected) {
+      return fail(line, common::format("hour %lld out of sequence (expected %lld)",
+                                       static_cast<long long>(*hour),
+                                       static_cast<long long>(expected)));
+    }
+    if (*value < 0) {
+      return fail(line,
+                  common::format("negative demand %lld", static_cast<long long>(*value)));
     }
     demand.push_back(*value);
     ++expected;

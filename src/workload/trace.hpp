@@ -14,6 +14,10 @@
 
 #include "common/types.hpp"
 
+namespace rimarket::common {
+struct CsvError;
+}
+
 namespace rimarket::workload {
 
 /// Immutable-by-convention hourly demand sequence.
@@ -53,6 +57,11 @@ class DemandTrace {
   /// CSV round-trip: one `hour,demand` row per hour, with header.
   std::string to_csv() const;
   static std::optional<DemandTrace> from_csv(std::string_view text);
+
+  /// As above; on failure also fills `*error` (1-based line + what was
+  /// wrong with it) when `error` is non-null.  The caller owns filling in
+  /// CsvError::path — this function only sees in-memory text.
+  static std::optional<DemandTrace> from_csv(std::string_view text, common::CsvError* error);
 
  private:
   std::vector<Count> demand_;

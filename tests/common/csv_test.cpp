@@ -87,5 +87,67 @@ TEST(FileIo, LoadCsvFile) {
   std::remove(path.c_str());
 }
 
+TEST(ParseCsv, RecordsPhysicalLineNumbers) {
+  const CsvDocument doc = parse_csv("h\n\n1\n\n2\n", /*expect_header=*/true);
+  EXPECT_EQ(doc.header_line, 1u);
+  ASSERT_EQ(doc.row_lines.size(), 2u);
+  // Blank lines are skipped as rows but still advance the physical count.
+  EXPECT_EQ(doc.row_lines[0], 3u);
+  EXPECT_EQ(doc.row_lines[1], 5u);
+}
+
+TEST(ParseCsv, NoHeaderModeNumbersRowsFromLineOne) {
+  const CsvDocument doc = parse_csv("1,2\n3,4", /*expect_header=*/false);
+  EXPECT_EQ(doc.header_line, 0u);
+  ASSERT_EQ(doc.row_lines.size(), 2u);
+  EXPECT_EQ(doc.row_lines[0], 1u);
+  EXPECT_EQ(doc.row_lines[1], 2u);
+}
+
+TEST(CsvErrorReporting, ReadFailureCarriesPathAndErrno) {
+  CsvError error;
+  EXPECT_FALSE(read_file("/nonexistent/rimarket/file.csv", &error).has_value());
+  EXPECT_EQ(error.path, "/nonexistent/rimarket/file.csv");
+  EXPECT_NE(error.errno_value, 0);
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_FALSE(error.message.empty());
+  const std::string text = error.to_string();
+  EXPECT_NE(text.find("/nonexistent/rimarket/file.csv"), std::string::npos);
+  EXPECT_NE(text.find("errno"), std::string::npos);
+}
+
+TEST(CsvErrorReporting, RaggedRowIsRejectedWithLineNumber) {
+  const std::string path = testing::TempDir() + "/rimarket_csv_ragged.csv";
+  ASSERT_TRUE(write_file(path, "a,b\n1,2\n3\n4,5\n"));
+  CsvError error;
+  EXPECT_FALSE(load_csv_file(path, /*expect_header=*/true, &error).has_value());
+  EXPECT_EQ(error.path, path);
+  EXPECT_EQ(error.line, 3u);  // the short row sits on physical line 3
+  EXPECT_NE(error.message.find("expected 2"), std::string::npos);
+  const std::string text = error.to_string();
+  EXPECT_NE(text.find(path + ":3:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvErrorReporting, WellFormedFileLoadsThroughErrorVariant) {
+  const std::string path = testing::TempDir() + "/rimarket_csv_ok.csv";
+  ASSERT_TRUE(write_file(path, "h1,h2\n1,2\n"));
+  CsvError error;
+  const auto doc = load_csv_file(path, /*expect_header=*/true, &error);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->row_lines[0], 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvErrorReporting, ToStringFormatsEachShape) {
+  CsvError with_line{"data.csv", 0, 12, "bad row"};
+  EXPECT_EQ(with_line.to_string(), "data.csv:12: bad row");
+  CsvError plain{"data.csv", 0, 0, "unreadable"};
+  EXPECT_EQ(plain.to_string(), "data.csv: unreadable");
+  CsvError anonymous{"", 0, 2, "bad row"};
+  EXPECT_EQ(anonymous.to_string(), "<input>:2: bad row");
+}
+
 }  // namespace
 }  // namespace rimarket::common

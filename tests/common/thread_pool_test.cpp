@@ -5,6 +5,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -146,6 +147,49 @@ TEST(ThreadPool, FirstOfManyErrorsIsReported) {
   } catch (const std::runtime_error& error) {
     EXPECT_STREQ(error.what(), "first");  // the second task was cancelled
   }
+}
+
+TEST(ThreadPool, ConcurrentErrorsAreCountedAndMentionedInMessage) {
+  ThreadPool pool(2);
+  // Rendezvous before throwing: both tasks are already running when they
+  // fail, so cancellation cannot save the second one — it must be recorded
+  // as suppressed, not silently dropped.
+  std::atomic<int> arrived{0};
+  auto failing = [&arrived] {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) {
+      std::this_thread::yield();
+    }
+    throw std::runtime_error("concurrent boom");
+  };
+  pool.submit(failing);
+  pool.submit(failing);
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("concurrent boom"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("[1 more task error(s) suppressed]"),
+              std::string::npos);
+  }
+  EXPECT_EQ(pool.metrics().errors_suppressed, 1u);
+  MetricsRegistry registry;
+  pool.export_metrics(registry, "test.pool");
+  EXPECT_EQ(registry.get("test.pool.errors_suppressed"), 1.0);
+}
+
+TEST(ThreadPool, SingleErrorMessageStaysUnwrapped) {
+  // The suppression suffix must only appear when something was actually
+  // suppressed; a lone failure keeps its exact message and type.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::out_of_range("lone failure"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow";
+  } catch (const std::out_of_range& error) {
+    EXPECT_STREQ(error.what(), "lone failure");
+  }
+  EXPECT_EQ(pool.metrics().errors_suppressed, 0u);
 }
 
 TEST(ThreadPool, CancelDropsQueuedTasks) {

@@ -1,0 +1,298 @@
+// Chaos suite (only built when RIMARKET_ENABLE_FAULT_INJECTION is ON).
+//
+// Drives the evaluation sweep under dozens of randomized fault schedules
+// and proves the graceful-degradation contract:
+//   * no schedule crashes, terminates, or leaks (ASan in the CI chaos job);
+//   * survivors' results are byte-identical (exact double equality) to the
+//     fault-free sweep — a retried user must not smuggle in different
+//     numbers;
+//   * the quarantine report is a pure function of (seed, schedule):
+//     identical across 1-thread, N-thread, and repeated runs;
+//   * the CSV/trace ingestion layer degrades to error reports, never UB.
+//
+// Replay a CI failure with RIMARKET_CHAOS_SEED=<seed printed by the job>.
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/alloc_hook.hpp"
+#include "common/csv.hpp"
+#include "common/fault_injection.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::sim {
+namespace {
+
+namespace fi = common::fault_injection;
+
+std::uint64_t chaos_base_seed() {
+  if (const char* env = std::getenv("RIMARKET_CHAOS_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(env, &end, 10);
+    if (end != env) {
+      return seed;
+    }
+  }
+  return 20260807;
+}
+
+// Wires FaultKind::kBadAlloc to the counting allocator this binary links,
+// so injected OOM surfaces out of a real operator new call.
+class ChaosEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    fi::set_bad_alloc_trigger(&common::trigger_bad_alloc_now);
+    std::printf("chaos base seed: %llu (override with RIMARKET_CHAOS_SEED)\n",
+                static_cast<unsigned long long>(chaos_base_seed()));
+  }
+  void TearDown() override { fi::set_bad_alloc_trigger(nullptr); }
+};
+
+const ::testing::Environment* const kChaosEnvironment =
+    ::testing::AddGlobalTestEnvironment(new ChaosEnvironment);
+
+std::vector<workload::User> chaos_users() {
+  workload::PopulationSpec spec;
+  spec.users_per_group = 2;
+  spec.trace_hours = 500;
+  spec.seed = 9;
+  const auto population = workload::UserPopulation::build(spec);
+  return {population.users().begin(), population.users().end()};
+}
+
+EvaluationSpec chaos_spec(std::size_t threads) {
+  EvaluationSpec spec;
+  spec.sim.type = pricing::InstanceType{"tiny.test", Rate{1.0}, Money{500.0}, Rate{0.25}, 1000};
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sellers = paper_sellers(Fraction{0.75});
+  spec.seed = 5;
+  spec.threads = threads;
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 3;
+  return spec;
+}
+
+void expect_same_report(const SweepReport& a, const SweepReport& b) {
+  ASSERT_EQ(a.quarantined.size(), b.quarantined.size());
+  for (std::size_t i = 0; i < a.quarantined.size(); ++i) {
+    EXPECT_EQ(a.quarantined[i].user_id, b.quarantined[i].user_id);
+    EXPECT_EQ(a.quarantined[i].site, b.quarantined[i].site);
+    EXPECT_EQ(a.quarantined[i].attempts, b.quarantined[i].attempts);
+    EXPECT_EQ(a.quarantined[i].message, b.quarantined[i].message);
+  }
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.injected_faults, b.injected_faults);
+  EXPECT_EQ(a.virtual_backoff_ms, b.virtual_backoff_ms);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].user_id, b.results[i].user_id);
+    EXPECT_EQ(a.results[i].purchaser, b.results[i].purchaser);
+    EXPECT_EQ(a.results[i].seller.kind, b.results[i].seller.kind);
+    EXPECT_EQ(a.results[i].net_cost, b.results[i].net_cost);  // exact, no tolerance
+    EXPECT_EQ(a.results[i].reservations_made, b.results[i].reservations_made);
+    EXPECT_EQ(a.results[i].instances_sold, b.results[i].instances_sold);
+    EXPECT_EQ(a.results[i].on_demand_hours, b.results[i].on_demand_hours);
+  }
+}
+
+TEST(ChaosSweep, FiftyPlusSchedulesDegradeGracefullyAndDeterministically) {
+  constexpr int kSchedules = 55;
+  const std::array<std::string_view, 3> sites = {fi::kSiteEvaluateUser, fi::kSiteRunScenario,
+                                                 fi::kSiteRunLoop};
+  const std::vector<workload::User> users = chaos_users();
+  const std::uint64_t base = chaos_base_seed();
+
+  // Fault-free reference: what every survivor's numbers must equal.
+  const SweepReport baseline =
+      evaluate_sweep(std::span<const workload::User>(users), chaos_spec(4));
+  ASSERT_TRUE(baseline.quarantined.empty());
+  ASSERT_EQ(baseline.injected_faults, 0u);
+  const std::size_t per_user = baseline.results.size() / users.size();
+  ASSERT_GT(per_user, 0u);
+
+  std::uint64_t total_injected = 0;
+  std::uint64_t total_quarantined = 0;
+  for (int i = 0; i < kSchedules; ++i) {
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+
+    EvaluationSpec spec = chaos_spec(4);
+    spec.chaos_schedule = &schedule;
+    const SweepReport chaos = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+    // Determinism: same (seed, schedule) on one thread and on a rerun.
+    EvaluationSpec serial = chaos_spec(1);
+    serial.chaos_schedule = &schedule;
+    expect_same_report(chaos,
+                       evaluate_sweep(std::span<const workload::User>(users), serial));
+    expect_same_report(chaos, evaluate_sweep(std::span<const workload::User>(users), spec));
+
+    // Quarantine is sorted and only ever names real users.
+    std::set<int> quarantined_ids;
+    for (std::size_t q = 0; q < chaos.quarantined.size(); ++q) {
+      EXPECT_EQ(chaos.quarantined[q].attempts, spec.max_attempts);
+      EXPECT_FALSE(chaos.quarantined[q].message.empty());
+      quarantined_ids.insert(chaos.quarantined[q].user_id);
+      if (q > 0) {
+        EXPECT_LT(chaos.quarantined[q - 1].user_id, chaos.quarantined[q].user_id);
+      }
+    }
+
+    // Survivors: byte-identical to the fault-free baseline, in order.
+    std::vector<const ScenarioResult*> expected;
+    for (const ScenarioResult& result : baseline.results) {
+      if (quarantined_ids.find(result.user_id) == quarantined_ids.end()) {
+        expected.push_back(&result);
+      }
+    }
+    ASSERT_EQ(chaos.results.size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_EQ(chaos.results[r].user_id, expected[r]->user_id);
+      ASSERT_EQ(chaos.results[r].purchaser, expected[r]->purchaser);
+      ASSERT_EQ(chaos.results[r].seller.kind, expected[r]->seller.kind);
+      ASSERT_EQ(chaos.results[r].net_cost, expected[r]->net_cost);
+      ASSERT_EQ(chaos.results[r].reservations_made, expected[r]->reservations_made);
+      ASSERT_EQ(chaos.results[r].instances_sold, expected[r]->instances_sold);
+      ASSERT_EQ(chaos.results[r].on_demand_hours, expected[r]->on_demand_hours);
+      // Eq. (1) sanity on the survivor rows (the fault-free run already
+      // passed the in-simulator spend audit; keep-reserved must not sell).
+      if (chaos.results[r].seller.kind == SellerKind::kKeepReserved) {
+        ASSERT_EQ(chaos.results[r].instances_sold, 0);
+      }
+    }
+
+    total_injected += chaos.injected_faults;
+    total_quarantined += chaos.quarantined.size();
+  }
+  // The suite must actually exercise the machinery, not vacuously pass.
+  EXPECT_GT(total_injected, 0u);
+  EXPECT_GT(total_quarantined, 0u);
+}
+
+TEST(ChaosSweep, RetriesCanOutlastTransientFaults) {
+  // A fault that fires only on each user's first evaluate_user hit is
+  // transient: attempt 2 runs under a different scope key, where an
+  // nth-hit-1 rule fires again... so use a probability rule instead and
+  // check the weaker—but still load-bearing—property: across many seeds,
+  // some users fail an attempt yet still complete (retries > 0 with an
+  // empty quarantine list, survivors intact).
+  const std::vector<workload::User> users = chaos_users();
+  const SweepReport baseline =
+      evaluate_sweep(std::span<const workload::User>(users), chaos_spec(2));
+  bool saw_recovery = false;
+  for (std::uint64_t seed = chaos_base_seed(); seed < chaos_base_seed() + 40 && !saw_recovery;
+       ++seed) {
+    fi::Rule rule;
+    rule.site_pattern = std::string(fi::kSiteEvaluateUser);
+    rule.probability = 0.4;
+    const fi::Schedule schedule(seed, {rule});
+    EvaluationSpec spec = chaos_spec(2);
+    spec.chaos_schedule = &schedule;
+    const SweepReport report = evaluate_sweep(std::span<const workload::User>(users), spec);
+    if (report.retries > 0 && report.quarantined.empty()) {
+      saw_recovery = true;
+      // Recovered users produce the exact fault-free numbers.
+      ASSERT_EQ(report.results.size(), baseline.results.size());
+      for (std::size_t r = 0; r < report.results.size(); ++r) {
+        EXPECT_EQ(report.results[r].user_id, baseline.results[r].user_id);
+        EXPECT_EQ(report.results[r].net_cost, baseline.results[r].net_cost);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recovery) << "no seed produced a retry that then succeeded";
+}
+
+TEST(ChaosSweep, SweepWiresTheDocumentedSites) {
+  const std::vector<workload::User> users = chaos_users();
+  (void)evaluate_sweep(std::span<const workload::User>(users), chaos_spec(2));
+  const std::vector<std::string> sites = fi::seen_sites();
+  const std::set<std::string> seen(sites.begin(), sites.end());
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteEvaluateUser)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteRunScenario)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteRunLoop)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSitePoolSubmit)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSitePoolTask)));
+}
+
+TEST(ChaosIngestion, CsvAndTraceParsersReportInjectedFaultsCleanly) {
+  const std::string path = testing::TempDir() + "/rimarket_chaos_ingest.csv";
+  ASSERT_TRUE(common::write_file(path, "hour,demand\n0,3\n1,4\n"));
+
+  {  // Injected read failure surfaces as a CsvError, not a crash.
+    fi::Rule rule;
+    rule.site_pattern = std::string(fi::kSiteCsvReadFile);
+    rule.kind = fi::FaultKind::kParseError;
+    rule.nth_hit = 1;
+    const fi::Schedule schedule(1, {rule});
+    fi::ScopedContext context(schedule, 1);
+    common::CsvError error;
+    EXPECT_FALSE(common::read_file(path, &error).has_value());
+    EXPECT_NE(error.message.find("injected"), std::string::npos);
+    // Second call: the nth-hit rule is spent, the file loads.
+    EXPECT_TRUE(common::read_file(path, &error).has_value());
+  }
+  {  // Injected parse failure in load_csv_file.
+    fi::Rule rule;
+    rule.site_pattern = std::string(fi::kSiteCsvLoad);
+    rule.kind = fi::FaultKind::kParseError;
+    rule.nth_hit = 1;
+    const fi::Schedule schedule(2, {rule});
+    fi::ScopedContext context(schedule, 1);
+    common::CsvError error;
+    EXPECT_FALSE(common::load_csv_file(path, true, &error).has_value());
+    EXPECT_NE(error.message.find("injected"), std::string::npos);
+  }
+  {  // Injected trace-parse failure.
+    fi::Rule rule;
+    rule.site_pattern = std::string(fi::kSiteTraceFromCsv);
+    rule.kind = fi::FaultKind::kParseError;
+    rule.nth_hit = 1;
+    const fi::Schedule schedule(3, {rule});
+    fi::ScopedContext context(schedule, 1);
+    common::CsvError error;
+    EXPECT_FALSE(workload::DemandTrace::from_csv("hour,demand\n0,1\n", &error).has_value());
+    EXPECT_NE(error.message.find("injected"), std::string::npos);
+  }
+
+  // Randomized schedules over the ingestion sites: every outcome must be
+  // success, a clean error report, or a typed exception — never UB.
+  const std::array<std::string_view, 3> sites = {fi::kSiteCsvReadFile, fi::kSiteCsvLoad,
+                                                 fi::kSiteTraceFromCsv};
+  const std::uint64_t base = chaos_base_seed() + 1000;
+  for (int i = 0; i < 25; ++i) {
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+    fi::ScopedContext context(schedule, static_cast<std::uint64_t>(i));
+    common::CsvError error;
+    try {
+      const auto doc = common::load_csv_file(path, true, &error);
+      if (!doc) {
+        EXPECT_FALSE(error.message.empty());
+      }
+    } catch (const fi::InjectedFault&) {
+    } catch (const std::bad_alloc&) {
+    }
+    try {
+      (void)workload::DemandTrace::from_csv("hour,demand\n0,1\n1,2\n", &error);
+    } catch (const fi::InjectedFault&) {
+    } catch (const std::bad_alloc&) {
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rimarket::sim

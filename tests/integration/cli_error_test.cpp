@@ -1,0 +1,111 @@
+// End-to-end exercise of rimarket_cli's error paths: every class of user
+// mistake must produce a usage-style diagnostic and its documented sysexits
+// code — never a contract abort (SIGABRT) and never a silent 0.
+//
+// Only built when the examples are (RIMARKET_BUILD_EXAMPLES=ON); the binary
+// path is injected by CMake as RIMARKET_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/csv.hpp"
+
+namespace {
+
+// sysexits(3) codes the CLI documents; mirrored here rather than shared so
+// the test fails if the binary silently changes its contract.
+constexpr int kExitUsage = 64;
+constexpr int kExitDataError = 65;
+constexpr int kExitNoInput = 66;
+constexpr int kExitCantCreate = 73;
+
+/// Runs the CLI with `arguments`, returns its exit code; -1 on signal or
+/// harness failure (so an abort shows up as a mismatch, not a crash here).
+int run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(RIMARKET_CLI_PATH) + " " + arguments + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(CliErrors, NoArgumentsIsUsageError) { EXPECT_EQ(run_cli(""), kExitUsage); }
+
+TEST(CliErrors, UnknownSubcommandIsUsageError) {
+  EXPECT_EQ(run_cli("frobnicate"), kExitUsage);
+}
+
+TEST(CliErrors, HelpExitsZero) {
+  EXPECT_EQ(run_cli("help"), 0);
+  EXPECT_EQ(run_cli("--help"), 0);
+}
+
+TEST(CliErrors, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_cli("catalog --no-such-flag=1"), kExitUsage);
+}
+
+TEST(CliErrors, SimulateWithoutTraceIsUsageError) {
+  EXPECT_EQ(run_cli("simulate"), kExitUsage);
+}
+
+TEST(CliErrors, SimulateMissingFileIsNoInput) {
+  EXPECT_EQ(run_cli("simulate --trace=/nonexistent/rimarket/trace.csv"), kExitNoInput);
+}
+
+TEST(CliErrors, SimulateMalformedCsvIsDataError) {
+  const std::string path = testing::TempDir() + "/rimarket_cli_bad_trace.csv";
+  ASSERT_TRUE(rimarket::common::write_file(path, "hour,demand\n0,1\n5,2\n"));  // hour gap
+  EXPECT_EQ(run_cli("simulate --trace=" + path), kExitDataError);
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, SimulateUnknownInstanceIsUsageError) {
+  const std::string path = testing::TempDir() + "/rimarket_cli_ok_trace.csv";
+  ASSERT_TRUE(rimarket::common::write_file(path, "hour,demand\n0,1\n1,2\n"));
+  EXPECT_EQ(run_cli("simulate --trace=" + path + " --instance=z9.mega"), kExitUsage);
+  EXPECT_EQ(run_cli("simulate --trace=" + path + " --purchaser=psychic"), kExitUsage);
+  EXPECT_EQ(run_cli("simulate --trace=" + path + " --seller=hodl"), kExitUsage);
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, OutOfRangeFractionIsUsageErrorNotAbort) {
+  // Before the validation layer these tripped the Fraction contract and
+  // aborted the process; a user typo must never look like a crash.
+  EXPECT_EQ(run_cli("bounds --discount=1.5"), kExitUsage);
+  EXPECT_EQ(run_cli("bounds --discount=-0.1"), kExitUsage);
+}
+
+TEST(CliErrors, PopulationRangeValidation) {
+  EXPECT_EQ(run_cli("population --users=0"), kExitUsage);
+  EXPECT_EQ(run_cli("population --users=9 --hours=0"), kExitUsage);
+  EXPECT_EQ(run_cli("population --users=9 --hours=100 --seed=-3"), kExitUsage);
+}
+
+TEST(CliErrors, PopulationUnwritableOutDirIsCantCreate) {
+  EXPECT_EQ(run_cli("population --users=1 --hours=50 --out=/nonexistent/rimarket/dir"),
+            kExitCantCreate);
+}
+
+TEST(CliErrors, EvaluateThreadRangeValidation) {
+  EXPECT_EQ(run_cli("evaluate --users=1 --hours=50 --threads=100000"), kExitUsage);
+}
+
+TEST(CliSuccess, SmallSimulateStillExitsZero) {
+  // Guard against over-eager validation: a legitimate tiny run passes.
+  const std::string path = testing::TempDir() + "/rimarket_cli_good_trace.csv";
+  std::string csv = "hour,demand\n";
+  for (int hour = 0; hour < 60; ++hour) {
+    csv += std::to_string(hour) + ",2\n";
+  }
+  ASSERT_TRUE(rimarket::common::write_file(path, csv));
+  EXPECT_EQ(run_cli("simulate --trace=" + path), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -195,6 +195,183 @@ TEST(Evaluate, SweepErrorIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial_message, parallel_message);
 }
 
+TEST(Evaluate, MultiFailureReportIdenticalAcross1AndNThreads) {
+  // The full failure report — every id and every message, in order — must
+  // be byte-identical between a serial and a parallel sweep, not just the
+  // headline what() string.
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[0] = workload::User{905, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[3] = workload::User{903, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[6] = workload::User{904, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  std::vector<std::vector<UserFailure>> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    EvaluationSpec spec = small_spec();
+    spec.threads = threads;
+    try {
+      evaluate(std::span<const workload::User>(users), spec);
+      FAIL() << "evaluate() must throw SweepError";
+    } catch (const SweepError& error) {
+      reports.push_back(error.failures());
+    }
+  }
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& report : reports) {
+    ASSERT_EQ(report.size(), 3u);
+    EXPECT_EQ(report[0].user_id, 903);
+    EXPECT_EQ(report[1].user_id, 904);
+    EXPECT_EQ(report[2].user_id, 905);
+    for (std::size_t i = 0; i < report.size(); ++i) {
+      EXPECT_EQ(report[i].user_id, reports[0][i].user_id);
+      EXPECT_EQ(report[i].message, reports[0][i].message);
+    }
+  }
+}
+
+TEST(EvaluateSweep, FailFastIsDefaultAndMatchesEvaluate) {
+  const EvaluationSpec defaults;
+  EXPECT_EQ(defaults.failure_policy, FailurePolicy::kFailFast);
+  const auto population = small_population();
+  const auto spec = small_spec();
+  const SweepReport report = evaluate_sweep(population, spec);
+  const auto direct = evaluate(population, spec);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.injected_faults, 0u);
+  ASSERT_EQ(report.results.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(report.results[i].user_id, direct[i].user_id);
+    EXPECT_EQ(report.results[i].net_cost, direct[i].net_cost);
+  }
+}
+
+TEST(EvaluateSweep, FailFastStillThrowsSweepError) {
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[2] = workload::User{910, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  const auto spec = small_spec();
+  EXPECT_THROW(evaluate_sweep(std::span<const workload::User>(users), spec), SweepError);
+}
+
+TEST(EvaluateSweep, QuarantineKeepsSurvivorsAndListsFailures) {
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[1] = workload::User{901, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[4] = workload::User{900, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  EvaluationSpec spec = small_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 2;
+  const SweepReport report = evaluate_sweep(std::span<const workload::User>(users), spec);
+  // Sorted quarantine: user id, attempts, organic (non-injected) failure.
+  ASSERT_EQ(report.quarantined.size(), 2u);
+  EXPECT_EQ(report.quarantined[0].user_id, 900);
+  EXPECT_EQ(report.quarantined[1].user_id, 901);
+  for (const QuarantinedUser& entry : report.quarantined) {
+    EXPECT_EQ(entry.attempts, 2);
+    EXPECT_TRUE(entry.site.empty());
+    EXPECT_NE(entry.message.find("empty demand trace"), std::string::npos);
+  }
+  // One retry per quarantined user (2 attempts = 1 retry), nothing injected.
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.injected_faults, 0u);
+  // Survivors' work is kept and is byte-identical to a sweep that never saw
+  // the broken users.
+  std::vector<workload::User> good_users;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i != 1 && i != 4) {
+      good_users.push_back(users[i]);
+    }
+  }
+  const auto clean = evaluate(std::span<const workload::User>(good_users), small_spec());
+  ASSERT_EQ(report.results.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(report.results[i].user_id, clean[i].user_id);
+    EXPECT_EQ(report.results[i].purchaser, clean[i].purchaser);
+    EXPECT_EQ(report.results[i].net_cost, clean[i].net_cost);
+    EXPECT_EQ(report.results[i].instances_sold, clean[i].instances_sold);
+  }
+}
+
+TEST(EvaluateSweep, QuarantineReportIdenticalAcrossThreadCounts) {
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[0] = workload::User{921, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[5] = workload::User{920, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  std::vector<SweepReport> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    EvaluationSpec spec = small_spec();
+    spec.threads = threads;
+    spec.failure_policy = FailurePolicy::kQuarantine;
+    spec.max_attempts = 3;
+    reports.push_back(evaluate_sweep(std::span<const workload::User>(users), spec));
+  }
+  ASSERT_EQ(reports.size(), 2u);
+  const SweepReport& a = reports[0];
+  const SweepReport& b = reports[1];
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.injected_faults, b.injected_faults);
+  EXPECT_EQ(a.virtual_backoff_ms, b.virtual_backoff_ms);
+  ASSERT_EQ(a.quarantined.size(), b.quarantined.size());
+  for (std::size_t i = 0; i < a.quarantined.size(); ++i) {
+    EXPECT_EQ(a.quarantined[i].user_id, b.quarantined[i].user_id);
+    EXPECT_EQ(a.quarantined[i].site, b.quarantined[i].site);
+    EXPECT_EQ(a.quarantined[i].attempts, b.quarantined[i].attempts);
+    EXPECT_EQ(a.quarantined[i].message, b.quarantined[i].message);
+  }
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].user_id, b.results[i].user_id);
+    EXPECT_EQ(a.results[i].net_cost, b.results[i].net_cost);
+    EXPECT_EQ(a.results[i].on_demand_hours, b.results[i].on_demand_hours);
+  }
+}
+
+TEST(EvaluateSweep, BackoffIsVirtualAndAccounted) {
+  const auto population = small_population();
+  std::vector<workload::User> users = {
+      population.users().front(),
+      workload::User{930, workload::FluctuationGroup::kStable, 0.0, "broken", {}}};
+  EvaluationSpec spec = small_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 3;
+  spec.backoff_base_ms = 10.0;
+  const SweepReport report = evaluate_sweep(std::span<const workload::User>(users), spec);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  // Attempt 2 waits 10 virtual ms, attempt 3 waits 20: accounted exactly,
+  // never slept (this test would time out under real exponential sleeps at
+  // scale).
+  EXPECT_EQ(report.virtual_backoff_ms, 30.0);
+  EXPECT_EQ(report.retries, 2u);
+}
+
+TEST(EvaluateSweep, MaxAttemptsOneQuarantinesWithoutRetry) {
+  std::vector<workload::User> users = {
+      workload::User{940, workload::FluctuationGroup::kStable, 0.0, "broken", {}}};
+  EvaluationSpec spec = small_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 1;
+  const SweepReport report = evaluate_sweep(std::span<const workload::User>(users), spec);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].attempts, 1);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.virtual_backoff_ms, 0.0);
+  EXPECT_TRUE(report.results.empty());
+}
+
+TEST(EvaluateSweep, ExportsSweepCountersToGlobalRegistry) {
+  common::MetricsRegistry::global().clear();
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[2] = workload::User{950, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  EvaluationSpec spec = small_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 2;
+  (void)evaluate_sweep(std::span<const workload::User>(users), spec);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.quarantined"), 1.0);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.retries"), 1.0);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.injected_faults"), 0.0);
+}
+
 TEST(Evaluate, OutOfRangeDiscountCannotBeConstructed) {
   // The old runtime range check moved into the type: a discount outside
   // [0, 1] now dies at Fraction construction, before a sweep can start.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/csv.hpp"
+
 namespace rimarket::workload {
 namespace {
 
@@ -72,6 +76,42 @@ TEST(DemandTrace, FromCsvRejectsBadInput) {
   EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0,-1\n").has_value());      // negative
   EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0\n").has_value());         // short row
   EXPECT_FALSE(DemandTrace::from_csv("hour,demand\nx,1\n").has_value());       // non-numeric
+}
+
+TEST(DemandTrace, FromCsvErrorVariantPinpointsTheBadLine) {
+  common::CsvError error;
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0,1\n2,1\n", &error).has_value());
+  EXPECT_EQ(error.line, 3u);  // header is line 1, the gap sits on line 3
+  EXPECT_NE(error.message.find("hour 2 out of sequence (expected 1)"), std::string::npos);
+
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0,-1\n", &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("negative demand -1"), std::string::npos);
+
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n0\n", &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("expected 2 fields"), std::string::npos);
+
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\nx,1\n", &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("non-numeric field"), std::string::npos);
+}
+
+TEST(DemandTrace, FromCsvErrorVariantSkipsBlankLinesInCount) {
+  common::CsvError error;
+  EXPECT_FALSE(DemandTrace::from_csv("hour,demand\n\n0,1\n\n0,2\n", &error).has_value());
+  // The duplicate hour 0 is the second data row, physical line 5.
+  EXPECT_EQ(error.line, 5u);
+  // The caller owns filling in the path (from_csv only sees text).
+  EXPECT_TRUE(error.path.empty());
+  EXPECT_EQ(error.to_string().find("<input>:5:"), 0u);
+}
+
+TEST(DemandTrace, FromCsvErrorVariantSucceedsOnGoodInput) {
+  common::CsvError error;
+  const auto parsed = DemandTrace::from_csv("hour,demand\n0,4\n1,5\n", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at(1), 5);
 }
 
 TEST(DemandTrace, FromCsvEmptyBodyIsEmptyTrace) {
