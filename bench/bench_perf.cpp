@@ -2,7 +2,7 @@
 // paths.  Not a paper figure — a performance regression net for the
 // library itself.
 //
-// Two modes:
+// Three modes:
 //   * default: the google-benchmark suite below;
 //   * --smoke [--out=BENCH_perf.json]: the tracked perf-regression
 //     harness.  Runs a Fig. 3-style fleet sweep through both ledger
@@ -10,7 +10,13 @@
 //     and emits a JSON report (ns per simulated hour, hour-steps/sec,
 //     steady-state allocations, speedup vs the naive engine).  The
 //     speedup is a same-machine ratio, so CI can gate on it without
-//     hardware-specific thresholds — see tools/bench_check.py.
+//     hardware-specific thresholds — see tools/bench_check.py;
+//   * --batch [--users=N] [--out=BENCH_batch.json]: the batch-engine
+//     harness.  Runs the same N-user sweep (default 100k) through the
+//     per-user oracle (evaluate_sweep) and the columnar BatchSweepEngine,
+//     asserts the reports are byte-identical, and emits hour-steps/sec
+//     plus speedup_vs_per_user — again a same-machine ratio for the
+//     tools/bench_check.py gate (>=5x acceptance floor).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -28,10 +34,13 @@
 #include "fleet/ledger.hpp"
 #include "pricing/catalog.hpp"
 #include "selling/fixed_spot.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/offline_planner.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 #include "theory/adversary.hpp"
 #include "workload/generators.hpp"
+#include "workload/population.hpp"
 
 namespace {
 
@@ -330,22 +339,182 @@ int run_smoke(const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// --batch: per-user oracle vs columnar batch engine at population scale.
+
+/// Deterministic synthetic population: traces are cheap arithmetic (no RNG
+/// in the inner loop) but still exercise every decision path — bookings,
+/// renewals past the term boundary, age-f*T sales, on-demand overflow and
+/// the zero-demand tail that motivates selling.
+std::vector<workload::User> batch_bench_users(int count, Hour hours) {
+  std::vector<workload::User> users;
+  users.reserve(static_cast<std::size_t>(count));
+  std::vector<Count> demand(static_cast<std::size_t>(hours), 0);
+  for (int id = 0; id < count; ++id) {
+    // Small per-user fleets, like the paper's per-account traces: the
+    // per-member arithmetic (worked-hours credits, per-sale income) is
+    // identical in both engines by construction, so tiny fleets measure
+    // the per-hour framework cost where the columnar layout actually wins.
+    const Count base = 1 + id % 7;
+    const Hour phase = id % 13;
+    // Jobs end between 60% and 100% of the horizon, so the A_{fT} sellers
+    // have idle reservations worth selling.
+    const Hour busy = (hours * 3) / 5 + (id % 5) * (hours / 10);
+    for (Hour t = 0; t < hours; ++t) {
+      const Count spike = (t + phase) % 11 == 0 ? 2 : 0;
+      demand[static_cast<std::size_t>(t)] = t < busy ? base + spike : 0;
+    }
+    const auto group = static_cast<workload::FluctuationGroup>(id % 3);
+    users.push_back(workload::User{id, group, 0.0, "bench",
+                                   workload::DemandTrace{demand}});
+  }
+  return users;
+}
+
+bool reports_identical(const sim::SweepReport& a, const sim::SweepReport& b) {
+  if (a.results.size() != b.results.size() || a.quarantined.size() != b.quarantined.size() ||
+      a.retries != b.retries || a.injected_faults != b.injected_faults ||
+      a.virtual_backoff_ms != b.virtual_backoff_ms) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    // Exact double equality on purpose: the batch engine's contract is the
+    // same arithmetic in the same order, not "close enough".
+    if (a.results[i].user_id != b.results[i].user_id ||
+        a.results[i].purchaser != b.results[i].purchaser ||
+        a.results[i].seller.kind != b.results[i].seller.kind ||
+        a.results[i].net_cost != b.results[i].net_cost ||
+        a.results[i].reservations_made != b.results[i].reservations_made ||
+        a.results[i].instances_sold != b.results[i].instances_sold ||
+        a.results[i].on_demand_hours != b.results[i].on_demand_hours) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_batch_smoke(const std::string& out_path, int users_requested) {
+  constexpr Hour kTraceHours = 200;
+  const int user_count = users_requested > 0 ? users_requested : 100000;
+
+  sim::EvaluationSpec spec;
+  // Short term so renewals and age-f*T sale decisions all occur inside the
+  // 200-hour window; prices keep reserved vs on-demand competitive.
+  spec.sim.type = pricing::InstanceType{"bench.batch", Rate{1.0}, Money{60.0}, Rate{0.25}, 120};
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sim.service_fee = Fraction{0.12};
+  // The paper panel plus a fraction ablation of the all-selling strategy
+  // (the A_{fT} sellers ignore the spec fraction, so only kAllSelling rows
+  // are distinct).  A wider panel amortizes the purchaser-replay cost both
+  // engines share and measures the columnar per-seller pass itself.
+  spec.sellers = sim::paper_sellers(Fraction{0.75});
+  for (const double f : {0.25, 0.4, 0.5, 0.6, 0.9}) {
+    spec.sellers.push_back(sim::SellerSpec{sim::SellerKind::kAllSelling, Fraction{f}});
+  }
+  // One deterministic and one stochastic purchaser: the seeding contract
+  // (sim/seeding.hpp) is on the timed path for both engines.  The random
+  // purchaser is per-hour O(1), so the shared replay cost does not drown
+  // the per-seller pass the bench is meant to measure.
+  spec.purchasers = {purchasing::PurchaserKind::kAllReserved,
+                     purchasing::PurchaserKind::kRandomReservation};
+  spec.seed = 5;
+  spec.threads = 0;  // hardware concurrency, same pool size for both passes
+
+  std::printf("synthesizing %d users x %lld hours...\n", user_count,
+              static_cast<long long>(kTraceHours));
+  const std::vector<workload::User> users = batch_bench_users(user_count, kTraceHours);
+  const double hour_steps =
+      static_cast<double>(user_count) * static_cast<double>(kTraceHours) *
+      static_cast<double>(spec.purchasers.size()) * static_cast<double>(spec.sellers.size());
+
+  const auto timed = [&users](auto&& run) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto report = run(std::span<const workload::User>(users));
+    const auto end = std::chrono::steady_clock::now();
+    return std::make_pair(std::chrono::duration<double>(end - begin).count(),
+                          std::move(report));
+  };
+  const auto run_oracle = [&spec](std::span<const workload::User> span) {
+    return sim::evaluate_sweep(span, spec);
+  };
+  const auto run_batch = [&spec](std::span<const workload::User> span) {
+    return sim::evaluate_sweep_batch(span, spec);
+  };
+  std::printf("per-user oracle pass...\n");
+  auto [per_user_seconds, oracle] = timed(run_oracle);
+  std::printf("batch engine pass...\n");
+  auto [batch_seconds, batch] = timed(run_batch);
+  // Second timing round, best-of-two per engine, like the --smoke harness:
+  // a one-shot wall time on a busy machine overstates whichever pass a
+  // scheduler hiccup lands on, and the gate is the ratio of the two.
+  std::printf("second timing round...\n");
+  per_user_seconds = std::min(per_user_seconds, timed(run_oracle).first);
+  batch_seconds = std::min(batch_seconds, timed(run_batch).first);
+
+  const bool identical = reports_identical(oracle, batch);
+  const double hour_steps_per_sec = hour_steps / batch_seconds;
+  const double ns_per_hour_step = batch_seconds * 1e9 / hour_steps;
+  const double speedup = per_user_seconds / batch_seconds;
+
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += common::format(
+      "  \"workload\": \"batch sweep: %d users x %lld h, %zu purchasers x %zu sellers\",\n",
+      user_count, static_cast<long long>(kTraceHours), spec.purchasers.size(),
+      spec.sellers.size());
+  json += common::format("  \"users\": %d,\n", user_count);
+  json += common::format("  \"simulated_hour_steps\": %.0f,\n", hour_steps);
+  json += common::format("  \"per_user_seconds\": %.6f,\n", per_user_seconds);
+  json += common::format("  \"batch_seconds\": %.6f,\n", batch_seconds);
+  json += common::format("  \"ns_per_hour_step\": %.2f,\n", ns_per_hour_step);
+  json += common::format("  \"hour_steps_per_sec\": %.0f,\n", hour_steps_per_sec);
+  json += common::format("  \"speedup_vs_per_user\": %.2f,\n", speedup);
+  json += common::format("  \"results_identical\": %s\n", identical ? "true" : "false");
+  json += "}\n";
+
+  std::printf("%s", json.c_str());
+  if (!out_path.empty()) {
+    std::FILE* file = std::fopen(out_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: batch engine diverged from the per-user oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Custom main (instead of benchmark_main) so the run ends with the same
 // machine-readable METRICS line as the figure/table benches.
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool batch = false;
+  int batch_users = 0;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
+    } else if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      batch_users = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     }
   }
   if (smoke) {
     return run_smoke(out_path);
+  }
+  if (batch) {
+    return run_batch_smoke(out_path, batch_users);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

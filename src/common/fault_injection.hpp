@@ -150,6 +150,10 @@ inline constexpr std::string_view kSiteRunScenario = "sim.run_scenario";
 inline constexpr std::string_view kSiteRunLoop = "sim.run_loop";
 inline constexpr std::string_view kSitePoolSubmit = "thread_pool.submit";
 inline constexpr std::string_view kSitePoolTask = "thread_pool.task";
+inline constexpr std::string_view kSiteTraceStream = "workload.trace.stream";
+inline constexpr std::string_view kSiteBatchShardStep = "sim.batch.shard_step";
+inline constexpr std::string_view kSiteBatchCheckpointWrite = "sim.batch.checkpoint_write";
+inline constexpr std::string_view kSiteBatchCheckpointLoad = "sim.batch.checkpoint_load";
 
 }  // namespace rimarket::common::fault_injection
 

@@ -25,6 +25,17 @@ void MetricsRegistry::increment(std::string_view name, std::int64_t delta) {
   slot.as_int += delta;
 }
 
+void MetricsRegistry::add(std::string_view name, double delta) {
+  const MutexLock lock(mutex_);
+  Value& slot = values_[std::string(name)];
+  if (slot.is_int) {
+    // Promote: a fresh slot starts as an int 0; keep any prior int value.
+    slot.as_double = static_cast<double>(slot.as_int);
+    slot.is_int = false;
+  }
+  slot.as_double += delta;
+}
+
 std::optional<double> MetricsRegistry::get(std::string_view name) const {
   const MutexLock lock(mutex_);
   const auto it = values_.find(name);

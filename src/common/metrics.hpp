@@ -27,6 +27,10 @@ class MetricsRegistry {
   void set(std::string_view name, double value);
   /// Adds `delta` to an integer counter, creating it at 0 first.
   void increment(std::string_view name, std::int64_t delta = 1);
+  /// Adds `delta` to a floating-point gauge, creating it at 0.0 first.
+  /// Multi-run processes accumulate run totals through this instead of
+  /// set(), which would silently keep only the last run's value.
+  void add(std::string_view name, double delta);
 
   /// Reads a value (as double) if present; nullopt otherwise.
   std::optional<double> get(std::string_view name) const;

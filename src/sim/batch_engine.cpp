@@ -1,0 +1,1325 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "fleet/accounting.hpp"
+#include "purchasing/policy.hpp"
+#include "selling/fixed_spot.hpp"
+#include "selling/policy.hpp"
+#include "sim/seeding.hpp"
+
+namespace rimarket::sim {
+
+namespace fi = common::fault_injection;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Seller decision plans: everything a columnar pass needs to know about
+// one seller, precomputed.  The decision age and break-even point are
+// derived through the same selling:: helpers the per-user policies use,
+// so the beta comparison is the oracle's comparison.
+
+struct SellerPlan {
+  enum class Mode {
+    kKeep,     ///< never sells; cohorts expire at birth + term
+    kSellAll,  ///< sells every cohort whole at the decision age
+    kBeta,     ///< A_{fT}: per-member worked-hours vs beta(f) at the age
+  };
+
+  SellerSpec spec;
+  Mode mode = Mode::kKeep;
+  Hour decision_age = 0;     ///< unused for kKeep
+  Hours break_even{0.0};     ///< kBeta only
+  Money income_per_sale{0.0};  ///< config.sale_income(decision_age)
+};
+
+std::optional<Fraction> beta_fraction(SellerKind kind) {
+  switch (kind) {
+    case SellerKind::kA3T4: return selling::kSpot3T4;
+    case SellerKind::kAT2: return selling::kSpotT2;
+    case SellerKind::kAT4: return selling::kSpotT4;
+    default: return std::nullopt;
+  }
+}
+
+std::vector<SellerPlan> build_seller_plans(const EvaluationSpec& spec) {
+  std::vector<SellerPlan> plans;
+  plans.reserve(spec.sellers.size());
+  for (const SellerSpec& seller : spec.sellers) {
+    SellerPlan plan;
+    plan.spec = seller;
+    if (seller.kind == SellerKind::kKeepReserved) {
+      plan.mode = SellerPlan::Mode::kKeep;
+    } else if (seller.kind == SellerKind::kAllSelling) {
+      plan.mode = SellerPlan::Mode::kSellAll;
+      plan.decision_age = selling::decision_age(spec.sim.type.term, seller.fraction);
+      plan.income_per_sale = spec.sim.sale_income(plan.decision_age);
+    } else {
+      const auto fraction = beta_fraction(seller.kind);
+      RIMARKET_EXPECTS(fraction.has_value());  // supported() gates the rest
+      plan.mode = SellerPlan::Mode::kBeta;
+      plan.decision_age = selling::decision_age(spec.sim.type.term, *fraction);
+      plan.break_even =
+          spec.sim.type.break_even_hours(*fraction, spec.sim.selling_discount);
+      plan.income_per_sale = spec.sim.sale_income(plan.decision_age);
+    }
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+// ---------------------------------------------------------------------
+// Admission: the chaos/organic-failure behavior of evaluate_user, probed
+// per attempt with the exact injection-site sequence of the per-user path
+// (kSiteEvaluateUser, then kSiteRunScenario + kSiteRunLoop per scenario).
+// A fault fires in the probe iff it would have fired in the oracle's
+// attempt — rule decisions are a pure function of (seed, scope key, site,
+// per-site hit index) and any firing aborts the attempt — so the batch
+// engine's retry / quarantine / fault bookkeeping is bit-identical.
+
+void probe_user_once(const workload::User& user, const EvaluationSpec& spec) {
+  RIMARKET_INJECT(fi::kSiteEvaluateUser);
+  if (user.trace.length() == 0) {
+    throw std::invalid_argument(
+        common::format("user %d has an empty demand trace", user.id));
+  }
+  for (std::size_t p = 0; p < spec.purchasers.size(); ++p) {
+    for (std::size_t s = 0; s < spec.sellers.size(); ++s) {
+      RIMARKET_INJECT(fi::kSiteRunScenario);
+      RIMARKET_INJECT(fi::kSiteRunLoop);
+    }
+  }
+}
+
+struct AdmissionOutcome {
+  bool admitted = false;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  double backoff_ms = 0.0;
+  std::optional<QuarantinedUser> quarantined;  ///< kQuarantine give-up
+  std::optional<UserFailure> failure;          ///< kFailFast failure
+};
+
+AdmissionOutcome admit_user(const workload::User& user, const EvaluationSpec& spec) {
+  AdmissionOutcome out;
+  if (spec.failure_policy == FailurePolicy::kFailFast) {
+    try {
+      probe_user_once(user, spec);
+      out.admitted = true;
+    } catch (const std::exception& error) {
+      out.failure = UserFailure{user.id, error.what()};
+    }
+    return out;
+  }
+  QuarantinedUser entry;
+  for (int attempt = 1; attempt <= spec.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++out.retries;
+      out.backoff_ms += spec.backoff_base_ms * static_cast<double>(1ULL << (attempt - 2));
+    }
+    std::optional<fi::ScopedContext> chaos;
+    if (spec.chaos_schedule != nullptr) {
+      chaos.emplace(*spec.chaos_schedule,
+                    seeding::attempt_scope_key(spec.seed, user.id, attempt));
+    }
+    try {
+      probe_user_once(user, spec);
+      if (chaos) {
+        out.faults += chaos->faults_fired();
+      }
+      out.admitted = true;
+      return out;
+    } catch (const fi::InjectedFault& fault) {
+      entry.site = fault.site();
+      entry.message = fault.what();
+    } catch (const std::exception& error) {
+      entry.site.clear();
+      entry.message = error.what();
+    }
+    if (chaos) {
+      out.faults += chaos->faults_fired();
+    }
+  }
+  entry.user_id = user.id;
+  entry.attempts = spec.max_attempts;
+  out.quarantined = std::move(entry);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Phase A: reservation streams as sparse cohort lists.  Replays the real
+// purchaser object (same run_seed, same decide() call sequence) against an
+// O(1)-per-hour sliding-window active counter that equals
+// ReservationStream::generate's keep-everything ledger: a contract booked
+// at s serves hours [s, s + term), so active_count(t) before the hour's
+// decision is the sum of bookings with birth in (t - term, t - 1].
+
+struct Cohort {
+  Hour birth = 0;
+  Count count = 0;
+};
+
+void generate_cohorts(const workload::DemandTrace& trace, purchasing::PurchasePolicy& purchaser,
+                      Hour horizon, Hour term, std::vector<Cohort>& cohorts) {
+  cohorts.clear();
+  Count active = 0;
+  std::size_t expire_idx = 0;
+  for (Hour t = 0; t < horizon; ++t) {
+    while (expire_idx < cohorts.size() && cohorts[expire_idx].birth <= t - term) {
+      active -= cohorts[expire_idx].count;
+      ++expire_idx;
+    }
+    const Count demand = trace.at(t);
+    const Count decided = purchaser.decide(t, demand, active);
+    RIMARKET_CHECK_MSG(decided >= 0, "purchase policies must not return negative counts");
+    if (decided > 0) {
+      cohorts.push_back(Cohort{t, decided});
+      active += decided;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Phase B: the columnar kernel.  One pass simulates every admitted user of
+// a shard under one (purchaser, seller) pair, hour-major: per hour one
+// fused sweep over the shard's slots runs bookkeeping (booking, expiry,
+// decision), the Eq. (1) accumulation, and the worked-hours credit with
+// the hour's scratch values held in registers.
+
+/// One expiry event: `kept` contracts leave the fleet at `hour`.
+struct ExpiryEvent {
+  Hour hour = 0;
+  Count kept = 0;
+};
+
+/// Per-user FIFO with contiguous storage and amortized-O(1) pop-front
+/// (prefix compaction), so the worked-hours credit loop always adds over
+/// one contiguous range.
+template <typename T>
+struct ShardFifo {
+  std::vector<T> items;
+  std::size_t head = 0;
+
+  std::size_t size() const { return items.size() - head; }
+  bool empty() const { return head == items.size(); }
+  T* data() { return items.data() + head; }
+  const T& front() const { return items[head]; }
+  void push(const T& value) { items.push_back(value); }
+  void pop(std::size_t n) {
+    head += n;
+    if (head == items.size()) {
+      items.clear();
+      head = 0;
+    } else if (head >= 64 && head * 2 >= items.size()) {
+      items.erase(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+  void clear() {
+    items.clear();
+    head = 0;
+  }
+};
+
+/// "No pending event" sentinel for the next_* schedule columns: later than
+/// any reachable hour, so the hot loop's compare-against-t is false without
+/// a second condition.
+constexpr Hour kNever = std::numeric_limits<Hour>::max();
+
+/// Structure-of-arrays state for one (purchaser, seller) pass over a
+/// shard.  Hot scalars live in parallel columns; the per-user FIFOs hold
+/// the young contracts' worked-hours counters and the kept-cohort expiry
+/// schedule.  The next_* columns cache each slot's next scheduled hour
+/// (booking / sale decision / expiry) so the common no-event hour costs one
+/// flat column load per check instead of a cohort-vector pointer chase.
+struct ShardColumns {
+  // Static per-slot inputs (set once per shard).
+  std::vector<const Count*> trace_data;
+  std::vector<Hour> trace_len;
+  std::vector<Hour> horizon;
+  std::vector<const std::vector<Cohort>*> cohorts;
+
+  // Per-pass flattened cohort views (rebuilt by run_seller_pass).
+  std::vector<const Cohort*> cohort_data;
+  std::vector<std::size_t> cohort_count;
+
+  // Pass-mutable columns.
+  std::vector<Count> active;
+  std::vector<std::size_t> book_idx;
+  std::vector<std::size_t> decide_idx;
+  std::vector<std::size_t> expire_idx;  ///< kKeep: next cohort to expire
+  std::vector<Hour> next_book;    ///< birth of cohorts[book_idx], or kNever
+  std::vector<Hour> next_decide;  ///< decision hour of cohorts[decide_idx], or kNever
+  std::vector<Hour> next_expire;  ///< kKeep: expiry of cohorts[expire_idx];
+                                  ///< kBeta: front kept-cohort event; else kNever
+  std::vector<Count> young;       ///< kBeta: members currently in `worked`
+  std::vector<ShardFifo<Hour>> worked;  ///< kBeta: young members' worked hours
+  std::vector<ShardFifo<ExpiryEvent>> events;  ///< kBeta: kept-cohort expiries
+
+  // Accumulators (the four CostBreakdown components kept as independent
+  // columns: operator+= adds component-wise, so per-component sums in hour
+  // order are the oracle's sums).
+  std::vector<double> total_on_demand;
+  std::vector<double> total_upfront;
+  std::vector<double> total_reserved;
+  std::vector<double> total_income;
+  std::vector<Count> made;
+  std::vector<Count> sold;
+  std::vector<Count> on_demand_hours;
+
+  void resize(std::size_t n) {
+    trace_data.resize(n);
+    trace_len.resize(n);
+    horizon.resize(n);
+    cohorts.resize(n);
+    cohort_data.resize(n);
+    cohort_count.resize(n);
+    active.resize(n);
+    book_idx.resize(n);
+    decide_idx.resize(n);
+    expire_idx.resize(n);
+    next_book.resize(n);
+    next_decide.resize(n);
+    next_expire.resize(n);
+    young.resize(n);
+    worked.resize(n);
+    events.resize(n);
+    total_on_demand.resize(n);
+    total_upfront.resize(n);
+    total_reserved.resize(n);
+    total_income.resize(n);
+    made.resize(n);
+    sold.resize(n);
+    on_demand_hours.resize(n);
+  }
+
+  void reset_pass(std::size_t n, const SellerPlan& plan, Hour term) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<Cohort>& slot_cohorts = *cohorts[i];
+      cohort_data[i] = slot_cohorts.data();
+      cohort_count[i] = slot_cohorts.size();
+      active[i] = 0;
+      book_idx[i] = 0;
+      decide_idx[i] = 0;
+      expire_idx[i] = 0;
+      next_book[i] = slot_cohorts.empty() ? kNever : slot_cohorts.front().birth;
+      next_decide[i] = plan.mode != SellerPlan::Mode::kKeep && !slot_cohorts.empty()
+                           ? slot_cohorts.front().birth + plan.decision_age
+                           : kNever;
+      next_expire[i] = plan.mode == SellerPlan::Mode::kKeep && !slot_cohorts.empty()
+                           ? slot_cohorts.front().birth + term
+                           : kNever;
+      young[i] = 0;
+      worked[i].clear();
+      events[i].clear();
+      total_on_demand[i] = 0.0;
+      total_upfront[i] = 0.0;
+      total_reserved[i] = 0.0;
+      total_income[i] = 0.0;
+      made[i] = 0;
+      sold[i] = 0;
+      on_demand_hours[i] = 0;
+    }
+  }
+};
+
+/// Runs one (purchaser, seller) pass over `n` slots up to `max_horizon`.
+/// Templated on the seller mode so the per-slot-per-hour mode tests
+/// resolve at compile time — the hot loop is emitted once per mode with
+/// the dead stages removed.
+template <SellerPlan::Mode kMode>
+void run_seller_pass_impl(ShardColumns& cols, std::size_t n, Hour max_horizon,
+                          const SellerPlan& plan, const SimulationConfig& config) {
+  RIMARKET_EXPECTS(n <= cols.active.size());
+  RIMARKET_EXPECTS(max_horizon >= 0);
+  const Hour term = config.type.term;
+  cols.reset_pass(n, plan, term);
+  const double price_on_demand = config.type.on_demand_hourly.value();
+  const double price_upfront = config.type.upfront.value();
+  const double price_reserved = config.type.reserved_hourly.value();
+  const double income_per_sale = plan.income_per_sale.value();
+  const bool bill_worked_only =
+      config.charge_policy == fleet::ChargePolicy::kWorkedHoursOnly;
+  const bool idle_resale = config.idle_resale_rate > Rate{0.0};
+  const double idle_rate = config.idle_resale_rate.value();
+  const double idle_prob = config.idle_resale_probability.value();
+
+  // Hour-major over the shard, one fused sweep per hour.  Each slot's
+  // arithmetic is fully independent (no cross-user accumulator exists), so
+  // per-user FP ordering — the parity contract — is unchanged whether the
+  // bookkeeping / Eq. (1) / credit stages run as separate column passes or
+  // back-to-back per slot.  Fused, the per-hour scratch (demand, booked,
+  // served, income) stays in registers instead of round-tripping through
+  // four columns, which is most of the kernel's memory traffic.
+  for (Hour t = 0; t < max_horizon; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t >= cols.horizon[i]) {
+        continue;
+      }
+      // Stage 1: bookkeeping (booking, expiry, decision, sales) — mirrors
+      // run_loop's within-hour order: book n_t, settle expiry, decide+sell.
+      const Count demand = t < cols.trace_len[i] ? cols.trace_data[i][t] : 0;
+      Count booked = 0;
+      if (cols.next_book[i] == t) {
+        const Cohort* cohorts = cols.cohort_data[i];
+        std::size_t idx = cols.book_idx[i];
+        booked = cohorts[idx].count;
+        ++idx;
+        cols.book_idx[i] = idx;
+        cols.next_book[i] = idx < cols.cohort_count[i] ? cohorts[idx].birth : kNever;
+        cols.active[i] += booked;
+        cols.made[i] += booked;
+        if constexpr (kMode == SellerPlan::Mode::kBeta) {
+          for (Count m = 0; m < booked; ++m) {
+            cols.worked[i].push(0);
+          }
+          cols.young[i] += booked;
+        }
+      }
+      // Expiry: next_expire covers both flavours (kKeep cohort expiry and
+      // kBeta kept-cohort events; kNever for kSellAll, whose cohorts are
+      // always sold whole at age f*T < T before any could expire).
+      while (cols.next_expire[i] <= t) {
+        if constexpr (kMode == SellerPlan::Mode::kKeep) {
+          const Cohort* cohorts = cols.cohort_data[i];
+          std::size_t idx = cols.expire_idx[i];
+          cols.active[i] -= cohorts[idx].count;
+          ++idx;
+          cols.expire_idx[i] = idx;
+          cols.next_expire[i] =
+              idx < cols.cohort_count[i] ? cohorts[idx].birth + term : kNever;
+        } else {
+          cols.active[i] -= cols.events[i].front().kept;
+          cols.events[i].pop(1);
+          cols.next_expire[i] =
+              cols.events[i].empty() ? kNever : cols.events[i].front().hour;
+        }
+      }
+      double hour_income = 0.0;
+      if (cols.next_decide[i] == t) {
+        const Cohort* cohorts = cols.cohort_data[i];
+        std::size_t idx = cols.decide_idx[i];
+        const Cohort cohort = cohorts[idx];
+        ++idx;
+        cols.decide_idx[i] = idx;
+        cols.next_decide[i] =
+            idx < cols.cohort_count[i] ? cohorts[idx].birth + plan.decision_age : kNever;
+        Count sold_now = 0;
+        if constexpr (kMode == SellerPlan::Mode::kSellAll) {
+          sold_now = cohort.count;
+        } else {
+          const Hour* member = cols.worked[i].data();
+          for (Count m = 0; m < cohort.count; ++m) {
+            // The oracle's FixedSpotSelling::should_sell comparison.
+            if (Hours{member[m]} < plan.break_even) {
+              ++sold_now;
+            }
+          }
+          cols.worked[i].pop(static_cast<std::size_t>(cohort.count));
+          cols.young[i] -= cohort.count;
+          const Count kept = cohort.count - sold_now;
+          if (kept > 0) {
+            cols.events[i].push(ExpiryEvent{cohort.birth + term, kept});
+            cols.next_expire[i] = cols.events[i].front().hour;
+          }
+        }
+        cols.active[i] -= sold_now;
+        cols.sold[i] += sold_now;
+        // Sale income accumulated sale by sale, like the oracle's per-id
+        // loop — k repeated additions, not one multiply.
+        for (Count s = 0; s < sold_now; ++s) {
+          hour_income += income_per_sale;
+        }
+      }
+
+      // Stage 2: the Eq. (1) arithmetic.  Identical expressions to
+      // fleet::hourly_cost + run_loop's income lines, so every double
+      // matches the oracle bit for bit; the audit checks of the per-user
+      // path are value-free and may be skipped (the parity property tests
+      // take their place).
+      const Count active = cols.active[i];
+      const Count served = demand < active ? demand : active;
+      const Count on_demand = demand - served;
+      cols.on_demand_hours[i] += on_demand;
+      const Count billed = bill_worked_only ? served : active;
+      cols.total_on_demand[i] += static_cast<double>(on_demand) * price_on_demand;
+      cols.total_upfront[i] += static_cast<double>(booked) * price_upfront;
+      cols.total_reserved[i] += static_cast<double>(billed) * price_reserved;
+      if (idle_resale) {
+        const Count idle = active - served;
+        hour_income += static_cast<double>(idle) * idle_rate * idle_prob;
+      }
+      cols.total_income[i] += hour_income;
+
+      // Stage 3 (kBeta only): worked-hours credit.  The ledger serves
+      // oldest-first, so the young contracts that worked this hour are the
+      // first max(0, served - old) members of the FIFO — one contiguous
+      // prefix add.
+      if constexpr (kMode == SellerPlan::Mode::kBeta) {
+        const Count old_members = active - cols.young[i];
+        const Count credit = served - old_members;
+        if (credit > 0) {
+          Hour* member = cols.worked[i].data();
+          for (Count m = 0; m < credit; ++m) {
+            ++member[m];
+          }
+        }
+      }
+    }
+  }
+}
+
+void run_seller_pass(ShardColumns& cols, std::size_t n, Hour max_horizon,
+                     const SellerPlan& plan, const SimulationConfig& config) {
+  switch (plan.mode) {
+    case SellerPlan::Mode::kKeep:
+      run_seller_pass_impl<SellerPlan::Mode::kKeep>(cols, n, max_horizon, plan, config);
+      return;
+    case SellerPlan::Mode::kSellAll:
+      run_seller_pass_impl<SellerPlan::Mode::kSellAll>(cols, n, max_horizon, plan, config);
+      return;
+    case SellerPlan::Mode::kBeta:
+      run_seller_pass_impl<SellerPlan::Mode::kBeta>(cols, n, max_horizon, plan, config);
+      return;
+  }
+  RIMARKET_UNREACHABLE("unhandled seller mode");
+}
+
+// ---------------------------------------------------------------------
+// Shard processing.
+
+/// One user's slot in a shard: either a loaded user or its ingestion error
+/// (streaming sources only; in-memory spans always load).
+struct ShardEntry {
+  const workload::User* user = nullptr;
+  bool ok = true;
+  common::CsvError error;
+  int failed_id = 0;
+};
+
+struct UserOutcome {
+  int user_id = 0;
+  AdmissionOutcome admission;
+  std::vector<ScenarioResult> results;  ///< admitted users only
+};
+
+struct ShardOutcome {
+  std::size_t index = 0;
+  std::vector<UserOutcome> users;
+};
+
+ShardOutcome process_shard(std::size_t shard_index, const std::vector<ShardEntry>& entries,
+                           const EvaluationSpec& spec, const std::vector<SellerPlan>& plans) {
+  RIMARKET_INJECT(fi::kSiteBatchShardStep);
+  ShardOutcome outcome;
+  outcome.index = shard_index;
+  outcome.users.resize(entries.size());
+
+  // Admission sweep: ingestion errors and the oracle's per-attempt chaos
+  // probe, in shard order.
+  std::vector<std::size_t> admitted;
+  admitted.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    UserOutcome& user_outcome = outcome.users[i];
+    if (!entries[i].ok) {
+      user_outcome.user_id = entries[i].failed_id;
+      if (spec.failure_policy == FailurePolicy::kFailFast) {
+        user_outcome.admission.failure =
+            UserFailure{entries[i].failed_id, entries[i].error.to_string()};
+      } else {
+        QuarantinedUser entry;
+        entry.user_id = entries[i].failed_id;
+        entry.attempts = 1;  // ingestion is not retried
+        entry.message = entries[i].error.to_string();
+        user_outcome.admission.quarantined = std::move(entry);
+      }
+      continue;
+    }
+    const workload::User& user = *entries[i].user;
+    user_outcome.user_id = user.id;
+    user_outcome.admission = admit_user(user, spec);
+    if (user_outcome.admission.admitted) {
+      user_outcome.results.reserve(spec.purchasers.size() * spec.sellers.size());
+      admitted.push_back(i);
+    }
+  }
+  if (admitted.empty()) {
+    return outcome;
+  }
+
+  // Shard columns: static inputs set once.
+  const std::size_t n = admitted.size();
+  ShardColumns cols;
+  cols.resize(n);
+  Hour max_horizon = 0;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const workload::User& user = *entries[admitted[slot]].user;
+    cols.trace_data[slot] = user.trace.values().data();
+    cols.trace_len[slot] = user.trace.length();
+    cols.horizon[slot] = spec.sim.effective_horizon(user.trace);
+    max_horizon = std::max(max_horizon, cols.horizon[slot]);
+  }
+
+  std::vector<std::vector<Cohort>> cohorts(n);
+  for (const purchasing::PurchaserKind kind : spec.purchasers) {
+    // Phase A: replay the real purchasers under the shared seed contract.
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      const workload::User& user = *entries[admitted[slot]].user;
+      const std::uint64_t run_seed =
+          seeding::per_run_seed(spec.seed, user.id, static_cast<int>(kind));
+      const auto purchaser = purchasing::make_purchaser(kind, spec.sim.type, run_seed);
+      generate_cohorts(user.trace, *purchaser, cols.horizon[slot], spec.sim.type.term,
+                       cohorts[slot]);
+      cols.cohorts[slot] = &cohorts[slot];
+    }
+    // Phase B: one columnar pass per seller.
+    for (const SellerPlan& plan : plans) {
+      run_seller_pass(cols, n, max_horizon, plan, spec.sim);
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        const workload::User& user = *entries[admitted[slot]].user;
+        ScenarioResult result;
+        result.user_id = user.id;
+        result.group = user.group;
+        result.purchaser = kind;
+        result.seller = plan.spec;
+        result.net_cost = fleet::CostBreakdown{Money{cols.total_on_demand[slot]},
+                                               Money{cols.total_upfront[slot]},
+                                               Money{cols.total_reserved[slot]},
+                                               Money{cols.total_income[slot]}}
+                              .net();
+        result.reservations_made = cols.made[slot];
+        result.instances_sold = cols.sold[slot];
+        result.on_demand_hours = cols.on_demand_hours[slot];
+        outcome.users[admitted[slot]].results.push_back(result);
+      }
+    }
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint format (text, line-based, hexfloat doubles for exact
+// round-trip; see DESIGN.md §12):
+//
+//   rimarket-batch-checkpoint v1
+//   fp <16-hex spec fingerprint>
+//   S <index> <user count>          -- one completed shard...
+//   U <user_id> <admitted> <retries> <faults> <backoff %a>
+//   Q <user_id> <attempts> <site> <message>      (escaped tokens)
+//   F <user_id> <message>
+//   R <group> <purchaser> <seller kind> <fraction %a> <net %a> <made> <sold> <odh>
+//   E <index>                        -- ...closed by its end marker
+//
+// A shard without its E marker (killed mid-write before the rename — not
+// actually possible, but cheap to guard) is discarded; any malformed line
+// invalidates the whole file and the sweep restarts from scratch.
+
+std::string escape_token(std::string_view text) {
+  if (text.empty()) {
+    return "\\e";
+  }
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape_token(std::string_view token) {
+  if (token == "\\e") {
+    return std::string();
+  }
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\') {
+      out += token[i];
+      continue;
+    }
+    if (++i == token.size()) {
+      return std::nullopt;
+    }
+    switch (token[i]) {
+      case '\\': out += '\\'; break;
+      case 's': out += ' '; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string hexfloat(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+// lint-allow(contract-guard): total hash-mixing step, no invalid inputs.
+void mix(std::uint64_t& hash, std::uint64_t value) {
+  hash ^= value;
+  hash = common::splitmix64(hash);
+}
+
+// lint-allow(contract-guard): total hash-mixing step, no invalid inputs.
+void mix_double(std::uint64_t& hash, double value) {
+  mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+// lint-allow(contract-guard): total hash-mixing step, no invalid inputs.
+void mix_string(std::uint64_t& hash, std::string_view text) {
+  mix(hash, text.size());
+  for (const char c : text) {
+    mix(hash, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+}
+
+/// Everything that must match for a checkpoint to be resumable: the spec's
+/// economics, seller line-up, seed/failure knobs, the chaos schedule and
+/// the shard size.  User identity is verified separately, shard by shard,
+/// against the S records.
+std::uint64_t spec_fingerprint(const EvaluationSpec& spec, std::size_t shard_size) {
+  std::uint64_t hash = 0x5262696d61726b65ULL;  // arbitrary non-zero start
+  mix(hash, spec.seed);
+  mix(hash, static_cast<std::uint64_t>(spec.failure_policy));
+  mix(hash, static_cast<std::uint64_t>(spec.max_attempts));
+  mix_double(hash, spec.backoff_base_ms);
+  mix(hash, shard_size);
+  for (const purchasing::PurchaserKind kind : spec.purchasers) {
+    mix(hash, static_cast<std::uint64_t>(kind) + 1);
+  }
+  for (const SellerSpec& seller : spec.sellers) {
+    mix(hash, static_cast<std::uint64_t>(seller.kind) + 1);
+    mix_double(hash, seller.fraction.value());
+  }
+  const SimulationConfig& sim = spec.sim;
+  mix_string(hash, sim.type.name);
+  mix_double(hash, sim.type.on_demand_hourly.value());
+  mix_double(hash, sim.type.upfront.value());
+  mix_double(hash, sim.type.reserved_hourly.value());
+  mix(hash, static_cast<std::uint64_t>(sim.type.term));
+  mix_double(hash, sim.selling_discount.value());
+  mix_double(hash, sim.service_fee.value());
+  mix(hash, static_cast<std::uint64_t>(sim.charge_policy));
+  mix(hash, static_cast<std::uint64_t>(sim.horizon));
+  mix_double(hash, sim.idle_resale_rate.value());
+  mix_double(hash, sim.idle_resale_probability.value());
+  if (spec.chaos_schedule != nullptr) {
+    mix(hash, spec.chaos_schedule->seed());
+    for (const fi::Rule& rule : spec.chaos_schedule->rules()) {
+      mix_string(hash, rule.site_pattern);
+      mix(hash, static_cast<std::uint64_t>(rule.kind));
+      mix_double(hash, rule.probability);
+      mix(hash, rule.nth_hit);
+    }
+  }
+  return hash;
+}
+
+// lint-allow(contract-guard): append-only formatter; any ShardOutcome is
+// serializable and the loader validates on the way back in.
+void serialize_shard(const ShardOutcome& shard, std::string& out) {
+  out += common::format("S %zu %zu\n", shard.index, shard.users.size());
+  for (const UserOutcome& user : shard.users) {
+    out += common::format("U %d %d %llu %llu %s\n", user.user_id,
+                          user.admission.admitted ? 1 : 0,
+                          static_cast<unsigned long long>(user.admission.retries),
+                          static_cast<unsigned long long>(user.admission.faults),
+                          hexfloat(user.admission.backoff_ms).c_str());
+    if (user.admission.quarantined.has_value()) {
+      const QuarantinedUser& entry = *user.admission.quarantined;
+      out += common::format("Q %d %d %s %s\n", entry.user_id, entry.attempts,
+                            escape_token(entry.site).c_str(),
+                            escape_token(entry.message).c_str());
+    }
+    if (user.admission.failure.has_value()) {
+      out += common::format("F %d %s\n", user.admission.failure->user_id,
+                            escape_token(user.admission.failure->message).c_str());
+    }
+    for (const ScenarioResult& result : user.results) {
+      out += common::format("R %d %d %d %s %s %lld %lld %lld\n",
+                            static_cast<int>(result.group),
+                            static_cast<int>(result.purchaser),
+                            static_cast<int>(result.seller.kind),
+                            hexfloat(result.seller.fraction.value()).c_str(),
+                            hexfloat(result.net_cost.value()).c_str(),
+                            static_cast<long long>(result.reservations_made),
+                            static_cast<long long>(result.instances_sold),
+                            static_cast<long long>(result.on_demand_hours));
+    }
+  }
+  out += common::format("E %zu\n", shard.index);
+}
+
+bool write_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                      const std::deque<ShardOutcome>& shards) {
+  try {
+    RIMARKET_INJECT(fi::kSiteBatchCheckpointWrite);
+    std::string out = "rimarket-batch-checkpoint v1\n";
+    out += common::format("fp %016llx\n", static_cast<unsigned long long>(fingerprint));
+    for (const ShardOutcome& shard : shards) {
+      serialize_shard(shard, out);
+    }
+    const std::string tmp = path + ".tmp";
+    if (!common::write_file(tmp, out)) {
+      common::log_warn("batch sweep: cannot write checkpoint %s; continuing without",
+                       tmp.c_str());
+      return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      common::log_warn("batch sweep: cannot publish checkpoint %s; continuing without",
+                       path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  } catch (const std::exception& error) {
+    // An injected (or genuinely thrown) checkpoint-write failure degrades
+    // the run to "no checkpoint this round", never kills it.
+    common::log_warn("batch sweep: checkpoint write failed (%s); continuing without",
+                     error.what());
+    return false;
+  }
+}
+
+/// Line-based tokenizer state over the checkpoint text.
+struct CheckpointParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool next_line(std::vector<std::string_view>& tokens) {
+    tokens.clear();
+    if (pos >= text.size()) {
+      return false;
+    }
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    while (!line.empty()) {
+      const std::size_t space = line.find(' ');
+      if (space == std::string_view::npos) {
+        tokens.push_back(line);
+        break;
+      }
+      tokens.push_back(line.substr(0, space));
+      line.remove_prefix(space + 1);
+    }
+    return !tokens.empty();
+  }
+};
+
+std::optional<long long> parse_ll(std::string_view token) {
+  return common::parse_int(token);
+}
+
+std::optional<double> parse_hexfloat(std::string_view token) {
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Loads and validates a checkpoint; nullopt (plus a warning) on any
+/// mismatch or corruption — the sweep then simply restarts from scratch.
+std::optional<std::deque<ShardOutcome>> load_checkpoint(const std::string& path,
+                                                        std::uint64_t fingerprint) {
+  common::CsvError error;
+  const auto contents = common::read_file(path, &error);
+  if (!contents) {
+    if (error.errno_value != ENOENT) {
+      common::log_warn("batch sweep: cannot read checkpoint: %s", error.to_string().c_str());
+    }
+    return std::nullopt;
+  }
+  if (RIMARKET_INJECT_PARSE(fi::kSiteBatchCheckpointLoad)) {
+    common::log_warn("batch sweep: checkpoint %s unreadable (injected); starting fresh",
+                     path.c_str());
+    return std::nullopt;
+  }
+  const auto corrupt = [&path]() -> std::optional<std::deque<ShardOutcome>> {
+    common::log_warn("batch sweep: checkpoint %s is corrupt; starting fresh", path.c_str());
+    return std::nullopt;
+  };
+  CheckpointParser parser{*contents};
+  std::vector<std::string_view> tokens;
+  if (!parser.next_line(tokens) || tokens.size() != 2 ||
+      tokens[0] != "rimarket-batch-checkpoint" || tokens[1] != "v1") {
+    return corrupt();
+  }
+  if (!parser.next_line(tokens) || tokens.size() != 2 || tokens[0] != "fp") {
+    return corrupt();
+  }
+  {
+    const std::string fp_text(tokens[1]);
+    char* end = nullptr;
+    const std::uint64_t got = std::strtoull(fp_text.c_str(), &end, 16);
+    if (end == fp_text.c_str() || *end != '\0') {
+      return corrupt();
+    }
+    if (got != fingerprint) {
+      common::log_warn(
+          "batch sweep: checkpoint %s belongs to a different spec; starting fresh",
+          path.c_str());
+      return std::nullopt;
+    }
+  }
+  std::deque<ShardOutcome> shards;
+  std::optional<ShardOutcome> current;
+  std::size_t expected_users = 0;
+  while (parser.next_line(tokens)) {
+    if (tokens[0] == "S") {
+      if (current.has_value() || tokens.size() != 3) {
+        return corrupt();
+      }
+      const auto index = parse_ll(tokens[1]);
+      const auto count = parse_ll(tokens[2]);
+      if (!index || !count || *index < 0 || *count < 0 ||
+          static_cast<std::size_t>(*index) != shards.size()) {
+        return corrupt();
+      }
+      current.emplace();
+      current->index = static_cast<std::size_t>(*index);
+      expected_users = static_cast<std::size_t>(*count);
+    } else if (tokens[0] == "U") {
+      if (!current || tokens.size() != 6) {
+        return corrupt();
+      }
+      const auto id = parse_ll(tokens[1]);
+      const auto admitted = parse_ll(tokens[2]);
+      const auto retries = parse_ll(tokens[3]);
+      const auto faults = parse_ll(tokens[4]);
+      const auto backoff = parse_hexfloat(tokens[5]);
+      if (!id || !admitted || !retries || !faults || !backoff ||
+          (*admitted != 0 && *admitted != 1)) {
+        return corrupt();
+      }
+      UserOutcome user;
+      user.user_id = static_cast<int>(*id);
+      user.admission.admitted = *admitted == 1;
+      user.admission.retries = static_cast<std::uint64_t>(*retries);
+      user.admission.faults = static_cast<std::uint64_t>(*faults);
+      user.admission.backoff_ms = *backoff;
+      current->users.push_back(std::move(user));
+    } else if (tokens[0] == "Q") {
+      if (!current || current->users.empty() || tokens.size() != 5) {
+        return corrupt();
+      }
+      const auto id = parse_ll(tokens[1]);
+      const auto attempts = parse_ll(tokens[2]);
+      const auto site = unescape_token(tokens[3]);
+      const auto message = unescape_token(tokens[4]);
+      if (!id || !attempts || !site || !message) {
+        return corrupt();
+      }
+      QuarantinedUser entry;
+      entry.user_id = static_cast<int>(*id);
+      entry.attempts = static_cast<int>(*attempts);
+      entry.site = *site;
+      entry.message = *message;
+      current->users.back().admission.quarantined = std::move(entry);
+    } else if (tokens[0] == "F") {
+      if (!current || current->users.empty() || tokens.size() != 3) {
+        return corrupt();
+      }
+      const auto id = parse_ll(tokens[1]);
+      const auto message = unescape_token(tokens[2]);
+      if (!id || !message) {
+        return corrupt();
+      }
+      current->users.back().admission.failure =
+          UserFailure{static_cast<int>(*id), *message};
+    } else if (tokens[0] == "R") {
+      if (!current || current->users.empty() || tokens.size() != 9) {
+        return corrupt();
+      }
+      const auto group = parse_ll(tokens[1]);
+      const auto purchaser = parse_ll(tokens[2]);
+      const auto seller_kind = parse_ll(tokens[3]);
+      const auto fraction = parse_hexfloat(tokens[4]);
+      const auto net = parse_hexfloat(tokens[5]);
+      const auto made = parse_ll(tokens[6]);
+      const auto sold = parse_ll(tokens[7]);
+      const auto odh = parse_ll(tokens[8]);
+      if (!group || !purchaser || !seller_kind || !fraction || !net || !made || !sold ||
+          !odh) {
+        return corrupt();
+      }
+      UserOutcome& user = current->users.back();
+      ScenarioResult result;
+      result.user_id = user.user_id;
+      result.group = static_cast<workload::FluctuationGroup>(*group);
+      result.purchaser = static_cast<purchasing::PurchaserKind>(*purchaser);
+      result.seller.kind = static_cast<SellerKind>(*seller_kind);
+      result.seller.fraction = Fraction{*fraction};
+      result.net_cost = Money{*net};
+      result.reservations_made = *made;
+      result.instances_sold = *sold;
+      result.on_demand_hours = *odh;
+      user.results.push_back(result);
+    } else if (tokens[0] == "E") {
+      if (!current || tokens.size() != 2) {
+        return corrupt();
+      }
+      const auto index = parse_ll(tokens[1]);
+      if (!index || static_cast<std::size_t>(*index) != current->index ||
+          current->users.size() != expected_users) {
+        return corrupt();
+      }
+      shards.push_back(*std::move(current));
+      current.reset();
+    } else {
+      return corrupt();
+    }
+  }
+  // A trailing shard without its E marker is simply not resumed from.
+  return shards;
+}
+
+// ---------------------------------------------------------------------
+// Orchestration.
+
+/// Pulls the next shard's entries.  Returns false at end of input.  The
+/// users backing `entries` live in `owned` (streaming) or the caller's
+/// span (in-memory).
+class ShardFeed {
+ public:
+  virtual ~ShardFeed() = default;
+  virtual bool next(std::vector<ShardEntry>& entries,
+                    std::vector<workload::User>& owned) = 0;
+};
+
+class SpanShardFeed final : public ShardFeed {
+ public:
+  SpanShardFeed(std::span<const workload::User> users, std::size_t shard_size)
+      : users_(users), shard_size_(shard_size) {}
+
+  bool next(std::vector<ShardEntry>& entries, std::vector<workload::User>& owned) override {
+    (void)owned;
+    if (position_ >= users_.size()) {
+      return false;
+    }
+    const std::size_t count = std::min(shard_size_, users_.size() - position_);
+    entries.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      entries[i] = ShardEntry{};
+      entries[i].user = &users_[position_ + i];
+    }
+    position_ += count;
+    return true;
+  }
+
+ private:
+  std::span<const workload::User> users_;
+  std::size_t shard_size_;
+  std::size_t position_ = 0;
+};
+
+class SourceShardFeed final : public ShardFeed {
+ public:
+  SourceShardFeed(workload::UserStreamSource& source, std::size_t shard_size)
+      : source_(source), shard_size_(shard_size) {}
+
+  bool next(std::vector<ShardEntry>& entries, std::vector<workload::User>& owned) override {
+    entries.clear();
+    owned.clear();
+    owned.reserve(shard_size_);
+    workload::StreamedUser unit;
+    while (entries.size() < shard_size_ && source_.next(unit)) {
+      ShardEntry entry;
+      if (unit.ok) {
+        owned.push_back(std::move(unit.user));
+        // Pointers stay valid: `owned` was reserved to shard_size above.
+        entry.user = &owned.back();
+      } else {
+        entry.ok = false;
+        entry.error = unit.error;
+        entry.failed_id = unit.user.id;
+      }
+      entries.push_back(std::move(entry));
+    }
+    return !entries.empty();
+  }
+
+ private:
+  workload::UserStreamSource& source_;
+  std::size_t shard_size_;
+};
+
+void accumulate_sweep_metrics(const SweepReport& report) {
+  common::MetricsRegistry& registry = common::MetricsRegistry::global();
+  registry.increment("sweep.retries", static_cast<std::int64_t>(report.retries));
+  registry.increment("sweep.quarantined", static_cast<std::int64_t>(report.quarantined.size()));
+  registry.increment("sweep.injected_faults",
+                     static_cast<std::int64_t>(report.injected_faults));
+  registry.add("sweep.virtual_backoff_ms", report.virtual_backoff_ms);
+}
+
+}  // namespace
+
+// lint-allow(contract-guard): pure predicate over the spec; `why` may be
+// null by design and every spec value is a legal question to ask.
+bool BatchSweepEngine::supported(const EvaluationSpec& spec, std::string* why) {
+  const auto unsupported = [why](std::string message) {
+    if (why != nullptr) {
+      *why = std::move(message);
+    }
+    return false;
+  };
+  for (const SellerSpec& seller : spec.sellers) {
+    switch (seller.kind) {
+      case SellerKind::kKeepReserved:
+      case SellerKind::kAllSelling:
+      case SellerKind::kA3T4:
+      case SellerKind::kAT2:
+      case SellerKind::kAT4:
+        break;
+      default:
+        return unsupported(common::format(
+            "seller \"%s\" is outside the batch parity contract (paper line-up only)",
+            seller_name(seller).c_str()));
+    }
+  }
+  if (spec.sim.income_model) {
+    return unsupported(
+        "custom income models are outside the batch parity contract "
+        "(their call order is a per-user-loop implementation detail)");
+  }
+  return true;
+}
+
+BatchSweepEngine::BatchSweepEngine(const EvaluationSpec& spec, BatchOptions options)
+    : spec_(spec), options_(std::move(options)) {
+  std::string why;
+  if (!supported(spec_, &why)) {
+    throw std::invalid_argument(common::format("batch sweep: %s", why.c_str()));
+  }
+  RIMARKET_EXPECTS(options_.shard_size >= 1);
+  RIMARKET_EXPECTS(options_.checkpoint_every_shards >= 1);
+  RIMARKET_EXPECTS(options_.max_shards_per_run == 0 || !options_.checkpoint_path.empty());
+  RIMARKET_EXPECTS(spec_.max_attempts >= 1);
+  RIMARKET_EXPECTS(spec_.backoff_base_ms >= 0.0);
+  RIMARKET_EXPECTS(!spec_.sellers.empty());
+  RIMARKET_EXPECTS(spec_.sim.type.valid());
+  RIMARKET_EXPECTS(spec_.sim.service_fee < Fraction{1.0});
+  RIMARKET_EXPECTS(spec_.sim.idle_resale_rate >= Rate{0.0});
+}
+
+namespace {
+
+/// Shared driver for both input shapes: pull shards from `feed`, skip the
+/// checkpointed prefix (verifying user ids), process the rest on the pool,
+/// checkpoint along the way, and assemble the oracle-ordered report.
+BatchSweepOutcome run_batch(const EvaluationSpec& spec, const BatchOptions& options,
+                            ShardFeed& feed, std::optional<std::size_t> known_total) {
+  RIMARKET_EXPECTS(!spec.sellers.empty());
+  RIMARKET_EXPECTS(options.shard_size >= 1);
+  const std::vector<SellerPlan> plans = build_seller_plans(spec);
+  const std::uint64_t fingerprint = spec_fingerprint(spec, options.shard_size);
+  const bool checkpointing = !options.checkpoint_path.empty();
+
+  std::deque<ShardOutcome> done;  // completed shards, in index order
+  std::size_t resumed = 0;
+  if (checkpointing) {
+    if (auto loaded = load_checkpoint(options.checkpoint_path, fingerprint)) {
+      done = *std::move(loaded);
+      resumed = done.size();
+      if (resumed > 0) {
+        common::log_info("batch sweep: resuming after %zu checkpointed shard(s)", resumed);
+      }
+    }
+  }
+
+  struct PendingShard {
+    std::size_t index = 0;
+    std::vector<workload::User> owned;
+    std::vector<ShardEntry> entries;
+    std::future<ShardOutcome> future;
+  };
+
+  // Declared BEFORE the pool: when an exception unwinds this frame, the
+  // pool's destructor must join its workers while the PendingShards their
+  // tasks reference are still alive.
+  std::deque<std::unique_ptr<PendingShard>> in_flight;
+  common::ThreadPool pool(spec.threads);
+  // Bound in-flight shards so a streaming million-user run holds only a
+  // few shards of traces in memory at once.
+  const std::size_t window = 2 * pool.thread_count() + 1;
+  std::size_t next_index = 0;
+  std::size_t processed_this_run = 0;
+  bool exhausted = false;
+  bool sliced_out = false;
+
+  const auto verify_resumed_shard = [&](const std::vector<ShardEntry>& entries,
+                                        const ShardOutcome& recorded) {
+    bool matches = entries.size() == recorded.users.size();
+    for (std::size_t i = 0; matches && i < entries.size(); ++i) {
+      const int id = entries[i].ok ? entries[i].user->id : entries[i].failed_id;
+      matches = id == recorded.users[i].user_id;
+    }
+    if (!matches) {
+      throw std::runtime_error(common::format(
+          "batch sweep: checkpoint %s does not match the input population at shard %zu",
+          options.checkpoint_path.c_str(), recorded.index));
+    }
+  };
+
+  const auto pull_and_submit = [&]() {
+    while (!exhausted && !sliced_out && in_flight.size() < window) {
+      if (options.max_shards_per_run > 0 &&
+          processed_this_run + in_flight.size() >= options.max_shards_per_run) {
+        sliced_out = true;
+        return;
+      }
+      auto pending = std::make_unique<PendingShard>();
+      if (!feed.next(pending->entries, pending->owned)) {
+        exhausted = true;
+        return;
+      }
+      pending->index = next_index++;
+      if (pending->index < resumed) {
+        // Already checkpointed: verify identity, drop the work.
+        verify_resumed_shard(pending->entries, done[pending->index]);
+        continue;
+      }
+      PendingShard* raw = pending.get();
+      pending->future = pool.submit_with_result(
+          [raw, &spec, &plans]() { return process_shard(raw->index, raw->entries, spec, plans); });
+      in_flight.push_back(std::move(pending));
+    }
+  };
+
+  pull_and_submit();
+  while (!in_flight.empty()) {
+    std::unique_ptr<PendingShard> front = std::move(in_flight.front());
+    in_flight.pop_front();
+    done.push_back(front->future.get());
+    front.reset();
+    ++processed_this_run;
+    if (checkpointing && processed_this_run % options.checkpoint_every_shards == 0) {
+      write_checkpoint(options.checkpoint_path, fingerprint, done);
+    }
+    pull_and_submit();
+  }
+  pool.export_metrics(common::MetricsRegistry::global(), "sim.batch");
+
+  BatchSweepOutcome outcome;
+  outcome.shards_done = done.size();
+  outcome.finished = !sliced_out;
+  outcome.shards_total =
+      outcome.finished ? done.size() : (known_total.has_value() ? *known_total : 0);
+
+  if (!outcome.finished) {
+    // Time-sliced out: persist progress and return a partial report.
+    write_checkpoint(options.checkpoint_path, fingerprint, done);
+  }
+
+  // Assembly, in the oracle's order: users by index, then (purchaser,
+  // seller) within each user; quarantine sorted by id; counters summed in
+  // user-index order (floating-point order matters for backoff).
+  SweepReport& report = outcome.report;
+  std::vector<UserFailure> failures;
+  for (const ShardOutcome& shard : done) {
+    for (const UserOutcome& user : shard.users) {
+      report.retries += user.admission.retries;
+      report.injected_faults += user.admission.faults;
+      report.virtual_backoff_ms += user.admission.backoff_ms;
+      if (user.admission.failure.has_value()) {
+        failures.push_back(*user.admission.failure);
+      } else if (user.admission.quarantined.has_value()) {
+        report.quarantined.push_back(*user.admission.quarantined);
+      } else {
+        report.results.insert(report.results.end(), user.results.begin(), user.results.end());
+      }
+    }
+  }
+  std::sort(report.quarantined.begin(), report.quarantined.end(),
+            [](const QuarantinedUser& a, const QuarantinedUser& b) {
+              return a.user_id < b.user_id;
+            });
+  if (outcome.finished) {
+    for (const QuarantinedUser& entry : report.quarantined) {
+      common::log_warn("sweep: user %d quarantined after %d attempt(s)%s%s: %s", entry.user_id,
+                       entry.attempts, entry.site.empty() ? "" : " at ", entry.site.c_str(),
+                       entry.message.c_str());
+    }
+    accumulate_sweep_metrics(report);
+    if (!failures.empty()) {
+      std::sort(failures.begin(), failures.end(),
+                [](const UserFailure& a, const UserFailure& b) {
+                  return a.user_id < b.user_id;
+                });
+      for (const UserFailure& failure : failures) {
+        common::log_warn("sweep: user %d failed: %s", failure.user_id,
+                         failure.message.c_str());
+      }
+      throw SweepError(std::move(failures));
+    }
+    if (checkpointing) {
+      std::remove(options.checkpoint_path.c_str());
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+// lint-allow(contract-guard): preconditions were validated by the
+// constructor; run_batch re-asserts the load-bearing ones.
+BatchSweepOutcome BatchSweepEngine::run(std::span<const workload::User> users) {
+  SpanShardFeed feed(users, options_.shard_size);
+  const std::size_t total =
+      (users.size() + options_.shard_size - 1) / options_.shard_size;
+  return run_batch(spec_, options_, feed, total);
+}
+
+// lint-allow(contract-guard): preconditions were validated by the
+// constructor; run_batch re-asserts the load-bearing ones.
+BatchSweepOutcome BatchSweepEngine::run(workload::UserStreamSource& source) {
+  SourceShardFeed feed(source, options_.shard_size);
+  return run_batch(spec_, options_, feed, std::nullopt);
+}
+
+SweepReport evaluate_sweep_batch(std::span<const workload::User> users,
+                                 const EvaluationSpec& spec, const BatchOptions& options) {
+  RIMARKET_EXPECTS(options.max_shards_per_run == 0);
+  BatchSweepEngine engine(spec, options);
+  BatchSweepOutcome outcome = engine.run(users);
+  RIMARKET_ENSURES(outcome.finished);
+  return std::move(outcome.report);
+}
+
+}  // namespace rimarket::sim

@@ -1,0 +1,122 @@
+// Columnar batch sweep engine (ROADMAP item 1: million-user scale).
+//
+// `evaluate_sweep` walks one user at a time through the full object-model
+// stack (ledger, Fenwick trees, policy virtuals) — ~118 ns per simulated
+// hour.  The population-scale figures only need each scenario's *totals*,
+// and for the paper's seller line-up (keep-reserved, all-selling and the
+// A_{fT} family) the per-hour state collapses to a handful of counters per
+// user thanks to the prefix-serving invariant (DESIGN.md §12):
+//
+//   * demand is served oldest-contract-first, so the hour's reserved-served
+//     count is min(demand, active) and the worked-hours credit lands on a
+//     *prefix* of the not-yet-decided ("young") contracts, oldest first;
+//   * a contract is only ever examined once, at its decision age f*T, so
+//     contracts older than that need no per-member state at all — just a
+//     count and a scheduled expiry;
+//   * within a cohort (contracts booked the same hour) the ledger's id
+//     order equals booking order, so a FIFO of per-member worked counters
+//     reproduces the ledger's credit assignment exactly.
+//
+// BatchSweepEngine packs that state into contiguous per-shard columns and
+// steps all users of a shard hour by hour — a tight loop of integer updates
+// and three multiplies, no virtual calls, no allocation.  The per-user path
+// stays as the *oracle*, exactly like the kOptimized/kNaive ledger pair:
+// property tests force byte-identical reports (exact double equality) on
+// randomized populations, in both failure policies, under chaos schedules,
+// and across checkpoint/resume cycles.
+//
+// What the engine reproduces bit-for-bit (same operands, same order):
+//   * seeding: sim/seeding.hpp per_run_seed / attempt_scope_key;
+//   * reservation streams: the real purchaser objects replayed against an
+//     O(1)-per-hour active-window counter that matches
+//     ReservationStream::generate's keep-everything ledger;
+//   * chaos admission: the exact RIMARKET_INJECT sequence of evaluate_user
+//     (kSiteEvaluateUser, then kSiteRunScenario + kSiteRunLoop per
+//     scenario) probed per attempt under the same ScopedContext keys, with
+//     the oracle's retry / virtual-backoff / quarantine bookkeeping;
+//   * accounting: fleet::hourly_cost per hour, accumulated in hour order
+//     through CostBreakdown::operator+=, sale income added sale by sale.
+//
+// Not supported (evaluate_sweep_batch throws std::invalid_argument, see
+// supported()): stateful sellers outside the paper line-up
+// (randomized/continuous/forecast/offline-optimal) and custom income
+// models — their call order is an implementation detail of the per-user
+// loop that a columnar engine cannot promise to reproduce.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "workload/streaming.hpp"
+
+namespace rimarket::sim {
+
+/// Knobs of one batch run.
+struct BatchOptions {
+  /// Users per shard: the unit of parallelism, checkpointing and peak
+  /// memory (one shard of traces + columns resident per worker).  The
+  /// default keeps a shard's columns + trace window cache-resident; sizes
+  /// past ~512 measurably slow the hour sweep (each simulated hour re-walks
+  /// every column), and the per-shard setup cost stops paying off below
+  /// ~64.
+  std::size_t shard_size = 128;
+  /// When non-empty, the engine writes a resumable checkpoint here (atomic
+  /// tmp-file + rename) and, if the file already exists and matches the
+  /// spec fingerprint, skips the completed shard prefix on start.  The
+  /// file is deleted when the sweep completes.
+  std::string checkpoint_path;
+  /// Write a checkpoint after every N completed shards (>= 1).
+  std::size_t checkpoint_every_shards = 1;
+  /// When > 0, process at most this many *new* shards, checkpoint, and
+  /// return with `finished == false` (cooperative time-slicing; also how
+  /// the kill/resume property is tested without killing the process).
+  /// Requires a checkpoint_path.
+  std::size_t max_shards_per_run = 0;
+};
+
+/// What a batch run produced.  `report` equals the oracle's SweepReport
+/// byte-for-byte only when `finished` is true.
+struct BatchSweepOutcome {
+  SweepReport report;
+  bool finished = true;
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+};
+
+class BatchSweepEngine {
+ public:
+  /// Validates the spec (throws std::invalid_argument when !supported) and
+  /// prepares the per-seller decision plans.
+  BatchSweepEngine(const EvaluationSpec& spec, BatchOptions options);
+
+  /// True when the spec's seller line-up and config are within the batch
+  /// engine's parity contract; otherwise fills `*why` (when non-null).
+  static bool supported(const EvaluationSpec& spec, std::string* why = nullptr);
+
+  /// Runs the sweep over an in-memory population.  Byte-identical to
+  /// evaluate_sweep(users, spec) when it returns finished (results,
+  /// quarantine, retries, injected_faults, virtual_backoff_ms all equal;
+  /// under kFailFast failures throw the same SweepError).
+  BatchSweepOutcome run(std::span<const workload::User> users);
+
+  /// Streaming variant: pulls users shard by shard from `source`, so only
+  /// one shard of traces is resident per worker.  Ingestion failures
+  /// (ok == false units) are quarantined with attempts == 1 under
+  /// kQuarantine and join the SweepError under kFailFast.
+  BatchSweepOutcome run(workload::UserStreamSource& source);
+
+ private:
+  EvaluationSpec spec_;
+  BatchOptions options_;
+};
+
+/// One-shot convenience: run to completion (no time slicing) and return
+/// the report, byte-identical to evaluate_sweep(users, spec).
+SweepReport evaluate_sweep_batch(std::span<const workload::User> users,
+                                 const EvaluationSpec& spec,
+                                 const BatchOptions& options = BatchOptions{});
+
+}  // namespace rimarket::sim

@@ -11,6 +11,7 @@
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "selling/fixed_spot.hpp"
+#include "sim/seeding.hpp"
 
 namespace rimarket::sim {
 
@@ -23,20 +24,16 @@ std::string sweep_error_message(const std::vector<UserFailure>& failures) {
                         failures.front().message.c_str());
 }
 
-/// Stable scope key for one (user, attempt) unit of work: fault placement
-/// must depend only on ids the replay seed controls, never on scheduling.
-std::uint64_t attempt_scope_key(std::uint64_t seed, int user_id, int attempt) {
-  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(user_id) * 0x9e3779b97f4a7c15ULL);
-  state ^= (static_cast<std::uint64_t>(attempt) + 1) << 40;
-  return common::splitmix64(state);
-}
-
 void export_sweep_metrics(const SweepReport& report) {
+  // Accumulate, never set(): a multi-sweep process (every multi-figure
+  // bench) reports process totals, not whichever sweep happened to finish
+  // last.
   common::MetricsRegistry& registry = common::MetricsRegistry::global();
-  registry.set("sweep.retries", static_cast<std::int64_t>(report.retries));
-  registry.set("sweep.quarantined", static_cast<std::int64_t>(report.quarantined.size()));
-  registry.set("sweep.injected_faults", static_cast<std::int64_t>(report.injected_faults));
-  registry.set("sweep.virtual_backoff_ms", report.virtual_backoff_ms);
+  registry.increment("sweep.retries", static_cast<std::int64_t>(report.retries));
+  registry.increment("sweep.quarantined", static_cast<std::int64_t>(report.quarantined.size()));
+  registry.increment("sweep.injected_faults",
+                     static_cast<std::int64_t>(report.injected_faults));
+  registry.add("sweep.virtual_backoff_ms", report.virtual_backoff_ms);
 }
 
 }  // namespace
@@ -70,11 +67,10 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
   const Hour horizon = spec.sim.effective_horizon(user.trace);
   for (const purchasing::PurchaserKind purchaser_kind : spec.purchasers) {
     // Derive a per-(user, purchaser) seed so stochastic purchasers are
-    // reproducible and independent across the sweep.
-    std::uint64_t seed_state = spec.seed;
-    seed_state ^= static_cast<std::uint64_t>(user.id) * 0x9e3779b97f4a7c15ULL;
-    seed_state ^= (static_cast<std::uint64_t>(purchaser_kind) + 1) << 32;
-    const std::uint64_t run_seed = common::splitmix64(seed_state);
+    // reproducible and independent across the sweep.  Shared with the batch
+    // engine — see sim/seeding.hpp for the pinned contract.
+    const std::uint64_t run_seed =
+        seeding::per_run_seed(spec.seed, user.id, static_cast<int>(purchaser_kind));
 
     const auto purchaser = purchasing::make_purchaser(purchaser_kind, spec.sim.type, run_seed);
     const ReservationStream stream =
@@ -166,7 +162,8 @@ SweepReport evaluate_quarantine(std::span<const workload::User> users,
       // pattern and the whole sweep replays from spec.seed.
       std::optional<common::fault_injection::ScopedContext> chaos;
       if (spec.chaos_schedule != nullptr) {
-        chaos.emplace(*spec.chaos_schedule, attempt_scope_key(spec.seed, user.id, attempt));
+        chaos.emplace(*spec.chaos_schedule,
+                      seeding::attempt_scope_key(spec.seed, user.id, attempt));
       }
       try {
         per_user[index] = evaluate_user(user, spec);

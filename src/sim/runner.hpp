@@ -135,8 +135,10 @@ std::vector<ScenarioResult> evaluate(std::span<const workload::User> users,
 /// Runs the sweep honoring `spec.failure_policy`.  Under kFailFast this is
 /// exactly evaluate() (any failure throws SweepError); under kQuarantine it
 /// returns survivors plus the quarantine list instead of throwing.  The
-/// sweep counters are exported to MetricsRegistry::global() as
-/// "sweep.retries", "sweep.quarantined", "sweep.injected_faults".
+/// sweep counters are *accumulated* into MetricsRegistry::global() as
+/// "sweep.retries", "sweep.quarantined", "sweep.injected_faults" and
+/// "sweep.virtual_backoff_ms" — a process running several sweeps reports
+/// process totals.
 SweepReport evaluate_sweep(const workload::UserPopulation& population,
                            const EvaluationSpec& spec);
 SweepReport evaluate_sweep(std::span<const workload::User> users, const EvaluationSpec& spec);

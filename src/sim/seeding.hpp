@@ -1,0 +1,47 @@
+// The sweep's seed-derivation contract, shared verbatim by the per-user
+// oracle (sim/runner.cpp) and the columnar batch engine
+// (sim/batch_engine.cpp).  Both engines must derive bit-identical seeds for
+// every (user, purchaser) run and (user, attempt) chaos scope, or their
+// results could never be byte-identical — so the mixing lives here, in one
+// place, with its edge cases pinned by tests/sim/seeding_test.cpp.
+//
+// Negative user ids: `user.id` is an int and the mixers fold it through
+// `static_cast<std::uint64_t>(id)`, i.e. the two's-complement bit pattern
+// (-1 -> 0xFFFF...FF).  Population-built users always have ids >= 0, but
+// hand-built spans may not, and the mapping is total and injective over the
+// full int range, so negative ids are *allowed* and simply occupy the high
+// end of the key space.  This behavior is part of the contract (golden
+// values in the seed-stability test) and must never change: altering it
+// would silently re-seed every stochastic purchaser and re-place every
+// recorded chaos fault.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace rimarket::sim::seeding {
+
+/// 64-bit golden-ratio constant used as the id mixer (same constant as
+/// splitmix64's increment).
+inline constexpr std::uint64_t kIdMixer = 0x9e3779b97f4a7c15ULL;
+
+/// Seed for one (user, purchaser) simulation run: stochastic purchasers are
+/// reproducible and independent across the sweep.  `purchaser_kind` is the
+/// PurchaserKind enumerator value.
+inline std::uint64_t per_run_seed(std::uint64_t sweep_seed, int user_id, int purchaser_kind) {
+  std::uint64_t state = sweep_seed;
+  state ^= static_cast<std::uint64_t>(user_id) * kIdMixer;
+  state ^= (static_cast<std::uint64_t>(purchaser_kind) + 1) << 32;
+  return common::splitmix64(state);
+}
+
+/// Stable scope key for one (user, attempt) unit of work: fault placement
+/// must depend only on ids the replay seed controls, never on scheduling.
+inline std::uint64_t attempt_scope_key(std::uint64_t sweep_seed, int user_id, int attempt) {
+  std::uint64_t state = sweep_seed ^ (static_cast<std::uint64_t>(user_id) * kIdMixer);
+  state ^= (static_cast<std::uint64_t>(attempt) + 1) << 40;
+  return common::splitmix64(state);
+}
+
+}  // namespace rimarket::sim::seeding

@@ -1,0 +1,218 @@
+#include "workload/streaming.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/fault_injection.hpp"
+#include "common/strings.hpp"
+#include "workload/classify.hpp"
+#include "workload/trace_detail.hpp"
+
+namespace rimarket::workload {
+
+void ChunkedTraceParser::feed(std::string_view chunk) {
+  RIMARKET_EXPECTS(!finished_);
+  std::size_t start = 0;
+  while (start < chunk.size()) {
+    const std::size_t newline = chunk.find('\n', start);
+    if (newline == std::string_view::npos) {
+      pending_.append(chunk.substr(start));
+      return;
+    }
+    ++line_number_;
+    if (pending_.empty()) {
+      consume_line(chunk.substr(start, newline - start));
+    } else {
+      pending_.append(chunk.substr(start, newline - start));
+      consume_line(pending_);
+      pending_.clear();
+    }
+    start = newline + 1;
+  }
+}
+
+void ChunkedTraceParser::consume_line(std::string_view line) {
+  // Mirrors common::parse_csv line handling: blank lines (including a lone
+  // CR) are skipped, the first non-blank line is the header, and the first
+  // invalid row wins — later lines are counted but never examined.
+  if (failed_ || common::trim(line).empty()) {
+    return;
+  }
+  if (!header_seen_) {
+    header_seen_ = true;
+    return;
+  }
+  const common::CsvRow row = common::parse_csv_line(line);
+  std::string message;
+  if (!detail::append_trace_row(row, static_cast<Hour>(demand_.size()), demand_, &message)) {
+    failed_ = true;
+    error_ = common::CsvError{std::string(), 0, line_number_, std::move(message)};
+  }
+}
+
+std::optional<DemandTrace> ChunkedTraceParser::finish(common::CsvError* error) {
+  RIMARKET_EXPECTS(!finished_);
+  finished_ = true;
+  if (RIMARKET_INJECT_PARSE(common::fault_injection::kSiteTraceStream)) {
+    if (error != nullptr) {
+      *error = common::CsvError{std::string(), 0, 1, "injected parse error"};
+    }
+    return std::nullopt;
+  }
+  if (!pending_.empty()) {
+    ++line_number_;
+    consume_line(pending_);
+    pending_.clear();
+  }
+  if (failed_) {
+    if (error != nullptr) {
+      *error = error_;
+    }
+    return std::nullopt;
+  }
+  return DemandTrace(std::move(demand_));
+}
+
+void ChunkedTraceParser::reset() {
+  pending_.clear();
+  demand_.clear();
+  line_number_ = 0;
+  header_seen_ = false;
+  finished_ = false;
+  failed_ = false;
+  error_ = common::CsvError{};
+}
+
+std::optional<DemandTrace> load_trace_chunked(const std::string& path, common::CsvError* error,
+                                              std::size_t chunk_bytes) {
+  RIMARKET_EXPECTS(chunk_bytes >= 1);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = common::CsvError{path, errno, 0, std::strerror(errno)};
+    }
+    return std::nullopt;
+  }
+  ChunkedTraceParser parser;
+  std::vector<char> buffer(chunk_bytes);
+  std::size_t got = 0;
+  while ((got = std::fread(buffer.data(), 1, buffer.size(), file)) > 0) {
+    parser.feed(std::string_view(buffer.data(), got));
+  }
+  if (std::ferror(file) != 0) {
+    if (error != nullptr) {
+      *error = common::CsvError{path, errno, 0, std::strerror(errno)};
+    }
+    std::fclose(file);
+    return std::nullopt;
+  }
+  std::fclose(file);
+  auto trace = parser.finish(error);
+  if (!trace && error != nullptr) {
+    error->path = path;
+  }
+  return trace;
+}
+
+bool SpanUserSource::next(StreamedUser& out) {
+  if (position_ >= users_.size()) {
+    return false;
+  }
+  out.user = users_[position_++];
+  out.ok = true;
+  out.error = common::CsvError{};
+  return true;
+}
+
+namespace {
+
+std::optional<FluctuationGroup> parse_group(std::string_view token) {
+  if (token == "stable") {
+    return FluctuationGroup::kStable;
+  }
+  if (token == "moderate") {
+    return FluctuationGroup::kModerate;
+  }
+  if (token == "high") {
+    return FluctuationGroup::kHigh;
+  }
+  return std::nullopt;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+}  // namespace
+
+TraceManifestSource::TraceManifestSource(const std::string& manifest_path,
+                                         std::size_t chunk_bytes)
+    : manifest_path_(manifest_path),
+      manifest_dir_(dirname_of(manifest_path)),
+      chunk_bytes_(chunk_bytes) {
+  common::CsvError error;
+  const auto doc = common::load_csv_file(manifest_path, /*expect_header=*/true, &error);
+  if (!doc) {
+    throw std::runtime_error(common::format("trace manifest: %s", error.to_string().c_str()));
+  }
+  if (doc->header != common::CsvRow{"id", "group", "path"}) {
+    throw std::runtime_error(
+        common::format("trace manifest %s: header must be id,group,path",
+                       manifest_path.c_str()));
+  }
+  rows_.reserve(doc->rows.size());
+  for (std::size_t i = 0; i < doc->rows.size(); ++i) {
+    const common::CsvRow& row = doc->rows[i];
+    ManifestRow entry;
+    entry.line = doc->row_lines[i];
+    // Ragged rows were rejected by load_csv_file, so row.size() == 3 here.
+    const auto id = common::parse_int(row[0]);
+    const auto group = parse_group(row[1]);
+    if (!id) {
+      entry.ok = false;
+      entry.error_message = common::format("non-numeric user id \"%s\"", row[0].c_str());
+    } else if (!group) {
+      entry.id = static_cast<int>(*id);
+      entry.ok = false;
+      entry.error_message = common::format(
+          "unknown group \"%s\" (expected stable, moderate or high)", row[1].c_str());
+    } else {
+      entry.id = static_cast<int>(*id);
+      entry.group = *group;
+      entry.path = row[2].empty() || row[2].front() == '/'
+                       ? row[2]
+                       : manifest_dir_ + "/" + row[2];
+    }
+    rows_.push_back(std::move(entry));
+  }
+}
+
+bool TraceManifestSource::next(StreamedUser& out) {
+  if (position_ >= rows_.size()) {
+    return false;
+  }
+  const ManifestRow& row = rows_[position_++];
+  out = StreamedUser{};
+  out.user.id = row.id;
+  out.user.group = row.group;
+  if (!row.ok) {
+    out.ok = false;
+    out.error = common::CsvError{manifest_path_, 0, row.line, row.error_message};
+    return true;
+  }
+  common::CsvError error;
+  auto trace = load_trace_chunked(row.path, &error, chunk_bytes_);
+  if (!trace) {
+    out.ok = false;
+    out.error = error;
+    return true;
+  }
+  out.user.cv = trace->coefficient_of_variation();
+  out.user.generator = "manifest";
+  out.user.trace = *std::move(trace);
+  return true;
+}
+
+}  // namespace rimarket::workload

@@ -1,0 +1,148 @@
+// Bounded-memory trace ingestion for population-scale sweeps.
+//
+// A million-user sweep cannot hold a million multi-year CSV files in memory
+// at once.  This module provides the streaming half of the batch engine's
+// ingestion path:
+//
+//   * ChunkedTraceParser — an incremental `hour,demand` CSV parser fed
+//     arbitrary byte chunks.  For every input and every chunking it accepts
+//     exactly the files DemandTrace::from_csv accepts and reports the same
+//     CsvError (same 1-based line, same message): both paths validate each
+//     row through workload::detail::append_trace_row, so they cannot drift.
+//   * load_trace_chunked — reads a file through a fixed-size buffer
+//     (bounded memory regardless of trace length) into a DemandTrace.
+//   * UserStreamSource / TraceManifestSource — a pull interface handing
+//     users to the batch engine one at a time, so only one shard of traces
+//     is ever resident.  TraceManifestSource reads an `id,group,path`
+//     manifest CSV and loads each user's trace chunked on demand.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::workload {
+
+/// Incremental `hour,demand` CSV parser.  Feed chunks in file order, then
+/// call finish() exactly once.  Reusable after reset().
+class ChunkedTraceParser {
+ public:
+  /// Consumes the next chunk of the file.  Chunk boundaries may fall
+  /// anywhere, including mid-line, mid-field or between CR and LF.
+  void feed(std::string_view chunk);
+
+  /// Flushes the final (unterminated) line and returns the trace, or
+  /// nullopt with `*error` filled (when non-null) exactly as
+  /// DemandTrace::from_csv would for the concatenation of all chunks.
+  /// The parser must be reset() before reuse.
+  std::optional<DemandTrace> finish(common::CsvError* error = nullptr);
+
+  /// Returns the parser to its freshly-constructed state.
+  void reset();
+
+  /// Hours accepted so far (diagnostics, progress reporting).
+  Hour hours_parsed() const { return static_cast<Hour>(demand_.size()); }
+
+ private:
+  void consume_line(std::string_view line);
+
+  std::string pending_;        ///< bytes after the last newline seen
+  std::vector<Count> demand_;  ///< validated demand values so far
+  std::size_t line_number_ = 0;
+  bool header_seen_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+  common::CsvError error_;  ///< first failure wins, like from_csv
+};
+
+/// Default read-buffer size for chunked file loading (64 KiB: small enough
+/// to keep a shard's working set cache-friendly, large enough that syscall
+/// overhead is noise).
+inline constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+/// Reads `path` through a `chunk_bytes`-sized buffer into a trace.  Memory
+/// is O(chunk + output), never O(file).  On failure fills `*error` (path,
+/// errno or 1-based line) when non-null.
+std::optional<DemandTrace> load_trace_chunked(const std::string& path,
+                                              common::CsvError* error = nullptr,
+                                              std::size_t chunk_bytes = kDefaultChunkBytes);
+
+/// One unit pulled from a user stream: either a ready user or the error
+/// that kept it from loading (the sweep decides whether that quarantines
+/// the user or fails the run — see BatchOptions in sim/batch_engine.hpp).
+struct StreamedUser {
+  User user;
+  bool ok = true;
+  common::CsvError error;
+};
+
+/// Pull interface feeding users to the batch engine shard by shard.
+class UserStreamSource {
+ public:
+  virtual ~UserStreamSource() = default;
+
+  /// Fills `out` with the next user (or its load error).  Returns false at
+  /// end of stream (out is untouched).
+  virtual bool next(StreamedUser& out) = 0;
+
+  /// Rewinds to the first user; the stream must replay identically
+  /// (checkpoint resume re-reads the already-completed prefix).
+  virtual void rewind() = 0;
+};
+
+/// In-memory adapter: streams an existing user span (tests, small runs).
+class SpanUserSource final : public UserStreamSource {
+ public:
+  explicit SpanUserSource(std::span<const User> users) : users_(users) {}
+
+  bool next(StreamedUser& out) override;
+  void rewind() override { position_ = 0; }
+
+ private:
+  std::span<const User> users_;
+  std::size_t position_ = 0;
+};
+
+/// Streams users from a manifest CSV with header `id,group,path`: one row
+/// per user, `group` in {stable, moderate, high} (see workload/classify),
+/// `path` a trace CSV readable by load_trace_chunked, resolved relative to
+/// the manifest's directory when not absolute.  The manifest itself is
+/// loaded eagerly (three small fields per user); traces are loaded chunked,
+/// one user at a time, when next() is called — the bounded-memory part.
+/// A malformed manifest *row* or unreadable/invalid trace yields a
+/// StreamedUser with ok=false; an unreadable manifest file throws
+/// std::runtime_error at construction.
+class TraceManifestSource final : public UserStreamSource {
+ public:
+  explicit TraceManifestSource(const std::string& manifest_path,
+                               std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  bool next(StreamedUser& out) override;
+  void rewind() override { position_ = 0; }
+
+  std::size_t user_count() const { return rows_.size(); }
+
+ private:
+  struct ManifestRow {
+    int id = 0;
+    FluctuationGroup group = FluctuationGroup::kStable;
+    std::string path;
+    bool ok = true;
+    std::string error_message;  ///< when !ok: why the row is unusable
+    std::size_t line = 0;       ///< 1-based manifest line
+  };
+
+  std::string manifest_path_;
+  std::string manifest_dir_;
+  std::size_t chunk_bytes_;
+  std::vector<ManifestRow> rows_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace rimarket::workload

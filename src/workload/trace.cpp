@@ -7,8 +7,39 @@
 #include "common/fault_injection.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
+#include "workload/trace_detail.hpp"
 
 namespace rimarket::workload {
+
+namespace detail {
+
+bool append_trace_row(const common::CsvRow& row, Hour expected, std::vector<Count>& demand,
+                      std::string* message) {
+  if (row.size() != 2) {
+    *message = common::format("expected 2 fields (hour,demand), got %zu", row.size());
+    return false;
+  }
+  const auto hour = common::parse_int(row[0]);
+  const auto value = common::parse_int(row[1]);
+  if (!hour || !value) {
+    *message =
+        common::format("non-numeric field in row \"%s,%s\"", row[0].c_str(), row[1].c_str());
+    return false;
+  }
+  if (*hour != expected) {
+    *message = common::format("hour %lld out of sequence (expected %lld)",
+                              static_cast<long long>(*hour), static_cast<long long>(expected));
+    return false;
+  }
+  if (*value < 0) {
+    *message = common::format("negative demand %lld", static_cast<long long>(*value));
+    return false;
+  }
+  demand.push_back(*value);
+  return true;
+}
+
+}  // namespace detail
 
 DemandTrace::DemandTrace(std::vector<Count> demand) : demand_(std::move(demand)) {
   for (Count d : demand_) {
@@ -114,27 +145,10 @@ std::optional<DemandTrace> DemandTrace::from_csv(std::string_view text,
   demand.reserve(doc.rows.size());
   Hour expected = 0;
   for (std::size_t i = 0; i < doc.rows.size(); ++i) {
-    const common::CsvRow& row = doc.rows[i];
-    const std::size_t line = doc.row_lines[i];
-    if (row.size() != 2) {
-      return fail(line, common::format("expected 2 fields (hour,demand), got %zu", row.size()));
+    std::string message;
+    if (!detail::append_trace_row(doc.rows[i], expected, demand, &message)) {
+      return fail(doc.row_lines[i], std::move(message));
     }
-    const auto hour = common::parse_int(row[0]);
-    const auto value = common::parse_int(row[1]);
-    if (!hour || !value) {
-      return fail(line, common::format("non-numeric field in row \"%s,%s\"", row[0].c_str(),
-                                       row[1].c_str()));
-    }
-    if (*hour != expected) {
-      return fail(line, common::format("hour %lld out of sequence (expected %lld)",
-                                       static_cast<long long>(*hour),
-                                       static_cast<long long>(expected)));
-    }
-    if (*value < 0) {
-      return fail(line,
-                  common::format("negative demand %lld", static_cast<long long>(*value)));
-    }
-    demand.push_back(*value);
     ++expected;
   }
   return DemandTrace(std::move(demand));

@@ -1,0 +1,23 @@
+// Internal: the per-row validation shared by DemandTrace::from_csv and the
+// chunked streaming parser (workload/streaming.hpp).  Both ingestion paths
+// call the same function on every parsed `hour,demand` row, so they cannot
+// drift: a file is valid chunked iff it is valid whole, with the identical
+// diagnosis either way.  Not installed API — include only from workload/*.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/types.hpp"
+
+namespace rimarket::workload::detail {
+
+/// Validates one parsed CSV row as the `expected`-th trace row and appends
+/// its demand value.  On failure returns false and fills `*message` with
+/// the same diagnosis DemandTrace::from_csv reports (the caller adds the
+/// 1-based line number via CsvError).
+bool append_trace_row(const common::CsvRow& row, Hour expected, std::vector<Count>& demand,
+                      std::string* message);
+
+}  // namespace rimarket::workload::detail

@@ -7,16 +7,50 @@
 
 namespace rimarket::workload {
 
+namespace {
+
+/// Output length of an upsample/delay-style transform, with the size
+/// arithmetic guarded: at million-user x multi-year scales a careless
+/// `length * factor` in the signed Hour domain is UB long before the
+/// allocation would fail.  Mirrors the ReservationStream::total() guard.
+Hour checked_mul(Hour a, Hour b) {
+  Hour out = 0;
+  RIMARKET_CHECK_MSG(!__builtin_mul_overflow(a, b, &out),
+                     "trace transform output length overflows Hour");
+  return out;
+}
+
+Hour checked_add(Hour a, Hour b) {
+  Hour out = 0;
+  RIMARKET_CHECK_MSG(!__builtin_add_overflow(a, b, &out),
+                     "trace transform output length overflows Hour");
+  return out;
+}
+
+/// Number of `factor`-wide windows covering `length` hours.  The naive
+/// ceil-division idiom `(length + factor - 1) / factor` overflows when
+/// length is near the Hour maximum; this form cannot.
+Hour window_count(Hour length, Hour factor) {
+  return length / factor + (length % factor != 0 ? 1 : 0);
+}
+
+}  // namespace
+
 DemandTrace downsample_max(const DemandTrace& trace, Hour factor) {
   RIMARKET_EXPECTS(factor >= 1);
   std::vector<Count> out;
-  out.reserve(static_cast<std::size_t>((trace.length() + factor - 1) / factor));
-  for (Hour start = 0; start < trace.length(); start += factor) {
+  out.reserve(static_cast<std::size_t>(window_count(trace.length(), factor)));
+  for (Hour start = 0; start < trace.length();) {
+    // Window end computed subtraction-side so `start + factor` never
+    // overflows for huge factors (a legal "one window" request).
+    const Hour end =
+        factor >= trace.length() - start ? trace.length() : start + factor;
     Count peak = 0;
-    for (Hour h = start; h < std::min(trace.length(), start + factor); ++h) {
+    for (Hour h = start; h < end; ++h) {
       peak = std::max(peak, trace.at(h));
     }
     out.push_back(peak);
+    start = end;
   }
   return DemandTrace(std::move(out));
 }
@@ -24,15 +58,18 @@ DemandTrace downsample_max(const DemandTrace& trace, Hour factor) {
 DemandTrace downsample_mean(const DemandTrace& trace, Hour factor) {
   RIMARKET_EXPECTS(factor >= 1);
   std::vector<Count> out;
-  out.reserve(static_cast<std::size_t>((trace.length() + factor - 1) / factor));
-  for (Hour start = 0; start < trace.length(); start += factor) {
+  out.reserve(static_cast<std::size_t>(window_count(trace.length(), factor)));
+  for (Hour start = 0; start < trace.length();) {
+    const Hour end =
+        factor >= trace.length() - start ? trace.length() : start + factor;
     double sum = 0.0;
     Hour counted = 0;
-    for (Hour h = start; h < std::min(trace.length(), start + factor); ++h) {
+    for (Hour h = start; h < end; ++h) {
       sum += static_cast<double>(trace.at(h));
       ++counted;
     }
     out.push_back(static_cast<Count>(sum / static_cast<double>(counted) + 0.5));
+    start = end;
   }
   return DemandTrace(std::move(out));
 }
@@ -40,7 +77,7 @@ DemandTrace downsample_mean(const DemandTrace& trace, Hour factor) {
 DemandTrace upsample_repeat(const DemandTrace& trace, Hour factor) {
   RIMARKET_EXPECTS(factor >= 1);
   std::vector<Count> out;
-  out.reserve(static_cast<std::size_t>(trace.length() * factor));
+  out.reserve(static_cast<std::size_t>(checked_mul(trace.length(), factor)));
   for (Hour h = 0; h < trace.length(); ++h) {
     for (Hour k = 0; k < factor; ++k) {
       out.push_back(trace.at(h));
@@ -53,8 +90,15 @@ DemandTrace scale(const DemandTrace& trace, double factor) {
   RIMARKET_EXPECTS(factor >= 0.0);
   std::vector<Count> out;
   out.reserve(static_cast<std::size_t>(trace.length()));
+  // Largest double exactly representable check: casting a value outside
+  // [0, Count max] to Count is UB, so reject before the cast instead of
+  // returning garbage.  The bound is the first power of two *above* the
+  // Count range, which is exactly representable as a double.
+  constexpr double kCountLimit = 9223372036854775808.0;  // 2^63
   for (Hour h = 0; h < trace.length(); ++h) {
-    out.push_back(static_cast<Count>(std::floor(static_cast<double>(trace.at(h)) * factor + 0.5)));
+    const double scaled = std::floor(static_cast<double>(trace.at(h)) * factor + 0.5);
+    RIMARKET_CHECK_MSG(scaled < kCountLimit, "scaled demand overflows Count");
+    out.push_back(static_cast<Count>(scaled));
   }
   return DemandTrace(std::move(out));
 }
@@ -71,8 +115,11 @@ DemandTrace clip(const DemandTrace& trace, Count cap) {
 
 DemandTrace delay(const DemandTrace& trace, Hour hours) {
   RIMARKET_EXPECTS(hours >= 0);
+  // Guard the total length BEFORE sizing the prefix: the overflow check is
+  // useless if the zero-fill allocation already ran with a poisoned size.
+  const Hour total = checked_add(hours, trace.length());
   std::vector<Count> out(static_cast<std::size_t>(hours), 0);
-  out.reserve(static_cast<std::size_t>(hours + trace.length()));
+  out.reserve(static_cast<std::size_t>(total));
   for (Hour h = 0; h < trace.length(); ++h) {
     out.push_back(trace.at(h));
   }

@@ -25,6 +25,20 @@ TEST(MetricsRegistry, IncrementCreatesAndAccumulates) {
   EXPECT_EQ(registry.get("sweeps"), 5.0);
 }
 
+TEST(MetricsRegistry, AddCreatesAndAccumulatesGauges) {
+  MetricsRegistry registry;
+  registry.add("backoff_ms", 10.0);
+  registry.add("backoff_ms", 2.5);
+  EXPECT_EQ(registry.get("backoff_ms"), 12.5);
+}
+
+TEST(MetricsRegistry, AddPromotesAnIntegerSlotToGauge) {
+  MetricsRegistry registry;
+  registry.increment("mixed", 3);
+  registry.add("mixed", 0.5);
+  EXPECT_EQ(registry.get("mixed"), 3.5);
+}
+
 TEST(MetricsRegistry, SetOverwritesKind) {
   MetricsRegistry registry;
   registry.set("x", 2.5);

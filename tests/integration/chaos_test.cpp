@@ -28,7 +28,9 @@
 #include "common/alloc_hook.hpp"
 #include "common/csv.hpp"
 #include "common/fault_injection.hpp"
+#include "sim/batch_engine.hpp"
 #include "workload/population.hpp"
+#include "workload/streaming.hpp"
 #include "workload/trace.hpp"
 
 namespace rimarket::sim {
@@ -224,6 +226,184 @@ TEST(ChaosSweep, SweepWiresTheDocumentedSites) {
   EXPECT_TRUE(seen.count(std::string(fi::kSiteRunLoop)));
   EXPECT_TRUE(seen.count(std::string(fi::kSitePoolSubmit)));
   EXPECT_TRUE(seen.count(std::string(fi::kSitePoolTask)));
+}
+
+// Installs a process-global schedule for the current scope and always
+// clears it on exit, so a failing assertion cannot poison later tests.
+class ScopedGlobalSchedule {
+ public:
+  explicit ScopedGlobalSchedule(const fi::Schedule& schedule) {
+    fi::set_global_schedule(&schedule);
+  }
+  ~ScopedGlobalSchedule() { fi::set_global_schedule(nullptr); }
+};
+
+TEST(ChaosBatch, BatchMatchesOracleUnderSchedules) {
+  // The batch engine's parity contract holds under chaos too: per-attempt
+  // fault placement is keyed by (seed, user, attempt), so the columnar
+  // admission probe must quarantine the same users after the same retries
+  // and the survivors must carry the identical fault-free numbers.
+  const std::array<std::string_view, 3> sites = {fi::kSiteEvaluateUser, fi::kSiteRunScenario,
+                                                 fi::kSiteRunLoop};
+  const std::vector<workload::User> users = chaos_users();
+  const std::uint64_t base = chaos_base_seed() + 2000;
+  for (int i = 0; i < 20; ++i) {
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+    EvaluationSpec spec = chaos_spec(4);
+    spec.chaos_schedule = &schedule;
+    const SweepReport oracle = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+    BatchOptions options;
+    options.shard_size = 2;
+    expect_same_report(oracle, evaluate_sweep_batch(users, spec, options));
+
+    // And again single-threaded with a different sharding.
+    EvaluationSpec serial = chaos_spec(1);
+    serial.chaos_schedule = &schedule;
+    BatchOptions one;
+    one.shard_size = 1;
+    expect_same_report(oracle, evaluate_sweep_batch(users, serial, one));
+  }
+}
+
+TEST(ChaosBatch, ShardStepFaultIsRecoverableViaCheckpoint) {
+  const std::vector<workload::User> users = chaos_users();
+  const EvaluationSpec spec = chaos_spec(1);  // one worker: global hits are ordered
+  const SweepReport oracle = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+  const std::string path = testing::TempDir() + "/rimarket_chaos_shard.ckpt";
+  std::remove(path.c_str());
+  BatchOptions options;
+  options.shard_size = 2;
+  options.checkpoint_path = path;
+
+  {  // Second shard step dies mid-run; the first shard was checkpointed.
+    fi::Rule rule;
+    rule.site_pattern = std::string(fi::kSiteBatchShardStep);
+    rule.nth_hit = 2;
+    const fi::Schedule schedule(11, {rule});
+    ScopedGlobalSchedule installed(schedule);
+    BatchSweepEngine engine(spec, options);
+    EXPECT_THROW(engine.run(std::span<const workload::User>(users)), fi::InjectedFault);
+  }
+
+  // The crashed run left a resumable checkpoint: the rerun completes and is
+  // byte-identical to the oracle.
+  BatchSweepEngine engine(spec, options);
+  const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+  ASSERT_TRUE(outcome.finished);
+  expect_same_report(oracle, outcome.report);
+}
+
+TEST(ChaosBatch, CheckpointWriteFaultDegradesGracefully) {
+  const std::vector<workload::User> users = chaos_users();
+  const EvaluationSpec spec = chaos_spec(1);
+  const SweepReport oracle = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+  const std::string path = testing::TempDir() + "/rimarket_chaos_ckpt_write.ckpt";
+  std::remove(path.c_str());
+  BatchOptions options;
+  options.shard_size = 2;
+  options.checkpoint_path = path;
+
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteBatchCheckpointWrite);
+  rule.probability = 1.0;  // every checkpoint write fails
+  const fi::Schedule schedule(12, {rule});
+  ScopedGlobalSchedule installed(schedule);
+  BatchSweepEngine engine(spec, options);
+  const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+  ASSERT_TRUE(outcome.finished);  // losing checkpoints never kills the run
+  expect_same_report(oracle, outcome.report);
+}
+
+TEST(ChaosBatch, CheckpointLoadFaultStartsFresh) {
+  const std::vector<workload::User> users = chaos_users();
+  const EvaluationSpec spec = chaos_spec(1);
+  const SweepReport oracle = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+  const std::string path = testing::TempDir() + "/rimarket_chaos_ckpt_load.ckpt";
+  std::remove(path.c_str());
+  BatchOptions sliced;
+  sliced.shard_size = 2;
+  sliced.checkpoint_path = path;
+  sliced.max_shards_per_run = 1;
+  {  // Leave a genuine checkpoint behind.
+    BatchSweepEngine engine(spec, sliced);
+    const BatchSweepOutcome partial = engine.run(std::span<const workload::User>(users));
+    ASSERT_FALSE(partial.finished);
+  }
+
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteBatchCheckpointLoad);
+  rule.kind = fi::FaultKind::kParseError;
+  rule.nth_hit = 1;
+  const fi::Schedule schedule(13, {rule});
+  ScopedGlobalSchedule installed(schedule);
+  BatchOptions full;
+  full.shard_size = 2;
+  full.checkpoint_path = path;
+  BatchSweepEngine engine(spec, full);
+  const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+  ASSERT_TRUE(outcome.finished);  // unreadable checkpoint = fresh start, not a crash
+  expect_same_report(oracle, outcome.report);
+}
+
+TEST(ChaosBatch, WiresTheDocumentedSites) {
+  const std::vector<workload::User> users = chaos_users();
+  const std::string path = testing::TempDir() + "/rimarket_chaos_sites.ckpt";
+  std::remove(path.c_str());
+  BatchOptions sliced;
+  sliced.shard_size = 2;
+  sliced.checkpoint_path = path;
+  sliced.max_shards_per_run = 1;
+  const EvaluationSpec spec = chaos_spec(1);
+  {  // First run writes a checkpoint, second run loads it.
+    BatchSweepEngine engine(spec, sliced);
+    (void)engine.run(std::span<const workload::User>(users));
+  }
+  BatchOptions full;
+  full.shard_size = 2;
+  full.checkpoint_path = path;
+  {
+    BatchSweepEngine engine(spec, full);
+    (void)engine.run(std::span<const workload::User>(users));
+  }
+  (void)workload::load_trace_chunked(testing::TempDir() + "/rimarket_absent.csv");
+  workload::ChunkedTraceParser parser;
+  parser.feed("hour,demand\n0,1\n");
+  (void)parser.finish();
+
+  const std::vector<std::string> sites = fi::seen_sites();
+  const std::set<std::string> seen(sites.begin(), sites.end());
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteBatchShardStep)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteBatchCheckpointWrite)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteBatchCheckpointLoad)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteTraceStream)));
+}
+
+TEST(ChaosIngestion, ChunkedTraceParserReportsInjectedFaultsCleanly) {
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteTraceStream);
+  rule.kind = fi::FaultKind::kParseError;
+  rule.nth_hit = 1;
+  const fi::Schedule schedule(14, {rule});
+  fi::ScopedContext context(schedule, 1);
+
+  workload::ChunkedTraceParser parser;
+  parser.feed("hour,demand\n0,3\n");
+  common::CsvError error;
+  EXPECT_FALSE(parser.finish(&error).has_value());
+  EXPECT_NE(error.message.find("injected"), std::string::npos);
+
+  // The nth-hit rule is spent: a fresh parse of the same bytes succeeds.
+  parser.reset();
+  parser.feed("hour,demand\n0,3\n");
+  const auto trace = parser.finish(&error);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->at(0), 3);
 }
 
 TEST(ChaosIngestion, CsvAndTraceParsersReportInjectedFaultsCleanly) {

@@ -1,0 +1,434 @@
+// Parity property tests for the columnar batch sweep engine: against the
+// per-user oracle (evaluate_sweep), equality means EXACT double equality —
+// same bits, not same-within-tolerance.  Any divergence is a bug in the
+// batch engine's replication of the hour loop, the seeding or the failure
+// bookkeeping, never acceptable drift.
+#include "sim/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "sim/runner.hpp"
+#include "workload/population.hpp"
+#include "workload/streaming.hpp"
+
+namespace rimarket::sim {
+namespace {
+
+std::vector<workload::User> small_population(std::uint64_t seed, int users_per_group = 3,
+                                             Hour trace_hours = 3000) {
+  workload::PopulationSpec spec;
+  spec.users_per_group = users_per_group;
+  spec.trace_hours = trace_hours;
+  spec.seed = seed;
+  const workload::UserPopulation population = workload::UserPopulation::build(spec);
+  return {population.users().begin(), population.users().end()};
+}
+
+EvaluationSpec base_spec() {
+  EvaluationSpec spec;
+  spec.sim.type = pricing::InstanceType{"tiny.test", Rate{1.0}, Money{500.0}, Rate{0.25}, 1000};
+  spec.sim.selling_discount = Fraction{0.8};
+  spec.sellers = paper_sellers(Fraction{0.75});
+  spec.seed = 5;
+  spec.threads = 2;
+  return spec;
+}
+
+/// Exact-bits double equality: the parity contract is byte-identical, so
+/// +0.0 vs -0.0 or 1-ulp drift must fail.
+::testing::AssertionResult same_bits(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ (bits " << std::bit_cast<std::uint64_t>(a)
+         << " vs " << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+void expect_reports_identical(const SweepReport& oracle, const SweepReport& batch) {
+  ASSERT_EQ(oracle.results.size(), batch.results.size());
+  for (std::size_t i = 0; i < oracle.results.size(); ++i) {
+    const ScenarioResult& a = oracle.results[i];
+    const ScenarioResult& b = batch.results[i];
+    ASSERT_EQ(a.user_id, b.user_id) << "row " << i;
+    ASSERT_EQ(a.group, b.group) << "row " << i;
+    ASSERT_EQ(a.purchaser, b.purchaser) << "row " << i;
+    ASSERT_EQ(a.seller.kind, b.seller.kind) << "row " << i;
+    ASSERT_TRUE(same_bits(a.seller.fraction.value(), b.seller.fraction.value())) << "row " << i;
+    ASSERT_TRUE(same_bits(a.net_cost.value(), b.net_cost.value()))
+        << "row " << i << " user " << a.user_id;
+    ASSERT_EQ(a.reservations_made, b.reservations_made) << "row " << i;
+    ASSERT_EQ(a.instances_sold, b.instances_sold) << "row " << i;
+    ASSERT_EQ(a.on_demand_hours, b.on_demand_hours) << "row " << i;
+  }
+  ASSERT_EQ(oracle.quarantined.size(), batch.quarantined.size());
+  for (std::size_t i = 0; i < oracle.quarantined.size(); ++i) {
+    EXPECT_EQ(oracle.quarantined[i].user_id, batch.quarantined[i].user_id);
+    EXPECT_EQ(oracle.quarantined[i].site, batch.quarantined[i].site);
+    EXPECT_EQ(oracle.quarantined[i].attempts, batch.quarantined[i].attempts);
+    EXPECT_EQ(oracle.quarantined[i].message, batch.quarantined[i].message);
+  }
+  EXPECT_EQ(oracle.retries, batch.retries);
+  EXPECT_EQ(oracle.injected_faults, batch.injected_faults);
+  EXPECT_TRUE(same_bits(oracle.virtual_backoff_ms, batch.virtual_backoff_ms));
+}
+
+void expect_parity(std::span<const workload::User> users, const EvaluationSpec& spec,
+                   const BatchOptions& options = BatchOptions{}) {
+  const SweepReport oracle = evaluate_sweep(users, spec);
+  const SweepReport batch = evaluate_sweep_batch(users, spec, options);
+  expect_reports_identical(oracle, batch);
+}
+
+TEST(BatchSupported, AcceptsPaperLineUpRejectsTheRest) {
+  EvaluationSpec spec = base_spec();
+  EXPECT_TRUE(BatchSweepEngine::supported(spec));
+
+  spec.sellers.push_back(SellerSpec{SellerKind::kRandomizedSpot, Fraction{0.0}});
+  std::string why;
+  EXPECT_FALSE(BatchSweepEngine::supported(spec, &why));
+  EXPECT_NE(why.find("parity contract"), std::string::npos);
+
+  spec = base_spec();
+  spec.sim.income_model = [](const pricing::InstanceType& type, Hour age, Fraction discount) {
+    return type.sale_income(age, discount);
+  };
+  EXPECT_FALSE(BatchSweepEngine::supported(spec, &why));
+  EXPECT_NE(why.find("income model"), std::string::npos);
+}
+
+TEST(BatchSupported, UnsupportedSpecThrowsInvalidArgument) {
+  EvaluationSpec spec = base_spec();
+  spec.sellers.push_back(SellerSpec{SellerKind::kOfflineOptimal, Fraction{0.0}});
+  const auto users = small_population(11, 1);
+  EXPECT_THROW(evaluate_sweep_batch(users, spec), std::invalid_argument);
+}
+
+TEST(BatchParity, PaperLineUpByteIdentical) {
+  const auto users = small_population(21);
+  expect_parity(users, base_spec());
+}
+
+TEST(BatchParity, RandomizedPopulationsAndShardSizes) {
+  // Property sweep: several seeded populations, awkward shard sizes (1 =
+  // degenerate, 4 = users straddle shards, 1024 = one shard) and both
+  // serial and parallel pools.
+  for (const std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+    const auto users = small_population(seed);
+    for (const std::size_t shard_size : {std::size_t{1}, std::size_t{4}, std::size_t{1024}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        EvaluationSpec spec = base_spec();
+        spec.seed = seed;
+        spec.threads = threads;
+        BatchOptions options;
+        options.shard_size = shard_size;
+        expect_parity(users, spec, options);
+      }
+    }
+  }
+}
+
+TEST(BatchParity, ConfigMatrixByteIdentical) {
+  const auto users = small_population(31);
+
+  // Marketplace service fee (post-fee income path).
+  EvaluationSpec spec = base_spec();
+  spec.sim.service_fee = Fraction{0.12};
+  expect_parity(users, spec);
+
+  // Idle-hour resale income (related-work baseline).
+  spec = base_spec();
+  spec.sim.idle_resale_rate = Rate{0.4};
+  spec.sim.idle_resale_probability = Fraction{0.35};
+  expect_parity(users, spec);
+
+  // Worked-hours-only billing (competitive-analysis convention).
+  spec = base_spec();
+  spec.sim.charge_policy = fleet::ChargePolicy::kWorkedHoursOnly;
+  expect_parity(users, spec);
+
+  // Horizon shorter and longer than the traces (zero-demand tail).
+  spec = base_spec();
+  spec.sim.horizon = 1700;
+  expect_parity(users, spec);
+  spec.sim.horizon = 4200;
+  expect_parity(users, spec);
+
+  // Non-paper all-selling fraction.
+  spec = base_spec();
+  spec.sellers = paper_sellers(Fraction{0.6});
+  expect_parity(users, spec);
+
+  // Everything at once.
+  spec = base_spec();
+  spec.sim.service_fee = Fraction{0.12};
+  spec.sim.idle_resale_rate = Rate{0.3};
+  spec.sim.idle_resale_probability = Fraction{0.5};
+  spec.sim.horizon = 2600;
+  spec.sellers = paper_sellers(Fraction{0.5});
+  expect_parity(users, spec);
+}
+
+TEST(BatchParity, QuarantinePolicyWithBrokenUsers) {
+  auto users = small_population(41);
+  users[1] = workload::User{901, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[5] = workload::User{900, workload::FluctuationGroup::kHigh, 0.0, "broken", {}};
+  EvaluationSpec spec = base_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 3;
+  spec.backoff_base_ms = 10.0;
+  BatchOptions options;
+  options.shard_size = 2;  // broken users land in different shards
+  expect_parity(users, spec, options);
+}
+
+TEST(BatchParity, FailFastThrowsTheSameSweepError) {
+  auto users = small_population(51);
+  users[0] = workload::User{905, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  users[4] = workload::User{903, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  const EvaluationSpec spec = base_spec();
+
+  std::string oracle_what;
+  std::vector<UserFailure> oracle_failures;
+  try {
+    evaluate_sweep(std::span<const workload::User>(users), spec);
+    FAIL() << "oracle must throw SweepError";
+  } catch (const SweepError& error) {
+    oracle_what = error.what();
+    oracle_failures = error.failures();
+  }
+  try {
+    evaluate_sweep_batch(users, spec);
+    FAIL() << "batch must throw SweepError";
+  } catch (const SweepError& error) {
+    EXPECT_EQ(oracle_what, error.what());
+    ASSERT_EQ(oracle_failures.size(), error.failures().size());
+    for (std::size_t i = 0; i < oracle_failures.size(); ++i) {
+      EXPECT_EQ(oracle_failures[i].user_id, error.failures()[i].user_id);
+      EXPECT_EQ(oracle_failures[i].message, error.failures()[i].message);
+    }
+  }
+}
+
+TEST(BatchParity, StreamingSourceMatchesSpanRun) {
+  const auto users = small_population(61);
+  const EvaluationSpec spec = base_spec();
+  const SweepReport oracle = evaluate_sweep(users, spec);
+
+  workload::SpanUserSource source{std::span<const workload::User>(users)};
+  BatchOptions options;
+  options.shard_size = 4;
+  BatchSweepEngine engine(spec, options);
+  BatchSweepOutcome outcome = engine.run(source);
+  ASSERT_TRUE(outcome.finished);
+  EXPECT_EQ(outcome.shards_done, (users.size() + 3) / 4);
+  expect_reports_identical(oracle, outcome.report);
+}
+
+/// Stream source that yields a mix of good users and failed loads, as a
+/// manifest over missing trace files would.
+class FlakySource final : public workload::UserStreamSource {
+ public:
+  explicit FlakySource(std::span<const workload::User> users) : users_(users) {}
+
+  bool next(workload::StreamedUser& out) override {
+    if (position_ >= users_.size() + 2) {
+      return false;
+    }
+    // Positions 1 and users_.size()+1 are ingestion failures.
+    if (position_ == 1 || position_ == users_.size() + 1) {
+      out = workload::StreamedUser{};
+      out.user.id = 800 + static_cast<int>(position_);
+      out.ok = false;
+      out.error = common::CsvError{"traces/missing.csv", 2, 0, "No such file or directory"};
+      ++position_;
+      return true;
+    }
+    const std::size_t index = position_ > 1 ? position_ - 1 : position_;
+    out = workload::StreamedUser{};
+    out.user = users_[index];
+    ++position_;
+    return true;
+  }
+
+  void rewind() override { position_ = 0; }
+
+ private:
+  std::span<const workload::User> users_;
+  std::size_t position_ = 0;
+};
+
+TEST(BatchStreaming, IngestionFailuresAreQuarantinedWithoutRetry) {
+  const auto users = small_population(71, 2);
+  EvaluationSpec spec = base_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 3;
+  FlakySource source{std::span<const workload::User>(users)};
+  BatchOptions options;
+  options.shard_size = 3;
+  BatchSweepEngine engine(spec, options);
+  const BatchSweepOutcome outcome = engine.run(source);
+  ASSERT_TRUE(outcome.finished);
+  ASSERT_EQ(outcome.report.quarantined.size(), 2u);
+  for (const QuarantinedUser& entry : outcome.report.quarantined) {
+    EXPECT_EQ(entry.attempts, 1);  // ingestion is not retried
+    EXPECT_TRUE(entry.site.empty());
+    EXPECT_NE(entry.message.find("missing.csv"), std::string::npos);
+  }
+  // No retries were burned on load failures.
+  EXPECT_EQ(outcome.report.retries, 0u);
+  // Survivors match the plain sweep over the good users.
+  const SweepReport oracle = evaluate_sweep(users, spec);
+  ASSERT_EQ(outcome.report.results.size(), oracle.results.size());
+  for (std::size_t i = 0; i < oracle.results.size(); ++i) {
+    EXPECT_EQ(outcome.report.results[i].user_id, oracle.results[i].user_id);
+    EXPECT_TRUE(
+        same_bits(outcome.report.results[i].net_cost.value(), oracle.results[i].net_cost.value()));
+  }
+}
+
+TEST(BatchStreaming, FailFastIncludesIngestionFailures) {
+  const auto users = small_population(81, 1);
+  EvaluationSpec spec = base_spec();
+  FlakySource source{std::span<const workload::User>(users)};
+  BatchSweepEngine engine(spec, BatchOptions{});
+  EXPECT_THROW(engine.run(source), SweepError);
+}
+
+std::string temp_checkpoint_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BatchCheckpoint, SlicedRunsResumeByteIdentically) {
+  const auto users = small_population(91);
+  const EvaluationSpec spec = base_spec();
+  const SweepReport oracle = evaluate_sweep(users, spec);
+
+  const std::string path = temp_checkpoint_path("rimarket_batch_resume.ckpt");
+  std::remove(path.c_str());
+  BatchOptions options;
+  options.shard_size = 2;
+  options.checkpoint_path = path;
+  options.max_shards_per_run = 1;  // one shard per run(): maximally sliced
+
+  // Drive the sweep as a chain of killed-and-restarted runs: every run()
+  // call is a fresh engine resuming purely from the checkpoint file.
+  SweepReport final_report;
+  bool finished = false;
+  for (int run = 0; run < 64 && !finished; ++run) {
+    BatchSweepEngine engine(spec, options);
+    BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+    finished = outcome.finished;
+    if (finished) {
+      final_report = std::move(outcome.report);
+    }
+  }
+  ASSERT_TRUE(finished) << "sliced sweep never completed";
+  expect_reports_identical(oracle, final_report);
+  // The checkpoint is deleted on completion.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(file, nullptr);
+  if (file != nullptr) {
+    std::fclose(file);
+  }
+}
+
+TEST(BatchCheckpoint, QuarantineStateSurvivesResume) {
+  auto users = small_population(101);
+  users[2] = workload::User{907, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  EvaluationSpec spec = base_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 2;
+  const SweepReport oracle = evaluate_sweep(std::span<const workload::User>(users), spec);
+
+  const std::string path = temp_checkpoint_path("rimarket_batch_quarantine.ckpt");
+  std::remove(path.c_str());
+  BatchOptions options;
+  options.shard_size = 3;
+  options.checkpoint_path = path;
+  options.max_shards_per_run = 1;
+  SweepReport final_report;
+  bool finished = false;
+  for (int run = 0; run < 64 && !finished; ++run) {
+    BatchSweepEngine engine(spec, options);
+    BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+    finished = outcome.finished;
+    if (finished) {
+      final_report = std::move(outcome.report);
+    }
+  }
+  ASSERT_TRUE(finished);
+  expect_reports_identical(oracle, final_report);
+}
+
+TEST(BatchCheckpoint, CorruptFileRestartsFresh) {
+  const auto users = small_population(111, 2);
+  const EvaluationSpec spec = base_spec();
+  const std::string path = temp_checkpoint_path("rimarket_batch_corrupt.ckpt");
+  ASSERT_TRUE(common::write_file(path, "rimarket-batch-checkpoint v1\nfp zzz\ngarbage\n"));
+  BatchOptions options;
+  options.checkpoint_path = path;
+  options.shard_size = 4;
+  const SweepReport oracle = evaluate_sweep(users, spec);
+  const SweepReport batch = evaluate_sweep_batch(users, spec, options);
+  expect_reports_identical(oracle, batch);
+}
+
+TEST(BatchCheckpoint, DifferentSpecCheckpointIsIgnored) {
+  const auto users = small_population(121, 2);
+  EvaluationSpec spec = base_spec();
+  const std::string path = temp_checkpoint_path("rimarket_batch_othspec.ckpt");
+  std::remove(path.c_str());
+
+  // Complete a sliced run's first shard under seed A, leaving a checkpoint.
+  BatchOptions options;
+  options.shard_size = 2;
+  options.checkpoint_path = path;
+  options.max_shards_per_run = 1;
+  {
+    BatchSweepEngine engine(spec, options);
+    const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+    ASSERT_FALSE(outcome.finished);
+  }
+
+  // A different seed must not resume from it (fingerprint mismatch) — and
+  // must still produce oracle-identical results from scratch.
+  spec.seed = 999;
+  BatchOptions full;
+  full.shard_size = 2;
+  full.checkpoint_path = path;
+  const SweepReport oracle = evaluate_sweep(users, spec);
+  const SweepReport batch = evaluate_sweep_batch(users, spec, full);
+  expect_reports_identical(oracle, batch);
+  std::remove(path.c_str());
+}
+
+TEST(BatchOutcome, ShardAccounting) {
+  const auto users = small_population(131);  // 9 users
+  const EvaluationSpec spec = base_spec();
+  BatchOptions options;
+  options.shard_size = 4;
+  BatchSweepEngine engine(spec, options);
+  const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>(users));
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_EQ(outcome.shards_done, 3u);
+  EXPECT_EQ(outcome.shards_total, 3u);
+}
+
+TEST(BatchOutcome, EmptyPopulation) {
+  const EvaluationSpec spec = base_spec();
+  BatchSweepEngine engine(spec, BatchOptions{});
+  const BatchSweepOutcome outcome = engine.run(std::span<const workload::User>{});
+  EXPECT_TRUE(outcome.finished);
+  EXPECT_EQ(outcome.shards_done, 0u);
+  EXPECT_TRUE(outcome.report.results.empty());
+}
+
+}  // namespace
+}  // namespace rimarket::sim

@@ -372,6 +372,26 @@ TEST(EvaluateSweep, ExportsSweepCountersToGlobalRegistry) {
   EXPECT_EQ(common::MetricsRegistry::global().get("sweep.injected_faults"), 0.0);
 }
 
+TEST(EvaluateSweep, SweepCountersAccumulateAcrossSweeps) {
+  // Regression: export_sweep_metrics used to set() the counters, so a
+  // process running several sweeps (every multi-figure bench) reported only
+  // whichever sweep finished last instead of process totals.
+  common::MetricsRegistry::global().clear();
+  const auto population = small_population();
+  std::vector<workload::User> users(population.users().begin(), population.users().end());
+  users[2] = workload::User{950, workload::FluctuationGroup::kStable, 0.0, "broken", {}};
+  EvaluationSpec spec = small_spec();
+  spec.failure_policy = FailurePolicy::kQuarantine;
+  spec.max_attempts = 3;
+  spec.backoff_base_ms = 10.0;
+  (void)evaluate_sweep(std::span<const workload::User>(users), spec);
+  (void)evaluate_sweep(std::span<const workload::User>(users), spec);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.quarantined"), 2.0);
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.retries"), 4.0);
+  // Backoff is 10 + 20 virtual ms per quarantined user per sweep.
+  EXPECT_EQ(common::MetricsRegistry::global().get("sweep.virtual_backoff_ms"), 60.0);
+}
+
 TEST(Evaluate, OutOfRangeDiscountCannotBeConstructed) {
   // The old runtime range check moved into the type: a discount outside
   // [0, 1] now dies at Fraction construction, before a sweep can start.

@@ -1,0 +1,62 @@
+// Golden pins for the sweep's seed-derivation contract (sim/seeding.hpp).
+// These constants are load-bearing: per_run_seed feeds every stochastic
+// purchaser and attempt_scope_key places every chaos fault, so changing
+// either mixer silently re-rolls all recorded results.  The negative-id
+// cases pin the documented two's-complement folding — hand-built spans may
+// carry negative ids, and their mapping is part of the contract.
+#include "sim/seeding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+
+namespace rimarket::sim::seeding {
+namespace {
+
+TEST(Seeding, PerRunSeedGoldenValues) {
+  EXPECT_EQ(per_run_seed(1ULL, 0, 0), 2324861979054413167ULL);
+  EXPECT_EQ(per_run_seed(1ULL, 0, 3), 7896453708697931523ULL);
+  EXPECT_EQ(per_run_seed(1ULL, 42, 1), 2229872616999153482ULL);
+  EXPECT_EQ(per_run_seed(2018ULL, 42, 1), 3048639729686641723ULL);
+  EXPECT_EQ(per_run_seed(18446744073709551615ULL, 123456, 4), 6726360616587138435ULL);
+}
+
+TEST(Seeding, PerRunSeedNegativeIdsFoldTwosComplement) {
+  // -1 folds to 0xFFFF...FF before the multiply; INT_MIN to 0xFFFF8000....
+  EXPECT_EQ(per_run_seed(1ULL, -1, 0), 10030294862651378044ULL);
+  EXPECT_EQ(per_run_seed(5ULL, INT_MIN, 2), 16277431413736176820ULL);
+}
+
+TEST(Seeding, AttemptScopeKeyGoldenValues) {
+  EXPECT_EQ(attempt_scope_key(1ULL, 0, 1), 8362005876132538284ULL);
+  EXPECT_EQ(attempt_scope_key(1ULL, 0, 2), 4415940930031423605ULL);
+  EXPECT_EQ(attempt_scope_key(1ULL, 42, 1), 18007940781328351573ULL);
+  EXPECT_EQ(attempt_scope_key(2018ULL, 42, 3), 3950091371985996915ULL);
+}
+
+TEST(Seeding, AttemptScopeKeyNegativeIdsFoldTwosComplement) {
+  EXPECT_EQ(attempt_scope_key(1ULL, -1, 1), 73891062694318275ULL);
+  EXPECT_EQ(attempt_scope_key(5ULL, INT_MIN, 2), 5420072093237350461ULL);
+}
+
+TEST(Seeding, RunAndScopeKeySpacesDiffer) {
+  // The two mixers must not collide for equal (seed, id, small-int) inputs:
+  // a purchaser seed reused as a chaos scope key would correlate faults
+  // with purchase randomness.
+  for (const int small : {0, 1, 2, 3}) {
+    EXPECT_NE(per_run_seed(7ULL, 9, small), attempt_scope_key(7ULL, 9, small));
+  }
+}
+
+TEST(Seeding, DistinctInputsDistinctSeeds) {
+  // Injectivity smoke: neighboring ids, kinds and seeds all move the output.
+  EXPECT_NE(per_run_seed(1ULL, 1, 0), per_run_seed(1ULL, 2, 0));
+  EXPECT_NE(per_run_seed(1ULL, 1, 0), per_run_seed(1ULL, 1, 1));
+  EXPECT_NE(per_run_seed(1ULL, 1, 0), per_run_seed(2ULL, 1, 0));
+  EXPECT_NE(attempt_scope_key(1ULL, 1, 1), attempt_scope_key(1ULL, 1, 2));
+  EXPECT_NE(attempt_scope_key(1ULL, 1, 1), attempt_scope_key(1ULL, 2, 1));
+}
+
+}  // namespace
+}  // namespace rimarket::sim::seeding

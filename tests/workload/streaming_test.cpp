@@ -1,0 +1,351 @@
+// Chunked-ingestion parity suite (workload/streaming.hpp).
+//
+// The contract under test: for EVERY input and EVERY chunking,
+// ChunkedTraceParser accepts exactly the files DemandTrace::from_csv
+// accepts, produces the same demand sequence, and reports the same
+// CsvError (same 1-based line, same message).  The edge-case corpus pins
+// the cases a boundary can land on: CRLF endings, a missing trailing
+// newline, an empty trailing field, header-only and empty files, blank
+// lines, and malformed rows of every diagnosis.
+#include "workload/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace rimarket::workload {
+namespace {
+
+struct ParseOutcome {
+  bool ok = false;
+  std::vector<Count> demand;
+  std::size_t error_line = 0;
+  std::string error_message;
+};
+
+ParseOutcome parse_whole(std::string_view text) {
+  ParseOutcome outcome;
+  common::CsvError error;
+  if (const auto trace = DemandTrace::from_csv(text, &error)) {
+    outcome.ok = true;
+    outcome.demand.assign(trace->values().begin(), trace->values().end());
+  } else {
+    outcome.error_line = error.line;
+    outcome.error_message = error.message;
+  }
+  return outcome;
+}
+
+ParseOutcome parse_chunked(std::string_view text, const std::vector<std::size_t>& cut_points) {
+  ChunkedTraceParser parser;
+  std::size_t start = 0;
+  for (const std::size_t cut : cut_points) {
+    parser.feed(text.substr(start, cut - start));
+    start = cut;
+  }
+  parser.feed(text.substr(start));
+  ParseOutcome outcome;
+  common::CsvError error;
+  if (const auto trace = parser.finish(&error)) {
+    outcome.ok = true;
+    outcome.demand.assign(trace->values().begin(), trace->values().end());
+  } else {
+    outcome.error_line = error.line;
+    outcome.error_message = error.message;
+  }
+  return outcome;
+}
+
+void expect_same_outcome(const ParseOutcome& whole, const ParseOutcome& chunked,
+                         std::string_view label) {
+  ASSERT_EQ(whole.ok, chunked.ok) << label;
+  if (whole.ok) {
+    EXPECT_EQ(whole.demand, chunked.demand) << label;
+  } else {
+    EXPECT_EQ(whole.error_line, chunked.error_line) << label;
+    EXPECT_EQ(whole.error_message, chunked.error_message) << label;
+  }
+}
+
+/// The satellite corpus: every entry is a file shape a chunk boundary or a
+/// whole-file reader must treat identically.
+const char* const kCorpus[] = {
+    // Plain happy path, trailing newline.
+    "hour,demand\n0,3\n1,0\n2,7\n",
+    // Missing trailing newline: last row arrives only at finish().
+    "hour,demand\n0,3\n1,0\n2,7",
+    // CRLF line endings throughout.
+    "hour,demand\r\n0,3\r\n1,5\r\n",
+    // CRLF with no final newline (pending ends in a bare CR-less row).
+    "hour,demand\r\n0,3\r\n1,5",
+    // Mixed endings: LF header, CRLF rows.
+    "hour,demand\n0,2\r\n1,4\r\n",
+    // Header-only, with and without the newline.
+    "hour,demand\n",
+    "hour,demand",
+    // Empty file and a lone newline.
+    "",
+    "\n",
+    // Blank lines between rows and at the end.
+    "hour,demand\n\n0,1\n\n1,2\n\n",
+    // A lone CR line (blank after trimming).
+    "hour,demand\n0,1\n\r\n1,2\n",
+    // Empty trailing field: "1," parses as two fields, the second empty.
+    "hour,demand\n0,3\n1,\n",
+    // Empty trailing field on the final, unterminated line.
+    "hour,demand\n0,3\n1,",
+    // Too few fields.
+    "hour,demand\n0\n",
+    // Too many fields.
+    "hour,demand\n0,1,2\n",
+    // Non-numeric demand.
+    "hour,demand\n0,three\n",
+    // Negative demand.
+    "hour,demand\n0,-1\n",
+    // Hour out of sequence.
+    "hour,demand\n1,5\n",
+    // Error on a later line: the 1-based line number must survive chunking.
+    "hour,demand\n0,1\n1,2\nbogus row\n3,4\n",
+};
+
+TEST(ChunkedTraceParser, EveryBoundaryMatchesWholeFile) {
+  // Exhaustive single-cut sweep: one boundary at every byte offset.  This
+  // walks a cut through mid-field, mid-number, between CR and LF, and
+  // before/after every newline of every corpus entry.
+  for (const char* text : kCorpus) {
+    const std::string_view input(text);
+    const ParseOutcome whole = parse_whole(input);
+    for (std::size_t cut = 0; cut <= input.size(); ++cut) {
+      expect_same_outcome(whole, parse_chunked(input, {cut}),
+                          std::string("cut at ") + std::to_string(cut) + " of: " + text);
+    }
+  }
+}
+
+TEST(ChunkedTraceParser, RandomizedMultiCutMatchesWholeFile) {
+  common::Rng rng(20260808);
+  for (const char* text : kCorpus) {
+    const std::string_view input(text);
+    const ParseOutcome whole = parse_whole(input);
+    for (int trial = 0; trial < 32; ++trial) {
+      std::vector<std::size_t> cuts;
+      const int cut_count = static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < cut_count; ++i) {
+        cuts.push_back(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(input.size()))));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      expect_same_outcome(whole, parse_chunked(input, cuts),
+                          std::string("random cuts of: ") + text);
+    }
+  }
+}
+
+TEST(ChunkedTraceParser, ByteAtATime) {
+  const std::string_view input = "hour,demand\r\n0,10\r\n1,20\r\n2,30";
+  ChunkedTraceParser parser;
+  for (const char byte : input) {
+    parser.feed(std::string_view(&byte, 1));
+  }
+  const auto trace = parser.finish();
+  ASSERT_TRUE(trace.has_value());
+  const std::vector<Count> expected{10, 20, 30};
+  EXPECT_EQ(std::vector<Count>(trace->values().begin(), trace->values().end()), expected);
+}
+
+TEST(ChunkedTraceParser, ResetMakesTheParserReusable) {
+  ChunkedTraceParser parser;
+  parser.feed("hour,demand\n0,bogus\n");
+  common::CsvError error;
+  EXPECT_FALSE(parser.finish(&error).has_value());
+  parser.reset();
+  parser.feed("hour,demand\n0,4\n");
+  const auto trace = parser.finish();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->length(), 1);
+  EXPECT_EQ(trace->at(0), 4);
+}
+
+TEST(ChunkedTraceParser, HoursParsedTracksProgress) {
+  ChunkedTraceParser parser;
+  EXPECT_EQ(parser.hours_parsed(), 0);
+  parser.feed("hour,demand\n0,1\n1,2\n");
+  EXPECT_EQ(parser.hours_parsed(), 2);
+  parser.feed("2,3\n");
+  EXPECT_EQ(parser.hours_parsed(), 3);
+}
+
+TEST(ChunkedTraceParser, RoundTripsToCsvOutput) {
+  // to_csv output must be ingestible by both readers identically.
+  const DemandTrace original{std::vector<Count>{4, 0, 9, 2, 2}};
+  const std::string text = original.to_csv();
+  const ParseOutcome whole = parse_whole(text);
+  ASSERT_TRUE(whole.ok);
+  expect_same_outcome(whole, parse_chunked(text, {text.size() / 2}), "to_csv round trip");
+  const std::vector<Count> expected(original.values().begin(), original.values().end());
+  EXPECT_EQ(whole.demand, expected);
+}
+
+std::string write_temp(const std::string& name, std::string_view contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(common::write_file(path, contents));
+  return path;
+}
+
+TEST(LoadTraceChunked, MatchesFromCsvAcrossChunkSizes) {
+  for (const char* text : kCorpus) {
+    const std::string path = write_temp("rimarket_stream_case.csv", text);
+    const ParseOutcome whole = parse_whole(text);
+    for (const std::size_t chunk_bytes : {std::size_t{1}, std::size_t{3}, std::size_t{4096}}) {
+      common::CsvError error;
+      const auto trace = load_trace_chunked(path, &error, chunk_bytes);
+      ASSERT_EQ(whole.ok, trace.has_value()) << text;
+      if (whole.ok) {
+        EXPECT_EQ(whole.demand,
+                  std::vector<Count>(trace->values().begin(), trace->values().end()));
+      } else {
+        EXPECT_EQ(error.path, path);  // the file loader owns the path field
+        EXPECT_EQ(whole.error_line, error.line) << text;
+        EXPECT_EQ(whole.error_message, error.message) << text;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(LoadTraceChunked, MissingFileReportsErrno) {
+  common::CsvError error;
+  const auto trace = load_trace_chunked(::testing::TempDir() + "/rimarket_no_such_trace.csv",
+                                        &error);
+  EXPECT_FALSE(trace.has_value());
+  EXPECT_NE(error.errno_value, 0);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(SpanUserSource, StreamsAndRewinds) {
+  std::vector<User> users;
+  users.push_back(User{1, FluctuationGroup::kStable, 0.0, "test",
+                       DemandTrace{std::vector<Count>{1, 2}}});
+  users.push_back(User{2, FluctuationGroup::kHigh, 1.5, "test",
+                       DemandTrace{std::vector<Count>{3}}});
+  SpanUserSource source{std::span<const User>(users)};
+  StreamedUser unit;
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_TRUE(unit.ok);
+  EXPECT_EQ(unit.user.id, 1);
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_EQ(unit.user.id, 2);
+  EXPECT_FALSE(source.next(unit));
+  source.rewind();
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_EQ(unit.user.id, 1);
+}
+
+class ManifestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/rimarket_manifest_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::remove(dir_.c_str());
+    ASSERT_EQ(std::system(("mkdir -p " + dir_).c_str()), 0);
+  }
+
+  std::string write(const std::string& name, std::string_view contents) {
+    const std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(common::write_file(path, contents));
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ManifestFixture, StreamsUsersResolvingRelativePaths) {
+  write("alice.csv", "hour,demand\n0,2\n1,3\n");
+  const std::string bob_abs = write("bob.csv", "hour,demand\n0,5\n");
+  const std::string manifest = write(
+      "manifest.csv",
+      "id,group,path\n1,stable,alice.csv\n2,high," + bob_abs + "\n");
+  TraceManifestSource source(manifest);
+  EXPECT_EQ(source.user_count(), 2u);
+
+  StreamedUser unit;
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_TRUE(unit.ok);
+  EXPECT_EQ(unit.user.id, 1);
+  EXPECT_EQ(unit.user.group, FluctuationGroup::kStable);
+  EXPECT_EQ(unit.user.generator, "manifest");
+  EXPECT_EQ(unit.user.trace.length(), 2);
+  EXPECT_EQ(unit.user.trace.at(1), 3);
+
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_TRUE(unit.ok);
+  EXPECT_EQ(unit.user.id, 2);
+  EXPECT_EQ(unit.user.group, FluctuationGroup::kHigh);
+  EXPECT_EQ(unit.user.trace.at(0), 5);
+  EXPECT_FALSE(source.next(unit));
+
+  // rewind() must replay identically (checkpoint resume depends on it).
+  source.rewind();
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_EQ(unit.user.id, 1);
+  EXPECT_EQ(unit.user.trace.length(), 2);
+}
+
+TEST_F(ManifestFixture, BadRowsBecomeFailedUnitsNotExceptions) {
+  write("good.csv", "hour,demand\n0,1\n");
+  write("bad.csv", "hour,demand\nnope\n");
+  const std::string manifest = write("manifest.csv",
+                                     "id,group,path\n"
+                                     "abc,stable,good.csv\n"     // bad id
+                                     "2,mystery,good.csv\n"      // bad group
+                                     "3,high,missing.csv\n"      // unreadable trace
+                                     "4,moderate,bad.csv\n"      // invalid trace
+                                     "5,stable,good.csv\n");     // fine
+  TraceManifestSource source(manifest);
+  EXPECT_EQ(source.user_count(), 5u);
+
+  StreamedUser unit;
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_FALSE(unit.ok);
+  EXPECT_NE(unit.error.message.find("non-numeric user id"), std::string::npos);
+  EXPECT_EQ(unit.error.line, 2u);  // 1-based manifest line
+
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_FALSE(unit.ok);
+  EXPECT_EQ(unit.user.id, 2);
+  EXPECT_NE(unit.error.message.find("unknown group"), std::string::npos);
+
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_FALSE(unit.ok);
+  EXPECT_EQ(unit.user.id, 3);
+  EXPECT_NE(unit.error.errno_value, 0);
+
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_FALSE(unit.ok);
+  EXPECT_EQ(unit.user.id, 4);
+  EXPECT_EQ(unit.error.line, 2u);  // trace file's own line number
+
+  ASSERT_TRUE(source.next(unit));
+  EXPECT_TRUE(unit.ok);
+  EXPECT_EQ(unit.user.id, 5);
+  EXPECT_FALSE(source.next(unit));
+}
+
+TEST_F(ManifestFixture, BadHeaderThrows) {
+  const std::string manifest = write("manifest.csv", "user,grp,file\n1,stable,x.csv\n");
+  EXPECT_THROW(TraceManifestSource{manifest}, std::runtime_error);
+}
+
+TEST_F(ManifestFixture, UnreadableManifestThrows) {
+  EXPECT_THROW(TraceManifestSource{dir_ + "/absent.csv"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rimarket::workload

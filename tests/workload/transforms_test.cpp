@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace rimarket::workload {
 namespace {
 
@@ -93,6 +95,35 @@ TEST(Delay, ZeroDelayIsIdentity) {
   const DemandTrace out = delay(trace, 0);
   EXPECT_EQ(out.length(), 2);
   EXPECT_EQ(out.at(0), 1);
+}
+
+TEST(Downsample, HugeFactorIsOneWindow) {
+  // A factor near the Hour maximum is a legal "collapse to one sample"
+  // request; the window arithmetic must not overflow computing start+factor.
+  const DemandTrace trace({3, 9, 1});
+  constexpr Hour kHuge = std::numeric_limits<Hour>::max();
+  EXPECT_EQ(downsample_max(trace, kHuge).length(), 1);
+  EXPECT_EQ(downsample_max(trace, kHuge).at(0), 9);
+  EXPECT_EQ(downsample_mean(trace, kHuge).length(), 1);
+}
+
+TEST(TransformsDeath, UpsampleOverflowingHourDies) {
+  const DemandTrace trace({1, 2});
+  EXPECT_DEATH(upsample_repeat(trace, std::numeric_limits<Hour>::max()),
+               "trace transform output length overflows Hour");
+}
+
+TEST(TransformsDeath, DelayOverflowingHourDies) {
+  // The guard must fire before the zero-fill prefix is allocated: a poisoned
+  // size reaching the vector constructor would be OOM, not a diagnosis.
+  const DemandTrace trace({7});
+  EXPECT_DEATH(delay(trace, std::numeric_limits<Hour>::max()),
+               "trace transform output length overflows Hour");
+}
+
+TEST(TransformsDeath, ScaleOverflowingCountDies) {
+  const DemandTrace trace({1000000});
+  EXPECT_DEATH(scale(trace, 1.0e19), "scaled demand overflows Count");
 }
 
 TEST(Transforms, PreserveNonNegativityAndTotals) {

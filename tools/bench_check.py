@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over bench_perf --smoke reports.
+"""Perf-regression gate over bench_perf --smoke and --batch reports.
 
-Compares a freshly generated BENCH_perf.json against the committed
-baseline and fails (exit 1) when the hot path regressed.  The gated
-number is ``speedup_vs_naive`` — the optimized/naive ratio measured on
-the *same* machine in the same run — so the gate is hardware-independent:
-absolute ns/hour numbers in the report are informational only.
+Compares a freshly generated report against the committed baseline and
+fails (exit 1) when the hot path regressed.  Two schemas, detected by
+their speedup key:
 
+``--smoke`` reports (``speedup_vs_naive``): the optimized/naive ledger
+ratio measured on the *same* machine in the same run, so the gate is
+hardware-independent; absolute ns/hour numbers are informational only.
 Checks, in order:
   1. the report is well-formed and ``results_identical`` is true
      (the two ledger engines produced byte-identical simulations);
@@ -17,9 +18,25 @@ Checks, in order:
   4. ``speedup_vs_naive`` >= baseline * (1 - --tolerance) (default 25%
      relative regression budget vs the committed baseline).
 
+``--batch`` reports (``speedup_vs_per_user``): the batch engine vs the
+per-user oracle on the same population.  Checks:
+  1. ``results_identical`` is true (the batch engine's report matched the
+     per-user oracle byte for byte);
+  2. ``speedup_vs_per_user`` >= --min-speedup (default 5x, the batch
+     engine's acceptance criterion) and >= baseline * (1 - --tolerance);
+  3. ``hour_steps_per_sec`` >= baseline * (1 - --throughput-tolerance).
+     Absolute throughput is hardware-dependent, so this budget is wide by
+     default (60%) — it catches order-of-magnitude collapses (the engine
+     silently falling back to the oracle path, a debug build reaching CI)
+     without tripping on machine-to-machine variation.
+
+The baseline and the new report must use the same schema.
+
 Usage:
   tools/bench_check.py --baseline bench/BENCH_perf.baseline.json \
                        --new build/BENCH_perf.json
+  tools/bench_check.py --baseline bench/BENCH_batch.baseline.json \
+                       --new build/BENCH_batch.json
 """
 
 from __future__ import annotations
@@ -29,35 +46,36 @@ import json
 import sys
 from pathlib import Path
 
+SMOKE_KEYS = ("speedup_vs_naive", "results_identical", "steady_state_allocs_per_hour")
+BATCH_KEYS = ("speedup_vs_per_user", "results_identical", "hour_steps_per_sec")
 
-def load_report(path: Path) -> dict:
+
+def detect_schema(path: Path, data: dict) -> str:
+    if "speedup_vs_naive" in data:
+        return "smoke"
+    if "speedup_vs_per_user" in data:
+        return "batch"
+    sys.exit(
+        f"bench_check: {path} has neither 'speedup_vs_naive' (--smoke schema) "
+        f"nor 'speedup_vs_per_user' (--batch schema)"
+    )
+
+
+def load_report(path: Path) -> tuple[str, dict]:
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         sys.exit(f"bench_check: cannot read {path}: {error}")
     if not isinstance(data, dict):
         sys.exit(f"bench_check: {path} is not a JSON object")
-    for key in ("speedup_vs_naive", "results_identical", "steady_state_allocs_per_hour"):
+    schema = detect_schema(path, data)
+    for key in SMOKE_KEYS if schema == "smoke" else BATCH_KEYS:
         if key not in data:
             sys.exit(f"bench_check: {path} is missing required key '{key}'")
-    return data
+    return schema, data
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=Path, required=True,
-                        help="committed BENCH_perf baseline JSON")
-    parser.add_argument("--new", type=Path, required=True, dest="new_report",
-                        help="freshly generated BENCH_perf.json")
-    parser.add_argument("--min-speedup", type=float, default=5.0,
-                        help="absolute speedup floor (default: 5.0)")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed relative regression vs baseline (default: 0.25)")
-    args = parser.parse_args()
-
-    baseline = load_report(args.baseline)
-    new = load_report(args.new_report)
-
+def check_smoke(new: dict, baseline: dict, args: argparse.Namespace) -> list[str]:
     failures = []
     if new["results_identical"] is not True:
         failures.append("ledger engines diverged (results_identical is false)")
@@ -76,15 +94,82 @@ def main() -> int:
             f"speedup {speedup:.2f}x regressed more than {args.tolerance:.0%} vs the "
             f"baseline {float(baseline['speedup_vs_naive']):.2f}x (floor {floor:.2f}x)"
         )
+    return failures
+
+
+def check_batch(new: dict, baseline: dict, args: argparse.Namespace) -> list[str]:
+    failures = []
+    if new["results_identical"] is not True:
+        failures.append(
+            "batch engine diverged from the per-user oracle (results_identical is false)"
+        )
+    speedup = float(new["speedup_vs_per_user"])
+    if speedup < args.min_speedup:
+        failures.append(
+            f"batch speedup {speedup:.2f}x is below the {args.min_speedup:.1f}x floor"
+        )
+    floor = float(baseline["speedup_vs_per_user"]) * (1.0 - args.tolerance)
+    if speedup < floor:
+        failures.append(
+            f"batch speedup {speedup:.2f}x regressed more than {args.tolerance:.0%} vs "
+            f"the baseline {float(baseline['speedup_vs_per_user']):.2f}x (floor {floor:.2f}x)"
+        )
+    throughput = float(new["hour_steps_per_sec"])
+    throughput_floor = float(baseline["hour_steps_per_sec"]) * (
+        1.0 - args.throughput_tolerance
+    )
+    if throughput < throughput_floor:
+        failures.append(
+            f"batch throughput {throughput:.3e} hour-steps/s collapsed more than "
+            f"{args.throughput_tolerance:.0%} vs the baseline "
+            f"{float(baseline['hour_steps_per_sec']):.3e} (floor {throughput_floor:.3e})"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON (smoke or batch schema)")
+    parser.add_argument("--new", type=Path, required=True, dest="new_report",
+                        help="freshly generated report JSON")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="absolute speedup floor (default: 5.0)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative speedup regression vs baseline "
+                             "(default: 0.25)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.6,
+                        help="allowed relative hour_steps_per_sec drop vs baseline, "
+                             "batch schema only (default: 0.6 — wide because absolute "
+                             "throughput is hardware-dependent)")
+    args = parser.parse_args()
+
+    baseline_schema, baseline = load_report(args.baseline)
+    new_schema, new = load_report(args.new_report)
+    if baseline_schema != new_schema:
+        sys.exit(
+            f"bench_check: schema mismatch: baseline {args.baseline} is "
+            f"'{baseline_schema}' but new report {args.new_report} is '{new_schema}'"
+        )
+
+    if new_schema == "smoke":
+        failures = check_smoke(new, baseline, args)
+        speedup_key = "speedup_vs_naive"
+        ok_detail = "hot loop allocation-free"
+    else:
+        failures = check_batch(new, baseline, args)
+        speedup_key = "speedup_vs_per_user"
+        ok_detail = f"{float(new['hour_steps_per_sec']):.3e} hour-steps/s"
 
     if failures:
         for failure in failures:
             print(f"bench_check: FAIL: {failure}", file=sys.stderr)
         return 1
+    speedup = float(new[speedup_key])
+    floor = max(args.min_speedup, float(baseline[speedup_key]) * (1.0 - args.tolerance))
     print(
-        f"bench_check: OK: speedup {speedup:.2f}x "
-        f"(baseline {float(baseline['speedup_vs_naive']):.2f}x, "
-        f"floor {max(args.min_speedup, floor):.2f}x), hot loop allocation-free"
+        f"bench_check: OK ({new_schema}): speedup {speedup:.2f}x "
+        f"(baseline {float(baseline[speedup_key]):.2f}x, floor {floor:.2f}x), {ok_detail}"
     )
     return 0
 
