@@ -117,6 +117,21 @@ std::optional<std::string> read_file(const std::string& path) {
   return read_file(path, nullptr);
 }
 
+namespace {
+
+/// Closes the handle even when reading throws (bad_alloc while growing the
+/// contents string leaks the FILE* otherwise — found by -fanalyzer).
+struct FileCloser {
+  std::FILE* file;
+  ~FileCloser() {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+};
+
+}  // namespace
+
 std::optional<std::string> read_file(const std::string& path, CsvError* error) {
   if (RIMARKET_INJECT_PARSE(fault_injection::kSiteCsvReadFile)) {
     if (error != nullptr) {
@@ -131,6 +146,7 @@ std::optional<std::string> read_file(const std::string& path, CsvError* error) {
     }
     return std::nullopt;
   }
+  const FileCloser closer{file};
   std::string contents;
   char buffer[1 << 14];
   std::size_t got;
@@ -141,10 +157,8 @@ std::optional<std::string> read_file(const std::string& path, CsvError* error) {
     if (error != nullptr) {
       *error = CsvError{path, errno, 0, std::strerror(errno)};
     }
-    std::fclose(file);
     return std::nullopt;
   }
-  std::fclose(file);
   return contents;
 }
 

@@ -3,14 +3,15 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 namespace rimarket::common {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_output_mutex;
+Mutex g_output_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -29,7 +30,7 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
   }
   char buffer[1024];
   std::vsnprintf(buffer, sizeof buffer, fmt, args);
-  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  const MutexLock lock(g_output_mutex);
   std::fprintf(stderr, "[rimarket %s] %s\n", level_tag(level), buffer);
 }
 
@@ -43,7 +44,7 @@ void log_message(LogLevel level, std::string_view message) {
   if (level < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  const std::lock_guard<std::mutex> lock(g_output_mutex);
+  const MutexLock lock(g_output_mutex);
   std::fprintf(stderr, "[rimarket %s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
 }

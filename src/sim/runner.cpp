@@ -1,7 +1,6 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 
 #include "common/assert.hpp"
@@ -10,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "common/thread_safety.hpp"
 #include "selling/fixed_spot.hpp"
 #include "sim/seeding.hpp"
 
@@ -98,14 +98,34 @@ std::vector<ScenarioResult> evaluate_user(const workload::User& user,
 
 namespace {
 
+/// Per-user failures recorded by pool workers.  The annotated mutex lets
+/// clang's thread-safety analysis prove every cross-thread access to the
+/// list holds the lock.
+class FailureCollector {
+ public:
+  void record(UserFailure failure) {
+    const common::MutexLock lock(mutex_);
+    failures_.push_back(std::move(failure));
+  }
+
+  /// Moves the collected failures out; call after the pool has drained.
+  std::vector<UserFailure> take() {
+    const common::MutexLock lock(mutex_);
+    return std::move(failures_);
+  }
+
+ private:
+  common::Mutex mutex_;
+  std::vector<UserFailure> failures_ RIMARKET_GUARDED_BY(mutex_);
+};
+
 /// FailurePolicy::kFailFast: one attempt per user, any failure aborts the
 /// sweep with a deterministic SweepError and discards the survivors' work
 /// (a partial sweep would silently skew every population statistic).
 SweepReport evaluate_fail_fast(std::span<const workload::User> users,
                                const EvaluationSpec& spec) {
   std::vector<std::vector<ScenarioResult>> per_user(users.size());
-  std::mutex failures_mutex;
-  std::vector<UserFailure> failures;
+  FailureCollector collector;
   common::ThreadPool pool(spec.threads);
   common::parallel_for(pool, users.size(), [&](std::size_t index) {
     // Per-user errors are aggregated here instead of thrown through the
@@ -114,13 +134,13 @@ SweepReport evaluate_fail_fast(std::span<const workload::User> users,
     try {
       per_user[index] = evaluate_user(users[index], spec);
     } catch (const std::exception& error) {
-      const std::lock_guard<std::mutex> lock(failures_mutex);
-      failures.push_back(UserFailure{users[index].id, error.what()});
+      collector.record(UserFailure{users[index].id, error.what()});
     }
   });
   pool.export_metrics(common::MetricsRegistry::global(), "sim.evaluate");
   SweepReport report;
   export_sweep_metrics(report);
+  std::vector<UserFailure> failures = collector.take();
   if (!failures.empty()) {
     std::sort(failures.begin(), failures.end(),
               [](const UserFailure& a, const UserFailure& b) { return a.user_id < b.user_id; });

@@ -84,6 +84,21 @@ void ChunkedTraceParser::reset() {
   error_ = common::CsvError{};
 }
 
+namespace {
+
+/// Closes the handle even when a feed() throws (bad_alloc while buffering
+/// leaks the FILE* otherwise — found by -fanalyzer).
+struct FileCloser {
+  std::FILE* file;
+  ~FileCloser() {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+};
+
+}  // namespace
+
 std::optional<DemandTrace> load_trace_chunked(const std::string& path, common::CsvError* error,
                                               std::size_t chunk_bytes) {
   RIMARKET_EXPECTS(chunk_bytes >= 1);
@@ -94,6 +109,7 @@ std::optional<DemandTrace> load_trace_chunked(const std::string& path, common::C
     }
     return std::nullopt;
   }
+  const FileCloser closer{file};
   ChunkedTraceParser parser;
   std::vector<char> buffer(chunk_bytes);
   std::size_t got = 0;
@@ -104,10 +120,8 @@ std::optional<DemandTrace> load_trace_chunked(const std::string& path, common::C
     if (error != nullptr) {
       *error = common::CsvError{path, errno, 0, std::strerror(errno)};
     }
-    std::fclose(file);
     return std::nullopt;
   }
-  std::fclose(file);
   auto trace = parser.finish(error);
   if (!trace && error != nullptr) {
     error->path = path;

@@ -1,0 +1,81 @@
+# Negative-mutation gate for rimcheck (ctest: staticcheck.negative_mutation).
+#
+# A static analyzer that never fails is indistinguishable from one that
+# never runs.  This script copies the analyzed tree to a scratch dir,
+# verifies the copy scans clean, then applies two single-line mutations
+# that must each flip the scan to failing:
+#
+#   A. delete the RIMARKET_INJECT(kSiteEvaluateUser) call site in
+#      src/sim/runner.cpp — the site stays wired in batch_engine.cpp, so
+#      only the (site, file) manifest audit can catch the deletion;
+#   B. rename the checkpoint record tag "E" in load_checkpoint's parser
+#      dispatch — the writer still emits "E", so the tag-set audit must
+#      report the mismatch in both directions.
+#
+# Usage: cmake -DRIMCHECK=<exe> -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch>
+#              -P check_rimcheck_negative.cmake
+
+foreach(var RIMCHECK SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+foreach(dir src tests bench examples)
+  file(COPY "${SOURCE_DIR}/${dir}" DESTINATION "${WORK_DIR}")
+endforeach()
+foreach(doc DESIGN.md EXPERIMENTS.md)
+  file(COPY "${SOURCE_DIR}/${doc}" DESTINATION "${WORK_DIR}")
+endforeach()
+file(COPY "${SOURCE_DIR}/tools/rimcheck/rimcheck.baseline"
+          "${SOURCE_DIR}/tools/rimcheck/fault_sites.manifest"
+     DESTINATION "${WORK_DIR}/tools/rimcheck")
+
+function(run_rimcheck expect_failure label)
+  execute_process(
+    COMMAND "${RIMCHECK}" --root "${WORK_DIR}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(expect_failure AND result EQUAL 0)
+    message(FATAL_ERROR "${label}: scan PASSED but the mutation should have "
+                        "failed it — the audit has lost its teeth\n${output}")
+  endif()
+  if(NOT expect_failure AND NOT result EQUAL 0)
+    message(FATAL_ERROR "${label}: pristine copy does not scan clean "
+                        "(exit ${result}):\n${output}")
+  endif()
+  message(STATUS "${label}: ok (exit ${result})")
+endfunction()
+
+# Pristine copy must be clean, or the mutations below prove nothing.
+run_rimcheck(FALSE "baseline scan")
+
+# Mutation A: delete one call site of a doubly-wired fault site.
+set(runner "${WORK_DIR}/src/sim/runner.cpp")
+file(READ "${runner}" pristine_runner)
+string(REGEX REPLACE
+  "[^\n]*RIMARKET_INJECT\\(common::fault_injection::kSiteEvaluateUser\\);[^\n]*\n" ""
+  mutated "${pristine_runner}")
+if(mutated STREQUAL pristine_runner)
+  message(FATAL_ERROR "mutation A: kSiteEvaluateUser call site not found in "
+                      "src/sim/runner.cpp; update this script's pattern")
+endif()
+file(WRITE "${runner}" "${mutated}")
+run_rimcheck(TRUE "mutation A (deleted inject call site)")
+file(WRITE "${runner}" "${pristine_runner}")
+
+# Mutation B: rename a checkpoint record tag on the parser side.
+set(engine "${WORK_DIR}/src/sim/batch_engine.cpp")
+file(READ "${engine}" pristine_engine)
+string(REPLACE "tokens[0] == \"E\"" "tokens[0] == \"X\"" mutated "${pristine_engine}")
+if(mutated STREQUAL pristine_engine)
+  message(FATAL_ERROR "mutation B: tokens[0] == \"E\" not found in "
+                      "src/sim/batch_engine.cpp; update this script's pattern")
+endif()
+file(WRITE "${engine}" "${mutated}")
+run_rimcheck(TRUE "mutation B (renamed checkpoint tag)")
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "rimcheck negative-mutation gate passed")

@@ -228,6 +228,19 @@ TEST(ChaosSweep, SweepWiresTheDocumentedSites) {
   EXPECT_TRUE(seen.count(std::string(fi::kSitePoolTask)));
 }
 
+TEST(ChaosWorkload, PopulationBuildFaultSurfacesAsTypedException) {
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSitePopulationBuild);
+  rule.kind = fi::FaultKind::kThrow;
+  rule.nth_hit = 1;
+  const fi::Schedule schedule(7, {rule});
+  fi::ScopedContext context(schedule, 1);
+  workload::PopulationSpec spec;
+  spec.users_per_group = 2;
+  spec.trace_hours = 48;
+  EXPECT_THROW((void)workload::UserPopulation::build(spec), fi::InjectedFault);
+}
+
 // Installs a process-global schedule for the current scope and always
 // clears it on exit, so a failing assertion cannot poison later tests.
 class ScopedGlobalSchedule {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gate a -fanalyzer build log on a justified suppression list.
+
+GCC's static analyzer has no first-class suppression mechanism, so the CI
+job compiles with plain ``-fanalyzer`` (not ``-Werror``) and this script
+gives the log warnings-as-errors semantics: every ``-Wanalyzer-*`` diagnostic
+must either be fixed or be matched by an entry in
+``tools/gcc_analyzer_suppressions.txt`` that says why it is wrong.
+
+Exit codes: 0 clean, 1 unsuppressed warnings, 2 usage / malformed list.
+
+Usage: check_fanalyzer.py <build.log> [--suppressions FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# e.g. "/path/file.cpp:12:3: warning: leak of 'x' [CWE-401] [-Wanalyzer-malloc-leak]"
+# Some diagnostics carry no location of their own ("cc1plus: warning: ...");
+# their site lives in the preceding "inlined from" context, so the file field
+# is just "cc1plus" and only a "*" entry can suppress them.
+WARNING = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?:(?P<line>\d+):(?:\d+:)?)?\s*warning:.*"
+    r"\[-W(?P<cls>analyzer-[a-z0-9-]+)\]\s*$"
+)
+
+
+def load_suppressions(path: Path) -> list[dict]:
+    entries = []
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [part.strip() for part in line.split("|", 2)]
+        if len(parts) != 3 or not all(parts):
+            print(
+                f"{path}:{number}: malformed entry; expected "
+                "'warning-class | file-substring | reason' with a non-empty reason",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        entries.append(
+            {"cls": parts[0], "file": parts[1], "reason": parts[2], "line": number, "hits": 0}
+        )
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", type=Path, help="captured compiler output")
+    parser.add_argument(
+        "--suppressions",
+        type=Path,
+        default=Path(__file__).resolve().parent / "gcc_analyzer_suppressions.txt",
+    )
+    args = parser.parse_args()
+
+    entries = load_suppressions(args.suppressions)
+    total = 0
+    unsuppressed = []
+    for raw in args.log.read_text(errors="replace").splitlines():
+        match = WARNING.match(raw.strip())
+        if not match:
+            continue
+        total += 1
+        cls, file = match.group("cls"), match.group("file")
+        for entry in entries:
+            if entry["cls"] == cls and (entry["file"] == "*" or entry["file"] in file):
+                entry["hits"] += 1
+                break
+        else:
+            unsuppressed.append(raw.strip())
+
+    for entry in entries:
+        if entry["hits"] == 0:
+            print(
+                f"note: stale suppression (matched nothing): "
+                f"{args.suppressions}:{entry['line']}: {entry['cls']} | {entry['file']}"
+            )
+
+    if unsuppressed:
+        print(f"{len(unsuppressed)} unsuppressed analyzer warning(s) of {total}:")
+        for line in unsuppressed:
+            print(f"  {line}")
+        print(
+            "Fix the defect, or add a justified entry to "
+            f"{args.suppressions} (reason field is mandatory)."
+        )
+        return 1
+
+    print(f"fanalyzer gate: {total} warning(s), all suppressed with justification")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

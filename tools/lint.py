@@ -414,32 +414,44 @@ def check_hot_loop_alloc(path: str, text: str) -> List[Finding]:
 
 _UNIT_KEYWORDS = {"alpha", "discount", "fee", "rp", "price", "upfront"}
 _DOUBLE_DECL = re.compile(r"\bdouble\s+(?:[*&]\s*)?([A-Za-z_]\w*)")
+# In .cpp files only parameter-style declarations are audited: a name
+# followed by ',' or ')' sits in a signature, while locals/fields carry
+# '=' or ';' (unpacking a strong type into a local double via .value() is
+# the sanctioned way to do arithmetic).
+_DOUBLE_PARAM = re.compile(r"\bdouble\s+(?:[*&]\s*)?([A-Za-z_]\w*)\s*[,)]")
 
 
 def check_units_in_api(path: str, text: str) -> List[Finding]:
-    """Dimensioned quantities must not cross public APIs as raw double.
+    """Dimensioned quantities must not cross APIs as raw double.
 
-    Headers under src/ are the library's public surface; a parameter or
-    field whose name says "dollar amount" or "[0,1] fraction" (alpha,
-    discount, fee, rp, price, upfront) must use the strong types from
-    common/units.hpp (Money/Rate/Hours/Fraction) so the compiler checks the
-    dimension.  Raw double is reserved for genuinely dimensionless scalars;
-    report-only structs may opt out with a justified lint-allow.
+    A parameter or field whose name says "dollar amount" or "[0,1]
+    fraction" (alpha, discount, fee, rp, price, upfront) must use the
+    strong types from common/units.hpp (Money/Rate/Hours/Fraction) so the
+    compiler checks the dimension.  Every declaration in a src/ header
+    (the library surface, public or internal) is audited; in src/ .cpp
+    files the rule audits function-signature parameters — internal helper
+    signatures are exactly where a raw double quietly re-enters after the
+    API boundary converted it.  Raw double is reserved for genuinely
+    dimensionless scalars; report-only structs may opt out with a
+    justified lint-allow.
     """
-    if not (path.startswith("src/") and path.endswith(".hpp")):
+    if not (path.startswith("src/") and path.endswith((".hpp", ".cpp"))):
         return []
+    header = path.endswith(".hpp")
+    pattern = _DOUBLE_DECL if header else _DOUBLE_PARAM
+    where = "a src/ header" if header else "a src/ function signature"
     raw_lines = text.splitlines()
     allowed = allow_marker_lines(raw_lines, "units-in-api")
     findings = []
     stripped = strip_comments_and_strings(text).splitlines()
     for i, line in enumerate(stripped, start=1):
-        for m in _DOUBLE_DECL.finditer(line):
+        for m in pattern.finditer(line):
             name = m.group(1)
             hits = set(name.lower().split("_")) & _UNIT_KEYWORDS
             if hits and not suppressed(i, allowed):
                 findings.append(
                     Finding(path, i, "units-in-api",
-                            f"raw `double {name}` in a public header; "
+                            f"raw `double {name}` in {where}; "
                             f"`{sorted(hits)[0]}` carries a dimension — use "
                             "Money/Rate/Hours/Fraction from common/units.hpp "
                             "(or justify with `// lint-allow(units-in-api): <reason>`)")
@@ -608,12 +620,25 @@ FIXTURES = [
      "#pragma once\nvoid tune(double epsilon, double theta_max);\n", 0),
     ("alpha inside a longer word passes", "units-in-api", "src/x/a.hpp",
      "#pragma once\nvoid blend(double alphabet_weight);\n", 0),
+    ("double price param in src .cpp flagged", "units-in-api", "src/x/a.cpp",
+     "static double spend(double hourly_price, int hours) {\n"
+     "  return hourly_price * hours;\n}\n", 1),
+    ("double alpha local in src .cpp passes", "units-in-api", "src/x/a.cpp",
+     "void f(const InstanceType& type) {\n"
+     "  const double alpha = type.alpha().value();\n  use(alpha);\n}\n", 0),
+    ("dimensioned field in src .cpp passes", "units-in-api", "src/x/a.cpp",
+     "struct Local {\n  double upfront_fee = 0.0;\n};\n", 0),
+    ("cpp signature lint-allow suppresses", "units-in-api", "src/x/a.cpp",
+     "// lint-allow(units-in-api): parses the raw CSV column before typing\n"
+     "static void ingest(double price_column) { use(price_column); }\n", 0),
+    ("param in tests .cpp not scanned", "units-in-api", "tests/x/a.cpp",
+     "void check(double ask_price) { use(ask_price); }\n", 0),
     ("lint-allow with reason suppresses", "units-in-api", "src/x/a.hpp",
      "#pragma once\nstruct Report {\n"
      "  double selling_discount = 0.0;  // lint-allow(units-in-api): report-only echo\n"
      "};\n", 0),
-    ("cpp implementation files not scanned", "units-in-api", "src/x/a.cpp",
-     "void list(int seller, double selling_discount);\n", 0),
+    ("cpp signature declaration flagged", "units-in-api", "src/x/a.cpp",
+     "void list(int seller, double selling_discount);\n", 1),
     ("headers outside src/ not scanned", "units-in-api", "tests/x/a.hpp",
      "#pragma once\nvoid list(double selling_discount);\n", 0),
 

@@ -1,0 +1,247 @@
+// rimcheck driver: rule registry, baseline parsing/matching, rendering.
+#include "rimcheck.hpp"
+
+#include <algorithm>
+
+namespace rimcheck {
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kTable = {
+      {"det.banned-call", "determinism",
+       "no random_device/rand/srand/time/clock/gettimeofday/getenv/system_clock"},
+      {"det.unordered-iter", "determinism",
+       "no iteration over unordered containers in src/"},
+      {"fault.bad-name", "fault-registry", "site names are dot-separated snake_case"},
+      {"fault.duplicate-name", "fault-registry", "site names are unique"},
+      {"fault.raw-site-literal", "fault-registry",
+       "RIMARKET_INJECT takes a kSite* constant, never a raw string"},
+      {"fault.unregistered-site", "fault-registry",
+       "RIMARKET_INJECT arguments are declared in common/fault_injection.hpp"},
+      {"fault.site-literal-bypass", "fault-registry",
+       "registered site names never appear as raw strings in src/"},
+      {"fault.unwired-site", "fault-registry",
+       "every declared site is wired by at least one RIMARKET_INJECT"},
+      {"fault.cross-subsystem", "fault-registry",
+       "every site is wired in exactly one subsystem"},
+      {"fault.untested-site", "fault-registry",
+       "every site is referenced by at least one test"},
+      {"fault.manifest-mismatch", "fault-registry",
+       "the (site, file) wiring pairs equal tools/rimcheck/fault_sites.manifest"},
+      {"lock.raw-mutex", "lock-discipline",
+       "no raw std::mutex in src/; use common::Mutex"},
+      {"lock.raw-cv", "lock-discipline",
+       "no raw std::condition_variable in src/ without a baseline justification"},
+      {"lock.raw-guard", "lock-discipline",
+       "no raw lock_guard/unique_lock/scoped_lock in src/; use common::MutexLock"},
+      {"lock.no-guarded-state", "lock-discipline",
+       "files with Mutex members annotate guarded state (RIMARKET_GUARDED_BY)"},
+      {"met.bad-name", "metrics-names", "metric names are snake.dot-case"},
+      {"met.mixed-kind", "metrics-names",
+       "each metric name keeps one registration kind (increment|add|set)"},
+      {"met.undocumented", "metrics-names",
+       "every metric name is documented in DESIGN.md or EXPERIMENTS.md"},
+      {"ckp.anchor-missing", "checkpoint-format",
+       "the writer/parser extraction anchors still match batch_engine.cpp"},
+      {"ckp.tag-mismatch", "checkpoint-format",
+       "checkpoint writer tag set equals the parser's accepted set"},
+      {"baseline.stale", "baseline",
+       "every baseline entry still matches a finding (no dead suppressions)"},
+  };
+  return kTable;
+}
+
+std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters) {
+  std::vector<Finding> findings;
+  check_determinism(tree, findings);
+  check_fault_registry(tree, findings);
+  check_locks(tree, findings);
+  check_metrics(tree, findings);
+  check_checkpoint(tree, findings);
+  if (!filters.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&filters](const Finding& finding) {
+                                    for (const std::string& filter : filters) {
+                                      if (finding.rule.rfind(filter, 0) == 0) {
+                                        return false;
+                                      }
+                                    }
+                                    return true;
+                                  }),
+                   findings.end());
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.symbol < b.symbol;
+  });
+  return findings;
+}
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& error) {
+  // Line format: rule | file | symbol | reason   ('#' comments, blank ok).
+  // The reason is mandatory: a suppression nobody can justify is a bug.
+  std::vector<BaselineEntry> entries;
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    ++lineno;
+    std::string line(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      if (end == text.size()) {
+        break;
+      }
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::size_t field_pos = 0;
+    while (fields.size() < 3) {
+      const std::size_t bar = line.find(" | ", field_pos);
+      if (bar == std::string::npos) {
+        break;
+      }
+      fields.push_back(line.substr(field_pos, bar - field_pos));
+      field_pos = bar + 3;
+    }
+    if (fields.size() < 3 || field_pos >= line.size()) {
+      error = "baseline line " + std::to_string(lineno) +
+              ": expected `rule | file | symbol | reason` with a non-empty reason";
+      return {};
+    }
+    BaselineEntry entry;
+    entry.rule = fields[0];
+    entry.file = fields[1];
+    entry.symbol = fields[2];
+    entry.reason = line.substr(field_pos);
+    entry.line = lineno;
+    // Trim fields.
+    for (std::string* field : {&entry.rule, &entry.file, &entry.symbol, &entry.reason}) {
+      const std::size_t begin = field->find_first_not_of(" \t");
+      const std::size_t last = field->find_last_not_of(" \t");
+      *field = begin == std::string::npos ? std::string()
+                                          : field->substr(begin, last - begin + 1);
+    }
+    if (entry.rule.empty() || entry.file.empty() || entry.symbol.empty() ||
+        entry.reason.empty()) {
+      error = "baseline line " + std::to_string(lineno) + ": empty field";
+      return {};
+    }
+    entries.push_back(std::move(entry));
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return entries;
+}
+
+void apply_baseline(std::vector<Finding>& findings, std::vector<BaselineEntry>& baseline) {
+  for (Finding& finding : findings) {
+    for (BaselineEntry& entry : baseline) {
+      if (entry.rule == finding.rule && entry.file == finding.file &&
+          (entry.symbol == "*" || entry.symbol == finding.symbol)) {
+        finding.suppressed = true;
+        finding.suppress_reason = entry.reason;
+        entry.used = true;
+        break;
+      }
+    }
+  }
+  for (const BaselineEntry& entry : baseline) {
+    if (!entry.used) {
+      Finding finding;
+      finding.rule = "baseline.stale";
+      finding.file = "tools/rimcheck/rimcheck.baseline";
+      finding.line = entry.line;
+      finding.symbol = entry.symbol;
+      finding.message = "baseline entry (" + entry.rule + " | " + entry.file + " | " +
+                        entry.symbol + ") matches no finding; delete the stale suppression";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+std::string render(const Finding& finding) {
+  std::string out = finding.file + ":" + std::to_string(finding.line) + ": [" +
+                    finding.rule + "] " + finding.message;
+  if (finding.suppressed) {
+    out += " (suppressed: " + finding.suppress_reason + ")";
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::size_t active = 0;
+  std::string out = "{\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : findings) {
+    if (!finding.suppressed) {
+      ++active;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"rule\":";
+    append_json_string(out, finding.rule);
+    out += ",\"file\":";
+    append_json_string(out, finding.file);
+    out += ",\"line\":" + std::to_string(finding.line);
+    out += ",\"symbol\":";
+    append_json_string(out, finding.symbol);
+    out += ",\"message\":";
+    append_json_string(out, finding.message);
+    out += ",\"suppressed\":";
+    out += finding.suppressed ? "true" : "false";
+    if (finding.suppressed) {
+      out += ",\"reason\":";
+      append_json_string(out, finding.suppress_reason);
+    }
+    out += '}';
+  }
+  out += "],\"active\":" + std::to_string(active) +
+         ",\"suppressed\":" + std::to_string(findings.size() - active) + "}";
+  return out;
+}
+
+}  // namespace rimcheck

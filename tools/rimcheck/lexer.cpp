@@ -1,0 +1,302 @@
+// rimcheck lexer: reduces a C++ translation unit to a "code view" in which
+// comments, string/char literal bodies and #if 0 regions are blanked to
+// spaces, preserving layout so every offset and line number still agrees
+// with the original text.  String literal contents are kept on the side
+// (SourceFile::literals) for the rules that audit names and record tags.
+#include "rimcheck.hpp"
+
+namespace rimcheck {
+
+namespace {
+
+/// Blanks every non-newline character of text[begin, end) in out.
+void blank(std::string& out, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end && i < out.size(); ++i) {
+    if (out[i] != '\n') {
+      out[i] = ' ';
+    }
+  }
+}
+
+/// True when line `text[line_begin, line_end)` is the preprocessor
+/// directive `name` ("#if", "#endif", ...), allowing interior spaces
+/// ("#  if").  `rest` receives the text after the directive keyword.
+bool is_directive(std::string_view text, std::size_t line_begin, std::size_t line_end,
+                  std::string_view name, std::string_view& rest) {
+  std::size_t i = line_begin;
+  while (i < line_end && (text[i] == ' ' || text[i] == '\t')) {
+    ++i;
+  }
+  if (i >= line_end || text[i] != '#') {
+    return false;
+  }
+  ++i;
+  while (i < line_end && (text[i] == ' ' || text[i] == '\t')) {
+    ++i;
+  }
+  const std::string_view keyword = name.substr(1);  // drop '#'
+  if (text.substr(i, keyword.size()) != keyword) {
+    return false;
+  }
+  const std::size_t after = i + keyword.size();
+  if (after < line_end && is_ident_char(text[after])) {
+    return false;  // e.g. #ifdef when probing for #if
+  }
+  rest = text.substr(after, line_end - after);
+  return true;
+}
+
+/// First pass: blanks the interior of #if 0 / #if false regions (including
+/// nested conditionals) so the main lexer never sees their contents.  The
+/// region ends at the matching #endif or at a depth-1 #else/#elif, whose
+/// branch is live code.
+void blank_if0_regions(const std::string& text, std::string& out) {
+  std::size_t pos = 0;
+  int dead_depth = 0;  // 0 = live; >=1 = inside an #if 0 region
+  const std::size_t n = text.size();
+  while (pos < n) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = n;
+    }
+    std::string_view rest;
+    if (dead_depth == 0) {
+      if (is_directive(text, pos, end, "#if", rest)) {
+        // Trim and compare the condition against 0 / false.
+        std::size_t b = 0;
+        while (b < rest.size() && (rest[b] == ' ' || rest[b] == '\t')) {
+          ++b;
+        }
+        std::size_t e = rest.size();
+        while (e > b && (rest[e - 1] == ' ' || rest[e - 1] == '\t' || rest[e - 1] == '\r')) {
+          --e;
+        }
+        const std::string_view cond = rest.substr(b, e - b);
+        if (cond == "0" || cond == "false") {
+          dead_depth = 1;
+          blank(out, pos, end);
+        }
+      }
+    } else {
+      if (is_directive(text, pos, end, "#if", rest) ||
+          is_directive(text, pos, end, "#ifdef", rest) ||
+          is_directive(text, pos, end, "#ifndef", rest)) {
+        ++dead_depth;
+      } else if (is_directive(text, pos, end, "#endif", rest)) {
+        --dead_depth;
+      } else if (dead_depth == 1 && (is_directive(text, pos, end, "#else", rest) ||
+                                     is_directive(text, pos, end, "#elif", rest))) {
+        dead_depth = 0;  // the alternative branch is live
+      }
+      blank(out, pos, end);
+    }
+    pos = end + 1;
+  }
+}
+
+/// True when text[i] starts a raw-string literal (R" with an optional
+/// encoding prefix already consumed by the caller's identifier check).
+bool raw_string_at(const std::string& text, std::size_t i) {
+  return text[i] == 'R' && i + 1 < text.size() && text[i + 1] == '"';
+}
+
+}  // namespace
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_';
+}
+
+std::size_t line_of(std::string_view text, std::size_t offset) {
+  std::size_t line = 1;
+  const std::size_t end = offset < text.size() ? offset : text.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+    }
+  }
+  return line;
+}
+
+void lex_file(SourceFile& file) {
+  const std::string& text = file.text;
+  std::string code = text;
+  blank_if0_regions(text, code);
+  file.literals.clear();
+
+  const std::size_t n = code.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = code[i];
+    const char next = i + 1 < n ? code[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      // Line comment; a backslash immediately before the newline splices
+      // the next line into the comment.
+      std::size_t j = i;
+      while (j < n) {
+        if (code[j] == '\n') {
+          const bool spliced = j > 0 && code[j - 1] == '\\';
+          if (!spliced) {
+            break;
+          }
+        }
+        ++j;
+      }
+      blank(code, i, j);
+      i = j;
+    } else if (c == '/' && next == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(code[j] == '*' && code[j + 1] == '/')) {
+        ++j;
+      }
+      const std::size_t end = j + 1 < n ? j + 2 : n;
+      blank(code, i, end);
+      i = end;
+    } else if (raw_string_at(code, i) &&
+               (i == 0 || !is_ident_char(code[i - 1]) || code[i - 1] == '8' ||
+                code[i - 1] == 'u' || code[i - 1] == 'U' || code[i - 1] == 'L')) {
+      // R"delim( ... )delim"  — find the delimiter, then the closing
+      // sequence; everything between the parens is the literal value.
+      const std::size_t quote = i + 1;
+      std::size_t delim_end = quote + 1;
+      while (delim_end < n && code[delim_end] != '(' && delim_end - quote - 1 <= 16) {
+        ++delim_end;
+      }
+      if (delim_end >= n || code[delim_end] != '(') {
+        ++i;  // malformed; treat as ordinary code
+        continue;
+      }
+      const std::string closing =
+          ")" + text.substr(quote + 1, delim_end - quote - 1) + "\"";
+      const std::size_t body = delim_end + 1;
+      std::size_t close = text.find(closing, body);
+      if (close == std::string::npos) {
+        close = n;
+      }
+      StringLiteral literal;
+      literal.offset = i;
+      literal.line = line_of(text, i);
+      literal.value = text.substr(body, close - body);
+      file.literals.push_back(std::move(literal));
+      const std::size_t end = close + closing.size() < n ? close + closing.size() : n;
+      blank(code, quote, end);  // keep the 'R' so offsets of code stay sane
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      // Digit separators (1'000'000) and numeric suffixes are not char
+      // literals: a quote directly after an identifier/digit character is
+      // skipped (raw strings were handled above).
+      if (c == '\'' && i > 0 && is_ident_char(code[i - 1])) {
+        ++i;
+        continue;
+      }
+      const char delim = c;
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && code[j] != delim) {
+        if (code[j] == '\\' && j + 1 < n) {
+          value += text[j];
+          value += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (code[j] == '\n') {
+          break;  // unterminated literal: stop at end of line
+        }
+        value += text[j];
+        ++j;
+      }
+      if (delim == '"') {
+        StringLiteral literal;
+        literal.offset = i;
+        literal.line = line_of(text, i);
+        literal.value = std::move(value);
+        file.literals.push_back(std::move(literal));
+      }
+      const std::size_t end = j < n ? j + 1 : n;
+      blank(code, i + 1, j);  // keep the delimiters, blank the body
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  file.code = std::move(code);
+}
+
+std::size_t find_identifier(std::string_view code, std::string_view name, std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t after = pos + name.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+    pos += 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t match_forward(std::string_view code, std::size_t open, char open_ch,
+                          char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_ch) {
+      ++depth;
+    } else if (code[i] == close_ch) {
+      --depth;
+      if (depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return code.size();
+}
+
+FunctionBody find_function_body(const SourceFile& file, std::string_view name) {
+  const std::string_view code = file.code;
+  std::size_t pos = 0;
+  while ((pos = find_identifier(code, name, pos)) != std::string_view::npos) {
+    std::size_t paren = pos + name.size();
+    while (paren < code.size() && (code[paren] == ' ' || code[paren] == '\n')) {
+      ++paren;
+    }
+    if (paren >= code.size() || code[paren] != '(') {
+      pos += name.size();
+      continue;
+    }
+    const std::size_t paren_close = match_forward(code, paren, '(', ')');
+    // Scan the declaration tail for the body '{' — stop at ';' (pure
+    // declaration) or at characters that cannot appear between a parameter
+    // list and a function body.
+    std::size_t j = paren_close;
+    bool is_definition = false;
+    while (j < code.size()) {
+      const char c = code[j];
+      if (c == '{') {
+        is_definition = true;
+        break;
+      }
+      if (c == ';' || c == '=') {
+        break;
+      }
+      if (is_ident_char(c) || c == ' ' || c == '\n' || c == ':' || c == '(' || c == ')' ||
+          c == ',' || c == '<' || c == '>' || c == '&' || c == '*' || c == '[' ||
+          c == ']') {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (is_definition) {
+      FunctionBody body;
+      body.found = true;
+      body.begin = j;
+      body.end = match_forward(code, j, '{', '}');
+      return body;
+    }
+    pos += name.size();
+  }
+  return FunctionBody{};
+}
+
+}  // namespace rimcheck

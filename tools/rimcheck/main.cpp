@@ -1,0 +1,218 @@
+// rimcheck CLI.
+//
+//   rimcheck --root <repo> [--rule <prefix>]... [--json] [--baseline <file>]
+//            [--manifest <file>] [--docs <file>]...
+//   rimcheck --self-test
+//   rimcheck --list-rules
+//
+// Exit codes: 0 = clean (all findings suppressed), 1 = active findings,
+// 2 = usage or I/O error.
+#include "rimcheck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool analyzed_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root <repo> [--rule <prefix>]... [--json]\n"
+               "          [--baseline <file>] [--manifest <file>] [--docs <file>]...\n"
+               "       %s --self-test | --list-rules\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> filters;
+  std::vector<std::string> doc_paths;
+  std::string baseline_path;
+  std::string manifest_path;
+  bool json = false;
+  bool run_self_test = false;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!next(root)) return usage(argv[0]);
+    } else if (arg == "--rule") {
+      std::string filter;
+      if (!next(filter)) return usage(argv[0]);
+      filters.push_back(std::move(filter));
+    } else if (arg == "--baseline") {
+      if (!next(baseline_path)) return usage(argv[0]);
+    } else if (arg == "--manifest") {
+      if (!next(manifest_path)) return usage(argv[0]);
+    } else if (arg == "--docs") {
+      std::string doc;
+      if (!next(doc)) return usage(argv[0]);
+      doc_paths.push_back(std::move(doc));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--self-test") {
+      run_self_test = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (run_self_test) {
+    return rimcheck::self_test() == 0 ? 0 : 1;
+  }
+  if (list_rules) {
+    for (const rimcheck::RuleInfo& rule : rimcheck::rule_table()) {
+      std::printf("%-26.*s %-18.*s %.*s\n", static_cast<int>(rule.id.size()),
+                  rule.id.data(), static_cast<int>(rule.family.size()),
+                  rule.family.data(), static_cast<int>(rule.summary.size()),
+                  rule.summary.data());
+    }
+    return 0;
+  }
+  if (root.empty()) {
+    return usage(argv[0]);
+  }
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    std::fprintf(stderr, "rimcheck: --root %s is not a directory\n", root.c_str());
+    return 2;
+  }
+
+  // Collect every TU under the audited directories, sorted for stable
+  // output and stable finding order.
+  std::vector<fs::path> paths;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    const fs::path base = root_path / dir;
+    if (!fs::is_directory(base)) {
+      continue;
+    }
+    for (const fs::directory_entry& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && analyzed_extension(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  rimcheck::Tree tree;
+  for (const fs::path& path : paths) {
+    rimcheck::SourceFile file;
+    file.path = fs::relative(path, root_path).generic_string();
+    if (!read_file(path, file.text)) {
+      std::fprintf(stderr, "rimcheck: cannot read %s\n", path.string().c_str());
+      return 2;
+    }
+    rimcheck::lex_file(file);
+    tree.files.push_back(std::move(file));
+  }
+
+  if (doc_paths.empty()) {
+    doc_paths = {"DESIGN.md", "EXPERIMENTS.md"};
+  }
+  for (const std::string& doc : doc_paths) {
+    std::string text;
+    if (read_file(root_path / doc, text)) {
+      tree.docs += text;
+      tree.docs += '\n';
+    }
+  }
+
+  if (manifest_path.empty()) {
+    manifest_path = (root_path / "tools/rimcheck/fault_sites.manifest").string();
+  }
+  read_file(manifest_path, tree.fault_manifest);  // absent manifest = empty
+
+  // Run every rule regardless of --rule: the baseline must always be applied
+  // to the full finding set, or suppressions for filtered-out families would
+  // be reported stale on every filtered run.  --rule narrows the output below.
+  std::vector<rimcheck::Finding> findings = rimcheck::run_rules(tree, {});
+
+  std::vector<rimcheck::BaselineEntry> baseline;
+  if (baseline_path.empty()) {
+    const fs::path default_baseline = root_path / "tools/rimcheck/rimcheck.baseline";
+    if (fs::exists(default_baseline)) {
+      baseline_path = default_baseline.string();
+    }
+  }
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::fprintf(stderr, "rimcheck: cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::string error;
+    baseline = rimcheck::parse_baseline(text, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "rimcheck: %s\n", error.c_str());
+      return 2;
+    }
+    rimcheck::apply_baseline(findings, baseline);
+  }
+
+  if (!filters.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&filters](const rimcheck::Finding& finding) {
+                                    for (const std::string& filter : filters) {
+                                      if (finding.rule.rfind(filter, 0) == 0) {
+                                        return false;
+                                      }
+                                    }
+                                    return true;
+                                  }),
+                   findings.end());
+  }
+
+  std::size_t active = 0;
+  for (const rimcheck::Finding& finding : findings) {
+    if (!finding.suppressed) {
+      ++active;
+    }
+  }
+
+  if (json) {
+    std::printf("%s\n", rimcheck::render_json(findings).c_str());
+  } else {
+    for (const rimcheck::Finding& finding : findings) {
+      std::printf("%s\n", rimcheck::render(finding).c_str());
+    }
+    std::printf("rimcheck: %zu file(s), %zu finding(s), %zu active, %zu suppressed\n",
+                tree.files.size(), findings.size(), active, findings.size() - active);
+  }
+  return active == 0 ? 0 : 1;
+}

@@ -1,0 +1,174 @@
+// rimcheck — cross-registry static analyzer for the rimarket tree.
+//
+// The repo's reproducibility story rests on contracts that live in informal
+// registries: the kSite* fault-site constants in common/fault_injection.hpp,
+// the metric names written into common::MetricsRegistry, the S/U/Q/F/R/E
+// record tags of the batch-engine checkpoint format, and the
+// RIMARKET_GUARDED_BY lock annotations.  tools/lint.py (regex, per-line)
+// cannot see across files; rimcheck can.  It loads every translation unit
+// under src/, tests/, bench/ and examples/ through a comment-, string- and
+// raw-string-aware lexer and runs five rule families over the whole tree:
+//
+//   det.*    determinism: banned nondeterminism sources (std::random_device,
+//            time(), clock(), rand(), getenv, system_clock) anywhere, and
+//            iteration over unordered containers in src/ (report paths sum
+//            doubles; unordered iteration order would leak into totals)
+//   fault.*  fault-site registry: every kSite* constant is wired through
+//            RIMARKET_INJECT / RIMARKET_INJECT_PARSE in exactly one
+//            subsystem, matches the committed wiring manifest, is referenced
+//            by at least one test, and is never bypassed with a raw string
+//   lock.*   lock discipline: raw std::mutex / std::condition_variable /
+//            lock guards in src/ must go through the annotated wrappers in
+//            common/thread_safety.hpp, with RIMARKET_GUARDED_BY on state
+//   met.*    metrics names: registered names are snake.dot-case, keep one
+//            registration kind (increment vs add vs set), and are documented
+//            in DESIGN.md / EXPERIMENTS.md
+//   ckp.*    checkpoint format: the record-tag set the batch-engine
+//            checkpoint writer emits equals the set its parser accepts
+//
+// Findings carry file:line, a rule id and a symbol key; the committed
+// baseline (tools/rimcheck/rimcheck.baseline) suppresses known-good
+// exceptions, each entry with a written justification — a reasonless entry
+// is a parse error and a stale entry is itself a finding, so the tree-wide
+// scan stays honest.  `rimcheck --self-test` runs the embedded fixtures.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rimcheck {
+
+/// One string/char/raw-string literal the lexer saw.  `value` is the raw
+/// source text between the delimiters (escape sequences kept verbatim).
+struct StringLiteral {
+  std::size_t offset = 0;  ///< offset of the opening delimiter in text/code
+  std::size_t line = 1;    ///< 1-based line of the opening delimiter
+  std::string value;
+};
+
+/// One analyzed file: the original text plus the lexed "code view", in
+/// which comments, literal bodies and #if 0 regions are blanked to spaces.
+/// Layout is preserved exactly, so offsets and line numbers in `code`
+/// agree with `text`.
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::string text;
+  std::string code;
+  std::vector<StringLiteral> literals;
+};
+
+/// One rule violation.  `symbol` is the stable baseline key (the offending
+/// identifier, site name, metric name or tag) so suppressions survive
+/// unrelated line churn.
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 1;
+  std::string symbol;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// One committed suppression: rule + file + symbol ('*' wildcards symbol),
+/// with a mandatory justification.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string symbol;
+  std::string reason;
+  std::size_t line = 0;  ///< line in the baseline file
+  bool used = false;
+};
+
+/// Everything one analysis run sees.  `docs` is the concatenated text of
+/// DESIGN.md + EXPERIMENTS.md (metric-name documentation check);
+/// `fault_manifest` is the committed site-wiring manifest.
+struct Tree {
+  std::vector<SourceFile> files;
+  std::string docs;
+  std::string fault_manifest;
+};
+
+// ---------------------------------------------------------------------
+// lexer.cpp
+
+/// Fills `code` and `literals` from `text`.  Handles // and /* */ comments
+/// (including line-spliced // comments), string/char literals with escapes,
+/// raw strings R"delim(...)delim", digit separators (1'000), and nested
+/// #if 0 / #if false regions.
+void lex_file(SourceFile& file);
+
+/// 1-based line number of `offset` in `text`.
+std::size_t line_of(std::string_view text, std::size_t offset);
+
+/// True when `c` can appear in a C++ identifier.
+bool is_ident_char(char c);
+
+/// Offset of the next occurrence of identifier `name` in `code` at or
+/// after `from`, with non-identifier characters (or edges) on both sides;
+/// npos when absent.
+std::size_t find_identifier(std::string_view code, std::string_view name, std::size_t from);
+
+/// Index just past the bracket matching code[open] (must be open_ch);
+/// code.size() when unbalanced.
+std::size_t match_forward(std::string_view code, std::size_t open, char open_ch, char close_ch);
+
+/// Extent of the body (offsets of '{' and just past '}') of the first
+/// function definition named `name` in `file.code`.
+struct FunctionBody {
+  bool found = false;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+FunctionBody find_function_body(const SourceFile& file, std::string_view name);
+
+// ---------------------------------------------------------------------
+// rule families (one translation unit each)
+
+void check_determinism(const Tree& tree, std::vector<Finding>& findings);
+void check_fault_registry(const Tree& tree, std::vector<Finding>& findings);
+void check_locks(const Tree& tree, std::vector<Finding>& findings);
+void check_metrics(const Tree& tree, std::vector<Finding>& findings);
+void check_checkpoint(const Tree& tree, std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------
+// analyzer.cpp — driver, baseline, output
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view family;
+  std::string_view summary;
+};
+const std::vector<RuleInfo>& rule_table();
+
+/// Runs every family, then keeps findings whose rule id starts with one of
+/// `filters` (empty = all), sorted by (file, line, rule, symbol).
+std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters);
+
+/// Parses the baseline text.  On malformed input (missing reason, wrong
+/// field count) returns empty and sets `error`.
+std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& error);
+
+/// Marks findings matched by a baseline entry as suppressed and appends a
+/// `baseline.stale` finding for every entry that matched nothing.
+void apply_baseline(std::vector<Finding>& findings, std::vector<BaselineEntry>& baseline);
+
+/// Human-readable one-liner: path:line: [rule] (symbol) message.
+std::string render(const Finding& finding);
+
+/// Machine-readable report: {"findings":[...],"active":N,"suppressed":M}.
+std::string render_json(const std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------
+// self_test.cpp
+
+/// Runs the embedded fixtures for every rule family and the lexer edge
+/// cases; returns the number of failed fixtures (0 = pass).
+int self_test();
+
+}  // namespace rimcheck

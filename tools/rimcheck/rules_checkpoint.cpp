@@ -1,0 +1,181 @@
+// ckp.* — checkpoint-format audit.
+//
+// The batch engine's kill/resume guarantee (PR 6) requires the record tags
+// its checkpoint writer emits (serialize_shard / write_checkpoint) to be
+// exactly the set its parser accepts (load_checkpoint's tokens[0]
+// dispatch).  A tag renamed on one side, or a new record type added to the
+// writer without a parser arm, turns every old checkpoint into silent
+// "corrupt; starting fresh" — byte-identical resume would quietly become
+// recompute.  This family recomputes both sets from source each run.
+#include "rimcheck.hpp"
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::string_view kEngineFile = "sim/batch_engine.cpp";
+
+bool is_tag_token(std::string_view token) {
+  if (token.empty() || token.size() > 40) {
+    return false;
+  }
+  for (const char c : token) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Record tags the writer emits: for every string literal inside `body`
+/// that ends in "\n" (escaped in source), the first space-separated token.
+void writer_tags(const SourceFile& file, const FunctionBody& body,
+                 std::map<std::string, std::size_t>& tags) {
+  for (const StringLiteral& literal : file.literals) {
+    if (literal.offset < body.begin || literal.offset >= body.end) {
+      continue;
+    }
+    const std::string& value = literal.value;
+    if (value.size() < 2 || value.compare(value.size() - 2, 2, "\\n") != 0) {
+      continue;  // not a record line
+    }
+    const std::size_t space = value.find(' ');
+    const std::string token = space == std::string::npos
+                                  ? value.substr(0, value.size() - 2)
+                                  : value.substr(0, space);
+    if (is_tag_token(token)) {
+      tags.emplace(token, literal.line);
+    }
+  }
+}
+
+/// Record tags the parser accepts: literals compared against tokens[0].
+void parser_tags(const SourceFile& file, const FunctionBody& body,
+                 std::map<std::string, std::size_t>& tags) {
+  for (const StringLiteral& literal : file.literals) {
+    if (literal.offset < body.begin || literal.offset >= body.end) {
+      continue;
+    }
+    // Look backwards past the quote for `tokens[0] ==` / `!=`.
+    std::size_t i = literal.offset;
+    while (i > 0 && (file.code[i - 1] == ' ' || file.code[i - 1] == '\n')) {
+      --i;
+    }
+    if (i < 2 || !((file.code[i - 2] == '=' || file.code[i - 2] == '!') &&
+                   file.code[i - 1] == '=')) {
+      continue;
+    }
+    i -= 2;
+    while (i > 0 && (file.code[i - 1] == ' ' || file.code[i - 1] == '\n')) {
+      --i;
+    }
+    constexpr std::string_view kSubject = "tokens[0]";
+    if (i < kSubject.size() ||
+        file.code.compare(i - kSubject.size(), kSubject.size(), kSubject) != 0) {
+      continue;
+    }
+    if (is_tag_token(literal.value)) {
+      tags.emplace(literal.value, literal.line);
+    }
+  }
+}
+
+}  // namespace
+
+void check_checkpoint(const Tree& tree, std::vector<Finding>& findings) {
+  const SourceFile* engine = nullptr;
+  for (const SourceFile& file : tree.files) {
+    if (file.path.size() >= kEngineFile.size() &&
+        file.path.compare(file.path.size() - kEngineFile.size(), kEngineFile.size(),
+                          kEngineFile) == 0) {
+      engine = &file;
+      break;
+    }
+  }
+  if (engine == nullptr) {
+    return;  // tree without the subsystem (fixtures for other families)
+  }
+
+  std::map<std::string, std::size_t> written;
+  std::map<std::string, std::size_t> accepted;
+  bool anchors_ok = true;
+  for (const std::string_view writer : {"serialize_shard", "write_checkpoint"}) {
+    const FunctionBody body = find_function_body(*engine, writer);
+    if (!body.found) {
+      Finding finding;
+      finding.rule = "ckp.anchor-missing";
+      finding.file = engine->path;
+      finding.line = 1;
+      finding.symbol = std::string(writer);
+      finding.message = "checkpoint writer anchor `" + std::string(writer) +
+                        "` not found in batch_engine.cpp; the format audit cannot run — "
+                        "update rimcheck's anchors with the refactor";
+      findings.push_back(std::move(finding));
+      anchors_ok = false;
+      continue;
+    }
+    writer_tags(*engine, body, written);
+  }
+  {
+    const FunctionBody body = find_function_body(*engine, "load_checkpoint");
+    if (!body.found) {
+      Finding finding;
+      finding.rule = "ckp.anchor-missing";
+      finding.file = engine->path;
+      finding.line = 1;
+      finding.symbol = "load_checkpoint";
+      finding.message =
+          "checkpoint parser anchor `load_checkpoint` not found in batch_engine.cpp; "
+          "the format audit cannot run — update rimcheck's anchors with the refactor";
+      findings.push_back(std::move(finding));
+      anchors_ok = false;
+    } else {
+      parser_tags(*engine, body, accepted);
+    }
+  }
+  if (!anchors_ok) {
+    return;
+  }
+  if (written.empty() || accepted.empty()) {
+    Finding finding;
+    finding.rule = "ckp.anchor-missing";
+    finding.file = engine->path;
+    finding.line = 1;
+    finding.symbol = written.empty() ? "writer-tags" : "parser-tags";
+    finding.message = "checkpoint format audit extracted an empty tag set (writer " +
+                      std::to_string(written.size()) + ", parser " +
+                      std::to_string(accepted.size()) +
+                      "); the extraction anchors no longer match the code";
+    findings.push_back(std::move(finding));
+    return;
+  }
+  for (const auto& [tag, line] : written) {
+    if (accepted.find(tag) == accepted.end()) {
+      Finding finding;
+      finding.rule = "ckp.tag-mismatch";
+      finding.file = engine->path;
+      finding.line = line;
+      finding.symbol = tag;
+      finding.message = "checkpoint writer emits record tag \"" + tag +
+                        "\" that load_checkpoint never accepts; resumed runs would discard "
+                        "the file as corrupt";
+      findings.push_back(std::move(finding));
+    }
+  }
+  for (const auto& [tag, line] : accepted) {
+    if (written.find(tag) == written.end()) {
+      Finding finding;
+      finding.rule = "ckp.tag-mismatch";
+      finding.file = engine->path;
+      finding.line = line;
+      finding.symbol = tag;
+      finding.message = "load_checkpoint accepts record tag \"" + tag +
+                        "\" that no writer emits; dead parser arm or renamed writer tag";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace rimcheck

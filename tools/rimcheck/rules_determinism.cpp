@@ -1,0 +1,138 @@
+// det.* — determinism audit.
+//
+// Everything the repo reports (Eq. (1) totals, sweep reports, chaos
+// reruns) is promised byte-identical across thread counts and reruns, so
+// nondeterminism sources are banned tree-wide and iteration over unordered
+// containers is banned in src/ (iteration order would leak into double
+// accumulation and report ordering).  Sanctioned exceptions live in the
+// baseline with written reasons.
+#include "rimcheck.hpp"
+
+namespace rimcheck {
+
+namespace {
+
+struct BannedCall {
+  std::string_view token;
+  bool requires_call;  ///< only flag when followed by '('
+  std::string_view why;
+};
+
+constexpr BannedCall kBanned[] = {
+    {"random_device", false, "nondeterministic seed source; derive seeds via sim/seeding.hpp"},
+    {"rand", true, "global unseeded RNG; use common::Rng"},
+    {"srand", true, "global unseeded RNG; use common::Rng"},
+    {"time", true, "wall-clock read; results must not depend on when they run"},
+    {"clock", true, "wall-clock read; results must not depend on when they run"},
+    {"gettimeofday", true, "wall-clock read; results must not depend on when they run"},
+    {"getenv", false, "environment read; config must flow through explicit parameters"},
+    {"system_clock", false, "wall-clock source; use steady_clock for durations"},
+};
+
+/// Collects the names of variables in `file` whose declared type involves
+/// an unordered container.
+std::vector<std::string> unordered_variables(const SourceFile& file) {
+  std::vector<std::string> names;
+  for (const std::string_view container : {"unordered_map", "unordered_set",
+                                           "unordered_multimap", "unordered_multiset"}) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(file.code, container, pos)) != std::string_view::npos) {
+      std::size_t i = pos + container.size();
+      if (i < file.code.size() && file.code[i] == '<') {
+        i = match_forward(file.code, i, '<', '>');
+      }
+      while (i < file.code.size() &&
+             (file.code[i] == ' ' || file.code[i] == '&' || file.code[i] == '\n')) {
+        ++i;
+      }
+      const std::size_t name_begin = i;
+      while (i < file.code.size() && is_ident_char(file.code[i])) {
+        ++i;
+      }
+      if (i > name_begin) {
+        names.push_back(std::string(file.code.substr(name_begin, i - name_begin)));
+      }
+      pos += container.size();
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+void check_determinism(const Tree& tree, std::vector<Finding>& findings) {
+  for (const SourceFile& file : tree.files) {
+    // det.banned-call: tree-wide (src, tests, bench, examples).
+    for (const BannedCall& banned : kBanned) {
+      std::size_t pos = 0;
+      while ((pos = find_identifier(file.code, banned.token, pos)) !=
+             std::string_view::npos) {
+        bool flag = true;
+        if (banned.requires_call) {
+          std::size_t i = pos + banned.token.size();
+          while (i < file.code.size() && (file.code[i] == ' ' || file.code[i] == '\n')) {
+            ++i;
+          }
+          flag = i < file.code.size() && file.code[i] == '(';
+        }
+        if (flag) {
+          Finding finding;
+          finding.rule = "det.banned-call";
+          finding.file = file.path;
+          finding.line = line_of(file.code, pos);
+          finding.symbol = std::string(banned.token);
+          finding.message =
+              "banned nondeterminism source `" + std::string(banned.token) + "`: " +
+              std::string(banned.why);
+          findings.push_back(std::move(finding));
+        }
+        pos += banned.token.size();
+      }
+    }
+
+    // det.unordered-iter: src/ only — range-for or .begin() over a
+    // variable declared with an unordered container type.
+    if (file.path.rfind("src/", 0) != 0) {
+      continue;
+    }
+    for (const std::string& name : unordered_variables(file)) {
+      // `.begin()` / range-for `: name)` accesses.
+      std::size_t pos = 0;
+      while ((pos = find_identifier(file.code, name, pos)) != std::string_view::npos) {
+        std::size_t i = pos + name.size();
+        while (i < file.code.size() && file.code[i] == ' ') {
+          ++i;
+        }
+        bool iterates = false;
+        if (file.code.compare(i, 7, ".begin(") == 0 ||
+            file.code.compare(i, 8, ".cbegin(") == 0) {
+          iterates = true;
+        } else {
+          // Range-for: `for (... : name)` — look backwards for ':' then 'for ('.
+          std::size_t back = pos;
+          while (back > 0 && (file.code[back - 1] == ' ' || file.code[back - 1] == '\n')) {
+            --back;
+          }
+          if (back > 0 && file.code[back - 1] == ':' &&
+              (back < 2 || file.code[back - 2] != ':')) {
+            iterates = true;
+          }
+        }
+        if (iterates) {
+          Finding finding;
+          finding.rule = "det.unordered-iter";
+          finding.file = file.path;
+          finding.line = line_of(file.code, pos);
+          finding.symbol = name;
+          finding.message = "iteration over unordered container `" + name +
+                            "` in src/; order leaks into report output and double "
+                            "accumulation — use std::map/std::set or sort first";
+          findings.push_back(std::move(finding));
+        }
+        pos += name.size();
+      }
+    }
+  }
+}
+
+}  // namespace rimcheck

@@ -1,0 +1,361 @@
+// fault.* — fault-site registry audit.
+//
+// The chaos suite's guarantees (PR 5/6: survivors byte-identical, faults
+// replayable from one seed) only hold if the kSite* registry in
+// common/fault_injection.hpp, the RIMARKET_INJECT wiring in the library,
+// the committed wiring manifest and the tests all agree.  This family
+// cross-checks the four: a declared-but-unwired site, a site wired in two
+// subsystems, a raw-string bypass or an untested site each break the
+// contract silently at runtime but loudly here.
+#include "rimcheck.hpp"
+
+#include <algorithm>
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::string_view kRegistryHeader = "common/fault_injection.hpp";
+
+struct SiteDecl {
+  std::string constant;  ///< kSiteFoo
+  std::string name;      ///< "subsystem.operation"
+  std::size_t line = 1;
+};
+
+struct Wiring {
+  std::string constant;
+  std::string file;
+  std::string subsystem;
+  std::size_t line = 1;
+};
+
+bool is_site_name_case(std::string_view name) {
+  if (name.empty() || !(name[0] >= 'a' && name[0] <= 'z')) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The registry header, if present in the tree.
+const SourceFile* registry_file(const Tree& tree) {
+  for (const SourceFile& file : tree.files) {
+    if (file.path.size() >= kRegistryHeader.size() &&
+        file.path.compare(file.path.size() - kRegistryHeader.size(), kRegistryHeader.size(),
+                          kRegistryHeader) == 0) {
+      return &file;
+    }
+  }
+  return nullptr;
+}
+
+/// kSite* constants declared in the registry header, with their string
+/// values (the literal after the '=').
+std::vector<SiteDecl> declared_sites(const SourceFile& registry) {
+  std::vector<SiteDecl> sites;
+  std::size_t pos = 0;
+  while ((pos = registry.code.find("kSite", pos)) != std::string::npos) {
+    if (pos > 0 && is_ident_char(registry.code[pos - 1])) {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < registry.code.size() && is_ident_char(registry.code[end])) {
+      ++end;
+    }
+    // Only declarations (followed by '='), not uses.
+    std::size_t i = end;
+    while (i < registry.code.size() && (registry.code[i] == ' ' || registry.code[i] == '\n')) {
+      ++i;
+    }
+    if (i < registry.code.size() && registry.code[i] == '=') {
+      SiteDecl decl;
+      decl.constant = registry.code.substr(pos, end - pos);
+      decl.line = line_of(registry.code, pos);
+      // The declaration's literal is the first one past the '='.
+      for (const StringLiteral& literal : registry.literals) {
+        if (literal.offset > i) {
+          decl.name = literal.value;
+          break;
+        }
+      }
+      sites.push_back(std::move(decl));
+    }
+    pos = end;
+  }
+  return sites;
+}
+
+std::string subsystem_of(const std::string& path) {
+  // src/<subsystem>/... ; anything else keeps its first directory.
+  std::size_t begin = 0;
+  if (path.rfind("src/", 0) == 0) {
+    begin = 4;
+  }
+  const std::size_t slash = path.find('/', begin);
+  return slash == std::string::npos ? path : path.substr(begin, slash - begin);
+}
+
+}  // namespace
+
+void check_fault_registry(const Tree& tree, std::vector<Finding>& findings) {
+  const SourceFile* registry = registry_file(tree);
+  if (registry == nullptr) {
+    return;  // tree without the subsystem (fixtures for other families)
+  }
+  const std::vector<SiteDecl> sites = declared_sites(*registry);
+
+  // fault.duplicate-name / fault.bad-name: site strings unique + dot-case.
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (!is_site_name_case(sites[i].name)) {
+      Finding finding;
+      finding.rule = "fault.bad-name";
+      finding.file = registry->path;
+      finding.line = sites[i].line;
+      finding.symbol = sites[i].constant;
+      finding.message = "site name \"" + sites[i].name +
+                        "\" is not dot-separated snake_case ([a-z0-9_.])";
+      findings.push_back(std::move(finding));
+    }
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      if (sites[i].name == sites[j].name) {
+        Finding finding;
+        finding.rule = "fault.duplicate-name";
+        finding.file = registry->path;
+        finding.line = sites[j].line;
+        finding.symbol = sites[j].constant;
+        finding.message = "site name \"" + sites[j].name + "\" already declared as " +
+                          sites[i].constant;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  // Collect wiring: RIMARKET_INJECT / RIMARKET_INJECT_PARSE in src/ .cpp.
+  std::vector<Wiring> wirings;
+  for (const SourceFile& file : tree.files) {
+    const bool is_src_cpp = file.path.rfind("src/", 0) == 0 &&
+                            file.path.size() > 4 &&
+                            file.path.compare(file.path.size() - 4, 4, ".cpp") == 0;
+    if (!is_src_cpp) {
+      continue;
+    }
+    std::size_t pos = 0;
+    while ((pos = file.code.find("RIMARKET_INJECT", pos)) != std::string::npos) {
+      if (pos > 0 && is_ident_char(file.code[pos - 1])) {
+        pos += 15;
+        continue;
+      }
+      std::size_t i = pos + 15;  // len("RIMARKET_INJECT")
+      // Accept the _PARSE variant under the same audit.
+      if (file.code.compare(i, 6, "_PARSE") == 0) {
+        i += 6;
+      }
+      if (i < file.code.size() && is_ident_char(file.code[i])) {
+        pos = i;  // some other RIMARKET_INJECT_* macro
+        continue;
+      }
+      while (i < file.code.size() && (file.code[i] == ' ' || file.code[i] == '\n')) {
+        ++i;
+      }
+      if (i >= file.code.size() || file.code[i] != '(') {
+        pos = i;
+        continue;
+      }
+      const std::size_t close = match_forward(file.code, i, '(', ')');
+      const std::string arg = file.code.substr(i + 1, close - i - 2);
+      const std::size_t line = line_of(file.code, pos);
+      // Raw string literal argument: the lexer blanked it, so look for a
+      // literal whose offset falls inside the parens.
+      bool has_literal = false;
+      for (const StringLiteral& literal : file.literals) {
+        if (literal.offset > i && literal.offset < close) {
+          has_literal = true;
+          break;
+        }
+      }
+      if (has_literal) {
+        Finding finding;
+        finding.rule = "fault.raw-site-literal";
+        finding.file = file.path;
+        finding.line = line;
+        finding.symbol = "RIMARKET_INJECT";
+        finding.message =
+            "RIMARKET_INJECT with a raw string literal bypasses the kSite* "
+            "registry; declare the site in common/fault_injection.hpp";
+        findings.push_back(std::move(finding));
+        pos = close;
+        continue;
+      }
+      const std::size_t k = arg.rfind("kSite");
+      if (k == std::string_view::npos) {
+        Finding finding;
+        finding.rule = "fault.unregistered-site";
+        finding.file = file.path;
+        finding.line = line;
+        finding.symbol = "RIMARKET_INJECT";
+        finding.message = "RIMARKET_INJECT argument `" + std::string(arg) +
+                          "` does not reference a kSite* registry constant";
+        findings.push_back(std::move(finding));
+        pos = close;
+        continue;
+      }
+      std::size_t kend = k;
+      while (kend < arg.size() && is_ident_char(arg[kend])) {
+        ++kend;
+      }
+      Wiring wiring;
+      wiring.constant = std::string(arg.substr(k, kend - k));
+      wiring.file = file.path;
+      wiring.subsystem = subsystem_of(file.path);
+      wiring.line = line;
+      const bool known =
+          std::any_of(sites.begin(), sites.end(), [&wiring](const SiteDecl& site) {
+            return site.constant == wiring.constant;
+          });
+      if (!known) {
+        Finding finding;
+        finding.rule = "fault.unregistered-site";
+        finding.file = file.path;
+        finding.line = line;
+        finding.symbol = wiring.constant;
+        finding.message = "RIMARKET_INJECT references `" + wiring.constant +
+                          "`, which is not declared in common/fault_injection.hpp";
+        findings.push_back(std::move(finding));
+      }
+      wirings.push_back(std::move(wiring));
+      pos = close;
+    }
+
+    // fault.site-literal-bypass: a registered site *name* as a raw string
+    // in library code sidesteps the constant (typos drift silently).
+    for (const StringLiteral& literal : file.literals) {
+      for (const SiteDecl& site : sites) {
+        if (!site.name.empty() && literal.value == site.name) {
+          Finding finding;
+          finding.rule = "fault.site-literal-bypass";
+          finding.file = file.path;
+          finding.line = literal.line;
+          finding.symbol = site.constant;
+          finding.message = "raw string \"" + site.name + "\" duplicates registry constant " +
+                            site.constant + "; use the constant";
+          findings.push_back(std::move(finding));
+        }
+      }
+    }
+  }
+
+  // Per-site checks: wired >= 1, exactly one subsystem, tested >= 1.
+  for (const SiteDecl& site : sites) {
+    std::set<std::string> subsystems;
+    for (const Wiring& wiring : wirings) {
+      if (wiring.constant == site.constant) {
+        subsystems.insert(wiring.subsystem);
+      }
+    }
+    if (subsystems.empty()) {
+      Finding finding;
+      finding.rule = "fault.unwired-site";
+      finding.file = registry->path;
+      finding.line = site.line;
+      finding.symbol = site.constant;
+      finding.message = "declared site " + site.constant + " (\"" + site.name +
+                        "\") is wired by no RIMARKET_INJECT call in src/";
+      findings.push_back(std::move(finding));
+    } else if (subsystems.size() > 1) {
+      std::string joined;
+      for (const std::string& subsystem : subsystems) {
+        joined += joined.empty() ? subsystem : ", " + subsystem;
+      }
+      Finding finding;
+      finding.rule = "fault.cross-subsystem";
+      finding.file = registry->path;
+      finding.line = site.line;
+      finding.symbol = site.constant;
+      finding.message = "site " + site.constant + " is wired in multiple subsystems (" +
+                        joined + "); a site names one failure domain";
+      findings.push_back(std::move(finding));
+    }
+    bool tested = false;
+    for (const SourceFile& file : tree.files) {
+      if (file.path.rfind("tests/", 0) != 0) {
+        continue;
+      }
+      if (find_identifier(file.code, site.constant, 0) != std::string_view::npos) {
+        tested = true;
+        break;
+      }
+    }
+    if (!tested) {
+      Finding finding;
+      finding.rule = "fault.untested-site";
+      finding.file = registry->path;
+      finding.line = site.line;
+      finding.symbol = site.constant;
+      finding.message = "site " + site.constant +
+                        " is referenced by no test; the chaos suite cannot prove it fires";
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // fault.manifest-mismatch: the committed manifest pins every (site,
+  // file) wiring pair, so deleting or moving ANY single call site fails
+  // the audit even when another subsystem still wires the same site.
+  std::set<std::string> actual;
+  for (const Wiring& wiring : wirings) {
+    actual.insert(wiring.constant + " " + wiring.file);
+  }
+  std::set<std::string> expected;
+  {
+    std::size_t pos = 0;
+    const std::string& manifest = tree.fault_manifest;
+    while (pos < manifest.size()) {
+      std::size_t end = manifest.find('\n', pos);
+      if (end == std::string::npos) {
+        end = manifest.size();
+      }
+      std::string line = manifest.substr(pos, end - pos);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty() && line[0] != '#') {
+        expected.insert(line);
+      }
+      pos = end + 1;
+    }
+  }
+  for (const std::string& pair : expected) {
+    if (actual.find(pair) == actual.end()) {
+      Finding finding;
+      finding.rule = "fault.manifest-mismatch";
+      finding.file = registry->path;
+      finding.line = 1;
+      finding.symbol = pair;
+      finding.message = "manifest entry \"" + pair +
+                        "\" has no matching RIMARKET_INJECT call site (deleted or moved?); "
+                        "update tools/rimcheck/fault_sites.manifest deliberately";
+      findings.push_back(std::move(finding));
+    }
+  }
+  for (const std::string& pair : actual) {
+    if (expected.find(pair) == expected.end()) {
+      Finding finding;
+      finding.rule = "fault.manifest-mismatch";
+      finding.file = registry->path;
+      finding.line = 1;
+      finding.symbol = pair;
+      finding.message = "call site \"" + pair +
+                        "\" is not in tools/rimcheck/fault_sites.manifest; add it with the "
+                        "site's failure-domain rationale";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace rimcheck

@@ -1,0 +1,130 @@
+// lock.* — lock discipline.
+//
+// Clang's -Wthread-safety job can only prove what is annotated: a raw
+// std::mutex carries no capability, so guarded state next to one is
+// invisible to the analysis.  All locking in src/ therefore goes through
+// the annotated wrappers in common/thread_safety.hpp (Mutex, MutexLock)
+// with RIMARKET_GUARDED_BY on the state they protect; this family keeps
+// raw primitives from creeping back in.
+#include "rimcheck.hpp"
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::string_view kWrapperHome = "common/thread_safety.hpp";
+
+struct RawPrimitive {
+  std::string_view token;
+  std::string_view rule;
+  std::string_view advice;
+};
+
+constexpr RawPrimitive kPrimitives[] = {
+    {"mutex", "lock.raw-mutex", "use common::Mutex (annotated capability)"},
+    {"condition_variable", "lock.raw-cv",
+     "pair with common::Mutex and wait via MutexLock::native(), or justify in the baseline"},
+    {"condition_variable_any", "lock.raw-cv",
+     "pair with common::Mutex and wait via MutexLock::native(), or justify in the baseline"},
+    {"lock_guard", "lock.raw-guard", "use common::MutexLock (scoped capability)"},
+    {"unique_lock", "lock.raw-guard", "use common::MutexLock (scoped capability)"},
+    {"scoped_lock", "lock.raw-guard", "use common::MutexLock (scoped capability)"},
+};
+
+bool in_src(const std::string& path) { return path.rfind("src/", 0) == 0; }
+
+bool is_wrapper_home(const std::string& path) {
+  return path.size() >= kWrapperHome.size() &&
+         path.compare(path.size() - kWrapperHome.size(), kWrapperHome.size(),
+                      kWrapperHome) == 0;
+}
+
+/// True when the token at [pos, pos+len) is preceded by `std::`.
+bool std_qualified(std::string_view code, std::size_t pos) {
+  return pos >= 5 && code.compare(pos - 5, 5, "std::") == 0;
+}
+
+/// True when the occurrence declares an object: the type token is followed
+/// (past any template argument list) by whitespace and an identifier.
+/// `std::condition_variable& ref` and `std::lock_guard<...>` inside a
+/// template argument list are uses, not declarations.
+bool is_declaration(std::string_view code, std::size_t after_token) {
+  std::size_t i = after_token;
+  if (i < code.size() && code[i] == '<') {
+    i = match_forward(code, i, '<', '>');
+  }
+  bool saw_space = false;
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\n')) {
+    saw_space = true;
+    ++i;
+  }
+  return saw_space && i < code.size() && is_ident_char(code[i]);
+}
+
+}  // namespace
+
+void check_locks(const Tree& tree, std::vector<Finding>& findings) {
+  for (const SourceFile& file : tree.files) {
+    if (!in_src(file.path) || is_wrapper_home(file.path)) {
+      continue;
+    }
+    for (const RawPrimitive& primitive : kPrimitives) {
+      std::size_t pos = 0;
+      while ((pos = find_identifier(file.code, primitive.token, pos)) !=
+             std::string_view::npos) {
+        const std::size_t after = pos + primitive.token.size();
+        if (std_qualified(file.code, pos) && is_declaration(file.code, after)) {
+          Finding finding;
+          finding.rule = std::string(primitive.rule);
+          finding.file = file.path;
+          finding.line = line_of(file.code, pos);
+          finding.symbol = std::string(primitive.token);
+          finding.message = "raw std::" + std::string(primitive.token) +
+                            " declared in src/; " + std::string(primitive.advice);
+          findings.push_back(std::move(finding));
+        }
+        pos = after;
+      }
+    }
+
+    // lock.no-guarded-state: a file that declares a Mutex *member* (name
+    // ending in '_') must annotate at least one guarded member, otherwise
+    // the clang thread-safety job has nothing to prove there.
+    bool has_mutex_member = false;
+    std::size_t mutex_line = 1;
+    std::size_t pos = 0;
+    while ((pos = find_identifier(file.code, "Mutex", pos)) != std::string_view::npos) {
+      std::size_t i = pos + 5;
+      bool saw_space = false;
+      while (i < file.code.size() && (file.code[i] == ' ' || file.code[i] == '\n')) {
+        saw_space = true;
+        ++i;
+      }
+      const std::size_t name_begin = i;
+      while (i < file.code.size() && is_ident_char(file.code[i])) {
+        ++i;
+      }
+      if (saw_space && i > name_begin && file.code[i - 1] == '_' && i < file.code.size() &&
+          file.code[i] == ';') {
+        has_mutex_member = true;
+        mutex_line = line_of(file.code, pos);
+        break;
+      }
+      pos = i;
+    }
+    if (has_mutex_member &&
+        find_identifier(file.code, "RIMARKET_GUARDED_BY", 0) == std::string_view::npos) {
+      Finding finding;
+      finding.rule = "lock.no-guarded-state";
+      finding.file = file.path;
+      finding.line = mutex_line;
+      finding.symbol = "Mutex";
+      finding.message =
+          "Mutex member without any RIMARKET_GUARDED_BY annotation in this file; "
+          "annotate the state the mutex protects";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace rimcheck

@@ -1,0 +1,187 @@
+// met.* — metrics-name audit.
+//
+// Every bench/CLI run ends with one METRICS JSON line; downstream tooling
+// (bench_check.py, EXPERIMENTS.md reading guides) keys on the names.  The
+// registry itself is stringly typed, so this family pins the contract the
+// type system cannot: names are snake.dot-case, each name keeps exactly
+// one registration kind (a name that is increment()ed in one file and
+// set() in another silently overwrites accumulated totals — the PR-6
+// double-accumulation bug class), and every name is documented in
+// DESIGN.md or EXPERIMENTS.md.
+#include "rimcheck.hpp"
+
+#include <algorithm>
+
+namespace rimcheck {
+
+namespace {
+
+struct Registration {
+  std::string name;   ///< full name, or ".suffix" for prefix-dynamic names
+  std::string op;     ///< increment | add | set
+  std::string file;
+  std::size_t line = 1;
+};
+
+constexpr std::string_view kOps[] = {"increment", "add", "set"};
+
+/// Receiver identifier directly before `.op(` — only registry-like
+/// receivers are audited, so unrelated `.set(...)` calls stay invisible.
+bool registry_receiver(std::string_view code, std::size_t dot) {
+  if (dot >= 2 && code.compare(dot - 2, 2, "()") == 0) {
+    // MetricsRegistry::global().op(...)
+    std::size_t call = dot - 2;
+    std::size_t name_end = call;
+    std::size_t name_begin = name_end;
+    while (name_begin > 0 && is_ident_char(code[name_begin - 1])) {
+      --name_begin;
+    }
+    return code.substr(name_begin, name_end - name_begin) == "global";
+  }
+  std::size_t name_end = dot;
+  std::size_t name_begin = name_end;
+  while (name_begin > 0 && is_ident_char(code[name_begin - 1])) {
+    --name_begin;
+  }
+  const std::string_view receiver = code.substr(name_begin, name_end - name_begin);
+  return receiver == "registry" || receiver == "metrics" || receiver == "registry_" ||
+         receiver == "metrics_";
+}
+
+bool is_metric_name_case(std::string_view name) {
+  // Full names: seg(.seg)+; suffix form: .seg — segments [a-z0-9_], each
+  // starting with a letter.
+  if (name.empty()) {
+    return false;
+  }
+  bool segment_start = true;
+  for (std::size_t i = name[0] == '.' ? 1 : 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '.') {
+      if (segment_start) {
+        return false;  // empty segment
+      }
+      segment_start = true;
+      continue;
+    }
+    const bool lower = c >= 'a' && c <= 'z';
+    const bool digit = c >= '0' && c <= '9';
+    if (segment_start && !lower) {
+      return false;
+    }
+    if (!(lower || digit || c == '_')) {
+      return false;
+    }
+    segment_start = false;
+  }
+  return !segment_start;
+}
+
+/// The documentation-check needle: full names are searched verbatim,
+/// prefix-dynamic suffixes without their leading dot.
+std::string doc_needle(const std::string& name) {
+  return name[0] == '.' ? name.substr(1) : name;
+}
+
+}  // namespace
+
+void check_metrics(const Tree& tree, std::vector<Finding>& findings) {
+  std::vector<Registration> registrations;
+  for (const SourceFile& file : tree.files) {
+    const bool audited = file.path.rfind("src/", 0) == 0 ||
+                         file.path.rfind("bench/", 0) == 0 ||
+                         file.path.rfind("examples/", 0) == 0;
+    if (!audited) {
+      continue;
+    }
+    for (const std::string_view op : kOps) {
+      std::size_t pos = 0;
+      while ((pos = find_identifier(file.code, op, pos)) != std::string_view::npos) {
+        const std::size_t after = pos + op.size();
+        if (pos == 0 || file.code[pos - 1] != '.' || after >= file.code.size() ||
+            file.code[after] != '(' || !registry_receiver(file.code, pos - 1)) {
+          pos = after;
+          continue;
+        }
+        const std::size_t close = match_forward(file.code, after, '(', ')');
+        // The audited name is the first string literal inside the call.
+        const StringLiteral* name_literal = nullptr;
+        for (const StringLiteral& literal : file.literals) {
+          if (literal.offset > after && literal.offset < close) {
+            name_literal = &literal;
+            break;
+          }
+        }
+        if (name_literal != nullptr) {
+          Registration registration;
+          registration.name = name_literal->value;
+          registration.op = std::string(op);
+          registration.file = file.path;
+          registration.line = name_literal->line;
+          registrations.push_back(std::move(registration));
+        }
+        pos = close;
+      }
+    }
+  }
+
+  // met.bad-name
+  for (const Registration& registration : registrations) {
+    if (!is_metric_name_case(registration.name)) {
+      Finding finding;
+      finding.rule = "met.bad-name";
+      finding.file = registration.file;
+      finding.line = registration.line;
+      finding.symbol = registration.name;
+      finding.message = "metric name \"" + registration.name +
+                        "\" is not snake.dot-case (segments [a-z][a-z0-9_]*, joined by '.')";
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // met.mixed-kind: one name, one registration op — everywhere.
+  std::map<std::string, std::set<std::string>> ops_by_name;
+  for (const Registration& registration : registrations) {
+    ops_by_name[registration.name].insert(registration.op);
+  }
+  for (const Registration& registration : registrations) {
+    const std::set<std::string>& ops = ops_by_name[registration.name];
+    if (ops.size() > 1) {
+      std::string joined;
+      for (const std::string& op : ops) {
+        joined += joined.empty() ? op : "/" + op;
+      }
+      Finding finding;
+      finding.rule = "met.mixed-kind";
+      finding.file = registration.file;
+      finding.line = registration.line;
+      finding.symbol = registration.name;
+      finding.message = "metric \"" + registration.name + "\" is registered via " + joined +
+                        "; mixing kinds silently overwrites accumulated totals — pick one";
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // met.undocumented: every distinct name appears in DESIGN.md or
+  // EXPERIMENTS.md (tree.docs).  Report once per name, at its first
+  // registration site.
+  std::set<std::string> reported;
+  for (const Registration& registration : registrations) {
+    if (!reported.insert(registration.name).second) {
+      continue;
+    }
+    if (tree.docs.find(doc_needle(registration.name)) == std::string::npos) {
+      Finding finding;
+      finding.rule = "met.undocumented";
+      finding.file = registration.file;
+      finding.line = registration.line;
+      finding.symbol = registration.name;
+      finding.message = "metric \"" + registration.name +
+                        "\" is not documented in DESIGN.md or EXPERIMENTS.md; add it to the "
+                        "metrics table (DESIGN.md §13)";
+      findings.push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace rimcheck

@@ -1,0 +1,497 @@
+// rimcheck self-test: embedded fixtures for the lexer edge cases and every
+// rule family, including the two acceptance negatives (a deleted
+// RIMARKET_INJECT call site and a renamed checkpoint record tag must fail
+// the scan).  Each fixture builds a tiny Tree, runs the full rule set and
+// compares the exact (rule, symbol) multiset — exactness catches both
+// missed findings and noise.
+#include "rimcheck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rimcheck {
+
+namespace {
+
+int g_failures = 0;
+
+void report(const char* name, bool ok, const std::string& detail) {
+  if (ok) {
+    std::printf("ok   %s\n", name);
+  } else {
+    ++g_failures;
+    std::printf("FAIL %s\n     %s\n", name, detail.c_str());
+  }
+}
+
+SourceFile make_file(std::string path, std::string text) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.text = std::move(text);
+  lex_file(file);
+  return file;
+}
+
+Tree make_tree(std::vector<SourceFile> files, std::string docs = std::string(),
+               std::string manifest = std::string()) {
+  Tree tree;
+  tree.files = std::move(files);
+  tree.docs = std::move(docs);
+  tree.fault_manifest = std::move(manifest);
+  return tree;
+}
+
+std::vector<std::string> keys(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& finding : findings) {
+    out.push_back(finding.rule + "/" + finding.symbol);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    out += out.empty() ? item : ", " + item;
+  }
+  return out.empty() ? std::string("<none>") : out;
+}
+
+/// Runs the full rule set on `tree` and requires the (rule/symbol) multiset
+/// to equal `expected` exactly.
+void expect(const char* name, const Tree& tree, std::vector<std::string> expected) {
+  std::vector<Finding> findings = run_rules(tree, {});
+  std::vector<std::string> actual = keys(findings);
+  std::sort(expected.begin(), expected.end());
+  report(name, actual == expected,
+         "expected [" + join(expected) + "] got [" + join(actual) + "]");
+}
+
+// ---------------------------------------------------------------------
+// Shared fixture fragments.
+
+const char* kRegistryPath = "src/common/fault_injection.hpp";
+
+constexpr const char* kRegistryOneSite = R"fix(
+#pragma once
+inline constexpr std::string_view kSiteAlpha = "alpha.step";
+)fix";
+
+constexpr const char* kTestReferencesAlpha = R"fix(
+TEST(Chaos, AlphaFires) { expect_fault(rimarket::common::kSiteAlpha); }
+)fix";
+
+// ---------------------------------------------------------------------
+// Lexer fixtures (satellite d: raw strings, line-spliced comments,
+// string-embedded //, #if 0 blocks, plus digit separators and char
+// literals).
+
+void lexer_fixtures() {
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+const char* snippet = R"code(std::random_device rd; // not code)code";
+int live = 1;
+)fix");
+    const bool blanked =
+        find_identifier(file.code, "random_device", 0) == std::string_view::npos;
+    const bool captured = file.literals.size() == 1 &&
+                          file.literals[0].value.find("random_device") != std::string::npos;
+    const bool live = find_identifier(file.code, "live", 0) != std::string_view::npos;
+    report("lex.raw_string_blanked_and_captured", blanked && captured && live,
+           "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+// spliced comment \
+rand();
+int live = 1;
+)fix");
+    const bool blanked = find_identifier(file.code, "rand", 0) == std::string_view::npos;
+    const bool live = find_identifier(file.code, "live", 0) != std::string_view::npos;
+    report("lex.line_spliced_comment", blanked && live, "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+const char* url = "http://example/x"; srand(7);
+)fix");
+    const bool kept = find_identifier(file.code, "srand", 0) != std::string_view::npos;
+    const bool literal_ok = file.literals.size() == 1 &&
+                            file.literals[0].value == "http://example/x";
+    report("lex.string_embedded_slashes", kept && literal_ok, "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+#if 0
+rand();
+#ifdef NESTED
+srand(1);
+#endif
+#endif
+int live = 1;
+)fix");
+    const bool blanked = find_identifier(file.code, "rand", 0) == std::string_view::npos &&
+                         find_identifier(file.code, "srand", 0) == std::string_view::npos;
+    const bool live = find_identifier(file.code, "live", 0) != std::string_view::npos;
+    report("lex.if0_nested_blanked", blanked && live, "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+#if 0
+rand();
+#else
+srand(1);
+#endif
+)fix");
+    const bool dead = find_identifier(file.code, "rand", 0) == std::string_view::npos;
+    const bool alive = find_identifier(file.code, "srand", 0) != std::string_view::npos;
+    report("lex.if0_else_branch_live", dead && alive, "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+long total = 1'000'000; srand(7);
+)fix");
+    const bool kept = find_identifier(file.code, "srand", 0) != std::string_view::npos;
+    report("lex.digit_separator_not_char_literal", kept && file.literals.empty(),
+           "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp", R"fix(
+/* rand(); */ char quote = '"'; srand(1);
+)fix");
+    const bool comment_gone =
+        find_identifier(file.code, "rand", 0) == std::string_view::npos;
+    const bool kept = find_identifier(file.code, "srand", 0) != std::string_view::npos;
+    report("lex.block_comment_and_char_quote", comment_gone && kept,
+           "code=[" + file.code + "]");
+  }
+  {
+    const SourceFile file = make_file("src/a.cpp",
+                                      "void f() {\n  g();\n}\nint h() { return 2; }\n");
+    const FunctionBody body = find_function_body(file, "h");
+    const bool ok = body.found && file.code.substr(body.begin, body.end - body.begin) ==
+                                      "{ return 2; }";
+    report("lex.find_function_body", ok, "found=" + std::to_string(body.found));
+  }
+}
+
+// ---------------------------------------------------------------------
+// det.* fixtures.
+
+void determinism_fixtures() {
+  expect("det.random_device_flagged",
+         make_tree({make_file("src/sim/a.cpp", "std::random_device rd;\n")}),
+         {"det.banned-call/random_device"});
+  expect("det.time_requires_call",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+int time;
+double time_budget = 0;
+long now = time(nullptr);
+)fix")}),
+         {"det.banned-call/time"});
+  expect("det.comments_and_strings_invisible",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+// time(nullptr) getenv("HOME")
+/* std::random_device rd; */
+const char* doc = "call time(0) or rand() here";
+)fix")}),
+         {});
+  expect("det.unordered_iteration_flagged",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+std::unordered_map<int, double> totals;
+for (const auto& entry : totals) { use(entry); }
+)fix")}),
+         {"det.unordered-iter/totals"});
+  expect("det.unordered_lookup_ok",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+std::unordered_map<int, double> totals;
+totals[3] = 1.0;
+)fix")}),
+         {});
+  expect("det.unordered_iter_allowed_in_tests",
+         make_tree({make_file("tests/sim/a_test.cpp", R"fix(
+std::unordered_map<int, double> totals;
+for (const auto& entry : totals) { use(entry); }
+)fix")}),
+         {});
+}
+
+// ---------------------------------------------------------------------
+// fault.* fixtures.
+
+void fault_fixtures() {
+  expect("fault.clean_wiring_passes",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteAlpha);\n"),
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)},
+                   "", "kSiteAlpha src/sim/a.cpp\n"),
+         {});
+  expect("fault.parse_variant_counts_as_wiring",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp",
+                              "RIMARKET_INJECT_PARSE(kSiteAlpha, path);\n"),
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)},
+                   "", "kSiteAlpha src/sim/a.cpp\n"),
+         {});
+  expect("fault.unwired_and_untested",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite)}),
+         {"fault.unwired-site/kSiteAlpha", "fault.untested-site/kSiteAlpha"});
+  expect("fault.raw_literal_bypass",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(\"alpha.step\");\n"),
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)}),
+         {"fault.raw-site-literal/RIMARKET_INJECT",
+          "fault.site-literal-bypass/kSiteAlpha", "fault.unwired-site/kSiteAlpha"});
+  expect("fault.cross_subsystem_flagged",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteAlpha);\n"),
+                    make_file("src/io/b.cpp", "RIMARKET_INJECT(kSiteAlpha);\n"),
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)},
+                   "",
+                   "kSiteAlpha src/io/b.cpp\nkSiteAlpha src/sim/a.cpp\n"),
+         {"fault.cross-subsystem/kSiteAlpha"});
+  // Acceptance negative: the manifest pins every (site, file) pair, so
+  // deleting ONE of two call sites of the same site still fails even
+  // though the site remains wired elsewhere.
+  expect("fault.deleted_call_site_fails",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteAlpha);\n")
+                    /* src/sim/b.cpp wiring deleted */,
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)},
+                   "",
+                   "kSiteAlpha src/sim/a.cpp\nkSiteAlpha src/sim/b.cpp\n"),
+         {"fault.manifest-mismatch/kSiteAlpha src/sim/b.cpp"});
+  expect("fault.unlisted_call_site_fails",
+         make_tree({make_file(kRegistryPath, kRegistryOneSite),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteAlpha);\n"),
+                    make_file("tests/chaos_test.cpp", kTestReferencesAlpha)},
+                   "", "# empty manifest\n"),
+         {"fault.manifest-mismatch/kSiteAlpha src/sim/a.cpp"});
+  expect("fault.bad_site_name",
+         make_tree({make_file(kRegistryPath,
+                              "inline constexpr std::string_view kSiteBad = "
+                              "\"Alpha.Step\";\n"),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteBad);\n"),
+                    make_file("tests/chaos_test.cpp", "use(kSiteBad);\n")},
+                   "", "kSiteBad src/sim/a.cpp\n"),
+         {"fault.bad-name/kSiteBad"});
+  expect("fault.duplicate_site_name",
+         make_tree({make_file(kRegistryPath, R"fix(
+inline constexpr std::string_view kSiteAlpha = "alpha.step";
+inline constexpr std::string_view kSiteAlphaTwo = "alpha.step";
+)fix"),
+                    make_file("src/sim/a.cpp",
+                              "RIMARKET_INJECT(kSiteAlpha);\nRIMARKET_INJECT(kSiteAlphaTwo);\n"),
+                    make_file("tests/chaos_test.cpp",
+                              "use(kSiteAlpha, kSiteAlphaTwo);\n")},
+                   "",
+                   "kSiteAlpha src/sim/a.cpp\nkSiteAlphaTwo src/sim/a.cpp\n"),
+         {"fault.duplicate-name/kSiteAlphaTwo"});
+  expect("fault.unregistered_constant",
+         make_tree({make_file(kRegistryPath, "#pragma once\n"),
+                    make_file("src/sim/a.cpp", "RIMARKET_INJECT(kSiteGhost);\n")},
+                   "", "kSiteGhost src/sim/a.cpp\n"),
+         {"fault.unregistered-site/kSiteGhost"});
+}
+
+// ---------------------------------------------------------------------
+// lock.* fixtures.
+
+void lock_fixtures() {
+  expect("lock.raw_mutex_flagged",
+         make_tree({make_file("src/sim/a.cpp", "std::mutex failures_mutex;\n")}),
+         {"lock.raw-mutex/mutex"});
+  expect("lock.references_and_template_args_ok",
+         make_tree({make_file("src/sim/a.hpp", R"fix(
+void wait_on(std::condition_variable& cv);
+std::vector<std::mutex>* pool_of_locks();
+)fix")}),
+         {});
+  expect("lock.raw_guard_flagged",
+         make_tree({make_file("src/sim/a.cpp",
+                              "std::lock_guard<std::mutex> lock(m_);\n")}),
+         {"lock.raw-guard/lock_guard"});
+  expect("lock.wrapper_home_exempt",
+         make_tree({make_file("src/common/thread_safety.hpp",
+                              "std::mutex raw_;\nstd::lock_guard<std::mutex> g(raw_);\n")}),
+         {});
+  expect("lock.unguarded_state_flagged",
+         make_tree({make_file("src/sim/a.hpp",
+                              "common::Mutex mu_;\nint counter_ = 0;\n")}),
+         {"lock.no-guarded-state/Mutex"});
+  expect("lock.guarded_state_ok",
+         make_tree({make_file("src/sim/a.hpp", R"fix(
+common::Mutex mu_;
+int counter_ RIMARKET_GUARDED_BY(mu_) = 0;
+)fix")}),
+         {});
+  expect("lock.tests_exempt",
+         make_tree({make_file("tests/sim/a_test.cpp", "std::mutex m;\n")}),
+         {});
+}
+
+// ---------------------------------------------------------------------
+// met.* fixtures.
+
+void metrics_fixtures() {
+  expect("met.documented_names_pass",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+registry.increment("sweep.users");
+metrics_.set(base + ".p99", value);
+)fix")},
+                   "| `sweep.users` | counter |\n| `<prefix>.p99` | p99 |\n"),
+         {});
+  expect("met.bad_case_flagged",
+         make_tree({make_file("src/sim/a.cpp",
+                              "registry.increment(\"Sweep.Users\");\n")},
+                   "Sweep.Users\n"),
+         {"met.bad-name/Sweep.Users"});
+  expect("met.mixed_kind_flagged",
+         make_tree({make_file("src/sim/a.cpp", "registry.increment(\"sweep.users\");\n"),
+                    make_file("src/io/b.cpp", "metrics.set(\"sweep.users\", 3.0);\n")},
+                   "sweep.users\n"),
+         {"met.mixed-kind/sweep.users", "met.mixed-kind/sweep.users"});
+  expect("met.undocumented_flagged",
+         make_tree({make_file("bench/bench_sweep.cpp",
+                              "registry.add(\"sweep.total_millis\", ms);\n")}),
+         {"met.undocumented/sweep.total_millis"});
+  expect("met.non_registry_receiver_ignored",
+         make_tree({make_file("src/sim/a.cpp",
+                              "config.set(\"Whatever Name\", 1);\noptions.add(\"X Y\");\n")}),
+         {});
+  expect("met.global_singleton_audited",
+         make_tree({make_file("src/sim/a.cpp",
+                              "common::MetricsRegistry::global().increment(\"a.b\");\n")}),
+         {"met.undocumented/a.b"});
+}
+
+// ---------------------------------------------------------------------
+// ckp.* fixtures.
+
+constexpr const char* kEngineWriter = R"fix(
+void serialize_shard(std::string& out, const Shard& shard) {
+  out += common::format("S %zu %zu\n", shard.lo, shard.hi);
+  out += common::format("E %zu\n", shard.count);
+}
+
+bool write_checkpoint(const Engine& engine, std::string& out) {
+  out += "rimarket-batch-checkpoint v1\n";
+  out += common::format("fp %016llx\n", engine.fingerprint);
+  serialize_shard(out, engine.shard);
+  return true;
+}
+)fix";
+
+void checkpoint_fixtures() {
+  const std::string parser_ok = R"fix(
+bool load_checkpoint(const std::vector<std::string>& tokens) {
+  if (tokens[0] != "rimarket-batch-checkpoint") { return false; }
+  if (tokens[0] == "fp") { return true; }
+  if (tokens[0] == "S") { return true; }
+  if (tokens[0] == "E") { return true; }
+  return false;
+}
+)fix";
+  expect("ckp.matching_tags_pass",
+         make_tree({make_file("src/sim/batch_engine.cpp",
+                              std::string(kEngineWriter) + parser_ok)}),
+         {});
+  // Acceptance negative: renaming one record tag on the parser side makes
+  // both halves of the mismatch visible.
+  std::string parser_renamed = parser_ok;
+  const std::size_t e_arm = parser_renamed.find("\"E\"");
+  parser_renamed.replace(e_arm, 3, "\"X\"");
+  expect("ckp.renamed_tag_fails",
+         make_tree({make_file("src/sim/batch_engine.cpp",
+                              std::string(kEngineWriter) + parser_renamed)}),
+         {"ckp.tag-mismatch/E", "ckp.tag-mismatch/X"});
+  expect("ckp.missing_parser_anchor",
+         make_tree({make_file("src/sim/batch_engine.cpp", kEngineWriter)}),
+         {"ckp.anchor-missing/load_checkpoint"});
+}
+
+// ---------------------------------------------------------------------
+// Driver / baseline fixtures.
+
+void driver_fixtures() {
+  {
+    std::string error;
+    std::vector<BaselineEntry> entries = parse_baseline(
+        "# comment\n"
+        "det.banned-call | tests/a.cpp | getenv | chaos seed override is opt-in\n"
+        "lock.raw-cv | src/b.hpp | * | cv waits on the wrapped handle\n",
+        error);
+    const bool ok = error.empty() && entries.size() == 2 &&
+                    entries[0].symbol == "getenv" && entries[1].symbol == "*" &&
+                    entries[1].reason == "cv waits on the wrapped handle";
+    report("baseline.parses_entries", ok, "error=" + error);
+  }
+  {
+    std::string error;
+    parse_baseline("det.banned-call | tests/a.cpp | getenv\n", error);
+    report("baseline.reason_is_mandatory", !error.empty(), "accepted a reasonless entry");
+  }
+  {
+    std::vector<Finding> findings;
+    Finding finding;
+    finding.rule = "det.banned-call";
+    finding.file = "tests/a.cpp";
+    finding.symbol = "getenv";
+    findings.push_back(finding);
+    std::string error;
+    std::vector<BaselineEntry> baseline = parse_baseline(
+        "det.banned-call | tests/a.cpp | getenv | opt-in override\n"
+        "lock.raw-cv | src/gone.hpp | * | file was deleted\n",
+        error);
+    apply_baseline(findings, baseline);
+    const bool suppressed = findings[0].suppressed &&
+                            findings[0].suppress_reason == "opt-in override";
+    bool stale = false;
+    for (const Finding& f : findings) {
+      stale = stale || (f.rule == "baseline.stale" && f.symbol == "*");
+    }
+    report("baseline.suppresses_and_reports_stale", suppressed && stale,
+           "suppressed=" + std::to_string(findings[0].suppressed));
+  }
+  {
+    const Tree tree = make_tree({make_file("src/sim/a.cpp",
+                                           "std::mutex m_;\nstd::random_device rd;\n")});
+    const std::vector<Finding> all = run_rules(tree, {});
+    const std::vector<Finding> only_det = run_rules(tree, {"det."});
+    const bool ok = all.size() == 2 && only_det.size() == 1 &&
+                    only_det[0].rule == "det.banned-call";
+    report("driver.rule_filter", ok,
+           "all=" + std::to_string(all.size()) +
+               " det=" + std::to_string(only_det.size()));
+  }
+  {
+    Finding finding;
+    finding.rule = "met.bad-name";
+    finding.file = "src/a.cpp";
+    finding.line = 3;
+    finding.symbol = "X";
+    finding.message = "name \"X\" bad";
+    const std::string json = render_json({finding});
+    const bool ok = json.find("\"rule\":\"met.bad-name\"") != std::string::npos &&
+                    json.find("\\\"X\\\"") != std::string::npos &&
+                    json.find("\"active\":1") != std::string::npos;
+    report("driver.json_escapes_quotes", ok, json);
+  }
+}
+
+}  // namespace
+
+int self_test() {
+  g_failures = 0;
+  lexer_fixtures();
+  determinism_fixtures();
+  fault_fixtures();
+  lock_fixtures();
+  metrics_fixtures();
+  checkpoint_fixtures();
+  driver_fixtures();
+  std::printf("%s: %d failure(s)\n", g_failures == 0 ? "PASS" : "FAIL", g_failures);
+  return g_failures;
+}
+
+}  // namespace rimcheck
