@@ -8,6 +8,10 @@
 //
 // Run: ./portfolio_advisor [--trace=path.csv] [--instance=d2.xlarge]
 //                          [--discount=0.8] [--seed=7]
+//
+// An explicit --trace that cannot be loaded is fatal (sysexits 66 for a
+// missing/unreadable file, 65 for a malformed one); the synthetic fallback
+// only covers the no-flag case.
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -18,6 +22,7 @@
 #include "pricing/catalog.hpp"
 #include "selling/baselines.hpp"
 #include "selling/fixed_spot.hpp"
+#include "serve/advisor.hpp"
 #include "sim/offline_planner.hpp"
 #include "sim/portfolio.hpp"
 #include "sim/simulator.hpp"
@@ -28,22 +33,12 @@ using namespace rimarket;
 
 namespace {
 
-workload::DemandTrace load_or_synthesize(const std::string& path, Hour hours,
-                                         std::uint64_t seed) {
-  if (!path.empty()) {
-    common::CsvError error;
-    const auto contents = common::read_file(path, &error);
-    if (!contents) {
-      std::fprintf(stderr, "%s; falling back to synthetic trace\n",
-                   error.to_string().c_str());
-    } else if (const auto trace = workload::DemandTrace::from_csv(*contents, &error)) {
-      return *trace;
-    } else {
-      error.path = path;
-      std::fprintf(stderr, "not an hour,demand CSV: %s; falling back\n",
-                   error.to_string().c_str());
-    }
-  }
+// sysexits(3)-style exit codes, matching rimarket_cli.
+constexpr int kExitUsage = 64;      ///< EX_USAGE: bad flags or flag values
+constexpr int kExitDataError = 65;  ///< EX_DATAERR: malformed trace CSV
+constexpr int kExitNoInput = 66;    ///< EX_NOINPUT: missing/unreadable trace file
+
+workload::DemandTrace synthesize_trace(Hour hours, std::uint64_t seed) {
   common::Rng rng(seed);
   // A web-service-like trace with persistent base load: the cost-aware
   // purchaser reserves the stable levels, and the seasonal/noisy excess is
@@ -68,19 +63,34 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
                  cli.help("portfolio_advisor").c_str());
-    return 1;
+    return kExitUsage;
   }
   const auto maybe_type = pricing::PricingCatalog::builtin().find(cli.get("instance"));
   if (!maybe_type) {
     std::fprintf(stderr, "unknown instance type %s\n", cli.get("instance").c_str());
-    return 1;
+    return kExitUsage;
   }
   const pricing::InstanceType type = *maybe_type;
   const double discount = cli.get_double("discount", 0.8);
+  if (discount < 0.0 || discount > 1.0) {
+    std::fprintf(stderr, "--discount must be in [0,1] (got %g)\n", discount);
+    return kExitUsage;
+  }
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
 
   const Hour horizon = 2 * type.term;
-  const workload::DemandTrace trace = load_or_synthesize(cli.get("trace"), horizon, seed);
+  workload::DemandTrace trace;
+  if (const std::string trace_path = cli.get("trace"); !trace_path.empty()) {
+    common::CsvError error;
+    const auto loaded = workload::DemandTrace::load_file(trace_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "%s\n", error.to_string().c_str());
+      return error.errno_value != 0 ? kExitNoInput : kExitDataError;
+    }
+    trace = *loaded;
+  } else {
+    trace = synthesize_trace(horizon, seed);
+  }
   std::printf("Demand trace: %lld hours, mean %.2f, sigma/mu %.2f, peak %lld\n",
               static_cast<long long>(trace.length()), trace.mean(),
               trace.coefficient_of_variation(), static_cast<long long>(trace.peak()));
@@ -111,25 +121,27 @@ int main(int argc, char** argv) {
 
   common::TextTable table({"reservation", "booked@", "worked h", "A_{T/4}", "A_{T/2}",
                            "A_{3T/4}", "hindsight"});
-  const selling::FixedSpotSelling a_t4(type, Fraction{0.25}, Fraction{discount});
-  const selling::FixedSpotSelling a_t2(type, Fraction{0.50}, Fraction{discount});
-  const selling::FixedSpotSelling a_3t4(type, Fraction{0.75}, Fraction{discount});
+  // The per-spot verdicts come from the same serve::advise_reservation the
+  // resident service answers ADVISE with (utilization at each spot is the
+  // final worked-hours count capped at the spot width — see that header),
+  // so this table and the service are byte-identical by construction.
+  serve::AccountSnapshot snapshot;
+  snapshot.account = "local";
+  snapshot.type = type;
+  snapshot.selling_discount = Fraction{discount};
+  snapshot.now = horizon;
   for (const fleet::Reservation& reservation : shadow.reservations) {
-    // Utilization at each decision spot is conservatively approximated by
-    // the final worked-hours count capped at the spot width (exact per-spot
-    // counts are what the online policies see during a live run).
-    auto decision = [&](const selling::FixedSpotSelling& policy) {
-      if (reservation.start + policy.decision_age_hours() >= horizon) {
-        return "(no spot yet)";  // decision spot lies beyond the trace
-      }
-      const Hour cap = std::min(reservation.worked_hours, policy.decision_age_hours());
-      return policy.should_sell(cap) ? "sell" : "keep";
+    const serve::ReservationAdvice advice = serve::advise_reservation(
+        snapshot,
+        serve::ReservationState{reservation.id, reservation.start, reservation.worked_hours});
+    const auto cell = [&advice](std::size_t spot) {
+      return std::string(serve::advice_label(advice.policies[spot].advice));
     };
     const auto it = plan.find(reservation.id);
     table.add_row({common::format("#%lld", static_cast<long long>(reservation.id)),
                    common::format("%lld", static_cast<long long>(reservation.start)),
                    common::format("%lld", static_cast<long long>(reservation.worked_hours)),
-                   decision(a_t4), decision(a_t2), decision(a_3t4),
+                   cell(0), cell(1), cell(2),
                    it == plan.end()
                        ? std::string("keep")
                        : common::format("sell@%lld", static_cast<long long>(it->second))});

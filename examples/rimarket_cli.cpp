@@ -142,17 +142,15 @@ int cmd_bounds(int argc, char** argv) {
 /// line) on failure and reporting which exit code the failure deserves.
 std::optional<workload::DemandTrace> load_trace(const std::string& path, int& exit_code) {
   common::CsvError error;
-  const auto contents = common::read_file(path, &error);
-  if (!contents) {
-    std::fprintf(stderr, "cannot read trace: %s\n", error.to_string().c_str());
-    exit_code = kExitNoInput;
-    return std::nullopt;
-  }
-  auto trace = workload::DemandTrace::from_csv(*contents, &error);
+  auto trace = workload::DemandTrace::load_file(path, &error);
   if (!trace) {
-    error.path = path;
-    std::fprintf(stderr, "not an `hour,demand` CSV: %s\n", error.to_string().c_str());
-    exit_code = kExitDataError;
+    if (error.errno_value != 0) {
+      std::fprintf(stderr, "cannot read trace: %s\n", error.to_string().c_str());
+      exit_code = kExitNoInput;
+    } else {
+      std::fprintf(stderr, "not an `hour,demand` CSV: %s\n", error.to_string().c_str());
+      exit_code = kExitDataError;
+    }
   }
   return trace;
 }

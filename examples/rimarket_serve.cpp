@@ -1,0 +1,122 @@
+// rimarket_serve — the resident advisor service.
+//
+// Three modes:
+//
+//   (default)            line protocol on stdin/stdout: one request per
+//                        line (ADVISE/BREAKEVEN/SNAPSHOT_UPDATE/METRICS/
+//                        PING), one response line each, until EOF.
+//   --generate=N         print a deterministic synthetic request trace of
+//                        N reads (plus snapshot loads/refreshes) and exit.
+//   --replay=path        replay a request-trace file through the service
+//                        and print the per-endpoint latency report;
+//                        --report=path additionally writes the JSON
+//                        artifact the serve-smoke CI job archives.
+//
+// Example:
+//   ./rimarket_serve --generate=10000 --seed=42 > trace.txt
+//   ./rimarket_serve --replay=trace.txt --threads=4 --report=latency.json
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "serve/replay.hpp"
+#include "serve/service.hpp"
+
+using namespace rimarket;
+
+namespace {
+
+// sysexits(3)-style exit codes (same scheme as rimarket_cli): user input
+// gets a diagnostic and an exit code, never a contract abort.
+constexpr int kExitUsage = 64;       ///< EX_USAGE: bad flags or flag values
+constexpr int kExitNoInput = 66;     ///< EX_NOINPUT: missing/unreadable trace file
+constexpr int kExitCantCreate = 73;  ///< EX_CANTCREAT: cannot write the report file
+
+int run_stdin_loop(std::size_t threads) {
+  serve::ServiceConfig config;
+  config.threads = threads;
+  serve::AdvisorService service(config);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string response = service.handle_line(line);
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli;
+  cli.add_flag("generate", "print a synthetic trace of this many read requests", "");
+  cli.add_flag("replay", "request-trace file to replay", "");
+  cli.add_flag("report", "write the replay report JSON here", "");
+  cli.add_flag("threads", "worker threads (0 = hardware)", "1");
+  cli.add_flag("rate", "open-loop arrivals/sec for --replay (0 = back-to-back)", "0");
+  cli.add_flag("seed", "seed for trace generation / arrival pacing", "1");
+  cli.add_flag("accounts", "accounts in the generated trace", "4");
+  cli.add_flag("reservations", "reservations per generated account", "32");
+  cli.add_flag("updates", "snapshot refreshes interleaved in the generated trace", "8");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_serve").c_str());
+    return kExitUsage;
+  }
+  const long long threads = cli.get_int("threads", 1);
+  const long long seed = cli.get_int("seed", 1);
+  const double rate = cli.get_double("rate", 0.0);
+  if (threads < 0 || threads > 256 || seed < 0 || rate < 0.0 || rate > 1.0e6) {
+    std::fprintf(stderr, "--threads in [0,256], --seed >= 0, --rate in [0,1e6]\n");
+    return kExitUsage;
+  }
+
+  if (!cli.get("generate").empty()) {
+    const auto requests = common::parse_int(cli.get("generate"));
+    const long long accounts = cli.get_int("accounts", 4);
+    const long long reservations = cli.get_int("reservations", 32);
+    const long long updates = cli.get_int("updates", 8);
+    if (!requests || *requests < 0 || accounts < 1 || accounts > 1000 || reservations < 1 ||
+        reservations > 100000 || updates < 0 || updates > 100000) {
+      std::fprintf(stderr,
+                   "--generate needs a request count >= 0 (with --accounts in [1,1000], "
+                   "--reservations in [1,1e5], --updates in [0,1e5])\n");
+      return kExitUsage;
+    }
+    serve::RequestTraceSpec spec;
+    spec.accounts = static_cast<std::size_t>(accounts);
+    spec.reservations_per_account = static_cast<std::size_t>(reservations);
+    spec.requests = static_cast<std::size_t>(*requests);
+    spec.updates = static_cast<std::size_t>(updates);
+    for (const std::string& line :
+         serve::generate_request_trace(spec, static_cast<std::uint64_t>(seed))) {
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }
+
+  if (!cli.get("replay").empty()) {
+    serve::ReplayConfig config;
+    config.threads = static_cast<std::size_t>(threads);
+    config.arrivals_per_second = rate;
+    config.seed = static_cast<std::uint64_t>(seed);
+    common::CsvError error;
+    const serve::ReplayDriver driver(config);
+    const serve::LatencyReport report = driver.replay_file(cli.get("replay"), &error);
+    if (report.requests == 0 && error.errno_value != 0) {
+      std::fprintf(stderr, "%s\n", error.to_string().c_str());
+      return kExitNoInput;
+    }
+    std::printf("%s", report.render().c_str());
+    const std::string report_path = cli.get("report");
+    if (!report_path.empty() && !common::write_file(report_path, report.to_json() + "\n")) {
+      std::fprintf(stderr, "cannot write report to %s\n", report_path.c_str());
+      return kExitCantCreate;
+    }
+    return 0;
+  }
+
+  return run_stdin_loop(static_cast<std::size_t>(threads));
+}

@@ -154,6 +154,8 @@ inline constexpr std::string_view kSiteTraceStream = "workload.trace.stream";
 inline constexpr std::string_view kSiteBatchShardStep = "sim.batch.shard_step";
 inline constexpr std::string_view kSiteBatchCheckpointWrite = "sim.batch.checkpoint_write";
 inline constexpr std::string_view kSiteBatchCheckpointLoad = "sim.batch.checkpoint_load";
+inline constexpr std::string_view kSiteServeParse = "serve.request.parse";
+inline constexpr std::string_view kSiteServeExecute = "serve.request.execute";
 
 }  // namespace rimarket::common::fault_injection
 

@@ -1,8 +1,71 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace rimarket::common {
+
+namespace {
+
+// Distribution binning: log2 domain [kLog2Lo, kLog2Hi) split into kLog2Bins
+// equal bins gives 8 bins per octave (relative bin width 2^(1/8) ~ 9%),
+// spanning ~2^-10 (1e-3) to 2^44 (1.7e13) — microsecond latencies up to
+// hours fit without overflow in either direction.
+constexpr double kLog2Lo = -10.0;
+constexpr double kLog2Hi = 44.0;
+constexpr std::size_t kLog2Bins = 432;
+
+}  // namespace
+
+MetricsRegistry::Distribution::Distribution() : log2_bins(kLog2Lo, kLog2Hi, kLog2Bins) {}
+
+void MetricsRegistry::Distribution::record(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  // Non-positive observations have no log2; they land in the underflow bin
+  // together with anything below 2^kLog2Lo.
+  log2_bins.add(value > 0.0 ? std::log2(value) : kLog2Lo - 1.0);
+}
+
+DistributionSnapshot MetricsRegistry::Distribution::snapshot() const {
+  DistributionSnapshot out;
+  out.count = count;
+  if (count == 0) {
+    return out;
+  }
+  out.mean = sum / static_cast<double>(count);
+  out.min = min;
+  out.max = max;
+  // p99: walk bins until the cumulative count covers the 99th percentile
+  // rank, then report the bin's upper edge (a conservative estimate within
+  // one bin width), clamped into the exact [min, max] envelope.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(0.99 * static_cast<double>(count)));
+  std::uint64_t cumulative = log2_bins.underflow();
+  double p99 = min;
+  if (cumulative < rank) {
+    for (std::size_t i = 0; i < log2_bins.bin_count(); ++i) {
+      cumulative += log2_bins.count(i);
+      if (cumulative >= rank) {
+        p99 = std::exp2(log2_bins.bin_high(i));
+        break;
+      }
+    }
+    if (cumulative < rank) {
+      p99 = max;  // rank lives in the overflow bin
+    }
+  }
+  out.p99 = std::clamp(p99, min, max);
+  return out;
+}
 
 void MetricsRegistry::set(std::string_view name, std::int64_t value) {
   const MutexLock lock(mutex_);
@@ -36,6 +99,15 @@ void MetricsRegistry::add(std::string_view name, double delta) {
   slot.as_double += delta;
 }
 
+void MetricsRegistry::observe(std::string_view name, double value) {
+  const MutexLock lock(mutex_);
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_.emplace(std::string(name), Distribution{}).first;
+  }
+  it->second.record(value);
+}
+
 std::optional<double> MetricsRegistry::get(std::string_view name) const {
   const MutexLock lock(mutex_);
   const auto it = values_.find(name);
@@ -45,22 +117,55 @@ std::optional<double> MetricsRegistry::get(std::string_view name) const {
   return it->second.is_int ? static_cast<double>(it->second.as_int) : it->second.as_double;
 }
 
+std::optional<DistributionSnapshot> MetricsRegistry::distribution(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  const auto it = distributions_.find(name);
+  if (it == distributions_.end() || it->second.count == 0) {
+    return std::nullopt;
+  }
+  return it->second.snapshot();
+}
+
 std::size_t MetricsRegistry::size() const {
   const MutexLock lock(mutex_);
-  return values_.size();
+  return values_.size() + distributions_.size();
 }
 
 void MetricsRegistry::clear() {
   const MutexLock lock(mutex_);
   values_.clear();
+  distributions_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
   const MutexLock lock(mutex_);
+  // Expand distributions into their five keys, then merge with the scalar
+  // values into one globally sorted key set.
+  std::map<std::string, Value, std::less<>> expanded;
+  for (const auto& [name, distribution] : distributions_) {
+    const DistributionSnapshot snapshot = distribution.snapshot();
+    Value count;
+    count.is_int = true;
+    count.as_int = static_cast<std::int64_t>(snapshot.count);
+    expanded[name + ".count"] = count;
+    Value gauge;
+    gauge.is_int = false;
+    gauge.as_double = snapshot.mean;
+    expanded[name + ".mean"] = gauge;
+    gauge.as_double = snapshot.min;
+    expanded[name + ".min"] = gauge;
+    gauge.as_double = snapshot.max;
+    expanded[name + ".max"] = gauge;
+    gauge.as_double = snapshot.p99;
+    expanded[name + ".p99"] = gauge;
+  }
+  for (const auto& [name, value] : values_) {
+    expanded[name] = value;
+  }
   std::string out = "{";
   char buffer[64];
   bool first = true;
-  for (const auto& [name, value] : values_) {
+  for (const auto& [name, value] : expanded) {
     if (!first) {
       out += ',';
     }

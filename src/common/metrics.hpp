@@ -1,11 +1,15 @@
 // Process-wide metrics registry for the experiment pipeline.
 //
-// The execution layer (thread pool, runner, bench harnesses) records flat
-// counters and gauges here so every binary can end its run with one
-// machine-readable JSON summary line.  Names are dotted paths
-// ("sim.evaluate.tasks_run"); values are int64 counters or double gauges.
-// All operations are thread-safe: workers update counters while the main
-// thread snapshots them.
+// The execution layer (thread pool, runner, bench harnesses, the resident
+// advisor service) records flat counters and gauges here so every binary can
+// end its run with one machine-readable JSON summary line.  Names are dotted
+// paths ("sim.evaluate.tasks_run"); values are int64 counters or double
+// gauges.  A third kind, distributions, aggregates repeated observations
+// (request latencies) into count/mean/min/max/p99 backed by a
+// common::Histogram over log2 space; a distribution named "d" expands in the
+// JSON dump to "d.count", "d.mean", "d.min", "d.max", "d.p99".  All
+// operations are thread-safe: workers update counters while the main thread
+// snapshots them.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +18,21 @@
 #include <string>
 #include <string_view>
 
+#include "common/histogram.hpp"
 #include "common/thread_safety.hpp"
 
 namespace rimarket::common {
+
+/// Point-in-time summary of one distribution (see MetricsRegistry::observe).
+struct DistributionSnapshot {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Upper edge of the histogram bin holding the 99th percentile, clamped
+  /// into [min, max]; exact for count <= 100 tails that land on max.
+  double p99 = 0.0;
+};
 
 /// Flat name -> value store with a JSON one-line dump.
 class MetricsRegistry {
@@ -32,10 +48,19 @@ class MetricsRegistry {
   /// set(), which would silently keep only the last run's value.
   void add(std::string_view name, double delta);
 
+  /// Records one observation into the distribution `name`, creating it on
+  /// first use.  Observations are binned at log2 resolution (~9% relative
+  /// width), so p99 is an upper-edge estimate while count/mean/min/max are
+  /// exact.  Non-positive observations clamp into the lowest bin.
+  void observe(std::string_view name, double value);
+
   /// Reads a value (as double) if present; nullopt otherwise.
   std::optional<double> get(std::string_view name) const;
 
-  /// Number of distinct metrics recorded.
+  /// Snapshot of the distribution `name`; nullopt when absent or empty.
+  std::optional<DistributionSnapshot> distribution(std::string_view name) const;
+
+  /// Number of distinct metrics recorded (distributions count once).
   std::size_t size() const;
 
   /// Drops every metric (used between runs and in tests).
@@ -43,6 +68,7 @@ class MetricsRegistry {
 
   /// One-line JSON object, keys sorted: {"a.b":1,"c":2.5}.  Integers print
   /// without a decimal point; doubles with enough digits to round-trip.
+  /// Distributions contribute their five expanded keys.
   std::string to_json() const;
 
   /// The process-wide registry used by the runner and bench harnesses.
@@ -55,8 +81,22 @@ class MetricsRegistry {
     double as_double = 0.0;
   };
 
+  struct Distribution {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Bin i covers observations in [2^(lo+i*w), 2^(lo+(i+1)*w)).
+    Histogram log2_bins;
+
+    Distribution();
+    void record(double value);
+    DistributionSnapshot snapshot() const;
+  };
+
   mutable Mutex mutex_;
   std::map<std::string, Value, std::less<>> values_ RIMARKET_GUARDED_BY(mutex_);
+  std::map<std::string, Distribution, std::less<>> distributions_ RIMARKET_GUARDED_BY(mutex_);
 };
 
 }  // namespace rimarket::common

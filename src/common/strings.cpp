@@ -1,7 +1,9 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 
@@ -53,13 +55,27 @@ std::optional<double> parse_double(std::string_view text) {
   if (text.empty()) {
     return std::nullopt;
   }
+  // strtod accepts more than a CSV cell should: "inf"/"nan" tokens, hex
+  // floats ("0x1p3"), and out-of-range values that clamp to +-HUGE_VAL with
+  // errno ERANGE.  A corrupt cell like "1e999" or "nan" must be a parse
+  // failure, not a "valid" demand value, so only finite decimal numbers
+  // that fit a double pass.
+  for (const char c : text) {
+    if (c == 'x' || c == 'X') {
+      return std::nullopt;  // hex-float syntax
+    }
+  }
   // std::from_chars<double> is not available on all libstdc++ configs at
   // C++20; strtod on a NUL-terminated copy is portable and locale caveats
   // do not apply here (we never set a non-C locale).
   std::string buffer(text);
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(buffer.c_str(), &end);
   if (end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
     return std::nullopt;
   }
   return value;

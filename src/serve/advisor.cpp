@@ -1,0 +1,85 @@
+#include "serve/advisor.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "selling/fixed_spot.hpp"
+#include "serve/json.hpp"
+
+namespace rimarket::serve {
+
+std::string_view advice_label(Advice advice) {
+  switch (advice) {
+    case Advice::kSell:
+      return "sell";
+    case Advice::kKeep:
+      return "keep";
+    case Advice::kNoSpotYet:
+      return "(no spot yet)";
+  }
+  return "keep";
+}
+
+Advice advise_at_spot(Hour now, Hour start, Hour worked_hours, Hour decision_age,
+                      Hours break_even) {
+  if (start + decision_age >= now) {
+    return Advice::kNoSpotYet;  // decision spot lies beyond the snapshot clock
+  }
+  const Hour cap = std::min(worked_hours, decision_age);
+  return Hours{cap} < break_even ? Advice::kSell : Advice::kKeep;
+}
+
+ReservationAdvice advise_reservation(const AccountSnapshot& snapshot,
+                                     const ReservationState& state) {
+  ReservationAdvice out;
+  out.reservation = state.id;
+  out.worked_hours = state.worked_hours;
+  const std::array<Fraction, kAdvisedFractions> fractions = {
+      selling::kSpotT4, selling::kSpotT2, selling::kSpot3T4};
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const selling::FixedSpotSelling policy(snapshot.type, fractions[i],
+                                           snapshot.selling_discount);
+    PolicyAdvice& cell = out.policies[i];
+    cell.fraction = fractions[i];
+    cell.decision_age = policy.decision_age_hours();
+    cell.break_even = policy.break_even_hours();
+    cell.advice = advise_at_spot(snapshot.now, state.start, state.worked_hours,
+                                 cell.decision_age, cell.break_even);
+  }
+  return out;
+}
+
+BreakevenAdvice breakeven(const AccountSnapshot& snapshot, Fraction fraction) {
+  const selling::FixedSpotSelling policy(snapshot.type, fraction, snapshot.selling_discount);
+  BreakevenAdvice out;
+  out.fraction = fraction;
+  out.decision_age = policy.decision_age_hours();
+  out.break_even = policy.break_even_hours();
+  return out;
+}
+
+std::string ReservationAdvice::to_json() const {
+  // Keys sorted; the three spots render as an "advice" object keyed by the
+  // fraction so the batch table's columns map one-to-one.
+  std::string advice = "{";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (i > 0) {
+      advice += ',';
+    }
+    advice += common::format("\"%.2f\":\"%s\"", policies[i].fraction.value(),
+                             std::string(advice_label(policies[i].advice)).c_str());
+  }
+  advice += '}';
+  return common::format("{\"advice\":%s,\"reservation\":%lld,\"worked_hours\":%lld}",
+                        advice.c_str(), static_cast<long long>(reservation),
+                        static_cast<long long>(worked_hours));
+}
+
+std::string BreakevenAdvice::to_json() const {
+  return common::format("{\"break_even_hours\":%s,\"decision_age\":%lld,\"fraction\":%s}",
+                        json_number(break_even.value()).c_str(),
+                        static_cast<long long>(decision_age),
+                        json_number(fraction.value()).c_str());
+}
+
+}  // namespace rimarket::serve

@@ -1,0 +1,82 @@
+// The advisor's per-reservation decision rule, shared between the batch
+// console (examples/portfolio_advisor) and the resident service.
+//
+// Both paths answer the same question: at each of the paper's decision
+// spots f in {1/4, 1/2, 3/4}, would A_{fT} sell this reservation?  The rule
+// is evaluated against a point-in-time snapshot — the final worked-hours
+// count capped at the spot width stands in for the exact per-spot counter a
+// live run maintains (a conservative approximation, see the batch console's
+// header comment).  Keeping the rule here makes the service's answers
+// byte-identical to the batch table by construction.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "serve/snapshot.hpp"
+
+namespace rimarket::serve {
+
+/// What A_{fT} says about one reservation at one decision spot.
+enum class Advice {
+  kSell,      ///< worked below beta(f) at the spot: sell
+  kKeep,      ///< worked at least beta(f): keep
+  kNoSpotYet, ///< the decision spot lies beyond the snapshot clock
+};
+
+/// The exact cell text the batch console prints ("sell", "keep",
+/// "(no spot yet)") — the service returns the same strings so the two
+/// surfaces can be diffed byte for byte.
+std::string_view advice_label(Advice advice);
+
+/// A_{fT}'s verdict plus the numbers behind it.
+struct PolicyAdvice {
+  Fraction fraction{0.5};
+  Hour decision_age = 0;
+  Hours break_even{0.0};
+  Advice advice = Advice::kKeep;
+};
+
+/// Decision fractions are evaluated smallest spot first, matching the batch
+/// console's column order A_{T/4}, A_{T/2}, A_{3T/4}.
+inline constexpr std::size_t kAdvisedFractions = 3;
+
+/// Advice for one reservation across the paper's three decision spots.
+struct ReservationAdvice {
+  fleet::ReservationId reservation = 0;
+  Hour worked_hours = 0;
+  std::array<PolicyAdvice, kAdvisedFractions> policies;
+
+  /// One-line JSON object (sorted keys) for the wire protocol.
+  std::string to_json() const;
+};
+
+/// Evaluates the A_{fT} family for `state` against `snapshot`'s clock and
+/// pricing.  Precondition: `snapshot.type.valid()` (the protocol layer only
+/// publishes catalog-backed snapshots).
+ReservationAdvice advise_reservation(const AccountSnapshot& snapshot,
+                                     const ReservationState& state);
+
+/// A_{fT}'s verdict for one already-constructed policy — the shared kernel:
+/// "(no spot yet)" when `start + decision_age >= now`, otherwise sell iff
+/// min(worked_hours, decision_age) is below beta(f).
+Advice advise_at_spot(Hour now, Hour start, Hour worked_hours, Hour decision_age,
+                      Hours break_even);
+
+/// Break-even working time beta(f) and decision age for an arbitrary
+/// decision fraction in (0,1) on this snapshot's contract.
+struct BreakevenAdvice {
+  Fraction fraction{0.5};
+  Hour decision_age = 0;
+  Hours break_even{0.0};
+
+  /// One-line JSON object (sorted keys) for the wire protocol.
+  std::string to_json() const;
+};
+
+BreakevenAdvice breakeven(const AccountSnapshot& snapshot, Fraction fraction);
+
+}  // namespace rimarket::serve

@@ -1,0 +1,321 @@
+#include "serve/json.hpp"
+
+#include "common/strings.hpp"
+
+namespace rimarket::serve {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with explicit position.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(JsonError* error) {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      report(error);
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      report(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxJsonDepth) {
+      return fail("nesting deeper than 32 levels");
+    }
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f':
+        return parse_keyword(out);
+      case 'n':
+        return parse_keyword(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_whitespace();
+      if (!consume(':')) {
+        return fail("expected ':' after object key");
+      }
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) {
+        return false;
+      }
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume('}')) {
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (consume(']')) {
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) {
+        return false;
+      }
+      out.array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume(']')) {
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) {
+        return fail("unexpected end of input in string escape");
+      }
+      switch (text_[pos_]) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          return fail("unsupported string escape");
+      }
+      ++pos_;
+    }
+    return fail("unexpected end of input in string");
+  }
+
+  bool parse_keyword(JsonValue& out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (common::starts_with(rest, "true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (common::starts_with(rest, "false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (common::starts_with(rest, "null")) {
+      out.kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid JSON keyword");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                           c == '+' || c == '-';
+      if (!numeric) {
+        break;
+      }
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    // parse_double enforces the finite-decimal contract (no inf/nan/hex,
+    // no ERANGE overflow), which is exactly the JSON number grammar's intent.
+    const auto value = common::parse_double(token);
+    if (!value) {
+      pos_ = start;
+      return fail("invalid JSON number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = *value;
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool fail(std::string_view message) {
+    // Keep the first (innermost) diagnosis; later frames just unwind.
+    if (error_message_.empty()) {
+      error_message_ = message;
+      error_offset_ = pos_;
+    }
+    return false;
+  }
+
+  void report(JsonError* error) const {
+    if (error != nullptr) {
+      error->offset = error_offset_;
+      error->message = error_message_.empty() ? "invalid JSON" : error_message_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_message_;
+  std::size_t error_offset_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonError::to_string() const {
+  return common::format("offset %zu: %s", offset, message.c_str());
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, JsonError* error) {
+  Parser parser(text);
+  return parser.parse(error);
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  return common::format("%.17g", value);
+}
+
+}  // namespace rimarket::serve

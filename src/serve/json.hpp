@@ -1,0 +1,70 @@
+// Minimal strict JSON for the advisor service wire protocol.
+//
+// SNAPSHOT_UPDATE payloads arrive as one JSON object per request line, and
+// the robustness suite feeds the parser truncated, oversized and otherwise
+// hostile documents — so this parser is strict (no trailing garbage, no
+// unquoted keys, bounded nesting) and every failure carries the byte offset
+// where parsing stopped.  It is deliberately small: the protocol needs
+// null/bool/number/string/array/object and nothing else (no \u escapes, no
+// comments, no NaN/Infinity — common::parse_double already rejects those).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rimarket::serve {
+
+/// One parsed JSON value.  Object members keep document order so parsing is
+/// fully deterministic; lookup is linear, which is fine at protocol sizes.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Where and why a parse failed; `offset` is the 0-based byte position.
+struct JsonError {
+  std::size_t offset = 0;
+  std::string message;
+
+  /// "offset N: message" — the protocol's ERROR diagnostic body.
+  std::string to_string() const;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error).  Nesting beyond
+/// `kMaxJsonDepth` fails rather than recursing unboundedly on adversarial
+/// input.
+std::optional<JsonValue> parse_json(std::string_view text, JsonError* error = nullptr);
+
+/// Containers deeper than this are rejected (stack-depth guard).
+inline constexpr std::size_t kMaxJsonDepth = 32;
+
+/// `text` with JSON string escaping applied (quotes, backslash, control
+/// characters), without the surrounding quotes.
+std::string json_escape(std::string_view text);
+
+/// Shortest-ish decimal rendering of a finite double ("%.17g" round-trip).
+std::string json_number(double value);
+
+}  // namespace rimarket::serve

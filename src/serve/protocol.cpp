@@ -1,0 +1,238 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "serve/json.hpp"
+
+namespace rimarket::serve {
+
+namespace {
+
+constexpr std::size_t kMaxAccountChars = 64;
+
+bool valid_account(std::string_view name) {
+  if (name.empty() || name.size() > kMaxAccountChars) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Request> fail(std::string* message, std::string diagnostic) {
+  *message = std::move(diagnostic);
+  return std::nullopt;
+}
+
+/// A JSON number that is a non-negative integer fitting Hour; nullopt
+/// otherwise (fractional hours and negatives are protocol errors).
+std::optional<Hour> as_hour(const JsonValue& value) {
+  if (!value.is_number()) {
+    return std::nullopt;
+  }
+  const double v = value.number;
+  if (v < 0.0 || v > 9.0e15 || v != std::floor(v)) {
+    return std::nullopt;
+  }
+  return static_cast<Hour>(v);
+}
+
+bool parse_snapshot_payload(std::string_view json_text, SnapshotPayload& out,
+                            std::string* message) {
+  JsonError json_error;
+  const auto doc = parse_json(json_text, &json_error);
+  if (!doc) {
+    *message = "SNAPSHOT_UPDATE payload is not valid JSON (" + json_error.to_string() + ")";
+    return false;
+  }
+  if (!doc->is_object()) {
+    *message = "SNAPSHOT_UPDATE payload must be a JSON object";
+    return false;
+  }
+  const JsonValue* instance = doc->find("instance");
+  if (instance == nullptr || !instance->is_string() || instance->string.empty()) {
+    *message = "SNAPSHOT_UPDATE payload needs a non-empty string \"instance\"";
+    return false;
+  }
+  out.instance = instance->string;
+  if (const JsonValue* discount = doc->find("discount"); discount != nullptr) {
+    if (!discount->is_number() || discount->number < 0.0 || discount->number > 1.0) {
+      *message = "\"discount\" must be a number in [0,1]";
+      return false;
+    }
+    out.selling_discount = Fraction{discount->number};
+  }
+  const JsonValue* now = doc->find("now");
+  if (now == nullptr) {
+    *message = "SNAPSHOT_UPDATE payload needs \"now\" (fleet clock in hours)";
+    return false;
+  }
+  const auto now_hour = as_hour(*now);
+  if (!now_hour) {
+    *message = "\"now\" must be a non-negative integer hour";
+    return false;
+  }
+  out.now = *now_hour;
+  const JsonValue* reservations = doc->find("reservations");
+  if (reservations == nullptr || !reservations->is_array()) {
+    *message = "SNAPSHOT_UPDATE payload needs a \"reservations\" array";
+    return false;
+  }
+  out.reservations.clear();
+  out.reservations.reserve(reservations->array.size());
+  for (std::size_t i = 0; i < reservations->array.size(); ++i) {
+    const JsonValue& row = reservations->array[i];
+    if (!row.is_array() || row.array.size() != 3) {
+      *message = common::format("reservation %zu must be [id,start,worked_hours]", i);
+      return false;
+    }
+    const auto id = as_hour(row.array[0]);
+    const auto start = as_hour(row.array[1]);
+    const auto worked = as_hour(row.array[2]);
+    if (!id || !start || !worked) {
+      *message = common::format("reservation %zu fields must be non-negative integers", i);
+      return false;
+    }
+    if (*start > out.now) {
+      *message = common::format("reservation %zu starts at hour %lld, after \"now\" (%lld)", i,
+                                static_cast<long long>(*start),
+                                static_cast<long long>(out.now));
+      return false;
+    }
+    if (*worked > out.now - *start) {
+      *message = common::format(
+          "reservation %zu worked %lld hours but is only %lld hours old", i,
+          static_cast<long long>(*worked), static_cast<long long>(out.now - *start));
+      return false;
+    }
+    out.reservations.push_back(
+        ReservationState{static_cast<fleet::ReservationId>(*id), *start, *worked});
+  }
+  std::sort(out.reservations.begin(), out.reservations.end(),
+            [](const ReservationState& a, const ReservationState& b) { return a.id < b.id; });
+  const auto duplicate =
+      std::adjacent_find(out.reservations.begin(), out.reservations.end(),
+                         [](const ReservationState& a, const ReservationState& b) {
+                           return a.id == b.id;
+                         });
+  if (duplicate != out.reservations.end()) {
+    *message = common::format("duplicate reservation id %lld",
+                              static_cast<long long>(duplicate->id));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kAdvise:
+      return "advise";
+    case Verb::kBreakeven:
+      return "breakeven";
+    case Verb::kSnapshotUpdate:
+      return "snapshot_update";
+    case Verb::kMetrics:
+      return "metrics";
+    case Verb::kPing:
+      return "ping";
+  }
+  return "ping";
+}
+
+std::optional<Request> parse_request(std::string_view line, std::string* message) {
+  if (line.size() > kMaxRequestBytes) {
+    return fail(message, common::format("request of %zu bytes exceeds the %zu-byte limit",
+                                        line.size(), kMaxRequestBytes));
+  }
+  const std::string_view trimmed = common::trim(line);
+  if (trimmed.empty()) {
+    return fail(message, "empty request");
+  }
+  const std::size_t verb_end = trimmed.find(' ');
+  const std::string_view verb_token = trimmed.substr(0, verb_end);
+  std::string_view rest =
+      verb_end == std::string_view::npos ? std::string_view{} : trimmed.substr(verb_end + 1);
+  rest = common::trim(rest);
+
+  Request request;
+  if (verb_token == "PING" || verb_token == "METRICS") {
+    request.verb = verb_token == "PING" ? Verb::kPing : Verb::kMetrics;
+    if (!rest.empty()) {
+      return fail(message, common::format("%s takes no arguments",
+                                          std::string(verb_token).c_str()));
+    }
+    return request;
+  }
+
+  // Reject unknown verbs before looking at arguments, so "NOPE" diagnoses
+  // the verb rather than a missing account.
+  if (verb_token != "ADVISE" && verb_token != "BREAKEVEN" &&
+      verb_token != "SNAPSHOT_UPDATE") {
+    return fail(message, common::format("unknown verb \"%s\"",
+                                        std::string(verb_token).c_str()));
+  }
+
+  // Remaining verbs all start with an account token.
+  const std::size_t account_end = rest.find(' ');
+  const std::string_view account = rest.substr(0, account_end);
+  std::string_view args =
+      account_end == std::string_view::npos ? std::string_view{} : rest.substr(account_end + 1);
+  args = common::trim(args);
+  if (!valid_account(account)) {
+    return fail(message,
+                "account must be 1-64 characters of [A-Za-z0-9._-]");
+  }
+  request.account = std::string(account);
+
+  if (verb_token == "ADVISE") {
+    request.verb = Verb::kAdvise;
+    const auto id = common::parse_int(args);
+    if (args.empty() || !id || *id < 0) {
+      return fail(message, "ADVISE needs a non-negative integer reservation id");
+    }
+    request.reservation = *id;
+    return request;
+  }
+  if (verb_token == "BREAKEVEN") {
+    request.verb = Verb::kBreakeven;
+    const auto fraction = common::parse_double(args);
+    if (args.empty() || !fraction || *fraction <= 0.0 || *fraction >= 1.0) {
+      return fail(message, "BREAKEVEN needs a decision fraction strictly between 0 and 1");
+    }
+    request.fraction = Fraction{*fraction};
+    return request;
+  }
+  request.verb = Verb::kSnapshotUpdate;
+  if (args.empty()) {
+    return fail(message, "SNAPSHOT_UPDATE needs a JSON payload");
+  }
+  if (!parse_snapshot_payload(args, request.snapshot, message)) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string ok_response(std::string_view body) {
+  std::string out = "OK ";
+  out += body;
+  return out;
+}
+
+std::string error_response(std::string_view message) {
+  return common::format("ERROR {\"message\":\"%s\"}", json_escape(message).c_str());
+}
+
+std::string busy_response(std::size_t max_pending) {
+  return common::format("BUSY {\"max_pending\":%zu}", max_pending);
+}
+
+}  // namespace rimarket::serve

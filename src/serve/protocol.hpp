@@ -1,0 +1,71 @@
+// Wire protocol of the advisor service: one request line in, one response
+// line out.
+//
+//   ADVISE <account> <reservation-id>
+//   BREAKEVEN <account> <fraction>
+//   SNAPSHOT_UPDATE <account> {"instance":"d2.xlarge","discount":0.8,
+//                              "now":5000,"reservations":[[id,start,worked],...]}
+//   METRICS
+//   PING
+//
+// Responses are `OK <json>`, `ERROR {"message":"..."}` or `BUSY` (admission
+// gate full; only the asynchronous path emits it).  Parsing is strict and
+// total: every malformed input — unknown verb, bad argument, oversized
+// line, truncated JSON — becomes a diagnostic string, never an exception,
+// so hostile input degrades to per-request errors (the robustness suite
+// drives this layer directly).  Validation here is also the contract guard
+// for the layers below: fractions reach Fraction{} only after a range
+// check, so user input can never trip a unit-type contract abort.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "serve/snapshot.hpp"
+
+namespace rimarket::serve {
+
+/// Requests larger than this are rejected before parsing (`ERROR`, not a
+/// truncated read) — the line protocol's only size knob.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+enum class Verb { kAdvise, kBreakeven, kSnapshotUpdate, kMetrics, kPing };
+
+/// Lower-case endpoint name ("advise", ...) — used for latency metric keys.
+std::string_view verb_name(Verb verb);
+
+/// The SNAPSHOT_UPDATE payload after validation, ready to become an
+/// AccountSnapshot once the instance name is resolved against the catalog.
+struct SnapshotPayload {
+  std::string instance;
+  Fraction selling_discount{0.8};
+  Hour now = 0;
+  std::vector<ReservationState> reservations;  ///< sorted by id, unique
+};
+
+/// One parsed request; only the fields for `verb` are meaningful.
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string account;
+  fleet::ReservationId reservation = 0;  ///< ADVISE
+  Fraction fraction{0.5};                ///< BREAKEVEN, validated into (0,1)
+  SnapshotPayload snapshot;              ///< SNAPSHOT_UPDATE
+};
+
+/// Parses one request line.  On failure returns nullopt and fills
+/// `*message` with the diagnostic the service wraps into an ERROR response.
+std::optional<Request> parse_request(std::string_view line, std::string* message);
+
+/// `OK <body>` — `body` must already be JSON.
+std::string ok_response(std::string_view body);
+
+/// `ERROR {"message":"<escaped>"}`.
+std::string error_response(std::string_view message);
+
+/// `BUSY {"max_pending":N}` — emitted when the admission gate is full.
+std::string busy_response(std::size_t max_pending);
+
+}  // namespace rimarket::serve

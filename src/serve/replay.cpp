@@ -1,0 +1,200 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <thread>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "serve/service.hpp"
+
+namespace rimarket::serve {
+
+namespace {
+
+/// Every latency metric key the service can emit, sorted.
+constexpr std::array<std::string_view, 6> kEndpoints = {
+    "advise", "breakeven", "invalid", "metrics", "ping", "snapshot_update"};
+
+bool is_snapshot_update(std::string_view line) {
+  return common::starts_with(common::trim(line), "SNAPSHOT_UPDATE");
+}
+
+}  // namespace
+
+ReplayDriver::ReplayDriver(ReplayConfig config) : config_(config) {}
+
+LatencyReport ReplayDriver::replay(std::span<const std::string> requests) const {
+  ServiceConfig service_config;
+  service_config.threads = config_.threads;
+  service_config.max_pending = config_.max_pending;
+  service_config.catalog = config_.catalog;
+  service_config.fault_schedule = config_.fault_schedule;
+  AdvisorService service(service_config);
+
+  LatencyReport report;
+  report.requests = requests.size();
+  report.responses.resize(requests.size());
+
+  common::Rng arrivals(config_.seed);
+  const bool paced = config_.arrivals_per_second > 0.0;
+  auto next_arrival = std::chrono::steady_clock::now();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (paced) {
+      next_arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              arrivals.exponential(config_.arrivals_per_second)));
+      std::this_thread::sleep_until(next_arrival);
+    }
+    const std::string& line = requests[i];
+    if (is_snapshot_update(line)) {
+      // Barrier: updates apply between fully drained read waves, so every
+      // read sees the snapshot version its trace position implies.
+      service.wait_idle();
+      report.responses[i] = service.handle_line(line);
+      continue;
+    }
+    // The callback writes its own pre-sized slot; slots are distinct
+    // objects, so concurrent completions never touch the same memory.
+    std::string* slot = &report.responses[i];
+    auto deliver = [slot](std::string response) { *slot = std::move(response); };
+    if (service.submit(line, deliver) == AdvisorService::Admit::kBusy) {
+      ++report.gate_stalls;
+      service.wait_idle();  // drain, then the gate has room for one more
+      if (service.submit(line, deliver) == AdvisorService::Admit::kBusy) {
+        report.responses[i] = busy_response(service.config().max_pending);
+      }
+    }
+  }
+  service.wait_idle();
+
+  for (const std::string& response : report.responses) {
+    if (common::starts_with(response, "ERROR")) {
+      ++report.errors;
+    }
+  }
+  for (const std::string_view endpoint : kEndpoints) {
+    const auto distribution = service.metrics().distribution(
+        common::format("serve.latency_us.%s", std::string(endpoint).c_str()));
+    if (distribution) {
+      report.endpoints.push_back(EndpointLatency{std::string(endpoint), *distribution});
+    }
+  }
+  return report;
+}
+
+LatencyReport ReplayDriver::replay_file(const std::string& path,
+                                        common::CsvError* error) const {
+  const auto contents = common::read_file(path, error);
+  if (!contents) {
+    return LatencyReport{};
+  }
+  std::vector<std::string> lines;
+  for (const std::string_view raw : common::split(*contents, '\n')) {
+    const std::string_view line = common::trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    lines.emplace_back(line);
+  }
+  return replay(lines);
+}
+
+std::string LatencyReport::to_json() const {
+  std::string endpoints_json = "{";
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const EndpointLatency& e = endpoints[i];
+    if (i > 0) {
+      endpoints_json += ',';
+    }
+    endpoints_json += common::format(
+        "\"%s\":{\"count\":%llu,\"max\":%.3f,\"mean\":%.3f,\"min\":%.3f,\"p99\":%.3f}",
+        e.endpoint.c_str(), static_cast<unsigned long long>(e.latency_us.count),
+        e.latency_us.max, e.latency_us.mean, e.latency_us.min, e.latency_us.p99);
+  }
+  endpoints_json += '}';
+  return common::format(
+      "{\"endpoints\":%s,\"errors\":%llu,\"gate_stalls\":%llu,\"requests\":%llu}",
+      endpoints_json.c_str(), static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(gate_stalls),
+      static_cast<unsigned long long>(requests));
+}
+
+std::string LatencyReport::render() const {
+  common::TextTable table({"endpoint", "count", "mean_us", "min_us", "max_us", "p99_us"});
+  for (const EndpointLatency& e : endpoints) {
+    table.add_row({e.endpoint,
+                   common::format("%llu", static_cast<unsigned long long>(e.latency_us.count)),
+                   common::format("%.1f", e.latency_us.mean),
+                   common::format("%.1f", e.latency_us.min),
+                   common::format("%.1f", e.latency_us.max),
+                   common::format("%.1f", e.latency_us.p99)});
+  }
+  return table.render() +
+         common::format("requests %llu, errors %llu, gate stalls %llu\n",
+                        static_cast<unsigned long long>(requests),
+                        static_cast<unsigned long long>(errors),
+                        static_cast<unsigned long long>(gate_stalls));
+}
+
+std::vector<std::string> generate_request_trace(const RequestTraceSpec& spec,
+                                                std::uint64_t seed) {
+  common::Rng rng(seed);
+  // A trace needs at least one account and one reservation to aim reads at.
+  const auto accounts = static_cast<std::int64_t>(std::max<std::size_t>(1, spec.accounts));
+  const auto per_account =
+      static_cast<std::int64_t>(std::max<std::size_t>(1, spec.reservations_per_account));
+  std::vector<std::string> lines;
+  lines.reserve(spec.accounts + spec.requests + spec.updates);
+  const auto account_name = [](std::size_t i) { return common::format("acct-%zu", i); };
+  const auto snapshot_line = [&](std::size_t i) {
+    // Fleet clock landing in the second half of a 1-year term, so all
+    // three decision spots are reachable for old-enough reservations.
+    const Hour now = 4000 + rng.uniform_int(0, 4000);
+    std::string rows;
+    for (std::int64_t j = 0; j < per_account; ++j) {
+      const Hour start = rng.uniform_int(0, now);
+      const Hour worked = rng.uniform_int(0, now - start);
+      rows += common::format("%s[%lld,%lld,%lld]", j == 0 ? "" : ",",
+                             static_cast<long long>(j), static_cast<long long>(start),
+                             static_cast<long long>(worked));
+    }
+    return common::format(
+        "SNAPSHOT_UPDATE %s "
+        "{\"instance\":\"%s\",\"discount\":0.8,\"now\":%lld,\"reservations\":[%s]}",
+        account_name(i).c_str(), spec.instance.c_str(), static_cast<long long>(now),
+        rows.c_str());
+  };
+  for (std::size_t i = 0; i < static_cast<std::size_t>(accounts); ++i) {
+    lines.push_back(snapshot_line(i));
+  }
+  const std::size_t stride =
+      spec.updates == 0 ? 0
+                        : std::max<std::size_t>(std::size_t{1},
+                                                spec.requests / (spec.updates + 1));
+  std::size_t refreshes = 0;
+  for (std::size_t r = 0; r < spec.requests; ++r) {
+    if (stride != 0 && refreshes < spec.updates && r > 0 && r % stride == 0) {
+      lines.push_back(snapshot_line(
+          static_cast<std::size_t>(rng.uniform_int(0, accounts - 1))));
+      ++refreshes;
+    }
+    const std::string account =
+        account_name(static_cast<std::size_t>(rng.uniform_int(0, accounts - 1)));
+    if (rng.uniform01() < spec.breakeven_share.value()) {
+      lines.push_back(common::format("BREAKEVEN %s %.4f", account.c_str(),
+                                     rng.uniform_real(0.05, 0.95)));
+    } else {
+      const auto id = rng.uniform_int(0, per_account - 1);
+      lines.push_back(
+          common::format("ADVISE %s %lld", account.c_str(), static_cast<long long>(id)));
+    }
+  }
+  return lines;
+}
+
+}  // namespace rimarket::serve

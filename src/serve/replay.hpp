@@ -1,0 +1,119 @@
+// Deterministic open-loop replay of a request trace against the advisor
+// service — the load harness behind the serve-smoke CI job.
+//
+// The driver feeds one request line per trace entry into a fresh
+// AdvisorService and collects a latency report.  Two properties make the
+// replay reproducible:
+//
+//   * SNAPSHOT_UPDATE lines are barriers: the driver drains in-flight
+//     reads, applies the update synchronously, then resumes.  Every read
+//     therefore sees exactly the snapshot version its trace position
+//     implies, so responses are identical whatever the worker count.
+//   * Arrival pacing (when enabled) draws interarrival gaps from a seeded
+//     exponential process — an open-loop Poisson client whose timeline is
+//     fixed by the seed, not by service speed.
+//
+// Latency numbers naturally vary run to run; the report's *structure*
+// (endpoints, counts, errors, responses) is deterministic, which is what
+// the determinism suite pins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/units.hpp"
+
+namespace rimarket::common {
+struct CsvError;
+}
+
+namespace rimarket::common::fault_injection {
+class Schedule;
+}
+
+namespace rimarket::pricing {
+class PricingCatalog;
+}
+
+namespace rimarket::serve {
+
+struct ReplayConfig {
+  /// Worker threads in the replayed service (0 = hardware concurrency).
+  std::size_t threads = 1;
+  /// Admission gate capacity.  When the gate fills, the driver drains the
+  /// service and retries once, so every trace entry still gets a real
+  /// response; the stall is counted in `LatencyReport::gate_stalls`.
+  std::size_t max_pending = 1024;
+  const pricing::PricingCatalog* catalog = nullptr;
+  /// Chaos schedule forwarded to the service (see ServiceConfig).
+  const common::fault_injection::Schedule* fault_schedule = nullptr;
+  /// Open-loop arrival rate (requests/second); 0 disables pacing and the
+  /// driver issues requests back to back (the throughput-bound mode the
+  /// tests use).
+  double arrivals_per_second = 0.0;
+  /// Seed for the arrival process.
+  std::uint64_t seed = 1;
+};
+
+/// One endpoint's latency distribution in the final report.
+struct EndpointLatency {
+  std::string endpoint;
+  common::DistributionSnapshot latency_us;
+};
+
+struct LatencyReport {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  /// Times the driver found the admission gate full and drained the
+  /// service before retrying.
+  std::uint64_t gate_stalls = 0;
+  /// Sorted by endpoint name; only endpoints that served requests appear.
+  std::vector<EndpointLatency> endpoints;
+  /// One response line per trace entry, in trace order.
+  std::vector<std::string> responses;
+
+  /// Machine-readable artifact (sorted keys; excludes `responses`).
+  std::string to_json() const;
+  /// Human-readable latency table.
+  std::string render() const;
+};
+
+class ReplayDriver {
+ public:
+  explicit ReplayDriver(ReplayConfig config = {});
+
+  /// Replays `requests` through a fresh AdvisorService.
+  LatencyReport replay(std::span<const std::string> requests) const;
+
+  /// Reads a trace file (one request per line; blank lines and lines
+  /// starting with '#' are skipped) and replays it.  On read failure
+  /// returns an empty report and fills `*error` when non-null.
+  LatencyReport replay_file(const std::string& path,
+                            common::CsvError* error = nullptr) const;
+
+ private:
+  ReplayConfig config_;
+};
+
+/// Spec for the synthetic request trace used by the serve-smoke job and the
+/// protocol tests.  Everything is derived from the seed: same spec + seed
+/// means the same trace, line for line.
+struct RequestTraceSpec {
+  std::size_t accounts = 4;
+  std::size_t reservations_per_account = 32;
+  /// Read requests (ADVISE/BREAKEVEN) after the initial snapshot loads.
+  std::size_t requests = 1000;
+  /// Snapshot refreshes interleaved among the reads (barriers at replay).
+  std::size_t updates = 8;
+  std::string instance = "d2.xlarge";
+  /// Share of reads that are BREAKEVEN rather than ADVISE.
+  Fraction breakeven_share{0.25};
+};
+
+std::vector<std::string> generate_request_trace(const RequestTraceSpec& spec,
+                                                std::uint64_t seed);
+
+}  // namespace rimarket::serve

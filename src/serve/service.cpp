@@ -1,0 +1,178 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "pricing/catalog.hpp"
+#include "serve/advisor.hpp"
+
+namespace rimarket::serve {
+
+namespace {
+
+/// Latency metric key for requests that never parsed into a verb.
+constexpr std::string_view kInvalidEndpoint = "invalid";
+
+std::uint64_t chaos_scope_key(std::uint64_t sequence) {
+  // Mix the sequence number so rule probabilities see well-spread keys.
+  std::uint64_t state = sequence;
+  return common::splitmix64(state);
+}
+
+}  // namespace
+
+AdmissionGate::AdmissionGate(std::size_t capacity) : capacity_(capacity) {}
+
+bool AdmissionGate::try_enter() {
+  const common::MutexLock lock(mutex_);
+  if (in_flight_ >= capacity_) {
+    return false;
+  }
+  ++in_flight_;
+  return true;
+}
+
+void AdmissionGate::leave() {
+  const common::MutexLock lock(mutex_);
+  if (in_flight_ > 0) {
+    --in_flight_;
+  }
+}
+
+std::size_t AdmissionGate::in_flight() const {
+  const common::MutexLock lock(mutex_);
+  return in_flight_;
+}
+
+AdvisorService::AdvisorService(ServiceConfig config)
+    : config_(config),
+      catalog_(config.catalog != nullptr ? *config.catalog : pricing::PricingCatalog::builtin()),
+      gate_(config.max_pending),
+      pool_(config.threads) {}
+
+std::string AdvisorService::handle_line(std::string_view line) {
+  return process(line, next_sequence());
+}
+
+AdvisorService::Admit AdvisorService::submit(std::string line,
+                                             std::function<void(std::string)> done) {
+  if (!gate_.try_enter()) {
+    metrics_.increment("serve.requests.busy");
+    return Admit::kBusy;
+  }
+  // The sequence number is claimed on the submitting thread, so a single
+  // driver submitting in trace order gets scheduling-independent chaos keys.
+  const std::uint64_t sequence = next_sequence();
+  try {
+    pool_.submit([this, sequence, line = std::move(line), done = std::move(done)]() mutable {
+      // The admission slot is held until delivery finishes (and is released
+      // even when `done` throws), so in_flight() covers the whole request.
+      struct GateRelease {
+        AdmissionGate& gate;
+        ~GateRelease() { gate.leave(); }
+      } release{gate_};
+      std::string response = process(line, sequence);
+      if (done) {
+        done(std::move(response));
+      }
+    });
+  } catch (...) {
+    gate_.leave();  // the task never ran; undo its claim before rethrowing
+    throw;
+  }
+  return Admit::kAccepted;
+}
+
+void AdvisorService::wait_idle() { pool_.wait_idle(); }
+
+std::string AdvisorService::process(std::string_view line, std::uint64_t sequence) {
+  std::optional<common::fault_injection::ScopedContext> chaos;
+  if (config_.fault_schedule != nullptr) {
+    chaos.emplace(*config_.fault_schedule, chaos_scope_key(sequence));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  std::string endpoint{kInvalidEndpoint};
+  std::string response;
+  try {
+    std::string diagnostic;
+    if (RIMARKET_INJECT_PARSE(common::fault_injection::kSiteServeParse)) {
+      response = error_response("injected parse error");
+    } else if (const auto request = parse_request(line, &diagnostic)) {
+      endpoint = verb_name(request->verb);
+      response = execute(*request);
+    } else {
+      response = error_response(diagnostic);
+    }
+  } catch (const std::exception& e) {
+    response = error_response(e.what());
+  } catch (...) {
+    response = error_response("unknown error");
+  }
+  const std::chrono::duration<double, std::micro> elapsed =
+      std::chrono::steady_clock::now() - started;
+  metrics_.observe(common::format("serve.latency_us.%s", std::string(endpoint).c_str()),
+                   elapsed.count());
+  metrics_.increment("serve.requests.total");
+  if (common::starts_with(response, "ERROR")) {
+    metrics_.increment("serve.requests.errors");
+  }
+  return response;
+}
+
+std::string AdvisorService::execute(const Request& request) {
+  RIMARKET_INJECT(common::fault_injection::kSiteServeExecute);
+  switch (request.verb) {
+    case Verb::kPing:
+      return ok_response("{\"service\":\"rimarket_serve\"}");
+    case Verb::kMetrics:
+      return ok_response(metrics_.to_json());
+    case Verb::kAdvise: {
+      const auto snapshot = store_.lookup(request.account);
+      if (snapshot == nullptr) {
+        return error_response(
+            common::format("unknown account \"%s\"", request.account.c_str()));
+      }
+      const ReservationState* state = snapshot->find(request.reservation);
+      if (state == nullptr) {
+        return error_response(common::format("account \"%s\" has no reservation %lld",
+                                             request.account.c_str(),
+                                             static_cast<long long>(request.reservation)));
+      }
+      return ok_response(advise_reservation(*snapshot, *state).to_json());
+    }
+    case Verb::kBreakeven: {
+      const auto snapshot = store_.lookup(request.account);
+      if (snapshot == nullptr) {
+        return error_response(
+            common::format("unknown account \"%s\"", request.account.c_str()));
+      }
+      return ok_response(breakeven(*snapshot, request.fraction).to_json());
+    }
+    case Verb::kSnapshotUpdate: {
+      const auto type = catalog_.find(request.snapshot.instance);
+      if (!type) {
+        return error_response(common::format("unknown instance type \"%s\"",
+                                             request.snapshot.instance.c_str()));
+      }
+      AccountSnapshot snapshot;
+      snapshot.account = request.account;
+      snapshot.type = *type;
+      snapshot.selling_discount = request.snapshot.selling_discount;
+      snapshot.now = request.snapshot.now;
+      snapshot.reservations = request.snapshot.reservations;
+      const std::size_t count = snapshot.reservations.size();
+      const std::uint64_t version = store_.publish(std::move(snapshot));
+      return ok_response(common::format(
+          "{\"account\":\"%s\",\"reservations\":%zu,\"version\":%llu}",
+          request.account.c_str(), count, static_cast<unsigned long long>(version)));
+    }
+  }
+  return error_response("unhandled verb");
+}
+
+}  // namespace rimarket::serve

@@ -1,0 +1,121 @@
+// The resident advisor service: a long-lived request loop answering
+// sell/keep questions against live account snapshots.
+//
+// One `AdvisorService` owns the snapshot table, a metrics registry with
+// per-endpoint latency histograms, and a worker pool.  Requests enter
+// either synchronously (`handle_line`, the in-process driver used by tests
+// and the replay harness) or asynchronously (`submit`, bounded by an
+// admission gate that answers `BUSY` instead of queueing without limit).
+// Every failure mode — malformed input, unknown account, an injected
+// chaos fault — is absorbed into a per-request `ERROR` response: the
+// process and all other in-flight requests keep going.  See DESIGN.md
+// "Advisor service".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/thread_safety.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+
+namespace rimarket::common::fault_injection {
+class Schedule;
+}
+
+namespace rimarket::pricing {
+class PricingCatalog;
+}
+
+namespace rimarket::serve {
+
+/// Tuning and wiring for one service instance.
+struct ServiceConfig {
+  /// Worker threads for the asynchronous path (0 = hardware concurrency).
+  std::size_t threads = 1;
+  /// Admission gate: submit() answers BUSY once this many requests are
+  /// in flight (queued or executing).
+  std::size_t max_pending = 64;
+  /// Pricing catalog snapshots resolve instance names against; nullptr
+  /// means the builtin Jan-2018 catalog.
+  const pricing::PricingCatalog* catalog = nullptr;
+  /// Chaos only: when set, every request executes under its own
+  /// fault-injection ScopedContext keyed by the request sequence number,
+  /// so fault placement is independent of thread scheduling (the same
+  /// model as sim::evaluate_sweep).  Must outlive the service.
+  const common::fault_injection::Schedule* fault_schedule = nullptr;
+};
+
+/// Bounded in-flight counter: the service's backpressure primitive,
+/// exposed separately so admission behaviour is unit-testable without
+/// threads.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t capacity);
+
+  /// Claims a slot; false when `capacity` requests are already in flight.
+  bool try_enter();
+  /// Releases a slot claimed by try_enter().
+  void leave();
+
+  std::size_t in_flight() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable common::Mutex mutex_;
+  std::size_t in_flight_ RIMARKET_GUARDED_BY(mutex_) = 0;
+};
+
+class AdvisorService {
+ public:
+  explicit AdvisorService(ServiceConfig config = {});
+
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// Parses and executes one request line, returning the response line.
+  /// Total: never throws for any input; failures become ERROR responses.
+  std::string handle_line(std::string_view line);
+
+  enum class Admit { kAccepted, kBusy };
+
+  /// Asynchronous entry: runs the request on the worker pool and passes
+  /// the response line to `done` (called on a worker thread).  Returns
+  /// kBusy — without invoking `done` — when the admission gate is full;
+  /// the caller should answer `busy_response()`.
+  Admit submit(std::string line, std::function<void(std::string)> done);
+
+  /// Blocks until every accepted request has completed.
+  void wait_idle();
+
+  /// The service's counters and latency distributions.
+  const common::MetricsRegistry& metrics() const { return metrics_; }
+  /// The METRICS response body (also reachable via the METRICS verb).
+  std::string metrics_json() const { return metrics_.to_json(); }
+
+  const SnapshotStore& snapshots() const { return store_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// The whole request path for one line; `sequence` keys the chaos scope.
+  std::string process(std::string_view line, std::uint64_t sequence);
+  /// Dispatches a parsed request; may throw (process() absorbs it).
+  std::string execute(const Request& request);
+  std::uint64_t next_sequence() { return sequence_.fetch_add(1, std::memory_order_relaxed); }
+
+  ServiceConfig config_;
+  const pricing::PricingCatalog& catalog_;
+  SnapshotStore store_;
+  common::MetricsRegistry metrics_;
+  AdmissionGate gate_;
+  common::ThreadPool pool_;
+  std::atomic<std::uint64_t> sequence_{0};
+};
+
+}  // namespace rimarket::serve

@@ -1,0 +1,51 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+
+namespace rimarket::serve {
+
+const ReservationState* AccountSnapshot::find(fleet::ReservationId id) const {
+  const auto it = std::lower_bound(
+      reservations.begin(), reservations.end(), id,
+      [](const ReservationState& state, fleet::ReservationId key) { return state.id < key; });
+  if (it == reservations.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::shared_ptr<const AccountSnapshot> SnapshotStore::lookup(std::string_view account) const {
+  const common::MutexLock lock(mutex_);
+  const auto it = accounts_.find(account);
+  if (it == accounts_.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+std::uint64_t SnapshotStore::publish(AccountSnapshot snapshot) {
+  auto shared = std::make_shared<AccountSnapshot>(std::move(snapshot));
+  const common::MutexLock lock(mutex_);
+  auto& slot = accounts_[shared->account];
+  shared->version = (slot == nullptr ? 0 : slot->version) + 1;
+  const std::uint64_t version = shared->version;
+  slot = std::move(shared);
+  return version;
+}
+
+std::size_t SnapshotStore::size() const {
+  const common::MutexLock lock(mutex_);
+  return accounts_.size();
+}
+
+std::vector<std::string> SnapshotStore::accounts() const {
+  const common::MutexLock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(accounts_.size());
+  for (const auto& [name, snapshot] : accounts_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace rimarket::serve

@@ -1,0 +1,81 @@
+// Copy-on-write account snapshots for the advisor service.
+//
+// The service answers ADVISE/BREAKEVEN reads against per-account fleet
+// snapshots while SNAPSHOT_UPDATE writes arrive concurrently.  Rather than
+// lock a mutable fleet for the duration of every request, each account maps
+// to an immutable `shared_ptr<const AccountSnapshot>`: readers grab the
+// pointer under a brief lock and then compute entirely lock-free, and a
+// writer publishes a freshly built snapshot by swapping the pointer — reads
+// never block behind an update, and an in-flight ADVISE keeps answering
+// against the version it started with.  See DESIGN.md "Advisor service".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_safety.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "fleet/reservation.hpp"
+#include "pricing/instance_type.hpp"
+
+namespace rimarket::serve {
+
+/// One reservation's advisor-relevant state: when it was booked and how
+/// many hours it has worked so far (the statistic the paper's A_{fT}
+/// decision rule consumes).
+struct ReservationState {
+  fleet::ReservationId id = 0;
+  Hour start = 0;
+  Hour worked_hours = 0;
+
+  bool operator==(const ReservationState&) const = default;
+};
+
+/// Immutable view of one account's fleet at a point in time.  Built by the
+/// protocol layer (which validates user input) and published wholesale;
+/// nothing mutates a snapshot after publication.
+struct AccountSnapshot {
+  std::string account;
+  pricing::InstanceType type;
+  /// The account's marketplace selling discount a.
+  Fraction selling_discount{0.8};
+  /// The account's clock: hours elapsed on the fleet timeline.  Decision
+  /// spots past `now` have not been reached yet.
+  Hour now = 0;
+  /// Monotonic per-account version, assigned at publication.
+  std::uint64_t version = 0;
+  /// Sorted by id, ids unique (the protocol layer enforces this).
+  std::vector<ReservationState> reservations;
+
+  /// Binary search by id; nullptr when absent.
+  const ReservationState* find(fleet::ReservationId id) const;
+};
+
+/// The service's account table.  Thread-safe; the lock is held only for
+/// pointer reads/swaps, never across snapshot construction or advice.
+class SnapshotStore {
+ public:
+  /// The published snapshot for `account`, or nullptr if never published.
+  std::shared_ptr<const AccountSnapshot> lookup(std::string_view account) const;
+
+  /// Publishes `snapshot` under `snapshot.account`, replacing any previous
+  /// version.  Returns the assigned version (previous + 1, starting at 1).
+  std::uint64_t publish(AccountSnapshot snapshot);
+
+  /// Number of accounts with a published snapshot.
+  std::size_t size() const;
+
+  /// Account names with a published snapshot, sorted.
+  std::vector<std::string> accounts() const;
+
+ private:
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const AccountSnapshot>, std::less<>> accounts_
+      RIMARKET_GUARDED_BY(mutex_);
+};
+
+}  // namespace rimarket::serve

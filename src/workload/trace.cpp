@@ -154,4 +154,17 @@ std::optional<DemandTrace> DemandTrace::from_csv(std::string_view text,
   return DemandTrace(std::move(demand));
 }
 
+std::optional<DemandTrace> DemandTrace::load_file(const std::string& path,
+                                                  common::CsvError* error) {
+  const auto contents = common::read_file(path, error);
+  if (!contents) {
+    return std::nullopt;  // read_file already filled path + errno
+  }
+  const auto trace = from_csv(*contents, error);
+  if (!trace && error != nullptr) {
+    error->path = path;  // from_csv only sees text; the loader owns the path
+  }
+  return trace;
+}
+
 }  // namespace rimarket::workload

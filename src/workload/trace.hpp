@@ -63,6 +63,13 @@ class DemandTrace {
   /// CsvError::path — this function only sees in-memory text.
   static std::optional<DemandTrace> from_csv(std::string_view text, common::CsvError* error);
 
+  /// Reads and parses an `hour,demand` CSV file.  Unlike from_csv, this is
+  /// the loading layer: on failure `*error` carries the path alongside the
+  /// errno (unreadable file) or 1-based line (malformed row), so callers
+  /// never patch CsvError::path by hand.
+  static std::optional<DemandTrace> load_file(const std::string& path,
+                                              common::CsvError* error = nullptr);
+
  private:
   std::vector<Count> demand_;
 };

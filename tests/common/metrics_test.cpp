@@ -71,6 +71,96 @@ TEST(MetricsRegistry, GlobalIsASingleton) {
   EXPECT_EQ(MetricsRegistry::global().get("metrics_test.marker"), 1.0);
 }
 
+TEST(MetricsRegistry, ObserveBuildsADistribution) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.observe("latency_us", static_cast<double>(i));
+  }
+  const auto snapshot = registry.distribution("latency_us");
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->count, 100u);
+  EXPECT_DOUBLE_EQ(snapshot->mean, 50.5);
+  EXPECT_DOUBLE_EQ(snapshot->min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot->max, 100.0);
+  // p99 of 1..100 is 99 exactly; the log2-binned estimate reports the upper
+  // edge of the covering bin, so it lands within one bin width (~9%) above.
+  EXPECT_GE(snapshot->p99, 99.0);
+  EXPECT_LE(snapshot->p99, 100.0);  // clamped into [min, max]
+}
+
+TEST(MetricsRegistry, DistributionAbsentUntilObserved) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.distribution("latency_us").has_value());
+  registry.increment("latency_us");  // a counter, not a distribution
+  EXPECT_FALSE(registry.distribution("latency_us").has_value());
+}
+
+TEST(MetricsRegistry, SingleObservationPinsAllStatistics) {
+  MetricsRegistry registry;
+  registry.observe("d", 7.25);
+  const auto snapshot = registry.distribution("d");
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot->mean, 7.25);
+  EXPECT_DOUBLE_EQ(snapshot->min, 7.25);
+  EXPECT_DOUBLE_EQ(snapshot->max, 7.25);
+  EXPECT_DOUBLE_EQ(snapshot->p99, 7.25);  // clamp to [min, max] makes it exact
+}
+
+TEST(MetricsRegistry, NonPositiveObservationsAreCountedNotDropped) {
+  MetricsRegistry registry;
+  registry.observe("d", 0.0);
+  registry.observe("d", -3.0);
+  registry.observe("d", 2.0);
+  const auto snapshot = registry.distribution("d");
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->count, 3u);
+  EXPECT_DOUBLE_EQ(snapshot->min, -3.0);
+  EXPECT_DOUBLE_EQ(snapshot->max, 2.0);
+}
+
+TEST(MetricsRegistry, ToJsonExpandsDistributionsIntoFiveSortedKeys) {
+  MetricsRegistry registry;
+  registry.observe("lat", 4.0);
+  registry.increment("requests", 2);
+  EXPECT_EQ(registry.to_json(),
+            "{\"lat.count\":1,\"lat.max\":4,\"lat.mean\":4,\"lat.min\":4,"
+            "\"lat.p99\":4,\"requests\":2}");
+}
+
+TEST(MetricsRegistry, SizeCountsValuesAndDistributions) {
+  MetricsRegistry registry;
+  registry.increment("a");
+  registry.observe("b", 1.0);
+  EXPECT_EQ(registry.size(), 2u);
+  registry.clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.distribution("b").has_value());
+}
+
+TEST(MetricsRegistry, ConcurrentObservationsDoNotLoseSamples) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.observe("lat", static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const auto snapshot = registry.distribution("lat");
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(snapshot->min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot->max, static_cast<double>(kThreads));
+}
+
 TEST(MetricsRegistry, ConcurrentIncrementsDoNotLoseUpdates) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;

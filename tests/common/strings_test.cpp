@@ -61,6 +61,32 @@ TEST(ParseDouble, RejectsMalformed) {
   EXPECT_FALSE(parse_double("1.5zz").has_value());
 }
 
+TEST(ParseDouble, RejectsNonFiniteTokens) {
+  // strtod happily accepts these; a CSV cell holding "inf" or "nan" is
+  // corrupt data, not a demand value.
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("-inf").has_value());
+  EXPECT_FALSE(parse_double("infinity").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("-nan").has_value());
+  EXPECT_FALSE(parse_double("NAN").has_value());
+}
+
+TEST(ParseDouble, RejectsHexFloatSyntax) {
+  EXPECT_FALSE(parse_double("0x1p3").has_value());
+  EXPECT_FALSE(parse_double("0X1P3").has_value());
+  EXPECT_FALSE(parse_double("0x10").has_value());
+}
+
+TEST(ParseDouble, RejectsOutOfRangeMagnitudes) {
+  // ERANGE overflow clamps to +-HUGE_VAL under strtod; that is a parse
+  // failure here, not a "valid" infinite value.
+  EXPECT_FALSE(parse_double("1e999").has_value());
+  EXPECT_FALSE(parse_double("-1e999").has_value());
+  // Denormal underflow still yields a finite value and stays accepted.
+  EXPECT_TRUE(parse_double("1e308").has_value());
+}
+
 TEST(ParseBool, AcceptsCommonSpellings) {
   EXPECT_EQ(parse_bool("true"), true);
   EXPECT_EQ(parse_bool("YES"), true);

@@ -28,6 +28,8 @@
 #include "common/alloc_hook.hpp"
 #include "common/csv.hpp"
 #include "common/fault_injection.hpp"
+#include "serve/replay.hpp"
+#include "serve/service.hpp"
 #include "sim/batch_engine.hpp"
 #include "workload/population.hpp"
 #include "workload/streaming.hpp"
@@ -485,6 +487,120 @@ TEST(ChaosIngestion, CsvAndTraceParsersReportInjectedFaultsCleanly) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(ChaosServe, ParseFaultBecomesPerRequestErrorNeverACrash) {
+  // Each request runs under its own ScopedContext, so an nth-hit-1 rule
+  // fires on every request — the service must answer ERROR each time and
+  // keep serving.
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteServeParse);
+  rule.kind = fi::FaultKind::kParseError;
+  rule.nth_hit = 1;
+  const fi::Schedule schedule(21, {rule});
+  serve::ServiceConfig config;
+  config.fault_schedule = &schedule;
+  serve::AdvisorService service(config);
+  EXPECT_EQ(service.handle_line("PING"),
+            "ERROR {\"message\":\"injected parse error\"}");
+  EXPECT_EQ(service.handle_line("METRICS"),
+            "ERROR {\"message\":\"injected parse error\"}");
+  // The service itself is untouched: counters kept counting.
+  EXPECT_EQ(service.metrics().get("serve.requests.total"), 2.0);
+  EXPECT_EQ(service.metrics().get("serve.requests.errors"), 2.0);
+}
+
+TEST(ChaosServe, ExecuteFaultSurfacesAsTypedErrorResponse) {
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteServeExecute);
+  rule.kind = fi::FaultKind::kThrow;
+  rule.nth_hit = 1;
+  const fi::Schedule schedule(22, {rule});
+  serve::ServiceConfig config;
+  config.fault_schedule = &schedule;
+  serve::AdvisorService service(config);
+  const std::string response = service.handle_line("PING");
+  EXPECT_EQ(response.find("ERROR "), 0u) << response;
+  EXPECT_NE(response.find("injected fault at serve.request.execute"), std::string::npos)
+      << response;
+}
+
+TEST(ChaosServe, RandomSchedulesDegradeToPerRequestErrorsDeterministically) {
+  // The serve acceptance contract: under randomized fault schedules every
+  // trace entry still gets a response line (OK or ERROR — the process and
+  // the other in-flight requests survive), and because chaos scope keys
+  // come from the request sequence, the exact fault placement is identical
+  // across worker counts and reruns.
+  const std::array<std::string_view, 2> sites = {fi::kSiteServeParse, fi::kSiteServeExecute};
+  serve::RequestTraceSpec trace_spec;
+  trace_spec.accounts = 2;
+  trace_spec.reservations_per_account = 8;
+  trace_spec.requests = 120;
+  trace_spec.updates = 3;
+  const auto trace = serve::generate_request_trace(trace_spec, 17);
+  const serve::LatencyReport baseline = serve::ReplayDriver().replay(trace);
+  ASSERT_EQ(baseline.errors, 0u);
+
+  const std::uint64_t base = chaos_base_seed() + 3000;
+  std::uint64_t total_errors = 0;
+  std::uint64_t fault_free_schedules = 0;
+  for (int i = 0; i < 25; ++i) {
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+    serve::ReplayConfig parallel;
+    parallel.threads = 4;
+    parallel.fault_schedule = &schedule;
+    const serve::LatencyReport chaos = serve::ReplayDriver(parallel).replay(trace);
+
+    ASSERT_EQ(chaos.responses.size(), trace.size());
+    bool update_faulted = false;
+    for (std::size_t r = 0; r < chaos.responses.size(); ++r) {
+      const std::string& response = chaos.responses[r];
+      ASSERT_TRUE(response.rfind("OK ", 0) == 0 || response.rfind("ERROR ", 0) == 0)
+          << response;
+      if (response.rfind("ERROR ", 0) == 0 &&
+          trace[r].rfind("SNAPSHOT_UPDATE", 0) == 0) {
+        update_faulted = true;
+      }
+    }
+    // Requests the schedule spared are byte-identical to the fault-free
+    // replay — a fault in one request never bleeds into another.  (Only
+    // provable when every snapshot update landed: a faulted update
+    // legitimately changes later answers.)
+    if (!update_faulted) {
+      for (std::size_t r = 0; r < chaos.responses.size(); ++r) {
+        if (chaos.responses[r].rfind("OK ", 0) == 0) {
+          EXPECT_EQ(chaos.responses[r], baseline.responses[r]) << trace[r];
+        }
+      }
+    }
+
+    // Determinism: one worker, same schedule, same bytes out.
+    serve::ReplayConfig serial;
+    serial.threads = 1;
+    serial.fault_schedule = &schedule;
+    const serve::LatencyReport replayed = serve::ReplayDriver(serial).replay(trace);
+    EXPECT_EQ(chaos.responses, replayed.responses);
+    EXPECT_EQ(chaos.errors, replayed.errors);
+
+    total_errors += chaos.errors;
+    fault_free_schedules += chaos.errors == 0 ? 1 : 0;
+  }
+  // Non-vacuous: the schedules actually injected faults somewhere.
+  EXPECT_GT(total_errors, 0u);
+  // ... without erroring literally everything (bad-alloc storms aside).
+  EXPECT_LT(total_errors, 25u * trace.size());
+  (void)fault_free_schedules;
+}
+
+TEST(ChaosServe, WiresTheDocumentedSites) {
+  serve::AdvisorService service;
+  (void)service.handle_line("PING");
+  const std::vector<std::string> sites = fi::seen_sites();
+  const std::set<std::string> seen(sites.begin(), sites.end());
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteServeParse)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteServeExecute)));
 }
 
 }  // namespace

@@ -96,6 +96,99 @@ TEST(CliErrors, EvaluateThreadRangeValidation) {
   EXPECT_EQ(run_cli("evaluate --users=1 --hours=50 --threads=100000"), kExitUsage);
 }
 
+/// Same harness for the portfolio_advisor binary (RIMARKET_ADVISOR_PATH).
+int run_advisor(const std::string& arguments) {
+  const std::string command =
+      std::string(RIMARKET_ADVISOR_PATH) + " " + arguments + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(AdvisorErrors, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_advisor("--no-such-flag=1"), kExitUsage);
+}
+
+TEST(AdvisorErrors, UnknownInstanceIsUsageError) {
+  EXPECT_EQ(run_advisor("--instance=z9.mega"), kExitUsage);
+}
+
+TEST(AdvisorErrors, OutOfRangeDiscountIsUsageErrorNotAbort) {
+  EXPECT_EQ(run_advisor("--discount=1.5"), kExitUsage);
+  EXPECT_EQ(run_advisor("--discount=-0.1"), kExitUsage);
+}
+
+TEST(AdvisorErrors, ExplicitMissingTraceIsNoInputNotSilentFallback) {
+  // The bugfix this PR ships: an explicit --trace that fails to load used
+  // to fall back to the synthetic trace and exit 0, silently advising on
+  // made-up demand.
+  EXPECT_EQ(run_advisor("--trace=/nonexistent/rimarket/advisor.csv"), kExitNoInput);
+}
+
+TEST(AdvisorErrors, ExplicitMalformedTraceIsDataError) {
+  const std::string path = testing::TempDir() + "/rimarket_advisor_bad_trace.csv";
+  ASSERT_TRUE(rimarket::common::write_file(path, "hour,demand\n0,1\n5,2\n"));  // hour gap
+  EXPECT_EQ(run_advisor("--trace=" + path), kExitDataError);
+  std::remove(path.c_str());
+}
+
+TEST(AdvisorSuccess, NoTraceFallsBackToSyntheticAndExitsZero) {
+  EXPECT_EQ(run_advisor(""), 0);
+}
+
+TEST(AdvisorSuccess, GoodTraceExitsZero) {
+  const std::string path = testing::TempDir() + "/rimarket_advisor_good_trace.csv";
+  std::string csv = "hour,demand\n";
+  for (int hour = 0; hour < 60; ++hour) {
+    csv += std::to_string(hour) + ",2\n";
+  }
+  ASSERT_TRUE(rimarket::common::write_file(path, csv));
+  EXPECT_EQ(run_advisor("--trace=" + path), 0);
+  std::remove(path.c_str());
+}
+
+/// And for the advisor service binary (RIMARKET_SERVE_PATH).
+int run_serve(const std::string& arguments) {
+  const std::string command =
+      std::string(RIMARKET_SERVE_PATH) + " " + arguments + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(ServeErrors, FlagRangeValidation) {
+  EXPECT_EQ(run_serve("--no-such-flag=1"), kExitUsage);
+  EXPECT_EQ(run_serve("--generate=10 --accounts=0"), kExitUsage);
+  EXPECT_EQ(run_serve("--threads=100000 --generate=1"), kExitUsage);
+  EXPECT_EQ(run_serve("--rate=-1 --generate=1"), kExitUsage);
+}
+
+TEST(ServeErrors, MissingReplayFileIsNoInput) {
+  EXPECT_EQ(run_serve("--replay=/nonexistent/rimarket/requests.txt"), kExitNoInput);
+}
+
+TEST(ServeErrors, UnwritableReportIsCantCreate) {
+  const std::string trace = testing::TempDir() + "/rimarket_serve_cli_trace.txt";
+  ASSERT_TRUE(rimarket::common::write_file(trace, "PING\nPING\n"));
+  EXPECT_EQ(run_serve("--replay=" + trace + " --report=/nonexistent/rimarket/report.json"),
+            kExitCantCreate);
+  std::remove(trace.c_str());
+}
+
+TEST(ServeSuccess, GenerateAndReplayRoundTripExitsZero) {
+  const std::string trace = testing::TempDir() + "/rimarket_serve_cli_roundtrip.txt";
+  const std::string generate = std::string(RIMARKET_SERVE_PATH) +
+                               " --generate=50 --seed=3 2>/dev/null >" + trace;
+  const int status = std::system(generate.c_str());
+  ASSERT_TRUE(status != -1 && WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(run_serve("--replay=" + trace), 0);
+  std::remove(trace.c_str());
+}
+
 TEST(CliSuccess, SmallSimulateStillExitsZero) {
   // Guard against over-eager validation: a legitimate tiny run passes.
   const std::string path = testing::TempDir() + "/rimarket_cli_good_trace.csv";

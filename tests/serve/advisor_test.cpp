@@ -1,0 +1,139 @@
+#include "serve/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "pricing/catalog.hpp"
+#include "selling/fixed_spot.hpp"
+#include "serve/snapshot.hpp"
+
+namespace rimarket::serve {
+namespace {
+
+AccountSnapshot paper_snapshot(Hour now) {
+  AccountSnapshot snapshot;
+  snapshot.account = "test";
+  snapshot.type = pricing::PricingCatalog::builtin().require("d2.xlarge");
+  snapshot.selling_discount = Fraction{0.8};
+  snapshot.now = now;
+  return snapshot;
+}
+
+TEST(Advisor, SpotBeyondClockIsNoSpotYet) {
+  // start + decision_age >= now (the batch console's horizon test, >=
+  // inclusive) means the spot has not been reached.
+  EXPECT_EQ(advise_at_spot(/*now=*/100, /*start=*/0, /*worked=*/0,
+                           /*decision_age=*/100, Hours{10.0}),
+            Advice::kNoSpotYet);
+  EXPECT_EQ(advise_at_spot(/*now=*/100, /*start=*/50, /*worked=*/0,
+                           /*decision_age=*/60, Hours{10.0}),
+            Advice::kNoSpotYet);
+}
+
+TEST(Advisor, SellIffCappedWorkBelowBreakEven) {
+  // Spot reached: cap worked hours at the spot width, compare against beta.
+  EXPECT_EQ(advise_at_spot(/*now=*/1000, /*start=*/0, /*worked=*/5,
+                           /*decision_age=*/500, Hours{10.0}),
+            Advice::kSell);
+  EXPECT_EQ(advise_at_spot(/*now=*/1000, /*start=*/0, /*worked=*/10,
+                           /*decision_age=*/500, Hours{10.0}),
+            Advice::kKeep);  // worked == beta is not strictly below
+  // worked beyond the spot width is capped before the comparison.
+  EXPECT_EQ(advise_at_spot(/*now=*/1000, /*start=*/0, /*worked=*/900,
+                           /*decision_age=*/500, Hours{600.0}),
+            Advice::kSell);
+}
+
+TEST(Advisor, MatchesFixedSpotPoliciesOnTheBatchPath) {
+  // The exact logic the batch console ran inline before this PR: the serve
+  // kernel must reproduce it decision for decision.
+  const AccountSnapshot snapshot = paper_snapshot(/*now=*/2 * 8760);
+  const std::array<Fraction, 3> fractions = {Fraction{0.25}, Fraction{0.50}, Fraction{0.75}};
+  for (Hour start : {Hour{0}, Hour{1000}, Hour{8000}, Hour{12000}, Hour{17000}}) {
+    for (Hour worked : {Hour{0}, Hour{300}, Hour{900}, Hour{5000}}) {
+      const ReservationAdvice advice =
+          advise_reservation(snapshot, ReservationState{1, start, worked});
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const selling::FixedSpotSelling policy(snapshot.type, fractions[i],
+                                               snapshot.selling_discount);
+        const char* expected = nullptr;
+        if (start + policy.decision_age_hours() >= snapshot.now) {
+          expected = "(no spot yet)";
+        } else {
+          const Hour cap = std::min(worked, policy.decision_age_hours());
+          expected = policy.should_sell(cap) ? "sell" : "keep";
+        }
+        EXPECT_EQ(advice_label(advice.policies[i].advice), expected)
+            << "start=" << start << " worked=" << worked << " f=" << fractions[i].value();
+        EXPECT_EQ(advice.policies[i].decision_age, policy.decision_age_hours());
+        EXPECT_DOUBLE_EQ(advice.policies[i].break_even.value(),
+                         policy.break_even_hours().value());
+      }
+    }
+  }
+}
+
+TEST(Advisor, BreakevenMatchesInstanceTypeFormula) {
+  const AccountSnapshot snapshot = paper_snapshot(/*now=*/5000);
+  const BreakevenAdvice advice = breakeven(snapshot, Fraction{0.5});
+  EXPECT_DOUBLE_EQ(
+      advice.break_even.value(),
+      snapshot.type.break_even_hours(Fraction{0.5}, snapshot.selling_discount).value());
+  EXPECT_EQ(advice.decision_age, 8760 / 2);
+}
+
+TEST(Advisor, ReservationAdviceJsonShape) {
+  const AccountSnapshot snapshot = paper_snapshot(/*now=*/2 * 8760);
+  const std::string json =
+      advise_reservation(snapshot, ReservationState{7, 0, 100}).to_json();
+  EXPECT_NE(json.find("\"reservation\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"worked_hours\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"0.25\":"), std::string::npos);
+  EXPECT_NE(json.find("\"0.75\":"), std::string::npos);
+}
+
+TEST(Snapshot, FindIsBinarySearchById) {
+  AccountSnapshot snapshot = paper_snapshot(1000);
+  snapshot.reservations = {{1, 0, 10}, {5, 2, 20}, {9, 4, 30}};
+  ASSERT_NE(snapshot.find(5), nullptr);
+  EXPECT_EQ(snapshot.find(5)->worked_hours, 20);
+  EXPECT_EQ(snapshot.find(2), nullptr);
+  EXPECT_EQ(snapshot.find(10), nullptr);
+}
+
+TEST(SnapshotStore, PublishAssignsMonotonicVersions) {
+  SnapshotStore store;
+  EXPECT_EQ(store.lookup("a"), nullptr);
+  AccountSnapshot snapshot = paper_snapshot(100);
+  snapshot.account = "a";
+  EXPECT_EQ(store.publish(snapshot), 1u);
+  EXPECT_EQ(store.publish(snapshot), 2u);
+  snapshot.account = "b";
+  EXPECT_EQ(store.publish(snapshot), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.accounts(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(store.lookup("a")->version, 2u);
+}
+
+TEST(SnapshotStore, LookupIsCopyOnWriteIsolated) {
+  SnapshotStore store;
+  AccountSnapshot snapshot = paper_snapshot(100);
+  snapshot.account = "a";
+  snapshot.reservations = {{1, 0, 10}};
+  store.publish(snapshot);
+  const auto before = store.lookup("a");
+  // An update replaces the published pointer but never mutates the old
+  // snapshot — an in-flight reader keeps a consistent view.
+  snapshot.now = 200;
+  snapshot.reservations = {{1, 0, 150}};
+  store.publish(snapshot);
+  EXPECT_EQ(before->now, 100);
+  EXPECT_EQ(before->find(1)->worked_hours, 10);
+  EXPECT_EQ(store.lookup("a")->now, 200);
+  EXPECT_EQ(store.lookup("a")->version, 2u);
+}
+
+}  // namespace
+}  // namespace rimarket::serve

@@ -1,0 +1,98 @@
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rimarket::serve {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->boolean);
+  EXPECT_FALSE(parse_json("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e2")->number, -250.0);
+  EXPECT_EQ(parse_json("\"hi\"")->string, "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const auto doc = parse_json(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  EXPECT_NE(a->array[2].find("b"), nullptr);
+  EXPECT_EQ(doc->find("c")->string, "x");
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\n\t")")->string, "a\"b\\c\n\t");
+  EXPECT_FALSE(parse_json(R"("\q")").has_value());  // unsupported escape
+  EXPECT_FALSE(parse_json("\"raw\ncontrol\"").has_value());
+}
+
+TEST(Json, TruncatedDocumentsFailWithOffset) {
+  JsonError error;
+  EXPECT_FALSE(parse_json(R"({"a":1)", &error).has_value());
+  EXPECT_NE(error.message.find("expected ',' or '}'"), std::string::npos);
+  EXPECT_FALSE(parse_json(R"(["x")", &error).has_value());
+  EXPECT_FALSE(parse_json(R"("unterminated)", &error).has_value());
+  EXPECT_NE(error.message.find("unexpected end of input"), std::string::npos);
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_EQ(error.offset, 0u);
+}
+
+TEST(Json, TrailingGarbageFails) {
+  JsonError error;
+  EXPECT_FALSE(parse_json("{} extra", &error).has_value());
+  EXPECT_NE(error.message.find("trailing characters"), std::string::npos);
+  EXPECT_FALSE(parse_json("1 2").has_value());
+}
+
+TEST(Json, RejectsNonFiniteAndHexNumbers) {
+  // The number grammar rides on common::parse_double's finite-decimal
+  // contract (the parse_double bugfix this PR ships).
+  EXPECT_FALSE(parse_json("NaN").has_value());
+  EXPECT_FALSE(parse_json("Infinity").has_value());
+  EXPECT_FALSE(parse_json("1e999").has_value());
+  EXPECT_FALSE(parse_json("0x10").has_value());
+}
+
+TEST(Json, DepthLimitStopsAdversarialNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) {
+    deep += '[';
+  }
+  JsonError error;
+  EXPECT_FALSE(parse_json(deep, &error).has_value());
+  EXPECT_NE(error.message.find("nesting"), std::string::npos);
+  // At the limit exactly: 32 levels parse fine.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) {
+    ok += '[';
+  }
+  for (int i = 0; i < 32; ++i) {
+    ok += ']';
+  }
+  EXPECT_TRUE(parse_json(ok).has_value());
+}
+
+TEST(Json, EscapeRoundTrips) {
+  const std::string hostile = "quote\" slash\\ newline\n tab\t cr\r";
+  const auto parsed = parse_json("\"" + json_escape(hostile) + "\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string, hostile);
+}
+
+TEST(Json, EscapeRendersOtherControlsAsUnicode) {
+  // \u output keeps responses valid JSON for downstream tooling even
+  // though this parser itself only reads the short escapes.
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace rimarket::serve

@@ -1,0 +1,170 @@
+// Protocol robustness: every malformed request line must come back as a
+// diagnostic, never as an exception or a contract abort — this suite feeds
+// the parser the full gallery of hostile input.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rimarket::serve {
+namespace {
+
+std::string parse_error(std::string_view line) {
+  std::string message;
+  const auto request = parse_request(line, &message);
+  EXPECT_FALSE(request.has_value()) << "line unexpectedly parsed: " << line;
+  return message;
+}
+
+TEST(Protocol, ParsesAdvise) {
+  std::string message;
+  const auto request = parse_request("ADVISE acct-1 42", &message);
+  ASSERT_TRUE(request.has_value()) << message;
+  EXPECT_EQ(request->verb, Verb::kAdvise);
+  EXPECT_EQ(request->account, "acct-1");
+  EXPECT_EQ(request->reservation, 42);
+}
+
+TEST(Protocol, ParsesBreakevenWithStrictFractionRange) {
+  std::string message;
+  const auto request = parse_request("BREAKEVEN a 0.75", &message);
+  ASSERT_TRUE(request.has_value()) << message;
+  EXPECT_EQ(request->verb, Verb::kBreakeven);
+  EXPECT_DOUBLE_EQ(request->fraction.value(), 0.75);
+  // decision_age contracts require f strictly inside (0,1); the protocol
+  // rejects the endpoints so user input can never trip the contract.
+  EXPECT_NE(parse_error("BREAKEVEN a 0"), "");
+  EXPECT_NE(parse_error("BREAKEVEN a 1"), "");
+  EXPECT_NE(parse_error("BREAKEVEN a 1.5"), "");
+  EXPECT_NE(parse_error("BREAKEVEN a -0.5"), "");
+  EXPECT_NE(parse_error("BREAKEVEN a nan"), "");
+  EXPECT_NE(parse_error("BREAKEVEN a 1e999"), "");
+}
+
+TEST(Protocol, ParsesSnapshotUpdate) {
+  std::string message;
+  const auto request = parse_request(
+      R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":5000,)"
+      R"("reservations":[[2,4000,500],[1,100,3000]]})",
+      &message);
+  ASSERT_TRUE(request.has_value()) << message;
+  EXPECT_EQ(request->verb, Verb::kSnapshotUpdate);
+  EXPECT_EQ(request->snapshot.instance, "d2.xlarge");
+  EXPECT_EQ(request->snapshot.now, 5000);
+  ASSERT_EQ(request->snapshot.reservations.size(), 2u);
+  // Rows arrive unsorted and come out sorted by id.
+  EXPECT_EQ(request->snapshot.reservations[0].id, 1);
+  EXPECT_EQ(request->snapshot.reservations[1].id, 2);
+}
+
+TEST(Protocol, DiscountIsOptionalWithDefault) {
+  std::string message;
+  const auto request = parse_request(
+      R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[]})", &message);
+  ASSERT_TRUE(request.has_value()) << message;
+  EXPECT_DOUBLE_EQ(request->snapshot.selling_discount.value(), 0.8);
+}
+
+TEST(Protocol, EmptyAndBlankLinesAreErrors) {
+  EXPECT_EQ(parse_error(""), "empty request");
+  EXPECT_EQ(parse_error("   \t  "), "empty request");
+}
+
+TEST(Protocol, UnknownVerbsAreErrors) {
+  EXPECT_NE(parse_error("FROBNICATE x 1").find("unknown verb"), std::string::npos);
+  EXPECT_NE(parse_error("advise a 1").find("unknown verb"), std::string::npos);  // case-sensitive
+}
+
+TEST(Protocol, OversizedRequestIsRejectedBeforeParsing) {
+  std::string huge = "ADVISE a ";
+  huge.append(kMaxRequestBytes, '1');
+  EXPECT_NE(parse_error(huge).find("exceeds"), std::string::npos);
+}
+
+TEST(Protocol, BadAccountsAreErrors) {
+  EXPECT_NE(parse_error("ADVISE"), "");                        // missing entirely
+  EXPECT_NE(parse_error("ADVISE bad$name 1"), "");             // charset
+  EXPECT_NE(parse_error("ADVISE " + std::string(65, 'a') + " 1"), "");  // length
+}
+
+TEST(Protocol, BadAdviseArgumentsAreErrors) {
+  EXPECT_NE(parse_error("ADVISE a"), "");
+  EXPECT_NE(parse_error("ADVISE a x"), "");
+  EXPECT_NE(parse_error("ADVISE a -1"), "");
+  EXPECT_NE(parse_error("ADVISE a 1.5"), "");
+}
+
+TEST(Protocol, TruncatedSnapshotJsonIsAnError) {
+  EXPECT_NE(parse_error("SNAPSHOT_UPDATE a {\"instance\":\"x\"").find("not valid JSON"),
+            std::string::npos);
+  EXPECT_NE(parse_error("SNAPSHOT_UPDATE a"), "");
+  EXPECT_NE(parse_error("SNAPSHOT_UPDATE a [1,2]").find("must be a JSON object"),
+            std::string::npos);
+}
+
+TEST(Protocol, SnapshotFieldValidation) {
+  EXPECT_NE(parse_error(R"(SNAPSHOT_UPDATE a {"now":1,"reservations":[]})"),
+            "");  // missing instance
+  EXPECT_NE(parse_error(R"(SNAPSHOT_UPDATE a {"instance":"x","reservations":[]})"),
+            "");  // missing now
+  EXPECT_NE(parse_error(R"(SNAPSHOT_UPDATE a {"instance":"x","now":-1,"reservations":[]})"),
+            "");
+  EXPECT_NE(parse_error(R"(SNAPSHOT_UPDATE a {"instance":"x","now":1.5,"reservations":[]})"),
+            "");
+  EXPECT_NE(
+      parse_error(R"(SNAPSHOT_UPDATE a {"instance":"x","now":1,"discount":2,"reservations":[]})"),
+      "");
+  EXPECT_NE(parse_error(R"(SNAPSHOT_UPDATE a {"instance":"x","now":1})"),
+            "");  // missing reservations
+}
+
+TEST(Protocol, SnapshotReservationRowValidation) {
+  // Shape: each row is [id, start, worked].
+  EXPECT_NE(parse_error(
+                R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[[1,2]]})"),
+            "");
+  // A reservation cannot start after the fleet clock...
+  EXPECT_NE(parse_error(
+                R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[[1,11,0]]})"),
+            "");
+  // ...nor work more hours than its age.
+  EXPECT_NE(parse_error(
+                R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[[1,5,6]]})"),
+            "");
+  // Duplicate ids are rejected.
+  EXPECT_NE(
+      parse_error(
+          R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[[1,0,1],[1,0,2]]})")
+          .find("duplicate"),
+      std::string::npos);
+  // worked == age is the boundary and is allowed.
+  std::string message;
+  EXPECT_TRUE(parse_request(
+                  R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[[1,5,5]]})",
+                  &message)
+                  .has_value())
+      << message;
+}
+
+TEST(Protocol, PingAndMetricsTakeNoArguments) {
+  std::string message;
+  EXPECT_TRUE(parse_request("PING", &message).has_value());
+  EXPECT_TRUE(parse_request("METRICS", &message).has_value());
+  EXPECT_NE(parse_error("PING now"), "");
+  EXPECT_NE(parse_error("METRICS all"), "");
+}
+
+TEST(Protocol, ResponseRendering) {
+  EXPECT_EQ(ok_response("{}"), "OK {}");
+  EXPECT_EQ(error_response("bad \"x\""), "ERROR {\"message\":\"bad \\\"x\\\"\"}");
+  EXPECT_EQ(busy_response(8), "BUSY {\"max_pending\":8}");
+}
+
+TEST(Protocol, VerbNames) {
+  EXPECT_EQ(verb_name(Verb::kAdvise), "advise");
+  EXPECT_EQ(verb_name(Verb::kSnapshotUpdate), "snapshot_update");
+}
+
+}  // namespace
+}  // namespace rimarket::serve

@@ -1,0 +1,186 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace rimarket::serve {
+namespace {
+
+constexpr std::string_view kLoad =
+    R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+    R"("reservations":[[1,100,200],[2,100,8000]]})";
+
+TEST(AdmissionGate, EnforcesCapacity) {
+  AdmissionGate gate(2);
+  EXPECT_EQ(gate.capacity(), 2u);
+  EXPECT_TRUE(gate.try_enter());
+  EXPECT_TRUE(gate.try_enter());
+  EXPECT_FALSE(gate.try_enter());
+  EXPECT_EQ(gate.in_flight(), 2u);
+  gate.leave();
+  EXPECT_TRUE(gate.try_enter());
+  EXPECT_FALSE(gate.try_enter());
+}
+
+TEST(AdvisorService, EndToEndFlow) {
+  AdvisorService service;
+  EXPECT_EQ(service.handle_line("PING"), "OK {\"service\":\"rimarket_serve\"}");
+  const std::string loaded = service.handle_line(kLoad);
+  EXPECT_EQ(loaded, "OK {\"account\":\"acme\",\"reservations\":2,\"version\":1}");
+  // Reservation 1 barely worked: every reached spot says sell.
+  const std::string r1 = service.handle_line("ADVISE acme 1");
+  EXPECT_NE(r1.find("\"0.25\":\"sell\""), std::string::npos) << r1;
+  // Reservation 2 worked nearly the whole time: every reached spot says keep.
+  const std::string r2 = service.handle_line("ADVISE acme 2");
+  EXPECT_NE(r2.find("\"0.25\":\"keep\""), std::string::npos) << r2;
+  EXPECT_NE(service.handle_line("BREAKEVEN acme 0.5").find("break_even_hours"),
+            std::string::npos);
+}
+
+TEST(AdvisorService, ErrorsAreResponsesNeverExceptions) {
+  AdvisorService service;
+  EXPECT_EQ(service.handle_line(""), "ERROR {\"message\":\"empty request\"}");
+  EXPECT_NE(service.handle_line("NOPE").find("unknown verb"), std::string::npos);
+  EXPECT_NE(service.handle_line("ADVISE ghost 1").find("unknown account"),
+            std::string::npos);
+  service.handle_line(kLoad);
+  EXPECT_NE(service.handle_line("ADVISE acme 99").find("no reservation 99"),
+            std::string::npos);
+  EXPECT_NE(
+      service.handle_line(R"(SNAPSHOT_UPDATE a {"instance":"z9.mega","now":1,"reservations":[]})")
+          .find("unknown instance type"),
+      std::string::npos);
+}
+
+TEST(AdvisorService, SnapshotUpdateChangesSubsequentAnswers) {
+  AdvisorService service;
+  service.handle_line(kLoad);
+  const std::string before = service.handle_line("ADVISE acme 1");
+  // Refresh: reservation 1 has now worked far beyond every break-even.
+  service.handle_line(
+      R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+      R"("reservations":[[1,100,8000]]})");
+  const std::string after = service.handle_line("ADVISE acme 1");
+  EXPECT_NE(before, after);
+  EXPECT_NE(before.find("sell"), std::string::npos);
+  EXPECT_NE(after.find("keep"), std::string::npos);
+  EXPECT_EQ(service.snapshots().lookup("acme")->version, 2u);
+}
+
+TEST(AdvisorService, MetricsCountersAndLatencies) {
+  AdvisorService service;
+  service.handle_line("PING");
+  service.handle_line("BOGUS");
+  service.handle_line(kLoad);
+  EXPECT_EQ(service.metrics().get("serve.requests.total"), 3.0);
+  EXPECT_EQ(service.metrics().get("serve.requests.errors"), 1.0);
+  // Per-endpoint latency distributions exist, including the invalid bucket.
+  EXPECT_EQ(service.metrics().distribution("serve.latency_us.ping")->count, 1u);
+  EXPECT_EQ(service.metrics().distribution("serve.latency_us.invalid")->count, 1u);
+  EXPECT_EQ(service.metrics().distribution("serve.latency_us.snapshot_update")->count, 1u);
+  // The METRICS verb returns the same registry as JSON.
+  const std::string response = service.handle_line("METRICS");
+  EXPECT_NE(response.find("serve.latency_us.ping.p99"), std::string::npos);
+  EXPECT_NE(response.find("\"serve.requests.total\":3"), std::string::npos);
+}
+
+TEST(AdvisorService, SubmitRunsOnWorkersAndDrains) {
+  ServiceConfig config;
+  config.threads = 4;
+  config.max_pending = 256;
+  AdvisorService service(config);
+  service.handle_line(kLoad);
+  constexpr int kRequests = 200;
+  std::vector<std::string> responses(kRequests);
+  int busy = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string* slot = &responses[static_cast<std::size_t>(i)];
+    const auto admitted = service.submit(
+        "ADVISE acme 1", [slot](std::string response) { *slot = std::move(response); });
+    if (admitted == AdvisorService::Admit::kBusy) {
+      ++busy;
+    }
+  }
+  service.wait_idle();
+  int answered = 0;
+  for (const std::string& response : responses) {
+    if (!response.empty()) {
+      EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+      ++answered;
+    }
+  }
+  // Everything admitted was answered; nothing was silently dropped.
+  EXPECT_EQ(answered + busy, kRequests);
+  EXPECT_EQ(service.metrics().get("serve.requests.busy").value_or(0.0),
+            static_cast<double>(busy));
+  EXPECT_EQ(service.metrics().get("serve.requests.total"),
+            static_cast<double>(answered + 1));  // +1 for the snapshot load
+}
+
+TEST(AdvisorService, FullGateAnswersBusyDeterministically) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_pending = 1;
+  AdvisorService service(config);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  // The first request's completion callback blocks until we say go, so its
+  // admission slot stays occupied.
+  const auto first = service.submit("PING", [released](std::string) { released.wait(); });
+  ASSERT_EQ(first, AdvisorService::Admit::kAccepted);
+  // The gate is full (capacity 1): the second submit must answer BUSY
+  // without ever invoking its callback.
+  std::atomic<bool> second_ran{false};
+  const auto second =
+      service.submit("PING", [&second_ran](std::string) { second_ran = true; });
+  EXPECT_EQ(second, AdvisorService::Admit::kBusy);
+  release.set_value();
+  service.wait_idle();
+  EXPECT_FALSE(second_ran.load());
+  EXPECT_EQ(service.metrics().get("serve.requests.busy"), 1.0);
+}
+
+TEST(AdvisorService, InterleavedUpdateDuringInFlightAdvises) {
+  // Copy-on-write isolation: while a wave of ADVISE requests is in flight,
+  // a SNAPSHOT_UPDATE lands concurrently.  Every response must be one of
+  // the two consistent answers (old snapshot or new snapshot) — never a
+  // torn mix, never an error, and the process must survive.
+  ServiceConfig config;
+  config.threads = 4;
+  config.max_pending = 1024;
+  AdvisorService service(config);
+  service.handle_line(kLoad);
+  const std::string before = service.handle_line("ADVISE acme 1");
+  AdvisorService reference;
+  reference.handle_line(
+      R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+      R"("reservations":[[1,100,8000],[2,100,8000]]})");
+  const std::string after = reference.handle_line("ADVISE acme 1");
+  ASSERT_NE(before, after);
+
+  constexpr int kReads = 300;
+  std::vector<std::string> responses(kReads);
+  for (int i = 0; i < kReads; ++i) {
+    std::string* slot = &responses[static_cast<std::size_t>(i)];
+    ASSERT_EQ(service.submit("ADVISE acme 1",
+                             [slot](std::string response) { *slot = std::move(response); }),
+              AdvisorService::Admit::kAccepted);
+    if (i == kReads / 2) {
+      const std::string updated = service.handle_line(
+          R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+          R"("reservations":[[1,100,8000],[2,100,8000]]})");
+      EXPECT_EQ(updated.rfind("OK ", 0), 0u) << updated;
+    }
+  }
+  service.wait_idle();
+  for (const std::string& response : responses) {
+    EXPECT_TRUE(response == before || response == after) << response;
+  }
+}
+
+}  // namespace
+}  // namespace rimarket::serve

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "common/csv.hpp"
@@ -105,6 +106,39 @@ TEST(DemandTrace, FromCsvErrorVariantSkipsBlankLinesInCount) {
   // The caller owns filling in the path (from_csv only sees text).
   EXPECT_TRUE(error.path.empty());
   EXPECT_EQ(error.to_string().find("<input>:5:"), 0u);
+}
+
+TEST(DemandTrace, LoadFileReadsAndParses) {
+  const std::string path = testing::TempDir() + "/rimarket_trace_load_ok.csv";
+  ASSERT_TRUE(common::write_file(path, "hour,demand\n0,4\n1,5\n"));
+  const auto trace = DemandTrace::load_file(path);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->length(), 2);
+  EXPECT_EQ(trace->at(1), 5);
+  std::remove(path.c_str());
+}
+
+TEST(DemandTrace, LoadFileFillsErrnoAndPathForMissingFile) {
+  common::CsvError error;
+  EXPECT_FALSE(DemandTrace::load_file("/nonexistent/rimarket/trace.csv", &error).has_value());
+  EXPECT_EQ(error.path, "/nonexistent/rimarket/trace.csv");
+  EXPECT_NE(error.errno_value, 0);
+  EXPECT_EQ(error.line, 0u);
+}
+
+TEST(DemandTrace, LoadFileFillsPathAndLineForMalformedFile) {
+  // The loading layer owns CsvError::path — callers must never patch it by
+  // hand after a parse failure.
+  const std::string path = testing::TempDir() + "/rimarket_trace_load_bad.csv";
+  ASSERT_TRUE(common::write_file(path, "hour,demand\n0,1\n5,2\n"));
+  common::CsvError error;
+  EXPECT_FALSE(DemandTrace::load_file(path, &error).has_value());
+  EXPECT_EQ(error.path, path);
+  EXPECT_EQ(error.errno_value, 0);
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find("out of sequence"), std::string::npos);
+  EXPECT_EQ(error.to_string().find(path + ":3:"), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(DemandTrace, FromCsvErrorVariantSucceedsOnGoodInput) {
