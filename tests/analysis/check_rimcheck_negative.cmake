@@ -12,6 +12,13 @@
 #      dispatch — the writer still emits "E", so the tag-set audit must
 #      report the mismatch in both directions.
 #
+# Two further mutations gate the whole-program rimgraph stage (--graph):
+#
+#   C. append two functions that acquire the same pair of mutexes in
+#      opposite orders — graph.lock-order-cycle must report the cycle;
+#   D. append a function that throws while holding a MutexLock —
+#      graph.throw-under-lock must report the path.
+#
 # Usage: cmake -DRIMCHECK=<exe> -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch>
 #              -P check_rimcheck_negative.cmake
 
@@ -34,7 +41,7 @@ file(COPY "${SOURCE_DIR}/tools/rimcheck/rimcheck.baseline"
 
 function(run_rimcheck expect_failure label)
   execute_process(
-    COMMAND "${RIMCHECK}" --root "${WORK_DIR}"
+    COMMAND "${RIMCHECK}" --root "${WORK_DIR}" ${ARGN}
     RESULT_VARIABLE result
     OUTPUT_VARIABLE output
     ERROR_VARIABLE output)
@@ -51,6 +58,7 @@ endfunction()
 
 # Pristine copy must be clean, or the mutations below prove nothing.
 run_rimcheck(FALSE "baseline scan")
+run_rimcheck(FALSE "baseline graph scan" --graph)
 
 # Mutation A: delete one call site of a doubly-wired fault site.
 set(runner "${WORK_DIR}/src/sim/runner.cpp")
@@ -76,6 +84,49 @@ if(mutated STREQUAL pristine_engine)
 endif()
 file(WRITE "${engine}" "${mutated}")
 run_rimcheck(TRUE "mutation B (renamed checkpoint tag)")
+file(WRITE "${engine}" "${pristine_engine}")
+
+# Mutation C: a seeded lock-order inversion.  Both functions spell the same
+# two mutexes through the same parameter, so rimgraph unifies the keys and
+# must see the A->B / B->A cycle.  --rule keeps the gate focused: the
+# snippet's unannotated members would otherwise trip lock.no-guarded-state
+# and mask a broken cycle detector.
+set(service "${WORK_DIR}/src/serve/service.cpp")
+file(READ "${service}" pristine_service)
+file(WRITE "${service}" "${pristine_service}
+namespace rimgraph_mutation {
+struct Pair {
+  rimarket::common::Mutex first_;
+  rimarket::common::Mutex second_;
+};
+void probe_forward(Pair& p) {
+  const rimarket::common::MutexLock hold_first(p.first_);
+  const rimarket::common::MutexLock hold_second(p.second_);
+}
+void probe_backward(Pair& p) {
+  const rimarket::common::MutexLock hold_second(p.second_);
+  const rimarket::common::MutexLock hold_first(p.first_);
+}
+}  // namespace rimgraph_mutation
+")
+run_rimcheck(TRUE "mutation C (seeded lock-order inversion)"
+             --graph --rule graph.lock-order-cycle)
+file(WRITE "${service}" "${pristine_service}")
+
+# Mutation D: a seeded throw while a MutexLock is held.
+file(WRITE "${service}" "${pristine_service}
+namespace rimgraph_mutation {
+struct Box {
+  rimarket::common::Mutex mu_;
+};
+void probe_throw(Box& b) {
+  const rimarket::common::MutexLock hold(b.mu_);
+  throw 1;
+}
+}  // namespace rimgraph_mutation
+")
+run_rimcheck(TRUE "mutation D (seeded throw under lock)"
+             --graph --rule graph.throw-under-lock)
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 message(STATUS "rimcheck negative-mutation gate passed")

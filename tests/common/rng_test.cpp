@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -121,6 +122,25 @@ TEST(Rng, NormalZeroStddevIsConstant) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
   }
+}
+
+TEST(Rng, LognormalIsExpOfNormal) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.lognormal(1.0, 0.5);
+    ASSERT_GT(v, 0.0);
+    const double log_v = std::log(v);
+    sum += log_v;
+    sumsq += log_v * log_v;
+  }
+  // log of the samples must have the parameters of the underlying normal.
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(var, 0.25, 0.01);
 }
 
 TEST(Rng, ExponentialMeanMatches) {

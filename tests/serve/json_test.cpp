@@ -15,6 +15,17 @@ TEST(Json, ParsesScalars) {
   EXPECT_EQ(parse_json("\"hi\"")->string, "hi");
 }
 
+TEST(Json, KindPredicatesAreExclusive) {
+  const auto doc = parse_json("true");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_bool());
+  EXPECT_FALSE(doc->is_null());
+  EXPECT_FALSE(doc->is_number());
+  EXPECT_FALSE(doc->is_string());
+  EXPECT_FALSE(parse_json("0")->is_bool());
+  EXPECT_FALSE(parse_json("\"true\"")->is_bool());
+}
+
 TEST(Json, ParsesNestedContainers) {
   const auto doc = parse_json(R"({"a":[1,2,{"b":null}],"c":"x"})");
   ASSERT_TRUE(doc.has_value());

@@ -88,6 +88,18 @@ TEST(AdvisorService, MetricsCountersAndLatencies) {
   EXPECT_NE(response.find("\"serve.requests.total\":3"), std::string::npos);
 }
 
+TEST(AdvisorService, MetricsJsonAccessorServesRegistry) {
+  AdvisorService service;
+  service.handle_line("PING");
+  // The accessor renders the registry directly, without the extra in-flight
+  // request the METRICS verb itself would add to the counters.
+  const std::string direct = service.metrics_json();
+  EXPECT_NE(direct.find("\"serve.requests.total\":1"), std::string::npos) << direct;
+  EXPECT_NE(direct.find("serve.latency_us.ping.p99"), std::string::npos) << direct;
+  EXPECT_NE(service.handle_line("METRICS").find("serve.requests.total"),
+            std::string::npos);
+}
+
 TEST(AdvisorService, SubmitRunsOnWorkersAndDrains) {
   ServiceConfig config;
   config.threads = 4;

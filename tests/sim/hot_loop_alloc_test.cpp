@@ -8,6 +8,7 @@
 // decide() call, ...) shows up as a nonzero delta.
 #include <gtest/gtest.h>
 
+#include <new>
 #include <vector>
 
 #include "common/alloc_hook.hpp"
@@ -49,6 +50,27 @@ std::uint64_t allocations_for_horizon(Hour hours) {
   const std::uint64_t after = common::allocation_count();
   EXPECT_EQ(result.reservations_made, kFleet);
   return after - before;
+}
+
+TEST(AllocHook, ArmedFlagTracksPendingInjectedFailure) {
+  ASSERT_FALSE(common::allocation_failure_armed());
+  common::fail_next_allocation();
+  // Probe the armed window without gtest machinery inside it: any assertion
+  // there could allocate and consume the arming itself.
+  const bool armed = common::allocation_failure_armed();
+  bool threw = false;
+  try {
+    // Call the allocator directly: a `new`/`delete` pair is elidable at -O2
+    // (C++14 allocation elision), which would leave the arming pending.
+    ::operator delete(::operator new(1));
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  const bool armed_after = common::allocation_failure_armed();
+  EXPECT_TRUE(armed);
+  EXPECT_TRUE(threw);
+  EXPECT_FALSE(armed_after);
+  ::operator delete(::operator new(1));  // subsequent allocations succeed again
 }
 
 TEST(HotLoopAllocations, SteadyStateHoursAllocateNothing) {

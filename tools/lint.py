@@ -12,6 +12,9 @@ tooling leaves open:
   raw-thread       no raw std::thread outside common/thread_pool — all
                    concurrency goes through the pool (cancellation, error
                    aggregation, metrics)
+  raw-mutex-member no bare std::mutex (or variant) declarations in src/ —
+                   state is guarded by the annotated common::Mutex plus
+                   RIMARKET_GUARDED_BY so rimcheck can see the lock graph
   rng-discipline   no <random> engines / rand() outside common/rng — all
                    randomness is seeded and reproducible via common::Rng
   contract-guard   public mutating APIs in sim/, selling/, purchasing/ must
@@ -207,6 +210,37 @@ def check_raw_thread(path: str, text: str) -> List[Finding]:
                 Finding(path, i, "raw-thread",
                         "raw std::thread outside common/thread_pool; use "
                         "common::ThreadPool (cancellation, error aggregation, metrics)")
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: raw-mutex-member
+
+_MUTEX_HOME = ("src/common/thread_safety.hpp",)
+# A declaration (`std::mutex name;`, `= {}`, brace-init), not a reference
+# parameter (`std::mutex&`) or a template argument (`<std::mutex>`).
+_RAW_MUTEX = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+[A-Za-z_]\w*\s*[;{=]"
+)
+
+
+def check_raw_mutex_member(path: str, text: str) -> List[Finding]:
+    if not (path.startswith("src/") and path.endswith((".cpp", ".hpp"))):
+        return []
+    if path in _MUTEX_HOME:
+        return []
+    raw_lines = text.splitlines()
+    allowed = allow_marker_lines(raw_lines, "raw-mutex-member")
+    findings = []
+    stripped = strip_comments_and_strings(text).splitlines()
+    for i, line in enumerate(stripped, start=1):
+        if _RAW_MUTEX.search(line) and not suppressed(i, allowed):
+            findings.append(
+                Finding(path, i, "raw-mutex-member",
+                        "bare std::mutex declared in src/; use the annotated "
+                        "common::Mutex with RIMARKET_GUARDED_BY so the lock "
+                        "discipline stays analyzable (common/thread_safety.hpp)")
             )
     return findings
 
@@ -486,6 +520,7 @@ RULES: dict = {
     "float-eq": check_float_eq,
     "console-io": check_console_io,
     "raw-thread": check_raw_thread,
+    "raw-mutex-member": check_raw_mutex_member,
     "rng-discipline": check_rng_discipline,
     "contract-guard": check_contract_guard,
     "hot-loop-alloc": check_hot_loop_alloc,
@@ -552,6 +587,24 @@ FIXTURES = [
      "std::thread worker;\n", 0),
     ("hardware_concurrency mention still flags the type", "raw-thread", "src/x/a.cpp",
      "auto n = std::thread::hardware_concurrency();\n", 1),
+
+    ("flags bare std::mutex member", "raw-mutex-member", "src/x/a.hpp",
+     "class C {\n  std::mutex mu_;\n};\n", 1),
+    ("flags std::recursive_mutex", "raw-mutex-member", "src/x/a.cpp",
+     "std::recursive_mutex big_lock;\n", 1),
+    ("thread_safety wrapper home is exempt", "raw-mutex-member",
+     "src/common/thread_safety.hpp", "std::mutex handle_;\n", 0),
+    ("mutex reference parameter passes", "raw-mutex-member", "src/x/a.hpp",
+     "void wait_on(std::mutex& m);\n", 0),
+    ("mutex as template argument passes", "raw-mutex-member", "src/x/a.cpp",
+     "std::lock_guard<std::mutex> g(handle_);\n", 0),
+    ("annotated common::Mutex passes", "raw-mutex-member", "src/x/a.hpp",
+     "common::Mutex mu_;\nint v_ RIMARKET_GUARDED_BY(mu_) = 0;\n", 0),
+    ("lint-allow suppresses with reason", "raw-mutex-member", "src/x/a.cpp",
+     "std::mutex raw_;  // lint-allow(raw-mutex-member): ffi handoff needs the native type\n",
+     0),
+    ("tests are not scanned", "raw-mutex-member", "tests/x/a_test.cpp",
+     "std::mutex m;\n", 0),
 
     ("flags std::mt19937", "rng-discipline", "src/x/a.cpp",
      "#include <random>\nstd::mt19937 gen;\n", 1),

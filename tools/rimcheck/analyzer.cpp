@@ -44,19 +44,33 @@ const std::vector<RuleInfo>& rule_table() {
        "the writer/parser extraction anchors still match batch_engine.cpp"},
       {"ckp.tag-mismatch", "checkpoint-format",
        "checkpoint writer tag set equals the parser's accepted set"},
+      {"graph.lock-order-cycle", "rimgraph",
+       "no cycles in the cross-TU mutex acquisition-order graph (--graph)"},
+      {"graph.throw-under-lock", "rimgraph",
+       "no call path throws while a Mutex is held, outside catch(...) (--graph)"},
+      {"graph.noexcept-escape", "rimgraph",
+       "no throwing callee reachable from noexcept/destructor/thread roots (--graph)"},
+      {"graph.fault-site-reachability", "rimgraph",
+       "every manifest fault site is reachable from an entry point (--graph)"},
+      {"graph.dead-public-api", "rimgraph",
+       "every exported src/ header function has a caller or reference (--graph)"},
       {"baseline.stale", "baseline",
        "every baseline entry still matches a finding (no dead suppressions)"},
   };
   return kTable;
 }
 
-std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters) {
+std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters,
+                               bool with_graph) {
   std::vector<Finding> findings;
   check_determinism(tree, findings);
   check_fault_registry(tree, findings);
   check_locks(tree, findings);
   check_metrics(tree, findings);
   check_checkpoint(tree, findings);
+  if (with_graph) {
+    check_graph(tree, findings);
+  }
   if (!filters.empty()) {
     findings.erase(std::remove_if(findings.begin(), findings.end(),
                                   [&filters](const Finding& finding) {
@@ -84,9 +98,39 @@ std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>&
   return findings;
 }
 
+namespace {
+
+std::string trim_copy(const std::string& field) {
+  const std::size_t begin = field.find_first_not_of(" \t");
+  const std::size_t last = field.find_last_not_of(" \t");
+  return begin == std::string::npos ? std::string()
+                                    : field.substr(begin, last - begin + 1);
+}
+
+bool valid_date(const std::string& date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') {
+    return false;
+  }
+  for (std::size_t i = 0; i < date.size(); ++i) {
+    if (i == 4 || i == 7) {
+      continue;
+    }
+    if (date[i] < '0' || date[i] > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& error) {
-  // Line format: rule | file | symbol | reason   ('#' comments, blank ok).
-  // The reason is mandatory: a suppression nobody can justify is a bug.
+  // Line format: rule | file | symbol | added=YYYY-MM-DD | reason=<why>
+  // ('#' comments, blank lines ok; the last two fields accepted in either
+  // order).  Both the date and the justification are mandatory: a
+  // suppression nobody can justify or date is a bug.
+  static const char* kShape =
+      "expected `rule | file | symbol | added=YYYY-MM-DD | reason=<why>`";
   std::vector<BaselineEntry> entries;
   std::size_t pos = 0;
   std::size_t lineno = 0;
@@ -110,7 +154,7 @@ std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& er
     }
     std::vector<std::string> fields;
     std::size_t field_pos = 0;
-    while (fields.size() < 3) {
+    while (fields.size() < 4) {
       const std::size_t bar = line.find(" | ", field_pos);
       if (bar == std::string::npos) {
         break;
@@ -118,27 +162,43 @@ std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& er
       fields.push_back(line.substr(field_pos, bar - field_pos));
       field_pos = bar + 3;
     }
-    if (fields.size() < 3 || field_pos >= line.size()) {
-      error = "baseline line " + std::to_string(lineno) +
-              ": expected `rule | file | symbol | reason` with a non-empty reason";
+    if (fields.size() < 4 || field_pos >= line.size()) {
+      error = "baseline line " + std::to_string(lineno) + ": " + kShape;
       return {};
     }
+    fields.push_back(line.substr(field_pos));
     BaselineEntry entry;
-    entry.rule = fields[0];
-    entry.file = fields[1];
-    entry.symbol = fields[2];
-    entry.reason = line.substr(field_pos);
+    entry.rule = trim_copy(fields[0]);
+    entry.file = trim_copy(fields[1]);
+    entry.symbol = trim_copy(fields[2]);
     entry.line = lineno;
-    // Trim fields.
-    for (std::string* field : {&entry.rule, &entry.file, &entry.symbol, &entry.reason}) {
-      const std::size_t begin = field->find_first_not_of(" \t");
-      const std::size_t last = field->find_last_not_of(" \t");
-      *field = begin == std::string::npos ? std::string()
-                                          : field->substr(begin, last - begin + 1);
+    for (std::size_t i = 3; i < 5; ++i) {
+      const std::string field = trim_copy(fields[i]);
+      if (field.rfind("added=", 0) == 0) {
+        if (!entry.added.empty()) {
+          error = "baseline line " + std::to_string(lineno) + ": duplicate added= field";
+          return {};
+        }
+        entry.added = trim_copy(field.substr(6));
+      } else if (field.rfind("reason=", 0) == 0) {
+        if (!entry.reason.empty()) {
+          error = "baseline line " + std::to_string(lineno) + ": duplicate reason= field";
+          return {};
+        }
+        entry.reason = trim_copy(field.substr(7));
+      } else {
+        error = "baseline line " + std::to_string(lineno) + ": " + kShape;
+        return {};
+      }
     }
     if (entry.rule.empty() || entry.file.empty() || entry.symbol.empty() ||
-        entry.reason.empty()) {
-      error = "baseline line " + std::to_string(lineno) + ": empty field";
+        entry.reason.empty() || entry.added.empty()) {
+      error = "baseline line " + std::to_string(lineno) + ": empty field; " + kShape;
+      return {};
+    }
+    if (!valid_date(entry.added)) {
+      error = "baseline line " + std::to_string(lineno) + ": added=" + entry.added +
+              " is not a YYYY-MM-DD date";
       return {};
     }
     entries.push_back(std::move(entry));

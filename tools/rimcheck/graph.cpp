@@ -1,0 +1,967 @@
+// rimgraph construction: turns the lexed tree into a whole-program model.
+//
+// The model is textual and approximate, tuned to this codebase's idiom:
+//
+//   * every '(' is examined; the identifier before it (with qualification,
+//     template arguments, ~destructors and operator() handled) is classified
+//     as a call or a declaration from its left context, and declarations are
+//     split into pure declarations and definitions by scanning the token
+//     tail up to '{' / ';' / '='
+//   * call resolution is by qualified name when one is spelled, widening to
+//     the whole overload/override set of the simple name otherwise — never
+//     narrower than the truth, so the rules stay conservative
+//   * constructors/destructors are treated as always-reachable roots: their
+//     invocations are invisible to a textual scan (they look like variable
+//     declarations), so assuming them live avoids false dead-code findings
+//   * lock regions come from `MutexLock guard(expr);` declarations: the
+//     mutex key is the guarded expression, canonicalized to Class::member_
+//     for bare trailing-underscore members so the same mutex spelled from
+//     two different TUs unifies
+//   * exception flow: a function may_raise when it has a throw outside an
+//     absorbing try/catch(...), calls a known-throwing std:: helper, or
+//     calls a may_raise function that is not noexcept (noexcept functions
+//     and destructors are propagation barriers; escapes through them are
+//     graph.noexcept-escape findings, not propagation)
+//
+// DESIGN.md §15 documents the conservatism/soundness trade-offs.
+#include "rimcheck.hpp"
+
+#include <cstring>
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/// Index of the last non-whitespace character strictly before `i`; kNpos
+/// when none.
+std::size_t prev_nonspace(std::string_view code, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (!is_space(code[i])) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+/// Start index of the identifier whose last character is at `last`.
+std::size_t ident_begin(std::string_view code, std::size_t last) {
+  std::size_t b = last;
+  while (b > 0 && is_ident_char(code[b - 1])) {
+    --b;
+  }
+  return b;
+}
+
+/// Keywords (and type keywords) that can precede '(' but never name a
+/// function in this model.
+bool never_a_function(std::string_view word) {
+  static const std::set<std::string_view> kWords = {
+      "if",       "for",     "while",    "switch",   "catch",    "sizeof",
+      "alignof",  "alignas", "decltype", "typeid",   "offsetof", "static_assert",
+      "noexcept", "return",  "throw",    "new",      "delete",   "co_await",
+      "co_return", "co_yield", "and",    "or",       "not",      "requires",
+      "void",     "int",     "bool",     "char",     "double",   "float",
+      "long",     "short",   "unsigned", "signed",   "auto",     "using",
+      // Bare `operator` only ever precedes the '(' of `operator()`, which
+      // has its own classification path; matching it here too would index
+      // the same definition twice under two names.
+      "operator",
+  };
+  return kWords.count(word) != 0;
+}
+
+/// Keywords whose presence immediately before a name mean the name is used
+/// as a call expression, not declared.
+bool call_preceder(std::string_view word) {
+  static const std::set<std::string_view> kWords = {
+      "return", "throw", "else", "do",  "case",      "new",
+      "delete", "goto",  "and",  "or",  "not",       "co_return",
+      "co_yield", "co_await",
+  };
+  return kWords.count(word) != 0;
+}
+
+/// std:: calls that throw by contract (value-throwing, not just bad_alloc).
+/// Allocation-only throwers are excluded by policy: RAII guards unwind
+/// correctly on OOM and the chaos machinery owns that failure mode.
+bool std_thrower(std::string_view name) {
+  static const std::set<std::string_view> kThrowers = {
+      "at",   "stoi", "stol",  "stoll", "stoul", "stoull",
+      "stof", "stod", "stold", "rethrow_exception", "throw_with_nested",
+  };
+  return kThrowers.count(name) != 0;
+}
+
+/// From a closing '>' at `gt`, walks back to the matching '<' of a template
+/// argument list.  Returns kNpos (treat as a comparison, not a template)
+/// when the walk hits statement punctuation, parens, or a 256-char bound.
+std::size_t template_open(std::string_view code, std::size_t gt) {
+  int depth = 0;
+  std::size_t scanned = 0;
+  std::size_t i = gt + 1;
+  while (i > 0) {
+    --i;
+    if (++scanned > 256) {
+      return kNpos;
+    }
+    const char c = code[i];
+    if (c == '>') {
+      ++depth;
+    } else if (c == '<') {
+      if (--depth == 0) {
+        return i;
+      }
+    } else if (c == ';' || c == '{' || c == '}' || c == '(' || c == ')') {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// ---------------------------------------------------------------------
+// Per-file precomputation.
+
+/// Brace extent of one class/struct body, with its name.
+struct ClassInterval {
+  std::string name;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<ClassInterval> find_classes(std::string_view code) {
+  std::vector<ClassInterval> out;
+  for (const char* keyword : {"class", "struct"}) {
+    const std::size_t keyword_len = std::strlen(keyword);
+    std::size_t pos = 0;
+    while ((pos = find_identifier(code, keyword, pos)) != kNpos) {
+      const std::size_t at = pos;
+      pos += keyword_len;
+      // `enum class` introduces an enum, not a class scope.
+      const std::size_t before = prev_nonspace(code, at);
+      if (before != kNpos && is_ident_char(code[before])) {
+        const std::size_t b = ident_begin(code, before);
+        if (code.substr(b, before - b + 1) == "enum") {
+          continue;
+        }
+      }
+      // Collect the class-head name: the last identifier (skipping macro
+      // attributes in parens and the contextual `final`) before '{' or the
+      // base-clause ':'.
+      std::string name;
+      std::size_t i = pos;
+      std::size_t brace = kNpos;
+      while (i < code.size()) {
+        const char c = code[i];
+        if (is_space(c)) {
+          ++i;
+        } else if (is_ident_char(c)) {
+          std::size_t e = i;
+          while (e < code.size() && is_ident_char(code[e])) {
+            ++e;
+          }
+          const std::string_view word = code.substr(i, e - i);
+          if (word != "final" && word != "alignas") {
+            name.assign(word);
+          }
+          i = e;
+        } else if (c == '(') {
+          i = match_forward(code, i, '(', ')');
+        } else if (c == '{') {
+          brace = i;
+          break;
+        } else if (c == ':' && !(i + 1 < code.size() && code[i + 1] == ':')) {
+          // Base clause: the body '{' follows it (angle brackets allowed).
+          std::size_t j = i + 1;
+          int angle = 0;
+          while (j < code.size()) {
+            const char d = code[j];
+            if (d == '<') {
+              ++angle;
+            } else if (d == '>') {
+              --angle;
+            } else if (d == '{' && angle <= 0) {
+              brace = j;
+              break;
+            } else if (d == ';') {
+              break;
+            }
+            ++j;
+          }
+          break;
+        } else {
+          break;  // ';' forward declaration, ',' / '>' template parameter
+        }
+      }
+      if (brace != kNpos && !name.empty()) {
+        ClassInterval interval;
+        interval.name = std::move(name);
+        interval.begin = brace;
+        interval.end = match_forward(code, brace, '{', '}');
+        out.push_back(std::move(interval));
+      }
+    }
+  }
+  return out;
+}
+
+std::string innermost_class(const std::vector<ClassInterval>& classes, std::size_t offset) {
+  std::string best;
+  std::size_t best_size = kNpos;
+  for (const ClassInterval& interval : classes) {
+    if (offset > interval.begin && offset < interval.end &&
+        interval.end - interval.begin < best_size) {
+      best = interval.name;
+      best_size = interval.end - interval.begin;
+    }
+  }
+  return best;
+}
+
+/// Marks every offset that belongs to a preprocessor directive (including
+/// backslash-continued lines): calls there count as uses (macro bodies
+/// forward to real functions) but never produce declarations/definitions.
+std::vector<char> directive_map(std::string_view code) {
+  std::vector<char> in(code.size(), 0);
+  std::size_t i = 0;
+  while (i < code.size()) {
+    std::size_t j = i;
+    while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) {
+      ++j;
+    }
+    const bool directive = j < code.size() && code[j] == '#';
+    std::size_t end = i;
+    while (end < code.size()) {
+      if (code[end] == '\n') {
+        if (directive && end > 0 && code[end - 1] == '\\') {
+          ++end;
+          continue;
+        }
+        break;
+      }
+      ++end;
+    }
+    if (directive) {
+      for (std::size_t k = i; k < end && k < in.size(); ++k) {
+        in[k] = 1;
+      }
+    }
+    i = end + 1;
+  }
+  return in;
+}
+
+/// Words that can immediately precede a variable name without being its
+/// type: keywords, access labels, and the builtin type keywords (no tree
+/// class can be named after them, so recording them is pure noise).
+bool never_a_type(std::string_view word) {
+  static const std::set<std::string_view> kWords = {
+      "return",   "namespace", "class",     "struct",   "enum",    "union",
+      "using",    "typedef",   "new",       "delete",   "throw",   "case",
+      "goto",     "else",      "do",        "public",   "private", "protected",
+      "operator", "sizeof",    "co_return", "co_yield", "co_await", "const",
+      "constexpr", "static",   "mutable",   "inline",   "extern",  "typename",
+      "template", "if",        "while",     "for",      "switch",  "catch",
+      "try",      "break",     "continue",  "default",  "final",   "override",
+      "noexcept", "void",      "int",       "bool",     "char",    "double",
+      "float",    "long",      "short",     "unsigned", "signed",  "auto",
+  };
+  return kWords.count(word) != 0;
+}
+
+/// Records the declared type of every `Type name` pair where `name` is
+/// followed by ';', '=', '{' or a RIMARKET_* attribute macro — member
+/// declarations like `Histogram log2_bins;` or
+/// `common::Mutex mu_ RIMARKET_GUARDED_BY(...)`.  Receiver-typed call
+/// narrowing in resolve_call looks these up; names whose declared type is
+/// hidden behind template brackets (`std::vector<T> xs_;`) are simply not
+/// recorded and fall back to the wider resolution steps.
+void collect_member_types(std::string_view code,
+                          std::map<std::string, std::set<std::string>>& out) {
+  std::string prev;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (is_ident_char(c)) {
+      std::size_t e = i;
+      while (e < code.size() && is_ident_char(code[e])) {
+        ++e;
+      }
+      const std::string_view token = code.substr(i, e - i);
+      std::size_t j = e;
+      while (j < code.size() && is_space(code[j])) {
+        ++j;
+      }
+      if (!prev.empty() && !never_a_type(prev) && j < code.size() &&
+          (code[j] == ';' || code[j] == '=' || code[j] == '{' ||
+           code.compare(j, 9, "RIMARKET_") == 0)) {
+        out[std::string(token)].insert(prev);
+      }
+      prev.assign(token);
+      i = e;
+    } else if (is_space(c)) {
+      ++i;
+    } else {
+      prev.clear();
+      ++i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Enumeration of one file.
+
+/// One classified occurrence, before call-to-function attribution.
+struct Occurrence {
+  std::string name;      ///< full spelling (qualified when written qualified)
+  std::string simple;    ///< last component
+  std::string receiver;  ///< lone identifier before `.`/`->` (empty if chained)
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  int kind = 0;  ///< 0 = call, 1 = declaration, 2 = definition
+  bool member = false;  ///< spelled with an explicit `.`/`->` receiver
+  bool structor = false;
+};
+
+/// Collapses all whitespace out of a mutex-argument spelling.
+std::string collapse_ws(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (!is_space(c)) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void enumerate_file(const SourceFile& file, std::size_t file_index, Graph& graph,
+                    std::vector<Occurrence>& occurrences) {
+  const std::string_view code = file.code;
+  const std::vector<ClassInterval> classes = find_classes(code);
+  const std::vector<char> directives = directive_map(code);
+
+  for (std::size_t paren = 0; paren < code.size(); ++paren) {
+    if (code[paren] != '(') {
+      continue;
+    }
+    std::size_t p = prev_nonspace(code, paren);
+    if (p == kNpos) {
+      continue;
+    }
+    std::string simple;
+    std::size_t name_begin = 0;
+    if (code[p] == ')') {
+      // `operator()` followed by its parameter list.
+      const std::size_t open = prev_nonspace(code, p);
+      if (open == kNpos || code[open] != '(') {
+        continue;
+      }
+      const std::size_t kw = prev_nonspace(code, open);
+      if (kw == kNpos || !is_ident_char(code[kw])) {
+        continue;
+      }
+      const std::size_t kb = ident_begin(code, kw);
+      if (code.substr(kb, kw - kb + 1) != "operator") {
+        continue;
+      }
+      simple = "operator()";
+      name_begin = kb;
+      p = prev_nonspace(code, kb);
+    } else if (code[p] == '>') {
+      // Explicit template arguments: name<Args>(...).
+      const std::size_t lt = template_open(code, p);
+      if (lt == kNpos) {
+        continue;
+      }
+      const std::size_t e = prev_nonspace(code, lt);
+      if (e == kNpos || !is_ident_char(code[e])) {
+        continue;
+      }
+      const std::size_t b = ident_begin(code, e);
+      simple.assign(code.substr(b, e - b + 1));
+      name_begin = b;
+      p = prev_nonspace(code, b);
+    } else if (is_ident_char(code[p])) {
+      const std::size_t b = ident_begin(code, p);
+      simple.assign(code.substr(b, p - b + 1));
+      name_begin = b;
+      p = prev_nonspace(code, b);
+      if (p != kNpos && code[p] == '~') {
+        simple = "~" + simple;
+        name_begin = p;
+        p = prev_nonspace(code, p);
+      }
+    } else {
+      continue;
+    }
+    if (simple.empty() || never_a_function(simple)) {
+      continue;
+    }
+    const bool is_dtor = simple[0] == '~';
+
+    // Consume a leading qualifier chain; the innermost component is the
+    // class candidate for resolution.
+    std::string name = simple;
+    std::string class_qual;
+    while (p != kNpos && p > 0 && code[p] == ':' && code[p - 1] == ':') {
+      std::size_t before = prev_nonspace(code, p - 1);
+      if (before == kNpos) {
+        p = kNpos;
+        break;
+      }
+      std::size_t stop = before;
+      if (code[before] == '>') {
+        const std::size_t lt = template_open(code, before);
+        if (lt == kNpos) {
+          break;
+        }
+        const std::size_t e = prev_nonspace(code, lt);
+        if (e == kNpos || !is_ident_char(code[e])) {
+          break;
+        }
+        stop = e;
+      } else if (!is_ident_char(code[before])) {
+        p = before;  // global-scope `::name`
+        break;
+      }
+      const std::size_t b = ident_begin(code, stop);
+      const std::string component(code.substr(b, stop - b + 1));
+      if (class_qual.empty()) {
+        class_qual = component;
+      }
+      name = component + "::" + name;
+      p = prev_nonspace(code, b);
+    }
+
+    // Classify from left context.
+    const std::string enclosing = innermost_class(classes, paren);
+    const bool is_ctor = (!class_qual.empty() && simple == class_qual) ||
+                         (class_qual.empty() && !enclosing.empty() && simple == enclosing);
+    bool declish;
+    if (is_dtor) {
+      declish = !(p != kNpos &&
+                  (code[p] == '.' || (code[p] == '>' && p > 0 && code[p - 1] == '-')));
+    } else if (is_ctor) {
+      declish = true;
+    } else if (p == kNpos) {
+      declish = false;
+    } else if (is_ident_char(code[p])) {
+      const std::size_t b = ident_begin(code, p);
+      declish = !call_preceder(code.substr(b, p - b + 1));
+      // An identifier that merely ends a preprocessor directive line
+      // (`#ifdef FAST` before `g();`) is not a declaration's type.
+      if (declish && p < directives.size() && directives[p] != 0 &&
+          !(name_begin < directives.size() && directives[name_begin] != 0)) {
+        declish = false;
+      }
+    } else if (code[p] == '>') {
+      declish = !(p > 0 && code[p - 1] == '-');  // `->f(` call vs `T<X> f(` decl
+    } else {
+      declish = false;
+    }
+
+    // Receiver of a member call: the lone identifier before `.`/`->`.  A
+    // chained receiver (`a.b.c()`, `f().g()`, `it->second.f()`) has no
+    // usable name and stays empty (the call still counts as a member call).
+    bool member = false;
+    std::string receiver;
+    if (!declish && p != kNpos) {
+      std::size_t dot = kNpos;
+      if (code[p] == '.') {
+        dot = p;
+      } else if (code[p] == '>' && p > 0 && code[p - 1] == '-') {
+        dot = p - 1;
+      }
+      if (dot != kNpos) {
+        member = true;
+        const std::size_t r = prev_nonspace(code, dot);
+        if (r != kNpos && is_ident_char(code[r])) {
+          const std::size_t b = ident_begin(code, r);
+          const char before = b > 0 ? code[b - 1] : ' ';
+          if (before != '.' && before != '>' && before != ']' && before != ')') {
+            receiver.assign(code.substr(b, r - b + 1));
+          }
+        }
+      }
+    }
+
+    const std::size_t line = line_of(file.text, name_begin);
+    const bool on_directive = name_begin < directives.size() && directives[name_begin] != 0;
+
+    Occurrence occ;
+    occ.name = name;
+    occ.simple = simple;
+    occ.receiver = receiver;
+    occ.offset = name_begin;
+    occ.line = line;
+    occ.member = member;
+    occ.structor = is_ctor || is_dtor;
+
+    if (!declish) {
+      occ.kind = 0;
+      occurrences.push_back(std::move(occ));
+      continue;
+    }
+    if (on_directive) {
+      occ.kind = 1;  // macro declaration, never a definition and never a call
+      occurrences.push_back(std::move(occ));
+      continue;
+    }
+
+    // Declaration-ish: scan the tail after the parameter list.  '{' means a
+    // definition, ';' or '=' a declaration; anything outside the token set
+    // that can appear between a parameter list, an init list and the body
+    // (including balanced parens) means this was a call after all.
+    const std::size_t close = match_forward(code, paren, '(', ')');
+    std::size_t j = close;
+    int kind = 0;
+    std::size_t body_open = 0;
+    while (j < code.size()) {
+      const char c = code[j];
+      if (c == '{') {
+        kind = 2;
+        body_open = j;
+        break;
+      }
+      if (c == ';' || c == '=') {
+        kind = 1;
+        break;
+      }
+      if (c == '(') {
+        j = match_forward(code, j, '(', ')');
+        continue;
+      }
+      if (is_ident_char(c) || is_space(c) || c == ':' || c == ',' || c == '&' ||
+          c == '*' || c == '<' || c == '>' || c == '[' || c == ']' || c == '-') {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    occ.kind = kind;
+    if (kind == 2) {
+      GraphFunction fn;
+      fn.simple = simple;
+      fn.class_name = !class_qual.empty() ? class_qual : enclosing;
+      fn.qualified = fn.class_name.empty() ? fn.simple : fn.class_name + "::" + fn.simple;
+      fn.file = file.path;
+      fn.file_index = file_index;
+      fn.line = line;
+      fn.body_begin = body_open;
+      fn.body_end = match_forward(code, body_open, '{', '}');
+      fn.is_structor = occ.structor;
+      const std::size_t spec = find_identifier(code.substr(close, body_open - close),
+                                               "noexcept", 0);
+      if (spec != kNpos) {
+        fn.is_noexcept = true;
+        std::size_t after = close + spec + std::strlen("noexcept");
+        while (after < body_open && is_space(code[after])) {
+          ++after;
+        }
+        if (after < body_open && code[after] == '(') {
+          const std::size_t spec_end = match_forward(code, after, '(', ')');
+          const std::string cond =
+              collapse_ws(code.substr(after + 1, spec_end - after - 2));
+          if (cond == "false") {
+            fn.is_noexcept = false;
+          }
+        }
+      }
+      graph.functions.push_back(std::move(fn));
+    }
+    occurrences.push_back(std::move(occ));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Post-passes over one file's functions.
+
+/// Innermost function of `file_index` whose body contains `offset`.
+std::size_t innermost_function(const Graph& graph, std::size_t file_index,
+                               std::size_t offset) {
+  std::size_t best = kNpos;
+  std::size_t best_size = kNpos;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const GraphFunction& fn = graph.functions[i];
+    if (fn.file_index == file_index && offset > fn.body_begin && offset < fn.body_end &&
+        fn.body_end - fn.body_begin < best_size) {
+      best = i;
+      best_size = fn.body_end - fn.body_begin;
+    }
+  }
+  return best;
+}
+
+bool inside_any(const std::vector<std::pair<std::size_t, std::size_t>>& intervals,
+                std::size_t offset) {
+  for (const auto& [begin, end] : intervals) {
+    if (offset > begin && offset < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Finds try blocks with a catch(...) handler inside `fn`'s body.
+void find_absorbing(const SourceFile& file, GraphFunction& fn) {
+  const std::string_view code = file.code;
+  std::size_t pos = fn.body_begin;
+  while ((pos = find_identifier(code, "try", pos)) != kNpos && pos < fn.body_end) {
+    std::size_t j = pos + 3;
+    while (j < code.size() && is_space(code[j])) {
+      ++j;
+    }
+    if (j >= code.size() || code[j] != '{') {
+      pos += 3;
+      continue;
+    }
+    const std::size_t block_begin = j;
+    const std::size_t block_end = match_forward(code, block_begin, '{', '}');
+    bool absorbs = false;
+    std::size_t k = block_end;
+    while (true) {
+      while (k < code.size() && is_space(code[k])) {
+        ++k;
+      }
+      if (code.substr(k, 5) != "catch" ||
+          (k + 5 < code.size() && is_ident_char(code[k + 5]))) {
+        break;
+      }
+      std::size_t open = k + 5;
+      while (open < code.size() && is_space(code[open])) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') {
+        break;
+      }
+      const std::size_t param_end = match_forward(code, open, '(', ')');
+      if (code.substr(open, param_end - open).find("...") != std::string_view::npos) {
+        absorbs = true;
+      }
+      std::size_t handler = param_end;
+      while (handler < code.size() && is_space(code[handler])) {
+        ++handler;
+      }
+      if (handler >= code.size() || code[handler] != '{') {
+        break;
+      }
+      k = match_forward(code, handler, '{', '}');
+    }
+    if (absorbs) {
+      fn.absorbing.emplace_back(block_begin, block_end);
+    }
+    pos = block_begin;
+  }
+}
+
+void find_throws(const SourceFile& file, GraphFunction& fn) {
+  const std::string_view code = file.code;
+  std::size_t pos = fn.body_begin;
+  while ((pos = find_identifier(code, "throw", pos)) != kNpos && pos < fn.body_end) {
+    if (!inside_any(fn.absorbing, pos)) {
+      fn.throws_directly = true;
+      fn.throw_line = line_of(file.text, pos);
+      return;
+    }
+    pos += 5;
+  }
+}
+
+/// Records `MutexLock guard(expr);` acquisitions and their scope extents.
+void find_locks(const SourceFile& file, GraphFunction& fn) {
+  const std::string_view code = file.code;
+  std::size_t pos = fn.body_begin;
+  while ((pos = find_identifier(code, "MutexLock", pos)) != kNpos && pos < fn.body_end) {
+    const std::size_t at = pos;
+    pos += std::strlen("MutexLock");
+    // Require `MutexLock <ident> (` — a named guard declaration.
+    std::size_t j = at + std::strlen("MutexLock");
+    if (j >= code.size() || !is_space(code[j])) {
+      continue;
+    }
+    while (j < code.size() && is_space(code[j])) {
+      ++j;
+    }
+    if (j >= code.size() || !is_ident_char(code[j])) {
+      continue;
+    }
+    while (j < code.size() && is_ident_char(code[j])) {
+      ++j;
+    }
+    while (j < code.size() && is_space(code[j])) {
+      ++j;
+    }
+    if (j >= code.size() || code[j] != '(') {
+      continue;
+    }
+    const std::size_t arg_end = match_forward(code, j, '(', ')');
+    std::string arg = collapse_ws(code.substr(j + 1, arg_end - j - 2));
+    bool bare_ident = !arg.empty();
+    for (const char c : arg) {
+      bare_ident = bare_ident && is_ident_char(c);
+    }
+    GraphLock lock;
+    if (bare_ident && arg.back() == '_') {
+      // A trailing-underscore member: qualify by the owning class so the
+      // same mutex locked from two TUs gets one graph node.
+      lock.mutex = (fn.class_name.empty() ? fn.file : fn.class_name) + "::" + arg;
+    } else {
+      lock.mutex = arg;
+    }
+    lock.offset = at;
+    lock.line = line_of(file.text, at);
+    // The guard's scope: from the declaration to the '}' closing the
+    // enclosing block (brace depth relative to the declaration).
+    std::size_t scan = arg_end;
+    int depth = 0;
+    std::size_t region_end = fn.body_end;
+    while (scan < fn.body_end) {
+      const char c = code[scan];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth < 0) {
+          region_end = scan;
+          break;
+        }
+      }
+      ++scan;
+    }
+    lock.region_end = region_end;
+    fn.locks.push_back(std::move(lock));
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Method names that almost always mean a std container/string/smart-ptr
+/// call.  Widening them tree-wide links every `values_.size()` to every
+/// class that also has a `size()`, which poisons the lock and exception
+/// graphs with impossible edges; restricting them to the caller's own class
+/// trades a little soundness for a usable signal (DESIGN.md §15).
+bool idiom_method(std::string_view name) {
+  static const std::set<std::string_view> kIdiom = {
+      "size",     "empty", "begin",    "end",   "clear", "count",
+      "data",     "reserve", "capacity", "front", "back",  "push_back",
+      "pop_back", "emplace_back", "insert", "erase", "c_str", "str",
+      "get",      "reset", "release",  "swap",  "first", "second",
+  };
+  return kIdiom.count(name) != 0;
+}
+
+}  // namespace
+
+std::vector<std::size_t> resolve_call(const Graph& graph, const GraphCall& call,
+                                      const std::string& caller_class) {
+  const auto it = graph.by_simple.find(call.simple);
+  if (it == graph.by_simple.end()) {
+    return {};
+  }
+  if (call.name != call.simple) {
+    // Qualified spelling: prefer functions whose class matches the
+    // innermost qualifier component (the one just before the name).
+    const std::size_t sep = call.name.rfind("::");
+    std::string qualifier = call.name.substr(0, sep);
+    const std::size_t prev = qualifier.rfind("::");
+    if (prev != std::string::npos) {
+      qualifier = qualifier.substr(prev + 2);
+    }
+    std::vector<std::size_t> matched;
+    for (const std::size_t idx : it->second) {
+      if (graph.functions[idx].class_name == qualifier) {
+        matched.push_back(idx);
+      }
+    }
+    if (!matched.empty()) {
+      return matched;
+    }
+    return it->second;
+  }
+  // Receiver-typed narrowing: `obj.method(...)` where obj's declared type
+  // is on record resolves against that type's methods only.
+  if (call.member && !call.receiver.empty()) {
+    const auto types = graph.member_types.find(call.receiver);
+    if (types != graph.member_types.end()) {
+      std::vector<std::size_t> typed;
+      for (const std::size_t idx : it->second) {
+        if (types->second.count(graph.functions[idx].class_name) != 0) {
+          typed.push_back(idx);
+        }
+      }
+      if (!typed.empty()) {
+        return typed;
+      }
+    }
+  }
+  if (idiom_method(call.simple)) {
+    // With an explicit receiver this is a std container/string call that
+    // happens to share a tree method's name: resolve to nothing rather
+    // than invent edges (`snapshots_.size()` must not resolve to the
+    // enclosing SnapshotStore::size).  Without one it is an implicit
+    // `this` call and resolves within the caller's class.
+    if (call.member) {
+      return {};
+    }
+    std::vector<std::size_t> own;
+    if (!caller_class.empty()) {
+      for (const std::size_t idx : it->second) {
+        if (graph.functions[idx].class_name == caller_class) {
+          own.push_back(idx);
+        }
+      }
+    }
+    return own;
+  }
+  return it->second;
+}
+
+Graph build_graph(const Tree& tree) {
+  Graph graph;
+  std::vector<std::vector<Occurrence>> per_file(tree.files.size());
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    enumerate_file(tree.files[i], i, graph, per_file[i]);
+    collect_member_types(tree.files[i].code, graph.member_types);
+  }
+
+  // References: every classified occurrence, for use-counting.
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const Occurrence& occ : per_file[i]) {
+      GraphReference ref;
+      ref.name = occ.simple;
+      ref.file_index = i;
+      ref.offset = occ.offset;
+      ref.line = occ.line;
+      ref.is_call = occ.kind == 0;
+      ref.is_declaration = occ.kind != 0;
+      graph.references.push_back(std::move(ref));
+    }
+  }
+
+  // Attribute calls to the innermost enclosing function.
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const Occurrence& occ : per_file[i]) {
+      if (occ.kind != 0) {
+        continue;
+      }
+      const std::size_t owner = innermost_function(graph, i, occ.offset);
+      if (owner == kNpos) {
+        continue;
+      }
+      GraphCall call;
+      call.name = occ.name;
+      call.simple = occ.simple;
+      call.receiver = occ.receiver;
+      call.offset = occ.offset;
+      call.line = occ.line;
+      call.member = occ.member;
+      graph.functions[owner].calls.push_back(std::move(call));
+    }
+  }
+
+  // Exception absorption, direct throws, lock regions.
+  for (GraphFunction& fn : graph.functions) {
+    const SourceFile& file = tree.files[fn.file_index];
+    find_absorbing(file, fn);
+    find_throws(file, fn);
+    for (GraphCall& call : fn.calls) {
+      call.absorbed = inside_any(fn.absorbing, call.offset);
+    }
+    const bool lockable = fn.file.rfind("src/", 0) == 0 &&
+                          fn.file != "src/common/thread_safety.hpp";
+    if (lockable) {
+      find_locks(file, fn);
+    }
+  }
+
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    graph.by_simple[graph.functions[i].simple].push_back(i);
+  }
+
+  // Exported-header candidates: declarations/definitions in src/ headers at
+  // namespace or class scope (occurrences inside some function body are
+  // locals, not API).
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const std::string& path = tree.files[i].path;
+    const bool src_header =
+        path.rfind("src/", 0) == 0 &&
+        (path.size() > 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                             path.rfind(".h") == path.size() - 2));
+    if (!src_header) {
+      continue;
+    }
+    for (const Occurrence& occ : per_file[i]) {
+      if (occ.kind == 0) {
+        continue;
+      }
+      bool local = false;
+      for (const GraphFunction& fn : graph.functions) {
+        if (fn.file_index == i && occ.offset > fn.body_begin && occ.offset < fn.body_end) {
+          local = true;
+          break;
+        }
+      }
+      if (local) {
+        continue;
+      }
+      HeaderFunction header;
+      header.name = occ.simple;
+      header.file = path;
+      header.line = occ.line;
+      header.structor = occ.structor;
+      graph.header_functions.push_back(std::move(header));
+    }
+  }
+
+  // may_raise fixpoint.  noexcept functions and destructors are barriers:
+  // an exception does not propagate through them (it terminates), which the
+  // graph.noexcept-escape rule reports at the barrier itself.
+  auto barrier = [](const GraphFunction& fn) {
+    return fn.is_noexcept || (!fn.simple.empty() && fn.simple[0] == '~');
+  };
+  for (GraphFunction& fn : graph.functions) {
+    if (fn.throws_directly) {
+      fn.may_raise = true;
+      continue;
+    }
+    for (const GraphCall& call : fn.calls) {
+      if (!call.absorbed && std_thrower(call.simple)) {
+        fn.may_raise = true;
+        break;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GraphFunction& fn : graph.functions) {
+      if (fn.may_raise) {
+        continue;
+      }
+      for (const GraphCall& call : fn.calls) {
+        if (call.absorbed) {
+          continue;
+        }
+        for (const std::size_t callee : resolve_call(graph, call, fn.class_name)) {
+          const GraphFunction& target = graph.functions[callee];
+          if (target.may_raise && !barrier(target)) {
+            fn.may_raise = true;
+            changed = true;
+            break;
+          }
+        }
+        if (fn.may_raise) {
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace rimcheck

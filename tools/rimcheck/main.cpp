@@ -1,9 +1,12 @@
 // rimcheck CLI.
 //
-//   rimcheck --root <repo> [--rule <prefix>]... [--json] [--baseline <file>]
-//            [--manifest <file>] [--docs <file>]...
+//   rimcheck --root <repo> [--graph] [--rule <prefix>]... [--json]
+//            [--baseline <file>] [--manifest <file>] [--docs <file>]...
 //   rimcheck --self-test
 //   rimcheck --list-rules
+//
+// --graph enables the whole-program rimgraph stage (graph.* rules); without
+// it, graph.* baseline entries are ignored rather than reported stale.
 //
 // Exit codes: 0 = clean (all findings suppressed), 1 = active findings,
 // 2 = usage or I/O error.
@@ -39,7 +42,7 @@ bool analyzed_extension(const fs::path& path) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --root <repo> [--rule <prefix>]... [--json]\n"
+               "usage: %s --root <repo> [--graph] [--rule <prefix>]... [--json]\n"
                "          [--baseline <file>] [--manifest <file>] [--docs <file>]...\n"
                "       %s --self-test | --list-rules\n",
                argv0, argv0);
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string manifest_path;
   bool json = false;
+  bool with_graph = false;
   bool run_self_test = false;
   bool list_rules = false;
 
@@ -83,6 +87,8 @@ int main(int argc, char** argv) {
       doc_paths.push_back(std::move(doc));
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--graph") {
+      with_graph = true;
     } else if (arg == "--self-test") {
       run_self_test = true;
     } else if (arg == "--list-rules") {
@@ -161,7 +167,7 @@ int main(int argc, char** argv) {
   // Run every rule regardless of --rule: the baseline must always be applied
   // to the full finding set, or suppressions for filtered-out families would
   // be reported stale on every filtered run.  --rule narrows the output below.
-  std::vector<rimcheck::Finding> findings = rimcheck::run_rules(tree, {});
+  std::vector<rimcheck::Finding> findings = rimcheck::run_rules(tree, {}, with_graph);
 
   std::vector<rimcheck::BaselineEntry> baseline;
   if (baseline_path.empty()) {
@@ -181,6 +187,15 @@ int main(int argc, char** argv) {
     if (!error.empty()) {
       std::fprintf(stderr, "rimcheck: %s\n", error.c_str());
       return 2;
+    }
+    if (!with_graph) {
+      // graph.* rules did not run, so their suppressions cannot match;
+      // dropping them here keeps non-graph runs free of bogus stale reports.
+      baseline.erase(std::remove_if(baseline.begin(), baseline.end(),
+                                    [](const rimcheck::BaselineEntry& entry) {
+                                      return entry.rule.rfind("graph.", 0) == 0;
+                                    }),
+                     baseline.end());
     }
     rimcheck::apply_baseline(findings, baseline);
   }

@@ -26,11 +26,30 @@
 //   ckp.*    checkpoint format: the record-tag set the batch-engine
 //            checkpoint writer emits equals the set its parser accepts
 //
+// A sixth, whole-program family ("rimgraph") runs behind `--graph`: it
+// builds a cross-TU function index, an approximate call graph, a
+// lock-acquisition-order graph from MutexLock nesting (including calls made
+// while a lock is held), and a per-function exception-flow summary
+// (throws / may-propagate / absorbs), then checks:
+//
+//   graph.lock-order-cycle      no cycles in the mutex acquisition order
+//                               (reported with the full witness path)
+//   graph.throw-under-lock      no call path can throw while a Mutex is
+//                               held, outside an absorbing catch(...)
+//   graph.noexcept-escape       no throwing callee is reachable from a
+//                               noexcept function, a destructor, or a
+//                               thread entry point
+//   graph.fault-site-reachability  every manifest fault site is reachable
+//                               from a sweep/serve/test entry point
+//   graph.dead-public-api       every exported src/ header function has a
+//                               caller somewhere in src/tests/bench/examples
+//
 // Findings carry file:line, a rule id and a symbol key; the committed
 // baseline (tools/rimcheck/rimcheck.baseline) suppresses known-good
-// exceptions, each entry with a written justification — a reasonless entry
-// is a parse error and a stale entry is itself a finding, so the tree-wide
-// scan stays honest.  `rimcheck --self-test` runs the embedded fixtures.
+// exceptions, each entry with a written justification and an added= date —
+// a reasonless entry is a parse error and a stale entry is itself a
+// finding, so the tree-wide scan stays honest.  `rimcheck --self-test`
+// runs the embedded fixtures.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +57,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rimcheck {
@@ -75,12 +95,13 @@ struct Finding {
 };
 
 /// One committed suppression: rule + file + symbol ('*' wildcards symbol),
-/// with a mandatory justification.
+/// with a mandatory justification (`reason=`) and entry date (`added=`).
 struct BaselineEntry {
   std::string rule;
   std::string file;
   std::string symbol;
   std::string reason;
+  std::string added;     ///< YYYY-MM-DD the entry was committed
   std::size_t line = 0;  ///< line in the baseline file
   bool used = false;
 };
@@ -128,6 +149,96 @@ struct FunctionBody {
 FunctionBody find_function_body(const SourceFile& file, std::string_view name);
 
 // ---------------------------------------------------------------------
+// graph.cpp — cross-TU graph construction ("rimgraph")
+
+/// One call-classified identifier occurrence inside a function body.
+struct GraphCall {
+  std::string name;      ///< as spelled, possibly qualified ("Class::method")
+  std::string simple;    ///< last component of `name`
+  std::string receiver;  ///< lone identifier before `.`/`->` (empty if chained)
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  bool member = false;    ///< spelled with an explicit `.`/`->` receiver
+  bool absorbed = false;  ///< inside a try block with a catch(...) handler
+};
+
+/// One MutexLock acquisition inside a function body.
+struct GraphLock {
+  std::string mutex;  ///< canonical mutex key ("Class::member_" or spelling)
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  std::size_t region_end = 0;  ///< offset just past the guard's scope
+};
+
+/// One function definition found in the tree.
+struct GraphFunction {
+  std::string qualified;   ///< "Class::name" when a class is known, else name
+  std::string simple;      ///< unqualified name
+  std::string class_name;  ///< enclosing/explicit class, empty for free fns
+  std::string file;
+  std::size_t file_index = 0;
+  std::size_t line = 1;
+  std::size_t body_begin = 0;  ///< offset of '{'
+  std::size_t body_end = 0;    ///< offset just past '}'
+  bool is_noexcept = false;
+  bool is_structor = false;  ///< constructor or destructor
+  bool throws_directly = false;
+  bool may_raise = false;  ///< fixpoint: throws, or calls something that may
+  std::size_t throw_line = 0;  ///< line of the first non-absorbed throw
+  std::vector<GraphCall> calls;
+  std::vector<GraphLock> locks;
+  /// try-block extents whose catch clauses include a catch(...).
+  std::vector<std::pair<std::size_t, std::size_t>> absorbing;
+};
+
+/// Every identifier occurrence the enumerator classified, for use-counting.
+struct GraphReference {
+  std::string name;  ///< simple (unqualified) identifier
+  std::size_t file_index = 0;
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  bool is_call = false;
+  bool is_declaration = false;  ///< declaration or definition introduction
+};
+
+/// One function declared in a src/ header (dead-public-api candidate).
+struct HeaderFunction {
+  std::string name;
+  std::string file;
+  std::size_t line = 1;
+  bool structor = false;
+};
+
+/// The whole-program model rules run over.
+struct Graph {
+  std::vector<GraphFunction> functions;
+  std::map<std::string, std::vector<std::size_t>> by_simple;  ///< name -> fn idx
+  std::vector<HeaderFunction> header_functions;
+  std::vector<GraphReference> references;
+  /// Declared types of members/variables (`Histogram log2_bins;` records
+  /// log2_bins -> {Histogram}), for receiver-typed call narrowing.
+  std::map<std::string, std::set<std::string>> member_types;
+};
+
+/// Builds the cross-TU graph (function index, call sites, lock regions,
+/// exception-flow fixpoint) from every file in the tree.
+Graph build_graph(const Tree& tree);
+
+/// Indices of the functions a call can land on, in narrowing order:
+///   1. qualified spelling — functions whose class matches the innermost
+///      qualifier component;
+///   2. receiver-typed — `obj.method(...)` where `obj`'s declared type is
+///      recorded in `member_types` resolves against that type's methods;
+///   3. std-container idiom names (`size`, `empty`, `push_back`, ...) —
+///      with an explicit receiver these are container calls and resolve to
+///      nothing; without one they resolve within `caller_class` (implicit
+///      `this`);
+///   4. otherwise the whole overload/override set of the simple name
+///      (conservative widening — never narrower than the truth).
+std::vector<std::size_t> resolve_call(const Graph& graph, const GraphCall& call,
+                                      const std::string& caller_class = std::string());
+
+// ---------------------------------------------------------------------
 // rule families (one translation unit each)
 
 void check_determinism(const Tree& tree, std::vector<Finding>& findings);
@@ -135,6 +246,7 @@ void check_fault_registry(const Tree& tree, std::vector<Finding>& findings);
 void check_locks(const Tree& tree, std::vector<Finding>& findings);
 void check_metrics(const Tree& tree, std::vector<Finding>& findings);
 void check_checkpoint(const Tree& tree, std::vector<Finding>& findings);
+void check_graph(const Tree& tree, std::vector<Finding>& findings);
 
 // ---------------------------------------------------------------------
 // analyzer.cpp — driver, baseline, output
@@ -146,12 +258,16 @@ struct RuleInfo {
 };
 const std::vector<RuleInfo>& rule_table();
 
-/// Runs every family, then keeps findings whose rule id starts with one of
-/// `filters` (empty = all), sorted by (file, line, rule, symbol).
-std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters);
+/// Runs every family (plus the graph family when `with_graph`), then keeps
+/// findings whose rule id starts with one of `filters` (empty = all),
+/// sorted by (file, line, rule, symbol).
+std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>& filters,
+                               bool with_graph = false);
 
-/// Parses the baseline text.  On malformed input (missing reason, wrong
-/// field count) returns empty and sets `error`.
+/// Parses the baseline text.  Line format:
+///   rule | file | symbol | added=YYYY-MM-DD | reason=<justification>
+/// (the last two fields accepted in either order).  On malformed input
+/// (missing reason/date, wrong field count) returns empty and sets `error`.
 std::vector<BaselineEntry> parse_baseline(std::string_view text, std::string& error);
 
 /// Marks findings matched by a baseline entry as suppressed and appends a

@@ -1,0 +1,578 @@
+// graph.* rules: whole-program safety checks over the rimgraph model.
+//
+//   graph.lock-order-cycle       cycles in the mutex acquisition-order graph
+//                                (edges from nested MutexLock guards and from
+//                                calls made while a lock is held), reported
+//                                with a full witness path per edge
+//   graph.throw-under-lock       a direct throw or a may_raise callee inside
+//                                a MutexLock region, outside catch(...)
+//   graph.noexcept-escape        a may_raise body behind a noexcept function,
+//                                a destructor, or a thread entry point
+//   graph.fault-site-reachability  every manifest (site, file) pair sits in a
+//                                function reachable from tests/bench/examples
+//   graph.dead-public-api        src/ header functions nobody calls or even
+//                                mentions anywhere in the audited tree
+#include "rimcheck.hpp"
+
+#include <algorithm>
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Thread entry points whose bodies run outside any caller's catch; a throw
+/// there terminates the process.  The pool's worker loop is the only one.
+bool thread_entry(const GraphFunction& fn) { return fn.simple == "worker_loop"; }
+
+bool noexcept_barrier(const GraphFunction& fn) {
+  return fn.is_noexcept || (!fn.simple.empty() && fn.simple[0] == '~');
+}
+
+bool std_thrower(std::string_view name) {
+  static const std::set<std::string_view> kThrowers = {
+      "at",   "stoi", "stol",  "stoll", "stoul", "stoull",
+      "stof", "stod", "stold", "rethrow_exception", "throw_with_nested",
+  };
+  return kThrowers.count(name) != 0;
+}
+
+/// Human-readable witness for WHY functions[idx] may raise, following the
+/// first non-absorbed throwing step at each hop (depth-capped).
+std::string raise_chain(const Graph& graph, std::size_t idx, int depth) {
+  const GraphFunction& fn = graph.functions[idx];
+  if (fn.throws_directly) {
+    return "`" + fn.qualified + "` throws at " + fn.file + ":" +
+           std::to_string(fn.throw_line);
+  }
+  for (const GraphCall& call : fn.calls) {
+    if (call.absorbed) {
+      continue;
+    }
+    if (std_thrower(call.simple)) {
+      return "`" + fn.qualified + "` calls throwing `std::" + call.simple + "` at " +
+             fn.file + ":" + std::to_string(call.line);
+    }
+    for (const std::size_t callee : resolve_call(graph, call, fn.class_name)) {
+      const GraphFunction& target = graph.functions[callee];
+      if (target.may_raise && !noexcept_barrier(target)) {
+        std::string out = "`" + fn.qualified + "` calls `" + target.qualified + "` (" +
+                          fn.file + ":" + std::to_string(call.line) + ")";
+        if (depth < 8) {
+          out += " -> " + raise_chain(graph, callee, depth + 1);
+        }
+        return out;
+      }
+    }
+  }
+  return "`" + fn.qualified + "` may throw";
+}
+
+// ---------------------------------------------------------------------
+// Transitive lock closure with witness steps.
+
+/// How a function comes to hold a mutex: directly (via_callee == kNpos) at
+/// `line`, or by calling functions[via_callee] at `line`.
+struct LockStep {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t via_callee = kNpos;
+};
+
+using LockClosure = std::vector<std::map<std::string, LockStep>>;
+
+LockClosure lock_closure(const Graph& graph) {
+  LockClosure closure(graph.functions.size());
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    for (const GraphLock& lock : graph.functions[i].locks) {
+      if (!closure[i].count(lock.mutex)) {
+        closure[i][lock.mutex] = {graph.functions[i].file, lock.line, kNpos};
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+      for (const GraphCall& call : graph.functions[i].calls) {
+        for (const std::size_t callee :
+             resolve_call(graph, call, graph.functions[i].class_name)) {
+          for (const auto& [mutex, step] : closure[callee]) {
+            (void)step;
+            if (!closure[i].count(mutex)) {
+              closure[i][mutex] = {graph.functions[i].file, call.line, callee};
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+/// Witness for how functions[idx] (transitively) acquires `mutex`.
+std::string lock_chain(const Graph& graph, const LockClosure& closure, std::size_t idx,
+                       const std::string& mutex, int depth) {
+  const auto it = closure[idx].find(mutex);
+  if (it == closure[idx].end()) {
+    return "";
+  }
+  const LockStep& step = it->second;
+  const GraphFunction& fn = graph.functions[idx];
+  if (step.via_callee == kNpos) {
+    return "`" + fn.qualified + "` locks `" + mutex + "` at " + step.file + ":" +
+           std::to_string(step.line);
+  }
+  std::string out = "`" + fn.qualified + "` calls `" +
+                    graph.functions[step.via_callee].qualified + "` (" + step.file + ":" +
+                    std::to_string(step.line) + ")";
+  if (depth < 8) {
+    out += " -> " + lock_chain(graph, closure, step.via_callee, mutex, depth + 1);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// graph.lock-order-cycle
+
+void rule_lock_order(const Graph& graph, std::vector<Finding>& findings) {
+  const LockClosure closure = lock_closure(graph);
+
+  // Acquisition-order edges a -> b with one witness each (first wins; the
+  // iteration order over sorted functions keeps it deterministic).
+  struct Edge {
+    std::string witness;
+    std::string file;
+    std::size_t line = 0;
+  };
+  std::map<std::string, std::map<std::string, Edge>> edges;
+  auto add_edge = [&edges](const std::string& from, const std::string& to, Edge edge) {
+    auto& out = edges[from];
+    if (!out.count(to)) {
+      out[to] = std::move(edge);
+    }
+  };
+  for (const GraphFunction& fn : graph.functions) {
+    for (const GraphLock& held : fn.locks) {
+      // Directly nested guards.
+      for (const GraphLock& inner : fn.locks) {
+        if (inner.offset > held.offset && inner.offset < held.region_end) {
+          Edge edge;
+          edge.witness = "`" + fn.qualified + "` acquires `" + held.mutex + "` (" +
+                         fn.file + ":" + std::to_string(held.line) + ") then `" +
+                         inner.mutex + "` (" + fn.file + ":" +
+                         std::to_string(inner.line) + ")";
+          edge.file = fn.file;
+          edge.line = held.line;
+          add_edge(held.mutex, inner.mutex, std::move(edge));
+        }
+      }
+      // Locks reached through calls made while the guard is held.
+      for (const GraphCall& call : fn.calls) {
+        if (call.offset <= held.offset || call.offset >= held.region_end) {
+          continue;
+        }
+        for (const std::size_t callee : resolve_call(graph, call, fn.class_name)) {
+          for (const auto& [mutex, step] : closure[callee]) {
+            (void)step;
+            Edge edge;
+            edge.witness = "`" + fn.qualified + "` holds `" + held.mutex + "` (" +
+                           fn.file + ":" + std::to_string(held.line) + "), calls `" +
+                           graph.functions[callee].qualified + "` (" + fn.file + ":" +
+                           std::to_string(call.line) + ") -> " +
+                           lock_chain(graph, closure, callee, mutex, 0);
+            edge.file = fn.file;
+            edge.line = held.line;
+            add_edge(held.mutex, mutex, std::move(edge));
+          }
+        }
+      }
+    }
+  }
+
+  // Cycles: for each start node (sorted), BFS back to it using only nodes
+  // >= start, so every cycle is reported exactly once, anchored at its
+  // lexicographically smallest mutex.
+  for (const auto& [start, outgoing] : edges) {
+    (void)outgoing;
+    std::map<std::string, std::string> parent;  // node -> predecessor
+    std::vector<std::string> queue;
+    bool found = false;
+    std::string last;
+    for (const auto& [to, edge] : edges[start]) {
+      (void)edge;
+      if (to == start) {
+        found = true;
+        last = start;
+        break;
+      }
+      if (to > start && !parent.count(to)) {
+        parent[to] = start;
+        queue.push_back(to);
+      }
+    }
+    for (std::size_t head = 0; !found && head < queue.size(); ++head) {
+      const std::string node = queue[head];
+      const auto it = edges.find(node);
+      if (it == edges.end()) {
+        continue;
+      }
+      for (const auto& [to, edge] : it->second) {
+        (void)edge;
+        if (to == start) {
+          found = true;
+          last = node;
+          break;
+        }
+        if (to > start && !parent.count(to)) {
+          parent[to] = node;
+          queue.push_back(to);
+        }
+      }
+    }
+    if (!found) {
+      continue;
+    }
+    // Reconstruct start -> ... -> last -> start.
+    std::vector<std::string> path = {start};
+    {
+      std::vector<std::string> back;
+      for (std::string node = last; node != start; node = parent[node]) {
+        back.push_back(node);
+      }
+      path.insert(path.end(), back.rbegin(), back.rend());
+    }
+    path.push_back(start);
+    std::string symbol;
+    for (const std::string& node : path) {
+      symbol += symbol.empty() ? node : " -> " + node;
+    }
+    std::string message = "lock-order cycle " + symbol + ": ";
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Edge& edge = edges[path[i]][path[i + 1]];
+      if (i > 0) {
+        message += "; ";
+      }
+      message += edge.witness;
+    }
+    const Edge& first_edge = edges[path[0]][path[1]];
+    Finding finding;
+    finding.rule = "graph.lock-order-cycle";
+    finding.file = first_edge.file;
+    finding.line = first_edge.line;
+    finding.symbol = symbol;
+    finding.message = message;
+    findings.push_back(std::move(finding));
+  }
+}
+
+// ---------------------------------------------------------------------
+// graph.throw-under-lock
+
+void rule_throw_under_lock(const Tree& tree, const Graph& graph,
+                           std::vector<Finding>& findings) {
+  for (const GraphFunction& fn : graph.functions) {
+    std::set<std::string> seen;  // one finding per (function, symbol)
+    for (const GraphLock& held : fn.locks) {
+      // Direct throw statements inside the guard's scope.
+      const std::string_view code = tree.files[fn.file_index].code;
+      std::size_t pos = held.offset;
+      while ((pos = find_identifier(code, "throw", pos)) != kNpos &&
+             pos < held.region_end) {
+        bool absorbed = false;
+        for (const auto& [begin, end] : fn.absorbing) {
+          absorbed = absorbed || (pos > begin && pos < end);
+        }
+        if (!absorbed) {
+          const std::string symbol = held.mutex + "/throw";
+          if (seen.insert(symbol).second) {
+            Finding finding;
+            finding.rule = "graph.throw-under-lock";
+            finding.file = fn.file;
+            finding.line = line_of(tree.files[fn.file_index].text, pos);
+            finding.symbol = symbol;
+            finding.message = "`" + fn.qualified + "` throws while holding `" +
+                              held.mutex + "` (acquired at line " +
+                              std::to_string(held.line) + ")";
+            findings.push_back(std::move(finding));
+          }
+        }
+        pos += 5;
+      }
+      // Calls under the guard that can raise.
+      for (const GraphCall& call : fn.calls) {
+        if (call.absorbed || call.offset <= held.offset ||
+            call.offset >= held.region_end) {
+          continue;
+        }
+        std::string why;
+        if (std_thrower(call.simple)) {
+          why = "`std::" + call.simple + "` throws by contract";
+        } else {
+          for (const std::size_t callee : resolve_call(graph, call, fn.class_name)) {
+            const GraphFunction& target = graph.functions[callee];
+            if (target.may_raise && !noexcept_barrier(target)) {
+              why = raise_chain(graph, callee, 0);
+              break;
+            }
+          }
+        }
+        if (why.empty()) {
+          continue;
+        }
+        const std::string symbol = held.mutex + "/" + call.simple;
+        if (!seen.insert(symbol).second) {
+          continue;
+        }
+        Finding finding;
+        finding.rule = "graph.throw-under-lock";
+        finding.file = fn.file;
+        finding.line = call.line;
+        finding.symbol = symbol;
+        finding.message = "`" + fn.qualified + "` calls `" + call.simple +
+                          "` while holding `" + held.mutex + "` (acquired at line " +
+                          std::to_string(held.line) + "): " + why;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// graph.noexcept-escape
+
+void rule_noexcept_escape(const Graph& graph, std::vector<Finding>& findings) {
+  std::set<std::string> seen;  // one finding per qualified root
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const GraphFunction& fn = graph.functions[i];
+    if (!fn.may_raise) {
+      continue;
+    }
+    const bool root = fn.is_noexcept || (!fn.simple.empty() && fn.simple[0] == '~') ||
+                      thread_entry(fn);
+    if (!root || !seen.insert(fn.file + "#" + fn.qualified).second) {
+      continue;
+    }
+    const char* what = fn.is_noexcept ? "noexcept function"
+                       : thread_entry(fn) ? "thread entry point"
+                                          : "destructor";
+    Finding finding;
+    finding.rule = "graph.noexcept-escape";
+    finding.file = fn.file;
+    finding.line = fn.line;
+    finding.symbol = fn.qualified;
+    finding.message = std::string("an exception can escape ") + what + " `" +
+                      fn.qualified + "`: " + raise_chain(graph, i, 0);
+    findings.push_back(std::move(finding));
+  }
+}
+
+// ---------------------------------------------------------------------
+// graph.fault-site-reachability
+
+/// Functions reachable (via widened call resolution) from the entry-point
+/// seeds: everything defined under tests/, bench/, examples/, every main,
+/// and every constructor/destructor (their invocations are textually
+/// invisible, so they are assumed live).
+std::vector<char> reachable_set(const Graph& graph) {
+  std::vector<char> reachable(graph.functions.size(), 0);
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const GraphFunction& fn = graph.functions[i];
+    const bool seed = fn.file.rfind("tests/", 0) == 0 ||
+                      fn.file.rfind("bench/", 0) == 0 ||
+                      fn.file.rfind("examples/", 0) == 0 || fn.simple == "main" ||
+                      fn.is_structor;
+    if (seed) {
+      reachable[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const GraphCall& call : graph.functions[queue[head]].calls) {
+      for (const std::size_t callee :
+           resolve_call(graph, call, graph.functions[queue[head]].class_name)) {
+        if (!reachable[callee]) {
+          reachable[callee] = 1;
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+void rule_fault_reachability(const Tree& tree, const Graph& graph,
+                             std::vector<Finding>& findings) {
+  const std::vector<char> reachable = reachable_set(graph);
+  // Manifest lines: `site file` (whitespace-separated, '#' comments).
+  std::string_view manifest = tree.fault_manifest;
+  std::size_t pos = 0;
+  while (pos <= manifest.size()) {
+    std::size_t end = manifest.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = manifest.size();
+    }
+    std::string_view line = manifest.substr(pos, end - pos);
+    const bool last = end == manifest.size();
+    pos = end + 1;
+    std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos || line[b] == '#') {
+      if (last) {
+        break;
+      }
+      continue;
+    }
+    std::size_t space = line.find_first_of(" \t", b);
+    if (space == std::string_view::npos) {
+      if (last) {
+        break;
+      }
+      continue;
+    }
+    const std::string site(line.substr(b, space - b));
+    const std::size_t fb = line.find_first_not_of(" \t", space);
+    const std::size_t fe = line.find_last_not_of(" \t\r");
+    if (fb == std::string_view::npos || fe < fb) {
+      if (last) {
+        break;
+      }
+      continue;
+    }
+    const std::string file_path(line.substr(fb, fe - fb + 1));
+
+    // Find the wiring occurrence inside a function body in that file.
+    std::size_t file_index = kNpos;
+    for (std::size_t i = 0; i < tree.files.size(); ++i) {
+      if (tree.files[i].path == file_path) {
+        file_index = i;
+        break;
+      }
+    }
+    std::size_t owner = kNpos;
+    std::size_t site_line = 1;
+    if (file_index != kNpos) {
+      const std::string_view code = tree.files[file_index].code;
+      std::size_t at = 0;
+      while ((at = find_identifier(code, site, at)) != kNpos) {
+        site_line = line_of(tree.files[file_index].text, at);
+        std::size_t best_size = kNpos;
+        for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+          const GraphFunction& fn = graph.functions[i];
+          if (fn.file_index == file_index && at > fn.body_begin && at < fn.body_end &&
+              fn.body_end - fn.body_begin < best_size) {
+            owner = i;
+            best_size = fn.body_end - fn.body_begin;
+          }
+        }
+        if (owner != kNpos) {
+          break;
+        }
+        at += site.size();
+      }
+    }
+    if (owner == kNpos) {
+      Finding finding;
+      finding.rule = "graph.fault-site-reachability";
+      finding.file = file_path;
+      finding.line = site_line;
+      finding.symbol = site;
+      finding.message = "manifest site `" + site + "` has no wiring inside any function "
+                        "body of " + file_path + " — dead site";
+      findings.push_back(std::move(finding));
+    } else if (!reachable[owner]) {
+      const GraphFunction& fn = graph.functions[owner];
+      Finding finding;
+      finding.rule = "graph.fault-site-reachability";
+      finding.file = file_path;
+      finding.line = site_line;
+      finding.symbol = site;
+      finding.message = "fault site `" + site + "` is wired in `" + fn.qualified +
+                        "`, which is unreachable from every tests/bench/examples "
+                        "entry point — dead site";
+      findings.push_back(std::move(finding));
+    }
+    if (last) {
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// graph.dead-public-api
+
+bool has_lower(const std::string& name) {
+  for (const char c : name) {
+    if (c >= 'a' && c <= 'z') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_dead_api(const Tree& tree, const Graph& graph, std::vector<Finding>& findings) {
+  // Recorded occurrence offsets per name: a tree occurrence absent from
+  // this set is a bare mention (address taken, macro forwarding, ...) and
+  // counts as a use.
+  std::map<std::string, std::set<std::pair<std::size_t, std::size_t>>> recorded;
+  std::set<std::string> called;
+  for (const GraphReference& ref : graph.references) {
+    recorded[ref.name].insert({ref.file_index, ref.offset});
+    if (ref.is_call) {
+      called.insert(ref.name);
+    }
+  }
+  std::set<std::pair<std::string, std::string>> reported;  // (file, name)
+  for (const HeaderFunction& header : graph.header_functions) {
+    if (header.structor || header.name == "main" || !has_lower(header.name) ||
+        header.name[0] == '~' || header.name.rfind("operator", 0) == 0) {
+      continue;
+    }
+    if (called.count(header.name)) {
+      continue;
+    }
+    if (!reported.insert({header.file, header.name}).second) {
+      continue;
+    }
+    bool mentioned = false;
+    const auto& offsets = recorded[header.name];
+    for (std::size_t i = 0; i < tree.files.size() && !mentioned; ++i) {
+      const std::string_view code = tree.files[i].code;
+      std::size_t at = 0;
+      while ((at = find_identifier(code, header.name, at)) != kNpos) {
+        if (!offsets.count({i, at})) {
+          mentioned = true;
+          break;
+        }
+        at += header.name.size();
+      }
+    }
+    if (mentioned) {
+      continue;
+    }
+    Finding finding;
+    finding.rule = "graph.dead-public-api";
+    finding.file = header.file;
+    finding.line = header.line;
+    finding.symbol = header.name;
+    finding.message = "`" + header.name + "` is exported from " + header.file +
+                      " but never called or referenced anywhere in "
+                      "src/tests/bench/examples";
+    findings.push_back(std::move(finding));
+  }
+}
+
+}  // namespace
+
+void check_graph(const Tree& tree, std::vector<Finding>& findings) {
+  const Graph graph = build_graph(tree);
+  rule_lock_order(graph, findings);
+  rule_throw_under_lock(tree, graph, findings);
+  rule_noexcept_escape(graph, findings);
+  rule_fault_reachability(tree, graph, findings);
+  rule_dead_api(tree, graph, findings);
+}
+
+}  // namespace rimcheck

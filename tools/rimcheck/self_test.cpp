@@ -411,6 +411,425 @@ bool load_checkpoint(const std::vector<std::string>& tokens) {
 }
 
 // ---------------------------------------------------------------------
+// graph.* fixtures: the whole-program model and its five rules.
+
+/// Runs the rule set WITH the graph family, keeping only graph.* findings,
+/// and requires the (rule/symbol) multiset to equal `expected` exactly.
+void expect_graph(const char* name, const Tree& tree, std::vector<std::string> expected) {
+  std::vector<Finding> findings = run_rules(tree, {"graph."}, true);
+  std::vector<std::string> actual = keys(findings);
+  std::sort(expected.begin(), expected.end());
+  report(name, actual == expected,
+         "expected [" + join(expected) + "] got [" + join(actual) + "]");
+}
+
+std::size_t find_fn(const Graph& graph, std::string_view qualified) {
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (graph.functions[i].qualified == qualified) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+const GraphCall* find_call(const GraphFunction& fn, std::string_view name) {
+  for (const GraphCall& call : fn.calls) {
+    if (call.name == name) {
+      return &call;
+    }
+  }
+  return nullptr;
+}
+
+/// Structural checks on build_graph: indexing, resolution, exception flow,
+/// lock regions.
+void graph_model_fixtures() {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  {
+    const Tree tree = make_tree(
+        {make_file("src/a.cpp", "void Foo::bar() { baz(); }\nvoid baz() { }\n")});
+    const Graph graph = build_graph(tree);
+    const std::size_t bar = find_fn(graph, "Foo::bar");
+    const std::size_t baz = find_fn(graph, "baz");
+    bool ok = bar != kNone && baz != kNone && graph.functions[bar].class_name == "Foo";
+    if (ok) {
+      const GraphCall* call = find_call(graph.functions[bar], "baz");
+      ok = call != nullptr && resolve_call(graph, *call) == std::vector<std::size_t>{baz};
+    }
+    report("graph.index_qualified_definition_and_call", ok,
+           "functions=" + std::to_string(graph.functions.size()));
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct A { void tick() { } };
+struct B { void tick() { } };
+void drive() {
+  A a;
+  a.tick();
+  B::tick();
+}
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t drive = find_fn(graph, "drive");
+    const std::size_t a_tick = find_fn(graph, "A::tick");
+    const std::size_t b_tick = find_fn(graph, "B::tick");
+    bool typed_ok = false;
+    bool qualified_ok = false;
+    if (drive != kNone && a_tick != kNone && b_tick != kNone) {
+      const GraphCall* via_receiver = find_call(graph.functions[drive], "tick");
+      const GraphCall* via_qualifier = find_call(graph.functions[drive], "B::tick");
+      typed_ok = via_receiver != nullptr && via_receiver->member &&
+                 via_receiver->receiver == "a" &&
+                 resolve_call(graph, *via_receiver) == std::vector<std::size_t>{a_tick};
+      qualified_ok =
+          via_qualifier != nullptr &&
+          resolve_call(graph, *via_qualifier) == std::vector<std::size_t>{b_tick};
+    }
+    report("graph.receiver_typed_narrowing", typed_ok, "a.tick() must resolve to A only");
+    report("graph.qualified_call_resolves_to_class", qualified_ok,
+           "B::tick() must resolve to B only");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct A { void tick() { } };
+struct B { void tick() { } };
+void drive() { tick(); }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t drive = find_fn(graph, "drive");
+    const GraphCall* call =
+        drive != kNone ? find_call(graph.functions[drive], "tick") : nullptr;
+    const bool ok = call != nullptr && resolve_call(graph, *call).size() == 2;
+    report("graph.unqualified_call_widens_to_overload_set", ok,
+           "free tick() must reach both A::tick and B::tick");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct S {
+  void size() { }
+  void wrapper() { values_.size(); }
+  void self() { size(); }
+};
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t wrapper = find_fn(graph, "S::wrapper");
+    const std::size_t self = find_fn(graph, "S::self");
+    const std::size_t size = find_fn(graph, "S::size");
+    const GraphCall* container =
+        wrapper != kNone ? find_call(graph.functions[wrapper], "size") : nullptr;
+    const GraphCall* implicit =
+        self != kNone ? find_call(graph.functions[self], "size") : nullptr;
+    const bool container_ok =
+        container != nullptr && resolve_call(graph, *container, "S").empty();
+    const bool implicit_ok =
+        implicit != nullptr && size != kNone &&
+        resolve_call(graph, *implicit, "S") == std::vector<std::size_t>{size};
+    report("graph.idiom_member_call_resolves_to_nothing", container_ok,
+           "values_.size() must not resolve to S::size");
+    report("graph.idiom_implicit_this_resolves_in_class", implicit_ok,
+           "bare size() must resolve to S::size");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+void f() noexcept { }
+void g() noexcept(false) { }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t f = find_fn(graph, "f");
+    const std::size_t g = find_fn(graph, "g");
+    const bool ok = f != kNone && g != kNone && graph.functions[f].is_noexcept &&
+                    !graph.functions[g].is_noexcept;
+    report("graph.noexcept_specifier_parsed", ok, "noexcept(false) must not count");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+void c() { throw 1; }
+void b() { c(); }
+void a() { b(); }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t a = find_fn(graph, "a");
+    const std::size_t c = find_fn(graph, "c");
+    const bool ok = a != kNone && c != kNone && graph.functions[c].throws_directly &&
+                    graph.functions[a].may_raise;
+    report("graph.may_raise_fixpoint_transitive", ok, "a -> b -> c(throw)");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+void boom() noexcept { throw 1; }
+void caller() { boom(); }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t boom = find_fn(graph, "boom");
+    const std::size_t caller = find_fn(graph, "caller");
+    const bool ok = boom != kNone && caller != kNone && graph.functions[boom].may_raise &&
+                    !graph.functions[caller].may_raise;
+    report("graph.noexcept_callee_is_barrier", ok,
+           "may_raise must not propagate through noexcept");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct C { void f() { common::MutexLock l(mu_); } };
+void g() { common::MutexLock l(g_mutex); }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t f = find_fn(graph, "C::f");
+    const std::size_t g = find_fn(graph, "g");
+    const bool ok = f != kNone && g != kNone && graph.functions[f].locks.size() == 1 &&
+                    graph.functions[f].locks[0].mutex == "C::mu_" &&
+                    graph.functions[g].locks.size() == 1 &&
+                    graph.functions[g].locks[0].mutex == "g_mutex";
+    report("graph.lock_key_canonicalized", ok,
+           "member mutexes qualify by class, others keep their spelling");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct D {
+  void f() {
+    { common::MutexLock l(mu_); touch(); }
+    after();
+  }
+};
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t f = find_fn(graph, "D::f");
+    bool ok = f != kNone && graph.functions[f].locks.size() == 1;
+    if (ok) {
+      const GraphLock& lock = graph.functions[f].locks[0];
+      const GraphCall* touch = find_call(graph.functions[f], "touch");
+      const GraphCall* after = find_call(graph.functions[f], "after");
+      ok = touch != nullptr && after != nullptr && touch->offset < lock.region_end &&
+           after->offset > lock.region_end &&
+           lock.region_end < graph.functions[f].body_end;
+    }
+    report("graph.lock_region_ends_with_block", ok,
+           "guard scope must close at the inner brace");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+void f() { try { g(); } catch (const int& e) { } }
+void h() { try { g(); } catch (...) { } }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t f = find_fn(graph, "f");
+    const std::size_t h = find_fn(graph, "h");
+    const bool ok = f != kNone && h != kNone && graph.functions[f].absorbing.empty() &&
+                    graph.functions[h].absorbing.size() == 1 &&
+                    !find_call(graph.functions[f], "g")->absorbed &&
+                    find_call(graph.functions[h], "g")->absorbed;
+    report("graph.absorbing_requires_catch_all", ok,
+           "only catch(...) absorbs; typed handlers do not");
+  }
+  // Lexer edge cases through the graph builder (satellite c).
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+const char* kDoc = R"doc(
+void fake() {
+  unbalanced { {
+)doc";
+void real() { helper(); }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const bool ok = graph.functions.size() == 1 &&
+                    graph.functions[0].qualified == "real" &&
+                    find_call(graph.functions[0], "helper") != nullptr;
+    report("lex.multiline_raw_string_braces_excluded", ok,
+           "functions=" + std::to_string(graph.functions.size()));
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+void f() {
+#ifdef FAST
+  g();
+#else
+  h();
+#endif
+}
+int after() { return 1; }
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t f = find_fn(graph, "f");
+    const bool ok = f != kNone && find_fn(graph, "after") != kNone &&
+                    find_call(graph.functions[f], "g") != nullptr &&
+                    find_call(graph.functions[f], "h") != nullptr;
+    report("lex.preprocessor_conditional_body", ok,
+           "both branches must stay visible and attributed to f");
+  }
+  {
+    const Tree tree = make_tree({make_file("src/a.cpp", R"fix(
+struct F {
+  int operator()(int x) const { return helper(x); }
+};
+)fix")});
+    const Graph graph = build_graph(tree);
+    const std::size_t call_op = find_fn(graph, "F::operator()");
+    const bool ok =
+        call_op != kNone && find_call(graph.functions[call_op], "helper") != nullptr;
+    report("lex.operator_call_definition_indexed", ok,
+           "operator() must be indexed as a definition of class F");
+  }
+}
+
+void graph_rule_fixtures() {
+  // graph.lock-order-cycle
+  expect_graph("graph.lock_cycle_nested_guards",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct P {
+  void fwd() {
+    common::MutexLock la(a_);
+    common::MutexLock lb(b_);
+  }
+  void bwd() {
+    common::MutexLock lb(b_);
+    common::MutexLock la(a_);
+  }
+};
+)fix")}),
+               {"graph.lock-order-cycle/P::a_ -> P::b_ -> P::a_"});
+  expect_graph("graph.lock_cycle_via_calls",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct Q {
+  void hold_a() { common::MutexLock l(a_); take_b(); }
+  void take_b() { common::MutexLock l(b_); }
+  void hold_b() { common::MutexLock l(b_); take_a(); }
+  void take_a() { common::MutexLock l(a_); }
+};
+)fix")}),
+               {"graph.lock-order-cycle/Q::a_ -> Q::b_ -> Q::a_"});
+  expect_graph("graph.lock_consistent_order_clean",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct P {
+  void one() {
+    common::MutexLock la(a_);
+    common::MutexLock lb(b_);
+  }
+  void two() {
+    common::MutexLock la(a_);
+    common::MutexLock lb(b_);
+  }
+};
+)fix")}),
+               {});
+  expect_graph("graph.lock_self_deadlock_via_call",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct R {
+  void outer() { common::MutexLock l(mu_); inner(); }
+  void inner() { common::MutexLock l(mu_); }
+};
+)fix")}),
+               {"graph.lock-order-cycle/R::mu_ -> R::mu_"});
+
+  // graph.throw-under-lock
+  expect_graph("graph.throw_under_lock_direct",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct S {
+  void f() { common::MutexLock l(mu_); throw 1; }
+};
+)fix")}),
+               {"graph.throw-under-lock/S::mu_/throw"});
+  expect_graph("graph.throw_under_lock_via_call",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct T {
+  void f() { common::MutexLock l(mu_); boom(); }
+  void boom() { throw 1; }
+};
+)fix")}),
+               {"graph.throw-under-lock/T::mu_/boom"});
+  expect_graph("graph.throw_under_lock_absorbed_clean",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct U {
+  void f() {
+    common::MutexLock l(mu_);
+    try { boom(); } catch (...) { }
+  }
+  void boom() { throw 1; }
+};
+)fix")}),
+               {});
+  expect_graph("graph.throw_outside_guard_scope_clean",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct V {
+  void f() {
+    { common::MutexLock l(mu_); }
+    throw 1;
+  }
+};
+)fix")}),
+               {});
+
+  // graph.noexcept-escape
+  expect_graph("graph.noexcept_escape_from_noexcept",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+struct W {
+  void f() noexcept { boom(); }
+  void boom() { throw 1; }
+};
+)fix")}),
+               {"graph.noexcept-escape/W::f"});
+  expect_graph("graph.noexcept_escape_from_dtor",
+               make_tree({make_file("src/sim/a.cpp",
+                                    "struct X {\n  ~X() { throw 1; }\n};\n")}),
+               {"graph.noexcept-escape/X::~X"});
+  expect_graph("graph.noexcept_escape_thread_entry",
+               make_tree({make_file("src/sim/a.cpp",
+                                    "void worker_loop() { throw 1; }\n")}),
+               {"graph.noexcept-escape/worker_loop"});
+  expect_graph("graph.noexcept_clean_when_absorbed",
+               make_tree({make_file("src/sim/a.cpp", R"fix(
+void risky() { throw 1; }
+void worker_loop() { try { risky(); } catch (...) { } }
+)fix")}),
+               {});
+
+  // graph.fault-site-reachability
+  expect_graph("graph.fault_site_reachable_clean",
+               make_tree({make_file("src/sim/a.cpp",
+                                    "void step() { RIMARKET_INJECT(kSiteAlpha); }\n"),
+                          make_file("tests/sim/a_test.cpp", "void drive() { step(); }\n")},
+                         "", "kSiteAlpha src/sim/a.cpp\n"),
+               {});
+  expect_graph("graph.fault_site_unreachable",
+               make_tree({make_file("src/sim/a.cpp",
+                                    "void step() { RIMARKET_INJECT(kSiteAlpha); }\n")},
+                         "", "kSiteAlpha src/sim/a.cpp\n"),
+               {"graph.fault-site-reachability/kSiteAlpha"});
+  expect_graph(
+      "graph.fault_site_no_owner",
+      make_tree({make_file("src/sim/a.cpp",
+                           "inline constexpr std::string_view kSiteAlpha = "
+                           "\"alpha.step\";\n")},
+                "", "kSiteAlpha src/sim/a.cpp\n"),
+      {"graph.fault-site-reachability/kSiteAlpha"});
+
+  // graph.dead-public-api
+  expect_graph("graph.dead_api_flagged",
+               make_tree({make_file("src/sim/a.hpp", "void helper();\n")}),
+               {"graph.dead-public-api/helper"});
+  expect_graph("graph.dead_api_called_clean",
+               make_tree({make_file("src/sim/a.hpp", "void helper();\n"),
+                          make_file("tests/sim/a_test.cpp",
+                                    "void t() { helper(); }\n")}),
+               {});
+  expect_graph("graph.dead_api_bare_mention_clean",
+               make_tree({make_file("src/sim/a.hpp", "void helper();\n"),
+                          make_file("src/sim/b.cpp",
+                                    "void (*fp)() = &helper;\n")}),
+               {});
+  expect_graph("graph.dead_api_structors_and_operators_exempt",
+               make_tree({make_file("src/sim/a.hpp", R"fix(
+struct Widget {
+  Widget();
+  ~Widget();
+  int operator()(int x) const;
+};
+)fix")}),
+               {});
+  expect_graph("graph.dead_api_all_caps_exempt",
+               make_tree({make_file("src/sim/a.hpp", "void RIM_ABORT2(int code);\n")}),
+               {});
+}
+
+// ---------------------------------------------------------------------
 // Driver / baseline fixtures.
 
 void driver_fixtures() {
@@ -418,18 +837,41 @@ void driver_fixtures() {
     std::string error;
     std::vector<BaselineEntry> entries = parse_baseline(
         "# comment\n"
-        "det.banned-call | tests/a.cpp | getenv | chaos seed override is opt-in\n"
-        "lock.raw-cv | src/b.hpp | * | cv waits on the wrapped handle\n",
+        "det.banned-call | tests/a.cpp | getenv | added=2026-08-09 | "
+        "reason=chaos seed override is opt-in\n"
+        "lock.raw-cv | src/b.hpp | * | reason=cv waits on the wrapped handle | "
+        "added=2026-01-02\n",
         error);
     const bool ok = error.empty() && entries.size() == 2 &&
-                    entries[0].symbol == "getenv" && entries[1].symbol == "*" &&
+                    entries[0].symbol == "getenv" && entries[0].added == "2026-08-09" &&
+                    entries[1].symbol == "*" && entries[1].added == "2026-01-02" &&
                     entries[1].reason == "cv waits on the wrapped handle";
-    report("baseline.parses_entries", ok, "error=" + error);
+    report("baseline.parses_entries_either_field_order", ok, "error=" + error);
   }
   {
     std::string error;
-    parse_baseline("det.banned-call | tests/a.cpp | getenv\n", error);
+    parse_baseline("det.banned-call | tests/a.cpp | getenv | added=2026-08-09\n", error);
     report("baseline.reason_is_mandatory", !error.empty(), "accepted a reasonless entry");
+  }
+  {
+    std::string error;
+    parse_baseline(
+        "det.banned-call | tests/a.cpp | getenv | reason=opt-in override\n", error);
+    report("baseline.added_date_is_mandatory", !error.empty(), "accepted a dateless entry");
+  }
+  {
+    std::string error;
+    parse_baseline(
+        "det.banned-call | tests/a.cpp | getenv | added=yesterday | reason=opt-in\n",
+        error);
+    report("baseline.added_date_shape_checked", !error.empty(),
+           "accepted added=yesterday");
+  }
+  {
+    std::string error;
+    parse_baseline(
+        "det.banned-call | tests/a.cpp | getenv | reason=a | reason=b\n", error);
+    report("baseline.duplicate_key_rejected", !error.empty(), "accepted duplicate reason=");
   }
   {
     std::vector<Finding> findings;
@@ -440,8 +882,9 @@ void driver_fixtures() {
     findings.push_back(finding);
     std::string error;
     std::vector<BaselineEntry> baseline = parse_baseline(
-        "det.banned-call | tests/a.cpp | getenv | opt-in override\n"
-        "lock.raw-cv | src/gone.hpp | * | file was deleted\n",
+        "det.banned-call | tests/a.cpp | getenv | added=2026-08-09 | "
+        "reason=opt-in override\n"
+        "lock.raw-cv | src/gone.hpp | * | added=2026-08-09 | reason=file was deleted\n",
         error);
     apply_baseline(findings, baseline);
     const bool suppressed = findings[0].suppressed &&
@@ -489,6 +932,8 @@ int self_test() {
   lock_fixtures();
   metrics_fixtures();
   checkpoint_fixtures();
+  graph_model_fixtures();
+  graph_rule_fixtures();
   driver_fixtures();
   std::printf("%s: %d failure(s)\n", g_failures == 0 ? "PASS" : "FAIL", g_failures);
   return g_failures;
