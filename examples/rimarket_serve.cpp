@@ -12,9 +12,17 @@
 //                        --report=path additionally writes the JSON
 //                        artifact the serve-smoke CI job archives.
 //
+// `--journal=path` (stdin and replay modes) makes SNAPSHOT_UPDATE durable:
+// accepted updates are journaled before they are acknowledged, and startup
+// replays the file, so a SIGKILLed service restarted on the same journal
+// answers exactly as if it never died (tools/serve_crash_drill.py proves
+// this).  If the journal cannot be opened the process exits with
+// EX_CANTCREAT rather than silently running non-durable.
+//
 // Example:
 //   ./rimarket_serve --generate=10000 --seed=42 > trace.txt
 //   ./rimarket_serve --replay=trace.txt --threads=4 --report=latency.json
+//   ./rimarket_serve --journal=serve.journal < requests.txt
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -35,10 +43,15 @@ constexpr int kExitUsage = 64;       ///< EX_USAGE: bad flags or flag values
 constexpr int kExitNoInput = 66;     ///< EX_NOINPUT: missing/unreadable trace file
 constexpr int kExitCantCreate = 73;  ///< EX_CANTCREAT: cannot write the report file
 
-int run_stdin_loop(std::size_t threads) {
+int run_stdin_loop(std::size_t threads, const std::string& journal_path) {
   serve::ServiceConfig config;
   config.threads = threads;
+  config.journal_path = journal_path;
   serve::AdvisorService service(config);
+  if (!journal_path.empty() && !service.journal_enabled()) {
+    std::fprintf(stderr, "cannot open journal %s\n", journal_path.c_str());
+    return kExitCantCreate;
+  }
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::string response = service.handle_line(line);
@@ -61,6 +74,8 @@ int main(int argc, char** argv) {
   cli.add_flag("accounts", "accounts in the generated trace", "4");
   cli.add_flag("reservations", "reservations per generated account", "32");
   cli.add_flag("updates", "snapshot refreshes interleaved in the generated trace", "8");
+  cli.add_flag("journal", "snapshot journal file (durable SNAPSHOT_UPDATE + crash recovery)",
+               "");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.help("rimarket_serve").c_str());
     return kExitUsage;
@@ -102,6 +117,7 @@ int main(int argc, char** argv) {
     config.threads = static_cast<std::size_t>(threads);
     config.arrivals_per_second = rate;
     config.seed = static_cast<std::uint64_t>(seed);
+    config.journal_path = cli.get("journal");
     common::CsvError error;
     const serve::ReplayDriver driver(config);
     const serve::LatencyReport report = driver.replay_file(cli.get("replay"), &error);
@@ -118,5 +134,5 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  return run_stdin_loop(static_cast<std::size_t>(threads));
+  return run_stdin_loop(static_cast<std::size_t>(threads), cli.get("journal"));
 }

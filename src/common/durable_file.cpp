@@ -1,0 +1,245 @@
+#include "common/durable_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+
+#include "common/fault_injection.hpp"
+
+namespace rimarket::common::durable {
+
+namespace {
+
+namespace fi = fault_injection;
+
+/// Frame header: little-endian uint32 payload length, uint32 payload CRC.
+constexpr std::size_t kHeaderBytes = 8;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+void put_le32(std::uint32_t value, std::string& out) {
+  out += static_cast<char>(value & 0xFFu);
+  out += static_cast<char>((value >> 8) & 0xFFu);
+  out += static_cast<char>((value >> 16) & 0xFFu);
+  out += static_cast<char>((value >> 24) & 0xFFu);
+}
+
+std::uint32_t get_le32(const unsigned char* bytes) {
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+/// write(2) until `bytes` is fully written; false on any error (EINTR is
+/// retried, everything else aborts the write).
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads the whole file at `path`; false (with `*missing` set for ENOENT)
+/// when it cannot be read.
+bool slurp(const std::string& path, std::string& out, bool* missing) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    *missing = errno == ENOENT;
+    return false;
+  }
+  out.clear();
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(byte)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void frame_record(std::string_view payload, std::string& out) {
+  put_le32(static_cast<std::uint32_t>(payload.size()), out);
+  put_le32(crc32(payload), out);
+  out += payload;
+}
+
+ReadResult read_records(const std::string& path) {
+  ReadResult result;
+  std::string contents;
+  if (!slurp(path, contents, &result.missing)) {
+    return result;
+  }
+  std::size_t pos = 0;
+  while (pos + kHeaderBytes <= contents.size()) {
+    const auto* header = reinterpret_cast<const unsigned char*>(contents.data() + pos);
+    const std::uint32_t length = get_le32(header);
+    const std::uint32_t expected_crc = get_le32(header + 4);
+    const std::size_t end = pos + kHeaderBytes + length;
+    if (end > contents.size()) {
+      break;  // torn tail: the payload never finished reaching the disk
+    }
+    const std::string_view payload(contents.data() + pos + kHeaderBytes, length);
+    if (crc32(payload) != expected_crc) {
+      break;  // corrupt record: stop here, keep the prefix
+    }
+    result.records.push_back(FramedRecord{std::string(payload), end});
+    pos = end;
+  }
+  result.valid_bytes = pos;
+  result.truncated_bytes = contents.size() - pos;
+  return result;
+}
+
+bool truncate_file(const std::string& path, std::size_t size) {
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+bool rename_file(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool atomic_replace(const std::string& path, std::string_view contents, FsyncMode mode) {
+  RIMARKET_INJECT(fi::kSiteDurableWrite);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = write_all(fd, contents);
+  if (ok && mode == FsyncMode::kAlways) {
+    ok = ::fsync(fd) == 0;
+  }
+  ok = (::close(fd) == 0) && ok;
+  try {
+    if (ok) {
+      // Second hit of the site: a fault landing between the completed write
+      // and the publishing rename, the window the cleanup contract covers.
+      RIMARKET_INJECT(fi::kSiteDurableWrite);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    // Both failure branches drop the temporary: a failed replace leaves the
+    // previous state file alone and no `.tmp` residue behind.
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+AppendLog::~AppendLog() { close(); }
+
+bool AppendLog::open(const std::string& path, FsyncMode mode) {
+  close();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  mode_ = mode;
+  size_ = static_cast<std::size_t>(size);
+  broken_ = false;
+  return true;
+}
+
+void AppendLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+  broken_ = false;
+}
+
+bool AppendLog::append(std::string_view payload) {
+  if (fd_ < 0 || broken_) {
+    return false;
+  }
+  RIMARKET_INJECT(fi::kSiteDurableWrite);
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame_record(payload, frame);
+  bool ok = write_all(fd_, frame);
+  if (ok && mode_ == FsyncMode::kAlways) {
+    ok = ::fsync(fd_) == 0;
+  }
+  if (!ok) {
+    // Roll back to the pre-append length so the log never carries an
+    // interior torn frame.  If even that fails the log is unusable.
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+      broken_ = true;
+    }
+    return false;
+  }
+  size_ += frame.size();
+  return true;
+}
+
+bool AppendLog::sync() { return fd_ >= 0 && !broken_ && ::fsync(fd_) == 0; }
+
+bool AppendLog::truncate_to(std::size_t size) {
+  if (fd_ < 0 || broken_ || size > size_) {
+    return false;
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    broken_ = true;
+    return false;
+  }
+  size_ = size;
+  return true;
+}
+
+}  // namespace rimarket::common::durable

@@ -1,0 +1,134 @@
+// Durable-file primitives: the one audited implementation of "state that
+// survives a crash" shared by the serve journal and the batch-engine
+// checkpoint writer.
+//
+// Two disciplines live here:
+//
+//   * CRC32-framed append logs.  Every record is written as an 8-byte
+//     little-endian header (payload length, CRC32 of the payload) followed
+//     by the payload, so a reader can always tell a complete record from a
+//     torn tail.  `read_records` recovers the longest valid prefix and
+//     reports how many trailing bytes it refused — recovery truncates at
+//     the first torn or corrupt record instead of failing, which is the
+//     contract a write-ahead journal needs after SIGKILL mid-append.
+//
+//   * Atomic whole-file replacement.  `atomic_replace` writes `path.tmp`,
+//     fsyncs, then renames over `path`, and removes the temporary on every
+//     failure path — a crash or failure leaves either the old file or the
+//     new one, never a half-written state file and never stale `.tmp`
+//     residue.
+//
+// fsync is configurable (FsyncMode) because tests exercise thousands of
+// appends where real disk barriers would dominate the runtime; production
+// callers keep kAlways.  rimcheck's `state.atomic-write-discipline` rule
+// forbids raw std::rename / std::ofstream state writes everywhere else in
+// src/, so new persistence code is funneled through this file.  See
+// DESIGN.md "Durable files and the snapshot journal".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rimarket::common::durable {
+
+/// Disk-barrier discipline for appends and replacements.
+enum class FsyncMode {
+  kAlways,  ///< fsync after every append and before every rename
+  kNever,   ///< no barriers (tests; data still reaches the file via write())
+};
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `bytes`.
+std::uint32_t crc32(std::string_view bytes);
+
+/// Appends the framed encoding of `payload` (8-byte length+CRC header, then
+/// the payload bytes) to `out`.
+void frame_record(std::string_view payload, std::string& out);
+
+/// One recovered record plus the file offset just past its frame, so a
+/// caller that rejects a record's *content* can truncate to the previous
+/// record's end.
+struct FramedRecord {
+  std::string payload;
+  std::size_t end_offset = 0;
+};
+
+struct ReadResult {
+  /// The longest prefix of records that framed and checksummed correctly.
+  std::vector<FramedRecord> records;
+  /// Byte length of that valid prefix.
+  std::size_t valid_bytes = 0;
+  /// Bytes past the valid prefix (a torn header, a payload shorter than its
+  /// declared length, or a CRC mismatch); 0 for a clean file.
+  std::size_t truncated_bytes = 0;
+  /// True when the file does not exist (distinct from an empty file).
+  bool missing = false;
+};
+
+/// Reads every valid record from `path`, stopping at the first torn or
+/// corrupt frame.  Never fails: an unreadable or missing file simply
+/// recovers zero records.
+ReadResult read_records(const std::string& path);
+
+/// Truncates `path` to exactly `size` bytes.  False on failure.
+bool truncate_file(const std::string& path, std::size_t size);
+
+/// Renames `from` to `to` (same filesystem).  False on failure.
+bool rename_file(const std::string& from, const std::string& to);
+
+/// Atomically replaces `path` with `contents`: writes `path + ".tmp"`,
+/// fsyncs it (per `mode`), then renames it over `path`.  The temporary is
+/// removed on every failure path, including an injected fault between the
+/// write and the rename.  False on failure (the previous `path`, if any, is
+/// untouched).
+bool atomic_replace(const std::string& path, std::string_view contents, FsyncMode mode);
+
+/// An open append-only log of CRC32-framed records.
+///
+/// Failure discipline: a failed append rolls the file back to its length
+/// before the append (so the log never accumulates an interior torn frame —
+/// only a crash can leave one, and only at the tail).  If even the rollback
+/// fails, the log marks itself broken and every later append fails, which a
+/// write-ahead caller turns into rejected updates rather than silently
+/// un-durable ones.
+class AppendLog {
+ public:
+  AppendLog() = default;
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Opens (creating if needed) `path` for appending.  False on failure.
+  bool open(const std::string& path, FsyncMode mode);
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+
+  /// Frames and appends `payload`, then applies the fsync discipline.
+  /// False on any failure (after rolling the file back, see above).
+  bool append(std::string_view payload);
+
+  /// Explicit barrier: fsyncs regardless of mode.  False on failure.
+  bool sync();
+
+  /// Rolls the file back to `size` bytes (a prior size_bytes() value) — the
+  /// caller's escape hatch when a post-append step fails and the appended
+  /// record must not survive.  False on failure, after which the log is
+  /// broken (see above).
+  bool truncate_to(std::size_t size);
+
+  /// Current file length in bytes (header + payload of every record).
+  std::size_t size_bytes() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  FsyncMode mode_ = FsyncMode::kAlways;
+  std::size_t size_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace rimarket::common::durable

@@ -156,6 +156,11 @@ inline constexpr std::string_view kSiteBatchCheckpointWrite = "sim.batch.checkpo
 inline constexpr std::string_view kSiteBatchCheckpointLoad = "sim.batch.checkpoint_load";
 inline constexpr std::string_view kSiteServeParse = "serve.request.parse";
 inline constexpr std::string_view kSiteServeExecute = "serve.request.execute";
+inline constexpr std::string_view kSiteDurableWrite = "common.durable.write";
+inline constexpr std::string_view kSiteJournalAppend = "serve.journal.append";
+inline constexpr std::string_view kSiteJournalFsync = "serve.journal.fsync";
+inline constexpr std::string_view kSiteJournalCompact = "serve.journal.compact";
+inline constexpr std::string_view kSiteJournalRecover = "serve.journal.recover";
 
 }  // namespace rimarket::common::fault_injection
 

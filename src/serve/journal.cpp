@@ -1,0 +1,258 @@
+#include "serve/journal.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace rimarket::serve {
+
+namespace {
+
+namespace fi = common::fault_injection;
+
+/// Round-trippable double encoding (printf %a); common::parse_double
+/// rejects hexfloat by design, so the inverse lives here.
+std::string hexfloat(double value) { return common::format("%a", value); }
+
+std::optional<double> parse_hexfloat(std::string_view token) {
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0' || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// A token safe to embed in the space-separated record layout.
+bool plain_token(const std::string& token) {
+  if (token.empty() || token.size() > 256) {
+    return false;
+  }
+  for (const char c : token) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<long long> parse_non_negative(std::string_view token) {
+  const auto value = common::parse_int(token);
+  if (!value || *value < 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+bool SnapshotJournal::open(const JournalConfig& config, const PublishFn& publish,
+                           RecoveryStats* stats) {
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+  config_ = config;
+  log_.close();
+  if (config_.path.empty()) {
+    return true;  // journal disabled: nothing to recover, nothing to open
+  }
+  const common::durable::ReadResult read = common::durable::read_records(config_.path);
+  const std::size_t file_bytes = read.valid_bytes + read.truncated_bytes;
+  std::size_t keep = read.valid_bytes;
+  std::size_t prev_end = 0;
+  for (const common::durable::FramedRecord& record : read.records) {
+    try {
+      RIMARKET_INJECT(fi::kSiteJournalRecover);
+      AccountSnapshot snapshot;
+      if (!parse_snapshot(record.payload, snapshot)) {
+        keep = prev_end;  // CRC-valid but malformed: corrupt from here on
+        break;
+      }
+      if (publish != nullptr &&
+          publish(std::move(snapshot)) == PublishOutcome::kPublished) {
+        ++out.records_replayed;
+      } else {
+        ++out.records_skipped;
+      }
+      prev_end = record.end_offset;
+    } catch (...) {
+      // An injected (or genuine) replay fault: trust only the records that
+      // already replayed, exactly as if this one were unreadable.
+      keep = prev_end;
+      break;
+    }
+  }
+  out.truncated_bytes = static_cast<std::uint64_t>(file_bytes - keep);
+  if (!read.missing && keep < file_bytes &&
+      !common::durable::truncate_file(config_.path, keep)) {
+    // Cannot cut the corrupt tail off; appending after it would bury every
+    // future record behind garbage.  Move the file aside and start fresh —
+    // the service must always start.
+    common::durable::rename_file(config_.path, config_.path + ".corrupt");
+    out.reset = true;
+    common::log_warn("journal: %s has an untruncatable corrupt tail; moved aside",
+                     config_.path.c_str());
+  }
+  if (!log_.open(config_.path, config_.fsync)) {
+    common::log_warn("journal: cannot open %s for append; updates will not be durable",
+                     config_.path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool SnapshotJournal::append_update(const AccountSnapshot& snapshot) {
+  if (!log_.is_open()) {
+    return false;
+  }
+  const std::size_t before = log_.size_bytes();
+  try {
+    RIMARKET_INJECT(fi::kSiteJournalAppend);
+    const std::string record = serialize_snapshot(snapshot);
+    if (record.empty() || !log_.append(record)) {
+      return false;
+    }
+    RIMARKET_INJECT(fi::kSiteJournalFsync);
+    return true;
+  } catch (...) {
+    // A fault after the bytes were written (the fsync window): roll the log
+    // back so a later update cannot end up sharing this record's version
+    // with a different payload.
+    if (log_.size_bytes() > before && !log_.truncate_to(before)) {
+      log_.close();  // cannot trust the tail; stop accepting appends
+    }
+    return false;
+  }
+}
+
+bool SnapshotJournal::should_compact() const {
+  return log_.is_open() && config_.compact_threshold_bytes != 0 &&
+         log_.size_bytes() > config_.compact_threshold_bytes;
+}
+
+bool SnapshotJournal::compact(
+    const std::vector<std::shared_ptr<const AccountSnapshot>>& snapshots) {
+  if (!log_.is_open()) {
+    return false;
+  }
+  try {
+    RIMARKET_INJECT(fi::kSiteJournalCompact);
+    std::string contents;
+    for (const std::shared_ptr<const AccountSnapshot>& snapshot : snapshots) {
+      if (snapshot == nullptr) {
+        continue;
+      }
+      const std::string record = serialize_snapshot(*snapshot);
+      if (record.empty()) {
+        return false;  // never replace a good log with an incomplete one
+      }
+      common::durable::frame_record(record, contents);
+    }
+    if (!common::durable::atomic_replace(config_.path, contents, config_.fsync)) {
+      return false;  // degraded: the old log is still in place and open
+    }
+    log_.close();
+    if (!log_.open(config_.path, config_.fsync)) {
+      common::log_warn(
+          "journal: compacted %s but cannot reopen it; updates will not be durable",
+          config_.path.c_str());
+      return false;
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string SnapshotJournal::serialize_snapshot(const AccountSnapshot& snapshot) {
+  if (!plain_token(snapshot.account) || !plain_token(snapshot.type.name) ||
+      snapshot.version == 0) {
+    return std::string();
+  }
+  std::string out = common::format(
+      "snap %s %llu %lld %s %s %s %s %lld %s\n", snapshot.account.c_str(),
+      static_cast<unsigned long long>(snapshot.version),
+      static_cast<long long>(snapshot.now),
+      hexfloat(snapshot.selling_discount.value()).c_str(),
+      hexfloat(snapshot.type.on_demand_hourly.value()).c_str(),
+      hexfloat(snapshot.type.upfront.value()).c_str(),
+      hexfloat(snapshot.type.reserved_hourly.value()).c_str(),
+      static_cast<long long>(snapshot.type.term), snapshot.type.name.c_str());
+  for (const ReservationState& row : snapshot.reservations) {
+    out += common::format("r %lld %lld %lld\n", static_cast<long long>(row.id),
+                          static_cast<long long>(row.start),
+                          static_cast<long long>(row.worked_hours));
+  }
+  return out;
+}
+
+bool SnapshotJournal::parse_snapshot(std::string_view record, AccountSnapshot& out) {
+  out = AccountSnapshot{};
+  const std::vector<std::string_view> lines = common::split(record, '\n');
+  if (lines.empty()) {
+    return false;
+  }
+  const std::vector<std::string_view> header = common::split(lines[0], ' ');
+  if (header.size() != 10 || header[0] != "snap") {
+    return false;
+  }
+  const std::string account(header[1]);
+  const auto version = parse_non_negative(header[2]);
+  const auto now = parse_non_negative(header[3]);
+  const auto discount = parse_hexfloat(header[4]);
+  const auto on_demand = parse_hexfloat(header[5]);
+  const auto upfront = parse_hexfloat(header[6]);
+  const auto reserved = parse_hexfloat(header[7]);
+  const auto term = parse_non_negative(header[8]);
+  const std::string name(header[9]);
+  // Every range check below guards a unit-type contract (Fraction/Money/
+  // Rate abort on out-of-range), so a crafted journal degrades to "corrupt
+  // tail" instead of aborting the service.
+  if (!plain_token(account) || !version || *version < 1 || !now || !discount ||
+      *discount < 0.0 || *discount > 1.0 || !on_demand || *on_demand < 0.0 ||
+      !upfront || *upfront < 0.0 || !reserved || *reserved < 0.0 || !term ||
+      !plain_token(name)) {
+    return false;
+  }
+  out.account = account;
+  out.version = static_cast<std::uint64_t>(*version);
+  out.now = static_cast<Hour>(*now);
+  out.selling_discount = Fraction{*discount};
+  out.type.name = name;
+  out.type.on_demand_hourly = Rate{*on_demand};
+  out.type.upfront = Money{*upfront};
+  out.type.reserved_hourly = Rate{*reserved};
+  out.type.term = static_cast<Hour>(*term);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      continue;  // trailing newline after the last row
+    }
+    const std::vector<std::string_view> row = common::split(lines[i], ' ');
+    if (row.size() != 4 || row[0] != "r") {
+      return false;
+    }
+    const auto id = parse_non_negative(row[1]);
+    const auto start = parse_non_negative(row[2]);
+    const auto worked = parse_non_negative(row[3]);
+    if (!id || !start || !worked || *start > static_cast<long long>(out.now) ||
+        *worked > static_cast<long long>(out.now) - *start) {
+      return false;
+    }
+    if (!out.reservations.empty() &&
+        static_cast<fleet::ReservationId>(*id) <= out.reservations.back().id) {
+      return false;  // rows must be sorted by id and unique (binary search)
+    }
+    out.reservations.push_back(ReservationState{static_cast<fleet::ReservationId>(*id),
+                                                static_cast<Hour>(*start),
+                                                static_cast<Hour>(*worked)});
+  }
+  return true;
+}
+
+}  // namespace rimarket::serve

@@ -1,0 +1,110 @@
+// Write-ahead journal for SNAPSHOT_UPDATE durability.
+//
+// Every accepted update is appended (account, version, full pricing terms
+// and reservation rows) to a CRC32-framed log *before* it is published to
+// the SnapshotStore, so an acknowledged update survives SIGKILL: on
+// restart the service replays the journal, restores each account at its
+// recorded monotonic version, and answers byte-identically to a service
+// that never died.  Recovery follows the durable_file contract — the log is
+// trusted up to the first torn, corrupt or unparseable record, the file is
+// physically truncated there, and everything before that point is replayed;
+// a journal that cannot be read at all is moved aside (`<path>.corrupt`) so
+// the service always starts.  Size-triggered compaction rewrites the log as
+// one checkpoint record per live account via atomic replace.
+//
+// The journal is not internally synchronized: AdvisorService serializes
+// every call under its update mutex, which also fixes the append order to
+// equal the publication order.  See DESIGN.md "Durable files and the
+// snapshot journal".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/durable_file.hpp"
+#include "serve/snapshot.hpp"
+
+namespace rimarket::serve {
+
+struct JournalConfig {
+  /// Journal file; empty disables the journal entirely.
+  std::string path;
+  /// Barrier discipline for appends and compaction (kNever for tests).
+  common::durable::FsyncMode fsync = common::durable::FsyncMode::kAlways;
+  /// Compaction trigger: once the log grows past this many bytes, the next
+  /// accepted update rewrites it as one record per account.  0 never
+  /// compacts.
+  std::size_t compact_threshold_bytes = std::size_t{1} << 20;
+};
+
+/// What startup recovery found, surfaced as serve.journal.* metrics.
+struct RecoveryStats {
+  /// Records parsed and published into the store.
+  std::uint64_t records_replayed = 0;
+  /// Valid records whose version did not advance their account (replay is
+  /// idempotent; a compacted-then-appended log can legitimately skip).
+  std::uint64_t records_skipped = 0;
+  /// Bytes dropped from the tail (torn frame, CRC mismatch, or a framed
+  /// record that failed to parse).
+  std::uint64_t truncated_bytes = 0;
+  /// True when the journal was unreadable and moved aside to
+  /// `<path>.corrupt`; the service starts with an empty store.
+  bool reset = false;
+};
+
+class SnapshotJournal {
+ public:
+  SnapshotJournal() = default;
+
+  SnapshotJournal(const SnapshotJournal&) = delete;
+  SnapshotJournal& operator=(const SnapshotJournal&) = delete;
+
+  /// Applies one recovered snapshot; returns the store's verdict so
+  /// recovery can count replayed vs version-skipped records.
+  using PublishFn = std::function<PublishOutcome(AccountSnapshot&&)>;
+
+  /// Recovers the journal at `config.path` (replaying every valid record
+  /// through `publish`, truncating the tail at the first bad one) and opens
+  /// it for appending.  Returns false when the file cannot be opened for
+  /// append — the caller should degrade to a non-durable service rather
+  /// than refuse to start.  With an empty path the journal stays disabled
+  /// and open() trivially succeeds.
+  bool open(const JournalConfig& config, const PublishFn& publish, RecoveryStats* stats);
+
+  /// True when appends are being accepted (opened with a non-empty path and
+  /// not broken since).
+  bool enabled() const { return log_.is_open(); }
+
+  /// Appends one accepted update.  Must happen before the matching publish;
+  /// false means the update is not durable and must be rejected.
+  bool append_update(const AccountSnapshot& snapshot);
+
+  /// True once the log has outgrown the compaction threshold.
+  bool should_compact() const;
+
+  /// Rewrites the journal as one record per snapshot (atomic replace).
+  /// Failure degrades: the existing log stays in place and keeps growing.
+  bool compact(const std::vector<std::shared_ptr<const AccountSnapshot>>& snapshots);
+
+  std::size_t size_bytes() const { return log_.size_bytes(); }
+
+  /// One journal record payload: a `snap` header line (account, version,
+  /// clock, discount and the full pricing terms, all doubles as hexfloat)
+  /// plus one `r` line per reservation.  Self-contained on purpose —
+  /// recovery does not consult the pricing catalog.
+  static std::string serialize_snapshot(const AccountSnapshot& snapshot);
+
+  /// Inverse of serialize_snapshot; false on any malformed field (the
+  /// caller treats that record as the start of the corrupt tail).
+  static bool parse_snapshot(std::string_view record, AccountSnapshot& out);
+
+ private:
+  JournalConfig config_;
+  common::durable::AppendLog log_;
+};
+
+}  // namespace rimarket::serve

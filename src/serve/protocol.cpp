@@ -80,6 +80,16 @@ bool parse_snapshot_payload(std::string_view json_text, SnapshotPayload& out,
     return false;
   }
   out.now = *now_hour;
+  if (const JsonValue* version = doc->find("version"); version != nullptr) {
+    // Reuse the Hour validation (non-negative integer with a safe-double
+    // bound) and then require >= 1: version 0 is reserved for "unversioned".
+    const auto parsed = as_hour(*version);
+    if (!parsed || *parsed < 1) {
+      *message = "\"version\" must be a positive integer";
+      return false;
+    }
+    out.version = static_cast<std::uint64_t>(*parsed);
+  }
   const JsonValue* reservations = doc->find("reservations");
   if (reservations == nullptr || !reservations->is_array()) {
     *message = "SNAPSHOT_UPDATE payload needs a \"reservations\" array";

@@ -4,7 +4,8 @@
 //   ADVISE <account> <reservation-id>
 //   BREAKEVEN <account> <fraction>
 //   SNAPSHOT_UPDATE <account> {"instance":"d2.xlarge","discount":0.8,
-//                              "now":5000,"reservations":[[id,start,worked],...]}
+//                              "now":5000,"reservations":[[id,start,worked],...],
+//                              "version":7}   // optional, see SnapshotPayload
 //   METRICS
 //   PING
 //
@@ -43,6 +44,11 @@ struct SnapshotPayload {
   std::string instance;
   Fraction selling_discount{0.8};
   Hour now = 0;
+  /// Optional explicit version (a positive integer).  0 means "not given":
+  /// the service assigns current + 1.  An explicit version lets a client
+  /// re-send an update after a crash and distinguish "already applied"
+  /// (idempotent OK) from "superseded" (stale ERROR).
+  std::uint64_t version = 0;
   std::vector<ReservationState> reservations;  ///< sorted by id, unique
 };
 

@@ -33,6 +33,7 @@ LatencyReport ReplayDriver::replay(std::span<const std::string> requests) const 
   service_config.max_pending = config_.max_pending;
   service_config.catalog = config_.catalog;
   service_config.fault_schedule = config_.fault_schedule;
+  service_config.journal_path = config_.journal_path;
   AdvisorService service(service_config);
 
   LatencyReport report;
@@ -84,6 +85,13 @@ LatencyReport ReplayDriver::replay(std::span<const std::string> requests) const 
       report.endpoints.push_back(EndpointLatency{std::string(endpoint), *distribution});
     }
   }
+  const auto counter = [&service](std::string_view name) -> std::uint64_t {
+    const auto value = service.metrics().get(name);
+    return value ? static_cast<std::uint64_t>(*value) : 0;
+  };
+  report.busy_rejections = counter("serve.busy_rejections");
+  report.journal_records_replayed = counter("serve.journal.records_replayed");
+  report.journal_truncated_bytes = counter("serve.journal.truncated_bytes");
   return report;
 }
 
@@ -118,9 +126,14 @@ std::string LatencyReport::to_json() const {
   }
   endpoints_json += '}';
   return common::format(
-      "{\"endpoints\":%s,\"errors\":%llu,\"gate_stalls\":%llu,\"requests\":%llu}",
-      endpoints_json.c_str(), static_cast<unsigned long long>(errors),
+      "{\"busy_rejections\":%llu,\"endpoints\":%s,\"errors\":%llu,\"gate_stalls\":%llu,"
+      "\"journal\":{\"records_replayed\":%llu,\"truncated_bytes\":%llu},"
+      "\"requests\":%llu}",
+      static_cast<unsigned long long>(busy_rejections), endpoints_json.c_str(),
+      static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(gate_stalls),
+      static_cast<unsigned long long>(journal_records_replayed),
+      static_cast<unsigned long long>(journal_truncated_bytes),
       static_cast<unsigned long long>(requests));
 }
 
@@ -135,10 +148,14 @@ std::string LatencyReport::render() const {
                    common::format("%.1f", e.latency_us.p99)});
   }
   return table.render() +
-         common::format("requests %llu, errors %llu, gate stalls %llu\n",
+         common::format("requests %llu, errors %llu, gate stalls %llu, busy %llu\n",
                         static_cast<unsigned long long>(requests),
                         static_cast<unsigned long long>(errors),
-                        static_cast<unsigned long long>(gate_stalls));
+                        static_cast<unsigned long long>(gate_stalls),
+                        static_cast<unsigned long long>(busy_rejections)) +
+         common::format("journal: %llu records replayed, %llu bytes truncated\n",
+                        static_cast<unsigned long long>(journal_records_replayed),
+                        static_cast<unsigned long long>(journal_truncated_bytes));
 }
 
 std::vector<std::string> generate_request_trace(const RequestTraceSpec& spec,

@@ -56,6 +56,9 @@ struct ReplayConfig {
   double arrivals_per_second = 0.0;
   /// Seed for the arrival process.
   std::uint64_t seed = 1;
+  /// Snapshot journal forwarded to the service (see ServiceConfig); empty
+  /// replays against a non-durable service.
+  std::string journal_path;
 };
 
 /// One endpoint's latency distribution in the final report.
@@ -70,6 +73,14 @@ struct LatencyReport {
   /// Times the driver found the admission gate full and drained the
   /// service before retrying.
   std::uint64_t gate_stalls = 0;
+  /// Requests the service's admission gate turned away with BUSY
+  /// (serve.busy_rejections; each stall above implies at least one).
+  std::uint64_t busy_rejections = 0;
+  /// Journal records replayed into the store at service startup
+  /// (serve.journal.records_replayed; 0 without --journal).
+  std::uint64_t journal_records_replayed = 0;
+  /// Corrupt-tail bytes dropped at startup (serve.journal.truncated_bytes).
+  std::uint64_t journal_truncated_bytes = 0;
   /// Sorted by endpoint name; only endpoints that served requests appear.
   std::vector<EndpointLatency> endpoints;
   /// One response line per trace entry, in trace order.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault_injection.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "pricing/catalog.hpp"
@@ -53,7 +54,40 @@ AdvisorService::AdvisorService(ServiceConfig config)
     : config_(config),
       catalog_(config.catalog != nullptr ? *config.catalog : pricing::PricingCatalog::builtin()),
       gate_(config.max_pending),
-      pool_(config.threads) {}
+      pool_(config.threads) {
+  if (config_.journal_path.empty()) {
+    return;
+  }
+  JournalConfig journal_config;
+  journal_config.path = config_.journal_path;
+  journal_config.fsync = config_.journal_fsync;
+  journal_config.compact_threshold_bytes = config_.journal_compact_bytes;
+  RecoveryStats stats;
+  bool opened = false;
+  {
+    const common::MutexLock lock(update_mutex_);
+    opened = journal_.open(
+        journal_config,
+        [this](AccountSnapshot&& snapshot) {
+          const std::uint64_t version = snapshot.version;
+          return store_.publish_at(std::move(snapshot), version);
+        },
+        &stats);
+  }
+  metrics_.set("serve.journal.records_replayed",
+               static_cast<std::int64_t>(stats.records_replayed));
+  metrics_.set("serve.journal.truncated_bytes",
+               static_cast<std::int64_t>(stats.truncated_bytes));
+  if (!opened) {
+    common::log_warn("serve: journal %s unavailable; updates will not be durable",
+                     config_.journal_path.c_str());
+  }
+}
+
+bool AdvisorService::journal_enabled() const {
+  const common::MutexLock lock(update_mutex_);
+  return journal_.enabled();
+}
 
 std::string AdvisorService::handle_line(std::string_view line) {
   return process(line, next_sequence());
@@ -62,7 +96,7 @@ std::string AdvisorService::handle_line(std::string_view line) {
 AdvisorService::Admit AdvisorService::submit(std::string line,
                                              std::function<void(std::string)> done) {
   if (!gate_.try_enter()) {
-    metrics_.increment("serve.requests.busy");
+    metrics_.increment("serve.busy_rejections");
     return Admit::kBusy;
   }
   // The sequence number is claimed on the submitting thread, so a single
@@ -166,10 +200,60 @@ std::string AdvisorService::execute(const Request& request) {
       snapshot.now = request.snapshot.now;
       snapshot.reservations = request.snapshot.reservations;
       const std::size_t count = snapshot.reservations.size();
-      const std::uint64_t version = store_.publish(std::move(snapshot));
-      return ok_response(common::format(
-          "{\"account\":\"%s\",\"reservations\":%zu,\"version\":%llu}",
-          request.account.c_str(), count, static_cast<unsigned long long>(version)));
+      const std::uint64_t requested = request.snapshot.version;
+      enum class Update { kPublished, kIdempotent, kStale, kJournalFailed };
+      Update result = Update::kPublished;
+      std::uint64_t version = 0;
+      std::uint64_t current = 0;
+      std::size_t stored_rows = 0;
+      bool compacted = false;
+      {
+        // One update at a time: the journal append must land before the
+        // publication it covers, in publication order.  Response formatting
+        // and metrics stay outside the lock.
+        const common::MutexLock lock(update_mutex_);
+        const auto existing = store_.lookup(request.account);
+        current = existing == nullptr ? 0 : existing->version;
+        if (requested != 0 && requested == current) {
+          result = Update::kIdempotent;
+          stored_rows = existing->reservations.size();
+        } else if (requested != 0 && requested < current) {
+          result = Update::kStale;
+        } else {
+          version = requested == 0 ? current + 1 : requested;
+          snapshot.version = version;
+          if (journal_.enabled() && !journal_.append_update(snapshot)) {
+            result = Update::kJournalFailed;
+          } else {
+            store_.publish_at(std::move(snapshot), version);
+            if (journal_.should_compact()) {
+              compacted = journal_.compact(store_.all());
+            }
+          }
+        }
+      }
+      if (compacted) {
+        metrics_.increment("serve.journal.compactions");
+      }
+      switch (result) {
+        case Update::kPublished:
+          return ok_response(common::format(
+              "{\"account\":\"%s\",\"reservations\":%zu,\"version\":%llu}",
+              request.account.c_str(), count, static_cast<unsigned long long>(version)));
+        case Update::kIdempotent:
+          return ok_response(common::format(
+              "{\"account\":\"%s\",\"idempotent\":true,\"reservations\":%zu,\"version\":%llu}",
+              request.account.c_str(), stored_rows,
+              static_cast<unsigned long long>(current)));
+        case Update::kStale:
+          return error_response(common::format(
+              "stale snapshot version %llu for account \"%s\"; current version is %llu",
+              static_cast<unsigned long long>(requested), request.account.c_str(),
+              static_cast<unsigned long long>(current)));
+        case Update::kJournalFailed:
+          return error_response("journal append failed; update not applied");
+      }
+      return error_response("unhandled update outcome");
     }
   }
   return error_response("unhandled verb");

@@ -21,6 +21,7 @@
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/thread_safety.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/snapshot.hpp"
 
@@ -49,6 +50,15 @@ struct ServiceConfig {
   /// so fault placement is independent of thread scheduling (the same
   /// model as sim::evaluate_sweep).  Must outlive the service.
   const common::fault_injection::Schedule* fault_schedule = nullptr;
+  /// Write-ahead journal for SNAPSHOT_UPDATE durability: every accepted
+  /// update is appended here before publication, and construction replays
+  /// the file so the store survives SIGKILL.  Empty disables journaling
+  /// (updates live only in memory).
+  std::string journal_path;
+  /// Disk-barrier discipline for the journal (kNever speeds up tests).
+  common::durable::FsyncMode journal_fsync = common::durable::FsyncMode::kAlways;
+  /// Journal compaction threshold in bytes (0 never compacts).
+  std::size_t journal_compact_bytes = std::size_t{1} << 20;
 };
 
 /// Bounded in-flight counter: the service's backpressure primitive,
@@ -102,6 +112,10 @@ class AdvisorService {
   const SnapshotStore& snapshots() const { return store_; }
   const ServiceConfig& config() const { return config_; }
 
+  /// True when a journal was requested, recovered, and is accepting
+  /// appends (a configured-but-unopenable journal degrades to false).
+  bool journal_enabled() const;
+
  private:
   /// The whole request path for one line; `sequence` keys the chaos scope.
   std::string process(std::string_view line, std::uint64_t sequence);
@@ -116,6 +130,12 @@ class AdvisorService {
   AdmissionGate gate_;
   common::ThreadPool pool_;
   std::atomic<std::uint64_t> sequence_{0};
+  /// Serializes the journal-append → publish pair across updates, which
+  /// both protects journal_ and fixes the append order to equal the
+  /// publication order (the recovery proof depends on that).  Lock order:
+  /// update_mutex_ before SnapshotStore::mutex_, never the reverse.
+  mutable common::Mutex update_mutex_;
+  SnapshotJournal journal_ RIMARKET_GUARDED_BY(update_mutex_);
 };
 
 }  // namespace rimarket::serve

@@ -33,6 +33,29 @@ std::uint64_t SnapshotStore::publish(AccountSnapshot snapshot) {
   return version;
 }
 
+PublishOutcome SnapshotStore::publish_at(AccountSnapshot snapshot, std::uint64_t version) {
+  snapshot.version = version;
+  auto shared = std::make_shared<const AccountSnapshot>(std::move(snapshot));
+  const common::MutexLock lock(mutex_);
+  // find-then-insert rather than operator[]: a stale or idempotent attempt
+  // must not plant an empty slot for an account that was never published.
+  const auto it = accounts_.find(shared->account);
+  const std::uint64_t current = it == accounts_.end() ? 0 : it->second->version;
+  if (version == current && current != 0) {
+    return PublishOutcome::kIdempotent;
+  }
+  if (version <= current) {
+    return PublishOutcome::kStale;
+  }
+  if (it == accounts_.end()) {
+    const std::string account = shared->account;
+    accounts_.emplace(account, std::move(shared));
+  } else {
+    it->second = std::move(shared);
+  }
+  return PublishOutcome::kPublished;
+}
+
 std::size_t SnapshotStore::size() const {
   const common::MutexLock lock(mutex_);
   return accounts_.size();
@@ -46,6 +69,16 @@ std::vector<std::string> SnapshotStore::accounts() const {
     names.push_back(name);
   }
   return names;
+}
+
+std::vector<std::shared_ptr<const AccountSnapshot>> SnapshotStore::all() const {
+  const common::MutexLock lock(mutex_);
+  std::vector<std::shared_ptr<const AccountSnapshot>> snapshots;
+  snapshots.reserve(accounts_.size());
+  for (const auto& [name, snapshot] : accounts_) {
+    snapshots.push_back(snapshot);
+  }
+  return snapshots;
 }
 
 }  // namespace rimarket::serve

@@ -55,6 +55,13 @@ struct AccountSnapshot {
   const ReservationState* find(fleet::ReservationId id) const;
 };
 
+/// The store's verdict on a versioned publication attempt (publish_at).
+enum class PublishOutcome {
+  kPublished,   ///< the snapshot replaced the slot at a strictly newer version
+  kIdempotent,  ///< exact re-publication of the current version; slot untouched
+  kStale,       ///< older than the current version; slot untouched
+};
+
 /// The service's account table.  Thread-safe; the lock is held only for
 /// pointer reads/swaps, never across snapshot construction or advice.
 class SnapshotStore {
@@ -66,11 +73,22 @@ class SnapshotStore {
   /// version.  Returns the assigned version (previous + 1, starting at 1).
   std::uint64_t publish(AccountSnapshot snapshot);
 
+  /// Publishes `snapshot` at exactly `version` (which must be >= 1): the
+  /// journaled-update path, where the version was fixed *before* the append
+  /// and must not be re-assigned here.  Only a strictly newer version
+  /// replaces the slot; `version` equal to the current one is the
+  /// idempotent re-send of an acknowledged update, anything older is stale.
+  PublishOutcome publish_at(AccountSnapshot snapshot, std::uint64_t version);
+
   /// Number of accounts with a published snapshot.
   std::size_t size() const;
 
   /// Account names with a published snapshot, sorted.
   std::vector<std::string> accounts() const;
+
+  /// Every published snapshot, ordered by account name — the compaction
+  /// checkpoint's source of truth.
+  std::vector<std::shared_ptr<const AccountSnapshot>> all() const;
 
  private:
   mutable common::Mutex mutex_;

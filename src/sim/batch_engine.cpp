@@ -14,6 +14,7 @@
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
+#include "common/durable_file.hpp"
 #include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
@@ -788,16 +789,13 @@ bool write_checkpoint(const std::string& path, std::uint64_t fingerprint,
     for (const ShardOutcome& shard : shards) {
       serialize_shard(shard, out);
     }
-    const std::string tmp = path + ".tmp";
-    if (!common::write_file(tmp, out)) {
-      common::log_warn("batch sweep: cannot write checkpoint %s; continuing without",
-                       tmp.c_str());
-      return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    // Durable-file discipline (common/durable_file.hpp): the temporary is
+    // written, fsynced, renamed over `path`, and removed on every failure
+    // path — the old hand-rolled writer leaked `<path>.tmp` when the write
+    // itself failed.
+    if (!common::durable::atomic_replace(path, out, common::durable::FsyncMode::kAlways)) {
       common::log_warn("batch sweep: cannot publish checkpoint %s; continuing without",
                        path.c_str());
-      std::remove(tmp.c_str());
       return false;
     }
     return true;

@@ -19,6 +19,12 @@
 #   D. append a function that throws while holding a MutexLock —
 #      graph.throw-under-lock must report the path.
 #
+# One more gates the atomic-write-discipline family:
+#
+#   E. append a function that publishes a state file with a raw
+#      std::rename — state.atomic-write-discipline must flag it (only
+#      common/durable_file.cpp may touch the raw primitive).
+#
 # Usage: cmake -DRIMCHECK=<exe> -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch>
 #              -P check_rimcheck_negative.cmake
 
@@ -127,6 +133,19 @@ void probe_throw(Box& b) {
 ")
 run_rimcheck(TRUE "mutation D (seeded throw under lock)"
              --graph --rule graph.throw-under-lock)
+file(WRITE "${service}" "${pristine_service}")
+
+# Mutation E: a seeded raw std::rename state publish outside
+# common/durable_file.cpp.  --rule keeps the gate on the discipline family.
+file(WRITE "${service}" "${pristine_service}
+namespace state_mutation {
+bool probe_publish(const std::string& path) {
+  return std::rename((path + \".tmp\").c_str(), path.c_str()) == 0;
+}
+}  // namespace state_mutation
+")
+run_rimcheck(TRUE "mutation E (raw std::rename state publish)"
+             --rule state.)
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 message(STATUS "rimcheck negative-mutation gate passed")

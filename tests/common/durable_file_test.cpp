@@ -1,0 +1,218 @@
+// Durable-file contract tests: framing round-trips, prefix recovery that
+// truncates at the first torn or corrupt record, atomic replacement that
+// never leaves `.tmp` residue, and the append log's rollback discipline.
+#include "common/durable_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+
+namespace rimarket::common::durable {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(Crc32, MatchesKnownVectors) {
+  // IEEE 802.3 reference values ("check" input from the CRC catalogue).
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(FrameRecord, HeaderIsLengthThenCrcLittleEndian) {
+  std::string out;
+  frame_record("abc", out);
+  ASSERT_EQ(out.size(), 8u + 3u);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 3u);  // length LE
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0u);
+  EXPECT_EQ(out.substr(8), "abc");
+  // Appending a second record extends, never resets.
+  frame_record("", out);
+  EXPECT_EQ(out.size(), 11u + 8u);
+}
+
+TEST(ReadRecords, RoundTripsMultipleRecords) {
+  const std::string path = temp_path("durable_roundtrip.log");
+  std::string contents;
+  frame_record("first", contents);
+  frame_record("", contents);
+  frame_record(std::string(1000, 'x'), contents);
+  ASSERT_TRUE(write_file(path, contents));
+  const ReadResult result = read_records(path);
+  EXPECT_FALSE(result.missing);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].payload, "first");
+  EXPECT_EQ(result.records[1].payload, "");
+  EXPECT_EQ(result.records[2].payload, std::string(1000, 'x'));
+  EXPECT_EQ(result.valid_bytes, contents.size());
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  // end_offset walks the file: each record ends where the next begins.
+  EXPECT_EQ(result.records[0].end_offset, 8u + 5u);
+  EXPECT_EQ(result.records[2].end_offset, contents.size());
+  std::remove(path.c_str());
+}
+
+TEST(ReadRecords, MissingFileIsDistinctFromEmptyFile) {
+  const std::string path = temp_path("durable_missing.log");
+  std::remove(path.c_str());
+  EXPECT_TRUE(read_records(path).missing);
+  ASSERT_TRUE(write_file(path, ""));
+  const ReadResult empty = read_records(path);
+  EXPECT_FALSE(empty.missing);
+  EXPECT_TRUE(empty.records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ReadRecords, TruncatesAtTornTailAtEveryByteBoundary) {
+  // Simulate SIGKILL mid-append: for every prefix length of the second
+  // record's frame, the reader must recover exactly the first record and
+  // report the dangling bytes.
+  const std::string path = temp_path("durable_torn.log");
+  std::string first;
+  frame_record("keep-me", first);
+  std::string second;
+  frame_record("torn-record-payload", second);
+  for (std::size_t cut = 0; cut < second.size(); ++cut) {
+    ASSERT_TRUE(write_file(path, first + second.substr(0, cut)));
+    const ReadResult result = read_records(path);
+    ASSERT_EQ(result.records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(result.records[0].payload, "keep-me");
+    EXPECT_EQ(result.valid_bytes, first.size()) << "cut=" << cut;
+    EXPECT_EQ(result.truncated_bytes, cut) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReadRecords, CorruptPayloadStopsThePrefix) {
+  const std::string path = temp_path("durable_corrupt.log");
+  std::string contents;
+  frame_record("good", contents);
+  const std::size_t second_start = contents.size();
+  frame_record("to-be-flipped", contents);
+  frame_record("behind-the-corruption", contents);
+  contents[second_start + 8 + 2] ^= 0x40;  // flip one payload bit of record 2
+  ASSERT_TRUE(write_file(path, contents));
+  const ReadResult result = read_records(path);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].payload, "good");
+  EXPECT_EQ(result.valid_bytes, second_start);
+  // Everything from the corrupt record on is refused, including the intact
+  // third record behind it — prefix recovery, not salvage.
+  EXPECT_EQ(result.truncated_bytes, contents.size() - second_start);
+  std::remove(path.c_str());
+}
+
+TEST(ReadRecords, CorruptHeaderLengthCannotOverrun) {
+  const std::string path = temp_path("durable_badlen.log");
+  std::string contents;
+  frame_record("x", contents);
+  contents[0] = static_cast<char>(0xFF);  // declared length far past EOF
+  contents[1] = static_cast<char>(0xFF);
+  ASSERT_TRUE(write_file(path, contents));
+  const ReadResult result = read_records(path);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.valid_bytes, 0u);
+  EXPECT_EQ(result.truncated_bytes, contents.size());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicReplace, ReplacesAndLeavesNoTmp) {
+  const std::string path = temp_path("durable_replace.txt");
+  ASSERT_TRUE(write_file(path, "old contents"));
+  ASSERT_TRUE(atomic_replace(path, "new contents", FsyncMode::kAlways));
+  EXPECT_EQ(read_file(path).value_or(""), "new contents");
+  EXPECT_FALSE(read_file(path + ".tmp").has_value());
+  // kNever works too (no barrier, same visible result).
+  ASSERT_TRUE(atomic_replace(path, "newer", FsyncMode::kNever));
+  EXPECT_EQ(read_file(path).value_or(""), "newer");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicReplace, FailedRenameKeepsOldFileAndRemovesTmp) {
+  // Renaming a file over a non-empty directory fails with ENOTDIR/EISDIR,
+  // which exercises the failure branch without any fault injection.
+  const std::string dir = temp_path("durable_replace_dir");
+  const std::string inner = dir + "/occupant";
+  std::remove(inner.c_str());
+  std::remove(dir.c_str());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  ASSERT_TRUE(write_file(inner, "x"));
+  EXPECT_FALSE(atomic_replace(dir, "does not matter", FsyncMode::kNever));
+  // The failed replace left no `.tmp` residue behind (the historical
+  // checkpoint-writer bug this module exists to prevent).
+  EXPECT_FALSE(read_file(dir + ".tmp").has_value());
+  std::remove(inner.c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(AppendLog, AppendsSurviveCloseAndReopen) {
+  const std::string path = temp_path("durable_appendlog.log");
+  std::remove(path.c_str());
+  AppendLog log;
+  EXPECT_FALSE(log.is_open());
+  EXPECT_FALSE(log.append("before open"));
+  ASSERT_TRUE(log.open(path, FsyncMode::kAlways));
+  EXPECT_TRUE(log.is_open());
+  EXPECT_EQ(log.path(), path);
+  EXPECT_EQ(log.size_bytes(), 0u);
+  ASSERT_TRUE(log.append("one"));
+  ASSERT_TRUE(log.append("two"));
+  EXPECT_TRUE(log.sync());
+  EXPECT_EQ(log.size_bytes(), 2u * 8u + 6u);
+  log.close();
+  EXPECT_FALSE(log.is_open());
+  // Reopen resumes at the existing size; new appends land after old ones.
+  ASSERT_TRUE(log.open(path, FsyncMode::kNever));
+  EXPECT_EQ(log.size_bytes(), 2u * 8u + 6u);
+  ASSERT_TRUE(log.append("three"));
+  log.close();
+  const ReadResult result = read_records(path);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].payload, "one");
+  EXPECT_EQ(result.records[2].payload, "three");
+  std::remove(path.c_str());
+}
+
+TEST(AppendLog, TruncateToRollsBackTheTail) {
+  const std::string path = temp_path("durable_truncate_to.log");
+  std::remove(path.c_str());
+  AppendLog log;
+  ASSERT_TRUE(log.open(path, FsyncMode::kNever));
+  ASSERT_TRUE(log.append("keep"));
+  const std::size_t keep_size = log.size_bytes();
+  ASSERT_TRUE(log.append("discard"));
+  // Growing the log is not something truncate_to can do.
+  EXPECT_FALSE(log.truncate_to(log.size_bytes() + 1));
+  ASSERT_TRUE(log.truncate_to(keep_size));
+  EXPECT_EQ(log.size_bytes(), keep_size);
+  ASSERT_TRUE(log.append("after"));
+  log.close();
+  const ReadResult result = read_records(path);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].payload, "keep");
+  EXPECT_EQ(result.records[1].payload, "after");
+  std::remove(path.c_str());
+}
+
+TEST(TruncateAndRename, FileHelpers) {
+  const std::string path = temp_path("durable_helpers.txt");
+  const std::string moved = temp_path("durable_helpers_moved.txt");
+  std::remove(moved.c_str());
+  ASSERT_TRUE(write_file(path, "0123456789"));
+  ASSERT_TRUE(truncate_file(path, 4));
+  EXPECT_EQ(read_file(path).value_or(""), "0123");
+  EXPECT_FALSE(truncate_file(temp_path("durable_nonexistent"), 0));
+  ASSERT_TRUE(rename_file(path, moved));
+  EXPECT_FALSE(read_file(path).has_value());
+  EXPECT_EQ(read_file(moved).value_or(""), "0123");
+  EXPECT_FALSE(rename_file(path, moved));  // source is gone now
+  std::remove(moved.c_str());
+}
+
+}  // namespace
+}  // namespace rimarket::common::durable

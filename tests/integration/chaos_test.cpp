@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
+#include <map>
 #include <new>
 #include <set>
 #include <string>
@@ -27,7 +29,10 @@
 
 #include "common/alloc_hook.hpp"
 #include "common/csv.hpp"
+#include "common/durable_file.hpp"
 #include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "serve/replay.hpp"
 #include "serve/service.hpp"
 #include "sim/batch_engine.hpp"
@@ -601,6 +606,275 @@ TEST(ChaosServe, WiresTheDocumentedSites) {
   const std::set<std::string> seen(sites.begin(), sites.end());
   EXPECT_TRUE(seen.count(std::string(fi::kSiteServeParse)));
   EXPECT_TRUE(seen.count(std::string(fi::kSiteServeExecute)));
+}
+
+// --- Snapshot journal under chaos ------------------------------------------
+//
+// The durability contract (DESIGN.md §16): an update the service ACKED is in
+// the journal before it is published, a faulted one is rejected without
+// touching the store, and recovery replays exactly the valid prefix.  So no
+// matter what a schedule does to the journal sites, a restarted service must
+// answer byte-identically to the killed one.
+
+serve::ServiceConfig journaled_config(const std::string& path,
+                                      const fi::Schedule* schedule = nullptr) {
+  serve::ServiceConfig config;
+  config.journal_path = path;
+  config.journal_fsync = common::durable::FsyncMode::kNever;
+  config.fault_schedule = schedule;
+  return config;
+}
+
+/// The (account, version) pair fully determines the update payload, so any
+/// acked version can be re-derived for a reference service.
+std::string journal_update(const std::string& account, std::uint64_t version) {
+  return common::format(
+      R"(SNAPSHOT_UPDATE %s {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+      R"("reservations":[[1,100,%llu],[2,0,50]],"version":%llu})",
+      account.c_str(), static_cast<unsigned long long>(200 + 7 * version),
+      static_cast<unsigned long long>(version));
+}
+
+struct JournalStep {
+  const char* account;
+  std::uint64_t version;
+};
+
+constexpr JournalStep kJournalSequence[] = {
+    {"acme", 1}, {"globex", 1}, {"acme", 2}, {"globex", 2}, {"acme", 3}};
+
+const char* const kJournalReads[] = {
+    "ADVISE acme 1",      "ADVISE acme 2",         "ADVISE globex 1",
+    "BREAKEVEN acme 0.5", "BREAKEVEN globex 0.25",
+};
+
+std::uint64_t account_version(const serve::AdvisorService& service,
+                              const std::string& account) {
+  const auto snapshot = service.snapshots().lookup(account);
+  return snapshot == nullptr ? 0 : snapshot->version;
+}
+
+/// True when (acme, globex) versions correspond to some prefix of
+/// kJournalSequence — the only states a truncate-at-corruption recovery may
+/// surface when every update in the sequence was acked.
+bool is_prefix_state(std::uint64_t acme, std::uint64_t globex) {
+  std::uint64_t a = 0;
+  std::uint64_t g = 0;
+  if (acme == a && globex == g) {
+    return true;
+  }
+  for (const JournalStep& step : kJournalSequence) {
+    (std::string_view(step.account) == "acme" ? a : g) = step.version;
+    if (acme == a && globex == g) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ChaosJournal, RandomSchedulesNeverLoseAckedUpdates) {
+  // Randomized fault schedules over every journal site: whatever gets
+  // rejected, the acked subset must survive the kill byte-for-byte, and a
+  // rejected update must leave no trace (the store holds max-acked, never a
+  // half-applied or rolled-back version).
+  const std::array<std::string_view, 4> sites = {fi::kSiteJournalAppend,
+                                                 fi::kSiteJournalFsync,
+                                                 fi::kSiteJournalCompact,
+                                                 fi::kSiteDurableWrite};
+  const std::uint64_t base = chaos_base_seed() + 4000;
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_acked = 0;
+  for (int i = 0; i < 25; ++i) {
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+    const std::string path =
+        testing::TempDir() + "/rimarket_chaos_journal_" + std::to_string(i) + ".log";
+    std::remove(path.c_str());
+
+    std::map<std::string, std::uint64_t> acked;
+    std::vector<std::string> expected;
+    {
+      serve::AdvisorService service(journaled_config(path, &schedule));
+      ASSERT_TRUE(service.journal_enabled());
+      for (const JournalStep& step : kJournalSequence) {
+        const std::string response =
+            service.handle_line(journal_update(step.account, step.version));
+        if (response.rfind("OK ", 0) == 0) {
+          acked[step.account] = step.version;
+          ++total_acked;
+        } else {
+          ++total_rejected;
+        }
+      }
+      // The reads only touch the in-memory store; the schedule's journal
+      // rules cannot fire here, so these are the killed service's answers.
+      for (const char* read : kJournalReads) {
+        expected.push_back(service.handle_line(read));
+      }
+      // SIGKILL equivalent: scope exit, no flush, no handshake.
+    }
+
+    serve::AdvisorService recovered(journaled_config(path));
+    ASSERT_TRUE(recovered.journal_enabled());
+    for (const JournalStep& step : kJournalSequence) {
+      const auto it = acked.find(step.account);
+      const std::uint64_t want = it == acked.end() ? 0 : it->second;
+      EXPECT_EQ(account_version(recovered, step.account), want) << step.account;
+    }
+    for (std::size_t r = 0; r < std::size(kJournalReads); ++r) {
+      EXPECT_EQ(recovered.handle_line(kJournalReads[r]), expected[r]) << kJournalReads[r];
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  // Non-vacuous: the schedules rejected some updates and spared others.
+  EXPECT_GT(total_rejected, 0u);
+  EXPECT_GT(total_acked, 0u);
+}
+
+TEST(ChaosJournal, RecoveryFaultsAlwaysLeaveAServableConsistentPrefix) {
+  // Faults during startup replay (kSiteJournalRecover fires per record,
+  // under the process-global schedule: recovery runs in the constructor,
+  // outside any request scope).  The service must always start, surface
+  // some prefix of the update sequence — never a gap — and a second,
+  // fault-free restart must land on exactly the same state with nothing
+  // left to truncate.
+  const std::string path = testing::TempDir() + "/rimarket_chaos_recover.log";
+  std::remove(path.c_str());
+  {
+    serve::AdvisorService writer(journaled_config(path));
+    for (const JournalStep& step : kJournalSequence) {
+      ASSERT_EQ(writer.handle_line(journal_update(step.account, step.version)).rfind("OK ", 0),
+                0u);
+    }
+  }
+  const std::string pristine = common::read_file(path).value();
+
+  const std::uint64_t base = chaos_base_seed() + 5000;
+  std::uint64_t total_truncated = 0;
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(common::write_file(path, pristine));
+    const std::array<std::string_view, 1> sites = {fi::kSiteJournalRecover};
+    const fi::Schedule schedule = fi::Schedule::random(base + static_cast<std::uint64_t>(i),
+                                                       std::span<const std::string_view>(sites));
+    SCOPED_TRACE(schedule.to_string());
+    std::uint64_t acme = 0;
+    std::uint64_t globex = 0;
+    {
+      ScopedGlobalSchedule installed(schedule);
+      serve::AdvisorService faulted(journaled_config(path));
+      acme = account_version(faulted, "acme");
+      globex = account_version(faulted, "globex");
+      EXPECT_TRUE(is_prefix_state(acme, globex)) << acme << "/" << globex;
+      total_truncated +=
+          static_cast<std::uint64_t>(faulted.metrics().get("serve.journal.truncated_bytes")
+                                         .value_or(0.0));
+      // Whatever recovery salvaged, the service serves it.
+      EXPECT_EQ(faulted.handle_line("PING"), "OK {\"service\":\"rimarket_serve\"}");
+    }
+    // The faulting recovery physically truncated the file at the record it
+    // distrusted, so a clean restart sees a wholly valid journal and the
+    // identical state.
+    serve::AdvisorService clean(journaled_config(path));
+    EXPECT_EQ(clean.metrics().get("serve.journal.truncated_bytes"), 0.0);
+    EXPECT_EQ(account_version(clean, "acme"), acme);
+    EXPECT_EQ(account_version(clean, "globex"), globex);
+  }
+  EXPECT_GT(total_truncated, 0u);  // the schedules actually bit
+  std::remove(path.c_str());
+}
+
+TEST(ChaosJournal, RandomByteCorruptionNeverPreventsStartup) {
+  // Flip one seeded byte anywhere in the journal: recovery must come up on
+  // a consistent prefix (CRC framing refuses everything from the damaged
+  // record on), keep serving, and accept new updates.
+  const std::string path = testing::TempDir() + "/rimarket_chaos_corrupt.log";
+  std::remove(path.c_str());
+  {
+    serve::AdvisorService writer(journaled_config(path));
+    for (const JournalStep& step : kJournalSequence) {
+      ASSERT_EQ(writer.handle_line(journal_update(step.account, step.version)).rfind("OK ", 0),
+                0u);
+    }
+  }
+  const std::string pristine = common::read_file(path).value();
+  ASSERT_FALSE(pristine.empty());
+
+  std::uint64_t state = chaos_base_seed() + 6000;
+  for (int i = 0; i < 40; ++i) {
+    std::string damaged = pristine;
+    const std::size_t at = static_cast<std::size_t>(common::splitmix64(state)) % damaged.size();
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x5A);
+    ASSERT_TRUE(common::write_file(path, damaged));
+    SCOPED_TRACE("flipped byte " + std::to_string(at));
+
+    serve::AdvisorService recovered(journaled_config(path));
+    ASSERT_TRUE(recovered.journal_enabled());
+    const std::uint64_t acme = account_version(recovered, "acme");
+    const std::uint64_t globex = account_version(recovered, "globex");
+    EXPECT_TRUE(is_prefix_state(acme, globex)) << acme << "/" << globex;
+    EXPECT_GT(recovered.metrics().get("serve.journal.truncated_bytes").value_or(0.0), 0.0);
+    // Still a live, durable service: the next update lands and survives.
+    ASSERT_EQ(recovered.handle_line(journal_update("acme", acme + 1)).rfind("OK ", 0), 0u);
+    serve::AdvisorService after(journaled_config(path));
+    EXPECT_EQ(account_version(after, "acme"), acme + 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChaosJournal, CompactionFaultDegradesWithoutResidueOrDataLoss) {
+  // An injected fault in the rename window of compaction's atomic_replace:
+  // the hit order inside a compacting request is append (1), replace entry
+  // (2), pre-rename (3).  The tmp file must be cleaned up, the update still
+  // acked against the old (uncompacted) log, and every version recoverable.
+  fi::Rule rule;
+  rule.site_pattern = std::string(fi::kSiteDurableWrite);
+  rule.nth_hit = 3;
+  const fi::Schedule schedule(31, {rule});
+  const std::string path = testing::TempDir() + "/rimarket_chaos_compact.log";
+  std::remove(path.c_str());
+  serve::ServiceConfig config = journaled_config(path, &schedule);
+  config.journal_compact_bytes = 256;  // every update past the first few compacts
+  {
+    serve::AdvisorService service(config);
+    for (std::uint64_t version = 1; version <= 12; ++version) {
+      ASSERT_EQ(service.handle_line(journal_update("acme", version)).rfind("OK ", 0), 0u)
+          << version;
+      EXPECT_FALSE(common::read_file(path + ".tmp").has_value()) << version;
+    }
+    // Every compaction attempt died in the replace window; the log degraded
+    // to append-only growth instead of losing it.
+    EXPECT_EQ(service.metrics().get("serve.journal.compactions").value_or(0.0), 0.0);
+  }
+  serve::AdvisorService recovered(journaled_config(path));
+  EXPECT_EQ(account_version(recovered, "acme"), 12u);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosJournal, WiresTheDocumentedSites) {
+  const std::string path = testing::TempDir() + "/rimarket_chaos_journal_sites.log";
+  std::remove(path.c_str());
+  serve::ServiceConfig config = journaled_config(path);
+  config.journal_compact_bytes = 128;
+  {  // Appends, fsync points, a successful compaction (durable write).
+    serve::AdvisorService service(config);
+    for (std::uint64_t version = 1; version <= 6; ++version) {
+      ASSERT_EQ(service.handle_line(journal_update("acme", version)).rfind("OK ", 0), 0u);
+    }
+  }
+  {  // Restart replays the compacted journal (recover site).
+    serve::AdvisorService service(journaled_config(path));
+    ASSERT_GT(account_version(service, "acme"), 0u);
+  }
+  const std::vector<std::string> sites = fi::seen_sites();
+  const std::set<std::string> seen(sites.begin(), sites.end());
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteDurableWrite)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteJournalAppend)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteJournalFsync)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteJournalCompact)));
+  EXPECT_TRUE(seen.count(std::string(fi::kSiteJournalRecover)));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,398 @@
+// Snapshot-journal contract tests: bit-exact record round-trips, startup
+// recovery that truncates at the first bad record and replays the valid
+// prefix, compaction, and the service-level proof that a recovered
+// AdvisorService answers byte-identically to one that never died.
+#include "serve/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "serve/service.hpp"
+
+namespace rimarket::serve {
+namespace {
+
+using common::durable::FsyncMode;
+
+std::string temp_journal(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+AccountSnapshot sample_snapshot(std::string account, std::uint64_t version) {
+  AccountSnapshot snapshot;
+  snapshot.account = std::move(account);
+  snapshot.version = version;
+  snapshot.now = 5000 + static_cast<Hour>(version);
+  snapshot.selling_discount = Fraction{1.0 / 3.0};  // not representable in decimal
+  snapshot.type.name = "d2.xlarge";
+  snapshot.type.on_demand_hourly = Rate{0.691};
+  snapshot.type.upfront = Money{3997.0};
+  snapshot.type.reserved_hourly = Rate{0.1};
+  snapshot.type.term = 3 * kHoursPerYear;
+  snapshot.reservations = {ReservationState{1, 100, 200},
+                           ReservationState{7, 2500, 1000},
+                           ReservationState{9, 4999, 0}};
+  return snapshot;
+}
+
+/// Opens a journal over `path`, publishing into `store`; returns the stats.
+RecoveryStats recover_into(SnapshotStore& store, const std::string& path) {
+  SnapshotJournal journal;
+  RecoveryStats stats;
+  EXPECT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 0},
+                           [&store](AccountSnapshot&& snapshot) {
+                             const std::uint64_t version = snapshot.version;
+                             return store.publish_at(std::move(snapshot), version);
+                           },
+                           &stats));
+  return stats;
+}
+
+TEST(JournalRecord, SerializeParseRoundTripIsBitExact) {
+  const AccountSnapshot original = sample_snapshot("acct-42", 17);
+  const std::string record = SnapshotJournal::serialize_snapshot(original);
+  ASSERT_FALSE(record.empty());
+  AccountSnapshot parsed;
+  ASSERT_TRUE(SnapshotJournal::parse_snapshot(record, parsed));
+  EXPECT_EQ(parsed.account, original.account);
+  EXPECT_EQ(parsed.version, original.version);
+  EXPECT_EQ(parsed.now, original.now);
+  // Hexfloat round-trip: bit-exact, not just approximately equal.
+  EXPECT_EQ(parsed.selling_discount.value(), original.selling_discount.value());
+  EXPECT_EQ(parsed.type.name, original.type.name);
+  EXPECT_EQ(parsed.type.on_demand_hourly.value(), original.type.on_demand_hourly.value());
+  EXPECT_EQ(parsed.type.upfront.value(), original.type.upfront.value());
+  EXPECT_EQ(parsed.type.reserved_hourly.value(), original.type.reserved_hourly.value());
+  EXPECT_EQ(parsed.type.term, original.type.term);
+  EXPECT_EQ(parsed.reservations, original.reservations);
+  // Serializing the parsed snapshot reproduces the record byte for byte.
+  EXPECT_EQ(SnapshotJournal::serialize_snapshot(parsed), record);
+}
+
+TEST(JournalRecord, SerializeRefusesUnjournalableSnapshots) {
+  AccountSnapshot unversioned = sample_snapshot("a", 1);
+  unversioned.version = 0;
+  EXPECT_EQ(SnapshotJournal::serialize_snapshot(unversioned), "");
+  AccountSnapshot spaced = sample_snapshot("a b", 1);
+  EXPECT_EQ(SnapshotJournal::serialize_snapshot(spaced), "");
+  AccountSnapshot bad_name = sample_snapshot("a", 1);
+  bad_name.type.name = "two words";
+  EXPECT_EQ(SnapshotJournal::serialize_snapshot(bad_name), "");
+}
+
+TEST(JournalRecord, ParseRejectsMalformedRecords) {
+  AccountSnapshot out;
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot("", out));
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot("not a snapshot", out));
+  const std::string good = SnapshotJournal::serialize_snapshot(sample_snapshot("a", 3));
+  ASSERT_TRUE(SnapshotJournal::parse_snapshot(good, out));
+  // Field-level damage that the CRC cannot catch must fail the parse: a
+  // contract-violating discount, version 0, unsorted rows, rows from the
+  // future.  None may reach Fraction{}/Rate{} and abort.
+  const auto corrupt = [&good](std::string_view from, std::string_view to) {
+    std::string record = good;
+    const std::size_t at = record.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    record.replace(at, from.size(), to);
+    return record;
+  };
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot(corrupt("snap a 3", "snap a 0"), out));
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot(corrupt("snap a 3", "snap a x"), out));
+  const std::string discount_hex = common::format("%a", 1.0 / 3.0);
+  EXPECT_FALSE(
+      SnapshotJournal::parse_snapshot(corrupt(discount_hex, "0x1.8p+1"), out));  // 3.0 > 1
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot(corrupt("r 1 100 200", "r 1 100200"), out));
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot(corrupt("r 7 2500", "r 1 2500"), out));
+  EXPECT_FALSE(
+      SnapshotJournal::parse_snapshot(corrupt("r 9 4999 0", "r 9 999999 0"), out));
+  EXPECT_FALSE(SnapshotJournal::parse_snapshot(good + "trailing garbage", out));
+}
+
+TEST(Journal, DisabledJournalIsInert) {
+  SnapshotJournal journal;
+  RecoveryStats stats;
+  ASSERT_TRUE(journal.open(JournalConfig{"", FsyncMode::kAlways, 1024}, nullptr, &stats));
+  EXPECT_FALSE(journal.enabled());
+  EXPECT_FALSE(journal.append_update(sample_snapshot("a", 1)));
+  EXPECT_FALSE(journal.should_compact());
+  EXPECT_EQ(journal.size_bytes(), 0u);
+}
+
+TEST(Journal, AppendThenRecoverReplaysEveryAccount) {
+  const std::string path = temp_journal("journal_replay.log");
+  {
+    SnapshotJournal journal;
+    ASSERT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 0}, nullptr, nullptr));
+    ASSERT_TRUE(journal.enabled());
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 1)));
+    ASSERT_TRUE(journal.append_update(sample_snapshot("beta", 1)));
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 2)));
+  }
+  SnapshotStore store;
+  const RecoveryStats stats = recover_into(store, path);
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_EQ(stats.records_skipped, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  EXPECT_FALSE(stats.reset);
+  ASSERT_NE(store.lookup("alpha"), nullptr);
+  EXPECT_EQ(store.lookup("alpha")->version, 2u);
+  EXPECT_EQ(store.lookup("beta")->version, 1u);
+  // Replaying the same journal into the same store is a no-op: every
+  // record's version is already current or older.
+  const RecoveryStats again = recover_into(store, path);
+  EXPECT_EQ(again.records_replayed, 0u);
+  EXPECT_EQ(again.records_skipped, 3u);
+  EXPECT_EQ(store.lookup("alpha")->version, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RecoveryTruncatesTornTailAtEveryByteBoundary) {
+  // SIGKILL can land mid-write at any byte.  For every cut point inside the
+  // final record, recovery must keep exactly the preceding records, shrink
+  // the file to that prefix, and leave a journal that accepts new appends.
+  const std::string path = temp_journal("journal_torn.log");
+  {
+    SnapshotJournal journal;
+    ASSERT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 0}, nullptr, nullptr));
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 1)));
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 2)));
+  }
+  const std::string full = common::read_file(path).value();
+  const std::size_t first_end =
+      common::durable::read_records(path).records[0].end_offset;
+  for (std::size_t cut = first_end + 1; cut < full.size(); cut += 7) {
+    ASSERT_TRUE(common::write_file(path, full.substr(0, cut)));
+    SnapshotStore store;
+    const RecoveryStats stats = recover_into(store, path);
+    EXPECT_EQ(stats.records_replayed, 1u) << "cut=" << cut;
+    EXPECT_EQ(stats.truncated_bytes, cut - first_end) << "cut=" << cut;
+    ASSERT_NE(store.lookup("alpha"), nullptr);
+    EXPECT_EQ(store.lookup("alpha")->version, 1u) << "cut=" << cut;
+    // The torn tail is physically gone: a second recovery sees a clean file.
+    EXPECT_EQ(common::read_file(path).value().size(), first_end);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RandomByteCorruptionNeverBreaksRecovery) {
+  // Flip one byte at a range of offsets: whatever is hit (header, CRC,
+  // payload), recovery must keep a consistent prefix — every recovered
+  // account is at some version that was journaled, and recovery is stable
+  // (a second open sees no further truncation).
+  const std::string path = temp_journal("journal_flip.log");
+  {
+    SnapshotJournal journal;
+    ASSERT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 0}, nullptr, nullptr));
+    for (std::uint64_t v = 1; v <= 4; ++v) {
+      ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", v)));
+    }
+  }
+  const std::string full = common::read_file(path).value();
+  for (std::size_t at = 0; at < full.size(); at += 11) {
+    std::string damaged = full;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x5A);
+    ASSERT_TRUE(common::write_file(path, damaged));
+    SnapshotStore store;
+    const RecoveryStats stats = recover_into(store, path);
+    EXPECT_FALSE(stats.reset);
+    const auto snapshot = store.lookup("alpha");
+    if (snapshot != nullptr) {
+      EXPECT_GE(snapshot->version, 1u);
+      EXPECT_LE(snapshot->version, 4u);
+    }
+    SnapshotStore second_store;
+    const RecoveryStats second = recover_into(second_store, path);
+    EXPECT_EQ(second.truncated_bytes, 0u) << "at=" << at;
+    const auto replayed = second_store.lookup("alpha");
+    EXPECT_EQ(replayed == nullptr, snapshot == nullptr);
+    if (replayed != nullptr && snapshot != nullptr) {
+      EXPECT_EQ(replayed->version, snapshot->version) << "at=" << at;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CrcValidButUnparsableRecordStartsTheCorruptTail) {
+  const std::string path = temp_journal("journal_unparsable.log");
+  {
+    SnapshotJournal journal;
+    ASSERT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 0}, nullptr, nullptr));
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 1)));
+  }
+  // Append a perfectly framed record whose payload is not a snapshot, then
+  // a valid record behind it: prefix recovery must drop both.
+  std::string contents = common::read_file(path).value();
+  const std::size_t good_end = contents.size();
+  common::durable::frame_record("snap is not what this is", contents);
+  common::durable::frame_record(
+      SnapshotJournal::serialize_snapshot(sample_snapshot("alpha", 9)), contents);
+  ASSERT_TRUE(common::write_file(path, contents));
+  SnapshotStore store;
+  const RecoveryStats stats = recover_into(store, path);
+  EXPECT_EQ(stats.records_replayed, 1u);
+  EXPECT_EQ(stats.truncated_bytes, contents.size() - good_end);
+  EXPECT_EQ(store.lookup("alpha")->version, 1u);
+  EXPECT_EQ(common::read_file(path).value().size(), good_end);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompactionRewritesOneRecordPerAccountAndRecovers) {
+  const std::string path = temp_journal("journal_compact.log");
+  SnapshotJournal journal;
+  ASSERT_TRUE(journal.open(JournalConfig{path, FsyncMode::kNever, 256}, nullptr, nullptr));
+  std::vector<std::shared_ptr<const AccountSnapshot>> live;
+  for (std::uint64_t v = 1; v <= 20; ++v) {
+    ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", v)));
+  }
+  ASSERT_TRUE(journal.append_update(sample_snapshot("beta", 5)));
+  ASSERT_TRUE(journal.should_compact());
+  const std::size_t before = journal.size_bytes();
+  live.push_back(
+      std::make_shared<const AccountSnapshot>(sample_snapshot("alpha", 20)));
+  live.push_back(std::make_shared<const AccountSnapshot>(sample_snapshot("beta", 5)));
+  live.push_back(nullptr);  // a vanished slot must be skipped, not crash
+  ASSERT_TRUE(journal.compact(live));
+  EXPECT_LT(journal.size_bytes(), before);
+  // The compacted log still accepts appends, and recovery sees exactly the
+  // latest version per account.
+  ASSERT_TRUE(journal.append_update(sample_snapshot("alpha", 21)));
+  SnapshotStore store;
+  const RecoveryStats stats = recover_into(store, path);
+  EXPECT_EQ(stats.records_replayed, 3u);  // alpha@20, beta@5, alpha@21
+  EXPECT_EQ(store.lookup("alpha")->version, 21u);
+  EXPECT_EQ(store.lookup("beta")->version, 5u);
+  std::remove(path.c_str());
+}
+
+// --- Service-level recovery ------------------------------------------------
+
+ServiceConfig journaled_config(const std::string& path) {
+  ServiceConfig config;
+  config.journal_path = path;
+  config.journal_fsync = common::durable::FsyncMode::kNever;
+  return config;
+}
+
+const char* const kUpdates[] = {
+    R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+    R"("reservations":[[1,100,200],[2,100,8000]],"version":1})",
+    R"(SNAPSHOT_UPDATE globex {"instance":"d2.xlarge","discount":0.5,"now":6000,)"
+    R"("reservations":[[3,0,5000]],"version":1})",
+    R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9500,)"
+    R"("reservations":[[1,100,400],[2,100,8400]],"version":2})",
+};
+
+const char* const kReads[] = {
+    "ADVISE acme 1",  "ADVISE acme 2",        "ADVISE globex 3",
+    "BREAKEVEN acme 0.5", "BREAKEVEN globex 0.25",
+};
+
+TEST(JournaledService, RestartAnswersByteIdenticallyToUninterruptedRun) {
+  const std::string path = temp_journal("journal_service.log");
+  AdvisorService uninterrupted(journaled_config(temp_journal("journal_service_ref.log")));
+  std::vector<std::string> expected;
+  for (const char* update : kUpdates) {
+    ASSERT_EQ(uninterrupted.handle_line(update).rfind("OK ", 0), 0u);
+  }
+  for (const char* read : kReads) {
+    expected.push_back(uninterrupted.handle_line(read));
+  }
+  {
+    AdvisorService service(journaled_config(path));
+    ASSERT_TRUE(service.journal_enabled());
+    for (const char* update : kUpdates) {
+      ASSERT_EQ(service.handle_line(update).rfind("OK ", 0), 0u);
+    }
+    // The service dies here without any shutdown handshake (destructor only
+    // joins workers; nothing extra is flushed — durability came from the
+    // per-update append+fsync discipline).
+  }
+  AdvisorService recovered(journaled_config(path));
+  ASSERT_TRUE(recovered.journal_enabled());
+  EXPECT_EQ(recovered.metrics().get("serve.journal.records_replayed"), 3.0);
+  EXPECT_EQ(recovered.metrics().get("serve.journal.truncated_bytes"), 0.0);
+  for (std::size_t i = 0; i < std::size(kReads); ++i) {
+    EXPECT_EQ(recovered.handle_line(kReads[i]), expected[i]) << kReads[i];
+  }
+  // Versions survived: the acked update re-sent is idempotent, an older one
+  // is stale — the service never silently regresses to pre-crash state.
+  EXPECT_NE(recovered.handle_line(kUpdates[2]).find("\"idempotent\":true"),
+            std::string::npos);
+  const std::string stale = recovered.handle_line(kUpdates[0]);
+  EXPECT_EQ(stale.rfind("ERROR ", 0), 0u) << stale;
+  EXPECT_NE(stale.find("current version is 2"), std::string::npos) << stale;
+  // METRICS still serves and carries the journal counters.
+  EXPECT_NE(recovered.handle_line("METRICS").find("serve.journal.records_replayed"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournaledService, TruncatedTailRecoversPrefixAndKeepsServing) {
+  const std::string path = temp_journal("journal_service_torn.log");
+  {
+    AdvisorService service(journaled_config(path));
+    for (const char* update : kUpdates) {
+      ASSERT_EQ(service.handle_line(update).rfind("OK ", 0), 0u);
+    }
+  }
+  // Tear the last record (acme v2): the restart must come up on acme v1 +
+  // globex v1 — a consistent prefix, never a half-applied update.
+  const std::string full = common::read_file(path).value();
+  ASSERT_TRUE(common::write_file(path, full.substr(0, full.size() - 5)));
+  AdvisorService recovered(journaled_config(path));
+  ASSERT_TRUE(recovered.journal_enabled());
+  EXPECT_EQ(recovered.metrics().get("serve.journal.records_replayed"), 2.0);
+  EXPECT_GT(recovered.metrics().get("serve.journal.truncated_bytes").value_or(0.0), 0.0);
+  ASSERT_NE(recovered.snapshots().lookup("acme"), nullptr);
+  EXPECT_EQ(recovered.snapshots().lookup("acme")->version, 1u);
+  // The torn update was never acknowledged as recovered — re-sending it
+  // succeeds and lands as version 2 again.
+  EXPECT_EQ(recovered.handle_line(kUpdates[2]).rfind("OK ", 0), 0u);
+  EXPECT_EQ(recovered.snapshots().lookup("acme")->version, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JournaledService, CompactionTriggersAndStateSurvivesIt) {
+  const std::string path = temp_journal("journal_service_compact.log");
+  ServiceConfig config = journaled_config(path);
+  config.journal_compact_bytes = 512;
+  AdvisorService service(config);
+  for (int round = 0; round < 30; ++round) {
+    const std::string update = common::format(
+        R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+        R"("reservations":[[1,100,%d]]})",
+        200 + round);
+    ASSERT_EQ(service.handle_line(update).rfind("OK ", 0), 0u);
+  }
+  EXPECT_GT(service.metrics().get("serve.journal.compactions").value_or(0.0), 0.0);
+  const std::string answer = service.handle_line("ADVISE acme 1");
+  AdvisorService recovered(journaled_config(path));
+  EXPECT_EQ(recovered.snapshots().lookup("acme")->version, 30u);
+  EXPECT_EQ(recovered.handle_line("ADVISE acme 1"), answer);
+  std::remove(path.c_str());
+}
+
+TEST(JournaledService, UnopenableJournalDegradesButServiceStarts) {
+  // The configured journal path is a directory: recovery cannot open it for
+  // append.  The service must still start and serve, just non-durably.
+  const std::string dir = ::testing::TempDir();
+  AdvisorService service(journaled_config(dir));
+  EXPECT_FALSE(service.journal_enabled());
+  EXPECT_EQ(service.handle_line("PING"), "OK {\"service\":\"rimarket_serve\"}");
+  EXPECT_EQ(service
+                .handle_line(R"(SNAPSHOT_UPDATE a {"instance":"d2.xlarge","now":10,)"
+                             R"("reservations":[[1,0,0]]})")
+                .rfind("OK ", 0),
+            0u);
+}
+
+}  // namespace
+}  // namespace rimarket::serve

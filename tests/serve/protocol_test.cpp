@@ -82,6 +82,45 @@ TEST(Protocol, OversizedRequestIsRejectedBeforeParsing) {
   EXPECT_NE(parse_error(huge).find("exceeds"), std::string::npos);
 }
 
+TEST(Protocol, LineCapBoundaryExactlyAtCapParses) {
+  // The cap applies to the raw line *before* trimming: a request padded to
+  // exactly kMaxRequestBytes is accepted, one more byte is an ERROR (the
+  // message names both sizes), never a disconnect.
+  std::string at_cap = "PING";
+  at_cap.resize(kMaxRequestBytes, ' ');
+  ASSERT_EQ(at_cap.size(), kMaxRequestBytes);
+  std::string message;
+  const auto request = parse_request(at_cap, &message);
+  ASSERT_TRUE(request.has_value()) << message;
+  EXPECT_EQ(request->verb, Verb::kPing);
+
+  const std::string over_cap = at_cap + " ";
+  const std::string diagnostic = parse_error(over_cap);
+  EXPECT_NE(diagnostic.find("65537 bytes"), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("65536-byte limit"), std::string::npos) << diagnostic;
+}
+
+TEST(Protocol, SnapshotVersionIsOptionalAndValidated) {
+  std::string message;
+  const auto unversioned = parse_request(
+      R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[]})", &message);
+  ASSERT_TRUE(unversioned.has_value()) << message;
+  EXPECT_EQ(unversioned->snapshot.version, 0u);
+  const auto versioned = parse_request(
+      R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,"reservations":[],"version":12})",
+      &message);
+  ASSERT_TRUE(versioned.has_value()) << message;
+  EXPECT_EQ(versioned->snapshot.version, 12u);
+  // 0, negatives, fractions and garbage are all protocol errors.
+  for (const char* bad : {"0", "-3", "1.5", "\"seven\"", "null", "1e99"}) {
+    const std::string line = std::string(R"(SNAPSHOT_UPDATE a {"instance":"x","now":10,)") +
+                             R"("reservations":[],"version":)" + bad + "}";
+    EXPECT_NE(parse_error(line).find("\"version\" must be a positive integer"),
+              std::string::npos)
+        << line;
+  }
+}
+
 TEST(Protocol, BadAccountsAreErrors) {
   EXPECT_NE(parse_error("ADVISE"), "");                        // missing entirely
   EXPECT_NE(parse_error("ADVISE bad$name 1"), "");             // charset

@@ -117,16 +117,55 @@ TEST(Replay, ReportJsonAndRenderShape) {
   const std::vector<std::string> trace = {"PING", "PING", "BAD"};
   const LatencyReport report = ReplayDriver().replay(trace);
   const std::string json = report.to_json();
-  EXPECT_EQ(json.find("{\"endpoints\":{"), 0u) << json;
+  EXPECT_EQ(json.find("{\"busy_rejections\":0,\"endpoints\":{"), 0u) << json;
   EXPECT_NE(json.find("\"ping\":{\"count\":2,"), std::string::npos) << json;
   EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
   EXPECT_NE(json.find("\"requests\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"journal\":{\"records_replayed\":0,\"truncated_bytes\":0}"),
+            std::string::npos)
+      << json;
   // responses never leak into the artifact.
   EXPECT_EQ(json.find("OK"), std::string::npos);
   const std::string table = report.render();
   EXPECT_NE(table.find("endpoint"), std::string::npos);
   EXPECT_NE(table.find("p99_us"), std::string::npos);
-  EXPECT_NE(table.find("requests 3, errors 1, gate stalls 0"), std::string::npos);
+  EXPECT_NE(table.find("requests 3, errors 1, gate stalls 0, busy 0"), std::string::npos);
+  EXPECT_NE(table.find("journal: 0 records replayed, 0 bytes truncated"), std::string::npos);
+}
+
+TEST(Replay, JournalFieldsSurfaceStartupRecovery) {
+  // First replay writes the journal; the second starts its service on the
+  // same file and must report the replayed records in its artifact.
+  const std::string path = testing::TempDir() + "/rimarket_replay_journal.log";
+  std::remove(path.c_str());
+  RequestTraceSpec spec = small_spec();
+  spec.requests = 20;
+  const auto trace = generate_request_trace(spec, 5);
+  ReplayConfig config;
+  config.journal_path = path;
+  const LatencyReport first = ReplayDriver(config).replay(trace);
+  EXPECT_EQ(first.journal_records_replayed, 0u);
+  EXPECT_EQ(first.errors, 0u);
+  const LatencyReport second = ReplayDriver(config).replay(trace);
+  // Every account got at least its initial load journaled in round one.
+  EXPECT_GE(second.journal_records_replayed, spec.accounts);
+  EXPECT_EQ(second.journal_truncated_bytes, 0u);
+  EXPECT_EQ(second.errors, 0u);
+  const std::string json = second.to_json();
+  EXPECT_EQ(json.find("\"journal\":{\"records_replayed\":0,"), std::string::npos) << json;
+  std::remove(path.c_str());
+}
+
+TEST(Replay, BusyRejectionsCountedInReport) {
+  // A one-slot gate with multiple workers forces at least one BUSY answer
+  // from the service; the driver retries, and the counter surfaces it.
+  ReplayConfig config;
+  config.threads = 2;
+  config.max_pending = 1;
+  const auto trace = generate_request_trace(small_spec(), 9);
+  const LatencyReport report = ReplayDriver(config).replay(trace);
+  // Every driver stall started with the service answering kBusy once.
+  EXPECT_GE(report.busy_rejections, report.gate_stalls);
 }
 
 TEST(Replay, FileRoundTripSkipsBlankAndCommentLines) {

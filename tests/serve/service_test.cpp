@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.hpp"
+
 namespace rimarket::serve {
 namespace {
 
@@ -127,7 +129,7 @@ TEST(AdvisorService, SubmitRunsOnWorkersAndDrains) {
   }
   // Everything admitted was answered; nothing was silently dropped.
   EXPECT_EQ(answered + busy, kRequests);
-  EXPECT_EQ(service.metrics().get("serve.requests.busy").value_or(0.0),
+  EXPECT_EQ(service.metrics().get("serve.busy_rejections").value_or(0.0),
             static_cast<double>(busy));
   EXPECT_EQ(service.metrics().get("serve.requests.total"),
             static_cast<double>(answered + 1));  // +1 for the snapshot load
@@ -153,7 +155,98 @@ TEST(AdvisorService, FullGateAnswersBusyDeterministically) {
   release.set_value();
   service.wait_idle();
   EXPECT_FALSE(second_ran.load());
-  EXPECT_EQ(service.metrics().get("serve.requests.busy"), 1.0);
+  EXPECT_EQ(service.metrics().get("serve.busy_rejections"), 1.0);
+}
+
+TEST(AdvisorService, ExplicitVersionsRegressionRejectedIdempotentAccepted) {
+  AdvisorService service;
+  const auto update = [](std::uint64_t version, std::string_view rows) {
+    return common::format(
+        R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+        R"("reservations":[%s],"version":%llu})",
+        std::string(rows).c_str(), static_cast<unsigned long long>(version));
+  };
+  EXPECT_EQ(service.handle_line(update(5, "[1,100,200],[2,100,8000]")),
+            "OK {\"account\":\"acme\",\"reservations\":2,\"version\":5}");
+  // Re-sending the acknowledged version (a crashed client's retry) is
+  // idempotent: OK, but the stored snapshot is untouched.
+  EXPECT_EQ(service.handle_line(update(5, "[1,100,200],[2,100,8000]")),
+            "OK {\"account\":\"acme\",\"idempotent\":true,\"reservations\":2,\"version\":5}");
+  EXPECT_EQ(service.snapshots().lookup("acme")->version, 5u);
+  // An older version must be rejected, naming both versions, and must not
+  // disturb the published state.
+  const std::string stale = service.handle_line(update(3, "[9,0,0]"));
+  EXPECT_EQ(stale.rfind("ERROR ", 0), 0u) << stale;
+  EXPECT_NE(stale.find("stale snapshot version 3"), std::string::npos) << stale;
+  EXPECT_NE(stale.find("current version is 5"), std::string::npos) << stale;
+  ASSERT_NE(service.snapshots().lookup("acme"), nullptr);
+  EXPECT_EQ(service.snapshots().lookup("acme")->version, 5u);
+  EXPECT_EQ(service.snapshots().lookup("acme")->reservations.size(), 2u);
+  // An unversioned update continues the monotonic sequence from 5.
+  EXPECT_EQ(service.handle_line(kLoad),
+            "OK {\"account\":\"acme\",\"reservations\":2,\"version\":6}");
+  // Version 0 is reserved: the protocol rejects it before the service runs.
+  EXPECT_NE(service.handle_line(update(0, "[1,0,0]")).find("positive integer"),
+            std::string::npos);
+}
+
+TEST(AdvisorService, VersionRegressionThroughAsyncPath) {
+  ServiceConfig config;
+  config.threads = 2;
+  config.max_pending = 16;
+  AdvisorService service(config);
+  const auto update = [](std::uint64_t version) {
+    return common::format(
+        R"(SNAPSHOT_UPDATE acme {"instance":"d2.xlarge","discount":0.8,"now":9000,)"
+        R"("reservations":[[1,100,200]],"version":%llu})",
+        static_cast<unsigned long long>(version));
+  };
+  const auto submit_and_wait = [&service](const std::string& line) {
+    std::string response;
+    EXPECT_EQ(service.submit(line,
+                             [&response](std::string r) { response = std::move(r); }),
+              AdvisorService::Admit::kAccepted);
+    service.wait_idle();
+    return response;
+  };
+  EXPECT_EQ(submit_and_wait(update(7)),
+            "OK {\"account\":\"acme\",\"reservations\":1,\"version\":7}");
+  const std::string stale = submit_and_wait(update(2));
+  EXPECT_EQ(stale.rfind("ERROR ", 0), 0u) << stale;
+  EXPECT_NE(stale.find("current version is 7"), std::string::npos) << stale;
+  EXPECT_EQ(submit_and_wait(update(7)),
+            "OK {\"account\":\"acme\",\"idempotent\":true,\"reservations\":1,\"version\":7}");
+  EXPECT_EQ(service.snapshots().lookup("acme")->version, 7u);
+}
+
+TEST(AdvisorService, LineCapBoundaryIsExact) {
+  // A request of exactly kMaxRequestBytes parses (the padding trims away);
+  // one byte more is rejected with an ERROR response, not a disconnect —
+  // through the synchronous and the asynchronous path alike.
+  AdvisorService service;
+  std::string at_cap = "PING";
+  at_cap.resize(kMaxRequestBytes, ' ');
+  ASSERT_EQ(at_cap.size(), kMaxRequestBytes);
+  EXPECT_EQ(service.handle_line(at_cap), "OK {\"service\":\"rimarket_serve\"}");
+  const std::string over_cap = at_cap + " ";
+  const std::string rejected = service.handle_line(over_cap);
+  EXPECT_EQ(rejected.rfind("ERROR ", 0), 0u) << rejected;
+  EXPECT_NE(rejected.find("exceeds the"), std::string::npos) << rejected;
+  // The service is still alive and serving after the oversized request.
+  EXPECT_EQ(service.handle_line("PING"), "OK {\"service\":\"rimarket_serve\"}");
+
+  std::string async_at_cap;
+  std::string async_over_cap;
+  ASSERT_EQ(service.submit(at_cap,
+                           [&async_at_cap](std::string r) { async_at_cap = std::move(r); }),
+            AdvisorService::Admit::kAccepted);
+  ASSERT_EQ(service.submit(
+                over_cap,
+                [&async_over_cap](std::string r) { async_over_cap = std::move(r); }),
+            AdvisorService::Admit::kAccepted);
+  service.wait_idle();
+  EXPECT_EQ(async_at_cap, "OK {\"service\":\"rimarket_serve\"}");
+  EXPECT_EQ(async_over_cap.rfind("ERROR ", 0), 0u) << async_over_cap;
 }
 
 TEST(AdvisorService, InterleavedUpdateDuringInFlightAdvises) {

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdio>
 #include <string>
@@ -365,6 +368,34 @@ TEST(BatchCheckpoint, QuarantineStateSurvivesResume) {
   }
   ASSERT_TRUE(finished);
   expect_reports_identical(oracle, final_report);
+}
+
+TEST(BatchCheckpoint, FailedCheckpointWriteLeavesNoTmpResidue) {
+  // The checkpoint path is a non-empty directory, so the durable replace
+  // fails at the rename step.  The sweep must still finish (checkpointing
+  // degrades to "none this round") and no `<path>.tmp` may be left behind —
+  // the old hand-rolled writer leaked it when a write failed.
+  const auto users = small_population(131, 2);
+  const EvaluationSpec spec = base_spec();
+  const std::string dir = temp_checkpoint_path("rimarket_batch_residue.dir");
+  const std::string occupant = dir + "/occupant";
+  std::remove(occupant.c_str());
+  ::rmdir(dir.c_str());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  ASSERT_TRUE(common::write_file(occupant, "x"));
+  BatchOptions options;
+  options.checkpoint_path = dir;
+  options.shard_size = 4;
+  const SweepReport oracle = evaluate_sweep(users, spec);
+  const SweepReport batch = evaluate_sweep_batch(users, spec, options);
+  expect_reports_identical(oracle, batch);
+  std::FILE* residue = std::fopen((dir + ".tmp").c_str(), "rb");
+  EXPECT_EQ(residue, nullptr) << "failed checkpoint write left " << dir << ".tmp behind";
+  if (residue != nullptr) {
+    std::fclose(residue);
+  }
+  std::remove(occupant.c_str());
+  ::rmdir(dir.c_str());
 }
 
 TEST(BatchCheckpoint, CorruptFileRestartsFresh) {

@@ -44,6 +44,9 @@ const std::vector<RuleInfo>& rule_table() {
        "the writer/parser extraction anchors still match batch_engine.cpp"},
       {"ckp.tag-mismatch", "checkpoint-format",
        "checkpoint writer tag set equals the parser's accepted set"},
+      {"state.atomic-write-discipline", "state-files",
+       "no raw std::rename/std::ofstream state writes in src/ outside "
+       "common/durable_file.cpp"},
       {"graph.lock-order-cycle", "rimgraph",
        "no cycles in the cross-TU mutex acquisition-order graph (--graph)"},
       {"graph.throw-under-lock", "rimgraph",
@@ -68,6 +71,7 @@ std::vector<Finding> run_rules(const Tree& tree, const std::vector<std::string>&
   check_locks(tree, findings);
   check_metrics(tree, findings);
   check_checkpoint(tree, findings);
+  check_state(tree, findings);
   if (with_graph) {
     check_graph(tree, findings);
   }

@@ -25,6 +25,8 @@
 //            in DESIGN.md / EXPERIMENTS.md
 //   ckp.*    checkpoint format: the record-tag set the batch-engine
 //            checkpoint writer emits equals the set its parser accepts
+//   state.*  atomic-write discipline: no raw std::rename / std::ofstream
+//            state writes in src/ outside common/durable_file.cpp
 //
 // A sixth, whole-program family ("rimgraph") runs behind `--graph`: it
 // builds a cross-TU function index, an approximate call graph, a
@@ -246,6 +248,7 @@ void check_fault_registry(const Tree& tree, std::vector<Finding>& findings);
 void check_locks(const Tree& tree, std::vector<Finding>& findings);
 void check_metrics(const Tree& tree, std::vector<Finding>& findings);
 void check_checkpoint(const Tree& tree, std::vector<Finding>& findings);
+void check_state(const Tree& tree, std::vector<Finding>& findings);
 void check_graph(const Tree& tree, std::vector<Finding>& findings);
 
 // ---------------------------------------------------------------------

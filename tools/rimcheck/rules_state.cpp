@@ -1,0 +1,94 @@
+// state.* — atomic-write discipline.
+//
+// Every state file the tree publishes (batch checkpoints, the snapshot
+// journal, its compacted replacement) must go through common/durable_file:
+// atomic_replace writes a temporary, fsyncs, renames, and removes the
+// temporary on every failure path; AppendLog owns the append+fsync+rollback
+// sequence.  A raw std::rename is exactly the historical checkpoint-writer
+// bug (leaked `.tmp`, torn visible state after a crash), and a raw
+// std::ofstream writes through a buffered stream with no fsync and no
+// atomicity at all.  This family keeps both out of src/ — only
+// common/durable_file.cpp, where the discipline is implemented, may use the
+// primitives.
+#include "rimcheck.hpp"
+
+namespace rimcheck {
+
+namespace {
+
+constexpr std::string_view kDurableHome = "common/durable_file.cpp";
+
+bool in_src(const std::string& path) { return path.rfind("src/", 0) == 0; }
+
+bool is_durable_home(const std::string& path) {
+  return path.size() >= kDurableHome.size() &&
+         path.compare(path.size() - kDurableHome.size(), kDurableHome.size(),
+                      kDurableHome) == 0;
+}
+
+/// True when the identifier at `pos` is qualified as the C library rename:
+/// `std::rename` or a global `::rename` (but not `name::rename` or a member
+/// `x.rename` / `ns::rename_file`, which are different functions).
+bool is_std_or_global_qualified(std::string_view code, std::size_t pos) {
+  if (pos >= 5 && code.compare(pos - 5, 5, "std::") == 0) {
+    return true;
+  }
+  if (pos >= 2 && code.compare(pos - 2, 2, "::") == 0) {
+    // Global qualification only: nothing identifier-like (or a further ':')
+    // may precede the `::`.
+    return pos == 2 || (!is_ident_char(code[pos - 3]) && code[pos - 3] != ':');
+  }
+  return false;
+}
+
+/// True when the occurrence is a call: the next non-space character is '('.
+bool is_call(std::string_view code, std::size_t after_token) {
+  std::size_t i = after_token;
+  while (i < code.size() && (code[i] == ' ' || code[i] == '\n')) {
+    ++i;
+  }
+  return i < code.size() && code[i] == '(';
+}
+
+}  // namespace
+
+void check_state(const Tree& tree, std::vector<Finding>& findings) {
+  for (const SourceFile& file : tree.files) {
+    if (!in_src(file.path) || is_durable_home(file.path)) {
+      continue;
+    }
+    std::size_t pos = 0;
+    while ((pos = find_identifier(file.code, "rename", pos)) != std::string_view::npos) {
+      const std::size_t after = pos + 6;
+      if (is_std_or_global_qualified(file.code, pos) && is_call(file.code, after)) {
+        Finding finding;
+        finding.rule = "state.atomic-write-discipline";
+        finding.file = file.path;
+        finding.line = line_of(file.code, pos);
+        finding.symbol = "rename";
+        finding.message =
+            "raw std::rename in src/; publish state files via "
+            "common::durable::atomic_replace / rename_file so the temporary is "
+            "fsynced and cleaned up on failure";
+        findings.push_back(std::move(finding));
+      }
+      pos = after;
+    }
+    pos = 0;
+    while ((pos = find_identifier(file.code, "ofstream", pos)) != std::string_view::npos) {
+      Finding finding;
+      finding.rule = "state.atomic-write-discipline";
+      finding.file = file.path;
+      finding.line = line_of(file.code, pos);
+      finding.symbol = "ofstream";
+      finding.message =
+          "std::ofstream in src/; stream writes are neither atomic nor synced — "
+          "use common::durable::atomic_replace (whole files) or "
+          "common::durable::AppendLog (logs)";
+      findings.push_back(std::move(finding));
+      pos += 8;
+    }
+  }
+}
+
+}  // namespace rimcheck

@@ -411,6 +411,52 @@ bool load_checkpoint(const std::vector<std::string>& tokens) {
 }
 
 // ---------------------------------------------------------------------
+// state.* fixtures.
+
+void state_fixtures() {
+  expect("state.raw_std_rename_flagged",
+         make_tree({make_file("src/sim/a.cpp",
+                              "bool publish() { return std::rename(\"a.tmp\", \"a\") == 0; }\n")}),
+         {"state.atomic-write-discipline/rename"});
+  expect("state.global_rename_flagged",
+         make_tree({make_file("src/sim/a.cpp",
+                              "bool publish() { return ::rename(\"a.tmp\", \"a\") == 0; }\n")}),
+         {"state.atomic-write-discipline/rename"});
+  expect("state.ofstream_flagged",
+         make_tree({make_file("src/io/a.cpp",
+                              "void dump() { std::ofstream out(\"state.txt\"); }\n")}),
+         {"state.atomic-write-discipline/ofstream"});
+  expect("state.durable_home_exempt",
+         make_tree({make_file("src/common/durable_file.cpp", R"fix(
+bool rename_file(const char* from, const char* to) {
+  return std::rename(from, to) == 0;
+}
+)fix")}),
+         {});
+  expect("state.tests_exempt",
+         make_tree({make_file("tests/sim/a_test.cpp",
+                              "std::ofstream out(\"x\");\nstd::rename(\"a\", \"b\");\n")}),
+         {});
+  expect("state.comments_and_strings_invisible",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+// std::rename(tmp, path) would leak the temporary here
+const char* doc = "call std::rename or std::ofstream";
+)fix")}),
+         {});
+  expect("state.other_renames_clean",
+         make_tree({make_file("src/sim/a.cpp", R"fix(
+void f(Catalog& catalog) {
+  catalog.rename("old", "new");
+  common::durable::rename_file("a", "b");
+  fs::rename(src, dst);
+  int rename = 3;
+  (void)rename;
+}
+)fix")}),
+         {});
+}
+
+// ---------------------------------------------------------------------
 // graph.* fixtures: the whole-program model and its five rules.
 
 /// Runs the rule set WITH the graph family, keeping only graph.* findings,
@@ -932,6 +978,7 @@ int self_test() {
   lock_fixtures();
   metrics_fixtures();
   checkpoint_fixtures();
+  state_fixtures();
   graph_model_fixtures();
   graph_rule_fixtures();
   driver_fixtures();

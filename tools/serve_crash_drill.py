@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Kill/restart crash drill for rimarket_serve's snapshot journal.
+
+The drill proves the durability contract end to end, against the real
+binary, over real pipes, with real SIGKILL:
+
+  1. A baseline process applies a deterministic SNAPSHOT_UPDATE script to a
+     throwaway journal and records the answers to a fixed set of
+     ADVISE/BREAKEVEN reads.
+  2. A chaos process applies the same script to a second journal, but the
+     driver SIGKILLs it at seeded points — sometimes with one request
+     in flight (written to the pipe, response never read) — then restarts
+     it on the same journal and resumes the script where it left off.
+  3. After every restart the driver re-sends the last acknowledged update
+     for each account.  The service must answer `"idempotent":true` at
+     exactly the acknowledged version: a plain "published" answer means an
+     acked update was lost, and a stale error above the resolved version
+     means the journal invented state.  An in-flight update is resolved by
+     re-sending it (idempotent and published are both legal — the kill may
+     or may not have landed it — and both leave the same state).
+  4. When the script is exhausted, the chaos survivor's answers to the
+     fixed reads must be byte-identical to the baseline's, and so must the
+     answers of one final clean restart on the same journal.
+
+Every decision (which update, where to kill, in-flight or between
+requests) comes from one seed, echoed at startup and taken from
+RIMARKET_CHAOS_SEED when set, so any CI failure is replayable locally:
+
+  RIMARKET_CHAOS_SEED=12345 tools/serve_crash_drill.py --binary build/examples/rimarket_serve
+
+Stdlib only; Unix only (SIGKILL + SIGALRM read watchdog).
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_SEED = 20260807
+ACCOUNTS = ["acme", "globex", "initech"]
+READ_TIMEOUT_SECS = 60
+
+
+class DrillFailure(Exception):
+    """A durability-contract violation; the message names the evidence."""
+
+
+class RecoveryLog:
+    """Tee for drill events: stdout plus the artifact file CI uploads."""
+
+    def __init__(self, path):
+        self.path = path
+        self.handle = open(path, "w", encoding="utf-8")
+
+    def line(self, text):
+        print(text, flush=True)
+        self.handle.write(text + "\n")
+        self.handle.flush()
+
+    def close(self):
+        self.handle.close()
+
+
+def update_line(account, version):
+    """The same deterministic payload the ChaosJournal gtests use: the
+
+    worked-hours column varies with the version so every version produces
+    distinguishable ADVISE output."""
+    worked = 200 + 7 * version
+    body = (
+        '{"instance":"d2.xlarge","discount":0.8,"now":9000,'
+        '"reservations":[[1,100,%d],[2,0,50]],"version":%d}' % (worked, version)
+    )
+    return "SNAPSHOT_UPDATE %s %s" % (account, body)
+
+
+def read_lines(accounts):
+    reads = []
+    for account in accounts:
+        reads.append("ADVISE %s 1" % account)
+        reads.append("ADVISE %s 2" % account)
+        reads.append("BREAKEVEN %s 0.5" % account)
+    return reads
+
+
+def build_script(rng, accounts, updates):
+    """A shuffled but deterministic update script with per-account
+
+    monotonically increasing explicit versions."""
+    versions = {account: 0 for account in accounts}
+    script = []
+    for _ in range(updates):
+        account = rng.choice(accounts)
+        versions[account] += 1
+        script.append((account, versions[account]))
+    return script
+
+
+class Server:
+    """One rimarket_serve process on a pipe pair, with a read watchdog."""
+
+    def __init__(self, binary, journal):
+        self.proc = subprocess.Popen(
+            [binary, "--journal=%s" % journal],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def send(self, line):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def recv(self):
+        def on_alarm(signum, frame):
+            raise DrillFailure("service did not answer within %ds" % READ_TIMEOUT_SECS)
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(READ_TIMEOUT_SECS)
+        try:
+            line = self.proc.stdout.readline()
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        if line == "":
+            raise DrillFailure(
+                "service closed stdout unexpectedly (exit=%s, stderr=%r)"
+                % (self.proc.poll(), self.proc.stderr.read())
+            )
+        return line.rstrip("\n")
+
+    def ask(self, line):
+        self.send(line)
+        return self.recv()
+
+    def kill(self):
+        self.proc.kill()  # SIGKILL: no atexit, no flush, no destructor
+        self.proc.wait()
+        self.proc.stdin.close()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+
+    def shutdown(self):
+        self.proc.stdin.close()
+        self.proc.wait()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        if self.proc.returncode != 0:
+            raise DrillFailure("clean shutdown exited %d" % self.proc.returncode)
+
+
+def expect_ok(request, response):
+    if not response.startswith("OK "):
+        raise DrillFailure("request %r answered %r, expected OK" % (request, response))
+    return json.loads(response[3:])
+
+
+def resolve_restart(server, acked, in_flight, log):
+    """Resolve the in-flight ambiguity, then audit every acked version.
+
+    Returns the number of journal records the probe confirmed."""
+    if in_flight is not None:
+        account, version = in_flight
+        response = server.ask(update_line(account, version))
+        payload = expect_ok("in-flight resolve %s@%d" % (account, version), response)
+        if payload.get("version") != version:
+            raise DrillFailure(
+                "in-flight %s@%d resolved to version %s"
+                % (account, version, payload.get("version"))
+            )
+        landed = "idempotent" if payload.get("idempotent") else "replayed now"
+        log.line("  in-flight %s@%d: %s" % (account, version, landed))
+        acked[account] = version
+    for account, version in sorted(acked.items()):
+        if version == 0:
+            continue
+        response = server.ask(update_line(account, version))
+        payload = expect_ok("recovery probe %s@%d" % (account, version), response)
+        if not payload.get("idempotent"):
+            raise DrillFailure(
+                "LOST ACKED UPDATE: %s@%d was acknowledged before the kill but "
+                "the restarted service published it as new (%r)"
+                % (account, version, response)
+            )
+        if payload.get("version") != version:
+            raise DrillFailure(
+                "VERSION DIVERGENCE: %s acked at %d but restarted service is at %s"
+                % (account, version, payload.get("version"))
+            )
+    return sum(1 for version in acked.values() if version > 0)
+
+
+def journal_metrics(server):
+    payload = expect_ok("METRICS", server.ask("METRICS"))
+    return {
+        name: value
+        for name, value in payload.items()
+        if name.startswith("serve.journal.") or name == "serve.busy_rejections"
+    }
+
+
+def run_baseline(binary, journal, script, reads):
+    server = Server(binary, journal)
+    for account, version in script:
+        expect_ok("baseline %s@%d" % (account, version),
+                  server.ask(update_line(account, version)))
+    answers = [server.ask(line) for line in reads]
+    server.shutdown()
+    return answers
+
+
+def run_chaos(binary, journal, script, reads, rng, kills, log):
+    acked = {account: 0 for account in ACCOUNTS}
+    in_flight = None
+    cursor = 0
+    generation = 0
+    server = Server(binary, journal)
+    while cursor < len(script):
+        if generation > 0:
+            resolve_restart(server, acked, in_flight, log)
+            in_flight = None
+        remaining = len(script) - cursor
+        if generation < kills and remaining > 0:
+            kill_after = rng.randrange(remaining)
+            kill_in_flight = rng.random() < 0.5
+        else:
+            kill_after = None
+        step = 0
+        while cursor < len(script):
+            account, version = script[cursor]
+            if kill_after is not None and step == kill_after and kill_in_flight:
+                server.send(update_line(account, version))
+                server.kill()
+                in_flight = (account, version)
+                log.line(
+                    "kill %d: SIGKILL with %s@%d in flight (%d/%d applied)"
+                    % (generation + 1, account, version, cursor, len(script))
+                )
+                cursor += 1
+                break
+            expect_ok("chaos %s@%d" % (account, version),
+                      server.ask(update_line(account, version)))
+            acked[account] = version
+            cursor += 1
+            step += 1
+            if kill_after is not None and step > kill_after:
+                server.kill()
+                log.line(
+                    "kill %d: SIGKILL between requests (%d/%d applied)"
+                    % (generation + 1, cursor, len(script))
+                )
+                break
+        else:
+            break  # script exhausted without a kill this round
+        generation += 1
+        server = Server(binary, journal)
+        log.line("  restart %d: service up on the same journal" % generation)
+    resolve_restart(server, acked, in_flight, log)
+    answers = [server.ask(line) for line in reads]
+    metrics = journal_metrics(server)
+    server.shutdown()
+    return generation, answers, metrics
+
+
+def compare(label, baseline, survivor, reads):
+    for request, expected, actual in zip(reads, baseline, survivor):
+        if expected != actual:
+            raise DrillFailure(
+                "ANSWER DIVERGENCE (%s): %r answered %r, baseline said %r"
+                % (label, request, actual, expected)
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True,
+                        help="path to the rimarket_serve executable")
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("RIMARKET_CHAOS_SEED", DEFAULT_SEED)),
+                        help="drill seed (default: $RIMARKET_CHAOS_SEED or %d)"
+                        % DEFAULT_SEED)
+    parser.add_argument("--updates", type=int, default=48,
+                        help="length of the SNAPSHOT_UPDATE script")
+    parser.add_argument("--kills", type=int, default=6,
+                        help="number of SIGKILL/restart cycles")
+    parser.add_argument("--log", default="serve_crash_recovery.log",
+                        help="recovery log written for the CI artifact")
+    args = parser.parse_args()
+
+    if not os.path.isfile(args.binary) or not os.access(args.binary, os.X_OK):
+        print("serve_crash_drill: %s is not an executable" % args.binary,
+              file=sys.stderr)
+        return 2
+
+    log = RecoveryLog(args.log)
+    log.line("serve crash drill: seed %d (re-run with RIMARKET_CHAOS_SEED=%d)"
+             % (args.seed, args.seed))
+    rng = random.Random(args.seed)
+    script = build_script(rng, ACCOUNTS, args.updates)
+    reads = read_lines(ACCOUNTS)
+
+    workdir = tempfile.mkdtemp(prefix="serve_crash_drill.")
+    try:
+        baseline_answers = run_baseline(
+            args.binary, os.path.join(workdir, "baseline.journal"), script, reads)
+        log.line("baseline: %d updates applied, %d reads recorded"
+                 % (len(script), len(reads)))
+
+        chaos_journal = os.path.join(workdir, "chaos.journal")
+        kills, chaos_answers, metrics = run_chaos(
+            args.binary, chaos_journal, script, reads, rng, args.kills, log)
+        compare("chaos survivor", baseline_answers, chaos_answers, reads)
+        log.line("survivor: %d kills survived, all %d reads byte-identical"
+                 % (kills, len(reads)))
+        for name in sorted(metrics):
+            log.line("  metric %s = %g" % (name, metrics[name]))
+
+        # One last clean restart: the journal alone must reproduce the state.
+        final = Server(args.binary, chaos_journal)
+        final_answers = [final.ask(line) for line in reads]
+        replayed = journal_metrics(final).get("serve.journal.records_replayed", 0)
+        final.shutdown()
+        compare("clean restart", baseline_answers, final_answers, reads)
+        if replayed <= 0:
+            raise DrillFailure("clean restart replayed no journal records; "
+                               "the drill proved nothing")
+        log.line("clean restart: %d records replayed, reads byte-identical" % replayed)
+        log.line("PASS: no lost acked update, no version regression, no divergence")
+        return 0
+    except DrillFailure as failure:
+        log.line("FAIL: %s" % failure)
+        log.line("reproduce with: RIMARKET_CHAOS_SEED=%d %s --binary %s"
+                 % (args.seed, sys.argv[0], args.binary))
+        return 1
+    finally:
+        log.close()
+        for root, dirs, files in os.walk(workdir, topdown=False):
+            for name in files:
+                os.unlink(os.path.join(root, name))
+            for name in dirs:
+                os.rmdir(os.path.join(root, name))
+        os.rmdir(workdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
